@@ -1,0 +1,110 @@
+//! The [`AlgebraicBx`] type: a consistency relation with two restorers.
+
+use std::rc::Rc;
+
+/// An algebraic bx `(R, →R, ←R)` between `A` and `B` (Stevens, §4 of the
+/// paper).
+///
+/// `consistent` decides membership of `R`; `restore_b` is `→R` (fix up `B`
+/// after an `A` change) and `restore_a` is `←R`. Laws are checked by
+/// [`crate::laws`], never assumed.
+#[allow(clippy::type_complexity)] // the fields ARE the paper's (R, →R, ←R)
+pub struct AlgebraicBx<A, B> {
+    consistent: Rc<dyn Fn(&A, &B) -> bool>,
+    restore_b: Rc<dyn Fn(&A, &B) -> B>,
+    restore_a: Rc<dyn Fn(&A, &B) -> A>,
+}
+
+impl<A, B> Clone for AlgebraicBx<A, B> {
+    fn clone(&self) -> Self {
+        AlgebraicBx {
+            consistent: Rc::clone(&self.consistent),
+            restore_b: Rc::clone(&self.restore_b),
+            restore_a: Rc::clone(&self.restore_a),
+        }
+    }
+}
+
+impl<A, B> std::fmt::Debug for AlgebraicBx<A, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AlgebraicBx(<R, →R, ←R>)")
+    }
+}
+
+impl<A: 'static, B: 'static> AlgebraicBx<A, B> {
+    /// Build an algebraic bx from its three components.
+    pub fn new(
+        consistent: impl Fn(&A, &B) -> bool + 'static,
+        restore_b: impl Fn(&A, &B) -> B + 'static,
+        restore_a: impl Fn(&A, &B) -> A + 'static,
+    ) -> Self {
+        AlgebraicBx {
+            consistent: Rc::new(consistent),
+            restore_b: Rc::new(restore_b),
+            restore_a: Rc::new(restore_a),
+        }
+    }
+
+    /// Is `(a, b) ∈ R`?
+    pub fn consistent(&self, a: &A, b: &B) -> bool {
+        (self.consistent)(a, b)
+    }
+
+    /// `→R(a, b)`: repair the `B` side after `A` changed to `a`.
+    pub fn restore_b(&self, a: &A, b: &B) -> B {
+        (self.restore_b)(a, b)
+    }
+
+    /// `←R(a, b)`: repair the `A` side after `B` changed to `b`.
+    pub fn restore_a(&self, a: &A, b: &B) -> A {
+        (self.restore_a)(a, b)
+    }
+
+    /// Repair an arbitrary pair into a consistent one, `A` authoritative.
+    pub fn settle_from_a(&self, a: A, b: &B) -> (A, B) {
+        let b2 = self.restore_b(&a, b);
+        (a, b2)
+    }
+
+    /// Repair an arbitrary pair into a consistent one, `B` authoritative.
+    pub fn settle_from_b(&self, a: &A, b: B) -> (A, B) {
+        let a2 = self.restore_a(a, &b);
+        (a2, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::interval_bx;
+
+    #[test]
+    fn consistency_is_the_given_relation() {
+        // R(a, b) ⇔ b ∈ [a-1, a+1]: a genuine relation, not a function.
+        let bx = interval_bx(1);
+        assert!(bx.consistent(&5, &6));
+        assert!(bx.consistent(&5, &4));
+        assert!(!bx.consistent(&5, &7));
+    }
+
+    #[test]
+    fn restorers_move_the_minimal_amount() {
+        let bx = interval_bx(1);
+        // b = 9 is too far from a = 5: clamp to the interval edge.
+        assert_eq!(bx.restore_b(&5, &9), 6);
+        assert_eq!(bx.restore_b(&5, &1), 4);
+        // already consistent: untouched (Hippocratic).
+        assert_eq!(bx.restore_b(&5, &5), 5);
+    }
+
+    #[test]
+    fn settle_produces_consistent_pairs() {
+        let bx = interval_bx(2);
+        let (a, b) = bx.settle_from_a(10, &0);
+        assert!(bx.consistent(&a, &b));
+        assert_eq!((a, b), (10, 8));
+        let (a, b) = bx.settle_from_b(&0, 10);
+        assert!(bx.consistent(&a, &b));
+        assert_eq!((a, b), (8, 10));
+    }
+}

@@ -1,0 +1,110 @@
+//! Ready-made algebraic bx, including constructions from lenses and
+//! genuinely relational examples no lens can express.
+
+use esm_lens::Lens;
+
+use crate::abx::AlgebraicBx;
+
+/// The algebraic bx induced by a well-behaved lens `l : A ⇄ B`:
+/// `R(a, b) ⇔ l.get(a) == b`, `→R(a, _) = l.get(a)`,
+/// `←R(a, b) = l.put(a, b)`.
+///
+/// (Correct)/(Hippocratic) follow from well-behavedness; (Undoable) in the
+/// `←` direction corresponds to (PutPut).
+pub fn from_lens<A, B>(l: Lens<A, B>) -> AlgebraicBx<A, B>
+where
+    A: Clone + 'static,
+    B: Clone + PartialEq + 'static,
+{
+    let lc = l.clone();
+    let lr = l.clone();
+    AlgebraicBx::new(
+        move |a: &A, b: &B| l.get(a) == *b,
+        move |a: &A, _b: &B| lc.get(a),
+        move |a: &A, b: &B| lr.put(a.clone(), b.clone()),
+    )
+}
+
+/// A genuinely relational bx on integers: `R(a, b) ⇔ |a - b| <= slack`.
+///
+/// The restorers clamp the stale side into the allowed interval around the
+/// freshly-written side, moving it as little as possible (so (Hippocratic)
+/// holds). This is *not* a lens in either direction: many `b`s are
+/// consistent with each `a`. It is also **not undoable** for `slack > 0`
+/// (clamping loses the original position), which the law tests exploit.
+pub fn interval_bx(slack: i64) -> AlgebraicBx<i64, i64> {
+    assert!(slack >= 0, "slack must be non-negative");
+    let clamp = move |fresh: i64, stale: i64| -> i64 { stale.clamp(fresh - slack, fresh + slack) };
+    AlgebraicBx::new(
+        move |a: &i64, b: &i64| (a - b).abs() <= slack,
+        move |a: &i64, b: &i64| clamp(*a, *b),
+        move |a: &i64, b: &i64| clamp(*b, *a),
+    )
+}
+
+/// The *equality* bx on a type: `R(a, b) ⇔ a == b`, restorers copy.
+/// Correct, Hippocratic and undoable.
+pub fn equality_bx<T: Clone + PartialEq + 'static>() -> AlgebraicBx<T, T> {
+    AlgebraicBx::new(
+        |a: &T, b: &T| a == b,
+        |a: &T, _b: &T| a.clone(),
+        |_a: &T, b: &T| b.clone(),
+    )
+}
+
+/// The *universal* bx: every pair is consistent, restorers never touch
+/// anything. This is the §3.4 unentangled product, seen algebraically:
+/// "setA automatically restores consistency without the need to change B
+/// and vice versa".
+pub fn universal_bx<A: Clone + 'static, B: Clone + 'static>() -> AlgebraicBx<A, B> {
+    AlgebraicBx::new(|_, _| true, |_, b: &B| b.clone(), |a: &A, _| a.clone())
+}
+
+/// A deliberately broken bx for negative tests: `→R` returns a constant
+/// that is usually inconsistent, violating (Correct).
+pub fn broken_bx() -> AlgebraicBx<i64, i64> {
+    AlgebraicBx::new(|a: &i64, b: &i64| a == b, |_a, _b| 0, |_a, b: &i64| *b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_lens::combinators::fst;
+
+    #[test]
+    fn lens_bx_relation_is_the_graph_of_get() {
+        let bx = from_lens(fst::<i64, String>());
+        assert!(bx.consistent(&(3, "x".into()), &3));
+        assert!(!bx.consistent(&(3, "x".into()), &4));
+    }
+
+    #[test]
+    fn lens_bx_restores_via_get_and_put() {
+        let bx = from_lens(fst::<i64, String>());
+        let a = (3i64, "x".to_string());
+        assert_eq!(bx.restore_b(&a, &99), 3);
+        assert_eq!(bx.restore_a(&a, &7), (7, "x".to_string()));
+    }
+
+    #[test]
+    fn equality_bx_copies() {
+        let bx = equality_bx::<String>();
+        assert_eq!(bx.restore_b(&"l".to_string(), &"r".to_string()), "l");
+        assert_eq!(bx.restore_a(&"l".to_string(), &"r".to_string()), "r");
+    }
+
+    #[test]
+    fn universal_bx_never_touches_the_other_side() {
+        let bx = universal_bx::<i64, String>();
+        assert!(bx.consistent(&1, &"anything".to_string()));
+        assert_eq!(bx.restore_b(&9, &"keep".to_string()), "keep");
+    }
+
+    #[test]
+    fn interval_bx_is_relational_not_functional() {
+        let bx = interval_bx(2);
+        // Two different Bs consistent with the same A.
+        assert!(bx.consistent(&10, &9));
+        assert!(bx.consistent(&10, &11));
+    }
+}

@@ -1,0 +1,209 @@
+//! Executable forms of the algebraic-bx laws from §4 of the paper:
+//! (Correct), (Hippocratic) and (Undoable), in both directions.
+
+use crate::abx::AlgebraicBx;
+
+/// An algebraic-bx law violation with printable evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbxLawViolation {
+    /// The law that failed, tagged with the direction, e.g. `"(Correct)→"`.
+    pub law: &'static str,
+    /// Human-readable counterexample.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AbxLawViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "algebraic bx law {} violated: {}", self.law, self.detail)
+    }
+}
+
+impl std::error::Error for AbxLawViolation {}
+
+/// (Correct): `(a, →R(a, b)) ∈ R` and `(←R(a, b), b) ∈ R`, over the sample
+/// grid.
+pub fn check_correct<A, B>(bx: &AlgebraicBx<A, B>, samples_a: &[A], samples_b: &[B]) -> Vec<AbxLawViolation>
+where
+    A: Clone + std::fmt::Debug + 'static,
+    B: Clone + std::fmt::Debug + 'static,
+{
+    let mut out = Vec::new();
+    for a in samples_a {
+        for b in samples_b {
+            let b2 = bx.restore_b(a, b);
+            if !bx.consistent(a, &b2) {
+                out.push(AbxLawViolation {
+                    law: "(Correct)→",
+                    detail: format!("→R({a:?}, {b:?}) = {b2:?} is not consistent with {a:?}"),
+                });
+            }
+            let a2 = bx.restore_a(a, b);
+            if !bx.consistent(&a2, b) {
+                out.push(AbxLawViolation {
+                    law: "(Correct)←",
+                    detail: format!("←R({a:?}, {b:?}) = {a2:?} is not consistent with {b:?}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// (Hippocratic): on already-consistent pairs the restorers change nothing.
+pub fn check_hippocratic<A, B>(
+    bx: &AlgebraicBx<A, B>,
+    samples_a: &[A],
+    samples_b: &[B],
+) -> Vec<AbxLawViolation>
+where
+    A: Clone + PartialEq + std::fmt::Debug + 'static,
+    B: Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let mut out = Vec::new();
+    for a in samples_a {
+        for b in samples_b {
+            if !bx.consistent(a, b) {
+                continue;
+            }
+            let b2 = bx.restore_b(a, b);
+            if b2 != *b {
+                out.push(AbxLawViolation {
+                    law: "(Hippocratic)→",
+                    detail: format!("R({a:?}, {b:?}) holds but →R changed b to {b2:?}"),
+                });
+            }
+            let a2 = bx.restore_a(a, b);
+            if a2 != *a {
+                out.push(AbxLawViolation {
+                    law: "(Hippocratic)←",
+                    detail: format!("R({a:?}, {b:?}) holds but ←R changed a to {a2:?}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// (Undoable): `R(a, b) ⇒ →R(a, →R(a', b)) = b` — detouring through any
+/// `a'` and coming back restores the original — and symmetrically.
+pub fn check_undoable<A, B>(
+    bx: &AlgebraicBx<A, B>,
+    samples_a: &[A],
+    samples_b: &[B],
+) -> Vec<AbxLawViolation>
+where
+    A: Clone + PartialEq + std::fmt::Debug + 'static,
+    B: Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let mut out = Vec::new();
+    for a in samples_a {
+        for b in samples_b {
+            if !bx.consistent(a, b) {
+                continue;
+            }
+            for a2 in samples_a {
+                let detour = bx.restore_b(a2, b);
+                let back = bx.restore_b(a, &detour);
+                if back != *b {
+                    out.push(AbxLawViolation {
+                        law: "(Undoable)→",
+                        detail: format!(
+                            "→R({a:?}, →R({a2:?}, {b:?})) = {back:?}, expected {b:?}"
+                        ),
+                    });
+                }
+            }
+            for b2 in samples_b {
+                let detour = bx.restore_a(a, b2);
+                let back = bx.restore_a(&detour, b);
+                if back != *a {
+                    out.push(AbxLawViolation {
+                        law: "(Undoable)←",
+                        detail: format!(
+                            "←R(←R({a:?}, {b2:?}), {b:?}) = {back:?}, expected {a:?}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All mandatory laws: (Correct) + (Hippocratic).
+pub fn check_algebraic_bx<A, B>(
+    bx: &AlgebraicBx<A, B>,
+    samples_a: &[A],
+    samples_b: &[B],
+) -> Vec<AbxLawViolation>
+where
+    A: Clone + PartialEq + std::fmt::Debug + 'static,
+    B: Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let mut out = check_correct(bx, samples_a, samples_b);
+    out.extend(check_hippocratic(bx, samples_a, samples_b));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{broken_bx, equality_bx, from_lens, interval_bx, universal_bx};
+    use esm_lens::combinators::fst;
+
+    const AS: [i64; 5] = [-3, 0, 1, 5, 9];
+    const BS: [i64; 5] = [-2, 0, 2, 5, 10];
+
+    #[test]
+    fn interval_bx_is_correct_and_hippocratic() {
+        let bx = interval_bx(2);
+        assert!(check_algebraic_bx(&bx, &AS, &BS).is_empty());
+    }
+
+    #[test]
+    fn interval_bx_is_not_undoable() {
+        // Clamping destroys information: the §4 distinction between plain
+        // and undoable algebraic bx, witnessed.
+        let bx = interval_bx(1);
+        let v = check_undoable(&bx, &AS, &BS);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn equality_bx_is_fully_lawful_and_undoable() {
+        let bx = equality_bx::<i64>();
+        assert!(check_algebraic_bx(&bx, &AS, &BS).is_empty());
+        assert!(check_undoable(&bx, &AS, &BS).is_empty());
+    }
+
+    #[test]
+    fn universal_bx_is_fully_lawful_and_undoable() {
+        let bx = universal_bx::<i64, i64>();
+        assert!(check_algebraic_bx(&bx, &AS, &BS).is_empty());
+        assert!(check_undoable(&bx, &AS, &BS).is_empty());
+    }
+
+    #[test]
+    fn lens_derived_bx_is_lawful() {
+        let bx = from_lens(fst::<i64, i64>());
+        let sources: Vec<(i64, i64)> = vec![(0, 1), (5, 5), (-2, 9)];
+        let views: Vec<i64> = vec![0, 5, 7];
+        assert!(check_algebraic_bx(&bx, &sources, &views).is_empty());
+        // fst is very well-behaved, so the bx is undoable too.
+        assert!(check_undoable(&bx, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn broken_bx_fails_correct() {
+        let bx = broken_bx();
+        let v = check_correct(&bx, &[1], &[1]);
+        assert!(v.iter().any(|x| x.law == "(Correct)→"), "{v:?}");
+    }
+
+    #[test]
+    fn violations_display_direction() {
+        let bx = broken_bx();
+        let v = check_correct(&bx, &[1], &[1]);
+        assert!(v[0].to_string().contains("(Correct)→"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Algebraic bidirectional transformations in the style of Stevens, and
+//! their embedding as entangled state monads (Lemma 5 of the paper).
+//!
+//! An algebraic bx `(R, →R, ←R)` between `A` and `B` consists of a
+//! consistency relation `R ⊆ A × B` and two *consistency restorers*:
+//! `→R : A × B -> B` (repair `B` after `A` changed) and
+//! `←R : A × B -> A`. The required laws (§4):
+//!
+//! ```text
+//! (Correct)     (a, →R(a, b)) ∈ R
+//! (Hippocratic) R(a, b)  ⇒  →R(a, b) = b
+//! (Undoable)    R(a, b)  ⇒  →R(a, →R(a', b)) = b
+//! ```
+//!
+//! (and symmetrically for `←R`). Lemma 5: viewing the state monad over `R`
+//! (consistent pairs) through
+//!
+//! ```text
+//! getA = \(a, b) -> (a, (a, b))          setA a' = \(a, b) -> ((), (a', →R(a', b)))
+//! getB = \(a, b) -> (b, (a, b))          setB b' = \(a, b) -> ((), (←R(a, b'), b'))
+//! ```
+//!
+//! gives a set-bx, overwriteable when the bx is undoable. Unlike a lens,
+//! neither side need determine the other — `R` may be a genuine relation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod abx;
+pub mod builders;
+pub mod laws;
+pub mod to_bx;
+
+pub use abx::AlgebraicBx;
+pub use to_bx::AlgBxOps;

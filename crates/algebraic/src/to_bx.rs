@@ -1,0 +1,109 @@
+//! Lemma 5: every algebraic bx is an entangled state monad over the state
+//! monad on its consistency relation `R` (the set of consistent pairs).
+
+use esm_core::state::SbxOps;
+
+use crate::abx::AlgebraicBx;
+
+/// The Lemma 5 construction: a set-bx between `A` and `B` whose hidden
+/// state is a *consistent pair* `(a, b) ∈ R`.
+///
+/// ```text
+/// view_a (a, b)     = a
+/// view_b (a, b)     = b
+/// update_a (a,b) a' = (a', →R(a', b))     -- (Correct) keeps the invariant
+/// update_b (a,b) b' = (←R(a, b'), b')
+/// ```
+///
+/// Note how the consistency relation "disappears into the hidden state of
+/// the monad" (paper, §5): consumers of the bx interface never see `R`,
+/// only the two views.
+#[derive(Debug, Clone)]
+pub struct AlgBxOps<A, B> {
+    bx: AlgebraicBx<A, B>,
+}
+
+impl<A: 'static, B: 'static> AlgBxOps<A, B> {
+    /// Wrap an algebraic bx as a set-bx (Lemma 5).
+    pub fn new(bx: AlgebraicBx<A, B>) -> Self {
+        AlgBxOps { bx }
+    }
+
+    /// The underlying algebraic bx.
+    pub fn algebraic(&self) -> &AlgebraicBx<A, B> {
+        &self.bx
+    }
+
+    /// Check the state invariant: is the hidden pair consistent?
+    pub fn invariant(&self, s: &(A, B)) -> bool {
+        self.bx.consistent(&s.0, &s.1)
+    }
+}
+
+impl<A: Clone + 'static, B: Clone + 'static> SbxOps<(A, B), A, B> for AlgBxOps<A, B> {
+    fn view_a(&self, s: &(A, B)) -> A {
+        s.0.clone()
+    }
+
+    fn view_b(&self, s: &(A, B)) -> B {
+        s.1.clone()
+    }
+
+    fn update_a(&self, s: (A, B), a: A) -> (A, B) {
+        let b = self.bx.restore_b(&a, &s.1);
+        (a, b)
+    }
+
+    fn update_b(&self, s: (A, B), b: B) -> (A, B) {
+        let a = self.bx.restore_a(&s.0, &b);
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::interval_bx;
+    use esm_core::state::{BxSession, SbxOps};
+
+    #[test]
+    fn updates_restore_consistency() {
+        let t = AlgBxOps::new(interval_bx(1));
+        let s = (5i64, 5i64);
+        assert!(t.invariant(&s));
+        // Push A far away: B is dragged along into the interval.
+        let s = t.update_a(s, 20);
+        assert!(t.invariant(&s));
+        assert_eq!(s, (20, 19)); // b clamped to a-1
+        let s = t.update_b(s, 0);
+        assert!(t.invariant(&s));
+        assert_eq!(s, (1, 0));
+    }
+
+    #[test]
+    fn hippocratic_updates_do_nothing() {
+        let t = AlgBxOps::new(interval_bx(2));
+        let s = (5i64, 6i64);
+        assert_eq!(t.update_a(s.clone(), 5), s);
+        assert_eq!(t.update_b(s.clone(), 6), s);
+    }
+
+    #[test]
+    fn relation_slack_is_preserved_not_collapsed() {
+        // Unlike a lens, the bx does not force b = f(a): a consistent but
+        // unequal pair survives updates that keep it consistent.
+        let t = AlgBxOps::new(interval_bx(2));
+        let s = (5i64, 6i64);
+        let s = t.update_a(s, 7); // 6 ∈ [5, 9]: b untouched
+        assert_eq!(s, (7, 6));
+    }
+
+    #[test]
+    fn session_over_algebraic_bx() {
+        let mut sess = BxSession::new((0i64, 0i64), AlgBxOps::new(interval_bx(3)));
+        sess.set_a(10);
+        assert_eq!(sess.b(), 7);
+        sess.set_b(-5);
+        assert_eq!(sess.a(), -2);
+    }
+}

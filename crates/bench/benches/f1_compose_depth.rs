@@ -1,0 +1,32 @@
+//! F1 — composition depth: one `put` through a chain of n composed
+//! lenses, against the fused single-lens baseline.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use esm_bench::{fused_chain, lens_chain};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_compose_depth");
+    for depth in [1usize, 2, 4, 8, 16, 32, 64] {
+        let chain = lens_chain(depth);
+        g.bench_with_input(BenchmarkId::new("chained_put", depth), &depth, |b, _| {
+            b.iter(|| black_box(chain.put(black_box(5), 99)))
+        });
+        let fused = fused_chain(depth);
+        g.bench_with_input(BenchmarkId::new("fused_put", depth), &depth, |b, _| {
+            b.iter(|| black_box(fused.put(black_box(5), 99)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! F2 — relational lenses vs table size: select/project/join `get` and
+//! `put` over generated tables.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use esm_relational::testgen::{gen_orders_products, gen_people};
+use esm_relational::{join_dl_lens, project_lens, select_lens};
+use esm_store::{Operand, Predicate, Value};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f2_relational_scale");
+    for &n in &[100usize, 1_000, 10_000] {
+        let people = gen_people(99, n);
+        let sel = select_lens(Predicate::ge(Operand::col("age"), Operand::val(18)));
+        let sel_view = sel.get(&people);
+        g.bench_with_input(BenchmarkId::new("select_get", n), &n, |b, _| {
+            b.iter(|| black_box(sel.get(&people)))
+        });
+        g.bench_with_input(BenchmarkId::new("select_put", n), &n, |b, _| {
+            b.iter(|| black_box(sel.put(people.clone(), sel_view.clone())))
+        });
+
+        let proj = project_lens(&["id", "name"], &[("age", Value::Int(30))]);
+        let proj_view = proj.get(&people);
+        g.bench_with_input(BenchmarkId::new("project_get", n), &n, |b, _| {
+            b.iter(|| black_box(proj.get(&people)))
+        });
+        g.bench_with_input(BenchmarkId::new("project_put", n), &n, |b, _| {
+            b.iter(|| black_box(proj.put(people.clone(), proj_view.clone())))
+        });
+
+        let (orders, products) = gen_orders_products(7, n, (n / 10).max(1));
+        let join = join_dl_lens();
+        let src = (orders, products);
+        let join_view = join.get(&src);
+        g.bench_with_input(BenchmarkId::new("join_get", n), &n, |b, _| {
+            b.iter(|| black_box(join.get(&src)))
+        });
+        g.bench_with_input(BenchmarkId::new("join_put", n), &n, |b, _| {
+            b.iter(|| black_box(join.put(src.clone(), join_view.clone())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! F3 — law-check throughput: full ops-level set-bx suites per second.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use esm_bench::InventoryOps;
+use esm_core::state::{IdBx, ProductOps};
+use esm_lawcheck::gen::int_range;
+use esm_lawcheck::setbx::check_set_ops;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f3_lawcheck");
+    let n = 200;
+
+    g.bench_function("identity_bx_suite", |b| {
+        let gen = int_range(-1000..1000);
+        b.iter(|| {
+            black_box(check_set_ops("id", &IdBx::<i64>::new(), &gen, &gen, &gen, n, 1, true))
+        })
+    });
+
+    g.bench_function("product_bx_suite", |b| {
+        let gs = int_range(-1000..1000).zip(&int_range(1..100));
+        let ga = int_range(-1000..1000);
+        let gb = int_range(1..100);
+        let t: ProductOps<i64, i64> = ProductOps::new();
+        b.iter(|| black_box(check_set_ops("product", &t, &gs, &ga, &gb, n, 2, true)))
+    });
+
+    g.bench_function("inventory_bx_suite", |b| {
+        let gqty = int_range(1..1000).map(|x| x as u32);
+        let gs = gqty.clone().map(|q| (q, 10u32));
+        let gtotal = int_range(1..10_000).map(|x| x as u32 * 10);
+        b.iter(|| black_box(check_set_ops("inv", &InventoryOps, &gs, &gqty, &gtotal, n, 3, true)))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

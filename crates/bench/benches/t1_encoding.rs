@@ -1,0 +1,63 @@
+//! T1 — encoding cost: direct mutation vs static ops vs dyn ops vs the
+//! GAT state monad, one `setB`+`getA` round each.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use esm_bench::{inventory_dyn, InventoryOps, Item};
+use esm_core::monadic::SetBx;
+use esm_core::state::{Monadic, SbxOps};
+use esm_monad::{MonadFamily, StateOf};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_encoding");
+
+    g.bench_function("direct", |b| {
+        let mut s: Item = (4, 25);
+        b.iter(|| {
+            s = (black_box(300) / s.1, s.1);
+            black_box(s.0);
+        })
+    });
+
+    g.bench_function("sbxops_static", |b| {
+        let t = InventoryOps;
+        let mut s: Item = (4, 25);
+        b.iter(|| {
+            s = t.update_b(s, black_box(300));
+            black_box(t.view_a(&s));
+        })
+    });
+
+    g.bench_function("statebx_dyn", |b| {
+        let t = inventory_dyn();
+        let mut s: Item = (4, 25);
+        b.iter(|| {
+            s = t.update_b(s, black_box(300));
+            black_box(t.view_a(&s));
+        })
+    });
+
+    g.bench_function("gat_state_monad", |b| {
+        let t = Monadic(InventoryOps);
+        let mut s: Item = (4, 25);
+        b.iter(|| {
+            let prog = StateOf::<Item>::seq(t.set_b(black_box(300)), t.get_a());
+            let (a, s2) = prog.run(s);
+            s = s2;
+            black_box(a);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! T2 — operational cost of the §3.3 translations: a raw set-bx vs the
+//! same bx wrapped in `pp2set(set2pp(·))`, plus the translated `put`.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use esm_bench::{InventoryOps, Item};
+use esm_core::state::{PbxOps, PutToSet, SbxOps, SetToPut};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_translation");
+
+    g.bench_function("raw_update_a", |b| {
+        let t = InventoryOps;
+        let mut s: Item = (4, 25);
+        b.iter(|| {
+            s = t.update_a(s, black_box(7));
+            black_box(s);
+        })
+    });
+
+    g.bench_function("roundtrip_update_a", |b| {
+        let t = PutToSet(SetToPut(InventoryOps));
+        let mut s: Item = (4, 25);
+        b.iter(|| {
+            s = t.update_a(s, black_box(7));
+            black_box(s);
+        })
+    });
+
+    g.bench_function("translated_put_a", |b| {
+        let t = SetToPut(InventoryOps);
+        let mut s: Item = (4, 25);
+        b.iter(|| {
+            let (s2, total) = t.put_a(s, black_box(7));
+            s = s2;
+            black_box(total);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

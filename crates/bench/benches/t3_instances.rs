@@ -1,0 +1,57 @@
+//! T3 — the three lemma constructions (asymmetric lens, algebraic bx,
+//! symmetric lens) driving the same synchronisation task.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use esm_algebraic::builders::from_lens;
+use esm_algebraic::AlgBxOps;
+use esm_core::state::{PbxOps, SbxOps};
+use esm_lens::combinators::fst;
+use esm_lens::AsymBx;
+use esm_symmetric::combinators::from_asym;
+use esm_symmetric::SymBxOps;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3_instances");
+
+    g.bench_function("lemma4_asym_lens", |b| {
+        let t = AsymBx::new(fst::<i64, String>());
+        let mut s: (i64, String) = (0, "hidden".to_string());
+        b.iter(|| {
+            s = t.update_b(s.clone(), black_box(9));
+            black_box(t.view_a(&s));
+        })
+    });
+
+    g.bench_function("lemma5_algebraic", |b| {
+        let t = AlgBxOps::new(from_lens(fst::<i64, String>()));
+        let mut s: ((i64, String), i64) = ((0, "hidden".to_string()), 0);
+        b.iter(|| {
+            s = t.update_b(s.clone(), black_box(9));
+            black_box(t.view_a(&s));
+        })
+    });
+
+    g.bench_function("lemma6_symmetric", |b| {
+        let t = SymBxOps::new(from_asym(fst::<i64, String>(), (0, "hidden".to_string())));
+        let mut s = t.initial_from_a((0, "hidden".to_string()));
+        b.iter(|| {
+            let (s2, a) = t.put_b(s.clone(), black_box(9));
+            s = s2;
+            black_box(a);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

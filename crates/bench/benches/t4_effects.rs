@@ -1,0 +1,53 @@
+//! T4 — effectful bx (§4): pure vs Announce (no-change / changing sets).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use esm_core::state::{IdBx, SbxOps};
+use esm_core::{Announce, EffOps};
+use esm_monad::Trace;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4_effects");
+
+    g.bench_function("pure_set", |b| {
+        let t = IdBx::<i64>::new();
+        let mut s: i64 = 0;
+        b.iter(|| {
+            s = t.update_a(s, black_box(5));
+            black_box(s);
+        })
+    });
+
+    g.bench_function("announce_nochange", |b| {
+        let t = Announce::trivial_int();
+        let mut s: i64 = 5;
+        b.iter(|| {
+            let mut tr = Trace::new();
+            s = t.update_a(s, black_box(s), &mut tr);
+            black_box(tr.len());
+        })
+    });
+
+    g.bench_function("announce_change", |b| {
+        let t = Announce::trivial_int();
+        let mut s: i64 = 0;
+        b.iter(|| {
+            let mut tr = Trace::new();
+            s = t.update_a(s, black_box(s + 1), &mut tr);
+            black_box(tr.len());
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,357 @@
+//! Regenerate every table and figure of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p esm-bench --bin experiments --release`
+//!
+//! Prints one markdown table per experiment (T1–T4, F1–F3), measured with
+//! the quick median harness in `esm_bench`. The Criterion benches under
+//! `crates/bench/benches/` are the statistically careful versions of the
+//! same workloads.
+
+use esm_algebraic::builders::from_lens;
+use esm_algebraic::AlgBxOps;
+use esm_bench::{
+    fused_chain, inventory_dyn, lens_chain, md_row, median_ns_per_call, InventoryOps, Item,
+};
+use esm_core::monadic::SetBx;
+use esm_core::state::{IdBx, Monadic, PbxOps, ProductOps, PutToSet, SbxOps, SetToPut};
+use esm_core::{Announce, EffOps};
+use esm_lawcheck::gen::int_range;
+use esm_lawcheck::setbx::check_set_ops;
+use esm_lens::combinators::fst;
+use esm_lens::AsymBx;
+use esm_monad::{MonadFamily, StateOf, Trace};
+use esm_relational::testgen::{gen_orders_products, gen_people};
+use esm_relational::{join_dl_lens, project_lens, select_lens};
+use esm_store::{Operand, Predicate, Value};
+use esm_symmetric::combinators::from_asym;
+use esm_symmetric::SymBxOps;
+
+const REPS: usize = 15;
+
+fn main() {
+    println!("# Experiment suite — entangled state monads\n");
+    println!("(medians over {REPS} batches; see benches/ for the Criterion versions)\n");
+    t1_encoding();
+    t2_translation();
+    t3_instances();
+    t4_effects();
+    f1_compose_depth();
+    f2_relational_scale();
+    f3_lawcheck();
+}
+
+/// T1: the cost of the monadic encoding in Rust, per set+get round.
+fn t1_encoding() {
+    println!("## T1 — encoding cost (one `setB` + `getA` round on the inventory bx)\n");
+    let batch = 100_000;
+
+    let mut s: Item = (4, 25);
+    let direct = median_ns_per_call(REPS, batch, || {
+        // What a hand-written program would do: mutate the struct.
+        s = (std::hint::black_box(300) / s.1, s.1);
+        std::hint::black_box(s.0);
+    });
+
+    let stat = InventoryOps;
+    let mut s2: Item = (4, 25);
+    let static_ops = median_ns_per_call(REPS, batch, || {
+        s2 = stat.update_b(s2, std::hint::black_box(300));
+        std::hint::black_box(stat.view_a(&s2));
+    });
+
+    let dynb = inventory_dyn();
+    let mut s3: Item = (4, 25);
+    let dyn_ops = median_ns_per_call(REPS, batch, || {
+        s3 = dynb.update_b(s3, std::hint::black_box(300));
+        std::hint::black_box(dynb.view_a(&s3));
+    });
+
+    let m = Monadic(InventoryOps);
+    let mut s4: Item = (4, 25);
+    let monadic = median_ns_per_call(REPS, batch / 10, || {
+        // Build and run the computation `setB 300 >> getA` in the GAT
+        // state monad: allocates Rc closures per op, as the paper's
+        // encoding does in Haskell (thunks).
+        let prog = StateOf::<Item>::seq(m.set_b(std::hint::black_box(300)), m.get_a());
+        let (a, s_next) = prog.run(s4);
+        s4 = s_next;
+        std::hint::black_box(a);
+    });
+
+    println!("{}", md_row(&["variant".into(), "ns/round".into(), "vs direct".into()]));
+    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
+    for (name, ns) in [
+        ("direct struct mutation", direct),
+        ("SbxOps (static dispatch)", static_ops),
+        ("StateBx (dyn dispatch)", dyn_ops),
+        ("GAT state monad (Monadic adapter)", monadic),
+    ] {
+        println!(
+            "{}",
+            md_row(&[
+                name.into(),
+                esm_bench::fmt_ns(ns),
+                format!("{:.1}x", ns / direct.max(0.1))
+            ])
+        );
+    }
+    println!();
+}
+
+/// T2: operational cost of the Lemma 1–3 translations.
+fn t2_translation() {
+    println!("## T2 — translation overhead (set2pp / pp2set wrappers)\n");
+    let batch = 100_000;
+    let t = InventoryOps;
+    let rt = PutToSet(SetToPut(InventoryOps));
+
+    let mut s: Item = (4, 25);
+    let direct = median_ns_per_call(REPS, batch, || {
+        s = t.update_a(s, std::hint::black_box(7));
+    });
+    let mut s2: Item = (4, 25);
+    let wrapped = median_ns_per_call(REPS, batch, || {
+        s2 = rt.update_a(s2, std::hint::black_box(7));
+    });
+    // The translated put also computes the (possibly discarded) B view.
+    let stp = SetToPut(InventoryOps);
+    let mut s3: Item = (4, 25);
+    let put = median_ns_per_call(REPS, batch, || {
+        let (ns, b) = stp.put_a(s3, std::hint::black_box(7));
+        s3 = ns;
+        std::hint::black_box(b);
+    });
+
+    println!("{}", md_row(&["operation".into(), "ns/op".into(), "vs direct".into()]));
+    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
+    for (name, ns) in [
+        ("update_a (raw set-bx)", direct),
+        ("update_a via pp2set(set2pp(t))", wrapped),
+        ("put_a via set2pp(t)", put),
+    ] {
+        println!(
+            "{}",
+            md_row(&[name.into(), esm_bench::fmt_ns(ns), format!("{:.2}x", ns / direct.max(0.1))])
+        );
+    }
+    println!();
+}
+
+/// T3: the three lemma constructions on the same synchronisation task.
+fn t3_instances() {
+    println!("## T3 — instance constructions on the same task (sync (i64, String) ↔ i64)\n");
+    let batch = 20_000;
+
+    // Lemma 4: asymmetric lens.
+    let asym = AsymBx::new(fst::<i64, String>());
+    let mut s_l4: (i64, String) = (0, "hidden".to_string());
+    let l4 = median_ns_per_call(REPS, batch, || {
+        s_l4 = asym.update_b(s_l4.clone(), std::hint::black_box(9));
+        std::hint::black_box(asym.view_a(&s_l4));
+    });
+
+    // Lemma 5: algebraic bx from the same lens; state is the consistent pair.
+    let alg = AlgBxOps::new(from_lens(fst::<i64, String>()));
+    let mut s_l5: ((i64, String), i64) = ((0, "hidden".to_string()), 0);
+    let l5 = median_ns_per_call(REPS, batch, || {
+        s_l5 = alg.update_b(s_l5.clone(), std::hint::black_box(9));
+        std::hint::black_box(alg.view_a(&s_l5));
+    });
+
+    // Lemma 6: symmetric lens from the same lens; state is the triple.
+    let sym = SymBxOps::new(from_asym(fst::<i64, String>(), (0, "hidden".to_string())));
+    let mut s_l6 = sym.initial_from_a((0, "hidden".to_string()));
+    let l6 = median_ns_per_call(REPS, batch, || {
+        let (s_next, a) =
+            esm_core::state::PbxOps::put_b(&sym, s_l6.clone(), std::hint::black_box(9));
+        s_l6 = s_next;
+        std::hint::black_box(a);
+    });
+
+    println!("{}", md_row(&["construction".into(), "hidden state".into(), "ns/update".into()]));
+    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
+    println!(
+        "{}",
+        md_row(&["Lemma 4 (asymmetric lens)".into(), "S".into(), esm_bench::fmt_ns(l4)])
+    );
+    println!(
+        "{}",
+        md_row(&["Lemma 5 (algebraic bx)".into(), "(A, B) ∈ R".into(), esm_bench::fmt_ns(l5)])
+    );
+    println!(
+        "{}",
+        md_row(&["Lemma 6 (symmetric lens)".into(), "(A, B, C) ∈ T".into(), esm_bench::fmt_ns(l6)])
+    );
+    println!();
+}
+
+/// T4: effectful bx overhead and the Hippocratic fast path.
+fn t4_effects() {
+    println!("## T4 — effectful bx (§4): change vs no-change vs pure\n");
+    let batch = 50_000;
+
+    let pure = IdBx::<i64>::new();
+    let mut s: i64 = 0;
+    let pure_ns = median_ns_per_call(REPS, batch, || {
+        s = pure.update_a(s, std::hint::black_box(5));
+    });
+
+    let eff = Announce::trivial_int();
+    let mut s2: i64 = 0;
+    let nochange = median_ns_per_call(REPS, batch, || {
+        let mut tr = Trace::new();
+        // Writing the current value: Hippocratic, never prints.
+        s2 = eff.update_a(s2, std::hint::black_box(s2), &mut tr);
+        std::hint::black_box(&tr);
+    });
+
+    let mut s3: i64 = 0;
+    let change = median_ns_per_call(REPS, batch, || {
+        let mut tr = Trace::new();
+        s3 = eff.update_a(s3, std::hint::black_box(s3 + 1), &mut tr);
+        std::hint::black_box(&tr);
+    });
+
+    println!("{}", md_row(&["variant".into(), "ns/set".into(), "prints".into()]));
+    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
+    println!("{}", md_row(&["pure bx".into(), esm_bench::fmt_ns(pure_ns), "never".into()]));
+    println!(
+        "{}",
+        md_row(&["Announce, no-change set".into(), esm_bench::fmt_ns(nochange), "no".into()])
+    );
+    println!(
+        "{}",
+        md_row(&[
+            "Announce, changing set".into(),
+            esm_bench::fmt_ns(change),
+            "yes (1 event)".into()
+        ])
+    );
+    println!();
+}
+
+/// F1: composition depth scaling (§5).
+fn f1_compose_depth() {
+    println!("## F1 — composition chain depth (one `put` through n composed lenses)\n");
+    println!("{}", md_row(&["depth".into(), "chained ns/put".into(), "fused ns/put".into()]));
+    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
+    for depth in [1usize, 2, 4, 8, 16, 32, 64] {
+        let chain = lens_chain(depth);
+        let fused = fused_chain(depth);
+        let chained_ns = median_ns_per_call(REPS, 20_000, || {
+            std::hint::black_box(chain.put(std::hint::black_box(5), 99));
+        });
+        let fused_ns = median_ns_per_call(REPS, 20_000, || {
+            std::hint::black_box(fused.put(std::hint::black_box(5), 99));
+        });
+        println!(
+            "{}",
+            md_row(&[
+                depth.to_string(),
+                esm_bench::fmt_ns(chained_ns),
+                esm_bench::fmt_ns(fused_ns)
+            ])
+        );
+    }
+    println!();
+}
+
+/// F2: relational lens scaling over table size.
+fn f2_relational_scale() {
+    println!("## F2 — relational lenses vs table size (rows)\n");
+    println!(
+        "{}",
+        md_row(&[
+            "rows".into(),
+            "select get".into(),
+            "select put".into(),
+            "project get".into(),
+            "project put".into(),
+            "join get".into(),
+            "join put".into(),
+        ])
+    );
+    println!("{}", md_row(&(0..7).map(|_| "---".to_string()).collect::<Vec<_>>()));
+
+    for &n in &[100usize, 1_000, 10_000] {
+        let reps = if n >= 10_000 { 5 } else { REPS };
+        let people = gen_people(99, n);
+        let adults = Predicate::ge(Operand::col("age"), Operand::val(18));
+        let sel = select_lens(adults);
+        let sel_view = sel.get(&people);
+        let sel_get = median_ns_per_call(reps, 3, || {
+            std::hint::black_box(sel.get(&people));
+        });
+        let sel_put = median_ns_per_call(reps, 3, || {
+            std::hint::black_box(sel.put(people.clone(), sel_view.clone()));
+        });
+
+        let proj = project_lens(&["id", "name"], &[("age", Value::Int(30))]);
+        let proj_view = proj.get(&people);
+        let proj_get = median_ns_per_call(reps, 3, || {
+            std::hint::black_box(proj.get(&people));
+        });
+        let proj_put = median_ns_per_call(reps, 3, || {
+            std::hint::black_box(proj.put(people.clone(), proj_view.clone()));
+        });
+
+        let (orders, products) = gen_orders_products(7, n, (n / 10).max(1));
+        let join = join_dl_lens();
+        let join_src = (orders, products);
+        let join_view = join.get(&join_src);
+        let join_get = median_ns_per_call(reps, 3, || {
+            std::hint::black_box(join.get(&join_src));
+        });
+        let join_put = median_ns_per_call(reps, 3, || {
+            std::hint::black_box(join.put(join_src.clone(), join_view.clone()));
+        });
+
+        println!(
+            "{}",
+            md_row(&[
+                n.to_string(),
+                esm_bench::fmt_ns(sel_get),
+                esm_bench::fmt_ns(sel_put),
+                esm_bench::fmt_ns(proj_get),
+                esm_bench::fmt_ns(proj_put),
+                esm_bench::fmt_ns(join_get),
+                esm_bench::fmt_ns(join_put),
+            ])
+        );
+    }
+    println!();
+}
+
+/// F3: law-checking throughput (equations checked per second).
+fn f3_lawcheck() {
+    println!("## F3 — law-check throughput (ops-level set-bx suite, n = 1000 samples)\n");
+    let g = int_range(-1000..1000);
+    let gs_pair = int_range(-1000..1000).zip(&int_range(1..100));
+
+    let id_ns = median_ns_per_call(5, 1, || {
+        check_set_ops("id", &IdBx::<i64>::new(), &g, &g, &g, 1000, 1, true).assert_ok();
+    });
+    let product: ProductOps<i64, i64> = ProductOps::new();
+    let prod_ns = median_ns_per_call(5, 1, || {
+        check_set_ops("product", &product, &gs_pair, &g, &int_range(1..100), 1000, 2, true)
+            .assert_ok();
+    });
+    let gqty = int_range(1..1000).map(|x| x as u32);
+    let gsinv = gqty.clone().map(|q| (q, 10u32));
+    let ginv = int_range(1..10_000).map(|x| x as u32 * 10);
+    let inv_ns = median_ns_per_call(5, 1, || {
+        check_set_ops("inventory", &InventoryOps, &gsinv, &gqty, &ginv, 1000, 3, true).assert_ok();
+    });
+
+    // 6 equations per sample (GS/SG/SS on both sides).
+    let eqs = 6_000.0;
+    println!("{}", md_row(&["instance".into(), "suite time".into(), "equations/s".into()]));
+    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
+    for (name, ns) in [("identity bx", id_ns), ("product bx", prod_ns), ("inventory bx", inv_ns)] {
+        println!(
+            "{}",
+            md_row(&[name.into(), esm_bench::fmt_ns(ns), format!("{:.1}M", eqs / ns * 1e9 / 1e6)])
+        );
+    }
+    println!();
+}

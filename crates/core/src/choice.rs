@@ -1,0 +1,288 @@
+//! Nondeterministic and probabilistic bx — the §5 programme, implemented.
+//!
+//! The paper closes: *"our approach offers the possibility of
+//! generalisation to reconcile effects such as I/O, nondeterminism,
+//! exceptions, or probabilistic choice with bidirectionality"*. The §4
+//! I/O case lives in [`crate::effectful`]; this module does nondeterminism
+//! and probabilistic choice.
+//!
+//! A **nondeterministic bx** ([`NdOps`]) has updates that may restore
+//! consistency in several ways — the carrier monad is
+//! `StateT<S, NonDet>`, the paper's recipe applied to the list monad its
+//! §2 uses as the canonical nondeterminism example. A **probabilistic
+//! bx** ([`ProbOps`]) weights those restorations — carrier
+//! `StateT<S, Dist>`.
+//!
+//! Law status (checked in tests through the observational machinery):
+//! (GG), (GS), (SG) hold for the instances here — in particular (GS)
+//! requires *Hippocratic determinism*: writing back the current view must
+//! restore in exactly one way, to exactly the current state. (SS)
+//! generally fails, because chained choicy updates multiply branches; the
+//! tests witness this, mirroring how the §4 I/O example fails (SS).
+
+use esm_monad::{Dist, NonDetOf, StateT, StateTOf, Val};
+
+use crate::monadic::SetBx;
+
+/// A set-bx whose updates may succeed in several ways.
+pub trait NdOps<S, A, B> {
+    /// Observe the `A` view (queries are deterministic, keeping (GG)).
+    fn view_a(&self, s: &S) -> A;
+    /// Observe the `B` view.
+    fn view_b(&self, s: &S) -> B;
+    /// All consistent states reachable by writing `a`. Must be non-empty;
+    /// must be exactly `vec![s]` when `a` is already the current view
+    /// (Hippocratic determinism, required for (GS)).
+    fn update_a(&self, s: S, a: A) -> Vec<S>;
+    /// All consistent states reachable by writing `b`.
+    fn update_b(&self, s: S, b: B) -> Vec<S>;
+}
+
+/// Adapter embedding a nondeterministic bx into the monadic interface over
+/// `StateT<S, NonDet>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonadicNd<T>(pub T);
+
+impl<S, A, B, T> SetBx<StateTOf<S, NonDetOf>, A, B> for MonadicNd<T>
+where
+    S: Val,
+    A: Val,
+    B: Val,
+    T: NdOps<S, A, B> + Clone + 'static,
+{
+    fn get_a(&self) -> StateT<S, NonDetOf, A> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| vec![(t.view_a(&s), s)])
+    }
+
+    fn get_b(&self) -> StateT<S, NonDetOf, B> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| vec![(t.view_b(&s), s)])
+    }
+
+    fn set_a(&self, a: A) -> StateT<S, NonDetOf, ()> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            t.update_a(s, a.clone()).into_iter().map(|s2| ((), s2)).collect()
+        })
+    }
+
+    fn set_b(&self, b: B) -> StateT<S, NonDetOf, ()> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            t.update_b(s, b.clone()).into_iter().map(|s2| ((), s2)).collect()
+        })
+    }
+}
+
+/// A set-bx whose updates restore consistency with weighted choice.
+pub trait ProbOps<S, A, B> {
+    /// Observe the `A` view.
+    fn view_a(&self, s: &S) -> A;
+    /// Observe the `B` view.
+    fn view_b(&self, s: &S) -> B;
+    /// Distribution over consistent states after writing `a`. Must be the
+    /// point distribution on `s` when `a` is the current view.
+    fn update_a(&self, s: S, a: A) -> Dist<S>;
+    /// Distribution over consistent states after writing `b`.
+    fn update_b(&self, s: S, b: B) -> Dist<S>;
+}
+
+/// Adapter embedding a probabilistic bx into the monadic interface over
+/// `StateT<S, Dist>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonadicProb<T>(pub T);
+
+impl<S, A, B, T> SetBx<StateTOf<S, esm_monad::DistOf>, A, B> for MonadicProb<T>
+where
+    S: Val,
+    A: Val,
+    B: Val,
+    T: ProbOps<S, A, B> + Clone + 'static,
+{
+    fn get_a(&self) -> StateT<S, esm_monad::DistOf, A> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| Dist::point((t.view_a(&s), s)))
+    }
+
+    fn get_b(&self) -> StateT<S, esm_monad::DistOf, B> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| Dist::point((t.view_b(&s), s)))
+    }
+
+    fn set_a(&self, a: A) -> StateT<S, esm_monad::DistOf, ()> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            let d = t.update_a(s, a.clone());
+            Dist::weighted(d.outcomes().iter().map(|(s2, w)| (((), s2.clone()), *w)).collect())
+        })
+    }
+
+    fn set_b(&self, b: B) -> StateT<S, esm_monad::DistOf, ()> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            let d = t.update_b(s, b.clone());
+            Dist::weighted(d.outcomes().iter().map(|(s2, w)| (((), s2.clone()), *w)).collect())
+        })
+    }
+}
+
+/// A concrete nondeterministic bx: state `(a, b)` with consistency
+/// `|a − b| ≤ slack`. Writing one side, if the other is now out of range,
+/// branches over **all** in-range values for the other side — a genuinely
+/// relational repair with multiple minimal candidates (an algebraic bx
+/// cannot express the branching; cf. `esm_algebraic::builders::interval_bx`,
+/// which must pick one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzyInterval {
+    /// The allowed distance between the two sides.
+    pub slack: i64,
+}
+
+impl NdOps<(i64, i64), i64, i64> for FuzzyInterval {
+    fn view_a(&self, s: &(i64, i64)) -> i64 {
+        s.0
+    }
+    fn view_b(&self, s: &(i64, i64)) -> i64 {
+        s.1
+    }
+    fn update_a(&self, s: (i64, i64), a: i64) -> Vec<(i64, i64)> {
+        if (a - s.1).abs() <= self.slack {
+            vec![(a, s.1)]
+        } else {
+            ((a - self.slack)..=(a + self.slack)).map(|b| (a, b)).collect()
+        }
+    }
+    fn update_b(&self, s: (i64, i64), b: i64) -> Vec<(i64, i64)> {
+        if (s.0 - b).abs() <= self.slack {
+            vec![(s.0, b)]
+        } else {
+            ((b - self.slack)..=(b + self.slack)).map(|a| (a, b)).collect()
+        }
+    }
+}
+
+/// The probabilistic refinement of [`FuzzyInterval`]: out-of-range repairs
+/// prefer values closer to the written one (weight `slack + 1 − |d|`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedInterval {
+    /// The allowed distance between the two sides.
+    pub slack: i64,
+}
+
+impl ProbOps<(i64, i64), i64, i64> for WeightedInterval {
+    fn view_a(&self, s: &(i64, i64)) -> i64 {
+        s.0
+    }
+    fn view_b(&self, s: &(i64, i64)) -> i64 {
+        s.1
+    }
+    fn update_a(&self, s: (i64, i64), a: i64) -> Dist<(i64, i64)> {
+        if (a - s.1).abs() <= self.slack {
+            Dist::point((a, s.1))
+        } else {
+            Dist::weighted(
+                ((a - self.slack)..=(a + self.slack))
+                    .map(|b| ((a, b), (self.slack + 1 - (a - b).abs()) as f64))
+                    .collect(),
+            )
+        }
+    }
+    fn update_b(&self, s: (i64, i64), b: i64) -> Dist<(i64, i64)> {
+        if (s.0 - b).abs() <= self.slack {
+            Dist::point((s.0, b))
+        } else {
+            Dist::weighted(
+                ((b - self.slack)..=(b + self.slack))
+                    .map(|a| ((a, b), (self.slack + 1 - (a - b).abs()) as f64))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monadic::laws::{check_set_bx, LawOptions};
+    use esm_monad::{DistOf, MonadFamily};
+
+    type Nd = StateTOf<(i64, i64), NonDetOf>;
+    type Pr = StateTOf<(i64, i64), DistOf>;
+
+    fn consistent_states(slack: i64) -> Vec<(i64, i64)> {
+        let mut out = Vec::new();
+        for a in -3..4 {
+            for d in -slack..=slack {
+                out.push((a, a + d));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn nd_updates_branch_only_when_repair_is_needed() {
+        let t = FuzzyInterval { slack: 1 };
+        // In range: deterministic.
+        assert_eq!(t.update_a((0, 0), 1), vec![(1, 0)]);
+        // Out of range: three candidate repairs.
+        assert_eq!(t.update_a((0, 0), 5), vec![(5, 4), (5, 5), (5, 6)]);
+    }
+
+    #[test]
+    fn nd_bx_satisfies_gg_gs_sg_observationally() {
+        let t = MonadicNd(FuzzyInterval { slack: 1 });
+        let ctx = (consistent_states(1), ());
+        let samples = [-2i64, 0, 3];
+        let v = check_set_bx::<Nd, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::BASE);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn nd_bx_fails_ss_by_branch_multiplicity() {
+        let t = MonadicNd(FuzzyInterval { slack: 1 });
+        let ctx = (vec![(0i64, 0i64)], ());
+        let samples = [10i64, -10];
+        let v =
+            check_set_bx::<Nd, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::OVERWRITEABLE);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|viol| viol.law.starts_with("(SS)")), "{v:?}");
+    }
+
+    #[test]
+    fn nd_set_then_get_returns_written_value_on_every_branch() {
+        let t = MonadicNd(FuzzyInterval { slack: 2 });
+        let prog = Nd::bind(
+            SetBx::<Nd, i64, i64>::set_a(&t, 9),
+            move |()| SetBx::<Nd, i64, i64>::get_a(&t),
+        );
+        let branches = prog.run((0, 0));
+        assert_eq!(branches.len(), 5); // slack 2: five repairs
+        assert!(branches.iter().all(|(a, s)| *a == 9 && s.0 == 9));
+    }
+
+    #[test]
+    fn prob_bx_satisfies_gg_gs_sg_observationally() {
+        let t = MonadicProb(WeightedInterval { slack: 1 });
+        let ctx = (consistent_states(1), ());
+        let samples = [-2i64, 0, 3];
+        let v = check_set_bx::<Pr, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::BASE);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn prob_repairs_prefer_nearby_values() {
+        let t = WeightedInterval { slack: 1 };
+        let d = t.update_b((0, 0), 10);
+        // Repairs for a: 9, 10, 11 with weights 1, 2, 1.
+        assert!((d.probability(|s| s.0 == 10) - 0.5).abs() < 1e-9);
+        assert!((d.probability(|s| s.0 == 9) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prob_hippocratic_updates_are_point_masses() {
+        let t = WeightedInterval { slack: 2 };
+        let d = t.update_a((3, 4), 3);
+        assert_eq!(d.normalized(), vec![((3, 4), 1.0)]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Effectful bx (§4 "Stateful bx"): bidirectional transformations whose
+//! updates perform observable I/O, carried by the monad
+//! `M A = S -> IO (A, S)` — here `StateT<S, IoSimOf>`.
+//!
+//! The paper's example is a set-bx on an `Integer` state whose `set`
+//! operations print `"Changed A"` / `"Changed B"` **exactly when the state
+//! changes**; it satisfies (GG), (GS) and (SG) but is not a lens of any
+//! kind, because no lens can print. The paper adds: *"we should be able to
+//! add similar stateful behaviour to any (symmetric) lens or algebraic bx
+//! following a similar pattern"* — [`Announce`] is that pattern, as a
+//! combinator over any ops-level bx.
+
+use esm_monad::{IoEvent, IoSim, IoSimOf, StateT, StateTOf, Trace, Val};
+
+use crate::monadic::SetBx;
+use crate::state::SbxOps;
+
+/// An effectful set-bx over hidden state `S`: like
+/// [`crate::state::SbxOps`], but updates may append to an I/O [`Trace`].
+pub trait EffOps<S, A, B> {
+    /// Observe the `A` view (queries perform no I/O, preserving (GG)).
+    fn view_a(&self, s: &S) -> A;
+    /// Observe the `B` view.
+    fn view_b(&self, s: &S) -> B;
+    /// Replace the `A` view, possibly recording I/O events.
+    fn update_a(&self, s: S, a: A, io: &mut Trace) -> S;
+    /// Replace the `B` view, possibly recording I/O events.
+    fn update_b(&self, s: S, b: B, io: &mut Trace) -> S;
+}
+
+impl<S, A, B, T: EffOps<S, A, B> + ?Sized> EffOps<S, A, B> for &T {
+    fn view_a(&self, s: &S) -> A {
+        (**self).view_a(s)
+    }
+    fn view_b(&self, s: &S) -> B {
+        (**self).view_b(s)
+    }
+    fn update_a(&self, s: S, a: A, io: &mut Trace) -> S {
+        (**self).update_a(s, a, io)
+    }
+    fn update_b(&self, s: S, b: B, io: &mut Trace) -> S {
+        (**self).update_b(s, b, io)
+    }
+}
+
+/// The paper's §4 pattern as a combinator: wrap any pure ops-level bx so
+/// that each update prints a message **iff it changed the state**.
+///
+/// `Announce::trivial_int()` reproduces the paper's example verbatim: the
+/// underlying bx is the identity bx on `i64` and the messages are
+/// `"Changed A"` / `"Changed B"`.
+///
+/// Law status (checked in tests, matching the paper's claims): (GG), (GS),
+/// (SG) hold — writing back the current view changes nothing, so nothing is
+/// printed — while (SS) fails whenever both writes take effect, because the
+/// traces differ. The paper accordingly does *not* claim overwriteability
+/// for this example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Announce<T> {
+    inner: T,
+    msg_a: String,
+    msg_b: String,
+}
+
+impl<T> Announce<T> {
+    /// Wrap `inner` with change announcements.
+    pub fn new(inner: T, msg_a: impl Into<String>, msg_b: impl Into<String>) -> Self {
+        Announce { inner, msg_a: msg_a.into(), msg_b: msg_b.into() }
+    }
+
+    /// The underlying pure bx.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl Announce<crate::state::IdBx<i64>> {
+    /// The paper's §4 example, verbatim: the trivial bx on an `Integer`
+    /// state, printing `"Changed A"` / `"Changed B"` when a set actually
+    /// changes the state.
+    pub fn trivial_int() -> Self {
+        Announce::new(crate::state::IdBx::new(), "Changed A", "Changed B")
+    }
+}
+
+impl<S, A, B, T> EffOps<S, A, B> for Announce<T>
+where
+    S: Clone + PartialEq,
+    T: SbxOps<S, A, B>,
+{
+    fn view_a(&self, s: &S) -> A {
+        self.inner.view_a(s)
+    }
+
+    fn view_b(&self, s: &S) -> B {
+        self.inner.view_b(s)
+    }
+
+    fn update_a(&self, s: S, a: A, io: &mut Trace) -> S {
+        let next = self.inner.update_a(s.clone(), a);
+        if next != s {
+            io.push(IoEvent::Print(self.msg_a.clone()));
+        }
+        next
+    }
+
+    fn update_b(&self, s: S, b: B, io: &mut Trace) -> S {
+        let next = self.inner.update_b(s.clone(), b);
+        if next != s {
+            io.push(IoEvent::Print(self.msg_b.clone()));
+        }
+        next
+    }
+}
+
+/// Adapter embedding an effectful ops-level bx into the paper's monadic
+/// interface over the §4 carrier `StateT<S, IoSim>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonadicEff<T>(pub T);
+
+impl<S, A, B, T> SetBx<StateTOf<S, IoSimOf>, A, B> for MonadicEff<T>
+where
+    S: Val,
+    A: Val,
+    B: Val,
+    T: EffOps<S, A, B> + Clone + 'static,
+{
+    fn get_a(&self) -> StateT<S, IoSimOf, A> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            let a = t.view_a(&s);
+            IoSim::silent((a, s))
+        })
+    }
+
+    fn get_b(&self) -> StateT<S, IoSimOf, B> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            let b = t.view_b(&s);
+            IoSim::silent((b, s))
+        })
+    }
+
+    fn set_a(&self, a: A) -> StateT<S, IoSimOf, ()> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            let mut trace = Trace::new();
+            let s2 = t.update_a(s, a.clone(), &mut trace);
+            IoSim::new(((), s2), trace)
+        })
+    }
+
+    fn set_b(&self, b: B) -> StateT<S, IoSimOf, ()> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            let mut trace = Trace::new();
+            let s2 = t.update_b(s, b.clone(), &mut trace);
+            IoSim::new(((), s2), trace)
+        })
+    }
+}
+
+/// An owned session over an effectful bx, accumulating the I/O trace across
+/// operations (the effectful sibling of [`crate::state::BxSession`]).
+#[derive(Debug, Clone)]
+pub struct EffSession<S, T> {
+    state: S,
+    bx: T,
+    trace: Trace,
+}
+
+impl<S, T> EffSession<S, T> {
+    /// Start a session from an initial hidden state.
+    pub fn new(state: S, bx: T) -> Self {
+        EffSession { state, bx, trace: Trace::new() }
+    }
+
+    /// The current hidden state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Every I/O event performed so far, in order.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// All printed strings so far, in order.
+    pub fn printed(&self) -> Vec<&str> {
+        self.trace
+            .iter()
+            .filter_map(|e| match e {
+                IoEvent::Print(s) => Some(s.as_str()),
+                IoEvent::Effect(..) => None,
+            })
+            .collect()
+    }
+}
+
+impl<S: Clone, T> EffSession<S, T> {
+    /// Read the `A` view.
+    pub fn a<A, B>(&self) -> A
+    where
+        T: EffOps<S, A, B>,
+    {
+        self.bx.view_a(&self.state)
+    }
+
+    /// Read the `B` view.
+    pub fn b<A, B>(&self) -> B
+    where
+        T: EffOps<S, A, B>,
+    {
+        self.bx.view_b(&self.state)
+    }
+
+    /// Write the `A` view, appending any I/O to the session trace.
+    pub fn set_a<A, B>(&mut self, a: A)
+    where
+        T: EffOps<S, A, B>,
+    {
+        self.state = self.bx.update_a(self.state.clone(), a, &mut self.trace);
+    }
+
+    /// Write the `B` view, appending any I/O to the session trace.
+    pub fn set_b<A, B>(&mut self, b: B)
+    where
+        T: EffOps<S, A, B>,
+    {
+        self.state = self.bx.update_b(self.state.clone(), b, &mut self.trace);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_monad::MonadFamily;
+
+    type M = StateTOf<i64, IoSimOf>;
+
+    #[test]
+    fn paper_example_prints_only_on_change() {
+        // setA 3 from state 3: no print. setA 4 from state 3: prints.
+        let t = MonadicEff(Announce::trivial_int());
+        let quiet = t.set_a(3).run(3);
+        assert_eq!(quiet.value.1, 3);
+        assert!(quiet.printed().is_empty());
+
+        let loud = t.set_a(4).run(3);
+        assert_eq!(loud.value.1, 4);
+        assert_eq!(loud.printed(), vec!["Changed A"]);
+    }
+
+    #[test]
+    fn gs_holds_with_effects() {
+        // getA >>= setA = return (): reading then writing back produces no
+        // output and leaves the state alone.
+        let t = MonadicEff(Announce::trivial_int());
+        let t2 = t.clone();
+        let prog = M::bind(t.get_a(), move |a| t2.set_a(a));
+        for s0 in [-7i64, 0, 12] {
+            let out = prog.run(s0);
+            assert_eq!(out.value.1, s0);
+            assert!(out.trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn ss_fails_with_effects() {
+        // setA 1 >> setA 2 prints twice; setA 2 prints once. Same final
+        // state, different traces — not overwriteable, as the paper notes.
+        let t = MonadicEff(Announce::trivial_int());
+        let two = M::seq(t.set_a(1), t.set_a(2)).run(0);
+        let one = t.set_a(2).run(0);
+        assert_eq!(two.value.1, one.value.1);
+        assert_eq!(two.printed(), vec!["Changed A", "Changed A"]);
+        assert_eq!(one.printed(), vec!["Changed A"]);
+    }
+
+    #[test]
+    fn session_accumulates_traces() {
+        let mut sess = EffSession::new(0i64, Announce::trivial_int());
+        sess.set_a(1);
+        sess.set_a(1); // no-op, no print
+        sess.set_b(2);
+        assert_eq!(*sess.state(), 2);
+        assert_eq!(sess.printed(), vec!["Changed A", "Changed B"]);
+        assert_eq!(sess.a(), 2);
+    }
+
+    #[test]
+    fn announce_wraps_any_bx() {
+        // Announce over the quantity/price bx: only real changes print.
+        use crate::state::StateBx;
+        let base: StateBx<(u32, u32), u32, u32> = StateBx::new(
+            |s: &(u32, u32)| s.0,
+            |s| s.0 * s.1,
+            |s, q| (q, s.1),
+            |s, total| (total / s.1, s.1),
+        );
+        let eff = Announce::new(base, "qty changed", "total changed");
+        let mut sess = EffSession::new((3u32, 10u32), eff);
+        sess.set_b(30); // total 30 == current: silent
+        sess.set_b(50);
+        assert_eq!(sess.printed(), vec!["total changed"]);
+        assert_eq!(sess.a(), 5);
+    }
+}

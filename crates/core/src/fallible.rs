@@ -1,0 +1,273 @@
+//! Fallible bx — exceptions reconciled with bidirectionality (§5).
+//!
+//! The remaining effect on the paper's §5 list: updates that may **fail**
+//! (the view edit is rejected) instead of silently repairing. The carrier
+//! monad is `StateT<S, Result<_, E>>`: the paper's recipe applied to the
+//! exceptions monad. A failed `set` aborts the whole computation — by
+//! construction the state is *unchanged* on failure (failure happens
+//! before any new state is produced), giving transactional "all or
+//! nothing" behaviour for free.
+//!
+//! Law status (checked in tests): (GG)/(GS)/(SG) hold observationally —
+//! (GS) because writing back the current view is always accepted
+//! (validity of the current state is an invariant), (SG) vacuous-or-true
+//! on rejected writes because the whole computation fails.
+
+use esm_monad::{ResultOf, StateT, StateTOf, Val};
+
+use crate::monadic::SetBx;
+use crate::state::SbxOps;
+
+/// A set-bx whose updates may be rejected with an error of type `E`.
+pub trait TryOps<S, A, B, E> {
+    /// Observe the `A` view (total: the current state is always valid).
+    fn view_a(&self, s: &S) -> A;
+    /// Observe the `B` view.
+    fn view_b(&self, s: &S) -> B;
+    /// Replace the `A` view, or reject the write. Must accept the current
+    /// view (`try_update_a(s, view_a(s)) == Ok(s)`) to preserve (GS).
+    fn try_update_a(&self, s: S, a: A) -> Result<S, E>;
+    /// Replace the `B` view, or reject the write.
+    fn try_update_b(&self, s: S, b: B) -> Result<S, E>;
+}
+
+/// Adapter embedding a fallible bx into the monadic interface over
+/// `StateT<S, Result<_, E>>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonadicTry<T>(pub T);
+
+impl<S, A, B, E, T> SetBx<StateTOf<S, ResultOf<E>>, A, B> for MonadicTry<T>
+where
+    S: Val,
+    A: Val,
+    B: Val,
+    E: Val,
+    T: TryOps<S, A, B, E> + Clone + 'static,
+{
+    fn get_a(&self) -> StateT<S, ResultOf<E>, A> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            let a = t.view_a(&s);
+            Ok((a, s))
+        })
+    }
+
+    fn get_b(&self) -> StateT<S, ResultOf<E>, B> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| {
+            let b = t.view_b(&s);
+            Ok((b, s))
+        })
+    }
+
+    fn set_a(&self, a: A) -> StateT<S, ResultOf<E>, ()> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| t.try_update_a(s, a.clone()).map(|s2| ((), s2)))
+    }
+
+    fn set_b(&self, b: B) -> StateT<S, ResultOf<E>, ()> {
+        let t = self.0.clone();
+        StateT::new(move |s: S| t.try_update_b(s, b.clone()).map(|s2| ((), s2)))
+    }
+}
+
+/// Guard any ops-level bx with validation predicates: writes whose value
+/// fails the predicate are rejected with a message, everything else is
+/// delegated. The current views always pass by construction of lawful
+/// inner bx ((SG) means current views were once accepted writes).
+pub struct Guarded<T, A, B> {
+    inner: T,
+    accept_a: std::rc::Rc<dyn Fn(&A) -> bool>,
+    accept_b: std::rc::Rc<dyn Fn(&B) -> bool>,
+}
+
+impl<T: Clone, A, B> Clone for Guarded<T, A, B> {
+    fn clone(&self) -> Self {
+        Guarded {
+            inner: self.inner.clone(),
+            accept_a: std::rc::Rc::clone(&self.accept_a),
+            accept_b: std::rc::Rc::clone(&self.accept_b),
+        }
+    }
+}
+
+impl<T, A, B> std::fmt::Debug for Guarded<T, A, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Guarded(<bx, predicates>)")
+    }
+}
+
+impl<T, A, B> Guarded<T, A, B> {
+    /// Guard `inner` with per-side acceptance predicates.
+    pub fn new(
+        inner: T,
+        accept_a: impl Fn(&A) -> bool + 'static,
+        accept_b: impl Fn(&B) -> bool + 'static,
+    ) -> Self {
+        Guarded {
+            inner,
+            accept_a: std::rc::Rc::new(accept_a),
+            accept_b: std::rc::Rc::new(accept_b),
+        }
+    }
+}
+
+impl<S, A, B, T> TryOps<S, A, B, String> for Guarded<T, A, B>
+where
+    T: SbxOps<S, A, B>,
+    A: std::fmt::Debug,
+    B: std::fmt::Debug,
+{
+    fn view_a(&self, s: &S) -> A {
+        self.inner.view_a(s)
+    }
+
+    fn view_b(&self, s: &S) -> B {
+        self.inner.view_b(s)
+    }
+
+    fn try_update_a(&self, s: S, a: A) -> Result<S, String> {
+        if (self.accept_a)(&a) {
+            Ok(self.inner.update_a(s, a))
+        } else {
+            Err(format!("write to A rejected: {a:?}"))
+        }
+    }
+
+    fn try_update_b(&self, s: S, b: B) -> Result<S, String> {
+        if (self.accept_b)(&b) {
+            Ok(self.inner.update_b(s, b))
+        } else {
+            Err(format!("write to B rejected: {b:?}"))
+        }
+    }
+}
+
+/// A transactional session over a fallible bx: failed writes leave the
+/// state untouched and report the error.
+#[derive(Debug, Clone)]
+pub struct TrySession<S, T> {
+    state: S,
+    bx: T,
+}
+
+impl<S: Clone, T> TrySession<S, T> {
+    /// Start a session from an initial (valid) state.
+    pub fn new(state: S, bx: T) -> Self {
+        TrySession { state, bx }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Read the `A` view.
+    pub fn a<A, B, E>(&self) -> A
+    where
+        T: TryOps<S, A, B, E>,
+    {
+        self.bx.view_a(&self.state)
+    }
+
+    /// Read the `B` view.
+    pub fn b<A, B, E>(&self) -> B
+    where
+        T: TryOps<S, A, B, E>,
+    {
+        self.bx.view_b(&self.state)
+    }
+
+    /// Attempt to write the `A` view; on rejection the state is unchanged.
+    pub fn try_set_a<A, B, E>(&mut self, a: A) -> Result<(), E>
+    where
+        T: TryOps<S, A, B, E>,
+    {
+        self.state = self.bx.try_update_a(self.state.clone(), a)?;
+        Ok(())
+    }
+
+    /// Attempt to write the `B` view; on rejection the state is unchanged.
+    pub fn try_set_b<A, B, E>(&mut self, b: B) -> Result<(), E>
+    where
+        T: TryOps<S, A, B, E>,
+    {
+        self.state = self.bx.try_update_b(self.state.clone(), b)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monadic::laws::{check_set_bx, LawOptions};
+    use crate::state::IdBx;
+    use esm_monad::MonadFamily;
+
+    type M = StateTOf<i64, ResultOf<String>>;
+
+    fn percent_bx() -> Guarded<IdBx<i64>, i64, i64> {
+        // A percentage cell: writes outside 0..=100 are rejected.
+        Guarded::new(IdBx::<i64>::new(), |a: &i64| (0..=100).contains(a), |b: &i64| {
+            (0..=100).contains(b)
+        })
+    }
+
+    #[test]
+    fn valid_writes_apply_and_invalid_writes_abort() {
+        let t = MonadicTry(percent_bx());
+        let ok = SetBx::<M, i64, i64>::set_a(&t, 50).run(10);
+        assert_eq!(ok, Ok(((), 50)));
+        let err = SetBx::<M, i64, i64>::set_a(&t, 200).run(10);
+        assert_eq!(err, Err("write to A rejected: 200".to_string()));
+    }
+
+    #[test]
+    fn failure_aborts_the_whole_computation_transactionally() {
+        // set 50, then set 200, then get: the failure wipes out the whole
+        // run — there is no observable intermediate state.
+        let t = MonadicTry(percent_bx());
+        let prog = M::seq(
+            SetBx::<M, i64, i64>::set_a(&t, 50),
+            M::seq(SetBx::<M, i64, i64>::set_a(&t, 200), SetBx::<M, i64, i64>::get_a(&t)),
+        );
+        assert!(prog.run(10).is_err());
+    }
+
+    #[test]
+    fn laws_hold_on_valid_states_and_writes() {
+        let t = MonadicTry(percent_bx());
+        let ctx = (vec![0i64, 42, 100], ());
+        let samples = [0i64, 7, 100];
+        let v = check_set_bx::<M, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::OVERWRITEABLE);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn session_keeps_state_on_rejection() {
+        let mut sess = TrySession::new(30i64, percent_bx());
+        assert!(sess.try_set_a(80).is_ok());
+        assert_eq!(sess.a(), 80);
+        let err = sess.try_set_b(-5);
+        assert!(err.is_err());
+        assert_eq!(sess.a(), 80); // untouched
+    }
+
+    #[test]
+    fn guard_over_entangled_bx() {
+        use crate::state::StateBx;
+        // quantity/total bx with a budget cap on the total.
+        let base: StateBx<(u32, u32), u32, u32> = StateBx::new(
+            |s: &(u32, u32)| s.0,
+            |s| s.0 * s.1,
+            |s, q| (q, s.1),
+            |s, total| (total / s.1, s.1),
+        );
+        let guarded = Guarded::new(base, |_q: &u32| true, |total: &u32| *total <= 1000);
+        let mut sess = TrySession::new((4u32, 100u32), guarded);
+        assert!(sess.try_set_b(900).is_ok());
+        assert_eq!(sess.a(), 9);
+        assert!(sess.try_set_b(5000).is_err());
+        assert_eq!(sess.a(), 9);
+    }
+}

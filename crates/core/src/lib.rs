@@ -1,0 +1,49 @@
+//! # Entangled state monads — the paper's core contribution
+//!
+//! *"A monad that exhibits the structure of a state monad in two ways is
+//! essentially a bidirectional transformation."* (§3)
+//!
+//! This crate implements that idea at two levels of abstraction, plus the
+//! paper's §3.4 entanglement analysis, §4 effectful example, and §5
+//! future-work items (composition, history/witness complements):
+//!
+//! 1. **The monadic level** ([`monadic`]) is the paper, literally: a
+//!    [`monadic::SetBx`] (resp. [`monadic::PutBx`]) is anything exposing the
+//!    four operations `getA`, `getB`, `setA`, `setB` (resp. `putBA`,
+//!    `putAB`) as computations in an arbitrary
+//!    [`esm_monad::MonadFamily`]. The §3.3 translations are the wrapper
+//!    types [`monadic::Set2Pp`] and [`monadic::Pp2Set`], and every law of
+//!    §3.1–§3.2 has an executable observational form in
+//!    [`monadic::laws`].
+//!
+//! 2. **The ops level** ([`state`]) specialises to state monads — which is
+//!    where all of the paper's §4 instances live. A bx between `A` and `B`
+//!    over hidden state `S` is four pure functions
+//!    ([`state::SbxOps`]/[`state::PbxOps`]); adapters embed any ops-level
+//!    bx back into the monadic interface, so the two views provably agree.
+//!    Engineering lives here: combinators, composition, sessions, the
+//!    dynamic [`state::StateBx`].
+//!
+//! 3. **Effects** ([`effectful`]): the §4 "stateful bx" whose `set`
+//!    operations print exactly when the state changes, generalised (as the
+//!    paper suggests) to a wrapper over *any* ops-level bx, with the
+//!    carrier monad `StateT<S, IoSim>` = the paper's
+//!    `M A = S -> IO (A, S)`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod choice;
+pub mod effectful;
+pub mod fallible;
+pub mod monadic;
+pub mod state;
+
+pub use choice::{FuzzyInterval, MonadicNd, MonadicProb, NdOps, ProbOps, WeightedInterval};
+pub use effectful::{Announce, EffOps, EffSession, MonadicEff};
+pub use fallible::{Guarded, MonadicTry, TryOps, TrySession};
+pub use monadic::{Pp2Set, PutBx, Set2Pp, SetBx};
+pub use state::{
+    compose, BxSession, Composed, Dual, IdBx, Iso, MapA, MapB, Monadic, MonadicPut, PairBx,
+    PbxOps, ProductOps, PutToSet, SbxOps, SetToPut, StateBx, WithHistory,
+};

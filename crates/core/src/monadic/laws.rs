@@ -1,0 +1,424 @@
+//! Observational checkers for the §3.1/§3.2 laws and the Lemma 1–3
+//! equivalences, stated over any [`ObserveMonad`].
+//!
+//! Each checker builds the two sides of each law as *computations* in the
+//! carrier monad and compares their observations; a mismatch produces a
+//! [`LawViolation`] carrying both observations. The sample values supplied
+//! by the caller quantify the laws' universally-bound variables.
+//!
+//! Checkers require `T: Clone + 'static` because laws like
+//! `(GS) getA >>= setA` bind one operation of the bx into another: the
+//! continuation must own a handle to the bx. Every bx in this workspace is
+//! cheaply cloneable (zero-sized or `Rc`-backed).
+
+use esm_monad::laws::{expect_obs_eq, LawViolation};
+use esm_monad::{ObsVal, ObserveMonad};
+
+use super::putbx::PutBx;
+use super::setbx::SetBx;
+use super::translate::{Pp2Set, Set2Pp};
+
+/// Which optional laws to include when checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LawOptions {
+    /// Also check the overwrite laws (SS)/(PP). Only *overwriteable*
+    /// bx (§3.1/§3.2) are expected to pass these.
+    pub overwrite: bool,
+}
+
+impl LawOptions {
+    /// Check only the mandatory laws.
+    pub const BASE: LawOptions = LawOptions { overwrite: false };
+    /// Check the mandatory laws plus (SS)/(PP).
+    pub const OVERWRITEABLE: LawOptions = LawOptions { overwrite: true };
+}
+
+/// Check the set-bx laws (§3.1) for `t`, quantifying the bound variables
+/// over the supplied samples and observing in `ctx`.
+///
+/// Laws checked on the `A` side (the `B` side is symmetric):
+///
+/// ```text
+/// (GG) getA >>= \s. getA >>= \s'. k s s'  =  getA >>= \s. k s s
+/// (GS) getA >>= setA                      =  return ()
+/// (SG) setA a >> getA                     =  setA a >> return a
+/// (SS) setA a >> setA a'                  =  setA a'          [optional]
+/// ```
+pub fn check_set_bx<M, A, B, T>(
+    t: &T,
+    samples_a: &[A],
+    samples_b: &[B],
+    ctx: &M::Ctx,
+    opts: LawOptions,
+) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    A: ObsVal,
+    B: ObsVal,
+    T: SetBx<M, A, B> + Clone + 'static,
+{
+    let mut out = Vec::new();
+    out.extend(check_state_side::<M, A>(
+        "A",
+        t.get_a(),
+        {
+            let t = t.clone();
+            move |a| t.set_a(a)
+        },
+        samples_a,
+        ctx,
+        opts,
+    ));
+    out.extend(check_state_side::<M, B>(
+        "B",
+        t.get_b(),
+        {
+            let t = t.clone();
+            move |b| t.set_b(b)
+        },
+        samples_b,
+        ctx,
+        opts,
+    ));
+    out
+}
+
+/// Check the four single-cell laws for one side, given that side's `get`
+/// computation and `set` operation. This is the paper's observation that a
+/// set-bx is exactly a monad with *two* state-monad structures: each side
+/// independently satisfies the state-algebra laws.
+fn check_state_side<M, X>(
+    side: &'static str,
+    get: M::Repr<X>,
+    set: impl Fn(X) -> M::Repr<()> + Clone + 'static,
+    samples: &[X],
+    ctx: &M::Ctx,
+    opts: LawOptions,
+) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    X: ObsVal,
+{
+    let mut out = Vec::new();
+    let tag = |law: &'static str| -> &'static str {
+        // Static names for the A/B-tagged law identifiers.
+        match (law, side) {
+            ("(GG)", "A") => "(GG)A",
+            ("(GG)", "B") => "(GG)B",
+            ("(GS)", "A") => "(GS)A",
+            ("(GS)", "B") => "(GS)B",
+            ("(SG)", "A") => "(SG)A",
+            ("(SG)", "B") => "(SG)B",
+            ("(SS)", "A") => "(SS)A",
+            ("(SS)", "B") => "(SS)B",
+            _ => law,
+        }
+    };
+
+    // (GG) with the observing continuation k x y = return (x, y).
+    {
+        let g2 = get.clone();
+        let lhs: M::Repr<(X, X)> = M::bind(get.clone(), move |x| {
+            let g2 = g2.clone();
+            M::bind(g2, move |y| M::pure((x.clone(), y)))
+        });
+        let rhs: M::Repr<(X, X)> = M::bind(get.clone(), |x| M::pure((x.clone(), x)));
+        if let Err(v) = expect_obs_eq::<M, (X, X)>(tag("(GG)"), &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    // (GS) get >>= set = return ()   — written literally.
+    {
+        let set_ = set.clone();
+        let lhs = M::bind(get.clone(), set_);
+        let rhs = M::pure(());
+        if let Err(v) = expect_obs_eq::<M, ()>(tag("(GS)"), &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    // (SG) set x >> get = set x >> return x
+    for x in samples {
+        let lhs = M::seq(set(x.clone()), get.clone());
+        let rhs = M::seq(set(x.clone()), M::pure(x.clone()));
+        if let Err(v) = expect_obs_eq::<M, X>(tag("(SG)"), &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    // (SS) set x >> set x' = set x'
+    if opts.overwrite {
+        for x in samples {
+            for x2 in samples {
+                let lhs = M::seq(set(x.clone()), set(x2.clone()));
+                let rhs = set(x2.clone());
+                if let Err(v) = expect_obs_eq::<M, ()>(tag("(SS)"), &lhs, &rhs, ctx) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Check the put-bx laws (§3.2) for `u`, quantifying bound variables over
+/// the samples and observing in `ctx`.
+///
+/// ```text
+/// (GG)  getX >>= \s. getX >>= \s'. k s s'  =  getX >>= \s. k s s
+/// (GP)  getA >>= putBA                     =  getB
+/// (PG1) putBA a >> getA                    =  putBA a >> return a
+/// (PG2) putBA a >> getB                    =  putBA a
+/// (PP)  putBA a >> putBA a'                =  putBA a'        [optional]
+/// ```
+/// plus the four symmetric (`B`-side) versions.
+pub fn check_put_bx<M, A, B, U>(
+    u: &U,
+    samples_a: &[A],
+    samples_b: &[B],
+    ctx: &M::Ctx,
+    opts: LawOptions,
+) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    A: ObsVal,
+    B: ObsVal,
+    U: PutBx<M, A, B> + Clone + 'static,
+{
+    let mut out = Vec::new();
+
+    // (GG) on both getters.
+    {
+        let ga = u.get_a();
+        let g2 = ga.clone();
+        let lhs: M::Repr<(A, A)> = M::bind(ga.clone(), move |x| {
+            let g2 = g2.clone();
+            M::bind(g2, move |y| M::pure((x.clone(), y)))
+        });
+        let rhs: M::Repr<(A, A)> = M::bind(ga, |x| M::pure((x.clone(), x)));
+        if let Err(v) = expect_obs_eq::<M, (A, A)>("(GG)A", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+    {
+        let gb = u.get_b();
+        let g2 = gb.clone();
+        let lhs: M::Repr<(B, B)> = M::bind(gb.clone(), move |x| {
+            let g2 = g2.clone();
+            M::bind(g2, move |y| M::pure((x.clone(), y)))
+        });
+        let rhs: M::Repr<(B, B)> = M::bind(gb, |x| M::pure((x.clone(), x)));
+        if let Err(v) = expect_obs_eq::<M, (B, B)>("(GG)B", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    // (GP) getA >>= putBA = getB — written literally.
+    {
+        let u2 = u.clone();
+        let lhs: M::Repr<B> = M::bind(u.get_a(), move |a| u2.put_ba(a));
+        let rhs = u.get_b();
+        if let Err(v) = expect_obs_eq::<M, B>("(GP)A", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+    {
+        let u2 = u.clone();
+        let lhs: M::Repr<A> = M::bind(u.get_b(), move |b| u2.put_ab(b));
+        let rhs = u.get_a();
+        if let Err(v) = expect_obs_eq::<M, A>("(GP)B", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    // (PG1) putBA a >> getA = putBA a >> return a
+    for a in samples_a {
+        let lhs = M::seq(u.put_ba(a.clone()), u.get_a());
+        let rhs = M::seq(u.put_ba(a.clone()), M::pure(a.clone()));
+        if let Err(v) = expect_obs_eq::<M, A>("(PG1)A", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+    for b in samples_b {
+        let lhs = M::seq(u.put_ab(b.clone()), u.get_b());
+        let rhs = M::seq(u.put_ab(b.clone()), M::pure(b.clone()));
+        if let Err(v) = expect_obs_eq::<M, B>("(PG1)B", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    // (PG2) putBA a >> getB = putBA a
+    for a in samples_a {
+        let lhs = M::seq(u.put_ba(a.clone()), u.get_b());
+        let rhs = u.put_ba(a.clone());
+        if let Err(v) = expect_obs_eq::<M, B>("(PG2)A", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+    for b in samples_b {
+        let lhs = M::seq(u.put_ab(b.clone()), u.get_a());
+        let rhs = u.put_ab(b.clone());
+        if let Err(v) = expect_obs_eq::<M, A>("(PG2)B", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    // (PP) putBA a >> putBA a' = putBA a'
+    if opts.overwrite {
+        for a in samples_a {
+            for a2 in samples_a {
+                let lhs = M::seq(u.put_ba(a.clone()), u.put_ba(a2.clone()));
+                let rhs = u.put_ba(a2.clone());
+                if let Err(v) = expect_obs_eq::<M, B>("(PP)A", &lhs, &rhs, ctx) {
+                    out.push(v);
+                }
+            }
+        }
+        for b in samples_b {
+            for b2 in samples_b {
+                let lhs = M::seq(u.put_ab(b.clone()), u.put_ab(b2.clone()));
+                let rhs = u.put_ab(b2.clone());
+                if let Err(v) = expect_obs_eq::<M, A>("(PP)B", &lhs, &rhs, ctx) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Lemma 3, one direction: `pp2set(set2pp(t))` is observationally equal to
+/// `t` as a set-bx.
+pub fn check_roundtrip_set<M, A, B, T>(
+    t: &T,
+    samples_a: &[A],
+    samples_b: &[B],
+    ctx: &M::Ctx,
+) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    A: ObsVal,
+    B: ObsVal,
+    T: SetBx<M, A, B> + Clone,
+{
+    let rt = Pp2Set(Set2Pp(t.clone()));
+    let mut out = Vec::new();
+    if let Err(v) = expect_obs_eq::<M, A>("roundtrip getA", &t.get_a(), &rt.get_a(), ctx) {
+        out.push(v);
+    }
+    if let Err(v) = expect_obs_eq::<M, B>("roundtrip getB", &t.get_b(), &rt.get_b(), ctx) {
+        out.push(v);
+    }
+    for a in samples_a {
+        if let Err(v) = expect_obs_eq::<M, ()>(
+            "roundtrip setA",
+            &t.set_a(a.clone()),
+            &rt.set_a(a.clone()),
+            ctx,
+        ) {
+            out.push(v);
+        }
+    }
+    for b in samples_b {
+        if let Err(v) = expect_obs_eq::<M, ()>(
+            "roundtrip setB",
+            &t.set_b(b.clone()),
+            &rt.set_b(b.clone()),
+            ctx,
+        ) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Lemma 3, other direction: `set2pp(pp2set(u))` is observationally equal
+/// to `u` as a put-bx.
+pub fn check_roundtrip_put<M, A, B, U>(
+    u: &U,
+    samples_a: &[A],
+    samples_b: &[B],
+    ctx: &M::Ctx,
+) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    A: ObsVal,
+    B: ObsVal,
+    U: PutBx<M, A, B> + Clone,
+{
+    let rt = Set2Pp(Pp2Set(u.clone()));
+    let mut out = Vec::new();
+    if let Err(v) = expect_obs_eq::<M, A>("roundtrip getA", &u.get_a(), &rt.get_a(), ctx) {
+        out.push(v);
+    }
+    if let Err(v) = expect_obs_eq::<M, B>("roundtrip getB", &u.get_b(), &rt.get_b(), ctx) {
+        out.push(v);
+    }
+    for a in samples_a {
+        if let Err(v) = expect_obs_eq::<M, B>(
+            "roundtrip putBA",
+            &u.put_ba(a.clone()),
+            &rt.put_ba(a.clone()),
+            ctx,
+        ) {
+            out.push(v);
+        }
+    }
+    for b in samples_b {
+        if let Err(v) = expect_obs_eq::<M, A>(
+            "roundtrip putAB",
+            &u.put_ab(b.clone()),
+            &rt.put_ab(b.clone()),
+            ctx,
+        ) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monadic::product::ProductBx;
+    use esm_monad::StateOf;
+
+    type S = (i64, i64);
+    type M = StateOf<S>;
+
+    fn ctx() -> Vec<S> {
+        vec![(0, 0), (1, -1), (42, 7)]
+    }
+
+    #[test]
+    fn product_bx_is_an_overwriteable_set_bx() {
+        let t: ProductBx<i64, i64> = ProductBx::new();
+        let v =
+            check_set_bx::<M, _, _, _>(&t, &[1, 2], &[10, 20], &ctx(), LawOptions::OVERWRITEABLE);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn product_bx_translates_to_a_lawful_put_bx() {
+        // Lemma 1: set2pp of a set-bx is a put-bx.
+        let u = Set2Pp(ProductBx::<i64, i64>::new());
+        let v =
+            check_put_bx::<M, _, _, _>(&u, &[1, 2], &[10, 20], &ctx(), LawOptions::OVERWRITEABLE);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn roundtrips_are_identities() {
+        // Lemma 3, both directions, on the product bx.
+        let t: ProductBx<i64, i64> = ProductBx::new();
+        let v = check_roundtrip_set::<M, _, _, _>(&t, &[1, 2], &[10, 20], &ctx());
+        assert!(v.is_empty(), "{v:?}");
+
+        let u = Set2Pp(ProductBx::<i64, i64>::new());
+        let v = check_roundtrip_put::<M, _, _, _>(&u, &[1, 2], &[10, 20], &ctx());
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

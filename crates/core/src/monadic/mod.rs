@@ -1,0 +1,14 @@
+//! The paper's §3, literally: set-bx and put-bx as structures on an
+//! arbitrary monad family, their laws, the §3.3 equivalence, and the §3.4
+//! entanglement analysis.
+
+pub mod laws;
+pub mod product;
+pub mod putbx;
+pub mod setbx;
+pub mod translate;
+
+pub use product::ProductBx;
+pub use putbx::PutBx;
+pub use setbx::SetBx;
+pub use translate::{Pp2Set, Set2Pp};

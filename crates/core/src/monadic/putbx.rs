@@ -1,0 +1,74 @@
+//! Put-bx (§3.2): the symmetric-lens-flavoured presentation, where setting
+//! one side immediately returns the refreshed other side.
+
+use esm_monad::{MonadFamily, Val};
+
+/// A **put-bx** between `A` and `B` over carrier monad family `M` (§3.2).
+///
+/// The paper writes `(getA, getB, putBA, putAB) : A ⇔M B`, with laws
+///
+/// ```text
+/// (GG)  getX >>= \s. getX >>= \s'. k s s'  =  getX >>= \s. k s s
+/// (GP)  getA >>= putBA                     =  getB
+/// (PG1) putBA a >> getA                    =  putBA a >> return a
+/// (PG2) putBA a >> getB                    =  putBA a
+/// ```
+///
+/// (and symmetrically, swapping `A` and `B`), checked observationally by
+/// [`crate::monadic::laws::check_put_bx`]. A put-bx additionally satisfying
+///
+/// ```text
+/// (PP)  putBA a >> putBA a'                =  putBA a'
+/// ```
+///
+/// is called **overwriteable**.
+///
+/// Method-name convention: the paper's superscript is the *returned* side
+/// and the subscript the *written* side, so `putBA : A -> M B` is
+/// [`PutBx::put_ba`] ("write an `A`, get back the updated `B`").
+pub trait PutBx<M: MonadFamily, A: Val, B: Val> {
+    /// `getA : M A` — observe the `A` view.
+    fn get_a(&self) -> M::Repr<A>;
+    /// `getB : M B` — observe the `B` view.
+    fn get_b(&self) -> M::Repr<B>;
+    /// `putBA : A -> M B` — replace the `A` view, returning the updated `B`.
+    fn put_ba(&self, a: A) -> M::Repr<B>;
+    /// `putAB : B -> M A` — replace the `B` view, returning the updated `A`.
+    fn put_ab(&self, b: B) -> M::Repr<A>;
+}
+
+/// Blanket implementation for references, so checkers can take `&T`
+/// without consuming the bx.
+impl<M: MonadFamily, A: Val, B: Val, T: PutBx<M, A, B> + ?Sized> PutBx<M, A, B> for &T {
+    fn get_a(&self) -> M::Repr<A> {
+        (**self).get_a()
+    }
+    fn get_b(&self) -> M::Repr<B> {
+        (**self).get_b()
+    }
+    fn put_ba(&self, a: A) -> M::Repr<B> {
+        (**self).put_ba(a)
+    }
+    fn put_ab(&self, b: B) -> M::Repr<A> {
+        (**self).put_ab(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monadic::product::ProductBx;
+    use crate::monadic::translate::Set2Pp;
+    use esm_monad::{State, StateOf};
+
+    #[test]
+    fn put_returns_the_other_side() {
+        // On the product bx, putBA writes A and reports the (unchanged) B.
+        let t = Set2Pp(ProductBx::<i32, String>::new());
+        let ma: State<(i32, String), String> =
+            PutBx::<StateOf<(i32, String)>, i32, String>::put_ba(&t, 5);
+        let (b, s) = ma.run((0, "keep".to_string()));
+        assert_eq!(b, "keep");
+        assert_eq!(s, (5, "keep".to_string()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Set-bx (§3.1): a monad equipped with `get`/`set` on two entangled views.
+
+use esm_monad::{MonadFamily, Val};
+
+/// A **set-bx** between `A` and `B` over carrier monad family `M` (§3.1).
+///
+/// The paper writes `(getA, getB, setA, setB) : A ⇔M B`. The required laws
+/// — for each side `X ∈ {A, B}`:
+///
+/// ```text
+/// (GG) getX >>= \s. getX >>= \s'. k s s'   =  getX >>= \s. k s s
+/// (GS) getX >>= setX                       =  return ()
+/// (SG) setX x >> getX                      =  setX x >> return x
+/// ```
+///
+/// are *not* expressible in Rust's type system; they are checked
+/// observationally by [`crate::monadic::laws::check_set_bx`]. A set-bx
+/// additionally satisfying
+///
+/// ```text
+/// (SS) setX x >> setX x'                   =  setX x'
+/// ```
+///
+/// is called **overwriteable**.
+///
+/// Note what is *absent*: no law relates `setA` to `getB` directly. That
+/// freedom is exactly what lets the two state structures be *entangled* —
+/// setting one side may (and usually does) change the other to restore
+/// consistency. See [`crate::monadic::product`] for the unentangled special
+/// case and [`crate::state::entangle`] for commutation analysis.
+pub trait SetBx<M: MonadFamily, A: Val, B: Val> {
+    /// `getA : M A` — observe the `A` view.
+    fn get_a(&self) -> M::Repr<A>;
+    /// `getB : M B` — observe the `B` view.
+    fn get_b(&self) -> M::Repr<B>;
+    /// `setA : A -> M ()` — replace the `A` view, restoring consistency.
+    fn set_a(&self, a: A) -> M::Repr<()>;
+    /// `setB : B -> M ()` — replace the `B` view, restoring consistency.
+    fn set_b(&self, b: B) -> M::Repr<()>;
+}
+
+/// Blanket implementation for references, so checkers can take `&T`
+/// without consuming the bx.
+impl<M: MonadFamily, A: Val, B: Val, T: SetBx<M, A, B> + ?Sized> SetBx<M, A, B> for &T {
+    fn get_a(&self) -> M::Repr<A> {
+        (**self).get_a()
+    }
+    fn get_b(&self) -> M::Repr<B> {
+        (**self).get_b()
+    }
+    fn set_a(&self, a: A) -> M::Repr<()> {
+        (**self).set_a(a)
+    }
+    fn set_b(&self, b: B) -> M::Repr<()> {
+        (**self).set_b(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monadic::product::ProductBx;
+    use esm_monad::{State, StateOf};
+
+    #[test]
+    fn reference_forwarding_preserves_behaviour() {
+        let t: ProductBx<i32, String> = ProductBx::new();
+        let r = &t;
+        let direct: State<(i32, String), i32> = t.get_a();
+        let via_ref: State<(i32, String), i32> = SetBx::<StateOf<(i32, String)>, _, _>::get_a(&r);
+        let s0 = (7, "x".to_string());
+        assert_eq!(direct.run(s0.clone()), via_ref.run(s0));
+    }
+}

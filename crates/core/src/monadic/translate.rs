@@ -1,0 +1,109 @@
+//! The §3.3 equivalence between set-bx and put-bx: the translations
+//! `set2pp` and `pp2set`, which Lemmas 1–3 of the paper show to be
+//! law-preserving and mutually inverse.
+//!
+//! In Rust the translations are zero-cost wrapper types: [`Set2Pp`] makes a
+//! put-bx out of any set-bx, [`Pp2Set`] a set-bx out of any put-bx.
+//! `Pp2Set<Set2Pp<T>>` and `T` then denote *observationally equal* set-bx
+//! (Lemma 3) — a fact checked by
+//! [`crate::monadic::laws::check_roundtrip_set`] and the test suites.
+
+use esm_monad::{MonadFamily, Val};
+
+use super::putbx::PutBx;
+use super::setbx::SetBx;
+
+/// `set2pp(t)`: view a set-bx as a put-bx (§3.3).
+///
+/// ```text
+/// set2pp(t).getA    = t.getA
+/// set2pp(t).getB    = t.getB
+/// set2pp(t).putBA a = t.setA a >> t.getB
+/// set2pp(t).putAB b = t.setB b >> t.getA
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Set2Pp<T>(pub T);
+
+impl<M: MonadFamily, A: Val, B: Val, T: SetBx<M, A, B>> PutBx<M, A, B> for Set2Pp<T> {
+    fn get_a(&self) -> M::Repr<A> {
+        self.0.get_a()
+    }
+    fn get_b(&self) -> M::Repr<B> {
+        self.0.get_b()
+    }
+    fn put_ba(&self, a: A) -> M::Repr<B> {
+        M::seq(self.0.set_a(a), self.0.get_b())
+    }
+    fn put_ab(&self, b: B) -> M::Repr<A> {
+        M::seq(self.0.set_b(b), self.0.get_a())
+    }
+}
+
+/// `pp2set(u)`: view a put-bx as a set-bx (§3.3).
+///
+/// ```text
+/// pp2set(u).getA   = u.getA
+/// pp2set(u).getB   = u.getB
+/// pp2set(u).setA a = u.putBA a >> return ()
+/// pp2set(u).setB b = u.putAB b >> return ()
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pp2Set<U>(pub U);
+
+impl<M: MonadFamily, A: Val, B: Val, U: PutBx<M, A, B>> SetBx<M, A, B> for Pp2Set<U> {
+    fn get_a(&self) -> M::Repr<A> {
+        self.0.get_a()
+    }
+    fn get_b(&self) -> M::Repr<B> {
+        self.0.get_b()
+    }
+    fn set_a(&self, a: A) -> M::Repr<()> {
+        M::seq(self.0.put_ba(a), M::pure(()))
+    }
+    fn set_b(&self, b: B) -> M::Repr<()> {
+        M::seq(self.0.put_ab(b), M::pure(()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monadic::product::ProductBx;
+    use esm_monad::{State, StateOf};
+
+    type S = (i64, i64);
+
+    fn product() -> ProductBx<i64, i64> {
+        ProductBx::new()
+    }
+
+    #[test]
+    fn set2pp_put_ba_sets_then_reads_other_side() {
+        let u = Set2Pp(product());
+        let ma: State<S, i64> = PutBx::<StateOf<S>, i64, i64>::put_ba(&u, 9);
+        assert_eq!(ma.run((0, 4)), (4, (9, 4)));
+    }
+
+    #[test]
+    fn pp2set_set_a_discards_the_returned_view() {
+        let t = Pp2Set(Set2Pp(product()));
+        let ma: State<S, ()> = SetBx::<StateOf<S>, i64, i64>::set_a(&t, 9);
+        assert_eq!(ma.run((0, 4)), ((), (9, 4)));
+    }
+
+    #[test]
+    fn roundtrip_agrees_with_original_pointwise() {
+        // Lemma 3 specialised: pp2set(set2pp(t)) behaves exactly like t.
+        let t = product();
+        let rt = Pp2Set(Set2Pp(product()));
+        for s0 in [(0i64, 0i64), (3, -7), (100, 100)] {
+            let direct: State<S, ()> = t.set_a(5);
+            let round: State<S, ()> = SetBx::<StateOf<S>, i64, i64>::set_a(&rt, 5);
+            assert_eq!(direct.run(s0), round.run(s0));
+
+            let direct_g: State<S, i64> = t.get_b();
+            let round_g: State<S, i64> = SetBx::<StateOf<S>, i64, i64>::get_b(&rt);
+            assert_eq!(direct_g.run(s0), round_g.run(s0));
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Structural combinators on ops-level bx: identity, dualising, view
+//! re-coding along isomorphisms, and pairing.
+//!
+//! Each combinator preserves the set-bx laws, a fact the `esm-lawcheck`
+//! test suites verify per combinator (not just asserted).
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use super::ops::SbxOps;
+
+/// The identity bx on `S` (§2's identity-lens example): both views *are*
+/// the state, and updating either view replaces it.
+///
+/// This is the bx the paper derives from the identity lens — the ordinary
+/// state monad structure `(M_S, get, set)` seen twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdBx<S>(PhantomData<S>);
+
+impl<S> IdBx<S> {
+    /// The identity bx.
+    pub fn new() -> Self {
+        IdBx(PhantomData)
+    }
+}
+
+impl<S> Default for IdBx<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Clone> SbxOps<S, S, S> for IdBx<S> {
+    fn view_a(&self, s: &S) -> S {
+        s.clone()
+    }
+    fn view_b(&self, s: &S) -> S {
+        s.clone()
+    }
+    fn update_a(&self, _s: S, a: S) -> S {
+        a
+    }
+    fn update_b(&self, _s: S, b: S) -> S {
+        b
+    }
+}
+
+/// Swap the two sides of a bx: `Dual(t)` is a bx between `B` and `A`.
+///
+/// Symmetry is a selling point of the paper's formulation (unlike
+/// asymmetric lenses, neither side is privileged), and `Dual` is its
+/// witness: it is an involution that maps lawful bx to lawful bx.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dual<T>(pub T);
+
+impl<S, A, B, T: SbxOps<S, A, B>> SbxOps<S, B, A> for Dual<T> {
+    fn view_a(&self, s: &S) -> B {
+        self.0.view_b(s)
+    }
+    fn view_b(&self, s: &S) -> A {
+        self.0.view_a(s)
+    }
+    fn update_a(&self, s: S, b: B) -> S {
+        self.0.update_b(s, b)
+    }
+    fn update_b(&self, s: S, a: A) -> S {
+        self.0.update_a(s, a)
+    }
+}
+
+/// A bijection between `X` and `Y`, used to re-code bx views.
+///
+/// The combinators relying on an `Iso` preserve the bx laws **iff** the iso
+/// really is a bijection; [`Iso::check_on`] provides a spot-check.
+pub struct Iso<X, Y> {
+    fwd: Rc<dyn Fn(X) -> Y>,
+    bwd: Rc<dyn Fn(Y) -> X>,
+}
+
+impl<X, Y> Clone for Iso<X, Y> {
+    fn clone(&self) -> Self {
+        Iso { fwd: Rc::clone(&self.fwd), bwd: Rc::clone(&self.bwd) }
+    }
+}
+
+impl<X, Y> std::fmt::Debug for Iso<X, Y> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Iso(<functions>)")
+    }
+}
+
+impl<X: 'static, Y: 'static> Iso<X, Y> {
+    /// An isomorphism from a pair of mutually-inverse functions.
+    pub fn new(fwd: impl Fn(X) -> Y + 'static, bwd: impl Fn(Y) -> X + 'static) -> Self {
+        Iso { fwd: Rc::new(fwd), bwd: Rc::new(bwd) }
+    }
+
+    /// Apply the forward direction.
+    pub fn fwd(&self, x: X) -> Y {
+        (self.fwd)(x)
+    }
+
+    /// Apply the backward direction.
+    pub fn bwd(&self, y: Y) -> X {
+        (self.bwd)(y)
+    }
+
+    /// The inverse isomorphism.
+    pub fn flip(&self) -> Iso<Y, X> {
+        Iso { fwd: Rc::clone(&self.bwd), bwd: Rc::clone(&self.fwd) }
+    }
+
+    /// Spot-check bijectivity on samples: `bwd(fwd(x)) == x` for each `x`,
+    /// and `fwd(bwd(y)) == y` for each `y`.
+    pub fn check_on(&self, xs: &[X], ys: &[Y]) -> bool
+    where
+        X: Clone + PartialEq,
+        Y: Clone + PartialEq,
+    {
+        xs.iter().all(|x| self.bwd(self.fwd(x.clone())) == *x)
+            && ys.iter().all(|y| self.fwd(self.bwd(y.clone())) == *y)
+    }
+}
+
+/// Re-code the `A` side of a bx along an isomorphism `A ≅ A2`.
+#[derive(Debug, Clone)]
+pub struct MapA<T, A, A2> {
+    inner: T,
+    iso: Iso<A, A2>,
+}
+
+impl<T, A: 'static, A2: 'static> MapA<T, A, A2> {
+    /// View the `A` side of `inner` through `iso`.
+    pub fn new(inner: T, iso: Iso<A, A2>) -> Self {
+        MapA { inner, iso }
+    }
+}
+
+impl<S, A, B, A2, T: SbxOps<S, A, B>> SbxOps<S, A2, B> for MapA<T, A, A2>
+where
+    A: 'static,
+    A2: 'static,
+{
+    fn view_a(&self, s: &S) -> A2 {
+        self.iso.fwd(self.inner.view_a(s))
+    }
+    fn view_b(&self, s: &S) -> B {
+        self.inner.view_b(s)
+    }
+    fn update_a(&self, s: S, a2: A2) -> S {
+        self.inner.update_a(s, self.iso.bwd(a2))
+    }
+    fn update_b(&self, s: S, b: B) -> S {
+        self.inner.update_b(s, b)
+    }
+}
+
+/// Re-code the `B` side of a bx along an isomorphism `B ≅ B2`.
+#[derive(Debug, Clone)]
+pub struct MapB<T, B, B2> {
+    inner: T,
+    iso: Iso<B, B2>,
+}
+
+impl<T, B: 'static, B2: 'static> MapB<T, B, B2> {
+    /// View the `B` side of `inner` through `iso`.
+    pub fn new(inner: T, iso: Iso<B, B2>) -> Self {
+        MapB { inner, iso }
+    }
+}
+
+impl<S, A, B, B2, T: SbxOps<S, A, B>> SbxOps<S, A, B2> for MapB<T, B, B2>
+where
+    B: 'static,
+    B2: 'static,
+{
+    fn view_a(&self, s: &S) -> A {
+        self.inner.view_a(s)
+    }
+    fn view_b(&self, s: &S) -> B2 {
+        self.iso.fwd(self.inner.view_b(s))
+    }
+    fn update_a(&self, s: S, a: A) -> S {
+        self.inner.update_a(s, a)
+    }
+    fn update_b(&self, s: S, b2: B2) -> S {
+        self.inner.update_b(s, self.iso.bwd(b2))
+    }
+}
+
+/// Run two bx side by side: a bx between `(A1, A2)` and `(B1, B2)` over
+/// paired state `(S1, S2)`. Updates touch both components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairBx<T1, T2>(pub T1, pub T2);
+
+impl<S1, S2, A1, A2, B1, B2, T1, T2> SbxOps<(S1, S2), (A1, A2), (B1, B2)> for PairBx<T1, T2>
+where
+    T1: SbxOps<S1, A1, B1>,
+    T2: SbxOps<S2, A2, B2>,
+{
+    fn view_a(&self, s: &(S1, S2)) -> (A1, A2) {
+        (self.0.view_a(&s.0), self.1.view_a(&s.1))
+    }
+    fn view_b(&self, s: &(S1, S2)) -> (B1, B2) {
+        (self.0.view_b(&s.0), self.1.view_b(&s.1))
+    }
+    fn update_a(&self, s: (S1, S2), a: (A1, A2)) -> (S1, S2) {
+        (self.0.update_a(s.0, a.0), self.1.update_a(s.1, a.1))
+    }
+    fn update_b(&self, s: (S1, S2), b: (B1, B2)) -> (S1, S2) {
+        (self.0.update_b(s.0, b.0), self.1.update_b(s.1, b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_bx_views_and_replaces() {
+        let t = IdBx::<String>::new();
+        assert_eq!(t.view_a(&"s".to_string()), "s");
+        assert_eq!(t.update_b("s".to_string(), "t".to_string()), "t");
+    }
+
+    #[test]
+    fn dual_swaps_sides() {
+        // A bx whose B side is the negation of its A side.
+        let t: StateLike = StateLike;
+        let d = Dual(t);
+        assert_eq!(t.view_b(&5), -5);
+        assert_eq!(d.view_a(&5), -5);
+        assert_eq!(d.update_b(0, 3), t.update_a(0, 3));
+    }
+
+    /// i64 state; A view = state, B view = negated state.
+    #[derive(Clone, Copy)]
+    struct StateLike;
+    impl SbxOps<i64, i64, i64> for StateLike {
+        fn view_a(&self, s: &i64) -> i64 {
+            *s
+        }
+        fn view_b(&self, s: &i64) -> i64 {
+            -*s
+        }
+        fn update_a(&self, _s: i64, a: i64) -> i64 {
+            a
+        }
+        fn update_b(&self, _s: i64, b: i64) -> i64 {
+            -b
+        }
+    }
+
+    #[test]
+    fn dual_is_an_involution() {
+        let t = StateLike;
+        let dd = Dual(Dual(t));
+        for s in [-4i64, 0, 9] {
+            assert_eq!(dd.view_a(&s), t.view_a(&s));
+            assert_eq!(dd.view_b(&s), t.view_b(&s));
+            assert_eq!(dd.update_a(s, 1), t.update_a(s, 1));
+            assert_eq!(dd.update_b(s, 1), t.update_b(s, 1));
+        }
+    }
+
+    #[test]
+    fn iso_checks_bijectivity() {
+        let good = Iso::new(|x: i64| x + 1, |y: i64| y - 1);
+        assert!(good.check_on(&[0, 5, -5], &[1, 2]));
+        let bad = Iso::new(|x: i64| x / 2, |y: i64| y * 2);
+        assert!(!bad.check_on(&[3], &[]));
+    }
+
+    #[test]
+    fn iso_flip_inverts() {
+        let iso = Iso::new(|x: i64| x.to_string(), |y: String| y.parse().unwrap());
+        assert_eq!(iso.flip().fwd("42".to_string()), 42);
+        assert_eq!(iso.flip().bwd(42), "42");
+    }
+
+    #[test]
+    fn map_a_recodes_the_a_view() {
+        let iso = Iso::new(|x: i64| x.to_string(), |y: String| y.parse().unwrap());
+        let t = MapA::new(StateLike, iso);
+        assert_eq!(t.view_a(&7), "7");
+        assert_eq!(t.update_a(0, "12".to_string()), 12);
+        // B side untouched.
+        assert_eq!(t.view_b(&7), -7);
+    }
+
+    #[test]
+    fn map_b_recodes_the_b_view() {
+        let iso = Iso::new(|x: i64| x * 10, |y: i64| y / 10);
+        let t = MapB::new(StateLike, iso);
+        assert_eq!(t.view_b(&7), -70);
+        assert_eq!(t.update_b(0, -30), 3);
+    }
+
+    #[test]
+    fn pair_updates_componentwise() {
+        let p = PairBx(IdBx::<i64>::new(), StateLike);
+        let s = (1i64, 2i64);
+        assert_eq!(p.view_a(&s), (1, 2));
+        assert_eq!(p.view_b(&s), (1, -2));
+        assert_eq!(p.update_b(s, (9, -5)), (9, 5));
+    }
+}

@@ -1,0 +1,235 @@
+//! Composition of entangled state monads — the §5 open problem, realised
+//! for state-monad carriers.
+//!
+//! The paper: *"the question of whether entangled state monads can be
+//! composed seems nontrivial; some restrictions on the class of monads
+//! considered may be necessary for composability."*
+//!
+//! For state-based bx the natural construction pairs the hidden states:
+//! given `t1 : A ⇔ B` over `S1` and `t2 : B ⇔ C` over `S2`, the composite
+//! acts over `(S1, S2)` by propagating updates through the shared `B`
+//! interface. The catch — exactly the restriction the paper predicts — is
+//! that the composite satisfies the set-bx laws only on the **consistent
+//! subset** `{(s1, s2) | t1.view_b(s1) == t2.view_a(s2)}`:
+//!
+//! * On consistent states, (GS)/(SG) (and (SS), when both components are
+//!   overwriteable) all hold, and every update preserves consistency.
+//! * Off the consistent subset, (GS) fails: re-writing the current `A` view
+//!   repairs the mismatch and therefore *changes* the state. The test suite
+//!   demonstrates both halves.
+//!
+//! [`Composed::is_consistent`], [`Composed::align_left`] and
+//! [`Composed::align_right`] make the invariant checkable and restorable.
+
+use std::marker::PhantomData;
+
+use super::ops::SbxOps;
+
+/// The composite of two ops-level bx sharing their middle type `B`.
+///
+/// The `B` type parameter names the shared interface; it is phantom (a bx
+/// implementation could expose several view types, so Rust needs the middle
+/// type pinned for coherence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Composed<T1, T2, B> {
+    /// The left component, `A ⇔ B` over `S1`.
+    pub left: T1,
+    /// The right component, `B ⇔ C` over `S2`.
+    pub right: T2,
+    _mid: PhantomData<fn() -> B>,
+}
+
+/// Compose `t1 : A ⇔ B` (over `S1`) with `t2 : B ⇔ C` (over `S2`) into an
+/// `A ⇔ C` bx over `(S1, S2)`. See the module docs for the consistency
+/// restriction.
+pub fn compose<T1, T2, B>(t1: T1, t2: T2) -> Composed<T1, T2, B> {
+    Composed { left: t1, right: t2, _mid: PhantomData }
+}
+
+impl<S1, S2, A, B, C, T1, T2> SbxOps<(S1, S2), A, C> for Composed<T1, T2, B>
+where
+    T1: SbxOps<S1, A, B>,
+    T2: SbxOps<S2, B, C>,
+{
+    fn view_a(&self, s: &(S1, S2)) -> A {
+        self.left.view_a(&s.0)
+    }
+
+    fn view_b(&self, s: &(S1, S2)) -> C {
+        self.right.view_b(&s.1)
+    }
+
+    /// Write `a` into the left component, then push the refreshed `B` view
+    /// through the right component.
+    fn update_a(&self, s: (S1, S2), a: A) -> (S1, S2) {
+        let s1 = self.left.update_a(s.0, a);
+        let b = self.left.view_b(&s1);
+        let s2 = self.right.update_a(s.1, b);
+        (s1, s2)
+    }
+
+    /// Write `c` into the right component, then pull the refreshed `B` view
+    /// back through the left component.
+    fn update_b(&self, s: (S1, S2), c: C) -> (S1, S2) {
+        let s2 = self.right.update_b(s.1, c);
+        let b = self.right.view_a(&s2);
+        let s1 = self.left.update_b(s.0, b);
+        (s1, s2)
+    }
+}
+
+impl<T1, T2, B> Composed<T1, T2, B> {
+    /// Does the paired state agree on the shared `B` interface?
+    ///
+    /// All four bx operations preserve this invariant, and the set-bx laws
+    /// hold exactly on states satisfying it.
+    pub fn is_consistent<S1, S2, A, C>(&self, s: &(S1, S2)) -> bool
+    where
+        T1: SbxOps<S1, A, B>,
+        T2: SbxOps<S2, B, C>,
+        B: PartialEq,
+    {
+        self.left.view_b(&s.0) == self.right.view_a(&s.1)
+    }
+
+    /// Restore consistency by pushing the left component's `B` view into
+    /// the right component (the left side wins).
+    pub fn align_right<S1, S2, A, C>(&self, s: (S1, S2)) -> (S1, S2)
+    where
+        T1: SbxOps<S1, A, B>,
+        T2: SbxOps<S2, B, C>,
+    {
+        let b = self.left.view_b(&s.0);
+        let s2 = self.right.update_a(s.1, b);
+        (s.0, s2)
+    }
+
+    /// Restore consistency by pulling the right component's `B` view into
+    /// the left component (the right side wins).
+    pub fn align_left<S1, S2, A, C>(&self, s: (S1, S2)) -> (S1, S2)
+    where
+        T1: SbxOps<S1, A, B>,
+        T2: SbxOps<S2, B, C>,
+    {
+        let b = self.right.view_a(&s.1);
+        let s1 = self.left.update_b(s.0, b);
+        (s1, s.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::combinators::IdBx;
+    use crate::state::statebx::StateBx;
+
+    /// A bx between a Celsius temperature (A) and "Fauxenheit" (B), an
+    /// exactly-invertible stand-in (`F = 2C + 32`) so the conversion is a
+    /// lawful lens over integers.
+    fn c_to_f() -> StateBx<i64, i64, i64> {
+        StateBx::new(|s| *s, |s| s * 2 + 32, |_, a| a, |_, b| (b - 32) / 2)
+    }
+
+    /// A bx between Fahrenheit (A) and a "hot?" flag rendered as a string
+    /// (B), over a Fahrenheit-valued state paired with the last-written
+    /// flag to keep updates faithful on the flag side.
+    fn f_to_label() -> StateBx<i64, i64, String> {
+        StateBx::new(
+            |s| *s,
+            |s| if *s >= 80 { "hot".to_string() } else { "mild".to_string() },
+            |_, a| a,
+            // Writing a label snaps the temperature to a canonical
+            // representative of that label, keeping (SG) for label reads.
+            |s, b| match b.as_str() {
+                "hot" => {
+                    if s >= 80 {
+                        s
+                    } else {
+                        80
+                    }
+                }
+                _ => {
+                    if s < 80 {
+                        s
+                    } else {
+                        78
+                    }
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn updates_propagate_through_the_middle() {
+        let pipeline = compose(c_to_f(), f_to_label());
+        // Start consistent: 20C = 72F = "mild".
+        let s = (20i64, 72i64);
+        assert!(pipeline.is_consistent(&s));
+        assert_eq!(pipeline.view_b(&s), "mild");
+
+        // Writing 30C -> 92F -> "hot".
+        let s = pipeline.update_a(s, 30);
+        assert!(pipeline.is_consistent(&s));
+        assert_eq!(s.1, 92);
+        assert_eq!(pipeline.view_b(&s), "hot");
+
+        // Writing "mild" pulls the temperature back below the threshold.
+        let s = pipeline.update_b(s, "mild".to_string());
+        assert!(pipeline.is_consistent(&s));
+        assert_eq!(s.1, 78);
+        assert_eq!(pipeline.view_a(&s), 23);
+    }
+
+    #[test]
+    fn updates_preserve_consistency_even_from_inconsistent_starts() {
+        let pipeline = compose(c_to_f(), f_to_label());
+        let junk = (25i64, 400i64); // 25C is not 400F
+        assert!(!pipeline.is_consistent(&junk));
+        assert!(pipeline.is_consistent(&pipeline.update_a(junk.clone(), 10)));
+        assert!(pipeline.is_consistent(&pipeline.update_b(junk, "hot".to_string())));
+    }
+
+    #[test]
+    fn gs_holds_on_consistent_states_only() {
+        // (GS): update_a(s, view_a(s)) == s. On a consistent state this is
+        // a no-op; on an inconsistent state it *repairs* s — the paper's
+        // predicted restriction.
+        let pipeline = compose(c_to_f(), f_to_label());
+        let good = (20i64, 72i64);
+        let refreshed = pipeline.update_a(good.clone(), pipeline.view_a(&good));
+        assert_eq!(refreshed, good);
+
+        let bad = (25i64, 400i64);
+        let repaired = pipeline.update_a(bad.clone(), pipeline.view_a(&bad));
+        assert_ne!(repaired, bad);
+        assert!(pipeline.is_consistent(&repaired));
+    }
+
+    #[test]
+    fn align_restores_the_invariant_in_both_directions() {
+        let pipeline = compose(c_to_f(), IdBx::<i64>::new());
+        let bad = (25i64, 0i64);
+        assert!(!pipeline.is_consistent(&bad));
+
+        let right = pipeline.align_right(bad.clone());
+        assert!(pipeline.is_consistent(&right));
+        assert_eq!(right.0, 25); // left untouched
+
+        let left = pipeline.align_left(bad);
+        assert!(pipeline.is_consistent(&left));
+        assert_eq!(left.1, 0); // right untouched
+    }
+
+    #[test]
+    fn composition_with_identity_changes_nothing() {
+        let pipeline = compose(c_to_f(), IdBx::<i64>::new());
+        let plain = c_to_f();
+        let s0 = 20i64;
+        let paired = (s0, plain.view_b(&s0));
+        assert_eq!(pipeline.view_a(&paired), plain.view_a(&s0));
+        assert_eq!(pipeline.view_b(&paired), plain.view_b(&s0));
+        let updated = pipeline.update_a(paired, 33);
+        assert_eq!(updated.0, plain.update_a(s0, 33));
+        assert_eq!(updated.1, plain.view_b(&33));
+    }
+}

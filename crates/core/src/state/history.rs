@@ -1,0 +1,129 @@
+//! Witness structures (§5): a bx that records its own edit history in the
+//! hidden state.
+//!
+//! The paper's conclusions anticipate "bx with richer complements or
+//! witness structures" absorbed into the monad's hidden state.
+//! [`WithHistory`] is the simplest such structure: it extends any ops-level
+//! bx's state with the list of *effective* edits (edits that changed the
+//! state; no-op writes are not recorded, keeping (GS)).
+//!
+//! The payoff is a natural example separating the base laws from the
+//! overwrite law: `WithHistory(t)` satisfies (GS) and (SG) whenever `t`
+//! does, but **deliberately violates (SS)** — `setA a >> setA a'` leaves a
+//! two-entry trail where `setA a'` leaves one. The negative test below (and
+//! the law-checker integration tests) confirm the violation is caught.
+
+use super::ops::SbxOps;
+
+/// One recorded edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit<A, B> {
+    /// The `A` side was overwritten with this value.
+    SetA(A),
+    /// The `B` side was overwritten with this value.
+    SetB(B),
+}
+
+/// State extension pairing the underlying state with its edit history.
+pub type HistoryState<S, A, B> = (S, Vec<Edit<A, B>>);
+
+/// Wrap a bx so its hidden state also records every effective edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WithHistory<T>(pub T);
+
+impl<T> WithHistory<T> {
+    /// Initial wrapped state: the given base state and an empty history.
+    pub fn initial<S, A, B>(s: S) -> HistoryState<S, A, B> {
+        (s, Vec::new())
+    }
+}
+
+impl<S, A, B, T> SbxOps<HistoryState<S, A, B>, A, B> for WithHistory<T>
+where
+    S: Clone + PartialEq,
+    A: Clone,
+    B: Clone,
+    T: SbxOps<S, A, B>,
+{
+    fn view_a(&self, s: &HistoryState<S, A, B>) -> A {
+        self.0.view_a(&s.0)
+    }
+
+    fn view_b(&self, s: &HistoryState<S, A, B>) -> B {
+        self.0.view_b(&s.0)
+    }
+
+    fn update_a(&self, s: HistoryState<S, A, B>, a: A) -> HistoryState<S, A, B> {
+        let (base, mut hist) = s;
+        let next = self.0.update_a(base.clone(), a.clone());
+        if next != base {
+            hist.push(Edit::SetA(a));
+        }
+        (next, hist)
+    }
+
+    fn update_b(&self, s: HistoryState<S, A, B>, b: B) -> HistoryState<S, A, B> {
+        let (base, mut hist) = s;
+        let next = self.0.update_b(base.clone(), b.clone());
+        if next != base {
+            hist.push(Edit::SetB(b));
+        }
+        (next, hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::combinators::IdBx;
+
+    type H = HistoryState<i64, i64, i64>;
+
+    fn fresh(s: i64) -> H {
+        WithHistory::<IdBx<i64>>::initial(s)
+    }
+
+    #[test]
+    fn effective_edits_are_recorded_in_order() {
+        let t = WithHistory(IdBx::<i64>::new());
+        let s = fresh(0);
+        let s = t.update_a(s, 5);
+        let s = t.update_b(s, 9);
+        assert_eq!(s.0, 9);
+        assert_eq!(s.1, vec![Edit::SetA(5), Edit::SetB(9)]);
+    }
+
+    #[test]
+    fn noop_edits_are_not_recorded_keeping_gs() {
+        // (GS): writing back what you just read must not change the state —
+        // including the history.
+        let t = WithHistory(IdBx::<i64>::new());
+        let s = fresh(42);
+        let a = t.view_a(&s);
+        let s2 = t.update_a(s.clone(), a);
+        assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn sg_still_holds() {
+        let t = WithHistory(IdBx::<i64>::new());
+        let s = fresh(0);
+        let s = t.update_a(s, 31);
+        assert_eq!(t.view_a(&s), 31);
+    }
+
+    #[test]
+    fn ss_deliberately_fails() {
+        // Overwrite law: update_a(update_a(s, a), a') vs update_a(s, a').
+        // The base states agree but the histories differ — (SS) violated,
+        // by design.
+        let t = WithHistory(IdBx::<i64>::new());
+        let s = fresh(0);
+        let twice = t.update_a(t.update_a(s.clone(), 1), 2);
+        let once = t.update_a(s, 2);
+        assert_eq!(twice.0, once.0);
+        assert_ne!(twice.1, once.1);
+        assert_eq!(twice.1, vec![Edit::SetA(1), Edit::SetA(2)]);
+        assert_eq!(once.1, vec![Edit::SetA(2)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! The ops level: entangled state monads specialised to state-monad
+//! carriers, where a bx is four pure functions over a hidden state `S`.
+//!
+//! All of the paper's §4 instances are state-based, so this layer is where
+//! the engineering happens — combinators, composition, sessions — while
+//! [`Monadic`]/[`MonadicPut`] embed everything back into the literal
+//! monadic interface of [`crate::monadic`] for law checking.
+
+pub mod combinators;
+pub mod compose;
+pub mod entangle;
+pub mod history;
+pub mod ops;
+pub mod putops;
+pub mod session;
+pub mod statebx;
+pub mod undo;
+
+pub use combinators::{Dual, IdBx, Iso, MapA, MapB, PairBx};
+pub use compose::{compose, Composed};
+pub use entangle::{find_entanglement_witness, updates_commute, ProductOps};
+pub use history::{Edit, WithHistory};
+pub use ops::{Monadic, SbxOps};
+pub use putops::{MonadicPut, PbxOps, PutToSet, SetToPut};
+pub use session::BxSession;
+pub use statebx::StateBx;
+pub use undo::UndoSession;

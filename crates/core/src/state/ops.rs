@@ -1,0 +1,136 @@
+//! [`SbxOps`]: the ops-level presentation of a set-bx over a state monad.
+
+use esm_monad::{State, StateOf, Val};
+
+use crate::monadic::SetBx;
+
+/// A set-bx between `A` and `B` whose carrier is the state monad on `S`,
+/// presented as four *pure functions* on the hidden state.
+///
+/// Correspondence with the monadic operations of [`crate::monadic::SetBx`]
+/// over `StateOf<S>`:
+///
+/// ```text
+/// getA   = \s -> (view_a s, s)          (a query: state untouched)
+/// setA a = \s -> ((), update_a s a)     (an update: state replaced)
+/// ```
+///
+/// The set-bx laws become first-order equations, checked by
+/// `esm-lawcheck`:
+///
+/// ```text
+/// (GS) update_a(s, view_a(s)) == s                        -- "Hippocratic"
+/// (SG) view_a(update_a(s, a)) == a                        -- "faithful"
+/// (SS) update_a(update_a(s, a), a') == update_a(s, a')    -- "overwriteable"
+/// ```
+///
+/// ((GG) holds by construction at this level: `view_a` is a pure function
+/// of the state, so reading twice cannot disagree — the monadic checkers
+/// verify this through the adapter.)
+pub trait SbxOps<S, A, B> {
+    /// Observe the `A` view of the hidden state.
+    fn view_a(&self, s: &S) -> A;
+    /// Observe the `B` view of the hidden state.
+    fn view_b(&self, s: &S) -> B;
+    /// Replace the `A` view, producing a consistent new state.
+    fn update_a(&self, s: S, a: A) -> S;
+    /// Replace the `B` view, producing a consistent new state.
+    fn update_b(&self, s: S, b: B) -> S;
+}
+
+impl<S, A, B, T: SbxOps<S, A, B> + ?Sized> SbxOps<S, A, B> for &T {
+    fn view_a(&self, s: &S) -> A {
+        (**self).view_a(s)
+    }
+    fn view_b(&self, s: &S) -> B {
+        (**self).view_b(s)
+    }
+    fn update_a(&self, s: S, a: A) -> S {
+        (**self).update_a(s, a)
+    }
+    fn update_b(&self, s: S, b: B) -> S {
+        (**self).update_b(s, b)
+    }
+}
+
+impl<S, A, B, T: SbxOps<S, A, B> + ?Sized> SbxOps<S, A, B> for std::rc::Rc<T> {
+    fn view_a(&self, s: &S) -> A {
+        (**self).view_a(s)
+    }
+    fn view_b(&self, s: &S) -> B {
+        (**self).view_b(s)
+    }
+    fn update_a(&self, s: S, a: A) -> S {
+        (**self).update_a(s, a)
+    }
+    fn update_b(&self, s: S, b: B) -> S {
+        (**self).update_b(s, b)
+    }
+}
+
+/// Adapter embedding an ops-level bx into the paper's monadic interface:
+/// `Monadic(t)` is a [`SetBx`] over the state-monad family `StateOf<S>`.
+///
+/// The wrapped value is cloned into each returned computation, so `T`
+/// should be cheap to clone (zero-sized or `Rc`-backed — every bx in this
+/// workspace is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Monadic<T>(pub T);
+
+impl<S, A, B, T> SetBx<StateOf<S>, A, B> for Monadic<T>
+where
+    S: Val,
+    A: Val,
+    B: Val,
+    T: SbxOps<S, A, B> + Clone + 'static,
+{
+    fn get_a(&self) -> State<S, A> {
+        let t = self.0.clone();
+        State::new(move |s: S| {
+            let a = t.view_a(&s);
+            (a, s)
+        })
+    }
+
+    fn get_b(&self) -> State<S, B> {
+        let t = self.0.clone();
+        State::new(move |s: S| {
+            let b = t.view_b(&s);
+            (b, s)
+        })
+    }
+
+    fn set_a(&self, a: A) -> State<S, ()> {
+        let t = self.0.clone();
+        State::new(move |s: S| ((), t.update_a(s, a.clone())))
+    }
+
+    fn set_b(&self, b: B) -> State<S, ()> {
+        let t = self.0.clone();
+        State::new(move |s: S| ((), t.update_b(s, b.clone())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::combinators::IdBx;
+
+    #[test]
+    fn monadic_adapter_matches_ops_pointwise() {
+        let t: IdBx<i32> = IdBx::new();
+        let m = Monadic(t);
+        let (a, s) = SetBx::<StateOf<i32>, i32, i32>::get_a(&m).run(7);
+        assert_eq!((a, s), (t.view_a(&7), 7));
+        let ((), s2) = SetBx::<StateOf<i32>, i32, i32>::set_b(&m, 9).run(7);
+        assert_eq!(s2, t.update_b(7, 9));
+    }
+
+    #[test]
+    fn rc_and_ref_forwarding() {
+        let t: IdBx<i32> = IdBx::new();
+        let rc = std::rc::Rc::new(t);
+        assert_eq!(rc.view_a(&3), 3);
+        assert_eq!((&t).update_a(1, 2), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! [`PbxOps`]: the ops-level presentation of a put-bx, and the ops-level
+//! mirror of the §3.3 translations.
+
+use esm_monad::{State, StateOf, Val};
+
+use super::ops::SbxOps;
+use crate::monadic::PutBx;
+
+/// A put-bx between `A` and `B` over hidden state `S`, presented as pure
+/// functions. `put_a(s, a)` corresponds to the paper's `putBA a`: write the
+/// `A` side and return the refreshed `B` along with the new state.
+///
+/// The put-bx laws become first-order equations (checked by
+/// `esm-lawcheck`):
+///
+/// ```text
+/// (GP)  put_a(s, view_a(s)) == (s, view_b(s))
+/// (PG1) view_a(put_a(s, a).0) == a
+/// (PG2) put_a(s, a).1 == view_b(&put_a(s, a).0)
+/// (PP)  put_a(put_a(s, a).0, a') == put_a(s, a')            [optional]
+/// ```
+pub trait PbxOps<S, A, B> {
+    /// Observe the `A` view of the hidden state.
+    fn view_a(&self, s: &S) -> A;
+    /// Observe the `B` view of the hidden state.
+    fn view_b(&self, s: &S) -> B;
+    /// The paper's `putBA`: write the `A` view; return the new state and
+    /// the refreshed `B` view.
+    fn put_a(&self, s: S, a: A) -> (S, B);
+    /// The paper's `putAB`: write the `B` view; return the new state and
+    /// the refreshed `A` view.
+    fn put_b(&self, s: S, b: B) -> (S, A);
+}
+
+impl<S, A, B, T: PbxOps<S, A, B> + ?Sized> PbxOps<S, A, B> for &T {
+    fn view_a(&self, s: &S) -> A {
+        (**self).view_a(s)
+    }
+    fn view_b(&self, s: &S) -> B {
+        (**self).view_b(s)
+    }
+    fn put_a(&self, s: S, a: A) -> (S, B) {
+        (**self).put_a(s, a)
+    }
+    fn put_b(&self, s: S, b: B) -> (S, A) {
+        (**self).put_b(s, b)
+    }
+}
+
+/// Ops-level `set2pp` (§3.3): view a set-bx as a put-bx by following each
+/// update with a read of the other side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetToPut<T>(pub T);
+
+impl<S, A, B, T: SbxOps<S, A, B>> PbxOps<S, A, B> for SetToPut<T> {
+    fn view_a(&self, s: &S) -> A {
+        self.0.view_a(s)
+    }
+    fn view_b(&self, s: &S) -> B {
+        self.0.view_b(s)
+    }
+    fn put_a(&self, s: S, a: A) -> (S, B) {
+        let s2 = self.0.update_a(s, a);
+        let b = self.0.view_b(&s2);
+        (s2, b)
+    }
+    fn put_b(&self, s: S, b: B) -> (S, A) {
+        let s2 = self.0.update_b(s, b);
+        let a = self.0.view_a(&s2);
+        (s2, a)
+    }
+}
+
+/// Ops-level `pp2set` (§3.3): view a put-bx as a set-bx by discarding the
+/// returned opposite view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutToSet<U>(pub U);
+
+impl<S, A, B, U: PbxOps<S, A, B>> SbxOps<S, A, B> for PutToSet<U> {
+    fn view_a(&self, s: &S) -> A {
+        self.0.view_a(s)
+    }
+    fn view_b(&self, s: &S) -> B {
+        self.0.view_b(s)
+    }
+    fn update_a(&self, s: S, a: A) -> S {
+        self.0.put_a(s, a).0
+    }
+    fn update_b(&self, s: S, b: B) -> S {
+        self.0.put_b(s, b).0
+    }
+}
+
+/// Adapter embedding an ops-level put-bx into the paper's monadic
+/// [`PutBx`] interface over `StateOf<S>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonadicPut<T>(pub T);
+
+impl<S, A, B, T> PutBx<StateOf<S>, A, B> for MonadicPut<T>
+where
+    S: Val,
+    A: Val,
+    B: Val,
+    T: PbxOps<S, A, B> + Clone + 'static,
+{
+    fn get_a(&self) -> State<S, A> {
+        let t = self.0.clone();
+        State::new(move |s: S| {
+            let a = t.view_a(&s);
+            (a, s)
+        })
+    }
+
+    fn get_b(&self) -> State<S, B> {
+        let t = self.0.clone();
+        State::new(move |s: S| {
+            let b = t.view_b(&s);
+            (b, s)
+        })
+    }
+
+    fn put_ba(&self, a: A) -> State<S, B> {
+        let t = self.0.clone();
+        State::new(move |s: S| {
+            let (s2, b) = t.put_a(s, a.clone());
+            (b, s2)
+        })
+    }
+
+    fn put_ab(&self, b: B) -> State<S, A> {
+        let t = self.0.clone();
+        State::new(move |s: S| {
+            let (s2, a) = t.put_b(s, b.clone());
+            (a, s2)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::combinators::IdBx;
+
+    #[test]
+    fn set_to_put_reports_the_other_side() {
+        let t = SetToPut(IdBx::<i32>::new());
+        // The identity bx has both views equal to the state, so putting an
+        // A returns the same value as the refreshed B.
+        assert_eq!(t.put_a(0, 5), (5, 5));
+        assert_eq!(t.put_b(0, 7), (7, 7));
+    }
+
+    #[test]
+    fn put_to_set_discards_the_report() {
+        let t = PutToSet(SetToPut(IdBx::<i32>::new()));
+        assert_eq!(t.update_a(0, 5), 5);
+        assert_eq!(t.view_b(&5), 5);
+    }
+
+    #[test]
+    fn ops_roundtrip_is_pointwise_identity() {
+        // Lemma 3 at the ops level: PutToSet(SetToPut(t)) == t pointwise.
+        let t = IdBx::<i32>::new();
+        let rt = PutToSet(SetToPut(t));
+        for s in [-2, 0, 9] {
+            for a in [-1, 3] {
+                assert_eq!(rt.update_a(s, a), t.update_a(s, a));
+                assert_eq!(rt.update_b(s, a), t.update_b(s, a));
+            }
+            assert_eq!(rt.view_a(&s), t.view_a(&s));
+            assert_eq!(rt.view_b(&s), t.view_b(&s));
+        }
+    }
+}

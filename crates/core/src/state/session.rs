@@ -1,0 +1,145 @@
+//! [`BxSession`]: an owned, imperative façade over an ops-level bx.
+//!
+//! The monadic presentation threads state through computations; a session
+//! *owns* the hidden state and exposes the four operations as ordinary
+//! method calls, recording a human-readable log of effective operations.
+//! This is the API examples and applications use.
+
+use std::fmt::Debug;
+
+use super::ops::SbxOps;
+
+/// An interactive session over a bx: owns the hidden state `S`, applies
+/// operations in place, and keeps a log.
+#[derive(Debug, Clone)]
+pub struct BxSession<S, T> {
+    state: S,
+    bx: T,
+    log: Vec<String>,
+}
+
+impl<S, T> BxSession<S, T> {
+    /// Start a session from an initial hidden state.
+    pub fn new(state: S, bx: T) -> Self {
+        BxSession { state, bx, log: Vec::new() }
+    }
+
+    /// The current hidden state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Consume the session, returning the final hidden state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// The log of operations applied so far (most recent last).
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// The underlying bx.
+    pub fn bx(&self) -> &T {
+        &self.bx
+    }
+}
+
+impl<S: Clone, T> BxSession<S, T> {
+    /// Read the `A` view.
+    pub fn a<A, B>(&self) -> A
+    where
+        T: SbxOps<S, A, B>,
+    {
+        self.bx.view_a(&self.state)
+    }
+
+    /// Read the `B` view.
+    pub fn b<A, B>(&self) -> B
+    where
+        T: SbxOps<S, A, B>,
+    {
+        self.bx.view_b(&self.state)
+    }
+
+    /// Write the `A` view (the paper's `setA`), updating the hidden state.
+    pub fn set_a<A: Debug, B>(&mut self, a: A)
+    where
+        T: SbxOps<S, A, B>,
+    {
+        self.log.push(format!("setA {a:?}"));
+        self.state = self.bx.update_a(self.state.clone(), a);
+    }
+
+    /// Write the `B` view (the paper's `setB`), updating the hidden state.
+    pub fn set_b<A, B: Debug>(&mut self, b: B)
+    where
+        T: SbxOps<S, A, B>,
+    {
+        self.log.push(format!("setB {b:?}"));
+        self.state = self.bx.update_b(self.state.clone(), b);
+    }
+
+    /// The paper's `putBA`: write the `A` view and return the refreshed `B`.
+    pub fn put_a<A: Debug, B>(&mut self, a: A) -> B
+    where
+        T: SbxOps<S, A, B>,
+    {
+        self.set_a(a);
+        self.b()
+    }
+
+    /// The paper's `putAB`: write the `B` view and return the refreshed `A`.
+    pub fn put_b<A, B: Debug>(&mut self, b: B) -> A
+    where
+        T: SbxOps<S, A, B>,
+    {
+        self.set_b(b);
+        self.a()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::combinators::IdBx;
+    use crate::state::statebx::StateBx;
+
+    #[test]
+    fn session_applies_operations_in_place() {
+        let mut sess = BxSession::new(0i64, IdBx::<i64>::new());
+        assert_eq!(sess.a(), 0);
+        sess.set_a(5);
+        assert_eq!(sess.b(), 5);
+        assert_eq!(*sess.state(), 5);
+    }
+
+    #[test]
+    fn session_logs_operations() {
+        let mut sess = BxSession::new(0i64, IdBx::<i64>::new());
+        sess.set_a(1);
+        sess.set_b(2);
+        assert_eq!(sess.log(), ["setA 1", "setB 2"]);
+    }
+
+    #[test]
+    fn put_returns_refreshed_other_side() {
+        // quantity/total-price bx: B = A * unit price (10).
+        let bx: StateBx<(u32, u32), u32, u32> = StateBx::new(
+            |s: &(u32, u32)| s.0,
+            |s| s.0 * s.1,
+            |s, q| (q, s.1),
+            |s, total| (total / s.1, s.1),
+        );
+        let mut sess = BxSession::new((2, 10), bx);
+        assert_eq!(sess.put_a(7), 70);
+        assert_eq!(sess.put_b(30), 3);
+    }
+
+    #[test]
+    fn into_state_returns_final_state() {
+        let mut sess = BxSession::new(1i64, IdBx::<i64>::new());
+        sess.set_b(10);
+        assert_eq!(sess.into_state(), 10);
+    }
+}

@@ -1,0 +1,133 @@
+//! [`StateBx`]: a type-erased, cheaply-cloneable ops-level bx.
+//!
+//! Where [`crate::state::SbxOps`] implementors are zero-cost but
+//! monomorphic, `StateBx` boxes the four operations behind `Rc<dyn Fn…>` so
+//! that heterogeneous bx can live in one collection, be built at runtime,
+//! and be captured by monadic computations without generic plumbing.
+//! Experiment T1 (see EXPERIMENTS.md) measures the dispatch cost.
+
+use std::rc::Rc;
+
+use super::ops::SbxOps;
+
+/// A dynamically-dispatched set-bx over hidden state `S`.
+pub struct StateBx<S, A, B> {
+    view_a: Rc<dyn Fn(&S) -> A>,
+    view_b: Rc<dyn Fn(&S) -> B>,
+    update_a: Rc<dyn Fn(S, A) -> S>,
+    update_b: Rc<dyn Fn(S, B) -> S>,
+}
+
+impl<S, A, B> Clone for StateBx<S, A, B> {
+    fn clone(&self) -> Self {
+        StateBx {
+            view_a: Rc::clone(&self.view_a),
+            view_b: Rc::clone(&self.view_b),
+            update_a: Rc::clone(&self.update_a),
+            update_b: Rc::clone(&self.update_b),
+        }
+    }
+}
+
+impl<S, A, B> std::fmt::Debug for StateBx<S, A, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StateBx(<operations>)")
+    }
+}
+
+impl<S: 'static, A: 'static, B: 'static> StateBx<S, A, B> {
+    /// Build a bx from its four operations.
+    pub fn new(
+        view_a: impl Fn(&S) -> A + 'static,
+        view_b: impl Fn(&S) -> B + 'static,
+        update_a: impl Fn(S, A) -> S + 'static,
+        update_b: impl Fn(S, B) -> S + 'static,
+    ) -> Self {
+        StateBx {
+            view_a: Rc::new(view_a),
+            view_b: Rc::new(view_b),
+            update_a: Rc::new(update_a),
+            update_b: Rc::new(update_b),
+        }
+    }
+
+    /// Type-erase any ops-level bx.
+    pub fn from_ops<T: SbxOps<S, A, B> + 'static>(t: T) -> Self {
+        let t = Rc::new(t);
+        let t1 = Rc::clone(&t);
+        let t2 = Rc::clone(&t);
+        let t3 = Rc::clone(&t);
+        let t4 = t;
+        StateBx {
+            view_a: Rc::new(move |s| t1.view_a(s)),
+            view_b: Rc::new(move |s| t2.view_b(s)),
+            update_a: Rc::new(move |s, a| t3.update_a(s, a)),
+            update_b: Rc::new(move |s, b| t4.update_b(s, b)),
+        }
+    }
+}
+
+impl<S, A, B> SbxOps<S, A, B> for StateBx<S, A, B> {
+    fn view_a(&self, s: &S) -> A {
+        (self.view_a)(s)
+    }
+    fn view_b(&self, s: &S) -> B {
+        (self.view_b)(s)
+    }
+    fn update_a(&self, s: S, a: A) -> S {
+        (self.update_a)(s, a)
+    }
+    fn update_b(&self, s: S, b: B) -> S {
+        (self.update_b)(s, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::combinators::IdBx;
+
+    #[test]
+    fn closures_drive_the_operations() {
+        // A bx between a (quantity, unit-price) pair and its two views:
+        // quantity (A) and total price (B). Updating the total rescales the
+        // quantity, keeping the unit price.
+        let bx: StateBx<(u32, u32), u32, u32> = StateBx::new(
+            |s: &(u32, u32)| s.0,
+            |s| s.0 * s.1,
+            |s, q| (q, s.1),
+            |s, total| (total / s.1, s.1),
+        );
+        let s = (3, 10);
+        assert_eq!(bx.view_b(&s), 30);
+        let s = bx.update_b(s, 50);
+        assert_eq!(s, (5, 10));
+        assert_eq!(bx.view_a(&s), 5);
+    }
+
+    #[test]
+    fn from_ops_preserves_behaviour() {
+        let erased = StateBx::from_ops(IdBx::<i64>::new());
+        assert_eq!(erased.view_a(&4), 4);
+        assert_eq!(erased.update_b(4, 6), 6);
+    }
+
+    #[test]
+    fn clones_share_operations() {
+        let bx = StateBx::from_ops(IdBx::<i64>::new());
+        let c = bx.clone();
+        assert_eq!(bx.update_a(0, 1), c.update_a(0, 1));
+    }
+
+    #[test]
+    fn heterogeneous_collection() {
+        // Different underlying implementations, one element type.
+        let items: Vec<StateBx<i64, i64, i64>> = vec![
+            StateBx::from_ops(IdBx::new()),
+            StateBx::new(|s: &i64| *s, |s| -*s, |_, a| a, |_, b| -b),
+        ];
+        assert_eq!(items[0].view_b(&3), 3);
+        assert_eq!(items[1].view_b(&3), -3);
+        assert_eq!(items[1].update_b(0, -9), 9);
+    }
+}

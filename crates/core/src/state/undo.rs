@@ -1,0 +1,184 @@
+//! Undoable sessions: the practical payoff of §5's witness structures.
+//!
+//! Where [`crate::state::WithHistory`] stores edits *inside* the hidden
+//! state (and deliberately breaks (SS)), [`UndoSession`] keeps the
+//! snapshot stack *outside* the bx — so the underlying bx's laws are
+//! untouched, and undo/redo become ordinary state restoration. This is
+//! the engineering counterpart of the paper's observation that richer
+//! complements can live "in the hidden state of the monad": here they
+//! live beside it, in the session.
+
+use super::ops::SbxOps;
+
+/// A bx session with unbounded undo/redo over the hidden state.
+#[derive(Debug, Clone)]
+pub struct UndoSession<S, T> {
+    state: S,
+    bx: T,
+    undo_stack: Vec<S>,
+    redo_stack: Vec<S>,
+}
+
+impl<S: Clone + PartialEq, T> UndoSession<S, T> {
+    /// Start a session from an initial hidden state.
+    pub fn new(state: S, bx: T) -> Self {
+        UndoSession { state, bx, undo_stack: Vec::new(), redo_stack: Vec::new() }
+    }
+
+    /// The current hidden state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// The underlying bx.
+    pub fn bx(&self) -> &T {
+        &self.bx
+    }
+
+    /// Number of undoable steps.
+    pub fn undo_depth(&self) -> usize {
+        self.undo_stack.len()
+    }
+
+    /// Number of redoable steps.
+    pub fn redo_depth(&self) -> usize {
+        self.redo_stack.len()
+    }
+
+    /// Read the `A` view.
+    pub fn a<A, B>(&self) -> A
+    where
+        T: SbxOps<S, A, B>,
+    {
+        self.bx.view_a(&self.state)
+    }
+
+    /// Read the `B` view.
+    pub fn b<A, B>(&self) -> B
+    where
+        T: SbxOps<S, A, B>,
+    {
+        self.bx.view_b(&self.state)
+    }
+
+    fn commit(&mut self, next: S) {
+        if next != self.state {
+            self.undo_stack.push(std::mem::replace(&mut self.state, next));
+            self.redo_stack.clear();
+        }
+    }
+
+    /// Write the `A` view. No-op writes (Hippocratic) record no undo step.
+    pub fn set_a<A, B>(&mut self, a: A)
+    where
+        T: SbxOps<S, A, B>,
+    {
+        let next = self.bx.update_a(self.state.clone(), a);
+        self.commit(next);
+    }
+
+    /// Write the `B` view. No-op writes record no undo step.
+    pub fn set_b<A, B>(&mut self, b: B)
+    where
+        T: SbxOps<S, A, B>,
+    {
+        let next = self.bx.update_b(self.state.clone(), b);
+        self.commit(next);
+    }
+
+    /// Revert the most recent effective write. Returns whether anything
+    /// was undone.
+    pub fn undo(&mut self) -> bool {
+        match self.undo_stack.pop() {
+            Some(prev) => {
+                self.redo_stack.push(std::mem::replace(&mut self.state, prev));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-apply the most recently undone write. Returns whether anything
+    /// was redone.
+    pub fn redo(&mut self) -> bool {
+        match self.redo_stack.pop() {
+            Some(next) => {
+                self.undo_stack.push(std::mem::replace(&mut self.state, next));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::combinators::IdBx;
+
+    fn session() -> UndoSession<i64, IdBx<i64>> {
+        UndoSession::new(0, IdBx::new())
+    }
+
+    #[test]
+    fn undo_reverts_writes_on_either_side() {
+        let mut s = session();
+        s.set_a(1);
+        s.set_b(2);
+        assert_eq!(s.a(), 2);
+        assert!(s.undo());
+        assert_eq!(s.a(), 1);
+        assert!(s.undo());
+        assert_eq!(s.a(), 0);
+        assert!(!s.undo());
+    }
+
+    #[test]
+    fn redo_reapplies_undone_writes() {
+        let mut s = session();
+        s.set_a(5);
+        s.undo();
+        assert!(s.redo());
+        assert_eq!(s.a(), 5);
+        assert!(!s.redo());
+    }
+
+    #[test]
+    fn new_writes_clear_the_redo_stack() {
+        let mut s = session();
+        s.set_a(1);
+        s.set_a(2);
+        s.undo();
+        s.set_a(9); // diverge: redo history is now invalid
+        assert_eq!(s.redo_depth(), 0);
+        assert!(!s.redo());
+        assert_eq!(s.a(), 9);
+    }
+
+    #[test]
+    fn hippocratic_writes_record_no_undo_step() {
+        let mut s = session();
+        s.set_a(7);
+        let depth = s.undo_depth();
+        s.set_a(7); // writing the current value: (GS) no-op
+        assert_eq!(s.undo_depth(), depth);
+    }
+
+    #[test]
+    fn undo_works_over_entangled_bx() {
+        use crate::state::StateBx;
+        let bx: StateBx<(u32, u32), u32, u32> = StateBx::new(
+            |s: &(u32, u32)| s.0,
+            |s| s.0 * s.1,
+            |s, q| (q, s.1),
+            |s, total| (total / s.1, s.1),
+        );
+        let mut s = UndoSession::new((4, 10), bx);
+        s.set_b(100);
+        assert_eq!(s.a(), 10);
+        s.undo();
+        assert_eq!(s.a(), 4);
+        s.redo();
+        assert_eq!(s.b(), 100);
+    }
+}

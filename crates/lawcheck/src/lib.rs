@@ -1,0 +1,29 @@
+//! Executable law checking for entangled state monads.
+//!
+//! The paper's lemmas are universally-quantified equations. This crate
+//! turns each law family into a *checker*: a function that samples the
+//! quantified variables with seeded generators ([`gen::Gen`]) and reports
+//! every violation with a counterexample ([`report::LawReport`]).
+//!
+//! Three layers of checking, from cheap to thorough:
+//!
+//! 1. **Ops-level** ([`setbx`], [`putbx`]): the laws as first-order
+//!    equations on `SbxOps`/`PbxOps` (the state-monad specialisation).
+//! 2. **Monadic** (via [`esm_core::monadic::laws`]): the laws as
+//!    observational equalities of computations — re-exported here through
+//!    [`monadic_suite`], which runs them through the `Monadic` adapters so
+//!    the two views are checked against each other.
+//! 3. **Equivalence** ([`setbx::check_roundtrip_ops`]): Lemma 3 as a
+//!    pointwise identity between a bx and its double translation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod monadic_suite;
+pub mod putbx;
+pub mod report;
+pub mod setbx;
+
+pub use gen::Gen;
+pub use report::LawReport;

@@ -1,0 +1,157 @@
+//! The full monadic law suite: runs the paper-level observational checkers
+//! of [`esm_core::monadic::laws`] against an ops-level bx through the
+//! [`Monadic`]/[`MonadicPut`] adapters.
+//!
+//! This is the strongest check in the crate: it validates not only the
+//! ops-level equations but also that the adapter embedding into the state
+//! monad is faithful (the two views of the same bx agree observationally),
+//! exactly the content of the paper's "asymmetric lenses via the state
+//! monad" discussion.
+
+use std::fmt::Debug;
+
+use esm_core::monadic::laws::{
+    check_put_bx, check_roundtrip_put, check_roundtrip_set, check_set_bx, LawOptions,
+};
+use esm_core::monadic::{Pp2Set, Set2Pp};
+use esm_core::state::{Monadic, MonadicPut, PbxOps, SbxOps};
+use esm_monad::{StateOf, Val};
+
+use crate::gen::Gen;
+use crate::report::LawReport;
+
+/// Run the complete monadic set-bx law suite (laws, Lemma 1 translation,
+/// Lemma 3 roundtrip) for an ops-level bx, observing on `n_states`
+/// generated initial states and quantifying over `n_vals` generated
+/// values.
+#[allow(clippy::too_many_arguments)] // flat suite API: (bx, generators, sizes, seed, opts)
+pub fn full_set_bx_suite<S, A, B, T>(
+    suite: &str,
+    t: T,
+    gen_s: &Gen<S>,
+    gen_a: &Gen<A>,
+    gen_b: &Gen<B>,
+    n_states: usize,
+    n_vals: usize,
+    seed: u64,
+    overwrite: bool,
+) -> LawReport
+where
+    S: Val + PartialEq + Debug,
+    A: Val + PartialEq + Debug,
+    B: Val + PartialEq + Debug,
+    T: SbxOps<S, A, B> + Clone + 'static,
+{
+    let mut report = LawReport::new(suite);
+    let ctx = gen_s.samples(seed, n_states);
+    let samples_a = gen_a.samples(seed.wrapping_add(1), n_vals);
+    let samples_b = gen_b.samples(seed.wrapping_add(2), n_vals);
+    let opts = if overwrite { LawOptions::OVERWRITEABLE } else { LawOptions::BASE };
+
+    let m = Monadic(t);
+
+    for v in check_set_bx::<StateOf<S>, A, B, _>(&m, &samples_a, &samples_b, &ctx, opts) {
+        report.fail(v.law, v.detail);
+    }
+    report.pass(); // count the suite run itself once per law family below
+    // Lemma 1: the translated put-bx satisfies the put-bx laws.
+    let translated = Set2Pp(m.clone());
+    for v in check_put_bx::<StateOf<S>, A, B, _>(&translated, &samples_a, &samples_b, &ctx, opts) {
+        report.fail(v.law, v.detail);
+    }
+    report.pass();
+    // Lemma 3: pp2set(set2pp(t)) ≈ t.
+    for v in check_roundtrip_set::<StateOf<S>, A, B, _>(&m, &samples_a, &samples_b, &ctx) {
+        report.fail(v.law, v.detail);
+    }
+    report.pass();
+
+    report
+}
+
+/// Run the complete monadic put-bx law suite (laws, Lemma 2 translation,
+/// Lemma 3 roundtrip) for an ops-level put-bx.
+#[allow(clippy::too_many_arguments)] // flat suite API: (bx, generators, sizes, seed, opts)
+pub fn full_put_bx_suite<S, A, B, T>(
+    suite: &str,
+    t: T,
+    gen_s: &Gen<S>,
+    gen_a: &Gen<A>,
+    gen_b: &Gen<B>,
+    n_states: usize,
+    n_vals: usize,
+    seed: u64,
+    overwrite: bool,
+) -> LawReport
+where
+    S: Val + PartialEq + Debug,
+    A: Val + PartialEq + Debug,
+    B: Val + PartialEq + Debug,
+    T: PbxOps<S, A, B> + Clone + 'static,
+{
+    let mut report = LawReport::new(suite);
+    let ctx = gen_s.samples(seed, n_states);
+    let samples_a = gen_a.samples(seed.wrapping_add(1), n_vals);
+    let samples_b = gen_b.samples(seed.wrapping_add(2), n_vals);
+    let opts = if overwrite { LawOptions::OVERWRITEABLE } else { LawOptions::BASE };
+
+    let m = MonadicPut(t);
+
+    for v in check_put_bx::<StateOf<S>, A, B, _>(&m, &samples_a, &samples_b, &ctx, opts) {
+        report.fail(v.law, v.detail);
+    }
+    report.pass();
+    // Lemma 2: the translated set-bx satisfies the set-bx laws.
+    let translated = Pp2Set(m.clone());
+    for v in check_set_bx::<StateOf<S>, A, B, _>(&translated, &samples_a, &samples_b, &ctx, opts) {
+        report.fail(v.law, v.detail);
+    }
+    report.pass();
+    // Lemma 3: set2pp(pp2set(u)) ≈ u.
+    for v in check_roundtrip_put::<StateOf<S>, A, B, _>(&m, &samples_a, &samples_b, &ctx) {
+        report.fail(v.law, v.detail);
+    }
+    report.pass();
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::int_range;
+    use esm_core::state::{IdBx, ProductOps, SetToPut};
+
+    #[test]
+    fn identity_bx_passes_the_full_monadic_suite() {
+        let g = int_range(-50..50);
+        full_set_bx_suite("id (monadic)", IdBx::<i64>::new(), &g, &g, &g, 10, 5, 31, true)
+            .assert_ok();
+    }
+
+    #[test]
+    fn product_bx_passes_the_full_monadic_suite() {
+        let gs = int_range(-50..50).zip(&int_range(0..9));
+        let ga = int_range(-50..50);
+        let gb = int_range(0..9);
+        let t: ProductOps<i64, i64> = ProductOps::new();
+        full_set_bx_suite("product (monadic)", t, &gs, &ga, &gb, 10, 5, 32, true).assert_ok();
+    }
+
+    #[test]
+    fn translated_identity_passes_the_put_suite() {
+        let g = int_range(-50..50);
+        full_put_bx_suite(
+            "set2pp(id) (monadic)",
+            SetToPut(IdBx::<i64>::new()),
+            &g,
+            &g,
+            &g,
+            10,
+            5,
+            33,
+            true,
+        )
+        .assert_ok();
+    }
+}

@@ -1,0 +1,146 @@
+//! Ops-level checkers for the put-bx laws (§3.2), with generated states.
+
+use std::fmt::Debug;
+
+use esm_core::state::PbxOps;
+
+use crate::gen::Gen;
+use crate::report::LawReport;
+
+/// Check the put-bx laws for an ops-level put-bx over `n` generated
+/// `(state, a, b)` triples.
+///
+/// Laws, as first-order equations (see `esm_core::state::PbxOps` docs):
+///
+/// ```text
+/// (GP)  put_x(s, view_x(s)) == (s, view_other(s))
+/// (PG1) view_x(put_x(s, x).0) == x
+/// (PG2) put_x(s, x).1 == view_other(put_x(s, x).0)
+/// (PP)  put_x(put_x(s, x).0, x') == put_x(s, x')      [if overwrite]
+/// ```
+#[allow(clippy::too_many_arguments)] // flat suite API: (bx, generators, sizes, seed, opts)
+pub fn check_put_ops<S, A, B, T>(
+    suite: &str,
+    t: &T,
+    gen_s: &Gen<S>,
+    gen_a: &Gen<A>,
+    gen_b: &Gen<B>,
+    n: usize,
+    seed: u64,
+    overwrite: bool,
+) -> LawReport
+where
+    S: Clone + PartialEq + Debug + 'static,
+    A: Clone + PartialEq + Debug + 'static,
+    B: Clone + PartialEq + Debug + 'static,
+    T: PbxOps<S, A, B>,
+{
+    let mut report = LawReport::new(suite);
+    let states = gen_s.samples(seed, n);
+    let values_a = gen_a.samples(seed.wrapping_add(1), n);
+    let values_a2 = gen_a.samples(seed.wrapping_add(2), n);
+    let values_b = gen_b.samples(seed.wrapping_add(3), n);
+    let values_b2 = gen_b.samples(seed.wrapping_add(4), n);
+
+    for i in 0..n {
+        let s = &states[i];
+
+        // (GP): putting back the current view is a no-op that reports the
+        // other side.
+        let (s2, b) = t.put_a(s.clone(), t.view_a(s));
+        report.check("(GP)A", s2 == *s && b == t.view_b(s), || {
+            format!("put_a(s, view_a(s)) = ({s2:?}, {b:?}) from {s:?}")
+        });
+        let (s2, a) = t.put_b(s.clone(), t.view_b(s));
+        report.check("(GP)B", s2 == *s && a == t.view_a(s), || {
+            format!("put_b(s, view_b(s)) = ({s2:?}, {a:?}) from {s:?}")
+        });
+
+        // (PG1): the written side reads back.
+        let a = &values_a[i];
+        let (s2, _) = t.put_a(s.clone(), a.clone());
+        let seen = t.view_a(&s2);
+        report.check("(PG1)A", seen == *a, || {
+            format!("view_a(put_a({s:?}, {a:?}).0) = {seen:?}")
+        });
+        let b = &values_b[i];
+        let (s2, _) = t.put_b(s.clone(), b.clone());
+        let seen = t.view_b(&s2);
+        report.check("(PG1)B", seen == *b, || {
+            format!("view_b(put_b({s:?}, {b:?}).0) = {seen:?}")
+        });
+
+        // (PG2): the reported value is the other side's refreshed view.
+        let (s2, b_reported) = t.put_a(s.clone(), a.clone());
+        let b_actual = t.view_b(&s2);
+        report.check("(PG2)A", b_reported == b_actual, || {
+            format!("put_a reported {b_reported:?} but view_b gives {b_actual:?}")
+        });
+        let (s2, a_reported) = t.put_b(s.clone(), b.clone());
+        let a_actual = t.view_a(&s2);
+        report.check("(PG2)B", a_reported == a_actual, || {
+            format!("put_b reported {a_reported:?} but view_a gives {a_actual:?}")
+        });
+
+        // (PP).
+        if overwrite {
+            let a2 = &values_a2[i];
+            let twice = t.put_a(t.put_a(s.clone(), a.clone()).0, a2.clone());
+            let once = t.put_a(s.clone(), a2.clone());
+            report.check("(PP)A", twice == once, || {
+                format!("put_a²({s:?}, {a:?}, {a2:?}) = {twice:?} ≠ {once:?}")
+            });
+            let b2 = &values_b2[i];
+            let twice = t.put_b(t.put_b(s.clone(), b.clone()).0, b2.clone());
+            let once = t.put_b(s.clone(), b2.clone());
+            report.check("(PP)B", twice == once, || {
+                format!("put_b²({s:?}, {b:?}, {b2:?}) = {twice:?} ≠ {once:?}")
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::int_range;
+    use esm_core::state::{IdBx, SetToPut};
+
+    #[test]
+    fn set_to_put_of_identity_is_a_lawful_put_bx() {
+        // Lemma 1 at the ops level: set2pp of a lawful set-bx passes the
+        // put-bx laws.
+        let t = SetToPut(IdBx::<i64>::new());
+        let g = int_range(-100..100);
+        check_put_ops("set2pp(id)", &t, &g, &g, &g, 200, 21, true).assert_ok();
+    }
+
+    #[test]
+    fn broken_put_is_caught() {
+        /// A put-bx whose put_a reports a stale B.
+        #[derive(Clone)]
+        struct Stale;
+        impl PbxOps<(i64, i64), i64, i64> for Stale {
+            fn view_a(&self, s: &(i64, i64)) -> i64 {
+                s.0
+            }
+            fn view_b(&self, s: &(i64, i64)) -> i64 {
+                s.1
+            }
+            fn put_a(&self, s: (i64, i64), a: i64) -> ((i64, i64), i64) {
+                let old_b = s.1;
+                ((a, a), old_b) // state says b = a, but reports old b
+            }
+            fn put_b(&self, s: (i64, i64), b: i64) -> ((i64, i64), i64) {
+                let _ = s;
+                ((b, b), b)
+            }
+        }
+        let gs = int_range(0..5).map(|x| (x, x));
+        let g = int_range(0..5);
+        let r = check_put_ops("stale", &Stale, &gs, &g, &g, 50, 22, false);
+        assert!(!r.is_ok());
+        assert!(r.failed_laws().contains(&"(PG2)A"));
+    }
+}

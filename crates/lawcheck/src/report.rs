@@ -1,0 +1,136 @@
+//! [`LawReport`]: an aggregated result of running a law suite.
+
+/// The outcome of checking one family of laws: how many cases were
+/// examined and which failed.
+#[derive(Debug, Clone, Default)]
+pub struct LawReport {
+    /// The law family, e.g. `"set-bx (ops)"`.
+    pub suite: String,
+    /// Number of individual equations checked.
+    pub checked: usize,
+    /// Counterexamples, as `(law, detail)` pairs.
+    pub failures: Vec<(String, String)>,
+}
+
+impl LawReport {
+    /// An empty report for a named suite.
+    pub fn new(suite: impl Into<String>) -> LawReport {
+        LawReport { suite: suite.into(), checked: 0, failures: Vec::new() }
+    }
+
+    /// Record a successful check.
+    pub fn pass(&mut self) {
+        self.checked += 1;
+    }
+
+    /// Record a failed check with its counterexample.
+    pub fn fail(&mut self, law: impl Into<String>, detail: impl Into<String>) {
+        self.checked += 1;
+        self.failures.push((law.into(), detail.into()));
+    }
+
+    /// Record the outcome of a boolean check.
+    pub fn check(&mut self, law: &str, ok: bool, detail: impl FnOnce() -> String) {
+        if ok {
+            self.pass();
+        } else {
+            self.fail(law, detail());
+        }
+    }
+
+    /// Did every check pass?
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: LawReport) {
+        self.checked += other.checked;
+        self.failures.extend(other.failures);
+    }
+
+    /// Panic with a readable summary if any check failed (for use in
+    /// tests).
+    pub fn assert_ok(&self) {
+        assert!(self.is_ok(), "{self}");
+    }
+
+    /// The distinct law names that failed.
+    pub fn failed_laws(&self) -> Vec<&str> {
+        let mut laws: Vec<&str> = self.failures.iter().map(|(l, _)| l.as_str()).collect();
+        laws.sort_unstable();
+        laws.dedup();
+        laws
+    }
+}
+
+impl std::fmt::Display for LawReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "law suite {}: {}/{} checks passed",
+            self.suite,
+            self.checked - self.failures.len(),
+            self.checked
+        )?;
+        for (law, detail) in self.failures.iter().take(5) {
+            writeln!(f, "  FAIL {law}: {detail}")?;
+        }
+        if self.failures.len() > 5 {
+            writeln!(f, "  … and {} more failures", self.failures.len() - 5)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_tracks_passes_and_failures() {
+        let mut r = LawReport::new("demo");
+        r.pass();
+        r.fail("(SG)", "bad");
+        assert_eq!(r.checked, 2);
+        assert!(!r.is_ok());
+        assert_eq!(r.failed_laws(), vec!["(SG)"]);
+    }
+
+    #[test]
+    fn check_records_lazily() {
+        let mut r = LawReport::new("demo");
+        r.check("(GS)", true, || unreachable!("detail not built on success"));
+        r.check("(GS)", false, || "boom".to_string());
+        assert_eq!(r.failures.len(), 1);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LawReport::new("a");
+        a.pass();
+        let mut b = LawReport::new("b");
+        b.fail("(PP)", "x");
+        a.merge(b);
+        assert_eq!(a.checked, 2);
+        assert_eq!(a.failures.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "law suite demo")]
+    fn assert_ok_panics_with_summary() {
+        let mut r = LawReport::new("demo");
+        r.fail("(SS)", "detail");
+        r.assert_ok();
+    }
+
+    #[test]
+    fn display_truncates_long_failure_lists() {
+        let mut r = LawReport::new("big");
+        for i in 0..8 {
+            r.fail("(SG)", format!("case {i}"));
+        }
+        let text = r.to_string();
+        assert!(text.contains("… and 3 more failures"));
+    }
+}

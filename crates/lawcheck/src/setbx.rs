@@ -1,0 +1,175 @@
+//! Ops-level checkers for the set-bx laws (§3.1), with generated states.
+
+use std::fmt::Debug;
+
+use esm_core::state::{PutToSet, SbxOps, SetToPut};
+
+use crate::gen::Gen;
+use crate::report::LawReport;
+
+/// Check the set-bx laws for an ops-level bx over `n` generated
+/// `(state, a, b)` triples.
+///
+/// Laws, as first-order equations (see `esm_core::state::SbxOps` docs for
+/// the correspondence with the monadic formulation):
+///
+/// ```text
+/// (GS) update_x(s, view_x(s)) == s
+/// (SG) view_x(update_x(s, x)) == x
+/// (SS) update_x(update_x(s, x), x') == update_x(s, x')   [if overwrite]
+/// ```
+#[allow(clippy::too_many_arguments)] // flat suite API: (bx, generators, sizes, seed, opts)
+pub fn check_set_ops<S, A, B, T>(
+    suite: &str,
+    t: &T,
+    gen_s: &Gen<S>,
+    gen_a: &Gen<A>,
+    gen_b: &Gen<B>,
+    n: usize,
+    seed: u64,
+    overwrite: bool,
+) -> LawReport
+where
+    S: Clone + PartialEq + Debug + 'static,
+    A: Clone + PartialEq + Debug + 'static,
+    B: Clone + PartialEq + Debug + 'static,
+    T: SbxOps<S, A, B>,
+{
+    let mut report = LawReport::new(suite);
+    let states = gen_s.samples(seed, n);
+    let values_a = gen_a.samples(seed.wrapping_add(1), n);
+    let values_a2 = gen_a.samples(seed.wrapping_add(2), n);
+    let values_b = gen_b.samples(seed.wrapping_add(3), n);
+    let values_b2 = gen_b.samples(seed.wrapping_add(4), n);
+
+    for i in 0..n {
+        let s = &states[i];
+
+        // (GS) both sides.
+        let ga = t.view_a(s);
+        let s_after = t.update_a(s.clone(), ga.clone());
+        report.check("(GS)A", s_after == *s, || {
+            format!("update_a(s, view_a(s)) changed {s:?} into {s_after:?}")
+        });
+        let gb = t.view_b(s);
+        let s_after = t.update_b(s.clone(), gb.clone());
+        report.check("(GS)B", s_after == *s, || {
+            format!("update_b(s, view_b(s)) changed {s:?} into {s_after:?}")
+        });
+
+        // (SG) both sides.
+        let a = &values_a[i];
+        let s2 = t.update_a(s.clone(), a.clone());
+        let seen = t.view_a(&s2);
+        report.check("(SG)A", seen == *a, || {
+            format!("view_a(update_a({s:?}, {a:?})) = {seen:?}")
+        });
+        let b = &values_b[i];
+        let s2 = t.update_b(s.clone(), b.clone());
+        let seen = t.view_b(&s2);
+        report.check("(SG)B", seen == *b, || {
+            format!("view_b(update_b({s:?}, {b:?})) = {seen:?}")
+        });
+
+        // (SS) both sides.
+        if overwrite {
+            let a2 = &values_a2[i];
+            let twice = t.update_a(t.update_a(s.clone(), a.clone()), a2.clone());
+            let once = t.update_a(s.clone(), a2.clone());
+            report.check("(SS)A", twice == once, || {
+                format!("update_a²({s:?}, {a:?}, {a2:?}) = {twice:?} ≠ {once:?}")
+            });
+            let b2 = &values_b2[i];
+            let twice = t.update_b(t.update_b(s.clone(), b.clone()), b2.clone());
+            let once = t.update_b(s.clone(), b2.clone());
+            report.check("(SS)B", twice == once, || {
+                format!("update_b²({s:?}, {b:?}, {b2:?}) = {twice:?} ≠ {once:?}")
+            });
+        }
+    }
+    report
+}
+
+/// Lemma 3 at the ops level: `PutToSet(SetToPut(t))` must agree with `t`
+/// pointwise on generated states and values.
+pub fn check_roundtrip_ops<S, A, B, T>(
+    t: &T,
+    gen_s: &Gen<S>,
+    gen_a: &Gen<A>,
+    gen_b: &Gen<B>,
+    n: usize,
+    seed: u64,
+) -> LawReport
+where
+    S: Clone + PartialEq + Debug + 'static,
+    A: Clone + PartialEq + Debug + 'static,
+    B: Clone + PartialEq + Debug + 'static,
+    T: SbxOps<S, A, B> + Clone,
+{
+    let mut report = LawReport::new("pp2set ∘ set2pp = id (ops)");
+    let rt = PutToSet(SetToPut(t.clone()));
+    let states = gen_s.samples(seed, n);
+    let values_a = gen_a.samples(seed.wrapping_add(1), n);
+    let values_b = gen_b.samples(seed.wrapping_add(2), n);
+    for i in 0..n {
+        let s = &states[i];
+        report.check("roundtrip view_a", rt.view_a(s) == t.view_a(s), || format!("at {s:?}"));
+        report.check("roundtrip view_b", rt.view_b(s) == t.view_b(s), || format!("at {s:?}"));
+        let a = values_a[i].clone();
+        report.check(
+            "roundtrip update_a",
+            rt.update_a(s.clone(), a.clone()) == t.update_a(s.clone(), a.clone()),
+            || format!("at {s:?} with {a:?}"),
+        );
+        let b = values_b[i].clone();
+        report.check(
+            "roundtrip update_b",
+            rt.update_b(s.clone(), b.clone()) == t.update_b(s.clone(), b.clone()),
+            || format!("at {s:?} with {b:?}"),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::int_range;
+    use esm_core::state::{IdBx, ProductOps, WithHistory};
+
+    #[test]
+    fn identity_bx_is_overwriteable() {
+        let g = int_range(-100..100);
+        let r = check_set_ops("id", &IdBx::<i64>::new(), &g, &g, &g, 200, 11, true);
+        r.assert_ok();
+        assert_eq!(r.checked, 200 * 6);
+    }
+
+    #[test]
+    fn product_bx_is_overwriteable() {
+        let gs = int_range(-100..100).zip(&int_range(0..10));
+        let ga = int_range(-100..100);
+        let gb = int_range(0..10);
+        let t: ProductOps<i64, i64> = ProductOps::new();
+        check_set_ops("product", &t, &gs, &ga, &gb, 200, 12, true).assert_ok();
+    }
+
+    #[test]
+    fn history_bx_passes_base_laws_but_fails_ss() {
+        let t = WithHistory(IdBx::<i64>::new());
+        let gs = int_range(-5..5).map(|s| (s, Vec::new()));
+        let g = int_range(-5..5);
+        // Base laws hold.
+        check_set_ops("history base", &t, &gs, &g, &g, 100, 13, false).assert_ok();
+        // (SS) fails — and the checker says which law.
+        let r = check_set_ops("history ss", &t, &gs, &g, &g, 100, 13, true);
+        assert!(!r.is_ok());
+        assert!(r.failed_laws().iter().all(|l| l.starts_with("(SS)")));
+    }
+
+    #[test]
+    fn roundtrip_is_identity_for_identity_bx() {
+        let g = int_range(-50..50);
+        check_roundtrip_ops(&IdBx::<i64>::new(), &g, &g, &g, 150, 14).assert_ok();
+    }
+}

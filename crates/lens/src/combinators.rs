@@ -1,0 +1,288 @@
+//! A combinator library for building well-behaved lenses compositionally.
+//!
+//! Every combinator documents the side conditions (if any) under which it
+//! preserves the lens laws, and the test suite checks each one — including
+//! the failure modes when side conditions are broken.
+
+use std::rc::Rc;
+
+use crate::lens::Lens;
+
+/// The identity lens `S ⇄ S` — the paper's special case `l = id`, which
+/// recovers the ordinary state monad structure on `S`. Very well-behaved.
+pub fn id<S: Clone + 'static>() -> Lens<S, S> {
+    Lens::new(|s: &S| s.clone(), |_, v| v)
+}
+
+/// A lens from an isomorphism `S ≅ V`. Very well-behaved iff `fwd`/`bwd`
+/// are mutually inverse.
+pub fn iso<S, V>(fwd: impl Fn(&S) -> V + 'static, bwd: impl Fn(V) -> S + 'static) -> Lens<S, V>
+where
+    S: 'static,
+    V: 'static,
+{
+    Lens::new(fwd, move |_, v| bwd(v))
+}
+
+/// Focus on the first component of a pair. Very well-behaved.
+pub fn fst<A: Clone + 'static, B: Clone + 'static>() -> Lens<(A, B), A> {
+    Lens::new(|s: &(A, B)| s.0.clone(), |s, v| (v, s.1))
+}
+
+/// Focus on the second component of a pair. Very well-behaved.
+pub fn snd<A: Clone + 'static, B: Clone + 'static>() -> Lens<(A, B), B> {
+    Lens::new(|s: &(A, B)| s.1.clone(), |s, v| (s.0, v))
+}
+
+/// The unit lens `S ⇄ ()`: the view carries no information and `put` is the
+/// identity. Very well-behaved (and the terminal object of the lens
+/// category).
+pub fn unit<S: 'static>() -> Lens<S, ()> {
+    Lens::new(|_| (), |s, ()| s)
+}
+
+/// Pair two lenses side by side: `(S1, S2) ⇄ (V1, V2)`. Preserves (very)
+/// well-behavedness.
+pub fn pair<S1, S2, V1, V2>(l1: Lens<S1, V1>, l2: Lens<S2, V2>) -> Lens<(S1, S2), (V1, V2)>
+where
+    S1: 'static,
+    S2: 'static,
+    V1: 'static,
+    V2: 'static,
+{
+    let l1g = l1.clone();
+    let l2g = l2.clone();
+    Lens::new(
+        move |s: &(S1, S2)| (l1g.get(&s.0), l2g.get(&s.1)),
+        move |s: (S1, S2), v: (V1, V2)| (l1.put(s.0, v.0), l2.put(s.1, v.1)),
+    )
+}
+
+/// Map a lens over a vector, pointwise: `Vec<S> ⇄ Vec<V>`.
+///
+/// When the new view is longer than the source, fresh sources are created
+/// with `create`; when shorter, excess sources are dropped.
+///
+/// Law status: (GetPut) always holds; (PutGet) holds iff
+/// `get(create(v)) == v` for every view `v` (the *create-consistency* side
+/// condition); (PutPut) is inherited from the element lens when lengths
+/// are stable, but fails across length changes that drop-then-recreate
+/// sources whose hidden parts differ. The tests exhibit both sides.
+pub fn map_vec<S, V>(l: Lens<S, V>, create: impl Fn(&V) -> S + 'static) -> Lens<Vec<S>, Vec<V>>
+where
+    S: Clone + 'static,
+    V: Clone + 'static,
+{
+    let lg = l.clone();
+    let create = Rc::new(create);
+    Lens::new(
+        move |ss: &Vec<S>| ss.iter().map(|s| lg.get(s)).collect(),
+        move |ss: Vec<S>, vs: Vec<V>| {
+            let mut out = Vec::with_capacity(vs.len());
+            let mut iter = ss.into_iter();
+            for v in vs {
+                match iter.next() {
+                    Some(s) => out.push(l.put(s, v)),
+                    None => out.push(create(&v)),
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Guarded choice: view through `when_true` on sources satisfying `cond`,
+/// else through `when_false`.
+///
+/// Law status: well-behaved iff each branch is and `put` never moves a
+/// source across the condition boundary (`cond(put(s, v)) == cond(s)`); the
+/// branch-stability side condition is the caller's obligation, and the
+/// tests show a violation when it is broken.
+pub fn cond<S, V>(
+    pred: impl Fn(&S) -> bool + 'static,
+    when_true: Lens<S, V>,
+    when_false: Lens<S, V>,
+) -> Lens<S, V>
+where
+    S: 'static,
+    V: 'static,
+{
+    let pred = Rc::new(pred);
+    let pred2 = Rc::clone(&pred);
+    let tg = when_true.clone();
+    let fg = when_false.clone();
+    Lens::new(
+        move |s: &S| if pred(s) { tg.get(s) } else { fg.get(s) },
+        move |s: S, v: V| {
+            if pred2(&s) {
+                when_true.put(s, v)
+            } else {
+                when_false.put(s, v)
+            }
+        },
+    )
+}
+
+/// Build a field lens for one named field of a struct, e.g.
+/// `field_lens!(Person, age: u32)`.
+///
+/// Requires the struct to be `Clone` and the field `Clone`. The result is
+/// very well-behaved by construction.
+#[macro_export]
+macro_rules! field_lens {
+    ($ty:ty, $field:ident : $vty:ty) => {
+        $crate::Lens::<$ty, $vty>::new(
+            |s: &$ty| s.$field.clone(),
+            |mut s: $ty, v: $vty| {
+                s.$field = v;
+                s
+            },
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{check_put_get, check_put_put, check_very_well_behaved, check_well_behaved};
+
+    #[test]
+    fn id_is_very_well_behaved() {
+        let l = id::<i32>();
+        assert!(check_very_well_behaved(&l, &[1, 2, -3], &[4, 5]).is_empty());
+    }
+
+    #[test]
+    fn iso_lens_roundtrips() {
+        let l = iso(|s: &i64| s.to_string(), |v: String| v.parse().unwrap());
+        let sources = [0i64, 42, -7];
+        let views: Vec<String> = vec!["5".into(), "-12".into()];
+        assert!(check_very_well_behaved(&l, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn fst_snd_focus_components() {
+        let sources = [(1, "a"), (2, "b")];
+        let views = [10, 20];
+        assert!(check_very_well_behaved(&fst::<i32, &str>(), &sources, &views).is_empty());
+        let views_b = ["x", "y"];
+        assert!(check_very_well_behaved(&snd::<i32, &str>(), &sources, &views_b).is_empty());
+    }
+
+    #[test]
+    fn unit_lens_forgets_everything_lawfully() {
+        let l = unit::<String>();
+        let sources = ["p".to_string(), "q".to_string()];
+        assert!(check_very_well_behaved(&l, &sources, &[()]).is_empty());
+    }
+
+    #[test]
+    fn pair_is_componentwise() {
+        let l = pair(fst::<i32, i32>(), snd::<i32, i32>());
+        let s = ((1, 2), (3, 4));
+        assert_eq!(l.get(&s), (1, 4));
+        assert_eq!(l.put(s, (9, 8)), ((9, 2), (3, 8)));
+    }
+
+    #[test]
+    fn pair_preserves_laws() {
+        let l = pair(fst::<i32, i32>(), snd::<i32, i32>());
+        let sources = [((1, 2), (3, 4)), ((0, 0), (0, 0))];
+        let views = [(5, 6), (7, 8)];
+        assert!(check_very_well_behaved(&l, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn map_vec_puts_pointwise_and_resizes() {
+        let l = map_vec(fst::<i32, i32>(), |v| (*v, 0));
+        let ss = vec![(1, 10), (2, 20)];
+        assert_eq!(l.get(&ss), vec![1, 2]);
+        // Shrink: drops the tail source.
+        assert_eq!(l.put(ss.clone(), vec![9]), vec![(9, 10)]);
+        // Grow: creates with the default hidden part.
+        assert_eq!(l.put(ss, vec![1, 2, 3]), vec![(1, 10), (2, 20), (3, 0)]);
+    }
+
+    #[test]
+    fn map_vec_well_behaved_with_consistent_create() {
+        let l = map_vec(fst::<i32, i32>(), |v| (*v, 0));
+        let sources = vec![vec![(1, 10)], vec![(2, 20), (3, 30)], vec![]];
+        let views = vec![vec![5], vec![6, 7], vec![]];
+        assert!(check_well_behaved(&l, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn map_vec_put_get_fails_with_inconsistent_create() {
+        // create ignores the view: (PutGet) breaks on growth.
+        let l = map_vec(fst::<i32, i32>(), |_| (0, 0));
+        let violations = check_put_get(&l, &[vec![]], &[vec![42]]);
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn map_vec_put_put_fails_across_resizes() {
+        // Shrinking then growing re-creates a source and loses its hidden
+        // part: (PutPut) fails even though the element lens is VWB.
+        let l = map_vec(fst::<i32, i32>(), |v| (*v, 0));
+        let violations = check_put_put(&l, &[vec![(1, 99)]], &[vec![], vec![5]]);
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn cond_switches_branches_lawfully_when_stable() {
+        // Sources: (flag, payload); the branch depends only on the flag,
+        // which neither branch's put modifies -> stable.
+        let t: Lens<(bool, i32), i32> = Lens::new(|s: &(bool, i32)| s.1, |mut s, v| {
+            s.1 = v;
+            s
+        });
+        let f: Lens<(bool, i32), i32> = Lens::new(|s: &(bool, i32)| -s.1, |mut s, v| {
+            s.1 = -v;
+            s
+        });
+        let l = cond(|s: &(bool, i32)| s.0, t, f);
+        let sources = [(true, 5), (false, 5)];
+        let views = [1, -2];
+        assert!(check_well_behaved(&l, &sources, &views).is_empty());
+        assert_eq!(l.get(&(false, 5)), -5);
+    }
+
+    #[test]
+    fn cond_breaks_when_put_crosses_the_boundary() {
+        // The true-branch put flips the flag: branch instability breaks
+        // (PutGet).
+        let t: Lens<(bool, i32), i32> = Lens::new(|s: &(bool, i32)| s.1, |_s, v| (false, v));
+        let f: Lens<(bool, i32), i32> = Lens::new(|s: &(bool, i32)| -s.1, |s, v| (s.0, -v));
+        let l = cond(|s: &(bool, i32)| s.0, t, f);
+        let violations = check_put_get(&l, &[(true, 5)], &[7]);
+        assert!(!violations.is_empty());
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Person {
+        name: String,
+        age: u32,
+    }
+
+    #[test]
+    fn field_lens_macro_builds_vwb_lenses() {
+        let l = field_lens!(Person, age: u32);
+        let p = Person { name: "ada".into(), age: 36 };
+        assert_eq!(l.get(&p), 36);
+        let p2 = l.put(p.clone(), 37);
+        assert_eq!(p2.age, 37);
+        assert_eq!(p2.name, "ada");
+        assert!(check_very_well_behaved(&l, &[p], &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn composition_preserves_vwb() {
+        // (pair) ∘ (fst): S = ((i32, i32), i32) focusing the inner fst.
+        let outer = fst::<(i32, i32), i32>();
+        let inner = fst::<i32, i32>();
+        let l = outer.then(inner);
+        let sources = [((1, 2), 3), ((0, 0), 9)];
+        let views = [5, 6];
+        assert!(check_very_well_behaved(&l, &sources, &views).is_empty());
+    }
+}

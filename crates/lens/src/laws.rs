@@ -1,0 +1,183 @@
+//! Executable forms of the classical lens laws (§4 of the paper):
+//! (GetPut), (PutGet) for *well-behaved*, plus (PutPut) for *very
+//! well-behaved* lenses.
+
+use crate::lens::Lens;
+
+/// A lens-law violation with printable evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LensLawViolation {
+    /// The law that failed: `"(GetPut)"`, `"(PutGet)"` or `"(PutPut)"`.
+    pub law: &'static str,
+    /// Human-readable description of the counterexample.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LensLawViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lens law {} violated: {}", self.law, self.detail)
+    }
+}
+
+impl std::error::Error for LensLawViolation {}
+
+/// (GetPut): `put(s, get(s)) == s` for each sampled source.
+pub fn check_get_put<S, V>(l: &Lens<S, V>, sources: &[S]) -> Vec<LensLawViolation>
+where
+    S: Clone + PartialEq + std::fmt::Debug + 'static,
+    V: 'static,
+{
+    let mut out = Vec::new();
+    for s in sources {
+        let v = l.get(s);
+        let s2 = l.put(s.clone(), v);
+        if s2 != *s {
+            out.push(LensLawViolation {
+                law: "(GetPut)",
+                detail: format!("put(s, get(s)) = {s2:?} but s = {s:?}"),
+            });
+        }
+    }
+    out
+}
+
+/// (PutGet): `get(put(s, v)) == v` for each sampled source and view.
+pub fn check_put_get<S, V>(l: &Lens<S, V>, sources: &[S], views: &[V]) -> Vec<LensLawViolation>
+where
+    S: Clone + std::fmt::Debug + 'static,
+    V: Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let mut out = Vec::new();
+    for s in sources {
+        for v in views {
+            let s2 = l.put(s.clone(), v.clone());
+            let v2 = l.get(&s2);
+            if v2 != *v {
+                out.push(LensLawViolation {
+                    law: "(PutGet)",
+                    detail: format!("get(put({s:?}, {v:?})) = {v2:?}, expected {v:?}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// (PutPut): `put(put(s, v), v') == put(s, v')` for each sampled source and
+/// pair of views.
+pub fn check_put_put<S, V>(l: &Lens<S, V>, sources: &[S], views: &[V]) -> Vec<LensLawViolation>
+where
+    S: Clone + PartialEq + std::fmt::Debug + 'static,
+    V: Clone + std::fmt::Debug + 'static,
+{
+    let mut out = Vec::new();
+    for s in sources {
+        for v in views {
+            for v2 in views {
+                let twice = l.put(l.put(s.clone(), v.clone()), v2.clone());
+                let once = l.put(s.clone(), v2.clone());
+                if twice != once {
+                    out.push(LensLawViolation {
+                        law: "(PutPut)",
+                        detail: format!(
+                            "put(put({s:?}, {v:?}), {v2:?}) = {twice:?} but put(s, {v2:?}) = {once:?}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Check well-behavedness: (GetPut) + (PutGet).
+pub fn check_well_behaved<S, V>(l: &Lens<S, V>, sources: &[S], views: &[V]) -> Vec<LensLawViolation>
+where
+    S: Clone + PartialEq + std::fmt::Debug + 'static,
+    V: Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let mut out = check_get_put(l, sources);
+    out.extend(check_put_get(l, sources, views));
+    out
+}
+
+/// Check very-well-behavedness: (GetPut) + (PutGet) + (PutPut).
+pub fn check_very_well_behaved<S, V>(
+    l: &Lens<S, V>,
+    sources: &[S],
+    views: &[V],
+) -> Vec<LensLawViolation>
+where
+    S: Clone + PartialEq + std::fmt::Debug + 'static,
+    V: Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let mut out = check_well_behaved(l, sources, views);
+    out.extend(check_put_put(l, sources, views));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_lens() -> Lens<(i32, i32), i32> {
+        Lens::new(|s: &(i32, i32)| s.0, |mut s, v| {
+            s.0 = v;
+            s
+        })
+    }
+
+    #[test]
+    fn field_lens_is_very_well_behaved() {
+        let l = field_lens();
+        let sources = [(0, 0), (1, 2), (-3, 4)];
+        let views = [0, 7, -1];
+        assert!(check_very_well_behaved(&l, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn constant_put_violates_put_get() {
+        // put ignores the view: (PutGet) must fail.
+        let l: Lens<i32, i32> = Lens::new(|s| *s, |s, _| s);
+        let v = check_put_get(&l, &[1], &[2]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].law, "(PutGet)");
+    }
+
+    #[test]
+    fn forgetful_get_violates_get_put() {
+        // get collapses information that put then reconstructs wrongly.
+        let l: Lens<(i32, i32), i32> = Lens::new(|s: &(i32, i32)| s.0, |_, v| (v, 0));
+        let violations = check_get_put(&l, &[(1, 5)]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].law, "(GetPut)");
+    }
+
+    #[test]
+    fn last_write_tracking_violates_put_put() {
+        // A put that appends to a log: (GetPut)/(PutGet) hold but
+        // (PutPut) fails — the classic well-behaved-not-very example.
+        let l: Lens<(i32, Vec<i32>), i32> = Lens::new(
+            |s: &(i32, Vec<i32>)| s.0,
+            |mut s, v| {
+                if s.0 != v {
+                    s.1.push(v);
+                    s.0 = v;
+                }
+                s
+            },
+        );
+        let sources = [(0, vec![])];
+        let views = [1, 2];
+        assert!(check_well_behaved(&l, &sources, &views).is_empty());
+        let pp = check_put_put(&l, &sources, &views);
+        assert!(!pp.is_empty());
+    }
+
+    #[test]
+    fn violations_display_the_law_name() {
+        let l: Lens<i32, i32> = Lens::new(|s| *s, |s, _| s);
+        let v = check_put_get(&l, &[1], &[2]);
+        assert!(v[0].to_string().contains("(PutGet)"));
+    }
+}

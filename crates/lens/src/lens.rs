@@ -1,0 +1,122 @@
+//! The [`Lens`] type: classic asymmetric get/put lenses.
+
+use std::rc::Rc;
+
+/// An asymmetric lens `S ⇄ V`: a total `get : S -> V` and
+/// `put : S -> V -> S` (written here `put(s, v)`).
+///
+/// Laws (checked by [`crate::laws`], never assumed):
+///
+/// ```text
+/// (GetPut) put(s, get(s)) == s            -- well-behaved, half 1
+/// (PutGet) get(put(s, v)) == v            -- well-behaved, half 2
+/// (PutPut) put(put(s, v), v') == put(s, v')   -- very well-behaved
+/// ```
+///
+/// Operations are stored behind `Rc`, so lenses clone cheaply and compose
+/// without copying captured data.
+pub struct Lens<S, V> {
+    get: Rc<dyn Fn(&S) -> V>,
+    put: Rc<dyn Fn(S, V) -> S>,
+}
+
+impl<S, V> Clone for Lens<S, V> {
+    fn clone(&self) -> Self {
+        Lens { get: Rc::clone(&self.get), put: Rc::clone(&self.put) }
+    }
+}
+
+impl<S, V> std::fmt::Debug for Lens<S, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Lens(<get/put>)")
+    }
+}
+
+impl<S: 'static, V: 'static> Lens<S, V> {
+    /// Build a lens from its two components.
+    pub fn new(get: impl Fn(&S) -> V + 'static, put: impl Fn(S, V) -> S + 'static) -> Self {
+        Lens { get: Rc::new(get), put: Rc::new(put) }
+    }
+
+    /// Extract the view from a source.
+    pub fn get(&self, s: &S) -> V {
+        (self.get)(s)
+    }
+
+    /// Push an updated view back into a source.
+    pub fn put(&self, s: S, v: V) -> S {
+        (self.put)(s, v)
+    }
+
+    /// Sequential composition: focus first through `self`, then through
+    /// `inner`. The classic lens-composition `put` threads the intermediate
+    /// view: `put(s, w) = self.put(s, inner.put(self.get(s), w))`.
+    ///
+    /// Composition preserves well-behavedness and very-well-behavedness
+    /// (checked in the combinator test suites).
+    pub fn then<W: 'static>(&self, inner: Lens<V, W>) -> Lens<S, W> {
+        let outer = self.clone();
+        let outer2 = self.clone();
+        let inner2 = inner.clone();
+        Lens::new(
+            move |s: &S| inner.get(&outer.get(s)),
+            move |s: S, w: W| {
+                let v = outer2.get(&s);
+                let v2 = inner2.put(v, w);
+                outer2.put(s, v2)
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lens from a (name, age) pair onto the age.
+    fn age_lens() -> Lens<(String, u32), u32> {
+        Lens::new(|s: &(String, u32)| s.1, |mut s, v| {
+            s.1 = v;
+            s
+        })
+    }
+
+    #[test]
+    fn get_extracts_the_view() {
+        let l = age_lens();
+        assert_eq!(l.get(&("ada".into(), 36)), 36);
+    }
+
+    #[test]
+    fn put_updates_only_the_view() {
+        let l = age_lens();
+        let s = l.put(("ada".into(), 36), 37);
+        assert_eq!(s, ("ada".to_string(), 37));
+    }
+
+    #[test]
+    fn clones_share_behaviour() {
+        let l = age_lens();
+        let c = l.clone();
+        let s = ("b".to_string(), 1);
+        assert_eq!(l.get(&s), c.get(&s));
+    }
+
+    #[test]
+    fn composition_threads_the_middle_view() {
+        // (name, (age, score)) -> (age, score) -> score
+        let pair: Lens<(String, (u32, u32)), (u32, u32)> =
+            Lens::new(|s: &(String, (u32, u32))| s.1, |mut s, v| {
+                s.1 = v;
+                s
+            });
+        let second: Lens<(u32, u32), u32> = Lens::new(|s: &(u32, u32)| s.1, |mut s, v| {
+            s.1 = v;
+            s
+        });
+        let both = pair.then(second);
+        let s = ("c".to_string(), (10, 20));
+        assert_eq!(both.get(&s), 20);
+        assert_eq!(both.put(s, 99), ("c".to_string(), (10, 99)));
+    }
+}

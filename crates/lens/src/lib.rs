@@ -1,0 +1,32 @@
+//! Asymmetric lenses (Foster et al.) and their embedding as entangled
+//! state monads (Lemma 4 of the paper).
+//!
+//! An asymmetric lens `l : S ⇄ V` is a pair of functions
+//! `get : S -> V` and `put : S -> V -> S` maintaining a view `V` of a
+//! source `S`. The paper shows (§2, §4):
+//!
+//! * any lens induces a state monad structure *on the view type* inside
+//!   `M_S` — `getl = \s -> (l.get s, s)`, `setl v = \s -> ((), l.put s v)`;
+//! * the identity lens induces the ordinary state monad structure on `S`;
+//! * the two structures share the same underlying state — they are
+//!   **entangled** — and together they make `M_S` a set-bx between `S` and
+//!   `V` (Lemma 4): well-behaved lenses give lawful set-bx, very
+//!   well-behaved lenses give overwriteable ones.
+//!
+//! This crate provides the lens type itself ([`Lens`]), the classical law
+//! checkers ([`laws`]), a combinator library ([`combinators`]), Focal-style
+//! edge-labelled tree lenses ([`tree`]), and the Lemma 4 construction
+//! ([`AsymBx`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod combinators;
+pub mod laws;
+pub mod lens;
+pub mod to_bx;
+pub mod tree;
+
+pub use lens::Lens;
+pub use to_bx::AsymBx;
+pub use tree::Tree;

@@ -1,0 +1,106 @@
+//! Lemma 4: every well-behaved asymmetric lens is an entangled state monad.
+//!
+//! Given `l : S ⇄ V`, the paper constructs a set-bx between `S` and `V`
+//! over the state monad `M_S`:
+//!
+//! ```text
+//! getA   = \s -> (s, s)            -- the identity-lens structure on S
+//! getB   = \s -> (l.get s, s)      -- the l-derived structure on V
+//! setA a = \s -> ((), a)
+//! setB b = \s -> ((), l.put s b)
+//! ```
+//!
+//! The two state-monad structures access *the same* hidden state — they are
+//! entangled: `setA` changes what `getB` sees and vice versa. Lemma 4: if
+//! `l` is well-behaved this is a set-bx; if very well-behaved, an
+//! overwriteable one. Both implications (and their converses' failure) are
+//! exercised by the law-check test suites.
+
+use esm_core::state::SbxOps;
+
+use crate::lens::Lens;
+
+/// The Lemma 4 construction: a set-bx between the source `S` (side A) and
+/// the view `V` (side B), over hidden state `S`.
+#[derive(Debug, Clone)]
+pub struct AsymBx<S, V> {
+    lens: Lens<S, V>,
+}
+
+impl<S: 'static, V: 'static> AsymBx<S, V> {
+    /// Wrap a lens as a set-bx (Lemma 4).
+    pub fn new(lens: Lens<S, V>) -> Self {
+        AsymBx { lens }
+    }
+
+    /// The underlying lens.
+    pub fn lens(&self) -> &Lens<S, V> {
+        &self.lens
+    }
+}
+
+impl<S: Clone + 'static, V: 'static> SbxOps<S, S, V> for AsymBx<S, V> {
+    fn view_a(&self, s: &S) -> S {
+        s.clone()
+    }
+
+    fn view_b(&self, s: &S) -> V {
+        self.lens.get(s)
+    }
+
+    fn update_a(&self, _s: S, a: S) -> S {
+        a
+    }
+
+    fn update_b(&self, s: S, b: V) -> S {
+        self.lens.put(s, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinators::fst;
+    use esm_core::state::{BxSession, SbxOps};
+
+    type Src = (i32, String);
+
+    fn bx() -> AsymBx<Src, i32> {
+        AsymBx::new(fst::<i32, String>())
+    }
+
+    #[test]
+    fn side_a_is_the_whole_source() {
+        let t = bx();
+        let s: Src = (1, "x".into());
+        assert_eq!(t.view_a(&s), s);
+        assert_eq!(t.update_a(s, (9, "y".into())), (9, "y".to_string()));
+    }
+
+    #[test]
+    fn side_b_is_the_lens_view() {
+        let t = bx();
+        let s: Src = (1, "x".into());
+        assert_eq!(t.view_b(&s), 1);
+        // update_b goes through l.put, preserving the hidden String.
+        assert_eq!(t.update_b(s, 5), (5, "x".to_string()));
+    }
+
+    #[test]
+    fn sides_are_entangled() {
+        // Setting A changes what B sees; setting B changes what A sees.
+        let t = bx();
+        let s = t.update_a((0, "h".into()), (7, "h".into()));
+        assert_eq!(t.view_b(&s), 7);
+        let s = t.update_b(s, 42);
+        assert_eq!(t.view_a(&s).0, 42);
+    }
+
+    #[test]
+    fn session_over_lens_bx() {
+        let mut sess = BxSession::new((3, "k".to_string()), bx());
+        assert_eq!(sess.b(), 3);
+        sess.set_b(10);
+        assert_eq!(sess.a(), (10, "k".to_string()));
+    }
+}

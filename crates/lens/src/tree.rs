@@ -1,0 +1,438 @@
+//! Edge-labelled trees and Focal-style tree lens combinators.
+//!
+//! The paper's intro names XML files and abstract syntax trees among the
+//! "models" bx synchronise. This module provides the classic Focal data
+//! model — a tree is a finite map from edge names to subtrees; a *value*
+//! `v` is encoded as the single-edge tree `{v -> {}}` — and the core
+//! combinators (`child`, `plunge`, `hoist`, `fork`, `map_children`,
+//! `rename_edge`), each with documented law status and domain.
+
+use std::collections::BTreeMap;
+
+use crate::lens::Lens;
+
+/// An edge-labelled tree: a finite map from names to subtrees. The empty
+/// tree (a *leaf*) doubles as "no data"; a value `v` is `{v -> {}}`.
+///
+/// An edge to an empty tree is meaningful (it is how values terminate), so
+/// edges are never pruned: `{age -> {}}` and `{}` are different trees.
+/// Lenses that need to *remove* an edge use [`Tree::without_child`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Tree {
+    children: BTreeMap<String, Tree>,
+}
+
+impl Tree {
+    /// The empty tree (a leaf).
+    pub fn leaf() -> Tree {
+        Tree::default()
+    }
+
+    /// A tree from (name, subtree) pairs.
+    pub fn node(children: impl IntoIterator<Item = (String, Tree)>) -> Tree {
+        Tree { children: children.into_iter().collect() }
+    }
+
+    /// Encode a string value as the single-edge tree `{v -> {}}`.
+    pub fn value(v: impl Into<String>) -> Tree {
+        Tree::node([(v.into(), Tree::leaf())])
+    }
+
+    /// Is this the empty tree?
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// The subtree under `name`; a missing edge reads as a leaf.
+    pub fn child(&self, name: &str) -> Tree {
+        self.children.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Is the edge `name` present (even if it leads to a leaf)?
+    pub fn has_child(&self, name: &str) -> bool {
+        self.children.contains_key(name)
+    }
+
+    /// Insert or replace the subtree under `name`.
+    pub fn with_child(mut self, name: impl Into<String>, t: Tree) -> Tree {
+        self.children.insert(name.into(), t);
+        self
+    }
+
+    /// Remove the edge `name` entirely.
+    pub fn without_child(mut self, name: &str) -> Tree {
+        self.children.remove(name);
+        self
+    }
+
+    /// The edge names present, in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.children.keys().map(String::as_str).collect()
+    }
+
+    /// Number of direct children.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Equivalent to [`Tree::is_leaf`].
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Iterate over `(name, subtree)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tree)> {
+        self.children.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// If this tree encodes a value (`{v -> {}}`), decode it.
+    pub fn as_value(&self) -> Option<&str> {
+        if self.children.len() == 1 {
+            let (k, v) = self.children.iter().next().expect("len checked");
+            if v.is_leaf() {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Split children by a name predicate: (matching, non-matching).
+    pub fn partition(&self, pred: impl Fn(&str) -> bool) -> (Tree, Tree) {
+        let mut yes = BTreeMap::new();
+        let mut no = BTreeMap::new();
+        for (k, v) in &self.children {
+            if pred(k) {
+                yes.insert(k.clone(), v.clone());
+            } else {
+                no.insert(k.clone(), v.clone());
+            }
+        }
+        (Tree { children: yes }, Tree { children: no })
+    }
+
+    /// Union of two trees; on a name clash the right operand wins.
+    pub fn merge(mut self, other: Tree) -> Tree {
+        for (k, v) in other.children {
+            self.children.insert(k, v);
+        }
+        Tree { children: self.children }
+    }
+}
+
+impl std::fmt::Display for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_leaf() {
+            return f.write_str("{}");
+        }
+        f.write_str("{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            if v.is_leaf() {
+                write!(f, "{k}")?;
+            } else {
+                write!(f, "{k} -> {v}")?;
+            }
+        }
+        f.write_str("}")
+    }
+}
+
+/// Focus on the subtree under `name`, keeping all sibling edges hidden in
+/// the source.
+///
+/// Domain: very well-behaved on sources where the edge is *present*
+/// (possibly empty). On a source missing the edge, (GetPut) fails — the
+/// write-back materialises the edge — which is the usual Focal typing
+/// obligation.
+pub fn child(name: impl Into<String>) -> Lens<Tree, Tree> {
+    let name = name.into();
+    let name2 = name.clone();
+    Lens::new(
+        move |s: &Tree| s.child(&name),
+        move |s: Tree, v: Tree| s.with_child(name2.clone(), v),
+    )
+}
+
+/// `plunge n`: nest the whole source under a new edge `n` in the view.
+///
+/// Domain: very well-behaved for views of the shape `{n -> t}`; `put`
+/// discards any other view edges (Focal's typing obligation).
+pub fn plunge(name: impl Into<String>) -> Lens<Tree, Tree> {
+    let name = name.into();
+    let name2 = name.clone();
+    Lens::new(
+        move |s: &Tree| Tree::leaf().with_child(name.clone(), s.clone()),
+        move |_s: Tree, v: Tree| v.child(&name2),
+    )
+}
+
+/// `hoist n`: the inverse of [`plunge`] — expose the single subtree under
+/// `n` as the whole view.
+///
+/// Domain: very well-behaved on sources of the shape `{n -> t}`.
+pub fn hoist(name: impl Into<String>) -> Lens<Tree, Tree> {
+    let name = name.into();
+    let name2 = name.clone();
+    Lens::new(
+        move |s: &Tree| s.child(&name),
+        move |_s: Tree, v: Tree| Tree::leaf().with_child(name2.clone(), v),
+    )
+}
+
+/// `fork p`: split the tree into the edges satisfying `p` (the view) and
+/// the rest (hidden residue restored by `put`).
+///
+/// Domain: very well-behaved provided written-back views only contain
+/// edges satisfying `p`.
+pub fn fork(pred: impl Fn(&str) -> bool + 'static) -> Lens<Tree, Tree> {
+    let pred = std::rc::Rc::new(pred);
+    let pred2 = std::rc::Rc::clone(&pred);
+    Lens::new(
+        move |s: &Tree| s.partition(|n| pred(n)).0,
+        move |s: Tree, v: Tree| {
+            let (_, keep) = s.partition(|n| pred2(n));
+            keep.merge(v)
+        },
+    )
+}
+
+/// Apply a lens to every child of the root: edges are preserved, subtrees
+/// are viewed through `inner`.
+///
+/// Edges added in the view are created by `inner.put(leaf, …)`; edges
+/// removed are dropped. Well-behaved when `inner` is (create-consistency is
+/// implied by `inner`'s (PutGet)).
+pub fn map_children(inner: Lens<Tree, Tree>) -> Lens<Tree, Tree> {
+    let ig = inner.clone();
+    Lens::new(
+        move |s: &Tree| Tree::node(s.iter().map(|(k, v)| (k.to_string(), ig.get(v)))),
+        move |s: Tree, v: Tree| {
+            Tree::node(
+                v.iter()
+                    .map(|(k, vc)| {
+                        let sc = s.child(k);
+                        (k.to_string(), inner.put(sc, vc.clone()))
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        },
+    )
+}
+
+/// Rename one edge of the root: `old` in the source appears as `new` in
+/// the view.
+///
+/// Domain: very well-behaved on sources containing `old` and not `new`
+/// (the rename must be a bijection on edge names).
+pub fn rename_edge(old: impl Into<String>, new: impl Into<String>) -> Lens<Tree, Tree> {
+    let old = old.into();
+    let new = new.into();
+    let (o2, n2) = (old.clone(), new.clone());
+    Lens::new(
+        move |s: &Tree| {
+            let c = s.child(&old);
+            s.clone().without_child(&old).with_child(new.clone(), c)
+        },
+        move |_s: Tree, v: Tree| {
+            let c = v.child(&n2);
+            v.without_child(&n2).with_child(o2.clone(), c)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_very_well_behaved;
+
+    fn sample() -> Tree {
+        Tree::node([
+            ("name".to_string(), Tree::value("ada")),
+            ("age".to_string(), Tree::value("36")),
+            (
+                "address".to_string(),
+                Tree::node([
+                    ("city".to_string(), Tree::value("london")),
+                    ("zip".to_string(), Tree::value("n1")),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn empty_edges_are_preserved() {
+        let t = Tree::node([("x".to_string(), Tree::leaf())]);
+        assert!(!t.is_leaf());
+        assert!(t.has_child("x"));
+        assert_eq!(t.as_value(), Some("x"));
+    }
+
+    #[test]
+    fn value_encoding_roundtrips() {
+        let t = Tree::value("hello");
+        assert_eq!(t.as_value(), Some("hello"));
+        assert_eq!(sample().as_value(), None);
+    }
+
+    #[test]
+    fn without_child_removes_edges() {
+        let t = sample().without_child("age");
+        assert!(!t.has_child("age"));
+        assert!(t.child("age").is_leaf());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = Tree::node([("k".to_string(), Tree::value("v"))]);
+        assert_eq!(t.to_string(), "{k -> {v}}");
+        assert_eq!(Tree::leaf().to_string(), "{}");
+        assert_eq!(Tree::value("x").to_string(), "{x}");
+    }
+
+    #[test]
+    fn child_lens_focuses_and_preserves_siblings() {
+        let l = child("age");
+        let t = sample();
+        assert_eq!(l.get(&t).as_value(), Some("36"));
+        let t2 = l.put(t, Tree::value("37"));
+        assert_eq!(t2.child("age").as_value(), Some("37"));
+        assert_eq!(t2.child("name").as_value(), Some("ada"));
+    }
+
+    #[test]
+    fn child_lens_is_vwb_on_edge_bearing_sources() {
+        let l = child("age");
+        let sources = [sample(), Tree::leaf().with_child("age", Tree::leaf())];
+        let views = [Tree::value("1"), Tree::leaf()];
+        assert!(check_very_well_behaved(&l, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn child_lens_get_put_fails_off_domain() {
+        // The documented domain obligation: a source missing the edge
+        // gains it on write-back.
+        let l = child("age");
+        let violations = crate::laws::check_get_put(&l, &[Tree::leaf()]);
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn plunge_hoist_are_mutually_inverse() {
+        let down = plunge("wrap");
+        let up = hoist("wrap");
+        let t = sample();
+        assert_eq!(up.get(&down.get(&t)), t);
+        let both = down.then(up);
+        assert_eq!(both.get(&t), t);
+        assert_eq!(both.put(Tree::leaf(), t.clone()), t);
+    }
+
+    #[test]
+    fn hoist_is_vwb_on_single_edge_sources() {
+        let l = hoist("wrap");
+        let sources = [
+            Tree::leaf().with_child("wrap", sample()),
+            Tree::leaf().with_child("wrap", Tree::leaf()),
+        ];
+        let views = [sample(), Tree::value("x"), Tree::leaf()];
+        assert!(check_very_well_behaved(&l, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn fork_splits_and_restores() {
+        let l = fork(|n| n.starts_with('a'));
+        let t = sample();
+        let view = l.get(&t);
+        assert_eq!(view.names(), vec!["address", "age"]);
+        // Edit the view, put back: non-matching edges survive.
+        let view2 = view.with_child("age", Tree::value("40"));
+        let t2 = l.put(t, view2);
+        assert_eq!(t2.child("age").as_value(), Some("40"));
+        assert_eq!(t2.child("name").as_value(), Some("ada"));
+    }
+
+    #[test]
+    fn fork_is_vwb_on_domain_respecting_views() {
+        let l = fork(|n| n.starts_with('a'));
+        let sources = [sample(), Tree::leaf()];
+        let views = [
+            Tree::node([("age".to_string(), Tree::value("9"))]),
+            Tree::leaf(),
+        ];
+        assert!(check_very_well_behaved(&l, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn map_children_applies_inner_lens_pointwise() {
+        // View each child through `child("city")`: exposes each child's
+        // city edge only.
+        let l = map_children(child("city"));
+        let t = Tree::node([(
+            "home".to_string(),
+            Tree::node([
+                ("city".to_string(), Tree::value("london")),
+                ("zip".to_string(), Tree::value("n1")),
+            ]),
+        )]);
+        let v = l.get(&t);
+        assert_eq!(v.child("home").as_value(), Some("london"));
+        let v2 = Tree::node([("home".to_string(), Tree::value("paris"))]);
+        let t2 = l.put(t, v2);
+        assert_eq!(t2.child("home").child("city").as_value(), Some("paris"));
+        assert_eq!(t2.child("home").child("zip").as_value(), Some("n1"));
+    }
+
+    #[test]
+    fn map_children_drops_removed_edges_and_creates_new_ones() {
+        let l = map_children(child("city"));
+        let t = Tree::node([
+            ("a".to_string(), Tree::node([("city".to_string(), Tree::value("x"))])),
+            ("b".to_string(), Tree::node([("city".to_string(), Tree::value("y"))])),
+        ]);
+        // Remove "b", add "c".
+        let v = Tree::node([
+            ("a".to_string(), Tree::value("x")),
+            ("c".to_string(), Tree::value("z")),
+        ]);
+        let t2 = l.put(t, v);
+        assert!(!t2.has_child("b"));
+        assert_eq!(t2.child("c").child("city").as_value(), Some("z"));
+    }
+
+    #[test]
+    fn rename_edge_renames_and_restores() {
+        let l = rename_edge("age", "years");
+        let t = sample();
+        let v = l.get(&t);
+        assert_eq!(v.child("years").as_value(), Some("36"));
+        assert!(!v.has_child("age"));
+        let v2 = v.with_child("years", Tree::value("37"));
+        let t2 = l.put(t, v2);
+        assert_eq!(t2.child("age").as_value(), Some("37"));
+    }
+
+    #[test]
+    fn rename_edge_is_vwb_without_collisions() {
+        let l = rename_edge("age", "years");
+        let sources = [sample()];
+        let views = [{
+            let t = sample();
+            let c = t.child("age");
+            t.without_child("age").with_child("years", c)
+        }];
+        assert!(check_very_well_behaved(&l, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn composed_tree_pipeline() {
+        // address.city as a two-step lens pipeline.
+        let l = child("address").then(child("city"));
+        let t = sample();
+        assert_eq!(l.get(&t).as_value(), Some("london"));
+        let t2 = l.put(t, Tree::value("oxford"));
+        assert_eq!(t2.child("address").child("city").as_value(), Some("oxford"));
+        assert_eq!(t2.child("address").child("zip").as_value(), Some("n1"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based lens-law tests for the combinator library and tree
+//! lenses under generated data (deeper domains than the in-module tests).
+
+use proptest::prelude::*;
+
+use esm_lens::combinators::{cond, id, iso, map_vec, pair, fst, snd};
+use esm_lens::tree::{child, fork, hoist, map_children, plunge, rename_edge, Tree};
+use esm_lens::Lens;
+
+// ---------------------------------------------------------------------
+// Generated trees: two levels deep, fixed edge alphabet, so lens domains
+// are respected by construction.
+// ---------------------------------------------------------------------
+
+fn arb_leafy(edges: &'static [&'static str]) -> impl Strategy<Value = Tree> {
+    proptest::collection::vec("[a-z]{1,4}", edges.len()..=edges.len()).prop_map(move |vals| {
+        Tree::node(
+            edges
+                .iter()
+                .zip(vals)
+                .map(|(e, v)| (e.to_string(), Tree::value(v)))
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+fn arb_nested() -> impl Strategy<Value = Tree> {
+    (arb_leafy(&["city", "zip"]), arb_leafy(&["name", "age"])).prop_map(|(addr, person)| {
+        person.with_child("address", addr)
+    })
+}
+
+proptest! {
+    #[test]
+    fn nested_child_pipeline_laws(s in arb_nested(), v in "[a-z]{1,4}") {
+        let l = child("address").then(child("city"));
+        // (GetPut)
+        prop_assert_eq!(l.put(s.clone(), l.get(&s)), s.clone());
+        // (PutGet)
+        let view = Tree::value(v);
+        prop_assert_eq!(l.get(&l.put(s.clone(), view.clone())), view.clone());
+        // (PutPut)
+        let w = Tree::value("zz");
+        prop_assert_eq!(
+            l.put(l.put(s.clone(), w), view.clone()),
+            l.put(s, view)
+        );
+    }
+
+    #[test]
+    fn plunge_then_hoist_is_identity(s in arb_nested()) {
+        let l = plunge("wrap").then(hoist("wrap"));
+        prop_assert_eq!(l.get(&s), s.clone());
+        prop_assert_eq!(l.put(Tree::leaf(), s.clone()), s);
+    }
+
+    #[test]
+    fn fork_residue_is_disjoint_from_view(s in arb_nested()) {
+        let l = fork(|n| n.starts_with('a'));
+        let view = l.get(&s);
+        // Everything in the view matches; write-back restores the rest.
+        prop_assert!(view.names().iter().all(|n| n.starts_with('a')));
+        prop_assert_eq!(l.put(s.clone(), view), s);
+    }
+
+    #[test]
+    fn rename_edge_roundtrip(s in arb_leafy(&["age", "name"]), v in "[a-z]{1,4}") {
+        let l = rename_edge("age", "years");
+        let view = l.get(&s).with_child("years", Tree::value(v));
+        let s2 = l.put(s, view.clone());
+        prop_assert_eq!(l.get(&s2), view);
+    }
+
+    #[test]
+    fn map_children_get_put(s in arb_nested()) {
+        // View every child through fork("c*"): lawful per-child, so
+        // (GetPut) lifts.
+        let l = map_children(fork(|n| n.starts_with('c')));
+        prop_assert_eq!(l.put(s.clone(), l.get(&s)), s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combinators over generated scalar data.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn iso_then_inverse_is_id(x in any::<i32>(), v in any::<i32>()) {
+        let enc: Lens<i32, i64> = iso(|s: &i32| *s as i64 * 2, |t: i64| (t / 2) as i32);
+        let dec: Lens<i64, i32> = iso(|s: &i64| (*s / 2) as i32, |t: i32| t as i64 * 2);
+        let both = enc.then(dec);
+        let plain = id::<i32>();
+        prop_assert_eq!(both.get(&x), plain.get(&x));
+        prop_assert_eq!(both.put(x, v), plain.put(x, v));
+    }
+
+    #[test]
+    fn pair_laws_under_random_data(
+        s in ((any::<i16>(), any::<i16>()), (any::<i16>(), any::<i16>())),
+        v in (any::<i16>(), any::<i16>()),
+        v2 in (any::<i16>(), any::<i16>()),
+    ) {
+        let l = pair(fst::<i16, i16>(), snd::<i16, i16>());
+        prop_assert_eq!(l.put(s, l.get(&s)), s);
+        prop_assert_eq!(l.get(&l.put(s, v)), v);
+        prop_assert_eq!(l.put(l.put(s, v), v2), l.put(s, v2));
+    }
+
+    #[test]
+    fn map_vec_laws_with_consistent_create(
+        ss in proptest::collection::vec((any::<i16>(), any::<i16>()), 0..6),
+        vs in proptest::collection::vec(any::<i16>(), 0..6),
+    ) {
+        let l = map_vec(fst::<i16, i16>(), |v| (*v, 0));
+        // (GetPut)
+        prop_assert_eq!(l.put(ss.clone(), l.get(&ss)), ss.clone());
+        // (PutGet)
+        prop_assert_eq!(l.get(&l.put(ss, vs.clone())), vs);
+    }
+
+    #[test]
+    fn cond_laws_with_stable_branches(s in (any::<bool>(), any::<i16>()), v in any::<i16>()) {
+        let t: Lens<(bool, i16), i16> = Lens::new(|s: &(bool, i16)| s.1, |mut s, v| { s.1 = v; s });
+        let f: Lens<(bool, i16), i16> = Lens::new(
+            |s: &(bool, i16)| s.1.wrapping_neg(),
+            |mut s, v| { s.1 = v.wrapping_neg(); s },
+        );
+        let l = cond(|s: &(bool, i16)| s.0, t, f);
+        prop_assert_eq!(l.put(s, l.get(&s)), s);
+        prop_assert_eq!(l.get(&l.put(s, v)), v);
+    }
+}

@@ -1,0 +1,238 @@
+//! A minimal UML-ish class model.
+
+use std::collections::BTreeMap;
+
+/// Attribute types available in the modelling language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AttrType {
+    /// Integers.
+    Int,
+    /// Strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+/// A named, typed attribute of a class.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Attribute {
+    /// Attribute name, unique within its class.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Construct an attribute.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Attribute {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// A directed association (reference) from one class to another, realised
+/// on the database side as an integer foreign-key column.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Association {
+    /// Role name, unique among the class's attributes *and* associations
+    /// (it becomes a column name).
+    pub name: String,
+    /// Name of the referenced class.
+    pub target: String,
+}
+
+impl Association {
+    /// Construct an association.
+    pub fn new(name: impl Into<String>, target: impl Into<String>) -> Association {
+        Association { name: name.into(), target: target.into() }
+    }
+}
+
+/// A class: a name, ordered attributes, ordered associations, and an
+/// abstract flag.
+///
+/// Abstract classes are *model-private*: the class-to-table transformation
+/// produces no table for them, so they survive round-trips only through
+/// the synchronisation complement. Association *targets* are also
+/// model-private (a foreign-key column does not name its class), so they
+/// live in the complement too.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Class {
+    /// Class name, unique within the model.
+    pub name: String,
+    /// Attributes, in declaration order.
+    pub attributes: Vec<Attribute>,
+    /// Associations, in declaration order.
+    pub associations: Vec<Association>,
+    /// Is this class abstract (not instantiable, no table)?
+    pub is_abstract: bool,
+}
+
+impl Class {
+    /// A concrete class with no associations.
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Class {
+        Class { name: name.into(), attributes, associations: Vec::new(), is_abstract: false }
+    }
+
+    /// An abstract class.
+    pub fn abstract_class(name: impl Into<String>, attributes: Vec<Attribute>) -> Class {
+        Class { name: name.into(), attributes, associations: Vec::new(), is_abstract: true }
+    }
+
+    /// Add an association (builder style).
+    pub fn with_association(mut self, assoc: Association) -> Class {
+        self.associations.push(assoc);
+        self
+    }
+
+    /// Look up an attribute by name.
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Look up an association by role name.
+    pub fn association(&self, name: &str) -> Option<&Association> {
+        self.associations.iter().find(|a| a.name == name)
+    }
+
+    /// Are attribute and association names disjoint and unique?
+    pub fn is_well_formed(&self) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        self.attributes
+            .iter()
+            .map(|a| &a.name)
+            .chain(self.associations.iter().map(|a| &a.name))
+            .all(|n| seen.insert(n))
+    }
+}
+
+/// A class model: classes keyed by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassModel {
+    /// The classes, keyed by their names.
+    pub classes: BTreeMap<String, Class>,
+}
+
+impl ClassModel {
+    /// The empty model.
+    pub fn new() -> ClassModel {
+        ClassModel::default()
+    }
+
+    /// Build a model from classes (keyed by their names).
+    pub fn from_classes(classes: impl IntoIterator<Item = Class>) -> ClassModel {
+        ClassModel {
+            classes: classes.into_iter().map(|c| (c.name.clone(), c)).collect(),
+        }
+    }
+
+    /// Add or replace a class.
+    pub fn upsert(&mut self, class: Class) {
+        self.classes.insert(class.name.clone(), class);
+    }
+
+    /// Remove a class by name.
+    pub fn remove(&mut self, name: &str) -> Option<Class> {
+        self.classes.remove(name)
+    }
+
+    /// Look up a class.
+    pub fn class(&self, name: &str) -> Option<&Class> {
+        self.classes.get(name)
+    }
+
+    /// The concrete (non-abstract) classes, in name order.
+    pub fn concrete_classes(&self) -> impl Iterator<Item = &Class> {
+        self.classes.values().filter(|c| !c.is_abstract)
+    }
+
+    /// The abstract classes, in name order.
+    pub fn abstract_classes(&self) -> impl Iterator<Item = &Class> {
+        self.classes.values().filter(|c| c.is_abstract)
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Is the model empty?
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+impl std::fmt::Display for ClassModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in self.classes.values() {
+            writeln!(
+                f,
+                "{}class {} {{",
+                if c.is_abstract { "abstract " } else { "" },
+                c.name
+            )?;
+            for a in &c.attributes {
+                writeln!(f, "  {}: {:?}", a.name, a.ty)?;
+            }
+            for a in &c.associations {
+                writeln!(f, "  {} -> {}", a.name, a.target)?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ClassModel {
+        ClassModel::from_classes([
+            Class::new(
+                "Book",
+                vec![
+                    Attribute::new("title", AttrType::Str),
+                    Attribute::new("pages", AttrType::Int),
+                ],
+            ),
+            Class::abstract_class("Media", vec![Attribute::new("id", AttrType::Int)]),
+        ])
+    }
+
+    #[test]
+    fn classes_are_keyed_by_name() {
+        let m = model();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.class("Book").unwrap().attributes.len(), 2);
+        assert!(m.class("Ghost").is_none());
+    }
+
+    #[test]
+    fn concrete_and_abstract_partition() {
+        let m = model();
+        assert_eq!(m.concrete_classes().count(), 1);
+        assert_eq!(m.abstract_classes().count(), 1);
+    }
+
+    #[test]
+    fn upsert_replaces_by_name() {
+        let mut m = model();
+        m.upsert(Class::new("Book", vec![]));
+        assert!(m.class("Book").unwrap().attributes.is_empty());
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let m = model();
+        assert_eq!(m.class("Book").unwrap().attribute("pages").unwrap().ty, AttrType::Int);
+        assert!(m.class("Book").unwrap().attribute("isbn").is_none());
+    }
+
+    #[test]
+    fn display_renders_uml_ish_text() {
+        let text = model().to_string();
+        assert!(text.contains("class Book {"));
+        assert!(text.contains("abstract class Media {"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Model-driven engineering substrate: class models ↔ relational schemas,
+//! synchronised by a symmetric lens with an explicit complement.
+//!
+//! The paper's opening example of bx is model-driven development: "such
+//! sources are usually models; for example, UML models of a system to be
+//! developed". This crate builds that scenario concretely:
+//!
+//! * [`ClassModel`] — a simple UML-ish class model (classes, typed
+//!   attributes, abstract flags);
+//! * [`RdbSchema`] — a relational schema model (tables, typed columns,
+//!   varchar widths, storage engines);
+//! * [`class_rdb_lens`] — the classic *class-to-table* transformation as a
+//!   lawful [`esm_symmetric::SymLens`]. Each side owns private data the
+//!   other cannot represent (abstract classes have no table; engines and
+//!   column widths have no model counterpart), which lives in the
+//!   [`Complement`] — and therefore, via Lemma 6, in the *hidden state of
+//!   the entangled state monad*.
+//!
+//! [`sync::class_rdb_bx`] packages the lens as a put-bx ready for
+//! sessions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod class_model;
+pub mod rdb_model;
+pub mod scenarios;
+pub mod sync;
+
+pub use class_model::{Association, AttrType, Attribute, Class, ClassModel};
+pub use rdb_model::{RdbSchema, SqlColumn, SqlTable, SqlType};
+pub use sync::{class_rdb_bx, class_rdb_lens, Complement, TableExtras};

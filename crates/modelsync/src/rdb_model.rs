@@ -1,0 +1,170 @@
+//! A minimal relational schema model (the "database side" of the sync).
+
+use std::collections::BTreeMap;
+
+/// SQL column types produced by the class-to-table transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SqlType {
+    /// `INTEGER`.
+    Integer,
+    /// `VARCHAR(width)` — the width is schema-private data.
+    Varchar,
+    /// `BOOLEAN`.
+    Boolean,
+}
+
+/// A column: name, type, and (for `VARCHAR`) a width.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SqlColumn {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: SqlType,
+    /// Declared width; meaningful only for [`SqlType::Varchar`].
+    pub width: Option<u32>,
+}
+
+impl SqlColumn {
+    /// An `INTEGER` column.
+    pub fn integer(name: impl Into<String>) -> SqlColumn {
+        SqlColumn { name: name.into(), ty: SqlType::Integer, width: None }
+    }
+
+    /// A `VARCHAR(width)` column.
+    pub fn varchar(name: impl Into<String>, width: u32) -> SqlColumn {
+        SqlColumn { name: name.into(), ty: SqlType::Varchar, width: Some(width) }
+    }
+
+    /// A `BOOLEAN` column.
+    pub fn boolean(name: impl Into<String>) -> SqlColumn {
+        SqlColumn { name: name.into(), ty: SqlType::Boolean, width: None }
+    }
+}
+
+/// A table: name, ordered columns, and a storage engine (schema-private).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SqlTable {
+    /// Table name.
+    pub name: String,
+    /// Columns, in declaration order.
+    pub columns: Vec<SqlColumn>,
+    /// Storage engine — database-private data with no model counterpart.
+    pub engine: String,
+}
+
+impl SqlTable {
+    /// A table with the default engine.
+    pub fn new(name: impl Into<String>, columns: Vec<SqlColumn>) -> SqlTable {
+        SqlTable { name: name.into(), columns, engine: "innodb".to_string() }
+    }
+
+    /// Set the storage engine.
+    pub fn with_engine(mut self, engine: impl Into<String>) -> SqlTable {
+        self.engine = engine.into();
+        self
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&SqlColumn> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// A relational schema: tables keyed by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RdbSchema {
+    /// The tables, keyed by their names.
+    pub tables: BTreeMap<String, SqlTable>,
+}
+
+impl RdbSchema {
+    /// The empty schema.
+    pub fn new() -> RdbSchema {
+        RdbSchema::default()
+    }
+
+    /// Build a schema from tables (keyed by their names).
+    pub fn from_tables(tables: impl IntoIterator<Item = SqlTable>) -> RdbSchema {
+        RdbSchema { tables: tables.into_iter().map(|t| (t.name.clone(), t)).collect() }
+    }
+
+    /// Add or replace a table.
+    pub fn upsert(&mut self, table: SqlTable) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Remove a table by name.
+    pub fn remove(&mut self, name: &str) -> Option<SqlTable> {
+        self.tables.remove(name)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&SqlTable> {
+        self.tables.get(name)
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+impl std::fmt::Display for RdbSchema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for t in self.tables.values() {
+            writeln!(f, "CREATE TABLE {} (", t.name)?;
+            for (i, c) in t.columns.iter().enumerate() {
+                let ty = match (c.ty, c.width) {
+                    (SqlType::Integer, _) => "INTEGER".to_string(),
+                    (SqlType::Boolean, _) => "BOOLEAN".to_string(),
+                    (SqlType::Varchar, Some(w)) => format!("VARCHAR({w})"),
+                    (SqlType::Varchar, None) => "VARCHAR".to_string(),
+                };
+                let comma = if i + 1 < t.columns.len() { "," } else { "" };
+                writeln!(f, "  {} {ty}{comma}", c.name)?;
+            }
+            writeln!(f, ") ENGINE={};", t.engine)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> RdbSchema {
+        RdbSchema::from_tables([SqlTable::new(
+            "Book",
+            vec![SqlColumn::varchar("title", 255), SqlColumn::integer("pages")],
+        )
+        .with_engine("myisam")])
+    }
+
+    #[test]
+    fn tables_are_keyed_by_name() {
+        let s = schema();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.table("Book").unwrap().engine, "myisam");
+    }
+
+    #[test]
+    fn column_constructors_set_widths() {
+        let c = SqlColumn::varchar("x", 40);
+        assert_eq!(c.width, Some(40));
+        assert_eq!(SqlColumn::integer("y").width, None);
+    }
+
+    #[test]
+    fn display_renders_ddl() {
+        let ddl = schema().to_string();
+        assert!(ddl.contains("CREATE TABLE Book ("));
+        assert!(ddl.contains("title VARCHAR(255),"));
+        assert!(ddl.contains("ENGINE=myisam;"));
+    }
+}

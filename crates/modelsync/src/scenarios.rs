@@ -1,0 +1,78 @@
+//! Ready-made models and edit scripts for examples, tests and benchmarks.
+
+use crate::class_model::{Association, AttrType, Attribute, Class, ClassModel};
+
+/// A small library-domain class model: two concrete classes and one
+/// abstract base.
+pub fn library_model() -> ClassModel {
+    ClassModel::from_classes([
+        Class::abstract_class("Media", vec![Attribute::new("id", AttrType::Int)]),
+        Class::new(
+            "Book",
+            vec![
+                Attribute::new("id", AttrType::Int),
+                Attribute::new("title", AttrType::Str),
+                Attribute::new("pages", AttrType::Int),
+                Attribute::new("in_print", AttrType::Bool),
+            ],
+        ),
+        Class::new(
+            "Member",
+            vec![
+                Attribute::new("id", AttrType::Int),
+                Attribute::new("name", AttrType::Str),
+            ],
+        ),
+    ])
+}
+
+/// The library model extended with a `Loan` class holding associations to
+/// `Book` and `Member` — foreign keys on the database side.
+pub fn library_model_with_loans() -> ClassModel {
+    let mut m = library_model();
+    m.upsert(
+        Class::new("Loan", vec![Attribute::new("id", AttrType::Int)])
+            .with_association(Association::new("book", "Book"))
+            .with_association(Association::new("member", "Member")),
+    );
+    m
+}
+
+/// A synthetic model with `n` concrete classes of `attrs_per_class`
+/// attributes each (used to scale benchmarks).
+pub fn synthetic_model(n: usize, attrs_per_class: usize) -> ClassModel {
+    ClassModel::from_classes((0..n).map(|i| {
+        Class::new(
+            format!("Class{i}"),
+            (0..attrs_per_class)
+                .map(|j| {
+                    let ty = match j % 3 {
+                        0 => AttrType::Int,
+                        1 => AttrType::Str,
+                        _ => AttrType::Bool,
+                    };
+                    Attribute::new(format!("attr{j}"), ty)
+                })
+                .collect(),
+        )
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_model_has_expected_shape() {
+        let m = library_model();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.abstract_classes().count(), 1);
+    }
+
+    #[test]
+    fn synthetic_model_scales() {
+        let m = synthetic_model(10, 4);
+        assert_eq!(m.len(), 10);
+        assert!(m.classes.values().all(|c| c.attributes.len() == 4));
+    }
+}

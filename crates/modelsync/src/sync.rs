@@ -1,0 +1,378 @@
+//! The class-to-table synchronisation as a symmetric lens with complement.
+//!
+//! Forward direction: every *concrete* class becomes a table of the same
+//! name; attributes become columns (`Int → INTEGER`, `Str → VARCHAR(w)`,
+//! `Bool → BOOLEAN`). Abstract classes produce no table.
+//!
+//! Each side's private data lives in the [`Complement`]:
+//!
+//! * model-private: the abstract classes, in full;
+//! * schema-private: per-table storage engines and per-column varchar
+//!   widths.
+//!
+//! Both `put`s are *total* and re-extract the complement deterministically,
+//! which is what makes (PutRL)/(PutLR) hold (checked in the test suite
+//! against generated models, not assumed). Via Lemma 6 the lens becomes a
+//! put-bx whose hidden state is a consistent
+//! `(ClassModel, RdbSchema, Complement)` triple.
+
+use std::collections::BTreeMap;
+
+use esm_core::state::PbxOps;
+use esm_symmetric::{SymBxOps, SymLens};
+
+use crate::class_model::{Association, AttrType, Attribute, Class, ClassModel};
+use crate::rdb_model::{RdbSchema, SqlColumn, SqlTable, SqlType};
+
+/// Default varchar width assigned to string attributes with no recorded
+/// width.
+pub const DEFAULT_VARCHAR_WIDTH: u32 = 255;
+
+/// Default storage engine for tables created from classes.
+pub const DEFAULT_ENGINE: &str = "innodb";
+
+/// Schema-private details of one table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableExtras {
+    /// Storage engine.
+    pub engine: String,
+    /// Varchar widths by column name.
+    pub widths: BTreeMap<String, u32>,
+}
+
+/// The synchronisation complement: both sides' private data.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Complement {
+    /// Model-private: abstract classes (they have no table).
+    pub abstract_classes: BTreeMap<String, Class>,
+    /// Schema-private: engines and widths, by table name.
+    pub table_extras: BTreeMap<String, TableExtras>,
+    /// Model-private: which columns are associations and which class they
+    /// reference, by table then column name (a foreign-key column does not
+    /// record its target class, so this cannot be recovered from the
+    /// schema alone).
+    pub assoc_targets: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+fn attr_to_column(attr: &Attribute, extras: Option<&TableExtras>) -> SqlColumn {
+    match attr.ty {
+        AttrType::Int => SqlColumn::integer(&attr.name),
+        AttrType::Bool => SqlColumn::boolean(&attr.name),
+        AttrType::Str => {
+            let width = extras
+                .and_then(|e| e.widths.get(&attr.name).copied())
+                .unwrap_or(DEFAULT_VARCHAR_WIDTH);
+            SqlColumn::varchar(&attr.name, width)
+        }
+    }
+}
+
+fn column_to_attr(col: &SqlColumn) -> Attribute {
+    let ty = match col.ty {
+        SqlType::Integer => AttrType::Int,
+        SqlType::Boolean => AttrType::Bool,
+        SqlType::Varchar => AttrType::Str,
+    };
+    Attribute::new(&col.name, ty)
+}
+
+fn extras_of_table(table: &SqlTable) -> TableExtras {
+    TableExtras {
+        engine: table.engine.clone(),
+        widths: table
+            .columns
+            .iter()
+            .filter_map(|c| match (c.ty, c.width) {
+                (SqlType::Varchar, Some(w)) => Some((c.name.clone(), w)),
+                _ => None,
+            })
+            .collect(),
+    }
+}
+
+/// `putr`: rebuild the schema from the model, reusing schema-private data
+/// recorded in the complement. Attribute columns come first, association
+/// (foreign-key) columns after — the transformation's normal form.
+fn put_right(model: ClassModel, c: Complement) -> (RdbSchema, Complement) {
+    let mut schema = RdbSchema::new();
+    let mut out = Complement::default();
+    for class in model.classes.values() {
+        if class.is_abstract {
+            out.abstract_classes.insert(class.name.clone(), class.clone());
+            continue;
+        }
+        let old = c.table_extras.get(&class.name);
+        let engine = old.map(|e| e.engine.clone()).unwrap_or_else(|| DEFAULT_ENGINE.to_string());
+        let mut columns: Vec<SqlColumn> =
+            class.attributes.iter().map(|a| attr_to_column(a, old)).collect();
+        let mut targets = BTreeMap::new();
+        for assoc in &class.associations {
+            columns.push(SqlColumn::integer(&assoc.name));
+            targets.insert(assoc.name.clone(), assoc.target.clone());
+        }
+        if !targets.is_empty() {
+            out.assoc_targets.insert(class.name.clone(), targets);
+        }
+        let table = SqlTable::new(&class.name, columns).with_engine(engine);
+        out.table_extras.insert(class.name.clone(), extras_of_table(&table));
+        schema.upsert(table);
+    }
+    (schema, out)
+}
+
+/// `putl`: rebuild the model from the schema, resurrecting abstract
+/// classes and association targets recorded in the complement. An
+/// `INTEGER` column marked in the complement becomes an association;
+/// everything else becomes an attribute. (Dropped columns silently drop
+/// their association marks; new columns default to attributes.)
+fn put_left(schema: RdbSchema, c: Complement) -> (ClassModel, Complement) {
+    let mut model = ClassModel::new();
+    let mut out = Complement::default();
+    let empty = BTreeMap::new();
+    for table in schema.tables.values() {
+        let marks = c.assoc_targets.get(&table.name).unwrap_or(&empty);
+        let mut attributes: Vec<Attribute> = Vec::new();
+        let mut associations: Vec<Association> = Vec::new();
+        let mut used = BTreeMap::new();
+        for col in &table.columns {
+            match (col.ty, marks.get(&col.name)) {
+                (SqlType::Integer, Some(target)) => {
+                    associations.push(Association::new(&col.name, target));
+                    used.insert(col.name.clone(), target.clone());
+                }
+                _ => attributes.push(column_to_attr(col)),
+            }
+        }
+        let mut class = Class::new(&table.name, attributes);
+        class.associations = associations;
+        model.upsert(class);
+        if !used.is_empty() {
+            out.assoc_targets.insert(table.name.clone(), used);
+        }
+        out.table_extras.insert(table.name.clone(), extras_of_table(table));
+    }
+    for (name, class) in &c.abstract_classes {
+        // A concrete class/table with the same name wins; the stale
+        // abstract entry is dropped from the complement too.
+        if !schema.tables.contains_key(name) {
+            model.upsert(class.clone());
+            out.abstract_classes.insert(name.clone(), class.clone());
+        }
+    }
+    (model, out)
+}
+
+/// The class-to-table transformation as a symmetric lens.
+pub fn class_rdb_lens() -> SymLens<ClassModel, RdbSchema, Complement> {
+    SymLens::new(put_right, put_left, Complement::default())
+}
+
+/// The class-to-table transformation as a put-bx (Lemma 6): hidden state =
+/// consistent `(model, schema, complement)` triples.
+pub fn class_rdb_bx() -> SymBxOps<ClassModel, RdbSchema, Complement> {
+    SymBxOps::new(class_rdb_lens())
+}
+
+/// Convenience: an ops-level session-ready put-bx state from a model.
+pub fn initial_state_from_model(
+    model: ClassModel,
+) -> (ClassModel, RdbSchema, Complement) {
+    class_rdb_bx().initial_from_a(model)
+}
+
+/// One high-level "edit and resync" step: apply `edit` to the model side
+/// of a state and propagate. Returns the new state and the refreshed
+/// schema.
+pub fn edit_model(
+    state: (ClassModel, RdbSchema, Complement),
+    edit: impl FnOnce(&mut ClassModel),
+) -> ((ClassModel, RdbSchema, Complement), RdbSchema) {
+    let bx = class_rdb_bx();
+    let mut model = state.0.clone();
+    edit(&mut model);
+    let (state2, schema) = bx.put_a(state, model);
+    (state2, schema)
+}
+
+/// One high-level "edit and resync" step on the schema side.
+pub fn edit_schema(
+    state: (ClassModel, RdbSchema, Complement),
+    edit: impl FnOnce(&mut RdbSchema),
+) -> ((ClassModel, RdbSchema, Complement), ClassModel) {
+    let bx = class_rdb_bx();
+    let mut schema = state.1.clone();
+    edit(&mut schema);
+    let (state2, model) = bx.put_b(state, schema);
+    (state2, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::library_model;
+    use esm_symmetric::consistency::is_consistent;
+    use esm_symmetric::laws::check_sym_lens;
+
+    #[test]
+    fn concrete_classes_become_tables() {
+        let l = class_rdb_lens();
+        let (schema, _c) = l.putr(library_model(), l.missing());
+        assert!(schema.table("Book").is_some());
+        assert!(schema.table("Member").is_some());
+        // Abstract class: no table.
+        assert!(schema.table("Media").is_none());
+        let book = schema.table("Book").unwrap();
+        assert_eq!(book.column("title").unwrap().ty, SqlType::Varchar);
+        assert_eq!(book.column("title").unwrap().width, Some(DEFAULT_VARCHAR_WIDTH));
+        assert_eq!(book.column("pages").unwrap().ty, SqlType::Integer);
+    }
+
+    #[test]
+    fn abstract_classes_survive_roundtrips_via_the_complement() {
+        let l = class_rdb_lens();
+        let (a, b, c) = l.settle_from_a(library_model(), l.missing());
+        assert!(a.class("Media").is_some());
+        // Rebuild the model purely from the schema + complement.
+        let (model2, _c2) = l.putl(b, c);
+        assert!(model2.class("Media").is_some());
+        assert!(model2.class("Media").unwrap().is_abstract);
+    }
+
+    #[test]
+    fn schema_private_data_survives_model_edits() {
+        let l = class_rdb_lens();
+        let (_a, mut schema, c) = l.settle_from_a(library_model(), l.missing());
+        // DBA tweaks: custom engine and width.
+        let mut book = schema.table("Book").unwrap().clone();
+        book.engine = "rocksdb".to_string();
+        for col in &mut book.columns {
+            if col.name == "title" {
+                col.width = Some(80);
+            }
+        }
+        schema.upsert(book);
+        // Sync the tweak back into the complement.
+        let (model2, c2) = l.putl(schema, c);
+        // Modeller renames an attribute-free edit: add a class.
+        let mut model3 = model2.clone();
+        model3.upsert(Class::new("Loan", vec![Attribute::new("due", AttrType::Str)]));
+        let (schema3, _c3) = l.putr(model3, c2);
+        let book3 = schema3.table("Book").unwrap();
+        assert_eq!(book3.engine, "rocksdb");
+        assert_eq!(book3.column("title").unwrap().width, Some(80));
+        // The new class's new table gets defaults.
+        assert_eq!(schema3.table("Loan").unwrap().engine, DEFAULT_ENGINE);
+    }
+
+    #[test]
+    fn lens_laws_hold_on_generated_states() {
+        let l = class_rdb_lens();
+        let models = [library_model(), ClassModel::new()];
+        let (_, schema1, c1) = l.settle_from_a(library_model(), l.missing());
+        let schemas = [schema1.clone(), RdbSchema::new()];
+        let complements = [Complement::default(), c1];
+        assert!(check_sym_lens(&l, &models, &schemas, &complements).is_empty());
+    }
+
+    #[test]
+    fn settled_triples_are_consistent() {
+        let l = class_rdb_lens();
+        let (a, b, c) = l.settle_from_a(library_model(), l.missing());
+        assert!(is_consistent(&l, &a, &b, &c));
+    }
+
+    #[test]
+    fn dropping_a_table_drops_the_class() {
+        let state = initial_state_from_model(library_model());
+        let (state2, model) = edit_schema(state, |s| {
+            s.remove("Member");
+        });
+        assert!(model.class("Member").is_none());
+        assert!(model.class("Book").is_some());
+        let bx = class_rdb_bx();
+        assert!(bx.invariant(&state2));
+    }
+
+    #[test]
+    fn adding_a_class_adds_a_table() {
+        let state = initial_state_from_model(library_model());
+        let (state2, schema) = edit_model(state, |m| {
+            m.upsert(Class::new("Loan", vec![Attribute::new("book", AttrType::Int)]));
+        });
+        assert!(schema.table("Loan").is_some());
+        let bx = class_rdb_bx();
+        assert!(bx.invariant(&state2));
+    }
+
+    #[test]
+    fn associations_become_integer_foreign_key_columns() {
+        use crate::scenarios::library_model_with_loans;
+        let l = class_rdb_lens();
+        let (schema, c) = l.putr(library_model_with_loans(), l.missing());
+        let loan = schema.table("Loan").expect("Loan table exists");
+        assert_eq!(loan.column("book").expect("fk column").ty, SqlType::Integer);
+        assert_eq!(loan.column("member").expect("fk column").ty, SqlType::Integer);
+        // The targets are model-private: recorded in the complement.
+        assert_eq!(c.assoc_targets["Loan"]["book"], "Book");
+        assert_eq!(c.assoc_targets["Loan"]["member"], "Member");
+    }
+
+    #[test]
+    fn association_targets_survive_schema_roundtrips() {
+        use crate::scenarios::library_model_with_loans;
+        let l = class_rdb_lens();
+        let (model0, schema, c) = l.settle_from_a(library_model_with_loans(), l.missing());
+        // Rebuild the model from the schema alone (plus complement).
+        let (model1, _c1) = l.putl(schema, c);
+        let loan = model1.class("Loan").expect("Loan survives");
+        assert_eq!(loan.association("book").expect("assoc").target, "Book");
+        assert_eq!(loan.association("member").expect("assoc").target, "Member");
+        assert_eq!(model1, model0);
+    }
+
+    #[test]
+    fn sym_laws_hold_with_associations() {
+        use crate::scenarios::library_model_with_loans;
+        use esm_symmetric::laws::check_sym_lens;
+        let l = class_rdb_lens();
+        let (_, schema1, c1) = l.settle_from_a(library_model_with_loans(), l.missing());
+        let models = [library_model_with_loans(), crate::scenarios::library_model()];
+        let schemas = [schema1, RdbSchema::new()];
+        let complements = [Complement::default(), c1];
+        assert!(check_sym_lens(&l, &models, &schemas, &complements).is_empty());
+    }
+
+    #[test]
+    fn dropping_a_foreign_key_column_drops_the_association() {
+        use crate::scenarios::library_model_with_loans;
+        let state = initial_state_from_model(library_model_with_loans());
+        let (state2, model) = edit_schema(state, |s| {
+            let mut loan = s.table("Loan").expect("exists").clone();
+            loan.columns.retain(|col| col.name != "member");
+            s.upsert(loan);
+        });
+        let loan = model.class("Loan").expect("exists");
+        assert!(loan.association("member").is_none());
+        assert!(loan.association("book").is_some());
+        assert!(class_rdb_bx().invariant(&state2));
+    }
+
+    #[test]
+    fn name_collision_between_abstract_and_table_resolves_to_concrete() {
+        let l = class_rdb_lens();
+        // Complement claims "Book" is abstract, but the schema has a Book
+        // table: the concrete side wins and the stale entry is purged.
+        let mut c = Complement::default();
+        c.abstract_classes.insert(
+            "Book".to_string(),
+            Class::abstract_class("Book", vec![]),
+        );
+        let schema = RdbSchema::from_tables([SqlTable::new(
+            "Book",
+            vec![SqlColumn::integer("id")],
+        )]);
+        let (model, c2) = l.putl(schema, c);
+        assert!(!model.class("Book").unwrap().is_abstract);
+        assert!(c2.abstract_classes.is_empty());
+    }
+}

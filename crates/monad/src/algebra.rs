@@ -1,0 +1,213 @@
+//! The algebraic theory of state with **two** memory cells — the
+//! seven-equation presentation of Plotkin & Power that §2 of the paper
+//! cites ("one may characterise state monads with multiple memory cells in
+//! terms of an algebraic theory of reads and writes, with seven
+//! equations").
+//!
+//! For two locations the seven equations are the four single-cell laws
+//! *per location* (collapsed below into one parametric family) plus three
+//! **commutation** equations between distinct locations:
+//!
+//! ```text
+//! per location l:
+//!   (GG)  get_l >>= \x. get_l >>= \y. k x y = get_l >>= \x. k x x
+//!   (GS)  get_l >>= set_l                   = return ()
+//!   (SG)  set_l x >> get_l                  = set_l x >> return x
+//!   (SS)  set_l x >> set_l y                = set_l y
+//! between locations l ≠ l':
+//!   (GG') get_l  >>= \x. get_l' >>= \y. k x y = get_l' >>= \y. get_l >>= \x. k x y
+//!   (GS') get_l  >>= \x. set_l' v >> k x      = set_l' v >> get_l >>= k
+//!   (SS') set_l x >> set_l' y                 = set_l' y >> set_l x
+//! ```
+//!
+//! The punchline for this library: an entangled state monad (set-bx) is a
+//! monad with two get/set pairs satisfying the *per-location* laws while
+//! **dropping the commutation equations** — commuting instances are
+//! exactly the unentangled §3.4 product. [`check_commutation`] makes the
+//! distinction executable, and the tests show the product state monad
+//! passes all seven while a lens-derived bx fails precisely the
+//! commutation half.
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad};
+use crate::laws::{check_state_algebra, expect_obs_eq, LawViolation};
+
+/// An abstract memory cell of type `X` inside monad family `M`: a `get`
+/// computation and a `set` operation.
+///
+/// [`crate::state::get`]/[`crate::state::set`] form the canonical cell of
+/// `StateOf<S>`; a set-bx provides two cells over one hidden state.
+pub struct Cell<M: MonadFamily, X: ObsVal> {
+    /// The cell's `get` computation.
+    pub get: M::Repr<X>,
+    /// The cell's `set` operation.
+    pub set: std::rc::Rc<dyn Fn(X) -> M::Repr<()>>,
+}
+
+impl<M: MonadFamily, X: ObsVal> Clone for Cell<M, X> {
+    fn clone(&self) -> Self {
+        Cell { get: self.get.clone(), set: std::rc::Rc::clone(&self.set) }
+    }
+}
+
+impl<M: MonadFamily, X: ObsVal> Cell<M, X> {
+    /// Package a get/set pair as a cell.
+    pub fn new(get: M::Repr<X>, set: impl Fn(X) -> M::Repr<()> + 'static) -> Self {
+        Cell { get, set: std::rc::Rc::new(set) }
+    }
+
+    /// Invoke the cell's `set`.
+    pub fn set(&self, x: X) -> M::Repr<()> {
+        (self.set)(x)
+    }
+}
+
+/// Check the four single-cell laws for one cell (the first half of the
+/// seven-equation theory).
+pub fn check_cell<M, X>(cell: &Cell<M, X>, sample_a: X, sample_b: X, ctx: &M::Ctx) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    X: ObsVal,
+{
+    let set = std::rc::Rc::clone(&cell.set);
+    check_state_algebra::<M, X>(cell.get.clone(), move |x| set(x), sample_a, sample_b, ctx)
+}
+
+/// Check the three commutation equations between two cells (the second
+/// half of the seven-equation theory). For an *entangled* pair these are
+/// expected to fail; for the product state monad they hold.
+pub fn check_commutation<M, X, Y>(
+    cell_x: &Cell<M, X>,
+    cell_y: &Cell<M, Y>,
+    sample_x: X,
+    sample_y: Y,
+    ctx: &M::Ctx,
+) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    X: ObsVal,
+    Y: ObsVal,
+{
+    let mut out = Vec::new();
+
+    // (GG') reads commute.
+    {
+        let gy = cell_y.get.clone();
+        let lhs: M::Repr<(X, Y)> = M::bind(cell_x.get.clone(), move |x| {
+            let gy = gy.clone();
+            M::bind(gy, move |y| M::pure((x.clone(), y)))
+        });
+        let gx = cell_x.get.clone();
+        let rhs: M::Repr<(X, Y)> = M::bind(cell_y.get.clone(), move |y| {
+            let gx = gx.clone();
+            M::bind(gx, move |x| M::pure((x, y.clone())))
+        });
+        if let Err(v) = expect_obs_eq::<M, (X, Y)>("(GG') get/get commute", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    // (GS') reading one cell commutes with writing the other.
+    {
+        let lhs: M::Repr<X> = {
+            let set_y = cell_y.set(sample_y.clone());
+            M::bind(cell_x.get.clone(), move |x| {
+                let set_y = set_y.clone();
+                M::seq(set_y, M::pure(x))
+            })
+        };
+        let rhs: M::Repr<X> = M::seq(cell_y.set(sample_y.clone()), cell_x.get.clone());
+        if let Err(v) = expect_obs_eq::<M, X>("(GS') get/set commute", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    // (SS') writes to distinct cells commute.
+    {
+        let lhs = M::seq(cell_x.set(sample_x.clone()), cell_y.set(sample_y.clone()));
+        let rhs = M::seq(cell_y.set(sample_y), cell_x.set(sample_x));
+        if let Err(v) = expect_obs_eq::<M, ()>("(SS') set/set commute", &lhs, &rhs, ctx) {
+            out.push(v);
+        }
+    }
+
+    out
+}
+
+/// The full seven-equation check for a pair of cells: both cells'
+/// single-cell laws plus the three commutation equations.
+pub fn check_two_cell_theory<M, X, Y>(
+    cell_x: &Cell<M, X>,
+    cell_y: &Cell<M, Y>,
+    sample_x: (X, X),
+    sample_y: (Y, Y),
+    ctx: &M::Ctx,
+) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    X: ObsVal,
+    Y: ObsVal,
+{
+    let mut out = check_cell(cell_x, sample_x.0.clone(), sample_x.1, ctx);
+    out.extend(check_cell(cell_y, sample_y.0.clone(), sample_y.1, ctx));
+    out.extend(check_commutation(cell_x, cell_y, sample_x.0, sample_y.0, ctx));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{gets, modify, State, StateOf};
+
+    type S = (i64, i64);
+    type M = StateOf<S>;
+
+    /// The two independent cells of the product state monad (A×B, §3.4).
+    fn product_cells() -> (Cell<M, i64>, Cell<M, i64>) {
+        let cell_a = Cell::<M, i64>::new(gets(|s: &S| s.0), |x| modify(move |s: S| (x, s.1)));
+        let cell_b = Cell::<M, i64>::new(gets(|s: &S| s.1), |y| modify(move |s: S| (s.0, y)));
+        (cell_a, cell_b)
+    }
+
+    /// Two *entangled* cells over a single i64: cell X is the value, cell
+    /// Y its negation (a lens view). Both are lawful cells, but they share
+    /// storage.
+    fn entangled_cells() -> (Cell<StateOf<i64>, i64>, Cell<StateOf<i64>, i64>) {
+        let cell_x = Cell::<StateOf<i64>, i64>::new(gets(|s: &i64| *s), |x| {
+            State::new(move |_| ((), x))
+        });
+        let cell_y = Cell::<StateOf<i64>, i64>::new(gets(|s: &i64| -*s), |y| {
+            State::new(move |_| ((), -y))
+        });
+        (cell_x, cell_y)
+    }
+
+    #[test]
+    fn product_cells_satisfy_all_seven_equations() {
+        let (ca, cb) = product_cells();
+        let ctx: Vec<S> = vec![(0, 0), (3, -4), (100, 7)];
+        let v = check_two_cell_theory(&ca, &cb, (1, 2), (10, 20), &ctx);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn entangled_cells_satisfy_each_cells_laws() {
+        let (cx, cy) = entangled_cells();
+        let ctx: Vec<i64> = vec![-2, 0, 5];
+        assert!(check_cell(&cx, 1, 2, &ctx).is_empty());
+        assert!(check_cell(&cy, 10, 20, &ctx).is_empty());
+    }
+
+    #[test]
+    fn entangled_cells_fail_exactly_the_commutation_equations() {
+        // This is the paper's §3.4 point made precise: entanglement =
+        // both cells lawful, commutation dropped.
+        let (cx, cy) = entangled_cells();
+        let ctx: Vec<i64> = vec![0];
+        let v = check_commutation(&cx, &cy, 1, 2, &ctx);
+        // set_x 1 >> set_y 2 leaves -2; set_y 2 >> set_x 1 leaves 1.
+        assert!(!v.is_empty());
+        assert!(v.iter().any(|viol| viol.law.contains("(SS')")), "{v:?}");
+        // Reads of pure views always commute ((GG') holds even entangled).
+        assert!(!v.iter().any(|viol| viol.law.contains("(GG')")), "{v:?}");
+    }
+}

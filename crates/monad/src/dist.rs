@@ -1,0 +1,184 @@
+//! Probabilistic choice: a finite-support distribution monad, one of the
+//! effects §5 of the paper proposes reconciling with bidirectionality.
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad, Val};
+
+/// A finite probability distribution: weighted outcomes.
+///
+/// Weights need not be normalised; [`Dist::normalized`] and the
+/// [`ObserveMonad`] instance normalise and merge equal outcomes so that
+/// distributions compare by their actual probability mass function (the
+/// right notion of equality for the monad laws — binding in a different
+/// order may produce the same distribution with differently-split weights).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dist<A> {
+    outcomes: Vec<(A, f64)>,
+}
+
+impl<A: Val> Dist<A> {
+    /// The point distribution on `a`.
+    pub fn point(a: A) -> Self {
+        Dist { outcomes: vec![(a, 1.0)] }
+    }
+
+    /// A distribution from explicit weighted outcomes. Weights must be
+    /// non-negative and not all zero.
+    pub fn weighted(outcomes: Vec<(A, f64)>) -> Self {
+        assert!(
+            outcomes.iter().all(|(_, w)| *w >= 0.0),
+            "distribution weights must be non-negative"
+        );
+        assert!(
+            outcomes.iter().any(|(_, w)| *w > 0.0),
+            "distribution must have positive total weight"
+        );
+        Dist { outcomes }
+    }
+
+    /// The uniform distribution over `choices` (must be non-empty).
+    pub fn uniform(choices: impl IntoIterator<Item = A>) -> Self {
+        let outcomes: Vec<(A, f64)> = choices.into_iter().map(|a| (a, 1.0)).collect();
+        assert!(!outcomes.is_empty(), "uniform distribution needs at least one outcome");
+        Dist { outcomes }
+    }
+
+    /// A Bernoulli choice: `a` with probability `p`, else `b`.
+    pub fn bernoulli(p: f64, a: A, b: A) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        Dist { outcomes: vec![(a, p), (b, 1.0 - p)] }
+    }
+
+    /// Raw weighted outcomes, in insertion order, unnormalised.
+    pub fn outcomes(&self) -> &[(A, f64)] {
+        &self.outcomes
+    }
+
+    /// Total (unnormalised) weight.
+    pub fn total_weight(&self) -> f64 {
+        self.outcomes.iter().map(|(_, w)| w).sum()
+    }
+
+    /// The probability of outcomes satisfying `pred`, normalised.
+    pub fn probability(&self, pred: impl Fn(&A) -> bool) -> f64 {
+        let total = self.total_weight();
+        self.outcomes
+            .iter()
+            .filter(|(a, _)| pred(a))
+            .map(|(_, w)| w)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Normalise weights to sum to 1 and merge duplicate outcomes
+    /// (requires `A: PartialEq`). Outcomes keep first-appearance order.
+    pub fn normalized(&self) -> Vec<(A, f64)>
+    where
+        A: PartialEq,
+    {
+        let total = self.total_weight();
+        let mut merged: Vec<(A, f64)> = Vec::new();
+        for (a, w) in &self.outcomes {
+            if *w == 0.0 {
+                continue;
+            }
+            match merged.iter_mut().find(|(b, _)| b == a) {
+                Some((_, acc)) => *acc += w / total,
+                None => merged.push((a.clone(), w / total)),
+            }
+        }
+        merged
+    }
+}
+
+/// Family marker for the distribution monad, where `Repr<A> = Dist<A>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistOf;
+
+impl MonadFamily for DistOf {
+    type Repr<A: Val> = Dist<A>;
+
+    fn pure<A: Val>(a: A) -> Dist<A> {
+        Dist::point(a)
+    }
+
+    fn bind<A: Val, B: Val, F>(ma: Dist<A>, f: F) -> Dist<B>
+    where
+        F: Fn(A) -> Dist<B> + 'static,
+    {
+        let mut outcomes = Vec::new();
+        for (a, w) in ma.outcomes {
+            let db = f(a);
+            let sub_total = db.total_weight();
+            for (b, v) in db.outcomes {
+                outcomes.push((b, w * v / sub_total));
+            }
+        }
+        Dist { outcomes }
+    }
+}
+
+/// Probabilities quantised to a fixed grid, making observations exactly
+/// comparable despite floating-point rounding.
+fn quantize(p: f64) -> i64 {
+    (p * 1e9).round() as i64
+}
+
+impl ObserveMonad for DistOf {
+    type Ctx = ();
+    /// The normalised probability mass function, probabilities quantised.
+    type Obs<A: ObsVal> = Vec<(A, i64)>;
+
+    fn observe<A: ObsVal>(ma: &Dist<A>, _ctx: &()) -> Vec<(A, i64)> {
+        ma.normalized().into_iter().map(|(a, p)| (a, quantize(p))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mass_has_probability_one() {
+        let d = Dist::point(3);
+        assert_eq!(d.probability(|x| *x == 3), 1.0);
+    }
+
+    #[test]
+    fn uniform_splits_mass_evenly() {
+        let d = Dist::uniform([1, 2, 3, 4]);
+        assert!((d.probability(|x| *x <= 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bind_multiplies_probabilities() {
+        // Two fair coin flips: P(both heads) = 1/4.
+        let flip = Dist::bernoulli(0.5, true, false);
+        let two = DistOf::bind(flip.clone(), move |h1| {
+            let flip = flip.clone();
+            DistOf::map(flip, move |h2| h1 && h2)
+        });
+        assert!((two.probability(|b| *b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_merges_duplicates() {
+        let d = Dist::weighted(vec![("a", 1.0), ("b", 1.0), ("a", 2.0)]);
+        let n = d.normalized();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[0].0, "a");
+        assert!((n[0].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation_ignores_weight_splitting() {
+        let split = Dist::weighted(vec![(1, 0.5), (1, 0.5)]);
+        let whole = Dist::point(1);
+        assert_eq!(DistOf::observe(&split, &()), DistOf::observe(&whole, &()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let _ = Dist::weighted(vec![(1, -0.5)]);
+    }
+}

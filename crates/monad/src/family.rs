@@ -1,0 +1,189 @@
+//! The [`MonadFamily`] abstraction: Rust's stand-in for Haskell's
+//! `Monad` type class, encoded with generic associated types.
+
+use std::fmt::Debug;
+
+/// Values that may flow through a monadic computation.
+///
+/// Computations in this library are re-runnable (`Repr<A>: Clone`, `bind`
+/// takes `Fn`), so every intermediate value must be cloneable and owned.
+/// This is a blanket-implemented alias for `Clone + 'static`.
+pub trait Val: Clone + 'static {}
+impl<T: Clone + 'static> Val for T {}
+
+/// Observable values: [`Val`]s that can be compared and printed, so that
+/// law violations can be reported with counterexamples.
+pub trait ObsVal: Val + PartialEq + Debug {}
+impl<T: Val + PartialEq + Debug> ObsVal for T {}
+
+/// A monad, encoded as a *family*: `Self` is a marker type (usually
+/// zero-sized) and `Self::Repr<A>` is the type of computations yielding `A`
+/// — the Rust spelling of the paper's `M A`.
+///
+/// The three monad laws from §2 of the paper are not (cannot be) enforced by
+/// the type system; they are checked observationally by
+/// [`crate::laws::check_monad_laws`] for every family in this crate:
+///
+/// ```text
+/// return a >>= f                 =  f a                    (left unit)
+/// ma >>= return                  =  ma                     (right unit)
+/// ma >>= (\a -> f a >>= g)       =  (ma >>= f) >>= g       (associativity)
+/// ```
+pub trait MonadFamily {
+    /// The type of computations yielding an `A` — the paper's `M A`.
+    ///
+    /// `Clone` is required so computations can be sequenced with [`seq`]
+    /// and observed repeatedly (the basis of observational equality).
+    ///
+    /// [`seq`]: MonadFamily::seq
+    type Repr<A: Val>: Clone + 'static;
+
+    /// The paper's `return`: inject a value as an effect-free computation.
+    fn pure<A: Val>(a: A) -> Self::Repr<A>;
+
+    /// The paper's `(>>=)` ("bind"): run `ma`, then feed its result to `f`.
+    ///
+    /// `f` is `Fn`, not `FnOnce`, because nondeterministic and probabilistic
+    /// families invoke the continuation once per outcome.
+    fn bind<A: Val, B: Val, F>(ma: Self::Repr<A>, f: F) -> Self::Repr<B>
+    where
+        F: Fn(A) -> Self::Repr<B> + 'static;
+
+    /// Functorial map, derived from `bind` and `pure`.
+    fn map<A: Val, B: Val, F>(ma: Self::Repr<A>, f: F) -> Self::Repr<B>
+    where
+        F: Fn(A) -> B + 'static,
+    {
+        Self::bind(ma, move |a| Self::pure(f(a)))
+    }
+
+    /// The paper's `(>>)` ("sequence"): run `ma` for its effect, discard its
+    /// value, then run `mb`. Defined, as in the paper, as
+    /// `ma >>= \_ -> mb`.
+    fn seq<A: Val, B: Val>(ma: Self::Repr<A>, mb: Self::Repr<B>) -> Self::Repr<B> {
+        Self::bind(ma, move |_| mb.clone())
+    }
+
+    /// Run two computations in order and pair their results.
+    fn pair<A: Val, B: Val>(ma: Self::Repr<A>, mb: Self::Repr<B>) -> Self::Repr<(A, B)> {
+        Self::bind(ma, move |a| {
+            let mb = mb.clone();
+            Self::map(mb, move |b| (a.clone(), b))
+        })
+    }
+
+    /// Flatten a computation of a computation — the monad multiplication.
+    fn join<A: Val>(mma: Self::Repr<Self::Repr<A>>) -> Self::Repr<A> {
+        Self::bind(mma, |ma| ma)
+    }
+
+    /// Replace the result of a computation with `()`, keeping its effects.
+    fn void<A: Val>(ma: Self::Repr<A>) -> Self::Repr<()> {
+        Self::map(ma, |_| ())
+    }
+
+    /// Run the computations of `mas` left to right, collecting results.
+    fn sequence<A: Val>(mas: Vec<Self::Repr<A>>) -> Self::Repr<Vec<A>> {
+        let mut acc: Self::Repr<Vec<A>> = Self::pure(Vec::new());
+        for ma in mas {
+            acc = Self::bind(acc, move |xs| {
+                let ma = ma.clone();
+                Self::map(ma, move |a| {
+                    let mut xs = xs.clone();
+                    xs.push(a);
+                    xs
+                })
+            });
+        }
+        acc
+    }
+}
+
+/// Monads whose computations can be *observed*: reduced, in some context, to
+/// a plain comparable value. Observational equality of computations is the
+/// executable analogue of the paper's equational reasoning.
+///
+/// For value-like monads (`Option`, `Vec`, `Writer`, …) the context is `()`
+/// and the observation is essentially the computation itself. For function-
+/// like monads (`State<S>`, `StateT`) the context supplies sample initial
+/// states and the observation is the vector of results.
+pub trait ObserveMonad: MonadFamily {
+    /// Context required to observe a computation (e.g. initial states).
+    type Ctx: Clone;
+
+    /// The observable outcome of a computation yielding `A`.
+    type Obs<A: ObsVal>: PartialEq + Debug;
+
+    /// Observe `ma` in context `ctx`.
+    fn observe<A: ObsVal>(ma: &Self::Repr<A>, ctx: &Self::Ctx) -> Self::Obs<A>;
+}
+
+/// Assert that two computations are observationally equal, returning a
+/// diagnostic message on failure.
+pub fn obs_eq<M: ObserveMonad, A: ObsVal>(
+    lhs: &M::Repr<A>,
+    rhs: &M::Repr<A>,
+    ctx: &M::Ctx,
+) -> Result<(), String> {
+    let lo = M::observe(lhs, ctx);
+    let ro = M::observe(rhs, ctx);
+    if lo == ro {
+        Ok(())
+    } else {
+        Err(format!("observations differ:\n  lhs = {lo:?}\n  rhs = {ro:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::option::OptionOf;
+
+    #[test]
+    fn map_is_bind_then_pure() {
+        let ma: Option<i32> = OptionOf::pure(20);
+        assert_eq!(OptionOf::map(ma, |x| x * 2), Some(40));
+    }
+
+    #[test]
+    fn seq_discards_first_result() {
+        let ma = OptionOf::pure("ignored");
+        let mb = OptionOf::pure(7);
+        assert_eq!(OptionOf::seq(ma, mb), Some(7));
+    }
+
+    #[test]
+    fn seq_propagates_first_effect() {
+        let ma: Option<&str> = None;
+        let mb = OptionOf::pure(7);
+        assert_eq!(OptionOf::seq(ma, mb), None);
+    }
+
+    #[test]
+    fn pair_combines_results_in_order() {
+        let ma = OptionOf::pure(1);
+        let mb = OptionOf::pure("two");
+        assert_eq!(OptionOf::pair(ma, mb), Some((1, "two")));
+    }
+
+    #[test]
+    fn join_flattens() {
+        let mma: Option<Option<i32>> = Some(Some(3));
+        assert_eq!(OptionOf::join(mma), Some(3));
+        let empty: Option<Option<i32>> = Some(None);
+        assert_eq!(OptionOf::join(empty), None);
+    }
+
+    #[test]
+    fn sequence_collects_in_order() {
+        let mas = vec![Some(1), Some(2), Some(3)];
+        assert_eq!(OptionOf::sequence(mas), Some(vec![1, 2, 3]));
+        let with_fail = vec![Some(1), None, Some(3)];
+        assert_eq!(OptionOf::sequence(with_fail), None);
+    }
+
+    #[test]
+    fn void_erases_value() {
+        assert_eq!(OptionOf::void(Some(9)), Some(()));
+    }
+}

@@ -1,0 +1,55 @@
+//! The identity monad: computations with no effects at all.
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad, Val};
+
+/// Family marker for the identity monad, where `Repr<A> = A`.
+///
+/// Useful as the "no effect" base for [`crate::statet::StateTOf`]:
+/// `StateT<S, IdentityOf, A>` is isomorphic to plain `State<S, A>`, a fact
+/// the test suite checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityOf;
+
+impl MonadFamily for IdentityOf {
+    type Repr<A: Val> = A;
+
+    fn pure<A: Val>(a: A) -> A {
+        a
+    }
+
+    fn bind<A: Val, B: Val, F>(ma: A, f: F) -> B
+    where
+        F: Fn(A) -> B + 'static,
+    {
+        f(ma)
+    }
+}
+
+impl ObserveMonad for IdentityOf {
+    type Ctx = ();
+    type Obs<A: ObsVal> = A;
+
+    fn observe<A: ObsVal>(ma: &A, _ctx: &()) -> A {
+        ma.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_is_identity() {
+        assert_eq!(IdentityOf::pure(42), 42);
+    }
+
+    #[test]
+    fn bind_is_application() {
+        assert_eq!(IdentityOf::bind(21, |x| x * 2), 42);
+    }
+
+    #[test]
+    fn observation_is_the_value() {
+        assert_eq!(IdentityOf::observe(&"x", &()), "x");
+    }
+}

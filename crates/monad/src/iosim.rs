@@ -1,0 +1,146 @@
+//! Simulated I/O: the carrier for the paper's §4 "Stateful bx" example.
+//!
+//! The paper uses Haskell's `IO` monad with a single operation
+//! `print : String -> IO ()`. Real `IO` is not observable, so (per the
+//! substitution rules in `DESIGN.md`) this crate replaces it with a
+//! deterministic *trace* monad: a computation is a value together with the
+//! ordered list of [`IoEvent`]s it performed. The paper's example only
+//! observes `IO` through which `print`s happen and in what order, so the
+//! substitution preserves exactly the behaviour of interest — and makes the
+//! claims ("the side-effects only occur when the state is changed")
+//! mechanically checkable.
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad, Val};
+
+/// A single observable I/O action.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IoEvent {
+    /// The paper's `print : String -> IO ()`.
+    Print(String),
+    /// An arbitrary labelled effect, for user extensions: `(channel, payload)`.
+    Effect(String, String),
+}
+
+impl std::fmt::Display for IoEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoEvent::Print(s) => write!(f, "print {s:?}"),
+            IoEvent::Effect(chan, payload) => write!(f, "effect {chan}: {payload}"),
+        }
+    }
+}
+
+/// An ordered record of performed I/O actions.
+pub type Trace = Vec<IoEvent>;
+
+/// A simulated-I/O computation: a value plus the trace it produced.
+///
+/// Structurally this is a writer monad over [`Trace`], but it is a distinct
+/// type so that I/O traces cannot be confused with ordinary writer output,
+/// and so richer event kinds can be added without touching the writer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoSim<A> {
+    /// The computed value.
+    pub value: A,
+    /// The I/O actions performed, in order.
+    pub trace: Trace,
+}
+
+impl<A> IoSim<A> {
+    /// A computation that performs `trace` and yields `value`.
+    pub fn new(value: A, trace: Trace) -> Self {
+        IoSim { value, trace }
+    }
+
+    /// A computation that performs no I/O.
+    pub fn silent(value: A) -> Self {
+        IoSim { value, trace: Vec::new() }
+    }
+
+    /// All strings printed by this computation, in order.
+    pub fn printed(&self) -> Vec<&str> {
+        self.trace
+            .iter()
+            .filter_map(|e| match e {
+                IoEvent::Print(s) => Some(s.as_str()),
+                IoEvent::Effect(..) => None,
+            })
+            .collect()
+    }
+}
+
+/// The paper's `print : String -> IO ()`.
+pub fn print(msg: impl Into<String>) -> IoSim<()> {
+    IoSim::new((), vec![IoEvent::Print(msg.into())])
+}
+
+/// Family marker for the simulated-I/O monad, where `Repr<A> = IoSim<A>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSimOf;
+
+impl MonadFamily for IoSimOf {
+    type Repr<A: Val> = IoSim<A>;
+
+    fn pure<A: Val>(a: A) -> IoSim<A> {
+        IoSim::silent(a)
+    }
+
+    fn bind<A: Val, B: Val, F>(ma: IoSim<A>, f: F) -> IoSim<B>
+    where
+        F: Fn(A) -> IoSim<B> + 'static,
+    {
+        let IoSim { value, mut trace } = ma;
+        let IoSim { value: b, trace: t2 } = f(value);
+        trace.extend(t2);
+        IoSim::new(b, trace)
+    }
+}
+
+impl ObserveMonad for IoSimOf {
+    type Ctx = ();
+    /// Both the value *and* the full trace are observable: two I/O
+    /// computations are equal only if they perform the same actions.
+    type Obs<A: ObsVal> = (A, Trace);
+
+    fn observe<A: ObsVal>(ma: &IoSim<A>, _ctx: &()) -> (A, Trace) {
+        (ma.value.clone(), ma.trace.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_records_one_event() {
+        let ma = print("hello");
+        assert_eq!(ma.trace, vec![IoEvent::Print("hello".to_string())]);
+    }
+
+    #[test]
+    fn traces_concatenate_in_program_order() {
+        let ma = IoSimOf::seq(print("a"), print("b"));
+        let ma = IoSimOf::seq(ma, IoSimOf::pure(7));
+        assert_eq!(ma.value, 7);
+        assert_eq!(ma.printed(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn pure_is_silent() {
+        let ma: IoSim<i32> = IoSimOf::pure(1);
+        assert!(ma.trace.is_empty());
+    }
+
+    #[test]
+    fn observation_distinguishes_traces() {
+        let loud = IoSimOf::seq(print("x"), IoSimOf::pure(1));
+        let quiet: IoSim<i32> = IoSimOf::pure(1);
+        assert_ne!(IoSimOf::observe(&loud, &()), IoSimOf::observe(&quiet, &()));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(IoEvent::Print("hi".into()).to_string(), "print \"hi\"");
+        assert_eq!(IoEvent::Effect("log".into(), "msg".into()).to_string(), "effect log: msg");
+    }
+}

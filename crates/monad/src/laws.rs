@@ -1,0 +1,316 @@
+//! Executable forms of the equational laws from §2 of the paper.
+//!
+//! The paper proves its lemmas in the equational theory of the λ-calculus.
+//! This module provides the operational analogue: given an
+//! [`ObserveMonad`], each law becomes a pair of computations whose
+//! observations must coincide. These helpers are used by this crate's own
+//! tests (every family is checked) and re-used by the `esm-lawcheck` crate
+//! for the bx-level laws.
+
+use crate::family::{ObsVal, ObserveMonad, Val};
+
+/// A violation of a named law, with printable evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LawViolation {
+    /// Which law failed (e.g. `"left-unit"`, `"(GS)"`).
+    pub law: &'static str,
+    /// Human-readable description of the differing observations.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LawViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "law {} violated: {}", self.law, self.detail)
+    }
+}
+
+impl std::error::Error for LawViolation {}
+
+/// Check that two computations observe equally, tagging failures with `law`.
+pub fn expect_obs_eq<M: ObserveMonad, A: ObsVal>(
+    law: &'static str,
+    lhs: &M::Repr<A>,
+    rhs: &M::Repr<A>,
+    ctx: &M::Ctx,
+) -> Result<(), LawViolation> {
+    crate::family::obs_eq::<M, A>(lhs, rhs, ctx).map_err(|detail| LawViolation { law, detail })
+}
+
+/// Left unit: `return a >>= f  =  f a`.
+pub fn check_left_unit<M, A, B, F>(a: A, f: F, ctx: &M::Ctx) -> Result<(), LawViolation>
+where
+    M: ObserveMonad + 'static,
+    A: Val,
+    B: ObsVal,
+    F: Fn(A) -> M::Repr<B> + Clone + 'static,
+{
+    let lhs = M::bind(M::pure(a.clone()), f.clone());
+    let rhs = f(a);
+    expect_obs_eq::<M, B>("left-unit", &lhs, &rhs, ctx)
+}
+
+/// Right unit: `ma >>= return  =  ma`.
+pub fn check_right_unit<M, A>(ma: M::Repr<A>, ctx: &M::Ctx) -> Result<(), LawViolation>
+where
+    M: ObserveMonad + 'static,
+    A: ObsVal,
+{
+    let lhs = M::bind(ma.clone(), M::pure);
+    expect_obs_eq::<M, A>("right-unit", &lhs, &ma, ctx)
+}
+
+/// Associativity: `ma >>= (\a -> f a >>= g)  =  (ma >>= f) >>= g`.
+pub fn check_assoc<M, A, B, C, F, G>(
+    ma: M::Repr<A>,
+    f: F,
+    g: G,
+    ctx: &M::Ctx,
+) -> Result<(), LawViolation>
+where
+    M: ObserveMonad + 'static,
+    A: Val,
+    B: Val,
+    C: ObsVal,
+    F: Fn(A) -> M::Repr<B> + Clone + 'static,
+    G: Fn(B) -> M::Repr<C> + Clone + 'static,
+{
+    let lhs = {
+        let f = f.clone();
+        let g = g.clone();
+        M::bind(ma.clone(), move |a| M::bind(f(a), g.clone()))
+    };
+    let rhs = M::bind(M::bind(ma, f), g);
+    expect_obs_eq::<M, C>("associativity", &lhs, &rhs, ctx)
+}
+
+/// Run all three monad laws on the given data, collecting violations.
+pub fn check_monad_laws<M, A, B, C, F, G>(
+    a: A,
+    ma: M::Repr<A>,
+    f: F,
+    g: G,
+    ctx: &M::Ctx,
+) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    A: ObsVal,
+    B: ObsVal,
+    C: ObsVal,
+    F: Fn(A) -> M::Repr<B> + Clone + 'static,
+    G: Fn(B) -> M::Repr<C> + Clone + 'static,
+{
+    let mut violations = Vec::new();
+    if let Err(v) = check_left_unit::<M, A, B, _>(a, f.clone(), ctx) {
+        violations.push(v);
+    }
+    if let Err(v) = check_right_unit::<M, A>(ma.clone(), ctx) {
+        violations.push(v);
+    }
+    if let Err(v) = check_assoc::<M, A, B, C, _, _>(ma, f, g, ctx) {
+        violations.push(v);
+    }
+    violations
+}
+
+/// The four laws of the algebraic theory of a single memory cell (§2),
+/// stated for arbitrary `get`/`set` computations in an arbitrary monad.
+///
+/// This is the abstraction the paper's set-bx definition doubles up: a
+/// set-bx is a monad carrying *two* structures passing these checks (minus
+/// (SS) unless overwriteable).
+pub fn check_state_algebra<M, S>(
+    get: M::Repr<S>,
+    set: impl Fn(S) -> M::Repr<()> + Clone + 'static,
+    sample_a: S,
+    sample_b: S,
+    ctx: &M::Ctx,
+) -> Vec<LawViolation>
+where
+    M: ObserveMonad + 'static,
+    S: ObsVal,
+{
+    let mut violations = Vec::new();
+
+    // (GG) get >>= \s. get >>= \s'. k s s'  =  get >>= \s. k s s
+    // with the observing continuation k s s' = return (s, s').
+    {
+        let g2 = get.clone();
+        let lhs: M::Repr<(S, S)> = M::bind(get.clone(), move |s| {
+            let g2 = g2.clone();
+            M::bind(g2, move |s2| M::pure((s.clone(), s2)))
+        });
+        let rhs: M::Repr<(S, S)> = M::bind(get.clone(), |s| M::pure((s.clone(), s)));
+        if let Err(v) = expect_obs_eq::<M, (S, S)>("(GG)", &lhs, &rhs, ctx) {
+            violations.push(v);
+        }
+    }
+
+    // (GS) get >>= set  =  return ()
+    {
+        let set_ = set.clone();
+        let lhs = M::bind(get.clone(), set_);
+        let rhs = M::pure(());
+        if let Err(v) = expect_obs_eq::<M, ()>("(GS)", &lhs, &rhs, ctx) {
+            violations.push(v);
+        }
+    }
+
+    // (SG) set s >> get  =  set s >> return s
+    {
+        let lhs = M::seq(set(sample_a.clone()), get.clone());
+        let rhs = M::seq(set(sample_a.clone()), M::pure(sample_a.clone()));
+        if let Err(v) = expect_obs_eq::<M, S>("(SG)", &lhs, &rhs, ctx) {
+            violations.push(v);
+        }
+    }
+
+    // (SS) set s >> set s'  =  set s'
+    {
+        let lhs = M::seq(set(sample_a), set(sample_b.clone()));
+        let rhs = set(sample_b);
+        if let Err(v) = expect_obs_eq::<M, ()>("(SS)", &lhs, &rhs, ctx) {
+            violations.push(v);
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Dist, DistOf};
+    use crate::family::MonadFamily;
+    use crate::identity::IdentityOf;
+    use crate::iosim::{print, IoSimOf};
+    use crate::nondet::NonDetOf;
+    use crate::option::OptionOf;
+    use crate::result::ResultOf;
+    use crate::state::{get, set, State, StateOf};
+    use crate::statet::{state_t_get, state_t_set, StateTOf};
+    use crate::writer::{tell, WriterOf};
+
+    #[test]
+    fn identity_satisfies_monad_laws() {
+        let v = check_monad_laws::<IdentityOf, _, _, _, _, _>(3, 7, |x: i32| x + 1, |y: i32| y * 2, &());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn option_satisfies_monad_laws() {
+        let f = |x: i32| if x > 0 { Some(x + 1) } else { None };
+        let g = |y: i32| if y % 2 == 0 { Some(y * 10) } else { None };
+        for a in [-1, 0, 1, 2] {
+            let v = check_monad_laws::<OptionOf, _, _, _, _, _>(a, Some(a), f, g, &());
+            assert!(v.is_empty(), "{v:?}");
+        }
+        let v = check_monad_laws::<OptionOf, i32, i32, i32, _, _>(1, None, f, g, &());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn result_satisfies_monad_laws() {
+        type M = ResultOf<String>;
+        let f = |x: i32| if x > 0 { Ok(x + 1) } else { Err("neg".to_string()) };
+        let g = |y: i32| Ok(y * 2);
+        for ma in [Ok(5), Err("e".to_string())] {
+            let v = check_monad_laws::<M, _, _, _, _, _>(5, ma, f, g, &());
+            assert!(v.is_empty(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn nondet_satisfies_monad_laws() {
+        let f = |x: i32| vec![x, x + 1];
+        let g = |y: i32| if y % 2 == 0 { vec![y] } else { vec![] };
+        let v = check_monad_laws::<NonDetOf, _, _, _, _, _>(4, vec![1, 2, 3], f, g, &());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn writer_satisfies_monad_laws() {
+        type M = WriterOf<String>;
+        let f = |x: i32| M::seq(tell(format!("f{x};")), M::pure(x + 1));
+        let g = |y: i32| M::seq(tell(format!("g{y};")), M::pure(y * 2));
+        let ma = M::seq(tell("start;".to_string()), M::pure(10));
+        let v = check_monad_laws::<M, _, _, _, _, _>(10, ma, f, g, &());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dist_satisfies_monad_laws() {
+        let f = |x: i32| Dist::uniform([x, x + 1]);
+        let g = |y: i32| Dist::bernoulli(0.25, y, 0);
+        let ma = Dist::uniform([1, 2, 3]);
+        let v = check_monad_laws::<DistOf, _, _, _, _, _>(2, ma, f, g, &());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn state_satisfies_monad_laws() {
+        type M = StateOf<i64>;
+        let ctx = vec![-5i64, 0, 3, 99];
+        let f = |x: i64| -> State<i64, i64> { M::bind(get(), move |s| M::seq(set(s + x), M::pure(s))) };
+        let g = |y: i64| -> State<i64, i64> { M::map(get(), move |s| s * y) };
+        let ma: State<i64, i64> = M::bind(get(), |s| M::seq(set(s * 2), M::pure(s + 1)));
+        let v = check_monad_laws::<M, _, _, _, _, _>(7, ma, f, g, &ctx);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn iosim_satisfies_monad_laws() {
+        type M = IoSimOf;
+        let f = |x: i32| M::seq(print(format!("f{x}")), M::pure(x + 1));
+        let g = |y: i32| M::seq(print(format!("g{y}")), M::pure(y * 2));
+        let ma = M::seq(print("m"), M::pure(1));
+        let v = check_monad_laws::<M, _, _, _, _, _>(1, ma, f, g, &());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn statet_over_iosim_satisfies_monad_laws() {
+        type M = StateTOf<i64, IoSimOf>;
+        let ctx = (vec![0i64, 4, -2], ());
+        let f = |x: i64| M::bind(state_t_get(), move |s| M::seq(state_t_set(s + x), M::pure(s)));
+        let g = |y: i64| M::seq(crate::statet::lift(print(format!("g{y}"))), M::pure(y * 2));
+        let ma = M::seq(crate::statet::lift(print("m")), state_t_get());
+        let v = check_monad_laws::<M, _, _, _, _, _>(7, ma, f, g, &ctx);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn state_get_set_satisfy_all_four_cell_laws() {
+        type M = StateOf<i64>;
+        let ctx = vec![-1i64, 0, 42];
+        let v = check_state_algebra::<M, i64>(get(), set, 10, 20, &ctx);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn statet_get_set_satisfy_all_four_cell_laws() {
+        type M = StateTOf<i64, IoSimOf>;
+        let ctx = (vec![-1i64, 0, 42], ());
+        let v = check_state_algebra::<M, i64>(state_t_get(), state_t_set, 10, 20, &ctx);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn broken_set_is_caught() {
+        // A "set" that ignores its argument: violates (SG) and (SS)... in
+        // fact (SG) because `set s >> get` returns the old state.
+        type M = StateOf<i64>;
+        let ctx = vec![0i64, 5];
+        let bogus_set = |_s: i64| -> State<i64, ()> { M::pure(()) };
+        let v = check_state_algebra::<M, i64>(get(), bogus_set, 10, 20, &ctx);
+        assert!(
+            v.iter().any(|viol| viol.law == "(SG)"),
+            "expected an (SG) violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn law_violation_displays_nicely() {
+        let v = LawViolation { law: "(GS)", detail: "lhs != rhs".into() };
+        assert_eq!(v.to_string(), "law (GS) violated: lhs != rhs");
+    }
+}

@@ -1,0 +1,64 @@
+//! Monadic substrate for the *entangled state monads* library.
+//!
+//! The paper ("Entangled State Monads", BX 2014) works in Haskell, where a
+//! monad is a type constructor `M :: * -> *` with `return` and `(>>=)`.
+//! Rust has no higher-kinded types, so this crate encodes the same structure
+//! with a *generic associated type*: a [`MonadFamily`] is a (usually
+//! zero-sized) marker type whose associated `Repr<A>` plays the role of
+//! `M A`.
+//!
+//! Computations are **re-runnable values**: `Repr<A>: Clone`, and `bind`
+//! takes an `Fn` continuation. This is what lets the library state the
+//! paper's equational laws *observationally*: two computations are equal iff
+//! they are indistinguishable under [`ObserveMonad::observe`], and a single
+//! computation can be observed under many contexts (e.g. many initial
+//! states). The price is that values flowing through a computation must be
+//! [`Clone`] (see [`Val`]) — every type this library synchronises (integers,
+//! strings, tables, models) is.
+//!
+//! Families provided:
+//!
+//! | family | `Repr<A>` | paper role |
+//! |---|---|---|
+//! | [`IdentityOf`] | `A` | pure computation |
+//! | [`StateOf<S>`] | `S -> (A, S)` | §2 "The State Monad" |
+//! | [`WriterOf<W>`] | `(A, W)` | output effects |
+//! | [`OptionOf`] | `Option<A>` | partiality |
+//! | [`ResultOf<E>`] | `Result<A, E>` | exceptions (§5) |
+//! | [`NonDetOf`] | `Vec<A>` | nondeterminism (§2 `List` example) |
+//! | [`DistOf`] | finite distribution | probabilistic choice (§5) |
+//! | [`StateTOf<S, F>`] | `S -> F::Repr<(A, S)>` | §4 `M A = Integer -> IO (A, Integer)` |
+//! | [`IoSimOf`] | `(A, Trace)` | §4 Haskell `IO`, simulated as a trace |
+//!
+//! The simulated-`IO` substitution is deliberate and documented in
+//! `DESIGN.md`: the paper only ever observes `IO` through the sequence of
+//! `print`s it performs, so a recorded [`Trace`] preserves exactly the
+//! observable behaviour while making it testable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+pub mod dist;
+pub mod family;
+pub mod identity;
+pub mod iosim;
+pub mod laws;
+pub mod nondet;
+pub mod option;
+pub mod result;
+pub mod state;
+pub mod statet;
+pub mod writer;
+
+pub use algebra::{check_commutation, check_two_cell_theory, Cell};
+pub use dist::{Dist, DistOf};
+pub use family::{MonadFamily, ObsVal, ObserveMonad, Val};
+pub use identity::IdentityOf;
+pub use iosim::{print, IoEvent, IoSim, IoSimOf, Trace};
+pub use nondet::NonDetOf;
+pub use option::OptionOf;
+pub use result::ResultOf;
+pub use state::{get, gets, modify, set, State, StateOf};
+pub use statet::{lift, state_t_get, state_t_set, StateT, StateTOf};
+pub use writer::{tell, Monoid, Writer, WriterOf};

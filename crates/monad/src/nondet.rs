@@ -1,0 +1,82 @@
+//! Nondeterminism: the list monad family, exactly the `List` example from
+//! §2 of the paper ("non-deterministic computations of type `A -> B` in
+//! terms of the List monad").
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad, Val};
+
+/// Family marker for the list monad, where `Repr<A> = Vec<A>` and a
+/// computation denotes all its possible outcomes in order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NonDetOf;
+
+impl NonDetOf {
+    /// The computation with no outcomes.
+    pub fn fail<A: Val>() -> Vec<A> {
+        Vec::new()
+    }
+
+    /// Nondeterministically choose one of `choices`.
+    pub fn choose<A: Val>(choices: impl IntoIterator<Item = A>) -> Vec<A> {
+        choices.into_iter().collect()
+    }
+
+    /// Nondeterministic alternation: all outcomes of `ma`, then all of `mb`.
+    pub fn alt<A: Val>(ma: Vec<A>, mb: Vec<A>) -> Vec<A> {
+        let mut out = ma;
+        out.extend(mb);
+        out
+    }
+}
+
+impl MonadFamily for NonDetOf {
+    type Repr<A: Val> = Vec<A>;
+
+    fn pure<A: Val>(a: A) -> Vec<A> {
+        vec![a]
+    }
+
+    fn bind<A: Val, B: Val, F>(ma: Vec<A>, f: F) -> Vec<B>
+    where
+        F: Fn(A) -> Vec<B> + 'static,
+    {
+        ma.into_iter().flat_map(f).collect()
+    }
+}
+
+impl ObserveMonad for NonDetOf {
+    type Ctx = ();
+    type Obs<A: ObsVal> = Vec<A>;
+
+    fn observe<A: ObsVal>(ma: &Vec<A>, _ctx: &()) -> Vec<A> {
+        ma.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_explores_all_outcomes() {
+        let ma = NonDetOf::choose([1, 2, 3]);
+        let out = NonDetOf::bind(ma, |x| vec![x, x * 10]);
+        assert_eq!(out, vec![1, 10, 2, 20, 3, 30]);
+    }
+
+    #[test]
+    fn fail_annihilates_bind() {
+        let out: Vec<i32> = NonDetOf::bind(NonDetOf::fail::<i32>(), |x| vec![x]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pair_is_cartesian_product() {
+        let out = NonDetOf::pair(vec![1, 2], vec!["a", "b"]);
+        assert_eq!(out, vec![(1, "a"), (1, "b"), (2, "a"), (2, "b")]);
+    }
+
+    #[test]
+    fn alt_concatenates() {
+        assert_eq!(NonDetOf::alt(vec![1], vec![2, 3]), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Partiality: the `Option` monad family.
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad, Val};
+
+/// Family marker for the `Option` monad, where `Repr<A> = Option<A>`.
+///
+/// Models computations that may fail without an error value — the simplest
+/// of the effects §5 of the paper proposes combining with bidirectionality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptionOf;
+
+impl OptionOf {
+    /// The failing computation.
+    pub fn fail<A: Val>() -> Option<A> {
+        None
+    }
+
+    /// Recover from failure with a fallback computation.
+    pub fn or_else<A: Val>(ma: Option<A>, fallback: Option<A>) -> Option<A> {
+        ma.or(fallback)
+    }
+
+    /// Turn a boolean guard into a computation: succeeds with `()` iff
+    /// `cond` holds.
+    pub fn guard(cond: bool) -> Option<()> {
+        cond.then_some(())
+    }
+}
+
+impl MonadFamily for OptionOf {
+    type Repr<A: Val> = Option<A>;
+
+    fn pure<A: Val>(a: A) -> Option<A> {
+        Some(a)
+    }
+
+    fn bind<A: Val, B: Val, F>(ma: Option<A>, f: F) -> Option<B>
+    where
+        F: Fn(A) -> Option<B> + 'static,
+    {
+        ma.and_then(f)
+    }
+}
+
+impl ObserveMonad for OptionOf {
+    type Ctx = ();
+    type Obs<A: ObsVal> = Option<A>;
+
+    fn observe<A: ObsVal>(ma: &Option<A>, _ctx: &()) -> Option<A> {
+        ma.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_short_circuits_on_none() {
+        let calls = std::cell::Cell::new(0);
+        // A continuation that records it was never reached.
+        let out: Option<i32> = OptionOf::bind(None::<i32>, move |x| {
+            calls.set(calls.get() + 1);
+            Some(x + 1)
+        });
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn guard_encodes_conditions() {
+        assert_eq!(OptionOf::guard(true), Some(()));
+        assert_eq!(OptionOf::guard(false), None);
+    }
+
+    #[test]
+    fn or_else_recovers() {
+        assert_eq!(OptionOf::or_else(None, Some(5)), Some(5));
+        assert_eq!(OptionOf::or_else(Some(1), Some(5)), Some(1));
+    }
+}

@@ -1,0 +1,81 @@
+//! Exceptions: the `Result` monad family with a fixed error type.
+
+use std::marker::PhantomData;
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad, Val};
+
+/// Family marker for the `Result<_, E>` monad, where `Repr<A> = Result<A, E>`.
+///
+/// Models computations that may abort with an error of type `E` — the
+/// "exceptions" effect §5 of the paper proposes reconciling with
+/// bidirectionality. [`ResultOf::throw`] raises, [`ResultOf::catch`]
+/// handles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultOf<E>(PhantomData<E>);
+
+impl<E: Val> ResultOf<E> {
+    /// Raise an exception.
+    pub fn throw<A: Val>(e: E) -> Result<A, E> {
+        Err(e)
+    }
+
+    /// Handle an exception with `handler`; successful computations pass
+    /// through untouched.
+    pub fn catch<A: Val>(ma: Result<A, E>, handler: impl FnOnce(E) -> Result<A, E>) -> Result<A, E> {
+        match ma {
+            Ok(a) => Ok(a),
+            Err(e) => handler(e),
+        }
+    }
+}
+
+impl<E: Val> MonadFamily for ResultOf<E> {
+    type Repr<A: Val> = Result<A, E>;
+
+    fn pure<A: Val>(a: A) -> Result<A, E> {
+        Ok(a)
+    }
+
+    fn bind<A: Val, B: Val, F>(ma: Result<A, E>, f: F) -> Result<B, E>
+    where
+        F: Fn(A) -> Result<B, E> + 'static,
+    {
+        ma.and_then(f)
+    }
+}
+
+impl<E: ObsVal> ObserveMonad for ResultOf<E> {
+    type Ctx = ();
+    type Obs<A: ObsVal> = Result<A, E>;
+
+    fn observe<A: ObsVal>(ma: &Result<A, E>, _ctx: &()) -> Result<A, E> {
+        ma.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type M = ResultOf<String>;
+
+    #[test]
+    fn throw_aborts_bind_chain() {
+        let ma: Result<i32, String> = M::throw("boom".to_string());
+        let out = M::bind(ma, |x| Ok(x + 1));
+        assert_eq!(out, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn catch_recovers() {
+        let ma: Result<i32, String> = M::throw("boom".to_string());
+        let out = M::catch(ma, |e| Ok(e.len() as i32));
+        assert_eq!(out, Ok(4));
+    }
+
+    #[test]
+    fn catch_leaves_success_alone() {
+        let out = M::catch(Ok(10), |_| Ok(0));
+        assert_eq!(out, Ok(10));
+    }
+}

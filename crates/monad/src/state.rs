@@ -1,0 +1,186 @@
+//! The state monad `M_S A = S -> (A, S)` from §2 of the paper, together
+//! with its `get`/`set` operations and the four-law algebraic theory of a
+//! single memory cell.
+
+use std::rc::Rc;
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad, Val};
+
+/// A stateful computation: a re-runnable function `S -> (A, S)`.
+///
+/// The paper defines `M_S A = S -> A × S`. Computations here are wrapped in
+/// `Rc<dyn Fn…>` rather than `Box<dyn FnOnce…>` so that a single computation
+/// can be *observed* on many initial states — the basis of the
+/// observational equality used to check the paper's equational laws.
+pub struct State<S, A>(Rc<dyn Fn(S) -> (A, S)>);
+
+impl<S, A> Clone for State<S, A> {
+    fn clone(&self) -> Self {
+        State(Rc::clone(&self.0))
+    }
+}
+
+impl<S, A> std::fmt::Debug for State<S, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("State(<function>)")
+    }
+}
+
+impl<S: 'static, A: 'static> State<S, A> {
+    /// Wrap a state-transition function as a computation.
+    pub fn new(f: impl Fn(S) -> (A, S) + 'static) -> Self {
+        State(Rc::new(f))
+    }
+
+    /// Run the computation on an initial state, yielding the result and the
+    /// final state.
+    pub fn run(&self, s: S) -> (A, S) {
+        (self.0)(s)
+    }
+
+    /// Run and keep only the result.
+    pub fn eval(&self, s: S) -> A {
+        self.run(s).0
+    }
+
+    /// Run and keep only the final state.
+    pub fn exec(&self, s: S) -> S {
+        self.run(s).1
+    }
+}
+
+/// Family marker for the state monad on state type `S`:
+/// `Repr<A> = State<S, A>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateOf<S>(std::marker::PhantomData<S>);
+
+impl<S: Val> MonadFamily for StateOf<S> {
+    type Repr<A: Val> = State<S, A>;
+
+    /// `return a = \s -> (a, s)`.
+    fn pure<A: Val>(a: A) -> State<S, A> {
+        State::new(move |s| (a.clone(), s))
+    }
+
+    /// `ma >>= f = \s -> let (a, s') = ma s in f a s'`.
+    fn bind<A: Val, B: Val, F>(ma: State<S, A>, f: F) -> State<S, B>
+    where
+        F: Fn(A) -> State<S, B> + 'static,
+    {
+        State::new(move |s| {
+            let (a, s1) = ma.run(s);
+            f(a).run(s1)
+        })
+    }
+}
+
+/// `get = \s -> (s, s)`: read the state.
+pub fn get<S: Val>() -> State<S, S> {
+    State::new(|s: S| (s.clone(), s))
+}
+
+/// `set s' = \s -> ((), s')`: overwrite the state.
+pub fn set<S: Val>(s_new: S) -> State<S, ()> {
+    State::new(move |_| ((), s_new.clone()))
+}
+
+/// Read the state through a projection, without changing it.
+pub fn gets<S: Val, A: Val>(f: impl Fn(&S) -> A + 'static) -> State<S, A> {
+    State::new(move |s: S| (f(&s), s))
+}
+
+/// Apply a function to the state.
+pub fn modify<S: Val>(f: impl Fn(S) -> S + 'static) -> State<S, ()> {
+    State::new(move |s| ((), f(s)))
+}
+
+impl<S: ObsVal> ObserveMonad for StateOf<S> {
+    /// Sample initial states to run the computation on.
+    type Ctx = Vec<S>;
+    /// The `(result, final state)` pair for each sampled initial state.
+    type Obs<A: ObsVal> = Vec<(A, S)>;
+
+    fn observe<A: ObsVal>(ma: &State<S, A>, ctx: &Vec<S>) -> Vec<(A, S)> {
+        ctx.iter().map(|s| ma.run(s.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type M = StateOf<i64>;
+
+    #[test]
+    fn pure_leaves_state_untouched() {
+        let ma: State<i64, &str> = M::pure("v");
+        assert_eq!(ma.run(10), ("v", 10));
+    }
+
+    #[test]
+    fn bind_threads_state_left_to_right() {
+        let ma = M::bind(get::<i64>(), |s| set(s + 1));
+        let ma = M::seq(ma, get::<i64>());
+        assert_eq!(ma.run(41), (42, 42));
+    }
+
+    #[test]
+    fn gets_projects_without_update() {
+        let ma = gets(|s: &i64| s * 2);
+        assert_eq!(ma.run(21), (42, 21));
+    }
+
+    #[test]
+    fn modify_applies_function() {
+        let ma = modify(|s: i64| s * 3);
+        assert_eq!(ma.run(4), ((), 12));
+    }
+
+    #[test]
+    fn computations_are_rerunnable() {
+        let ma = M::bind(get::<i64>(), |s| set(s + 1));
+        assert_eq!(ma.clone().run(1), ((), 2));
+        assert_eq!(ma.run(100), ((), 101));
+    }
+
+    // The four laws of the algebraic theory of one memory cell (§2).
+    // These are checked generically (and for more families) in `laws.rs`;
+    // the versions here are direct, readable witnesses.
+
+    fn obs<A: ObsVal>(ma: &State<i64, A>) -> Vec<(A, i64)> {
+        StateOf::<i64>::observe(ma, &vec![-3, 0, 7, 1000])
+    }
+
+    #[test]
+    fn law_gg_reading_twice_equals_reading_once() {
+        // get >>= \s. get >>= \s'. k s s'   =   get >>= \s. k s s
+        let k = |s: i64, s2: i64| M::pure((s, s2));
+        let lhs = M::bind(get::<i64>(), move |s| M::bind(get::<i64>(), move |s2| k(s, s2)));
+        let rhs = M::bind(get::<i64>(), move |s| k(s, s));
+        assert_eq!(obs(&lhs), obs(&rhs));
+    }
+
+    #[test]
+    fn law_gs_writing_what_you_read_is_a_noop() {
+        // get >>= set = return ()
+        let lhs = M::bind(get::<i64>(), set);
+        let rhs = M::pure(());
+        assert_eq!(obs(&lhs), obs(&rhs));
+    }
+
+    #[test]
+    fn law_sg_reading_after_writing_yields_what_was_written() {
+        // set s >> get = set s >> return s
+        let lhs = M::seq(set(9i64), get::<i64>());
+        let rhs = M::seq(set(9i64), M::pure(9i64));
+        assert_eq!(obs(&lhs), obs(&rhs));
+    }
+
+    #[test]
+    fn law_ss_second_write_wins() {
+        // set s >> set s' = set s'
+        let lhs = M::seq(set(1i64), set(2i64));
+        let rhs = set(2i64);
+        assert_eq!(obs(&lhs), obs(&rhs));
+    }
+}

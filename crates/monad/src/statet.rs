@@ -1,0 +1,163 @@
+//! The state monad transformer `StateT S F A = S -> F (A, S)`.
+//!
+//! §4 of the paper builds its effectful bx on the monad
+//! `M A = Integer -> IO (A, Integer)` — precisely
+//! `StateT<Integer, IoSimOf, A>` here. The transformer is general: stacking
+//! over [`crate::IdentityOf`] recovers the plain state monad, and stacking
+//! over [`crate::NonDetOf`] or [`crate::ResultOf`] gives the §5 effect
+//! combinations (nondeterministic or failing bidirectional updates).
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad, Val};
+
+/// A computation in the transformed monad: `S -> F::Repr<(A, S)>`.
+#[allow(clippy::type_complexity)] // the type IS the §4 definition: S -> F (A, S)
+pub struct StateT<S, F: MonadFamily, A: Val>(Rc<dyn Fn(S) -> F::Repr<(A, S)>>)
+where
+    S: Val;
+
+impl<S: Val, F: MonadFamily, A: Val> Clone for StateT<S, F, A> {
+    fn clone(&self) -> Self {
+        StateT(Rc::clone(&self.0))
+    }
+}
+
+impl<S: Val, F: MonadFamily, A: Val> std::fmt::Debug for StateT<S, F, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StateT(<function>)")
+    }
+}
+
+impl<S: Val, F: MonadFamily, A: Val> StateT<S, F, A> {
+    /// Wrap a transition function `S -> F (A, S)` as a computation.
+    pub fn new(f: impl Fn(S) -> F::Repr<(A, S)> + 'static) -> Self {
+        StateT(Rc::new(f))
+    }
+
+    /// Run on an initial state, yielding the inner-monad computation of
+    /// `(result, final state)`.
+    pub fn run(&self, s: S) -> F::Repr<(A, S)> {
+        (self.0)(s)
+    }
+}
+
+/// Family marker for `StateT` over state `S` and inner family `F`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateTOf<S, F>(PhantomData<(S, F)>);
+
+impl<S: Val, F: MonadFamily + 'static> MonadFamily for StateTOf<S, F> {
+    type Repr<A: Val> = StateT<S, F, A>;
+
+    fn pure<A: Val>(a: A) -> StateT<S, F, A> {
+        StateT::new(move |s| F::pure((a.clone(), s)))
+    }
+
+    fn bind<A: Val, B: Val, G>(ma: StateT<S, F, A>, g: G) -> StateT<S, F, B>
+    where
+        G: Fn(A) -> StateT<S, F, B> + 'static,
+    {
+        let g = Rc::new(g);
+        StateT::new(move |s| {
+            let g = Rc::clone(&g);
+            F::bind(ma.run(s), move |(a, s1)| g(a).run(s1))
+        })
+    }
+}
+
+/// Lift an inner-monad computation into the transformed monad, leaving the
+/// state untouched.
+pub fn lift<S: Val, F: MonadFamily + 'static, A: Val>(fa: F::Repr<A>) -> StateT<S, F, A> {
+    StateT::new(move |s: S| {
+        let s = s.clone();
+        F::bind(fa.clone(), move |a| F::pure((a, s.clone())))
+    })
+}
+
+/// `get` for the transformed monad: read the state.
+pub fn state_t_get<S: Val, F: MonadFamily + 'static>() -> StateT<S, F, S> {
+    StateT::new(|s: S| F::pure((s.clone(), s)))
+}
+
+/// `set` for the transformed monad: overwrite the state.
+pub fn state_t_set<S: Val, F: MonadFamily + 'static>(s_new: S) -> StateT<S, F, ()> {
+    StateT::new(move |_| F::pure(((), s_new.clone())))
+}
+
+impl<S: ObsVal, F: ObserveMonad + 'static> ObserveMonad for StateTOf<S, F> {
+    /// Sample initial states plus the inner monad's own context.
+    type Ctx = (Vec<S>, F::Ctx);
+    /// For each sampled initial state, the inner monad's observation of the
+    /// `(result, final state)` computation.
+    type Obs<A: ObsVal> = Vec<F::Obs<(A, S)>>;
+
+    fn observe<A: ObsVal>(ma: &StateT<S, F, A>, ctx: &(Vec<S>, F::Ctx)) -> Vec<F::Obs<(A, S)>> {
+        ctx.0
+            .iter()
+            .map(|s| F::observe(&ma.run(s.clone()), &ctx.1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::IdentityOf;
+    use crate::iosim::{print, IoSim, IoSimOf};
+    use crate::state::{get, StateOf};
+
+    type Pure = StateTOf<i64, IdentityOf>;
+    type Io = StateTOf<i64, IoSimOf>;
+
+    #[test]
+    fn over_identity_behaves_like_plain_state() {
+        // s -> (s + 1, s + 1)
+        let ma: StateT<i64, IdentityOf, i64> =
+            Pure::bind(state_t_get(), |s| Pure::seq(state_t_set(s + 1), state_t_get()));
+        assert_eq!(ma.run(41), (42, 42));
+
+        // Compare against the plain state monad on the same program.
+        let plain = StateOf::<i64>::bind(get::<i64>(), |s| {
+            StateOf::<i64>::seq(crate::state::set(s + 1), get::<i64>())
+        });
+        assert_eq!(plain.run(41), ma.run(41));
+    }
+
+    #[test]
+    fn lift_runs_inner_effect_without_touching_state() {
+        let ma: StateT<i64, IoSimOf, ()> = lift(print("hi"));
+        let out: IoSim<((), i64)> = ma.run(7);
+        assert_eq!(out.value, ((), 7));
+        assert_eq!(out.printed(), vec!["hi"]);
+    }
+
+    #[test]
+    fn effects_sequence_with_state_updates() {
+        // The shape of the paper's §4 computation: consult the state, maybe
+        // print, then update.
+        let ma: StateT<i64, IoSimOf, ()> = Io::bind(state_t_get(), |s| {
+            let eff: StateT<i64, IoSimOf, ()> = if s != 5 {
+                lift(print("Changed"))
+            } else {
+                Io::pure(())
+            };
+            Io::seq(eff, state_t_set(5))
+        });
+        let changed = ma.run(3);
+        assert_eq!(changed.value.1, 5);
+        assert_eq!(changed.printed(), vec!["Changed"]);
+
+        let unchanged = ma.run(5);
+        assert_eq!(unchanged.value.1, 5);
+        assert!(unchanged.printed().is_empty());
+    }
+
+    #[test]
+    fn observation_includes_inner_traces() {
+        let loud: StateT<i64, IoSimOf, ()> = lift(print("x"));
+        let quiet: StateT<i64, IoSimOf, ()> = Io::pure(());
+        let ctx = (vec![0i64, 1], ());
+        assert_ne!(Io::observe(&loud, &ctx), Io::observe(&quiet, &ctx));
+    }
+}

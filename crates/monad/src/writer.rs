@@ -1,0 +1,138 @@
+//! Output effects: the writer monad family over a [`Monoid`].
+
+use std::marker::PhantomData;
+
+use crate::family::{MonadFamily, ObsVal, ObserveMonad, Val};
+
+/// A monoid: an associative [`combine`](Monoid::combine) with an
+/// [`empty`](Monoid::empty) unit. The accumulator of a writer computation.
+pub trait Monoid: Val {
+    /// The unit element.
+    fn empty() -> Self;
+    /// Associative combination. `empty` must be a left and right unit.
+    fn combine(self, other: Self) -> Self;
+}
+
+impl Monoid for () {
+    fn empty() {}
+    fn combine(self, _other: ()) {}
+}
+
+impl Monoid for String {
+    fn empty() -> String {
+        String::new()
+    }
+    fn combine(mut self, other: String) -> String {
+        self.push_str(&other);
+        self
+    }
+}
+
+impl<T: Val> Monoid for Vec<T> {
+    fn empty() -> Vec<T> {
+        Vec::new()
+    }
+    fn combine(mut self, other: Vec<T>) -> Vec<T> {
+        self.extend(other);
+        self
+    }
+}
+
+impl Monoid for u64 {
+    fn empty() -> u64 {
+        0
+    }
+    fn combine(self, other: u64) -> u64 {
+        self + other
+    }
+}
+
+/// A writer computation: a value plus accumulated output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Writer<W, A> {
+    /// The computed value.
+    pub value: A,
+    /// The accumulated output.
+    pub output: W,
+}
+
+impl<W: Monoid, A> Writer<W, A> {
+    /// A computation yielding `value` with output `output`.
+    pub fn new(value: A, output: W) -> Self {
+        Writer { value, output }
+    }
+}
+
+/// Emit output and yield `()`.
+pub fn tell<W: Monoid>(w: W) -> Writer<W, ()> {
+    Writer::new((), w)
+}
+
+/// Family marker for the writer monad over monoid `W`, where
+/// `Repr<A> = Writer<W, A>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterOf<W>(PhantomData<W>);
+
+impl<W: Monoid> MonadFamily for WriterOf<W> {
+    type Repr<A: Val> = Writer<W, A>;
+
+    fn pure<A: Val>(a: A) -> Writer<W, A> {
+        Writer::new(a, W::empty())
+    }
+
+    fn bind<A: Val, B: Val, F>(ma: Writer<W, A>, f: F) -> Writer<W, B>
+    where
+        F: Fn(A) -> Writer<W, B> + 'static,
+    {
+        let Writer { value, output } = ma;
+        let Writer { value: b, output: out2 } = f(value);
+        Writer::new(b, output.combine(out2))
+    }
+}
+
+impl<W: Monoid + ObsVal> ObserveMonad for WriterOf<W> {
+    type Ctx = ();
+    type Obs<A: ObsVal> = (A, W);
+
+    fn observe<A: ObsVal>(ma: &Writer<W, A>, _ctx: &()) -> (A, W) {
+        (ma.value.clone(), ma.output.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type M = WriterOf<String>;
+
+    #[test]
+    fn outputs_accumulate_in_order() {
+        let ma = M::seq(tell("hello ".to_string()), M::pure(1));
+        let out = M::bind(ma, |x| M::seq(tell("world".to_string()), M::pure(x + 1)));
+        assert_eq!(out, Writer::new(2, "hello world".to_string()));
+    }
+
+    #[test]
+    fn pure_emits_nothing() {
+        let ma: Writer<String, i32> = M::pure(5);
+        assert_eq!(ma.output, "");
+    }
+
+    #[test]
+    fn vec_monoid_concatenates() {
+        let a: Vec<i32> = vec![1, 2];
+        assert_eq!(a.combine(vec![3]), vec![1, 2, 3]);
+        assert_eq!(Vec::<i32>::empty(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn u64_monoid_is_additive() {
+        assert_eq!(3u64.combine(4), 7);
+        assert_eq!(u64::empty(), 0);
+    }
+
+    #[test]
+    fn unit_monoid_is_trivial() {
+        <() as Monoid>::empty().combine(());
+    }
+}

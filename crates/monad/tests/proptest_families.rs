@@ -1,0 +1,101 @@
+//! Property-based monad-law checks for every family, with proptest-driven
+//! data (complementing the fixed-sample tests in `src/laws.rs`).
+
+use proptest::prelude::*;
+
+use esm_monad::laws::check_monad_laws;
+use esm_monad::{
+    Dist, DistOf, IoSimOf, MonadFamily, NonDetOf, OptionOf, ResultOf, State, StateOf, Writer,
+    WriterOf,
+};
+
+proptest! {
+    #[test]
+    fn option_laws(a in any::<i32>(), threshold in any::<i32>()) {
+        let f = move |x: i32| (x > threshold).then(|| x.wrapping_add(1));
+        let g = |y: i32| (y % 2 == 0).then_some(y);
+        let v = check_monad_laws::<OptionOf, _, _, _, _, _>(a, Some(a), f, g, &());
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn result_laws(a in any::<i16>(), ok in any::<bool>()) {
+        type M = ResultOf<String>;
+        let ma: Result<i16, String> = if ok { Ok(a) } else { Err("e".to_string()) };
+        let f = |x: i16| if x >= 0 { Ok(x.wrapping_add(1)) } else { Err("neg".to_string()) };
+        let g = |y: i16| Ok(y.wrapping_mul(2));
+        let v = check_monad_laws::<M, _, _, _, _, _>(a, ma, f, g, &());
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn nondet_laws(ma in proptest::collection::vec(any::<i8>(), 0..6), a in any::<i8>()) {
+        let f = |x: i8| vec![x, x.wrapping_add(1)];
+        let g = |y: i8| if y % 2 == 0 { vec![y] } else { vec![] };
+        let v = check_monad_laws::<NonDetOf, _, _, _, _, _>(a, ma, f, g, &());
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn writer_laws(a in any::<i8>(), tag in "[a-z]{1,4}") {
+        type M = WriterOf<String>;
+        let tag2 = tag.clone();
+        let f = move |x: i8| Writer::new(x.wrapping_add(1), format!("f{tag}"));
+        let g = move |y: i8| Writer::new(y.wrapping_mul(2), format!("g{tag2}"));
+        let ma = Writer::new(a, "start".to_string());
+        let v = check_monad_laws::<M, _, _, _, _, _>(a, ma, f, g, &());
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dist_laws(a in 0i32..20, outcomes in proptest::collection::vec((0i32..20, 1u32..10), 1..5)) {
+        let ma = Dist::weighted(outcomes.into_iter().map(|(x, w)| (x, w as f64)).collect());
+        let f = |x: i32| Dist::uniform([x, x + 1]);
+        let g = |y: i32| Dist::bernoulli(0.25, y, 0);
+        let v = check_monad_laws::<DistOf, _, _, _, _, _>(a, ma, f, g, &());
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn iosim_laws(a in any::<i8>(), msg in "[a-z]{1,4}") {
+        type M = IoSimOf;
+        let msg2 = msg.clone();
+        let f = move |x: i8| M::seq(esm_monad::print(format!("f-{msg}")), M::pure(x.wrapping_add(1)));
+        let g = move |y: i8| M::seq(esm_monad::print(format!("g-{msg2}")), M::pure(y.wrapping_mul(2)));
+        let ma = M::seq(esm_monad::print("m"), M::pure(a));
+        let v = check_monad_laws::<M, _, _, _, _, _>(a, ma, f, g, &());
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn state_laws(a in any::<i8>(), k in any::<i8>(), ctx in proptest::collection::vec(any::<i8>(), 1..5)) {
+        type M = StateOf<i8>;
+        let f = move |x: i8| -> State<i8, i8> {
+            M::bind(esm_monad::get(), move |s: i8| {
+                M::seq(esm_monad::set(s.wrapping_add(k)), M::pure(x))
+            })
+        };
+        let g = |y: i8| -> State<i8, i8> { esm_monad::gets(move |s: &i8| s.wrapping_mul(y)) };
+        let ma: State<i8, i8> = M::pure(a);
+        let v = check_monad_laws::<M, _, _, _, _, _>(a, ma, f, g, &ctx);
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+}
+
+proptest! {
+    // Distribution-specific invariants.
+    #[test]
+    fn dist_probabilities_sum_to_one(outcomes in proptest::collection::vec((0i32..10, 1u32..10), 1..6)) {
+        let d = Dist::weighted(outcomes.into_iter().map(|(x, w)| (x, w as f64)).collect());
+        let total: f64 = d.normalized().into_iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dist_bind_preserves_total_mass(outcomes in proptest::collection::vec((0i32..10, 1u32..10), 1..6)) {
+        let d = Dist::weighted(outcomes.into_iter().map(|(x, w)| (x, w as f64)).collect());
+        let d2 = DistOf::bind(d, |x| Dist::uniform([x, x + 1, x + 2]));
+        let total: f64 = d2.normalized().into_iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,221 @@
+//! The join lens (delete-left policy): a natural join as a bidirectional
+//! view over a *pair* of source tables.
+
+use esm_lens::Lens;
+use esm_store::{StoreError, Table};
+
+/// The `join_dl` lens: `get` is the natural join; `put` propagates view
+/// deletions to the **left** table (hence "delete-left") and upserts the
+/// right table's projection.
+///
+/// ```text
+/// get(l, r)      = l ⋈ r
+/// put((l, r), v) = ( π_{cols(l)}(v),  r ⊎ π_{cols(r)}(v) )
+/// ```
+///
+/// Well-behavedness domain (the relational-lenses typing obligations,
+/// reproduced here as documented preconditions and checked by the law
+/// suites):
+/// * the right table's key must be contained in the shared (join)
+///   columns, so each left row joins at most one right row and upserts
+///   replace by join key;
+/// * *referential integrity*: every left row must match some right row
+///   (otherwise (GetPut) fails — the unmatched row vanishes);
+/// * written-back views must be join-consistent: their right-column
+///   projection functional on the join key (otherwise (PutGet) fails).
+///
+/// [`validate_join_sources`] checks the source-side preconditions.
+pub fn join_dl_lens() -> Lens<(Table, Table), Table> {
+    Lens::new(
+        |s: &(Table, Table)| {
+            s.0.natural_join(&s.1).expect("join lens sources must be join-compatible")
+        },
+        |s: (Table, Table), v: Table| {
+            let (l, r) = s;
+            let cols_l: Vec<String> =
+                l.schema().column_names().into_iter().map(str::to_string).collect();
+            let cols_r: Vec<String> =
+                r.schema().column_names().into_iter().map(str::to_string).collect();
+            let l_rows = v.project(&cols_l).expect("view must contain the left columns");
+            // Rebuild with the *source* schema: the projection's inferred
+            // key metadata differs from the left table's declared key.
+            let l2 = Table::from_rows(l.schema().clone(), l_rows.to_rows())
+                .expect("projected view rows fit the left schema");
+            let r_updates = v.project(&cols_r).expect("view must contain the right columns");
+            let mut r2 = r;
+            for row in r_updates.rows() {
+                r2.upsert(row.clone()).expect("projected view rows fit the right schema");
+            }
+            (l2, r2)
+        },
+    )
+}
+
+/// Validate the join lens's source-side preconditions: shared columns
+/// exist, the right key is contained in them, and every left row matches
+/// some right row (referential integrity).
+pub fn validate_join_sources(l: &Table, r: &Table) -> Result<(), StoreError> {
+    let shared = l.schema().shared_columns(r.schema())?;
+    if shared.is_empty() {
+        return Err(StoreError::BadQuery("join lens: no shared columns".into()));
+    }
+    if r.schema().key().is_empty() || !r.schema().key().iter().all(|k| shared.contains(k)) {
+        return Err(StoreError::BadQuery(format!(
+            "join lens: right key {:?} must be contained in the join columns {shared:?}",
+            r.schema().key()
+        )));
+    }
+    let l_shared = l.schema().indices_of(&shared)?;
+    let r_shared = r.schema().indices_of(&shared)?;
+    for lrow in l.rows() {
+        let key: Vec<_> = l_shared.iter().map(|&i| lrow[i].clone()).collect();
+        let matched = r.rows().any(|rrow| {
+            r_shared.iter().zip(&key).all(|(&i, k)| &rrow[i] == k)
+        });
+        if !matched {
+            return Err(StoreError::BadQuery(format!(
+                "join lens: left row {lrow:?} has no right match (referential integrity)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_lens::laws::{check_get_put, check_well_behaved};
+    use esm_store::{row, Row, Schema, ValueType};
+
+    fn orders(rows: Vec<Row>) -> Table {
+        Table::from_rows(
+            Schema::build(
+                &[("oid", ValueType::Int), ("pid", ValueType::Int), ("qty", ValueType::Int)],
+                &["oid"],
+            )
+            .unwrap(),
+            rows,
+        )
+        .unwrap()
+    }
+
+    fn products(rows: Vec<Row>) -> Table {
+        Table::from_rows(
+            Schema::build(&[("pid", ValueType::Int), ("pname", ValueType::Str)], &["pid"]).unwrap(),
+            rows,
+        )
+        .unwrap()
+    }
+
+    fn joined(rows: Vec<Row>) -> Table {
+        Table::from_rows(
+            Schema::build(
+                &[
+                    ("oid", ValueType::Int),
+                    ("pid", ValueType::Int),
+                    ("qty", ValueType::Int),
+                    ("pname", ValueType::Str),
+                ],
+                &["oid", "pid"],
+            )
+            .unwrap(),
+            rows,
+        )
+        .unwrap()
+    }
+
+    fn good_sources() -> (Table, Table) {
+        (
+            orders(vec![row![100, 1, 3], row![101, 2, 1]]),
+            products(vec![row![1, "widget"], row![2, "gadget"]]),
+        )
+    }
+
+    #[test]
+    fn get_is_the_natural_join() {
+        let l = join_dl_lens();
+        let v = l.get(&good_sources());
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&row![100, 1, 3, "widget"]));
+    }
+
+    #[test]
+    fn put_deletes_left_keeps_right() {
+        let l = join_dl_lens();
+        // Remove order 101 from the view.
+        let v = joined(vec![row![100, 1, 3, "widget"]]);
+        let (l2, r2) = l.put(good_sources(), v);
+        assert_eq!(l2.len(), 1); // order deleted
+        assert_eq!(r2.len(), 2); // product kept (delete-left policy)
+    }
+
+    #[test]
+    fn put_propagates_edits_to_both_sides() {
+        let l = join_dl_lens();
+        // Rename widget and bump the order quantity through the view.
+        let v = joined(vec![row![100, 1, 5, "widget pro"], row![101, 2, 1, "gadget"]]);
+        let (l2, r2) = l.put(good_sources(), v);
+        assert!(l2.contains(&row![100, 1, 5]));
+        assert!(r2.contains(&row![1, "widget pro"]));
+    }
+
+    #[test]
+    fn put_inserts_into_both_sides() {
+        let l = join_dl_lens();
+        let v = joined(vec![
+            row![100, 1, 3, "widget"],
+            row![101, 2, 1, "gadget"],
+            row![102, 3, 9, "sprocket"],
+        ]);
+        let (l2, r2) = l.put(good_sources(), v);
+        assert!(l2.contains(&row![102, 3, 9]));
+        assert!(r2.contains(&row![3, "sprocket"]));
+    }
+
+    #[test]
+    fn lawful_on_the_documented_domain() {
+        let l = join_dl_lens();
+        let sources = [good_sources()];
+        let views = [
+            joined(vec![row![100, 1, 3, "widget"], row![101, 2, 1, "gadget"]]),
+            joined(vec![row![100, 2, 7, "gadget"]]),
+            joined(vec![]),
+        ];
+        assert!(check_well_behaved(&l, &sources, &views).is_empty());
+    }
+
+    #[test]
+    fn get_put_fails_without_referential_integrity() {
+        // Order 102 references product 9 which doesn't exist: the row is
+        // invisible in the view and vanishes on write-back.
+        let bad = (
+            orders(vec![row![100, 1, 3], row![102, 9, 1]]),
+            products(vec![row![1, "widget"]]),
+        );
+        assert!(validate_join_sources(&bad.0, &bad.1).is_err());
+        let l = join_dl_lens();
+        assert!(!check_get_put(&l, &[bad]).is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_good_sources() {
+        let (l, r) = good_sources();
+        assert!(validate_join_sources(&l, &r).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_right_key_outside_join_columns() {
+        // Right table keyed on a non-shared column.
+        let r = Table::from_rows(
+            Schema::build(
+                &[("pid", ValueType::Int), ("pname", ValueType::Str)],
+                &["pname"],
+            )
+            .unwrap(),
+            vec![row![1, "widget"]],
+        )
+        .unwrap();
+        let l = orders(vec![row![100, 1, 3]]);
+        assert!(validate_join_sources(&l, &r).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Relational lenses: bidirectional select / project / rename / drop /
+//! join views over [`esm_store`] tables, in the style of Bohannon, Pierce
+//! and Vaughan's *relational lenses* (simplified).
+//!
+//! This is the database instantiation of the paper's programme: the
+//! introduction motivates bx over "database tables", and each lens built
+//! here is an ordinary [`esm_lens::Lens`] over [`esm_store::Table`]s — hence, via
+//! Lemma 4 ([`esm_lens::AsymBx`]), an entangled state monad whose hidden
+//! state is the concrete database and whose `B` side is the view a client
+//! edits.
+//!
+//! Each lens documents its *well-behavedness domain*: the typing
+//! discipline of the original relational-lenses work is reproduced here as
+//! documented preconditions plus runtime [`validate`] helpers, and the law
+//! suites check both the lawful region and the failure modes outside it.
+//!
+//! [`validate`]: select::validate_select_view
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod join;
+pub mod pipeline;
+pub mod project;
+pub mod rename;
+pub mod select;
+pub mod session;
+pub mod testgen;
+
+pub use join::join_dl_lens;
+pub use pipeline::ViewDef;
+pub use project::{drop_lens, project_lens};
+pub use rename::rename_lens;
+pub use select::select_lens;
+pub use session::RelationalSession;

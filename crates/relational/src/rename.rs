@@ -1,0 +1,48 @@
+//! The rename lens: `ρ` as a (trivially bidirectional) view.
+
+use esm_lens::Lens;
+use esm_store::Table;
+
+/// The rename lens for `(old, new)` column-name pairs — an isomorphism on
+/// tables, hence very well-behaved wherever the names exist and don't
+/// collide.
+pub fn rename_lens(renames: &[(&str, &str)]) -> Lens<Table, Table> {
+    let fwd: Vec<(String, String)> =
+        renames.iter().map(|(o, n)| (o.to_string(), n.to_string())).collect();
+    let bwd: Vec<(String, String)> = fwd.iter().map(|(o, n)| (n.clone(), o.clone())).collect();
+    Lens::new(
+        move |s: &Table| s.rename(&fwd).expect("rename lens: source columns must exist"),
+        move |_s: Table, v: Table| v.rename(&bwd).expect("rename lens: view columns must exist"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_lens::laws::check_very_well_behaved;
+    use esm_store::{row, Schema, Table, ValueType};
+
+    fn t() -> Table {
+        Table::from_rows(
+            Schema::build(&[("id", ValueType::Int), ("nm", ValueType::Str)], &["id"]).unwrap(),
+            vec![row![1, "a"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_renames_forward_put_renames_back() {
+        let l = rename_lens(&[("nm", "name")]);
+        let v = l.get(&t());
+        assert_eq!(v.schema().column_names(), vec!["id", "name"]);
+        let s2 = l.put(t(), v);
+        assert_eq!(s2, t());
+    }
+
+    #[test]
+    fn rename_lens_is_vwb() {
+        let l = rename_lens(&[("nm", "name")]);
+        let views = [t().rename(&[("nm".to_string(), "name".to_string())]).unwrap()];
+        assert!(check_very_well_behaved(&l, &[t()], &views).is_empty());
+    }
+}

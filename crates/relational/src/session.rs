@@ -1,0 +1,186 @@
+//! [`RelationalSession`]: a small bidirectional "database server".
+//!
+//! Owns one base table and any number of named, compiled view definitions.
+//! Clients read views by name and write edited views back; every write is
+//! a lens `put` against the current base, so concurrent-style interleaved
+//! edits through *different* views compose naturally (each put sees the
+//! others' effects). Every write reports the row-level [`Delta`] it caused
+//! on the base table.
+
+use std::collections::BTreeMap;
+
+use esm_lens::Lens;
+use esm_store::{Delta, StoreError, Table};
+
+use crate::pipeline::ViewDef;
+
+/// A session over one base table and many named bidirectional views.
+#[derive(Debug, Clone)]
+pub struct RelationalSession {
+    base: Table,
+    views: BTreeMap<String, Lens<Table, Table>>,
+}
+
+impl RelationalSession {
+    /// Start a session over a base table.
+    pub fn new(base: Table) -> RelationalSession {
+        RelationalSession { base, views: BTreeMap::new() }
+    }
+
+    /// Compile and register a named view. Fails if the definition does not
+    /// type-check against the base schema or the name is taken.
+    pub fn define_view(&mut self, name: impl Into<String>, def: &ViewDef) -> Result<(), StoreError> {
+        let name = name.into();
+        if self.views.contains_key(&name) {
+            return Err(StoreError::BadQuery(format!("view {name} already defined")));
+        }
+        let lens = def.compile(&self.base)?;
+        self.views.insert(name, lens);
+        Ok(())
+    }
+
+    /// Drop a view definition.
+    pub fn drop_view(&mut self, name: &str) -> bool {
+        self.views.remove(name).is_some()
+    }
+
+    /// The registered view names, sorted.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.keys().map(String::as_str).collect()
+    }
+
+    /// The current base table.
+    pub fn base(&self) -> &Table {
+        &self.base
+    }
+
+    /// Read a view by name (the lens `get`).
+    pub fn read_view(&self, name: &str) -> Result<Table, StoreError> {
+        let lens = self.views.get(name).ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        Ok(lens.get(&self.base))
+    }
+
+    /// Write an edited view back by name (the lens `put`), returning the
+    /// delta applied to the base table.
+    pub fn write_view(&mut self, name: &str, view: Table) -> Result<Delta, StoreError> {
+        let lens = self.views.get(name).ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        let new_base = lens.put(self.base.clone(), view);
+        let delta = Delta::between(&self.base, &new_base)?;
+        self.base = new_base;
+        Ok(delta)
+    }
+
+    /// Edit a view in place: read it, apply `edit`, write it back.
+    pub fn edit_view(
+        &mut self,
+        name: &str,
+        edit: impl FnOnce(&mut Table) -> Result<(), StoreError>,
+    ) -> Result<Delta, StoreError> {
+        let mut view = self.read_view(name)?;
+        edit(&mut view)?;
+        self.write_view(name, view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_store::{row, Operand, Predicate, Schema, Value, ValueType};
+
+    fn employees() -> Table {
+        Table::from_rows(
+            Schema::build(
+                &[
+                    ("eid", ValueType::Int),
+                    ("name", ValueType::Str),
+                    ("dept", ValueType::Str),
+                    ("salary", ValueType::Int),
+                ],
+                &["eid"],
+            )
+            .expect("valid"),
+            vec![
+                row![1, "ada", "research", 90_000],
+                row![2, "alan", "ops", 80_000],
+                row![3, "grace", "research", 95_000],
+            ],
+        )
+        .expect("valid")
+    }
+
+    fn session_with_views() -> RelationalSession {
+        let mut s = RelationalSession::new(employees());
+        s.define_view(
+            "research",
+            &ViewDef::base()
+                .select(Predicate::eq(Operand::col("dept"), Operand::val("research"))),
+        )
+        .expect("compiles");
+        s.define_view(
+            "directory",
+            &ViewDef::base().project(
+                &["eid", "name"],
+                &[("dept", Value::str("unknown")), ("salary", Value::Int(50_000))],
+            ),
+        )
+        .expect("compiles");
+        s
+    }
+
+    #[test]
+    fn views_read_consistently() {
+        let s = session_with_views();
+        assert_eq!(s.view_names(), vec!["directory", "research"]);
+        assert_eq!(s.read_view("research").expect("defined").len(), 2);
+        assert_eq!(s.read_view("directory").expect("defined").len(), 3);
+        assert!(s.read_view("ghost").is_err());
+    }
+
+    #[test]
+    fn writes_through_one_view_are_visible_through_others() {
+        let mut s = session_with_views();
+        let delta = s
+            .edit_view("research", |v| v.upsert(row![3, "hopper", "research", 95_000]).map(|_| ()))
+            .expect("edit applies");
+        assert_eq!(delta.len(), 2); // one replace = delete + insert
+        // The rename shows up in the directory view.
+        let dir = s.read_view("directory").expect("defined");
+        assert!(dir.contains(&row![3, "hopper"]));
+    }
+
+    #[test]
+    fn directory_edits_preserve_hidden_salary() {
+        let mut s = session_with_views();
+        s.edit_view("directory", |v| v.upsert(row![1, "ada lovelace"]).map(|_| ()))
+            .expect("edit applies");
+        assert!(s.base().contains(&row![1, "ada lovelace", "research", 90_000]));
+    }
+
+    #[test]
+    fn duplicate_view_names_are_rejected() {
+        let mut s = session_with_views();
+        let err = s.define_view("research", &ViewDef::base());
+        assert!(err.is_err());
+        assert!(s.drop_view("research"));
+        assert!(s.define_view("research", &ViewDef::base()).is_ok());
+    }
+
+    #[test]
+    fn hippocratic_writes_produce_empty_deltas() {
+        let mut s = session_with_views();
+        let view = s.read_view("research").expect("defined");
+        let delta = s.write_view("research", view).expect("put applies");
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn ill_typed_view_definitions_fail_at_define_time() {
+        let mut s = RelationalSession::new(employees());
+        // Selecting on a column that projection already dropped.
+        let bad = ViewDef::base()
+            .project(&["eid", "name"], &[])
+            .select(Predicate::eq(Operand::col("salary"), Operand::val(1)));
+        assert!(s.define_view("bad", &bad).is_err());
+        assert!(s.view_names().is_empty());
+    }
+}

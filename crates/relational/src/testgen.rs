@@ -1,0 +1,133 @@
+//! Seeded random generators for tables and views, used by the law suites,
+//! integration tests and benchmarks.
+//!
+//! Generators are deterministic given a seed, so every failure is
+//! reproducible. They generate data *within the documented
+//! well-behavedness domains* of the relational lenses (unique keys,
+//! predicate-respecting views, referential integrity), since that is where
+//! the laws are claimed to hold; the negative tests construct their own
+//! out-of-domain data by hand.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use esm_store::{Row, Schema, Table, Value, ValueType};
+
+/// The fixed schema used by generated "people" tables:
+/// `(*id: int, name: str, age: int)`.
+pub fn people_schema() -> Schema {
+    Schema::build(
+        &[("id", ValueType::Int), ("name", ValueType::Str), ("age", ValueType::Int)],
+        &["id"],
+    )
+    .expect("static schema is valid")
+}
+
+/// Generate a people table with `n` rows and distinct ids, ages in
+/// `0..100`.
+pub fn gen_people(seed: u64, n: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<Row> = Vec::with_capacity(n);
+    let mut ids: Vec<i64> = (0..(n as i64 * 2)).collect();
+    for i in 0..n {
+        let idx = rng.gen_range(0..ids.len());
+        let id = ids.swap_remove(idx);
+        rows.push(vec![
+            Value::Int(id),
+            Value::Str(format!("p{i}")),
+            Value::Int(rng.gen_range(0..100)),
+        ]);
+    }
+    Table::from_rows(people_schema(), rows).expect("generated keys are distinct")
+}
+
+/// Generate a view for the "adults" select lens: rows with distinct ids
+/// and ages in `min_age..100` (all satisfy `age >= min_age`).
+pub fn gen_adults_view(seed: u64, n: usize, min_age: i64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<Row> = Vec::with_capacity(n);
+    let mut ids: Vec<i64> = (1000..(1000 + n as i64 * 2)).collect();
+    for i in 0..n {
+        let idx = rng.gen_range(0..ids.len());
+        let id = ids.swap_remove(idx);
+        rows.push(vec![
+            Value::Int(id),
+            Value::Str(format!("v{i}")),
+            Value::Int(rng.gen_range(min_age..100)),
+        ]);
+    }
+    Table::from_rows(people_schema(), rows).expect("generated keys are distinct")
+}
+
+/// The schemas used by generated order/product pairs for the join lens.
+pub fn orders_schema() -> Schema {
+    Schema::build(
+        &[("oid", ValueType::Int), ("pid", ValueType::Int), ("qty", ValueType::Int)],
+        &["oid"],
+    )
+    .expect("static schema is valid")
+}
+
+/// Schema of the products side of the generated join pair.
+pub fn products_schema() -> Schema {
+    Schema::build(&[("pid", ValueType::Int), ("pname", ValueType::Str)], &["pid"])
+        .expect("static schema is valid")
+}
+
+/// Generate a referentially-intact (orders, products) pair: `n_orders`
+/// orders over `n_products` products, every order's product existing.
+pub fn gen_orders_products(seed: u64, n_orders: usize, n_products: usize) -> (Table, Table) {
+    assert!(n_products > 0, "need at least one product");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let products: Vec<Row> = (0..n_products)
+        .map(|p| vec![Value::Int(p as i64), Value::Str(format!("prod{p}"))])
+        .collect();
+    let orders: Vec<Row> = (0..n_orders)
+        .map(|o| {
+            vec![
+                Value::Int(o as i64),
+                Value::Int(rng.gen_range(0..n_products as i64)),
+                Value::Int(rng.gen_range(1..10)),
+            ]
+        })
+        .collect();
+    (
+        Table::from_rows(orders_schema(), orders).expect("order ids are distinct"),
+        Table::from_rows(products_schema(), products).expect("product ids are distinct"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::validate_join_sources;
+    use crate::select::validate_select_view;
+    use esm_store::{Operand, Predicate};
+
+    #[test]
+    fn people_tables_have_exact_row_counts_and_unique_keys() {
+        let t = gen_people(42, 50);
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(gen_people(7, 20), gen_people(7, 20));
+        assert_ne!(gen_people(7, 20), gen_people(8, 20));
+    }
+
+    #[test]
+    fn adult_views_respect_the_predicate() {
+        let v = gen_adults_view(1, 30, 18);
+        let p = Predicate::ge(Operand::col("age"), Operand::val(18));
+        assert!(validate_select_view(&p, &v).is_ok());
+    }
+
+    #[test]
+    fn generated_join_sources_validate() {
+        let (o, p) = gen_orders_products(5, 40, 7);
+        assert_eq!(o.len(), 40);
+        assert_eq!(p.len(), 7);
+        assert!(validate_join_sources(&o, &p).is_ok());
+    }
+}

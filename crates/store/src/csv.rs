@@ -1,0 +1,204 @@
+//! CSV import/export for tables — the interchange format that makes the
+//! substrate usable with real data.
+//!
+//! Dialect: RFC-4180-style — comma-separated, `"` quoting for fields
+//! containing commas, quotes or newlines, doubled quotes inside quoted
+//! fields, first line is the header. Parsing is schema-driven: each cell
+//! is interpreted at the column's declared type.
+
+use crate::error::StoreError;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{Value, ValueType};
+
+fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+fn quote(field: &str) -> String {
+    if needs_quoting(field) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialise a table to CSV, header first, rows in key order.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> =
+        table.schema().column_names().iter().map(|n| quote(n)).collect();
+    out.push_str(&header.join(","));
+    for row in table.rows() {
+        out.push('\n');
+        let cells: Vec<String> = row.iter().map(|v| quote(&v.to_string())).collect();
+        out.push_str(&cells.join(","));
+    }
+    out
+}
+
+/// Split one CSV record into fields, handling quoting. Returns an error
+/// for unterminated quotes.
+fn split_record(line: &str) -> Result<Vec<String>, StoreError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StoreError::BadQuery(format!("unterminated quote in record: {line}")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn parse_cell(text: &str, ty: ValueType, column: &str) -> Result<Value, StoreError> {
+    match ty {
+        ValueType::Int => text.parse::<i64>().map(Value::Int).map_err(|_| {
+            StoreError::TypeMismatch { column: column.to_string(), expected: ty, got: ValueType::Str }
+        }),
+        ValueType::Bool => match text {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(StoreError::TypeMismatch {
+                column: column.to_string(),
+                expected: ty,
+                got: ValueType::Str,
+            }),
+        },
+        ValueType::Str => Ok(Value::Str(text.to_string())),
+    }
+}
+
+/// Parse CSV text into a table with the given schema. The header must
+/// match the schema's column names exactly (order included).
+pub fn from_csv(schema: Schema, text: &str) -> Result<Table, StoreError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| StoreError::BadQuery("empty CSV input".to_string()))?;
+    let header_fields = split_record(header)?;
+    let expected: Vec<String> =
+        schema.column_names().iter().map(|s| s.to_string()).collect();
+    if header_fields != expected {
+        return Err(StoreError::SchemaMismatch(format!(
+            "CSV header {header_fields:?} does not match schema columns {expected:?}"
+        )));
+    }
+    let mut table = Table::new(schema);
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(line)?;
+        if fields.len() != table.schema().arity() {
+            return Err(StoreError::Arity { expected: table.schema().arity(), got: fields.len() });
+        }
+        let row: Row = fields
+            .iter()
+            .zip(table.schema().columns().to_vec())
+            .map(|(f, col)| parse_cell(f, col.ty, &col.name))
+            .collect::<Result<_, _>>()?;
+        table.insert(row)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn schema() -> Schema {
+        Schema::build(
+            &[("id", ValueType::Int), ("name", ValueType::Str), ("active", ValueType::Bool)],
+            &["id"],
+        )
+        .expect("valid")
+    }
+
+    fn sample() -> Table {
+        Table::from_rows(
+            schema(),
+            vec![row![1, "ada", true], row![2, "alan, the 2nd", false], row![3, "say \"hi\"", true]],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_table() {
+        let t = sample();
+        let csv = to_csv(&t);
+        let back = from_csv(schema(), &csv).expect("parses");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn quoting_is_applied_only_where_needed() {
+        let csv = to_csv(&sample());
+        assert!(csv.contains("\"alan, the 2nd\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.contains("1,ada,true"));
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let csv = "id,wrong,active\n1,a,true";
+        assert!(matches!(from_csv(schema(), csv), Err(StoreError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn bad_cells_are_type_errors() {
+        let csv = "id,name,active\nnot_a_number,a,true";
+        assert!(matches!(from_csv(schema(), csv), Err(StoreError::TypeMismatch { .. })));
+        let csv2 = "id,name,active\n1,a,maybe";
+        assert!(matches!(from_csv(schema(), csv2), Err(StoreError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        let csv = "id,name,active\n1,a";
+        assert!(matches!(from_csv(schema(), csv), Err(StoreError::Arity { .. })));
+    }
+
+    #[test]
+    fn unterminated_quotes_are_rejected() {
+        let csv = "id,name,active\n1,\"open,true";
+        assert!(from_csv(schema(), csv).is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrips_as_header_only() {
+        let t = Table::new(schema());
+        let csv = to_csv(&t);
+        assert_eq!(csv, "id,name,active");
+        assert_eq!(from_csv(schema(), &csv).expect("parses"), t);
+    }
+
+    #[test]
+    fn key_violations_surface_on_import() {
+        let csv = "id,name,active\n1,a,true\n1,b,false";
+        assert!(matches!(from_csv(schema(), csv), Err(StoreError::KeyViolation(_))));
+    }
+}

@@ -1,0 +1,121 @@
+//! Row-level deltas: the difference between two table states, applicable
+//! and invertible. Used to report what a bx update actually changed.
+
+use crate::error::StoreError;
+use crate::row::Row;
+use crate::table::Table;
+
+/// A set-difference delta between two table states.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Delta {
+    /// Rows present in the new state but not the old.
+    pub inserted: Vec<Row>,
+    /// Rows present in the old state but not the new.
+    pub deleted: Vec<Row>,
+}
+
+impl Delta {
+    /// The empty delta.
+    pub fn empty() -> Delta {
+        Delta::default()
+    }
+
+    /// Is this a no-op?
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Total number of row changes.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// Compute the delta taking `old` to `new`. Schemas must match.
+    pub fn between(old: &Table, new: &Table) -> Result<Delta, StoreError> {
+        if !old.schema().same_columns(new.schema()) {
+            return Err(StoreError::SchemaMismatch("delta between different schemas".into()));
+        }
+        let inserted = new.rows().filter(|r| !old.contains(r)).cloned().collect();
+        let deleted = old.rows().filter(|r| !new.contains(r)).cloned().collect();
+        Ok(Delta { inserted, deleted })
+    }
+
+    /// Apply to a table: delete `deleted`, then upsert `inserted`.
+    pub fn apply(&self, table: &Table) -> Result<Table, StoreError> {
+        let mut out = table.clone();
+        for row in &self.deleted {
+            out.delete(row);
+        }
+        for row in &self.inserted {
+            out.upsert(row.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// The inverse delta (swaps inserts and deletes).
+    pub fn invert(&self) -> Delta {
+        Delta { inserted: self.deleted.clone(), deleted: self.inserted.clone() }
+    }
+}
+
+impl std::fmt::Display for Delta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "delta: +{} -{}", self.inserted.len(), self.deleted.len())?;
+        for r in &self.inserted {
+            writeln!(f, "  + {r:?}")?;
+        }
+        for r in &self.deleted {
+            writeln!(f, "  - {r:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn tbl(rows: Vec<Row>) -> Table {
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"]).unwrap();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn between_identifies_inserts_and_deletes() {
+        let old = tbl(vec![row![1, "a"], row![2, "b"]]);
+        let new = tbl(vec![row![2, "b"], row![3, "c"]]);
+        let d = Delta::between(&old, &new).unwrap();
+        assert_eq!(d.inserted, vec![row![3, "c"]]);
+        assert_eq!(d.deleted, vec![row![1, "a"]]);
+    }
+
+    #[test]
+    fn updates_appear_as_delete_plus_insert() {
+        let old = tbl(vec![row![1, "a"]]);
+        let new = tbl(vec![row![1, "a2"]]);
+        let d = Delta::between(&old, &new).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn apply_roundtrips() {
+        let old = tbl(vec![row![1, "a"], row![2, "b"]]);
+        let new = tbl(vec![row![2, "b2"], row![3, "c"]]);
+        let d = Delta::between(&old, &new).unwrap();
+        assert_eq!(d.apply(&old).unwrap(), new);
+        // And the inverse takes new back to old.
+        assert_eq!(d.invert().apply(&new).unwrap(), old);
+    }
+
+    #[test]
+    fn empty_delta_between_equal_tables() {
+        let t = tbl(vec![row![1, "a"]]);
+        let d = Delta::between(&t, &t).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.apply(&t).unwrap(), t);
+    }
+}

@@ -1,0 +1,43 @@
+//! An in-memory relational database substrate.
+//!
+//! The paper's introduction motivates bx over "database tables … XML
+//! files, abstract syntax trees, code". This crate supplies the database
+//! tables: typed schemas with candidate keys, set-semantics tables,
+//! a predicate language, relational algebra (select / project / join /
+//! union / difference / rename), row-level deltas, and multi-table
+//! databases with snapshots.
+//!
+//! `esm-relational` builds *relational lenses* on top of this substrate,
+//! turning select/project/join view definitions into entangled state
+//! monads.
+//!
+//! Design notes:
+//! - Tables are **sets** of rows ordered by key (BTreeMap keyed on the key
+//!   columns), so iteration is deterministic and diffing is cheap.
+//! - Every mutation validates arity, column types and key uniqueness,
+//!   returning [`StoreError`] rather than corrupting the table.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod database;
+pub mod delta;
+pub mod error;
+pub mod predicate;
+pub mod query;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use csv::{from_csv, to_csv};
+pub use database::Database;
+pub use delta::Delta;
+pub use error::StoreError;
+pub use predicate::{Operand, Predicate};
+pub use query::Query;
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use table::Table;
+pub use value::{Value, ValueType};

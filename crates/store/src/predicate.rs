@@ -1,0 +1,249 @@
+//! A small predicate language over rows, used by σ (select) and the
+//! relational select lens.
+
+use crate::error::StoreError;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A scalar operand: a column reference or a literal value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// The value of a named column in the current row.
+    Col(String),
+    /// A literal.
+    Const(Value),
+}
+
+impl Operand {
+    /// A column reference.
+    pub fn col(name: impl Into<String>) -> Operand {
+        Operand::Col(name.into())
+    }
+
+    /// A literal value.
+    pub fn val(v: impl Into<Value>) -> Operand {
+        Operand::Const(v.into())
+    }
+
+    fn eval<'a>(&'a self, schema: &Schema, row: &'a Row) -> Result<&'a Value, StoreError> {
+        match self {
+            Operand::Col(name) => Ok(&row[schema.index_of(name)?]),
+            Operand::Const(v) => Ok(v),
+        }
+    }
+
+    fn validate(&self, schema: &Schema) -> Result<(), StoreError> {
+        if let Operand::Col(name) = self {
+            schema.index_of(name)?;
+        }
+        Ok(())
+    }
+}
+
+/// The comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A boolean predicate over one row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Compare two operands.
+    Compare(Cmp, Operand, Operand),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `lhs == rhs`.
+    pub fn eq(lhs: Operand, rhs: Operand) -> Predicate {
+        Predicate::Compare(Cmp::Eq, lhs, rhs)
+    }
+    /// `lhs != rhs`.
+    pub fn ne(lhs: Operand, rhs: Operand) -> Predicate {
+        Predicate::Compare(Cmp::Ne, lhs, rhs)
+    }
+    /// `lhs < rhs`.
+    pub fn lt(lhs: Operand, rhs: Operand) -> Predicate {
+        Predicate::Compare(Cmp::Lt, lhs, rhs)
+    }
+    /// `lhs <= rhs`.
+    pub fn le(lhs: Operand, rhs: Operand) -> Predicate {
+        Predicate::Compare(Cmp::Le, lhs, rhs)
+    }
+    /// `lhs > rhs`.
+    pub fn gt(lhs: Operand, rhs: Operand) -> Predicate {
+        Predicate::Compare(Cmp::Gt, lhs, rhs)
+    }
+    /// `lhs >= rhs`.
+    pub fn ge(lhs: Operand, rhs: Operand) -> Predicate {
+        Predicate::Compare(Cmp::Ge, lhs, rhs)
+    }
+    /// Conjunction.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+    /// Disjunction.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Check that every referenced column exists and compared operands
+    /// could have comparable types (column/column comparisons are checked
+    /// at evaluation time for mixed-type rows).
+    pub fn validate(&self, schema: &Schema) -> Result<(), StoreError> {
+        match self {
+            Predicate::True | Predicate::False => Ok(()),
+            Predicate::Compare(_, l, r) => {
+                l.validate(schema)?;
+                r.validate(schema)
+            }
+            Predicate::And(l, r) | Predicate::Or(l, r) => {
+                l.validate(schema)?;
+                r.validate(schema)
+            }
+            Predicate::Not(p) => p.validate(schema),
+        }
+    }
+
+    /// Evaluate against one row.
+    ///
+    /// Comparing values of different runtime types is a
+    /// [`StoreError::BadQuery`] (not a silent `false`), so type errors
+    /// surface in tests.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> Result<bool, StoreError> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::False => Ok(false),
+            Predicate::Compare(op, l, r) => {
+                let lv = l.eval(schema, row)?;
+                let rv = r.eval(schema, row)?;
+                if lv.value_type() != rv.value_type() {
+                    return Err(StoreError::BadQuery(format!(
+                        "cannot compare {} with {}",
+                        lv.value_type(),
+                        rv.value_type()
+                    )));
+                }
+                Ok(match op {
+                    Cmp::Eq => lv == rv,
+                    Cmp::Ne => lv != rv,
+                    Cmp::Lt => lv < rv,
+                    Cmp::Le => lv <= rv,
+                    Cmp::Gt => lv > rv,
+                    Cmp::Ge => lv >= rv,
+                })
+            }
+            Predicate::And(l, r) => Ok(l.eval(schema, row)? && r.eval(schema, row)?),
+            Predicate::Or(l, r) => Ok(l.eval(schema, row)? || r.eval(schema, row)?),
+            Predicate::Not(p) => Ok(!p.eval(schema, row)?),
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::True => f.write_str("true"),
+            Predicate::False => f.write_str("false"),
+            Predicate::Compare(op, l, r) => {
+                let sym = match op {
+                    Cmp::Eq => "=",
+                    Cmp::Ne => "!=",
+                    Cmp::Lt => "<",
+                    Cmp::Le => "<=",
+                    Cmp::Gt => ">",
+                    Cmp::Ge => ">=",
+                };
+                let fmt_operand = |o: &Operand| match o {
+                    Operand::Col(c) => c.clone(),
+                    Operand::Const(v) => format!("{v}"),
+                };
+                write!(f, "{} {sym} {}", fmt_operand(l), fmt_operand(r))
+            }
+            Predicate::And(l, r) => write!(f, "({l} and {r})"),
+            Predicate::Or(l, r) => write!(f, "({l} or {r})"),
+            Predicate::Not(p) => write!(f, "not {p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::ValueType;
+
+    fn schema() -> Schema {
+        Schema::build(&[("id", ValueType::Int), ("name", ValueType::Str)], &["id"]).unwrap()
+    }
+
+    #[test]
+    fn comparisons_work_per_type() {
+        let s = schema();
+        let r = row![5, "ada"];
+        assert!(Predicate::gt(Operand::col("id"), Operand::val(3)).eval(&s, &r).unwrap());
+        assert!(Predicate::eq(Operand::col("name"), Operand::val("ada")).eval(&s, &r).unwrap());
+        assert!(!Predicate::lt(Operand::col("id"), Operand::val(5)).eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives_combine() {
+        let s = schema();
+        let r = row![5, "ada"];
+        let p = Predicate::gt(Operand::col("id"), Operand::val(3))
+            .and(Predicate::eq(Operand::col("name"), Operand::val("ada")));
+        assert!(p.eval(&s, &r).unwrap());
+        assert!(!p.clone().not().eval(&s, &r).unwrap());
+        let q = Predicate::False.or(p);
+        assert!(q.eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn mixed_type_comparison_is_an_error() {
+        let s = schema();
+        let r = row![5, "ada"];
+        let p = Predicate::eq(Operand::col("id"), Operand::val("ada"));
+        assert!(matches!(p.eval(&s, &r), Err(StoreError::BadQuery(_))));
+    }
+
+    #[test]
+    fn validate_catches_unknown_columns() {
+        let s = schema();
+        let p = Predicate::eq(Operand::col("nope"), Operand::val(1));
+        assert!(matches!(p.validate(&s), Err(StoreError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Predicate::gt(Operand::col("id"), Operand::val(3))
+            .and(Predicate::eq(Operand::col("name"), Operand::val("ada")));
+        assert_eq!(p.to_string(), "(id > 3 and name = ada)");
+    }
+}

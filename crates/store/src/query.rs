@@ -1,0 +1,177 @@
+//! A composable query AST over a [`Database`], evaluating to a [`Table`].
+//!
+//! This is the *forward* (read-only) query language; the relational
+//! lenses in `esm-relational` are the bidirectional counterpart for the
+//! select/project/join/rename fragment.
+
+use crate::database::Database;
+use crate::error::StoreError;
+use crate::predicate::Predicate;
+use crate::table::Table;
+
+/// A relational-algebra query tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Scan a named base table.
+    Scan(String),
+    /// A literal table.
+    Literal(Table),
+    /// σ: filter by predicate.
+    Select(Box<Query>, Predicate),
+    /// π: project onto columns.
+    Project(Box<Query>, Vec<String>),
+    /// ρ: rename columns (`(old, new)` pairs).
+    Rename(Box<Query>, Vec<(String, String)>),
+    /// ⋈: natural join.
+    Join(Box<Query>, Box<Query>),
+    /// ∪: union.
+    Union(Box<Query>, Box<Query>),
+    /// ∖: difference.
+    Difference(Box<Query>, Box<Query>),
+    /// ∩: intersection.
+    Intersect(Box<Query>, Box<Query>),
+}
+
+impl Query {
+    /// Scan a named table.
+    pub fn scan(name: impl Into<String>) -> Query {
+        Query::Scan(name.into())
+    }
+
+    /// σ: filter this query's rows.
+    pub fn select(self, pred: Predicate) -> Query {
+        Query::Select(Box::new(self), pred)
+    }
+
+    /// π: project this query's rows.
+    pub fn project(self, cols: &[&str]) -> Query {
+        Query::Project(Box::new(self), cols.iter().map(|c| c.to_string()).collect())
+    }
+
+    /// ρ: rename columns.
+    pub fn rename(self, renames: &[(&str, &str)]) -> Query {
+        Query::Rename(
+            Box::new(self),
+            renames.iter().map(|(o, n)| (o.to_string(), n.to_string())).collect(),
+        )
+    }
+
+    /// ⋈: natural join with another query.
+    pub fn join(self, other: Query) -> Query {
+        Query::Join(Box::new(self), Box::new(other))
+    }
+
+    /// ∪: union with another query.
+    pub fn union(self, other: Query) -> Query {
+        Query::Union(Box::new(self), Box::new(other))
+    }
+
+    /// ∖: difference with another query.
+    pub fn difference(self, other: Query) -> Query {
+        Query::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// ∩: intersection with another query.
+    pub fn intersect(self, other: Query) -> Query {
+        Query::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate against a database.
+    pub fn eval(&self, db: &Database) -> Result<Table, StoreError> {
+        match self {
+            Query::Scan(name) => db.table(name).cloned(),
+            Query::Literal(t) => Ok(t.clone()),
+            Query::Select(q, p) => q.eval(db)?.select(p),
+            Query::Project(q, cols) => q.eval(db)?.project(cols),
+            Query::Rename(q, renames) => q.eval(db)?.rename(renames),
+            Query::Join(l, r) => l.eval(db)?.natural_join(&r.eval(db)?),
+            Query::Union(l, r) => l.eval(db)?.union(&r.eval(db)?),
+            Query::Difference(l, r) => l.eval(db)?.difference(&r.eval(db)?),
+            Query::Intersect(l, r) => l.eval(db)?.intersect(&r.eval(db)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Operand;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "emp",
+            Table::from_rows(
+                Schema::build(
+                    &[("eid", ValueType::Int), ("name", ValueType::Str), ("dept", ValueType::Int)],
+                    &["eid"],
+                )
+                .unwrap(),
+                vec![row![1, "ada", 10], row![2, "alan", 20], row![3, "grace", 10]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            "dept",
+            Table::from_rows(
+                Schema::build(&[("dept", ValueType::Int), ("dname", ValueType::Str)], &["dept"])
+                    .unwrap(),
+                vec![row![10, "research"], row![20, "ops"]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_select_project_pipeline() {
+        let q = Query::scan("emp")
+            .select(Predicate::eq(Operand::col("dept"), Operand::val(10)))
+            .project(&["name"]);
+        let t = q.eval(&db()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.rows().any(|r| r[0] == Value::str("ada")));
+    }
+
+    #[test]
+    fn join_combines_tables() {
+        let q = Query::scan("emp").join(Query::scan("dept")).project(&["name", "dname"]);
+        let t = q.eval(&db()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.rows().any(|r| r == &row!["grace", "research"]));
+    }
+
+    #[test]
+    fn rename_then_join_on_new_name() {
+        // Rename emp.dept to d, dept.dept to d: join still on the shared
+        // column.
+        let q = Query::scan("emp")
+            .rename(&[("dept", "d")])
+            .join(Query::scan("dept").rename(&[("dept", "d")]));
+        let t = q.eval(&db()).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let q = Query::scan("ghost");
+        assert!(matches!(q.eval(&db()), Err(StoreError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn set_operators_compose() {
+        let research = Query::scan("emp")
+            .select(Predicate::eq(Operand::col("dept"), Operand::val(10)))
+            .project(&["name"]);
+        let all = Query::scan("emp").project(&["name"]);
+        let not_research = all.clone().difference(research.clone());
+        assert_eq!(not_research.eval(&db()).unwrap().len(), 1);
+        let back = not_research.union(research).eval(&db()).unwrap();
+        assert_eq!(back, all.eval(&db()).unwrap());
+    }
+}

@@ -1,0 +1,38 @@
+//! Rows: fixed-arity tuples of [`Value`]s.
+
+use crate::value::Value;
+
+/// A table row: one [`Value`] per schema column, in schema order.
+pub type Row = Vec<Value>;
+
+/// Build a row from anything convertible to values:
+/// `row![1, "ada", true]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::Value::from($v)),*]
+    };
+}
+
+/// Project a row onto the given column indices (caller guarantees bounds).
+pub fn project_row(row: &Row, indices: &[usize]) -> Row {
+    indices.iter().map(|&i| row[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_macro_converts_each_cell() {
+        let r: Row = row![1, "ada", true];
+        assert_eq!(r, vec![Value::Int(1), Value::str("ada"), Value::Bool(true)]);
+    }
+
+    #[test]
+    fn projection_selects_and_reorders() {
+        let r: Row = row![10, "x", false];
+        assert_eq!(project_row(&r, &[2, 0]), vec![Value::Bool(false), Value::Int(10)]);
+        assert_eq!(project_row(&r, &[]), Vec::<Value>::new());
+    }
+}

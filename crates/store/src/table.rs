@@ -1,0 +1,457 @@
+//! Tables: schema-validated sets of rows with key-based indexing and the
+//! relational algebra.
+
+use std::collections::BTreeMap;
+
+use crate::error::StoreError;
+use crate::predicate::Predicate;
+use crate::row::{project_row, Row};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A relational table: a [`Schema`] plus a set of rows indexed by their
+/// key values.
+///
+/// Rows are stored in a `BTreeMap` keyed by the key-column values (the
+/// whole row when the schema has no declared key), giving set semantics,
+/// deterministic iteration order, O(log n) point operations and cheap
+/// ordered diffs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    schema: Schema,
+    rows: BTreeMap<Row, Row>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Table {
+        Table { schema, rows: BTreeMap::new() }
+    }
+
+    /// Build a table from rows, validating each and rejecting key clashes.
+    pub fn from_rows(
+        schema: Schema,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> Result<Table, StoreError> {
+        let mut t = Table::new(schema);
+        for r in rows {
+            t.insert(r)?;
+        }
+        Ok(t)
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate rows in key order.
+    pub fn rows(&self) -> impl Iterator<Item = &Row> {
+        self.rows.values()
+    }
+
+    /// All rows, cloned, in key order.
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.rows.values().cloned().collect()
+    }
+
+    /// The key values of a row under this schema.
+    pub fn key_of(&self, row: &Row) -> Row {
+        project_row(row, &self.schema.key_indices())
+    }
+
+    /// Does an identical row exist?
+    pub fn contains(&self, row: &Row) -> bool {
+        self.rows.get(&self.key_of(row)) == Some(row)
+    }
+
+    /// Look up a row by its key values.
+    pub fn get_by_key(&self, key: &Row) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Insert a row. Inserting an identical row is a no-op; a row whose
+    /// key matches a *different* existing row is a [`StoreError::KeyViolation`].
+    pub fn insert(&mut self, row: Row) -> Result<(), StoreError> {
+        self.schema.check_row(&row)?;
+        let key = self.key_of(&row);
+        match self.rows.get(&key) {
+            Some(existing) if *existing != row => Err(StoreError::KeyViolation(format!(
+                "key {key:?} already bound to a different row"
+            ))),
+            _ => {
+                self.rows.insert(key, row);
+                Ok(())
+            }
+        }
+    }
+
+    /// Insert or replace by key, returning the replaced row if any.
+    pub fn upsert(&mut self, row: Row) -> Result<Option<Row>, StoreError> {
+        self.schema.check_row(&row)?;
+        let key = self.key_of(&row);
+        Ok(self.rows.insert(key, row))
+    }
+
+    /// Delete an identical row; returns whether it was present.
+    pub fn delete(&mut self, row: &Row) -> bool {
+        let key = self.key_of(row);
+        if self.rows.get(&key) == Some(row) {
+            self.rows.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delete by key values; returns the removed row if any.
+    pub fn delete_by_key(&mut self, key: &Row) -> Option<Row> {
+        self.rows.remove(key)
+    }
+
+    /// Remove all rows.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Relational algebra. Each operator returns a fresh table.
+    // ------------------------------------------------------------------
+
+    /// σ: the rows satisfying `pred`. Same schema.
+    pub fn select(&self, pred: &Predicate) -> Result<Table, StoreError> {
+        pred.validate(&self.schema)?;
+        let mut out = Table::new(self.schema.clone());
+        for row in self.rows.values() {
+            if pred.eval(&self.schema, row)? {
+                out.rows.insert(out.key_of(row), row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// π: project onto named columns, deduplicating (set semantics).
+    ///
+    /// If the projection drops key columns, the result is keyed on the
+    /// whole row; duplicate projected rows collapse silently.
+    pub fn project(&self, names: &[String]) -> Result<Table, StoreError> {
+        let schema = self.schema.project(names)?;
+        let indices = self.schema.indices_of(names)?;
+        let mut out = Table::new(schema);
+        for row in self.rows.values() {
+            let projected = project_row(row, &indices);
+            let key = out.key_of(&projected);
+            out.rows.insert(key, projected);
+        }
+        Ok(out)
+    }
+
+    /// ρ: rename columns according to `(old, new)` pairs.
+    pub fn rename(&self, renames: &[(String, String)]) -> Result<Table, StoreError> {
+        let schema = self.schema.rename(renames)?;
+        let mut out = Table::new(schema);
+        for row in self.rows.values() {
+            let key = out.key_of(row);
+            out.rows.insert(key, row.clone());
+        }
+        Ok(out)
+    }
+
+    /// ∪: set union. Schemas must match exactly; key clashes between
+    /// distinct rows are a [`StoreError::KeyViolation`].
+    pub fn union(&self, other: &Table) -> Result<Table, StoreError> {
+        if !self.schema.same_columns(&other.schema) {
+            return Err(StoreError::SchemaMismatch("union of different schemas".into()));
+        }
+        let mut out = self.clone();
+        for row in other.rows.values() {
+            out.insert(row.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// ∖: set difference (rows of `self` not present in `other`).
+    pub fn difference(&self, other: &Table) -> Result<Table, StoreError> {
+        if !self.schema.same_columns(&other.schema) {
+            return Err(StoreError::SchemaMismatch("difference of different schemas".into()));
+        }
+        let mut out = Table::new(self.schema.clone());
+        for row in self.rows.values() {
+            if !other.contains(row) {
+                out.rows.insert(out.key_of(row), row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// ∩: set intersection.
+    pub fn intersect(&self, other: &Table) -> Result<Table, StoreError> {
+        if !self.schema.same_columns(&other.schema) {
+            return Err(StoreError::SchemaMismatch("intersection of different schemas".into()));
+        }
+        let mut out = Table::new(self.schema.clone());
+        for row in self.rows.values() {
+            if other.contains(row) {
+                out.rows.insert(out.key_of(row), row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// ⋈: natural join on the shared column names.
+    ///
+    /// The result schema is `self`'s columns followed by `other`'s
+    /// non-shared columns; its key is the union of both keys (falling back
+    /// to whole-row if either side had whole-row keying).
+    pub fn natural_join(&self, other: &Table) -> Result<Table, StoreError> {
+        let shared = self.schema.shared_columns(&other.schema)?;
+        let left_shared = self.schema.indices_of(&shared)?;
+        let right_shared = other.schema.indices_of(&shared)?;
+        let right_rest: Vec<usize> = (0..other.schema.arity())
+            .filter(|i| !right_shared.contains(i))
+            .collect();
+
+        // Result schema: left columns ++ right-only columns.
+        let mut columns: Vec<crate::schema::Column> = self.schema.columns().to_vec();
+        for &i in &right_rest {
+            columns.push(other.schema.columns()[i].clone());
+        }
+        let key: Vec<String> = if self.schema.key().is_empty() || other.schema.key().is_empty() {
+            Vec::new()
+        } else {
+            let mut k: Vec<String> = self.schema.key().to_vec();
+            for kk in other.schema.key() {
+                if !k.contains(kk) {
+                    k.push(kk.clone());
+                }
+            }
+            k
+        };
+        let schema = Schema::new(columns, key)?;
+
+        // Hash-join on shared values.
+        let mut right_index: BTreeMap<Row, Vec<&Row>> = BTreeMap::new();
+        for row in other.rows.values() {
+            right_index
+                .entry(project_row(row, &right_shared))
+                .or_default()
+                .push(row);
+        }
+
+        let mut out = Table::new(schema);
+        for lrow in self.rows.values() {
+            let lkey = project_row(lrow, &left_shared);
+            if let Some(matches) = right_index.get(&lkey) {
+                for rrow in matches {
+                    let mut joined = lrow.clone();
+                    for &i in &right_rest {
+                        joined.push(rrow[i].clone());
+                    }
+                    let key = out.key_of(&joined);
+                    if let Some(existing) = out.rows.get(&key) {
+                        if *existing != joined {
+                            return Err(StoreError::KeyViolation(format!(
+                                "join produced two rows with key {key:?}"
+                            )));
+                        }
+                    }
+                    out.rows.insert(key, joined);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pretty-print the table with a header row.
+    pub fn render(&self) -> String {
+        let names = self.schema.column_names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .values()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:w$} |"));
+            }
+            line
+        };
+        let header: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        out.push_str(&fmt_row(&header, &widths));
+        out.push('\n');
+        out.push_str(&format!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")));
+        for row in &rendered {
+            out.push('\n');
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Operand, Predicate};
+    use crate::row;
+    use crate::value::ValueType;
+
+    fn people() -> Table {
+        let schema = Schema::build(
+            &[("id", ValueType::Int), ("name", ValueType::Str), ("age", ValueType::Int)],
+            &["id"],
+        )
+        .unwrap();
+        Table::from_rows(
+            schema,
+            vec![row![1, "ada", 36], row![2, "alan", 41], row![3, "grace", 85]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_validates_types_and_keys() {
+        let mut t = people();
+        assert!(matches!(t.insert(row![1, "imposter", 1]), Err(StoreError::KeyViolation(_))));
+        assert!(matches!(t.insert(row!["x", "y", 1]), Err(StoreError::TypeMismatch { .. })));
+        // Re-inserting an identical row is a no-op.
+        assert!(t.insert(row![1, "ada", 36]).is_ok());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn upsert_replaces_by_key() {
+        let mut t = people();
+        let old = t.upsert(row![1, "ada lovelace", 36]).unwrap();
+        assert_eq!(old, Some(row![1, "ada", 36]));
+        assert_eq!(t.get_by_key(&row![1]).unwrap()[1], Value::str("ada lovelace"));
+    }
+
+    #[test]
+    fn delete_by_row_and_key() {
+        let mut t = people();
+        assert!(t.delete(&row![2, "alan", 41]));
+        assert!(!t.delete(&row![2, "alan", 41]));
+        assert_eq!(t.delete_by_key(&row![3]), Some(row![3, "grace", 85]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn select_filters_rows() {
+        let t = people();
+        let pred = Predicate::gt(Operand::col("age"), Operand::val(40));
+        let s = t.select(&pred).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.rows().all(|r| r[2].as_int().unwrap() > 40));
+    }
+
+    #[test]
+    fn project_deduplicates() {
+        let schema = Schema::build(&[("a", ValueType::Int), ("b", ValueType::Int)], &[]).unwrap();
+        let t = Table::from_rows(schema, vec![row![1, 10], row![1, 20], row![2, 10]]).unwrap();
+        let p = t.project(&["a".to_string()]).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn rename_changes_header_not_rows() {
+        let t = people();
+        let r = t.rename(&[("name".to_string(), "full_name".to_string())]).unwrap();
+        assert!(r.schema().index_of("full_name").is_ok());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.to_rows(), t.to_rows());
+    }
+
+    #[test]
+    fn union_difference_intersect_are_setlike() {
+        let schema = Schema::build(&[("x", ValueType::Int)], &[]).unwrap();
+        let t1 = Table::from_rows(schema.clone(), vec![row![1], row![2]]).unwrap();
+        let t2 = Table::from_rows(schema, vec![row![2], row![3]]).unwrap();
+        assert_eq!(t1.union(&t2).unwrap().len(), 3);
+        assert_eq!(t1.difference(&t2).unwrap().to_rows(), vec![row![1]]);
+        assert_eq!(t1.intersect(&t2).unwrap().to_rows(), vec![row![2]]);
+    }
+
+    #[test]
+    fn natural_join_matches_on_shared_columns() {
+        let orders = Table::from_rows(
+            Schema::build(&[("oid", ValueType::Int), ("pid", ValueType::Int)], &["oid"]).unwrap(),
+            vec![row![100, 1], row![101, 2], row![102, 1]],
+        )
+        .unwrap();
+        let products = Table::from_rows(
+            Schema::build(&[("pid", ValueType::Int), ("pname", ValueType::Str)], &["pid"]).unwrap(),
+            vec![row![1, "widget"], row![2, "gadget"]],
+        )
+        .unwrap();
+        let j = orders.natural_join(&products).unwrap();
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.schema().column_names(), vec!["oid", "pid", "pname"]);
+        let r = j.get_by_key(&row![100, 1]).unwrap();
+        assert_eq!(r[2], Value::str("widget"));
+    }
+
+    #[test]
+    fn join_with_no_matches_is_empty() {
+        let t1 = Table::from_rows(
+            Schema::build(&[("k", ValueType::Int)], &[]).unwrap(),
+            vec![row![1]],
+        )
+        .unwrap();
+        let t2 = Table::from_rows(
+            Schema::build(&[("k", ValueType::Int)], &[]).unwrap(),
+            vec![row![2]],
+        )
+        .unwrap();
+        assert!(t1.natural_join(&t2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn algebra_identities_hold() {
+        // σ_p(t1 ∪ t2) = σ_p(t1) ∪ σ_p(t2)
+        let schema = Schema::build(&[("x", ValueType::Int)], &[]).unwrap();
+        let t1 = Table::from_rows(schema.clone(), vec![row![1], row![5]]).unwrap();
+        let t2 = Table::from_rows(schema, vec![row![3], row![7]]).unwrap();
+        let p = Predicate::gt(Operand::col("x"), Operand::val(2));
+        let lhs = t1.union(&t2).unwrap().select(&p).unwrap();
+        let rhs = t1.select(&p).unwrap().union(&t2.select(&p).unwrap()).unwrap();
+        assert_eq!(lhs, rhs);
+
+        // π is idempotent.
+        let cols = vec!["x".to_string()];
+        let once = t1.project(&cols).unwrap();
+        let twice = once.project(&cols).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn render_produces_aligned_ascii() {
+        let t = people();
+        let s = t.render();
+        assert!(s.starts_with("| id | name"));
+        assert!(s.contains("| 1  | ada"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Dynamically-typed cell values and their types.
+
+/// A single table-cell value.
+///
+/// `Ord` gives tables a deterministic row order; the ordering across
+/// variants (Bool < Int < Str) is arbitrary but fixed. Floats are omitted
+/// deliberately: cell values must be totally ordered and hashable for set
+/// semantics and keys.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Bool(_) => ValueType::Bool,
+            Value::Int(_) => ValueType::Int,
+            Value::Str(_) => ValueType::Str,
+        }
+    }
+
+    /// A string value (convenience constructor).
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Extract an integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// The type of a cell value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValueType {
+    /// Booleans.
+    Bool,
+    /// 64-bit signed integers.
+    Int,
+    /// UTF-8 strings.
+    Str,
+}
+
+impl ValueType {
+    /// A neutral default value of this type (used e.g. by relational
+    /// project lenses when a caller supplies no explicit default).
+    pub fn default_value(&self) -> Value {
+        match self {
+            ValueType::Bool => Value::Bool(false),
+            ValueType::Int => Value::Int(0),
+            ValueType::Str => Value::Str(String::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for ValueType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueType::Bool => f.write_str("bool"),
+            ValueType::Int => f.write_str("int"),
+            ValueType::Str => f.write_str("str"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_know_their_types() {
+        assert_eq!(Value::Int(3).value_type(), ValueType::Int);
+        assert_eq!(Value::str("x").value_type(), ValueType::Str);
+        assert_eq!(Value::Bool(true).value_type(), ValueType::Bool);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(Value::from(5i64).as_int(), Some(5));
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(1).as_str(), None);
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut vals = vec![Value::str("b"), Value::Int(2), Value::Bool(true), Value::Int(1)];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![Value::Bool(true), Value::Int(1), Value::Int(2), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn defaults_match_types() {
+        assert_eq!(ValueType::Int.default_value(), Value::Int(0));
+        assert_eq!(ValueType::Str.default_value(), Value::str(""));
+        assert_eq!(ValueType::Bool.default_value(), Value::Bool(false));
+    }
+
+    #[test]
+    fn display_is_plain() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(ValueType::Int.to_string(), "int");
+    }
+}

@@ -1,0 +1,225 @@
+//! Combinators for symmetric lenses: identity, duals, composition,
+//! tensor, and the two HPW embeddings of asymmetric lenses.
+
+use esm_lens::Lens;
+
+use crate::slens::SymLens;
+
+/// The identity symmetric lens: both sides are the same type, the
+/// complement is trivial.
+pub fn identity<T: Clone + 'static>() -> SymLens<T, T, ()> {
+    SymLens::new(|a, ()| (a, ()), |b, ()| (b, ()), ())
+}
+
+/// A symmetric lens from an isomorphism `A ≅ B` (trivial complement).
+pub fn iso<A, B>(fwd: impl Fn(A) -> B + 'static, bwd: impl Fn(B) -> A + 'static) -> SymLens<A, B, ()>
+where
+    A: 'static,
+    B: 'static,
+{
+    SymLens::new(move |a, ()| (fwd(a), ()), move |b, ()| (bwd(b), ()), ())
+}
+
+/// Swap the two sides of a symmetric lens — symmetry made literal, the
+/// HPW `dual` operation.
+pub fn dual<A, B, C>(l: SymLens<A, B, C>) -> SymLens<B, A, C>
+where
+    A: 'static,
+    B: 'static,
+    C: Clone + 'static,
+{
+    let lr = l.clone();
+    let missing = l.missing();
+    SymLens::new(move |b, c| l.putl(b, c), move |a, c| lr.putr(a, c), missing)
+}
+
+/// Embed an asymmetric lens `l : S ⇄ V` as a symmetric lens `S ↔ V` whose
+/// complement is the source itself (HPW §4: every asymmetric lens is a
+/// symmetric lens remembering the whole source).
+///
+/// `initial` seeds the complement for bootstrapping from the `V` side.
+pub fn from_asym<S, V>(l: Lens<S, V>, initial: S) -> SymLens<S, V, S>
+where
+    S: Clone + 'static,
+    V: Clone + 'static,
+{
+    let lg = l.clone();
+    SymLens::new(
+        move |s: S, _c: S| (lg.get(&s), s),
+        move |v: V, c: S| {
+            let s2 = l.put(c, v);
+            (s2.clone(), s2)
+        },
+        initial,
+    )
+}
+
+/// Compose two symmetric lenses sharing the middle type `B`; the composite
+/// complement is the pair of complements (HPW composition).
+pub fn compose<A, B, C1, X, C2>(
+    l1: SymLens<A, B, C1>,
+    l2: SymLens<B, X, C2>,
+) -> SymLens<A, X, (C1, C2)>
+where
+    A: 'static,
+    B: 'static,
+    X: 'static,
+    C1: Clone + 'static,
+    C2: Clone + 'static,
+{
+    let l1l = l1.clone();
+    let l2l = l2.clone();
+    let missing = (l1.missing(), l2.missing());
+    SymLens::new(
+        move |a: A, (c1, c2): (C1, C2)| {
+            let (b, c1b) = l1.putr(a, c1);
+            let (x, c2b) = l2.putr(b, c2);
+            (x, (c1b, c2b))
+        },
+        move |x: X, (c1, c2): (C1, C2)| {
+            let (b, c2b) = l2l.putl(x, c2);
+            let (a, c1b) = l1l.putl(b, c1);
+            (a, (c1b, c2b))
+        },
+        missing,
+    )
+}
+
+/// Tensor product: run two symmetric lenses side by side on pairs.
+pub fn tensor<A1, B1, C1, A2, B2, C2>(
+    l1: SymLens<A1, B1, C1>,
+    l2: SymLens<A2, B2, C2>,
+) -> SymLens<(A1, A2), (B1, B2), (C1, C2)>
+where
+    A1: 'static,
+    B1: 'static,
+    C1: Clone + 'static,
+    A2: 'static,
+    B2: 'static,
+    C2: Clone + 'static,
+{
+    let l1l = l1.clone();
+    let l2l = l2.clone();
+    let missing = (l1.missing(), l2.missing());
+    SymLens::new(
+        move |(a1, a2): (A1, A2), (c1, c2): (C1, C2)| {
+            let (b1, c1b) = l1.putr(a1, c1);
+            let (b2, c2b) = l2.putr(a2, c2);
+            ((b1, b2), (c1b, c2b))
+        },
+        move |(b1, b2): (B1, B2), (c1, c2): (C1, C2)| {
+            let (a1, c1b) = l1l.putl(b1, c1);
+            let (a2, c2b) = l2l.putl(b2, c2);
+            ((a1, a2), (c1b, c2b))
+        },
+        missing,
+    )
+}
+
+/// The terminal symmetric lens to `()`: discards `A`, remembering it in
+/// the complement (HPW's `term` with a chosen default).
+pub fn terminal<A: Clone + 'static>(default: A) -> SymLens<A, (), A> {
+    SymLens::new(
+        |a: A, _c: A| ((), a),
+        |(), c: A| (c.clone(), c),
+        default,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_sym_lens;
+    use esm_lens::combinators::fst;
+
+    #[test]
+    fn identity_roundtrips() {
+        let l = identity::<i64>();
+        let (b, c) = l.putr(5, ());
+        assert_eq!(b, 5);
+        let (a, _) = l.putl(9, c);
+        assert_eq!(a, 9);
+    }
+
+    #[test]
+    fn iso_translates_both_ways() {
+        let l = iso(|a: i64| a.to_string(), |b: String| b.parse::<i64>().unwrap());
+        assert_eq!(l.putr(42, ()).0, "42");
+        assert_eq!(l.putl("-7".to_string(), ()).0, -7);
+    }
+
+    #[test]
+    fn dual_swaps_put_directions() {
+        let l = iso(|a: i64| a * 2, |b: i64| b / 2);
+        let d = dual(l.clone());
+        assert_eq!(d.putr(10, ()).0, l.putl(10, ()).0);
+        assert_eq!(d.putl(3, ()).0, l.putr(3, ()).0);
+    }
+
+    #[test]
+    fn from_asym_satisfies_sym_laws() {
+        let l = from_asym(fst::<i64, String>(), (0, "init".to_string()));
+        let samples_a: Vec<(i64, String)> = vec![(1, "x".into()), (2, "y".into())];
+        let samples_b: Vec<i64> = vec![3, 4];
+        let complements: Vec<(i64, String)> = vec![(0, "c".into()), (9, "d".into())];
+        assert!(check_sym_lens(&l, &samples_a, &samples_b, &complements).is_empty());
+    }
+
+    #[test]
+    fn compose_threads_complements() {
+        // (i64, String) <-> i64 <-> String, via fst then to-string iso.
+        let left = from_asym(fst::<i64, String>(), (0, "c".to_string()));
+        let right = iso(|v: i64| v.to_string(), |s: String| s.parse::<i64>().unwrap());
+        let both = compose(left, right);
+        let ((), c0) = ((), both.missing());
+        let (x, c) = both.putr((5, "keep".to_string()), c0);
+        assert_eq!(x, "5");
+        // Pushing back a new right value: the hidden String survives in C1.
+        let (a, _c) = both.putl("12".to_string(), c);
+        assert_eq!(a, (12, "keep".to_string()));
+    }
+
+    #[test]
+    fn compose_satisfies_sym_laws() {
+        let left = from_asym(fst::<i64, String>(), (0, "c".to_string()));
+        let right = iso(|v: i64| v.to_string(), |s: String| s.parse::<i64>().unwrap());
+        let both = compose(left, right);
+        let samples_a: Vec<(i64, String)> = vec![(1, "x".into()), (2, "y".into())];
+        let samples_b: Vec<String> = vec!["7".into(), "8".into()];
+        let complements = vec![both.missing(), ((3, "z".to_string()), ())];
+        assert!(check_sym_lens(&both, &samples_a, &samples_b, &complements).is_empty());
+    }
+
+    #[test]
+    fn tensor_is_componentwise() {
+        let l = tensor(identity::<i64>(), iso(|a: i64| -a, |b: i64| -b));
+        let ((b1, b2), _) = l.putr((1, 2), ((), ()));
+        assert_eq!((b1, b2), (1, -2));
+    }
+
+    #[test]
+    fn tensor_satisfies_sym_laws() {
+        let l = tensor(identity::<i64>(), iso(|a: i64| -a, |b: i64| -b));
+        let sa = vec![(1i64, 2i64), (0, 0)];
+        let sb = vec![(5i64, -6i64)];
+        let cs = vec![((), ())];
+        assert!(check_sym_lens(&l, &sa, &sb, &cs).is_empty());
+    }
+
+    #[test]
+    fn terminal_remembers_the_discarded_value() {
+        let l = terminal(0i64);
+        let ((), c) = l.putr(42, l.missing());
+        let (a, _) = l.putl((), c);
+        assert_eq!(a, 42);
+    }
+
+    #[test]
+    fn terminal_satisfies_sym_laws() {
+        let l = terminal(0i64);
+        let sa = vec![1i64, 2];
+        let sb = vec![()];
+        let cs = vec![0i64, 7];
+        assert!(check_sym_lens(&l, &sa, &sb, &cs).is_empty());
+    }
+}

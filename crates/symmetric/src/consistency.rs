@@ -1,0 +1,100 @@
+//! Consistent triples: the hidden state space of the Lemma 6 embedding.
+//!
+//! The paper defines `T ⊆ A × B × C` as the triples fixed by both puts:
+//! `putr(a, c) = (b, c)` **and** `putl(b, c) = (a, c)`. This module decides
+//! membership, settles arbitrary data into `T`, and (for small sample
+//! spaces) enumerates the reachable consistent triples.
+
+use crate::slens::SymLens;
+
+/// Is `(a, b, c)` a consistent triple of `l`?
+pub fn is_consistent<A, B, C>(l: &SymLens<A, B, C>, a: &A, b: &B, c: &C) -> bool
+where
+    A: Clone + PartialEq + 'static,
+    B: Clone + PartialEq + 'static,
+    C: Clone + PartialEq + 'static,
+{
+    let (b2, c2) = l.putr(a.clone(), c.clone());
+    let (a2, c3) = l.putl(b.clone(), c.clone());
+    b2 == *b && c2 == *c && a2 == *a && c3 == *c
+}
+
+/// Settle `(a, c)` into a consistent triple by one `putr`. Lawful lenses
+/// make the result consistent (see [`SymLens::settle_from_a`]); this
+/// function additionally *verifies* consistency, returning `None` when the
+/// lens is broken.
+pub fn settle_checked_from_a<A, B, C>(l: &SymLens<A, B, C>, a: A, c: C) -> Option<(A, B, C)>
+where
+    A: Clone + PartialEq + 'static,
+    B: Clone + PartialEq + 'static,
+    C: Clone + PartialEq + 'static,
+{
+    let (a, b, c) = l.settle_from_a(a, c);
+    is_consistent(l, &a, &b, &c).then_some((a, b, c))
+}
+
+/// Enumerate the consistent triples *reachable* from the sampled `A`
+/// values and complements (by settling each pair), deduplicated.
+///
+/// For lawful lenses this is a subset of the paper's `T`; it is the subset
+/// a running system can actually reach from those starting points.
+pub fn reachable_triples<A, B, C>(
+    l: &SymLens<A, B, C>,
+    samples_a: &[A],
+    complements: &[C],
+) -> Vec<(A, B, C)>
+where
+    A: Clone + PartialEq + 'static,
+    B: Clone + PartialEq + 'static,
+    C: Clone + PartialEq + 'static,
+{
+    let mut out: Vec<(A, B, C)> = Vec::new();
+    for a in samples_a {
+        for c in complements {
+            let (a2, b2, c2) = l.settle_from_a(a.clone(), c.clone());
+            if is_consistent(l, &a2, &b2, &c2)
+                && !out.iter().any(|(x, y, z)| *x == a2 && *y == b2 && *z == c2)
+            {
+                out.push((a2, b2, c2));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinators::{from_asym, identity};
+    use esm_lens::combinators::fst;
+
+    #[test]
+    fn settled_triples_are_consistent() {
+        let l = from_asym(fst::<i64, String>(), (0, "i".to_string()));
+        let t = settle_checked_from_a(&l, (5, "h".to_string()), l.missing());
+        assert!(t.is_some());
+        let (a, b, c) = t.unwrap();
+        assert!(is_consistent(&l, &a, &b, &c));
+        assert_eq!(b, 5);
+    }
+
+    #[test]
+    fn inconsistent_triples_are_rejected() {
+        let l = from_asym(fst::<i64, String>(), (0, "i".to_string()));
+        // b != a.0: cannot be consistent.
+        assert!(!is_consistent(
+            &l,
+            &(5, "h".to_string()),
+            &7,
+            &(5, "h".to_string())
+        ));
+    }
+
+    #[test]
+    fn reachable_triples_deduplicate() {
+        let l = identity::<i64>();
+        let triples = reachable_triples(&l, &[1, 2, 1], &[(), ()]);
+        assert_eq!(triples.len(), 2);
+        assert!(triples.iter().all(|(a, b, _)| a == b));
+    }
+}

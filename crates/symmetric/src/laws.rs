@@ -1,0 +1,129 @@
+//! Executable forms of the symmetric-lens laws (PutRL)/(PutLR) from §4.
+
+use crate::slens::SymLens;
+
+/// A symmetric-lens law violation with printable evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymLawViolation {
+    /// The law that failed: `"(PutRL)"` or `"(PutLR)"`.
+    pub law: &'static str,
+    /// Human-readable counterexample.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SymLawViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "symmetric lens law {} violated: {}", self.law, self.detail)
+    }
+}
+
+impl std::error::Error for SymLawViolation {}
+
+/// (PutRL): `putr(a, c) = (b, c') ⇒ putl(b, c') = (a, c')`, over the
+/// sample grid of `A` values and complements.
+pub fn check_put_rl<A, B, C>(
+    l: &SymLens<A, B, C>,
+    samples_a: &[A],
+    complements: &[C],
+) -> Vec<SymLawViolation>
+where
+    A: Clone + PartialEq + std::fmt::Debug + 'static,
+    B: Clone + std::fmt::Debug + 'static,
+    C: Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let mut out = Vec::new();
+    for a in samples_a {
+        for c in complements {
+            let (b, c2) = l.putr(a.clone(), c.clone());
+            let (a2, c3) = l.putl(b.clone(), c2.clone());
+            if a2 != *a || c3 != c2 {
+                out.push(SymLawViolation {
+                    law: "(PutRL)",
+                    detail: format!(
+                        "putr({a:?}, {c:?}) = ({b:?}, {c2:?}) but putl({b:?}, {c2:?}) = ({a2:?}, {c3:?})"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// (PutLR): `putl(b, c) = (a, c') ⇒ putr(a, c') = (b, c')`.
+pub fn check_put_lr<A, B, C>(
+    l: &SymLens<A, B, C>,
+    samples_b: &[B],
+    complements: &[C],
+) -> Vec<SymLawViolation>
+where
+    A: Clone + std::fmt::Debug + 'static,
+    B: Clone + PartialEq + std::fmt::Debug + 'static,
+    C: Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let mut out = Vec::new();
+    for b in samples_b {
+        for c in complements {
+            let (a, c2) = l.putl(b.clone(), c.clone());
+            let (b2, c3) = l.putr(a.clone(), c2.clone());
+            if b2 != *b || c3 != c2 {
+                out.push(SymLawViolation {
+                    law: "(PutLR)",
+                    detail: format!(
+                        "putl({b:?}, {c:?}) = ({a:?}, {c2:?}) but putr({a:?}, {c2:?}) = ({b2:?}, {c3:?})"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Both symmetric-lens laws over the sample grid.
+pub fn check_sym_lens<A, B, C>(
+    l: &SymLens<A, B, C>,
+    samples_a: &[A],
+    samples_b: &[B],
+    complements: &[C],
+) -> Vec<SymLawViolation>
+where
+    A: Clone + PartialEq + std::fmt::Debug + 'static,
+    B: Clone + PartialEq + std::fmt::Debug + 'static,
+    C: Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let mut out = check_put_rl(l, samples_a, complements);
+    out.extend(check_put_lr(l, samples_b, complements));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinators::identity;
+    use crate::slens::SymLens;
+
+    #[test]
+    fn identity_satisfies_both_laws() {
+        let l = identity::<i64>();
+        assert!(check_sym_lens(&l, &[1, 2], &[3, 4], &[()]).is_empty());
+    }
+
+    #[test]
+    fn complement_forgetting_lens_fails_put_rl() {
+        // putr drops a's value instead of storing it: putl cannot restore.
+        let l: SymLens<i64, i64, i64> = SymLens::new(
+            |_a, c| (c, c),        // b := old complement, complement unchanged
+            |b, _c| (b, b),        // a := b, complement := b
+            0,
+        );
+        let v = check_put_rl(&l, &[5], &[1]);
+        assert!(!v.is_empty());
+        assert_eq!(v[0].law, "(PutRL)");
+    }
+
+    #[test]
+    fn violations_display_the_law() {
+        let l: SymLens<i64, i64, i64> = SymLens::new(|_a, c| (c, c), |b, _c| (b, b), 0);
+        let v = check_put_rl(&l, &[5], &[1]);
+        assert!(v[0].to_string().contains("(PutRL)"));
+    }
+}

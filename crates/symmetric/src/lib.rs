@@ -1,0 +1,36 @@
+//! Symmetric lenses (Hofmann, Pierce, Wagner) and their embedding as
+//! entangled state monads (Lemma 6 of the paper).
+//!
+//! A symmetric lens `l : A ↔C B` is a pair of functions
+//!
+//! ```text
+//! putr : A × C -> B × C        putl : B × C -> A × C
+//! ```
+//!
+//! over a *complement* type `C` holding the private information of both
+//! sides, satisfying
+//!
+//! ```text
+//! (PutRL) putr(a, c) = (b, c')  ⇒  putl(b, c') = (a, c')
+//! (PutLR) putl(b, c) = (a, c')  ⇒  putr(a, c')  = (b, c')
+//! ```
+//!
+//! Lemma 6: the state monad over the *consistent triples*
+//! `{(a, b, c) | putr(a, c) = (b, c) ∧ putl(b, c) = (a, c)}` carries a
+//! put-bx with `putBA a' = \(a,b,c) -> let (b',c') = putr(a',c) in
+//! (b', (a',b',c'))` — the complement "disappears into the hidden state of
+//! the monad" (§5).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod combinators;
+pub mod consistency;
+pub mod laws;
+pub mod slens;
+pub mod span;
+pub mod to_bx;
+
+pub use slens::SymLens;
+pub use span::from_span;
+pub use to_bx::SymBxOps;

@@ -1,0 +1,144 @@
+//! The [`SymLens`] type: symmetric lenses with explicit complements.
+
+use std::rc::Rc;
+
+/// A symmetric lens `A ↔C B` (Hofmann–Pierce–Wagner, §4 of the paper).
+///
+/// `putr(a, c)` pushes a new `A` value rightwards, producing the matching
+/// `B` and an updated complement; `putl` is its mirror. `missing` is the
+/// canonical initial complement (HPW's `missing ∈ C`), used to bootstrap a
+/// consistent state from one side alone.
+pub struct SymLens<A, B, C> {
+    putr: Rc<dyn Fn(A, C) -> (B, C)>,
+    putl: Rc<dyn Fn(B, C) -> (A, C)>,
+    missing: C,
+}
+
+impl<A, B, C: Clone> Clone for SymLens<A, B, C> {
+    fn clone(&self) -> Self {
+        SymLens {
+            putr: Rc::clone(&self.putr),
+            putl: Rc::clone(&self.putl),
+            missing: self.missing.clone(),
+        }
+    }
+}
+
+impl<A, B, C> std::fmt::Debug for SymLens<A, B, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SymLens(<putr/putl>)")
+    }
+}
+
+impl<A: 'static, B: 'static, C: Clone + 'static> SymLens<A, B, C> {
+    /// Build a symmetric lens from its two put functions and initial
+    /// complement.
+    pub fn new(
+        putr: impl Fn(A, C) -> (B, C) + 'static,
+        putl: impl Fn(B, C) -> (A, C) + 'static,
+        missing: C,
+    ) -> Self {
+        SymLens { putr: Rc::new(putr), putl: Rc::new(putl), missing }
+    }
+
+    /// Push an `A` value rightwards: `putr(a, c) = (b, c')`.
+    pub fn putr(&self, a: A, c: C) -> (B, C) {
+        (self.putr)(a, c)
+    }
+
+    /// Push a `B` value leftwards: `putl(b, c) = (a, c')`.
+    pub fn putl(&self, b: B, c: C) -> (A, C) {
+        (self.putl)(b, c)
+    }
+
+    /// The canonical initial complement.
+    pub fn missing(&self) -> C {
+        self.missing.clone()
+    }
+
+    /// Bootstrap a consistent triple from an `A` value and a complement.
+    ///
+    /// By (PutRL), `putr(a, c) = (b, c')` implies `putl(b, c') = (a, c')`,
+    /// and by (PutLR) then `putr(a, c') = (b, c')` — so `(a, b, c')` is a
+    /// consistent triple whenever the lens is lawful.
+    pub fn settle_from_a(&self, a: A, c: C) -> (A, B, C)
+    where
+        A: Clone,
+    {
+        let (b, c2) = self.putr(a.clone(), c);
+        (a, b, c2)
+    }
+
+    /// Bootstrap a consistent triple from a `B` value and a complement.
+    pub fn settle_from_b(&self, b: B, c: C) -> (A, B, C)
+    where
+        B: Clone,
+    {
+        let (a, c2) = self.putl(b.clone(), c);
+        (a, b, c2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinators::from_asym;
+    use esm_lens::combinators::fst;
+
+    /// A symmetric lens between (id, name) and (id, email) records sharing
+    /// the id; the complement remembers each side's private field.
+    pub(crate) fn contact_lens(
+    ) -> SymLens<(u32, String), (u32, String), (Option<String>, Option<String>)> {
+        SymLens::new(
+            |a: (u32, String), c: (Option<String>, Option<String>)| {
+                let email = c.1.clone().unwrap_or_else(|| "unknown@example.org".to_string());
+                ((a.0, email.clone()), (Some(a.1), Some(email)))
+            },
+            |b: (u32, String), c: (Option<String>, Option<String>)| {
+                let name = c.0.clone().unwrap_or_else(|| "unknown".to_string());
+                ((b.0, name.clone()), (Some(name), Some(b.1)))
+            },
+            (None, None),
+        )
+    }
+
+    #[test]
+    fn putr_uses_complement_for_private_data() {
+        let l = contact_lens();
+        let (b, c) = l.putr((7, "ada".into()), l.missing());
+        assert_eq!(b, (7, "unknown@example.org".to_string()));
+        assert_eq!(c.0.as_deref(), Some("ada"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_both_sides_private_data() {
+        let l = contact_lens();
+        // Establish a consistent triple, then ping-pong updates.
+        let (a, b, c) = l.settle_from_a((7, "ada".into()), l.missing());
+        assert_eq!(a.1, "ada");
+        // Change the email on the right; the name must survive.
+        let (a2, c2) = l.putl((7, "ada@ox.ac.uk".into()), c);
+        assert_eq!(a2.1, "ada");
+        // Change the name on the left; the email must survive.
+        let (b2, _c3) = l.putr((7, "lovelace".into()), c2);
+        assert_eq!(b2.1, "ada@ox.ac.uk");
+        let _ = b;
+    }
+
+    #[test]
+    fn settle_from_b_mirrors_settle_from_a() {
+        let l = contact_lens();
+        let (a, b, _c) = l.settle_from_b((3, "x@y.z".into()), l.missing());
+        assert_eq!(a.0, 3);
+        assert_eq!(b.1, "x@y.z");
+    }
+
+    #[test]
+    fn from_asym_keeps_source_in_complement() {
+        let l = from_asym(fst::<i64, String>(), (0, "init".to_string()));
+        let ((), ()) = ((), ());
+        let (b, c) = l.putr((5, "hidden".to_string()), l.missing());
+        assert_eq!(b, 5);
+        assert_eq!(c, (5, "hidden".to_string()));
+    }
+}

@@ -1,0 +1,117 @@
+//! Spans of asymmetric lenses as symmetric lenses.
+//!
+//! A *span* is a pair of lenses out of a common source,
+//! `A ⇇ S ⇉ B`. It induces a symmetric lens `A ↔S B` whose complement is
+//! the whole source: pushing an `A` writes it into the source through the
+//! left lens and reads the new `B` through the right lens. This is the
+//! standard bridge between the asymmetric and symmetric worlds (and
+//! subsumes [`crate::combinators::from_asym`], which is the span
+//! `S ⇇ S ⇉ V` with the identity on the left).
+//!
+//! Laws: if both lenses are well-behaved, the induced symmetric lens
+//! satisfies (PutRL)/(PutLR) — checked in the tests, not assumed.
+
+use esm_lens::Lens;
+
+use crate::slens::SymLens;
+
+/// The symmetric lens induced by a span of lenses `left : S ⇄ A`,
+/// `right : S ⇄ B`, with `initial` seeding the complement.
+pub fn from_span<S, A, B>(left: Lens<S, A>, right: Lens<S, B>, initial: S) -> SymLens<A, B, S>
+where
+    S: Clone + 'static,
+    A: Clone + 'static,
+    B: Clone + 'static,
+{
+    let l_put = left.clone();
+    let r_get = right.clone();
+    let r_put = right;
+    let l_get = left;
+    SymLens::new(
+        move |a: A, c: S| {
+            let s2 = l_put.put(c, a);
+            (r_get.get(&s2), s2)
+        },
+        move |b: B, c: S| {
+            let s2 = r_put.put(c, b);
+            (l_get.get(&s2), s2)
+        },
+        initial,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::is_consistent;
+    use crate::laws::check_sym_lens;
+    use esm_lens::combinators::{fst, id, snd};
+
+    type S = (i64, String);
+
+    /// The span (fst, snd) over pairs: A sees the number, B the string.
+    fn number_string() -> SymLens<i64, String, S> {
+        from_span(fst::<i64, String>(), snd::<i64, String>(), (0, String::new()))
+    }
+
+    #[test]
+    fn pushing_one_side_preserves_the_other() {
+        let l = number_string();
+        let (a, b, c) = l.settle_from_a(7, (7, "seven".to_string()));
+        assert_eq!((a, b.as_str()), (7, "seven"));
+        // Update the number; the string side survives in the complement.
+        let (b2, c2) = l.putr(42, c);
+        assert_eq!(b2, "seven");
+        // Update the string; the number survives.
+        let (a2, _c3) = l.putl("answer".to_string(), c2);
+        assert_eq!(a2, 42);
+    }
+
+    #[test]
+    fn span_of_well_behaved_lenses_satisfies_sym_laws() {
+        let l = number_string();
+        let samples_a = [1i64, -5];
+        let samples_b = ["x".to_string(), "yz".to_string()];
+        let complements = [(0i64, "c0".to_string()), (9, "c9".to_string())];
+        assert!(check_sym_lens(&l, &samples_a, &samples_b, &complements).is_empty());
+    }
+
+    #[test]
+    fn settled_span_triples_are_consistent() {
+        let l = number_string();
+        let (a, b, c) = l.settle_from_b("hello".to_string(), l.missing());
+        assert!(is_consistent(&l, &a, &b, &c));
+    }
+
+    #[test]
+    fn identity_left_leg_recovers_from_asym() {
+        // from_span(id, v_lens) behaves exactly like from_asym(v_lens).
+        let via_span = from_span(id::<S>(), fst::<i64, String>(), (0, String::new()));
+        let via_asym = crate::combinators::from_asym(fst::<i64, String>(), (0, String::new()));
+        let c0: S = (3, "k".to_string());
+        let (b1, c1) = via_span.putr((5, "k".to_string()), c0.clone());
+        let (b2, c2) = via_asym.putr((5, "k".to_string()), c0);
+        assert_eq!(b1, b2);
+        assert_eq!(c1, c2);
+        let (a1, _) = via_span.putl(9, c1);
+        let (a2, _) = via_asym.putl(9, c2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn overlapping_span_legs_break_the_laws() {
+        // A degenerate span whose legs overlap (both see the number):
+        // pushing A then reading it back through B disagrees, so the
+        // induced "symmetric lens" is unlawful — and the checker says so.
+        let l = from_span(
+            fst::<i64, i64>(),
+            esm_lens::Lens::new(|s: &(i64, i64)| s.0 + s.1, |mut s, v| {
+                s.1 = v; // put does NOT maintain get's invariant
+                s
+            }),
+            (0, 0),
+        );
+        let v = check_sym_lens(&l, &[1], &[2], &[(0i64, 0i64)]);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Lemma 6: every symmetric lens is an entangled state monad — a put-bx
+//! over the state monad on its consistent triples.
+
+use esm_core::state::PbxOps;
+
+use crate::consistency::is_consistent;
+use crate::slens::SymLens;
+
+/// The Lemma 6 construction: a put-bx between `A` and `B` whose hidden
+/// state is a consistent triple `(a, b, c)`:
+///
+/// ```text
+/// view_a (a,b,c)     = a
+/// view_b (a,b,c)     = b
+/// put_a  (a,b,c) a'  = let (b', c') = putr(a', c) in ((a',b',c'), b')
+/// put_b  (a,b,c) b'  = let (a', c') = putl(b', c) in ((a',b',c'), a')
+/// ```
+///
+/// The complement — HPW's distinguishing feature — disappears into the
+/// hidden state (§5: "the notions of consistency … and complement
+/// disappear into the hidden state of the monad").
+#[derive(Debug, Clone)]
+pub struct SymBxOps<A, B, C> {
+    lens: SymLens<A, B, C>,
+}
+
+impl<A, B, C> SymBxOps<A, B, C>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+{
+    /// Wrap a symmetric lens as a put-bx (Lemma 6).
+    pub fn new(lens: SymLens<A, B, C>) -> Self {
+        SymBxOps { lens }
+    }
+
+    /// The underlying symmetric lens.
+    pub fn sym_lens(&self) -> &SymLens<A, B, C> {
+        &self.lens
+    }
+
+    /// Bootstrap a hidden state from an `A` value (using the lens's
+    /// `missing` complement).
+    pub fn initial_from_a(&self, a: A) -> (A, B, C) {
+        self.lens.settle_from_a(a, self.lens.missing())
+    }
+
+    /// Bootstrap a hidden state from a `B` value.
+    pub fn initial_from_b(&self, b: B) -> (A, B, C) {
+        self.lens.settle_from_b(b, self.lens.missing())
+    }
+
+    /// Check the state invariant (membership of the paper's `T`).
+    pub fn invariant(&self, s: &(A, B, C)) -> bool
+    where
+        A: PartialEq,
+        B: PartialEq,
+        C: PartialEq,
+    {
+        is_consistent(&self.lens, &s.0, &s.1, &s.2)
+    }
+}
+
+impl<A, B, C> PbxOps<(A, B, C), A, B> for SymBxOps<A, B, C>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+{
+    fn view_a(&self, s: &(A, B, C)) -> A {
+        s.0.clone()
+    }
+
+    fn view_b(&self, s: &(A, B, C)) -> B {
+        s.1.clone()
+    }
+
+    fn put_a(&self, s: (A, B, C), a: A) -> ((A, B, C), B) {
+        let (b, c) = self.lens.putr(a.clone(), s.2);
+        ((a, b.clone(), c), b)
+    }
+
+    fn put_b(&self, s: (A, B, C), b: B) -> ((A, B, C), A) {
+        let (a, c) = self.lens.putl(b.clone(), s.2);
+        ((a.clone(), b, c), a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinators::from_asym;
+    use esm_core::state::{PbxOps, PutToSet, SbxOps};
+    use esm_lens::combinators::fst;
+
+    fn bx() -> SymBxOps<(i64, String), i64, (i64, String)> {
+        SymBxOps::new(from_asym(fst::<i64, String>(), (0, "init".to_string())))
+    }
+
+    #[test]
+    fn puts_return_the_refreshed_other_side() {
+        let t = bx();
+        let s0 = t.initial_from_a((5, "keep".to_string()));
+        assert!(t.invariant(&s0));
+        let (s1, b) = t.put_a(s0, (9, "keep".to_string()));
+        assert_eq!(b, 9);
+        assert!(t.invariant(&s1));
+        let (s2, a) = t.put_b(s1, 12);
+        assert_eq!(a, (12, "keep".to_string()));
+        assert!(t.invariant(&s2));
+    }
+
+    #[test]
+    fn updates_preserve_the_consistency_invariant() {
+        let t = bx();
+        let mut s = t.initial_from_b(3);
+        for i in 0..10 {
+            let (s2, _) = t.put_a(s, (i, format!("n{i}")));
+            s = s2;
+            assert!(t.invariant(&s));
+            let (s2, _) = t.put_b(s, i * 2);
+            s = s2;
+            assert!(t.invariant(&s));
+        }
+    }
+
+    #[test]
+    fn pp2set_of_lemma6_behaves_as_a_set_bx() {
+        // Combining Lemma 6 with the §3.3 translation: a symmetric lens
+        // used through the set-bx interface.
+        let t = PutToSet(bx());
+        let s0 = bx().initial_from_a((1, "x".to_string()));
+        let s1 = t.update_b(s0, 42);
+        assert_eq!(t.view_a(&s1).0, 42);
+        assert_eq!(t.view_a(&s1).1, "x");
+    }
+}

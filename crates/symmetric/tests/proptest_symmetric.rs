@@ -1,0 +1,115 @@
+//! Property-based symmetric-lens law tests: combinators and the Lemma 6
+//! embedding under generated data.
+
+use proptest::prelude::*;
+
+use esm_core::state::PbxOps;
+use esm_lens::combinators::fst;
+use esm_symmetric::combinators::{compose, dual, from_asym, identity, iso, tensor, terminal};
+use esm_symmetric::consistency::is_consistent;
+use esm_symmetric::from_span;
+use esm_symmetric::laws::check_sym_lens;
+use esm_symmetric::SymBxOps;
+
+type Src = (i64, String);
+
+fn arb_src() -> impl Strategy<Value = Src> {
+    (any::<i64>(), "[a-z]{0,5}").prop_map(|(n, s)| (n, s))
+}
+
+proptest! {
+    #[test]
+    fn from_asym_laws(a in arb_src(), b in any::<i64>(), c in arb_src()) {
+        let l = from_asym(fst::<i64, String>(), (0, String::new()));
+        let v = check_sym_lens(&l, &[a], &[b], &[c]);
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dual_laws(a in any::<i64>(), b in arb_src(), c in arb_src()) {
+        let l = dual(from_asym(fst::<i64, String>(), (0, String::new())));
+        let v = check_sym_lens(&l, &[a], &[b], &[c]);
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn compose_laws(a in arb_src(), b in any::<i64>().prop_map(|n| n.to_string()), c1 in arb_src()) {
+        // (i64, String) <-> i64 <-> String (canonical decimal rendering —
+        // the iso leg is only bijective on canonical decimals, so the
+        // B-side generator produces exactly those).
+        let left = from_asym(fst::<i64, String>(), (0, String::new()));
+        let right = iso(|v: i64| v.to_string(), |s: String| s.parse::<i64>().expect("digits"));
+        let l = compose(left, right);
+        let v = check_sym_lens(&l, &[a], &[b], &[(c1, ())]);
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn tensor_laws(a in (any::<i64>(), any::<i64>()), b in (any::<i64>(), any::<i64>())) {
+        let l = tensor(identity::<i64>(), iso(|x: i64| x.wrapping_neg(), |y: i64| y.wrapping_neg()));
+        let v = check_sym_lens(&l, &[a], &[b], &[((), ())]);
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn terminal_laws(a in any::<i64>(), c in any::<i64>()) {
+        let l = terminal(0i64);
+        let v = check_sym_lens(&l, &[a], &[()], &[c]);
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn span_laws(a in any::<i64>(), b in "[a-z]{0,5}", c in arb_src()) {
+        let l = from_span(
+            fst::<i64, String>(),
+            esm_lens::combinators::snd::<i64, String>(),
+            (0, String::new()),
+        );
+        let v = check_sym_lens(&l, &[a], &[b], &[c]);
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+}
+
+proptest! {
+    // Lemma 6 dynamics: long random put sequences preserve the
+    // consistent-triple invariant and always report the fresh view.
+    #[test]
+    fn lemma6_invariant_under_random_put_sequences(
+        start in arb_src(),
+        ops in proptest::collection::vec((any::<bool>(), any::<i64>(), "[a-z]{0,4}"), 0..12),
+    ) {
+        let t = SymBxOps::new(from_asym(fst::<i64, String>(), (0, String::new())));
+        let mut state = t.initial_from_a(start);
+        for (side_a, n, s) in ops {
+            if side_a {
+                let (next, reported_b) = t.put_a(state, (n, s));
+                prop_assert_eq!(reported_b, n); // (PG2): fresh B reported
+                state = next;
+            } else {
+                let (next, reported_a) = t.put_b(state, n);
+                prop_assert_eq!(reported_a.0, n); // fresh A reported
+                state = next;
+            }
+            prop_assert!(t.invariant(&state));
+        }
+    }
+
+    // Dual is an involution at the put-bx level.
+    #[test]
+    fn dual_dual_is_original(a in arb_src(), c in arb_src()) {
+        let l = from_asym(fst::<i64, String>(), (0, String::new()));
+        let dd = dual(dual(l.clone()));
+        let (b1, c1) = l.putr(a.clone(), c.clone());
+        let (b2, c2) = dd.putr(a, c);
+        prop_assert_eq!(b1, b2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    // settle_from_a always lands in the consistent-triple space.
+    #[test]
+    fn settling_always_reaches_consistency(a in arb_src(), c in arb_src()) {
+        let l = from_asym(fst::<i64, String>(), (0, String::new()));
+        let (a2, b2, c2) = l.settle_from_a(a, c);
+        prop_assert!(is_consistent(&l, &a2, &b2, &c2));
+    }
+}

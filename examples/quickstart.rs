@@ -1,0 +1,76 @@
+//! Quickstart: build a bidirectional transformation three ways, watch the
+//! two views stay consistent, and check the paper's laws at runtime.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use esm::core::state::{BxSession, StateBx};
+use esm::lawcheck::gen::int_range;
+use esm::lawcheck::setbx::{check_roundtrip_ops, check_set_ops};
+use esm::lens::combinators::fst;
+use esm::lens::AsymBx;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A bx from scratch: hidden state = (quantity, unit price);
+    //    view A = quantity, view B = total price. Setting either view
+    //    updates the shared state — the two views are *entangled*.
+    // ------------------------------------------------------------------
+    let inventory: StateBx<(u32, u32), u32, u32> = StateBx::new(
+        |s: &(u32, u32)| s.0,          // view_a: quantity
+        |s| s.0 * s.1,                 // view_b: total price
+        |s, qty| (qty, s.1),           // update_a
+        |s, total| (total / s.1, s.1), // update_b: rescale quantity
+    );
+
+    let mut session = BxSession::new((4, 25), inventory);
+    println!("quantity = {}, total = {}", session.a(), session.b());
+
+    session.set_a(10);
+    println!("after setA 10:  total = {}", session.b());
+
+    let qty = session.put_b(500); // the paper's putBA: write B, read A
+    println!("after putB 500: quantity = {qty}");
+    println!("session log: {:?}\n", session.log());
+
+    // ------------------------------------------------------------------
+    // 2. The same idea from an asymmetric lens (Lemma 4): side A is a
+    //    whole record, side B the focused field.
+    // ------------------------------------------------------------------
+    let bx = AsymBx::new(fst::<i64, String>());
+    let mut person = BxSession::new((36, "ada".to_string()), bx);
+    println!("source = {:?}, view = {}", person.a(), person.b());
+    person.set_b(37);
+    println!("after setB 37: source = {:?}\n", person.a());
+
+    // ------------------------------------------------------------------
+    // 3. Laws are checked, not assumed: run the (GS)/(SG)/(SS) suite and
+    //    the Lemma 3 roundtrip on 500 random states.
+    // ------------------------------------------------------------------
+    let gen_price_qty = int_range(1..500).map(|q| (q as u32, 20u32));
+    let gen_qty = int_range(1..500).map(|q| q as u32);
+    let gen_total = int_range(1..500).map(|t| t as u32 * 20);
+
+    let inventory2: StateBx<(u32, u32), u32, u32> = StateBx::new(
+        |s: &(u32, u32)| s.0,
+        |s| s.0 * s.1,
+        |s, qty| (qty, s.1),
+        |s, total| (total / s.1, s.1),
+    );
+    let report = check_set_ops(
+        "inventory set-bx",
+        &inventory2,
+        &gen_price_qty,
+        &gen_qty,
+        &gen_total,
+        500,
+        42,
+        true, // overwriteable: also check (SS)
+    );
+    println!("{report}");
+
+    let roundtrip = check_roundtrip_ops(&inventory2, &gen_price_qty, &gen_qty, &gen_total, 500, 43);
+    println!("{roundtrip}");
+
+    assert!(report.is_ok() && roundtrip.is_ok());
+    println!("all laws hold — this is a lawful entangled state monad");
+}

@@ -1,0 +1,56 @@
+//! # Entangled State Monads
+//!
+//! Facade crate re-exporting the whole workspace: a Rust implementation of
+//! *"Entangled State Monads"* (Cheney, McKinna, Stevens, Gibbons,
+//! Abou-Saleh; BX 2014) — a monadic treatment of symmetric state-based
+//! bidirectional transformations (bx).
+//!
+//! A bx maintains consistency between two information sources. The paper's
+//! insight: a monad that carries the structure of a *state monad in two
+//! entangled ways* — `get`/`set` on an `A` view and on a `B` view of some
+//! shared hidden state — *is* a bidirectional transformation, and the
+//! classical formalisms (asymmetric lenses, symmetric lenses, algebraic bx)
+//! are all instances.
+//!
+//! ## Crate map
+//!
+//! - [`monad`] — the monadic substrate ([`monad::MonadFamily`], state,
+//!   writer, nondeterminism, probability, `StateT`, simulated IO).
+//! - [`core`] — the paper's contribution: set-bx and put-bx, their
+//!   equivalence, entanglement, composition, effectful bx.
+//! - [`lens`] — asymmetric lenses and their embedding (Lemma 4).
+//! - [`algebraic`] — Stevens-style algebraic bx (Lemma 5).
+//! - [`symmetric`] — Hofmann–Pierce–Wagner symmetric lenses (Lemma 6).
+//! - [`store`] — an in-memory relational database substrate.
+//! - [`relational`] — relational lenses over [`store`] (select / project /
+//!   join views as bx).
+//! - [`modelsync`] — a model-driven-engineering substrate: class models ↔
+//!   relational schemas as a symmetric lens with complement.
+//! - [`lawcheck`] — executable law checking for every law in the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use esm::core::state::{SbxOps, BxSession};
+//! use esm::lens::{Lens, AsymBx};
+//!
+//! // An asymmetric lens from a (name, age) record onto its age...
+//! let l: Lens<(String, u32), u32> =
+//!     Lens::new(|s: &(String, u32)| s.1, |mut s: (String, u32), v| { s.0 = s.0; s.1 = v; s });
+//! // ...becomes a set-bx between whole records and ages (Lemma 4).
+//! let bx = AsymBx::new(l);
+//! let mut session = BxSession::new(("ada".to_string(), 36), bx);
+//! assert_eq!(session.b(), 36);
+//! session.set_b(37);
+//! assert_eq!(session.a(), ("ada".to_string(), 37));
+//! ```
+
+pub use esm_algebraic as algebraic;
+pub use esm_core as core;
+pub use esm_lawcheck as lawcheck;
+pub use esm_lens as lens;
+pub use esm_modelsync as modelsync;
+pub use esm_monad as monad;
+pub use esm_relational as relational;
+pub use esm_store as store;
+pub use esm_symmetric as symmetric;

@@ -1,0 +1,144 @@
+//! Integration: composition (§5) and the structural combinators — checking
+//! that every construction preserves the bx laws, across instance
+//! families, on the appropriate state spaces.
+
+use esm::core::state::{
+    compose, updates_commute, Dual, IdBx, Iso, MapA, MapB, PairBx, SbxOps, StateBx,
+};
+use esm::lawcheck::gen::{int_range, string, Gen};
+use esm::lawcheck::setbx::{check_roundtrip_ops, check_set_ops};
+use esm::lens::combinators::fst;
+use esm::lens::AsymBx;
+
+fn celsius_stage() -> StateBx<i64, i64, i64> {
+    StateBx::new(|s: &i64| *s, |s| s * 2 + 32, |_, c| c, |_, f| (f - 32) / 2)
+}
+
+/// Consistent states for `compose(AsymBx(fst), celsius_stage)`: the middle
+/// interface (celsius) must agree.
+fn gen_pipeline_state() -> Gen<((i64, String), i64)> {
+    int_range(-50..50)
+        .zip(&string(0..4))
+        .map(|rec| {
+            let c = rec.0;
+            (rec, c)
+        })
+}
+
+#[test]
+fn composed_pipeline_passes_set_bx_laws_on_consistent_states() {
+    let pipeline = compose::<_, _, i64>(AsymBx::new(fst::<i64, String>()), celsius_stage());
+    let gen_s = gen_pipeline_state();
+    let gen_a = int_range(-50..50).zip(&string(0..4));
+    let gen_f = int_range(-50..50).map(|c| c * 2 + 32); // image of the conversion
+    check_set_ops("composed pipeline", &pipeline, &gen_s, &gen_a, &gen_f, 300, 501, true)
+        .assert_ok();
+}
+
+#[test]
+fn composed_pipeline_fails_gs_off_the_consistent_subset() {
+    // The §5 restriction, detected mechanically: generate *inconsistent*
+    // states and watch (GS) fail (updates repair the state).
+    let pipeline = compose::<_, _, i64>(AsymBx::new(fst::<i64, String>()), celsius_stage());
+    let gen_bad = int_range(-50..50)
+        .zip(&string(0..4))
+        .zip(&int_range(200..300)) // middle state far away from the record
+        .map(|(rec, junk)| (rec, junk));
+    let gen_a = int_range(-50..50).zip(&string(0..4));
+    let gen_f = int_range(-50..50).map(|c| c * 2 + 32);
+    let r = check_set_ops("composed off-domain", &pipeline, &gen_bad, &gen_a, &gen_f, 100, 502, false);
+    assert!(!r.is_ok());
+    assert!(r.failed_laws().iter().any(|l| l.starts_with("(GS)")));
+}
+
+#[test]
+fn composition_is_associative_on_consistent_states() {
+    // (t1 ; t2) ; t3 behaves like t1 ; (t2 ; t3) pointwise, modulo state
+    // re-association.
+    let t1 = || AsymBx::new(fst::<i64, String>());
+    let t2 = celsius_stage;
+    let t3 = || {
+        StateBx::new(
+            |s: &i64| *s,
+            |s| s + 1000, // a second exact conversion
+            |_, a| a,
+            |_, b| b - 1000,
+        )
+    };
+    let left = compose::<_, _, i64>(compose::<_, _, i64>(t1(), t2()), t3());
+    let right = compose::<_, _, i64>(t1(), compose::<_, _, i64>(t2(), t3()));
+
+    for c in [-5i64, 0, 20] {
+        let rec = (c, "x".to_string());
+        let f = c * 2 + 32;
+        let sl = ((rec.clone(), f), f);
+        let sr = (rec.clone(), (f, f));
+        // Same views.
+        assert_eq!(left.view_a(&sl), right.view_a(&sr));
+        assert_eq!(left.view_b(&sl), right.view_b(&sr));
+        // Same result after an A-update, modulo re-association.
+        let sl2 = left.update_a(sl, (c + 1, "y".to_string()));
+        let sr2 = right.update_a(sr, (c + 1, "y".to_string()));
+        assert_eq!((sl2.0).0, sr2.0);
+        assert_eq!((sl2.0).1, (sr2.1).0);
+        assert_eq!(sl2.1, (sr2.1).1);
+    }
+}
+
+#[test]
+fn dual_preserves_the_laws() {
+    let t = Dual(AsymBx::new(fst::<i64, String>()));
+    let gen_s = int_range(-50..50).zip(&string(0..4));
+    let gen_a = int_range(-50..50);
+    check_set_ops("dual(lens bx)", &t, &gen_s, &gen_a, &gen_s, 300, 503, true).assert_ok();
+    check_roundtrip_ops(&t, &gen_s, &gen_a, &gen_s, 100, 504).assert_ok();
+}
+
+#[test]
+fn pair_bx_preserves_the_laws() {
+    let t = PairBx(AsymBx::new(fst::<i64, String>()), IdBx::<i64>::new());
+    let gen_rec = int_range(-50..50).zip(&string(0..4));
+    let gen_s = gen_rec.clone().zip(&int_range(-50..50));
+    let gen_a = gen_rec.zip(&int_range(-50..50));
+    let gen_b = int_range(-50..50).zip(&int_range(-50..50));
+    check_set_ops("pair bx", &t, &gen_s, &gen_a, &gen_b, 300, 505, true).assert_ok();
+}
+
+#[test]
+fn map_a_and_map_b_preserve_laws_for_real_isos() {
+    let base = AsymBx::new(fst::<i64, String>());
+    let t = MapB::new(base, Iso::new(|x: i64| x.to_string(), |s: String| s.parse().expect("int")));
+    let gen_s = int_range(-50..50).zip(&string(0..4));
+    let gen_b = int_range(-50..50).map(|x| x.to_string());
+    check_set_ops("mapB(lens bx)", &t, &gen_s, &gen_s, &gen_b, 300, 506, true).assert_ok();
+
+    let t2 = MapA::new(IdBx::<i64>::new(), Iso::new(|x: i64| -x, |y: i64| -y));
+    let g = int_range(-50..50);
+    check_set_ops("mapA(id bx)", &t2, &g, &g, &g, 300, 507, true).assert_ok();
+}
+
+#[test]
+fn map_a_with_a_non_bijection_breaks_laws() {
+    // The documented side condition: the iso must be a bijection. Halving
+    // loses a bit.
+    let t = MapA::new(IdBx::<i64>::new(), Iso::new(|x: i64| x / 2, |y: i64| y * 2));
+    let g = int_range(-49..49).map(|x| x * 2 + 1); // odd states break it
+    let r = check_set_ops("mapA(bad iso)", &t, &g, &g, &g, 50, 508, false);
+    assert!(!r.is_ok());
+}
+
+#[test]
+fn pipeline_commutation_reflects_entanglement() {
+    // In the composed pipeline, A-writes and B-writes both reach the
+    // shared middle state: generically they do not commute.
+    let pipeline = compose::<_, _, i64>(AsymBx::new(fst::<i64, String>()), celsius_stage());
+    let s = ((10i64, "x".to_string()), 10i64);
+    assert!(!updates_commute(
+        &pipeline,
+        s.clone(),
+        (20, "x".to_string()),
+        92
+    ));
+    // Writes that agree on the middle value do commute.
+    assert!(updates_commute(&pipeline, s, (30, "x".to_string()), 92));
+}

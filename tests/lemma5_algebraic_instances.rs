@@ -1,0 +1,113 @@
+//! Integration: Lemma 5 — algebraic bx embedded as entangled state monads.
+//! Exercises the paper's claim chain: lawful algebraic bx → lawful set-bx;
+//! undoable → overwriteable; and the failure directions.
+
+use esm::algebraic::builders::{equality_bx, from_lens, interval_bx, universal_bx};
+use esm::algebraic::laws::{check_algebraic_bx, check_undoable};
+use esm::algebraic::AlgBxOps;
+use esm::lawcheck::gen::{int_range, string, Gen};
+use esm::lawcheck::monadic_suite::full_set_bx_suite;
+use esm::lawcheck::setbx::check_set_ops;
+use esm::lens::combinators::fst;
+
+/// Generator of *consistent* interval-bx states: pairs within `slack`.
+fn gen_interval_state(slack: i64) -> Gen<(i64, i64)> {
+    int_range(-100..100)
+        .zip(&int_range(-slack..slack + 1))
+        .map(|(a, d)| (a, a + d))
+}
+
+#[test]
+fn interval_bx_is_a_lawful_set_bx_but_not_overwriteable() {
+    let slack = 3;
+    let t = AlgBxOps::new(interval_bx(slack));
+    let gen_s = gen_interval_state(slack);
+    let gen_v = int_range(-100..100);
+
+    // Base laws hold (Lemma 5 for correct+hippocratic bx).
+    check_set_ops("interval set-bx", &t, &gen_s, &gen_v, &gen_v, 300, 201, false).assert_ok();
+
+    // The bx is not undoable, so the derived set-bx must fail (SS)
+    // somewhere — and only (SS).
+    let r = check_set_ops("interval (SS)", &t, &gen_s, &gen_v, &gen_v, 300, 202, true);
+    assert!(!r.is_ok());
+    assert!(r.failed_laws().iter().all(|l| l.starts_with("(SS)")), "{:?}", r.failed_laws());
+
+    // Cross-check with the algebraic-level laws: same verdicts.
+    let samples: Vec<i64> = int_range(-100..100).samples(203, 30);
+    assert!(check_algebraic_bx(&interval_bx(slack), &samples, &samples).is_empty());
+    assert!(!check_undoable(&interval_bx(slack), &samples, &samples).is_empty());
+}
+
+#[test]
+fn equality_bx_is_overwriteable_and_passes_the_monadic_suite() {
+    let t = AlgBxOps::new(equality_bx::<i64>());
+    let gen_s = int_range(-50..50).map(|x| (x, x)); // consistent pairs
+    let gen_v = int_range(-50..50);
+    full_set_bx_suite("equality bx (monadic)", t, &gen_s, &gen_v, &gen_v, 8, 5, 204, true)
+        .assert_ok();
+}
+
+#[test]
+fn universal_bx_is_the_unentangled_product() {
+    // §3.4: with the universally-true consistency relation, the Lemma 5
+    // construction *is* the product bx — sets commute.
+    let t = AlgBxOps::new(universal_bx::<i64, i64>());
+    let gen_s = int_range(-50..50).zip(&int_range(-50..50));
+    let gen_v = int_range(-50..50);
+    check_set_ops("universal set-bx", &t, &gen_s, &gen_v, &gen_v, 300, 205, true).assert_ok();
+
+    let states: Vec<(i64, i64)> = gen_s.samples(206, 20);
+    let vals: Vec<i64> = gen_v.samples(207, 10);
+    assert_eq!(
+        esm::core::state::find_entanglement_witness(&t, &states, &vals, &vals),
+        None
+    );
+}
+
+#[test]
+fn interval_bx_is_genuinely_entangled() {
+    let slack = 1;
+    let t = AlgBxOps::new(interval_bx(slack));
+    let states: Vec<(i64, i64)> = gen_interval_state(slack).samples(208, 20);
+    let vals: Vec<i64> = int_range(-100..100).samples(209, 10);
+    // Far-apart writes to the two sides cannot commute: each drags the
+    // other side along.
+    assert!(esm::core::state::find_entanglement_witness(&t, &states, &vals, &vals).is_some());
+}
+
+#[test]
+fn lens_derived_algebraic_bx_matches_the_lens_bx() {
+    // from_lens(fst) through Lemma 5 behaves like fst through Lemma 4 on
+    // the B side (the A sides differ by construction: Lemma 5 stores the
+    // consistent pair).
+    use esm::core::state::SbxOps;
+    let alg = AlgBxOps::new(from_lens(fst::<i64, String>()));
+    let asym = esm::lens::AsymBx::new(fst::<i64, String>());
+
+    let gen_a = int_range(-50..50).zip(&string(0..5));
+    for (i, a) in gen_a.samples(210, 50).into_iter().enumerate() {
+        let b = i as i64;
+        let s_alg = (a.clone(), a.0); // consistent pair
+        let s_asym = a.clone();
+        // Updating B through both constructions yields the same source.
+        let alg_next = alg.update_b(s_alg, b);
+        let asym_next = asym.update_b(s_asym, b);
+        assert_eq!(alg_next.0, asym_next);
+        assert_eq!(alg_next.1, b);
+    }
+}
+
+#[test]
+fn lens_derived_algebraic_bx_passes_full_suite() {
+    let t = AlgBxOps::new(from_lens(fst::<i64, String>()));
+    let gen_pair = int_range(-50..50).zip(&string(0..5));
+    let gen_s = gen_pair.clone().map(|a| {
+        let b = a.0;
+        (a, b)
+    });
+    let gen_a = gen_pair;
+    let gen_b = int_range(-50..50);
+    full_set_bx_suite("from_lens(fst) (monadic)", t, &gen_s, &gen_a, &gen_b, 6, 4, 211, true)
+        .assert_ok();
+}

@@ -1,0 +1,125 @@
+//! Integration: Lemma 6 — symmetric lenses embedded as put-bx, including
+//! the model-synchronisation substrate, through the full law suites.
+
+use esm::lawcheck::gen::{int_range, string, Gen};
+use esm::lawcheck::monadic_suite::full_put_bx_suite;
+use esm::lawcheck::putbx::check_put_ops;
+use esm::lens::combinators::fst;
+use esm::modelsync::scenarios::{library_model, synthetic_model};
+use esm::modelsync::{class_rdb_bx, class_rdb_lens};
+use esm::symmetric::combinators::{compose, from_asym, identity, iso, tensor};
+use esm::symmetric::consistency::is_consistent;
+use esm::symmetric::SymBxOps;
+
+#[test]
+fn from_asym_bx_passes_the_put_ops_suite() {
+    let t = SymBxOps::new(from_asym(fst::<i64, String>(), (0, "c".to_string())));
+    // States: consistent triples built by settling generated sources.
+    let gen_src = int_range(-50..50).zip(&string(0..5));
+    let t_for_gen = SymBxOps::new(from_asym(fst::<i64, String>(), (0, "c".to_string())));
+    let gen_s = gen_src.clone().map(move |a| t_for_gen.initial_from_a(a));
+    let gen_b = int_range(-50..50);
+    check_put_ops("from_asym put-bx", &t, &gen_s, &gen_src, &gen_b, 300, 301, true).assert_ok();
+}
+
+#[test]
+fn from_asym_bx_passes_the_full_monadic_put_suite() {
+    let t = SymBxOps::new(from_asym(fst::<i64, String>(), (0, "c".to_string())));
+    let gen_src = int_range(-50..50).zip(&string(0..5));
+    let t2 = t.clone();
+    let gen_s = gen_src.clone().map(move |a| t2.initial_from_a(a));
+    let gen_b = int_range(-50..50);
+    full_put_bx_suite("from_asym (monadic)", t, &gen_s, &gen_src, &gen_b, 6, 4, 302, true)
+        .assert_ok();
+}
+
+#[test]
+fn composed_symmetric_lens_passes_the_put_ops_suite() {
+    // (i64, String) <-> i64 <-> String.
+    let make = || {
+        compose(
+            from_asym(fst::<i64, String>(), (0, "c".to_string())),
+            iso(|v: i64| v.to_string(), |s: String| s.parse::<i64>().expect("roundtrip")),
+        )
+    };
+    let t = SymBxOps::new(make());
+    let gen_src = int_range(-50..50).zip(&string(0..5));
+    let t2 = SymBxOps::new(make());
+    let gen_s = gen_src.clone().map(move |a| t2.initial_from_a(a));
+    let gen_b = int_range(-50..50).map(|v| v.to_string());
+    check_put_ops("composed sym put-bx", &t, &gen_s, &gen_src, &gen_b, 200, 303, true).assert_ok();
+}
+
+#[test]
+fn tensor_symmetric_lens_passes_the_put_ops_suite() {
+    let make = || tensor(identity::<i64>(), iso(|a: i64| -a, |b: i64| -b));
+    let t = SymBxOps::new(make());
+    let gen_pair = int_range(-50..50).zip(&int_range(-50..50));
+    let t2 = SymBxOps::new(make());
+    let gen_s = gen_pair.clone().map(move |a| t2.initial_from_a(a));
+    check_put_ops("tensor put-bx", &t, &gen_s, &gen_pair, &gen_pair, 200, 304, true).assert_ok();
+}
+
+#[test]
+fn modelsync_bx_passes_the_put_ops_suite() {
+    let t = class_rdb_bx();
+    // Generated models of varying size, settled into consistent triples.
+    let gen_model = int_range(0..5)
+        .zip(&int_range(0..4))
+        .map(|(n, k)| synthetic_model(n as usize, k as usize));
+    let t2 = class_rdb_bx();
+    let gen_s = gen_model.clone().map(move |m| t2.initial_from_a(m));
+    // Schema values: derived from other generated models (so they're
+    // always well-formed schemas reachable by the transformation).
+    let t3 = class_rdb_bx();
+    let gen_schema = int_range(5..9)
+        .zip(&int_range(1..3))
+        .map(move |(n, k)| t3.initial_from_a(synthetic_model(n as usize, k as usize)).1);
+    check_put_ops("modelsync put-bx", &t, &gen_s, &gen_model, &gen_schema, 60, 305, false)
+        .assert_ok();
+}
+
+#[test]
+fn modelsync_consistency_invariant_is_preserved_by_long_edit_sequences() {
+    use esm::core::state::PbxOps;
+    let t = class_rdb_bx();
+    let mut state = t.initial_from_a(library_model());
+    let models: Vec<_> = (0..20).map(|i| synthetic_model(i % 7, (i % 3) + 1)).collect();
+    for (i, m) in models.into_iter().enumerate() {
+        if i % 2 == 0 {
+            let (next, _) = t.put_a(state, m);
+            state = next;
+        } else {
+            let schema = state.1.clone();
+            let (next, _) = t.put_b(state, schema);
+            state = next;
+        }
+        assert!(t.invariant(&state), "invariant broken at step {i}");
+    }
+}
+
+#[test]
+fn modelsync_settles_any_generated_pairing() {
+    let l = class_rdb_lens();
+    for i in 0..10 {
+        let m = synthetic_model(i, 3);
+        let (a, b, c) = l.settle_from_a(m, l.missing());
+        assert!(is_consistent(&l, &a, &b, &c), "unsettled at {i}");
+    }
+}
+
+#[test]
+fn broken_symmetric_lens_is_caught() {
+    // A putr that forgets to update the complement: (PutRL) fails, and
+    // via Lemma 6, (PG1) fails at the bx level.
+    let broken = esm::symmetric::SymLens::<i64, i64, i64>::new(
+        |a, _c| (a * 2, 0),  // complement always reset
+        |b, c| (b / 2 + c, c), // disagrees when c != 0
+        0,
+    );
+    let t = SymBxOps::new(broken);
+    let gen_s = int_range(1..50).map(|a| (a, a * 2, 1i64)); // c = 1: inconsistent
+    let g = int_range(1..50);
+    let r = check_put_ops("broken sym", &t, &gen_s, &g, &g, 50, 306, false);
+    assert!(!r.is_ok());
+}

@@ -1,0 +1,209 @@
+//! Property-based tests (proptest): the paper's laws under adversarial
+//! random inputs, complementing the seeded `lawcheck` suites.
+
+use proptest::prelude::*;
+
+use esm::core::state::{IdBx, ProductOps, PutToSet, SbxOps, SetToPut};
+use esm::lens::combinators::{fst, pair, snd};
+use esm::lens::tree::{child, fork, Tree};
+use esm::monad::{get, set, IoSim, IoSimOf, MonadFamily, State, StateOf};
+use esm::store::{Delta, Row, Schema, Table, Value, ValueType};
+
+// ---------------------------------------------------------------------
+// Monad laws for the state monad under arbitrary (generated) data.
+// ---------------------------------------------------------------------
+
+fn obs(ma: &State<i64, i64>, states: &[i64]) -> Vec<(i64, i64)> {
+    states.iter().map(|s| ma.run(*s)).collect()
+}
+
+proptest! {
+    #[test]
+    fn state_monad_left_unit(a in -1000i64..1000, k in -10i64..10, s0 in proptest::collection::vec(-100i64..100, 1..8)) {
+        type M = StateOf<i64>;
+        // f x = set (x * k) >> return x
+        let f = move |x: i64| -> State<i64, i64> { M::seq(set(x.wrapping_mul(k)), M::pure(x)) };
+        let lhs = M::bind(M::pure(a), f);
+        let rhs = f(a);
+        prop_assert_eq!(obs(&lhs, &s0), obs(&rhs, &s0));
+    }
+
+    #[test]
+    fn state_monad_right_unit(k in -10i64..10, s0 in proptest::collection::vec(-100i64..100, 1..8)) {
+        type M = StateOf<i64>;
+        let ma: State<i64, i64> = M::bind(get(), move |s| M::seq(set(s.wrapping_add(k)), M::pure(s)));
+        let lhs = M::bind(ma.clone(), M::pure);
+        prop_assert_eq!(obs(&lhs, &s0), obs(&ma, &s0));
+    }
+
+    #[test]
+    fn state_cell_laws(s0 in -1000i64..1000, x in -1000i64..1000, y in -1000i64..1000) {
+        type M = StateOf<i64>;
+        // (GS)
+        let gs = M::bind(get::<i64>(), set);
+        prop_assert_eq!(gs.run(s0), ((), s0));
+        // (SG)
+        let sg = M::seq(set(x), get::<i64>());
+        prop_assert_eq!(sg.run(s0), (x, x));
+        // (SS)
+        let ss = M::seq(set(x), set(y));
+        prop_assert_eq!(ss.run(s0), ((), y));
+    }
+
+    #[test]
+    fn iosim_traces_are_monoidal(msgs in proptest::collection::vec("[a-z]{1,6}", 0..6)) {
+        // Sequencing prints concatenates traces in order.
+        let mut prog: IoSim<()> = IoSimOf::pure(());
+        for m in &msgs {
+            prog = IoSimOf::seq(prog, esm::monad::print(m.clone()));
+        }
+        prop_assert_eq!(prog.printed(), msgs.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Set-bx laws under proptest-generated states and values.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn product_bx_laws(s in (any::<i32>(), any::<i32>()), a in any::<i32>(), a2 in any::<i32>(), b in any::<i32>()) {
+        let t: ProductOps<i32, i32> = ProductOps::new();
+        // (GS)
+        prop_assert_eq!(t.update_a(s, t.view_a(&s)), s);
+        prop_assert_eq!(t.update_b(s, t.view_b(&s)), s);
+        // (SG)
+        prop_assert_eq!(t.view_a(&t.update_a(s, a)), a);
+        prop_assert_eq!(t.view_b(&t.update_b(s, b)), b);
+        // (SS)
+        prop_assert_eq!(t.update_a(t.update_a(s, a), a2), t.update_a(s, a2));
+        // §3.4 commutation for the product.
+        prop_assert_eq!(
+            t.update_b(t.update_a(s, a), b),
+            t.update_a(t.update_b(s, b), a)
+        );
+    }
+
+    #[test]
+    fn translation_roundtrip_pointwise(s in any::<i64>(), a in any::<i64>(), b in any::<i64>()) {
+        // Lemma 3 at the ops level, on the identity bx, for arbitrary data.
+        let t = IdBx::<i64>::new();
+        let rt = PutToSet(SetToPut(t));
+        prop_assert_eq!(rt.view_a(&s), t.view_a(&s));
+        prop_assert_eq!(rt.update_a(s, a), t.update_a(s, a));
+        prop_assert_eq!(rt.update_b(s, b), t.update_b(s, b));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lens laws under proptest.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn fst_lens_laws(s in (any::<i32>(), any::<i32>()), v in any::<i32>(), v2 in any::<i32>()) {
+        let l = fst::<i32, i32>();
+        prop_assert_eq!(l.put(s, l.get(&s)), s);
+        prop_assert_eq!(l.get(&l.put(s, v)), v);
+        prop_assert_eq!(l.put(l.put(s, v), v2), l.put(s, v2));
+    }
+
+    #[test]
+    fn composed_lens_laws(s in ((any::<i32>(), any::<i32>()), any::<i32>()), v in any::<i32>()) {
+        let l = fst::<(i32, i32), i32>().then(snd::<i32, i32>());
+        prop_assert_eq!(l.put(s, l.get(&s)), s);
+        prop_assert_eq!(l.get(&l.put(s, v)), v);
+    }
+
+    #[test]
+    fn pair_lens_laws(s in ((any::<i32>(), any::<i32>()), (any::<i32>(), any::<i32>())), v in (any::<i32>(), any::<i32>())) {
+        let l = pair(fst::<i32, i32>(), snd::<i32, i32>());
+        prop_assert_eq!(l.put(s, l.get(&s)), s);
+        prop_assert_eq!(l.get(&l.put(s, v)), v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree lens laws under generated trees.
+// ---------------------------------------------------------------------
+
+fn arb_flat_tree(edges: &'static [&'static str]) -> impl Strategy<Value = Tree> {
+    proptest::collection::vec("[a-z]{1,4}", edges.len()..=edges.len()).prop_map(move |vals| {
+        Tree::node(
+            edges
+                .iter()
+                .zip(vals)
+                .map(|(e, v)| (e.to_string(), Tree::value(v)))
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn child_lens_laws_on_domain(s in arb_flat_tree(&["age", "name"]), v in "[a-z]{1,4}") {
+        let l = child("age");
+        let view = Tree::value(v);
+        prop_assert_eq!(l.put(s.clone(), l.get(&s)), s.clone());
+        prop_assert_eq!(l.get(&l.put(s, view.clone())), view);
+    }
+
+    #[test]
+    fn fork_lens_laws_on_domain(s in arb_flat_tree(&["ax", "bx", "ay"]), v in "[a-z]{1,4}") {
+        let l = fork(|n| n.starts_with('a'));
+        // A domain-respecting view: only 'a'-edges.
+        let view = Tree::node([("az".to_string(), Tree::value(v))]);
+        prop_assert_eq!(l.put(s.clone(), l.get(&s)), s.clone());
+        prop_assert_eq!(l.get(&l.put(s, view.clone())), view);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store invariants under generated rows.
+// ---------------------------------------------------------------------
+
+fn people_schema() -> Schema {
+    Schema::build(&[("id", ValueType::Int), ("name", ValueType::Str)], &["id"]).expect("valid")
+}
+
+fn arb_people(max: usize) -> impl Strategy<Value = Table> {
+    proptest::collection::btree_map(0i64..50, "[a-z]{1,5}", 0..max).prop_map(|m| {
+        let rows: Vec<Row> = m
+            .into_iter()
+            .map(|(id, name)| vec![Value::Int(id), Value::Str(name)])
+            .collect();
+        Table::from_rows(people_schema(), rows).expect("distinct keys by construction")
+    })
+}
+
+proptest! {
+    #[test]
+    fn delta_roundtrip(old in arb_people(10), new in arb_people(10)) {
+        let d = Delta::between(&old, &new).expect("same schema");
+        prop_assert_eq!(d.apply(&old).expect("applies"), new.clone());
+        prop_assert_eq!(d.invert().apply(&new).expect("applies"), old);
+    }
+
+    #[test]
+    fn union_is_commutative_when_keys_agree(t in arb_people(8)) {
+        // t ∪ t = t; t ∪ ∅ = t.
+        let empty = Table::new(people_schema());
+        prop_assert_eq!(t.union(&t).expect("same schema"), t.clone());
+        prop_assert_eq!(t.union(&empty).expect("same schema"), t);
+    }
+
+    #[test]
+    fn difference_then_union_restores(t in arb_people(8), u in arb_people(8)) {
+        // (t \ u) ∪ (t ∩ u) = t
+        let diff = t.difference(&u).expect("same schema");
+        let inter = t.intersect(&u).expect("same schema");
+        prop_assert_eq!(diff.union(&inter).expect("no key clashes"), t);
+    }
+
+    #[test]
+    fn project_idempotent(t in arb_people(8)) {
+        let cols = vec!["id".to_string(), "name".to_string()];
+        let once = t.project(&cols).expect("cols exist");
+        prop_assert_eq!(once.project(&cols).expect("cols exist"), once);
+    }
+}

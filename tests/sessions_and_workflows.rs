@@ -1,0 +1,155 @@
+//! Integration: the session layer across instance families — interactive
+//! workflows, undo/redo, transactional rejection, audit traces — i.e. the
+//! APIs an application developer actually touches, driven end-to-end.
+
+use esm::algebraic::builders::interval_bx;
+use esm::algebraic::AlgBxOps;
+use esm::core::effectful::{Announce, EffSession};
+use esm::core::fallible::{Guarded, TrySession};
+use esm::core::state::{BxSession, SbxOps, UndoSession};
+use esm::lens::AsymBx;
+use esm::modelsync::scenarios::library_model;
+use esm::modelsync::{class_rdb_bx, ClassModel, RdbSchema};
+use esm::relational::{RelationalSession, ViewDef};
+use esm::store::{row, Operand, Predicate, Schema, Table, Value, ValueType};
+
+fn inventory_table() -> Table {
+    Table::from_rows(
+        Schema::build(
+            &[("sku", ValueType::Int), ("name", ValueType::Str), ("stock", ValueType::Int)],
+            &["sku"],
+        )
+        .expect("valid"),
+        vec![row![1, "widget", 10], row![2, "gadget", 0]],
+    )
+    .expect("valid")
+}
+
+#[test]
+fn undo_session_over_a_relational_view() {
+    let lens = ViewDef::base()
+        .select(Predicate::gt(Operand::col("stock"), Operand::val(0)))
+        .compile(&inventory_table())
+        .expect("compiles");
+    let mut sess = UndoSession::new(inventory_table(), AsymBx::new(lens));
+
+    let view: Table = sess.b();
+    assert_eq!(view.len(), 1);
+
+    // Edit, then regret, then redo.
+    let mut edited = view.clone();
+    edited.upsert(row![3, "sprocket", 5]).expect("fits");
+    sess.set_b(edited);
+    assert_eq!(sess.state().len(), 3);
+    assert!(sess.undo());
+    assert_eq!(sess.state(), &inventory_table());
+    assert!(sess.redo());
+    assert_eq!(sess.state().len(), 3);
+}
+
+#[test]
+fn undo_session_interleaves_both_sides() {
+    let mut sess = UndoSession::new((0i64, 0i64), AlgBxOps::new(interval_bx(1)));
+    sess.set_a(10); // drags b to 9
+    sess.set_b(-10); // drags a to -9
+    assert_eq!(sess.a(), -9);
+    assert_eq!(sess.undo_depth(), 2);
+    sess.undo();
+    assert_eq!(sess.b(), 9);
+    sess.undo();
+    assert_eq!(sess.state(), &(0, 0));
+}
+
+#[test]
+fn audit_trail_across_a_modelling_session() {
+    // Announce over the Lemma-6-derived modelsync bx (through pp2set at
+    // the ops level): every effective model/schema change is logged.
+    use esm::core::state::PutToSet;
+    let bx = class_rdb_bx();
+    let state0 = bx.initial_from_a(library_model());
+    let audited = Announce::new(PutToSet(bx), "model changed", "schema changed");
+    let mut sess = EffSession::new(state0, audited);
+
+    // A no-op write: silent (Hippocratic).
+    let m: ClassModel = sess.a();
+    sess.set_a(m);
+    assert!(sess.printed().is_empty());
+
+    // A real schema edit: logged.
+    let mut schema: RdbSchema = sess.b();
+    schema.remove("Member");
+    sess.set_b(schema);
+    assert_eq!(sess.printed(), vec!["schema changed"]);
+    let model: ClassModel = sess.a();
+    assert!(model.class("Member").is_none());
+}
+
+#[test]
+fn transactional_rejection_guards_a_database_view() {
+    // A stock view that rejects negative quantities, transactionally.
+    let lens = ViewDef::base()
+        .compile(&inventory_table())
+        .expect("compiles");
+    let guarded = Guarded::new(
+        AsymBx::new(lens),
+        |_base: &Table| true,
+        |view: &Table| {
+            view.rows().all(|r| r[2].as_int().map_or(false, |stock| stock >= 0))
+        },
+    );
+    let mut sess = TrySession::new(inventory_table(), guarded);
+
+    // Valid edit: applies.
+    let mut ok_view: Table = sess.b();
+    ok_view.upsert(row![1, "widget", 7]).expect("fits");
+    assert!(sess.try_set_b(ok_view).is_ok());
+
+    // Invalid edit: rejected, state untouched.
+    let mut bad_view: Table = sess.b();
+    bad_view.upsert(row![2, "gadget", -5]).expect("fits");
+    let err = sess.try_set_b(bad_view);
+    assert!(err.is_err());
+    let stock_of_widget = sess.state().get_by_key(&row![1]).expect("exists")[2].clone();
+    assert_eq!(stock_of_widget, Value::Int(7)); // previous valid edit kept
+    let stock_of_gadget = sess.state().get_by_key(&row![2]).expect("exists")[2].clone();
+    assert_eq!(stock_of_gadget, Value::Int(0)); // bad edit rolled back
+}
+
+#[test]
+fn relational_session_and_plain_session_agree() {
+    // The multi-view RelationalSession and a single BxSession over the
+    // same compiled lens produce identical bases after identical edits.
+    let def = ViewDef::base().select(Predicate::gt(Operand::col("stock"), Operand::val(0)));
+    let lens = def.compile(&inventory_table()).expect("compiles");
+
+    let mut server = RelationalSession::new(inventory_table());
+    server.define_view("in_stock", &def).expect("defined");
+    let mut plain = BxSession::new(inventory_table(), AsymBx::new(lens));
+
+    let mut edit = server.read_view("in_stock").expect("defined");
+    edit.upsert(row![9, "cog", 3]).expect("fits");
+
+    server.write_view("in_stock", edit.clone()).expect("applies");
+    plain.set_b(edit);
+
+    assert_eq!(server.base(), &plain.a());
+}
+
+#[test]
+fn csv_roundtrip_through_a_bidirectional_edit() {
+    // Export a view as CSV, "edit" the text, re-import, write back.
+    let lens = ViewDef::base()
+        .project(&["sku", "name"], &[("stock", Value::Int(1))])
+        .compile(&inventory_table())
+        .expect("compiles");
+    let base = inventory_table();
+    let view = lens.get(&base);
+    let csv = esm::store::to_csv(&view);
+    assert!(csv.starts_with("sku,name"));
+
+    // The "external tool" renames the gadget.
+    let edited_csv = csv.replace("gadget", "gizmo");
+    let edited = esm::store::from_csv(view.schema().clone(), &edited_csv).expect("parses");
+    let base2 = lens.put(base, edited);
+    assert!(base2.contains(&row![2, "gizmo", 0])); // hidden stock preserved
+}

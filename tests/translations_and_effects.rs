@@ -1,0 +1,158 @@
+//! Integration: the §3.3 equivalence (Lemmas 1–3) across instance
+//! families, and the §4 effectful bx through its monadic carrier.
+
+use esm::core::effectful::{Announce, MonadicEff};
+use esm::core::monadic::laws::{check_set_bx, LawOptions};
+use esm::core::monadic::{Pp2Set, Set2Pp, SetBx};
+use esm::core::state::{IdBx, Monadic, PutToSet, SbxOps, SetToPut, WithHistory};
+use esm::lawcheck::gen::{int_range, string};
+use esm::lawcheck::putbx::check_put_ops;
+use esm::lawcheck::setbx::{check_roundtrip_ops, check_set_ops};
+use esm::lens::combinators::fst;
+use esm::lens::AsymBx;
+use esm::monad::{IoSimOf, MonadFamily, StateTOf};
+
+// ---------------------------------------------------------------------
+// Lemmas 1–3 across instances.
+// ---------------------------------------------------------------------
+
+#[test]
+fn lemma1_translated_lens_bx_is_a_lawful_put_bx() {
+    let t = SetToPut(AsymBx::new(fst::<i64, String>()));
+    let gen_s = int_range(-50..50).zip(&string(0..5));
+    let gen_b = int_range(-50..50);
+    check_put_ops("set2pp(lens bx)", &t, &gen_s, &gen_s, &gen_b, 300, 401, true).assert_ok();
+}
+
+#[test]
+fn lemma3_roundtrip_is_identity_for_lens_bx() {
+    let t = AsymBx::new(fst::<i64, String>());
+    let gen_s = int_range(-50..50).zip(&string(0..5));
+    let gen_b = int_range(-50..50);
+    check_roundtrip_ops(&t, &gen_s, &gen_s, &gen_b, 300, 402).assert_ok();
+}
+
+#[test]
+fn lemma2_translated_put_bx_is_a_lawful_set_bx() {
+    // Start from a genuine put-bx (Lemma 6 style), translate to set-bx.
+    use esm::symmetric::combinators::from_asym;
+    use esm::symmetric::SymBxOps;
+    let sym = SymBxOps::new(from_asym(fst::<i64, String>(), (0, "c".to_string())));
+    let t = PutToSet(sym.clone());
+    let gen_src = int_range(-50..50).zip(&string(0..5));
+    let sym2 = sym.clone();
+    let gen_s = gen_src.clone().map(move |a| sym2.initial_from_a(a));
+    let gen_b = int_range(-50..50);
+    check_set_ops("pp2set(sym bx)", &t, &gen_s, &gen_src, &gen_b, 300, 403, true).assert_ok();
+}
+
+#[test]
+fn double_translation_composes_across_layers() {
+    // ops-level pp2set(set2pp(t)) embedded monadically must still pass the
+    // monadic set-bx laws — the translations commute with the adapter.
+    let t = PutToSet(SetToPut(IdBx::<i64>::new()));
+    let m = Monadic(t);
+    let ctx: Vec<i64> = int_range(-20..20).samples(404, 8);
+    let samples: Vec<i64> = int_range(-20..20).samples(405, 5);
+    let v = check_set_bx::<esm::monad::StateOf<i64>, i64, i64, _>(
+        &m,
+        &samples,
+        &samples,
+        &ctx,
+        LawOptions::OVERWRITEABLE,
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+// ---------------------------------------------------------------------
+// §4 effectful bx through the monadic carrier StateT<S, IoSim>.
+// ---------------------------------------------------------------------
+
+type Eff = StateTOf<i64, IoSimOf>;
+
+#[test]
+fn effectful_bx_satisfies_gg_gs_sg_with_trace_observation() {
+    // The paper claims (GG), (GS), (SG) for the §4 example. Observation
+    // includes the I/O trace, so these are strictly stronger checks than
+    // the pure versions.
+    let t = MonadicEff(Announce::trivial_int());
+    let ctx = (vec![-3i64, 0, 7], ());
+    let samples = [-2i64, 0, 9];
+    let v = check_set_bx::<Eff, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::BASE);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn effectful_bx_fails_ss_exactly() {
+    let t = MonadicEff(Announce::trivial_int());
+    let ctx = (vec![0i64], ());
+    let samples = [1i64, 2];
+    let v = check_set_bx::<Eff, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::OVERWRITEABLE);
+    assert!(!v.is_empty());
+    assert!(v.iter().all(|viol| viol.law.starts_with("(SS)")), "{v:?}");
+}
+
+#[test]
+fn effectful_wrapper_over_lens_bx_keeps_base_laws() {
+    // §4: "we should be able to add similar stateful behaviour to any
+    // (symmetric) lens or algebraic bx" — here: over the fst-lens bx.
+    let t = MonadicEff(Announce::new(AsymBx::new(fst::<i64, String>()), "src!", "view!"));
+    let ctx = (
+        vec![(0i64, "x".to_string()), (5, "y".to_string())],
+        (),
+    );
+    let samples_a = [(1i64, "x".to_string()), (5, "y".to_string())];
+    let samples_b = [3i64, 5];
+    let v = check_set_bx::<StateTOf<(i64, String), IoSimOf>, _, _, _>(
+        &t,
+        &samples_a,
+        &samples_b,
+        &ctx,
+        LawOptions::BASE,
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn effectful_translation_works_too() {
+    // Lemma 1 with effects: set2pp of the effectful bx returns the fresh
+    // other side *and* carries the trace.
+    let t = MonadicEff(Announce::trivial_int());
+    let u = Set2Pp(t);
+    let prog = esm::core::monadic::PutBx::<Eff, i64, i64>::put_ba(&u, 9);
+    let out = prog.run(0);
+    assert_eq!(out.value, (9, 9));
+    assert_eq!(out.printed(), vec!["Changed A"]);
+    // Hippocratic put: no print.
+    let quiet = esm::core::monadic::PutBx::<Eff, i64, i64>::put_ba(&u, 0).run(0);
+    assert!(quiet.printed().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// §5 witness structures: the history bx across layers.
+// ---------------------------------------------------------------------
+
+#[test]
+fn history_wrapped_lens_bx_keeps_base_laws_but_not_ss() {
+    let t = WithHistory(AsymBx::new(fst::<i64, String>()));
+    let gen_src = int_range(-20..20).zip(&string(0..4));
+    let gen_s = gen_src.clone().map(|s| (s, Vec::new()));
+    let gen_b = int_range(-20..20);
+    check_set_ops("history(lens) base", &t, &gen_s, &gen_src, &gen_b, 200, 406, false)
+        .assert_ok();
+    let r = check_set_ops("history(lens) ss", &t, &gen_s, &gen_src, &gen_b, 200, 407, true);
+    assert!(!r.is_ok());
+    assert!(r.failed_laws().iter().all(|l| l.starts_with("(SS)")));
+}
+
+#[test]
+fn history_records_only_effective_edits_across_instances() {
+    use esm::core::state::Edit;
+    let t = WithHistory(AsymBx::new(fst::<i64, String>()));
+    let s0 = ((1i64, "k".to_string()), Vec::new());
+    let s1 = t.update_b(s0, 1); // B view already 1: no-op
+    assert!(s1.1.is_empty());
+    let s2 = t.update_b(s1, 42);
+    assert_eq!(s2.1, vec![Edit::SetB(42)]);
+    assert_eq!((s2.0).0, 42);
+}
