@@ -75,7 +75,7 @@ impl<A: 'static, B: 'static> AlgebraicBx<A, B> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::builders::interval_bx;
 
     #[test]

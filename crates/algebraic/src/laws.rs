@@ -22,7 +22,11 @@ impl std::error::Error for AbxLawViolation {}
 
 /// (Correct): `(a, →R(a, b)) ∈ R` and `(←R(a, b), b) ∈ R`, over the sample
 /// grid.
-pub fn check_correct<A, B>(bx: &AlgebraicBx<A, B>, samples_a: &[A], samples_b: &[B]) -> Vec<AbxLawViolation>
+pub fn check_correct<A, B>(
+    bx: &AlgebraicBx<A, B>,
+    samples_a: &[A],
+    samples_b: &[B],
+) -> Vec<AbxLawViolation>
 where
     A: Clone + std::fmt::Debug + 'static,
     B: Clone + std::fmt::Debug + 'static,
@@ -107,9 +111,7 @@ where
                 if back != *b {
                     out.push(AbxLawViolation {
                         law: "(Undoable)→",
-                        detail: format!(
-                            "→R({a:?}, →R({a2:?}, {b:?})) = {back:?}, expected {b:?}"
-                        ),
+                        detail: format!("→R({a:?}, →R({a2:?}, {b:?})) = {back:?}, expected {b:?}"),
                     });
                 }
             }
@@ -119,9 +121,7 @@ where
                 if back != *a {
                     out.push(AbxLawViolation {
                         law: "(Undoable)←",
-                        detail: format!(
-                            "←R(←R({a:?}, {b2:?}), {b:?}) = {back:?}, expected {a:?}"
-                        ),
+                        detail: format!("←R(←R({a:?}, {b2:?}), {b:?}) = {back:?}, expected {a:?}"),
                     });
                 }
             }

@@ -84,8 +84,8 @@ mod tests {
     fn hippocratic_updates_do_nothing() {
         let t = AlgBxOps::new(interval_bx(2));
         let s = (5i64, 6i64);
-        assert_eq!(t.update_a(s.clone(), 5), s);
-        assert_eq!(t.update_b(s.clone(), 6), s);
+        assert_eq!(t.update_a(s, 5), s);
+        assert_eq!(t.update_b(s, 6), s);
     }
 
     #[test]

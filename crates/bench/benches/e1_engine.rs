@@ -1,0 +1,67 @@
+//! E1 — the engine subsystem: indexed select vs full scan, view write
+//! throughput, and multi-threaded concurrent view workloads.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use esm_bench::{
+    engine_with_shard_views, people_table, run_concurrent_engine_workload, selective_age_pred,
+};
+use esm_store::row;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_engine");
+
+    // Indexed seek vs full scan on a selective predicate (~1% of rows).
+    for &n in &[1_000usize, 10_000] {
+        let plain = people_table(n);
+        let mut indexed = plain.clone();
+        indexed.create_index("age").expect("column exists");
+        let pred = selective_age_pred();
+        assert_eq!(plain.select(&pred).unwrap(), indexed.select(&pred).unwrap());
+        g.bench_with_input(BenchmarkId::new("select_scan", n), &n, |b, _| {
+            b.iter(|| black_box(plain.select(&pred).expect("ok")))
+        });
+        g.bench_with_input(BenchmarkId::new("select_indexed", n), &n, |b, _| {
+            b.iter(|| black_box(indexed.select(&pred).expect("ok")))
+        });
+    }
+
+    // Single-client transactional view writes (optimistic path, no
+    // contention): cost of get + edit + put + diff + WAL append.
+    let engine = engine_with_shard_views(5_000, 4);
+    let view = engine.view("band_0").expect("registered");
+    let mut next_id = 10_000_000i64;
+    g.bench_function("view_edit_uncontended", |b| {
+        b.iter(|| {
+            next_id += 1;
+            view.edit(|v| {
+                v.upsert(row![next_id, "bench", 5])?;
+                Ok(())
+            })
+            .expect("commits")
+        })
+    });
+
+    // Multi-threaded engine workload: 4 writer threads × 25 edits each
+    // through distinct entangled views (different key ranges, shared
+    // base table).
+    g.bench_function("concurrent_4x25_edits", |b| {
+        b.iter(|| {
+            let engine = engine_with_shard_views(1_000, 4);
+            black_box(run_concurrent_engine_workload(&engine, 4, 25))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

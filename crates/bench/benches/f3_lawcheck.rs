@@ -15,7 +15,16 @@ fn bench(c: &mut Criterion) {
     g.bench_function("identity_bx_suite", |b| {
         let gen = int_range(-1000..1000);
         b.iter(|| {
-            black_box(check_set_ops("id", &IdBx::<i64>::new(), &gen, &gen, &gen, n, 1, true))
+            black_box(check_set_ops(
+                "id",
+                &IdBx::<i64>::new(),
+                &gen,
+                &gen,
+                &gen,
+                n,
+                1,
+                true,
+            ))
         })
     });
 
@@ -31,7 +40,18 @@ fn bench(c: &mut Criterion) {
         let gqty = int_range(1..1000).map(|x| x as u32);
         let gs = gqty.clone().map(|q| (q, 10u32));
         let gtotal = int_range(1..10_000).map(|x| x as u32 * 10);
-        b.iter(|| black_box(check_set_ops("inv", &InventoryOps, &gs, &gqty, &gtotal, n, 3, true)))
+        b.iter(|| {
+            black_box(check_set_ops(
+                "inv",
+                &InventoryOps,
+                &gs,
+                &gqty,
+                &gtotal,
+                n,
+                3,
+                true,
+            ))
+        })
     });
 
     g.finish();

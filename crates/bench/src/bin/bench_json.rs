@@ -1,0 +1,88 @@
+//! Quick perf-trajectory snapshot: time the headline workloads with the
+//! in-repo median harness and emit `BENCH_results.json` for the repo
+//! root, so successive PRs can diff machine-readable numbers.
+//!
+//! Usage: `cargo run --release -p esm-bench --bin bench_json [dir]`
+
+use esm_bench::results::BenchResults;
+use esm_bench::{
+    engine_with_shard_views, fmt_ns, median_ns_per_call, people_table,
+    run_concurrent_engine_workload, selective_age_pred,
+};
+use esm_store::row;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut results = BenchResults::new();
+
+    // Indexed seek vs full scan.
+    for &n in &[1_000usize, 10_000] {
+        let plain = people_table(n);
+        let mut indexed = plain.clone();
+        indexed.create_index("age").expect("column exists");
+        let pred = selective_age_pred();
+        assert_eq!(plain.select(&pred).unwrap(), indexed.select(&pred).unwrap());
+
+        let scan = median_ns_per_call(9, 20, || {
+            std::hint::black_box(plain.select(&pred).expect("ok"));
+        });
+        let seek = median_ns_per_call(9, 20, || {
+            std::hint::black_box(indexed.select(&pred).expect("ok"));
+        });
+        results.record(
+            format!("store/select_scan/{n}"),
+            scan,
+            format!("n={n}, ~1% match"),
+        );
+        results.record(
+            format!("store/select_indexed/{n}"),
+            seek,
+            format!("n={n}, ~1% match"),
+        );
+        println!(
+            "select n={n:>6}: scan {} vs indexed {} ({:.1}x)",
+            fmt_ns(scan),
+            fmt_ns(seek),
+            scan / seek.max(1.0)
+        );
+    }
+
+    // Uncontended transactional view edits.
+    let engine = engine_with_shard_views(5_000, 4);
+    let view = engine.view("band_0").expect("registered");
+    let mut next_id = 10_000_000i64;
+    let edit = median_ns_per_call(9, 20, || {
+        next_id += 1;
+        view.edit(|v| {
+            v.upsert(row![next_id, "bench", 5])?;
+            Ok(())
+        })
+        .expect("commits");
+    });
+    results.record(
+        "engine/view_edit_uncontended",
+        edit,
+        "base n=5000, optimistic path",
+    );
+    println!("view edit (uncontended): {}", fmt_ns(edit));
+
+    // Concurrent workload: 4 threads × 25 edits, fresh engine per rep.
+    let concurrent = median_ns_per_call(5, 1, || {
+        let engine = engine_with_shard_views(1_000, 4);
+        std::hint::black_box(run_concurrent_engine_workload(&engine, 4, 25));
+    });
+    results.record(
+        "engine/concurrent_4x25",
+        concurrent,
+        "per 100-commit batch, 4 threads",
+    );
+    println!("concurrent 4x25 batch: {}", fmt_ns(concurrent));
+
+    match results.write_json(&dir, "results") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write BENCH_results.json into {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -78,7 +78,10 @@ fn t1_encoding() {
         std::hint::black_box(a);
     });
 
-    println!("{}", md_row(&["variant".into(), "ns/round".into(), "vs direct".into()]));
+    println!(
+        "{}",
+        md_row(&["variant".into(), "ns/round".into(), "vs direct".into()])
+    );
     println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
     for (name, ns) in [
         ("direct struct mutation", direct),
@@ -122,7 +125,10 @@ fn t2_translation() {
         std::hint::black_box(b);
     });
 
-    println!("{}", md_row(&["operation".into(), "ns/op".into(), "vs direct".into()]));
+    println!(
+        "{}",
+        md_row(&["operation".into(), "ns/op".into(), "vs direct".into()])
+    );
     println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
     for (name, ns) in [
         ("update_a (raw set-bx)", direct),
@@ -131,7 +137,11 @@ fn t2_translation() {
     ] {
         println!(
             "{}",
-            md_row(&[name.into(), esm_bench::fmt_ns(ns), format!("{:.2}x", ns / direct.max(0.1))])
+            md_row(&[
+                name.into(),
+                esm_bench::fmt_ns(ns),
+                format!("{:.2}x", ns / direct.max(0.1))
+            ])
         );
     }
     println!();
@@ -168,19 +178,38 @@ fn t3_instances() {
         std::hint::black_box(a);
     });
 
-    println!("{}", md_row(&["construction".into(), "hidden state".into(), "ns/update".into()]));
+    println!(
+        "{}",
+        md_row(&[
+            "construction".into(),
+            "hidden state".into(),
+            "ns/update".into()
+        ])
+    );
     println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
     println!(
         "{}",
-        md_row(&["Lemma 4 (asymmetric lens)".into(), "S".into(), esm_bench::fmt_ns(l4)])
+        md_row(&[
+            "Lemma 4 (asymmetric lens)".into(),
+            "S".into(),
+            esm_bench::fmt_ns(l4)
+        ])
     );
     println!(
         "{}",
-        md_row(&["Lemma 5 (algebraic bx)".into(), "(A, B) ∈ R".into(), esm_bench::fmt_ns(l5)])
+        md_row(&[
+            "Lemma 5 (algebraic bx)".into(),
+            "(A, B) ∈ R".into(),
+            esm_bench::fmt_ns(l5)
+        ])
     );
     println!(
         "{}",
-        md_row(&["Lemma 6 (symmetric lens)".into(), "(A, B, C) ∈ T".into(), esm_bench::fmt_ns(l6)])
+        md_row(&[
+            "Lemma 6 (symmetric lens)".into(),
+            "(A, B, C) ∈ T".into(),
+            esm_bench::fmt_ns(l6)
+        ])
     );
     println!();
 }
@@ -212,12 +241,22 @@ fn t4_effects() {
         std::hint::black_box(&tr);
     });
 
-    println!("{}", md_row(&["variant".into(), "ns/set".into(), "prints".into()]));
-    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
-    println!("{}", md_row(&["pure bx".into(), esm_bench::fmt_ns(pure_ns), "never".into()]));
     println!(
         "{}",
-        md_row(&["Announce, no-change set".into(), esm_bench::fmt_ns(nochange), "no".into()])
+        md_row(&["variant".into(), "ns/set".into(), "prints".into()])
+    );
+    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
+    println!(
+        "{}",
+        md_row(&["pure bx".into(), esm_bench::fmt_ns(pure_ns), "never".into()])
+    );
+    println!(
+        "{}",
+        md_row(&[
+            "Announce, no-change set".into(),
+            esm_bench::fmt_ns(nochange),
+            "no".into()
+        ])
     );
     println!(
         "{}",
@@ -233,7 +272,14 @@ fn t4_effects() {
 /// F1: composition depth scaling (§5).
 fn f1_compose_depth() {
     println!("## F1 — composition chain depth (one `put` through n composed lenses)\n");
-    println!("{}", md_row(&["depth".into(), "chained ns/put".into(), "fused ns/put".into()]));
+    println!(
+        "{}",
+        md_row(&[
+            "depth".into(),
+            "chained ns/put".into(),
+            "fused ns/put".into()
+        ])
+    );
     println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
     for depth in [1usize, 2, 4, 8, 16, 32, 64] {
         let chain = lens_chain(depth);
@@ -271,7 +317,10 @@ fn f2_relational_scale() {
             "join put".into(),
         ])
     );
-    println!("{}", md_row(&(0..7).map(|_| "---".to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        md_row(&(0..7).map(|_| "---".to_string()).collect::<Vec<_>>())
+    );
 
     for &n in &[100usize, 1_000, 10_000] {
         let reps = if n >= 10_000 { 5 } else { REPS };
@@ -333,24 +382,54 @@ fn f3_lawcheck() {
     });
     let product: ProductOps<i64, i64> = ProductOps::new();
     let prod_ns = median_ns_per_call(5, 1, || {
-        check_set_ops("product", &product, &gs_pair, &g, &int_range(1..100), 1000, 2, true)
-            .assert_ok();
+        check_set_ops(
+            "product",
+            &product,
+            &gs_pair,
+            &g,
+            &int_range(1..100),
+            1000,
+            2,
+            true,
+        )
+        .assert_ok();
     });
     let gqty = int_range(1..1000).map(|x| x as u32);
     let gsinv = gqty.clone().map(|q| (q, 10u32));
     let ginv = int_range(1..10_000).map(|x| x as u32 * 10);
     let inv_ns = median_ns_per_call(5, 1, || {
-        check_set_ops("inventory", &InventoryOps, &gsinv, &gqty, &ginv, 1000, 3, true).assert_ok();
+        check_set_ops(
+            "inventory",
+            &InventoryOps,
+            &gsinv,
+            &gqty,
+            &ginv,
+            1000,
+            3,
+            true,
+        )
+        .assert_ok();
     });
 
     // 6 equations per sample (GS/SG/SS on both sides).
     let eqs = 6_000.0;
-    println!("{}", md_row(&["instance".into(), "suite time".into(), "equations/s".into()]));
+    println!(
+        "{}",
+        md_row(&["instance".into(), "suite time".into(), "equations/s".into()])
+    );
     println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
-    for (name, ns) in [("identity bx", id_ns), ("product bx", prod_ns), ("inventory bx", inv_ns)] {
+    for (name, ns) in [
+        ("identity bx", id_ns),
+        ("product bx", prod_ns),
+        ("inventory bx", inv_ns),
+    ] {
         println!(
             "{}",
-            md_row(&[name.into(), esm_bench::fmt_ns(ns), format!("{:.1}M", eqs / ns * 1e9 / 1e6)])
+            md_row(&[
+                name.into(),
+                esm_bench::fmt_ns(ns),
+                format!("{:.1}M", eqs / ns * 1e9 / 1e6)
+            ])
         );
     }
     println!();

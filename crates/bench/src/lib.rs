@@ -11,10 +11,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod results;
+
 use std::time::Instant;
 
 use esm_core::state::{SbxOps, StateBx};
 use esm_lens::Lens;
+use esm_relational::ViewDef;
+use esm_store::{Database, Operand, Predicate, Table, Value};
 
 /// A (quantity, unit-price) inventory record: the running example state.
 pub type Item = (u32, u32);
@@ -61,6 +65,90 @@ pub fn lens_chain(depth: usize) -> Lens<i64, i64> {
 pub fn fused_chain(depth: usize) -> Lens<i64, i64> {
     let total: i64 = (1..=depth as i64).sum();
     Lens::new(move |s: &i64| s + total, move |_s, v| v - total)
+}
+
+// ---------------------------------------------------------------------
+// Engine workloads (E1): concurrent entangled views over one base table.
+// ---------------------------------------------------------------------
+
+/// A people table of `n` rows whose `age` column is selective: ids are
+/// dense, ages cycle `0..100`.
+pub fn people_table(n: usize) -> Table {
+    esm_relational::testgen::gen_people(99, n)
+}
+
+/// The selective predicate the indexed-select benches probe: an equality
+/// on `age` matching ~1% of rows.
+pub fn selective_age_pred() -> Predicate {
+    Predicate::eq(Operand::col("age"), Operand::val(41))
+}
+
+/// An engine over one `people` table of `n` rows, with one select view
+/// per age band (`shards` bands over ages `0..100`) and a whole-table
+/// view named `all`.
+pub fn engine_with_shard_views(n: usize, shards: usize) -> esm_engine::EngineServer {
+    let mut db = Database::new();
+    db.create_table("people", people_table(n))
+        .expect("fresh table");
+    let engine = esm_engine::EngineServer::new(db);
+    let band = 100 / shards.max(1) as i64;
+    for s in 0..shards.max(1) {
+        let lo = s as i64 * band;
+        let hi = lo + band;
+        engine
+            .define_view(
+                format!("band_{s}"),
+                "people",
+                &ViewDef::base().select(
+                    Predicate::ge(Operand::col("age"), Operand::val(lo))
+                        .and(Predicate::lt(Operand::col("age"), Operand::val(hi))),
+                ),
+            )
+            .expect("view compiles");
+    }
+    engine
+        .define_view("all", "people", &ViewDef::base())
+        .expect("view compiles");
+    engine
+}
+
+/// Run `writes` upserts of distinct keys through each of `threads`
+/// workers, each via its own entangled view handle. Returns total commits.
+pub fn run_concurrent_engine_workload(
+    engine: &esm_engine::EngineServer,
+    threads: usize,
+    writes: usize,
+) -> u64 {
+    let before = engine.metrics().commits;
+    let shards = engine
+        .view_names()
+        .into_iter()
+        .filter(|v| v.starts_with("band_"))
+        .count();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let view = engine
+                .view(&format!("band_{}", t % shards.max(1)))
+                .expect("registered");
+            scope.spawn(move || {
+                let band = 100 / shards.max(1) as i64;
+                let lo = ((t % shards.max(1)) as i64) * band;
+                for i in 0..writes {
+                    let id = 1_000_000 + (t * writes + i) as i64;
+                    view.edit(|v| {
+                        v.upsert(vec![
+                            Value::Int(id),
+                            Value::str(format!("w{t}_{i}")),
+                            Value::Int(lo),
+                        ])?;
+                        Ok(())
+                    })
+                    .expect("edit commits");
+                }
+            });
+        }
+    });
+    engine.metrics().commits - before
 }
 
 /// Median wall-clock nanoseconds per call of `f`, over `reps` batches of
@@ -129,6 +217,19 @@ mod tests {
             std::hint::black_box(1 + 1);
         });
         assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn engine_workload_commits_every_write() {
+        let engine = engine_with_shard_views(200, 4);
+        let commits = run_concurrent_engine_workload(&engine, 4, 5);
+        assert_eq!(commits, 4 * 5);
+        assert_eq!(engine.recovered_database().unwrap(), engine.snapshot());
+        // The band views auto-indexed the age column.
+        assert_eq!(
+            engine.table("people").unwrap().indexed_columns(),
+            vec!["age"]
+        );
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! The perf-trajectory emitter: collect named measurements, write
+//! `BENCH_<name>.json`.
+//!
+//! Every bench entry point emits the same `{id, median_ns, note}` record
+//! shape — the quick `bench_json` binary through this module, the
+//! criterion targets through the vendored shim's own emitter (which
+//! mirrors this schema) — so successive PRs can diff machine-readable
+//! perf artifacts with one tool instead of eyeballing logs. The JSON is
+//! hand-rolled: the offline build has no serde.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One named measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable benchmark id, e.g. `engine/indexed_select/10000`.
+    pub id: String,
+    /// Median wall-clock nanoseconds per operation.
+    pub median_ns: f64,
+    /// Free-form context (input size, thread count, ...).
+    pub note: String,
+}
+
+/// An accumulating set of measurements destined for one JSON artifact.
+#[derive(Debug, Default)]
+pub struct BenchResults {
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchResults {
+    /// An empty result set.
+    pub fn new() -> BenchResults {
+        BenchResults::default()
+    }
+
+    /// Record one measurement.
+    pub fn record(&mut self, id: impl Into<String>, median_ns: f64, note: impl Into<String>) {
+        self.entries.push(BenchEntry {
+            id: id.into(),
+            median_ns,
+            note: note.into(),
+        });
+    }
+
+    /// The recorded entries, in insertion order.
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Render the JSON document.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"note\": \"{}\"}}",
+                    escape(&e.id),
+                    e.median_ns,
+                    escape(&e.note)
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
+    }
+
+    /// Write `BENCH_<name>.json` into `dir` (or the `BENCH_JSON_DIR`
+    /// environment override). Returns the path written.
+    pub fn write_json(&self, dir: impl Into<PathBuf>, name: &str) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("BENCH_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| dir.into());
+        let path = dir.join(format!("BENCH_{name}.json"));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_wellformed_enough() {
+        let mut r = BenchResults::new();
+        r.record("a/b", 12.25, "n=10");
+        r.record("quo\"te", 1.0, "back\\slash");
+        let json = r.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"id\": \"a/b\""));
+        assert!(json.contains("\"median_ns\": 12.2"));
+        assert!(json.contains("quo\\\"te"));
+        assert!(json.contains("back\\\\slash"));
+        assert_eq!(r.entries().len(), 2);
+    }
+
+    #[test]
+    fn write_json_lands_in_requested_dir() {
+        let mut r = BenchResults::new();
+        r.record("x", 1.0, "");
+        let dir = std::env::temp_dir();
+        let path = r.write_json(&dir, "emitter_test").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, r.to_json());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -63,14 +63,20 @@ where
     fn set_a(&self, a: A) -> StateT<S, NonDetOf, ()> {
         let t = self.0.clone();
         StateT::new(move |s: S| {
-            t.update_a(s, a.clone()).into_iter().map(|s2| ((), s2)).collect()
+            t.update_a(s, a.clone())
+                .into_iter()
+                .map(|s2| ((), s2))
+                .collect()
         })
     }
 
     fn set_b(&self, b: B) -> StateT<S, NonDetOf, ()> {
         let t = self.0.clone();
         StateT::new(move |s: S| {
-            t.update_b(s, b.clone()).into_iter().map(|s2| ((), s2)).collect()
+            t.update_b(s, b.clone())
+                .into_iter()
+                .map(|s2| ((), s2))
+                .collect()
         })
     }
 }
@@ -114,7 +120,12 @@ where
         let t = self.0.clone();
         StateT::new(move |s: S| {
             let d = t.update_a(s, a.clone());
-            Dist::weighted(d.outcomes().iter().map(|(s2, w)| (((), s2.clone()), *w)).collect())
+            Dist::weighted(
+                d.outcomes()
+                    .iter()
+                    .map(|(s2, w)| (((), s2.clone()), *w))
+                    .collect(),
+            )
         })
     }
 
@@ -122,7 +133,12 @@ where
         let t = self.0.clone();
         StateT::new(move |s: S| {
             let d = t.update_b(s, b.clone());
-            Dist::weighted(d.outcomes().iter().map(|(s2, w)| (((), s2.clone()), *w)).collect())
+            Dist::weighted(
+                d.outcomes()
+                    .iter()
+                    .map(|(s2, w)| (((), s2.clone()), *w))
+                    .collect(),
+            )
         })
     }
 }
@@ -150,14 +166,18 @@ impl NdOps<(i64, i64), i64, i64> for FuzzyInterval {
         if (a - s.1).abs() <= self.slack {
             vec![(a, s.1)]
         } else {
-            ((a - self.slack)..=(a + self.slack)).map(|b| (a, b)).collect()
+            ((a - self.slack)..=(a + self.slack))
+                .map(|b| (a, b))
+                .collect()
         }
     }
     fn update_b(&self, s: (i64, i64), b: i64) -> Vec<(i64, i64)> {
         if (s.0 - b).abs() <= self.slack {
             vec![(s.0, b)]
         } else {
-            ((b - self.slack)..=(b + self.slack)).map(|a| (a, b)).collect()
+            ((b - self.slack)..=(b + self.slack))
+                .map(|a| (a, b))
+                .collect()
         }
     }
 }
@@ -243,8 +263,13 @@ mod tests {
         let t = MonadicNd(FuzzyInterval { slack: 1 });
         let ctx = (vec![(0i64, 0i64)], ());
         let samples = [10i64, -10];
-        let v =
-            check_set_bx::<Nd, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::OVERWRITEABLE);
+        let v = check_set_bx::<Nd, i64, i64, _>(
+            &t,
+            &samples,
+            &samples,
+            &ctx,
+            LawOptions::OVERWRITEABLE,
+        );
         assert!(!v.is_empty());
         assert!(v.iter().all(|viol| viol.law.starts_with("(SS)")), "{v:?}");
     }
@@ -252,10 +277,9 @@ mod tests {
     #[test]
     fn nd_set_then_get_returns_written_value_on_every_branch() {
         let t = MonadicNd(FuzzyInterval { slack: 2 });
-        let prog = Nd::bind(
-            SetBx::<Nd, i64, i64>::set_a(&t, 9),
-            move |()| SetBx::<Nd, i64, i64>::get_a(&t),
-        );
+        let prog = Nd::bind(SetBx::<Nd, i64, i64>::set_a(&t, 9), move |()| {
+            SetBx::<Nd, i64, i64>::get_a(&t)
+        });
         let branches = prog.run((0, 0));
         assert_eq!(branches.len(), 5); // slack 2: five repairs
         assert!(branches.iter().all(|(a, s)| *a == 9 && s.0 == 9));

@@ -65,7 +65,11 @@ pub struct Announce<T> {
 impl<T> Announce<T> {
     /// Wrap `inner` with change announcements.
     pub fn new(inner: T, msg_a: impl Into<String>, msg_b: impl Into<String>) -> Self {
-        Announce { inner, msg_a: msg_a.into(), msg_b: msg_b.into() }
+        Announce {
+            inner,
+            msg_a: msg_a.into(),
+            msg_b: msg_b.into(),
+        }
     }
 
     /// The underlying pure bx.
@@ -172,7 +176,11 @@ pub struct EffSession<S, T> {
 impl<S, T> EffSession<S, T> {
     /// Start a session from an initial hidden state.
     pub fn new(state: S, bx: T) -> Self {
-        EffSession { state, bx, trace: Trace::new() }
+        EffSession {
+            state,
+            bx,
+            trace: Trace::new(),
+        }
     }
 
     /// The current hidden state.

@@ -208,9 +208,11 @@ mod tests {
 
     fn percent_bx() -> Guarded<IdBx<i64>, i64, i64> {
         // A percentage cell: writes outside 0..=100 are rejected.
-        Guarded::new(IdBx::<i64>::new(), |a: &i64| (0..=100).contains(a), |b: &i64| {
-            (0..=100).contains(b)
-        })
+        Guarded::new(
+            IdBx::<i64>::new(),
+            |a: &i64| (0..=100).contains(a),
+            |b: &i64| (0..=100).contains(b),
+        )
     }
 
     #[test]
@@ -229,7 +231,10 @@ mod tests {
         let t = MonadicTry(percent_bx());
         let prog = M::seq(
             SetBx::<M, i64, i64>::set_a(&t, 50),
-            M::seq(SetBx::<M, i64, i64>::set_a(&t, 200), SetBx::<M, i64, i64>::get_a(&t)),
+            M::seq(
+                SetBx::<M, i64, i64>::set_a(&t, 200),
+                SetBx::<M, i64, i64>::get_a(&t),
+            ),
         );
         assert!(prog.run(10).is_err());
     }
@@ -239,7 +244,8 @@ mod tests {
         let t = MonadicTry(percent_bx());
         let ctx = (vec![0i64, 42, 100], ());
         let samples = [0i64, 7, 100];
-        let v = check_set_bx::<M, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::OVERWRITEABLE);
+        let v =
+            check_set_bx::<M, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::OVERWRITEABLE);
         assert!(v.is_empty(), "{v:?}");
     }
 

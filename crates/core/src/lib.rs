@@ -44,6 +44,6 @@ pub use effectful::{Announce, EffOps, EffSession, MonadicEff};
 pub use fallible::{Guarded, MonadicTry, TryOps, TrySession};
 pub use monadic::{Pp2Set, PutBx, Set2Pp, SetBx};
 pub use state::{
-    compose, BxSession, Composed, Dual, IdBx, Iso, MapA, MapB, Monadic, MonadicPut, PairBx,
-    PbxOps, ProductOps, PutToSet, SbxOps, SetToPut, StateBx, WithHistory,
+    compose, BxSession, Composed, Dual, IdBx, Iso, MapA, MapB, Monadic, MonadicPut, PairBx, PbxOps,
+    ProductOps, PutToSet, SbxOps, SetToPut, StateBx, WithHistory,
 };

@@ -79,7 +79,10 @@ pub struct Iso<X, Y> {
 
 impl<X, Y> Clone for Iso<X, Y> {
     fn clone(&self) -> Self {
-        Iso { fwd: Rc::clone(&self.fwd), bwd: Rc::clone(&self.bwd) }
+        Iso {
+            fwd: Rc::clone(&self.fwd),
+            bwd: Rc::clone(&self.bwd),
+        }
     }
 }
 
@@ -92,7 +95,10 @@ impl<X, Y> std::fmt::Debug for Iso<X, Y> {
 impl<X: 'static, Y: 'static> Iso<X, Y> {
     /// An isomorphism from a pair of mutually-inverse functions.
     pub fn new(fwd: impl Fn(X) -> Y + 'static, bwd: impl Fn(Y) -> X + 'static) -> Self {
-        Iso { fwd: Rc::new(fwd), bwd: Rc::new(bwd) }
+        Iso {
+            fwd: Rc::new(fwd),
+            bwd: Rc::new(bwd),
+        }
     }
 
     /// Apply the forward direction.
@@ -107,7 +113,10 @@ impl<X: 'static, Y: 'static> Iso<X, Y> {
 
     /// The inverse isomorphism.
     pub fn flip(&self) -> Iso<Y, X> {
-        Iso { fwd: Rc::clone(&self.bwd), bwd: Rc::clone(&self.fwd) }
+        Iso {
+            fwd: Rc::clone(&self.bwd),
+            bwd: Rc::clone(&self.fwd),
+        }
     }
 
     /// Spot-check bijectivity on samples: `bwd(fwd(x)) == x` for each `x`,

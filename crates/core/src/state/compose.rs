@@ -43,7 +43,11 @@ pub struct Composed<T1, T2, B> {
 /// `A ⇔ C` bx over `(S1, S2)`. See the module docs for the consistency
 /// restriction.
 pub fn compose<T1, T2, B>(t1: T1, t2: T2) -> Composed<T1, T2, B> {
-    Composed { left: t1, right: t2, _mid: PhantomData }
+    Composed {
+        left: t1,
+        right: t2,
+        _mid: PhantomData,
+    }
 }
 
 impl<S1, S2, A, B, C, T1, T2> SbxOps<(S1, S2), A, C> for Composed<T1, T2, B>
@@ -136,7 +140,13 @@ mod tests {
     fn f_to_label() -> StateBx<i64, i64, String> {
         StateBx::new(
             |s| *s,
-            |s| if *s >= 80 { "hot".to_string() } else { "mild".to_string() },
+            |s| {
+                if *s >= 80 {
+                    "hot".to_string()
+                } else {
+                    "mild".to_string()
+                }
+            },
             |_, a| a,
             // Writing a label snaps the temperature to a canonical
             // representative of that label, keeping (SG) for label reads.
@@ -185,7 +195,7 @@ mod tests {
         let pipeline = compose(c_to_f(), f_to_label());
         let junk = (25i64, 400i64); // 25C is not 400F
         assert!(!pipeline.is_consistent(&junk));
-        assert!(pipeline.is_consistent(&pipeline.update_a(junk.clone(), 10)));
+        assert!(pipeline.is_consistent(&pipeline.update_a(junk, 10)));
         assert!(pipeline.is_consistent(&pipeline.update_b(junk, "hot".to_string())));
     }
 
@@ -196,11 +206,11 @@ mod tests {
         // predicted restriction.
         let pipeline = compose(c_to_f(), f_to_label());
         let good = (20i64, 72i64);
-        let refreshed = pipeline.update_a(good.clone(), pipeline.view_a(&good));
+        let refreshed = pipeline.update_a(good, pipeline.view_a(&good));
         assert_eq!(refreshed, good);
 
         let bad = (25i64, 400i64);
-        let repaired = pipeline.update_a(bad.clone(), pipeline.view_a(&bad));
+        let repaired = pipeline.update_a(bad, pipeline.view_a(&bad));
         assert_ne!(repaired, bad);
         assert!(pipeline.is_consistent(&repaired));
     }
@@ -211,7 +221,7 @@ mod tests {
         let bad = (25i64, 0i64);
         assert!(!pipeline.is_consistent(&bad));
 
-        let right = pipeline.align_right(bad.clone());
+        let right = pipeline.align_right(bad);
         assert!(pipeline.is_consistent(&right));
         assert_eq!(right.0, 25); // left untouched
 

@@ -105,7 +105,10 @@ mod tests {
     fn product_updates_commute_everywhere_sampled() {
         let t: ProductOps<i32, i32> = ProductOps::new();
         let states: Vec<(i32, i32)> = vec![(0, 0), (1, 2), (-5, 5)];
-        assert_eq!(find_entanglement_witness(&t, &states, &[7, 8], &[9, 10]), None);
+        assert_eq!(
+            find_entanglement_witness(&t, &states, &[7, 8], &[9, 10]),
+            None
+        );
     }
 
     #[test]

@@ -131,6 +131,6 @@ mod tests {
         let t: IdBx<i32> = IdBx::new();
         let rc = std::rc::Rc::new(t);
         assert_eq!(rc.view_a(&3), 3);
-        assert_eq!((&t).update_a(1, 2), 2);
+        assert_eq!(t.update_a(1, 2), 2);
     }
 }

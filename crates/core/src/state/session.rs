@@ -21,7 +21,11 @@ pub struct BxSession<S, T> {
 impl<S, T> BxSession<S, T> {
     /// Start a session from an initial hidden state.
     pub fn new(state: S, bx: T) -> Self {
-        BxSession { state, bx, log: Vec::new() }
+        BxSession {
+            state,
+            bx,
+            log: Vec::new(),
+        }
     }
 
     /// The current hidden state.

@@ -22,7 +22,12 @@ pub struct UndoSession<S, T> {
 impl<S: Clone + PartialEq, T> UndoSession<S, T> {
     /// Start a session from an initial hidden state.
     pub fn new(state: S, bx: T) -> Self {
-        UndoSession { state, bx, undo_stack: Vec::new(), redo_stack: Vec::new() }
+        UndoSession {
+            state,
+            bx,
+            undo_stack: Vec::new(),
+            redo_stack: Vec::new(),
+        }
     }
 
     /// The current hidden state.
@@ -63,7 +68,8 @@ impl<S: Clone + PartialEq, T> UndoSession<S, T> {
 
     fn commit(&mut self, next: S) {
         if next != self.state {
-            self.undo_stack.push(std::mem::replace(&mut self.state, next));
+            self.undo_stack
+                .push(std::mem::replace(&mut self.state, next));
             self.redo_stack.clear();
         }
     }
@@ -91,7 +97,8 @@ impl<S: Clone + PartialEq, T> UndoSession<S, T> {
     pub fn undo(&mut self) -> bool {
         match self.undo_stack.pop() {
             Some(prev) => {
-                self.redo_stack.push(std::mem::replace(&mut self.state, prev));
+                self.redo_stack
+                    .push(std::mem::replace(&mut self.state, prev));
                 true
             }
             None => false,
@@ -103,7 +110,8 @@ impl<S: Clone + PartialEq, T> UndoSession<S, T> {
     pub fn redo(&mut self) -> bool {
         match self.redo_stack.pop() {
             Some(next) => {
-                self.undo_stack.push(std::mem::replace(&mut self.state, next));
+                self.undo_stack
+                    .push(std::mem::replace(&mut self.state, next));
                 true
             }
             None => false,

@@ -10,7 +10,9 @@ type Pair = (i64, String);
 type M = StateOf<Pair>;
 
 fn lens_bx() -> Monadic<esm_core::state::PutToSet<esm_core::state::SetToPut<IdBx<i64>>>> {
-    Monadic(esm_core::state::PutToSet(esm_core::state::SetToPut(IdBx::new())))
+    Monadic(esm_core::state::PutToSet(esm_core::state::SetToPut(
+        IdBx::new(),
+    )))
 }
 
 #[test]
@@ -20,19 +22,17 @@ fn programs_compose_operations_from_both_sides() {
     let t = Monadic(esm_core::state::ProductOps::<i64, String>::new());
     let t2 = t.clone();
     let t3 = t.clone();
-    let prog: State<(i64, String), (i64, String)> = M::bind(
-        SetBx::<M, i64, String>::get_a(&t),
-        move |a| {
+    let prog: State<(i64, String), (i64, String)> =
+        M::bind(SetBx::<M, i64, String>::get_a(&t), move |a| {
             let label = format!("value-{a}");
             let t4 = t3.clone();
             M::seq(
                 SetBx::<M, i64, String>::set_b(&t2, label),
                 M::bind(SetBx::<M, i64, String>::get_a(&t3), move |a2| {
-                    M::map(SetBx::<M, i64, String>::get_b(&t4), move |b| (a2.clone(), b))
+                    M::map(SetBx::<M, i64, String>::get_b(&t4), move |b| (a2, b))
                 }),
             )
-        },
-    );
+        });
     let ((a, b), s) = prog.run((7, "old".to_string()));
     assert_eq!(a, 7);
     assert_eq!(b, "value-7");
@@ -82,13 +82,10 @@ fn rerunnable_computations_support_what_if_analysis() {
     // Build one program, run it from many hypothetical states — the
     // pay-off of re-runnable computations (Repr: Clone).
     let t = lens_bx();
-    let t2 = t.clone();
+    let t2 = t;
     type MI = StateOf<i64>;
     let prog: State<i64, i64> = MI::bind(SetBx::<MI, i64, i64>::get_a(&t), move |a| {
-        MI::seq(
-            SetBx::<MI, i64, i64>::set_b(&t2, a * 2),
-            esm_monad::get(),
-        )
+        MI::seq(SetBx::<MI, i64, i64>::set_b(&t2, a * 2), esm_monad::get())
     });
     for s0 in [-5i64, 0, 21] {
         assert_eq!(prog.eval(s0), s0 * 2);
@@ -101,8 +98,9 @@ fn sequence_helper_collects_view_snapshots() {
     // large).
     let t = Monadic(esm_core::state::ProductOps::<i64, String>::new());
     type MI = StateOf<(i64, String)>;
-    let reads: Vec<State<(i64, String), i64>> =
-        (0..4).map(|_| SetBx::<MI, i64, String>::get_a(&t)).collect();
+    let reads: Vec<State<(i64, String), i64>> = (0..4)
+        .map(|_| SetBx::<MI, i64, String>::get_a(&t))
+        .collect();
     let prog = MI::sequence(reads);
     let (snaps, _) = prog.run((9, "x".to_string()));
     assert_eq!(snaps, vec![9, 9, 9, 9]);

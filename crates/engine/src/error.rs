@@ -1,0 +1,85 @@
+//! Engine-level errors: store errors plus transaction and recovery
+//! failures.
+
+use esm_store::StoreError;
+
+/// Everything that can go wrong inside the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An underlying store operation failed.
+    Store(StoreError),
+    /// Optimistic commit lost the first-committer-wins race: another
+    /// transaction committed an overlapping change first.
+    Conflict {
+        /// The table on which the overlap was detected.
+        table: String,
+        /// What overlapped (for diagnostics).
+        detail: String,
+    },
+    /// A named view is not registered.
+    NoSuchView(String),
+    /// A view name is already registered.
+    ViewExists(String),
+    /// A named table is not registered with the engine.
+    NoSuchTable(String),
+    /// A write-ahead-log entry failed to parse during recovery.
+    WalCorrupt(String),
+    /// An optimistic write exhausted its retry budget.
+    RetriesExhausted {
+        /// The view being written.
+        view: String,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> EngineError {
+        EngineError::Store(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Store(e) => write!(f, "store error: {e}"),
+            EngineError::Conflict { table, detail } => {
+                write!(f, "commit conflict on table {table}: {detail}")
+            }
+            EngineError::NoSuchView(v) => write!(f, "no such view: {v}"),
+            EngineError::ViewExists(v) => write!(f, "view already defined: {v}"),
+            EngineError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            EngineError::WalCorrupt(msg) => write!(f, "corrupt WAL: {msg}"),
+            EngineError::RetriesExhausted { view, attempts } => {
+                write!(
+                    f,
+                    "write to view {view} still conflicted after {attempts} attempts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EngineError::Conflict {
+            table: "t".into(),
+            detail: "key [1]".into(),
+        };
+        assert!(e.to_string().contains("conflict on table t"));
+        let s: EngineError = StoreError::NoSuchTable("x".into()).into();
+        assert!(s.to_string().contains("store error"));
+        assert!(EngineError::RetriesExhausted {
+            view: "v".into(),
+            attempts: 3
+        }
+        .to_string()
+        .contains("3 attempts"));
+    }
+}

@@ -1,0 +1,111 @@
+//! # `esm-engine` — a concurrent, transactional bidirectional database
+//! engine over entangled sessions.
+//!
+//! The paper models a bidirectional transformation as two entangled
+//! stateful interfaces over one shared hidden state. That is exactly the
+//! shape of a database serving live views: the hidden state is the base
+//! table, each client's view is an entangled window onto it, and every
+//! view write is a lens `put` whose effect every other view observes.
+//! This crate scales that idea from a single-threaded session to a real
+//! engine: snapshot transactions, a write-ahead log, secondary-index
+//! seeks, and lock-striped concurrent access.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   clients (threads)            engine                        esm-store
+//!  ┌───────────────┐   ┌──────────────────────────┐   ┌─────────────────────┐
+//!  │ EntangledView ├──▶│ EngineServer             │   │ Table (+ indexes)   │
+//!  │  .get()/.put()│   │  ├ Stripes<Table>  ──────┼──▶│ Delta (ordered merge│
+//!  │  .edit(f)     │   │  ├ views: name → Lens    │   │        diffs)       │
+//!  └───────────────┘   │  ├ Wal (committed deltas)│   │ Database            │
+//!  ┌───────────────┐   │  └ Metrics               │   └─────────────────────┘
+//!  │ TxStore/Tx    ├──▶│  first-committer-wins    │
+//!  │ begin/commit  │   │  via Delta key overlap   │
+//!  └───────────────┘   └──────────────────────────┘
+//! ```
+//!
+//! ### Transaction lifecycle ([`tx`])
+//!
+//! [`TxStore::begin`] snapshots the committed database; the [`Tx`] works
+//! on its private copy; [`Tx::commit`] diffs every table with
+//! [`esm_store::Delta::between`], validates **first-committer-wins** (a
+//! commit conflicts iff a WAL record newer than its snapshot touches one
+//! of the same primary keys), then publishes the deltas and appends them
+//! to the WAL. Disjoint concurrent commits rebase cleanly; overlapping
+//! ones abort with [`EngineError::Conflict`].
+//!
+//! ### WAL format ([`wal`])
+//!
+//! An append-only sequence of `(seq, table, delta)` records, one per
+//! committed table change, with a schema-free text codec (type-tagged
+//! cells, escaped strings). [`Wal::replay`] applies the records to the
+//! engine's baseline database and reproduces the live state exactly —
+//! the recovery law the test suites assert.
+//!
+//! ### Index maintenance
+//!
+//! Base tables carry secondary B-tree indexes
+//! ([`esm_store::Table::create_index`]) that every insert/upsert/delete
+//! maintains incrementally. Registering a view whose select predicate
+//! constrains base columns auto-indexes those columns, so view reads seek
+//! instead of scanning; lens `put` paths that clone the base keep its
+//! indexes warm.
+//!
+//! ### Concurrency ([`server`], [`stripe`])
+//!
+//! Tables are spread over [`Stripes`] (rwlocks chosen by stable name
+//! hash): traffic on different tables never shares a lock. View writes
+//! come in a serialized pessimistic flavour ([`EngineServer::write_view`])
+//! and an optimistic flavour with first-committer-wins retries
+//! ([`EngineServer::edit_view_optimistic`]); both report the base-table
+//! [`esm_store::Delta`] they committed.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use esm_engine::EngineServer;
+//! use esm_relational::ViewDef;
+//! use esm_store::{row, Database, Operand, Predicate, Schema, Table, ValueType};
+//!
+//! let schema = Schema::build(
+//!     &[("id", ValueType::Int), ("dept", ValueType::Str)], &["id"],
+//! ).unwrap();
+//! let mut db = Database::new();
+//! db.create_table(
+//!     "staff",
+//!     Table::from_rows(schema, vec![row![1, "research"], row![2, "ops"]]).unwrap(),
+//! ).unwrap();
+//!
+//! let engine = EngineServer::new(db);
+//! let research = engine.define_view(
+//!     "research", "staff",
+//!     &ViewDef::base().select(Predicate::eq(Operand::col("dept"), Operand::val("research"))),
+//! ).unwrap();
+//!
+//! // Each client edit is a transaction; the returned delta says what the
+//! // write did to the hidden base table.
+//! let delta = research.edit(|v| Ok(v.upsert(row![3, "research"]).map(|_| ())?)).unwrap();
+//! assert_eq!(delta.inserted, vec![row![3, "research"]]);
+//! // Recovery: replaying the WAL over the baseline equals the live state.
+//! assert_eq!(engine.recovered_database().unwrap(), engine.snapshot());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod metrics;
+pub mod server;
+pub mod stripe;
+pub mod tx;
+pub mod view;
+pub mod wal;
+
+pub use error::EngineError;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{EngineServer, DEFAULT_OPTIMISTIC_ATTEMPTS};
+pub use stripe::Stripes;
+pub use tx::{delta_keys, deltas_conflict, Tx, TxStore};
+pub use view::EntangledView;
+pub use wal::{Wal, WalRecord};

@@ -1,0 +1,79 @@
+//! Engine counters: lock-free telemetry for the concurrent façade.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters shared by all clients of one engine.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    commits: AtomicU64,
+    conflicts: AtomicU64,
+    retries: AtomicU64,
+    view_reads: AtomicU64,
+    rows_written: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Transactions committed.
+    pub commits: u64,
+    /// First-committer-wins conflicts detected.
+    pub conflicts: u64,
+    /// Optimistic write attempts retried after a conflict.
+    pub retries: u64,
+    /// View reads served.
+    pub view_reads: u64,
+    /// Rows inserted or deleted by committed deltas.
+    pub rows_written: u64,
+}
+
+impl Metrics {
+    pub(crate) fn commit(&self, rows: u64) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.rows_written.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub(crate) fn conflict(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn view_read(&self) {
+        self.view_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            view_reads: self.view_reads.load(Ordering::Relaxed),
+            rows_written: self.rows_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::default();
+        m.commit(3);
+        m.commit(2);
+        m.conflict();
+        m.retry();
+        m.view_read();
+        let s = m.snapshot();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.rows_written, 5);
+        assert_eq!(s.conflicts, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.view_reads, 1);
+    }
+}

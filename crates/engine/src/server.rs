@@ -1,0 +1,533 @@
+//! [`EngineServer`]: the lock-striped, shared, concurrent façade.
+//!
+//! One engine owns many base tables (spread over [`Stripes`]) and many
+//! named *entangled views* — compiled `Lens<Table, Table>` pipelines, each
+//! a bidirectional window onto one base table. Any number of clients hold
+//! cheap clones of the server handle; each clone shares the same state,
+//! WAL and metrics.
+//!
+//! ## Write paths
+//!
+//! * [`EngineServer::write_view`] — **pessimistic**: the table's stripe is
+//!   write-locked across `put`/diff/publish, so interleaved writers of
+//!   views over the same table serialize; writers of tables in other
+//!   stripes proceed in parallel.
+//! * [`EngineServer::edit_view_optimistic`] — **optimistic**: reads a
+//!   snapshot, runs the edit and the lens `put` *outside* any lock, then
+//!   revalidates first-committer-wins (key overlap against WAL records
+//!   committed since the snapshot, the same [`Delta`] machinery as
+//!   [`crate::TxStore`]) under the write lock, retrying on conflict.
+//!
+//! Every committed write appends its base-table delta to the WAL and
+//! returns it to the caller, so clients always learn exactly what their
+//! view edit did to the hidden shared state — the bx contract.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use esm_lens::Lens;
+use esm_relational::ViewDef;
+use esm_store::{Database, Delta, Table};
+
+use crate::error::EngineError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::stripe::Stripes;
+use crate::tx::delta_keys;
+use crate::view::EntangledView;
+use crate::wal::Wal;
+
+/// How many attempts an optimistic edit makes by default.
+pub const DEFAULT_OPTIMISTIC_ATTEMPTS: u32 = 16;
+
+struct ViewReg {
+    table: String,
+    lens: Lens<Table, Table>,
+}
+
+struct Inner {
+    tables: Stripes<Table>,
+    views: RwLock<BTreeMap<String, ViewReg>>,
+    wal: Mutex<Wal>,
+    baseline: Database,
+    metrics: Metrics,
+}
+
+/// A concurrent, transactional, bidirectional database engine. Clone the
+/// handle freely: clones share state.
+#[derive(Clone)]
+pub struct EngineServer {
+    inner: Arc<Inner>,
+}
+
+impl EngineServer {
+    /// An engine over the tables of `db`, with `stripes` lock stripes.
+    /// `db` becomes the recovery baseline (see [`EngineServer::wal`]).
+    pub fn with_stripes(db: Database, stripes: usize) -> EngineServer {
+        let tables = Stripes::new(stripes);
+        for name in db.table_names() {
+            let table = db.table(name).expect("name came from the database").clone();
+            tables.write(name).insert(name.to_string(), table);
+        }
+        EngineServer {
+            inner: Arc::new(Inner {
+                tables,
+                views: RwLock::new(BTreeMap::new()),
+                wal: Mutex::new(Wal::new()),
+                baseline: db,
+                metrics: Metrics::default(),
+            }),
+        }
+    }
+
+    /// An engine with a default stripe count (16).
+    pub fn new(db: Database) -> EngineServer {
+        EngineServer::with_stripes(db, 16)
+    }
+
+    // ------------------------------------------------------------------
+    // Tables.
+    // ------------------------------------------------------------------
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.tables.names()
+    }
+
+    /// A snapshot of one table.
+    pub fn table(&self, name: &str) -> Result<Table, EngineError> {
+        self.inner
+            .tables
+            .read(name)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::NoSuchTable(name.to_string()))
+    }
+
+    /// Create a secondary index on a base table column (idempotent).
+    pub fn create_index(&self, table: &str, column: &str) -> Result<(), EngineError> {
+        let mut shard = self.inner.tables.write(table);
+        let state = shard
+            .get_mut(table)
+            .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?;
+        state.create_index(column)?;
+        Ok(())
+    }
+
+    /// A snapshot of the whole database.
+    ///
+    /// Atomic per stripe, not across stripes: concurrent writers of
+    /// *other* tables may land between stripe visits. Quiesce writers
+    /// first when cross-table atomicity matters.
+    pub fn snapshot(&self) -> Database {
+        let mut db = Database::new();
+        self.inner.tables.for_each(|name, table| {
+            db.replace_table(name.clone(), table.clone());
+        });
+        db
+    }
+
+    /// The database the engine started from — the WAL's replay baseline.
+    pub fn baseline(&self) -> Database {
+        self.inner.baseline.clone()
+    }
+
+    /// A snapshot of the write-ahead log.
+    pub fn wal(&self) -> Wal {
+        self.lock_wal().clone()
+    }
+
+    /// Rebuild the committed state from the baseline plus the WAL — the
+    /// recovery path. At quiescence this equals [`EngineServer::snapshot`]
+    /// (asserted by the integration suite).
+    pub fn recovered_database(&self) -> Result<Database, EngineError> {
+        self.wal().replay(&self.inner.baseline)
+    }
+
+    /// Current engine counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Views.
+    // ------------------------------------------------------------------
+
+    /// Compile and register a named entangled view over `table`.
+    ///
+    /// The definition is validated against the current table state, and
+    /// base columns its select stages constrain get secondary indexes
+    /// (reads seek instead of scanning).
+    pub fn define_view(
+        &self,
+        name: impl Into<String>,
+        table: impl Into<String>,
+        def: &ViewDef,
+    ) -> Result<EntangledView, EngineError> {
+        let name = name.into();
+        let table = table.into();
+        // Reject duplicate names *before* compiling or creating indexes,
+        // so a failed definition leaves the base table untouched. (The
+        // insert below re-checks under the write lock for racing
+        // definers.)
+        if self
+            .inner
+            .views
+            .read()
+            .expect("views lock poisoned")
+            .contains_key(&name)
+        {
+            return Err(EngineError::ViewExists(name));
+        }
+        let lens = {
+            // Compile against a snapshot; index creation takes the write
+            // lock only after compilation succeeded.
+            let snapshot = self.table(&table)?;
+            def.compile(&snapshot)?
+        };
+        for col in def.index_candidates() {
+            self.create_index(&table, &col)?;
+        }
+        let mut views = self.inner.views.write().expect("views lock poisoned");
+        if views.contains_key(&name) {
+            return Err(EngineError::ViewExists(name));
+        }
+        views.insert(name.clone(), ViewReg { table, lens });
+        drop(views);
+        Ok(self.view(&name).expect("just registered"))
+    }
+
+    /// A client handle onto a registered view.
+    pub fn view(&self, name: &str) -> Result<EntangledView, EngineError> {
+        let views = self.inner.views.read().expect("views lock poisoned");
+        if !views.contains_key(name) {
+            return Err(EngineError::NoSuchView(name.to_string()));
+        }
+        Ok(EntangledView::new(self.clone(), name.to_string()))
+    }
+
+    /// Registered view names, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        self.inner
+            .views
+            .read()
+            .expect("views lock poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    fn with_view<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&ViewReg) -> Result<R, EngineError>,
+    ) -> Result<R, EngineError> {
+        let views = self.inner.views.read().expect("views lock poisoned");
+        let reg = views
+            .get(name)
+            .ok_or_else(|| EngineError::NoSuchView(name.to_string()))?;
+        f(reg)
+    }
+
+    /// Read a view (the lens `get`) against the current base table.
+    pub fn read_view(&self, name: &str) -> Result<Table, EngineError> {
+        self.inner.metrics.view_read();
+        self.with_view(name, |reg| {
+            let shard = self.inner.tables.read(&reg.table);
+            let base = shard
+                .get(&reg.table)
+                .ok_or_else(|| EngineError::NoSuchTable(reg.table.clone()))?;
+            Ok(reg.lens.get(base))
+        })
+    }
+
+    /// Write an edited view back (the lens `put`) — pessimistic path.
+    ///
+    /// The base table's stripe stays write-locked across put/diff/publish,
+    /// so concurrent writers of views over the same table serialize and no
+    /// write is torn. Note the semantics: a `put` replaces the view's
+    /// whole visible window, so two clients that both *read* a view and
+    /// then both `put` it land last-writer-wins — the second put's view
+    /// state is authoritative. For read-modify-write edits that must not
+    /// lose concurrent updates, use [`EngineServer::edit_view_optimistic`]
+    /// (or [`crate::EntangledView::edit`]), which revalidates
+    /// first-committer-wins against the WAL. Returns the base-table delta.
+    pub fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
+        self.with_view(name, |reg| {
+            let mut shard = self.inner.tables.write(&reg.table);
+            let base = shard
+                .get_mut(&reg.table)
+                .ok_or_else(|| EngineError::NoSuchTable(reg.table.clone()))?;
+            // Lens puts panic on view tables that don't fit their schema;
+            // a panic here would poison the stripe and views locks and
+            // wedge the whole engine, so catch it and surface an error to
+            // the offending client instead.
+            let put_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                reg.lens.put(base.clone(), view)
+            }));
+            let new_base = match put_result {
+                Ok(t) => t,
+                Err(_) => {
+                    return Err(EngineError::Store(esm_store::StoreError::BadQuery(
+                        format!("view write rejected: the edited table does not fit view {name}"),
+                    )))
+                }
+            };
+            let delta = Delta::between(base, &new_base)?;
+            if delta.is_empty() {
+                return Ok(delta);
+            }
+            // Publish by applying the delta to the live table rather than
+            // swapping in the lens output: apply clones the current table
+            // (secondary indexes included) and maintains them
+            // incrementally, instead of rebuilding every index from
+            // scratch under the stripe write lock.
+            *base = delta.apply(base)?;
+            // Lock order is always stripe → WAL (see edit_view_optimistic).
+            self.lock_wal().append(reg.table.clone(), delta.clone());
+            drop(shard);
+            self.inner.metrics.commit(delta.len() as u64);
+            Ok(delta)
+        })
+    }
+
+    /// Transactionally edit a view — optimistic path.
+    ///
+    /// Snapshots the view, applies `edit`, runs the lens `put` outside any
+    /// lock, then commits under the write lock iff no WAL record since the
+    /// snapshot touches a primary key this edit touches (first-committer-
+    /// wins, like [`crate::TxStore`]); otherwise retries with a fresh
+    /// snapshot, up to `attempts` times.
+    pub fn edit_view_optimistic(
+        &self,
+        name: &str,
+        attempts: u32,
+        edit: impl Fn(&mut Table) -> Result<(), EngineError>,
+    ) -> Result<Delta, EngineError> {
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                self.inner.metrics.retry();
+            }
+            // Snapshot seq *before* the base table: a commit landing in
+            // between makes us re-check records already reflected in our
+            // base — a spurious retry at worst, never a lost update.
+            let snap_seq = self.lock_wal().last_seq();
+            let (table_name, base, lens) = self.with_view(name, |reg| {
+                let shard = self.inner.tables.read(&reg.table);
+                let base = shard
+                    .get(&reg.table)
+                    .ok_or_else(|| EngineError::NoSuchTable(reg.table.clone()))?;
+                Ok((reg.table.clone(), base.clone(), reg.lens.clone()))
+            })?;
+
+            let mut view = lens.get(&base);
+            edit(&mut view)?;
+            let new_base = lens.put(base.clone(), view);
+            let delta = Delta::between(&base, &new_base)?;
+            if delta.is_empty() {
+                return Ok(delta);
+            }
+            // Our own key set, once — not once per WAL record scanned.
+            let our_keys = delta_keys(&base, &delta);
+
+            // Validate + publish under the stripe write lock.
+            let mut shard = self.inner.tables.write(&table_name);
+            let current = shard
+                .get_mut(&table_name)
+                .ok_or_else(|| EngineError::NoSuchTable(table_name.clone()))?;
+            let mut wal = self.lock_wal();
+            let conflicted = wal.records_after(snap_seq).iter().any(|rec| {
+                rec.table == table_name
+                    && delta_keys(&base, &rec.delta)
+                        .iter()
+                        .any(|k| our_keys.contains(k))
+            });
+            if conflicted {
+                drop(wal);
+                drop(shard);
+                self.inner.metrics.conflict();
+                continue;
+            }
+            // Rebase: disjoint concurrent commits are already in
+            // `current`; applying our delta on top is the serial outcome.
+            *current = delta.apply(current)?;
+            wal.append(table_name.clone(), delta.clone());
+            drop(wal);
+            drop(shard);
+            self.inner.metrics.commit(delta.len() as u64);
+            return Ok(delta);
+        }
+        Err(EngineError::RetriesExhausted {
+            view: name.to_string(),
+            attempts,
+        })
+    }
+
+    fn lock_wal(&self) -> std::sync::MutexGuard<'_, Wal> {
+        self.inner.wal.lock().expect("wal lock poisoned")
+    }
+}
+
+impl std::fmt::Debug for EngineServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EngineServer {{ tables: {:?}, views: {:?} }}",
+            self.table_names(),
+            self.view_names()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_store::{row, Operand, Predicate, Schema, Value, ValueType};
+
+    fn employees() -> Database {
+        let schema = Schema::build(
+            &[
+                ("eid", ValueType::Int),
+                ("name", ValueType::Str),
+                ("dept", ValueType::Str),
+                ("salary", ValueType::Int),
+            ],
+            &["eid"],
+        )
+        .unwrap();
+        let t = Table::from_rows(
+            schema,
+            vec![
+                row![1, "ada", "research", 90_000],
+                row![2, "alan", "ops", 80_000],
+                row![3, "grace", "research", 95_000],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.create_table("employees", t).unwrap();
+        db
+    }
+
+    fn engine_with_views() -> EngineServer {
+        let engine = EngineServer::new(employees());
+        engine
+            .define_view(
+                "research",
+                "employees",
+                &ViewDef::base().select(Predicate::eq(
+                    Operand::col("dept"),
+                    Operand::val("research"),
+                )),
+            )
+            .unwrap();
+        engine
+            .define_view(
+                "directory",
+                "employees",
+                &ViewDef::base().project(
+                    &["eid", "name"],
+                    &[
+                        ("dept", Value::str("unknown")),
+                        ("salary", Value::Int(50_000)),
+                    ],
+                ),
+            )
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn views_read_against_live_state() {
+        let e = engine_with_views();
+        assert_eq!(e.view_names(), vec!["directory", "research"]);
+        assert_eq!(e.read_view("research").unwrap().len(), 2);
+        assert_eq!(e.read_view("directory").unwrap().len(), 3);
+        assert!(matches!(
+            e.read_view("ghost"),
+            Err(EngineError::NoSuchView(_))
+        ));
+        // The select view auto-indexed its predicate column.
+        assert_eq!(
+            e.table("employees").unwrap().indexed_columns(),
+            vec!["dept"]
+        );
+    }
+
+    #[test]
+    fn pessimistic_writes_report_base_deltas_and_wal() {
+        let e = engine_with_views();
+        let mut v = e.read_view("research").unwrap();
+        v.upsert(row![4, "barbara", "research", 70_000]).unwrap();
+        let delta = e.write_view("research", v).unwrap();
+        assert_eq!(delta.inserted, vec![row![4, "barbara", "research", 70_000]]);
+        // Visible through the other entangled view.
+        assert!(e
+            .read_view("directory")
+            .unwrap()
+            .contains(&row![4, "barbara"]));
+        assert_eq!(e.wal().len(), 1);
+        assert_eq!(e.metrics().commits, 1);
+        // Hippocratic: writing a view back unchanged is a no-op.
+        let v = e.read_view("research").unwrap();
+        assert!(e.write_view("research", v).unwrap().is_empty());
+        assert_eq!(e.wal().len(), 1);
+    }
+
+    #[test]
+    fn optimistic_edits_commit_and_recover() {
+        let e = engine_with_views();
+        e.edit_view_optimistic("research", 4, |v| {
+            v.upsert(row![5, "edsger", "research", 88_000])?;
+            Ok(())
+        })
+        .unwrap();
+        e.edit_view_optimistic("directory", 4, |v| {
+            v.upsert(row![1, "ada lovelace"])?;
+            Ok(())
+        })
+        .unwrap();
+        // Hidden salary survives the projection edit.
+        assert!(e.table("employees").unwrap().contains(&row![
+            1,
+            "ada lovelace",
+            "research",
+            90_000
+        ]));
+        // WAL replay reproduces the live state.
+        assert_eq!(e.recovered_database().unwrap(), e.snapshot());
+    }
+
+    #[test]
+    fn ill_fitting_view_writes_error_without_wedging_the_engine() {
+        let e = engine_with_views();
+        // A view table with the wrong arity: the lens put would panic;
+        // the engine must surface an error and stay fully usable.
+        let bad = Table::from_rows(
+            Schema::build(&[("eid", ValueType::Int)], &["eid"]).unwrap(),
+            vec![row![1]],
+        )
+        .unwrap();
+        assert!(matches!(
+            e.write_view("research", bad),
+            Err(EngineError::Store(_))
+        ));
+        // Locks are not poisoned: reads and writes still work.
+        assert_eq!(e.read_view("research").unwrap().len(), 2);
+        let mut v = e.read_view("research").unwrap();
+        v.upsert(row![9, "ok", "research", 1]).unwrap();
+        assert!(!e.write_view("research", v).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_views_and_unknown_tables_are_rejected() {
+        let e = engine_with_views();
+        assert!(matches!(
+            e.define_view("research", "employees", &ViewDef::base()),
+            Err(EngineError::ViewExists(_))
+        ));
+        assert!(matches!(
+            e.define_view("x", "ghost", &ViewDef::base()),
+            Err(EngineError::NoSuchTable(_))
+        ));
+    }
+}

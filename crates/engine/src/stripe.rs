@@ -1,0 +1,114 @@
+//! Lock striping: spread per-table state over a fixed array of rwlocks so
+//! traffic on different tables never contends on one global lock.
+
+use std::collections::BTreeMap;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A fixed set of rwlock-protected shards, keyed by `String` name.
+///
+/// The shard for a name is chosen by a stable FNV-1a hash, so a name
+/// always maps to the same stripe; operations on names in different
+/// stripes proceed fully in parallel, and a write on one table never
+/// blocks reads of tables in other stripes.
+#[derive(Debug)]
+pub struct Stripes<T> {
+    shards: Vec<RwLock<BTreeMap<String, T>>>,
+}
+
+/// Stable FNV-1a hash of a name (not `DefaultHasher`: its seeding is
+/// unspecified across processes, and stripe choice should be
+/// deterministic for debugging).
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+impl<T> Stripes<T> {
+    /// `n` empty stripes (rounded up to at least 1).
+    pub fn new(n: usize) -> Stripes<T> {
+        let n = n.max(1);
+        Stripes {
+            shards: (0..n).map(|_| RwLock::new(BTreeMap::new())).collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which stripe a name lives in.
+    pub fn stripe_of(&self, name: &str) -> usize {
+        (fnv1a(name) % self.shards.len() as u64) as usize
+    }
+
+    /// Read-lock the stripe holding `name`.
+    pub fn read(&self, name: &str) -> RwLockReadGuard<'_, BTreeMap<String, T>> {
+        self.shards[self.stripe_of(name)]
+            .read()
+            .expect("stripe lock poisoned")
+    }
+
+    /// Write-lock the stripe holding `name`.
+    pub fn write(&self, name: &str) -> RwLockWriteGuard<'_, BTreeMap<String, T>> {
+        self.shards[self.stripe_of(name)]
+            .write()
+            .expect("stripe lock poisoned")
+    }
+
+    /// Visit every entry across all stripes, in stripe-then-name order,
+    /// locking one stripe at a time.
+    pub fn for_each(&self, mut f: impl FnMut(&String, &T)) {
+        for shard in &self.shards {
+            let guard = shard.read().expect("stripe lock poisoned");
+            for (name, value) in guard.iter() {
+                f(name, value);
+            }
+        }
+    }
+
+    /// All names across all stripes, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.for_each(|name, _| out.push(name.clone()));
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_map_to_stable_stripes() {
+        let s: Stripes<i32> = Stripes::new(8);
+        assert_eq!(s.stripe_count(), 8);
+        assert_eq!(s.stripe_of("orders"), s.stripe_of("orders"));
+        let t: Stripes<i32> = Stripes::new(8);
+        assert_eq!(s.stripe_of("orders"), t.stripe_of("orders"));
+    }
+
+    #[test]
+    fn insert_and_visit_across_stripes() {
+        let s: Stripes<i32> = Stripes::new(4);
+        for (i, name) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            s.write(name).insert(name.to_string(), i as i32);
+        }
+        assert_eq!(s.names(), vec!["a", "b", "c", "d", "e"]);
+        assert_eq!(s.read("c").get("c"), Some(&2));
+        let mut sum = 0;
+        s.for_each(|_, v| sum += v);
+        assert_eq!(sum, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn zero_stripes_rounds_up() {
+        let s: Stripes<()> = Stripes::new(0);
+        assert_eq!(s.stripe_count(), 1);
+    }
+}

@@ -1,0 +1,380 @@
+//! Snapshot-isolated transactions over [`esm_store::Database`].
+//!
+//! ## Transaction lifecycle
+//!
+//! 1. [`TxStore::begin`] snapshots the committed database (cheap value
+//!    clone) and remembers the WAL sequence number — the snapshot point.
+//! 2. The [`Tx`] reads and writes its private working copy; nothing is
+//!    visible to other transactions.
+//! 3. [`Tx::commit`] diffs working copy against snapshot with
+//!    [`Delta::between`] (one ordered merge per touched table), then
+//!    validates **first-committer-wins**: if any record committed after
+//!    the snapshot point touches a primary key this transaction also
+//!    touches, the commit fails with
+//!    [`EngineError::Conflict`] and the store is unchanged. Disjoint
+//!    concurrent commits rebase cleanly: the winning deltas and ours
+//!    commute, so applying ours on top of the current state is exactly the
+//!    serial outcome.
+//! 4. On success every per-table delta is applied to the live state,
+//!    appended to the [`Wal`], and the transaction's deltas are returned
+//!    to the caller (the bx idiom: every update reports what it changed).
+//!
+//! [`Tx::rollback`] (or just dropping the `Tx`) discards the working copy.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+use esm_store::{Database, Delta, Row, Table};
+
+use crate::error::EngineError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::wal::Wal;
+
+/// The primary keys a delta touches, projected with `table`'s schema.
+pub fn delta_keys(table: &Table, delta: &Delta) -> BTreeSet<Row> {
+    delta
+        .inserted
+        .iter()
+        .chain(delta.deleted.iter())
+        .map(|row| table.key_of(row))
+        .collect()
+}
+
+/// Do two deltas against the same table touch a common primary key?
+pub fn deltas_conflict(table: &Table, a: &Delta, b: &Delta) -> bool {
+    let a_keys = delta_keys(table, a);
+    delta_keys(table, b).iter().any(|k| a_keys.contains(k))
+}
+
+struct Committed {
+    db: Database,
+    wal: Wal,
+}
+
+/// A transactional, multi-reader store: hand out snapshot transactions,
+/// serialize commits, keep the write-ahead log.
+///
+/// Cloning a `TxStore` clones a *handle*: all clones share the same
+/// committed state, WAL and metrics, so one store can serve many threads.
+#[derive(Clone)]
+pub struct TxStore {
+    committed: Arc<Mutex<Committed>>,
+    metrics: Arc<Metrics>,
+}
+
+impl TxStore {
+    /// A store whose initial committed state is `db` (WAL starts empty:
+    /// `db` is the recovery baseline).
+    pub fn new(db: Database) -> TxStore {
+        TxStore {
+            committed: Arc::new(Mutex::new(Committed {
+                db,
+                wal: Wal::new(),
+            })),
+            metrics: Arc::new(Metrics::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Committed> {
+        self.committed
+            .lock()
+            .expect("esm-engine never panics while holding the store lock")
+    }
+
+    /// Begin a snapshot transaction.
+    pub fn begin(&self) -> Tx {
+        // Clone the database once under the commit lock; the working
+        // copy is derived outside it so concurrent begins/commits only
+        // serialize on a single copy.
+        let (snapshot, snap_seq) = {
+            let committed = self.lock();
+            (committed.db.clone(), committed.wal.last_seq())
+        };
+        Tx {
+            store: self.clone(),
+            working: snapshot.clone(),
+            snapshot,
+            snap_seq,
+        }
+    }
+
+    /// A snapshot of the committed database.
+    pub fn db(&self) -> Database {
+        self.lock().db.clone()
+    }
+
+    /// A snapshot of the write-ahead log.
+    pub fn wal(&self) -> Wal {
+        self.lock().wal.clone()
+    }
+
+    /// Current engine counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Run `body` in a transaction, retrying on conflict up to
+    /// `max_attempts` times. Returns the committed per-table deltas.
+    pub fn transact(
+        &self,
+        max_attempts: u32,
+        body: impl Fn(&mut Tx) -> Result<(), EngineError>,
+    ) -> Result<BTreeMap<String, Delta>, EngineError> {
+        let mut attempts = 0;
+        loop {
+            let mut tx = self.begin();
+            body(&mut tx)?;
+            match tx.commit() {
+                Ok(deltas) => return Ok(deltas),
+                Err(EngineError::Conflict { .. }) if attempts + 1 < max_attempts => {
+                    attempts += 1;
+                    self.metrics.retry();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TxStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let committed = self.lock();
+        write!(
+            f,
+            "TxStore {{ tables: {}, wal_records: {} }}",
+            committed.db.len(),
+            committed.wal.len()
+        )
+    }
+}
+
+/// One snapshot-isolated transaction. Dropping it without committing is a
+/// rollback.
+pub struct Tx {
+    store: TxStore,
+    snapshot: Database,
+    working: Database,
+    snap_seq: u64,
+}
+
+impl Tx {
+    /// The WAL sequence number this transaction's snapshot reflects.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snap_seq
+    }
+
+    /// Read a table from the working copy.
+    pub fn table(&self, name: &str) -> Result<&Table, EngineError> {
+        Ok(self.working.table(name)?)
+    }
+
+    /// Mutate a table in the working copy.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, EngineError> {
+        Ok(self.working.table_mut(name)?)
+    }
+
+    /// The whole working copy (reads see this transaction's own writes).
+    pub fn db(&self) -> &Database {
+        &self.working
+    }
+
+    /// The per-table changes this transaction would commit right now.
+    pub fn pending_deltas(&self) -> Result<BTreeMap<String, Delta>, EngineError> {
+        let mut deltas = BTreeMap::new();
+        for name in self.snapshot.table_names() {
+            let old = self.snapshot.table(name)?;
+            let new = self.working.table(name)?;
+            let delta = Delta::between(old, new)?;
+            if !delta.is_empty() {
+                deltas.insert(name.to_string(), delta);
+            }
+        }
+        Ok(deltas)
+    }
+
+    /// Validate first-committer-wins and publish this transaction's
+    /// changes. Returns the per-table deltas committed.
+    pub fn commit(self) -> Result<BTreeMap<String, Delta>, EngineError> {
+        let deltas = self.pending_deltas()?;
+        // Our own key sets, computed once per table (not once per WAL
+        // record scanned below).
+        let mut our_keys: BTreeMap<&String, BTreeSet<Row>> = BTreeMap::new();
+        for (name, delta) in &deltas {
+            our_keys.insert(name, delta_keys(self.snapshot.table(name)?, delta));
+        }
+        let store = self.store.clone();
+        let mut committed = store.lock();
+
+        // First-committer-wins: any record committed after our snapshot
+        // that touches a key we touch invalidates us.
+        let mut conflict = None;
+        for rec in committed.wal.records_after(self.snap_seq) {
+            if let Some(ours) = our_keys.get(&rec.table) {
+                let table = self.snapshot.table(&rec.table)?;
+                if delta_keys(table, &rec.delta)
+                    .iter()
+                    .any(|k| ours.contains(k))
+                {
+                    conflict = Some((rec.table.clone(), rec.seq));
+                    break;
+                }
+            }
+        }
+        if let Some((table, seq)) = conflict {
+            drop(committed);
+            store.metrics.conflict();
+            return Err(EngineError::Conflict {
+                table,
+                detail: format!(
+                    "transaction snapshot at seq {} overlaps commit seq {seq}",
+                    self.snap_seq
+                ),
+            });
+        }
+
+        // Publish: apply each delta to the *current* committed table
+        // (not our snapshot — disjoint concurrent commits are kept).
+        let mut rows = 0u64;
+        for (name, delta) in &deltas {
+            let next = delta.apply(committed.db.table(name)?)?;
+            committed.db.replace_table(name.clone(), next);
+            committed.wal.append(name.clone(), delta.clone());
+            rows += delta.len() as u64;
+        }
+        drop(committed);
+        store.metrics.commit(rows);
+        Ok(deltas)
+    }
+
+    /// Discard the working copy.
+    pub fn rollback(self) {}
+}
+
+impl std::fmt::Debug for Tx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tx {{ snap_seq: {} }}", self.snap_seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_store::{row, Schema, ValueType};
+
+    fn store() -> TxStore {
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"]).unwrap();
+        let t = Table::from_rows(schema, vec![row![1, "a"], row![2, "b"]]).unwrap();
+        let mut db = Database::new();
+        db.create_table("t", t).unwrap();
+        TxStore::new(db)
+    }
+
+    #[test]
+    fn commit_publishes_and_reports_deltas() {
+        let s = store();
+        let mut tx = s.begin();
+        tx.table_mut("t").unwrap().upsert(row![3, "c"]).unwrap();
+        let deltas = tx.commit().unwrap();
+        assert_eq!(deltas["t"].inserted, vec![row![3, "c"]]);
+        assert!(s.db().table("t").unwrap().contains(&row![3, "c"]));
+        assert_eq!(s.wal().len(), 1);
+        assert_eq!(s.metrics().commits, 1);
+    }
+
+    #[test]
+    fn rollback_and_drop_change_nothing() {
+        let s = store();
+        let mut tx = s.begin();
+        tx.table_mut("t").unwrap().upsert(row![9, "x"]).unwrap();
+        tx.rollback();
+        let mut tx2 = s.begin();
+        tx2.table_mut("t").unwrap().upsert(row![8, "y"]).unwrap();
+        drop(tx2);
+        assert_eq!(s.db().table("t").unwrap().len(), 2);
+        assert!(s.wal().is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_isolated() {
+        let s = store();
+        let tx = s.begin();
+        let mut other = s.begin();
+        other.table_mut("t").unwrap().upsert(row![3, "c"]).unwrap();
+        other.commit().unwrap();
+        // tx still sees its snapshot.
+        assert_eq!(tx.table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn disjoint_concurrent_commits_both_land() {
+        let s = store();
+        let mut a = s.begin();
+        let mut b = s.begin();
+        a.table_mut("t")
+            .unwrap()
+            .upsert(row![10, "from a"])
+            .unwrap();
+        b.table_mut("t")
+            .unwrap()
+            .upsert(row![20, "from b"])
+            .unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap(); // disjoint keys: no conflict
+        let t = s.db().table("t").unwrap().clone();
+        assert!(t.contains(&row![10, "from a"]) && t.contains(&row![20, "from b"]));
+    }
+
+    #[test]
+    fn overlapping_commit_is_first_committer_wins() {
+        let s = store();
+        let mut a = s.begin();
+        let mut b = s.begin();
+        a.table_mut("t")
+            .unwrap()
+            .upsert(row![1, "a (by a)"])
+            .unwrap();
+        b.table_mut("t")
+            .unwrap()
+            .upsert(row![1, "a (by b)"])
+            .unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(matches!(err, EngineError::Conflict { ref table, .. } if table == "t"));
+        assert!(s.db().table("t").unwrap().contains(&row![1, "a (by a)"]));
+        assert_eq!(s.metrics().conflicts, 1);
+    }
+
+    #[test]
+    fn transact_retries_until_clean() {
+        let s = store();
+        // A transaction that bumps a counter-ish row; retried closures
+        // re-read the current value, so retries converge.
+        let deltas = s
+            .transact(3, |tx| {
+                let cur = tx.table("t")?.len() as i64;
+                tx.table_mut("t")?.upsert(row![100 + cur, "n"])?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(s.metrics().commits, 1);
+    }
+
+    #[test]
+    fn wal_replay_matches_live_state() {
+        let s = store();
+        let baseline = s.db();
+        for i in 0..5i64 {
+            s.transact(1, |tx| {
+                tx.table_mut("t")?.upsert(row![i + 10, format!("r{i}")])?;
+                if i % 2 == 0 {
+                    tx.table_mut("t")?.delete_by_key(&row![i + 9]);
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(s.wal().replay(&baseline).unwrap(), s.db());
+    }
+}

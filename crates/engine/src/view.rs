@@ -1,0 +1,120 @@
+//! [`EntangledView`]: a client's handle onto one bidirectional view.
+//!
+//! This is the paper's entangled-state-monad session made concurrent: the
+//! hidden shared state is a base table inside the engine; `get` reads the
+//! view of the *current* state; `put` writes an edited view back through
+//! the lens as a transaction. Many clients hold views over the same base
+//! table — each one's writes show up in every other's reads, because the
+//! state is entangled, not copied.
+
+use esm_store::{Delta, Table};
+
+use crate::error::EngineError;
+use crate::server::{EngineServer, DEFAULT_OPTIMISTIC_ATTEMPTS};
+
+/// A client handle onto one named view of an [`EngineServer`]. Cheap to
+/// clone and [`Send`], so each worker thread can own one.
+#[derive(Clone, Debug)]
+pub struct EntangledView {
+    server: EngineServer,
+    name: String,
+}
+
+impl EntangledView {
+    pub(crate) fn new(server: EngineServer, name: String) -> EntangledView {
+        EntangledView { server, name }
+    }
+
+    /// The view's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The engine this view belongs to.
+    pub fn server(&self) -> &EngineServer {
+        &self.server
+    }
+
+    /// Read the view against the current base state (lens `get`).
+    pub fn get(&self) -> Result<Table, EngineError> {
+        self.server.read_view(&self.name)
+    }
+
+    /// Write an edited view back (lens `put`, pessimistic path); returns
+    /// the delta applied to the base table.
+    ///
+    /// A `put` replaces the view's whole visible window (last-writer-wins
+    /// between racing putters); prefer [`EntangledView::edit`] for
+    /// read-modify-write edits that must not lose concurrent updates.
+    pub fn put(&self, view: Table) -> Result<Delta, EngineError> {
+        self.server.write_view(&self.name, view)
+    }
+
+    /// Transactionally edit the view (optimistic path with retries):
+    /// read, apply `edit`, write back, revalidating first-committer-wins.
+    pub fn edit(
+        &self,
+        edit: impl Fn(&mut Table) -> Result<(), EngineError>,
+    ) -> Result<Delta, EngineError> {
+        self.server
+            .edit_view_optimistic(&self.name, DEFAULT_OPTIMISTIC_ATTEMPTS, edit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_relational::ViewDef;
+    use esm_store::{row, Database, Operand, Predicate, Schema, Table, ValueType};
+
+    fn engine() -> EngineServer {
+        let schema = Schema::build(
+            &[
+                ("id", ValueType::Int),
+                ("grp", ValueType::Str),
+                ("n", ValueType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        let t = Table::from_rows(schema, vec![row![1, "a", 10], row![2, "b", 20]]).unwrap();
+        let mut db = Database::new();
+        db.create_table("t", t).unwrap();
+        EngineServer::new(db)
+    }
+
+    #[test]
+    fn handles_route_to_their_view() {
+        let e = engine();
+        let a = e
+            .define_view(
+                "a",
+                "t",
+                &ViewDef::base().select(Predicate::eq(Operand::col("grp"), Operand::val("a"))),
+            )
+            .unwrap();
+        assert_eq!(a.name(), "a");
+        assert_eq!(a.get().unwrap().len(), 1);
+
+        let delta = a
+            .edit(|v| Ok(v.upsert(row![3, "a", 30]).map(|_| ())?))
+            .unwrap();
+        assert_eq!(delta.inserted.len(), 1);
+        assert_eq!(a.get().unwrap().len(), 2);
+
+        // A second handle to the same engine sees the write immediately.
+        let again = e.view("a").unwrap();
+        assert_eq!(again.get().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn put_reports_the_base_delta() {
+        let e = engine();
+        let all = e.define_view("all", "t", &ViewDef::base()).unwrap();
+        let mut v = all.get().unwrap();
+        v.delete_by_key(&row![2]);
+        let delta = all.put(v).unwrap();
+        assert_eq!(delta.deleted, vec![row![2, "b", 20]]);
+        assert_eq!(all.server().wal().len(), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Integration: N writer threads × M entangled views over one engine.
+//!
+//! The acceptance contract for the engine subsystem:
+//! * interleaved transactions from ≥4 threads through ≥3 entangled views
+//!   commit with **no lost updates** (disjoint writes all land; contended
+//!   read-modify-writes serialize via first-committer-wins retries);
+//! * every committed write's `get` round-trips (the written rows are
+//!   visible through the view that wrote them *and* through the other
+//!   entangled views);
+//! * replaying the WAL over the baseline equals the live state, including
+//!   across the text encode/decode round-trip.
+
+use std::thread;
+
+use esm_engine::{EngineError, EngineServer, TxStore};
+use esm_relational::ViewDef;
+use esm_store::{row, Database, Operand, Predicate, Schema, Table, Value, ValueType};
+
+fn accounts_db() -> Database {
+    let schema = Schema::build(
+        &[
+            ("id", ValueType::Int),
+            ("shard", ValueType::Str),
+            ("owner", ValueType::Str),
+            ("balance", ValueType::Int),
+        ],
+        &["id"],
+    )
+    .expect("valid schema");
+    let rows = vec![
+        row![0, "counter", "system", 0],
+        row![1, "a", "ada", 100],
+        row![2, "b", "alan", 200],
+        row![3, "c", "grace", 300],
+    ];
+    let mut db = Database::new();
+    db.create_table(
+        "accounts",
+        Table::from_rows(schema, rows).expect("valid rows"),
+    )
+    .expect("fresh table");
+    db
+}
+
+/// An engine with four entangled views over the one base table: three
+/// shard selections plus a whole-table identity view.
+fn engine_with_views() -> EngineServer {
+    let engine = EngineServer::new(accounts_db());
+    for shard in ["a", "b", "c"] {
+        engine
+            .define_view(
+                format!("shard_{shard}"),
+                "accounts",
+                &ViewDef::base().select(Predicate::eq(Operand::col("shard"), Operand::val(shard))),
+            )
+            .expect("view compiles");
+    }
+    engine
+        .define_view("all", "accounts", &ViewDef::base())
+        .expect("view compiles");
+    engine
+}
+
+#[test]
+fn disjoint_writes_from_many_threads_all_land() {
+    const THREADS: usize = 8;
+    const WRITES_PER_THREAD: i64 = 25;
+
+    let engine = engine_with_views();
+    let shards = ["a", "b", "c"];
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let shard = shards[t % shards.len()];
+            let view = engine.view(&format!("shard_{shard}")).expect("registered");
+            thread::spawn(move || {
+                for i in 0..WRITES_PER_THREAD {
+                    let id = 1_000 + (t as i64) * WRITES_PER_THREAD + i;
+                    let owner = format!("t{t}w{i}");
+                    let delta = view
+                        .edit(|v| {
+                            v.upsert(row![id, shard, owner.as_str(), i])?;
+                            Ok(())
+                        })
+                        .expect("edit commits");
+                    // The committed delta reports exactly this write.
+                    assert_eq!(delta.inserted, vec![row![id, shard, owner.as_str(), i]]);
+                    // Round-trip: the row is immediately visible through
+                    // the view that wrote it.
+                    assert!(view.get().expect("readable").contains(&row![
+                        id,
+                        shard,
+                        owner.as_str(),
+                        i
+                    ]));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no writer panicked");
+    }
+
+    // No lost updates: every one of the THREADS × WRITES_PER_THREAD
+    // distinct rows landed in the base table.
+    let base = engine.table("accounts").expect("exists");
+    assert_eq!(base.len(), 4 + THREADS * WRITES_PER_THREAD as usize);
+    // And each is visible through the entangled whole-table view.
+    let all = engine.read_view("all").expect("readable");
+    for t in 0..THREADS {
+        for i in 0..WRITES_PER_THREAD {
+            let id = 1_000 + (t as i64) * WRITES_PER_THREAD + i;
+            assert!(all.get_by_key(&row![id]).is_some(), "lost update: id {id}");
+        }
+    }
+
+    // WAL replay over the baseline reproduces the live state.
+    assert_eq!(
+        engine.recovered_database().expect("replays"),
+        engine.snapshot()
+    );
+    let m = engine.metrics();
+    assert_eq!(m.commits, (THREADS as u64) * (WRITES_PER_THREAD as u64));
+}
+
+#[test]
+fn contended_increments_never_lose_an_update() {
+    const THREADS: usize = 6;
+    const INCREMENTS: i64 = 20;
+
+    let engine = engine_with_views();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let engine = engine.clone();
+            thread::spawn(move || {
+                for _ in 0..INCREMENTS {
+                    // All threads hammer the same row through the same
+                    // view: first-committer-wins + retry must serialize
+                    // the read-modify-writes.
+                    engine
+                        .edit_view_optimistic("all", u32::MAX, |v| {
+                            let cur = v.get_by_key(&row![0]).expect("counter row exists").clone();
+                            let bumped = cur[3].as_int().expect("int balance") + 1;
+                            v.upsert(row![0, "counter", "system", bumped])?;
+                            Ok(())
+                        })
+                        .expect("eventually commits");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no incrementer panicked");
+    }
+
+    let base = engine.table("accounts").expect("exists");
+    let counter = base.get_by_key(&row![0]).expect("counter row");
+    assert_eq!(counter[3], Value::Int((THREADS as i64) * INCREMENTS));
+
+    // Serialized outcome: commits == total increments; conflicts were
+    // retried, not dropped.
+    let m = engine.metrics();
+    assert_eq!(m.commits, (THREADS as u64) * (INCREMENTS as u64));
+    assert_eq!(
+        m.retries, m.conflicts,
+        "every conflict should have been retried"
+    );
+
+    assert_eq!(
+        engine.recovered_database().expect("replays"),
+        engine.snapshot()
+    );
+}
+
+#[test]
+fn mixed_view_traffic_stays_consistent_and_recoverable() {
+    const ROUNDS: i64 = 15;
+
+    let engine = engine_with_views();
+    let writer = |shard: &'static str, offset: i64| {
+        let view = engine.view(&format!("shard_{shard}")).expect("registered");
+        thread::spawn(move || {
+            for i in 0..ROUNDS {
+                let id = offset + i;
+                view.edit(move |v| {
+                    v.upsert(row![id, shard, "writer", i])?;
+                    if i % 3 == 2 {
+                        v.delete_by_key(&row![id - 1]);
+                    }
+                    Ok(())
+                })
+                .expect("edit commits");
+            }
+        })
+    };
+    let reader = {
+        let engine = engine.clone();
+        thread::spawn(move || {
+            for _ in 0..ROUNDS * 4 {
+                // Readers must always see *some* consistent view state;
+                // every visible row satisfies its view predicate.
+                let v = engine.read_view("shard_a").expect("readable");
+                assert!(v.rows().all(|r| r[1] == Value::str("a")));
+            }
+        })
+    };
+
+    let threads = vec![
+        writer("a", 10_000),
+        writer("b", 20_000),
+        writer("c", 30_000),
+        reader,
+    ];
+    for h in threads {
+        h.join().expect("no thread panicked");
+    }
+
+    // The WAL text round-trip preserves recovery exactly.
+    let wal = engine.wal();
+    let decoded = esm_engine::Wal::decode(&wal.encode()).expect("codec round-trips");
+    assert_eq!(decoded, wal);
+    assert_eq!(
+        decoded.replay(&engine.baseline()).expect("replays"),
+        engine.snapshot()
+    );
+}
+
+#[test]
+fn txstore_concurrent_transactions_serialize() {
+    const THREADS: i64 = 4;
+    const TXNS: i64 = 10;
+
+    let store = TxStore::new(accounts_db());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = store.clone();
+            thread::spawn(move || {
+                for i in 0..TXNS {
+                    // Disjoint insert + contended increment in one tx.
+                    store
+                        .transact(u32::MAX, |tx| {
+                            let table = tx.table_mut("accounts")?;
+                            table.upsert(row![500 + t * TXNS + i, "tx", "txn", t])?;
+                            let cur = table.get_by_key(&row![0]).expect("counter row exists")[3]
+                                .as_int()
+                                .expect("int");
+                            table.upsert(row![0, "counter", "system", cur + 1])?;
+                            Ok(())
+                        })
+                        .expect("transact eventually commits");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no tx thread panicked");
+    }
+
+    let db = store.db();
+    let accounts = db.table("accounts").expect("exists");
+    assert_eq!(
+        accounts.get_by_key(&row![0]).expect("counter")[3],
+        Value::Int(THREADS * TXNS)
+    );
+    assert_eq!(accounts.len() as i64, 4 + THREADS * TXNS);
+    assert_eq!(store.wal().replay(&accounts_db()).expect("replays"), db);
+    assert_eq!(store.metrics().commits, (THREADS * TXNS) as u64);
+}
+
+#[test]
+fn stale_committers_lose_first_committer_wins() {
+    // A stale writer whose snapshot predates an overlapping commit must
+    // abort with a conflict, and the first committer's write must stand.
+    let store = TxStore::new(accounts_db());
+    let mut stale = store.begin();
+    stale
+        .table_mut("accounts")
+        .expect("exists")
+        .upsert(row![1, "a", "ada", 111])
+        .expect("fits");
+    store
+        .transact(1, |tx| {
+            tx.table_mut("accounts")?.upsert(row![1, "a", "ada", 999])?;
+            Ok(())
+        })
+        .expect("first committer");
+    let err = stale.commit().expect_err("second committer must lose");
+    assert!(matches!(err, EngineError::Conflict { ref table, .. } if table == "accounts"));
+    assert!(store
+        .db()
+        .table("accounts")
+        .expect("exists")
+        .contains(&row![1, "a", "ada", 999]));
+    assert_eq!(store.metrics().conflicts, 1);
+}

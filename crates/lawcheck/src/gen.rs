@@ -15,7 +15,9 @@ pub struct Gen<T> {
 
 impl<T> Clone for Gen<T> {
     fn clone(&self) -> Self {
-        Gen { run: Rc::clone(&self.run) }
+        Gen {
+            run: Rc::clone(&self.run),
+        }
     }
 }
 

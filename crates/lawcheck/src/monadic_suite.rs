@@ -46,7 +46,11 @@ where
     let ctx = gen_s.samples(seed, n_states);
     let samples_a = gen_a.samples(seed.wrapping_add(1), n_vals);
     let samples_b = gen_b.samples(seed.wrapping_add(2), n_vals);
-    let opts = if overwrite { LawOptions::OVERWRITEABLE } else { LawOptions::BASE };
+    let opts = if overwrite {
+        LawOptions::OVERWRITEABLE
+    } else {
+        LawOptions::BASE
+    };
 
     let m = Monadic(t);
 
@@ -54,7 +58,7 @@ where
         report.fail(v.law, v.detail);
     }
     report.pass(); // count the suite run itself once per law family below
-    // Lemma 1: the translated put-bx satisfies the put-bx laws.
+                   // Lemma 1: the translated put-bx satisfies the put-bx laws.
     let translated = Set2Pp(m.clone());
     for v in check_put_bx::<StateOf<S>, A, B, _>(&translated, &samples_a, &samples_b, &ctx, opts) {
         report.fail(v.law, v.detail);
@@ -93,7 +97,11 @@ where
     let ctx = gen_s.samples(seed, n_states);
     let samples_a = gen_a.samples(seed.wrapping_add(1), n_vals);
     let samples_b = gen_b.samples(seed.wrapping_add(2), n_vals);
-    let opts = if overwrite { LawOptions::OVERWRITEABLE } else { LawOptions::BASE };
+    let opts = if overwrite {
+        LawOptions::OVERWRITEABLE
+    } else {
+        LawOptions::BASE
+    };
 
     let m = MonadicPut(t);
 
@@ -125,8 +133,18 @@ mod tests {
     #[test]
     fn identity_bx_passes_the_full_monadic_suite() {
         let g = int_range(-50..50);
-        full_set_bx_suite("id (monadic)", IdBx::<i64>::new(), &g, &g, &g, 10, 5, 31, true)
-            .assert_ok();
+        full_set_bx_suite(
+            "id (monadic)",
+            IdBx::<i64>::new(),
+            &g,
+            &g,
+            &g,
+            10,
+            5,
+            31,
+            true,
+        )
+        .assert_ok();
     }
 
     #[test]

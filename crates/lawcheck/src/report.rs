@@ -15,7 +15,11 @@ pub struct LawReport {
 impl LawReport {
     /// An empty report for a named suite.
     pub fn new(suite: impl Into<String>) -> LawReport {
-        LawReport { suite: suite.into(), checked: 0, failures: Vec::new() }
+        LawReport {
+            suite: suite.into(),
+            checked: 0,
+            failures: Vec::new(),
+        }
     }
 
     /// Record a successful check.

@@ -113,8 +113,12 @@ where
     let values_b = gen_b.samples(seed.wrapping_add(2), n);
     for i in 0..n {
         let s = &states[i];
-        report.check("roundtrip view_a", rt.view_a(s) == t.view_a(s), || format!("at {s:?}"));
-        report.check("roundtrip view_b", rt.view_b(s) == t.view_b(s), || format!("at {s:?}"));
+        report.check("roundtrip view_a", rt.view_a(s) == t.view_a(s), || {
+            format!("at {s:?}")
+        });
+        report.check("roundtrip view_b", rt.view_b(s) == t.view_b(s), || {
+            format!("at {s:?}")
+        });
         let a = values_a[i].clone();
         report.check(
             "roundtrip update_a",

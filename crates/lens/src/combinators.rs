@@ -4,7 +4,7 @@
 //! preserves the lens laws, and the test suite checks each one — including
 //! the failure modes when side conditions are broken.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::lens::Lens;
 
@@ -16,7 +16,10 @@ pub fn id<S: Clone + 'static>() -> Lens<S, S> {
 
 /// A lens from an isomorphism `S ≅ V`. Very well-behaved iff `fwd`/`bwd`
 /// are mutually inverse.
-pub fn iso<S, V>(fwd: impl Fn(&S) -> V + 'static, bwd: impl Fn(V) -> S + 'static) -> Lens<S, V>
+pub fn iso<S, V>(
+    fwd: impl Fn(&S) -> V + Send + Sync + 'static,
+    bwd: impl Fn(V) -> S + Send + Sync + 'static,
+) -> Lens<S, V>
 where
     S: 'static,
     V: 'static,
@@ -68,13 +71,16 @@ where
 /// condition); (PutPut) is inherited from the element lens when lengths
 /// are stable, but fails across length changes that drop-then-recreate
 /// sources whose hidden parts differ. The tests exhibit both sides.
-pub fn map_vec<S, V>(l: Lens<S, V>, create: impl Fn(&V) -> S + 'static) -> Lens<Vec<S>, Vec<V>>
+pub fn map_vec<S, V>(
+    l: Lens<S, V>,
+    create: impl Fn(&V) -> S + Send + Sync + 'static,
+) -> Lens<Vec<S>, Vec<V>>
 where
     S: Clone + 'static,
     V: Clone + 'static,
 {
     let lg = l.clone();
-    let create = Rc::new(create);
+    let create = Arc::new(create);
     Lens::new(
         move |ss: &Vec<S>| ss.iter().map(|s| lg.get(s)).collect(),
         move |ss: Vec<S>, vs: Vec<V>| {
@@ -99,7 +105,7 @@ where
 /// branch-stability side condition is the caller's obligation, and the
 /// tests show a violation when it is broken.
 pub fn cond<S, V>(
-    pred: impl Fn(&S) -> bool + 'static,
+    pred: impl Fn(&S) -> bool + Send + Sync + 'static,
     when_true: Lens<S, V>,
     when_false: Lens<S, V>,
 ) -> Lens<S, V>
@@ -107,8 +113,8 @@ where
     S: 'static,
     V: 'static,
 {
-    let pred = Rc::new(pred);
-    let pred2 = Rc::clone(&pred);
+    let pred = Arc::new(pred);
+    let pred2 = Arc::clone(&pred);
     let tg = when_true.clone();
     let fg = when_false.clone();
     Lens::new(
@@ -232,14 +238,20 @@ mod tests {
     fn cond_switches_branches_lawfully_when_stable() {
         // Sources: (flag, payload); the branch depends only on the flag,
         // which neither branch's put modifies -> stable.
-        let t: Lens<(bool, i32), i32> = Lens::new(|s: &(bool, i32)| s.1, |mut s, v| {
-            s.1 = v;
-            s
-        });
-        let f: Lens<(bool, i32), i32> = Lens::new(|s: &(bool, i32)| -s.1, |mut s, v| {
-            s.1 = -v;
-            s
-        });
+        let t: Lens<(bool, i32), i32> = Lens::new(
+            |s: &(bool, i32)| s.1,
+            |mut s, v| {
+                s.1 = v;
+                s
+            },
+        );
+        let f: Lens<(bool, i32), i32> = Lens::new(
+            |s: &(bool, i32)| -s.1,
+            |mut s, v| {
+                s.1 = -v;
+                s
+            },
+        );
         let l = cond(|s: &(bool, i32)| s.0, t, f);
         let sources = [(true, 5), (false, 5)];
         let views = [1, -2];
@@ -267,7 +279,10 @@ mod tests {
     #[test]
     fn field_lens_macro_builds_vwb_lenses() {
         let l = field_lens!(Person, age: u32);
-        let p = Person { name: "ada".into(), age: 36 };
+        let p = Person {
+            name: "ada".into(),
+            age: 36,
+        };
         assert_eq!(l.get(&p), 36);
         let p2 = l.put(p.clone(), 37);
         assert_eq!(p2.age, 37);

@@ -121,10 +121,13 @@ mod tests {
     use super::*;
 
     fn field_lens() -> Lens<(i32, i32), i32> {
-        Lens::new(|s: &(i32, i32)| s.0, |mut s, v| {
-            s.0 = v;
-            s
-        })
+        Lens::new(
+            |s: &(i32, i32)| s.0,
+            |mut s, v| {
+                s.0 = v;
+                s
+            },
+        )
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The [`Lens`] type: classic asymmetric get/put lenses.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An asymmetric lens `S ⇄ V`: a total `get : S -> V` and
 /// `put : S -> V -> S` (written here `put(s, v)`).
@@ -13,16 +13,21 @@ use std::rc::Rc;
 /// (PutPut) put(put(s, v), v') == put(s, v')   -- very well-behaved
 /// ```
 ///
-/// Operations are stored behind `Rc`, so lenses clone cheaply and compose
-/// without copying captured data.
+/// Operations are stored behind `Arc` (and must be `Send + Sync`), so
+/// lenses clone cheaply, compose without copying captured data, and can be
+/// shared across threads — a concurrent engine serves many clients one
+/// compiled view pipeline.
 pub struct Lens<S, V> {
-    get: Rc<dyn Fn(&S) -> V>,
-    put: Rc<dyn Fn(S, V) -> S>,
+    get: Arc<dyn Fn(&S) -> V + Send + Sync>,
+    put: Arc<dyn Fn(S, V) -> S + Send + Sync>,
 }
 
 impl<S, V> Clone for Lens<S, V> {
     fn clone(&self) -> Self {
-        Lens { get: Rc::clone(&self.get), put: Rc::clone(&self.put) }
+        Lens {
+            get: Arc::clone(&self.get),
+            put: Arc::clone(&self.put),
+        }
     }
 }
 
@@ -34,8 +39,14 @@ impl<S, V> std::fmt::Debug for Lens<S, V> {
 
 impl<S: 'static, V: 'static> Lens<S, V> {
     /// Build a lens from its two components.
-    pub fn new(get: impl Fn(&S) -> V + 'static, put: impl Fn(S, V) -> S + 'static) -> Self {
-        Lens { get: Rc::new(get), put: Rc::new(put) }
+    pub fn new(
+        get: impl Fn(&S) -> V + Send + Sync + 'static,
+        put: impl Fn(S, V) -> S + Send + Sync + 'static,
+    ) -> Self {
+        Lens {
+            get: Arc::new(get),
+            put: Arc::new(put),
+        }
     }
 
     /// Extract the view from a source.
@@ -75,10 +86,13 @@ mod tests {
 
     /// Lens from a (name, age) pair onto the age.
     fn age_lens() -> Lens<(String, u32), u32> {
-        Lens::new(|s: &(String, u32)| s.1, |mut s, v| {
-            s.1 = v;
-            s
-        })
+        Lens::new(
+            |s: &(String, u32)| s.1,
+            |mut s, v| {
+                s.1 = v;
+                s
+            },
+        )
     }
 
     #[test]
@@ -105,15 +119,20 @@ mod tests {
     #[test]
     fn composition_threads_the_middle_view() {
         // (name, (age, score)) -> (age, score) -> score
-        let pair: Lens<(String, (u32, u32)), (u32, u32)> =
-            Lens::new(|s: &(String, (u32, u32))| s.1, |mut s, v| {
+        let pair: Lens<(String, (u32, u32)), (u32, u32)> = Lens::new(
+            |s: &(String, (u32, u32))| s.1,
+            |mut s, v| {
                 s.1 = v;
                 s
-            });
-        let second: Lens<(u32, u32), u32> = Lens::new(|s: &(u32, u32)| s.1, |mut s, v| {
-            s.1 = v;
-            s
-        });
+            },
+        );
+        let second: Lens<(u32, u32), u32> = Lens::new(
+            |s: &(u32, u32)| s.1,
+            |mut s, v| {
+                s.1 = v;
+                s
+            },
+        );
         let both = pair.then(second);
         let s = ("c".to_string(), (10, 20));
         assert_eq!(both.get(&s), 20);

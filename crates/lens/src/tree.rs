@@ -30,7 +30,9 @@ impl Tree {
 
     /// A tree from (name, subtree) pairs.
     pub fn node(children: impl IntoIterator<Item = (String, Tree)>) -> Tree {
-        Tree { children: children.into_iter().collect() }
+        Tree {
+            children: children.into_iter().collect(),
+        }
     }
 
     /// Encode a string value as the single-edge tree `{v -> {}}`.
@@ -115,7 +117,9 @@ impl Tree {
         for (k, v) in other.children {
             self.children.insert(k, v);
         }
-        Tree { children: self.children }
+        Tree {
+            children: self.children,
+        }
     }
 }
 
@@ -186,9 +190,9 @@ pub fn hoist(name: impl Into<String>) -> Lens<Tree, Tree> {
 ///
 /// Domain: very well-behaved provided written-back views only contain
 /// edges satisfying `p`.
-pub fn fork(pred: impl Fn(&str) -> bool + 'static) -> Lens<Tree, Tree> {
-    let pred = std::rc::Rc::new(pred);
-    let pred2 = std::rc::Rc::clone(&pred);
+pub fn fork(pred: impl Fn(&str) -> bool + Send + Sync + 'static) -> Lens<Tree, Tree> {
+    let pred = std::sync::Arc::new(pred);
+    let pred2 = std::sync::Arc::clone(&pred);
     Lens::new(
         move |s: &Tree| s.partition(|n| pred(n)).0,
         move |s: Tree, v: Tree| {
@@ -388,8 +392,14 @@ mod tests {
     fn map_children_drops_removed_edges_and_creates_new_ones() {
         let l = map_children(child("city"));
         let t = Tree::node([
-            ("a".to_string(), Tree::node([("city".to_string(), Tree::value("x"))])),
-            ("b".to_string(), Tree::node([("city".to_string(), Tree::value("y"))])),
+            (
+                "a".to_string(),
+                Tree::node([("city".to_string(), Tree::value("x"))]),
+            ),
+            (
+                "b".to_string(),
+                Tree::node([("city".to_string(), Tree::value("y"))]),
+            ),
         ]);
         // Remove "b", add "c".
         let v = Tree::node([

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use esm_lens::combinators::{cond, id, iso, map_vec, pair, fst, snd};
+use esm_lens::combinators::{cond, fst, id, iso, map_vec, pair, snd};
 use esm_lens::tree::{child, fork, hoist, map_children, plunge, rename_edge, Tree};
 use esm_lens::Lens;
 
@@ -25,9 +25,8 @@ fn arb_leafy(edges: &'static [&'static str]) -> impl Strategy<Value = Tree> {
 }
 
 fn arb_nested() -> impl Strategy<Value = Tree> {
-    (arb_leafy(&["city", "zip"]), arb_leafy(&["name", "age"])).prop_map(|(addr, person)| {
-        person.with_child("address", addr)
-    })
+    (arb_leafy(&["city", "zip"]), arb_leafy(&["name", "age"]))
+        .prop_map(|(addr, person)| person.with_child("address", addr))
 }
 
 proptest! {

@@ -25,7 +25,10 @@ pub struct Attribute {
 impl Attribute {
     /// Construct an attribute.
     pub fn new(name: impl Into<String>, ty: AttrType) -> Attribute {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -43,7 +46,10 @@ pub struct Association {
 impl Association {
     /// Construct an association.
     pub fn new(name: impl Into<String>, target: impl Into<String>) -> Association {
-        Association { name: name.into(), target: target.into() }
+        Association {
+            name: name.into(),
+            target: target.into(),
+        }
     }
 }
 
@@ -70,12 +76,22 @@ pub struct Class {
 impl Class {
     /// A concrete class with no associations.
     pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Class {
-        Class { name: name.into(), attributes, associations: Vec::new(), is_abstract: false }
+        Class {
+            name: name.into(),
+            attributes,
+            associations: Vec::new(),
+            is_abstract: false,
+        }
     }
 
     /// An abstract class.
     pub fn abstract_class(name: impl Into<String>, attributes: Vec<Attribute>) -> Class {
-        Class { name: name.into(), attributes, associations: Vec::new(), is_abstract: true }
+        Class {
+            name: name.into(),
+            attributes,
+            associations: Vec::new(),
+            is_abstract: true,
+        }
     }
 
     /// Add an association (builder style).
@@ -225,7 +241,10 @@ mod tests {
     #[test]
     fn attribute_lookup() {
         let m = model();
-        assert_eq!(m.class("Book").unwrap().attribute("pages").unwrap().ty, AttrType::Int);
+        assert_eq!(
+            m.class("Book").unwrap().attribute("pages").unwrap().ty,
+            AttrType::Int
+        );
         assert!(m.class("Book").unwrap().attribute("isbn").is_none());
     }
 

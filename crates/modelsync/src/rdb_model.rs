@@ -27,17 +27,29 @@ pub struct SqlColumn {
 impl SqlColumn {
     /// An `INTEGER` column.
     pub fn integer(name: impl Into<String>) -> SqlColumn {
-        SqlColumn { name: name.into(), ty: SqlType::Integer, width: None }
+        SqlColumn {
+            name: name.into(),
+            ty: SqlType::Integer,
+            width: None,
+        }
     }
 
     /// A `VARCHAR(width)` column.
     pub fn varchar(name: impl Into<String>, width: u32) -> SqlColumn {
-        SqlColumn { name: name.into(), ty: SqlType::Varchar, width: Some(width) }
+        SqlColumn {
+            name: name.into(),
+            ty: SqlType::Varchar,
+            width: Some(width),
+        }
     }
 
     /// A `BOOLEAN` column.
     pub fn boolean(name: impl Into<String>) -> SqlColumn {
-        SqlColumn { name: name.into(), ty: SqlType::Boolean, width: None }
+        SqlColumn {
+            name: name.into(),
+            ty: SqlType::Boolean,
+            width: None,
+        }
     }
 }
 
@@ -55,7 +67,11 @@ pub struct SqlTable {
 impl SqlTable {
     /// A table with the default engine.
     pub fn new(name: impl Into<String>, columns: Vec<SqlColumn>) -> SqlTable {
-        SqlTable { name: name.into(), columns, engine: "innodb".to_string() }
+        SqlTable {
+            name: name.into(),
+            columns,
+            engine: "innodb".to_string(),
+        }
     }
 
     /// Set the storage engine.
@@ -85,7 +101,9 @@ impl RdbSchema {
 
     /// Build a schema from tables (keyed by their names).
     pub fn from_tables(tables: impl IntoIterator<Item = SqlTable>) -> RdbSchema {
-        RdbSchema { tables: tables.into_iter().map(|t| (t.name.clone(), t)).collect() }
+        RdbSchema {
+            tables: tables.into_iter().map(|t| (t.name.clone(), t)).collect(),
+        }
     }
 
     /// Add or replace a table.
@@ -141,7 +159,10 @@ mod tests {
     fn schema() -> RdbSchema {
         RdbSchema::from_tables([SqlTable::new(
             "Book",
-            vec![SqlColumn::varchar("title", 255), SqlColumn::integer("pages")],
+            vec![
+                SqlColumn::varchar("title", 255),
+                SqlColumn::integer("pages"),
+            ],
         )
         .with_engine("myisam")])
     }

@@ -98,13 +98,19 @@ fn put_right(model: ClassModel, c: Complement) -> (RdbSchema, Complement) {
     let mut out = Complement::default();
     for class in model.classes.values() {
         if class.is_abstract {
-            out.abstract_classes.insert(class.name.clone(), class.clone());
+            out.abstract_classes
+                .insert(class.name.clone(), class.clone());
             continue;
         }
         let old = c.table_extras.get(&class.name);
-        let engine = old.map(|e| e.engine.clone()).unwrap_or_else(|| DEFAULT_ENGINE.to_string());
-        let mut columns: Vec<SqlColumn> =
-            class.attributes.iter().map(|a| attr_to_column(a, old)).collect();
+        let engine = old
+            .map(|e| e.engine.clone())
+            .unwrap_or_else(|| DEFAULT_ENGINE.to_string());
+        let mut columns: Vec<SqlColumn> = class
+            .attributes
+            .iter()
+            .map(|a| attr_to_column(a, old))
+            .collect();
         let mut targets = BTreeMap::new();
         for assoc in &class.associations {
             columns.push(SqlColumn::integer(&assoc.name));
@@ -114,7 +120,8 @@ fn put_right(model: ClassModel, c: Complement) -> (RdbSchema, Complement) {
             out.assoc_targets.insert(class.name.clone(), targets);
         }
         let table = SqlTable::new(&class.name, columns).with_engine(engine);
-        out.table_extras.insert(class.name.clone(), extras_of_table(&table));
+        out.table_extras
+            .insert(class.name.clone(), extras_of_table(&table));
         schema.upsert(table);
     }
     (schema, out)
@@ -149,7 +156,8 @@ fn put_left(schema: RdbSchema, c: Complement) -> (ClassModel, Complement) {
         if !used.is_empty() {
             out.assoc_targets.insert(table.name.clone(), used);
         }
-        out.table_extras.insert(table.name.clone(), extras_of_table(table));
+        out.table_extras
+            .insert(table.name.clone(), extras_of_table(table));
     }
     for (name, class) in &c.abstract_classes {
         // A concrete class/table with the same name wins; the stale
@@ -174,9 +182,7 @@ pub fn class_rdb_bx() -> SymBxOps<ClassModel, RdbSchema, Complement> {
 }
 
 /// Convenience: an ops-level session-ready put-bx state from a model.
-pub fn initial_state_from_model(
-    model: ClassModel,
-) -> (ClassModel, RdbSchema, Complement) {
+pub fn initial_state_from_model(model: ClassModel) -> (ClassModel, RdbSchema, Complement) {
     class_rdb_bx().initial_from_a(model)
 }
 
@@ -223,7 +229,10 @@ mod tests {
         assert!(schema.table("Media").is_none());
         let book = schema.table("Book").unwrap();
         assert_eq!(book.column("title").unwrap().ty, SqlType::Varchar);
-        assert_eq!(book.column("title").unwrap().width, Some(DEFAULT_VARCHAR_WIDTH));
+        assert_eq!(
+            book.column("title").unwrap().width,
+            Some(DEFAULT_VARCHAR_WIDTH)
+        );
         assert_eq!(book.column("pages").unwrap().ty, SqlType::Integer);
     }
 
@@ -255,7 +264,10 @@ mod tests {
         let (model2, c2) = l.putl(schema, c);
         // Modeller renames an attribute-free edit: add a class.
         let mut model3 = model2.clone();
-        model3.upsert(Class::new("Loan", vec![Attribute::new("due", AttrType::Str)]));
+        model3.upsert(Class::new(
+            "Loan",
+            vec![Attribute::new("due", AttrType::Str)],
+        ));
         let (schema3, _c3) = l.putr(model3, c2);
         let book3 = schema3.table("Book").unwrap();
         assert_eq!(book3.engine, "rocksdb");
@@ -297,7 +309,10 @@ mod tests {
     fn adding_a_class_adds_a_table() {
         let state = initial_state_from_model(library_model());
         let (state2, schema) = edit_model(state, |m| {
-            m.upsert(Class::new("Loan", vec![Attribute::new("book", AttrType::Int)]));
+            m.upsert(Class::new(
+                "Loan",
+                vec![Attribute::new("book", AttrType::Int)],
+            ));
         });
         assert!(schema.table("Loan").is_some());
         let bx = class_rdb_bx();
@@ -311,7 +326,10 @@ mod tests {
         let (schema, c) = l.putr(library_model_with_loans(), l.missing());
         let loan = schema.table("Loan").expect("Loan table exists");
         assert_eq!(loan.column("book").expect("fk column").ty, SqlType::Integer);
-        assert_eq!(loan.column("member").expect("fk column").ty, SqlType::Integer);
+        assert_eq!(
+            loan.column("member").expect("fk column").ty,
+            SqlType::Integer
+        );
         // The targets are model-private: recorded in the complement.
         assert_eq!(c.assoc_targets["Loan"]["book"], "Book");
         assert_eq!(c.assoc_targets["Loan"]["member"], "Member");
@@ -336,7 +354,10 @@ mod tests {
         use esm_symmetric::laws::check_sym_lens;
         let l = class_rdb_lens();
         let (_, schema1, c1) = l.settle_from_a(library_model_with_loans(), l.missing());
-        let models = [library_model_with_loans(), crate::scenarios::library_model()];
+        let models = [
+            library_model_with_loans(),
+            crate::scenarios::library_model(),
+        ];
         let schemas = [schema1, RdbSchema::new()];
         let complements = [Complement::default(), c1];
         assert!(check_sym_lens(&l, &models, &schemas, &complements).is_empty());
@@ -363,14 +384,10 @@ mod tests {
         // Complement claims "Book" is abstract, but the schema has a Book
         // table: the concrete side wins and the stale entry is purged.
         let mut c = Complement::default();
-        c.abstract_classes.insert(
-            "Book".to_string(),
-            Class::abstract_class("Book", vec![]),
-        );
-        let schema = RdbSchema::from_tables([SqlTable::new(
-            "Book",
-            vec![SqlColumn::integer("id")],
-        )]);
+        c.abstract_classes
+            .insert("Book".to_string(), Class::abstract_class("Book", vec![]));
+        let schema =
+            RdbSchema::from_tables([SqlTable::new("Book", vec![SqlColumn::integer("id")])]);
         let (model, c2) = l.putl(schema, c);
         assert!(!model.class("Book").unwrap().is_abstract);
         assert!(c2.abstract_classes.is_empty());

@@ -45,14 +45,20 @@ pub struct Cell<M: MonadFamily, X: ObsVal> {
 
 impl<M: MonadFamily, X: ObsVal> Clone for Cell<M, X> {
     fn clone(&self) -> Self {
-        Cell { get: self.get.clone(), set: std::rc::Rc::clone(&self.set) }
+        Cell {
+            get: self.get.clone(),
+            set: std::rc::Rc::clone(&self.set),
+        }
     }
 }
 
 impl<M: MonadFamily, X: ObsVal> Cell<M, X> {
     /// Package a get/set pair as a cell.
     pub fn new(get: M::Repr<X>, set: impl Fn(X) -> M::Repr<()> + 'static) -> Self {
-        Cell { get, set: std::rc::Rc::new(set) }
+        Cell {
+            get,
+            set: std::rc::Rc::new(set),
+        }
     }
 
     /// Invoke the cell's `set`.
@@ -63,7 +69,12 @@ impl<M: MonadFamily, X: ObsVal> Cell<M, X> {
 
 /// Check the four single-cell laws for one cell (the first half of the
 /// seven-equation theory).
-pub fn check_cell<M, X>(cell: &Cell<M, X>, sample_a: X, sample_b: X, ctx: &M::Ctx) -> Vec<LawViolation>
+pub fn check_cell<M, X>(
+    cell: &Cell<M, X>,
+    sample_a: X,
+    sample_b: X,
+    ctx: &M::Ctx,
+) -> Vec<LawViolation>
 where
     M: ObserveMonad + 'static,
     X: ObsVal,
@@ -149,7 +160,9 @@ where
 {
     let mut out = check_cell(cell_x, sample_x.0.clone(), sample_x.1, ctx);
     out.extend(check_cell(cell_y, sample_y.0.clone(), sample_y.1, ctx));
-    out.extend(check_commutation(cell_x, cell_y, sample_x.0, sample_y.0, ctx));
+    out.extend(check_commutation(
+        cell_x, cell_y, sample_x.0, sample_y.0, ctx,
+    ));
     out
 }
 
@@ -172,12 +185,10 @@ mod tests {
     /// Y its negation (a lens view). Both are lawful cells, but they share
     /// storage.
     fn entangled_cells() -> (Cell<StateOf<i64>, i64>, Cell<StateOf<i64>, i64>) {
-        let cell_x = Cell::<StateOf<i64>, i64>::new(gets(|s: &i64| *s), |x| {
-            State::new(move |_| ((), x))
-        });
-        let cell_y = Cell::<StateOf<i64>, i64>::new(gets(|s: &i64| -*s), |y| {
-            State::new(move |_| ((), -y))
-        });
+        let cell_x =
+            Cell::<StateOf<i64>, i64>::new(gets(|s: &i64| *s), |x| State::new(move |_| ((), x)));
+        let cell_y =
+            Cell::<StateOf<i64>, i64>::new(gets(|s: &i64| -*s), |y| State::new(move |_| ((), -y)));
         (cell_x, cell_y)
     }
 

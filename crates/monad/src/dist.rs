@@ -18,7 +18,9 @@ pub struct Dist<A> {
 impl<A: Val> Dist<A> {
     /// The point distribution on `a`.
     pub fn point(a: A) -> Self {
-        Dist { outcomes: vec![(a, 1.0)] }
+        Dist {
+            outcomes: vec![(a, 1.0)],
+        }
     }
 
     /// A distribution from explicit weighted outcomes. Weights must be
@@ -38,14 +40,19 @@ impl<A: Val> Dist<A> {
     /// The uniform distribution over `choices` (must be non-empty).
     pub fn uniform(choices: impl IntoIterator<Item = A>) -> Self {
         let outcomes: Vec<(A, f64)> = choices.into_iter().map(|a| (a, 1.0)).collect();
-        assert!(!outcomes.is_empty(), "uniform distribution needs at least one outcome");
+        assert!(
+            !outcomes.is_empty(),
+            "uniform distribution needs at least one outcome"
+        );
         Dist { outcomes }
     }
 
     /// A Bernoulli choice: `a` with probability `p`, else `b`.
     pub fn bernoulli(p: f64, a: A, b: A) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
-        Dist { outcomes: vec![(a, p), (b, 1.0 - p)] }
+        Dist {
+            outcomes: vec![(a, p), (b, 1.0 - p)],
+        }
     }
 
     /// Raw weighted outcomes, in insertion order, unnormalised.
@@ -129,7 +136,10 @@ impl ObserveMonad for DistOf {
     type Obs<A: ObsVal> = Vec<(A, i64)>;
 
     fn observe<A: ObsVal>(ma: &Dist<A>, _ctx: &()) -> Vec<(A, i64)> {
-        ma.normalized().into_iter().map(|(a, p)| (a, quantize(p))).collect()
+        ma.normalized()
+            .into_iter()
+            .map(|(a, p)| (a, quantize(p)))
+            .collect()
     }
 }
 

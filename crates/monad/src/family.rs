@@ -130,7 +130,9 @@ pub fn obs_eq<M: ObserveMonad, A: ObsVal>(
     if lo == ro {
         Ok(())
     } else {
-        Err(format!("observations differ:\n  lhs = {lo:?}\n  rhs = {ro:?}"))
+        Err(format!(
+            "observations differ:\n  lhs = {lo:?}\n  rhs = {ro:?}"
+        ))
     }
 }
 

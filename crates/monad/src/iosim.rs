@@ -54,7 +54,10 @@ impl<A> IoSim<A> {
 
     /// A computation that performs no I/O.
     pub fn silent(value: A) -> Self {
-        IoSim { value, trace: Vec::new() }
+        IoSim {
+            value,
+            trace: Vec::new(),
+        }
     }
 
     /// All strings printed by this computation, in order.
@@ -90,7 +93,10 @@ impl MonadFamily for IoSimOf {
         F: Fn(A) -> IoSim<B> + 'static,
     {
         let IoSim { value, mut trace } = ma;
-        let IoSim { value: b, trace: t2 } = f(value);
+        let IoSim {
+            value: b,
+            trace: t2,
+        } = f(value);
         trace.extend(t2);
         IoSim::new(b, trace)
     }
@@ -141,6 +147,9 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(IoEvent::Print("hi".into()).to_string(), "print \"hi\"");
-        assert_eq!(IoEvent::Effect("log".into(), "msg".into()).to_string(), "effect log: msg");
+        assert_eq!(
+            IoEvent::Effect("log".into(), "msg".into()).to_string(),
+            "effect log: msg"
+        );
     }
 }

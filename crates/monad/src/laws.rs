@@ -192,7 +192,13 @@ mod tests {
 
     #[test]
     fn identity_satisfies_monad_laws() {
-        let v = check_monad_laws::<IdentityOf, _, _, _, _, _>(3, 7, |x: i32| x + 1, |y: i32| y * 2, &());
+        let v = check_monad_laws::<IdentityOf, _, _, _, _, _>(
+            3,
+            7,
+            |x: i32| x + 1,
+            |y: i32| y * 2,
+            &(),
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -211,7 +217,13 @@ mod tests {
     #[test]
     fn result_satisfies_monad_laws() {
         type M = ResultOf<String>;
-        let f = |x: i32| if x > 0 { Ok(x + 1) } else { Err("neg".to_string()) };
+        let f = |x: i32| {
+            if x > 0 {
+                Ok(x + 1)
+            } else {
+                Err("neg".to_string())
+            }
+        };
         let g = |y: i32| Ok(y * 2);
         for ma in [Ok(5), Err("e".to_string())] {
             let v = check_monad_laws::<M, _, _, _, _, _>(5, ma, f, g, &());
@@ -250,7 +262,8 @@ mod tests {
     fn state_satisfies_monad_laws() {
         type M = StateOf<i64>;
         let ctx = vec![-5i64, 0, 3, 99];
-        let f = |x: i64| -> State<i64, i64> { M::bind(get(), move |s| M::seq(set(s + x), M::pure(s))) };
+        let f =
+            |x: i64| -> State<i64, i64> { M::bind(get(), move |s| M::seq(set(s + x), M::pure(s))) };
         let g = |y: i64| -> State<i64, i64> { M::map(get(), move |s| s * y) };
         let ma: State<i64, i64> = M::bind(get(), |s| M::seq(set(s * 2), M::pure(s + 1)));
         let v = check_monad_laws::<M, _, _, _, _, _>(7, ma, f, g, &ctx);
@@ -271,7 +284,11 @@ mod tests {
     fn statet_over_iosim_satisfies_monad_laws() {
         type M = StateTOf<i64, IoSimOf>;
         let ctx = (vec![0i64, 4, -2], ());
-        let f = |x: i64| M::bind(state_t_get(), move |s| M::seq(state_t_set(s + x), M::pure(s)));
+        let f = |x: i64| {
+            M::bind(state_t_get(), move |s| {
+                M::seq(state_t_set(s + x), M::pure(s))
+            })
+        };
         let g = |y: i64| M::seq(crate::statet::lift(print(format!("g{y}"))), M::pure(y * 2));
         let ma = M::seq(crate::statet::lift(print("m")), state_t_get());
         let v = check_monad_laws::<M, _, _, _, _, _>(7, ma, f, g, &ctx);
@@ -310,7 +327,10 @@ mod tests {
 
     #[test]
     fn law_violation_displays_nicely() {
-        let v = LawViolation { law: "(GS)", detail: "lhs != rhs".into() };
+        let v = LawViolation {
+            law: "(GS)",
+            detail: "lhs != rhs".into(),
+        };
         assert_eq!(v.to_string(), "law (GS) violated: lhs != rhs");
     }
 }

@@ -21,7 +21,10 @@ impl<E: Val> ResultOf<E> {
 
     /// Handle an exception with `handler`; successful computations pass
     /// through untouched.
-    pub fn catch<A: Val>(ma: Result<A, E>, handler: impl FnOnce(E) -> Result<A, E>) -> Result<A, E> {
+    pub fn catch<A: Val>(
+        ma: Result<A, E>,
+        handler: impl FnOnce(E) -> Result<A, E>,
+    ) -> Result<A, E> {
         match ma {
             Ok(a) => Ok(a),
             Err(e) => handler(e),

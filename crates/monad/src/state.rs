@@ -155,7 +155,9 @@ mod tests {
     fn law_gg_reading_twice_equals_reading_once() {
         // get >>= \s. get >>= \s'. k s s'   =   get >>= \s. k s s
         let k = |s: i64, s2: i64| M::pure((s, s2));
-        let lhs = M::bind(get::<i64>(), move |s| M::bind(get::<i64>(), move |s2| k(s, s2)));
+        let lhs = M::bind(get::<i64>(), move |s| {
+            M::bind(get::<i64>(), move |s2| k(s, s2))
+        });
         let rhs = M::bind(get::<i64>(), move |s| k(s, s));
         assert_eq!(obs(&lhs), obs(&rhs));
     }

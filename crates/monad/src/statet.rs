@@ -113,8 +113,9 @@ mod tests {
     #[test]
     fn over_identity_behaves_like_plain_state() {
         // s -> (s + 1, s + 1)
-        let ma: StateT<i64, IdentityOf, i64> =
-            Pure::bind(state_t_get(), |s| Pure::seq(state_t_set(s + 1), state_t_get()));
+        let ma: StateT<i64, IdentityOf, i64> = Pure::bind(state_t_get(), |s| {
+            Pure::seq(state_t_set(s + 1), state_t_get())
+        });
         assert_eq!(ma.run(41), (42, 42));
 
         // Compare against the plain state monad on the same program.

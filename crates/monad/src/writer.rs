@@ -85,7 +85,10 @@ impl<W: Monoid> MonadFamily for WriterOf<W> {
         F: Fn(A) -> Writer<W, B> + 'static,
     {
         let Writer { value, output } = ma;
-        let Writer { value: b, output: out2 } = f(value);
+        let Writer {
+            value: b,
+            output: out2,
+        } = f(value);
         Writer::new(b, output.combine(out2))
     }
 }
@@ -133,6 +136,7 @@ mod tests {
 
     #[test]
     fn unit_monoid_is_trivial() {
-        <() as Monoid>::empty().combine(());
+        let _: () = <() as Monoid>::empty();
+        ().combine(());
     }
 }

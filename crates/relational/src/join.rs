@@ -28,23 +28,37 @@ use esm_store::{StoreError, Table};
 pub fn join_dl_lens() -> Lens<(Table, Table), Table> {
     Lens::new(
         |s: &(Table, Table)| {
-            s.0.natural_join(&s.1).expect("join lens sources must be join-compatible")
+            s.0.natural_join(&s.1)
+                .expect("join lens sources must be join-compatible")
         },
         |s: (Table, Table), v: Table| {
             let (l, r) = s;
-            let cols_l: Vec<String> =
-                l.schema().column_names().into_iter().map(str::to_string).collect();
-            let cols_r: Vec<String> =
-                r.schema().column_names().into_iter().map(str::to_string).collect();
-            let l_rows = v.project(&cols_l).expect("view must contain the left columns");
+            let cols_l: Vec<String> = l
+                .schema()
+                .column_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            let cols_r: Vec<String> = r
+                .schema()
+                .column_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            let l_rows = v
+                .project(&cols_l)
+                .expect("view must contain the left columns");
             // Rebuild with the *source* schema: the projection's inferred
             // key metadata differs from the left table's declared key.
-            let l2 = Table::from_rows(l.schema().clone(), l_rows.to_rows())
+            let l2 = Table::from_rows(l.schema().clone(), l_rows.rows().cloned())
                 .expect("projected view rows fit the left schema");
-            let r_updates = v.project(&cols_r).expect("view must contain the right columns");
+            let r_updates = v
+                .project(&cols_r)
+                .expect("view must contain the right columns");
             let mut r2 = r;
             for row in r_updates.rows() {
-                r2.upsert(row.clone()).expect("projected view rows fit the right schema");
+                r2.upsert(row.clone())
+                    .expect("projected view rows fit the right schema");
             }
             (l2, r2)
         },
@@ -67,11 +81,15 @@ pub fn validate_join_sources(l: &Table, r: &Table) -> Result<(), StoreError> {
     }
     let l_shared = l.schema().indices_of(&shared)?;
     let r_shared = r.schema().indices_of(&shared)?;
+    // One pass to collect the right join keys, then O(log n) probes per
+    // left row instead of rescanning the right table for each.
+    let r_keys: std::collections::BTreeSet<Vec<&esm_store::Value>> = r
+        .rows()
+        .map(|rrow| r_shared.iter().map(|&i| &rrow[i]).collect())
+        .collect();
     for lrow in l.rows() {
-        let key: Vec<_> = l_shared.iter().map(|&i| lrow[i].clone()).collect();
-        let matched = r.rows().any(|rrow| {
-            r_shared.iter().zip(&key).all(|(&i, k)| &rrow[i] == k)
-        });
+        let key: Vec<_> = l_shared.iter().map(|&i| &lrow[i]).collect();
+        let matched = r_keys.contains(&key);
         if !matched {
             return Err(StoreError::BadQuery(format!(
                 "join lens: left row {lrow:?} has no right match (referential integrity)"
@@ -90,7 +108,11 @@ mod tests {
     fn orders(rows: Vec<Row>) -> Table {
         Table::from_rows(
             Schema::build(
-                &[("oid", ValueType::Int), ("pid", ValueType::Int), ("qty", ValueType::Int)],
+                &[
+                    ("oid", ValueType::Int),
+                    ("pid", ValueType::Int),
+                    ("qty", ValueType::Int),
+                ],
                 &["oid"],
             )
             .unwrap(),
@@ -101,7 +123,11 @@ mod tests {
 
     fn products(rows: Vec<Row>) -> Table {
         Table::from_rows(
-            Schema::build(&[("pid", ValueType::Int), ("pname", ValueType::Str)], &["pid"]).unwrap(),
+            Schema::build(
+                &[("pid", ValueType::Int), ("pname", ValueType::Str)],
+                &["pid"],
+            )
+            .unwrap(),
             rows,
         )
         .unwrap()
@@ -153,7 +179,10 @@ mod tests {
     fn put_propagates_edits_to_both_sides() {
         let l = join_dl_lens();
         // Rename widget and bump the order quantity through the view.
-        let v = joined(vec![row![100, 1, 5, "widget pro"], row![101, 2, 1, "gadget"]]);
+        let v = joined(vec![
+            row![100, 1, 5, "widget pro"],
+            row![101, 2, 1, "gadget"],
+        ]);
         let (l2, r2) = l.put(good_sources(), v);
         assert!(l2.contains(&row![100, 1, 5]));
         assert!(r2.contains(&row![1, "widget pro"]));

@@ -45,7 +45,10 @@ impl ViewDef {
         ViewDef::Project(
             Box::new(self),
             cols.iter().map(|c| c.to_string()).collect(),
-            defaults.iter().map(|(c, v)| (c.to_string(), v.clone())).collect(),
+            defaults
+                .iter()
+                .map(|(c, v)| (c.to_string(), v.clone()))
+                .collect(),
         )
     }
 
@@ -53,8 +56,43 @@ impl ViewDef {
     pub fn rename(self, renames: &[(&str, &str)]) -> ViewDef {
         ViewDef::Rename(
             Box::new(self),
-            renames.iter().map(|(o, n)| (o.to_string(), n.to_string())).collect(),
+            renames
+                .iter()
+                .map(|(o, n)| (o.to_string(), n.to_string()))
+                .collect(),
         )
+    }
+
+    /// Base-table columns that this view's select stages constrain with
+    /// index-servable comparisons (`col ⋈ literal` conjuncts), collected
+    /// only from stages that still see the base schema (i.e. before any
+    /// project/rename). A session can create secondary indexes on these
+    /// columns so reading the view seeks instead of scanning.
+    pub fn index_candidates(&self) -> Vec<String> {
+        // Returns whether `def`'s output schema is still the base schema.
+        fn collect(def: &ViewDef, out: &mut Vec<String>) -> bool {
+            match def {
+                ViewDef::Base => true,
+                ViewDef::Select(inner, pred) => {
+                    let over_base = collect(inner, out);
+                    if over_base {
+                        for col in pred.probeable_columns() {
+                            if !out.contains(&col) {
+                                out.push(col);
+                            }
+                        }
+                    }
+                    over_base
+                }
+                ViewDef::Project(inner, _, _) | ViewDef::Rename(inner, _) => {
+                    collect(inner, out);
+                    false
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(self, &mut out);
+        out
     }
 
     /// Compile to a lens, validating each stage against the schema it will
@@ -72,8 +110,10 @@ impl ViewDef {
                 let prefix = inner.compile(base)?;
                 let mid = prefix.get(base);
                 let cols_ref: Vec<&str> = cols.iter().map(String::as_str).collect();
-                let defaults_ref: Vec<(&str, Value)> =
-                    defaults.iter().map(|(c, v)| (c.as_str(), v.clone())).collect();
+                let defaults_ref: Vec<(&str, Value)> = defaults
+                    .iter()
+                    .map(|(c, v)| (c.as_str(), v.clone()))
+                    .collect();
                 let l = project_lens_checked(&mid, &cols_ref, &defaults_ref)?;
                 Ok(prefix.then(l))
             }
@@ -83,8 +123,10 @@ impl ViewDef {
                 for (old, _) in renames {
                     mid.schema().index_of(old)?;
                 }
-                let renames_ref: Vec<(&str, &str)> =
-                    renames.iter().map(|(o, n)| (o.as_str(), n.as_str())).collect();
+                let renames_ref: Vec<(&str, &str)> = renames
+                    .iter()
+                    .map(|(o, n)| (o.as_str(), n.as_str()))
+                    .collect();
                 Ok(prefix.then(rename_lens(&renames_ref)))
             }
         }
@@ -120,8 +162,17 @@ mod tests {
     #[test]
     fn multi_stage_view_compiles_and_roundtrips() {
         let def = ViewDef::base()
-            .select(Predicate::eq(Operand::col("dept"), Operand::val("research")))
-            .project(&["eid", "name"], &[("dept", Value::str("research")), ("salary", Value::Int(50_000))])
+            .select(Predicate::eq(
+                Operand::col("dept"),
+                Operand::val("research"),
+            ))
+            .project(
+                &["eid", "name"],
+                &[
+                    ("dept", Value::str("research")),
+                    ("salary", Value::Int(50_000)),
+                ],
+            )
             .rename(&[("name", "researcher")]);
         let base = employees();
         let lens = def.compile(&base).unwrap();
@@ -158,6 +209,30 @@ mod tests {
     fn project_must_keep_the_key() {
         let def = ViewDef::base().project(&["name"], &[]);
         assert!(def.compile(&employees()).is_err());
+    }
+
+    #[test]
+    fn index_candidates_stop_at_schema_changes() {
+        let over_base = ViewDef::base()
+            .select(Predicate::eq(
+                Operand::col("dept"),
+                Operand::val("research"),
+            ))
+            .select(
+                Predicate::ge(Operand::col("salary"), Operand::val(1))
+                    .and(Predicate::ne(Operand::col("name"), Operand::val("x"))),
+            );
+        // dept and salary are probe-able; `ne` never is.
+        assert_eq!(over_base.index_candidates(), vec!["dept", "salary"]);
+
+        // After a rename the select no longer sees the base schema.
+        let after_rename = ViewDef::base()
+            .rename(&[("dept", "team")])
+            .select(Predicate::eq(
+                Operand::col("team"),
+                Operand::val("research"),
+            ));
+        assert!(after_rename.index_candidates().is_empty());
     }
 
     #[test]

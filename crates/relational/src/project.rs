@@ -28,8 +28,10 @@ use esm_store::{Row, StoreError, Table, Value};
 ///   relational-lens caveat, demonstrated in tests.
 pub fn project_lens(cols: &[&str], defaults: &[(&str, Value)]) -> Lens<Table, Table> {
     let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
-    let defaults: BTreeMap<String, Value> =
-        defaults.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+    let defaults: BTreeMap<String, Value> = defaults
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
     let cols_get = cols.clone();
     Lens::new(
         move |s: &Table| s.project(&cols_get).expect("projection columns must exist"),
@@ -98,7 +100,10 @@ fn put_project(
 
     let mut out = Table::new(src_schema.clone());
     for vrow in v.rows() {
-        let key: Row = key_view_positions.iter().map(|&i| vrow[i].clone()).collect();
+        let key: Row = key_view_positions
+            .iter()
+            .map(|&i| vrow[i].clone())
+            .collect();
         let existing = s.get_by_key(&key);
         let mut row: Row = Vec::with_capacity(src_schema.arity());
         for (i, vpos) in &plan {
@@ -124,7 +129,11 @@ fn put_project(
 
 /// Drop a single column (project onto everything else), with a default for
 /// re-created rows. The dropped column must not be part of the key.
-pub fn drop_lens(source: &Table, col: &str, default: Value) -> Result<Lens<Table, Table>, StoreError> {
+pub fn drop_lens(
+    source: &Table,
+    col: &str,
+    default: Value,
+) -> Result<Lens<Table, Table>, StoreError> {
     let keep: Vec<String> = source
         .schema()
         .column_names()
@@ -147,7 +156,11 @@ mod tests {
 
     fn people(rows: Vec<Row>) -> Table {
         let schema = Schema::build(
-            &[("id", ValueType::Int), ("name", ValueType::Str), ("salary", ValueType::Int)],
+            &[
+                ("id", ValueType::Int),
+                ("name", ValueType::Str),
+                ("salary", ValueType::Int),
+            ],
             &["id"],
         )
         .unwrap();
@@ -200,7 +213,11 @@ mod tests {
             people(vec![row![1, "ada", 90_000], row![2, "alan", 80_000]]),
             people(vec![]),
         ];
-        let views = [view(vec![row![1, "x"]]), view(vec![]), view(vec![row![3, "y"]])];
+        let views = [
+            view(vec![row![1, "x"]]),
+            view(vec![]),
+            view(vec![row![3, "y"]]),
+        ];
         assert!(check_well_behaved(&l, &sources, &views).is_empty());
     }
 

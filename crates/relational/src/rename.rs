@@ -7,12 +7,20 @@ use esm_store::Table;
 /// tables, hence very well-behaved wherever the names exist and don't
 /// collide.
 pub fn rename_lens(renames: &[(&str, &str)]) -> Lens<Table, Table> {
-    let fwd: Vec<(String, String)> =
-        renames.iter().map(|(o, n)| (o.to_string(), n.to_string())).collect();
+    let fwd: Vec<(String, String)> = renames
+        .iter()
+        .map(|(o, n)| (o.to_string(), n.to_string()))
+        .collect();
     let bwd: Vec<(String, String)> = fwd.iter().map(|(o, n)| (n.clone(), o.clone())).collect();
     Lens::new(
-        move |s: &Table| s.rename(&fwd).expect("rename lens: source columns must exist"),
-        move |_s: Table, v: Table| v.rename(&bwd).expect("rename lens: view columns must exist"),
+        move |s: &Table| {
+            s.rename(&fwd)
+                .expect("rename lens: source columns must exist")
+        },
+        move |_s: Table, v: Table| {
+            v.rename(&bwd)
+                .expect("rename lens: view columns must exist")
+        },
     )
 }
 
@@ -42,7 +50,9 @@ mod tests {
     #[test]
     fn rename_lens_is_vwb() {
         let l = rename_lens(&[("nm", "name")]);
-        let views = [t().rename(&[("nm".to_string(), "name".to_string())]).unwrap()];
+        let views = [t()
+            .rename(&[("nm".to_string(), "name".to_string())])
+            .unwrap()];
         assert!(check_very_well_behaved(&l, &[t()], &views).is_empty());
     }
 }

@@ -23,15 +23,21 @@ use esm_store::{Predicate, StoreError, Table};
 pub fn select_lens(p: Predicate) -> Lens<Table, Table> {
     let p_get = p.clone();
     Lens::new(
-        move |s: &Table| s.select(&p_get).expect("select lens predicate must fit the schema"),
+        move |s: &Table| {
+            s.select(&p_get)
+                .expect("select lens predicate must fit the schema")
+        },
         move |s: Table, v: Table| {
-            let visible = s.select(&p).expect("select lens predicate must fit the schema");
+            let visible = s
+                .select(&p)
+                .expect("select lens predicate must fit the schema");
             let mut out = s;
             for row in visible.rows() {
                 out.delete(row);
             }
             for row in v.rows() {
-                out.upsert(row.clone()).expect("view rows must fit the source schema");
+                out.upsert(row.clone())
+                    .expect("view rows must fit the source schema");
             }
             out
         },
@@ -59,7 +65,11 @@ mod tests {
 
     fn people(rows: Vec<Vec<Value>>) -> Table {
         let schema = Schema::build(
-            &[("id", ValueType::Int), ("name", ValueType::Str), ("age", ValueType::Int)],
+            &[
+                ("id", ValueType::Int),
+                ("name", ValueType::Str),
+                ("age", ValueType::Int),
+            ],
             &["id"],
         )
         .unwrap();

@@ -24,17 +24,31 @@ pub struct RelationalSession {
 impl RelationalSession {
     /// Start a session over a base table.
     pub fn new(base: Table) -> RelationalSession {
-        RelationalSession { base, views: BTreeMap::new() }
+        RelationalSession {
+            base,
+            views: BTreeMap::new(),
+        }
     }
 
     /// Compile and register a named view. Fails if the definition does not
     /// type-check against the base schema or the name is taken.
-    pub fn define_view(&mut self, name: impl Into<String>, def: &ViewDef) -> Result<(), StoreError> {
+    ///
+    /// Columns the view's select stages constrain over the base schema get
+    /// secondary indexes on the base table, so reading the view seeks
+    /// instead of scanning (see [`ViewDef::index_candidates`]).
+    pub fn define_view(
+        &mut self,
+        name: impl Into<String>,
+        def: &ViewDef,
+    ) -> Result<(), StoreError> {
         let name = name.into();
         if self.views.contains_key(&name) {
             return Err(StoreError::BadQuery(format!("view {name} already defined")));
         }
         let lens = def.compile(&self.base)?;
+        for col in def.index_candidates() {
+            self.base.create_index(&col)?;
+        }
         self.views.insert(name, lens);
         Ok(())
     }
@@ -56,17 +70,28 @@ impl RelationalSession {
 
     /// Read a view by name (the lens `get`).
     pub fn read_view(&self, name: &str) -> Result<Table, StoreError> {
-        let lens = self.views.get(name).ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        let lens = self
+            .views
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
         Ok(lens.get(&self.base))
     }
 
     /// Write an edited view back by name (the lens `put`), returning the
     /// delta applied to the base table.
     pub fn write_view(&mut self, name: &str, view: Table) -> Result<Delta, StoreError> {
-        let lens = self.views.get(name).ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        let lens = self
+            .views
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
         let new_base = lens.put(self.base.clone(), view);
         let delta = Delta::between(&self.base, &new_base)?;
-        self.base = new_base;
+        // Publish by applying the delta to the current base rather than
+        // swapping in the lens output: apply clones the base (secondary
+        // indexes included) and maintains them incrementally, so puts
+        // that rebuild their table from scratch don't cost a full
+        // re-index.
+        self.base = delta.apply(&self.base)?;
         Ok(delta)
     }
 
@@ -112,15 +137,20 @@ mod tests {
         let mut s = RelationalSession::new(employees());
         s.define_view(
             "research",
-            &ViewDef::base()
-                .select(Predicate::eq(Operand::col("dept"), Operand::val("research"))),
+            &ViewDef::base().select(Predicate::eq(
+                Operand::col("dept"),
+                Operand::val("research"),
+            )),
         )
         .expect("compiles");
         s.define_view(
             "directory",
             &ViewDef::base().project(
                 &["eid", "name"],
-                &[("dept", Value::str("unknown")), ("salary", Value::Int(50_000))],
+                &[
+                    ("dept", Value::str("unknown")),
+                    ("salary", Value::Int(50_000)),
+                ],
             ),
         )
         .expect("compiles");
@@ -140,10 +170,12 @@ mod tests {
     fn writes_through_one_view_are_visible_through_others() {
         let mut s = session_with_views();
         let delta = s
-            .edit_view("research", |v| v.upsert(row![3, "hopper", "research", 95_000]).map(|_| ()))
+            .edit_view("research", |v| {
+                v.upsert(row![3, "hopper", "research", 95_000]).map(|_| ())
+            })
             .expect("edit applies");
         assert_eq!(delta.len(), 2); // one replace = delete + insert
-        // The rename shows up in the directory view.
+                                    // The rename shows up in the directory view.
         let dir = s.read_view("directory").expect("defined");
         assert!(dir.contains(&row![3, "hopper"]));
     }
@@ -151,9 +183,13 @@ mod tests {
     #[test]
     fn directory_edits_preserve_hidden_salary() {
         let mut s = session_with_views();
-        s.edit_view("directory", |v| v.upsert(row![1, "ada lovelace"]).map(|_| ()))
-            .expect("edit applies");
-        assert!(s.base().contains(&row![1, "ada lovelace", "research", 90_000]));
+        s.edit_view("directory", |v| {
+            v.upsert(row![1, "ada lovelace"]).map(|_| ())
+        })
+        .expect("edit applies");
+        assert!(s
+            .base()
+            .contains(&row![1, "ada lovelace", "research", 90_000]));
     }
 
     #[test]
@@ -163,6 +199,21 @@ mod tests {
         assert!(err.is_err());
         assert!(s.drop_view("research"));
         assert!(s.define_view("research", &ViewDef::base()).is_ok());
+    }
+
+    #[test]
+    fn select_views_auto_index_their_predicate_columns() {
+        let s = session_with_views();
+        // Defining the "research" select view indexed its `dept` column.
+        assert_eq!(s.base().indexed_columns(), vec!["dept"]);
+        // The index survives a write through the view and stays correct.
+        let mut s = s;
+        s.edit_view("research", |v| {
+            v.upsert(row![7, "barbara", "research", 70_000]).map(|_| ())
+        })
+        .expect("edit applies");
+        assert_eq!(s.base().indexed_columns(), vec!["dept"]);
+        assert_eq!(s.read_view("research").expect("defined").len(), 3);
     }
 
     #[test]

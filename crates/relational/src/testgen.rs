@@ -17,7 +17,11 @@ use esm_store::{Row, Schema, Table, Value, ValueType};
 /// `(*id: int, name: str, age: int)`.
 pub fn people_schema() -> Schema {
     Schema::build(
-        &[("id", ValueType::Int), ("name", ValueType::Str), ("age", ValueType::Int)],
+        &[
+            ("id", ValueType::Int),
+            ("name", ValueType::Str),
+            ("age", ValueType::Int),
+        ],
         &["id"],
     )
     .expect("static schema is valid")
@@ -62,7 +66,11 @@ pub fn gen_adults_view(seed: u64, n: usize, min_age: i64) -> Table {
 /// The schemas used by generated order/product pairs for the join lens.
 pub fn orders_schema() -> Schema {
     Schema::build(
-        &[("oid", ValueType::Int), ("pid", ValueType::Int), ("qty", ValueType::Int)],
+        &[
+            ("oid", ValueType::Int),
+            ("pid", ValueType::Int),
+            ("qty", ValueType::Int),
+        ],
         &["oid"],
     )
     .expect("static schema is valid")
@@ -70,8 +78,11 @@ pub fn orders_schema() -> Schema {
 
 /// Schema of the products side of the generated join pair.
 pub fn products_schema() -> Schema {
-    Schema::build(&[("pid", ValueType::Int), ("pname", ValueType::Str)], &["pid"])
-        .expect("static schema is valid")
+    Schema::build(
+        &[("pid", ValueType::Int), ("pname", ValueType::Str)],
+        &["pid"],
+    )
+    .expect("static schema is valid")
 }
 
 /// Generate a referentially-intact (orders, products) pair: `n_orders`

@@ -27,8 +27,12 @@ fn quote(field: &str) -> String {
 /// Serialise a table to CSV, header first, rows in key order.
 pub fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let header: Vec<String> =
-        table.schema().column_names().iter().map(|n| quote(n)).collect();
+    let header: Vec<String> = table
+        .schema()
+        .column_names()
+        .iter()
+        .map(|n| quote(n))
+        .collect();
     out.push_str(&header.join(","));
     for row in table.rows() {
         out.push('\n');
@@ -67,7 +71,9 @@ fn split_record(line: &str) -> Result<Vec<String>, StoreError> {
         }
     }
     if in_quotes {
-        return Err(StoreError::BadQuery(format!("unterminated quote in record: {line}")));
+        return Err(StoreError::BadQuery(format!(
+            "unterminated quote in record: {line}"
+        )));
     }
     fields.push(cur);
     Ok(fields)
@@ -75,9 +81,15 @@ fn split_record(line: &str) -> Result<Vec<String>, StoreError> {
 
 fn parse_cell(text: &str, ty: ValueType, column: &str) -> Result<Value, StoreError> {
     match ty {
-        ValueType::Int => text.parse::<i64>().map(Value::Int).map_err(|_| {
-            StoreError::TypeMismatch { column: column.to_string(), expected: ty, got: ValueType::Str }
-        }),
+        ValueType::Int => {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| StoreError::TypeMismatch {
+                    column: column.to_string(),
+                    expected: ty,
+                    got: ValueType::Str,
+                })
+        }
         ValueType::Bool => match text {
             "true" => Ok(Value::Bool(true)),
             "false" => Ok(Value::Bool(false)),
@@ -99,8 +111,11 @@ pub fn from_csv(schema: Schema, text: &str) -> Result<Table, StoreError> {
         .next()
         .ok_or_else(|| StoreError::BadQuery("empty CSV input".to_string()))?;
     let header_fields = split_record(header)?;
-    let expected: Vec<String> =
-        schema.column_names().iter().map(|s| s.to_string()).collect();
+    let expected: Vec<String> = schema
+        .column_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     if header_fields != expected {
         return Err(StoreError::SchemaMismatch(format!(
             "CSV header {header_fields:?} does not match schema columns {expected:?}"
@@ -113,7 +128,10 @@ pub fn from_csv(schema: Schema, text: &str) -> Result<Table, StoreError> {
         }
         let fields = split_record(line)?;
         if fields.len() != table.schema().arity() {
-            return Err(StoreError::Arity { expected: table.schema().arity(), got: fields.len() });
+            return Err(StoreError::Arity {
+                expected: table.schema().arity(),
+                got: fields.len(),
+            });
         }
         let row: Row = fields
             .iter()
@@ -132,7 +150,11 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::build(
-            &[("id", ValueType::Int), ("name", ValueType::Str), ("active", ValueType::Bool)],
+            &[
+                ("id", ValueType::Int),
+                ("name", ValueType::Str),
+                ("active", ValueType::Bool),
+            ],
             &["id"],
         )
         .expect("valid")
@@ -141,7 +163,11 @@ mod tests {
     fn sample() -> Table {
         Table::from_rows(
             schema(),
-            vec![row![1, "ada", true], row![2, "alan, the 2nd", false], row![3, "say \"hi\"", true]],
+            vec![
+                row![1, "ada", true],
+                row![2, "alan, the 2nd", false],
+                row![3, "say \"hi\"", true],
+            ],
         )
         .expect("valid")
     }
@@ -165,21 +191,33 @@ mod tests {
     #[test]
     fn header_mismatch_is_rejected() {
         let csv = "id,wrong,active\n1,a,true";
-        assert!(matches!(from_csv(schema(), csv), Err(StoreError::SchemaMismatch(_))));
+        assert!(matches!(
+            from_csv(schema(), csv),
+            Err(StoreError::SchemaMismatch(_))
+        ));
     }
 
     #[test]
     fn bad_cells_are_type_errors() {
         let csv = "id,name,active\nnot_a_number,a,true";
-        assert!(matches!(from_csv(schema(), csv), Err(StoreError::TypeMismatch { .. })));
+        assert!(matches!(
+            from_csv(schema(), csv),
+            Err(StoreError::TypeMismatch { .. })
+        ));
         let csv2 = "id,name,active\n1,a,maybe";
-        assert!(matches!(from_csv(schema(), csv2), Err(StoreError::TypeMismatch { .. })));
+        assert!(matches!(
+            from_csv(schema(), csv2),
+            Err(StoreError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
     fn arity_errors_are_reported() {
         let csv = "id,name,active\n1,a";
-        assert!(matches!(from_csv(schema(), csv), Err(StoreError::Arity { .. })));
+        assert!(matches!(
+            from_csv(schema(), csv),
+            Err(StoreError::Arity { .. })
+        ));
     }
 
     #[test]
@@ -199,6 +237,9 @@ mod tests {
     #[test]
     fn key_violations_surface_on_import() {
         let csv = "id,name,active\n1,a,true\n1,b,false";
-        assert!(matches!(from_csv(schema(), csv), Err(StoreError::KeyViolation(_))));
+        assert!(matches!(
+            from_csv(schema(), csv),
+            Err(StoreError::KeyViolation(_))
+        ));
     }
 }

@@ -23,10 +23,16 @@ impl Database {
 
     /// Create a table under a fresh name. Re-using a name is an error (use
     /// [`Database::replace_table`] to overwrite).
-    pub fn create_table(&mut self, name: impl Into<String>, table: Table) -> Result<(), StoreError> {
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        table: Table,
+    ) -> Result<(), StoreError> {
         let name = name.into();
         if self.tables.contains_key(&name) {
-            return Err(StoreError::BadSchema(format!("table {name} already exists")));
+            return Err(StoreError::BadSchema(format!(
+                "table {name} already exists"
+            )));
         }
         self.tables.insert(name, table);
         Ok(())
@@ -44,12 +50,16 @@ impl Database {
 
     /// Read a table.
     pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
-        self.tables.get(name).ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
     }
 
     /// Mutable access to a table.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
-        self.tables.get_mut(name).ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
     }
 
     /// Table names, sorted.

@@ -41,10 +41,20 @@ impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::Arity { expected, got } => {
-                write!(f, "arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
-            StoreError::TypeMismatch { column, expected, got } => {
-                write!(f, "type mismatch in column {column}: expected {expected}, got {got}")
+            StoreError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in column {column}: expected {expected}, got {got}"
+                )
             }
             StoreError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
             StoreError::NoSuchTable(t) => write!(f, "no such table: {t}"),
@@ -69,7 +79,13 @@ mod tests {
             expected: ValueType::Int,
             got: ValueType::Str,
         };
-        assert_eq!(e.to_string(), "type mismatch in column age: expected int, got str");
-        assert_eq!(StoreError::NoSuchTable("t".into()).to_string(), "no such table: t");
+        assert_eq!(
+            e.to_string(),
+            "type mismatch in column age: expected int, got str"
+        );
+        assert_eq!(
+            StoreError::NoSuchTable("t".into()).to_string(),
+            "no such table: t"
+        );
     }
 }

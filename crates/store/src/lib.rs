@@ -4,8 +4,9 @@
 //! files, abstract syntax trees, code". This crate supplies the database
 //! tables: typed schemas with candidate keys, set-semantics tables,
 //! a predicate language, relational algebra (select / project / join /
-//! union / difference / rename), row-level deltas, and multi-table
-//! databases with snapshots.
+//! union / difference / rename), row-level deltas, secondary B-tree
+//! indexes ([`index`]) turning predicate scans into seeks, and
+//! multi-table databases with snapshots.
 //!
 //! `esm-relational` builds *relational lenses* on top of this substrate,
 //! turning select/project/join view definitions into entangled state
@@ -24,6 +25,7 @@ pub mod csv;
 pub mod database;
 pub mod delta;
 pub mod error;
+pub mod index;
 pub mod predicate;
 pub mod query;
 pub mod row;
@@ -35,6 +37,7 @@ pub use csv::{from_csv, to_csv};
 pub use database::Database;
 pub use delta::Delta;
 pub use error::StoreError;
+pub use index::{ColumnIndex, IndexProbe};
 pub use predicate::{Operand, Predicate};
 pub use query::Query;
 pub use row::Row;

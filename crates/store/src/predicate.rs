@@ -132,6 +132,126 @@ impl Predicate {
         }
     }
 
+    /// Extract the narrowest single-column constraint a secondary index on
+    /// one of `indexed` columns could serve.
+    ///
+    /// Walks the top-level conjunction (`And` spine) looking for leaves of
+    /// the form `col ⋈ literal` (or `literal ⋈ col`, flipped). Equality
+    /// probes are preferred over range probes since they touch the fewest
+    /// index entries. `Or`/`Not` sub-trees are never descended into — a
+    /// probe must be implied by the whole predicate — and the caller still
+    /// evaluates the full predicate on every candidate row, so the probe
+    /// only narrows the scan.
+    pub fn index_probe(&self, indexed: &[&str]) -> Option<crate::index::IndexProbe> {
+        use crate::index::IndexProbe;
+        use std::ops::Bound;
+
+        fn leaf_probe(p: &Predicate, indexed: &[&str]) -> Option<IndexProbe> {
+            let Predicate::Compare(op, l, r) = p else {
+                return None;
+            };
+            let (op, col, v) = match (l, r) {
+                (Operand::Col(c), Operand::Const(v)) => (*op, c, v),
+                (Operand::Const(v), Operand::Col(c)) => {
+                    // Flip `literal ⋈ col` into `col ⋈' literal`.
+                    let flipped = match op {
+                        Cmp::Lt => Cmp::Gt,
+                        Cmp::Le => Cmp::Ge,
+                        Cmp::Gt => Cmp::Lt,
+                        Cmp::Ge => Cmp::Le,
+                        other => *other,
+                    };
+                    (flipped, c, v)
+                }
+                _ => return None,
+            };
+            if !indexed.contains(&col.as_str()) {
+                return None;
+            }
+            match op {
+                Cmp::Eq => Some(IndexProbe::eq(col, v.clone())),
+                Cmp::Lt => Some(IndexProbe::range(
+                    col,
+                    Bound::Unbounded,
+                    Bound::Excluded(v.clone()),
+                )),
+                Cmp::Le => Some(IndexProbe::range(
+                    col,
+                    Bound::Unbounded,
+                    Bound::Included(v.clone()),
+                )),
+                Cmp::Gt => Some(IndexProbe::range(
+                    col,
+                    Bound::Excluded(v.clone()),
+                    Bound::Unbounded,
+                )),
+                Cmp::Ge => Some(IndexProbe::range(
+                    col,
+                    Bound::Included(v.clone()),
+                    Bound::Unbounded,
+                )),
+                Cmp::Ne => None,
+            }
+        }
+
+        fn walk(p: &Predicate, indexed: &[&str], best: &mut Option<crate::index::IndexProbe>) {
+            match p {
+                Predicate::And(l, r) => {
+                    walk(l, indexed, best);
+                    walk(r, indexed, best);
+                }
+                leaf => {
+                    if let Some(probe) = leaf_probe(leaf, indexed) {
+                        let better = match best {
+                            None => true,
+                            Some(b) => probe.is_eq() && !b.is_eq(),
+                        };
+                        if better {
+                            *best = Some(probe);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut best = None;
+        walk(self, indexed, &mut best);
+        best
+    }
+
+    /// The columns an index could serve for this predicate: every column
+    /// that [`Predicate::index_probe`] would consider, regardless of what
+    /// is currently indexed. Sessions use this to decide which secondary
+    /// indexes to create; keeping it next to `index_probe` keeps the two
+    /// walks in agreement.
+    pub fn probeable_columns(&self) -> Vec<String> {
+        fn walk(p: &Predicate, out: &mut Vec<String>) {
+            match p {
+                Predicate::And(l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+                leaf => {
+                    // A column is probe-able iff `index_probe` would
+                    // accept the leaf with that column indexed.
+                    if let Predicate::Compare(_, l, r) = leaf {
+                        let col = match (l, r) {
+                            (Operand::Col(c), Operand::Const(_))
+                            | (Operand::Const(_), Operand::Col(c)) => c,
+                            _ => return,
+                        };
+                        if leaf.index_probe(&[col.as_str()]).is_some() && !out.contains(col) {
+                            out.push(col.clone());
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// Evaluate against one row.
     ///
     /// Comparing values of different runtime types is a
@@ -208,9 +328,15 @@ mod tests {
     fn comparisons_work_per_type() {
         let s = schema();
         let r = row![5, "ada"];
-        assert!(Predicate::gt(Operand::col("id"), Operand::val(3)).eval(&s, &r).unwrap());
-        assert!(Predicate::eq(Operand::col("name"), Operand::val("ada")).eval(&s, &r).unwrap());
-        assert!(!Predicate::lt(Operand::col("id"), Operand::val(5)).eval(&s, &r).unwrap());
+        assert!(Predicate::gt(Operand::col("id"), Operand::val(3))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::eq(Operand::col("name"), Operand::val("ada"))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::lt(Operand::col("id"), Operand::val(5))
+            .eval(&s, &r)
+            .unwrap());
     }
 
     #[test]

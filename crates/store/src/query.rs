@@ -52,7 +52,10 @@ impl Query {
     pub fn rename(self, renames: &[(&str, &str)]) -> Query {
         Query::Rename(
             Box::new(self),
-            renames.iter().map(|(o, n)| (o.to_string(), n.to_string())).collect(),
+            renames
+                .iter()
+                .map(|(o, n)| (o.to_string(), n.to_string()))
+                .collect(),
         )
     }
 
@@ -106,11 +109,19 @@ mod tests {
             "emp",
             Table::from_rows(
                 Schema::build(
-                    &[("eid", ValueType::Int), ("name", ValueType::Str), ("dept", ValueType::Int)],
+                    &[
+                        ("eid", ValueType::Int),
+                        ("name", ValueType::Str),
+                        ("dept", ValueType::Int),
+                    ],
                     &["eid"],
                 )
                 .unwrap(),
-                vec![row![1, "ada", 10], row![2, "alan", 20], row![3, "grace", 10]],
+                vec![
+                    row![1, "ada", 10],
+                    row![2, "alan", 20],
+                    row![3, "grace", 10],
+                ],
             )
             .unwrap(),
         )
@@ -118,8 +129,11 @@ mod tests {
         db.create_table(
             "dept",
             Table::from_rows(
-                Schema::build(&[("dept", ValueType::Int), ("dname", ValueType::Str)], &["dept"])
-                    .unwrap(),
+                Schema::build(
+                    &[("dept", ValueType::Int), ("dname", ValueType::Str)],
+                    &["dept"],
+                )
+                .unwrap(),
                 vec![row![10, "research"], row![20, "ops"]],
             )
             .unwrap(),
@@ -140,7 +154,9 @@ mod tests {
 
     #[test]
     fn join_combines_tables() {
-        let q = Query::scan("emp").join(Query::scan("dept")).project(&["name", "dname"]);
+        let q = Query::scan("emp")
+            .join(Query::scan("dept"))
+            .project(&["name", "dname"]);
         let t = q.eval(&db()).unwrap();
         assert_eq!(t.len(), 3);
         assert!(t.rows().any(|r| r == &row!["grace", "research"]));

@@ -32,7 +32,10 @@ mod tests {
     #[test]
     fn projection_selects_and_reorders() {
         let r: Row = row![10, "x", false];
-        assert_eq!(project_row(&r, &[2, 0]), vec![Value::Bool(false), Value::Int(10)]);
+        assert_eq!(
+            project_row(&r, &[2, 0]),
+            vec![Value::Bool(false), Value::Int(10)]
+        );
         assert_eq!(project_row(&r, &[]), Vec::<Value>::new());
     }
 }

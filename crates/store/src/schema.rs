@@ -16,7 +16,10 @@ pub struct Column {
 impl Column {
     /// Construct a column.
     pub fn new(name: impl Into<String>, ty: ValueType) -> Column {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -41,13 +44,18 @@ impl Schema {
         let mut seen = std::collections::BTreeSet::new();
         for c in &columns {
             if !seen.insert(&c.name) {
-                return Err(StoreError::BadSchema(format!("duplicate column {}", c.name)));
+                return Err(StoreError::BadSchema(format!(
+                    "duplicate column {}",
+                    c.name
+                )));
             }
         }
         let mut kseen = std::collections::BTreeSet::new();
         for k in &key {
             if !columns.iter().any(|c| &c.name == k) {
-                return Err(StoreError::BadSchema(format!("key column {k} not in schema")));
+                return Err(StoreError::BadSchema(format!(
+                    "key column {k} not in schema"
+                )));
             }
             if !kseen.insert(k) {
                 return Err(StoreError::BadSchema(format!("duplicate key column {k}")));
@@ -112,7 +120,10 @@ impl Schema {
     /// Validate one row against this schema (arity and cell types).
     pub fn check_row(&self, row: &Row) -> Result<(), StoreError> {
         if row.len() != self.columns.len() {
-            return Err(StoreError::Arity { expected: self.columns.len(), got: row.len() });
+            return Err(StoreError::Arity {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
         }
         for (cell, col) in row.iter().zip(&self.columns) {
             if cell.value_type() != col.ty {
@@ -154,7 +165,9 @@ impl Schema {
             self.index_of(old)?;
         }
         Schema::new(
-            self.columns.iter().map(|c| Column::new(lookup(&c.name), c.ty)),
+            self.columns
+                .iter()
+                .map(|c| Column::new(lookup(&c.name), c.ty)),
             self.key.iter().map(|k| lookup(k)),
         )
     }
@@ -204,7 +217,11 @@ mod tests {
 
     fn people() -> Schema {
         Schema::build(
-            &[("id", ValueType::Int), ("name", ValueType::Str), ("active", ValueType::Bool)],
+            &[
+                ("id", ValueType::Int),
+                ("name", ValueType::Str),
+                ("active", ValueType::Bool),
+            ],
             &["id"],
         )
         .unwrap()
@@ -226,7 +243,10 @@ mod tests {
     fn row_validation_checks_arity_and_types() {
         let s = people();
         assert!(s.check_row(&row![1, "ada", true]).is_ok());
-        assert!(matches!(s.check_row(&row![1, "ada"]), Err(StoreError::Arity { .. })));
+        assert!(matches!(
+            s.check_row(&row![1, "ada"]),
+            Err(StoreError::Arity { .. })
+        ));
         assert!(matches!(
             s.check_row(&row![1, 2, true]),
             Err(StoreError::TypeMismatch { .. })

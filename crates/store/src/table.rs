@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use crate::error::StoreError;
+use crate::index::ColumnIndex;
 use crate::predicate::Predicate;
 use crate::row::{project_row, Row};
 use crate::schema::Schema;
@@ -16,16 +17,35 @@ use crate::value::Value;
 /// whole row when the schema has no declared key), giving set semantics,
 /// deterministic iteration order, O(log n) point operations and cheap
 /// ordered diffs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A table may additionally carry secondary [`ColumnIndex`]es (see
+/// [`Table::create_index`]); they are maintained by every mutation and
+/// consulted by [`Table::select`] and [`Table::natural_join`], but are
+/// *not* part of the table's value: two tables with equal schemas and rows
+/// compare equal regardless of their indexes.
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     rows: BTreeMap<Row, Row>,
+    indexes: Vec<ColumnIndex>,
 }
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for Table {}
 
 impl Table {
     /// An empty table with the given schema.
     pub fn new(schema: Schema) -> Table {
-        Table { schema, rows: BTreeMap::new() }
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            indexes: Vec::new(),
+        }
     }
 
     /// Build a table from rows, validating each and rejecting key clashes.
@@ -60,6 +80,14 @@ impl Table {
         self.rows.values()
     }
 
+    /// Iterate `(key, row)` pairs in key order. The key is the projection
+    /// of the row onto the schema's key columns (the whole row when the
+    /// schema declares no key), so two tables with equal schemas can be
+    /// diffed by a single ordered merge over this iterator.
+    pub fn entries(&self) -> impl Iterator<Item = (&Row, &Row)> {
+        self.rows.iter()
+    }
+
     /// All rows, cloned, in key order.
     pub fn to_rows(&self) -> Vec<Row> {
         self.rows.values().cloned().collect()
@@ -89,7 +117,11 @@ impl Table {
             Some(existing) if *existing != row => Err(StoreError::KeyViolation(format!(
                 "key {key:?} already bound to a different row"
             ))),
-            _ => {
+            Some(_) => Ok(()), // identical row: no-op, indexes already current
+            None => {
+                for idx in &mut self.indexes {
+                    idx.add(&key, &row);
+                }
                 self.rows.insert(key, row);
                 Ok(())
             }
@@ -100,7 +132,17 @@ impl Table {
     pub fn upsert(&mut self, row: Row) -> Result<Option<Row>, StoreError> {
         self.schema.check_row(&row)?;
         let key = self.key_of(&row);
-        Ok(self.rows.insert(key, row))
+        let replaced = self.rows.insert(key.clone(), row);
+        if !self.indexes.is_empty() {
+            let row = &self.rows[&key];
+            for idx in &mut self.indexes {
+                if let Some(old) = &replaced {
+                    idx.remove(&key, old);
+                }
+                idx.add(&key, row);
+            }
+        }
+        Ok(replaced)
     }
 
     /// Delete an identical row; returns whether it was present.
@@ -108,6 +150,9 @@ impl Table {
         let key = self.key_of(row);
         if self.rows.get(&key) == Some(row) {
             self.rows.remove(&key);
+            for idx in &mut self.indexes {
+                idx.remove(&key, row);
+            }
             true
         } else {
             false
@@ -116,12 +161,58 @@ impl Table {
 
     /// Delete by key values; returns the removed row if any.
     pub fn delete_by_key(&mut self, key: &Row) -> Option<Row> {
-        self.rows.remove(key)
+        let removed = self.rows.remove(key);
+        if let Some(row) = &removed {
+            for idx in &mut self.indexes {
+                idx.remove(key, row);
+            }
+        }
+        removed
     }
 
     /// Remove all rows.
     pub fn clear(&mut self) {
         self.rows.clear();
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Secondary indexes.
+    // ------------------------------------------------------------------
+
+    /// Create a secondary index on `column`. Idempotent: re-indexing an
+    /// already-indexed column is a no-op. Indexing an unknown column is an
+    /// error.
+    pub fn create_index(&mut self, column: &str) -> Result<(), StoreError> {
+        let col_idx = self.schema.index_of(column)?;
+        if self.indexes.iter().any(|i| i.column() == column) {
+            return Ok(());
+        }
+        let mut idx = ColumnIndex::new(column, col_idx);
+        for (key, row) in &self.rows {
+            idx.add(key, row);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Drop the index on `column`; returns whether one existed.
+    pub fn drop_index(&mut self, column: &str) -> bool {
+        let before = self.indexes.len();
+        self.indexes.retain(|i| i.column() != column);
+        self.indexes.len() != before
+    }
+
+    /// Names of the indexed columns.
+    pub fn indexed_columns(&self) -> Vec<&str> {
+        self.indexes.iter().map(ColumnIndex::column).collect()
+    }
+
+    /// The index on `column`, if one exists.
+    pub fn index(&self, column: &str) -> Option<&ColumnIndex> {
+        self.indexes.iter().find(|i| i.column() == column)
     }
 
     // ------------------------------------------------------------------
@@ -129,12 +220,30 @@ impl Table {
     // ------------------------------------------------------------------
 
     /// σ: the rows satisfying `pred`. Same schema.
+    ///
+    /// When the predicate constrains an indexed column (see
+    /// [`Table::create_index`]), candidates come from an index seek rather
+    /// than a full scan; the complete predicate is still evaluated on each
+    /// candidate, so the result is identical either way.
     pub fn select(&self, pred: &Predicate) -> Result<Table, StoreError> {
         pred.validate(&self.schema)?;
         let mut out = Table::new(self.schema.clone());
-        for row in self.rows.values() {
-            if pred.eval(&self.schema, row)? {
-                out.rows.insert(out.key_of(row), row.clone());
+        let indexed = self.indexed_columns();
+        if let Some(probe) = pred.index_probe(&indexed) {
+            let idx = self
+                .index(&probe.column)
+                .expect("probe only names indexed columns");
+            for key in idx.keys_for(&probe) {
+                let row = &self.rows[key];
+                if pred.eval(&self.schema, row)? {
+                    out.rows.insert(key.clone(), row.clone());
+                }
+            }
+        } else {
+            for row in self.rows.values() {
+                if pred.eval(&self.schema, row)? {
+                    out.rows.insert(out.key_of(row), row.clone());
+                }
             }
         }
         Ok(out)
@@ -171,7 +280,9 @@ impl Table {
     /// distinct rows are a [`StoreError::KeyViolation`].
     pub fn union(&self, other: &Table) -> Result<Table, StoreError> {
         if !self.schema.same_columns(&other.schema) {
-            return Err(StoreError::SchemaMismatch("union of different schemas".into()));
+            return Err(StoreError::SchemaMismatch(
+                "union of different schemas".into(),
+            ));
         }
         let mut out = self.clone();
         for row in other.rows.values() {
@@ -183,7 +294,9 @@ impl Table {
     /// ∖: set difference (rows of `self` not present in `other`).
     pub fn difference(&self, other: &Table) -> Result<Table, StoreError> {
         if !self.schema.same_columns(&other.schema) {
-            return Err(StoreError::SchemaMismatch("difference of different schemas".into()));
+            return Err(StoreError::SchemaMismatch(
+                "difference of different schemas".into(),
+            ));
         }
         let mut out = Table::new(self.schema.clone());
         for row in self.rows.values() {
@@ -197,7 +310,9 @@ impl Table {
     /// ∩: set intersection.
     pub fn intersect(&self, other: &Table) -> Result<Table, StoreError> {
         if !self.schema.same_columns(&other.schema) {
-            return Err(StoreError::SchemaMismatch("intersection of different schemas".into()));
+            return Err(StoreError::SchemaMismatch(
+                "intersection of different schemas".into(),
+            ));
         }
         let mut out = Table::new(self.schema.clone());
         for row in self.rows.values() {
@@ -239,34 +354,46 @@ impl Table {
         };
         let schema = Schema::new(columns, key)?;
 
-        // Hash-join on shared values.
+        // Join on shared values: reuse an existing secondary index on the
+        // right table when the join is on exactly that one column;
+        // otherwise build a transient map for this join.
+        let reusable: Option<&ColumnIndex> = match shared.as_slice() {
+            [only] => other.index(only),
+            _ => None,
+        };
         let mut right_index: BTreeMap<Row, Vec<&Row>> = BTreeMap::new();
-        for row in other.rows.values() {
-            right_index
-                .entry(project_row(row, &right_shared))
-                .or_default()
-                .push(row);
+        if reusable.is_none() {
+            for row in other.rows.values() {
+                right_index
+                    .entry(project_row(row, &right_shared))
+                    .or_default()
+                    .push(row);
+            }
         }
+        let matches_of = |lkey: &Row| -> Vec<&Row> {
+            match reusable {
+                Some(idx) => idx.keys_eq(&lkey[0]).map(|k| &other.rows[k]).collect(),
+                None => right_index.get(lkey).cloned().unwrap_or_default(),
+            }
+        };
 
         let mut out = Table::new(schema);
         for lrow in self.rows.values() {
             let lkey = project_row(lrow, &left_shared);
-            if let Some(matches) = right_index.get(&lkey) {
-                for rrow in matches {
-                    let mut joined = lrow.clone();
-                    for &i in &right_rest {
-                        joined.push(rrow[i].clone());
-                    }
-                    let key = out.key_of(&joined);
-                    if let Some(existing) = out.rows.get(&key) {
-                        if *existing != joined {
-                            return Err(StoreError::KeyViolation(format!(
-                                "join produced two rows with key {key:?}"
-                            )));
-                        }
-                    }
-                    out.rows.insert(key, joined);
+            for rrow in matches_of(&lkey) {
+                let mut joined = lrow.clone();
+                for &i in &right_rest {
+                    joined.push(rrow[i].clone());
                 }
+                let key = out.key_of(&joined);
+                if let Some(existing) = out.rows.get(&key) {
+                    if *existing != joined {
+                        return Err(StoreError::KeyViolation(format!(
+                            "join produced two rows with key {key:?}"
+                        )));
+                    }
+                }
+                out.rows.insert(key, joined);
             }
         }
         Ok(out)
@@ -297,7 +424,14 @@ impl Table {
         let header: Vec<String> = names.iter().map(|s| s.to_string()).collect();
         out.push_str(&fmt_row(&header, &widths));
         out.push('\n');
-        out.push_str(&format!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")));
+        out.push_str(&format!(
+            "|{}|",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
         for row in &rendered {
             out.push('\n');
             out.push_str(&fmt_row(row, &widths));
@@ -321,13 +455,21 @@ mod tests {
 
     fn people() -> Table {
         let schema = Schema::build(
-            &[("id", ValueType::Int), ("name", ValueType::Str), ("age", ValueType::Int)],
+            &[
+                ("id", ValueType::Int),
+                ("name", ValueType::Str),
+                ("age", ValueType::Int),
+            ],
             &["id"],
         )
         .unwrap();
         Table::from_rows(
             schema,
-            vec![row![1, "ada", 36], row![2, "alan", 41], row![3, "grace", 85]],
+            vec![
+                row![1, "ada", 36],
+                row![2, "alan", 41],
+                row![3, "grace", 85],
+            ],
         )
         .unwrap()
     }
@@ -335,8 +477,14 @@ mod tests {
     #[test]
     fn insert_validates_types_and_keys() {
         let mut t = people();
-        assert!(matches!(t.insert(row![1, "imposter", 1]), Err(StoreError::KeyViolation(_))));
-        assert!(matches!(t.insert(row!["x", "y", 1]), Err(StoreError::TypeMismatch { .. })));
+        assert!(matches!(
+            t.insert(row![1, "imposter", 1]),
+            Err(StoreError::KeyViolation(_))
+        ));
+        assert!(matches!(
+            t.insert(row!["x", "y", 1]),
+            Err(StoreError::TypeMismatch { .. })
+        ));
         // Re-inserting an identical row is a no-op.
         assert!(t.insert(row![1, "ada", 36]).is_ok());
         assert_eq!(t.len(), 3);
@@ -347,7 +495,10 @@ mod tests {
         let mut t = people();
         let old = t.upsert(row![1, "ada lovelace", 36]).unwrap();
         assert_eq!(old, Some(row![1, "ada", 36]));
-        assert_eq!(t.get_by_key(&row![1]).unwrap()[1], Value::str("ada lovelace"));
+        assert_eq!(
+            t.get_by_key(&row![1]).unwrap()[1],
+            Value::str("ada lovelace")
+        );
     }
 
     #[test]
@@ -379,7 +530,9 @@ mod tests {
     #[test]
     fn rename_changes_header_not_rows() {
         let t = people();
-        let r = t.rename(&[("name".to_string(), "full_name".to_string())]).unwrap();
+        let r = t
+            .rename(&[("name".to_string(), "full_name".to_string())])
+            .unwrap();
         assert!(r.schema().index_of("full_name").is_ok());
         assert_eq!(r.len(), 3);
         assert_eq!(r.to_rows(), t.to_rows());
@@ -398,12 +551,20 @@ mod tests {
     #[test]
     fn natural_join_matches_on_shared_columns() {
         let orders = Table::from_rows(
-            Schema::build(&[("oid", ValueType::Int), ("pid", ValueType::Int)], &["oid"]).unwrap(),
+            Schema::build(
+                &[("oid", ValueType::Int), ("pid", ValueType::Int)],
+                &["oid"],
+            )
+            .unwrap(),
             vec![row![100, 1], row![101, 2], row![102, 1]],
         )
         .unwrap();
         let products = Table::from_rows(
-            Schema::build(&[("pid", ValueType::Int), ("pname", ValueType::Str)], &["pid"]).unwrap(),
+            Schema::build(
+                &[("pid", ValueType::Int), ("pname", ValueType::Str)],
+                &["pid"],
+            )
+            .unwrap(),
             vec![row![1, "widget"], row![2, "gadget"]],
         )
         .unwrap();
@@ -437,7 +598,11 @@ mod tests {
         let t2 = Table::from_rows(schema, vec![row![3], row![7]]).unwrap();
         let p = Predicate::gt(Operand::col("x"), Operand::val(2));
         let lhs = t1.union(&t2).unwrap().select(&p).unwrap();
-        let rhs = t1.select(&p).unwrap().union(&t2.select(&p).unwrap()).unwrap();
+        let rhs = t1
+            .select(&p)
+            .unwrap()
+            .union(&t2.select(&p).unwrap())
+            .unwrap();
         assert_eq!(lhs, rhs);
 
         // π is idempotent.
@@ -445,6 +610,91 @@ mod tests {
         let once = t1.project(&cols).unwrap();
         let twice = once.project(&cols).unwrap();
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn indexed_select_matches_full_scan() {
+        let mut t = people();
+        t.create_index("age").unwrap();
+        assert_eq!(t.indexed_columns(), vec!["age"]);
+        let preds = [
+            Predicate::eq(Operand::col("age"), Operand::val(41)),
+            Predicate::gt(Operand::col("age"), Operand::val(40)),
+            Predicate::le(Operand::col("age"), Operand::val(41)),
+            Predicate::lt(Operand::val(40), Operand::col("age")),
+            Predicate::eq(Operand::col("age"), Operand::val(41))
+                .and(Predicate::eq(Operand::col("name"), Operand::val("alan"))),
+        ];
+        let plain = people();
+        for p in preds {
+            assert_eq!(t.select(&p).unwrap(), plain.select(&p).unwrap(), "pred {p}");
+        }
+    }
+
+    #[test]
+    fn indexes_follow_mutations_and_clones() {
+        let mut t = people();
+        t.create_index("age").unwrap();
+        t.create_index("age").unwrap(); // idempotent
+        assert_eq!(t.indexed_columns().len(), 1);
+
+        let eq41 = Predicate::eq(Operand::col("age"), Operand::val(41));
+        t.upsert(row![2, "alan turing", 41]).unwrap(); // replace, same age
+        t.upsert(row![1, "ada", 41]).unwrap(); // age moves 36 -> 41
+        t.insert(row![4, "barbara", 41]).unwrap();
+        t.delete(&row![3, "grace", 85]);
+        let selected = t.select(&eq41).unwrap();
+        assert_eq!(selected.len(), 3);
+
+        // A clone keeps the index and diverges independently.
+        let mut c = t.clone();
+        c.delete_by_key(&row![4]);
+        assert_eq!(c.select(&eq41).unwrap().len(), 2);
+        assert_eq!(t.select(&eq41).unwrap().len(), 3);
+
+        // Equality ignores indexes.
+        let plain = {
+            let mut p = Table::from_rows(t.schema().clone(), t.rows().cloned()).unwrap();
+            assert!(p.indexed_columns().is_empty());
+            p.drop_index("age");
+            p
+        };
+        assert_eq!(t, plain);
+
+        assert!(t.drop_index("age"));
+        assert!(!t.drop_index("age"));
+    }
+
+    #[test]
+    fn create_index_rejects_unknown_columns() {
+        let mut t = people();
+        assert!(t.create_index("ghost").is_err());
+    }
+
+    #[test]
+    fn join_reuses_right_index() {
+        let orders = Table::from_rows(
+            Schema::build(
+                &[("oid", ValueType::Int), ("pid", ValueType::Int)],
+                &["oid"],
+            )
+            .unwrap(),
+            vec![row![100, 1], row![101, 2], row![102, 1]],
+        )
+        .unwrap();
+        let mut products = Table::from_rows(
+            Schema::build(
+                &[("pid", ValueType::Int), ("pname", ValueType::Str)],
+                &["pid"],
+            )
+            .unwrap(),
+            vec![row![1, "widget"], row![2, "gadget"]],
+        )
+        .unwrap();
+        let plain = orders.natural_join(&products).unwrap();
+        products.create_index("pid").unwrap();
+        let indexed = orders.natural_join(&products).unwrap();
+        assert_eq!(plain, indexed);
     }
 
     #[test]

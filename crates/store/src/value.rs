@@ -144,11 +144,21 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut vals = vec![Value::str("b"), Value::Int(2), Value::Bool(true), Value::Int(1)];
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Int(2),
+            Value::Bool(true),
+            Value::Int(1),
+        ];
         vals.sort();
         assert_eq!(
             vals,
-            vec![Value::Bool(true), Value::Int(1), Value::Int(2), Value::str("b")]
+            vec![
+                Value::Bool(true),
+                Value::Int(1),
+                Value::Int(2),
+                Value::str("b")
+            ]
         );
     }
 

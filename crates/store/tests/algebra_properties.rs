@@ -3,11 +3,15 @@
 
 use proptest::prelude::*;
 
-use esm_store::{Operand, Predicate, Row, Schema, Table, Value, ValueType};
+use esm_store::{Delta, Operand, Predicate, Row, Schema, Table, Value, ValueType};
 
 fn schema() -> Schema {
     Schema::build(
-        &[("id", ValueType::Int), ("grp", ValueType::Int), ("name", ValueType::Str)],
+        &[
+            ("id", ValueType::Int),
+            ("grp", ValueType::Int),
+            ("name", ValueType::Str),
+        ],
         &["id"],
     )
     .expect("valid")
@@ -95,6 +99,37 @@ proptest! {
         let proj = t.project(&["id".to_string(), "grp".to_string()]).expect("ok");
         let joined = t.natural_join(&proj).expect("no conflicts");
         prop_assert_eq!(joined, t);
+    }
+
+    #[test]
+    fn delta_apply_and_invert_round_trip(old in arb_table(12), new in arb_table(12)) {
+        // between/apply: the delta transports old to new...
+        let d = Delta::between(&old, &new).expect("same schema");
+        prop_assert_eq!(d.apply(&old).expect("applies"), new.clone());
+        // ...and the inverse transports new back to old.
+        prop_assert_eq!(d.invert().apply(&new).expect("applies"), old.clone());
+        // Deltas are minimal: equal tables give the empty delta.
+        prop_assert!(Delta::between(&old, &old).expect("same schema").is_empty());
+        // Double inversion is the identity.
+        prop_assert_eq!(d.invert().invert(), d);
+    }
+
+    #[test]
+    fn delta_between_agrees_with_per_row_containment(old in arb_table(12), new in arb_table(12)) {
+        // The ordered-merge diff must match the naive per-row definition.
+        let d = Delta::between(&old, &new).expect("same schema");
+        let naive_ins: Vec<Row> = new.rows().filter(|r| !old.contains(r)).cloned().collect();
+        let naive_del: Vec<Row> = old.rows().filter(|r| !new.contains(r)).cloned().collect();
+        prop_assert_eq!(d.inserted, naive_ins);
+        prop_assert_eq!(d.deleted, naive_del);
+    }
+
+    #[test]
+    fn indexed_select_equals_full_scan(t in arb_table(16), p in arb_pred()) {
+        let mut indexed = t.clone();
+        indexed.create_index("grp").expect("column exists");
+        indexed.create_index("id").expect("column exists");
+        prop_assert_eq!(indexed.select(&p).expect("ok"), t.select(&p).expect("ok"));
     }
 
     #[test]

@@ -12,7 +12,10 @@ pub fn identity<T: Clone + 'static>() -> SymLens<T, T, ()> {
 }
 
 /// A symmetric lens from an isomorphism `A ≅ B` (trivial complement).
-pub fn iso<A, B>(fwd: impl Fn(A) -> B + 'static, bwd: impl Fn(B) -> A + 'static) -> SymLens<A, B, ()>
+pub fn iso<A, B>(
+    fwd: impl Fn(A) -> B + 'static,
+    bwd: impl Fn(B) -> A + 'static,
+) -> SymLens<A, B, ()>
 where
     A: 'static,
     B: 'static,
@@ -119,11 +122,7 @@ where
 /// The terminal symmetric lens to `()`: discards `A`, remembering it in
 /// the complement (HPW's `term` with a chosen default).
 pub fn terminal<A: Clone + 'static>(default: A) -> SymLens<A, (), A> {
-    SymLens::new(
-        |a: A, _c: A| ((), a),
-        |(), c: A| (c.clone(), c),
-        default,
-    )
+    SymLens::new(|a: A, _c: A| ((), a), |(), c: A| (c.clone(), c), default)
 }
 
 #[cfg(test)]
@@ -143,7 +142,10 @@ mod tests {
 
     #[test]
     fn iso_translates_both_ways() {
-        let l = iso(|a: i64| a.to_string(), |b: String| b.parse::<i64>().unwrap());
+        let l = iso(
+            |a: i64| a.to_string(),
+            |b: String| b.parse::<i64>().unwrap(),
+        );
         assert_eq!(l.putr(42, ()).0, "42");
         assert_eq!(l.putl("-7".to_string(), ()).0, -7);
     }
@@ -169,7 +171,10 @@ mod tests {
     fn compose_threads_complements() {
         // (i64, String) <-> i64 <-> String, via fst then to-string iso.
         let left = from_asym(fst::<i64, String>(), (0, "c".to_string()));
-        let right = iso(|v: i64| v.to_string(), |s: String| s.parse::<i64>().unwrap());
+        let right = iso(
+            |v: i64| v.to_string(),
+            |s: String| s.parse::<i64>().unwrap(),
+        );
         let both = compose(left, right);
         let ((), c0) = ((), both.missing());
         let (x, c) = both.putr((5, "keep".to_string()), c0);
@@ -182,7 +187,10 @@ mod tests {
     #[test]
     fn compose_satisfies_sym_laws() {
         let left = from_asym(fst::<i64, String>(), (0, "c".to_string()));
-        let right = iso(|v: i64| v.to_string(), |s: String| s.parse::<i64>().unwrap());
+        let right = iso(
+            |v: i64| v.to_string(),
+            |s: String| s.parse::<i64>().unwrap(),
+        );
         let both = compose(left, right);
         let samples_a: Vec<(i64, String)> = vec![(1, "x".into()), (2, "y".into())];
         let samples_b: Vec<String> = vec!["7".into(), "8".into()];

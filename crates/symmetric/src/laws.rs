@@ -13,7 +13,11 @@ pub struct SymLawViolation {
 
 impl std::fmt::Display for SymLawViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "symmetric lens law {} violated: {}", self.law, self.detail)
+        write!(
+            f,
+            "symmetric lens law {} violated: {}",
+            self.law, self.detail
+        )
     }
 }
 
@@ -111,8 +115,8 @@ mod tests {
     fn complement_forgetting_lens_fails_put_rl() {
         // putr drops a's value instead of storing it: putl cannot restore.
         let l: SymLens<i64, i64, i64> = SymLens::new(
-            |_a, c| (c, c),        // b := old complement, complement unchanged
-            |b, _c| (b, b),        // a := b, complement := b
+            |_a, c| (c, c), // b := old complement, complement unchanged
+            |b, _c| (b, b), // a := b, complement := b
             0,
         );
         let v = check_put_rl(&l, &[5], &[1]);

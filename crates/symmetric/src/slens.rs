@@ -38,7 +38,11 @@ impl<A: 'static, B: 'static, C: Clone + 'static> SymLens<A, B, C> {
         putl: impl Fn(B, C) -> (A, C) + 'static,
         missing: C,
     ) -> Self {
-        SymLens { putr: Rc::new(putr), putl: Rc::new(putl), missing }
+        SymLens {
+            putr: Rc::new(putr),
+            putl: Rc::new(putl),
+            missing,
+        }
     }
 
     /// Push an `A` value rightwards: `putr(a, c) = (b, c')`.
@@ -85,13 +89,17 @@ mod tests {
     use crate::combinators::from_asym;
     use esm_lens::combinators::fst;
 
+    /// The complement for [`contact_lens`]: each side's private field.
+    pub(crate) type ContactComplement = (Option<String>, Option<String>);
+
     /// A symmetric lens between (id, name) and (id, email) records sharing
     /// the id; the complement remembers each side's private field.
-    pub(crate) fn contact_lens(
-    ) -> SymLens<(u32, String), (u32, String), (Option<String>, Option<String>)> {
+    pub(crate) fn contact_lens() -> SymLens<(u32, String), (u32, String), ContactComplement> {
         SymLens::new(
             |a: (u32, String), c: (Option<String>, Option<String>)| {
-                let email = c.1.clone().unwrap_or_else(|| "unknown@example.org".to_string());
+                let email =
+                    c.1.clone()
+                        .unwrap_or_else(|| "unknown@example.org".to_string());
                 ((a.0, email.clone()), (Some(a.1), Some(email)))
             },
             |b: (u32, String), c: (Option<String>, Option<String>)| {

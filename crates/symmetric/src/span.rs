@@ -51,7 +51,11 @@ mod tests {
 
     /// The span (fst, snd) over pairs: A sees the number, B the string.
     fn number_string() -> SymLens<i64, String, S> {
-        from_span(fst::<i64, String>(), snd::<i64, String>(), (0, String::new()))
+        from_span(
+            fst::<i64, String>(),
+            snd::<i64, String>(),
+            (0, String::new()),
+        )
     }
 
     #[test]
@@ -105,10 +109,13 @@ mod tests {
         // induced "symmetric lens" is unlawful — and the checker says so.
         let l = from_span(
             fst::<i64, i64>(),
-            esm_lens::Lens::new(|s: &(i64, i64)| s.0 + s.1, |mut s, v| {
-                s.1 = v; // put does NOT maintain get's invariant
-                s
-            }),
+            esm_lens::Lens::new(
+                |s: &(i64, i64)| s.0 + s.1,
+                |mut s, v| {
+                    s.1 = v; // put does NOT maintain get's invariant
+                    s
+                },
+            ),
             (0, 0),
         );
         let v = check_sym_lens(&l, &[1], &[2], &[(0i64, 0i64)]);

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example bidirectional_db_server`
 
-use esm::core::state::{SbxOps, UndoSession};
+use esm::core::state::UndoSession;
 use esm::lens::AsymBx;
 use esm::relational::{RelationalSession, ViewDef};
 use esm::store::{row, Operand, Predicate, Schema, Table, Value, ValueType};
@@ -37,10 +37,16 @@ fn main() {
         .define_view(
             "east_stock",
             &ViewDef::base()
-                .select(Predicate::eq(Operand::col("warehouse"), Operand::val("east")))
+                .select(Predicate::eq(
+                    Operand::col("warehouse"),
+                    Operand::val("east"),
+                ))
                 .project(
                     &["sku", "name", "stock"],
-                    &[("warehouse", Value::str("east")), ("price_cents", Value::Int(500))],
+                    &[
+                        ("warehouse", Value::str("east")),
+                        ("price_cents", Value::Int(500)),
+                    ],
                 ),
         )
         .expect("view compiles");
@@ -63,7 +69,10 @@ fn main() {
         .expect("view compiles");
 
     println!("views: {:?}\n", server.view_names());
-    println!("east_stock:\n{}\n", server.read_view("east_stock").expect("defined"));
+    println!(
+        "east_stock:\n{}\n",
+        server.read_view("east_stock").expect("defined")
+    );
 
     // --- Client 1 edits the east stock ---------------------------------
     let delta = server
@@ -97,13 +106,18 @@ fn main() {
     // The same machinery, wrapped in an undoable session over the
     // east_stock view treated as a single bx.
     let lens = ViewDef::base()
-        .select(Predicate::eq(Operand::col("warehouse"), Operand::val("east")))
+        .select(Predicate::eq(
+            Operand::col("warehouse"),
+            Operand::val("east"),
+        ))
         .compile(server.base())
         .expect("compiles");
     let mut undoable = UndoSession::new(server.base().clone(), AsymBx::new(lens));
     let east: Table = undoable.b();
     let mut east2 = east.clone();
-    east2.upsert(row![1001, "widget", "east", 0, 250]).expect("fits");
+    east2
+        .upsert(row![1001, "widget", "east", 0, 250])
+        .expect("fits");
     undoable.set_b(east2);
     assert_eq!(
         undoable.state().get_by_key(&row![1001]).expect("exists")[3],

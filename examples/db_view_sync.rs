@@ -41,13 +41,21 @@ fn main() {
 
     // The view definition: research staff, id+name only, `name` renamed.
     let view_def = ViewDef::base()
-        .select(Predicate::eq(Operand::col("dept"), Operand::val("research")))
+        .select(Predicate::eq(
+            Operand::col("dept"),
+            Operand::val("research"),
+        ))
         .project(
             &["eid", "name"],
-            &[("dept", Value::str("research")), ("salary", Value::Int(60_000))],
+            &[
+                ("dept", Value::str("research")),
+                ("salary", Value::Int(60_000)),
+            ],
         )
         .rename(&[("name", "researcher")]);
-    let lens = view_def.compile(&employees).expect("view definition is valid");
+    let lens = view_def
+        .compile(&employees)
+        .expect("view definition is valid");
 
     // Lemma 4: the lens is an entangled state monad. Open a session.
     let mut db = BxSession::new(employees, AsymBx::new(lens));

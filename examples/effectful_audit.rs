@@ -7,7 +7,7 @@
 use esm::core::effectful::{Announce, EffSession, MonadicEff};
 use esm::core::monadic::SetBx;
 use esm::core::state::StateBx;
-use esm::monad::{MonadFamily, StateTOf, IoSimOf};
+use esm::monad::{IoSimOf, MonadFamily, StateTOf};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -45,10 +45,10 @@ fn main() {
     //    (symmetric) lens or algebraic bx" (§4) — wrap a real bx.
     // ------------------------------------------------------------------
     let account: StateBx<(i64, i64), i64, i64> = StateBx::new(
-        |s: &(i64, i64)| s.0 + s.1,     // A: total balance
-        |s| s.1,                        // B: savings only
-        |s, total| (total - s.1, s.1),  // set total: adjust checking
-        |s, savings| (s.0, savings),    // set savings directly
+        |s: &(i64, i64)| s.0 + s.1,    // A: total balance
+        |s| s.1,                       // B: savings only
+        |s, total| (total - s.1, s.1), // set total: adjust checking
+        |s, savings| (s.0, savings),   // set savings directly
     );
     let audited = Announce::new(account, "balance changed", "savings changed");
     let mut bank = EffSession::new((100i64, 50i64), audited);

@@ -4,10 +4,8 @@
 //!
 //! Run with: `cargo run --example model_code_sync`
 
-use esm::modelsync::{
-    class_rdb_bx, AttrType, Attribute, Class, SqlColumn,
-};
 use esm::modelsync::scenarios::library_model;
+use esm::modelsync::{class_rdb_bx, AttrType, Attribute, Class, SqlColumn};
 use esm_core::state::PbxOps;
 
 fn main() {
@@ -46,7 +44,9 @@ fn main() {
         ],
     ));
     let mut member = model2.class("Member").expect("Member exists").clone();
-    member.attributes.push(Attribute::new("email", AttrType::Str));
+    member
+        .attributes
+        .push(Attribute::new("email", AttrType::Str));
     model2.upsert(member);
 
     let (next, refreshed_schema) = bx.put_a(state, model2);
@@ -55,14 +55,25 @@ fn main() {
 
     // The bidirectional guarantees, demonstrated:
     // 1. The DBA's engine choice survived the model edit.
-    assert_eq!(refreshed_schema.table("Book").expect("Book").engine, "rocksdb");
+    assert_eq!(
+        refreshed_schema.table("Book").expect("Book").engine,
+        "rocksdb"
+    );
     // 2. ... and so did the tuned width.
     assert_eq!(
-        refreshed_schema.table("Book").expect("Book").column("title").expect("title").width,
+        refreshed_schema
+            .table("Book")
+            .expect("Book")
+            .column("title")
+            .expect("title")
+            .width,
         Some(120)
     );
     // 3. The new table exists with defaults.
-    assert_eq!(refreshed_schema.table("Loan").expect("Loan").engine, "innodb");
+    assert_eq!(
+        refreshed_schema.table("Loan").expect("Loan").engine,
+        "innodb"
+    );
     // 4. The abstract class (model-private) is still in the model.
     assert!(state.0.class("Media").expect("Media").is_abstract);
     // 5. The hidden state is a consistent triple (the paper's T).

@@ -21,9 +21,14 @@
 //! - [`lens`] — asymmetric lenses and their embedding (Lemma 4).
 //! - [`algebraic`] — Stevens-style algebraic bx (Lemma 5).
 //! - [`symmetric`] — Hofmann–Pierce–Wagner symmetric lenses (Lemma 6).
-//! - [`store`] — an in-memory relational database substrate.
+//! - [`store`] — an in-memory relational database substrate (tables,
+//!   predicates, deltas, secondary B-tree indexes).
 //! - [`relational`] — relational lenses over [`store`] (select / project /
 //!   join views as bx).
+//! - [`engine`] — the concurrent, transactional bidirectional database
+//!   engine: snapshot-isolated transactions with first-committer-wins, a
+//!   write-ahead log with replay/recovery, and a lock-striped server where
+//!   many clients hold entangled views over shared base tables.
 //! - [`modelsync`] — a model-driven-engineering substrate: class models ↔
 //!   relational schemas as a symmetric lens with complement.
 //! - [`lawcheck`] — executable law checking for every law in the paper.
@@ -44,9 +49,40 @@
 //! session.set_b(37);
 //! assert_eq!(session.a(), ("ada".to_string(), 37));
 //! ```
+//!
+//! ## Quickstart: the concurrent engine
+//!
+//! The same idea at database scale — entangled views served
+//! transactionally to many clients (see [`engine`] for the architecture:
+//! transaction lifecycle, WAL format, index maintenance):
+//!
+//! ```
+//! use esm::engine::EngineServer;
+//! use esm::relational::ViewDef;
+//! use esm::store::{row, Database, Operand, Predicate, Schema, Table, ValueType};
+//!
+//! let schema = Schema::build(
+//!     &[("id", ValueType::Int), ("dept", ValueType::Str)], &["id"],
+//! ).unwrap();
+//! let mut db = Database::new();
+//! db.create_table(
+//!     "staff",
+//!     Table::from_rows(schema, vec![row![1, "research"], row![2, "ops"]]).unwrap(),
+//! ).unwrap();
+//!
+//! let engine = EngineServer::new(db); // Clone the handle into any thread.
+//! let research = engine.define_view(
+//!     "research", "staff",
+//!     &ViewDef::base().select(Predicate::eq(Operand::col("dept"), Operand::val("research"))),
+//! ).unwrap();
+//! let delta = research.edit(|v| Ok(v.upsert(row![3, "research"]).map(|_| ())?)).unwrap();
+//! assert_eq!(delta.inserted.len(), 1);                  // what the write did
+//! assert_eq!(engine.recovered_database().unwrap(), engine.snapshot()); // WAL law
+//! ```
 
 pub use esm_algebraic as algebraic;
 pub use esm_core as core;
+pub use esm_engine as engine;
 pub use esm_lawcheck as lawcheck;
 pub use esm_lens as lens;
 pub use esm_modelsync as modelsync;

@@ -17,12 +17,10 @@ fn celsius_stage() -> StateBx<i64, i64, i64> {
 /// Consistent states for `compose(AsymBx(fst), celsius_stage)`: the middle
 /// interface (celsius) must agree.
 fn gen_pipeline_state() -> Gen<((i64, String), i64)> {
-    int_range(-50..50)
-        .zip(&string(0..4))
-        .map(|rec| {
-            let c = rec.0;
-            (rec, c)
-        })
+    int_range(-50..50).zip(&string(0..4)).map(|rec| {
+        let c = rec.0;
+        (rec, c)
+    })
 }
 
 #[test]
@@ -31,8 +29,17 @@ fn composed_pipeline_passes_set_bx_laws_on_consistent_states() {
     let gen_s = gen_pipeline_state();
     let gen_a = int_range(-50..50).zip(&string(0..4));
     let gen_f = int_range(-50..50).map(|c| c * 2 + 32); // image of the conversion
-    check_set_ops("composed pipeline", &pipeline, &gen_s, &gen_a, &gen_f, 300, 501, true)
-        .assert_ok();
+    check_set_ops(
+        "composed pipeline",
+        &pipeline,
+        &gen_s,
+        &gen_a,
+        &gen_f,
+        300,
+        501,
+        true,
+    )
+    .assert_ok();
 }
 
 #[test]
@@ -46,7 +53,16 @@ fn composed_pipeline_fails_gs_off_the_consistent_subset() {
         .map(|(rec, junk)| (rec, junk));
     let gen_a = int_range(-50..50).zip(&string(0..4));
     let gen_f = int_range(-50..50).map(|c| c * 2 + 32);
-    let r = check_set_ops("composed off-domain", &pipeline, &gen_bad, &gen_a, &gen_f, 100, 502, false);
+    let r = check_set_ops(
+        "composed off-domain",
+        &pipeline,
+        &gen_bad,
+        &gen_a,
+        &gen_f,
+        100,
+        502,
+        false,
+    );
     assert!(!r.is_ok());
     assert!(r.failed_laws().iter().any(|l| l.starts_with("(GS)")));
 }
@@ -107,7 +123,10 @@ fn pair_bx_preserves_the_laws() {
 #[test]
 fn map_a_and_map_b_preserve_laws_for_real_isos() {
     let base = AsymBx::new(fst::<i64, String>());
-    let t = MapB::new(base, Iso::new(|x: i64| x.to_string(), |s: String| s.parse().expect("int")));
+    let t = MapB::new(
+        base,
+        Iso::new(|x: i64| x.to_string(), |s: String| s.parse().expect("int")),
+    );
     let gen_s = int_range(-50..50).zip(&string(0..4));
     let gen_b = int_range(-50..50).map(|x| x.to_string());
     check_set_ops("mapB(lens bx)", &t, &gen_s, &gen_s, &gen_b, 300, 506, true).assert_ok();

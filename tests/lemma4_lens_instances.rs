@@ -53,15 +53,17 @@ fn combinator_built_lens_bx_passes_the_suite() {
 
 fn gen_tree_with(edges: &'static [&'static str]) -> Gen<Tree> {
     let leaf_val = string(1..3);
-    leaf_val.vec_of(edges.len()..edges.len() + 1).map(move |vals| {
-        Tree::node(
-            edges
-                .iter()
-                .zip(vals)
-                .map(|(e, v)| (e.to_string(), Tree::value(v)))
-                .collect::<Vec<_>>(),
-        )
-    })
+    leaf_val
+        .vec_of(edges.len()..edges.len() + 1)
+        .map(move |vals| {
+            Tree::node(
+                edges
+                    .iter()
+                    .zip(vals)
+                    .map(|(e, v)| (e.to_string(), Tree::value(v)))
+                    .collect::<Vec<_>>(),
+            )
+        })
 }
 
 #[test]
@@ -108,7 +110,17 @@ fn relational_select_bx_passes_ops_suite_on_generated_tables() {
     let bx = AsymBx::new(select_lens(adults));
     let gen_s = Gen::from_fn(|rng| gen_people(rand::Rng::gen(rng), 30));
     let gen_b = Gen::from_fn(|rng| gen_adults_view(rand::Rng::gen(rng), 10, 18));
-    check_set_ops("select bx (ops)", &bx, &gen_s, &gen_s, &gen_b, 25, 105, true).assert_ok();
+    check_set_ops(
+        "select bx (ops)",
+        &bx,
+        &gen_s,
+        &gen_s,
+        &gen_b,
+        25,
+        105,
+        true,
+    )
+    .assert_ok();
     check_roundtrip_ops(&bx, &gen_s, &gen_s, &gen_b, 25, 106).assert_ok();
 }
 
@@ -123,7 +135,17 @@ fn relational_project_bx_passes_base_laws_on_generated_tables() {
     });
     // Base laws only: project is well-behaved but NOT very well-behaved
     // across delete/recreate (documented).
-    check_set_ops("project bx (ops)", &bx, &gen_s, &gen_s, &gen_b, 25, 107, false).assert_ok();
+    check_set_ops(
+        "project bx (ops)",
+        &bx,
+        &gen_s,
+        &gen_s,
+        &gen_b,
+        25,
+        107,
+        false,
+    )
+    .assert_ok();
 }
 
 #[test]

@@ -25,13 +25,27 @@ fn interval_bx_is_a_lawful_set_bx_but_not_overwriteable() {
     let gen_v = int_range(-100..100);
 
     // Base laws hold (Lemma 5 for correct+hippocratic bx).
-    check_set_ops("interval set-bx", &t, &gen_s, &gen_v, &gen_v, 300, 201, false).assert_ok();
+    check_set_ops(
+        "interval set-bx",
+        &t,
+        &gen_s,
+        &gen_v,
+        &gen_v,
+        300,
+        201,
+        false,
+    )
+    .assert_ok();
 
     // The bx is not undoable, so the derived set-bx must fail (SS)
     // somewhere — and only (SS).
     let r = check_set_ops("interval (SS)", &t, &gen_s, &gen_v, &gen_v, 300, 202, true);
     assert!(!r.is_ok());
-    assert!(r.failed_laws().iter().all(|l| l.starts_with("(SS)")), "{:?}", r.failed_laws());
+    assert!(
+        r.failed_laws().iter().all(|l| l.starts_with("(SS)")),
+        "{:?}",
+        r.failed_laws()
+    );
 
     // Cross-check with the algebraic-level laws: same verdicts.
     let samples: Vec<i64> = int_range(-100..100).samples(203, 30);
@@ -44,8 +58,18 @@ fn equality_bx_is_overwriteable_and_passes_the_monadic_suite() {
     let t = AlgBxOps::new(equality_bx::<i64>());
     let gen_s = int_range(-50..50).map(|x| (x, x)); // consistent pairs
     let gen_v = int_range(-50..50);
-    full_set_bx_suite("equality bx (monadic)", t, &gen_s, &gen_v, &gen_v, 8, 5, 204, true)
-        .assert_ok();
+    full_set_bx_suite(
+        "equality bx (monadic)",
+        t,
+        &gen_s,
+        &gen_v,
+        &gen_v,
+        8,
+        5,
+        204,
+        true,
+    )
+    .assert_ok();
 }
 
 #[test]
@@ -55,7 +79,17 @@ fn universal_bx_is_the_unentangled_product() {
     let t = AlgBxOps::new(universal_bx::<i64, i64>());
     let gen_s = int_range(-50..50).zip(&int_range(-50..50));
     let gen_v = int_range(-50..50);
-    check_set_ops("universal set-bx", &t, &gen_s, &gen_v, &gen_v, 300, 205, true).assert_ok();
+    check_set_ops(
+        "universal set-bx",
+        &t,
+        &gen_s,
+        &gen_v,
+        &gen_v,
+        300,
+        205,
+        true,
+    )
+    .assert_ok();
 
     let states: Vec<(i64, i64)> = gen_s.samples(206, 20);
     let vals: Vec<i64> = gen_v.samples(207, 10);
@@ -108,6 +142,16 @@ fn lens_derived_algebraic_bx_passes_full_suite() {
     });
     let gen_a = gen_pair;
     let gen_b = int_range(-50..50);
-    full_set_bx_suite("from_lens(fst) (monadic)", t, &gen_s, &gen_a, &gen_b, 6, 4, 211, true)
-        .assert_ok();
+    full_set_bx_suite(
+        "from_lens(fst) (monadic)",
+        t,
+        &gen_s,
+        &gen_a,
+        &gen_b,
+        6,
+        4,
+        211,
+        true,
+    )
+    .assert_ok();
 }

@@ -1,7 +1,7 @@
 //! Integration: Lemma 6 — symmetric lenses embedded as put-bx, including
 //! the model-synchronisation substrate, through the full law suites.
 
-use esm::lawcheck::gen::{int_range, string, Gen};
+use esm::lawcheck::gen::{int_range, string};
 use esm::lawcheck::monadic_suite::full_put_bx_suite;
 use esm::lawcheck::putbx::check_put_ops;
 use esm::lens::combinators::fst;
@@ -19,7 +19,17 @@ fn from_asym_bx_passes_the_put_ops_suite() {
     let t_for_gen = SymBxOps::new(from_asym(fst::<i64, String>(), (0, "c".to_string())));
     let gen_s = gen_src.clone().map(move |a| t_for_gen.initial_from_a(a));
     let gen_b = int_range(-50..50);
-    check_put_ops("from_asym put-bx", &t, &gen_s, &gen_src, &gen_b, 300, 301, true).assert_ok();
+    check_put_ops(
+        "from_asym put-bx",
+        &t,
+        &gen_s,
+        &gen_src,
+        &gen_b,
+        300,
+        301,
+        true,
+    )
+    .assert_ok();
 }
 
 #[test]
@@ -29,8 +39,18 @@ fn from_asym_bx_passes_the_full_monadic_put_suite() {
     let t2 = t.clone();
     let gen_s = gen_src.clone().map(move |a| t2.initial_from_a(a));
     let gen_b = int_range(-50..50);
-    full_put_bx_suite("from_asym (monadic)", t, &gen_s, &gen_src, &gen_b, 6, 4, 302, true)
-        .assert_ok();
+    full_put_bx_suite(
+        "from_asym (monadic)",
+        t,
+        &gen_s,
+        &gen_src,
+        &gen_b,
+        6,
+        4,
+        302,
+        true,
+    )
+    .assert_ok();
 }
 
 #[test]
@@ -39,7 +59,10 @@ fn composed_symmetric_lens_passes_the_put_ops_suite() {
     let make = || {
         compose(
             from_asym(fst::<i64, String>(), (0, "c".to_string())),
-            iso(|v: i64| v.to_string(), |s: String| s.parse::<i64>().expect("roundtrip")),
+            iso(
+                |v: i64| v.to_string(),
+                |s: String| s.parse::<i64>().expect("roundtrip"),
+            ),
         )
     };
     let t = SymBxOps::new(make());
@@ -47,7 +70,17 @@ fn composed_symmetric_lens_passes_the_put_ops_suite() {
     let t2 = SymBxOps::new(make());
     let gen_s = gen_src.clone().map(move |a| t2.initial_from_a(a));
     let gen_b = int_range(-50..50).map(|v| v.to_string());
-    check_put_ops("composed sym put-bx", &t, &gen_s, &gen_src, &gen_b, 200, 303, true).assert_ok();
+    check_put_ops(
+        "composed sym put-bx",
+        &t,
+        &gen_s,
+        &gen_src,
+        &gen_b,
+        200,
+        303,
+        true,
+    )
+    .assert_ok();
 }
 
 #[test]
@@ -57,7 +90,17 @@ fn tensor_symmetric_lens_passes_the_put_ops_suite() {
     let gen_pair = int_range(-50..50).zip(&int_range(-50..50));
     let t2 = SymBxOps::new(make());
     let gen_s = gen_pair.clone().map(move |a| t2.initial_from_a(a));
-    check_put_ops("tensor put-bx", &t, &gen_s, &gen_pair, &gen_pair, 200, 304, true).assert_ok();
+    check_put_ops(
+        "tensor put-bx",
+        &t,
+        &gen_s,
+        &gen_pair,
+        &gen_pair,
+        200,
+        304,
+        true,
+    )
+    .assert_ok();
 }
 
 #[test]
@@ -75,8 +118,17 @@ fn modelsync_bx_passes_the_put_ops_suite() {
     let gen_schema = int_range(5..9)
         .zip(&int_range(1..3))
         .map(move |(n, k)| t3.initial_from_a(synthetic_model(n as usize, k as usize)).1);
-    check_put_ops("modelsync put-bx", &t, &gen_s, &gen_model, &gen_schema, 60, 305, false)
-        .assert_ok();
+    check_put_ops(
+        "modelsync put-bx",
+        &t,
+        &gen_s,
+        &gen_model,
+        &gen_schema,
+        60,
+        305,
+        false,
+    )
+    .assert_ok();
 }
 
 #[test]
@@ -84,7 +136,9 @@ fn modelsync_consistency_invariant_is_preserved_by_long_edit_sequences() {
     use esm::core::state::PbxOps;
     let t = class_rdb_bx();
     let mut state = t.initial_from_a(library_model());
-    let models: Vec<_> = (0..20).map(|i| synthetic_model(i % 7, (i % 3) + 1)).collect();
+    let models: Vec<_> = (0..20)
+        .map(|i| synthetic_model(i % 7, (i % 3) + 1))
+        .collect();
     for (i, m) in models.into_iter().enumerate() {
         if i % 2 == 0 {
             let (next, _) = t.put_a(state, m);
@@ -113,7 +167,7 @@ fn broken_symmetric_lens_is_caught() {
     // A putr that forgets to update the complement: (PutRL) fails, and
     // via Lemma 6, (PG1) fails at the bx level.
     let broken = esm::symmetric::SymLens::<i64, i64, i64>::new(
-        |a, _c| (a * 2, 0),  // complement always reset
+        |a, _c| (a * 2, 0),    // complement always reset
         |b, c| (b / 2 + c, c), // disagrees when c != 0
         0,
     );

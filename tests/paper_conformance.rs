@@ -3,14 +3,15 @@
 //! "table of contents" of the reproduction — if the library drifts from
 //! the paper, this file fails first.
 
-use esm::core::monadic::laws::{check_put_bx, check_roundtrip_put, check_roundtrip_set,
-    check_set_bx, LawOptions};
-use esm::core::monadic::{product::sets_commute_on, ProductBx, Pp2Set, Set2Pp, SetBx};
+use esm::core::monadic::laws::{
+    check_put_bx, check_roundtrip_put, check_roundtrip_set, check_set_bx, LawOptions,
+};
+use esm::core::monadic::{product::sets_commute_on, Pp2Set, ProductBx, Set2Pp, SetBx};
 use esm::core::state::Monadic;
 use esm::lens::combinators::fst;
 use esm::lens::AsymBx;
 use esm::monad::laws::{check_monad_laws, check_state_algebra};
-use esm::monad::{get, set, NonDetOf, MonadFamily, State, StateOf};
+use esm::monad::{get, set, MonadFamily, NonDetOf, State, StateOf};
 
 type Pair = (i64, i64);
 type MPair = StateOf<Pair>;
@@ -98,7 +99,13 @@ fn s3_1_set_bx_laws() {
     // Definition of set-bx: (GG), (GS), (SG) on both sides; (SS) defines
     // "overwriteable".
     let t: ProductBx<i64, i64> = ProductBx::new();
-    let v = check_set_bx::<MPair, _, _, _>(&t, &[1, 2], &[8, 9], &pair_ctx(), LawOptions::OVERWRITEABLE);
+    let v = check_set_bx::<MPair, _, _, _>(
+        &t,
+        &[1, 2],
+        &[8, 9],
+        &pair_ctx(),
+        LawOptions::OVERWRITEABLE,
+    );
     assert!(v.is_empty(), "{v:?}");
 }
 
@@ -106,7 +113,13 @@ fn s3_1_set_bx_laws() {
 fn s3_2_put_bx_laws() {
     // Definition of put-bx: (GG), (GP), (PG1), (PG2); (PP) = overwriteable.
     let u = Set2Pp(ProductBx::<i64, i64>::new());
-    let v = check_put_bx::<MPair, _, _, _>(&u, &[1, 2], &[8, 9], &pair_ctx(), LawOptions::OVERWRITEABLE);
+    let v = check_put_bx::<MPair, _, _, _>(
+        &u,
+        &[1, 2],
+        &[8, 9],
+        &pair_ctx(),
+        LawOptions::OVERWRITEABLE,
+    );
     assert!(v.is_empty(), "{v:?}");
 }
 
@@ -116,7 +129,13 @@ fn s3_3_lemma1_set2pp_preserves_lawfulness() {
     // (overwriteable) put-bx."
     let t = Monadic(AsymBx::new(fst::<i64, i64>()));
     let u = Set2Pp(t);
-    let v = check_put_bx::<MPair, _, _, _>(&u, &[(1i64, 2i64), (3, 4)], &[7i64, 8], &pair_ctx(), LawOptions::OVERWRITEABLE);
+    let v = check_put_bx::<MPair, _, _, _>(
+        &u,
+        &[(1i64, 2i64), (3, 4)],
+        &[7i64, 8],
+        &pair_ctx(),
+        LawOptions::OVERWRITEABLE,
+    );
     assert!(v.is_empty(), "{v:?}");
 }
 
@@ -126,7 +145,13 @@ fn s3_3_lemma2_pp2set_preserves_lawfulness() {
     // (overwriteable) set-bx."
     let u = Set2Pp(Monadic(AsymBx::new(fst::<i64, i64>())));
     let t = Pp2Set(u);
-    let v = check_set_bx::<MPair, _, _, _>(&t, &[(1i64, 2i64), (3, 4)], &[7i64, 8], &pair_ctx(), LawOptions::OVERWRITEABLE);
+    let v = check_set_bx::<MPair, _, _, _>(
+        &t,
+        &[(1i64, 2i64), (3, 4)],
+        &[7i64, 8],
+        &pair_ctx(),
+        LawOptions::OVERWRITEABLE,
+    );
     assert!(v.is_empty(), "{v:?}");
 }
 

@@ -2,12 +2,14 @@
 //! views over one database, concurrent-style edit interleavings, deltas,
 //! and the join lens across two tables.
 
-use esm::core::state::{BxSession, SbxOps};
+use esm::core::state::BxSession;
 use esm::lens::AsymBx;
-use esm::relational::testgen::{gen_orders_products, gen_people};
 use esm::relational::join::validate_join_sources;
+use esm::relational::testgen::{gen_orders_products, gen_people};
 use esm::relational::{join_dl_lens, select_lens, ViewDef};
-use esm::store::{row, Delta, Operand, Predicate, Query, Schema, Table, Value, ValueType, Database};
+use esm::store::{
+    row, Database, Delta, Operand, Predicate, Query, Schema, Table, Value, ValueType,
+};
 
 fn employees() -> Table {
     Table::from_rows(
@@ -34,7 +36,10 @@ fn employees() -> Table {
 fn two_views_of_one_table_stay_consistent() {
     // Two independent view definitions over the same base.
     let research = ViewDef::base()
-        .select(Predicate::eq(Operand::col("dept"), Operand::val("research")))
+        .select(Predicate::eq(
+            Operand::col("dept"),
+            Operand::val("research"),
+        ))
         .compile(&employees())
         .expect("compiles");
     let ops = ViewDef::base()
@@ -46,7 +51,8 @@ fn two_views_of_one_table_stay_consistent() {
 
     // Edit through view 1.
     let mut v1 = research.get(&base);
-    v1.upsert(row![1, "ada lovelace", "research", 91_000]).expect("fits");
+    v1.upsert(row![1, "ada lovelace", "research", 91_000])
+        .expect("fits");
     base = research.put(base, v1);
 
     // Edit through view 2 — sees the base already updated by view 1.
@@ -74,7 +80,8 @@ fn view_edits_report_minimal_deltas() {
     let mut view = lens.get(&base);
     assert_eq!(view.len(), 2);
 
-    view.upsert(row![3, "grace", "research", 99_000]).expect("fits");
+    view.upsert(row![3, "grace", "research", 99_000])
+        .expect("fits");
     let base2 = lens.put(base.clone(), view);
     let delta = Delta::between(&base, &base2).expect("same schema");
     // Exactly one row changed: one delete + one insert.
@@ -127,7 +134,10 @@ fn query_engine_and_lens_agree_on_select() {
 
     let mut db = Database::new();
     db.create_table("people", people).expect("fresh name");
-    let via_query = Query::scan("people").select(pred).eval(&db).expect("valid query");
+    let via_query = Query::scan("people")
+        .select(pred)
+        .eval(&db)
+        .expect("valid query");
 
     assert_eq!(via_lens, via_query);
 }

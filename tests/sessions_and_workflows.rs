@@ -6,7 +6,7 @@ use esm::algebraic::builders::interval_bx;
 use esm::algebraic::AlgBxOps;
 use esm::core::effectful::{Announce, EffSession};
 use esm::core::fallible::{Guarded, TrySession};
-use esm::core::state::{BxSession, SbxOps, UndoSession};
+use esm::core::state::{BxSession, UndoSession};
 use esm::lens::AsymBx;
 use esm::modelsync::scenarios::library_model;
 use esm::modelsync::{class_rdb_bx, ClassModel, RdbSchema};
@@ -16,7 +16,11 @@ use esm::store::{row, Operand, Predicate, Schema, Table, Value, ValueType};
 fn inventory_table() -> Table {
     Table::from_rows(
         Schema::build(
-            &[("sku", ValueType::Int), ("name", ValueType::Str), ("stock", ValueType::Int)],
+            &[
+                ("sku", ValueType::Int),
+                ("name", ValueType::Str),
+                ("stock", ValueType::Int),
+            ],
             &["sku"],
         )
         .expect("valid"),
@@ -94,7 +98,8 @@ fn transactional_rejection_guards_a_database_view() {
         AsymBx::new(lens),
         |_base: &Table| true,
         |view: &Table| {
-            view.rows().all(|r| r[2].as_int().map_or(false, |stock| stock >= 0))
+            view.rows()
+                .all(|r| r[2].as_int().is_some_and(|stock| stock >= 0))
         },
     );
     let mut sess = TrySession::new(inventory_table(), guarded);
@@ -129,7 +134,9 @@ fn relational_session_and_plain_session_agree() {
     let mut edit = server.read_view("in_stock").expect("defined");
     edit.upsert(row![9, "cog", 3]).expect("fits");
 
-    server.write_view("in_stock", edit.clone()).expect("applies");
+    server
+        .write_view("in_stock", edit.clone())
+        .expect("applies");
     plain.set_b(edit);
 
     assert_eq!(server.base(), &plain.a());

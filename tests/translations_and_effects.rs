@@ -3,14 +3,14 @@
 
 use esm::core::effectful::{Announce, MonadicEff};
 use esm::core::monadic::laws::{check_set_bx, LawOptions};
-use esm::core::monadic::{Pp2Set, Set2Pp, SetBx};
+use esm::core::monadic::Set2Pp;
 use esm::core::state::{IdBx, Monadic, PutToSet, SbxOps, SetToPut, WithHistory};
 use esm::lawcheck::gen::{int_range, string};
 use esm::lawcheck::putbx::check_put_ops;
 use esm::lawcheck::setbx::{check_roundtrip_ops, check_set_ops};
 use esm::lens::combinators::fst;
 use esm::lens::AsymBx;
-use esm::monad::{IoSimOf, MonadFamily, StateTOf};
+use esm::monad::{IoSimOf, StateTOf};
 
 // ---------------------------------------------------------------------
 // Lemmas 1–3 across instances.
@@ -21,7 +21,17 @@ fn lemma1_translated_lens_bx_is_a_lawful_put_bx() {
     let t = SetToPut(AsymBx::new(fst::<i64, String>()));
     let gen_s = int_range(-50..50).zip(&string(0..5));
     let gen_b = int_range(-50..50);
-    check_put_ops("set2pp(lens bx)", &t, &gen_s, &gen_s, &gen_b, 300, 401, true).assert_ok();
+    check_put_ops(
+        "set2pp(lens bx)",
+        &t,
+        &gen_s,
+        &gen_s,
+        &gen_b,
+        300,
+        401,
+        true,
+    )
+    .assert_ok();
 }
 
 #[test]
@@ -43,7 +53,17 @@ fn lemma2_translated_put_bx_is_a_lawful_set_bx() {
     let sym2 = sym.clone();
     let gen_s = gen_src.clone().map(move |a| sym2.initial_from_a(a));
     let gen_b = int_range(-50..50);
-    check_set_ops("pp2set(sym bx)", &t, &gen_s, &gen_src, &gen_b, 300, 403, true).assert_ok();
+    check_set_ops(
+        "pp2set(sym bx)",
+        &t,
+        &gen_s,
+        &gen_src,
+        &gen_b,
+        300,
+        403,
+        true,
+    )
+    .assert_ok();
 }
 
 #[test]
@@ -87,7 +107,8 @@ fn effectful_bx_fails_ss_exactly() {
     let t = MonadicEff(Announce::trivial_int());
     let ctx = (vec![0i64], ());
     let samples = [1i64, 2];
-    let v = check_set_bx::<Eff, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::OVERWRITEABLE);
+    let v =
+        check_set_bx::<Eff, i64, i64, _>(&t, &samples, &samples, &ctx, LawOptions::OVERWRITEABLE);
     assert!(!v.is_empty());
     assert!(v.iter().all(|viol| viol.law.starts_with("(SS)")), "{v:?}");
 }
@@ -96,11 +117,12 @@ fn effectful_bx_fails_ss_exactly() {
 fn effectful_wrapper_over_lens_bx_keeps_base_laws() {
     // §4: "we should be able to add similar stateful behaviour to any
     // (symmetric) lens or algebraic bx" — here: over the fst-lens bx.
-    let t = MonadicEff(Announce::new(AsymBx::new(fst::<i64, String>()), "src!", "view!"));
-    let ctx = (
-        vec![(0i64, "x".to_string()), (5, "y".to_string())],
-        (),
-    );
+    let t = MonadicEff(Announce::new(
+        AsymBx::new(fst::<i64, String>()),
+        "src!",
+        "view!",
+    ));
+    let ctx = (vec![(0i64, "x".to_string()), (5, "y".to_string())], ());
     let samples_a = [(1i64, "x".to_string()), (5, "y".to_string())];
     let samples_b = [3i64, 5];
     let v = check_set_bx::<StateTOf<(i64, String), IoSimOf>, _, _, _>(
@@ -138,9 +160,27 @@ fn history_wrapped_lens_bx_keeps_base_laws_but_not_ss() {
     let gen_src = int_range(-20..20).zip(&string(0..4));
     let gen_s = gen_src.clone().map(|s| (s, Vec::new()));
     let gen_b = int_range(-20..20);
-    check_set_ops("history(lens) base", &t, &gen_s, &gen_src, &gen_b, 200, 406, false)
-        .assert_ok();
-    let r = check_set_ops("history(lens) ss", &t, &gen_s, &gen_src, &gen_b, 200, 407, true);
+    check_set_ops(
+        "history(lens) base",
+        &t,
+        &gen_s,
+        &gen_src,
+        &gen_b,
+        200,
+        406,
+        false,
+    )
+    .assert_ok();
+    let r = check_set_ops(
+        "history(lens) ss",
+        &t,
+        &gen_s,
+        &gen_src,
+        &gen_b,
+        200,
+        407,
+        true,
+    );
     assert!(!r.is_ok());
     assert!(r.failed_laws().iter().all(|l| l.starts_with("(SS)")));
 }

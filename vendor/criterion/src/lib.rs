@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A light timing harness exposing the API surface this workspace's bench
+//! targets use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`]. Statistics are simple (median of timed batches,
+//! no bootstrap/outlier analysis), which is plenty for trend tracking.
+//!
+//! Every measurement is also recorded in-process; [`criterion_main!`]
+//! flushes them to `BENCH_<executable>.json` (override the directory with
+//! `BENCH_JSON_DIR`, disable with `BENCH_JSON=0`) so each `cargo bench` run
+//! leaves a machine-readable perf-trajectory artifact.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Fully-qualified benchmark id (`group/function`).
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Total iterations timed.
+    pub iterations: u64,
+}
+
+fn recorder() -> &'static Mutex<Vec<Measurement>> {
+    static RECORDS: OnceLock<Mutex<Vec<Measurement>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// All measurements recorded so far in this process.
+pub fn recorded_measurements() -> Vec<Measurement> {
+    recorder().lock().expect("recorder lock").clone()
+}
+
+/// Serialize measurements as a JSON array (hand-rolled: no serde
+/// offline). Record shape is `{id, median_ns, note}` — the same schema
+/// `esm-bench`'s `BenchResults` emitter uses, so every `BENCH_*.json`
+/// artifact in this workspace can be diffed by one tool.
+pub fn measurements_to_json(measurements: &[Measurement]) -> String {
+    let rows: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"note\": \"{} iters\"}}",
+                m.id.replace('\\', "\\\\").replace('"', "\\\""),
+                m.median_ns,
+                m.iterations
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Write the recorded measurements to `BENCH_<name>.json`. Returns the
+/// path written, or `None` when disabled or nothing was recorded.
+pub fn flush_results_json(name: &str) -> Option<std::path::PathBuf> {
+    if std::env::var("BENCH_JSON").is_ok_and(|v| v == "0") {
+        return None;
+    }
+    let measurements = recorded_measurements();
+    if measurements.is_empty() {
+        return None;
+    }
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, measurements_to_json(&measurements)).ok()?;
+    Some(path)
+}
+
+/// The name of the current executable, for the JSON artifact.
+pub fn executable_name() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        // cargo bench appends a -<hash> suffix; strip it for stable names.
+        .map(|s| match s.rfind('-') {
+            Some(i)
+                if s[i + 1..].len() == 16 && s[i + 1..].bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                s[..i].to_string()
+            }
+            _ => s,
+        })
+        .unwrap_or_else(|| "bench".to_string())
+}
+
+/// Identifies one benchmark within a group, usually a name plus a
+/// parameter (e.g. an input size).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A parameterised id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, recording the median ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size a batch so one batch is ~1/10 of the
+        // measurement budget (at least one call).
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut calls: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / calls.max(1) as f64;
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let samples = self.config.sample_size.max(2);
+        let batch =
+            ((budget_ns / samples as f64 / per_call.max(1.0)).round() as u64).clamp(1, 1_000_000);
+
+        let mut timings: Vec<f64> = Vec::with_capacity(samples);
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            timings.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+        }
+        timings.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.result = Some((timings[timings.len() / 2], total_iters));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark manager (offline stand-in).
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Builder: number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Builder: warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Builder: measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Criterion {
+        let id: BenchmarkId = id.into();
+        run_one(&self.config, &id.id, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: &self.config,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    config: &'a Config,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        run_one(self.config, &format!("{}/{}", self.name, id.id), f);
+        self
+    }
+
+    /// Run one benchmark that closes over an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (reporting happens eagerly; this is a no-op hook).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Config, id: &str, mut f: F) {
+    let mut b = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut b);
+    let (median_ns, iterations) = b.result.unwrap_or((f64::NAN, 0));
+    println!(
+        "{id:<60} time: {:>12} /iter ({iterations} iters)",
+        fmt_ns(median_ns)
+    );
+    recorder().lock().expect("recorder lock").push(Measurement {
+        id: id.to_string(),
+        median_ns,
+        iterations,
+    });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Define a benchmark group runner, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given groups, then flush `BENCH_*.json`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            if let Some(path) = $crate::flush_results_json(&$crate::executable_name()) {
+                println!("wrote {}", path.display());
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sized", 4), &4usize, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        g.finish();
+        let recs = recorded_measurements();
+        assert!(recs.iter().any(|m| m.id == "shim/noop"));
+        assert!(recs.iter().any(|m| m.id == "shim/sized/4"));
+        assert!(recs.iter().all(|m| m.median_ns >= 0.0 && m.iterations > 0));
+        let json = measurements_to_json(&recs);
+        assert!(json.contains("\"id\": \"shim/noop\""));
+    }
+}

@@ -1,0 +1,437 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`, [`arbitrary::any`],
+//! integer-range / string-pattern / tuple strategies, and
+//! [`collection::vec`] / [`collection::btree_map`].
+//!
+//! Differences from the real crate (acceptable for offline CI):
+//! - no shrinking: a failing case panics with the generated inputs in scope;
+//! - integer `any` biases toward small magnitudes instead of the full range;
+//! - string strategies support character-class patterns `[x-y]{m,n}` only.
+//!
+//! Case count defaults to 64 and honours `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `&str` strategies: a character-class pattern `[x-y]{m,n}` (or a
+    /// literal string when the pattern syntax is absent).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pat: &str, rng: &mut StdRng) -> String {
+        let bytes = pat.as_bytes();
+        if bytes.first() != Some(&b'[') {
+            return pat.to_string();
+        }
+        let close = match pat.find(']') {
+            Some(i) => i,
+            None => return pat.to_string(),
+        };
+        // Collect the class alternatives (ranges like a-z or single chars).
+        let mut choices: Vec<(u8, u8)> = Vec::new();
+        let class = &bytes[1..close];
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == b'-' {
+                choices.push((class[i], class[i + 2]));
+                i += 3;
+            } else {
+                choices.push((class[i], class[i]));
+                i += 1;
+            }
+        }
+        if choices.is_empty() {
+            return pat.to_string();
+        }
+        // Parse the repetition {m,n} (or {n}); default is exactly one.
+        let rest = &pat[close + 1..];
+        let (lo, hi) = if let Some(stripped) = rest.strip_prefix('{') {
+            let inner = stripped.trim_end_matches('}');
+            match inner.split_once(',') {
+                Some((a, b)) => (
+                    a.parse::<usize>().unwrap_or(0),
+                    b.parse::<usize>().unwrap_or(0),
+                ),
+                None => {
+                    let n = inner.parse::<usize>().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let len = rand::Rng::gen_range(rng, lo..=hi);
+        (0..len)
+            .map(|_| {
+                let (a, b) = choices[rand::Rng::gen_range(rng, 0..choices.len())];
+                rand::Rng::gen_range(rng, a..=b) as char
+            })
+            .collect()
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy! {
+        (S0 0)
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+        (S0 0, S1 1, S2 2, S3 3, S4 4)
+    }
+}
+
+/// `any::<T>()` and the [`arbitrary::Arbitrary`] trait.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one canonical-strategy value.
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> $t {
+                    // Bias toward small magnitudes (like proptest's default
+                    // integer distribution) so law arithmetic stays far from
+                    // overflow; occasionally produce wider values.
+                    let wide = match rng.gen_range(0..4u8) {
+                        0 => rng.gen_range(-2i64..=2),
+                        1 | 2 => rng.gen_range(-100i64..=100),
+                        _ => rng.gen_range(-10_000i64..=10_000),
+                    };
+                    wide.clamp(<$t>::MIN as i64 / 2, <$t>::MAX as i64 / 2) as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(i8, i16, i32, i64);
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> $t {
+                    let wide = match rng.gen_range(0..4u8) {
+                        0 => rng.gen_range(0i64..=2),
+                        1 | 2 => rng.gen_range(0i64..=100),
+                        _ => rng.gen_range(0i64..=10_000),
+                    };
+                    wide.clamp(0, <$t>::MAX as i64 / 2) as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32);
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut StdRng) -> char {
+            rng.gen_range(b'a'..=b'z') as char
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+
+    /// A size specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.size.sample(rng))
+                .map(|_| self.elem.generate(rng))
+                .collect()
+        }
+    }
+
+    /// A `Vec` of values from `elem`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// A `BTreeMap` with up to `size` entries (duplicate keys collapse).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases per property: `PROPTEST_CASES` or 64.
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// A deterministic RNG derived from the property name.
+    pub fn rng_for(name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// The property-test macro: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut prop_rng = $crate::test_runner::rng_for(stringify!($name));
+                for _case in 0..cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut prop_rng); )+
+                    { $body }
+                }
+            }
+        )+
+    };
+}
+
+/// Assertion inside a property (no shrinking: panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::rng_for;
+
+    #[test]
+    fn string_pattern_generates_within_class_and_length() {
+        let mut rng = rng_for("string_pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+        let empty_ok = Strategy::generate(&"[a-z]{0,4}", &mut rng);
+        assert!(empty_ok.len() <= 4);
+    }
+
+    #[test]
+    fn collections_respect_size_bounds() {
+        let mut rng = rng_for("collections");
+        for _ in 0..100 {
+            let v = Strategy::generate(&super::collection::vec(0i64..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+            let m = Strategy::generate(
+                &super::collection::btree_map(0i64..50, "[a-z]{1,3}", 0..8),
+                &mut rng,
+            );
+            assert!(m.len() < 8);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_runs(x in 0i64..100, flag in any::<bool>(), s in "[a-c]{1,2}") {
+            prop_assert!((0..100).contains(&x));
+            prop_assert_eq!(flag as u8 <= 1, true);
+            prop_assert!(!s.is_empty() && s.len() <= 2);
+        }
+    }
+}
