@@ -1,0 +1,212 @@
+//! Checkpoints: durable snapshots of the committed database at a known
+//! WAL sequence number.
+//!
+//! A checkpoint file `checkpoint-<seq, zero-padded>.ckpt` holds:
+//!
+//! ```text
+//! !checkpoint seq=<seq>
+//! <database snapshot, the esm_store::snapshot text format>
+//! !end
+//! ```
+//!
+//! Recovery loads the newest *valid* checkpoint and replays only WAL
+//! records with `seq > checkpoint.seq`, instead of replaying from
+//! genesis. Validity matters because a crash can interrupt a checkpoint:
+//! files are written to a temporary name, fsynced, then renamed into
+//! place (atomic on POSIX), and the `!end` trailer guards against
+//! filesystems that lie about rename atomicity — a checkpoint missing its
+//! trailer is ignored and recovery falls back to the previous one.
+//!
+//! Compaction follows from checkpoints: every segment whose records are
+//! all covered by the newest checkpoint can be deleted (see
+//! [`crate::DurableWal::checkpoint`]).
+
+use std::path::{Path, PathBuf};
+
+use esm_store::{decode_database, encode_database, Database};
+
+use crate::error::EngineError;
+
+/// Filename extension of checkpoint files.
+pub const CHECKPOINT_SUFFIX: &str = ".ckpt";
+
+/// The file name of the checkpoint covering `seq`.
+pub fn checkpoint_file_name(seq: u64) -> String {
+    format!("checkpoint-{seq:020}{CHECKPOINT_SUFFIX}")
+}
+
+/// Parse a checkpoint file name back to the sequence number it covers.
+pub fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("checkpoint-")?
+        .strip_suffix(CHECKPOINT_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// A decoded checkpoint: the database state after applying every WAL
+/// record with `seq <= seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The WAL sequence number this snapshot covers.
+    pub seq: u64,
+    /// The committed database at that point.
+    pub db: Database,
+}
+
+impl Checkpoint {
+    /// Render the checkpoint file content.
+    pub fn encode(&self) -> String {
+        format!(
+            "!checkpoint seq={}\n{}!end\n",
+            self.seq,
+            encode_database(&self.db)
+        )
+    }
+
+    /// Parse checkpoint file content, validating header and trailer.
+    pub fn decode(text: &str) -> Result<Checkpoint, EngineError> {
+        let rest = text.strip_prefix("!checkpoint seq=").ok_or_else(|| {
+            EngineError::WalCorrupt("checkpoint missing !checkpoint header".into())
+        })?;
+        let (seq_str, body) = rest
+            .split_once('\n')
+            .ok_or_else(|| EngineError::WalCorrupt("truncated checkpoint header".into()))?;
+        let seq: u64 = seq_str
+            .parse()
+            .map_err(|_| EngineError::WalCorrupt(format!("bad checkpoint seq: {seq_str}")))?;
+        let body = body.strip_suffix("!end\n").ok_or_else(|| {
+            EngineError::WalCorrupt("checkpoint missing !end trailer (torn write?)".into())
+        })?;
+        let db = decode_database(body)
+            .map_err(|e| EngineError::WalCorrupt(format!("checkpoint snapshot: {e}")))?;
+        Ok(Checkpoint { seq, db })
+    }
+
+    /// Write this checkpoint into `dir` atomically: temp file, fsync,
+    /// rename, fsync the directory. Returns the final path.
+    pub fn write_atomic(&self, dir: &Path) -> Result<PathBuf, EngineError> {
+        let final_path = dir.join(checkpoint_file_name(self.seq));
+        let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(self.seq)));
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp_path)?;
+            f.write_all(self.encode().as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        sync_dir(dir)?;
+        Ok(final_path)
+    }
+}
+
+/// fsync a directory so renames/creates/unlinks inside it are durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), EngineError> {
+    // Directory fsync is supported on Linux; on platforms where opening a
+    // directory fails, fall back to best effort (the rename itself is
+    // still atomic).
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
+}
+
+/// Load the newest valid checkpoint in `dir`, skipping unreadable or
+/// torn ones (a crash mid-checkpoint must fall back, not fail recovery).
+/// Returns the checkpoint and how many corrupt candidates were skipped.
+pub fn latest_valid_checkpoint(dir: &Path) -> Result<(Option<Checkpoint>, u64), EngineError> {
+    let mut seqs: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    let mut skipped = 0;
+    for seq in seqs.into_iter().rev() {
+        let path = dir.join(checkpoint_file_name(seq));
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(EngineError::from)
+            .and_then(|text| Checkpoint::decode(&text));
+        match parsed {
+            Ok(ckpt) if ckpt.seq == seq => return Ok((Some(ckpt), skipped)),
+            _ => skipped += 1,
+        }
+    }
+    Ok((None, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_store::{row, Schema, Table, ValueType};
+
+    fn db() -> Database {
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"]).unwrap();
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Table::from_rows(schema, vec![row![1, "a"], row![2, "b"]]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("esm-checkpoint-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn names_round_trip_and_sort() {
+        assert_eq!(parse_checkpoint_name(&checkpoint_file_name(42)), Some(42));
+        assert!(checkpoint_file_name(9) < checkpoint_file_name(10));
+        assert_eq!(parse_checkpoint_name("wal-1.seg"), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let c = Checkpoint { seq: 7, db: db() };
+        assert_eq!(Checkpoint::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn truncated_checkpoints_are_rejected() {
+        let text = Checkpoint { seq: 7, db: db() }.encode();
+        for cut in 0..text.len() {
+            assert!(
+                Checkpoint::decode(&text[..cut]).is_err(),
+                "cut at {cut} must not decode (missing trailer)"
+            );
+        }
+    }
+
+    #[test]
+    fn latest_valid_skips_torn_newer_checkpoints() {
+        let dir = tmp_dir("skip-torn");
+        Checkpoint { seq: 5, db: db() }.write_atomic(&dir).unwrap();
+        // A newer checkpoint whose write was interrupted (no trailer).
+        std::fs::write(
+            dir.join(checkpoint_file_name(9)),
+            "!checkpoint seq=9\n%table t\n",
+        )
+        .unwrap();
+        let (found, skipped) = latest_valid_checkpoint(&dir).unwrap();
+        assert_eq!(found.unwrap().seq, 5);
+        assert_eq!(skipped, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_has_no_checkpoint() {
+        let dir = tmp_dir("empty");
+        let (found, skipped) = latest_valid_checkpoint(&dir).unwrap();
+        assert!(found.is_none());
+        assert_eq!(skipped, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

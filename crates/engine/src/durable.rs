@@ -1,0 +1,853 @@
+//! The durable WAL backend: file-backed segments + checkpoints.
+//!
+//! [`DurableWal`] owns one directory and keeps three things in step:
+//!
+//! * an **active segment file** receiving encoded [`WalRecord`]s, synced
+//!   by group commit (one fsync per `group_commit` appends) and rotated
+//!   once it passes `segment_bytes`;
+//! * a **shadow database** — the baseline plus every appended record,
+//!   maintained in place so a checkpoint can serialize the committed
+//!   state without replaying anything;
+//! * the **newest checkpoint**, written atomically; compaction deletes
+//!   every segment (and older checkpoint) fully covered by it.
+//!
+//! ## Recovery state machine ([`DurableWal::open`])
+//!
+//! 1. **Checkpoint scan** — pick the newest checkpoint that decodes and
+//!    carries its `!end` trailer; torn ones (crash mid-checkpoint) are
+//!    skipped in favour of an older valid one.
+//! 2. **Segment scan** — read every `wal-*.seg` in name order and decode
+//!    the longest complete-record prefix of each
+//!    ([`crate::segment::decode_segment_prefix`]); a torn tail is legal
+//!    only where a crash can produce one — after the last durable record.
+//! 3. **Plan** ([`plan_recovery`]) — walk the records in order, skipping
+//!    *stale* ones (seq already covered by the checkpoint or an earlier
+//!    segment — duplicate/stale segment files are tolerated, never
+//!    re-applied), requiring the rest to continue `checkpoint_seq`
+//!    contiguously; a gap or a record following a torn segment is real
+//!    corruption and fails recovery.
+//! 4. **Repair** — torn tails are truncated off their files so the
+//!    directory is clean again, and a fresh active segment is opened at
+//!    `last_seq + 1`.
+//!
+//! The crash-recovery suite drives step 1–3 at every byte offset of a
+//! recorded run and asserts the recovered state equals the live state at
+//! the longest durable prefix — the paper's equivalence claim (state
+//! rebuilt by replaying the log ≡ state observed live) made exhaustive.
+//!
+//! ## Durability contract
+//!
+//! With `group_commit = 1` every acknowledged commit is on disk before
+//! the commit call returns. With `group_commit = n`, up to `n - 1`
+//! acknowledged records may be lost to a crash (they are never torn —
+//! recovery trims to a record boundary). One WAL record is the durability
+//! unit: a multi-table transaction that crashed between its records
+//! recovers its prefix (see ROADMAP: commit markers are a follow-on).
+//!
+//! Write-path failures are **fail-stop**: once an append, fsync or
+//! checkpoint write errors, bytes may or may not have reached the disk,
+//! so the log poisons itself — the failed commit is reported to its
+//! caller, the engine's live state is not advanced, and every later
+//! durable write refuses with a pointer to restart-and-recover. Recovery
+//! then re-derives the truth from the files (a record whose bytes did
+//! land is replayed; one whose bytes did not is gone — either way a
+//! clean prefix, the usual fsync-failure gray zone made explicit).
+
+use std::path::{Path, PathBuf};
+
+use esm_store::Database;
+
+use crate::checkpoint::{checkpoint_file_name, latest_valid_checkpoint, Checkpoint};
+use crate::checkpoint::{parse_checkpoint_name, sync_dir};
+use crate::error::EngineError;
+use crate::metrics::WalStats;
+use crate::segment::{
+    decode_segment_prefix, parse_segment_name, segment_file_name, DiskFile, SegmentPrefix,
+    SegmentWriter,
+};
+use crate::wal::WalRecord;
+
+/// Whether (and how) an engine persists its WAL.
+#[derive(Debug, Clone, Default)]
+pub enum Durability {
+    /// Keep the WAL in memory only (the default; tests and benches).
+    #[default]
+    InMemory,
+    /// Persist to file-backed segments with checkpoints.
+    Durable(DurabilityConfig),
+}
+
+impl Durability {
+    /// Durable persistence into `dir` with default tuning.
+    pub fn durable(dir: impl Into<PathBuf>) -> Durability {
+        Durability::Durable(DurabilityConfig::new(dir))
+    }
+}
+
+/// Tuning for a durable WAL directory.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding segments and checkpoints (created if absent).
+    pub dir: PathBuf,
+    /// Rotate to a fresh segment file once the active one reaches this
+    /// many bytes.
+    pub segment_bytes: u64,
+    /// Group commit: fsync once per this many appended records. 1 = sync
+    /// every record (strongest durability); larger values batch, trading
+    /// the tail of acknowledged-but-unsynced records on crash for fewer
+    /// fsyncs.
+    pub group_commit: usize,
+    /// Write a checkpoint (and compact) every this many records; 0 =
+    /// only on explicit [`DurableWal::checkpoint`] calls.
+    pub checkpoint_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Defaults: 64 KiB segments, sync every record, checkpoint every
+    /// 256 records.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            segment_bytes: 64 * 1024,
+            group_commit: 1,
+            checkpoint_every: 256,
+        }
+    }
+
+    /// Set the segment rotation threshold.
+    pub fn segment_bytes(mut self, bytes: u64) -> DurabilityConfig {
+        self.segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// Set the group-commit batch size.
+    pub fn group_commit(mut self, records: usize) -> DurabilityConfig {
+        self.group_commit = records.max(1);
+        self
+    }
+
+    /// Set the automatic checkpoint interval (0 disables).
+    pub fn checkpoint_every(mut self, records: u64) -> DurabilityConfig {
+        self.checkpoint_every = records;
+        self
+    }
+}
+
+/// What a recovery pass found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint recovery started from.
+    pub checkpoint_seq: u64,
+    /// The last durable sequence number.
+    pub last_seq: u64,
+    /// Records replayed on top of the checkpoint
+    /// (`last_seq - checkpoint_seq`; strictly fewer than a
+    /// replay-from-genesis whenever a later checkpoint exists).
+    pub records_replayed: u64,
+    /// Stale/duplicate records skipped (from segments already covered by
+    /// the checkpoint or by earlier segments).
+    pub stale_skipped: u64,
+    /// Segment files scanned.
+    pub segments_scanned: u64,
+    /// Torn tail bytes truncated off segment files.
+    pub torn_bytes: u64,
+    /// Corrupt or torn checkpoint files skipped over.
+    pub corrupt_checkpoints_skipped: u64,
+}
+
+/// One scanned segment, ready for [`plan_recovery`].
+#[derive(Debug, Clone)]
+pub struct ScannedSegment {
+    /// First sequence number, from the file name.
+    pub first_seq: u64,
+    /// The decoded complete-record prefix.
+    pub prefix: SegmentPrefix,
+}
+
+/// Decide which records a set of scanned segments contributes on top of
+/// a checkpoint. Pure: the crash-recovery harness calls this directly at
+/// every truncation offset without touching a filesystem.
+///
+/// Segments must be ordered by `first_seq`. Stale records (seq already
+/// covered) are skipped, never re-applied; surviving records must extend
+/// `checkpoint_seq` contiguously. A torn segment is accepted, but any
+/// *new* record after one means bytes went missing mid-log — corruption,
+/// not a crash artifact — and fails with `WalCorrupt`.
+pub fn plan_recovery(
+    checkpoint_seq: u64,
+    segments: &[ScannedSegment],
+) -> Result<(Vec<WalRecord>, u64), EngineError> {
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut last = checkpoint_seq;
+    let mut stale = 0u64;
+    let mut torn_at: Option<u64> = None;
+    for seg in segments {
+        for rec in &seg.prefix.records {
+            if rec.seq <= last {
+                stale += 1;
+                continue;
+            }
+            if let Some(first) = torn_at {
+                return Err(EngineError::WalCorrupt(format!(
+                    "record seq {} follows a torn segment (first seq {first}): log bytes are missing mid-history",
+                    rec.seq
+                )));
+            }
+            if rec.seq != last + 1 {
+                return Err(EngineError::WalCorrupt(format!(
+                    "sequence gap in recovery: expected {}, found {}",
+                    last + 1,
+                    rec.seq
+                )));
+            }
+            records.push(rec.clone());
+            last += 1;
+        }
+        if seg.prefix.torn {
+            torn_at = Some(seg.first_seq);
+        }
+    }
+    Ok((records, stale))
+}
+
+/// Scan a directory's segment files (sorted, decoded). Shared by
+/// [`DurableWal::open`] and the recovery benchmarks.
+pub fn scan_segments(dir: &Path) -> Result<Vec<ScannedSegment>, EngineError> {
+    let mut firsts: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(first) = entry.file_name().to_str().and_then(parse_segment_name) {
+            firsts.push(first);
+        }
+    }
+    firsts.sort_unstable();
+    let mut segments = Vec::with_capacity(firsts.len());
+    for first_seq in firsts {
+        let bytes = std::fs::read(dir.join(segment_file_name(first_seq)))?;
+        segments.push(ScannedSegment {
+            first_seq,
+            prefix: decode_segment_prefix(&bytes),
+        });
+    }
+    Ok(segments)
+}
+
+/// A file-backed WAL: segments + checkpoints in one directory.
+///
+/// Single-writer: the engine serializes appends under its WAL lock. The
+/// directory must belong to one live engine at a time.
+#[derive(Debug)]
+pub struct DurableWal {
+    config: DurabilityConfig,
+    writer: SegmentWriter<DiskFile>,
+    shadow: Database,
+    last_seq: u64,
+    checkpoint_seq: u64,
+    stats: WalStats,
+    /// Set on the first write-path failure; all further writes refuse.
+    poisoned: Option<String>,
+}
+
+impl DurableWal {
+    /// Initialise a fresh durable WAL in `config.dir`: writes the genesis
+    /// checkpoint (seq 0 = `baseline`) and opens the first segment.
+    /// Refuses a directory that already holds a log — use
+    /// [`DurableWal::open`] to recover one.
+    pub fn create(
+        config: DurabilityConfig,
+        baseline: &Database,
+    ) -> Result<DurableWal, EngineError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let occupied = std::fs::read_dir(&config.dir)?
+            .filter_map(|e| e.ok())
+            .any(|e| {
+                let name = e.file_name();
+                let name = name.to_str().unwrap_or("");
+                parse_segment_name(name).is_some() || parse_checkpoint_name(name).is_some()
+            });
+        if occupied {
+            return Err(EngineError::Io(format!(
+                "{} already contains a durable WAL; recover it instead of re-creating",
+                config.dir.display()
+            )));
+        }
+        let mut stats = WalStats::default();
+        Checkpoint {
+            seq: 0,
+            db: baseline.clone(),
+        }
+        .write_atomic(&config.dir)?;
+        stats.checkpoints += 1;
+        let writer = open_segment(&config.dir, 1)?;
+        Ok(DurableWal {
+            config,
+            writer,
+            shadow: baseline.clone(),
+            last_seq: 0,
+            checkpoint_seq: 0,
+            stats,
+            poisoned: None,
+        })
+    }
+
+    /// Recover a durable WAL directory (see the module docs for the state
+    /// machine). Returns the log handle, the recovered committed
+    /// database, and a report of what recovery did.
+    pub fn open(
+        config: DurabilityConfig,
+    ) -> Result<(DurableWal, Database, RecoveryReport), EngineError> {
+        let (ckpt, corrupt_skipped) = latest_valid_checkpoint(&config.dir)?;
+        let ckpt = ckpt.ok_or_else(|| {
+            EngineError::WalCorrupt(format!(
+                "{} holds no valid checkpoint: not a durable WAL directory",
+                config.dir.display()
+            ))
+        })?;
+        let segments = scan_segments(&config.dir)?;
+        let (records, stale_skipped) = plan_recovery(ckpt.seq, &segments)?;
+
+        // Housekeeping: a crash between a checkpoint's temp-file write
+        // and its rename strands a `*.tmp` that nothing else will ever
+        // look at; sweep them here so they cannot accumulate.
+        for entry in std::fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.ends_with(".tmp"))
+            {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+
+        // Repair: truncate torn tails so the next scan sees clean files.
+        let mut torn_bytes = 0u64;
+        for seg in &segments {
+            if seg.prefix.torn {
+                let path = config.dir.join(segment_file_name(seg.first_seq));
+                let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+                let full = file.metadata()?.len();
+                torn_bytes += full - seg.prefix.consumed as u64;
+                file.set_len(seg.prefix.consumed as u64)?;
+                file.sync_data()?;
+            }
+        }
+
+        let mut db = ckpt.db;
+        for rec in &records {
+            apply_in_place(&mut db, rec)?;
+        }
+        let last_seq = ckpt.seq + records.len() as u64;
+        let report = RecoveryReport {
+            checkpoint_seq: ckpt.seq,
+            last_seq,
+            records_replayed: records.len() as u64,
+            stale_skipped,
+            segments_scanned: segments.len() as u64,
+            torn_bytes,
+            corrupt_checkpoints_skipped: corrupt_skipped,
+        };
+        let writer = open_segment(&config.dir, last_seq + 1)?;
+        Ok((
+            DurableWal {
+                config,
+                shadow: db.clone(),
+                writer,
+                last_seq,
+                checkpoint_seq: ckpt.seq,
+                stats: WalStats::default(),
+                poisoned: None,
+            },
+            db,
+            report,
+        ))
+    }
+
+    /// Refuse further writes once a write-path failure happened: bytes
+    /// (or a sync) may or may not have reached the disk, so the only
+    /// honest sequence-number authority left is the log itself, via
+    /// restart + [`DurableWal::open`]. Fail-stop beats guessing.
+    fn guard(&self) -> Result<(), EngineError> {
+        match &self.poisoned {
+            Some(cause) => Err(EngineError::Io(format!(
+                "durable WAL poisoned by an earlier failure ({cause}); \
+                 restart and recover the directory"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Poison this log if `result` is an error (write-path side effects
+    /// may have partially landed).
+    fn poisoning<T>(&mut self, result: Result<T, EngineError>) -> Result<T, EngineError> {
+        if let Err(e) = &result {
+            self.poisoned = Some(e.to_string());
+        }
+        result
+    }
+
+    /// Append one record: write-ahead to the active segment, group
+    /// commit, rotate and auto-checkpoint per config. The record's seq
+    /// must continue the log exactly (checked *before* any side effect;
+    /// a seq rejection leaves the log fully usable). Any failure past
+    /// that point poisons the log — see [`DurableWal::guard`].
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), EngineError> {
+        self.guard()?;
+        if record.seq <= self.last_seq {
+            return Err(EngineError::DuplicateSeq {
+                seq: record.seq,
+                last: self.last_seq,
+            });
+        }
+        if record.seq != self.last_seq + 1 {
+            return Err(EngineError::WalCorrupt(format!(
+                "durable append would leave a gap: expected {}, got {}",
+                self.last_seq + 1,
+                record.seq
+            )));
+        }
+        let appended = self.append_inner(record);
+        self.poisoning(appended)?;
+        if self.config.checkpoint_every > 0
+            && self.last_seq - self.checkpoint_seq >= self.config.checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn append_inner(&mut self, record: &WalRecord) -> Result<(), EngineError> {
+        let bytes = self.writer.append(record)?;
+        self.stats.appends += 1;
+        self.stats.bytes_written += bytes;
+        apply_in_place(&mut self.shadow, record)?;
+        self.last_seq = record.seq;
+        if self.writer.pending() >= self.config.group_commit {
+            self.sync_inner()?;
+        }
+        if self.writer.bytes() >= self.config.segment_bytes {
+            self.rotate_inner()?;
+        }
+        Ok(())
+    }
+
+    /// Force-fsync any records the group-commit batch is still holding.
+    pub fn sync(&mut self) -> Result<(), EngineError> {
+        self.guard()?;
+        let synced = self.sync_inner();
+        self.poisoning(synced)
+    }
+
+    fn sync_inner(&mut self) -> Result<(), EngineError> {
+        if self.writer.sync()? {
+            self.stats.syncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Sync the active segment and open a fresh one at `last_seq + 1`.
+    fn rotate_inner(&mut self) -> Result<(), EngineError> {
+        self.sync_inner()?;
+        self.writer = open_segment(&self.config.dir, self.last_seq + 1)?;
+        self.stats.rotations += 1;
+        Ok(())
+    }
+
+    /// Write a checkpoint at the current seq, then compact. Returns the
+    /// sequence number the checkpoint covers.
+    pub fn checkpoint(&mut self) -> Result<u64, EngineError> {
+        self.guard()?;
+        let written = self.checkpoint_inner();
+        self.poisoning(written)?;
+        // Compaction failures are not poisonous: a leftover covered
+        // segment or old checkpoint wastes disk but corrupts nothing
+        // (recovery skips its records as stale).
+        self.compact()?;
+        Ok(self.last_seq)
+    }
+
+    fn checkpoint_inner(&mut self) -> Result<(), EngineError> {
+        self.sync_inner()?;
+        Checkpoint {
+            seq: self.last_seq,
+            db: self.shadow.clone(),
+        }
+        .write_atomic(&self.config.dir)?;
+        self.checkpoint_seq = self.last_seq;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Drop history no recovery will ever need. The two newest
+    /// checkpoints are retained — if the newest turns out torn (a
+    /// filesystem that lied about the atomic rename), recovery falls
+    /// back to the previous one — so the compaction horizon is the
+    /// *older* retained checkpoint: checkpoints below it are deleted,
+    /// and so is every segment fully covered by it (a segment is covered
+    /// when the *next* segment starts at or before `horizon + 1`; the
+    /// active segment has no successor and is never deleted). Returns
+    /// how many segment files were removed.
+    pub fn compact(&mut self) -> Result<u64, EngineError> {
+        let mut firsts: Vec<u64> = Vec::new();
+        let mut ckpts: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&self.config.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_str().unwrap_or("");
+            if let Some(first) = parse_segment_name(name) {
+                firsts.push(first);
+            } else if let Some(seq) = parse_checkpoint_name(name) {
+                ckpts.push(seq);
+            }
+        }
+        firsts.sort_unstable();
+        ckpts.sort_unstable();
+        let horizon = match ckpts.len() {
+            0 | 1 => return Ok(0), // nothing is safely coverable yet
+            n => ckpts[n - 2],
+        };
+        let mut removed = 0u64;
+        for pair in firsts.windows(2) {
+            if pair[1] <= horizon + 1 {
+                std::fs::remove_file(self.config.dir.join(segment_file_name(pair[0])))?;
+                removed += 1;
+            }
+        }
+        for &seq in &ckpts[..ckpts.len() - 2] {
+            std::fs::remove_file(self.config.dir.join(checkpoint_file_name(seq)))?;
+        }
+        self.stats.segments_compacted += removed;
+        sync_dir(&self.config.dir)?;
+        Ok(removed)
+    }
+
+    /// The last appended sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// The sequence number covered by the newest checkpoint.
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq
+    }
+
+    /// The committed state as the durable log sees it (baseline plus
+    /// every appended record). Equals the engine's live committed state;
+    /// the test suites assert it.
+    pub fn state(&self) -> &Database {
+        &self.shadow
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Durability counters (appends, syncs, rotations, checkpoints, …).
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+}
+
+fn open_segment(dir: &Path, first_seq: u64) -> Result<SegmentWriter<DiskFile>, EngineError> {
+    let file = DiskFile::create(&dir.join(segment_file_name(first_seq)))?;
+    sync_dir(dir)?;
+    Ok(SegmentWriter::new(file, first_seq))
+}
+
+/// Apply one record to a database without cloning the table (the shadow
+/// is touched on every append; `Delta::apply`'s copy-on-write would make
+/// that O(table) per commit).
+fn apply_in_place(db: &mut Database, rec: &WalRecord) -> Result<(), EngineError> {
+    let table = db.table_mut(&rec.table)?;
+    for row in &rec.delta.deleted {
+        table.delete(row);
+    }
+    for row in &rec.delta.inserted {
+        table.upsert(row.clone())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_store::{row, Delta, Schema, Table, ValueType};
+
+    fn baseline() -> Database {
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"]).unwrap();
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Table::from_rows(schema, vec![row![0, "seed"]]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn rec(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            table: "t".into(),
+            delta: Delta {
+                inserted: vec![row![seq as i64, format!("r{seq}")]],
+                deleted: vec![],
+            },
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("esm-durable-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_append_reopen_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let cfg = DurabilityConfig::new(&dir)
+            .group_commit(3)
+            .checkpoint_every(0);
+        let mut wal = DurableWal::create(cfg.clone(), &baseline()).unwrap();
+        for seq in 1..=10 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        let live = wal.state().clone();
+        assert_eq!(wal.stats().appends, 10);
+        assert!(wal.stats().syncs >= 3, "group commit batches syncs");
+        drop(wal);
+
+        let (reopened, db, report) = DurableWal::open(cfg).unwrap();
+        assert_eq!(db, live);
+        assert_eq!(report.last_seq, 10);
+        assert_eq!(report.records_replayed, 10);
+        assert_eq!(report.checkpoint_seq, 0);
+        assert_eq!(reopened.last_seq(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_occupied_dir() {
+        let dir = tmp_dir("occupied");
+        let cfg = DurabilityConfig::new(&dir);
+        let _wal = DurableWal::create(cfg.clone(), &baseline()).unwrap();
+        assert!(matches!(
+            DurableWal::create(cfg, &baseline()),
+            Err(EngineError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_spreads_records_over_segments() {
+        let dir = tmp_dir("rotate");
+        let cfg = DurabilityConfig::new(&dir)
+            .segment_bytes(64)
+            .checkpoint_every(0);
+        let mut wal = DurableWal::create(cfg.clone(), &baseline()).unwrap();
+        for seq in 1..=20 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.stats().rotations >= 5);
+        let segs = scan_segments(&dir).unwrap();
+        assert!(
+            segs.len() >= 5,
+            "expected several segments, got {}",
+            segs.len()
+        );
+        let (_wal2, db, report) = DurableWal::open(cfg).unwrap();
+        assert_eq!(report.records_replayed, 20);
+        assert_eq!(db.table("t").unwrap().len(), 21);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_shrinks_replay() {
+        let dir = tmp_dir("ckpt");
+        let cfg = DurabilityConfig::new(&dir)
+            .segment_bytes(64)
+            .checkpoint_every(0);
+        let mut wal = DurableWal::create(cfg.clone(), &baseline()).unwrap();
+        for seq in 1..=15 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        assert_eq!(wal.checkpoint().unwrap(), 15);
+        // Two retained checkpoints (genesis + 15): nothing compacts yet.
+        for seq in 16..=30 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        assert_eq!(wal.checkpoint().unwrap(), 30);
+        // Horizon is now 15: segments covered by it are gone.
+        assert!(wal.stats().segments_compacted > 0);
+        for seq in 31..=35 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        let live = wal.state().clone();
+        drop(wal);
+
+        let (_wal2, db, report) = DurableWal::open(cfg).unwrap();
+        assert_eq!(db, live);
+        assert_eq!(report.checkpoint_seq, 30);
+        assert_eq!(
+            report.records_replayed, 5,
+            "only post-checkpoint records replay"
+        );
+        assert_eq!(report.last_seq, 35);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_interval() {
+        let dir = tmp_dir("auto-ckpt");
+        let cfg = DurabilityConfig::new(&dir).checkpoint_every(8);
+        let mut wal = DurableWal::create(cfg, &baseline()).unwrap();
+        for seq in 1..=20 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        // Genesis + seq 8 + seq 16.
+        assert_eq!(wal.stats().checkpoints, 3);
+        assert_eq!(wal.checkpoint_seq(), 16);
+        std::fs::remove_dir_all(wal.dir()).ok();
+    }
+
+    #[test]
+    fn append_rejects_stale_and_gapped_seqs() {
+        let dir = tmp_dir("seq-guard");
+        let mut wal = DurableWal::create(DurabilityConfig::new(&dir), &baseline()).unwrap();
+        wal.append(&rec(1)).unwrap();
+        assert!(matches!(
+            wal.append(&rec(1)),
+            Err(EngineError::DuplicateSeq { seq: 1, last: 1 })
+        ));
+        assert!(matches!(
+            wal.append(&rec(5)),
+            Err(EngineError::WalCorrupt(_))
+        ));
+        // Seq rejections happen before any side effect: not poisonous.
+        wal.append(&rec(2)).unwrap();
+        assert_eq!(wal.last_seq(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_path_failures_poison_the_log() {
+        let dir = tmp_dir("poison");
+        let cfg = DurabilityConfig::new(&dir).checkpoint_every(0);
+        let mut wal = DurableWal::create(cfg, &baseline()).unwrap();
+        wal.append(&rec(1)).unwrap();
+        // A record that appends to the segment but fails to apply (its
+        // bytes are already on the way to disk): the log must fail-stop
+        // rather than let durable and live state drift apart.
+        let ghost = WalRecord {
+            seq: 2,
+            table: "ghost".into(),
+            delta: Delta::empty(),
+        };
+        assert!(matches!(wal.append(&ghost), Err(EngineError::Store(_))));
+        for result in [
+            wal.append(&rec(2)).err(),
+            wal.sync().err(),
+            wal.checkpoint().err(),
+        ] {
+            match result {
+                Some(EngineError::Io(msg)) => assert!(msg.contains("poisoned"), "{msg}"),
+                other => panic!("expected poisoned Io error, got {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_sweeps_orphan_checkpoint_temp_files() {
+        let dir = tmp_dir("orphan-tmp");
+        let cfg = DurabilityConfig::new(&dir).checkpoint_every(0);
+        let mut wal = DurableWal::create(cfg.clone(), &baseline()).unwrap();
+        wal.append(&rec(1)).unwrap();
+        drop(wal);
+        // A crash between the checkpoint temp write and its rename.
+        let orphan = dir.join(format!("{}.tmp", checkpoint_file_name(9)));
+        std::fs::write(&orphan, "!checkpoint seq=9\nhalf-writ").unwrap();
+        let (_wal2, db, report) = DurableWal::open(cfg).unwrap();
+        assert!(!orphan.exists(), "recovery sweeps stranded temp files");
+        assert_eq!(report.last_seq, 1);
+        assert_eq!(db.table("t").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_recovery_skips_stale_segments_and_rejects_gaps() {
+        let seg = |first: u64, seqs: &[u64], torn: bool| ScannedSegment {
+            first_seq: first,
+            prefix: SegmentPrefix {
+                records: seqs.iter().map(|&s| rec(s)).collect(),
+                consumed: 0,
+                torn,
+            },
+        };
+        // Stale duplicate segment overlapping the checkpoint and the
+        // first live segment: its records are skipped, not re-applied.
+        let (records, stale) = plan_recovery(
+            4,
+            &[
+                seg(1, &[1, 2, 3, 4], false),
+                seg(3, &[3, 4, 5], false),
+                seg(6, &[6, 7], false),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        assert_eq!(stale, 6);
+
+        // A gap is corruption.
+        assert!(matches!(
+            plan_recovery(0, &[seg(1, &[1, 2], false), seg(5, &[5], false)]),
+            Err(EngineError::WalCorrupt(_))
+        ));
+        // New records after a torn segment are corruption…
+        assert!(matches!(
+            plan_recovery(0, &[seg(1, &[1], true), seg(2, &[2], false)]),
+            Err(EngineError::WalCorrupt(_))
+        ));
+        // …but stale records after one are fine.
+        let (records, stale) =
+            plan_recovery(2, &[seg(1, &[1, 2], true), seg(1, &[1], false)]).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(stale, 3);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        let cfg = DurabilityConfig::new(&dir).checkpoint_every(0);
+        let mut wal = DurableWal::create(cfg.clone(), &baseline()).unwrap();
+        for seq in 1..=3 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        // Simulate a crash mid-write: append half a record to the active
+        // segment.
+        let seg_path = dir.join(segment_file_name(1));
+        let mut bytes = std::fs::read(&seg_path).unwrap();
+        let torn = rec(4).encode();
+        bytes.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
+        std::fs::write(&seg_path, &bytes).unwrap();
+
+        let (_wal2, db, report) = DurableWal::open(cfg.clone()).unwrap();
+        assert_eq!(report.last_seq, 3);
+        assert_eq!(report.torn_bytes, (torn.len() / 2) as u64);
+        assert_eq!(db.table("t").unwrap().len(), 4);
+        // The torn bytes are gone from disk: a second open is clean.
+        let (_wal3, _db, report2) = DurableWal::open(cfg).unwrap();
+        assert_eq!(report2.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -24,6 +24,20 @@ pub enum EngineError {
     NoSuchTable(String),
     /// A write-ahead-log entry failed to parse during recovery.
     WalCorrupt(String),
+    /// A WAL record's sequence number did not strictly increase: a
+    /// duplicate or stale record reached [`crate::Wal::push`] or
+    /// [`crate::Wal::replay`]. Re-applying it would double-count the
+    /// delta, so it is rejected instead.
+    DuplicateSeq {
+        /// The offending record's sequence number.
+        seq: u64,
+        /// The highest sequence number already in the log.
+        last: u64,
+    },
+    /// A durable-WAL filesystem operation failed (message carries the
+    /// underlying `io::Error` text; `io::Error` itself is neither `Clone`
+    /// nor `PartialEq`).
+    Io(String),
     /// An optimistic write exhausted its retry budget.
     RetriesExhausted {
         /// The view being written.
@@ -39,6 +53,12 @@ impl From<StoreError> for EngineError {
     }
 }
 
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> EngineError {
+        EngineError::Io(e.to_string())
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -50,6 +70,11 @@ impl std::fmt::Display for EngineError {
             EngineError::ViewExists(v) => write!(f, "view already defined: {v}"),
             EngineError::NoSuchTable(t) => write!(f, "no such table: {t}"),
             EngineError::WalCorrupt(msg) => write!(f, "corrupt WAL: {msg}"),
+            EngineError::DuplicateSeq { seq, last } => write!(
+                f,
+                "WAL sequence numbers must increase strictly: {seq} after {last}"
+            ),
+            EngineError::Io(msg) => write!(f, "durable WAL I/O error: {msg}"),
             EngineError::RetriesExhausted { view, attempts } => {
                 write!(
                     f,
@@ -81,5 +106,10 @@ mod tests {
         }
         .to_string()
         .contains("3 attempts"));
+        assert!(EngineError::DuplicateSeq { seq: 3, last: 5 }
+            .to_string()
+            .contains("3 after 5"));
+        let io: EngineError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
     }
 }

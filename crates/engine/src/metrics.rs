@@ -12,6 +12,27 @@ pub struct Metrics {
     rows_written: AtomicU64,
 }
 
+/// Counters kept by a durable WAL backend (zero when the engine runs
+/// in-memory). Updated under the WAL lock, read via
+/// [`crate::DurableWal::stats`] or merged into [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Records appended to the durable log.
+    pub appends: u64,
+    /// fsync calls issued (group commit batches several appends per
+    /// sync).
+    pub syncs: u64,
+    /// Bytes appended to segment files.
+    pub bytes_written: u64,
+    /// Segment rotations (a new segment file opened after the size
+    /// threshold).
+    pub rotations: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Segment files deleted by compaction.
+    pub segments_compacted: u64,
+}
+
 /// A point-in-time copy of the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
@@ -25,6 +46,8 @@ pub struct MetricsSnapshot {
     pub view_reads: u64,
     /// Rows inserted or deleted by committed deltas.
     pub rows_written: u64,
+    /// Durable-WAL counters (all zero for in-memory engines).
+    pub wal: WalStats,
 }
 
 impl Metrics {
@@ -45,7 +68,9 @@ impl Metrics {
         self.view_reads.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Copy the current counter values.
+    /// Copy the current counter values. Durable-WAL stats live with the
+    /// [`crate::DurableWal`] (single-writer under the WAL lock); callers
+    /// that own one merge them in with [`MetricsSnapshot::with_wal`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             commits: self.commits.load(Ordering::Relaxed),
@@ -53,7 +78,16 @@ impl Metrics {
             retries: self.retries.load(Ordering::Relaxed),
             view_reads: self.view_reads.load(Ordering::Relaxed),
             rows_written: self.rows_written.load(Ordering::Relaxed),
+            wal: WalStats::default(),
         }
+    }
+}
+
+impl MetricsSnapshot {
+    /// This snapshot with durable-WAL stats filled in.
+    pub fn with_wal(mut self, wal: WalStats) -> MetricsSnapshot {
+        self.wal = wal;
+        self
     }
 }
 

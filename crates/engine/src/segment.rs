@@ -1,0 +1,442 @@
+//! WAL segment files: append-only chunks of the durable log.
+//!
+//! A segment is a file named `wal-<first_seq, zero-padded>.seg` holding
+//! consecutive [`WalRecord`]s in the WAL text format (see [`crate::wal`]).
+//! The durable log is the concatenation of all segments in name order;
+//! rotation starts a fresh file once the current one passes the size
+//! threshold, so checkpoint-covered history can be dropped file-by-file
+//! (compaction) instead of rewriting one giant log.
+//!
+//! ## Crash tolerance
+//!
+//! A crash can leave the tail of the newest segment *torn*: a partially
+//! written record, a half-flushed line, even a split UTF-8 code point.
+//! [`decode_segment_prefix`] therefore decodes the longest prefix of
+//! *complete* records — a record counts only when every one of its lines
+//! (header + rows) is `\n`-terminated and parses — and reports how many
+//! bytes it consumed plus whether torn bytes remained. Recovery truncates
+//! the torn tail and continues; the crash-recovery suite drives this at
+//! every byte offset of a recorded run.
+//!
+//! ## Fault injection
+//!
+//! [`SegmentFile`] abstracts the byte sink so tests can swap the real
+//! [`DiskFile`] for a [`SimFile`]: an in-memory file that only makes
+//! bytes durable on `sync`, can tear a sync partway through, and exposes
+//! exactly what would survive a crash.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use esm_store::Delta;
+
+use crate::error::EngineError;
+use crate::wal::{decode_header, decode_row_line, WalRecord};
+
+/// Filename extension of WAL segment files.
+pub const SEGMENT_SUFFIX: &str = ".seg";
+
+/// The file name of the segment whose first record is `first_seq`.
+pub fn segment_file_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}{SEGMENT_SUFFIX}")
+}
+
+/// Parse a segment file name back to its first sequence number.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(SEGMENT_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// An append-only byte sink with explicit durability points.
+///
+/// `append` buffers; only bytes written before a successful `sync` are
+/// guaranteed to survive a crash (the OS may persist more, which recovery
+/// tolerates as a torn tail).
+pub trait SegmentFile: Send {
+    /// Append bytes to the logical end of the file.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), EngineError>;
+    /// Make every appended byte durable.
+    fn sync(&mut self) -> Result<(), EngineError>;
+}
+
+/// A real segment file on disk.
+#[derive(Debug)]
+pub struct DiskFile {
+    file: std::fs::File,
+}
+
+impl DiskFile {
+    /// Create (truncating) a segment file at `path`.
+    pub fn create(path: &Path) -> Result<DiskFile, EngineError> {
+        Ok(DiskFile {
+            file: std::fs::File::create(path)?,
+        })
+    }
+}
+
+impl SegmentFile for DiskFile {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        self.file.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), EngineError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// The observable state of a [`SimFile`]: what is durable, what is only
+/// buffered, and how many syncs ran.
+#[derive(Debug, Default)]
+pub struct SimDisk {
+    durable: Vec<u8>,
+    buffered: Vec<u8>,
+    /// Number of successful syncs.
+    pub syncs: u64,
+    /// When set, the next sync persists only this many of the buffered
+    /// bytes, then fails — a torn write.
+    pub tear_next_sync_at: Option<usize>,
+}
+
+impl SimDisk {
+    /// The bytes that would survive a crash right now.
+    pub fn durable_bytes(&self) -> Vec<u8> {
+        self.durable.clone()
+    }
+
+    /// Bytes appended but not yet durable.
+    pub fn buffered_len(&self) -> usize {
+        self.buffered.len()
+    }
+}
+
+/// An in-memory [`SegmentFile`] with fault injection, for the
+/// crash-recovery test harness. Cloning shares the underlying disk.
+#[derive(Debug, Clone, Default)]
+pub struct SimFile {
+    disk: Arc<Mutex<SimDisk>>,
+}
+
+impl SimFile {
+    /// A fresh, empty simulated file.
+    pub fn new() -> SimFile {
+        SimFile::default()
+    }
+
+    /// A handle onto the simulated disk, to inject faults and to inspect
+    /// durable state after a "crash".
+    pub fn disk(&self) -> Arc<Mutex<SimDisk>> {
+        Arc::clone(&self.disk)
+    }
+}
+
+impl SegmentFile for SimFile {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        self.disk
+            .lock()
+            .expect("sim disk lock")
+            .buffered
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), EngineError> {
+        let mut disk = self.disk.lock().expect("sim disk lock");
+        if let Some(keep) = disk.tear_next_sync_at.take() {
+            let keep = keep.min(disk.buffered.len());
+            let torn: Vec<u8> = disk.buffered.drain(..keep).collect();
+            disk.durable.extend_from_slice(&torn);
+            disk.buffered.clear();
+            return Err(EngineError::Io("simulated torn sync".into()));
+        }
+        let buffered = std::mem::take(&mut disk.buffered);
+        disk.durable.extend_from_slice(&buffered);
+        disk.syncs += 1;
+        Ok(())
+    }
+}
+
+/// An appender onto one segment: encodes records, counts bytes and
+/// unsynced records. Group-commit policy (when to sync) lives with the
+/// caller, [`crate::DurableWal`].
+#[derive(Debug)]
+pub struct SegmentWriter<F: SegmentFile> {
+    file: F,
+    first_seq: u64,
+    bytes: u64,
+    pending: usize,
+}
+
+impl<F: SegmentFile> SegmentWriter<F> {
+    /// Start a segment whose first record will be `first_seq`.
+    pub fn new(file: F, first_seq: u64) -> SegmentWriter<F> {
+        SegmentWriter {
+            file,
+            first_seq,
+            bytes: 0,
+            pending: 0,
+        }
+    }
+
+    /// Append one record (buffered until the next [`SegmentWriter::sync`]).
+    /// Returns the encoded size in bytes.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, EngineError> {
+        let text = record.encode();
+        self.file.append(text.as_bytes())?;
+        self.bytes += text.len() as u64;
+        self.pending += 1;
+        Ok(text.len() as u64)
+    }
+
+    /// Sync appended records to durable storage. Returns whether a sync
+    /// was actually issued (no-op when nothing is pending).
+    pub fn sync(&mut self) -> Result<bool, EngineError> {
+        if self.pending == 0 {
+            return Ok(false);
+        }
+        self.file.sync()?;
+        self.pending = 0;
+        Ok(true)
+    }
+
+    /// The first sequence number this segment holds.
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    /// Bytes appended so far (durable or not).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records appended since the last sync.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+/// The result of decoding a (possibly crash-torn) segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentPrefix {
+    /// The complete records, in file order.
+    pub records: Vec<WalRecord>,
+    /// How many leading bytes those records occupy.
+    pub consumed: usize,
+    /// Whether bytes past `consumed` remained (a torn tail).
+    pub torn: bool,
+}
+
+/// Decode the longest prefix of complete records from raw segment bytes.
+///
+/// A record counts only when its header and every promised row line are
+/// present, `\n`-terminated and well-formed; anything after the last
+/// complete record — a truncated line, a half-written record, an invalid
+/// UTF-8 tail — is reported as torn rather than an error, because that is
+/// exactly what a crash mid-write leaves behind.
+pub fn decode_segment_prefix(bytes: &[u8]) -> SegmentPrefix {
+    let valid = match std::str::from_utf8(bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            // A crash can split a multi-byte code point; parse the valid
+            // prefix and treat the rest as torn.
+            std::str::from_utf8(&bytes[..e.valid_up_to()]).expect("valid_up_to is a boundary")
+        }
+    };
+    let mut records = Vec::new();
+    let mut consumed = 0usize;
+    loop {
+        let mut cur = consumed;
+        let Some(header) = take_line(valid, &mut cur) else {
+            break;
+        };
+        let Ok((seq, table, inserted, deleted)) = decode_header(header) else {
+            break;
+        };
+        let mut delta = Delta::empty();
+        let mut complete = true;
+        for sign in std::iter::repeat_n('+', inserted).chain(std::iter::repeat_n('-', deleted)) {
+            match take_line(valid, &mut cur).map(|l| decode_row_line(Some(l), sign)) {
+                Some(Ok(row)) => {
+                    if sign == '+' {
+                        delta.inserted.push(row);
+                    } else {
+                        delta.deleted.push(row);
+                    }
+                }
+                _ => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if !complete {
+            break;
+        }
+        records.push(WalRecord { seq, table, delta });
+        consumed = cur;
+    }
+    SegmentPrefix {
+        records,
+        consumed,
+        torn: consumed < bytes.len(),
+    }
+}
+
+/// The next `\n`-terminated line at `*cur`, advancing past it; `None`
+/// when no complete line remains.
+fn take_line<'a>(text: &'a str, cur: &mut usize) -> Option<&'a str> {
+    let rest = &text[*cur..];
+    let end = rest.find('\n')?;
+    let line = &rest[..end];
+    *cur += end + 1;
+    Some(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_store::row;
+
+    fn rec(seq: u64, n: i64) -> WalRecord {
+        WalRecord {
+            seq,
+            table: "t".into(),
+            delta: Delta {
+                inserted: vec![row![n, "payload"]],
+                deleted: if n % 2 == 0 {
+                    vec![row![n - 1, "old"]]
+                } else {
+                    vec![]
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn segment_names_round_trip_and_sort() {
+        let names: Vec<String> = [1u64, 42, 100, 7_000_000_000]
+            .iter()
+            .map(|&s| segment_file_name(s))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(sorted, names, "zero padding keeps name order == seq order");
+        for (i, &s) in [1u64, 42, 100, 7_000_000_000].iter().enumerate() {
+            assert_eq!(parse_segment_name(&names[i]), Some(s));
+        }
+        assert_eq!(parse_segment_name("checkpoint-1.ckpt"), None);
+        assert_eq!(parse_segment_name("wal-x.seg"), None);
+    }
+
+    #[test]
+    fn prefix_decode_at_every_byte_is_a_clean_record_prefix() {
+        let records: Vec<WalRecord> = (1..=5).map(|i| rec(i, i as i64)).collect();
+        let full: String = records.iter().map(WalRecord::encode).collect();
+        let bytes = full.as_bytes();
+        for cut in 0..=bytes.len() {
+            let prefix = decode_segment_prefix(&bytes[..cut]);
+            // The decoded records are exactly the complete ones.
+            assert_eq!(
+                prefix.records,
+                records[..prefix.records.len()],
+                "cut at {cut}"
+            );
+            assert!(prefix.consumed <= cut);
+            assert_eq!(prefix.torn, prefix.consumed < cut);
+            // consumed always sits on a record boundary.
+            let reencoded: String = prefix.records.iter().map(WalRecord::encode).collect();
+            assert_eq!(reencoded.len(), prefix.consumed);
+        }
+        // The untruncated stream decodes completely.
+        let whole = decode_segment_prefix(bytes);
+        assert_eq!(whole.records.len(), 5);
+        assert!(!whole.torn);
+    }
+
+    #[test]
+    fn prefix_decode_requires_newline_termination() {
+        // A row line that is a valid *prefix* of a cell must not count
+        // until its newline lands: "s:ab" truncated from "s:abc" parses,
+        // so only the terminator proves the record complete.
+        let text = "#1 t +1 -0\n+ s:abc";
+        let p = decode_segment_prefix(text.as_bytes());
+        assert!(p.records.is_empty() && p.torn && p.consumed == 0);
+        let p = decode_segment_prefix(format!("{text}\n").as_bytes());
+        assert_eq!(p.records.len(), 1);
+        assert!(!p.torn);
+    }
+
+    #[test]
+    fn prefix_decode_survives_split_utf8() {
+        let mut bytes = WalRecord {
+            seq: 1,
+            table: "t".into(),
+            delta: Delta {
+                inserted: vec![row![1, "λambda"]],
+                deleted: vec![],
+            },
+        }
+        .encode()
+        .into_bytes();
+        let full = decode_segment_prefix(&bytes);
+        assert_eq!(full.records.len(), 1);
+        // Cut inside the 2-byte λ: the whole record is torn, not an error.
+        let lambda_pos = bytes.windows(2).position(|w| w == "λ".as_bytes()).unwrap();
+        bytes.truncate(lambda_pos + 1);
+        let torn = decode_segment_prefix(&bytes);
+        assert!(torn.records.is_empty() && torn.torn);
+    }
+
+    #[test]
+    fn writer_tracks_bytes_and_pending() {
+        let mut w = SegmentWriter::new(SimFile::new(), 1);
+        let r = rec(1, 1);
+        let n = w.append(&r).unwrap();
+        assert_eq!(n, r.encode().len() as u64);
+        assert_eq!(w.bytes(), n);
+        assert_eq!(w.pending(), 1);
+        assert!(w.sync().unwrap());
+        assert_eq!(w.pending(), 0);
+        assert!(!w.sync().unwrap(), "sync with nothing pending is a no-op");
+    }
+
+    #[test]
+    fn simfile_loses_unsynced_bytes_on_crash() {
+        let file = SimFile::new();
+        let disk = file.disk();
+        let mut w = SegmentWriter::new(file, 1);
+        for i in 1..=10 {
+            w.append(&rec(i, i as i64)).unwrap();
+            if i % 4 == 0 {
+                w.sync().unwrap(); // group commit every 4 records
+            }
+        }
+        // Crash now: only the 8 synced records survive.
+        let durable = disk.lock().unwrap().durable_bytes();
+        let p = decode_segment_prefix(&durable);
+        assert_eq!(p.records.len(), 8);
+        assert!(!p.torn, "synced batches end on record boundaries");
+        assert_eq!(disk.lock().unwrap().syncs, 2);
+        assert!(disk.lock().unwrap().buffered_len() > 0);
+    }
+
+    #[test]
+    fn simfile_torn_sync_leaves_decodable_prefix() {
+        let file = SimFile::new();
+        let disk = file.disk();
+        let mut w = SegmentWriter::new(file, 1);
+        w.append(&rec(1, 1)).unwrap();
+        w.append(&rec(2, 2)).unwrap();
+        let first_len = rec(1, 1).encode().len();
+        disk.lock().unwrap().tear_next_sync_at = Some(first_len + 7);
+        assert!(matches!(w.sync(), Err(EngineError::Io(_))));
+        let durable = disk.lock().unwrap().durable_bytes();
+        let p = decode_segment_prefix(&durable);
+        assert_eq!(p.records.len(), 1, "only the first record fully landed");
+        assert!(p.torn, "the second record's first 7 bytes are a torn tail");
+    }
+}

@@ -29,12 +29,13 @@ use esm_lens::Lens;
 use esm_relational::ViewDef;
 use esm_store::{Database, Delta, Table};
 
+use crate::durable::{Durability, DurabilityConfig, DurableWal, RecoveryReport};
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::stripe::Stripes;
 use crate::tx::delta_keys;
 use crate::view::EntangledView;
-use crate::wal::Wal;
+use crate::wal::{Wal, WalRecord};
 
 /// How many attempts an optimistic edit makes by default.
 pub const DEFAULT_OPTIMISTIC_ATTEMPTS: u32 = 16;
@@ -44,10 +45,37 @@ struct ViewReg {
     lens: Lens<Table, Table>,
 }
 
+/// The in-memory log and (optionally) its durable backend, guarded by
+/// one mutex so their sequence numbers can never diverge.
+struct WalState {
+    mem: Wal,
+    durable: Option<DurableWal>,
+}
+
+impl WalState {
+    /// Write-ahead append: the durable log (if any) takes the record
+    /// first, then the in-memory log mirrors it. On an I/O failure the
+    /// in-memory log and the caller's table stay untouched and the
+    /// durable log poisons itself (its bytes may have partially landed;
+    /// every later durable write refuses until restart + recovery).
+    fn append(&mut self, table: &str, delta: &Delta) -> Result<u64, EngineError> {
+        let seq = self.mem.next_seq();
+        if let Some(durable) = self.durable.as_mut() {
+            durable.append(&WalRecord {
+                seq,
+                table: table.to_string(),
+                delta: delta.clone(),
+            })?;
+        }
+        self.mem.append(table.to_string(), delta.clone());
+        Ok(seq)
+    }
+}
+
 struct Inner {
     tables: Stripes<Table>,
     views: RwLock<BTreeMap<String, ViewReg>>,
-    wal: Mutex<Wal>,
+    wal: Mutex<WalState>,
     baseline: Database,
     metrics: Metrics,
 }
@@ -63,6 +91,63 @@ impl EngineServer {
     /// An engine over the tables of `db`, with `stripes` lock stripes.
     /// `db` becomes the recovery baseline (see [`EngineServer::wal`]).
     pub fn with_stripes(db: Database, stripes: usize) -> EngineServer {
+        EngineServer::with_durability(db, stripes, Durability::InMemory)
+            .expect("in-memory engines cannot fail to construct")
+    }
+
+    /// An engine with a default stripe count (16).
+    pub fn new(db: Database) -> EngineServer {
+        EngineServer::with_stripes(db, 16)
+    }
+
+    /// An engine with an explicit [`Durability`]. With
+    /// [`Durability::Durable`], every committed view write is appended
+    /// to the segment log in `config.dir` (group-commit fsync, rotation,
+    /// checkpointing per config) *before* it is applied, and `db`
+    /// becomes the genesis checkpoint on disk.
+    pub fn with_durability(
+        db: Database,
+        stripes: usize,
+        durability: Durability,
+    ) -> Result<EngineServer, EngineError> {
+        let durable = match durability {
+            Durability::InMemory => None,
+            Durability::Durable(cfg) => Some(DurableWal::create(cfg, &db)?),
+        };
+        Ok(EngineServer::assemble(db, stripes, Wal::new(), durable))
+    }
+
+    /// Recover an engine from a durable WAL directory: load the newest
+    /// valid checkpoint, replay newer segments, truncate any torn tail,
+    /// and resume the log where it left off. The recovered database is
+    /// both the live state and the new baseline; re-register views after
+    /// recovery (view definitions are code, not state).
+    ///
+    /// Uses default durability tuning rooted at `dir`; see
+    /// [`EngineServer::recover_with`] to control it.
+    pub fn recover(
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(EngineServer, RecoveryReport), EngineError> {
+        EngineServer::recover_with(DurabilityConfig::new(dir))
+    }
+
+    /// [`EngineServer::recover`] with explicit durability tuning (the
+    /// recovered engine keeps appending under `config`).
+    pub fn recover_with(
+        config: DurabilityConfig,
+    ) -> Result<(EngineServer, RecoveryReport), EngineError> {
+        let (durable, db, report) = DurableWal::open(config)?;
+        let engine =
+            EngineServer::assemble(db, 16, Wal::starting_at(report.last_seq), Some(durable));
+        Ok((engine, report))
+    }
+
+    fn assemble(
+        db: Database,
+        stripes: usize,
+        wal: Wal,
+        durable: Option<DurableWal>,
+    ) -> EngineServer {
         let tables = Stripes::new(stripes);
         for name in db.table_names() {
             let table = db.table(name).expect("name came from the database").clone();
@@ -72,16 +157,11 @@ impl EngineServer {
             inner: Arc::new(Inner {
                 tables,
                 views: RwLock::new(BTreeMap::new()),
-                wal: Mutex::new(Wal::new()),
+                wal: Mutex::new(WalState { mem: wal, durable }),
                 baseline: db,
                 metrics: Metrics::default(),
             }),
         }
-    }
-
-    /// An engine with a default stripe count (16).
-    pub fn new(db: Database) -> EngineServer {
-        EngineServer::with_stripes(db, 16)
     }
 
     // ------------------------------------------------------------------
@@ -131,9 +211,38 @@ impl EngineServer {
         self.inner.baseline.clone()
     }
 
-    /// A snapshot of the write-ahead log.
+    /// A snapshot of the in-memory write-ahead log (for a recovered
+    /// engine, the records committed *since* recovery; the durable
+    /// history lives in the segment files).
     pub fn wal(&self) -> Wal {
-        self.lock_wal().clone()
+        self.lock_wal().mem.clone()
+    }
+
+    /// Force-fsync any group-commit batch the durable WAL is holding.
+    /// No-op for in-memory engines.
+    pub fn sync_wal(&self) -> Result<(), EngineError> {
+        match self.lock_wal().durable.as_mut() {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Write a durable checkpoint covering every committed record and
+    /// compact fully-covered segments. Returns the covered sequence
+    /// number, or `None` for in-memory engines.
+    pub fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
+        match self.lock_wal().durable.as_mut() {
+            Some(d) => d.checkpoint().map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// The durable WAL directory, when this engine persists.
+    pub fn wal_dir(&self) -> Option<std::path::PathBuf> {
+        self.lock_wal()
+            .durable
+            .as_ref()
+            .map(|d| d.dir().to_path_buf())
     }
 
     /// Rebuild the committed state from the baseline plus the WAL — the
@@ -143,9 +252,14 @@ impl EngineServer {
         self.wal().replay(&self.inner.baseline)
     }
 
-    /// Current engine counters.
+    /// Current engine counters (durable-WAL stats included when this
+    /// engine persists).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics.snapshot()
+        let snap = self.inner.metrics.snapshot();
+        match self.lock_wal().durable.as_ref() {
+            Some(d) => snap.with_wal(d.stats()),
+            None => snap,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -281,9 +395,12 @@ impl EngineServer {
             // (secondary indexes included) and maintains them
             // incrementally, instead of rebuilding every index from
             // scratch under the stripe write lock.
-            *base = delta.apply(base)?;
+            let next = delta.apply(base)?;
             // Lock order is always stripe → WAL (see edit_view_optimistic).
-            self.lock_wal().append(reg.table.clone(), delta.clone());
+            // Durable-first: if the segment write fails, the base table is
+            // untouched and the error surfaces to this client only.
+            self.lock_wal().append(&reg.table, &delta)?;
+            *base = next;
             drop(shard);
             self.inner.metrics.commit(delta.len() as u64);
             Ok(delta)
@@ -310,7 +427,7 @@ impl EngineServer {
             // Snapshot seq *before* the base table: a commit landing in
             // between makes us re-check records already reflected in our
             // base — a spurious retry at worst, never a lost update.
-            let snap_seq = self.lock_wal().last_seq();
+            let snap_seq = self.lock_wal().mem.last_seq();
             let (table_name, base, lens) = self.with_view(name, |reg| {
                 let shard = self.inner.tables.read(&reg.table);
                 let base = shard
@@ -335,7 +452,7 @@ impl EngineServer {
                 .get_mut(&table_name)
                 .ok_or_else(|| EngineError::NoSuchTable(table_name.clone()))?;
             let mut wal = self.lock_wal();
-            let conflicted = wal.records_after(snap_seq).iter().any(|rec| {
+            let conflicted = wal.mem.records_after(snap_seq).iter().any(|rec| {
                 rec.table == table_name
                     && delta_keys(&base, &rec.delta)
                         .iter()
@@ -349,8 +466,10 @@ impl EngineServer {
             }
             // Rebase: disjoint concurrent commits are already in
             // `current`; applying our delta on top is the serial outcome.
-            *current = delta.apply(current)?;
-            wal.append(table_name.clone(), delta.clone());
+            // Durable-first: a failed segment write publishes nothing.
+            let next = delta.apply(current)?;
+            wal.append(&table_name, &delta)?;
+            *current = next;
             drop(wal);
             drop(shard);
             self.inner.metrics.commit(delta.len() as u64);
@@ -362,7 +481,7 @@ impl EngineServer {
         })
     }
 
-    fn lock_wal(&self) -> std::sync::MutexGuard<'_, Wal> {
+    fn lock_wal(&self) -> std::sync::MutexGuard<'_, WalState> {
         self.inner.wal.lock().expect("wal lock poisoned")
     }
 }

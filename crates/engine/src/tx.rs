@@ -26,9 +26,10 @@ use std::sync::{Arc, Mutex};
 
 use esm_store::{Database, Delta, Row, Table};
 
+use crate::durable::{Durability, DurabilityConfig, DurableWal, RecoveryReport};
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::wal::Wal;
+use crate::wal::{Wal, WalRecord};
 
 /// The primary keys a delta touches, projected with `table`'s schema.
 pub fn delta_keys(table: &Table, delta: &Delta) -> BTreeSet<Row> {
@@ -49,6 +50,7 @@ pub fn deltas_conflict(table: &Table, a: &Delta, b: &Delta) -> bool {
 struct Committed {
     db: Database,
     wal: Wal,
+    durable: Option<DurableWal>,
 }
 
 /// A transactional, multi-reader store: hand out snapshot transactions,
@@ -64,15 +66,48 @@ pub struct TxStore {
 
 impl TxStore {
     /// A store whose initial committed state is `db` (WAL starts empty:
-    /// `db` is the recovery baseline).
+    /// `db` is the recovery baseline). In-memory durability.
     pub fn new(db: Database) -> TxStore {
-        TxStore {
+        TxStore::with_durability(db, Durability::InMemory)
+            .expect("in-memory stores cannot fail to construct")
+    }
+
+    /// A store with an explicit [`Durability`]. With
+    /// [`Durability::Durable`], every commit is written ahead to the
+    /// segment log in `config.dir` (group-commit fsync per config)
+    /// before it is applied, and `db` becomes the genesis checkpoint.
+    pub fn with_durability(db: Database, durability: Durability) -> Result<TxStore, EngineError> {
+        let durable = match durability {
+            Durability::InMemory => None,
+            Durability::Durable(cfg) => Some(DurableWal::create(cfg, &db)?),
+        };
+        Ok(TxStore {
             committed: Arc::new(Mutex::new(Committed {
                 db,
                 wal: Wal::new(),
+                durable,
             })),
             metrics: Arc::new(Metrics::default()),
-        }
+        })
+    }
+
+    /// Recover a store from a durable WAL directory: load the newest
+    /// checkpoint, replay newer segments, resume the log. The recovered
+    /// database is both the live state and the new in-memory WAL
+    /// baseline (the in-memory log continues at the durable seq).
+    pub fn recover(config: DurabilityConfig) -> Result<(TxStore, RecoveryReport), EngineError> {
+        let (durable, db, report) = DurableWal::open(config)?;
+        Ok((
+            TxStore {
+                committed: Arc::new(Mutex::new(Committed {
+                    db,
+                    wal: Wal::starting_at(report.last_seq),
+                    durable: Some(durable),
+                })),
+                metrics: Arc::new(Metrics::default()),
+            },
+            report,
+        ))
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Committed> {
@@ -108,9 +143,33 @@ impl TxStore {
         self.lock().wal.clone()
     }
 
-    /// Current engine counters.
+    /// Current engine counters (durable-WAL stats included when one is
+    /// attached).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let snap = self.metrics.snapshot();
+        match self.lock().durable.as_ref() {
+            Some(d) => snap.with_wal(d.stats()),
+            None => snap,
+        }
+    }
+
+    /// Force-fsync any group-commit batch the durable WAL is holding.
+    /// No-op for in-memory stores.
+    pub fn sync_wal(&self) -> Result<(), EngineError> {
+        match self.lock().durable.as_mut() {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Write a durable checkpoint at the current committed seq and
+    /// compact covered segments. Returns the covered seq, or `None` for
+    /// in-memory stores.
+    pub fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
+        match self.lock().durable.as_mut() {
+            Some(d) => d.checkpoint().map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Run `body` in a transaction, retrying on conflict up to
@@ -230,6 +289,27 @@ impl Tx {
                     self.snap_seq
                 ),
             });
+        }
+
+        // Write ahead: the durable log gets every record (and its group
+        // commit fsync) *before* anything is applied. On an I/O error
+        // nothing is published to the live state and the durable log
+        // poisons itself (bytes for a prefix of this transaction's
+        // records may have landed; recovery re-derives the truth from
+        // the files — the usual fsync-failure gray zone, fail-stop).
+        if committed.durable.is_some() {
+            for (seq, (name, delta)) in (committed.wal.next_seq()..).zip(deltas.iter()) {
+                let rec = WalRecord {
+                    seq,
+                    table: name.clone(),
+                    delta: delta.clone(),
+                };
+                committed
+                    .durable
+                    .as_mut()
+                    .expect("checked above")
+                    .append(&rec)?;
+            }
         }
 
         // Publish: apply each delta to the *current* committed table
@@ -359,6 +439,53 @@ mod tests {
             .unwrap();
         assert_eq!(deltas.len(), 1);
         assert_eq!(s.metrics().commits, 1);
+    }
+
+    #[test]
+    fn durable_stores_survive_restart() {
+        let dir = std::env::temp_dir().join(format!("esm-tx-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DurabilityConfig::new(&dir)
+            .group_commit(4)
+            .checkpoint_every(0);
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"]).unwrap();
+        let t = Table::from_rows(schema, vec![row![1, "a"], row![2, "b"]]).unwrap();
+        let mut db = Database::new();
+        db.create_table("t", t).unwrap();
+        let s = TxStore::with_durability(db, Durability::Durable(cfg.clone())).unwrap();
+        for i in 0..9i64 {
+            s.transact(1, |tx| {
+                tx.table_mut("t")?.upsert(row![10 + i, format!("r{i}")])?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        s.sync_wal().unwrap();
+        let live = s.db();
+        let m = s.metrics();
+        assert_eq!(m.wal.appends, 9);
+        assert!(
+            m.wal.syncs >= 2,
+            "group commit batched {} syncs",
+            m.wal.syncs
+        );
+        drop(s);
+
+        let (recovered, report) = TxStore::recover(cfg).unwrap();
+        assert_eq!(recovered.db(), live);
+        assert_eq!(report.records_replayed, 9);
+        // The recovered store keeps committing with continuous seqs.
+        recovered
+            .transact(1, |tx| {
+                tx.table_mut("t")?.upsert(row![99, "post"])?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(recovered.wal().records()[0].seq, 10);
+        let ckpt = recovered.checkpoint().unwrap();
+        assert_eq!(ckpt, Some(10));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

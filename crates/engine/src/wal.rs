@@ -6,7 +6,11 @@
 //! state the log started from) reproduces the live state exactly
 //! ([`Wal::replay`]), which the integration suite asserts as a law.
 //!
-//! ## On-disk format
+//! This module is the *in-memory* log; [`crate::durable`] persists the
+//! same records to append-only segment files with group commit and
+//! checkpointing.
+//!
+//! ## Text format
 //!
 //! [`Wal::encode`] renders a line-oriented text form, one record header
 //! per committed delta followed by its row lines:
@@ -17,12 +21,17 @@
 //! - <cell>\t<cell>...
 //! ```
 //!
-//! Cells are type-tagged (`b:`/`i:`/`s:`) so decoding needs no schema;
-//! strings escape `\\`, tab and newline. [`Wal::decode`] round-trips
-//! exactly and rejects malformed input with
-//! [`EngineError::WalCorrupt`](crate::EngineError::WalCorrupt).
+//! Cells use the shared [`esm_store::codec`] (type tags `b:`/`i:`/`s:`,
+//! strings escape `\\`, tab, newline and carriage return), so decoding
+//! needs no schema. [`Wal::decode`] round-trips exactly and rejects
+//! malformed input with
+//! [`EngineError::WalCorrupt`](crate::EngineError::WalCorrupt); records
+//! whose sequence numbers do not strictly increase are rejected with the
+//! typed [`EngineError::DuplicateSeq`](crate::EngineError::DuplicateSeq)
+//! instead of being silently re-applied.
 
-use esm_store::{Database, Delta, Row, Value};
+use esm_store::codec::{decode_row, encode_row, escape, unescape};
+use esm_store::{Database, Delta, Row};
 
 use crate::error::EngineError;
 
@@ -37,16 +46,63 @@ pub struct WalRecord {
     pub delta: Delta,
 }
 
+impl WalRecord {
+    /// Render this record in the WAL text format (used by both
+    /// [`Wal::encode`] and the durable segment writer, so the on-disk
+    /// bytes and the in-memory encoding never diverge).
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "#{} {} +{} -{}\n",
+            self.seq,
+            escape(&self.table),
+            self.delta.inserted.len(),
+            self.delta.deleted.len()
+        );
+        for row in &self.delta.inserted {
+            out.push_str(&format!("+ {}\n", encode_row(row)));
+        }
+        for row in &self.delta.deleted {
+            out.push_str(&format!("- {}\n", encode_row(row)));
+        }
+        out
+    }
+}
+
 /// An append-only log of committed deltas.
+///
+/// A log may start *after* genesis: a recovered engine's in-memory log
+/// begins at the sequence number its checkpoint covered
+/// ([`Wal::starting_at`]), so freshly assigned numbers continue the
+/// durable history instead of restarting from 1.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Wal {
     records: Vec<WalRecord>,
+    /// The sequence number this log starts after (0 = genesis): every
+    /// record satisfies `seq > start`.
+    start: u64,
 }
 
 impl Wal {
-    /// An empty log.
+    /// An empty log starting at genesis.
     pub fn new() -> Wal {
         Wal::default()
+    }
+
+    /// An empty log whose first append will get `seq + 1` — the shape of
+    /// a recovered engine's log, which continues after its checkpoint.
+    pub fn starting_at(seq: u64) -> Wal {
+        Wal {
+            records: Vec::new(),
+            start: seq,
+        }
+    }
+
+    /// Build a log from records. The records are *not* validated here;
+    /// [`Wal::replay`] enforces strict seq monotonicity when the log is
+    /// actually applied, so a log stitched together from overlapping
+    /// segments fails loudly instead of double-applying deltas.
+    pub fn from_records(records: Vec<WalRecord>) -> Wal {
+        Wal { records, start: 0 }
     }
 
     /// Append a committed delta, returning its sequence number.
@@ -60,14 +116,36 @@ impl Wal {
         seq
     }
 
-    /// The sequence number the next append will get.
-    pub fn next_seq(&self) -> u64 {
-        self.records.last().map(|r| r.seq + 1).unwrap_or(1)
+    /// Append a pre-sequenced record, rejecting any seq that does not
+    /// strictly increase the log with
+    /// [`EngineError::DuplicateSeq`](crate::EngineError::DuplicateSeq).
+    pub fn push(&mut self, record: WalRecord) -> Result<u64, EngineError> {
+        let last = self.last_seq();
+        if record.seq <= last {
+            return Err(EngineError::DuplicateSeq {
+                seq: record.seq,
+                last,
+            });
+        }
+        let seq = record.seq;
+        self.records.push(record);
+        Ok(seq)
     }
 
-    /// The highest committed sequence number (0 when empty).
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.last_seq() + 1
+    }
+
+    /// The highest committed sequence number (the start offset when
+    /// empty; 0 for an empty genesis log).
     pub fn last_seq(&self) -> u64 {
-        self.records.last().map(|r| r.seq).unwrap_or(0)
+        self.records.last().map(|r| r.seq).unwrap_or(self.start)
+    }
+
+    /// The sequence number this log starts after (0 = genesis).
+    pub fn start_seq(&self) -> u64 {
+        self.start
     }
 
     /// All records, in commit order.
@@ -93,10 +171,22 @@ impl Wal {
 
     /// Apply every record, in order, to `baseline` and return the
     /// resulting database. `baseline` must contain every table the log
-    /// references (with the schemas the engine started from).
+    /// references (with the schemas the engine started from), and must
+    /// reflect the state at this log's start offset.
+    ///
+    /// Sequence numbers must strictly increase record to record; a
+    /// duplicate or stale record aborts the replay with
+    /// [`EngineError::DuplicateSeq`](crate::EngineError::DuplicateSeq)
+    /// rather than silently re-applying a delta (re-applying an
+    /// insert+delete pair would corrupt the recovered state).
     pub fn replay(&self, baseline: &Database) -> Result<Database, EngineError> {
         let mut db = baseline.clone();
+        let mut last = self.start;
         for rec in &self.records {
+            if rec.seq <= last {
+                return Err(EngineError::DuplicateSeq { seq: rec.seq, last });
+            }
+            last = rec.seq;
             let table = db.table(&rec.table)?;
             let next = rec.delta.apply(table)?;
             db.replace_table(rec.table.clone(), next);
@@ -106,57 +196,21 @@ impl Wal {
 
     /// Serialise to the line-oriented text format.
     pub fn encode(&self) -> String {
-        let mut out = String::new();
-        for rec in &self.records {
-            out.push_str(&format!(
-                "#{} {} +{} -{}\n",
-                rec.seq,
-                escape(&rec.table),
-                rec.delta.inserted.len(),
-                rec.delta.deleted.len()
-            ));
-            for row in &rec.delta.inserted {
-                out.push_str(&format!("+ {}\n", encode_row(row)));
-            }
-            for row in &rec.delta.deleted {
-                out.push_str(&format!("- {}\n", encode_row(row)));
-            }
-        }
-        out
+        self.records.iter().map(WalRecord::encode).collect()
     }
 
     /// Parse the text format produced by [`Wal::encode`].
     pub fn decode(text: &str) -> Result<Wal, EngineError> {
         let mut wal = Wal::new();
-        let mut lines = text.lines().peekable();
+        let mut lines = text.lines();
         while let Some(line) = lines.next() {
             if line.is_empty() {
                 continue;
             }
-            let header = line.strip_prefix('#').ok_or_else(|| {
-                EngineError::WalCorrupt(format!("expected record header: {line}"))
-            })?;
-            let mut parts = header.rsplitn(3, ' ');
-            let deleted = parse_count(parts.next(), '-', line)?;
-            let inserted = parse_count(parts.next(), '+', line)?;
-            let rest = parts
-                .next()
-                .ok_or_else(|| EngineError::WalCorrupt(format!("truncated header: {line}")))?;
-            let (seq_str, table_esc) = rest
-                .split_once(' ')
-                .ok_or_else(|| EngineError::WalCorrupt(format!("truncated header: {line}")))?;
-            let seq: u64 = seq_str
-                .parse()
-                .map_err(|_| EngineError::WalCorrupt(format!("bad sequence number: {line}")))?;
+            let (seq, table, inserted, deleted) = decode_header(line)?;
             // `records_after`'s binary search and `next_seq` rely on
             // strictly increasing sequence numbers; reject logs that
             // break the invariant rather than mis-answering later.
-            if seq <= wal.last_seq() {
-                return Err(EngineError::WalCorrupt(format!(
-                    "sequence numbers must increase strictly: {} then {seq}",
-                    wal.last_seq()
-                )));
-            }
             let mut delta = Delta::empty();
             for _ in 0..inserted {
                 delta.inserted.push(decode_row_line(lines.next(), '+')?);
@@ -164,14 +218,31 @@ impl Wal {
             for _ in 0..deleted {
                 delta.deleted.push(decode_row_line(lines.next(), '-')?);
             }
-            wal.records.push(WalRecord {
-                seq,
-                table: unescape(table_esc)?,
-                delta,
-            });
+            wal.push(WalRecord { seq, table, delta })?;
         }
         Ok(wal)
     }
+}
+
+/// Parse one `#<seq> <table> +<n> -<m>` header line.
+pub(crate) fn decode_header(line: &str) -> Result<(u64, String, usize, usize), EngineError> {
+    let header = line
+        .strip_prefix('#')
+        .ok_or_else(|| EngineError::WalCorrupt(format!("expected record header: {line}")))?;
+    let mut parts = header.rsplitn(3, ' ');
+    let deleted = parse_count(parts.next(), '-', line)?;
+    let inserted = parse_count(parts.next(), '+', line)?;
+    let rest = parts
+        .next()
+        .ok_or_else(|| EngineError::WalCorrupt(format!("truncated header: {line}")))?;
+    let (seq_str, table_esc) = rest
+        .split_once(' ')
+        .ok_or_else(|| EngineError::WalCorrupt(format!("truncated header: {line}")))?;
+    let seq: u64 = seq_str
+        .parse()
+        .map_err(|_| EngineError::WalCorrupt(format!("bad sequence number: {line}")))?;
+    let table = unescape(table_esc).map_err(|e| EngineError::WalCorrupt(format!("{e}: {line}")))?;
+    Ok((seq, table, inserted, deleted))
 }
 
 fn parse_count(part: Option<&str>, sign: char, line: &str) -> Result<usize, EngineError> {
@@ -180,81 +251,14 @@ fn parse_count(part: Option<&str>, sign: char, line: &str) -> Result<usize, Engi
         .ok_or_else(|| EngineError::WalCorrupt(format!("bad {sign} count in header: {line}")))
 }
 
-fn decode_row_line(line: Option<&str>, sign: char) -> Result<Row, EngineError> {
+/// Parse one `+ <row>` / `- <row>` body line.
+pub(crate) fn decode_row_line(line: Option<&str>, sign: char) -> Result<Row, EngineError> {
     let line = line.ok_or_else(|| EngineError::WalCorrupt("truncated record body".into()))?;
     let body = line
         .strip_prefix(sign)
         .and_then(|l| l.strip_prefix(' '))
         .ok_or_else(|| EngineError::WalCorrupt(format!("expected `{sign} ` row line: {line}")))?;
-    decode_row(body)
-}
-
-fn escape(s: &str) -> String {
-    // `\r` must be escaped too: `Wal::decode` splits on `str::lines`,
-    // which swallows a trailing `\r` as part of a `\r\n` terminator.
-    s.replace('\\', "\\\\")
-        .replace('\t', "\\t")
-        .replace('\n', "\\n")
-        .replace('\r', "\\r")
-}
-
-fn unescape(s: &str) -> Result<String, EngineError> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next() {
-            Some('\\') => out.push('\\'),
-            Some('t') => out.push('\t'),
-            Some('n') => out.push('\n'),
-            Some('r') => out.push('\r'),
-            other => {
-                return Err(EngineError::WalCorrupt(format!(
-                    "bad escape \\{other:?} in {s}"
-                )))
-            }
-        }
-    }
-    Ok(out)
-}
-
-fn encode_row(row: &Row) -> String {
-    row.iter()
-        .map(|v| match v {
-            Value::Bool(b) => format!("b:{b}"),
-            Value::Int(i) => format!("i:{i}"),
-            Value::Str(s) => format!("s:{}", escape(s)),
-        })
-        .collect::<Vec<_>>()
-        .join("\t")
-}
-
-fn decode_row(body: &str) -> Result<Row, EngineError> {
-    if body.is_empty() {
-        return Ok(Vec::new());
-    }
-    body.split('\t')
-        .map(|cell| {
-            let (tag, payload) = cell
-                .split_once(':')
-                .ok_or_else(|| EngineError::WalCorrupt(format!("untyped cell: {cell}")))?;
-            match tag {
-                "b" => payload
-                    .parse()
-                    .map(Value::Bool)
-                    .map_err(|_| EngineError::WalCorrupt(format!("bad bool: {cell}"))),
-                "i" => payload
-                    .parse()
-                    .map(Value::Int)
-                    .map_err(|_| EngineError::WalCorrupt(format!("bad int: {cell}"))),
-                "s" => unescape(payload).map(Value::Str),
-                _ => Err(EngineError::WalCorrupt(format!("unknown tag: {cell}"))),
-            }
-        })
-        .collect()
+    decode_row(body).map_err(|e| EngineError::WalCorrupt(e.to_string()))
 }
 
 #[cfg(test)]
@@ -296,6 +300,70 @@ mod tests {
         assert_eq!(wal.next_seq(), 3);
         assert_eq!(wal.records_after(1).len(), 1);
         assert_eq!(wal.records_after(0).len(), 2);
+    }
+
+    #[test]
+    fn logs_can_start_after_genesis() {
+        let mut wal = Wal::starting_at(41);
+        assert_eq!(wal.last_seq(), 41);
+        assert_eq!(wal.start_seq(), 41);
+        assert_eq!(wal.append("people", Delta::empty()), 42);
+        // Replay over a baseline that reflects seq 41 applies only the
+        // new records.
+        assert_eq!(wal.replay(&db()).unwrap(), db());
+    }
+
+    #[test]
+    fn push_rejects_duplicate_and_stale_seqs() {
+        let mut wal = Wal::new();
+        wal.push(WalRecord {
+            seq: 5,
+            table: "t".into(),
+            delta: Delta::empty(),
+        })
+        .unwrap();
+        for stale in [5, 4, 1] {
+            let err = wal
+                .push(WalRecord {
+                    seq: stale,
+                    table: "t".into(),
+                    delta: Delta::empty(),
+                })
+                .unwrap_err();
+            assert_eq!(
+                err,
+                EngineError::DuplicateSeq {
+                    seq: stale,
+                    last: 5
+                }
+            );
+        }
+        assert_eq!(wal.len(), 1);
+        // Gaps are fine: strictly increasing is the only requirement.
+        wal.push(WalRecord {
+            seq: 9,
+            table: "t".into(),
+            delta: Delta::empty(),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn replay_rejects_duplicate_seqs_instead_of_reapplying() {
+        // Regression: a log with a duplicated record used to replay it
+        // twice; stitched-together segment logs must fail loudly.
+        let base = db();
+        let d = delta_of(&base, |t| {
+            t.upsert(row![3, "grace", true]).unwrap();
+        });
+        let rec = WalRecord {
+            seq: 1,
+            table: "people".into(),
+            delta: d,
+        };
+        let wal = Wal::from_records(vec![rec.clone(), rec]);
+        let err = wal.replay(&base).unwrap_err();
+        assert_eq!(err, EngineError::DuplicateSeq { seq: 1, last: 1 });
     }
 
     #[test]
@@ -356,14 +424,14 @@ mod tests {
             Wal::decode("#1 t +1 -0\n+ z:9"),
             Err(EngineError::WalCorrupt(_))
         ));
-        // Out-of-order or duplicate sequence numbers are corrupt.
+        // Out-of-order or duplicate sequence numbers get the typed error.
         assert!(matches!(
             Wal::decode("#2 t +0 -0\n#1 t +0 -0"),
-            Err(EngineError::WalCorrupt(_))
+            Err(EngineError::DuplicateSeq { seq: 1, last: 2 })
         ));
         assert!(matches!(
             Wal::decode("#1 t +0 -0\n#1 t +0 -0"),
-            Err(EngineError::WalCorrupt(_))
+            Err(EngineError::DuplicateSeq { seq: 1, last: 1 })
         ));
     }
 

@@ -1,0 +1,141 @@
+//! A line-oriented, schema-free text codec for cells and rows.
+//!
+//! One cell renders as `<tag>:<payload>` with tags `b`/`i`/`s`; cells of
+//! a row are tab-separated. Strings escape backslash, tab, newline and
+//! carriage return, so any row fits on one `\n`-terminated line and any
+//! line-based reader (the WAL segments, database snapshots) can split
+//! records without knowing the schema.
+//!
+//! The same codec backs the engine's write-ahead-log segments and the
+//! checkpoint snapshots in [`crate::snapshot`]: one escaping discipline,
+//! one decoder, shared edge cases.
+
+use crate::error::StoreError;
+use crate::row::Row;
+use crate::value::Value;
+
+/// Escape a string so it fits inside one tab-separated, line-terminated
+/// field. `\r` must be escaped too: decoders split on [`str::lines`],
+/// which swallows a trailing `\r` as part of a `\r\n` terminator.
+pub fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+/// Invert [`escape`]. Rejects dangling or unknown escape sequences.
+pub fn unescape(s: &str) -> Result<String, StoreError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(StoreError::Codec(format!("bad escape \\{other:?} in {s}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Render one cell as `<tag>:<payload>`.
+pub fn encode_cell(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Str(s) => format!("s:{}", escape(s)),
+    }
+}
+
+/// Parse one `<tag>:<payload>` cell.
+pub fn decode_cell(cell: &str) -> Result<Value, StoreError> {
+    let (tag, payload) = cell
+        .split_once(':')
+        .ok_or_else(|| StoreError::Codec(format!("untyped cell: {cell}")))?;
+    match tag {
+        "b" => payload
+            .parse()
+            .map(Value::Bool)
+            .map_err(|_| StoreError::Codec(format!("bad bool: {cell}"))),
+        "i" => payload
+            .parse()
+            .map(Value::Int)
+            .map_err(|_| StoreError::Codec(format!("bad int: {cell}"))),
+        "s" => unescape(payload).map(Value::Str),
+        _ => Err(StoreError::Codec(format!("unknown tag: {cell}"))),
+    }
+}
+
+/// Render a row as tab-separated encoded cells (empty string for the
+/// empty row).
+pub fn encode_row(row: &Row) -> String {
+    row.iter().map(encode_cell).collect::<Vec<_>>().join("\t")
+}
+
+/// Parse a tab-separated row line produced by [`encode_row`].
+pub fn decode_row(body: &str) -> Result<Row, StoreError> {
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split('\t').map(decode_cell).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn cells_round_trip() {
+        for v in [
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::str(""),
+            Value::str("plain"),
+            Value::str("tab\t nl\n cr\r bs\\ quote\" done"),
+        ] {
+            assert_eq!(decode_cell(&encode_cell(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_including_empty() {
+        let r = row![1, "a\tb", true];
+        assert_eq!(decode_row(&encode_row(&r)).unwrap(), r);
+        assert_eq!(decode_row("").unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn escaped_text_never_contains_separators() {
+        let s = escape("a\tb\nc\rd\\e");
+        assert!(!s.contains('\t') && !s.contains('\n') && !s.contains('\r'));
+        assert_eq!(unescape(&s).unwrap(), "a\tb\nc\rd\\e");
+    }
+
+    #[test]
+    fn malformed_cells_are_rejected() {
+        for bad in [
+            "untagged",
+            "z:9",
+            "i:notanint",
+            "b:maybe",
+            "s:bad\\escape\\q",
+        ] {
+            assert!(
+                matches!(decode_cell(bad), Err(StoreError::Codec(_))),
+                "{bad} should not decode"
+            );
+        }
+        assert!(unescape("dangling\\").is_err());
+    }
+}

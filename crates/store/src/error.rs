@@ -35,6 +35,9 @@ pub enum StoreError {
     SchemaMismatch(String),
     /// A predicate or query was ill-typed for the schema it ran against.
     BadQuery(String),
+    /// Serialized text (a snapshot or a row/cell encoding) failed to
+    /// parse.
+    Codec(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -62,6 +65,7 @@ impl std::fmt::Display for StoreError {
             StoreError::BadSchema(m) => write!(f, "bad schema: {m}"),
             StoreError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             StoreError::BadQuery(m) => write!(f, "bad query: {m}"),
+            StoreError::Codec(m) => write!(f, "codec error: {m}"),
         }
     }
 }

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod csv;
 pub mod database;
 pub mod delta;
@@ -30,6 +31,7 @@ pub mod predicate;
 pub mod query;
 pub mod row;
 pub mod schema;
+pub mod snapshot;
 pub mod table;
 pub mod value;
 
@@ -42,5 +44,6 @@ pub use predicate::{Operand, Predicate};
 pub use query::Query;
 pub use row::Row;
 pub use schema::{Column, Schema};
+pub use snapshot::{decode_database, encode_database};
 pub use table::Table;
 pub use value::{Value, ValueType};

@@ -1,0 +1,215 @@
+//! Whole-database snapshot serialization.
+//!
+//! A [`Database`] renders as a line-oriented text document, one block per
+//! table in name order:
+//!
+//! ```text
+//! %table <name>
+//! %columns <col>:<ty>\t<col>:<ty>...
+//! %key <col>\t<col>...
+//! %rows <n>
+//! <cell>\t<cell>...        (n row lines, codec of [`crate::codec`])
+//! ```
+//!
+//! Names are escaped with the shared codec escaping, so tabs/newlines in
+//! table or column names round-trip. Secondary indexes are *not* part of
+//! the snapshot (they are derived data, not table value); callers rebuild
+//! them after decoding. The engine's checkpoint files wrap this document
+//! with a sequence-number header.
+
+use crate::codec::{decode_row, encode_row, escape, unescape};
+use crate::database::Database;
+use crate::error::StoreError;
+use crate::schema::{Column, Schema};
+use crate::table::Table;
+use crate::value::ValueType;
+
+fn encode_type(ty: ValueType) -> &'static str {
+    match ty {
+        ValueType::Bool => "bool",
+        ValueType::Int => "int",
+        ValueType::Str => "str",
+    }
+}
+
+fn decode_type(s: &str) -> Result<ValueType, StoreError> {
+    match s {
+        "bool" => Ok(ValueType::Bool),
+        "int" => Ok(ValueType::Int),
+        "str" => Ok(ValueType::Str),
+        _ => Err(StoreError::Codec(format!("unknown value type: {s}"))),
+    }
+}
+
+/// Serialise a database to the snapshot text format.
+pub fn encode_database(db: &Database) -> String {
+    let mut out = String::new();
+    for name in db.table_names() {
+        let table = db.table(name).expect("name came from the database");
+        out.push_str(&format!("%table {}\n", escape(name)));
+        let cols: Vec<String> = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| format!("{}:{}", escape(&c.name), encode_type(c.ty)))
+            .collect();
+        out.push_str(&format!("%columns {}\n", cols.join("\t")));
+        let key: Vec<String> = table.schema().key().iter().map(|k| escape(k)).collect();
+        out.push_str(&format!("%key {}\n", key.join("\t")));
+        out.push_str(&format!("%rows {}\n", table.len()));
+        for row in table.rows() {
+            out.push_str(&encode_row(row));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn expect_directive<'a>(line: Option<&'a str>, directive: &str) -> Result<&'a str, StoreError> {
+    let line =
+        line.ok_or_else(|| StoreError::Codec(format!("truncated snapshot: expected {directive}")))?;
+    // `%key ` with an empty tail renders as `%key` (no trailing space).
+    if line == directive {
+        return Ok("");
+    }
+    line.strip_prefix(directive)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| StoreError::Codec(format!("expected {directive} line, got: {line}")))
+}
+
+/// Parse the snapshot text format back into a database.
+pub fn decode_database(text: &str) -> Result<Database, StoreError> {
+    let mut db = Database::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        if line.is_empty() {
+            continue;
+        }
+        let name = unescape(expect_directive(Some(line), "%table")?)?;
+
+        let cols_body = expect_directive(lines.next(), "%columns")?;
+        let mut columns = Vec::new();
+        if !cols_body.is_empty() {
+            for cell in cols_body.split('\t') {
+                let (cname, ty) = cell
+                    .rsplit_once(':')
+                    .ok_or_else(|| StoreError::Codec(format!("untyped column: {cell}")))?;
+                columns.push(Column::new(unescape(cname)?, decode_type(ty)?));
+            }
+        }
+
+        let key_body = expect_directive(lines.next(), "%key")?;
+        let key: Vec<String> = if key_body.is_empty() {
+            Vec::new()
+        } else {
+            key_body
+                .split('\t')
+                .map(unescape)
+                .collect::<Result<_, _>>()?
+        };
+        let schema = Schema::new(columns, key)
+            .map_err(|e| StoreError::Codec(format!("snapshot schema for {name}: {e}")))?;
+
+        let rows_body = expect_directive(lines.next(), "%rows")?;
+        let n: usize = rows_body
+            .parse()
+            .map_err(|_| StoreError::Codec(format!("bad row count: {rows_body}")))?;
+        let mut table = Table::new(schema);
+        for _ in 0..n {
+            let row_line = lines
+                .next()
+                .ok_or_else(|| StoreError::Codec("truncated snapshot: missing row".into()))?;
+            let row = decode_row(row_line)?;
+            table
+                .insert(row)
+                .map_err(|e| StoreError::Codec(format!("snapshot row for {name}: {e}")))?;
+        }
+        db.create_table(name.clone(), table)
+            .map_err(|e| StoreError::Codec(format!("snapshot table {name}: {e}")))?;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn sample() -> Database {
+        let schema = Schema::build(
+            &[
+                ("id", ValueType::Int),
+                ("name", ValueType::Str),
+                ("ok", ValueType::Bool),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        let t = Table::from_rows(
+            schema,
+            vec![
+                row![1, "ada", true],
+                row![2, "tab\there\nand newline", false],
+            ],
+        )
+        .unwrap();
+        let unkeyed = Table::from_rows(
+            Schema::build(&[("x", ValueType::Int)], &[]).unwrap(),
+            vec![row![7], row![8]],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.create_table("people", t).unwrap();
+        db.create_table("odd\tname", unkeyed).unwrap();
+        db.create_table("empty", Table::new(Schema::build(&[], &[]).unwrap()))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn database_round_trips() {
+        let db = sample();
+        let text = encode_database(&db);
+        let back = decode_database(&text).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let db = Database::new();
+        assert_eq!(decode_database(&encode_database(&db)).unwrap(), db);
+    }
+
+    #[test]
+    fn truncated_snapshots_are_rejected() {
+        let text = encode_database(&sample());
+        // Chopping anywhere strictly inside the document must error or
+        // decode to a *different* database, never silently equal.
+        for cut in [1, text.len() / 3, text.len() - 2] {
+            let prefix = &text[..cut];
+            if let Ok(db) = decode_database(prefix) {
+                assert_ne!(db, sample(), "cut at {cut} decoded to the full db");
+            }
+        }
+        assert!(matches!(
+            decode_database("%rows 1"),
+            Err(StoreError::Codec(_))
+        ));
+        assert!(matches!(
+            decode_database("%table t\n%columns a:int\n%key\n%rows 2\ni:1"),
+            Err(StoreError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn indexes_are_not_serialized() {
+        let mut db = sample();
+        db.table_mut("people")
+            .unwrap()
+            .create_index("name")
+            .unwrap();
+        let back = decode_database(&encode_database(&db)).unwrap();
+        assert!(back.table("people").unwrap().indexed_columns().is_empty());
+        assert_eq!(back, db); // equality ignores indexes
+    }
+}
