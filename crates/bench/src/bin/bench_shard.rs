@@ -1,0 +1,181 @@
+//! Sharding perf trajectory: 1-shard vs 4-shard commit throughput on
+//! disjoint keys, plus a cross-shard transaction ratio sweep. Emits
+//! `BENCH_shard.json` so successive PRs can watch partitioning stay a
+//! win.
+//!
+//! Why 4 shards beat 1 even on one core: a commit's cost is dominated
+//! by work proportional to the *shard piece* it touches (snapshot
+//! clone, diff, apply under the shard lock). Partitioning cuts every
+//! piece to 1/4, and on multi-core hardware the four shard locks also
+//! commit in parallel. The acceptance gate asserts ≥ 2x.
+//!
+//! Usage: `cargo run --release -p esm-bench --bin bench_shard [dir]`
+
+use std::time::Instant;
+
+use esm_bench::fmt_ns;
+use esm_bench::results::BenchResults;
+use esm_engine::{ShardRouter, ShardedEngineServer};
+use esm_store::{row, Database, Row, Schema, Table, ValueType};
+
+const ROWS: i64 = 8_000;
+const THREADS: usize = 4;
+const COMMITS_PER_THREAD: usize = 60;
+const SWEEP_COMMITS: usize = 200;
+const REPS: usize = 5;
+
+fn seed_db() -> Database {
+    let schema = Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"])
+        .expect("valid schema");
+    let rows: Vec<Row> = (0..ROWS).map(|i| row![i, format!("v{i}")]).collect();
+    let mut db = Database::new();
+    db.create_table("kv", Table::from_rows(schema, rows).expect("valid rows"))
+        .expect("fresh");
+    db
+}
+
+fn engine(shards: usize) -> ShardedEngineServer {
+    let router = if shards == 1 {
+        ShardRouter::single()
+    } else {
+        ShardRouter::uniform_int(shards, 0, ROWS).expect("router")
+    };
+    ShardedEngineServer::with_router(seed_db(), router).expect("sharded engine")
+}
+
+/// `THREADS` workers, each committing `COMMITS_PER_THREAD` keyed
+/// single-row upserts inside its own key quarter (disjoint keys: every
+/// commit takes the fast path). Returns median ns per commit over
+/// `REPS` runs, each on a fresh engine.
+fn disjoint_commit_ns(shards: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|rep| {
+            let engine = engine(shards);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let engine = engine.clone();
+                    scope.spawn(move || {
+                        let quarter = ROWS / THREADS as i64;
+                        for i in 0..COMMITS_PER_THREAD as i64 {
+                            let key = t as i64 * quarter + (i * 131 + rep as i64) % quarter;
+                            engine
+                                .transact_keys(&[row![key]], 4, |db| {
+                                    db.table_mut("kv")?.upsert(row![key, format!("w{t}_{i}")])?;
+                                    Ok(())
+                                })
+                                .expect("disjoint keys commit");
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_nanos() as f64;
+            let commits = engine.metrics().commits;
+            assert_eq!(commits as usize, THREADS * COMMITS_PER_THREAD);
+            assert_eq!(
+                engine.metrics().shard.cross_shard_commits,
+                0,
+                "disjoint quarters stay on the fast path"
+            );
+            elapsed / commits as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// One thread, `SWEEP_COMMITS` transactions of which `pct`% are 2-key
+/// cross-shard transfers (the rest single-key upserts), on a 4-shard
+/// engine. Returns (median ns per commit, observed cross-shard share).
+fn cross_ratio_ns(pct: usize) -> (f64, f64) {
+    let mut share = 0.0;
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let engine = engine(4);
+            let quarter = ROWS / 4;
+            let start = Instant::now();
+            for i in 0..SWEEP_COMMITS {
+                let k = (i as i64 * 197) % quarter;
+                if i % 100 < pct {
+                    // Transfer between shard 0 and shard 2: always 2PC.
+                    let (a, b) = (k, 2 * quarter + k);
+                    engine
+                        .transact_keys(&[row![a], row![b]], 4, |db| {
+                            let t = db.table_mut("kv")?;
+                            t.upsert(row![a, "from"])?;
+                            t.upsert(row![b, "to"])?;
+                            Ok(())
+                        })
+                        .expect("transfer commits");
+                } else {
+                    engine
+                        .transact_keys(&[row![k]], 4, |db| {
+                            db.table_mut("kv")?.upsert(row![k, "solo"])?;
+                            Ok(())
+                        })
+                        .expect("upsert commits");
+                }
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            let m = engine.metrics();
+            assert_eq!(m.commits as usize, SWEEP_COMMITS);
+            share = m.shard.cross_shard_commits as f64 / m.commits as f64;
+            elapsed / SWEEP_COMMITS as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (samples[samples.len() / 2], share)
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut results = BenchResults::new();
+
+    let single = disjoint_commit_ns(1);
+    let four = disjoint_commit_ns(4);
+    for (label, ns) in [("1shard", single), ("4shard", four)] {
+        results.record(
+            format!("shard/commit_disjoint/{label}"),
+            ns,
+            format!("{THREADS} threads x {COMMITS_PER_THREAD} keyed upserts, {ROWS} rows"),
+        );
+        println!("disjoint commits ({label:>6}): {}/commit", fmt_ns(ns));
+    }
+    let speedup = single / four;
+    println!("speedup: {speedup:.2}x");
+
+    for pct in [0usize, 25, 50, 100] {
+        let (ns, share) = cross_ratio_ns(pct);
+        results.record(
+            format!("shard/cross_ratio/p{pct}"),
+            ns,
+            format!(
+                "4 shards, {SWEEP_COMMITS} commits, {:.0}% cross-shard (2PC)",
+                share * 100.0
+            ),
+        );
+        println!(
+            "cross-shard ratio {pct:>3}%: {}/commit ({:.0}% ran 2PC)",
+            fmt_ns(ns),
+            share * 100.0
+        );
+    }
+
+    // The acceptance gate: partitioning the commit pipeline must at
+    // least double disjoint-key throughput.
+    assert!(
+        speedup >= 2.0,
+        "4-shard disjoint-key commits must be >= 2x single-shard \
+         (got {speedup:.2}x: {} vs {})",
+        fmt_ns(single),
+        fmt_ns(four)
+    );
+
+    match results.write_json(&out_dir, "shard") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write BENCH_shard.json into {out_dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -85,18 +85,29 @@ impl Checkpoint {
     /// Write this checkpoint into `dir` atomically: temp file, fsync,
     /// rename, fsync the directory. Returns the final path.
     pub fn write_atomic(&self, dir: &Path) -> Result<PathBuf, EngineError> {
-        let final_path = dir.join(checkpoint_file_name(self.seq));
-        let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(self.seq)));
-        {
-            use std::io::Write as _;
-            let mut f = std::fs::File::create(&tmp_path)?;
-            f.write_all(self.encode().as_bytes())?;
-            f.sync_data()?;
-        }
-        std::fs::rename(&tmp_path, &final_path)?;
-        sync_dir(dir)?;
-        Ok(final_path)
+        write_atomic_text(dir, &checkpoint_file_name(self.seq), &self.encode())
     }
+}
+
+/// Write `text` into `dir/name` atomically (temp file → fsync → rename →
+/// directory fsync) — the discipline checkpoints use, shared with the
+/// shard topology file. Returns the final path.
+pub(crate) fn write_atomic_text(
+    dir: &Path,
+    name: &str,
+    text: &str,
+) -> Result<PathBuf, EngineError> {
+    let final_path = dir.join(name);
+    let tmp_path = dir.join(format!("{name}.tmp"));
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp_path)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(final_path)
 }
 
 /// fsync a directory so renames/creates/unlinks inside it are durable.

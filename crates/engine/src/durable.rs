@@ -5,11 +5,18 @@
 //! * an **active segment file** receiving encoded [`WalRecord`]s, synced
 //!   by group commit (one fsync per `group_commit` appends) and rotated
 //!   once it passes `segment_bytes`;
-//! * a **shadow database** — the baseline plus every appended record,
+//! * a **shadow database** — the baseline plus every applied record,
 //!   maintained in place so a checkpoint can serialize the committed
-//!   state without replaying anything;
+//!   state without replaying anything; chained transaction records
+//!   buffer until their terminator, and 2PC-prepared chains are held *in
+//!   doubt* until their resolution marker (see [`crate::wal`]);
 //! * the **newest checkpoint**, written atomically; compaction deletes
 //!   every segment (and older checkpoint) fully covered by it.
+//!   Checkpoints and compaction run **off the commit path**: the engine
+//!   spawns a maintenance thread that calls
+//!   [`DurableWal::maybe_checkpoint`] on an interval
+//!   ([`DurabilityConfig::maintenance_interval_ms`]), so a committing
+//!   thread never pays for a snapshot write.
 //!
 //! ## Recovery state machine ([`DurableWal::open`])
 //!
@@ -19,30 +26,41 @@
 //! 2. **Segment scan** — read every `wal-*.seg` in name order and decode
 //!    the longest complete-record prefix of each
 //!    ([`crate::segment::decode_segment_prefix`]); a torn tail is legal
-//!    only where a crash can produce one — after the last durable record.
+//!    only where a crash can produce one — after the last durable
+//!    record — while a CRC failure on a *complete* frame is mid-stream
+//!    bit rot and fails recovery outright.
 //! 3. **Plan** ([`plan_recovery`]) — walk the records in order, skipping
 //!    *stale* ones (seq already covered by the checkpoint or an earlier
 //!    segment — duplicate/stale segment files are tolerated, never
 //!    re-applied), requiring the rest to continue `checkpoint_seq`
 //!    contiguously; a gap or a record following a torn segment is real
 //!    corruption and fails recovery.
-//! 4. **Repair** — torn tails are truncated off their files so the
-//!    directory is clean again, and a fresh active segment is opened at
-//!    `last_seq + 1`.
+//! 4. **Resolve** ([`resolve_transactions`]) — group the surviving
+//!    records into transactions: complete chains apply; a prepared chain
+//!    applies or drops with its resolution marker; a prepared chain with
+//!    *no* resolution is returned as **in doubt** (the sharded recovery
+//!    decides its outcome by consulting every shard — see
+//!    [`crate::shard`]); an *unterminated* trailing chain is an
+//!    interrupted transaction and is discarded whole — all-or-nothing,
+//!    never a prefix.
+//! 5. **Repair** — torn tails and discarded trailing chains are
+//!    truncated off their files so the directory is clean again, and a
+//!    fresh active segment is opened at `last_seq + 1`.
 //!
-//! The crash-recovery suite drives step 1–3 at every byte offset of a
+//! The crash-recovery suite drives steps 1–4 at every byte offset of a
 //! recorded run and asserts the recovered state equals the live state at
-//! the longest durable prefix — the paper's equivalence claim (state
-//! rebuilt by replaying the log ≡ state observed live) made exhaustive.
+//! the longest durable transaction prefix — the paper's equivalence
+//! claim (state rebuilt by replaying the log ≡ state observed live) made
+//! exhaustive.
 //!
 //! ## Durability contract
 //!
 //! With `group_commit = 1` every acknowledged commit is on disk before
 //! the commit call returns. With `group_commit = n`, up to `n - 1`
 //! acknowledged records may be lost to a crash (they are never torn —
-//! recovery trims to a record boundary). One WAL record is the durability
-//! unit: a multi-table transaction that crashed between its records
-//! recovers its prefix (see ROADMAP: commit markers are a follow-on).
+//! recovery trims to a record boundary). The durability unit is one
+//! *transaction*: a multi-record chain interrupted between records
+//! recovers to nothing, never to a prefix.
 //!
 //! Write-path failures are **fail-stop**: once an append, fsync or
 //! checkpoint write errors, bytes may or may not have reached the disk,
@@ -53,9 +71,11 @@
 //! land is replayed; one whose bytes did not is gone — either way a
 //! clean prefix, the usual fsync-failure gray zone made explicit).
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 
-use esm_store::Database;
+use esm_store::{Database, Delta};
 
 use crate::checkpoint::{checkpoint_file_name, latest_valid_checkpoint, Checkpoint};
 use crate::checkpoint::{parse_checkpoint_name, sync_dir};
@@ -65,7 +85,7 @@ use crate::segment::{
     decode_segment_prefix, parse_segment_name, segment_file_name, DiskFile, SegmentPrefix,
     SegmentWriter,
 };
-use crate::wal::WalRecord;
+use crate::wal::{WalOp, WalRecord};
 
 /// Whether (and how) an engine persists its WAL.
 #[derive(Debug, Clone, Default)]
@@ -97,20 +117,28 @@ pub struct DurabilityConfig {
     /// the tail of acknowledged-but-unsynced records on crash for fewer
     /// fsyncs.
     pub group_commit: usize,
-    /// Write a checkpoint (and compact) every this many records; 0 =
-    /// only on explicit [`DurableWal::checkpoint`] calls.
+    /// Checkpoint (and compact) once this many records accumulate past
+    /// the newest checkpoint; 0 = only on explicit
+    /// [`DurableWal::checkpoint`] calls. The work runs on the engine's
+    /// maintenance thread, never on a committing thread.
     pub checkpoint_every: u64,
+    /// How often the maintenance thread wakes to check
+    /// [`DurableWal::needs_checkpoint`], in milliseconds. 0 disables the
+    /// thread (embedders then drive `run_maintenance` themselves — the
+    /// deterministic choice for tests).
+    pub maintenance_interval_ms: u64,
 }
 
 impl DurabilityConfig {
     /// Defaults: 64 KiB segments, sync every record, checkpoint every
-    /// 256 records.
+    /// 256 records, maintenance tick every 20 ms.
     pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
         DurabilityConfig {
             dir: dir.into(),
             segment_bytes: 64 * 1024,
             group_commit: 1,
             checkpoint_every: 256,
+            maintenance_interval_ms: 20,
         }
     }
 
@@ -131,6 +159,13 @@ impl DurabilityConfig {
         self.checkpoint_every = records;
         self
     }
+
+    /// Set the maintenance thread's wake interval (0 disables the
+    /// thread; checkpoints then happen only via explicit calls).
+    pub fn maintenance_interval_ms(mut self, ms: u64) -> DurabilityConfig {
+        self.maintenance_interval_ms = ms;
+        self
+    }
 }
 
 /// What a recovery pass found and did.
@@ -149,10 +184,17 @@ pub struct RecoveryReport {
     pub stale_skipped: u64,
     /// Segment files scanned.
     pub segments_scanned: u64,
-    /// Torn tail bytes truncated off segment files.
+    /// Torn tail bytes truncated off segment files (crash artifacts and
+    /// discarded trailing chains).
     pub torn_bytes: u64,
     /// Corrupt or torn checkpoint files skipped over.
     pub corrupt_checkpoints_skipped: u64,
+    /// 2PC transactions left in doubt (prepared, never resolved); the
+    /// sharded recovery settles them — see [`crate::shard`].
+    pub in_doubt_transactions: u64,
+    /// Records of an unterminated trailing transaction chain discarded
+    /// (and truncated off the log) so recovery is all-or-nothing.
+    pub tail_records_discarded: u64,
 }
 
 /// One scanned segment, ready for [`plan_recovery`].
@@ -172,7 +214,10 @@ pub struct ScannedSegment {
 /// covered) are skipped, never re-applied; surviving records must extend
 /// `checkpoint_seq` contiguously. A torn segment is accepted, but any
 /// *new* record after one means bytes went missing mid-log — corruption,
-/// not a crash artifact — and fails with `WalCorrupt`.
+/// not a crash artifact — and fails with `WalCorrupt`. A segment whose
+/// decode reported bit rot ([`SegmentPrefix::corrupt`]) fails recovery
+/// outright: truncating past a CRC failure would silently drop committed
+/// records.
 pub fn plan_recovery(
     checkpoint_seq: u64,
     segments: &[ScannedSegment],
@@ -182,6 +227,12 @@ pub fn plan_recovery(
     let mut stale = 0u64;
     let mut torn_at: Option<u64> = None;
     for seg in segments {
+        if let Some(reason) = &seg.prefix.corrupt {
+            return Err(EngineError::WalCorrupt(format!(
+                "segment starting at seq {}: {reason}",
+                seg.first_seq
+            )));
+        }
         for rec in &seg.prefix.records {
             if rec.seq <= last {
                 stale += 1;
@@ -208,6 +259,72 @@ pub fn plan_recovery(
         }
     }
     Ok((records, stale))
+}
+
+/// A contiguous record run grouped into transactions — what recovery may
+/// actually apply.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolvedLog {
+    /// Deltas to apply, in log order: complete chains plus prepared
+    /// chains whose `!resolve commit` is in the log.
+    pub applied: Vec<(String, Delta)>,
+    /// Prepared-but-unresolved chains, keyed by global transaction id —
+    /// held, not applied, until the sharded recovery decides.
+    pub in_doubt: BTreeMap<String, Vec<(String, Delta)>>,
+    /// Every resolution marker seen (`gtx → committed`), including ones
+    /// whose prepare predates this run — the evidence the sharded
+    /// recovery votes with.
+    pub resolutions: BTreeMap<String, bool>,
+    /// Sequence number of the first record of an unterminated trailing
+    /// chain (everything from here on must be discarded and truncated),
+    /// if one exists.
+    pub tail_first_seq: Option<u64>,
+}
+
+/// Group a contiguous record run into transactions (pure; see
+/// [`ResolvedLog`]). Fails with `WalCorrupt` on structural impossibilia:
+/// a prepare marker whose record count disagrees with its chain.
+pub fn resolve_transactions(records: &[WalRecord]) -> Result<ResolvedLog, EngineError> {
+    let mut out = ResolvedLog::default();
+    let mut pending: Vec<(u64, String, Delta)> = Vec::new();
+    for rec in records {
+        match &rec.op {
+            WalOp::Delta {
+                table,
+                delta,
+                chained,
+            } => {
+                pending.push((rec.seq, table.clone(), delta.clone()));
+                if !chained {
+                    out.applied
+                        .extend(pending.drain(..).map(|(_, t, d)| (t, d)));
+                }
+            }
+            WalOp::Prepare { gtx, records } => {
+                if pending.len() as u64 != *records {
+                    return Err(EngineError::WalCorrupt(format!(
+                        "prepare marker for {gtx} at seq {} claims {records} records, found {}",
+                        rec.seq,
+                        pending.len()
+                    )));
+                }
+                out.in_doubt.insert(
+                    gtx.clone(),
+                    pending.drain(..).map(|(_, t, d)| (t, d)).collect(),
+                );
+            }
+            WalOp::Resolve { gtx, committed } => {
+                out.resolutions.insert(gtx.clone(), *committed);
+                if let Some(group) = out.in_doubt.remove(gtx) {
+                    if *committed {
+                        out.applied.extend(group);
+                    }
+                }
+            }
+        }
+    }
+    out.tail_first_seq = pending.first().map(|(seq, _, _)| *seq);
+    Ok(out)
 }
 
 /// Scan a directory's segment files (sorted, decoded). Shared by
@@ -241,6 +358,14 @@ pub struct DurableWal {
     config: DurabilityConfig,
     writer: SegmentWriter<DiskFile>,
     shadow: Database,
+    /// Chained records of the in-flight transaction, not yet applied to
+    /// the shadow (applied together at the chain terminator).
+    pending: Vec<(String, Delta)>,
+    /// Prepared 2PC chains awaiting their resolution marker.
+    in_doubt: BTreeMap<String, Vec<(String, Delta)>>,
+    /// Resolution markers recovered from the log (evidence for the
+    /// sharded recovery's commit/abort vote).
+    recovered_resolutions: BTreeMap<String, bool>,
     last_seq: u64,
     checkpoint_seq: u64,
     stats: WalStats,
@@ -283,6 +408,9 @@ impl DurableWal {
             config,
             writer,
             shadow: baseline.clone(),
+            pending: Vec::new(),
+            in_doubt: BTreeMap::new(),
+            recovered_resolutions: BTreeMap::new(),
             last_seq: 0,
             checkpoint_seq: 0,
             stats,
@@ -293,6 +421,12 @@ impl DurableWal {
     /// Recover a durable WAL directory (see the module docs for the state
     /// machine). Returns the log handle, the recovered committed
     /// database, and a report of what recovery did.
+    ///
+    /// Prepared-but-unresolved 2PC chains are **not** applied to the
+    /// returned database; they stay queued in [`DurableWal::in_doubt`]
+    /// until a resolution marker is appended (the sharded recovery does
+    /// this after consulting every shard — a standalone engine has no
+    /// cross-shard transactions and recovers none).
     pub fn open(
         config: DurabilityConfig,
     ) -> Result<(DurableWal, Database, RecoveryReport), EngineError> {
@@ -305,6 +439,7 @@ impl DurableWal {
         })?;
         let segments = scan_segments(&config.dir)?;
         let (records, stale_skipped) = plan_recovery(ckpt.seq, &segments)?;
+        let resolved = resolve_transactions(&records)?;
 
         // Housekeeping: a crash between a checkpoint's temp-file write
         // and its rename strands a `*.tmp` that nothing else will ever
@@ -320,40 +455,62 @@ impl DurableWal {
             }
         }
 
-        // Repair: truncate torn tails so the next scan sees clean files.
+        // Repair: truncate torn tails, and truncate the records of an
+        // unterminated trailing chain (an interrupted transaction must
+        // vanish whole, not linger to be mis-joined with future appends).
+        let keep_last_seq = match resolved.tail_first_seq {
+            Some(first) => first - 1,
+            None => ckpt.seq + records.len() as u64,
+        };
         let mut torn_bytes = 0u64;
         for seg in &segments {
-            if seg.prefix.torn {
-                let path = config.dir.join(segment_file_name(seg.first_seq));
-                let file = std::fs::OpenOptions::new().write(true).open(&path)?;
-                let full = file.metadata()?.len();
-                torn_bytes += full - seg.prefix.consumed as u64;
-                file.set_len(seg.prefix.consumed as u64)?;
-                file.sync_data()?;
-            }
+            let keep_records = seg
+                .prefix
+                .records
+                .partition_point(|r| r.seq <= keep_last_seq);
+            let keep_bytes = if keep_records == seg.prefix.records.len() {
+                if !seg.prefix.torn {
+                    continue;
+                }
+                seg.prefix.consumed as u64
+            } else if keep_records == 0 {
+                0
+            } else {
+                seg.prefix.ends[keep_records - 1] as u64
+            };
+            let path = config.dir.join(segment_file_name(seg.first_seq));
+            let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+            let full = file.metadata()?.len();
+            torn_bytes += full - keep_bytes;
+            file.set_len(keep_bytes)?;
+            file.sync_data()?;
         }
 
         let mut db = ckpt.db;
-        for rec in &records {
-            apply_in_place(&mut db, rec)?;
+        for (table, delta) in &resolved.applied {
+            apply_in_place(&mut db, table, delta)?;
         }
-        let last_seq = ckpt.seq + records.len() as u64;
         let report = RecoveryReport {
             checkpoint_seq: ckpt.seq,
-            last_seq,
-            records_replayed: records.len() as u64,
+            last_seq: keep_last_seq,
+            records_replayed: keep_last_seq - ckpt.seq,
             stale_skipped,
             segments_scanned: segments.len() as u64,
             torn_bytes,
             corrupt_checkpoints_skipped: corrupt_skipped,
+            in_doubt_transactions: resolved.in_doubt.len() as u64,
+            tail_records_discarded: records.len() as u64 - (keep_last_seq - ckpt.seq),
         };
-        let writer = open_segment(&config.dir, last_seq + 1)?;
+        let writer = open_segment(&config.dir, keep_last_seq + 1)?;
         Ok((
             DurableWal {
                 config,
                 shadow: db.clone(),
                 writer,
-                last_seq,
+                pending: Vec::new(),
+                in_doubt: resolved.in_doubt,
+                recovered_resolutions: resolved.resolutions,
+                last_seq: keep_last_seq,
                 checkpoint_seq: ckpt.seq,
                 stats: WalStats::default(),
                 poisoned: None,
@@ -387,10 +544,12 @@ impl DurableWal {
     }
 
     /// Append one record: write-ahead to the active segment, group
-    /// commit, rotate and auto-checkpoint per config. The record's seq
-    /// must continue the log exactly (checked *before* any side effect;
-    /// a seq rejection leaves the log fully usable). Any failure past
-    /// that point poisons the log — see [`DurableWal::guard`].
+    /// commit, rotate per config. The record's seq must continue the log
+    /// exactly (checked *before* any side effect; a seq rejection leaves
+    /// the log fully usable). Any failure past that point poisons the
+    /// log — see [`DurableWal::guard`]. Checkpointing is **not** done
+    /// here — the maintenance thread calls
+    /// [`DurableWal::maybe_checkpoint`] off the commit path.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), EngineError> {
         self.guard()?;
         if record.seq <= self.last_seq {
@@ -407,21 +566,47 @@ impl DurableWal {
             )));
         }
         let appended = self.append_inner(record);
-        self.poisoning(appended)?;
-        if self.config.checkpoint_every > 0
-            && self.last_seq - self.checkpoint_seq >= self.config.checkpoint_every
-        {
-            self.checkpoint()?;
-        }
-        Ok(())
+        self.poisoning(appended)
     }
 
     fn append_inner(&mut self, record: &WalRecord) -> Result<(), EngineError> {
         let bytes = self.writer.append(record)?;
         self.stats.appends += 1;
         self.stats.bytes_written += bytes;
-        apply_in_place(&mut self.shadow, record)?;
         self.last_seq = record.seq;
+        match &record.op {
+            WalOp::Delta {
+                table,
+                delta,
+                chained,
+            } => {
+                self.pending.push((table.clone(), delta.clone()));
+                if !chained {
+                    for (table, delta) in std::mem::take(&mut self.pending) {
+                        apply_in_place(&mut self.shadow, &table, &delta)?;
+                    }
+                }
+            }
+            WalOp::Prepare { gtx, records } => {
+                if self.pending.len() as u64 != *records {
+                    return Err(EngineError::WalCorrupt(format!(
+                        "prepare marker for {gtx} claims {records} records, found {}",
+                        self.pending.len()
+                    )));
+                }
+                self.in_doubt
+                    .insert(gtx.clone(), std::mem::take(&mut self.pending));
+            }
+            WalOp::Resolve { gtx, committed } => {
+                if let Some(group) = self.in_doubt.remove(gtx) {
+                    if *committed {
+                        for (table, delta) in group {
+                            apply_in_place(&mut self.shadow, &table, &delta)?;
+                        }
+                    }
+                }
+            }
+        }
         if self.writer.pending() >= self.config.group_commit {
             self.sync_inner()?;
         }
@@ -453,29 +638,95 @@ impl DurableWal {
         Ok(())
     }
 
+    /// Would [`DurableWal::maybe_checkpoint`] write a checkpoint right
+    /// now? True once `checkpoint_every` records accumulated past the
+    /// newest checkpoint and no transaction is mid-flight (a checkpoint
+    /// must never cover half a chain or an unresolved prepare).
+    pub fn needs_checkpoint(&self) -> bool {
+        self.poisoned.is_none()
+            && self.config.checkpoint_every > 0
+            && self.last_seq - self.checkpoint_seq >= self.config.checkpoint_every
+            && self.pending.is_empty()
+            && self.in_doubt.is_empty()
+    }
+
+    /// Checkpoint iff [`DurableWal::needs_checkpoint`] — the synchronous
+    /// convenience (file write included, under the caller's lock).
+    /// Engine maintenance loops instead use the
+    /// [`DurableWal::begin_checkpoint`]/[`DurableWal::finish_checkpoint`]
+    /// split so the serialize + fsync happens *outside* the commit lock.
+    /// Returns the covered seq when one was written.
+    pub fn maybe_checkpoint(&mut self) -> Result<Option<u64>, EngineError> {
+        if self.needs_checkpoint() {
+            self.checkpoint().map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
     /// Write a checkpoint at the current seq, then compact. Returns the
-    /// sequence number the checkpoint covers.
+    /// sequence number the checkpoint covers. Refuses while a
+    /// transaction is mid-flight (chained records without their
+    /// terminator, or an unresolved 2PC prepare): the snapshot would
+    /// cover half a transaction.
     pub fn checkpoint(&mut self) -> Result<u64, EngineError> {
+        let ckpt = self.begin_checkpoint()?;
+        let seq = ckpt.seq;
+        ckpt.write_atomic(&self.config.dir)?;
+        self.finish_checkpoint(seq)
+    }
+
+    /// First half of an off-the-commit-path checkpoint: flush the
+    /// group-commit batch and snapshot the committed state (an O(db)
+    /// clone — cheap next to the serialize + fsync the caller then runs
+    /// *without* holding the engine lock, finishing with
+    /// [`DurableWal::finish_checkpoint`]). Refuses while a transaction
+    /// is mid-flight, exactly like [`DurableWal::checkpoint`].
+    pub fn begin_checkpoint(&mut self) -> Result<Checkpoint, EngineError> {
         self.guard()?;
-        let written = self.checkpoint_inner();
-        self.poisoning(written)?;
+        if !self.pending.is_empty() || !self.in_doubt.is_empty() {
+            return Err(EngineError::Io(format!(
+                "checkpoint refused: {} chained records and {} in-doubt transactions in flight",
+                self.pending.len(),
+                self.in_doubt.len()
+            )));
+        }
+        let synced = self.sync_inner();
+        self.poisoning(synced)?;
+        Ok(Checkpoint {
+            seq: self.last_seq,
+            db: self.shadow.clone(),
+        })
+    }
+
+    /// Second half: record a checkpoint the caller wrote (atomically)
+    /// and compact covered history. A failed checkpoint *write* is not
+    /// poisonous — the log itself was untouched; simply skip this call
+    /// and retry later. `seq` only ever raises the checkpoint horizon.
+    pub fn finish_checkpoint(&mut self, seq: u64) -> Result<u64, EngineError> {
+        self.guard()?;
+        if seq > self.checkpoint_seq {
+            self.checkpoint_seq = seq;
+            self.stats.checkpoints += 1;
+        }
         // Compaction failures are not poisonous: a leftover covered
         // segment or old checkpoint wastes disk but corrupts nothing
         // (recovery skips its records as stale).
         self.compact()?;
-        Ok(self.last_seq)
+        Ok(seq)
     }
 
-    fn checkpoint_inner(&mut self) -> Result<(), EngineError> {
-        self.sync_inner()?;
-        Checkpoint {
-            seq: self.last_seq,
-            db: self.shadow.clone(),
-        }
-        .write_atomic(&self.config.dir)?;
-        self.checkpoint_seq = self.last_seq;
-        self.stats.checkpoints += 1;
-        Ok(())
+    /// The directory checkpoints belong in (for off-lock writes).
+    pub fn checkpoint_dir(&self) -> PathBuf {
+        self.config.dir.clone()
+    }
+
+    /// Has a write-path failure poisoned this log? (All further writes
+    /// refuse until restart + recovery; a sharded engine also refuses to
+    /// checkpoint *peers* while any shard is poisoned — see
+    /// [`crate::shard`].)
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
     }
 
     /// Drop history no recovery will ever need. The two newest
@@ -532,10 +783,25 @@ impl DurableWal {
     }
 
     /// The committed state as the durable log sees it (baseline plus
-    /// every appended record). Equals the engine's live committed state;
-    /// the test suites assert it.
+    /// every applied record; in-flight chains and in-doubt prepares are
+    /// not included). Equals the engine's live committed state; the test
+    /// suites assert it.
     pub fn state(&self) -> &Database {
         &self.shadow
+    }
+
+    /// Prepared-but-unresolved 2PC chains, keyed by global transaction
+    /// id (populated by recovery; settled when a resolution marker is
+    /// appended).
+    pub fn in_doubt(&self) -> &BTreeMap<String, Vec<(String, Delta)>> {
+        &self.in_doubt
+    }
+
+    /// Resolution markers found by recovery (`gtx → committed`) — the
+    /// evidence the sharded recovery votes with when settling in-doubt
+    /// transactions.
+    pub fn recovered_resolutions(&self) -> &BTreeMap<String, bool> {
+        &self.recovered_resolutions
     }
 
     /// The directory this log lives in.
@@ -549,21 +815,98 @@ impl DurableWal {
     }
 }
 
+/// Run one checkpoint with the engine lock released during the file
+/// write: `begin` runs under the caller's lock and returns the snapshot
+/// plus target directory when a checkpoint is due (`None` = nothing to
+/// do); the serialize + fsync happens here, lock-free; `finish` runs
+/// under the lock again to record the result and compact. Committing
+/// threads therefore stall only for `begin`'s O(db) clone, never for
+/// the disk write.
+pub(crate) fn checkpoint_off_lock(
+    begin: impl FnOnce() -> Result<Option<(Checkpoint, PathBuf)>, EngineError>,
+    finish: impl FnOnce(u64) -> Result<u64, EngineError>,
+) -> Result<Option<u64>, EngineError> {
+    let Some((ckpt, dir)) = begin()? else {
+        return Ok(None);
+    };
+    let seq = ckpt.seq;
+    ckpt.write_atomic(&dir)?;
+    finish(seq).map(Some)
+}
+
+/// A background maintenance loop: wakes every `interval`, runs `tick`,
+/// exits (joining the thread) when dropped. The engine uses it to move
+/// checkpointing and compaction off the commit path.
+#[derive(Debug)]
+pub(crate) struct MaintenanceThread {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MaintenanceThread {
+    /// Spawn the loop. `tick` runs on the maintenance thread, never
+    /// concurrently with itself.
+    pub(crate) fn spawn(
+        interval: std::time::Duration,
+        mut tick: impl FnMut() + Send + 'static,
+    ) -> MaintenanceThread {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop_in_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("esm-maintenance".into())
+            .spawn(move || {
+                let (flag, cv) = &*stop_in_thread;
+                let mut stopped = flag.lock().expect("maintenance stop lock");
+                loop {
+                    if *stopped {
+                        return;
+                    }
+                    let (guard, _) = cv
+                        .wait_timeout(stopped, interval)
+                        .expect("maintenance stop lock");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    drop(stopped);
+                    tick();
+                    stopped = flag.lock().expect("maintenance stop lock");
+                }
+            })
+            .expect("spawn maintenance thread");
+        MaintenanceThread {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for MaintenanceThread {
+    fn drop(&mut self) {
+        let (flag, cv) = &*self.stop;
+        *flag.lock().expect("maintenance stop lock") = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 fn open_segment(dir: &Path, first_seq: u64) -> Result<SegmentWriter<DiskFile>, EngineError> {
     let file = DiskFile::create(&dir.join(segment_file_name(first_seq)))?;
     sync_dir(dir)?;
     Ok(SegmentWriter::new(file, first_seq))
 }
 
-/// Apply one record to a database without cloning the table (the shadow
-/// is touched on every append; `Delta::apply`'s copy-on-write would make
-/// that O(table) per commit).
-fn apply_in_place(db: &mut Database, rec: &WalRecord) -> Result<(), EngineError> {
-    let table = db.table_mut(&rec.table)?;
-    for row in &rec.delta.deleted {
+/// Apply one delta to a database without cloning the table (the shadow
+/// is touched on every applied record; `Delta::apply`'s copy-on-write
+/// would make that O(table) per commit).
+fn apply_in_place(db: &mut Database, table: &str, delta: &Delta) -> Result<(), EngineError> {
+    let table = db.table_mut(table)?;
+    for row in &delta.deleted {
         table.delete(row);
     }
-    for row in &rec.delta.inserted {
+    for row in &delta.inserted {
         table.upsert(row.clone())?;
     }
     Ok(())
@@ -586,15 +929,15 @@ mod tests {
         db
     }
 
-    fn rec(seq: u64) -> WalRecord {
-        WalRecord {
-            seq,
-            table: "t".into(),
-            delta: Delta {
-                inserted: vec![row![seq as i64, format!("r{seq}")]],
-                deleted: vec![],
-            },
+    fn insert(seq: u64) -> Delta {
+        Delta {
+            inserted: vec![row![seq as i64, format!("r{seq}")]],
+            deleted: vec![],
         }
+    }
+
+    fn rec(seq: u64) -> WalRecord {
+        WalRecord::delta(seq, "t", insert(seq))
     }
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -625,6 +968,8 @@ mod tests {
         assert_eq!(report.last_seq, 10);
         assert_eq!(report.records_replayed, 10);
         assert_eq!(report.checkpoint_seq, 0);
+        assert_eq!(report.in_doubt_transactions, 0);
+        assert_eq!(report.tail_records_discarded, 0);
         assert_eq!(reopened.last_seq(), 10);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -702,16 +1047,60 @@ mod tests {
     }
 
     #[test]
-    fn auto_checkpoint_fires_on_interval() {
-        let dir = tmp_dir("auto-ckpt");
+    fn maybe_checkpoint_fires_on_interval_only() {
+        let dir = tmp_dir("maybe-ckpt");
         let cfg = DurabilityConfig::new(&dir).checkpoint_every(8);
         let mut wal = DurableWal::create(cfg, &baseline()).unwrap();
-        for seq in 1..=20 {
+        for seq in 1..=7 {
             wal.append(&rec(seq)).unwrap();
+            assert!(!wal.needs_checkpoint());
+            assert_eq!(wal.maybe_checkpoint().unwrap(), None);
         }
-        // Genesis + seq 8 + seq 16.
-        assert_eq!(wal.stats().checkpoints, 3);
-        assert_eq!(wal.checkpoint_seq(), 16);
+        wal.append(&rec(8)).unwrap();
+        assert!(wal.needs_checkpoint());
+        assert_eq!(wal.maybe_checkpoint().unwrap(), Some(8));
+        assert!(!wal.needs_checkpoint(), "gap reset after the checkpoint");
+        assert_eq!(wal.checkpoint_seq(), 8);
+        // Genesis + seq 8.
+        assert_eq!(wal.stats().checkpoints, 2);
+        std::fs::remove_dir_all(wal.dir()).ok();
+    }
+
+    #[test]
+    fn checkpoints_refuse_mid_transaction() {
+        let dir = tmp_dir("ckpt-midtx");
+        let cfg = DurabilityConfig::new(&dir).checkpoint_every(1);
+        let mut wal = DurableWal::create(cfg, &baseline()).unwrap();
+        wal.append(&WalRecord::chained(1, "t", insert(1))).unwrap();
+        assert!(!wal.needs_checkpoint(), "a chain is in flight");
+        assert!(matches!(wal.checkpoint(), Err(EngineError::Io(msg)) if msg.contains("refused")));
+        // The shadow does not see the chained record yet.
+        assert_eq!(wal.state().table("t").unwrap().len(), 1);
+        wal.append(&rec(2)).unwrap();
+        // Terminated: both records applied, checkpointing legal again.
+        assert_eq!(wal.state().table("t").unwrap().len(), 3);
+        assert!(wal.needs_checkpoint());
+        wal.checkpoint().unwrap();
+        std::fs::remove_dir_all(wal.dir()).ok();
+    }
+
+    #[test]
+    fn prepared_chains_stay_in_doubt_until_resolved() {
+        let dir = tmp_dir("2pc-shadow");
+        let cfg = DurabilityConfig::new(&dir).checkpoint_every(0);
+        let mut wal = DurableWal::create(cfg, &baseline()).unwrap();
+        wal.append(&WalRecord::chained(1, "t", insert(1))).unwrap();
+        wal.append(&WalRecord::prepare(2, "g1", 1)).unwrap();
+        assert_eq!(wal.state().table("t").unwrap().len(), 1, "held in doubt");
+        assert_eq!(wal.in_doubt().len(), 1);
+        wal.append(&WalRecord::resolve(3, "g1", true)).unwrap();
+        assert_eq!(wal.state().table("t").unwrap().len(), 2, "applied");
+        assert!(wal.in_doubt().is_empty());
+        // An aborted branch is dropped.
+        wal.append(&WalRecord::chained(4, "t", insert(40))).unwrap();
+        wal.append(&WalRecord::prepare(5, "g2", 1)).unwrap();
+        wal.append(&WalRecord::resolve(6, "g2", false)).unwrap();
+        assert_eq!(wal.state().table("t").unwrap().len(), 2);
         std::fs::remove_dir_all(wal.dir()).ok();
     }
 
@@ -743,11 +1132,7 @@ mod tests {
         // A record that appends to the segment but fails to apply (its
         // bytes are already on the way to disk): the log must fail-stop
         // rather than let durable and live state drift apart.
-        let ghost = WalRecord {
-            seq: 2,
-            table: "ghost".into(),
-            delta: Delta::empty(),
-        };
+        let ghost = WalRecord::delta(2, "ghost", Delta::empty());
         assert!(matches!(wal.append(&ghost), Err(EngineError::Store(_))));
         for result in [
             wal.append(&rec(2)).err(),
@@ -768,6 +1153,7 @@ mod tests {
         let cfg = DurabilityConfig::new(&dir).checkpoint_every(0);
         let mut wal = DurableWal::create(cfg.clone(), &baseline()).unwrap();
         wal.append(&rec(1)).unwrap();
+        wal.sync().unwrap();
         drop(wal);
         // A crash between the checkpoint temp write and its rename.
         let orphan = dir.join(format!("{}.tmp", checkpoint_file_name(9)));
@@ -785,8 +1171,10 @@ mod tests {
             first_seq: first,
             prefix: SegmentPrefix {
                 records: seqs.iter().map(|&s| rec(s)).collect(),
+                ends: Vec::new(),
                 consumed: 0,
                 torn,
+                corrupt: None,
             },
         };
         // Stale duplicate segment overlapping the checkpoint and the
@@ -821,6 +1209,104 @@ mod tests {
             plan_recovery(2, &[seg(1, &[1, 2], true), seg(1, &[1], false)]).unwrap();
         assert!(records.is_empty());
         assert_eq!(stale, 3);
+
+        // A corrupt segment (bit rot) always fails recovery.
+        let mut rotten = seg(1, &[1], false);
+        rotten.prefix.corrupt = Some("crc mismatch".into());
+        assert!(matches!(
+            plan_recovery(0, &[rotten]),
+            Err(EngineError::WalCorrupt(msg)) if msg.contains("crc mismatch")
+        ));
+    }
+
+    #[test]
+    fn resolver_groups_chains_and_tracks_doubt() {
+        let records = vec![
+            rec(1),                                  // lone commit
+            WalRecord::chained(2, "t", insert(20)),  // chain of 2
+            WalRecord::delta(3, "t", insert(21)),    //   terminator
+            WalRecord::chained(4, "t", insert(30)),  // prepared…
+            WalRecord::prepare(5, "ga", 1),          //   in doubt
+            WalRecord::chained(6, "t", insert(40)),  // prepared…
+            WalRecord::prepare(7, "gb", 1),          //
+            WalRecord::resolve(8, "gb", true),       //   committed
+            WalRecord::resolve(9, "gz", false),      // foreign verdict
+            WalRecord::chained(10, "t", insert(50)), // unterminated tail
+        ];
+        let resolved = resolve_transactions(&records).unwrap();
+        assert_eq!(resolved.applied.len(), 4, "1 + 2 + gb's 1");
+        assert_eq!(resolved.in_doubt.len(), 1);
+        assert!(resolved.in_doubt.contains_key("ga"));
+        assert_eq!(
+            resolved.resolutions,
+            BTreeMap::from([("gb".to_string(), true), ("gz".to_string(), false)])
+        );
+        assert_eq!(resolved.tail_first_seq, Some(10));
+
+        // A lying prepare count is corruption.
+        let bad = vec![WalRecord::prepare(1, "g", 2)];
+        assert!(matches!(
+            resolve_transactions(&bad),
+            Err(EngineError::WalCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn interrupted_chains_recover_all_or_nothing() {
+        let dir = tmp_dir("chain-tail");
+        let cfg = DurabilityConfig::new(&dir).checkpoint_every(0);
+        let mut wal = DurableWal::create(cfg.clone(), &baseline()).unwrap();
+        wal.append(&rec(1)).unwrap();
+        // A transaction chain whose terminator never landed (the crash
+        // hit between records 2-of-3): recovery must discard the whole
+        // chain and truncate it off the log.
+        wal.append(&WalRecord::chained(2, "t", insert(20))).unwrap();
+        wal.append(&WalRecord::chained(3, "t", insert(30))).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (recovered, db, report) = DurableWal::open(cfg.clone()).unwrap();
+        assert_eq!(report.last_seq, 1, "the interrupted chain is gone");
+        assert_eq!(report.tail_records_discarded, 2);
+        assert!(report.torn_bytes > 0, "the chain bytes were truncated");
+        assert_eq!(db.table("t").unwrap().len(), 2);
+        drop(recovered);
+        // The truncation is durable: a second recovery is clean and new
+        // appends continue at seq 2.
+        let (mut wal3, _db, report2) = DurableWal::open(cfg).unwrap();
+        assert_eq!(report2.tail_records_discarded, 0);
+        assert_eq!(report2.torn_bytes, 0);
+        wal3.append(&rec(2)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_doubt_transactions_survive_recovery_unapplied() {
+        let dir = tmp_dir("2pc-recover");
+        let cfg = DurabilityConfig::new(&dir).checkpoint_every(0);
+        let mut wal = DurableWal::create(cfg.clone(), &baseline()).unwrap();
+        wal.append(&WalRecord::chained(1, "t", insert(10))).unwrap();
+        wal.append(&WalRecord::prepare(2, "g1", 1)).unwrap();
+        wal.sync().unwrap();
+        drop(wal); // coordinator crashed between prepare and resolve
+
+        let (mut recovered, db, report) = DurableWal::open(cfg.clone()).unwrap();
+        assert_eq!(report.in_doubt_transactions, 1);
+        assert_eq!(db.table("t").unwrap().len(), 1, "not applied");
+        assert_eq!(recovered.last_seq(), 2, "the prepared chain stays logged");
+        // The sharded recovery decides commit: appending the resolution
+        // applies the chain and settles the log.
+        recovered
+            .append(&WalRecord::resolve(3, "g1", true))
+            .unwrap();
+        assert_eq!(recovered.state().table("t").unwrap().len(), 2);
+        recovered.sync().unwrap();
+        drop(recovered);
+        let (wal3, db3, report3) = DurableWal::open(cfg).unwrap();
+        assert_eq!(report3.in_doubt_transactions, 0);
+        assert_eq!(wal3.recovered_resolutions().get("g1"), Some(&true));
+        assert_eq!(db3.table("t").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -833,11 +1319,11 @@ mod tests {
         }
         wal.sync().unwrap();
         drop(wal);
-        // Simulate a crash mid-write: append half a record to the active
-        // segment.
+        // Simulate a crash mid-write: append half a framed record to the
+        // active segment.
         let seg_path = dir.join(segment_file_name(1));
         let mut bytes = std::fs::read(&seg_path).unwrap();
-        let torn = rec(4).encode();
+        let torn = crate::segment::encode_framed(&rec(4));
         bytes.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
         std::fs::write(&seg_path, &bytes).unwrap();
 
@@ -849,5 +1335,24 @@ mod tests {
         let (_wal3, _db, report2) = DurableWal::open(cfg).unwrap();
         assert_eq!(report2.torn_bytes, 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maintenance_thread_runs_and_stops() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let ticks = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&ticks);
+        let thread = MaintenanceThread::spawn(std::time::Duration::from_millis(1), move || {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while ticks.load(Ordering::Relaxed) < 3 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(ticks.load(Ordering::Relaxed) >= 3, "the loop ticks");
+        drop(thread); // joins: no tick runs after drop returns
+        let after = ticks.load(Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(ticks.load(Ordering::Relaxed), after, "stopped cleanly");
     }
 }

@@ -45,6 +45,14 @@ pub enum EngineError {
         /// How many attempts were made.
         attempts: u32,
     },
+    /// A table name collides with the WAL marker namespace (names
+    /// starting with `!` are reserved — see
+    /// [`crate::wal::reserved_table_name`]).
+    ReservedTableName(String),
+    /// A sharding-topology operation failed: bad split points, a split
+    /// key outside its shard's range, an undeclared key touched by a
+    /// keyed transaction, or an unmergeable shard pair.
+    ShardTopology(String),
 }
 
 impl From<StoreError> for EngineError {
@@ -81,6 +89,14 @@ impl std::fmt::Display for EngineError {
                     "write to view {view} still conflicted after {attempts} attempts"
                 )
             }
+            EngineError::ReservedTableName(t) => {
+                write!(
+                    f,
+                    "table name {t:?} is reserved: names starting with '!' collide \
+                     with WAL markers"
+                )
+            }
+            EngineError::ShardTopology(msg) => write!(f, "shard topology error: {msg}"),
         }
     }
 }
@@ -111,5 +127,11 @@ mod tests {
             .contains("3 after 5"));
         let io: EngineError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
+        assert!(EngineError::ReservedTableName("!x".into())
+            .to_string()
+            .contains("reserved"));
+        assert!(EngineError::ShardTopology("no shard 9".into())
+            .to_string()
+            .contains("no shard 9"));
     }
 }

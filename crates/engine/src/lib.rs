@@ -15,16 +15,65 @@
 //! ```text
 //!   clients (threads)            engine                        esm-store
 //!  ┌───────────────┐   ┌──────────────────────────┐   ┌─────────────────────┐
-//!  │ EntangledView ├──▶│ EngineServer             │   │ Table (+ indexes)   │
-//!  │  .get()/.put()│   │  ├ Stripes<Table>  ──────┼──▶│ Delta (ordered merge│
-//!  │  .edit(f)     │   │  ├ views: name → Lens    │   │        diffs)       │
-//!  └───────────────┘   │  ├ Wal (committed deltas)│   │ Database            │
-//!  ┌───────────────┐   │  │   └ DurableWal ───────┼─┐ └─────────────────────┘
-//!  │ TxStore/Tx    ├──▶│  ├ Metrics               │ │ ┌─────────────────────┐
-//!  │ begin/commit  │   │  └ first-committer-wins  │ └▶│ wal-*.seg segments  │
-//!  └───────────────┘   │    via Delta key overlap │   │ checkpoint-*.ckpt   │
+//!  │ EntangledView ├──▶│ EngineServer             │   │ Table (+ indexes,   │
+//!  │  .get()/.put()│   │  ├ Stripes<Table>  ──────┼──▶│   key-range slices) │
+//!  │  .edit(f)     │   │  ├ views: name → Lens    │   │ Delta (ordered merge│
+//!  └───────┬───────┘   │  ├ Wal (committed ops)   │   │        diffs)       │
+//!          │           │  │   └ DurableWal ───────┼─┐ │ Database            │
+//!  ┌───────┴───────┐   │  ├ Metrics               │ │ └─────────────────────┘
+//!  │ TxStore/Tx    ├──▶│  └ first-committer-wins  │ │ ┌─────────────────────┐
+//!  │ begin/commit  │   │    via Delta key overlap │ └▶│ wal-*.seg segments  │
+//!  └───────┬───────┘   └──────────────────────────┘   │  (CRC32 frames)     │
+//!          │           ┌──────────────────────────┐   │ checkpoint-*.ckpt   │
+//!          └──────────▶│ ShardedEngineServer      │   └─────────────────────┘
+//!                      │  ├ ShardRouter (k-ranges)│   ┌─────────────────────┐
+//!                      │  ├ Shard ×N: db+wal each ┼──▶│ base-dir/           │
+//!                      │  ├ ShardCoordinator (2PC)│   │   topology.esm      │
+//!                      │  └ rebalance: split/merge│   │   shard-<id>/…      │
 //!                      └──────────────────────────┘   └─────────────────────┘
 //! ```
+//!
+//! ### Sharding ([`shard`])
+//!
+//! [`shard::ShardedEngineServer`] partitions every table across N
+//! [`shard::Shard`]s by primary-key range ([`shard::ShardRouter`]): each
+//! shard owns its own committed database piece, in-memory WAL and
+//! (optionally) durable segment log under `base-dir/shard-<id>/`, so
+//! disjoint traffic shares neither a lock nor a commit pipeline.
+//!
+//! * **Single-shard fast path**: a transaction whose keys route to one
+//!   shard validates first-committer-wins against that shard's WAL
+//!   alone and commits under its lock — no coordination.
+//! * **Cross-shard 2PC**: the [`shard::ShardCoordinator`] write-locks
+//!   every participant in index order, appends each shard's delta chain
+//!   terminated by a `!prepare <gtx>` marker (fsynced), then appends
+//!   `!resolve commit <gtx>` and applies. Recovery settles a
+//!   coordinator crash deterministically: if *any* shard's log holds a
+//!   commit resolution the transaction commits everywhere, otherwise it
+//!   is presumed aborted everywhere — all-or-nothing on every shard.
+//!   The missing resolutions are appended during recovery, so the logs
+//!   self-heal.
+//! * **Online rebalancing**: [`shard::ShardedEngineServer::split_shard`]
+//!   drains a key range into a fresh shard under a brief write fence
+//!   (new shard's genesis checkpoint = the moved rows; the donor logs a
+//!   deletion delta), `merge_shards` fuses adjacent ranges; the
+//!   `topology.esm` manifest is rewritten atomically and recovery prunes
+//!   whatever a mid-rebalance crash left out of place.
+//! * **Routing-oblivious clients**: `define_view` hands out the same
+//!   [`EntangledView`] handles as the unsharded engine; `get`/`put`/
+//!   `edit` assemble consistent cross-shard snapshots and coordinate
+//!   writes per key automatically.
+//!
+//! ### Transaction atomicity in the WAL
+//!
+//! The WAL is an op log ([`wal::WalOp`]): delta records carry a *chain*
+//! flag linking multi-record transactions (`k - 1` chained records + a
+//! terminator), and 2PC writes `!prepare`/`!resolve` marker records.
+//! The durability unit is the whole transaction: recovery
+//! ([`durable::resolve_transactions`]) applies complete chains, holds
+//! prepared chains in doubt for the sharded recovery to settle, and
+//! discards (and truncates) an unterminated trailing chain — a
+//! multi-table commit can never recover as a prefix.
 //!
 //! ### Transaction lifecycle ([`tx`])
 //!
@@ -86,9 +135,11 @@
 //! [`DurabilityConfig::group_commit`] records. With `group_commit = 1`
 //! every acknowledged commit is durable before the call returns; with
 //! `n > 1`, a crash may drop up to `n - 1` acknowledged records — but
-//! always to a clean record boundary, never a torn state. The durability
-//! unit is one record, so a multi-table transaction interrupted between
-//! records recovers its prefix (commit markers are a ROADMAP follow-on).
+//! always to a clean *transaction* boundary, never a torn state or a
+//! prefix of a multi-record chain. Segment files wrap every record in a
+//! CRC32 frame, so mid-stream bit rot is detected (and refused) rather
+//! than mistaken for a torn tail. Checkpoints and compaction run on a
+//! background maintenance thread, never on a committing thread.
 //!
 //! **Recovery** ([`EngineServer::recover`]) is a four-step state
 //! machine — *checkpoint scan* (newest valid checkpoint; torn ones are
@@ -161,6 +212,7 @@ pub mod error;
 pub mod metrics;
 pub mod segment;
 pub mod server;
+pub mod shard;
 pub mod stripe;
 pub mod tx;
 pub mod view;
@@ -168,14 +220,19 @@ pub mod wal;
 
 pub use checkpoint::Checkpoint;
 pub use durable::{
-    plan_recovery, scan_segments, Durability, DurabilityConfig, DurableWal, RecoveryReport,
-    ScannedSegment,
+    plan_recovery, resolve_transactions, scan_segments, Durability, DurabilityConfig, DurableWal,
+    RecoveryReport, ResolvedLog, ScannedSegment,
 };
 pub use error::EngineError;
-pub use metrics::{Metrics, MetricsSnapshot, WalStats};
-pub use segment::{decode_segment_prefix, SegmentFile, SegmentPrefix, SegmentWriter, SimFile};
+pub use metrics::{Metrics, MetricsSnapshot, ShardStats, WalStats};
+pub use segment::{
+    crc32, decode_segment_prefix, encode_framed, SegmentFile, SegmentPrefix, SegmentWriter, SimFile,
+};
 pub use server::{EngineServer, DEFAULT_OPTIMISTIC_ATTEMPTS};
+pub use shard::{
+    CommitReceipt, FailPoint, Shard, ShardRecoveryReport, ShardRouter, ShardedEngineServer,
+};
 pub use stripe::Stripes;
 pub use tx::{delta_keys, deltas_conflict, Tx, TxStore};
 pub use view::EntangledView;
-pub use wal::{Wal, WalRecord};
+pub use wal::{reserved_table_name, Wal, WalOp, WalRecord};

@@ -33,6 +33,35 @@ pub struct WalStats {
     pub segments_compacted: u64,
 }
 
+/// Counters kept by the sharding layer (all zero for unsharded engines).
+/// Updated by [`crate::shard::ShardedEngineServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Transactions that touched exactly one shard (fast path: no
+    /// coordination, one WAL).
+    pub single_shard_commits: u64,
+    /// Transactions committed across shards by two-phase commit.
+    pub cross_shard_commits: u64,
+    /// 2PC prepare phases executed (= participants prepared, summed over
+    /// cross-shard transactions).
+    pub prepares: u64,
+    /// Per-shard in-doubt settlements recovery resolved as committed (a
+    /// resolution marker was found on some shard). Counts shard-side
+    /// chains, not distinct transactions: one transaction in doubt on
+    /// `k` shards contributes `k`.
+    pub recovery_commits: u64,
+    /// Per-shard in-doubt settlements recovery resolved as aborted (no
+    /// shard held a commit marker: presumed abort). Same per-shard
+    /// counting unit as `recovery_commits`.
+    pub recovery_aborts: u64,
+    /// Online shard splits performed.
+    pub splits: u64,
+    /// Online shard merges performed.
+    pub merges: u64,
+    /// Rows moved between shards by splits, merges and recovery repair.
+    pub rows_migrated: u64,
+}
+
 /// A point-in-time copy of the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
@@ -48,6 +77,8 @@ pub struct MetricsSnapshot {
     pub rows_written: u64,
     /// Durable-WAL counters (all zero for in-memory engines).
     pub wal: WalStats,
+    /// Sharding counters (all zero for unsharded engines).
+    pub shard: ShardStats,
 }
 
 impl Metrics {
@@ -79,6 +110,7 @@ impl Metrics {
             view_reads: self.view_reads.load(Ordering::Relaxed),
             rows_written: self.rows_written.load(Ordering::Relaxed),
             wal: WalStats::default(),
+            shard: ShardStats::default(),
         }
     }
 }
@@ -88,6 +120,72 @@ impl MetricsSnapshot {
     pub fn with_wal(mut self, wal: WalStats) -> MetricsSnapshot {
         self.wal = wal;
         self
+    }
+
+    /// This snapshot with sharding stats filled in.
+    pub fn with_shard(mut self, shard: ShardStats) -> MetricsSnapshot {
+        self.shard = shard;
+        self
+    }
+}
+
+/// Atomic counters behind [`ShardStats`], owned by the sharded facade.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    single_shard_commits: AtomicU64,
+    cross_shard_commits: AtomicU64,
+    prepares: AtomicU64,
+    recovery_commits: AtomicU64,
+    recovery_aborts: AtomicU64,
+    splits: AtomicU64,
+    merges: AtomicU64,
+    rows_migrated: AtomicU64,
+}
+
+impl ShardMetrics {
+    pub(crate) fn single_shard_commit(&self) {
+        self.single_shard_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cross_shard_commit(&self, participants: u64) {
+        self.cross_shard_commits.fetch_add(1, Ordering::Relaxed);
+        self.prepares.fetch_add(participants, Ordering::Relaxed);
+    }
+
+    pub(crate) fn recovery_commit(&self) {
+        self.recovery_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn recovery_abort(&self) {
+        self.recovery_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn split(&self, rows_moved: u64) {
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        self.rows_migrated.fetch_add(rows_moved, Ordering::Relaxed);
+    }
+
+    pub(crate) fn merge(&self, rows_moved: u64) {
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        self.rows_migrated.fetch_add(rows_moved, Ordering::Relaxed);
+    }
+
+    pub(crate) fn migrated(&self, rows: u64) {
+        self.rows_migrated.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            single_shard_commits: self.single_shard_commits.load(Ordering::Relaxed),
+            cross_shard_commits: self.cross_shard_commits.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
+            recovery_commits: self.recovery_commits.load(Ordering::Relaxed),
+            recovery_aborts: self.recovery_aborts.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            rows_migrated: self.rows_migrated.load(Ordering::Relaxed),
+        }
     }
 }
 

@@ -1,22 +1,39 @@
 //! WAL segment files: append-only chunks of the durable log.
 //!
 //! A segment is a file named `wal-<first_seq, zero-padded>.seg` holding
-//! consecutive [`WalRecord`]s in the WAL text format (see [`crate::wal`]).
+//! consecutive [`WalRecord`]s, each wrapped in a CRC frame:
+//!
+//! ```text
+//! =<payload bytes> <crc32 of payload, 8 hex digits>\n
+//! <record in the WAL text format (see crate::wal)>
+//! ```
+//!
 //! The durable log is the concatenation of all segments in name order;
 //! rotation starts a fresh file once the current one passes the size
 //! threshold, so checkpoint-covered history can be dropped file-by-file
 //! (compaction) instead of rewriting one giant log.
 //!
-//! ## Crash tolerance
+//! ## Crash tolerance vs bit rot
 //!
-//! A crash can leave the tail of the newest segment *torn*: a partially
-//! written record, a half-flushed line, even a split UTF-8 code point.
-//! [`decode_segment_prefix`] therefore decodes the longest prefix of
-//! *complete* records — a record counts only when every one of its lines
-//! (header + rows) is `\n`-terminated and parses — and reports how many
-//! bytes it consumed plus whether torn bytes remained. Recovery truncates
-//! the torn tail and continues; the crash-recovery suite drives this at
-//! every byte offset of a recorded run.
+//! The frame separates two very different failure modes:
+//!
+//! * **Torn tail** (a crash): the byte stream simply *stops* — inside a
+//!   frame header, mid-payload, even mid-code-point. Everything before
+//!   the incomplete frame is intact; [`decode_segment_prefix`] reports
+//!   the complete-record prefix with `torn = true` and recovery truncates
+//!   the tail. Crashes only ever shorten the stream, so a torn tail is
+//!   always the *last* thing in a segment.
+//! * **Corruption** (bit rot, a lying disk): a frame is *complete* but
+//!   its payload no longer matches its CRC32 — or the frame header
+//!   itself is garbled mid-stream. That is not a crash artifact; silently
+//!   truncating would discard committed records. The decode reports it in
+//!   `corrupt` and recovery refuses the directory
+//!   ([`crate::plan_recovery`] surfaces
+//!   [`EngineError::WalCorrupt`](crate::EngineError::WalCorrupt)).
+//!
+//! The crash-recovery suite drives truncation at every byte offset of a
+//! recorded run (always classified torn, never corrupt) and flips bytes
+//! mid-stream (always corrupt, never silently dropped).
 //!
 //! ## Fault injection
 //!
@@ -32,7 +49,7 @@ use std::sync::{Arc, Mutex};
 use esm_store::Delta;
 
 use crate::error::EngineError;
-use crate::wal::{decode_header, decode_row_line, WalRecord};
+use crate::wal::{decode_header, decode_row_line, HeaderLine, WalRecord};
 
 /// Filename extension of WAL segment files.
 pub const SEGMENT_SUFFIX: &str = ".seg";
@@ -48,6 +65,50 @@ pub fn parse_segment_name(name: &str) -> Option<u64> {
         .strip_suffix(SEGMENT_SUFFIX)?
         .parse()
         .ok()
+}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, table-driven, built at compile time).
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of a byte slice — the per-record checksum in the segment
+/// framing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Encode one record with its segment frame (`=<len> <crc>\n` + record
+/// text) — exactly the bytes [`SegmentWriter::append`] writes, exposed so
+/// tests and tools can hand-build segment files.
+pub fn encode_framed(record: &WalRecord) -> String {
+    let text = record.encode();
+    format!("={} {:08x}\n{}", text.len(), crc32(text.as_bytes()), text)
 }
 
 /// An append-only byte sink with explicit durability points.
@@ -160,9 +221,9 @@ impl SegmentFile for SimFile {
     }
 }
 
-/// An appender onto one segment: encodes records, counts bytes and
-/// unsynced records. Group-commit policy (when to sync) lives with the
-/// caller, [`crate::DurableWal`].
+/// An appender onto one segment: frames records with their CRC, counts
+/// bytes and unsynced records. Group-commit policy (when to sync) lives
+/// with the caller, [`crate::DurableWal`].
 #[derive(Debug)]
 pub struct SegmentWriter<F: SegmentFile> {
     file: F,
@@ -182,14 +243,15 @@ impl<F: SegmentFile> SegmentWriter<F> {
         }
     }
 
-    /// Append one record (buffered until the next [`SegmentWriter::sync`]).
-    /// Returns the encoded size in bytes.
+    /// Append one framed record (buffered until the next
+    /// [`SegmentWriter::sync`]). Returns the appended size in bytes,
+    /// frame included.
     pub fn append(&mut self, record: &WalRecord) -> Result<u64, EngineError> {
-        let text = record.encode();
-        self.file.append(text.as_bytes())?;
-        self.bytes += text.len() as u64;
+        let framed = encode_framed(record);
+        self.file.append(framed.as_bytes())?;
+        self.bytes += framed.len() as u64;
         self.pending += 1;
-        Ok(text.len() as u64)
+        Ok(framed.len() as u64)
     }
 
     /// Sync appended records to durable storage. Returns whether a sync
@@ -219,71 +281,144 @@ impl<F: SegmentFile> SegmentWriter<F> {
     }
 }
 
-/// The result of decoding a (possibly crash-torn) segment.
+/// The result of decoding a (possibly crash-torn, possibly rotten)
+/// segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentPrefix {
-    /// The complete records, in file order.
+    /// The complete, checksum-valid records, in file order.
     pub records: Vec<WalRecord>,
+    /// Byte offset just past each record's frame (so recovery can
+    /// truncate a file back to any record boundary).
+    pub ends: Vec<usize>,
     /// How many leading bytes those records occupy.
     pub consumed: usize,
-    /// Whether bytes past `consumed` remained (a torn tail).
+    /// Whether bytes past `consumed` remained that look like a crash
+    /// artifact (an incomplete trailing frame).
     pub torn: bool,
+    /// Set when the bytes past `consumed` are provably *not* a crash
+    /// artifact: a complete frame whose payload fails its CRC or does not
+    /// parse, or a garbled frame header. Mid-stream bit rot, not a torn
+    /// tail — recovery must refuse, not truncate.
+    pub corrupt: Option<String>,
 }
 
-/// Decode the longest prefix of complete records from raw segment bytes.
+/// Decode the longest prefix of complete, CRC-valid records from raw
+/// segment bytes.
 ///
-/// A record counts only when its header and every promised row line are
-/// present, `\n`-terminated and well-formed; anything after the last
-/// complete record — a truncated line, a half-written record, an invalid
-/// UTF-8 tail — is reported as torn rather than an error, because that is
-/// exactly what a crash mid-write leaves behind.
+/// A record counts only when its frame header is `\n`-terminated, all its
+/// promised payload bytes are present, the payload matches its CRC32 and
+/// parses as exactly one record. An *incomplete* trailing frame is
+/// reported as `torn` (what a crash leaves behind); a *complete but
+/// invalid* frame is reported as `corrupt` (what bit rot leaves behind).
 pub fn decode_segment_prefix(bytes: &[u8]) -> SegmentPrefix {
-    let valid = match std::str::from_utf8(bytes) {
-        Ok(s) => s,
-        Err(e) => {
-            // A crash can split a multi-byte code point; parse the valid
-            // prefix and treat the rest as torn.
-            std::str::from_utf8(&bytes[..e.valid_up_to()]).expect("valid_up_to is a boundary")
-        }
-    };
     let mut records = Vec::new();
+    let mut ends = Vec::new();
     let mut consumed = 0usize;
-    loop {
-        let mut cur = consumed;
-        let Some(header) = take_line(valid, &mut cur) else {
+    let mut corrupt = None;
+    while consumed < bytes.len() {
+        // Frame header: `=<len> <crc>\n`, pure ASCII.
+        let rest = &bytes[consumed..];
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            break; // incomplete frame header: torn
+        };
+        let header = &rest[..nl];
+        let Some((len, crc)) = parse_frame_header(header) else {
+            // A complete-but-garbled frame header cannot come from a
+            // crash (truncation only shortens); it is rot.
+            corrupt = Some(format!(
+                "garbled frame header at byte {consumed}: {:?}",
+                String::from_utf8_lossy(header)
+            ));
             break;
         };
-        let Ok((seq, table, inserted, deleted)) = decode_header(header) else {
+        let payload_start = consumed + nl + 1;
+        if bytes.len() - payload_start < len {
+            break; // incomplete payload: torn
+        }
+        let payload = &bytes[payload_start..payload_start + len];
+        let actual = crc32(payload);
+        if actual != crc {
+            corrupt = Some(format!(
+                "crc mismatch at byte {payload_start}: frame says {crc:08x}, payload is {actual:08x}"
+            ));
             break;
-        };
-        let mut delta = Delta::empty();
-        let mut complete = true;
-        for sign in std::iter::repeat_n('+', inserted).chain(std::iter::repeat_n('-', deleted)) {
-            match take_line(valid, &mut cur).map(|l| decode_row_line(Some(l), sign)) {
-                Some(Ok(row)) => {
-                    if sign == '+' {
-                        delta.inserted.push(row);
-                    } else {
-                        delta.deleted.push(row);
-                    }
-                }
-                _ => {
-                    complete = false;
-                    break;
-                }
+        }
+        match parse_record_payload(payload) {
+            Ok(record) => {
+                records.push(record);
+                consumed = payload_start + len;
+                ends.push(consumed);
+            }
+            Err(e) => {
+                // CRC-valid but unparseable: the writer never produced
+                // this, so the frame header itself lies — rot.
+                corrupt = Some(format!("unparseable framed record: {e}"));
+                break;
             }
         }
-        if !complete {
-            break;
-        }
-        records.push(WalRecord { seq, table, delta });
-        consumed = cur;
     }
+    let torn = corrupt.is_none() && consumed < bytes.len();
     SegmentPrefix {
         records,
+        ends,
         consumed,
-        torn: consumed < bytes.len(),
+        torn,
+        corrupt,
     }
+}
+
+/// Parse `=<len> <crc-8-hex>` (without the newline).
+fn parse_frame_header(header: &[u8]) -> Option<(usize, u32)> {
+    let header = std::str::from_utf8(header).ok()?;
+    let rest = header.strip_prefix('=')?;
+    let (len, crc) = rest.split_once(' ')?;
+    if crc.len() != 8 {
+        return None;
+    }
+    Some((len.parse().ok()?, u32::from_str_radix(crc, 16).ok()?))
+}
+
+/// Parse a frame payload as exactly one WAL record (header line plus its
+/// promised row lines, nothing more).
+fn parse_record_payload(payload: &[u8]) -> Result<WalRecord, EngineError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| EngineError::WalCorrupt(format!("invalid UTF-8 payload: {e}")))?;
+    let mut cur = 0usize;
+    let header = take_line(text, &mut cur)
+        .ok_or_else(|| EngineError::WalCorrupt("payload missing header line".into()))?;
+    let record = match decode_header(header)? {
+        HeaderLine::Delta {
+            seq,
+            table,
+            inserted,
+            deleted,
+            chained,
+        } => {
+            let mut delta = Delta::empty();
+            for sign in std::iter::repeat_n('+', inserted).chain(std::iter::repeat_n('-', deleted))
+            {
+                let row = decode_row_line(take_line(text, &mut cur), sign)?;
+                if sign == '+' {
+                    delta.inserted.push(row);
+                } else {
+                    delta.deleted.push(row);
+                }
+            }
+            if chained {
+                WalRecord::chained(seq, table, delta)
+            } else {
+                WalRecord::delta(seq, table, delta)
+            }
+        }
+        HeaderLine::Marker(rec) => rec,
+    };
+    if cur != text.len() {
+        return Err(EngineError::WalCorrupt(format!(
+            "{} trailing bytes after the framed record",
+            text.len() - cur
+        )));
+    }
+    Ok(record)
 }
 
 /// The next `\n`-terminated line at `*cur`, advancing past it; `None`
@@ -302,10 +437,10 @@ mod tests {
     use esm_store::row;
 
     fn rec(seq: u64, n: i64) -> WalRecord {
-        WalRecord {
+        WalRecord::delta(
             seq,
-            table: "t".into(),
-            delta: Delta {
+            "t",
+            Delta {
                 inserted: vec![row![n, "payload"]],
                 deleted: if n % 2 == 0 {
                     vec![row![n - 1, "old"]]
@@ -313,7 +448,7 @@ mod tests {
                     vec![]
                 },
             },
-        }
+        )
     }
 
     #[test]
@@ -333,12 +468,21 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value: crc32("123456789") == 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn prefix_decode_at_every_byte_is_a_clean_record_prefix() {
         let records: Vec<WalRecord> = (1..=5).map(|i| rec(i, i as i64)).collect();
-        let full: String = records.iter().map(WalRecord::encode).collect();
+        let full: String = records.iter().map(encode_framed).collect();
         let bytes = full.as_bytes();
         for cut in 0..=bytes.len() {
             let prefix = decode_segment_prefix(&bytes[..cut]);
+            // Truncation is a crash artifact: never classified as rot.
+            assert_eq!(prefix.corrupt, None, "cut at {cut}");
             // The decoded records are exactly the complete ones.
             assert_eq!(
                 prefix.records,
@@ -347,9 +491,10 @@ mod tests {
             );
             assert!(prefix.consumed <= cut);
             assert_eq!(prefix.torn, prefix.consumed < cut);
-            // consumed always sits on a record boundary.
-            let reencoded: String = prefix.records.iter().map(WalRecord::encode).collect();
+            // consumed always sits on a frame boundary.
+            let reencoded: String = prefix.records.iter().map(encode_framed).collect();
             assert_eq!(reencoded.len(), prefix.consumed);
+            assert_eq!(prefix.ends.last().copied().unwrap_or(0), prefix.consumed);
         }
         // The untruncated stream decodes completely.
         let whole = decode_segment_prefix(bytes);
@@ -358,29 +503,51 @@ mod tests {
     }
 
     #[test]
-    fn prefix_decode_requires_newline_termination() {
-        // A row line that is a valid *prefix* of a cell must not count
-        // until its newline lands: "s:ab" truncated from "s:abc" parses,
-        // so only the terminator proves the record complete.
-        let text = "#1 t +1 -0\n+ s:abc";
-        let p = decode_segment_prefix(text.as_bytes());
-        assert!(p.records.is_empty() && p.torn && p.consumed == 0);
-        let p = decode_segment_prefix(format!("{text}\n").as_bytes());
-        assert_eq!(p.records.len(), 1);
+    fn markers_and_chains_survive_framing() {
+        let records = vec![
+            WalRecord::chained(1, "t", rec(1, 1).delta_op().unwrap().1.clone()),
+            WalRecord::prepare(2, "g1", 1),
+            WalRecord::resolve(3, "g1", true),
+        ];
+        let full: String = records.iter().map(encode_framed).collect();
+        let p = decode_segment_prefix(full.as_bytes());
+        assert_eq!(p.records, records);
+        assert!(!p.torn && p.corrupt.is_none());
+    }
+
+    #[test]
+    fn bit_rot_is_corruption_not_a_torn_tail() {
+        let full: String = (1..=3).map(|i| encode_framed(&rec(i, i as i64))).collect();
+        let clean = full.as_bytes().to_vec();
+        // Flip one byte inside the *first* record's payload.
+        let hdr_end = clean.iter().position(|&b| b == b'\n').unwrap();
+        let mut rotten = clean.clone();
+        rotten[hdr_end + 3] ^= 0x40;
+        let p = decode_segment_prefix(&rotten);
+        assert!(
+            p.corrupt.is_some(),
+            "a flipped byte must be detected: {p:?}"
+        );
         assert!(!p.torn);
+        assert!(p.records.is_empty(), "rot cuts the decodable prefix short");
+        // Garbling the frame header is corruption too.
+        let mut garbled = clean;
+        garbled[0] = b'?';
+        let p = decode_segment_prefix(&garbled);
+        assert!(p.corrupt.is_some());
+        assert!(p.records.is_empty());
     }
 
     #[test]
     fn prefix_decode_survives_split_utf8() {
-        let mut bytes = WalRecord {
-            seq: 1,
-            table: "t".into(),
-            delta: Delta {
+        let mut bytes = encode_framed(&WalRecord::delta(
+            1,
+            "t",
+            Delta {
                 inserted: vec![row![1, "λambda"]],
                 deleted: vec![],
             },
-        }
-        .encode()
+        ))
         .into_bytes();
         let full = decode_segment_prefix(&bytes);
         assert_eq!(full.records.len(), 1);
@@ -388,7 +555,7 @@ mod tests {
         let lambda_pos = bytes.windows(2).position(|w| w == "λ".as_bytes()).unwrap();
         bytes.truncate(lambda_pos + 1);
         let torn = decode_segment_prefix(&bytes);
-        assert!(torn.records.is_empty() && torn.torn);
+        assert!(torn.records.is_empty() && torn.torn && torn.corrupt.is_none());
     }
 
     #[test]
@@ -396,7 +563,7 @@ mod tests {
         let mut w = SegmentWriter::new(SimFile::new(), 1);
         let r = rec(1, 1);
         let n = w.append(&r).unwrap();
-        assert_eq!(n, r.encode().len() as u64);
+        assert_eq!(n, encode_framed(&r).len() as u64);
         assert_eq!(w.bytes(), n);
         assert_eq!(w.pending(), 1);
         assert!(w.sync().unwrap());
@@ -431,7 +598,7 @@ mod tests {
         let mut w = SegmentWriter::new(file, 1);
         w.append(&rec(1, 1)).unwrap();
         w.append(&rec(2, 2)).unwrap();
-        let first_len = rec(1, 1).encode().len();
+        let first_len = encode_framed(&rec(1, 1)).len();
         disk.lock().unwrap().tear_next_sync_at = Some(first_len + 7);
         assert!(matches!(w.sync(), Err(EngineError::Io(_))));
         let durable = disk.lock().unwrap().durable_bytes();

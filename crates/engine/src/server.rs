@@ -29,13 +29,16 @@ use esm_lens::Lens;
 use esm_relational::ViewDef;
 use esm_store::{Database, Delta, Table};
 
-use crate::durable::{Durability, DurabilityConfig, DurableWal, RecoveryReport};
+use crate::durable::{
+    checkpoint_off_lock, Durability, DurabilityConfig, DurableWal, MaintenanceThread,
+    RecoveryReport,
+};
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::stripe::Stripes;
 use crate::tx::delta_keys;
 use crate::view::EntangledView;
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{check_table_names, Wal, WalRecord};
 
 /// How many attempts an optimistic edit makes by default.
 pub const DEFAULT_OPTIMISTIC_ATTEMPTS: u32 = 16;
@@ -60,14 +63,13 @@ impl WalState {
     /// every later durable write refuses until restart + recovery).
     fn append(&mut self, table: &str, delta: &Delta) -> Result<u64, EngineError> {
         let seq = self.mem.next_seq();
+        let rec = WalRecord::delta(seq, table, delta.clone());
         if let Some(durable) = self.durable.as_mut() {
-            durable.append(&WalRecord {
-                seq,
-                table: table.to_string(),
-                delta: delta.clone(),
-            })?;
+            durable.append(&rec)?;
         }
-        self.mem.append(table.to_string(), delta.clone());
+        self.mem
+            .push(rec)
+            .expect("fresh seq under the WAL lock continues the log");
         Ok(seq)
     }
 }
@@ -75,9 +77,37 @@ impl WalState {
 struct Inner {
     tables: Stripes<Table>,
     views: RwLock<BTreeMap<String, ViewReg>>,
-    wal: Mutex<WalState>,
+    wal: Arc<Mutex<WalState>>,
     baseline: Database,
     metrics: Metrics,
+    /// Background checkpoint/compaction loop; stops when the last engine
+    /// handle drops. `None` for in-memory engines and when disabled.
+    _maintenance: Option<MaintenanceThread>,
+}
+
+/// One maintenance pass: checkpoint iff due, with the file write done
+/// *outside* the WAL lock (committing threads stall only for the
+/// snapshot clone).
+fn maintenance_pass(wal: &Arc<Mutex<WalState>>) -> Result<Option<u64>, EngineError> {
+    let poisoned = || EngineError::Io("wal lock poisoned".into());
+    checkpoint_off_lock(
+        || {
+            let mut guard = wal.lock().map_err(|_| poisoned())?;
+            match guard.durable.as_mut() {
+                Some(d) if d.needs_checkpoint() => {
+                    Ok(Some((d.begin_checkpoint()?, d.checkpoint_dir())))
+                }
+                _ => Ok(None),
+            }
+        },
+        |seq| {
+            let mut guard = wal.lock().map_err(|_| poisoned())?;
+            match guard.durable.as_mut() {
+                Some(d) => d.finish_checkpoint(seq),
+                None => Ok(seq),
+            }
+        },
+    )
 }
 
 /// A concurrent, transactional, bidirectional database engine. Clone the
@@ -92,7 +122,7 @@ impl EngineServer {
     /// `db` becomes the recovery baseline (see [`EngineServer::wal`]).
     pub fn with_stripes(db: Database, stripes: usize) -> EngineServer {
         EngineServer::with_durability(db, stripes, Durability::InMemory)
-            .expect("in-memory engines cannot fail to construct")
+            .expect("in-memory engines over unreserved table names cannot fail to construct")
     }
 
     /// An engine with a default stripe count (16).
@@ -102,19 +132,28 @@ impl EngineServer {
 
     /// An engine with an explicit [`Durability`]. With
     /// [`Durability::Durable`], every committed view write is appended
-    /// to the segment log in `config.dir` (group-commit fsync, rotation,
-    /// checkpointing per config) *before* it is applied, and `db`
-    /// becomes the genesis checkpoint on disk.
+    /// to the segment log in `config.dir` (group-commit fsync, rotation
+    /// per config) *before* it is applied, and `db` becomes the genesis
+    /// checkpoint on disk; checkpointing and compaction then run on a
+    /// background maintenance thread (see
+    /// [`DurabilityConfig::maintenance_interval_ms`]).
     pub fn with_durability(
         db: Database,
         stripes: usize,
         durability: Durability,
     ) -> Result<EngineServer, EngineError> {
-        let durable = match durability {
-            Durability::InMemory => None,
-            Durability::Durable(cfg) => Some(DurableWal::create(cfg, &db)?),
+        check_table_names(&db)?;
+        let (durable, cfg) = match durability {
+            Durability::InMemory => (None, None),
+            Durability::Durable(cfg) => (Some(DurableWal::create(cfg.clone(), &db)?), Some(cfg)),
         };
-        Ok(EngineServer::assemble(db, stripes, Wal::new(), durable))
+        Ok(EngineServer::assemble(
+            db,
+            stripes,
+            Wal::new(),
+            durable,
+            cfg,
+        ))
     }
 
     /// Recover an engine from a durable WAL directory: load the newest
@@ -136,9 +175,14 @@ impl EngineServer {
     pub fn recover_with(
         config: DurabilityConfig,
     ) -> Result<(EngineServer, RecoveryReport), EngineError> {
-        let (durable, db, report) = DurableWal::open(config)?;
-        let engine =
-            EngineServer::assemble(db, 16, Wal::starting_at(report.last_seq), Some(durable));
+        let (durable, db, report) = DurableWal::open(config.clone())?;
+        let engine = EngineServer::assemble(
+            db,
+            16,
+            Wal::starting_at(report.last_seq),
+            Some(durable),
+            Some(config),
+        );
         Ok((engine, report))
     }
 
@@ -147,19 +191,36 @@ impl EngineServer {
         stripes: usize,
         wal: Wal,
         durable: Option<DurableWal>,
+        cfg: Option<DurabilityConfig>,
     ) -> EngineServer {
         let tables = Stripes::new(stripes);
         for name in db.table_names() {
             let table = db.table(name).expect("name came from the database").clone();
             tables.write(name).insert(name.to_string(), table);
         }
+        let wal = Arc::new(Mutex::new(WalState { mem: wal, durable }));
+        let maintenance = cfg.and_then(|cfg| {
+            if cfg.checkpoint_every == 0 || cfg.maintenance_interval_ms == 0 {
+                return None;
+            }
+            let target = Arc::clone(&wal);
+            Some(MaintenanceThread::spawn(
+                std::time::Duration::from_millis(cfg.maintenance_interval_ms),
+                move || {
+                    // Failed checkpoints surface on the next commit (or
+                    // retry next tick).
+                    let _ = maintenance_pass(&target);
+                },
+            ))
+        });
         EngineServer {
             inner: Arc::new(Inner {
                 tables,
                 views: RwLock::new(BTreeMap::new()),
-                wal: Mutex::new(WalState { mem: wal, durable }),
+                wal,
                 baseline: db,
                 metrics: Metrics::default(),
+                _maintenance: maintenance,
             }),
         }
     }
@@ -235,6 +296,16 @@ impl EngineServer {
             Some(d) => d.checkpoint().map(Some),
             None => Ok(None),
         }
+    }
+
+    /// Run one maintenance pass now — exactly what the background thread
+    /// does each tick (checkpoint + compact iff the configured interval
+    /// of records accumulated; the checkpoint file write happens outside
+    /// the WAL lock). Deterministic tests and embedders that disable the
+    /// thread drive this directly. Returns the covered seq when a
+    /// checkpoint was written.
+    pub fn run_maintenance(&self) -> Result<Option<u64>, EngineError> {
+        maintenance_pass(&self.inner.wal)
     }
 
     /// The durable WAL directory, when this engine persists.
@@ -453,10 +524,12 @@ impl EngineServer {
                 .ok_or_else(|| EngineError::NoSuchTable(table_name.clone()))?;
             let mut wal = self.lock_wal();
             let conflicted = wal.mem.records_after(snap_seq).iter().any(|rec| {
-                rec.table == table_name
-                    && delta_keys(&base, &rec.delta)
-                        .iter()
-                        .any(|k| our_keys.contains(k))
+                rec.delta_op().is_some_and(|(rec_table, rec_delta)| {
+                    rec_table == table_name
+                        && delta_keys(&base, rec_delta)
+                            .iter()
+                            .any(|k| our_keys.contains(k))
+                })
             });
             if conflicted {
                 drop(wal);

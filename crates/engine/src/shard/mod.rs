@@ -1,0 +1,1489 @@
+//! Key-range sharding: many shards, one engine.
+//!
+//! [`ShardedEngineServer`] partitions every table across N [`Shard`]s by
+//! primary-key range ([`ShardRouter`]). Each shard owns its own
+//! committed [`esm_store::Database`] piece, in-memory WAL and
+//! (optionally) durable segment log, so the commit pipeline scales with
+//! the shard count:
+//!
+//! * **Single-shard fast path** — a transaction whose keys all route to
+//!   one shard commits under that shard's lock alone: no coordination,
+//!   one WAL, one fsync cadence. Disjoint traffic on different shards
+//!   never shares a lock *or* a log.
+//! * **Cross-shard transactions** — two-phase commit over the per-shard
+//!   WALs ([`coordinator`]): prepare markers land (fsynced) on every
+//!   participant before any resolution, and recovery settles in-doubt
+//!   transactions deterministically by scanning all shard logs (any
+//!   commit marker anywhere → commit everywhere; none → presumed
+//!   abort).
+//! * **Online rebalancing** — [`rebalance`]: split a hot shard at a key
+//!   (draining the upper range into a fresh shard under a brief write
+//!   fence) or merge adjacent shards, while other shards keep
+//!   committing.
+//!
+//! Clients stay routing-oblivious: [`ShardedEngineServer::define_view`]
+//! hands out the same [`crate::EntangledView`] handles the unsharded
+//! engine does, and `get`/`put`/`edit` route (and coordinate) per key
+//! under the hood.
+//!
+//! ## Durable layout
+//!
+//! ```text
+//! base-dir/
+//!   topology.esm          shard ids + split points (atomic rewrite)
+//!   shard-0/              one durable WAL directory per shard
+//!     checkpoint-…ckpt
+//!     wal-…seg
+//!   shard-1/…
+//! ```
+//!
+//! The topology file is rewritten atomically on every split/merge;
+//! recovery reads it, recovers each shard directory, settles in-doubt
+//! 2PC transactions, prunes rows a half-finished rebalance left outside
+//! their shard's range, and sweeps shard directories a crashed split
+//! never published.
+
+pub mod coordinator;
+pub mod rebalance;
+pub mod router;
+#[allow(clippy::module_inception)]
+pub mod shard;
+
+pub use coordinator::{FailPoint, ShardCoordinator};
+pub use router::ShardRouter;
+pub use shard::Shard;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use esm_lens::Lens;
+use esm_relational::ViewDef;
+use esm_store::{Database, Delta, Row, Table};
+
+use crate::checkpoint::write_atomic_text;
+use crate::durable::{checkpoint_off_lock, DurabilityConfig, MaintenanceThread, RecoveryReport};
+use crate::error::EngineError;
+use crate::metrics::{Metrics, MetricsSnapshot, ShardMetrics, WalStats};
+use crate::view::EntangledView;
+use crate::wal::{check_table_names, Wal};
+
+use self::coordinator::Participant;
+use self::shard::GroupEnd;
+
+/// File name of the topology manifest inside a sharded base directory.
+pub const TOPOLOGY_FILE: &str = "topology.esm";
+
+/// The mutable shard layout: the router and the shards it indexes, kept
+/// in lockstep (`router.shard_count() == shards.len()`, range `i` ↔
+/// `shards[i]`).
+#[derive(Debug)]
+pub(crate) struct Topology {
+    pub router: ShardRouter,
+    pub shards: Vec<Shard>,
+}
+
+/// What a transaction commit did: its position in the engine-wide
+/// serialization order, the shards it touched, and the per-table deltas.
+#[derive(Debug, Clone)]
+pub struct CommitReceipt {
+    /// Commit stamp: taken while every participant lock was held, so
+    /// sorting receipts by stamp is a valid serialization order of the
+    /// workload (the model-based suite re-executes it single-threaded).
+    pub stamp: u64,
+    /// Topology indexes of the shards the transaction wrote.
+    pub shards: Vec<usize>,
+    /// The committed per-table deltas (merged across shards).
+    pub deltas: BTreeMap<String, Delta>,
+    /// The global transaction id, for cross-shard commits.
+    pub gtx: Option<String>,
+}
+
+/// What a sharded recovery found and did.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRecoveryReport {
+    /// Per-shard recovery reports, in topology order.
+    pub shards: Vec<RecoveryReport>,
+    /// Per-shard in-doubt settlements resolved as committed (some shard
+    /// held a commit resolution). Counts shard-side chains, not distinct
+    /// transactions: one cross-shard transaction left in doubt on `k`
+    /// shards contributes `k`.
+    pub committed_in_doubt: u64,
+    /// Per-shard in-doubt settlements resolved as aborted (presumed
+    /// abort: no shard held a commit resolution). Same per-shard
+    /// counting unit as `committed_in_doubt`.
+    pub aborted_in_doubt: u64,
+    /// Rows pruned because a half-finished rebalance left them outside
+    /// their shard's key range.
+    pub repaired_rows: u64,
+    /// Orphan `shard-*` directories swept (created by a split that
+    /// crashed before publishing its topology).
+    pub orphan_dirs_swept: u64,
+}
+
+struct ViewReg {
+    table: String,
+    lens: Lens<Table, Table>,
+}
+
+pub(crate) struct ShardedInner {
+    pub(crate) topology: Arc<RwLock<Topology>>,
+    views: RwLock<BTreeMap<String, ViewReg>>,
+    pub(crate) coordinator: ShardCoordinator,
+    stamp: AtomicU64,
+    pub(crate) metrics: Metrics,
+    pub(crate) shard_metrics: ShardMetrics,
+    /// Base durability config (dir = the base directory); `None` for
+    /// in-memory engines. Shard `id` logs into `dir/shard-<id>`.
+    pub(crate) durable_base: Option<DurabilityConfig>,
+    pub(crate) next_shard_id: AtomicU64,
+    _maintenance: Option<MaintenanceThread>,
+}
+
+/// A concurrent, transactional, bidirectional engine whose tables are
+/// partitioned across shards by key range. Clone the handle freely:
+/// clones share state.
+#[derive(Clone)]
+pub struct ShardedEngineServer {
+    pub(crate) inner: Arc<ShardedInner>,
+}
+
+/// Split `db` into per-shard pieces: every shard holds every table (with
+/// its schema), each row living on the shard its key routes to. Each
+/// table is cut with [`Table::split_off_key`] at the router's split
+/// points — one O(log n) tree split per boundary instead of routing
+/// row by row.
+fn partition(db: &Database, router: &ShardRouter) -> Result<Vec<Database>, EngineError> {
+    let mut pieces: Vec<Database> = (0..router.shard_count()).map(|_| Database::new()).collect();
+    for name in db.table_names() {
+        let mut remaining = db.table(name)?.clone();
+        for (i, split) in router.splits().iter().enumerate().rev() {
+            let upper = remaining.split_off_key(split);
+            pieces[i + 1].replace_table(name.to_string(), upper);
+        }
+        pieces[0].replace_table(name.to_string(), remaining);
+    }
+    Ok(pieces)
+}
+
+/// Merge shard pieces into one database (shards hold disjoint keys, so
+/// upserts never collide).
+fn assemble(pieces: impl Iterator<Item = Database>) -> Result<Database, EngineError> {
+    let mut out = Database::new();
+    for piece in pieces {
+        for name in piece.table_names() {
+            let table = piece.table(name)?;
+            if out.table(name).is_err() {
+                out.replace_table(name.to_string(), table.clone());
+            } else {
+                let merged = out.table_mut(name)?;
+                for row in table.rows() {
+                    merged.upsert(row.clone())?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// May shard `index` checkpoint right now? Only when no *peer* shard is
+/// poisoned or holds an in-doubt 2PC chain: a checkpoint compacts
+/// history, and the `!resolve commit` record it could compact away may
+/// be the only durable evidence recovery has for settling a peer's
+/// in-doubt transaction. Peers are inspected with try-locks (never
+/// blocking out of lock order — no deadlock against a coordinator); a
+/// busy peer conservatively answers "not safe", deferring to the next
+/// maintenance tick. The caller holds `index`'s write lock, so every
+/// 2PC this shard participated in has fully finished and its peers'
+/// poison/in-doubt state is visible.
+fn shards_safe_to_checkpoint(shards: &[Shard], index: usize) -> bool {
+    shards.iter().enumerate().all(|(j, shard)| {
+        if j == index {
+            return true; // own state is covered by needs/begin_checkpoint
+        }
+        match shard.try_read() {
+            Some(state) => state
+                .durable
+                .as_ref()
+                .is_none_or(|d| !d.is_poisoned() && d.in_doubt().is_empty()),
+            None => false,
+        }
+    })
+}
+
+/// Checkpoint shard `index` with the file write outside its lock.
+/// `force = false` is the maintenance path (only when due, silently
+/// skipped when unsafe); `force = true` is the explicit path (always,
+/// but still *refusing* — with an error — while a peer holds unresolved
+/// 2PC state). Returns `None` for in-memory shards and skipped
+/// maintenance passes.
+fn checkpoint_shard(
+    shards: &[Shard],
+    index: usize,
+    force: bool,
+) -> Result<Option<u64>, EngineError> {
+    checkpoint_off_lock(
+        || {
+            let mut state = shards[index].write();
+            let Some(durable) = state.durable.as_mut() else {
+                return Ok(None);
+            };
+            if !force && !durable.needs_checkpoint() {
+                return Ok(None);
+            }
+            if !shards_safe_to_checkpoint(shards, index) {
+                return if force {
+                    Err(EngineError::Io(
+                        "checkpoint refused: a peer shard is poisoned or holds \
+                         in-doubt 2PC state whose evidence compaction could destroy"
+                            .into(),
+                    ))
+                } else {
+                    Ok(None)
+                };
+            }
+            Ok(Some((
+                durable.begin_checkpoint()?,
+                durable.checkpoint_dir(),
+            )))
+        },
+        |seq| {
+            let mut state = shards[index].write();
+            match state.durable.as_mut() {
+                Some(durable) => durable.finish_checkpoint(seq),
+                None => Ok(seq),
+            }
+        },
+    )
+}
+
+/// The per-shard durability config for shard `id` under `base`.
+pub(crate) fn shard_config(base: &DurabilityConfig, id: u64) -> DurabilityConfig {
+    let mut cfg = base.clone();
+    cfg.dir = base.dir.join(format!("shard-{id}"));
+    cfg
+}
+
+impl ShardedEngineServer {
+    // ------------------------------------------------------------------
+    // Construction.
+    // ------------------------------------------------------------------
+
+    /// An in-memory sharded engine over `db`, cut into (up to) `shards`
+    /// ranges at key quantiles of the existing data. Use
+    /// [`ShardedEngineServer::with_router`] to control the split points.
+    pub fn new(db: Database, shards: usize) -> Result<ShardedEngineServer, EngineError> {
+        ShardedEngineServer::with_router(db.clone(), quantile_router(&db, shards))
+    }
+
+    /// An in-memory sharded engine with explicit split points.
+    pub fn with_router(
+        db: Database,
+        router: ShardRouter,
+    ) -> Result<ShardedEngineServer, EngineError> {
+        check_table_names(&db)?;
+        let pieces = partition(&db, &router)?;
+        let shards: Vec<Shard> = pieces
+            .into_iter()
+            .enumerate()
+            .map(|(i, piece)| Shard::new_in_memory(i as u64, piece))
+            .collect();
+        Ok(ShardedEngineServer::from_parts(
+            router,
+            shards,
+            None,
+            ShardCoordinator::default(),
+        ))
+    }
+
+    /// A durable sharded engine: `config.dir` becomes the base
+    /// directory, each shard logs into `shard-<id>/` within it, and the
+    /// topology manifest is written atomically. Refuses a directory that
+    /// already holds a topology — recover it instead.
+    pub fn with_durability(
+        db: Database,
+        router: ShardRouter,
+        config: DurabilityConfig,
+    ) -> Result<ShardedEngineServer, EngineError> {
+        check_table_names(&db)?;
+        std::fs::create_dir_all(&config.dir)?;
+        if config.dir.join(TOPOLOGY_FILE).exists() {
+            return Err(EngineError::Io(format!(
+                "{} already holds a sharded engine; recover it instead of re-creating",
+                config.dir.display()
+            )));
+        }
+        let pieces = partition(&db, &router)?;
+        let mut shards = Vec::with_capacity(pieces.len());
+        for (i, piece) in pieces.into_iter().enumerate() {
+            shards.push(Shard::create_durable(
+                i as u64,
+                piece,
+                shard_config(&config, i as u64),
+            )?);
+        }
+        let ids: Vec<u64> = shards.iter().map(Shard::id).collect();
+        write_topology(&config.dir, shards.len() as u64, &router, &ids)?;
+        Ok(ShardedEngineServer::from_parts(
+            router,
+            shards,
+            Some(config),
+            ShardCoordinator::default(),
+        ))
+    }
+
+    /// Recover a sharded engine from its base directory with default
+    /// durability tuning; see [`ShardedEngineServer::recover_with`].
+    pub fn recover(
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(ShardedEngineServer, ShardRecoveryReport), EngineError> {
+        ShardedEngineServer::recover_with(DurabilityConfig::new(dir))
+    }
+
+    /// Recover a sharded engine: read the topology manifest, recover
+    /// every shard's WAL directory, then settle what a crash left
+    /// half-done —
+    ///
+    /// 1. **In-doubt 2PC transactions**: committed iff *any* shard's log
+    ///    holds a `!resolve commit` for the gtx (the coordinator never
+    ///    writes one before every participant's prepare is fsynced);
+    ///    otherwise presumed aborted. The missing resolutions are
+    ///    appended to every affected shard, so the logs self-heal and
+    ///    every shard lands on the same side — all-or-nothing.
+    /// 2. **Rebalance debris**: rows outside their shard's key range
+    ///    (a split/merge that crashed between moving data and updating
+    ///    the topology) are pruned with a logged repair delta, and
+    ///    orphan `shard-*` directories the topology never published are
+    ///    swept.
+    pub fn recover_with(
+        config: DurabilityConfig,
+    ) -> Result<(ShardedEngineServer, ShardRecoveryReport), EngineError> {
+        let (next_id, router, ids) = read_topology(&config.dir)?;
+        let mut report = ShardRecoveryReport::default();
+
+        // Sweep shard directories the topology never published (a split
+        // that crashed before its atomic topology rewrite never
+        // happened; its half-built directory must not linger to collide
+        // with a future split reusing the id).
+        let known: BTreeSet<u64> = ids.iter().copied().collect();
+        for entry in std::fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(id) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("shard-"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if !known.contains(&id) {
+                std::fs::remove_dir_all(entry.path())?;
+                report.orphan_dirs_swept += 1;
+            }
+        }
+
+        let mut shards = Vec::with_capacity(ids.len());
+        let mut in_doubt: Vec<BTreeMap<String, Vec<(String, Delta)>>> = Vec::new();
+        let mut verdicts: BTreeMap<String, bool> = BTreeMap::new();
+        let mut max_gtx = 0u64;
+        for &id in &ids {
+            let (shard, shard_report) = Shard::recover(id, shard_config(&config, id))?;
+            {
+                let state = shard.read();
+                let durable = state.durable.as_ref().expect("recovered shards persist");
+                in_doubt.push(durable.in_doubt().clone());
+                for (gtx, committed) in durable.recovered_resolutions() {
+                    // A commit verdict anywhere wins over aborts
+                    // elsewhere (abort resolutions are only written by a
+                    // coordinator that never reached its commit point).
+                    let entry = verdicts.entry(gtx.clone()).or_insert(*committed);
+                    *entry = *entry || *committed;
+                    max_gtx = max_gtx.max(parse_gtx(gtx));
+                }
+                for gtx in durable.in_doubt().keys() {
+                    max_gtx = max_gtx.max(parse_gtx(gtx));
+                }
+            }
+            report.shards.push(shard_report);
+            shards.push(shard);
+        }
+
+        // Settle in-doubt transactions: any commit resolution anywhere →
+        // commit everywhere; none → presumed abort everywhere.
+        let metrics = ShardMetrics::default();
+        for (shard, doubts) in shards.iter().zip(in_doubt) {
+            for (gtx, group) in doubts {
+                let committed = verdicts.get(&gtx).copied().unwrap_or(false);
+                let mut state = shard.write();
+                state.resolve(&gtx, committed, &group)?;
+                // The settled state is the shard's post-recovery
+                // baseline: its in-memory WAL starts *after* the
+                // resolution we just appended.
+                state.baseline = state.db.clone();
+                state.wal = Wal::starting_at(state.wal.last_seq());
+                drop(state);
+                if committed {
+                    metrics.recovery_commit();
+                } else {
+                    metrics.recovery_abort();
+                }
+            }
+        }
+        report.committed_in_doubt = metrics.snapshot().recovery_commits;
+        report.aborted_in_doubt = metrics.snapshot().recovery_aborts;
+
+        // Prune rebalance debris: rows living outside their shard's
+        // range (and therefore unreachable through the router) are
+        // deleted with a logged repair delta.
+        for (index, shard) in shards.iter().enumerate() {
+            let mut state = shard.write();
+            let mut repairs: Vec<(String, Delta)> = Vec::new();
+            for name in state.db.table_names().into_iter().map(String::from) {
+                let table = state.db.table(&name)?;
+                let stray: Vec<Row> = table
+                    .rows()
+                    .filter(|row| router.shard_of(&table.key_of(row)) != index)
+                    .cloned()
+                    .collect();
+                if !stray.is_empty() {
+                    report.repaired_rows += stray.len() as u64;
+                    repairs.push((
+                        name,
+                        Delta {
+                            inserted: vec![],
+                            deleted: stray,
+                        },
+                    ));
+                }
+            }
+            if !repairs.is_empty() {
+                state.append_group(&repairs, GroupEnd::Commit)?;
+            }
+            state.sync()?;
+        }
+        metrics.migrated(report.repaired_rows);
+
+        let engine = ShardedEngineServer::from_parts_with_metrics(
+            router,
+            shards,
+            Some(config),
+            ShardCoordinator::starting_after(max_gtx),
+            metrics,
+            next_id,
+        );
+        Ok((engine, report))
+    }
+
+    fn from_parts(
+        router: ShardRouter,
+        shards: Vec<Shard>,
+        durable_base: Option<DurabilityConfig>,
+        coordinator: ShardCoordinator,
+    ) -> ShardedEngineServer {
+        let next_id = shards.iter().map(Shard::id).max().map_or(0, |m| m + 1);
+        ShardedEngineServer::from_parts_with_metrics(
+            router,
+            shards,
+            durable_base,
+            coordinator,
+            ShardMetrics::default(),
+            next_id,
+        )
+    }
+
+    fn from_parts_with_metrics(
+        router: ShardRouter,
+        shards: Vec<Shard>,
+        durable_base: Option<DurabilityConfig>,
+        coordinator: ShardCoordinator,
+        shard_metrics: ShardMetrics,
+        next_shard_id: u64,
+    ) -> ShardedEngineServer {
+        let topology = Arc::new(RwLock::new(Topology { router, shards }));
+        let maintenance = durable_base.as_ref().and_then(|cfg| {
+            if cfg.checkpoint_every == 0 || cfg.maintenance_interval_ms == 0 {
+                return None;
+            }
+            let target = Arc::clone(&topology);
+            Some(MaintenanceThread::spawn(
+                std::time::Duration::from_millis(cfg.maintenance_interval_ms),
+                move || {
+                    let shards: Vec<Shard> = match target.read() {
+                        Ok(topo) => topo.shards.clone(),
+                        Err(_) => return,
+                    };
+                    for index in 0..shards.len() {
+                        let _ = checkpoint_shard(&shards, index, false);
+                    }
+                },
+            ))
+        });
+        ShardedEngineServer {
+            inner: Arc::new(ShardedInner {
+                topology,
+                views: RwLock::new(BTreeMap::new()),
+                coordinator,
+                stamp: AtomicU64::new(1),
+                metrics: Metrics::default(),
+                shard_metrics,
+                durable_base,
+                next_shard_id: AtomicU64::new(next_shard_id),
+                _maintenance: maintenance,
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.topology().shards.len()
+    }
+
+    /// A copy of the current router (split points change under
+    /// rebalancing).
+    pub fn router(&self) -> ShardRouter {
+        self.topology().router.clone()
+    }
+
+    /// The topology index of the shard owning `key` right now.
+    pub fn shard_of_key(&self, key: &Row) -> usize {
+        self.topology().router.shard_of(key)
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let topo = self.topology();
+        match topo.shards.first() {
+            Some(shard) => shard
+                .read()
+                .db
+                .table_names()
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A consistent snapshot of one table, assembled across shards.
+    pub fn table(&self, name: &str) -> Result<Table, EngineError> {
+        let db = self.snapshot();
+        Ok(db.table(name)?.clone())
+    }
+
+    /// A consistent snapshot of the whole database: all shard read locks
+    /// are held together (in index order), so no cross-shard transaction
+    /// is ever observed half-applied.
+    pub fn snapshot(&self) -> Database {
+        let topo = self.topology();
+        let guards: Vec<_> = topo.shards.iter().map(Shard::read).collect();
+        assemble(guards.iter().map(|g| g.db.clone()))
+            .expect("shard pieces share schemas and disjoint keys")
+    }
+
+    /// Rebuild the committed state from every shard's baseline plus its
+    /// WAL — the recovery law. At quiescence this equals
+    /// [`ShardedEngineServer::snapshot`] (asserted by the suites).
+    pub fn recovered_database(&self) -> Result<Database, EngineError> {
+        let topo = self.topology();
+        let mut replayed = Vec::with_capacity(topo.shards.len());
+        for shard in &topo.shards {
+            replayed.push(shard.recovered_database()?);
+        }
+        assemble(replayed.into_iter())
+    }
+
+    /// Per-shard snapshots of the in-memory WALs, in topology order.
+    pub fn shard_wals(&self) -> Vec<Wal> {
+        let topo = self.topology();
+        topo.shards.iter().map(|s| s.read().wal.clone()).collect()
+    }
+
+    /// Current engine counters: commit/conflict/retry totals, sharding
+    /// stats, and durable-WAL stats summed across shards.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut wal = WalStats::default();
+        {
+            let topo = self.topology();
+            for shard in &topo.shards {
+                if let Some(d) = shard.read().durable.as_ref() {
+                    let s = d.stats();
+                    wal.appends += s.appends;
+                    wal.syncs += s.syncs;
+                    wal.bytes_written += s.bytes_written;
+                    wal.rotations += s.rotations;
+                    wal.checkpoints += s.checkpoints;
+                    wal.segments_compacted += s.segments_compacted;
+                }
+            }
+        }
+        self.inner
+            .metrics
+            .snapshot()
+            .with_wal(wal)
+            .with_shard(self.inner.shard_metrics.snapshot())
+    }
+
+    /// Force-fsync every shard's group-commit batch. No-op in memory.
+    pub fn sync_wal(&self) -> Result<(), EngineError> {
+        let topo = self.topology();
+        for shard in &topo.shards {
+            shard.write().sync()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint (and compact) every shard now. Returns the covered
+    /// seqs, or `None` for in-memory engines. Refuses while any shard is
+    /// poisoned or holds in-doubt 2PC state — a checkpoint must never
+    /// compact away the resolution evidence a peer still needs at
+    /// recovery.
+    pub fn checkpoint(&self) -> Result<Option<Vec<u64>>, EngineError> {
+        let shards = self.topology().shards.clone();
+        let mut seqs = Vec::with_capacity(shards.len());
+        for index in 0..shards.len() {
+            match checkpoint_shard(&shards, index, true)? {
+                Some(seq) => seqs.push(seq),
+                None => return Ok(None), // in-memory shard
+            }
+        }
+        Ok(Some(seqs))
+    }
+
+    /// Run one maintenance pass over every shard — what the background
+    /// thread does each tick (checkpoint iff due and safe, file writes
+    /// outside the shard locks). Deterministic tests and embedders that
+    /// disable the thread drive this directly.
+    pub fn run_maintenance(&self) -> Result<(), EngineError> {
+        let shards = self.topology().shards.clone();
+        for index in 0..shards.len() {
+            checkpoint_shard(&shards, index, false)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn topology(&self) -> std::sync::RwLockReadGuard<'_, Topology> {
+        self.inner.topology.read().expect("topology lock poisoned")
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions.
+    // ------------------------------------------------------------------
+
+    /// Run `body` in a snapshot transaction over the whole database,
+    /// retrying first-committer-wins conflicts up to `max_attempts`
+    /// times. The commit routes per key: one shard → fast path, several
+    /// → two-phase commit.
+    pub fn transact(
+        &self,
+        max_attempts: u32,
+        body: impl Fn(&mut Database) -> Result<(), EngineError>,
+    ) -> Result<CommitReceipt, EngineError> {
+        self.run_transact(None, max_attempts, FailPoint::None, body)
+    }
+
+    /// [`ShardedEngineServer::transact`] restricted to the shards owning
+    /// `keys`: only those shards are snapshotted and locked, so the
+    /// fast path touches one shard end to end. The transaction may only
+    /// write rows whose keys route to a declared shard — anything else
+    /// is rejected with [`EngineError::ShardTopology`].
+    pub fn transact_keys(
+        &self,
+        keys: &[Row],
+        max_attempts: u32,
+        body: impl Fn(&mut Database) -> Result<(), EngineError>,
+    ) -> Result<CommitReceipt, EngineError> {
+        self.run_transact(Some(keys), max_attempts, FailPoint::None, body)
+    }
+
+    /// [`ShardedEngineServer::transact_keys`] with coordinator crash
+    /// injection — the recovery test harness. After a failpoint fires
+    /// the engine is mid-protocol by design; discard it and recover the
+    /// directory.
+    pub fn transact_keys_failpoint(
+        &self,
+        keys: &[Row],
+        max_attempts: u32,
+        failpoint: FailPoint,
+        body: impl Fn(&mut Database) -> Result<(), EngineError>,
+    ) -> Result<CommitReceipt, EngineError> {
+        self.run_transact(Some(keys), max_attempts, failpoint, body)
+    }
+
+    fn run_transact(
+        &self,
+        keys: Option<&[Row]>,
+        max_attempts: u32,
+        failpoint: FailPoint,
+        body: impl Fn(&mut Database) -> Result<(), EngineError>,
+    ) -> Result<CommitReceipt, EngineError> {
+        let mut attempts = 0;
+        loop {
+            // The topology read lock pins the shard layout for the whole
+            // attempt (rebalances queue behind it — their write fence).
+            let topo = self.topology();
+            let participant_set: Option<BTreeSet<usize>> =
+                keys.map(|keys| keys.iter().map(|k| topo.router.shard_of(k)).collect());
+            let (snapshot, snap_seqs) = self.snapshot_with_seqs(&topo, participant_set.as_ref())?;
+            let mut working = snapshot.clone();
+            body(&mut working)?;
+            let mut deltas = BTreeMap::new();
+            for name in snapshot.table_names() {
+                let delta = Delta::between(snapshot.table(name)?, working.table(name)?)?;
+                if !delta.is_empty() {
+                    deltas.insert(name.to_string(), delta);
+                }
+            }
+            match self.commit_deltas(&topo, &snapshot, &snap_seqs, &deltas, failpoint) {
+                Ok(receipt) => return Ok(receipt),
+                Err(EngineError::Conflict { .. }) if attempts + 1 < max_attempts => {
+                    attempts += 1;
+                    self.inner.metrics.retry();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Snapshot the participant shards (all of them when `None`) under
+    /// simultaneously-held read locks, returning the assembled database
+    /// and each participant's WAL position.
+    fn snapshot_with_seqs(
+        &self,
+        topo: &Topology,
+        participants: Option<&BTreeSet<usize>>,
+    ) -> Result<(Database, BTreeMap<usize, u64>), EngineError> {
+        let indexes: Vec<usize> = match participants {
+            Some(set) => set.iter().copied().collect(),
+            None => (0..topo.shards.len()).collect(),
+        };
+        for &i in &indexes {
+            if i >= topo.shards.len() {
+                return Err(EngineError::ShardTopology(format!("no shard {i}")));
+            }
+        }
+        let guards: Vec<_> = indexes.iter().map(|&i| topo.shards[i].read()).collect();
+        let snap_seqs = indexes
+            .iter()
+            .zip(guards.iter())
+            .map(|(&i, g)| (i, g.wal.last_seq()))
+            .collect();
+        let snapshot = assemble(guards.iter().map(|g| g.db.clone()))?;
+        Ok((snapshot, snap_seqs))
+    }
+
+    /// Route `deltas` per key and commit: empty → no-op receipt, one
+    /// shard → fast path under its lock, several → 2PC via the
+    /// coordinator. `snap_seqs` must cover every routed shard (it always
+    /// does for whole-database snapshots; keyed transactions that stray
+    /// outside their declared key set are rejected).
+    fn commit_deltas(
+        &self,
+        topo: &Topology,
+        snapshot: &Database,
+        snap_seqs: &BTreeMap<usize, u64>,
+        deltas: &BTreeMap<String, Delta>,
+        failpoint: FailPoint,
+    ) -> Result<CommitReceipt, EngineError> {
+        // Route every changed row to its shard.
+        let mut per_shard: BTreeMap<usize, BTreeMap<String, Delta>> = BTreeMap::new();
+        for (name, delta) in deltas {
+            let table = snapshot.table(name)?;
+            for row in &delta.inserted {
+                let shard = topo.router.shard_of(&table.key_of(row));
+                per_shard
+                    .entry(shard)
+                    .or_default()
+                    .entry(name.clone())
+                    .or_insert_with(Delta::empty)
+                    .inserted
+                    .push(row.clone());
+            }
+            for row in &delta.deleted {
+                let shard = topo.router.shard_of(&table.key_of(row));
+                per_shard
+                    .entry(shard)
+                    .or_default()
+                    .entry(name.clone())
+                    .or_insert_with(Delta::empty)
+                    .deleted
+                    .push(row.clone());
+            }
+        }
+        for &shard in per_shard.keys() {
+            if !snap_seqs.contains_key(&shard) {
+                return Err(EngineError::ShardTopology(format!(
+                    "transaction wrote a key owned by shard {shard} without declaring it"
+                )));
+            }
+        }
+        let rows: u64 = deltas.values().map(|d| d.len() as u64).sum();
+
+        if per_shard.is_empty() {
+            return Ok(CommitReceipt {
+                stamp: self.inner.stamp.fetch_add(1, Ordering::SeqCst),
+                shards: Vec::new(),
+                deltas: BTreeMap::new(),
+                gtx: None,
+            });
+        }
+
+        if per_shard.len() == 1 {
+            // Fast path: one shard, no coordination.
+            let (&index, tables) = per_shard.iter().next().expect("len == 1");
+            let shard_deltas: Vec<(String, Delta)> =
+                tables.iter().map(|(t, d)| (t.clone(), d.clone())).collect();
+            let keys = keys_of(snapshot, &shard_deltas)?;
+            let shard = &topo.shards[index];
+            let mut guard = shard.write();
+            if let Some((table, seq)) = guard.fcw_conflict(snap_seqs[&index], &keys)? {
+                drop(guard);
+                self.inner.metrics.conflict();
+                return Err(EngineError::Conflict {
+                    table,
+                    detail: format!(
+                        "snapshot at seq {} overlaps commit seq {seq} on shard {index}",
+                        snap_seqs[&index]
+                    ),
+                });
+            }
+            guard.append_group(&shard_deltas, GroupEnd::Commit)?;
+            let stamp = self.inner.stamp.fetch_add(1, Ordering::SeqCst);
+            drop(guard);
+            self.inner.metrics.commit(rows);
+            self.inner.shard_metrics.single_shard_commit();
+            return Ok(CommitReceipt {
+                stamp,
+                shards: vec![index],
+                deltas: deltas.clone(),
+                gtx: None,
+            });
+        }
+
+        // Cross-shard: two-phase commit, participants in index order.
+        let mut participants = Vec::with_capacity(per_shard.len());
+        for (&index, tables) in &per_shard {
+            let shard_deltas: Vec<(String, Delta)> =
+                tables.iter().map(|(t, d)| (t.clone(), d.clone())).collect();
+            let keys = keys_of(snapshot, &shard_deltas)?;
+            participants.push(Participant {
+                index,
+                shard: &topo.shards[index],
+                snap_seq: snap_seqs[&index],
+                deltas: shard_deltas,
+                keys,
+            });
+        }
+        let n = participants.len() as u64;
+        let result = self
+            .inner
+            .coordinator
+            .commit_cross(&participants, failpoint, || {
+                self.inner.stamp.fetch_add(1, Ordering::SeqCst)
+            });
+        match result {
+            Ok((gtx, stamp)) => {
+                self.inner.metrics.commit(rows);
+                self.inner.shard_metrics.cross_shard_commit(n);
+                Ok(CommitReceipt {
+                    stamp,
+                    shards: per_shard.keys().copied().collect(),
+                    deltas: deltas.clone(),
+                    gtx: Some(gtx),
+                })
+            }
+            Err(e) => {
+                if matches!(e, EngineError::Conflict { .. }) {
+                    self.inner.metrics.conflict();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Views (the EntangledView facade).
+    // ------------------------------------------------------------------
+
+    /// Compile and register a named entangled view over `table` — same
+    /// contract as [`crate::EngineServer::define_view`], except the base
+    /// table spans shards and clients stay routing-oblivious. Columns
+    /// the view's select stages constrain get secondary indexes on every
+    /// shard's piece.
+    pub fn define_view(
+        &self,
+        name: impl Into<String>,
+        table: impl Into<String>,
+        def: &ViewDef,
+    ) -> Result<EntangledView, EngineError> {
+        let name = name.into();
+        let table = table.into();
+        if self
+            .inner
+            .views
+            .read()
+            .expect("views lock poisoned")
+            .contains_key(&name)
+        {
+            return Err(EngineError::ViewExists(name));
+        }
+        let lens = {
+            let snapshot = self.table(&table)?;
+            def.compile(&snapshot)?
+        };
+        {
+            let topo = self.topology();
+            for col in def.index_candidates() {
+                for shard in &topo.shards {
+                    let mut state = shard.write();
+                    state.db.table_mut(&table)?.create_index(&col)?;
+                }
+            }
+        }
+        let mut views = self.inner.views.write().expect("views lock poisoned");
+        if views.contains_key(&name) {
+            return Err(EngineError::ViewExists(name));
+        }
+        views.insert(name.clone(), ViewReg { table, lens });
+        drop(views);
+        self.view(&name)
+    }
+
+    /// A client handle onto a registered view.
+    pub fn view(&self, name: &str) -> Result<EntangledView, EngineError> {
+        let views = self.inner.views.read().expect("views lock poisoned");
+        if !views.contains_key(name) {
+            return Err(EngineError::NoSuchView(name.to_string()));
+        }
+        Ok(EntangledView::new_sharded(self.clone(), name.to_string()))
+    }
+
+    /// Registered view names, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        self.inner
+            .views
+            .read()
+            .expect("views lock poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    fn with_view<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&str, &Lens<Table, Table>) -> Result<R, EngineError>,
+    ) -> Result<R, EngineError> {
+        let views = self.inner.views.read().expect("views lock poisoned");
+        let reg = views
+            .get(name)
+            .ok_or_else(|| EngineError::NoSuchView(name.to_string()))?;
+        f(&reg.table, &reg.lens)
+    }
+
+    /// Read a view (the lens `get`) against a consistent cross-shard
+    /// snapshot of its base table.
+    pub fn read_view(&self, name: &str) -> Result<Table, EngineError> {
+        self.inner.metrics.view_read();
+        self.with_view(name, |table, lens| {
+            let base = self.table(table)?;
+            Ok(lens.get(&base))
+        })
+    }
+
+    /// Write an edited view back (the lens `put`). A `put` replaces the
+    /// view's whole visible window; the resulting base delta routes per
+    /// key and commits like any transaction (2PC when it spans shards),
+    /// retrying internally until it lands — concurrent putters are
+    /// last-writer-wins, like the unsharded engine. Returns the
+    /// base-table delta.
+    pub fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
+        self.with_view(name, |table_name, lens| {
+            let table_name = table_name.to_string();
+            let lens = lens.clone();
+            loop {
+                let topo = self.topology();
+                let (snapshot, snap_seqs) = self.snapshot_with_seqs(&topo, None)?;
+                let base = snapshot.table(&table_name)?;
+                let put_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    lens.put(base.clone(), view.clone())
+                }));
+                let new_base = match put_result {
+                    Ok(t) => t,
+                    Err(_) => {
+                        return Err(EngineError::Store(esm_store::StoreError::BadQuery(
+                            format!(
+                                "view write rejected: the edited table does not fit view {name}"
+                            ),
+                        )))
+                    }
+                };
+                let delta = Delta::between(base, &new_base)?;
+                if delta.is_empty() {
+                    return Ok(delta);
+                }
+                let deltas = BTreeMap::from([(table_name.clone(), delta.clone())]);
+                match self.commit_deltas(&topo, &snapshot, &snap_seqs, &deltas, FailPoint::None) {
+                    Ok(_) => return Ok(delta),
+                    // Whole-window put semantics: a racing commit just
+                    // means our window is stale; re-put it (progress is
+                    // guaranteed — every conflict is someone else's
+                    // commit).
+                    Err(EngineError::Conflict { .. }) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+
+    /// Transactionally edit a view (optimistic, first-committer-wins
+    /// with up to `attempts` retries) — the sharded
+    /// [`crate::EngineServer::edit_view_optimistic`].
+    pub fn edit_view_optimistic(
+        &self,
+        name: &str,
+        attempts: u32,
+        edit: impl Fn(&mut Table) -> Result<(), EngineError>,
+    ) -> Result<Delta, EngineError> {
+        let (table_name, lens) =
+            self.with_view(name, |table, lens| Ok((table.to_string(), lens.clone())))?;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                self.inner.metrics.retry();
+            }
+            let topo = self.topology();
+            let (snapshot, snap_seqs) = self.snapshot_with_seqs(&topo, None)?;
+            let base = snapshot.table(&table_name)?;
+            let mut view = lens.get(base);
+            edit(&mut view)?;
+            let new_base = lens.put(base.clone(), view);
+            let delta = Delta::between(base, &new_base)?;
+            if delta.is_empty() {
+                return Ok(delta);
+            }
+            let deltas = BTreeMap::from([(table_name.clone(), delta.clone())]);
+            match self.commit_deltas(&topo, &snapshot, &snap_seqs, &deltas, FailPoint::None) {
+                Ok(_) => return Ok(delta),
+                Err(EngineError::Conflict { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(EngineError::RetriesExhausted {
+            view: name.to_string(),
+            attempts,
+        })
+    }
+}
+
+impl std::fmt::Debug for ShardedEngineServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let topo = self.topology();
+        write!(
+            f,
+            "ShardedEngineServer {{ shards: {}, splits: {:?} }}",
+            topo.shards.len(),
+            topo.router.splits()
+        )
+    }
+}
+
+/// The key sets a per-shard delta list touches, per table.
+fn keys_of(
+    snapshot: &Database,
+    deltas: &[(String, Delta)],
+) -> Result<BTreeMap<String, BTreeSet<Row>>, EngineError> {
+    let mut keys: BTreeMap<String, BTreeSet<Row>> = BTreeMap::new();
+    for (name, delta) in deltas {
+        let table = snapshot.table(name)?;
+        let entry = keys.entry(name.clone()).or_default();
+        for row in delta.inserted.iter().chain(delta.deleted.iter()) {
+            entry.insert(table.key_of(row));
+        }
+    }
+    Ok(keys)
+}
+
+/// Cut the key space at data quantiles: up to `shards` ranges holding
+/// roughly equal row counts of the seed data.
+fn quantile_router(db: &Database, shards: usize) -> ShardRouter {
+    if shards <= 1 {
+        return ShardRouter::single();
+    }
+    let mut keys: BTreeSet<Row> = BTreeSet::new();
+    for name in db.table_names() {
+        let table = db.table(name).expect("name came from the database");
+        for row in table.rows() {
+            keys.insert(table.key_of(row));
+        }
+    }
+    let keys: Vec<&Row> = keys.iter().collect();
+    let mut splits: Vec<Row> = Vec::new();
+    for i in 1..shards {
+        let idx = i * keys.len() / shards;
+        if idx == 0 || idx >= keys.len() {
+            continue;
+        }
+        let candidate = keys[idx].clone();
+        if splits.last() != Some(&candidate) {
+            splits.push(candidate);
+        }
+    }
+    ShardRouter::from_splits(splits).expect("quantiles of a sorted set increase strictly")
+}
+
+/// Parse the numeric suffix of a generated gtx id (`g<n>`); foreign ids
+/// count as 0 (the seed only needs to dominate ids *we* generated).
+fn parse_gtx(gtx: &str) -> u64 {
+    gtx.strip_prefix('g')
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// Topology manifest.
+// ---------------------------------------------------------------------
+
+/// Serialize and atomically write the topology manifest.
+pub(crate) fn write_topology(
+    dir: &Path,
+    next_id: u64,
+    router: &ShardRouter,
+    ids: &[u64],
+) -> Result<(), EngineError> {
+    debug_assert_eq!(ids.len(), router.shard_count());
+    let mut text = format!("!topology\nnext_id {next_id}\n");
+    for (i, id) in ids.iter().enumerate() {
+        match router.splits().get(i) {
+            Some(split) => {
+                text.push_str(&format!(
+                    "shard {id} upto {}\n",
+                    esm_store::codec::encode_row(split)
+                ));
+            }
+            None => text.push_str(&format!("shard {id} rest\n")),
+        }
+    }
+    text.push_str("!end\n");
+    write_atomic_text(dir, TOPOLOGY_FILE, &text)?;
+    Ok(())
+}
+
+/// Read the topology manifest back: `(next_id, router, shard ids)`.
+pub(crate) fn read_topology(dir: &Path) -> Result<(u64, ShardRouter, Vec<u64>), EngineError> {
+    let path = dir.join(TOPOLOGY_FILE);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        EngineError::Io(format!(
+            "{} is not a sharded engine directory: {e}",
+            dir.display()
+        ))
+    })?;
+    let corrupt = |msg: &str| EngineError::WalCorrupt(format!("topology manifest: {msg}"));
+    let mut lines = text.lines();
+    if lines.next() != Some("!topology") {
+        return Err(corrupt("missing !topology header"));
+    }
+    let next_id: u64 = lines
+        .next()
+        .and_then(|l| l.strip_prefix("next_id "))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| corrupt("bad next_id line"))?;
+    let mut ids = Vec::new();
+    let mut splits = Vec::new();
+    let mut saw_rest = false;
+    let mut saw_end = false;
+    for line in lines {
+        if line == "!end" {
+            saw_end = true;
+            break;
+        }
+        let rest = line
+            .strip_prefix("shard ")
+            .ok_or_else(|| corrupt("expected a shard line"))?;
+        let (id, bound) = rest
+            .split_once(' ')
+            .ok_or_else(|| corrupt("truncated shard line"))?;
+        let id: u64 = id.parse().map_err(|_| corrupt("bad shard id"))?;
+        if saw_rest {
+            return Err(corrupt("shard after the unbounded final range"));
+        }
+        if bound == "rest" {
+            saw_rest = true;
+        } else {
+            let split = bound
+                .strip_prefix("upto ")
+                .ok_or_else(|| corrupt("bad shard bound"))?;
+            splits.push(
+                esm_store::codec::decode_row(split)
+                    .map_err(|e| corrupt(&format!("bad split row: {e}")))?,
+            );
+        }
+        ids.push(id);
+    }
+    if !saw_end {
+        return Err(corrupt("missing !end trailer (torn write?)"));
+    }
+    if !saw_rest || ids.is_empty() {
+        return Err(corrupt("no unbounded final range"));
+    }
+    let router = ShardRouter::from_splits(splits)?;
+    if router.shard_count() != ids.len() {
+        return Err(corrupt("split count does not match shard count"));
+    }
+    Ok((next_id, router, ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_store::{row, Operand, Predicate, Schema, ValueType};
+
+    fn seed_db(n: i64) -> Database {
+        let schema = Schema::build(
+            &[
+                ("id", ValueType::Int),
+                ("owner", ValueType::Str),
+                ("balance", ValueType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..n).map(|i| row![i, format!("o{i}"), i * 10]).collect();
+        let mut db = Database::new();
+        db.create_table("accounts", Table::from_rows(schema, rows).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn sharded(n_rows: i64, shards: usize) -> ShardedEngineServer {
+        ShardedEngineServer::with_router(
+            seed_db(n_rows),
+            ShardRouter::uniform_int(shards, 0, n_rows.max(shards as i64)).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partitioning_assembles_back_to_the_whole() {
+        let db = seed_db(40);
+        let engine = sharded(40, 4);
+        assert_eq!(engine.shard_count(), 4);
+        assert_eq!(engine.snapshot(), db);
+        // Every shard holds only its range.
+        let topo = engine.topology();
+        for (i, shard) in topo.shards.iter().enumerate() {
+            let state = shard.read();
+            let table = state.db.table("accounts").unwrap();
+            assert_eq!(table.len(), 10, "shard {i}");
+            for row in table.rows() {
+                assert_eq!(topo.router.shard_of(&table.key_of(row)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_router_balances_seed_data() {
+        let engine = ShardedEngineServer::new(seed_db(100), 4).unwrap();
+        assert_eq!(engine.shard_count(), 4);
+        let topo = engine.topology();
+        for shard in &topo.shards {
+            let len = shard.read().db.table("accounts").unwrap().len();
+            assert_eq!(len, 25);
+        }
+        drop(topo);
+        // Degenerate cases collapse gracefully.
+        assert_eq!(
+            ShardedEngineServer::new(seed_db(1), 4)
+                .unwrap()
+                .shard_count(),
+            1, // one row → no usable quantiles → one shard
+        );
+        assert_eq!(
+            ShardedEngineServer::new(seed_db(3), 1)
+                .unwrap()
+                .shard_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn single_shard_transactions_take_the_fast_path() {
+        let engine = sharded(40, 4);
+        let receipt = engine
+            .transact_keys(&[row![5]], 4, |db| {
+                let t = db.table_mut("accounts")?;
+                t.upsert(row![5, "updated", 999])?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(receipt.shards, vec![0]);
+        assert!(receipt.gtx.is_none());
+        let m = engine.metrics();
+        assert_eq!(m.shard.single_shard_commits, 1);
+        assert_eq!(m.shard.cross_shard_commits, 0);
+        assert_eq!(m.commits, 1);
+        assert!(engine
+            .table("accounts")
+            .unwrap()
+            .contains(&row![5, "updated", 999]));
+        // Only shard 0's WAL moved.
+        let wals = engine.shard_wals();
+        assert_eq!(wals[0].len(), 1);
+        assert!(wals[1].is_empty() && wals[2].is_empty() && wals[3].is_empty());
+        assert_eq!(engine.recovered_database().unwrap(), engine.snapshot());
+    }
+
+    #[test]
+    fn cross_shard_transactions_run_two_phase_commit() {
+        let engine = sharded(40, 4);
+        // Transfer 7 from id 5 (shard 0) to id 35 (shard 3).
+        let receipt = engine
+            .transact_keys(&[row![5], row![35]], 4, |db| {
+                let t = db.table_mut("accounts")?;
+                let from = t.get_by_key(&row![5]).unwrap()[2].as_int().unwrap();
+                let to = t.get_by_key(&row![35]).unwrap()[2].as_int().unwrap();
+                t.upsert(row![5, "o5", from - 7])?;
+                t.upsert(row![35, "o35", to + 7])?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(receipt.shards, vec![0, 3]);
+        assert!(receipt.gtx.is_some());
+        let m = engine.metrics();
+        assert_eq!(m.shard.cross_shard_commits, 1);
+        assert_eq!(m.shard.prepares, 2);
+        let t = engine.table("accounts").unwrap();
+        assert_eq!(
+            t.get_by_key(&row![5]).unwrap()[2],
+            esm_store::Value::Int(43)
+        );
+        assert_eq!(
+            t.get_by_key(&row![35]).unwrap()[2],
+            esm_store::Value::Int(357)
+        );
+        // Both shard logs hold the 2PC records and replay to their live
+        // pieces.
+        assert_eq!(engine.recovered_database().unwrap(), engine.snapshot());
+    }
+
+    #[test]
+    fn undeclared_keys_are_rejected() {
+        let engine = sharded(40, 4);
+        let err = engine
+            .transact_keys(&[row![5]], 1, |db| {
+                db.table_mut("accounts")?.upsert(row![39, "stray", 0])?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ShardTopology(msg) if msg.contains("declaring")));
+        assert_eq!(engine.metrics().commits, 0);
+    }
+
+    #[test]
+    fn conflicts_retry_and_eventually_exhaust() {
+        let engine = sharded(10, 2);
+        // Two racing bumps on the same key: with enough attempts both
+        // land (serialized by retries).
+        let bump = |attempts| {
+            engine.transact_keys(&[row![3]], attempts, |db| {
+                let t = db.table_mut("accounts")?;
+                let cur = t.get_by_key(&row![3]).unwrap()[2].as_int().unwrap();
+                t.upsert(row![3, "o3", cur + 1])?;
+                Ok(())
+            })
+        };
+        bump(1).unwrap();
+        bump(1).unwrap();
+        assert_eq!(
+            engine
+                .table("accounts")
+                .unwrap()
+                .get_by_key(&row![3])
+                .unwrap()[2],
+            esm_store::Value::Int(32)
+        );
+    }
+
+    #[test]
+    fn views_are_routing_oblivious() {
+        let engine = sharded(40, 4);
+        let rich = engine
+            .define_view(
+                "rich",
+                "accounts",
+                &ViewDef::base().select(Predicate::ge(Operand::col("balance"), Operand::val(200))),
+            )
+            .unwrap();
+        // The view window spans shards 2 and 3 (balances 200..390).
+        assert_eq!(rich.get().unwrap().len(), 20);
+        // An edit through the view that touches two shards commits by
+        // 2PC under the hood.
+        rich.edit(|v| {
+            v.upsert(row![21, "o21", 777])?; // shard 2
+            v.upsert(row![39, "o39", 888])?; // shard 3
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(engine.metrics().shard.cross_shard_commits, 1);
+        let t = engine.table("accounts").unwrap();
+        assert!(t.contains(&row![21, "o21", 777]));
+        assert!(t.contains(&row![39, "o39", 888]));
+        // A put of the whole window routes too.
+        let mut window = rich.get().unwrap();
+        window.delete_by_key(&row![39]);
+        let delta = rich.put(window).unwrap();
+        assert_eq!(delta.deleted, vec![row![39, "o39", 888]]);
+        assert!(rich.server().is_none());
+        assert!(rich.sharded_server().is_some());
+        assert_eq!(engine.recovered_database().unwrap(), engine.snapshot());
+        // Select-view registration auto-indexed each shard's piece.
+        let topo = engine.topology();
+        assert_eq!(
+            topo.shards[0]
+                .read()
+                .db
+                .table("accounts")
+                .unwrap()
+                .indexed_columns(),
+            vec!["balance"]
+        );
+    }
+
+    #[test]
+    fn topology_manifest_round_trips() {
+        let dir = std::env::temp_dir().join(format!("esm-topology-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let router = ShardRouter::from_splits(vec![row![10], row!["m\tid"]]).unwrap();
+        write_topology(&dir, 7, &router, &[0, 3, 2]).unwrap();
+        let (next_id, read_router, ids) = read_topology(&dir).unwrap();
+        assert_eq!(next_id, 7);
+        assert_eq!(read_router, router);
+        assert_eq!(ids, vec![0, 3, 2]);
+        // Torn manifests are rejected loudly.
+        std::fs::write(
+            dir.join(TOPOLOGY_FILE),
+            "!topology\nnext_id 1\nshard 0 rest\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_topology(&dir),
+            Err(EngineError::WalCorrupt(msg)) if msg.contains("!end")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reserved_table_names_are_rejected_up_front() {
+        let mut db = Database::new();
+        let schema = Schema::build(&[("id", ValueType::Int)], &["id"]).unwrap();
+        db.create_table("!sneaky", Table::new(schema)).unwrap();
+        assert!(matches!(
+            ShardedEngineServer::new(db, 2),
+            Err(EngineError::ReservedTableName(_))
+        ));
+    }
+}

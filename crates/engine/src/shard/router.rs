@@ -1,0 +1,192 @@
+//! [`ShardRouter`]: key-range partitioning of the primary-key space.
+//!
+//! The router holds `n - 1` sorted *split points*; shard `i` owns the
+//! half-open key range `[splits[i-1], splits[i])` (unbounded at the
+//! edges). Routing a key is a binary search — [`ShardRouter::shard_of`]
+//! is a **total function** of the key and the ranges tile the key space,
+//! so every key belongs to exactly one shard (the bijection the property
+//! suite checks: sorting keys by `(shard, key)` equals sorting by key).
+//!
+//! Keys are the schema's key projections ([`esm_store::Table::key_of`]),
+//! compared with [`esm_store::Value`]'s total order (`Bool < Int <
+//! Str`), so one router partitions heterogeneously-keyed tables
+//! coherently: each table is cut by the same global key order.
+
+use esm_store::Row;
+
+use crate::error::EngineError;
+
+/// A key-range partitioner: `splits.len() + 1` shards tiling the key
+/// space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    /// Sorted, distinct split points; shard `i` owns `[splits[i-1],
+    /// splits[i])`.
+    splits: Vec<Row>,
+}
+
+impl ShardRouter {
+    /// The trivial router: one shard owning every key.
+    pub fn single() -> ShardRouter {
+        ShardRouter { splits: Vec::new() }
+    }
+
+    /// A router from explicit split points; they must be strictly
+    /// increasing.
+    pub fn from_splits(splits: Vec<Row>) -> Result<ShardRouter, EngineError> {
+        if splits.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(EngineError::ShardTopology(
+                "split points must be strictly increasing".into(),
+            ));
+        }
+        Ok(ShardRouter { splits })
+    }
+
+    /// `shards` ranges cutting `[lo, hi)` uniformly on a single integer
+    /// key column — the common case for benches and tests.
+    pub fn uniform_int(shards: usize, lo: i64, hi: i64) -> Result<ShardRouter, EngineError> {
+        if shards == 0 || hi <= lo {
+            return Err(EngineError::ShardTopology(format!(
+                "uniform_int needs shards >= 1 and lo < hi, got {shards} over [{lo}, {hi})"
+            )));
+        }
+        let width = (hi - lo) / shards as i64;
+        if width == 0 {
+            return Err(EngineError::ShardTopology(format!(
+                "range [{lo}, {hi}) is too narrow for {shards} shards"
+            )));
+        }
+        ShardRouter::from_splits(
+            (1..shards as i64)
+                .map(|i| vec![esm_store::Value::Int(lo + i * width)])
+                .collect(),
+        )
+    }
+
+    /// Number of shards (always `splits.len() + 1`).
+    pub fn shard_count(&self) -> usize {
+        self.splits.len() + 1
+    }
+
+    /// The shard owning `key`. Total: every key routes somewhere.
+    pub fn shard_of(&self, key: &Row) -> usize {
+        self.splits
+            .partition_point(|split| split.as_slice() <= key.as_slice())
+    }
+
+    /// The half-open range `[lo, hi)` shard `shard` owns (`None` =
+    /// unbounded on that side).
+    pub fn range_of(&self, shard: usize) -> Result<(Option<&Row>, Option<&Row>), EngineError> {
+        if shard >= self.shard_count() {
+            return Err(EngineError::ShardTopology(format!(
+                "no shard {shard}: router has {}",
+                self.shard_count()
+            )));
+        }
+        let lo = shard.checked_sub(1).map(|i| &self.splits[i]);
+        let hi = self.splits.get(shard);
+        Ok((lo, hi))
+    }
+
+    /// Split the shard owning `at` into two at key `at` (which becomes
+    /// the new boundary: the lower half keeps `[lo, at)`, the new shard
+    /// takes `[at, hi)`). Returns the index of the new upper shard. `at`
+    /// must lie strictly inside the shard's range (it cannot equal an
+    /// existing split point).
+    pub fn split_at(&mut self, at: Row) -> Result<usize, EngineError> {
+        let pos = self.splits.partition_point(|split| *split < at);
+        if self.splits.get(pos) == Some(&at) {
+            return Err(EngineError::ShardTopology(format!(
+                "key {at:?} is already a shard boundary"
+            )));
+        }
+        self.splits.insert(pos, at);
+        Ok(pos + 1)
+    }
+
+    /// Merge shard `left + 1` into shard `left` (adjacent ranges fuse;
+    /// the boundary between them disappears).
+    pub fn merge_into(&mut self, left: usize) -> Result<(), EngineError> {
+        if left + 1 >= self.shard_count() {
+            return Err(EngineError::ShardTopology(format!(
+                "cannot merge shard {} into {left}: router has {}",
+                left + 1,
+                self.shard_count()
+            )));
+        }
+        self.splits.remove(left);
+        Ok(())
+    }
+
+    /// The split points, sorted (for persistence and diagnostics).
+    pub fn splits(&self) -> &[Row] {
+        &self.splits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_store::row;
+
+    #[test]
+    fn single_router_owns_everything() {
+        let r = ShardRouter::single();
+        assert_eq!(r.shard_count(), 1);
+        assert_eq!(r.shard_of(&row![i64::MIN]), 0);
+        assert_eq!(r.shard_of(&row!["zebra"]), 0);
+        assert_eq!(r.range_of(0).unwrap(), (None, None));
+        assert!(r.range_of(1).is_err());
+    }
+
+    #[test]
+    fn uniform_int_tiles_the_range() {
+        let r = ShardRouter::uniform_int(4, 0, 4000).unwrap();
+        assert_eq!(r.shard_count(), 4);
+        assert_eq!(r.shard_of(&row![-5]), 0);
+        assert_eq!(r.shard_of(&row![0]), 0);
+        assert_eq!(r.shard_of(&row![999]), 0);
+        assert_eq!(r.shard_of(&row![1000]), 1);
+        assert_eq!(r.shard_of(&row![2500]), 2);
+        assert_eq!(r.shard_of(&row![3000]), 3);
+        assert_eq!(r.shard_of(&row![999_999]), 3);
+        assert_eq!(
+            r.range_of(1).unwrap(),
+            (Some(&row![1000]), Some(&row![2000]))
+        );
+        assert!(ShardRouter::uniform_int(0, 0, 10).is_err());
+        assert!(ShardRouter::uniform_int(20, 0, 10).is_err());
+    }
+
+    #[test]
+    fn from_splits_requires_strict_order() {
+        assert!(ShardRouter::from_splits(vec![row![1], row![1]]).is_err());
+        assert!(ShardRouter::from_splits(vec![row![2], row![1]]).is_err());
+        assert!(ShardRouter::from_splits(vec![row![1], row![2]]).is_ok());
+    }
+
+    #[test]
+    fn split_and_merge_are_inverse() {
+        let mut r = ShardRouter::uniform_int(2, 0, 2000).unwrap();
+        let new_idx = r.split_at(row![1500]).unwrap();
+        assert_eq!(new_idx, 2);
+        assert_eq!(r.shard_count(), 3);
+        assert_eq!(r.shard_of(&row![1499]), 1);
+        assert_eq!(r.shard_of(&row![1500]), 2);
+        assert!(r.split_at(row![1500]).is_err(), "existing boundary");
+        r.merge_into(1).unwrap();
+        assert_eq!(r, ShardRouter::uniform_int(2, 0, 2000).unwrap());
+        assert!(r.merge_into(1).is_err(), "no right neighbour");
+    }
+
+    #[test]
+    fn mixed_type_keys_route_totally() {
+        // Value's total order (Bool < Int < Str) makes routing total for
+        // any key shape.
+        let r = ShardRouter::from_splits(vec![row![0], row!["m"]]).unwrap();
+        assert_eq!(r.shard_of(&row![true]), 0); // Bool < Int
+        assert_eq!(r.shard_of(&row![5]), 1);
+        assert_eq!(r.shard_of(&row!["a"]), 1); // Int < Str < "m"
+        assert_eq!(r.shard_of(&row!["z"]), 2);
+    }
+}

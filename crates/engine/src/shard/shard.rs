@@ -1,0 +1,356 @@
+//! [`Shard`]: one key range's worth of data, with its own committed
+//! [`Database`], in-memory [`Wal`] and (optionally) durable WAL.
+//!
+//! A shard is the unit of commit parallelism: disjoint single-shard
+//! transactions never share a lock, a commit's write-ahead append and
+//! apply touch only this shard's state, and the per-shard WAL replays to
+//! exactly this shard's live piece (the recovery law, asserted per
+//! shard). Cross-shard transactions lock their participants in index
+//! order and run two-phase commit over the per-shard WALs (see
+//! [`crate::shard::coordinator`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use esm_store::{Database, Delta, Row};
+
+use crate::durable::{DurabilityConfig, DurableWal, RecoveryReport};
+use crate::error::EngineError;
+use crate::tx::delta_keys;
+use crate::wal::{Wal, WalRecord};
+
+/// How a transaction's chain of records on one shard terminates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum GroupEnd {
+    /// A plain commit: the chain applies immediately.
+    Commit,
+    /// A 2PC prepare for this global transaction: the chain is held in
+    /// doubt until a resolution marker.
+    Prepare(String),
+}
+
+/// The lock-protected state of one shard.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    /// This shard's piece of every table (all tables present, possibly
+    /// empty — replay needs the schemas).
+    pub db: Database,
+    /// Committed records since this shard's baseline.
+    pub wal: Wal,
+    /// The file-backed log, when the engine is durable.
+    pub durable: Option<DurableWal>,
+    /// The state the in-memory WAL replays over (construction snapshot
+    /// or recovery result).
+    pub baseline: Database,
+}
+
+impl ShardState {
+    /// First-committer-wins: does any record committed after `snap_seq`
+    /// touch a key in `our_keys`? Markers carry no keys and never
+    /// conflict. Returns the conflicting `(table, seq)` if so.
+    pub fn fcw_conflict(
+        &self,
+        snap_seq: u64,
+        our_keys: &BTreeMap<String, BTreeSet<Row>>,
+    ) -> Result<Option<(String, u64)>, EngineError> {
+        for rec in self.wal.records_after(snap_seq) {
+            let Some((rec_table, rec_delta)) = rec.delta_op() else {
+                continue;
+            };
+            if let Some(ours) = our_keys.get(rec_table) {
+                let table = self.db.table(rec_table)?;
+                if delta_keys(table, rec_delta)
+                    .iter()
+                    .any(|k| ours.contains(k))
+                {
+                    return Ok(Some((rec_table.to_string(), rec.seq)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Append one transaction's chain of per-table deltas, write-ahead
+    /// first. With [`GroupEnd::Commit`] the chain applies to the live
+    /// state; with [`GroupEnd::Prepare`] it stays pending (the durable
+    /// log holds it in doubt) until [`ShardState::resolve`].
+    ///
+    /// Returns the sequence numbers consumed.
+    pub fn append_group(
+        &mut self,
+        deltas: &[(String, Delta)],
+        end: GroupEnd,
+    ) -> Result<std::ops::Range<u64>, EngineError> {
+        let first_seq = self.wal.next_seq();
+        let mut records: Vec<WalRecord> = Vec::with_capacity(deltas.len() + 1);
+        for (i, (table, delta)) in deltas.iter().enumerate() {
+            let seq = first_seq + i as u64;
+            let chained = i + 1 < deltas.len() || matches!(end, GroupEnd::Prepare(_));
+            records.push(if chained {
+                WalRecord::chained(seq, table.clone(), delta.clone())
+            } else {
+                WalRecord::delta(seq, table.clone(), delta.clone())
+            });
+        }
+        if let GroupEnd::Prepare(gtx) = &end {
+            records.push(WalRecord::prepare(
+                first_seq + deltas.len() as u64,
+                gtx.clone(),
+                deltas.len() as u64,
+            ));
+        }
+        // Write ahead: the durable log sees every record before anything
+        // is applied; an I/O failure publishes nothing here and poisons
+        // the durable log (fail-stop, like the unsharded paths).
+        if let Some(durable) = self.durable.as_mut() {
+            for rec in &records {
+                durable.append(rec)?;
+            }
+        }
+        let end_seq = first_seq + records.len() as u64;
+        for rec in records {
+            self.wal
+                .push(rec)
+                .expect("fresh seqs under the shard lock continue the log");
+        }
+        if matches!(end, GroupEnd::Commit) {
+            for (table, delta) in deltas {
+                let next = delta.apply(self.db.table(table)?)?;
+                self.db.replace_table(table.clone(), next);
+            }
+        }
+        Ok(first_seq..end_seq)
+    }
+
+    /// Append the 2PC resolution for `gtx` and, when committed, apply
+    /// its prepared deltas to the live state. The caller (coordinator or
+    /// recovery) supplies the prepared chain — the shard does not track
+    /// it in memory; the durable log tracks its own copy for crash
+    /// safety.
+    pub fn resolve(
+        &mut self,
+        gtx: &str,
+        committed: bool,
+        deltas: &[(String, Delta)],
+    ) -> Result<(), EngineError> {
+        let seq = self.wal.next_seq();
+        let rec = WalRecord::resolve(seq, gtx, committed);
+        if let Some(durable) = self.durable.as_mut() {
+            durable.append(&rec)?;
+        }
+        self.wal
+            .push(rec)
+            .expect("fresh seq under the shard lock continues the log");
+        if committed {
+            for (table, delta) in deltas {
+                let next = delta.apply(self.db.table(table)?)?;
+                self.db.replace_table(table.clone(), next);
+            }
+        }
+        Ok(())
+    }
+
+    /// Force-fsync any group-commit batch the durable log is holding
+    /// (2PC prepares must be durable before any resolution is written).
+    pub fn sync(&mut self) -> Result<(), EngineError> {
+        match self.durable.as_mut() {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// One shard: a stable id plus its rwlock-guarded state. Cloning shares
+/// the shard.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    inner: Arc<ShardInner>,
+}
+
+#[derive(Debug)]
+struct ShardInner {
+    id: u64,
+    state: RwLock<ShardState>,
+}
+
+impl Shard {
+    /// An in-memory shard over its piece of the database.
+    pub(crate) fn new_in_memory(id: u64, db: Database) -> Shard {
+        Shard {
+            inner: Arc::new(ShardInner {
+                id,
+                state: RwLock::new(ShardState {
+                    baseline: db.clone(),
+                    db,
+                    wal: Wal::new(),
+                    durable: None,
+                }),
+            }),
+        }
+    }
+
+    /// A durable shard: `db` becomes the genesis checkpoint of a fresh
+    /// WAL directory.
+    pub(crate) fn create_durable(
+        id: u64,
+        db: Database,
+        cfg: DurabilityConfig,
+    ) -> Result<Shard, EngineError> {
+        let durable = DurableWal::create(cfg, &db)?;
+        Ok(Shard {
+            inner: Arc::new(ShardInner {
+                id,
+                state: RwLock::new(ShardState {
+                    baseline: db.clone(),
+                    db,
+                    wal: Wal::new(),
+                    durable: Some(durable),
+                }),
+            }),
+        })
+    }
+
+    /// Recover a durable shard from its WAL directory. In-doubt 2PC
+    /// chains are *not* applied — they wait in the durable log until the
+    /// sharded recovery settles them ([`crate::shard::ShardedEngineServer::recover_with`]).
+    pub(crate) fn recover(
+        id: u64,
+        cfg: DurabilityConfig,
+    ) -> Result<(Shard, RecoveryReport), EngineError> {
+        let (durable, db, report) = DurableWal::open(cfg)?;
+        Ok((
+            Shard {
+                inner: Arc::new(ShardInner {
+                    id,
+                    state: RwLock::new(ShardState {
+                        baseline: db.clone(),
+                        db,
+                        wal: Wal::starting_at(report.last_seq),
+                        durable: Some(durable),
+                    }),
+                }),
+            },
+            report,
+        ))
+    }
+
+    /// The shard's stable id (survives splits and merges; names its WAL
+    /// directory, `shard-<id>`).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Read-lock the shard state.
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, ShardState> {
+        self.inner.state.read().expect("shard lock poisoned")
+    }
+
+    /// Write-lock the shard state.
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, ShardState> {
+        self.inner.state.write().expect("shard lock poisoned")
+    }
+
+    /// Read-lock the shard state without blocking (`None` when busy).
+    /// The checkpoint-safety scan uses this out of lock order; a try
+    /// never deadlocks, and a busy peer just defers the checkpoint to
+    /// the next maintenance tick.
+    pub(crate) fn try_read(&self) -> Option<RwLockReadGuard<'_, ShardState>> {
+        self.inner.state.try_read().ok()
+    }
+
+    /// This shard's recovery law: its in-memory WAL replayed over its
+    /// baseline equals its live piece (asserted by the suites).
+    pub fn recovered_database(&self) -> Result<Database, EngineError> {
+        let state = self.read();
+        state.wal.replay(&state.baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esm_store::{row, Schema, Table, ValueType};
+
+    fn piece() -> Database {
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"]).unwrap();
+        let mut db = Database::new();
+        db.create_table("t", Table::from_rows(schema, vec![row![1, "a"]]).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn ins(id: i64) -> (String, Delta) {
+        (
+            "t".to_string(),
+            Delta {
+                inserted: vec![row![id, format!("r{id}")]],
+                deleted: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn commit_groups_apply_and_replay() {
+        let shard = Shard::new_in_memory(0, piece());
+        {
+            let mut state = shard.write();
+            state
+                .append_group(&[ins(2), ins(3)], GroupEnd::Commit)
+                .unwrap();
+        }
+        let state = shard.read();
+        assert_eq!(state.db.table("t").unwrap().len(), 3);
+        assert_eq!(state.wal.len(), 2);
+        drop(state);
+        assert_eq!(
+            shard.recovered_database().unwrap(),
+            shard.read().db,
+            "per-shard replay law"
+        );
+    }
+
+    #[test]
+    fn prepared_groups_wait_for_their_resolution() {
+        let shard = Shard::new_in_memory(7, piece());
+        let deltas = vec![ins(5)];
+        {
+            let mut state = shard.write();
+            state
+                .append_group(&deltas, GroupEnd::Prepare("g1".into()))
+                .unwrap();
+            assert_eq!(state.db.table("t").unwrap().len(), 1, "held in doubt");
+            state.resolve("g1", true, &deltas).unwrap();
+            assert_eq!(state.db.table("t").unwrap().len(), 2);
+        }
+        assert_eq!(shard.recovered_database().unwrap(), shard.read().db);
+        // An aborted branch leaves no trace in the live state but stays
+        // replayable.
+        {
+            let mut state = shard.write();
+            state
+                .append_group(&[ins(9)], GroupEnd::Prepare("g2".into()))
+                .unwrap();
+            state.resolve("g2", false, &[ins(9)]).unwrap();
+            assert_eq!(state.db.table("t").unwrap().len(), 2);
+        }
+        assert_eq!(shard.recovered_database().unwrap(), shard.read().db);
+    }
+
+    #[test]
+    fn fcw_sees_only_delta_records() {
+        let shard = Shard::new_in_memory(0, piece());
+        let mut state = shard.write();
+        let snap = state.wal.last_seq();
+        state
+            .append_group(&[ins(2)], GroupEnd::Prepare("g".into()))
+            .unwrap();
+        state.resolve("g", true, &[ins(2)]).unwrap();
+        let overlapping: BTreeMap<String, BTreeSet<Row>> =
+            BTreeMap::from([("t".to_string(), BTreeSet::from([row![2]]))]);
+        let disjoint: BTreeMap<String, BTreeSet<Row>> =
+            BTreeMap::from([("t".to_string(), BTreeSet::from([row![99]]))]);
+        assert!(state.fcw_conflict(snap, &overlapping).unwrap().is_some());
+        assert!(state.fcw_conflict(snap, &disjoint).unwrap().is_none());
+    }
+}

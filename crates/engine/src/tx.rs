@@ -19,6 +19,12 @@
 //!    appended to the [`Wal`], and the transaction's deltas are returned
 //!    to the caller (the bx idiom: every update reports what it changed).
 //!
+//! A transaction touching `k > 1` tables appends a *chain*: `k - 1`
+//! records flagged `chained` and one terminator. The chain is the
+//! durability unit — recovery applies it all-or-nothing, so a crash
+//! between the records of a multi-table commit can never surface a
+//! prefix of it (see [`crate::durable`]).
+//!
 //! [`Tx::rollback`] (or just dropping the `Tx`) discards the working copy.
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -26,10 +32,13 @@ use std::sync::{Arc, Mutex};
 
 use esm_store::{Database, Delta, Row, Table};
 
-use crate::durable::{Durability, DurabilityConfig, DurableWal, RecoveryReport};
+use crate::durable::{
+    checkpoint_off_lock, Durability, DurabilityConfig, DurableWal, MaintenanceThread,
+    RecoveryReport,
+};
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{check_table_names, Wal, WalRecord};
 
 /// The primary keys a delta touches, projected with `table`'s schema.
 pub fn delta_keys(table: &Table, delta: &Delta) -> BTreeSet<Row> {
@@ -62,6 +71,56 @@ struct Committed {
 pub struct TxStore {
     committed: Arc<Mutex<Committed>>,
     metrics: Arc<Metrics>,
+    /// Background checkpoint/compaction loop; stops when the last store
+    /// handle drops. `None` for in-memory stores and when disabled.
+    _maintenance: Option<Arc<MaintenanceThread>>,
+}
+
+/// One maintenance pass: checkpoint iff due, with the file write done
+/// *outside* the store lock (committing threads stall only for the
+/// snapshot clone).
+fn maintenance_pass(committed: &Arc<Mutex<Committed>>) -> Result<Option<u64>, EngineError> {
+    let poisoned = || EngineError::Io("store lock poisoned".into());
+    checkpoint_off_lock(
+        || {
+            let mut guard = committed.lock().map_err(|_| poisoned())?;
+            match guard.durable.as_mut() {
+                Some(d) if d.needs_checkpoint() => {
+                    Ok(Some((d.begin_checkpoint()?, d.checkpoint_dir())))
+                }
+                _ => Ok(None),
+            }
+        },
+        |seq| {
+            let mut guard = committed.lock().map_err(|_| poisoned())?;
+            match guard.durable.as_mut() {
+                Some(d) => d.finish_checkpoint(seq),
+                None => Ok(seq),
+            }
+        },
+    )
+}
+
+/// Spawn the background checkpoint loop for a durable store, unless the
+/// config disables it (`checkpoint_every == 0` or
+/// `maintenance_interval_ms == 0`).
+fn spawn_maintenance(
+    committed: &Arc<Mutex<Committed>>,
+    cfg: &DurabilityConfig,
+) -> Option<Arc<MaintenanceThread>> {
+    if cfg.checkpoint_every == 0 || cfg.maintenance_interval_ms == 0 {
+        return None;
+    }
+    let target = Arc::clone(committed);
+    Some(Arc::new(MaintenanceThread::spawn(
+        std::time::Duration::from_millis(cfg.maintenance_interval_ms),
+        move || {
+            // Failed checkpoints surface on the next commit (or simply
+            // retry next tick); a poisoned store mutex means a writer
+            // panicked and there is nothing left to maintain.
+            let _ = maintenance_pass(&target);
+        },
+    )))
 }
 
 impl TxStore {
@@ -69,25 +128,31 @@ impl TxStore {
     /// `db` is the recovery baseline). In-memory durability.
     pub fn new(db: Database) -> TxStore {
         TxStore::with_durability(db, Durability::InMemory)
-            .expect("in-memory stores cannot fail to construct")
+            .expect("in-memory stores over unreserved table names cannot fail to construct")
     }
 
     /// A store with an explicit [`Durability`]. With
     /// [`Durability::Durable`], every commit is written ahead to the
     /// segment log in `config.dir` (group-commit fsync per config)
-    /// before it is applied, and `db` becomes the genesis checkpoint.
+    /// before it is applied, and `db` becomes the genesis checkpoint;
+    /// checkpointing and compaction then run on a background maintenance
+    /// thread (see [`DurabilityConfig::maintenance_interval_ms`]).
     pub fn with_durability(db: Database, durability: Durability) -> Result<TxStore, EngineError> {
-        let durable = match durability {
-            Durability::InMemory => None,
-            Durability::Durable(cfg) => Some(DurableWal::create(cfg, &db)?),
+        check_table_names(&db)?;
+        let (durable, cfg) = match durability {
+            Durability::InMemory => (None, None),
+            Durability::Durable(cfg) => (Some(DurableWal::create(cfg.clone(), &db)?), Some(cfg)),
         };
+        let committed = Arc::new(Mutex::new(Committed {
+            db,
+            wal: Wal::new(),
+            durable,
+        }));
+        let maintenance = cfg.and_then(|cfg| spawn_maintenance(&committed, &cfg));
         Ok(TxStore {
-            committed: Arc::new(Mutex::new(Committed {
-                db,
-                wal: Wal::new(),
-                durable,
-            })),
+            committed,
             metrics: Arc::new(Metrics::default()),
+            _maintenance: maintenance,
         })
     }
 
@@ -96,15 +161,18 @@ impl TxStore {
     /// database is both the live state and the new in-memory WAL
     /// baseline (the in-memory log continues at the durable seq).
     pub fn recover(config: DurabilityConfig) -> Result<(TxStore, RecoveryReport), EngineError> {
-        let (durable, db, report) = DurableWal::open(config)?;
+        let (durable, db, report) = DurableWal::open(config.clone())?;
+        let committed = Arc::new(Mutex::new(Committed {
+            db,
+            wal: Wal::starting_at(report.last_seq),
+            durable: Some(durable),
+        }));
+        let maintenance = spawn_maintenance(&committed, &config);
         Ok((
             TxStore {
-                committed: Arc::new(Mutex::new(Committed {
-                    db,
-                    wal: Wal::starting_at(report.last_seq),
-                    durable: Some(durable),
-                })),
+                committed,
                 metrics: Arc::new(Metrics::default()),
+                _maintenance: maintenance,
             },
             report,
         ))
@@ -170,6 +238,16 @@ impl TxStore {
             Some(d) => d.checkpoint().map(Some),
             None => Ok(None),
         }
+    }
+
+    /// Run one maintenance pass now — exactly what the background thread
+    /// does each tick (checkpoint + compact iff the configured interval
+    /// of records accumulated; the checkpoint file write happens outside
+    /// the store lock). Deterministic tests and embedders that disable
+    /// the thread drive this directly. Returns the covered seq when a
+    /// checkpoint was written.
+    pub fn run_maintenance(&self) -> Result<Option<u64>, EngineError> {
+        maintenance_pass(&self.committed)
     }
 
     /// Run `body` in a transaction, retrying on conflict up to
@@ -253,28 +331,37 @@ impl Tx {
 
     /// Validate first-committer-wins and publish this transaction's
     /// changes. Returns the per-table deltas committed.
+    ///
+    /// A transaction touching several tables commits as one WAL *chain*
+    /// (`k - 1` chained records plus a terminator): the durability unit
+    /// is the whole transaction, so recovery can never surface a prefix
+    /// of it.
     pub fn commit(self) -> Result<BTreeMap<String, Delta>, EngineError> {
         let deltas = self.pending_deltas()?;
         // Our own key sets, computed once per table (not once per WAL
         // record scanned below).
-        let mut our_keys: BTreeMap<&String, BTreeSet<Row>> = BTreeMap::new();
+        let mut our_keys: BTreeMap<&str, BTreeSet<Row>> = BTreeMap::new();
         for (name, delta) in &deltas {
-            our_keys.insert(name, delta_keys(self.snapshot.table(name)?, delta));
+            our_keys.insert(name.as_str(), delta_keys(self.snapshot.table(name)?, delta));
         }
         let store = self.store.clone();
         let mut committed = store.lock();
 
         // First-committer-wins: any record committed after our snapshot
-        // that touches a key we touch invalidates us.
+        // that touches a key we touch invalidates us. Markers carry no
+        // keys and never conflict.
         let mut conflict = None;
         for rec in committed.wal.records_after(self.snap_seq) {
-            if let Some(ours) = our_keys.get(&rec.table) {
-                let table = self.snapshot.table(&rec.table)?;
-                if delta_keys(table, &rec.delta)
+            let Some((rec_table, rec_delta)) = rec.delta_op() else {
+                continue;
+            };
+            if let Some(ours) = our_keys.get(rec_table) {
+                let table = self.snapshot.table(rec_table)?;
+                if delta_keys(table, rec_delta)
                     .iter()
                     .any(|k| ours.contains(k))
                 {
-                    conflict = Some((rec.table.clone(), rec.seq));
+                    conflict = Some((rec_table.to_string(), rec.seq));
                     break;
                 }
             }
@@ -292,18 +379,24 @@ impl Tx {
         }
 
         // Write ahead: the durable log gets every record (and its group
-        // commit fsync) *before* anything is applied. On an I/O error
-        // nothing is published to the live state and the durable log
-        // poisons itself (bytes for a prefix of this transaction's
-        // records may have landed; recovery re-derives the truth from
-        // the files — the usual fsync-failure gray zone, fail-stop).
+        // commit fsync) *before* anything is applied. All records but
+        // the last carry the chain flag, so recovery treats the
+        // transaction as one unit. On an I/O error nothing is published
+        // to the live state and the durable log poisons itself (bytes
+        // for a prefix of this transaction's records may have landed;
+        // recovery re-derives the truth from the files — the usual
+        // fsync-failure gray zone, fail-stop).
+        let first_seq = committed.wal.next_seq();
+        let chain = |i: usize, seq: u64, name: &String, delta: &Delta| {
+            if i + 1 < deltas.len() {
+                WalRecord::chained(seq, name.clone(), delta.clone())
+            } else {
+                WalRecord::delta(seq, name.clone(), delta.clone())
+            }
+        };
         if committed.durable.is_some() {
-            for (seq, (name, delta)) in (committed.wal.next_seq()..).zip(deltas.iter()) {
-                let rec = WalRecord {
-                    seq,
-                    table: name.clone(),
-                    delta: delta.clone(),
-                };
+            for (i, (name, delta)) in deltas.iter().enumerate() {
+                let rec = chain(i, first_seq + i as u64, name, delta);
                 committed
                     .durable
                     .as_mut()
@@ -315,10 +408,13 @@ impl Tx {
         // Publish: apply each delta to the *current* committed table
         // (not our snapshot — disjoint concurrent commits are kept).
         let mut rows = 0u64;
-        for (name, delta) in &deltas {
+        for (i, (name, delta)) in deltas.iter().enumerate() {
             let next = delta.apply(committed.db.table(name)?)?;
             committed.db.replace_table(name.clone(), next);
-            committed.wal.append(name.clone(), delta.clone());
+            committed
+                .wal
+                .push(chain(i, first_seq + i as u64, name, delta))
+                .expect("fresh seqs under the commit lock continue the log");
             rows += delta.len() as u64;
         }
         drop(committed);
@@ -485,6 +581,79 @@ mod tests {
         assert_eq!(recovered.wal().records()[0].seq, 10);
         let ckpt = recovered.checkpoint().unwrap();
         assert_eq!(ckpt, Some(10));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_table_commits_chain_in_the_wal() {
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"]).unwrap();
+        let mut db = Database::new();
+        db.create_table("a", Table::new(schema.clone())).unwrap();
+        db.create_table("b", Table::new(schema)).unwrap();
+        let s = TxStore::new(db);
+        let baseline = s.db();
+        s.transact(1, |tx| {
+            tx.table_mut("a")?.upsert(row![1, "x"])?;
+            tx.table_mut("b")?.upsert(row![1, "y"])?;
+            Ok(())
+        })
+        .unwrap();
+        let wal = s.wal();
+        assert_eq!(wal.len(), 2);
+        // First record chained, terminator unchained: one atomic unit.
+        assert!(matches!(
+            wal.records()[0].op,
+            crate::wal::WalOp::Delta { chained: true, .. }
+        ));
+        assert!(matches!(
+            wal.records()[1].op,
+            crate::wal::WalOp::Delta { chained: false, .. }
+        ));
+        assert_eq!(wal.replay(&baseline).unwrap(), s.db());
+    }
+
+    #[test]
+    fn reserved_table_names_are_rejected_at_construction() {
+        let schema = Schema::build(&[("id", ValueType::Int)], &["id"]).unwrap();
+        let mut db = Database::new();
+        db.create_table("!commit", Table::new(schema)).unwrap();
+        assert!(matches!(
+            TxStore::with_durability(db, Durability::InMemory),
+            Err(EngineError::ReservedTableName(_))
+        ));
+    }
+
+    #[test]
+    fn background_maintenance_checkpoints_off_the_commit_path() {
+        let dir = std::env::temp_dir().join(format!("esm-tx-maint-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DurabilityConfig::new(&dir)
+            .checkpoint_every(4)
+            .maintenance_interval_ms(1);
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"]).unwrap();
+        let mut db = Database::new();
+        db.create_table("t", Table::new(schema)).unwrap();
+        let s = TxStore::with_durability(db, Durability::Durable(cfg)).unwrap();
+        for i in 0..12i64 {
+            s.transact(1, |tx| {
+                tx.table_mut("t")?.upsert(row![i, "r"])?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        // The committing thread never checkpointed; the background loop
+        // catches up on its own.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while s.metrics().wal.checkpoints < 2 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(
+            s.metrics().wal.checkpoints >= 2,
+            "the maintenance thread checkpointed: {:?}",
+            s.metrics().wal
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

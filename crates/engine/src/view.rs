@@ -6,23 +6,50 @@
 //! the lens as a transaction. Many clients hold views over the same base
 //! table — each one's writes show up in every other's reads, because the
 //! state is entangled, not copied.
+//!
+//! A view handle is **routing-oblivious**: it may front a single
+//! [`EngineServer`] or a [`ShardedEngineServer`] whose base table is
+//! partitioned over many shards — the client API is identical, and
+//! cross-shard writes coordinate transparently (two-phase commit inside
+//! the engine).
 
 use esm_store::{Delta, Table};
 
 use crate::error::EngineError;
 use crate::server::{EngineServer, DEFAULT_OPTIMISTIC_ATTEMPTS};
+use crate::shard::ShardedEngineServer;
 
-/// A client handle onto one named view of an [`EngineServer`]. Cheap to
-/// clone and [`Send`], so each worker thread can own one.
+/// The engine a view handle routes to.
+#[derive(Clone, Debug)]
+enum ViewHost {
+    /// A single (possibly striped, possibly durable) engine.
+    Engine(EngineServer),
+    /// A key-range-sharded engine; writes route per key, cross-shard
+    /// writes run two-phase commit.
+    Sharded(ShardedEngineServer),
+}
+
+/// A client handle onto one named view of an engine. Cheap to clone and
+/// [`Send`], so each worker thread can own one.
 #[derive(Clone, Debug)]
 pub struct EntangledView {
-    server: EngineServer,
+    host: ViewHost,
     name: String,
 }
 
 impl EntangledView {
     pub(crate) fn new(server: EngineServer, name: String) -> EntangledView {
-        EntangledView { server, name }
+        EntangledView {
+            host: ViewHost::Engine(server),
+            name,
+        }
+    }
+
+    pub(crate) fn new_sharded(server: ShardedEngineServer, name: String) -> EntangledView {
+        EntangledView {
+            host: ViewHost::Sharded(server),
+            name,
+        }
     }
 
     /// The view's registered name.
@@ -30,14 +57,31 @@ impl EntangledView {
         &self.name
     }
 
-    /// The engine this view belongs to.
-    pub fn server(&self) -> &EngineServer {
-        &self.server
+    /// The unsharded engine this view belongs to (`None` when the view
+    /// fronts a [`ShardedEngineServer`] — see
+    /// [`EntangledView::sharded_server`]).
+    pub fn server(&self) -> Option<&EngineServer> {
+        match &self.host {
+            ViewHost::Engine(e) => Some(e),
+            ViewHost::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded engine this view belongs to (`None` when the view
+    /// fronts a plain [`EngineServer`]).
+    pub fn sharded_server(&self) -> Option<&ShardedEngineServer> {
+        match &self.host {
+            ViewHost::Engine(_) => None,
+            ViewHost::Sharded(s) => Some(s),
+        }
     }
 
     /// Read the view against the current base state (lens `get`).
     pub fn get(&self) -> Result<Table, EngineError> {
-        self.server.read_view(&self.name)
+        match &self.host {
+            ViewHost::Engine(e) => e.read_view(&self.name),
+            ViewHost::Sharded(s) => s.read_view(&self.name),
+        }
     }
 
     /// Write an edited view back (lens `put`, pessimistic path); returns
@@ -47,7 +91,10 @@ impl EntangledView {
     /// between racing putters); prefer [`EntangledView::edit`] for
     /// read-modify-write edits that must not lose concurrent updates.
     pub fn put(&self, view: Table) -> Result<Delta, EngineError> {
-        self.server.write_view(&self.name, view)
+        match &self.host {
+            ViewHost::Engine(e) => e.write_view(&self.name, view),
+            ViewHost::Sharded(s) => s.write_view(&self.name, view),
+        }
     }
 
     /// Transactionally edit the view (optimistic path with retries):
@@ -56,8 +103,14 @@ impl EntangledView {
         &self,
         edit: impl Fn(&mut Table) -> Result<(), EngineError>,
     ) -> Result<Delta, EngineError> {
-        self.server
-            .edit_view_optimistic(&self.name, DEFAULT_OPTIMISTIC_ATTEMPTS, edit)
+        match &self.host {
+            ViewHost::Engine(e) => {
+                e.edit_view_optimistic(&self.name, DEFAULT_OPTIMISTIC_ATTEMPTS, edit)
+            }
+            ViewHost::Sharded(s) => {
+                s.edit_view_optimistic(&self.name, DEFAULT_OPTIMISTIC_ATTEMPTS, edit)
+            }
+        }
     }
 }
 
@@ -115,6 +168,7 @@ mod tests {
         v.delete_by_key(&row![2]);
         let delta = all.put(v).unwrap();
         assert_eq!(delta.deleted, vec![row![2, "b", 20]]);
-        assert_eq!(all.server().wal().len(), 1);
+        assert_eq!(all.server().unwrap().wal().len(), 1);
+        assert!(all.sharded_server().is_none());
     }
 }

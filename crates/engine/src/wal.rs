@@ -1,4 +1,4 @@
-//! The write-ahead log: an append-only sequence of committed deltas.
+//! The write-ahead log: an append-only sequence of committed operations.
 //!
 //! Every committed transaction appends one [`WalRecord`] per table it
 //! changed. The log is the engine's source of truth for recovery: applying
@@ -10,65 +10,227 @@
 //! same records to append-only segment files with group commit and
 //! checkpointing.
 //!
+//! ## Record kinds ([`WalOp`])
+//!
+//! * [`WalOp::Delta`] — one committed delta against one table. The
+//!   `chained` flag links multi-record transactions: a transaction that
+//!   changed `k > 1` tables appends `k - 1` *chained* records followed by
+//!   one unchained terminator, and the whole chain is the durability unit
+//!   (recovery applies a chain all-or-nothing; an unterminated trailing
+//!   chain is an interrupted transaction and is discarded).
+//! * [`WalOp::Prepare`] — two-phase-commit marker: the immediately
+//!   preceding chain of delta records belongs to global transaction
+//!   `gtx` and is *in doubt* — held, not applied — until resolved.
+//! * [`WalOp::Resolve`] — the 2PC outcome for `gtx`: apply the prepared
+//!   chain (`committed = true`) or drop it. A prepare with no resolve by
+//!   the end of the log is presumed aborted (the sharded recovery decides
+//!   the real outcome by scanning *all* shard logs — see
+//!   [`crate::shard`]).
+//!
 //! ## Text format
 //!
-//! [`Wal::encode`] renders a line-oriented text form, one record header
-//! per committed delta followed by its row lines:
+//! [`Wal::encode`] renders a line-oriented text form:
 //!
 //! ```text
-//! #<seq> <table> +<inserted> -<deleted>
-//! + <cell>\t<cell>...
-//! - <cell>\t<cell>...
+//! #<seq> <table> +<inserted> -<deleted>      delta record header
+//! #<seq>* <table> +<inserted> -<deleted>     chained delta (more follow)
+//! + <cell>\t<cell>...                        inserted rows
+//! - <cell>\t<cell>...                        deleted rows
+//! #<seq> !prepare <records> <gtx>            2PC prepare marker
+//! #<seq> !resolve commit|abort <gtx>         2PC resolution marker
 //! ```
 //!
 //! Cells use the shared [`esm_store::codec`] (type tags `b:`/`i:`/`s:`,
 //! strings escape `\\`, tab, newline and carriage return), so decoding
-//! needs no schema. [`Wal::decode`] round-trips exactly and rejects
-//! malformed input with
+//! needs no schema. Table names starting with `!` are **reserved** for
+//! markers; the engine refuses to serve databases containing them (see
+//! [`reserved_table_name`]). [`Wal::decode`] round-trips exactly and
+//! rejects malformed input with
 //! [`EngineError::WalCorrupt`](crate::EngineError::WalCorrupt); records
 //! whose sequence numbers do not strictly increase are rejected with the
 //! typed [`EngineError::DuplicateSeq`](crate::EngineError::DuplicateSeq)
 //! instead of being silently re-applied.
+
+use std::collections::BTreeMap;
 
 use esm_store::codec::{decode_row, encode_row, escape, unescape};
 use esm_store::{Database, Delta, Row};
 
 use crate::error::EngineError;
 
-/// One committed delta against one table.
+/// Is `name` reserved for WAL markers (and therefore unusable as a table
+/// name)? Names starting with `!` would be ambiguous with the marker
+/// headers in the text format.
+pub fn reserved_table_name(name: &str) -> bool {
+    name.starts_with('!')
+}
+
+/// Reject databases whose table names collide with the marker namespace.
+pub(crate) fn check_table_names(db: &Database) -> Result<(), EngineError> {
+    for name in db.table_names() {
+        if reserved_table_name(name) {
+            return Err(EngineError::ReservedTableName(name.to_string()));
+        }
+    }
+    Ok(())
+}
+
+/// What one WAL record does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// One committed delta against one table.
+    Delta {
+        /// The table the delta applies to.
+        table: String,
+        /// The committed change.
+        delta: Delta,
+        /// More records of the same transaction follow (the chain is
+        /// applied all-or-nothing on recovery).
+        chained: bool,
+    },
+    /// 2PC prepare: the preceding chain of `records` delta records
+    /// belongs to global transaction `gtx`, in doubt until resolved.
+    Prepare {
+        /// The global transaction id.
+        gtx: String,
+        /// How many delta records the prepared chain holds (a
+        /// consistency check for recovery).
+        records: u64,
+    },
+    /// 2PC outcome for `gtx`.
+    Resolve {
+        /// The global transaction id.
+        gtx: String,
+        /// Apply the prepared chain (`true`) or drop it (`false`).
+        committed: bool,
+    },
+}
+
+/// One entry of the write-ahead log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalRecord {
     /// Commit sequence number (1-based, strictly increasing).
     pub seq: u64,
-    /// The table the delta applies to.
-    pub table: String,
-    /// The committed change.
-    pub delta: Delta,
+    /// What the record does.
+    pub op: WalOp,
 }
 
 impl WalRecord {
+    /// An unchained delta record (a complete single-record transaction).
+    pub fn delta(seq: u64, table: impl Into<String>, delta: Delta) -> WalRecord {
+        WalRecord {
+            seq,
+            op: WalOp::Delta {
+                table: table.into(),
+                delta,
+                chained: false,
+            },
+        }
+    }
+
+    /// A chained delta record (more records of the same transaction
+    /// follow).
+    pub fn chained(seq: u64, table: impl Into<String>, delta: Delta) -> WalRecord {
+        WalRecord {
+            seq,
+            op: WalOp::Delta {
+                table: table.into(),
+                delta,
+                chained: true,
+            },
+        }
+    }
+
+    /// A 2PC prepare marker.
+    pub fn prepare(seq: u64, gtx: impl Into<String>, records: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            op: WalOp::Prepare {
+                gtx: gtx.into(),
+                records,
+            },
+        }
+    }
+
+    /// A 2PC resolution marker.
+    pub fn resolve(seq: u64, gtx: impl Into<String>, committed: bool) -> WalRecord {
+        WalRecord {
+            seq,
+            op: WalOp::Resolve {
+                gtx: gtx.into(),
+                committed,
+            },
+        }
+    }
+
+    /// The `(table, delta)` of a delta record (chained or not); `None`
+    /// for markers. First-committer-wins validation scans with this:
+    /// markers never conflict.
+    pub fn delta_op(&self) -> Option<(&str, &Delta)> {
+        match &self.op {
+            WalOp::Delta { table, delta, .. } => Some((table, delta)),
+            _ => None,
+        }
+    }
+
     /// Render this record in the WAL text format (used by both
-    /// [`Wal::encode`] and the durable segment writer, so the on-disk
-    /// bytes and the in-memory encoding never diverge).
+    /// [`Wal::encode`] and the durable segment writer, so the segment
+    /// payload bytes and the in-memory encoding never diverge; segments
+    /// additionally wrap each record in a CRC frame — see
+    /// [`crate::segment`]).
     pub fn encode(&self) -> String {
-        let mut out = format!(
-            "#{} {} +{} -{}\n",
-            self.seq,
-            escape(&self.table),
-            self.delta.inserted.len(),
-            self.delta.deleted.len()
-        );
-        for row in &self.delta.inserted {
-            out.push_str(&format!("+ {}\n", encode_row(row)));
+        match &self.op {
+            WalOp::Delta {
+                table,
+                delta,
+                chained,
+            } => {
+                let mut out = format!(
+                    "#{}{} {} +{} -{}\n",
+                    self.seq,
+                    if *chained { "*" } else { "" },
+                    escape(table),
+                    delta.inserted.len(),
+                    delta.deleted.len()
+                );
+                for row in &delta.inserted {
+                    out.push_str(&format!("+ {}\n", encode_row(row)));
+                }
+                for row in &delta.deleted {
+                    out.push_str(&format!("- {}\n", encode_row(row)));
+                }
+                out
+            }
+            WalOp::Prepare { gtx, records } => {
+                format!("#{} !prepare {} {}\n", self.seq, records, escape(gtx))
+            }
+            WalOp::Resolve { gtx, committed } => format!(
+                "#{} !resolve {} {}\n",
+                self.seq,
+                if *committed { "commit" } else { "abort" },
+                escape(gtx)
+            ),
         }
-        for row in &self.delta.deleted {
-            out.push_str(&format!("- {}\n", encode_row(row)));
-        }
-        out
     }
 }
 
-/// An append-only log of committed deltas.
+/// A decoded record header line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum HeaderLine {
+    /// `#<seq>[*] <table> +<n> -<m>` — `n` inserted and `m` deleted row
+    /// lines follow.
+    Delta {
+        seq: u64,
+        table: String,
+        inserted: usize,
+        deleted: usize,
+        chained: bool,
+    },
+    /// A marker record (no body lines follow).
+    Marker(WalRecord),
+}
+
+/// An append-only log of committed operations.
 ///
 /// A log may start *after* genesis: a recovered engine's in-memory log
 /// begins at the sequence number its checkpoint covered
@@ -105,20 +267,26 @@ impl Wal {
         Wal { records, start: 0 }
     }
 
-    /// Append a committed delta, returning its sequence number.
+    /// Append a committed delta (a complete single-record transaction),
+    /// returning its sequence number. Panics on a reserved table name
+    /// (names starting with `!` — engine constructors reject these up
+    /// front, see [`reserved_table_name`]).
     pub fn append(&mut self, table: impl Into<String>, delta: Delta) -> u64 {
+        let table = table.into();
+        assert!(
+            !reserved_table_name(&table),
+            "table names starting with '!' are reserved for WAL markers"
+        );
         let seq = self.next_seq();
-        self.records.push(WalRecord {
-            seq,
-            table: table.into(),
-            delta,
-        });
+        self.records.push(WalRecord::delta(seq, table, delta));
         seq
     }
 
     /// Append a pre-sequenced record, rejecting any seq that does not
     /// strictly increase the log with
-    /// [`EngineError::DuplicateSeq`](crate::EngineError::DuplicateSeq).
+    /// [`EngineError::DuplicateSeq`](crate::EngineError::DuplicateSeq),
+    /// and reserved table names with
+    /// [`EngineError::ReservedTableName`](crate::EngineError::ReservedTableName).
     pub fn push(&mut self, record: WalRecord) -> Result<u64, EngineError> {
         let last = self.last_seq();
         if record.seq <= last {
@@ -126,6 +294,11 @@ impl Wal {
                 seq: record.seq,
                 last,
             });
+        }
+        if let WalOp::Delta { table, .. } = &record.op {
+            if reserved_table_name(table) {
+                return Err(EngineError::ReservedTableName(table.clone()));
+            }
         }
         let seq = record.seq;
         self.records.push(record);
@@ -174,6 +347,16 @@ impl Wal {
     /// references (with the schemas the engine started from), and must
     /// reflect the state at this log's start offset.
     ///
+    /// Replay honours the transaction structure: chained delta records
+    /// buffer until their terminator and apply together; prepared chains
+    /// apply at their `!resolve commit` (or drop at `!resolve abort`); a
+    /// prepare with no resolution by the end of the log is presumed
+    /// aborted (the coordinator never acknowledged it). An *unterminated*
+    /// trailing chain is a transaction the engine could never have
+    /// acknowledged either, so replay fails with
+    /// [`EngineError::WalCorrupt`](crate::EngineError::WalCorrupt) —
+    /// durable recovery truncates such tails before replaying.
+    ///
     /// Sequence numbers must strictly increase record to record; a
     /// duplicate or stale record aborts the replay with
     /// [`EngineError::DuplicateSeq`](crate::EngineError::DuplicateSeq)
@@ -182,14 +365,54 @@ impl Wal {
     pub fn replay(&self, baseline: &Database) -> Result<Database, EngineError> {
         let mut db = baseline.clone();
         let mut last = self.start;
+        let mut pending: Vec<(&str, &Delta)> = Vec::new();
+        let mut prepared: BTreeMap<&str, Vec<(&str, &Delta)>> = BTreeMap::new();
         for rec in &self.records {
             if rec.seq <= last {
                 return Err(EngineError::DuplicateSeq { seq: rec.seq, last });
             }
             last = rec.seq;
-            let table = db.table(&rec.table)?;
-            let next = rec.delta.apply(table)?;
-            db.replace_table(rec.table.clone(), next);
+            match &rec.op {
+                WalOp::Delta {
+                    table,
+                    delta,
+                    chained,
+                } => {
+                    pending.push((table, delta));
+                    if !chained {
+                        for (table, delta) in pending.drain(..) {
+                            apply_delta(&mut db, table, delta)?;
+                        }
+                    }
+                }
+                WalOp::Prepare { gtx, records } => {
+                    if pending.len() as u64 != *records {
+                        return Err(EngineError::WalCorrupt(format!(
+                            "prepare marker for {gtx} claims {records} records, found {}",
+                            pending.len()
+                        )));
+                    }
+                    prepared.insert(gtx, std::mem::take(&mut pending));
+                }
+                WalOp::Resolve { gtx, committed } => {
+                    // A resolve whose prepare predates this log's start
+                    // (recovery already settled the chain into the
+                    // baseline) is a legal no-op.
+                    if let Some(group) = prepared.remove(gtx.as_str()) {
+                        if *committed {
+                            for (table, delta) in group {
+                                apply_delta(&mut db, table, delta)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !pending.is_empty() {
+            return Err(EngineError::WalCorrupt(format!(
+                "log ends in an unterminated transaction chain of {} records",
+                pending.len()
+            )));
         }
         Ok(db)
     }
@@ -207,42 +430,119 @@ impl Wal {
             if line.is_empty() {
                 continue;
             }
-            let (seq, table, inserted, deleted) = decode_header(line)?;
             // `records_after`'s binary search and `next_seq` rely on
-            // strictly increasing sequence numbers; reject logs that
-            // break the invariant rather than mis-answering later.
-            let mut delta = Delta::empty();
-            for _ in 0..inserted {
-                delta.inserted.push(decode_row_line(lines.next(), '+')?);
+            // strictly increasing sequence numbers; `push` rejects logs
+            // that break the invariant rather than mis-answering later.
+            match decode_header(line)? {
+                HeaderLine::Delta {
+                    seq,
+                    table,
+                    inserted,
+                    deleted,
+                    chained,
+                } => {
+                    let mut delta = Delta::empty();
+                    for _ in 0..inserted {
+                        delta.inserted.push(decode_row_line(lines.next(), '+')?);
+                    }
+                    for _ in 0..deleted {
+                        delta.deleted.push(decode_row_line(lines.next(), '-')?);
+                    }
+                    wal.push(WalRecord {
+                        seq,
+                        op: WalOp::Delta {
+                            table,
+                            delta,
+                            chained,
+                        },
+                    })?;
+                }
+                HeaderLine::Marker(rec) => {
+                    wal.push(rec)?;
+                }
             }
-            for _ in 0..deleted {
-                delta.deleted.push(decode_row_line(lines.next(), '-')?);
-            }
-            wal.push(WalRecord { seq, table, delta })?;
         }
         Ok(wal)
     }
 }
 
-/// Parse one `#<seq> <table> +<n> -<m>` header line.
-pub(crate) fn decode_header(line: &str) -> Result<(u64, String, usize, usize), EngineError> {
+/// Apply one delta to a database in place (replay's unit of work).
+fn apply_delta(db: &mut Database, table: &str, delta: &Delta) -> Result<(), EngineError> {
+    let next = delta.apply(db.table(table)?)?;
+    db.replace_table(table.to_string(), next);
+    Ok(())
+}
+
+/// Parse one record header line (see the module docs for the grammar).
+pub(crate) fn decode_header(line: &str) -> Result<HeaderLine, EngineError> {
     let header = line
         .strip_prefix('#')
         .ok_or_else(|| EngineError::WalCorrupt(format!("expected record header: {line}")))?;
-    let mut parts = header.rsplitn(3, ' ');
-    let deleted = parse_count(parts.next(), '-', line)?;
-    let inserted = parse_count(parts.next(), '+', line)?;
-    let rest = parts
-        .next()
-        .ok_or_else(|| EngineError::WalCorrupt(format!("truncated header: {line}")))?;
-    let (seq_str, table_esc) = rest
+    let (seq_str, rest) = header
         .split_once(' ')
         .ok_or_else(|| EngineError::WalCorrupt(format!("truncated header: {line}")))?;
+    let (seq_str, chained) = match seq_str.strip_suffix('*') {
+        Some(s) => (s, true),
+        None => (seq_str, false),
+    };
     let seq: u64 = seq_str
         .parse()
         .map_err(|_| EngineError::WalCorrupt(format!("bad sequence number: {line}")))?;
+    if let Some(marker) = rest.strip_prefix("!prepare ") {
+        if chained {
+            return Err(EngineError::WalCorrupt(format!(
+                "markers cannot be chained: {line}"
+            )));
+        }
+        let (records, gtx_esc) = marker
+            .split_once(' ')
+            .ok_or_else(|| EngineError::WalCorrupt(format!("truncated prepare marker: {line}")))?;
+        let records: u64 = records
+            .parse()
+            .map_err(|_| EngineError::WalCorrupt(format!("bad prepare record count: {line}")))?;
+        let gtx = unescape(gtx_esc).map_err(|e| EngineError::WalCorrupt(format!("{e}: {line}")))?;
+        return Ok(HeaderLine::Marker(WalRecord::prepare(seq, gtx, records)));
+    }
+    if let Some(marker) = rest.strip_prefix("!resolve ") {
+        if chained {
+            return Err(EngineError::WalCorrupt(format!(
+                "markers cannot be chained: {line}"
+            )));
+        }
+        let (outcome, gtx_esc) = marker
+            .split_once(' ')
+            .ok_or_else(|| EngineError::WalCorrupt(format!("truncated resolve marker: {line}")))?;
+        let committed = match outcome {
+            "commit" => true,
+            "abort" => false,
+            other => {
+                return Err(EngineError::WalCorrupt(format!(
+                    "bad resolve outcome {other:?}: {line}"
+                )))
+            }
+        };
+        let gtx = unescape(gtx_esc).map_err(|e| EngineError::WalCorrupt(format!("{e}: {line}")))?;
+        return Ok(HeaderLine::Marker(WalRecord::resolve(seq, gtx, committed)));
+    }
+    if rest.starts_with('!') {
+        return Err(EngineError::WalCorrupt(format!(
+            "unknown marker kind: {line}"
+        )));
+    }
+    let mut parts = rest.rsplitn(3, ' ');
+    let deleted = parse_count(parts.next(), '-', line)?;
+    let inserted = parse_count(parts.next(), '+', line)?;
+    let table_esc = parts
+        .next()
+        .ok_or_else(|| EngineError::WalCorrupt(format!("truncated header: {line}")))?;
     let table = unescape(table_esc).map_err(|e| EngineError::WalCorrupt(format!("{e}: {line}")))?;
-    Ok((seq, table, inserted, deleted))
+    Ok(HeaderLine::Delta {
+        seq,
+        table,
+        inserted,
+        deleted,
+        chained,
+    })
 }
 
 fn parse_count(part: Option<&str>, sign: char, line: &str) -> Result<usize, EngineError> {
@@ -290,6 +590,13 @@ mod tests {
         Delta::between(old, &new).unwrap()
     }
 
+    fn insert_delta(id: i64, name: &str) -> Delta {
+        Delta {
+            inserted: vec![row![id, name, true]],
+            deleted: vec![],
+        }
+    }
+
     #[test]
     fn append_assigns_increasing_seqs() {
         let mut wal = Wal::new();
@@ -316,19 +623,10 @@ mod tests {
     #[test]
     fn push_rejects_duplicate_and_stale_seqs() {
         let mut wal = Wal::new();
-        wal.push(WalRecord {
-            seq: 5,
-            table: "t".into(),
-            delta: Delta::empty(),
-        })
-        .unwrap();
+        wal.push(WalRecord::delta(5, "t", Delta::empty())).unwrap();
         for stale in [5, 4, 1] {
             let err = wal
-                .push(WalRecord {
-                    seq: stale,
-                    table: "t".into(),
-                    delta: Delta::empty(),
-                })
+                .push(WalRecord::delta(stale, "t", Delta::empty()))
                 .unwrap_err();
             assert_eq!(
                 err,
@@ -340,12 +638,18 @@ mod tests {
         }
         assert_eq!(wal.len(), 1);
         // Gaps are fine: strictly increasing is the only requirement.
-        wal.push(WalRecord {
-            seq: 9,
-            table: "t".into(),
-            delta: Delta::empty(),
-        })
-        .unwrap();
+        wal.push(WalRecord::delta(9, "t", Delta::empty())).unwrap();
+    }
+
+    #[test]
+    fn reserved_table_names_are_rejected() {
+        assert!(reserved_table_name("!prepare"));
+        assert!(!reserved_table_name("orders"));
+        let mut wal = Wal::new();
+        assert!(matches!(
+            wal.push(WalRecord::delta(1, "!sneaky", Delta::empty())),
+            Err(EngineError::ReservedTableName(_))
+        ));
     }
 
     #[test]
@@ -356,11 +660,7 @@ mod tests {
         let d = delta_of(&base, |t| {
             t.upsert(row![3, "grace", true]).unwrap();
         });
-        let rec = WalRecord {
-            seq: 1,
-            table: "people".into(),
-            delta: d,
-        };
+        let rec = WalRecord::delta(1, "people", d);
         let wal = Wal::from_records(vec![rec.clone(), rec]);
         let err = wal.replay(&base).unwrap_err();
         assert_eq!(err, EngineError::DuplicateSeq { seq: 1, last: 1 });
@@ -389,6 +689,77 @@ mod tests {
     }
 
     #[test]
+    fn chained_records_apply_with_their_terminator() {
+        let base = db();
+        let mut wal = Wal::new();
+        wal.push(WalRecord::chained(1, "people", insert_delta(10, "a")))
+            .unwrap();
+        wal.push(WalRecord::delta(2, "people", insert_delta(11, "b")))
+            .unwrap();
+        let replayed = wal.replay(&base).unwrap();
+        assert_eq!(replayed.table("people").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn unterminated_chains_fail_replay() {
+        let mut wal = Wal::new();
+        wal.push(WalRecord::chained(1, "people", insert_delta(10, "a")))
+            .unwrap();
+        assert!(matches!(
+            wal.replay(&db()),
+            Err(EngineError::WalCorrupt(msg)) if msg.contains("unterminated")
+        ));
+    }
+
+    #[test]
+    fn prepared_chains_follow_their_resolution() {
+        let base = db();
+        // Committed 2PC branch applies; aborted branch does not; a
+        // dangling prepare is presumed aborted.
+        let committed = Wal::from_records(vec![
+            WalRecord::chained(1, "people", insert_delta(10, "a")),
+            WalRecord::prepare(2, "g1", 1),
+            WalRecord::resolve(3, "g1", true),
+        ]);
+        assert_eq!(
+            committed
+                .replay(&base)
+                .unwrap()
+                .table("people")
+                .unwrap()
+                .len(),
+            3
+        );
+        let aborted = Wal::from_records(vec![
+            WalRecord::chained(1, "people", insert_delta(10, "a")),
+            WalRecord::prepare(2, "g1", 1),
+            WalRecord::resolve(3, "g1", false),
+        ]);
+        assert_eq!(aborted.replay(&base).unwrap(), base);
+        let dangling = Wal::from_records(vec![
+            WalRecord::chained(1, "people", insert_delta(10, "a")),
+            WalRecord::prepare(2, "g1", 1),
+        ]);
+        assert_eq!(dangling.replay(&base).unwrap(), base);
+        // A resolve with no in-log prepare (settled before this log's
+        // start) is a no-op.
+        let healed = Wal::from_records(vec![WalRecord::resolve(1, "g0", true)]);
+        assert_eq!(healed.replay(&base).unwrap(), base);
+    }
+
+    #[test]
+    fn prepare_count_mismatch_is_corruption() {
+        let wal = Wal::from_records(vec![
+            WalRecord::chained(1, "people", insert_delta(10, "a")),
+            WalRecord::prepare(2, "g1", 3),
+        ]);
+        assert!(matches!(
+            wal.replay(&db()),
+            Err(EngineError::WalCorrupt(msg)) if msg.contains("claims 3")
+        ));
+    }
+
+    #[test]
     fn encode_decode_round_trips() {
         let base = db();
         let mut wal = Wal::new();
@@ -401,6 +772,11 @@ mod tests {
             }),
         );
         wal.append("empty", Delta::empty());
+        wal.push(WalRecord::chained(5, "people", insert_delta(10, "x")))
+            .unwrap();
+        wal.push(WalRecord::prepare(6, "g \t42\n", 1)).unwrap();
+        wal.push(WalRecord::resolve(7, "g \t42\n", true)).unwrap();
+        wal.push(WalRecord::resolve(8, "g2", false)).unwrap();
         let text = wal.encode();
         let back = Wal::decode(&text).unwrap();
         assert_eq!(back, wal);
@@ -422,6 +798,23 @@ mod tests {
         ));
         assert!(matches!(
             Wal::decode("#1 t +1 -0\n+ z:9"),
+            Err(EngineError::WalCorrupt(_))
+        ));
+        // Marker garbage: unknown kinds, bad outcomes, chained markers.
+        assert!(matches!(
+            Wal::decode("#1 !vanish now g1"),
+            Err(EngineError::WalCorrupt(_))
+        ));
+        assert!(matches!(
+            Wal::decode("#1 !resolve maybe g1"),
+            Err(EngineError::WalCorrupt(_))
+        ));
+        assert!(matches!(
+            Wal::decode("#1* !prepare 1 g1"),
+            Err(EngineError::WalCorrupt(_))
+        ));
+        assert!(matches!(
+            Wal::decode("#1 !prepare g1"),
             Err(EngineError::WalCorrupt(_))
         ));
         // Out-of-order or duplicate sequence numbers get the typed error.

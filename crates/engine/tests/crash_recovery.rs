@@ -22,8 +22,8 @@
 use std::path::{Path, PathBuf};
 
 use esm_engine::{
-    decode_segment_prefix, plan_recovery, scan_segments, Durability, DurabilityConfig, EngineError,
-    EngineServer, ScannedSegment,
+    decode_segment_prefix, plan_recovery, resolve_transactions, scan_segments, Durability,
+    DurabilityConfig, EngineError, EngineServer, ScannedSegment, TxStore,
 };
 use esm_relational::ViewDef;
 use esm_store::{row, Database, Operand, Predicate, Schema, Table};
@@ -79,6 +79,11 @@ fn fresh_dir(tag: &str) -> PathBuf {
 /// Run `commits` single-record commits through entangled views, durably,
 /// snapshotting the live database after each. Returns the engine and the
 /// per-seq snapshots (`states[k]` = live state after WAL seq `k`).
+///
+/// The harness needs byte-deterministic segment streams, so the configs
+/// here disable the background maintenance thread
+/// (`maintenance_interval_ms(0)`) and this function drives the identical
+/// maintenance pass synchronously after every commit.
 fn recorded_run(cfg: DurabilityConfig, commits: usize) -> (EngineServer, Vec<Database>) {
     let engine = EngineServer::with_durability(baseline(), 4, Durability::Durable(cfg))
         .expect("durable engine");
@@ -137,6 +142,7 @@ fn recorded_run(cfg: DurabilityConfig, commits: usize) -> (EngineServer, Vec<Dat
                     .expect("commits");
             }
         }
+        engine.run_maintenance().expect("maintenance pass");
         states.push(engine.snapshot());
     }
     engine.sync_wal().expect("final sync");
@@ -178,12 +184,15 @@ fn truncate_stream(segments: &[(u64, Vec<u8>)], cut: usize) -> Vec<ScannedSegmen
     out
 }
 
-/// Apply `records[applied..]` to `db` in place, mirroring recovery.
+/// Apply `records[applied..]` to `db` in place, mirroring recovery
+/// (every record in these runs is a complete single-record transaction,
+/// so the transaction resolver is the identity here).
 fn apply_records(db: &mut Database, records: &[esm_engine::WalRecord]) {
     for rec in records {
-        let table = db.table(&rec.table).expect("table exists");
-        let next = rec.delta.apply(table).expect("applies");
-        db.replace_table(rec.table.clone(), next);
+        let (name, delta) = rec.delta_op().expect("single-record transactions");
+        let table = db.table(name).expect("table exists");
+        let next = delta.apply(table).expect("applies");
+        db.replace_table(name.to_string(), next);
     }
 }
 
@@ -225,7 +234,8 @@ fn truncation_at_every_byte_recovers_the_longest_durable_prefix() {
     let cfg = DurabilityConfig::new(&dir)
         .segment_bytes(900)
         .group_commit(4)
-        .checkpoint_every(0);
+        .checkpoint_every(0)
+        .maintenance_interval_ms(0);
     let (engine, states) = recorded_run(cfg, COMMITS);
     assert_eq!(states.len(), COMMITS + 1);
     assert_eq!(
@@ -294,7 +304,8 @@ fn checkpointed_recovery_replays_strictly_fewer_records() {
     let cfg = DurabilityConfig::new(&dir)
         .segment_bytes(600)
         .group_commit(1)
-        .checkpoint_every(25);
+        .checkpoint_every(25)
+        .maintenance_interval_ms(0);
     let (engine, states) = recorded_run(cfg.clone(), COMMITS);
     let live = engine.snapshot();
     let m = engine.metrics();
@@ -348,7 +359,8 @@ fn duplicate_and_stale_segments_are_skipped_not_reapplied() {
     let dir = fresh_dir("stale-dup");
     let cfg = DurabilityConfig::new(&dir)
         .segment_bytes(500)
-        .checkpoint_every(25);
+        .checkpoint_every(25)
+        .maintenance_interval_ms(0);
     let (engine, states) = recorded_run(cfg.clone(), COMMITS);
     let live = engine.snapshot();
 
@@ -358,7 +370,7 @@ fn duplicate_and_stale_segments_are_skipped_not_reapplied() {
     let mut stale_text = String::new();
     for seq in 1..=10u64 {
         for rec in rebuild_records(&states, seq) {
-            stale_text.push_str(&rec.encode());
+            stale_text.push_str(&esm_engine::encode_framed(&rec));
         }
     }
     std::fs::write(dir.join(format!("wal-{:020}.seg", 1)), stale_text).expect("inject stale");
@@ -372,7 +384,7 @@ fn duplicate_and_stale_segments_are_skipped_not_reapplied() {
             dir.join(format!("wal-{:020}.seg", dup_first - 1)),
             rebuild_records(&states, dup_first - 1)
                 .iter()
-                .map(esm_engine::WalRecord::encode)
+                .map(esm_engine::encode_framed)
                 .collect::<String>()
                 + &String::from_utf8(dup_bytes).expect("segments are utf-8"),
         )
@@ -406,14 +418,112 @@ fn rebuild_records(states: &[Database], seq: u64) -> Vec<esm_engine::WalRecord> 
         )
         .expect("same schema");
         if !delta.is_empty() {
-            recs.push(esm_engine::WalRecord {
-                seq,
-                table: name.to_string(),
-                delta,
-            });
+            recs.push(esm_engine::WalRecord::delta(seq, name, delta));
         }
     }
     recs
+}
+
+#[test]
+fn multi_table_transactions_recover_all_or_nothing_at_every_byte() {
+    const TXS: usize = 30;
+    let dir = fresh_dir("atomic-tx");
+    let cfg = DurabilityConfig::new(&dir)
+        .segment_bytes(700)
+        .group_commit(3)
+        .checkpoint_every(0)
+        .maintenance_interval_ms(0);
+    // Every transaction touches BOTH tables, so its WAL shape is a
+    // 2-record chain; a crash between the records must recover to the
+    // previous transaction boundary, never to half a transaction.
+    let store = TxStore::with_durability(baseline(), Durability::Durable(cfg.clone()))
+        .expect("durable store");
+    let mut states = vec![store.db()];
+    for i in 0..TXS as i64 {
+        store
+            .transact(1, |tx| {
+                tx.table_mut("accounts")?
+                    .upsert(row![500 + i, "a", format!("tx\t{i}"), i])?;
+                tx.table_mut("audit")?
+                    .upsert(row![i, format!("paired {i}")])?;
+                Ok(())
+            })
+            .expect("commits");
+        states.push(store.db());
+    }
+    store.sync_wal().expect("final sync");
+    drop(store);
+
+    let segments = segment_bytes(&dir);
+    let total: usize = segments.iter().map(|(_, b)| b.len()).sum();
+    let mut mid_chain_cuts = 0usize;
+    for cut in 0..=total {
+        let scan = truncate_stream(&segments, cut);
+        let (records, _stale) = plan_recovery(0, &scan).expect("truncation never corrupts");
+        let resolved = resolve_transactions(&records).expect("resolves");
+        let kept = match resolved.tail_first_seq {
+            Some(first) => {
+                mid_chain_cuts += 1;
+                (first - 1) as usize
+            }
+            None => records.len(),
+        };
+        assert_eq!(
+            kept % 2,
+            0,
+            "cut {cut}: recovery must land on a transaction boundary"
+        );
+        assert_eq!(resolved.applied.len(), kept);
+        let mut db = states[0].clone();
+        for (name, delta) in &resolved.applied {
+            let next = delta
+                .apply(db.table(name).expect("exists"))
+                .expect("applies");
+            db.replace_table(name.clone(), next);
+        }
+        assert_eq!(db, states[kept / 2], "cut {cut}");
+    }
+    assert!(
+        mid_chain_cuts > 0,
+        "some cuts must land mid-chain or the test proves nothing"
+    );
+
+    // Sampled full-path recoveries: the interrupted chain is discarded,
+    // truncated off disk, and the store keeps committing.
+    let mut cuts: Vec<usize> = (0..=total).step_by(211).collect();
+    cuts.push(total);
+    for cut in cuts {
+        let scan = truncate_stream(&segments, cut);
+        let (records, _) = plan_recovery(0, &scan).expect("plans");
+        let resolved = resolve_transactions(&records).expect("resolves");
+        let kept = match resolved.tail_first_seq {
+            Some(first) => (first - 1) as usize,
+            None => records.len(),
+        };
+        let case_dir = write_truncated_dir(&dir, &segments, cut, "atomic-tx-case");
+        let case_cfg = DurabilityConfig::new(&case_dir)
+            .segment_bytes(700)
+            .group_commit(3)
+            .checkpoint_every(0)
+            .maintenance_interval_ms(0);
+        let (recovered, report) = TxStore::recover(case_cfg).expect("recovers");
+        assert_eq!(recovered.db(), states[kept / 2], "full path, cut {cut}");
+        assert_eq!(report.last_seq as usize, kept);
+        assert_eq!(
+            report.tail_records_discarded as usize,
+            records.len() - kept,
+            "full path, cut {cut}"
+        );
+        recovered
+            .transact(1, |tx| {
+                tx.table_mut("audit")?
+                    .upsert(row![9_000, "post-recovery"])?;
+                Ok(())
+            })
+            .expect("recovered stores keep committing");
+        std::fs::remove_dir_all(&case_dir).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -422,7 +532,8 @@ fn recovery_falls_back_when_the_newest_checkpoint_is_torn() {
     let dir = fresh_dir("torn-ckpt");
     let cfg = DurabilityConfig::new(&dir)
         .segment_bytes(100_000) // one segment: no compaction of history
-        .checkpoint_every(20);
+        .checkpoint_every(20)
+        .maintenance_interval_ms(0);
     let (engine, _states) = recorded_run(cfg.clone(), COMMITS);
     let live = engine.snapshot();
 
@@ -453,7 +564,8 @@ fn a_missing_segment_is_corruption_not_silent_data_loss() {
     let dir = fresh_dir("gap");
     let cfg = DurabilityConfig::new(&dir)
         .segment_bytes(400)
-        .checkpoint_every(0);
+        .checkpoint_every(0)
+        .maintenance_interval_ms(0);
     let (_engine, _states) = recorded_run(cfg.clone(), COMMITS);
 
     let segments = segment_bytes(&dir);
@@ -475,7 +587,9 @@ fn a_missing_segment_is_corruption_not_silent_data_loss() {
 fn recovered_engines_keep_committing_durably() {
     const COMMITS: usize = 30;
     let dir = fresh_dir("continue");
-    let cfg = DurabilityConfig::new(&dir).checkpoint_every(0);
+    let cfg = DurabilityConfig::new(&dir)
+        .checkpoint_every(0)
+        .maintenance_interval_ms(0);
     let (_engine, states) = recorded_run(cfg.clone(), COMMITS);
 
     // First recovery, then new traffic, then a second recovery: the
@@ -517,7 +631,9 @@ fn live_and_durable_views_of_state_agree() {
     // engine's own committed snapshot (the entangled-consistency law for
     // the durability layer).
     let dir = fresh_dir("shadow");
-    let cfg = DurabilityConfig::new(&dir).checkpoint_every(7);
+    let cfg = DurabilityConfig::new(&dir)
+        .checkpoint_every(7)
+        .maintenance_interval_ms(0);
     let (engine, states) = recorded_run(cfg.clone(), 23);
     let ckpt = engine.checkpoint().expect("checkpoints").expect("durable");
     assert_eq!(ckpt, 23);

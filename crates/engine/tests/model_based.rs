@@ -12,9 +12,15 @@
 //! live state, record by record: any lost update, double-apply or torn
 //! interleaving diverges.
 
+//! A second run drives a **sharded** engine with cross-shard transfers:
+//! every committed transaction carries a commit stamp taken while all
+//! its participant shard locks were held, so sorting the workload by
+//! stamp is a serialization order — the oracle re-executes it
+//! single-threadedly and must land on the live state exactly.
+
 use std::thread;
 
-use esm_engine::EngineServer;
+use esm_engine::{EngineServer, ShardRouter, ShardedEngineServer};
 use esm_relational::ViewDef;
 use esm_store::{row, Database, Operand, Predicate, Row, Schema, Table, Value, ValueType};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -189,13 +195,14 @@ fn random_interleavings_match_the_single_threaded_oracle() {
         // live state record by record.
         let mut oracle = baseline();
         for rec in wal.records() {
-            assert_eq!(rec.table, "accounts");
+            let (rec_table, rec_delta) = rec.delta_op().expect("view commits are delta records");
+            assert_eq!(rec_table, "accounts");
             assert_eq!(
-                rec.delta.inserted.len(),
+                rec_delta.inserted.len(),
                 1,
                 "every op writes exactly one row: {rec:?}"
             );
-            let written = &rec.delta.inserted[0];
+            let written = &rec_delta.inserted[0];
             let owner = written[2].as_str().expect("owner is a string");
             let (t, j) =
                 parse_tag(owner).unwrap_or_else(|| panic!("untagged row in WAL: {written:?}"));
@@ -226,5 +233,228 @@ fn random_interleavings_match_the_single_threaded_oracle() {
                 "seed {seed}, counter {cid}"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard model check.
+// ---------------------------------------------------------------------
+
+const SHARDS: i64 = 4;
+const XOPS_PER_THREAD: usize = 30;
+
+/// One logical operation against the sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XOp {
+    /// Increment the counter living on shard `c` (single-shard fast
+    /// path).
+    Bump { c: i64 },
+    /// Move `amt` from shard `from`'s counter to shard `to`'s counter
+    /// (cross-shard 2PC); `from != to`.
+    Transfer { from: i64, to: i64, amt: i64 },
+}
+
+fn xscripts(seed: u64) -> Vec<Vec<XOp>> {
+    (0..THREADS)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0xA5A5));
+            (0..XOPS_PER_THREAD)
+                .map(|_| {
+                    if rng.gen_range(0..100u32) < 50 {
+                        XOp::Bump {
+                            c: rng.gen_range(0..SHARDS),
+                        }
+                    } else {
+                        let from = rng.gen_range(0..SHARDS);
+                        let to = (from + rng.gen_range(1..SHARDS)) % SHARDS;
+                        XOp::Transfer {
+                            from,
+                            to,
+                            amt: rng.gen_range(1..20),
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One counter row per shard: ids 0, 1000, 2000, 3000.
+fn counter_key(c: i64) -> Row {
+    row![1000 * c]
+}
+
+fn sharded_baseline() -> Database {
+    let schema = Schema::build(
+        &[
+            ("id", ValueType::Int),
+            ("owner", ValueType::Str),
+            ("balance", ValueType::Int),
+        ],
+        &["id"],
+    )
+    .expect("valid schema");
+    let rows: Vec<Row> = (0..SHARDS).map(|c| row![1000 * c, "init", 100]).collect();
+    let mut db = Database::new();
+    db.create_table(
+        "accounts",
+        Table::from_rows(schema, rows).expect("valid rows"),
+    )
+    .expect("fresh");
+    db
+}
+
+/// Apply the logical op to the oracle, tagging like the live run.
+fn xoracle_apply(oracle: &mut Database, t: usize, j: usize, op: XOp) {
+    let table = oracle.table_mut("accounts").expect("exists");
+    match op {
+        XOp::Bump { c } => {
+            let cur = table.get_by_key(&counter_key(c)).expect("counter")[2]
+                .as_int()
+                .expect("int");
+            table
+                .upsert(row![1000 * c, tag(t, j), cur + 1])
+                .expect("fits");
+        }
+        XOp::Transfer { from, to, amt } => {
+            let f = table.get_by_key(&counter_key(from)).expect("counter")[2]
+                .as_int()
+                .expect("int");
+            let g = table.get_by_key(&counter_key(to)).expect("counter")[2]
+                .as_int()
+                .expect("int");
+            table
+                .upsert(row![1000 * from, tag(t, j), f - amt])
+                .expect("fits");
+            table
+                .upsert(row![1000 * to, tag(t, j), g + amt])
+                .expect("fits");
+        }
+    }
+}
+
+#[test]
+fn cross_shard_interleavings_match_the_single_threaded_oracle() {
+    for seed in [7, 99, 4242] {
+        let scripts = xscripts(seed);
+        let engine = ShardedEngineServer::with_router(
+            sharded_baseline(),
+            ShardRouter::uniform_int(SHARDS as usize, 0, 1000 * SHARDS).expect("router"),
+        )
+        .expect("sharded engine");
+
+        // Each thread runs its script, recording the commit stamp of
+        // every transaction: the stamps define the serialization order
+        // the oracle replays.
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let engine = engine.clone();
+                let script = scripts[t].clone();
+                thread::spawn(move || {
+                    let mut receipts: Vec<(u64, usize)> = Vec::new();
+                    for (j, op) in script.into_iter().enumerate() {
+                        let owner = tag(t, j);
+                        let receipt = match op {
+                            XOp::Bump { c } => engine
+                                .transact_keys(&[counter_key(c)], u32::MAX, |db| {
+                                    let table = db.table_mut("accounts")?;
+                                    let cur = table.get_by_key(&counter_key(c)).expect("counter")
+                                        [2]
+                                    .as_int()
+                                    .expect("int");
+                                    table.upsert(row![1000 * c, owner.as_str(), cur + 1])?;
+                                    Ok(())
+                                })
+                                .expect("eventually commits"),
+                            XOp::Transfer { from, to, amt } => engine
+                                .transact_keys(
+                                    &[counter_key(from), counter_key(to)],
+                                    u32::MAX,
+                                    |db| {
+                                        let table = db.table_mut("accounts")?;
+                                        let f = table
+                                            .get_by_key(&counter_key(from))
+                                            .expect("counter")[2]
+                                            .as_int()
+                                            .expect("int");
+                                        let g =
+                                            table.get_by_key(&counter_key(to)).expect("counter")[2]
+                                                .as_int()
+                                                .expect("int");
+                                        table.upsert(row![1000 * from, owner.as_str(), f - amt])?;
+                                        table.upsert(row![1000 * to, owner.as_str(), g + amt])?;
+                                        Ok(())
+                                    },
+                                )
+                                .expect("eventually commits"),
+                        };
+                        receipts.push((receipt.stamp, j));
+                    }
+                    receipts
+                })
+            })
+            .collect();
+        let mut serialized: Vec<(u64, usize, usize)> = Vec::new();
+        for (t, h) in handles.into_iter().enumerate() {
+            for (stamp, j) in h.join().expect("no worker panicked") {
+                serialized.push((stamp, t, j));
+            }
+        }
+        serialized.sort_unstable();
+
+        let live = engine.snapshot();
+        let total_ops = THREADS * XOPS_PER_THREAD;
+
+        // Law 0: every logical op committed exactly once, and the fast
+        // path / 2PC split matches the scripts.
+        let transfers: usize = scripts
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, XOp::Transfer { .. }))
+            .count();
+        let m = engine.metrics();
+        assert_eq!(m.commits as usize, total_ops, "seed {seed}");
+        assert_eq!(
+            m.shard.cross_shard_commits as usize, transfers,
+            "seed {seed}: every transfer crossed shards"
+        );
+        assert_eq!(
+            m.shard.single_shard_commits as usize,
+            total_ops - transfers,
+            "seed {seed}: every bump stayed on one shard"
+        );
+        assert_eq!(m.shard.prepares as usize, 2 * transfers, "seed {seed}");
+
+        // Law 1: every shard's WAL replays to its live piece.
+        assert_eq!(
+            engine.recovered_database().expect("replays"),
+            live,
+            "seed {seed}"
+        );
+
+        // Law 2 (the model check): re-executing the logical ops
+        // single-threadedly in commit-stamp order reproduces the live
+        // state exactly — stamps are taken under all participant locks,
+        // so they are a serialization order even across shards.
+        let mut oracle = sharded_baseline();
+        for &(_stamp, t, j) in &serialized {
+            xoracle_apply(&mut oracle, t, j, scripts[t][j]);
+        }
+        assert_eq!(oracle, live, "seed {seed}: oracle and live state agree");
+
+        // Law 3: money is conserved — transfers cancel, each bump adds
+        // exactly 1 to the global sum.
+        let bumps: i64 = scripts
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, XOp::Bump { .. }))
+            .count() as i64;
+        let sum: i64 = live
+            .table("accounts")
+            .expect("exists")
+            .rows()
+            .map(|r| r[2].as_int().expect("int"))
+            .sum();
+        assert_eq!(sum, 100 * SHARDS + bumps, "seed {seed}");
     }
 }

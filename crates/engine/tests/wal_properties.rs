@@ -116,15 +116,43 @@ proptest! {
         let mut seq = 0u64;
         for (table, inserted, deleted, gap) in raw {
             seq += gap;
-            wal.push(WalRecord {
-                seq,
-                table,
-                delta: Delta { inserted, deleted },
-            })
-            .expect("strictly increasing by construction");
+            wal.push(WalRecord::delta(seq, table, Delta { inserted, deleted }))
+                .expect("strictly increasing by construction");
         }
         let text = wal.encode();
         let decoded = Wal::decode(&text).expect("round-trips");
+        prop_assert_eq!(decoded, wal);
+    }
+
+    #[test]
+    fn wal_codec_roundtrips_chains_and_markers(
+        raw in proptest::collection::vec(
+            (0u8..4, nasty_string(), arb_rows(), 1u64..3),
+            0..16,
+        )
+    ) {
+        // Chained deltas, prepare/resolve markers with codec-hostile
+        // gtx ids, and plain records, interleaved arbitrarily: the text
+        // codec round-trips the full op grammar.
+        let mut wal = Wal::new();
+        let mut seq = 0u64;
+        for (kind, name, rows, gap) in raw {
+            seq += gap;
+            let rec = match kind {
+                0 => WalRecord::delta(seq, format!("t_{name}"), Delta {
+                    inserted: rows,
+                    deleted: vec![],
+                }),
+                1 => WalRecord::chained(seq, format!("t_{name}"), Delta {
+                    inserted: vec![],
+                    deleted: rows,
+                }),
+                2 => WalRecord::prepare(seq, name, rows.len() as u64),
+                _ => WalRecord::resolve(seq, name, rows.len() % 2 == 0),
+            };
+            wal.push(rec).expect("strictly increasing by construction");
+        }
+        let decoded = Wal::decode(&wal.encode()).expect("round-trips");
         prop_assert_eq!(decoded, wal);
     }
 }

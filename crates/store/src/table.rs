@@ -216,6 +216,55 @@ impl Table {
     }
 
     // ------------------------------------------------------------------
+    // Key ranges: ordered access for range sharding and rebalancing.
+    // ------------------------------------------------------------------
+
+    /// Iterate rows whose key lies in `[lo, hi)` (in key order; `None`
+    /// leaves that side unbounded). Keys compare by the schema's key
+    /// projection, so a sharding layer can slice a table into contiguous
+    /// key ranges without scanning rows outside the range.
+    pub fn rows_in_key_range<'a>(
+        &'a self,
+        lo: Option<&'a Row>,
+        hi: Option<&'a Row>,
+    ) -> impl Iterator<Item = &'a Row> + 'a {
+        use std::ops::Bound;
+        let lo = lo.map_or(Bound::Unbounded, Bound::Included);
+        let hi = hi.map_or(Bound::Unbounded, Bound::Excluded);
+        self.rows.range::<Row, _>((lo, hi)).map(|(_, row)| row)
+    }
+
+    /// Split off the upper key range: rows with key `>= at` move into the
+    /// returned table (same schema, secondary indexes rebuilt on both
+    /// sides); rows with key `< at` stay. O(log n) for the tree split
+    /// plus O(moved) index maintenance.
+    pub fn split_off_key(&mut self, at: &Row) -> Table {
+        let moved = self.rows.split_off(at);
+        for idx in &mut self.indexes {
+            for (key, row) in &moved {
+                idx.remove(key, row);
+            }
+        }
+        let mut out = Table {
+            schema: self.schema.clone(),
+            rows: moved,
+            indexes: Vec::new(),
+        };
+        for column in self.indexed_columns().into_iter().map(String::from) {
+            out.create_index(&column)
+                .expect("column exists: it was indexed on the source table");
+        }
+        out
+    }
+
+    /// The key of the row at position `idx` in key order (`None` when out
+    /// of bounds). A rebalancer picks split points with this: `key_at(len
+    /// / 2)` is the median key.
+    pub fn key_at(&self, idx: usize) -> Option<Row> {
+        self.rows.keys().nth(idx).cloned()
+    }
+
+    // ------------------------------------------------------------------
     // Relational algebra. Each operator returns a fresh table.
     // ------------------------------------------------------------------
 
@@ -703,5 +752,54 @@ mod tests {
         let s = t.render();
         assert!(s.starts_with("| id | name"));
         assert!(s.contains("| 1  | ada"));
+    }
+
+    #[test]
+    fn key_range_iteration_is_half_open() {
+        let t = people();
+        let ids = |lo: Option<Row>, hi: Option<Row>| -> Vec<i64> {
+            t.rows_in_key_range(lo.as_ref(), hi.as_ref())
+                .map(|r| r[0].clone())
+                .filter_map(|v| match v {
+                    Value::Int(i) => Some(i),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(ids(None, None), vec![1, 2, 3]);
+        assert_eq!(ids(Some(row![2]), None), vec![2, 3]);
+        assert_eq!(ids(None, Some(row![2])), vec![1]);
+        assert_eq!(ids(Some(row![2]), Some(row![3])), vec![2]);
+        assert_eq!(ids(Some(row![9]), None), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn split_off_key_moves_the_upper_range_with_indexes() {
+        let mut t = people();
+        t.create_index("age").unwrap();
+        let upper = t.split_off_key(&row![2]);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&row![1, "ada", 36]));
+        assert_eq!(upper.len(), 2);
+        assert!(upper.contains(&row![2, "alan", 41]) && upper.contains(&row![3, "grace", 85]));
+        // Both sides keep a consistent age index.
+        assert_eq!(t.indexed_columns(), vec!["age"]);
+        assert_eq!(upper.indexed_columns(), vec!["age"]);
+        let hit = upper
+            .select(&Predicate::eq(Operand::col("age"), Operand::val(41)))
+            .unwrap();
+        assert_eq!(hit.len(), 1);
+        let miss = t
+            .select(&Predicate::eq(Operand::col("age"), Operand::val(41)))
+            .unwrap();
+        assert!(miss.is_empty(), "moved rows left the source index");
+    }
+
+    #[test]
+    fn key_at_picks_split_points() {
+        let t = people();
+        assert_eq!(t.key_at(0), Some(row![1]));
+        assert_eq!(t.key_at(1), Some(row![2]));
+        assert_eq!(t.key_at(3), None);
     }
 }

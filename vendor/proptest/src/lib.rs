@@ -324,6 +324,33 @@ pub mod collection {
             size: size.into(),
         }
     }
+
+    /// The strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.size.sample(rng))
+                .map(|_| self.elem.generate(rng))
+                .collect()
+        }
+    }
+
+    /// A `BTreeSet` with up to `size` elements (duplicates collapse).
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
 }
 
 /// Test-runner plumbing used by the [`proptest!`] expansion.
