@@ -17,8 +17,9 @@
 //!  ┌───────────────┐   ┌──────────────────────────┐   ┌─────────────────────┐
 //!  │ EntangledView ├──▶│ EngineServer             │   │ Table (+ indexes,   │
 //!  │  .get()/.put()│   │  ├ Stripes<Table>  ──────┼──▶│   key-range slices) │
-//!  │  .edit(f)     │   │  ├ views: name → Lens    │   │ Delta (ordered merge│
-//!  └───────┬───────┘   │  ├ Wal (committed ops)   │   │        diffs)       │
+//!  │  .edit(f)     │   │  ├ views: DeltaLens +    │   │ Delta (ordered merge│
+//!  └───────┬───────┘   │  │  materialized window  │   │  diffs, compose,    │
+//!          │           │  ├ Wal (committed ops)   │   │  in-place apply)    │
 //!          │           │  │   └ DurableWal ───────┼─┐ │ Database            │
 //!  ┌───────┴───────┐   │  ├ Metrics               │ │ └─────────────────────┘
 //!  │ TxStore/Tx    ├──▶│  └ first-committer-wins  │ │ ┌─────────────────────┐
@@ -63,6 +64,48 @@
 //!   [`EntangledView`] handles as the unsharded engine; `get`/`put`/
 //!   `edit` assemble consistent cross-shard snapshots and coordinate
 //!   writes per key automatically.
+//!
+//! ### Materialized views (the read path)
+//!
+//! Views are first-class materialized objects, not queries re-run per
+//! read. The lifecycle has four phases:
+//!
+//! 1. **Register** ([`EngineServer::define_view`] /
+//!    [`shard::ShardedEngineServer::define_view`]): the [`ViewDef`
+//!    pipeline](esm_relational::ViewDef) compiles to a
+//!    [`esm_lens::DeltaLens`] — `get`/`put` as ever, plus `get_delta`
+//!    mapping a committed base [`esm_store::Delta`] to the view's
+//!    coordinates (select filters the delta's rows, project maps them,
+//!    rename passes them through). This is the one sanctioned full lens
+//!    `get`: the unsharded engine materializes the window here; the
+//!    sharded engine materializes per-shard windows on first read.
+//! 2. **Maintain** (`read_view`): each window remembers the WAL
+//!    position it reflects. A read drains the committed records past
+//!    that cursor, translates them through `get_delta`, and folds the
+//!    view deltas into the window in place — O(changes since the last
+//!    read), never a whole-base `get` or a whole-database assembly. On
+//!    a sharded engine the drain honours the 2PC transaction structure
+//!    (prepared chains count only at their commit resolution), and all
+//!    consulted shard read locks are held together so no cross-shard
+//!    transaction is ever observed half-applied.
+//! 3. **Prune** (sharded only): the view definition's base-schema
+//!    selects imply bounds on the key
+//!    ([`esm_relational::ViewDef::key_bounds`] →
+//!    [`esm_store::Predicate::value_bounds`]); the router maps them to
+//!    the contiguous shard run the window can touch
+//!    ([`shard::ShardRouter::shards_in_value_range`]). Reads consult
+//!    only that run, and view writes snapshot only those shards
+//!    (widening automatically if an edit strays outside). Untouched
+//!    shards are never locked, drained or cloned.
+//! 4. **Rebuild** (the escape hatch): a delta the lens cannot translate
+//!    ([`esm_lens::DeltaOutcome::Rebuild`]), or a topology change
+//!    (split/merge bumps the epoch the windows were built against),
+//!    re-runs the lens `get` against the live base — correctness never
+//!    depends on propagation. [`metrics::ViewStats`] counts
+//!    materialized reads, deltas applied, rebuilds and shards pruned;
+//!    in steady state `rebuilds` stays flat at its registration value
+//!    (asserted by the suites, and by the incremental/recompute
+//!    equivalence proptest in `tests/view_maintenance.rs`).
 //!
 //! ### Transaction atomicity in the WAL
 //!
@@ -224,7 +267,7 @@ pub use durable::{
     RecoveryReport, ResolvedLog, ScannedSegment,
 };
 pub use error::EngineError;
-pub use metrics::{Metrics, MetricsSnapshot, ShardStats, WalStats};
+pub use metrics::{Metrics, MetricsSnapshot, ShardStats, ViewStats, WalStats};
 pub use segment::{
     crc32, decode_segment_prefix, encode_framed, SegmentFile, SegmentPrefix, SegmentWriter, SimFile,
 };

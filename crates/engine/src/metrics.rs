@@ -10,6 +10,32 @@ pub struct Metrics {
     retries: AtomicU64,
     view_reads: AtomicU64,
     rows_written: AtomicU64,
+    materialized_reads: AtomicU64,
+    deltas_applied: AtomicU64,
+    rebuilds: AtomicU64,
+    shards_pruned: AtomicU64,
+}
+
+/// Counters kept by the materialized-view maintenance machinery. In
+/// steady state a registered view serves every read from its maintained
+/// window: `materialized_reads` climbs, `deltas_applied` tracks the
+/// committed changes folded in, and `rebuilds` stays flat at its
+/// registration value — a rising rebuild count means some delta hit the
+/// propagation escape hatch and reads are falling back to full lens
+/// `get` re-runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViewStats {
+    /// Reads served from a maintained materialized window (no lens `get`
+    /// re-run).
+    pub materialized_reads: u64,
+    /// Committed base deltas translated and applied to view windows.
+    pub deltas_applied: u64,
+    /// Full lens-`get` window (re)builds: one per view registration, plus
+    /// one per propagation escape hatch or shard-topology change.
+    pub rebuilds: u64,
+    /// Shard windows skipped by key-range pruning, summed over reads
+    /// (zero for unsharded engines and unbounded views).
+    pub shards_pruned: u64,
 }
 
 /// Counters kept by a durable WAL backend (zero when the engine runs
@@ -79,6 +105,8 @@ pub struct MetricsSnapshot {
     pub wal: WalStats,
     /// Sharding counters (all zero for unsharded engines).
     pub shard: ShardStats,
+    /// Materialized-view maintenance counters.
+    pub view: ViewStats,
 }
 
 impl Metrics {
@@ -99,6 +127,22 @@ impl Metrics {
         self.view_reads.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn view_materialized(&self) {
+        self.materialized_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn view_deltas(&self, n: u64) {
+        self.deltas_applied.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn view_rebuild(&self) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn view_pruned(&self, shards: u64) {
+        self.shards_pruned.fetch_add(shards, Ordering::Relaxed);
+    }
+
     /// Copy the current counter values. Durable-WAL stats live with the
     /// [`crate::DurableWal`] (single-writer under the WAL lock); callers
     /// that own one merge them in with [`MetricsSnapshot::with_wal`].
@@ -111,6 +155,12 @@ impl Metrics {
             rows_written: self.rows_written.load(Ordering::Relaxed),
             wal: WalStats::default(),
             shard: ShardStats::default(),
+            view: ViewStats {
+                materialized_reads: self.materialized_reads.load(Ordering::Relaxed),
+                deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+                rebuilds: self.rebuilds.load(Ordering::Relaxed),
+                shards_pruned: self.shards_pruned.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -201,11 +251,19 @@ mod tests {
         m.conflict();
         m.retry();
         m.view_read();
+        m.view_materialized();
+        m.view_deltas(4);
+        m.view_rebuild();
+        m.view_pruned(3);
         let s = m.snapshot();
         assert_eq!(s.commits, 2);
         assert_eq!(s.rows_written, 5);
         assert_eq!(s.conflicts, 1);
         assert_eq!(s.retries, 1);
         assert_eq!(s.view_reads, 1);
+        assert_eq!(s.view.materialized_reads, 1);
+        assert_eq!(s.view.deltas_applied, 4);
+        assert_eq!(s.view.rebuilds, 1);
+        assert_eq!(s.view.shards_pruned, 3);
     }
 }

@@ -54,20 +54,21 @@ pub use router::ShardRouter;
 pub use shard::Shard;
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
-use esm_lens::Lens;
+use esm_lens::DeltaLens;
 use esm_relational::ViewDef;
-use esm_store::{Database, Delta, Row, Table};
+use esm_store::{Database, Delta, Row, Schema, Table, Value};
 
 use crate::checkpoint::write_atomic_text;
 use crate::durable::{checkpoint_off_lock, DurabilityConfig, MaintenanceThread, RecoveryReport};
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot, ShardMetrics, WalStats};
 use crate::view::EntangledView;
-use crate::wal::{check_table_names, Wal};
+use crate::wal::{check_table_names, committed_table_deltas, Wal};
 
 use self::coordinator::Participant;
 use self::shard::GroupEnd;
@@ -82,6 +83,11 @@ pub const TOPOLOGY_FILE: &str = "topology.esm";
 pub(crate) struct Topology {
     pub router: ShardRouter,
     pub shards: Vec<Shard>,
+    /// Bumped by every split/merge under the topology write lock.
+    /// Materialized view windows remember the epoch they were built
+    /// against; a mismatch invalidates them (shard WAL cursors do not
+    /// survive a layout change).
+    pub epoch: u64,
 }
 
 /// What a transaction commit did: its position in the engine-wide
@@ -124,7 +130,32 @@ pub struct ShardRecoveryReport {
 
 struct ViewReg {
     table: String,
-    lens: Lens<Table, Table>,
+    lens: DeltaLens<Table, Table, Delta>,
+    /// The tightest first-key-component bounds the view definition's
+    /// base-schema selects imply: the pruning hint for reads and writes.
+    bounds: (Bound<Value>, Bound<Value>),
+    /// The view's output schema (for assembling an empty result when the
+    /// bounds prune every shard).
+    schema: Schema,
+    /// Per-shard materialized windows, built lazily on first read and
+    /// invalidated by topology epoch changes. Lock order is always view
+    /// windows → topology → shard locks.
+    mat: Mutex<Option<ShardedMat>>,
+}
+
+/// A sharded view's materialized state: one window per in-range shard,
+/// each with the shard-WAL position it reflects.
+struct ShardedMat {
+    /// The topology epoch the windows were built against.
+    epoch: u64,
+    /// Windows aligned with the pruned shard run (recomputed per read
+    /// from the router and the view bounds; stable within an epoch).
+    windows: Vec<Window>,
+}
+
+struct Window {
+    table: Table,
+    applied_seq: u64,
 }
 
 pub(crate) struct ShardedInner {
@@ -500,7 +531,11 @@ impl ShardedEngineServer {
         shard_metrics: ShardMetrics,
         next_shard_id: u64,
     ) -> ShardedEngineServer {
-        let topology = Arc::new(RwLock::new(Topology { router, shards }));
+        let topology = Arc::new(RwLock::new(Topology {
+            router,
+            shards,
+            epoch: 0,
+        }));
         let maintenance = durable_base.as_ref().and_then(|cfg| {
             if cfg.checkpoint_every == 0 || cfg.maintenance_interval_ms == 0 {
                 return None;
@@ -931,9 +966,27 @@ impl ShardedEngineServer {
         {
             return Err(EngineError::ViewExists(name));
         }
-        let lens = {
+        let (lens, schema, bounds) = {
             let snapshot = self.table(&table)?;
-            def.compile(&snapshot)?
+            let lens = def.compile_delta(&snapshot)?;
+            let schema = lens
+                .get(&Table::new(snapshot.schema().clone()))
+                .schema()
+                .clone();
+            // The pruning hint: the view's base-schema selects constrain
+            // the first key column (whole-row-keyed tables key on their
+            // first column).
+            let bounds = match snapshot
+                .schema()
+                .key()
+                .first()
+                .map(String::as_str)
+                .or_else(|| snapshot.schema().column_names().first().copied())
+            {
+                Some(key_col) => def.key_bounds(key_col),
+                None => (Bound::Unbounded, Bound::Unbounded),
+            };
+            (lens, schema, bounds)
         };
         {
             let topo = self.topology();
@@ -948,7 +1001,16 @@ impl ShardedEngineServer {
         if views.contains_key(&name) {
             return Err(EngineError::ViewExists(name));
         }
-        views.insert(name.clone(), ViewReg { table, lens });
+        views.insert(
+            name.clone(),
+            ViewReg {
+                table,
+                lens,
+                bounds,
+                schema,
+                mat: Mutex::new(None),
+            },
+        );
         drop(views);
         self.view(&name)
     }
@@ -976,23 +1038,164 @@ impl ShardedEngineServer {
     fn with_view<R>(
         &self,
         name: &str,
-        f: impl FnOnce(&str, &Lens<Table, Table>) -> Result<R, EngineError>,
+        f: impl FnOnce(&ViewReg) -> Result<R, EngineError>,
     ) -> Result<R, EngineError> {
         let views = self.inner.views.read().expect("views lock poisoned");
         let reg = views
             .get(name)
             .ok_or_else(|| EngineError::NoSuchView(name.to_string()))?;
-        f(&reg.table, &reg.lens)
+        f(reg)
     }
 
-    /// Read a view (the lens `get`) against a consistent cross-shard
-    /// snapshot of its base table.
+    /// The contiguous shard run the view's key bounds can touch under
+    /// the current router.
+    fn view_shard_run(&self, topo: &Topology, reg: &ViewReg) -> Vec<usize> {
+        match topo
+            .router
+            .shards_in_value_range(&reg.bounds.0, &reg.bounds.1)
+        {
+            Some((a, b)) => (a..=b).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Read a view against a consistent cross-shard state of its base
+    /// table.
+    ///
+    /// Served from per-shard materialized windows: only the shards the
+    /// view's key bounds can touch are consulted (the rest are pruned
+    /// without cloning anything), and each consulted shard contributes
+    /// the committed WAL records since its window's cursor, translated
+    /// through the lens's delta propagator — O(changes) per read, never
+    /// a whole-database assembly. Full per-shard lens `get`s happen only
+    /// on the first read, after a topology change (split/merge), or on a
+    /// propagation escape hatch.
     pub fn read_view(&self, name: &str) -> Result<Table, EngineError> {
         self.inner.metrics.view_read();
-        self.with_view(name, |table, lens| {
-            let base = self.table(table)?;
-            Ok(lens.get(&base))
+        self.with_view(name, |reg| {
+            let mut mat_slot = reg.mat.lock().expect("view windows lock poisoned");
+            let topo = self.topology();
+            let run = self.view_shard_run(&topo, reg);
+            let pruned = topo.shards.len() - run.len();
+            if pruned > 0 {
+                self.inner.metrics.view_pruned(pruned as u64);
+            }
+
+            // All in-run shard read locks are held together (in index
+            // order), so a cross-shard 2PC is never observed
+            // half-applied; out-of-run shards cannot contribute view
+            // rows, so their in-flight halves are invisible by
+            // construction.
+            let guards: Vec<_> = run.iter().map(|&i| topo.shards[i].read()).collect();
+
+            let stale = match mat_slot.as_ref() {
+                Some(mat) => mat.epoch != topo.epoch,
+                None => true,
+            };
+            if stale {
+                // (Re)build every window from the live shard pieces.
+                let mut windows = Vec::with_capacity(guards.len());
+                for guard in &guards {
+                    windows.push(Window {
+                        table: reg.lens.get(guard.db.table(&reg.table)?),
+                        applied_seq: guard.wal.last_seq(),
+                    });
+                }
+                *mat_slot = Some(ShardedMat {
+                    epoch: topo.epoch,
+                    windows,
+                });
+                self.inner.metrics.view_rebuild();
+            } else {
+                let mat = mat_slot.as_mut().expect("checked above");
+                let mut clean = true;
+                for (window, guard) in mat.windows.iter_mut().zip(&guards) {
+                    clean &= self.drain_shard_window(reg, window, guard)?;
+                }
+                drop(guards);
+                // A materialized read means *no* window re-ran its lens
+                // get — same accounting as the unsharded engine.
+                if clean {
+                    self.inner.metrics.view_materialized();
+                }
+            }
+
+            // Concatenate the windows (disjoint keys: the lens retains
+            // the base key, and shards own disjoint key ranges).
+            let mat = mat_slot.as_ref().expect("materialized above");
+            let mut parts = mat.windows.iter();
+            let mut out = match parts.next() {
+                Some(w) => w.table.clone(),
+                None => Table::new(reg.schema.clone()),
+            };
+            for w in parts {
+                for row in w.table.rows() {
+                    out.upsert(row.clone())?;
+                }
+            }
+            Ok(out)
         })
+    }
+
+    /// Fold one shard's committed records since the window cursor into
+    /// the window (the shared [`crate::view::drain_into_window`]
+    /// algorithm). 2PC chains apply only at their commit resolution —
+    /// the same transaction structure as WAL replay. If the drained run
+    /// ends unsettled (a coordinator mid-protocol, impossible under the
+    /// participant-lock discipline but cheap to tolerate), the window
+    /// and cursor stay untouched: the read serves the last settled
+    /// state, and the next read drains the resolved run. Returns
+    /// whether the window was maintained without the rebuild escape
+    /// hatch.
+    fn drain_shard_window(
+        &self,
+        reg: &ViewReg,
+        window: &mut Window,
+        shard: &shard::ShardState,
+    ) -> Result<bool, EngineError> {
+        let records = shard.wal.records_after(window.applied_seq);
+        if records.is_empty() {
+            return Ok(true);
+        }
+        let Some(deltas) = committed_table_deltas(&reg.table, records) else {
+            return Ok(true); // unsettled tail: serve the last settled state
+        };
+        // `deltas_applied` counts only changes that actually survive
+        // into the window (a rebuild discards the whole run).
+        let clean = match crate::view::drain_into_window(
+            &reg.lens,
+            deltas.iter().copied(),
+            &mut window.table,
+        ) {
+            Some(drained) => {
+                self.inner.metrics.view_deltas(drained);
+                true
+            }
+            None => {
+                // Escape hatch: re-run the lens get on this shard's
+                // live piece (consistent with the WAL position under
+                // the held read lock).
+                window.table = reg.lens.get(shard.db.table(&reg.table)?);
+                self.inner.metrics.view_rebuild();
+                false
+            }
+        };
+        window.applied_seq = shard.wal.last_seq();
+        Ok(clean)
+    }
+
+    /// The participant set a view write snapshots: the shards the view's
+    /// key bounds can touch, or `None` (all shards) when the bounds
+    /// prune nothing — or everything (an edit can still insert rows
+    /// anywhere, and an empty snapshot could not even name the base
+    /// table).
+    fn view_write_participants(&self, topo: &Topology, reg: &ViewReg) -> Option<BTreeSet<usize>> {
+        let run = self.view_shard_run(topo, reg);
+        if run.is_empty() || run.len() == topo.shards.len() {
+            None
+        } else {
+            Some(run.into_iter().collect())
+        }
     }
 
     /// Write an edited view back (the lens `put`). A `put` replaces the
@@ -1001,16 +1204,26 @@ impl ShardedEngineServer {
     /// retrying internally until it lands — concurrent putters are
     /// last-writer-wins, like the unsharded engine. Returns the
     /// base-table delta.
+    ///
+    /// Snapshots are pruned to the shards the view's key bounds can
+    /// touch; a write that strays outside them (a client inserting an
+    /// out-of-window row) falls back to a whole-database snapshot and
+    /// retries, so pruning is an optimization, never a behaviour change.
     pub fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
-        self.with_view(name, |table_name, lens| {
-            let table_name = table_name.to_string();
-            let lens = lens.clone();
+        self.with_view(name, |reg| {
+            let mut pruned = true;
             loop {
                 let topo = self.topology();
-                let (snapshot, snap_seqs) = self.snapshot_with_seqs(&topo, None)?;
-                let base = snapshot.table(&table_name)?;
+                let participants = if pruned {
+                    self.view_write_participants(&topo, reg)
+                } else {
+                    None
+                };
+                let (snapshot, snap_seqs) =
+                    self.snapshot_with_seqs(&topo, participants.as_ref())?;
+                let base = snapshot.table(&reg.table)?;
                 let put_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    lens.put(base.clone(), view.clone())
+                    reg.lens.put(base.clone(), view.clone())
                 }));
                 let new_base = match put_result {
                     Ok(t) => t,
@@ -1026,7 +1239,7 @@ impl ShardedEngineServer {
                 if delta.is_empty() {
                     return Ok(delta);
                 }
-                let deltas = BTreeMap::from([(table_name.clone(), delta.clone())]);
+                let deltas = BTreeMap::from([(reg.table.clone(), delta.clone())]);
                 match self.commit_deltas(&topo, &snapshot, &snap_seqs, &deltas, FailPoint::None) {
                     Ok(_) => return Ok(delta),
                     // Whole-window put semantics: a racing commit just
@@ -1034,6 +1247,11 @@ impl ShardedEngineServer {
                     // guaranteed — every conflict is someone else's
                     // commit).
                     Err(EngineError::Conflict { .. }) => continue,
+                    // The put strayed outside the pruned shards; widen.
+                    Err(EngineError::ShardTopology(_)) if participants.is_some() => {
+                        pruned = false;
+                        continue;
+                    }
                     Err(e) => return Err(e),
                 }
             }
@@ -1042,39 +1260,56 @@ impl ShardedEngineServer {
 
     /// Transactionally edit a view (optimistic, first-committer-wins
     /// with up to `attempts` retries) — the sharded
-    /// [`crate::EngineServer::edit_view_optimistic`].
+    /// [`crate::EngineServer::edit_view_optimistic`]. Snapshots are
+    /// pruned like [`ShardedEngineServer::write_view`]'s, with the same
+    /// widen-on-stray fallback.
     pub fn edit_view_optimistic(
         &self,
         name: &str,
         attempts: u32,
         edit: impl Fn(&mut Table) -> Result<(), EngineError>,
     ) -> Result<Delta, EngineError> {
-        let (table_name, lens) =
-            self.with_view(name, |table, lens| Ok((table.to_string(), lens.clone())))?;
-        for attempt in 0..attempts.max(1) {
-            if attempt > 0 {
-                self.inner.metrics.retry();
+        self.with_view(name, |reg| {
+            let mut pruned = true;
+            let mut attempt = 0;
+            while attempt < attempts.max(1) {
+                let topo = self.topology();
+                let participants = if pruned {
+                    self.view_write_participants(&topo, reg)
+                } else {
+                    None
+                };
+                let (snapshot, snap_seqs) =
+                    self.snapshot_with_seqs(&topo, participants.as_ref())?;
+                let base = snapshot.table(&reg.table)?;
+                let mut view = reg.lens.get(base);
+                edit(&mut view)?;
+                let new_base = reg.lens.put(base.clone(), view);
+                let delta = Delta::between(base, &new_base)?;
+                if delta.is_empty() {
+                    return Ok(delta);
+                }
+                let deltas = BTreeMap::from([(reg.table.clone(), delta.clone())]);
+                match self.commit_deltas(&topo, &snapshot, &snap_seqs, &deltas, FailPoint::None) {
+                    Ok(_) => return Ok(delta),
+                    Err(EngineError::Conflict { .. }) => {
+                        attempt += 1;
+                        if attempt < attempts.max(1) {
+                            self.inner.metrics.retry();
+                        }
+                    }
+                    // A stray write widens the snapshot without burning
+                    // an optimistic attempt.
+                    Err(EngineError::ShardTopology(_)) if participants.is_some() => {
+                        pruned = false;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
-            let topo = self.topology();
-            let (snapshot, snap_seqs) = self.snapshot_with_seqs(&topo, None)?;
-            let base = snapshot.table(&table_name)?;
-            let mut view = lens.get(base);
-            edit(&mut view)?;
-            let new_base = lens.put(base.clone(), view);
-            let delta = Delta::between(base, &new_base)?;
-            if delta.is_empty() {
-                return Ok(delta);
-            }
-            let deltas = BTreeMap::from([(table_name.clone(), delta.clone())]);
-            match self.commit_deltas(&topo, &snapshot, &snap_seqs, &deltas, FailPoint::None) {
-                Ok(_) => return Ok(delta),
-                Err(EngineError::Conflict { .. }) => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        Err(EngineError::RetriesExhausted {
-            view: name.to_string(),
-            attempts,
+            Err(EngineError::RetriesExhausted {
+                view: name.to_string(),
+                attempts,
+            })
         })
     }
 }
@@ -1450,6 +1685,72 @@ mod tests {
                 .indexed_columns(),
             vec!["balance"]
         );
+    }
+
+    #[test]
+    fn key_bounded_views_prune_shards_and_stay_materialized() {
+        let engine = sharded(40, 4); // splits at 10 / 20 / 30
+        let low = engine
+            .define_view(
+                "low",
+                "accounts",
+                &ViewDef::base().select(Predicate::lt(Operand::col("id"), Operand::val(10))),
+            )
+            .unwrap();
+        // First read materializes one window — for the single shard the
+        // key bound can touch; the other three are pruned uncloned.
+        assert_eq!(low.get().unwrap().len(), 10);
+        let m = engine.metrics();
+        assert_eq!(m.view.rebuilds, 1);
+        assert_eq!(m.view.shards_pruned, 3);
+
+        // Commits inside the window maintain it incrementally; commits
+        // on pruned shards never even reach the propagator.
+        engine
+            .transact_keys(&[row![5]], 4, |db| {
+                db.table_mut("accounts")?.upsert(row![5, "in", 1])?;
+                Ok(())
+            })
+            .unwrap();
+        engine
+            .transact_keys(&[row![35]], 4, |db| {
+                db.table_mut("accounts")?.upsert(row![35, "out", 1])?;
+                Ok(())
+            })
+            .unwrap();
+        let window = low.get().unwrap();
+        assert!(window.contains(&row![5, "in", 1]));
+        assert_eq!(window.len(), 10);
+        let m = engine.metrics();
+        assert_eq!(m.view.rebuilds, 1, "steady-state reads never rebuild");
+        assert_eq!(m.view.materialized_reads, 1);
+        assert_eq!(
+            m.view.deltas_applied, 1,
+            "only the in-window commit drained"
+        );
+
+        // Writes through the pruned view snapshot one shard end to end.
+        low.edit(|v| Ok(v.upsert(row![6, "via-view", 2]).map(|_| ())?))
+            .unwrap();
+        assert_eq!(engine.metrics().shard.single_shard_commits, 3);
+
+        // A split invalidates the windows (new epoch); the next read
+        // rebuilds once and the window stays exact.
+        engine.split_shard(row![5]).unwrap();
+        let window = low.get().unwrap();
+        assert_eq!(window.len(), 10);
+        assert!(window.contains(&row![6, "via-view", 2]));
+        assert_eq!(engine.metrics().view.rebuilds, 2);
+
+        // An insert through the view that strays outside the key bounds
+        // widens the snapshot and still commits (pruning is never a
+        // behaviour change).
+        low.edit(|v| Ok(v.upsert(row![25, "stray", 9]).map(|_| ())?))
+            .unwrap();
+        assert!(engine
+            .table("accounts")
+            .unwrap()
+            .contains(&row![25, "stray", 9]));
     }
 
     #[test]

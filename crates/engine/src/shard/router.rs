@@ -88,6 +88,66 @@ impl ShardRouter {
         Ok((lo, hi))
     }
 
+    /// The contiguous run of shards whose key range can intersect keys
+    /// whose *first* component satisfies the given bounds — the pruning
+    /// primitive for key-constrained view reads. Returns the inclusive
+    /// index range, or `None` when the bounds provably exclude every
+    /// shard's range (possible only with contradictory bounds).
+    ///
+    /// Conservative and total: a shard is skipped only when its split
+    /// boundaries *prove* every key it owns falls outside the bounds
+    /// (lexicographic order guarantees `k >= split ⟹ k[0] >= split[0]`
+    /// and `k < split ⟹ k[0] <= split[0]`), so every key satisfying the
+    /// bounds always routes to an included shard. Unbounded sides prune
+    /// nothing on that side.
+    pub fn shards_in_value_range(
+        &self,
+        lo: &std::ops::Bound<esm_store::Value>,
+        hi: &std::ops::Bound<esm_store::Value>,
+    ) -> Option<(usize, usize)> {
+        use std::ops::Bound;
+        let n = self.shard_count();
+        // Walk excluded shards off the low end: shard `i` is out when its
+        // upper boundary `splits[i]` shows every owned key's first
+        // component is below the lower bound.
+        let mut start = 0;
+        while start < n {
+            let excluded = match (lo, self.splits.get(start)) {
+                (Bound::Unbounded, _) | (_, None) => false,
+                // Every owned key is `< split`; `split <= [l]` (the row
+                // `[l]` is the smallest key whose first component is `l`)
+                // proves every owned key's first component is `< l`.
+                (Bound::Included(l), Some(split)) => split.as_slice() <= std::slice::from_ref(l),
+                (Bound::Excluded(l), Some(split)) => split.first().is_some_and(|f| f <= l),
+            };
+            if !excluded {
+                break;
+            }
+            start += 1;
+        }
+        // And off the high end: shard `i` is out when its lower boundary
+        // `splits[i - 1]` shows every owned key's first component is
+        // above the upper bound.
+        let mut end = n - 1;
+        while end > 0 {
+            let split = &self.splits[end - 1];
+            let excluded = match hi {
+                Bound::Unbounded => false,
+                Bound::Included(h) => split.first().is_some_and(|f| f > h),
+                Bound::Excluded(h) => split.first().is_some_and(|f| f >= h),
+            };
+            if !excluded {
+                break;
+            }
+            end -= 1;
+        }
+        if start > end {
+            None
+        } else {
+            Some((start, end))
+        }
+    }
+
     /// Split the shard owning `at` into two at key `at` (which becomes
     /// the new boundary: the lower half keeps `[lo, at)`, the new shard
     /// takes `[at, hi)`). Returns the index of the new upper shard. `at`
@@ -177,6 +237,47 @@ mod tests {
         r.merge_into(1).unwrap();
         assert_eq!(r, ShardRouter::uniform_int(2, 0, 2000).unwrap());
         assert!(r.merge_into(1).is_err(), "no right neighbour");
+    }
+
+    #[test]
+    fn value_ranges_prune_to_a_contiguous_run() {
+        use esm_store::Value;
+        use std::ops::Bound;
+        let r = ShardRouter::uniform_int(4, 0, 4000).unwrap(); // splits 1000, 2000, 3000
+        let range = |lo: Bound<i64>, hi: Bound<i64>| {
+            r.shards_in_value_range(&lo.map(Value::Int), &hi.map(Value::Int))
+        };
+        // Unbounded prunes nothing.
+        assert_eq!(range(Bound::Unbounded, Bound::Unbounded), Some((0, 3)));
+        // A point lands on exactly its shard.
+        assert_eq!(
+            range(Bound::Included(2500), Bound::Included(2500)),
+            Some((2, 2))
+        );
+        // Boundary values stay conservative: key 1000 lives on shard 1,
+        // and keys [1000, …] could extend past the split row, so shard 0
+        // is pruned only when provable.
+        assert_eq!(
+            range(Bound::Included(1000), Bound::Included(1000)),
+            Some((1, 1))
+        );
+        assert_eq!(
+            range(Bound::Excluded(999), Bound::Excluded(2001)),
+            Some((0, 2)),
+            "999 < k can still admit k = 999.5-ish multi-part keys on shard 0's edge"
+        );
+        // Half-open windows prune one side.
+        assert_eq!(range(Bound::Included(3500), Bound::Unbounded), Some((3, 3)));
+        assert_eq!(range(Bound::Unbounded, Bound::Excluded(1000)), Some((0, 0)));
+        // Contradictory bounds exclude everything.
+        assert_eq!(range(Bound::Included(3500), Bound::Included(500)), None);
+        // Every routed key is inside its computed run (soundness spot
+        // check across the boundary values).
+        for k in [0i64, 999, 1000, 1001, 2999, 3000, 3999] {
+            let (a, b) = range(Bound::Included(k), Bound::Included(k)).unwrap();
+            let s = r.shard_of(&row![k]);
+            assert!(a <= s && s <= b, "key {k} routed to {s}, run {a}..={b}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! cross-shard writes coordinate transparently (two-phase commit inside
 //! the engine).
 
+use esm_lens::{DeltaLens, DeltaOutcome};
 use esm_store::{Delta, Table};
 
 use crate::error::EngineError;
@@ -76,7 +77,12 @@ impl EntangledView {
         }
     }
 
-    /// Read the view against the current base state (lens `get`).
+    /// Read the view against the current base state.
+    ///
+    /// Served from the engine's maintained materialized window —
+    /// committed deltas since the last read are folded in (shard-pruned
+    /// under key bounds on a sharded engine), equal to a fresh lens
+    /// `get` but O(changes) instead of O(base).
     pub fn get(&self) -> Result<Table, EngineError> {
         match &self.host {
             ViewHost::Engine(e) => e.read_view(&self.name),
@@ -111,6 +117,34 @@ impl EntangledView {
                 s.edit_view_optimistic(&self.name, DEFAULT_OPTIMISTIC_ATTEMPTS, edit)
             }
         }
+    }
+}
+
+/// The one maintenance algorithm both engines share: translate a
+/// drained run of committed base deltas through the view's propagator,
+/// coalesce it into a single delta, and fold it into the window in
+/// place. Returns the number of committed deltas folded in, or `None`
+/// when the run needs the escape hatch (a [`DeltaOutcome::Rebuild`] or
+/// an application error) — the caller then re-runs the lens `get` and
+/// counts a rebuild; nothing from the run survives.
+pub(crate) fn drain_into_window<'a>(
+    lens: &DeltaLens<Table, Table, Delta>,
+    pending: impl IntoIterator<Item = &'a Delta>,
+    window: &mut Table,
+) -> Option<u64> {
+    let mut view_deltas = Vec::new();
+    for delta in pending {
+        match lens.get_delta(delta) {
+            DeltaOutcome::View(view_delta) => view_deltas.push(view_delta),
+            DeltaOutcome::Rebuild => return None,
+        }
+    }
+    let drained = view_deltas.len() as u64;
+    let key_idx = window.schema().key_indices();
+    let combined = Delta::coalesce(view_deltas, &key_idx);
+    match combined.apply_in_place(window) {
+        Ok(()) => Some(drained),
+        Err(_) => None,
     }
 }
 

@@ -466,6 +466,61 @@ impl Wal {
     }
 }
 
+/// The committed deltas for `table` in a run of WAL records, honouring
+/// the transaction structure the same way [`Wal::replay`] does: chained
+/// records buffer until their terminator, prepared chains apply at
+/// their `!resolve commit` and drop at `!resolve abort`. Returns `None`
+/// when the run ends with an unsettled chain or prepare — the caller
+/// (materialized-view maintenance) then leaves its cursor untouched and
+/// serves the last settled state rather than guessing.
+pub(crate) fn committed_table_deltas<'a>(
+    table: &str,
+    records: &'a [WalRecord],
+) -> Option<Vec<&'a Delta>> {
+    let mut out: Vec<&'a Delta> = Vec::new();
+    let mut chain: Vec<(&'a str, &'a Delta)> = Vec::new();
+    let mut prepared: BTreeMap<&'a str, Vec<(&'a str, &'a Delta)>> = BTreeMap::new();
+    for rec in records {
+        match &rec.op {
+            WalOp::Delta {
+                table: rec_table,
+                delta,
+                chained,
+            } => {
+                chain.push((rec_table, delta));
+                if !chained {
+                    for (rec_table, delta) in chain.drain(..) {
+                        if rec_table == table {
+                            out.push(delta);
+                        }
+                    }
+                }
+            }
+            WalOp::Prepare { gtx, .. } => {
+                prepared.insert(gtx, std::mem::take(&mut chain));
+            }
+            WalOp::Resolve { gtx, committed } => {
+                // A resolve for a chain prepared before this run (already
+                // settled into the cursor's state) is a legal no-op.
+                if let Some(group) = prepared.remove(gtx.as_str()) {
+                    if *committed {
+                        for (rec_table, delta) in group {
+                            if rec_table == table {
+                                out.push(delta);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if chain.is_empty() && prepared.is_empty() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
 /// Apply one delta to a database in place (replay's unit of work).
 fn apply_delta(db: &mut Database, table: &str, delta: &Delta) -> Result<(), EngineError> {
     let next = delta.apply(db.table(table)?)?;

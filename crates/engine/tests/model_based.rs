@@ -17,7 +17,17 @@
 //! its participant shard locks were held, so sorting the workload by
 //! stamp is a serialization order — the oracle re-executes it
 //! single-threadedly and must land on the live state exactly.
+//!
+//! Both runs additionally race **reader** threads against the writers:
+//! every read is served from a maintained materialized view window, and
+//! each must be a consistent committed state — counters never run
+//! backwards between successive reads (unsharded), and the money
+//! invariant holds in every snapshot (sharded: bumps add 1000, transfer
+//! amounts are < 1000, so a half-applied cross-shard transfer would be
+//! visible as `sum % 1000 != initial`).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
 
 use esm_engine::{EngineServer, ShardRouter, ShardedEngineServer};
@@ -136,6 +146,39 @@ fn random_interleavings_match_the_single_threaded_oracle() {
                 .expect("compiles");
         }
 
+        // Readers race the writers: every view read is served from the
+        // maintained window and must be a consistent committed state —
+        // counters never run backwards between successive reads.
+        let done = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = engine.clone();
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    let mut floors = vec![0i64; COUNTERS as usize];
+                    let mut reads = 0u64;
+                    loop {
+                        let view = engine.read_view("all").expect("readable");
+                        for cid in 0..COUNTERS {
+                            let seen = view.get_by_key(&row![cid]).expect("counter")[3]
+                                .as_int()
+                                .expect("int");
+                            assert!(
+                                seen >= floors[cid as usize],
+                                "counter {cid} ran backwards: {seen} < {}",
+                                floors[cid as usize]
+                            );
+                            floors[cid as usize] = seen;
+                        }
+                        reads += 1;
+                        if done.load(Ordering::Relaxed) {
+                            break reads;
+                        }
+                    }
+                })
+            })
+            .collect();
+
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
                 let engine = engine.clone();
@@ -175,6 +218,14 @@ fn random_interleavings_match_the_single_threaded_oracle() {
         for h in handles {
             h.join().expect("no worker panicked");
         }
+        done.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().expect("no reader panicked") > 0, "readers ran");
+        }
+        // A final read observes every committed bump (read-your-writes
+        // through the maintained window).
+        let final_view = engine.read_view("all").expect("readable");
+        assert_eq!(final_view, engine.table("accounts").expect("exists"));
 
         let live = engine.snapshot();
         let wal = engine.wal();
@@ -312,8 +363,11 @@ fn xoracle_apply(oracle: &mut Database, t: usize, j: usize, op: XOp) {
             let cur = table.get_by_key(&counter_key(c)).expect("counter")[2]
                 .as_int()
                 .expect("int");
+            // Bumps add 1000 while transfer amounts stay below 1000, so
+            // `sum % 1000` is invariant under committed states and
+            // perturbed by any torn cross-shard read.
             table
-                .upsert(row![1000 * c, tag(t, j), cur + 1])
+                .upsert(row![1000 * c, tag(t, j), cur + 1000])
                 .expect("fits");
         }
         XOp::Transfer { from, to, amt } => {
@@ -342,6 +396,51 @@ fn cross_shard_interleavings_match_the_single_threaded_oracle() {
             ShardRouter::uniform_int(SHARDS as usize, 0, 1000 * SHARDS).expect("router"),
         )
         .expect("sharded engine");
+        engine
+            .define_view("all", "accounts", &ViewDef::base())
+            .expect("compiles");
+        engine
+            .define_view(
+                "low",
+                "accounts",
+                &ViewDef::base().select(Predicate::lt(Operand::col("id"), Operand::val(1000))),
+            )
+            .expect("compiles");
+
+        // Readers race the writers through the maintained windows. The
+        // whole-table view checks the money invariant (a torn 2PC read
+        // would break `sum % 1000`); the key-bounded view is served
+        // shard-pruned and must only ever show shard 0's counter.
+        let done = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                let engine = engine.clone();
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    let mut reads = 0u64;
+                    loop {
+                        if r == 0 {
+                            let view = engine.read_view("all").expect("readable");
+                            assert_eq!(view.len(), SHARDS as usize);
+                            let sum: i64 = view.rows().map(|r| r[2].as_int().expect("int")).sum();
+                            assert_eq!(
+                                sum.rem_euclid(1000),
+                                (100 * SHARDS).rem_euclid(1000),
+                                "torn cross-shard read: sum {sum}"
+                            );
+                        } else {
+                            let view = engine.read_view("low").expect("readable");
+                            assert!(view.rows().all(|row| row[0].as_int().expect("int") < 1000));
+                            assert_eq!(view.len(), 1);
+                        }
+                        reads += 1;
+                        if done.load(Ordering::Relaxed) {
+                            break reads;
+                        }
+                    }
+                })
+            })
+            .collect();
 
         // Each thread runs its script, recording the commit stamp of
         // every transaction: the stamps define the serialization order
@@ -362,7 +461,7 @@ fn cross_shard_interleavings_match_the_single_threaded_oracle() {
                                         [2]
                                     .as_int()
                                     .expect("int");
-                                    table.upsert(row![1000 * c, owner.as_str(), cur + 1])?;
+                                    table.upsert(row![1000 * c, owner.as_str(), cur + 1000])?;
                                     Ok(())
                                 })
                                 .expect("eventually commits"),
@@ -401,6 +500,17 @@ fn cross_shard_interleavings_match_the_single_threaded_oracle() {
             }
         }
         serialized.sort_unstable();
+        done.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().expect("no reader panicked") > 0, "readers ran");
+        }
+        // Read-your-writes through the maintained window, and the
+        // key-bounded view pruned shards while the writers raced it.
+        assert_eq!(
+            engine.read_view("all").expect("readable"),
+            engine.table("accounts").expect("exists")
+        );
+        assert!(engine.metrics().view.shards_pruned > 0);
 
         let live = engine.snapshot();
         let total_ops = THREADS * XOPS_PER_THREAD;
@@ -443,7 +553,7 @@ fn cross_shard_interleavings_match_the_single_threaded_oracle() {
         assert_eq!(oracle, live, "seed {seed}: oracle and live state agree");
 
         // Law 3: money is conserved — transfers cancel, each bump adds
-        // exactly 1 to the global sum.
+        // exactly 1000 to the global sum.
         let bumps: i64 = scripts
             .iter()
             .flatten()
@@ -455,6 +565,6 @@ fn cross_shard_interleavings_match_the_single_threaded_oracle() {
             .rows()
             .map(|r| r[2].as_int().expect("int"))
             .sum();
-        assert_eq!(sum, 100 * SHARDS + bumps, "seed {seed}");
+        assert_eq!(sum, 100 * SHARDS + 1000 * bumps, "seed {seed}");
     }
 }

@@ -1,0 +1,171 @@
+//! Delta propagation through lenses: the incremental complement of
+//! `get`.
+//!
+//! A lens's `get` recomputes the whole view from the whole source; a
+//! [`DeltaLens`] additionally knows how to map a *change* to the source
+//! into the corresponding change to the view (`get_delta`), so a
+//! materialized view can be maintained from committed deltas in
+//! O(change) instead of re-running `get` in O(source). The incremental
+//! contract is an equation against the forward direction:
+//!
+//! ```text
+//! get_delta(ds) = View(dv)   ⟹   apply(dv, get(s)) == get(apply(ds, s))
+//! ```
+//!
+//! for every source `s` the delta `ds` is valid against. Stages that
+//! cannot translate a particular delta (or any delta at all) return
+//! [`DeltaOutcome::Rebuild`] — the conservative escape hatch telling the
+//! maintainer to re-run `get` once — so a `DeltaLens` is never *wrong*,
+//! merely sometimes non-incremental.
+//!
+//! The delta type `D` is generic and shared along a composition chain:
+//! relational table lenses use `esm_store::Delta` end to end, with each
+//! pipeline stage translating the delta into its own view's coordinates.
+
+use std::sync::Arc;
+
+use crate::lens::Lens;
+
+/// How a lens maps one source-side delta to the view side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOutcome<D> {
+    /// The source delta translates exactly to this view delta.
+    View(D),
+    /// This delta cannot be translated incrementally; re-run `get`.
+    Rebuild,
+}
+
+/// A shared delta propagator: the `get_delta` component of a
+/// [`DeltaLens`].
+type Propagator<D> = Arc<dyn Fn(&D) -> DeltaOutcome<D> + Send + Sync>;
+
+/// A lens bundled with a delta propagator: `get`/`put` as ever, plus
+/// `get_delta` mapping source deltas to view deltas (with
+/// [`DeltaOutcome::Rebuild`] as the conservative escape hatch).
+///
+/// Like [`Lens`], the components live behind `Arc` and must be
+/// `Send + Sync`, so a compiled view pipeline is shared across every
+/// client thread of an engine.
+pub struct DeltaLens<S, V, D> {
+    lens: Lens<S, V>,
+    get_delta: Propagator<D>,
+}
+
+impl<S, V, D> Clone for DeltaLens<S, V, D> {
+    fn clone(&self) -> Self {
+        DeltaLens {
+            lens: self.lens.clone(),
+            get_delta: Arc::clone(&self.get_delta),
+        }
+    }
+}
+
+impl<S, V, D> std::fmt::Debug for DeltaLens<S, V, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DeltaLens(<get/put/get_delta>)")
+    }
+}
+
+impl<S: 'static, V: 'static, D: 'static> DeltaLens<S, V, D> {
+    /// Bundle a lens with its delta propagator.
+    pub fn new(
+        lens: Lens<S, V>,
+        get_delta: impl Fn(&D) -> DeltaOutcome<D> + Send + Sync + 'static,
+    ) -> Self {
+        DeltaLens {
+            lens,
+            get_delta: Arc::new(get_delta),
+        }
+    }
+
+    /// The escape hatch in lens form: a `DeltaLens` that answers
+    /// [`DeltaOutcome::Rebuild`] to every delta. Correct for any lens;
+    /// incremental for none.
+    pub fn rebuild_only(lens: Lens<S, V>) -> Self {
+        DeltaLens::new(lens, |_| DeltaOutcome::Rebuild)
+    }
+
+    /// The underlying lens.
+    pub fn lens(&self) -> &Lens<S, V> {
+        &self.lens
+    }
+
+    /// Extract the view from a source (forward direction).
+    pub fn get(&self, s: &S) -> V {
+        self.lens.get(s)
+    }
+
+    /// Push an updated view back into a source (backward direction).
+    pub fn put(&self, s: S, v: V) -> S {
+        self.lens.put(s, v)
+    }
+
+    /// Map a source-side delta to the view side.
+    pub fn get_delta(&self, d: &D) -> DeltaOutcome<D> {
+        (self.get_delta)(d)
+    }
+
+    /// Sequential composition, mirroring [`Lens::then`]: deltas propagate
+    /// through `self` first, then through `inner`; a [`DeltaOutcome::
+    /// Rebuild`] anywhere in the chain short-circuits to `Rebuild`.
+    pub fn then<W: 'static>(&self, inner: DeltaLens<V, W, D>) -> DeltaLens<S, W, D> {
+        let lens = self.lens.then(inner.lens.clone());
+        let outer = Arc::clone(&self.get_delta);
+        let inner_prop = Arc::clone(&inner.get_delta);
+        DeltaLens {
+            lens,
+            get_delta: Arc::new(move |d: &D| match outer(d) {
+                DeltaOutcome::View(mid) => inner_prop(&mid),
+                DeltaOutcome::Rebuild => DeltaOutcome::Rebuild,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy source: a vector of ints; toy delta: values to append.
+    fn append_lens() -> Lens<Vec<i64>, Vec<i64>> {
+        Lens::new(|s: &Vec<i64>| s.clone(), |_s, v| v)
+    }
+
+    /// A stage that doubles every element, with an exact propagator.
+    fn doubling() -> DeltaLens<Vec<i64>, Vec<i64>, Vec<i64>> {
+        DeltaLens::new(
+            Lens::new(
+                |s: &Vec<i64>| s.iter().map(|x| x * 2).collect(),
+                |_s, v: Vec<i64>| v.iter().map(|x| x / 2).collect(),
+            ),
+            |d: &Vec<i64>| DeltaOutcome::View(d.iter().map(|x| x * 2).collect()),
+        )
+    }
+
+    #[test]
+    fn get_delta_translates_and_composes() {
+        let one = doubling();
+        assert_eq!(one.get(&vec![1, 2]), vec![2, 4]);
+        assert_eq!(one.get_delta(&vec![3]), DeltaOutcome::View(vec![6]));
+        let two = one.then(doubling());
+        assert_eq!(two.get(&vec![1]), vec![4]);
+        assert_eq!(two.get_delta(&vec![3]), DeltaOutcome::View(vec![12]));
+    }
+
+    #[test]
+    fn rebuild_short_circuits_composition() {
+        let chain = doubling()
+            .then(DeltaLens::rebuild_only(append_lens()))
+            .then(doubling());
+        assert_eq!(chain.get_delta(&vec![1]), DeltaOutcome::Rebuild);
+        // The forward/backward directions still work.
+        assert_eq!(chain.get(&vec![1]), vec![4]);
+    }
+
+    #[test]
+    fn clones_share_behaviour() {
+        let l = doubling();
+        let c = l.clone();
+        assert_eq!(l.get_delta(&vec![5]), c.get_delta(&vec![5]));
+    }
+}

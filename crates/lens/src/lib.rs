@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 
 pub mod combinators;
+pub mod delta;
 pub mod laws;
 pub mod lens;
 pub mod to_bx;
 pub mod tree;
 
+pub use delta::{DeltaLens, DeltaOutcome};
 pub use lens::Lens;
 pub use to_bx::AsymBx;
 pub use tree::Tree;

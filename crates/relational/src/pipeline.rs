@@ -8,8 +8,9 @@
 //! therefore, via Lemma 4, usable as an entangled state monad over the
 //! base table.
 
-use esm_lens::Lens;
-use esm_store::{Predicate, StoreError, Table, Value};
+use esm_lens::{DeltaLens, DeltaOutcome, Lens};
+use esm_store::row::project_row;
+use esm_store::{Delta, Predicate, Schema, StoreError, Table, Value};
 
 use crate::project::project_lens_checked;
 use crate::rename::rename_lens;
@@ -95,6 +96,109 @@ impl ViewDef {
         out
     }
 
+    /// The tightest bounds every select stage that still sees the base
+    /// schema implies on `column` (their conjunction — the same
+    /// base-schema discipline as [`ViewDef::index_candidates`]). With
+    /// `column` a key column, a sharded engine uses this to prune view
+    /// reads and writes to the shards whose key range the view window can
+    /// touch; views that do not constrain the key come back unbounded.
+    pub fn key_bounds(&self, column: &str) -> (std::ops::Bound<Value>, std::ops::Bound<Value>) {
+        // Returns whether `def`'s output schema is still the base schema.
+        fn collect(def: &ViewDef, preds: &mut Vec<Predicate>) -> bool {
+            match def {
+                ViewDef::Base => true,
+                ViewDef::Select(inner, pred) => {
+                    let over_base = collect(inner, preds);
+                    if over_base {
+                        preds.push(pred.clone());
+                    }
+                    over_base
+                }
+                ViewDef::Project(inner, _, _) | ViewDef::Rename(inner, _) => {
+                    collect(inner, preds);
+                    false
+                }
+            }
+        }
+        let mut preds = Vec::new();
+        collect(self, &mut preds);
+        match preds.into_iter().reduce(Predicate::and) {
+            Some(combined) => combined.value_bounds(column),
+            None => (std::ops::Bound::Unbounded, std::ops::Bound::Unbounded),
+        }
+    }
+
+    /// [`ViewDef::compile`] with a delta propagator: the returned
+    /// [`DeltaLens`] additionally maps committed base-table [`Delta`]s to
+    /// view deltas, so an engine can maintain a materialized window
+    /// incrementally instead of re-running the lens `get` per read.
+    ///
+    /// Every relational stage propagates exactly:
+    /// * **select** filters the delta's rows by its predicate (an
+    ///   evaluation error falls back to [`DeltaOutcome::Rebuild`]);
+    /// * **project** maps rows through the projection — exact because the
+    ///   compiled lens retains the key, so distinct base rows never merge;
+    /// * **rename** passes rows through untouched (schema-only change).
+    pub fn compile_delta(
+        &self,
+        base: &Table,
+    ) -> Result<DeltaLens<Table, Table, Delta>, StoreError> {
+        match self {
+            ViewDef::Base => Ok(DeltaLens::new(esm_lens::combinators::id(), |d: &Delta| {
+                DeltaOutcome::View(d.clone())
+            })),
+            ViewDef::Select(inner, pred) => {
+                let prefix = inner.compile_delta(base)?;
+                let mid = prefix.get(base);
+                pred.validate(mid.schema())?;
+                let stage = DeltaLens::new(
+                    select_lens(pred.clone()),
+                    select_delta(pred.clone(), mid.schema().clone()),
+                );
+                Ok(prefix.then(stage))
+            }
+            ViewDef::Project(inner, cols, defaults) => {
+                let prefix = inner.compile_delta(base)?;
+                let mid = prefix.get(base);
+                let cols_ref: Vec<&str> = cols.iter().map(String::as_str).collect();
+                let defaults_ref: Vec<(&str, Value)> = defaults
+                    .iter()
+                    .map(|(c, v)| (c.as_str(), v.clone()))
+                    .collect();
+                let lens = project_lens_checked(&mid, &cols_ref, &defaults_ref)?;
+                let indices = mid.schema().indices_of(cols)?;
+                let stage = DeltaLens::new(lens, move |d: &Delta| {
+                    DeltaOutcome::View(Delta {
+                        inserted: d
+                            .inserted
+                            .iter()
+                            .map(|r| project_row(r, &indices))
+                            .collect(),
+                        deleted: d.deleted.iter().map(|r| project_row(r, &indices)).collect(),
+                    })
+                });
+                Ok(prefix.then(stage))
+            }
+            ViewDef::Rename(inner, renames) => {
+                let prefix = inner.compile_delta(base)?;
+                let mid = prefix.get(base);
+                for (old, _) in renames {
+                    mid.schema().index_of(old)?;
+                }
+                let renames_ref: Vec<(&str, &str)> = renames
+                    .iter()
+                    .map(|(o, n)| (o.as_str(), n.as_str()))
+                    .collect();
+                // Renaming changes the header, not the rows: deltas pass
+                // through untouched.
+                let stage = DeltaLens::new(rename_lens(&renames_ref), |d: &Delta| {
+                    DeltaOutcome::View(d.clone())
+                });
+                Ok(prefix.then(stage))
+            }
+        }
+    }
+
     /// Compile to a lens, validating each stage against the schema it will
     /// actually see (computed by running the prefix against `base`).
     pub fn compile(&self, base: &Table) -> Result<Lens<Table, Table>, StoreError> {
@@ -130,6 +234,35 @@ impl ViewDef {
                 Ok(prefix.then(rename_lens(&renames_ref)))
             }
         }
+    }
+}
+
+/// The select stage's delta propagator: a base change enters the view iff
+/// it satisfies the predicate — inserted rows that satisfy it appear,
+/// deleted rows that satisfied it disappear, everything else is invisible.
+/// A predicate evaluation error (possible only for column/column
+/// comparisons over mixed-type rows) conservatively asks for a rebuild.
+fn select_delta(
+    pred: Predicate,
+    schema: Schema,
+) -> impl Fn(&Delta) -> DeltaOutcome<Delta> + Send + Sync + 'static {
+    move |d: &Delta| {
+        let mut out = Delta::empty();
+        for row in &d.inserted {
+            match pred.eval(&schema, row) {
+                Ok(true) => out.inserted.push(row.clone()),
+                Ok(false) => {}
+                Err(_) => return DeltaOutcome::Rebuild,
+            }
+        }
+        for row in &d.deleted {
+            match pred.eval(&schema, row) {
+                Ok(true) => out.deleted.push(row.clone()),
+                Ok(false) => {}
+                Err(_) => return DeltaOutcome::Rebuild,
+            }
+        }
+        DeltaOutcome::View(out)
     }
 }
 
@@ -240,5 +373,85 @@ mod tests {
         let base = employees();
         let lens = ViewDef::base().compile(&base).unwrap();
         assert_eq!(lens.get(&base), base);
+    }
+
+    /// The incremental law: `get_delta(Δbase)` applied to the old view
+    /// equals `get` of the new base, for every stage combination.
+    fn assert_incremental(def: &ViewDef, old_base: &Table, new_base: &Table) {
+        let lens = def.compile_delta(old_base).unwrap();
+        let base_delta = Delta::between(old_base, new_base).unwrap();
+        match lens.get_delta(&base_delta) {
+            DeltaOutcome::View(view_delta) => {
+                let maintained = view_delta.apply(&lens.get(old_base)).unwrap();
+                assert_eq!(maintained, lens.get(new_base), "def {def:?}");
+            }
+            DeltaOutcome::Rebuild => panic!("relational stages propagate exactly: {def:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_propagation_matches_recompute_per_stage() {
+        let old_base = employees();
+        let mut new_base = old_base.clone();
+        new_base
+            .upsert(row![2, "alan", "research", 81_000])
+            .unwrap(); // dept change: enters selects
+        new_base.upsert(row![4, "barbara", "ops", 70_000]).unwrap(); // fresh row
+        new_base.delete_by_key(&row![3]); // leaves selects
+
+        let defs = [
+            ViewDef::base(),
+            ViewDef::base().select(Predicate::eq(
+                Operand::col("dept"),
+                Operand::val("research"),
+            )),
+            ViewDef::base().project(&["eid", "name"], &[("salary", Value::Int(1))]),
+            ViewDef::base().rename(&[("name", "who")]),
+            ViewDef::base()
+                .select(Predicate::ge(Operand::col("salary"), Operand::val(80_000)))
+                .project(&["eid", "name"], &[])
+                .rename(&[("name", "earner")]),
+        ];
+        for def in &defs {
+            assert_incremental(def, &old_base, &new_base);
+        }
+        // Hidden-column-only updates net out of a projected view.
+        let mut salary_only = old_base.clone();
+        salary_only
+            .upsert(row![1, "ada", "research", 99_000])
+            .unwrap();
+        assert_incremental(&defs[2], &old_base, &salary_only);
+    }
+
+    #[test]
+    fn key_bounds_intersect_base_schema_selects() {
+        use std::ops::Bound;
+        let def = ViewDef::base()
+            .select(Predicate::ge(Operand::col("eid"), Operand::val(10)))
+            .select(Predicate::lt(Operand::col("eid"), Operand::val(20)));
+        assert_eq!(
+            def.key_bounds("eid"),
+            (
+                Bound::Included(Value::Int(10)),
+                Bound::Excluded(Value::Int(20))
+            )
+        );
+        // Selects after a rename no longer see the base schema: no bound.
+        let renamed = ViewDef::base()
+            .rename(&[("eid", "id")])
+            .select(Predicate::ge(Operand::col("id"), Operand::val(10)));
+        assert_eq!(
+            renamed.key_bounds("eid"),
+            (Bound::Unbounded, Bound::Unbounded)
+        );
+        // Non-key selects leave the key unconstrained.
+        let by_dept = ViewDef::base().select(Predicate::eq(
+            Operand::col("dept"),
+            Operand::val("research"),
+        ));
+        assert_eq!(
+            by_dept.key_bounds("eid"),
+            (Bound::Unbounded, Bound::Unbounded)
+        );
     }
 }

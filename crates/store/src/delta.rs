@@ -1,8 +1,10 @@
 //! Row-level deltas: the difference between two table states, applicable
 //! and invertible. Used to report what a bx update actually changed.
 
+use std::collections::BTreeMap;
+
 use crate::error::StoreError;
-use crate::row::Row;
+use crate::row::{project_row, Row};
 use crate::table::Table;
 
 /// A set-difference delta between two table states.
@@ -90,13 +92,79 @@ impl Delta {
     /// Apply to a table: delete `deleted`, then upsert `inserted`.
     pub fn apply(&self, table: &Table) -> Result<Table, StoreError> {
         let mut out = table.clone();
+        self.apply_in_place(&mut out)?;
+        Ok(out)
+    }
+
+    /// Apply to a table in place — the maintenance path for materialized
+    /// views, which own their window and must not pay a whole-table clone
+    /// per applied delta.
+    pub fn apply_in_place(&self, table: &mut Table) -> Result<(), StoreError> {
         for row in &self.deleted {
-            out.delete(row);
+            table.delete(row);
         }
         for row in &self.inserted {
-            out.upsert(row.clone())?;
+            table.upsert(row.clone())?;
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Sequence two deltas into one: if `self` takes `t0` to `t1` and
+    /// `later` takes `t1` to `t2`, the composition takes `t0` straight to
+    /// `t2` under [`Delta::apply`]. Rows are matched by their key
+    /// projection (`key_idx`, the schema's key column indices); an insert
+    /// cancelled by a later delete of the same key drops out, and a
+    /// delete-then-reinsert of an identical row nets to nothing.
+    ///
+    /// View maintenance coalesces a drained run of committed deltas with
+    /// this (see [`Delta::coalesce`]) into one application against the
+    /// materialized window.
+    pub fn compose(&self, later: &Delta, key_idx: &[usize]) -> Delta {
+        Delta::coalesce([self.clone(), later.clone()], key_idx)
+    }
+
+    /// Coalesce an ordered run of deltas into one (the empty run
+    /// coalesces to the empty delta): applying the result equals
+    /// applying the run in order, in a single pass over the target. One
+    /// accumulating sweep — O(total change · log) regardless of run
+    /// length, never re-cloning the survivors per step — so the
+    /// materialized-view drains can fold an arbitrarily long pending run
+    /// before touching the window. Rows are matched by their key
+    /// projection (`key_idx`); an insert cancelled by a later delete of
+    /// the same key drops out, and a delete-then-reinsert of an
+    /// identical row nets to nothing.
+    pub fn coalesce(deltas: impl IntoIterator<Item = Delta>, key_idx: &[usize]) -> Delta {
+        let key = |r: &Row| project_row(r, key_idx);
+        let mut deleted: BTreeMap<Row, Row> = BTreeMap::new();
+        let mut inserted: BTreeMap<Row, Row> = BTreeMap::new();
+        for delta in deltas {
+            for r in delta.deleted {
+                let k = key(&r);
+                // Deleting a row an earlier delta inserted cancels the
+                // insert; a row the run left untouched so far picks up a
+                // plain deletion.
+                if inserted.remove(&k).is_none() {
+                    deleted.entry(k).or_insert(r);
+                }
+            }
+            for r in delta.inserted {
+                inserted.insert(key(&r), r);
+            }
+        }
+        let mut out = Delta::empty();
+        for (k, r) in &deleted {
+            if inserted.get(k) == Some(r) {
+                continue; // delete + reinsert of the identical row
+            }
+            out.deleted.push(r.clone());
+        }
+        for (k, r) in inserted {
+            if deleted.get(&k) == Some(&r) {
+                continue;
+            }
+            out.inserted.push(r);
+        }
+        out
     }
 
     /// The inverse delta (swaps inserts and deletes).
@@ -180,6 +248,61 @@ mod tests {
         let d = Delta::between(&keyed, &unkeyed_plus).unwrap();
         assert_eq!(d.inserted, vec![row![3, "c"]]);
         assert!(d.deleted.is_empty());
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let old = tbl(vec![row![1, "a"], row![2, "b"]]);
+        let new = tbl(vec![row![2, "b2"], row![3, "c"]]);
+        let d = Delta::between(&old, &new).unwrap();
+        let mut in_place = old.clone();
+        d.apply_in_place(&mut in_place).unwrap();
+        assert_eq!(in_place, d.apply(&old).unwrap());
+    }
+
+    #[test]
+    fn compose_sequences_two_deltas() {
+        let t0 = tbl(vec![row![1, "a"], row![2, "b"]]);
+        let t1 = tbl(vec![row![1, "a2"], row![3, "c"]]);
+        let t2 = tbl(vec![row![1, "a2"], row![4, "d"]]);
+        let d1 = Delta::between(&t0, &t1).unwrap();
+        let d2 = Delta::between(&t1, &t2).unwrap();
+        let key_idx = t0.schema().key_indices();
+        let composed = d1.compose(&d2, &key_idx);
+        assert_eq!(composed.apply(&t0).unwrap(), t2);
+        // The insert of row 3 was cancelled by its later delete.
+        assert!(!composed.inserted.iter().any(|r| r[0] == 3.into()));
+    }
+
+    #[test]
+    fn coalesce_equals_sequential_application() {
+        let t0 = tbl(vec![row![1, "a"], row![2, "b"]]);
+        let t1 = tbl(vec![row![1, "a2"], row![3, "c"]]);
+        let t2 = tbl(vec![row![3, "c"], row![4, "d"]]);
+        let t3 = tbl(vec![row![3, "c2"]]);
+        let key_idx = t0.schema().key_indices();
+        let run = vec![
+            Delta::between(&t0, &t1).unwrap(),
+            Delta::between(&t1, &t2).unwrap(),
+            Delta::between(&t2, &t3).unwrap(),
+        ];
+        let combined = Delta::coalesce(run, &key_idx);
+        assert_eq!(combined.apply(&t0).unwrap(), t3);
+        assert!(Delta::coalesce(vec![], &key_idx).is_empty());
+    }
+
+    #[test]
+    fn compose_drops_delete_reinsert_noops() {
+        let t0 = tbl(vec![row![1, "a"]]);
+        let t1 = tbl(vec![]);
+        let d1 = Delta::between(&t0, &t1).unwrap();
+        let d2 = Delta::between(&t1, &t0).unwrap(); // reinsert identical row
+        let key_idx = t0.schema().key_indices();
+        let composed = d1.compose(&d2, &key_idx);
+        assert!(composed.is_empty());
+        // Composing with the empty delta is the identity either way.
+        assert_eq!(d1.compose(&Delta::empty(), &key_idx), d1);
+        assert_eq!(Delta::empty().compose(&d1, &key_idx), d1);
     }
 
     #[test]

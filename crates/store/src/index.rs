@@ -31,6 +31,9 @@ pub struct ColumnIndex {
     column: String,
     col_idx: usize,
     map: BTreeMap<Value, BTreeSet<Row>>,
+    /// Total keys indexed (sum of all bucket sizes), maintained
+    /// incrementally so selectivity estimates never rescan the map.
+    entries: usize,
 }
 
 impl ColumnIndex {
@@ -40,6 +43,7 @@ impl ColumnIndex {
             column: column.into(),
             col_idx,
             map: BTreeMap::new(),
+            entries: 0,
         }
     }
 
@@ -58,18 +62,29 @@ impl ColumnIndex {
         self.map.len()
     }
 
+    /// Total number of keys indexed (rows of the owning table).
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
     /// Record `row` (stored under primary key `key`).
     pub fn add(&mut self, key: &Row, row: &Row) {
-        self.map
+        if self
+            .map
             .entry(row[self.col_idx].clone())
             .or_default()
-            .insert(key.clone());
+            .insert(key.clone())
+        {
+            self.entries += 1;
+        }
     }
 
     /// Forget `row` (stored under primary key `key`).
     pub fn remove(&mut self, key: &Row, row: &Row) {
         if let Some(keys) = self.map.get_mut(&row[self.col_idx]) {
-            keys.remove(key);
+            if keys.remove(key) {
+                self.entries -= 1;
+            }
             if keys.is_empty() {
                 self.map.remove(&row[self.col_idx]);
             }
@@ -79,6 +94,30 @@ impl ColumnIndex {
     /// Drop all entries.
     pub fn clear(&mut self) {
         self.map.clear();
+        self.entries = 0;
+    }
+
+    /// Estimate how many keys `probe` would touch. Equality probes read
+    /// their bucket size exactly (one map lookup); range probes count
+    /// bucket sizes across the range, stopping early once the running
+    /// total reaches `cap` — a candidate already worse than the best
+    /// alternative needs no exact count. The cost-based planner
+    /// ([`crate::Predicate::index_probe_with`]) feeds each candidate's
+    /// estimate back in as the next one's cap.
+    pub fn estimate(&self, probe: &IndexProbe, cap: usize) -> usize {
+        match &probe.kind {
+            ProbeKind::Eq(v) => self.map.get(v).map_or(0, BTreeSet::len),
+            ProbeKind::Range { lo, hi } => {
+                let mut n = 0;
+                for (_, keys) in self.map.range::<Value, _>((as_bound(lo), as_bound(hi))) {
+                    n += keys.len();
+                    if n >= cap {
+                        break;
+                    }
+                }
+                n
+            }
+        }
     }
 
     /// Primary keys of rows whose indexed column equals `v`.

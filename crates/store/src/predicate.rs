@@ -132,91 +132,172 @@ impl Predicate {
         }
     }
 
-    /// Extract the narrowest single-column constraint a secondary index on
-    /// one of `indexed` columns could serve.
-    ///
-    /// Walks the top-level conjunction (`And` spine) looking for leaves of
-    /// the form `col ⋈ literal` (or `literal ⋈ col`, flipped). Equality
-    /// probes are preferred over range probes since they touch the fewest
-    /// index entries. `Or`/`Not` sub-trees are never descended into — a
-    /// probe must be implied by the whole predicate — and the caller still
-    /// evaluates the full predicate on every candidate row, so the probe
-    /// only narrows the scan.
-    pub fn index_probe(&self, indexed: &[&str]) -> Option<crate::index::IndexProbe> {
-        use crate::index::IndexProbe;
-        use std::ops::Bound;
-
-        fn leaf_probe(p: &Predicate, indexed: &[&str]) -> Option<IndexProbe> {
-            let Predicate::Compare(op, l, r) = p else {
-                return None;
-            };
-            let (op, col, v) = match (l, r) {
-                (Operand::Col(c), Operand::Const(v)) => (*op, c, v),
-                (Operand::Const(v), Operand::Col(c)) => {
-                    // Flip `literal ⋈ col` into `col ⋈' literal`.
-                    let flipped = match op {
-                        Cmp::Lt => Cmp::Gt,
-                        Cmp::Le => Cmp::Ge,
-                        Cmp::Gt => Cmp::Lt,
-                        Cmp::Ge => Cmp::Le,
-                        other => *other,
-                    };
-                    (flipped, c, v)
-                }
-                _ => return None,
-            };
-            if !indexed.contains(&col.as_str()) {
-                return None;
-            }
-            match op {
-                Cmp::Eq => Some(IndexProbe::eq(col, v.clone())),
-                Cmp::Lt => Some(IndexProbe::range(
-                    col,
-                    Bound::Unbounded,
-                    Bound::Excluded(v.clone()),
-                )),
-                Cmp::Le => Some(IndexProbe::range(
-                    col,
-                    Bound::Unbounded,
-                    Bound::Included(v.clone()),
-                )),
-                Cmp::Gt => Some(IndexProbe::range(
-                    col,
-                    Bound::Excluded(v.clone()),
-                    Bound::Unbounded,
-                )),
-                Cmp::Ge => Some(IndexProbe::range(
-                    col,
-                    Bound::Included(v.clone()),
-                    Bound::Unbounded,
-                )),
-                Cmp::Ne => None,
-            }
-        }
-
-        fn walk(p: &Predicate, indexed: &[&str], best: &mut Option<crate::index::IndexProbe>) {
+    /// Every single-column constraint a secondary index could serve,
+    /// collected from the top-level conjunction (`And` spine): leaves of
+    /// the form `col ⋈ literal` (or `literal ⋈ col`, flipped) on one of
+    /// `indexed` columns. `Or`/`Not` sub-trees are never descended into —
+    /// a probe must be implied by the whole predicate — and the caller
+    /// still evaluates the full predicate on every candidate row, so a
+    /// probe only narrows the scan.
+    pub fn index_probes(&self, indexed: &[&str]) -> Vec<crate::index::IndexProbe> {
+        fn walk(p: &Predicate, indexed: &[&str], out: &mut Vec<crate::index::IndexProbe>) {
             match p {
                 Predicate::And(l, r) => {
-                    walk(l, indexed, best);
-                    walk(r, indexed, best);
+                    walk(l, indexed, out);
+                    walk(r, indexed, out);
                 }
-                leaf => {
-                    if let Some(probe) = leaf_probe(leaf, indexed) {
-                        let better = match best {
-                            None => true,
-                            Some(b) => probe.is_eq() && !b.is_eq(),
-                        };
-                        if better {
-                            *best = Some(probe);
+                leaf => out.extend(leaf_probe(leaf, indexed)),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, indexed, &mut out);
+        out
+    }
+
+    /// Extract the narrowest single-column constraint a secondary index on
+    /// one of `indexed` columns could serve, *without* index statistics:
+    /// equality probes are preferred over range probes structurally. When
+    /// the actual indexes are at hand, prefer
+    /// [`Predicate::index_probe_with`], which picks by estimated
+    /// selectivity instead.
+    pub fn index_probe(&self, indexed: &[&str]) -> Option<crate::index::IndexProbe> {
+        let mut best: Option<crate::index::IndexProbe> = None;
+        for probe in self.index_probes(indexed) {
+            let better = match &best {
+                None => true,
+                Some(b) => probe.is_eq() && !b.is_eq(),
+            };
+            if better {
+                best = Some(probe);
+            }
+        }
+        best
+    }
+
+    /// Cost-based probe choice: among every candidate probe the predicate
+    /// implies, pick the one whose index estimates the fewest matching
+    /// rows — equality probes read their bucket size, range probes count
+    /// entries with an early exit at the best estimate so far (see
+    /// [`crate::index::ColumnIndex::estimate`]). A tight range on a
+    /// high-cardinality column therefore beats an equality probe on a
+    /// skewed two-value column, which the structural
+    /// [`Predicate::index_probe`] would never choose.
+    pub fn index_probe_with(
+        &self,
+        indexes: &[crate::index::ColumnIndex],
+    ) -> Option<crate::index::IndexProbe> {
+        let indexed: Vec<&str> = indexes
+            .iter()
+            .map(crate::index::ColumnIndex::column)
+            .collect();
+        let mut candidates = self.index_probes(&indexed);
+        // A lone candidate needs no estimation — picking it is free, and
+        // estimating a wide range would walk the same buckets the caller
+        // is about to walk anyway.
+        if candidates.len() <= 1 {
+            return candidates.pop();
+        }
+        // Equality probes first: each estimate is one O(log n) bucket
+        // lookup, and the winner seeds the cap that lets every range
+        // estimate exit early instead of walking its whole bucket run.
+        let (eqs, ranges): (Vec<_>, Vec<_>) = candidates
+            .into_iter()
+            .partition(crate::index::IndexProbe::is_eq);
+        let mut best: Option<(crate::index::IndexProbe, usize)> = None;
+        for probe in eqs.into_iter().chain(ranges) {
+            let idx = indexes
+                .iter()
+                .find(|i| i.column() == probe.column)
+                .expect("candidate probes only name indexed columns");
+            let cap = best.as_ref().map_or(usize::MAX, |(_, c)| *c);
+            let est = idx.estimate(&probe, cap);
+            let better = match &best {
+                None => true,
+                // Strictly fewer estimated rows wins; at a tie an equality
+                // probe is still the cheaper seek.
+                Some((b, c)) => est < *c || (est == *c && probe.is_eq() && !b.is_eq()),
+            };
+            if better {
+                best = Some((probe, est));
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+
+    /// The tightest bounds this predicate implies on `column`, collected
+    /// from the top-level conjunction (`Or`/`Not` sub-trees contribute
+    /// nothing — a bound must be implied by the whole predicate). Every
+    /// row satisfying the predicate has its `column` value within the
+    /// returned `(lower, upper)` bounds; an unconstrained side is
+    /// [`std::ops::Bound::Unbounded`]. Sharded engines use this on key
+    /// columns to
+    /// prune reads to the shards a view's window can touch.
+    pub fn value_bounds(&self, column: &str) -> (std::ops::Bound<Value>, std::ops::Bound<Value>) {
+        use std::ops::Bound;
+
+        fn lower_is_tighter(new: &Value, new_excl: bool, cur: &Bound<Value>) -> bool {
+            match cur {
+                Bound::Unbounded => true,
+                Bound::Included(c) => new > c || (new == c && new_excl),
+                Bound::Excluded(c) => new > c,
+            }
+        }
+        fn upper_is_tighter(new: &Value, new_excl: bool, cur: &Bound<Value>) -> bool {
+            match cur {
+                Bound::Unbounded => true,
+                Bound::Included(c) => new < c || (new == c && new_excl),
+                Bound::Excluded(c) => new < c,
+            }
+        }
+        fn walk(p: &Predicate, column: &str, lo: &mut Bound<Value>, hi: &mut Bound<Value>) {
+            match p {
+                Predicate::And(l, r) => {
+                    walk(l, column, lo, hi);
+                    walk(r, column, lo, hi);
+                }
+                Predicate::Compare(op, l, r) => {
+                    let (op, col, v) = match (l, r) {
+                        (Operand::Col(c), Operand::Const(v)) => (*op, c, v),
+                        (Operand::Const(v), Operand::Col(c)) => (flip(*op), c, v),
+                        _ => return,
+                    };
+                    if col != column {
+                        return;
+                    }
+                    let (lo_new, hi_new) = match op {
+                        Cmp::Eq => (Some((v, false)), Some((v, false))),
+                        Cmp::Lt => (None, Some((v, true))),
+                        Cmp::Le => (None, Some((v, false))),
+                        Cmp::Gt => (Some((v, true)), None),
+                        Cmp::Ge => (Some((v, false)), None),
+                        Cmp::Ne => (None, None),
+                    };
+                    if let Some((v, excl)) = lo_new {
+                        if lower_is_tighter(v, excl, lo) {
+                            *lo = if excl {
+                                Bound::Excluded(v.clone())
+                            } else {
+                                Bound::Included(v.clone())
+                            };
+                        }
+                    }
+                    if let Some((v, excl)) = hi_new {
+                        if upper_is_tighter(v, excl, hi) {
+                            *hi = if excl {
+                                Bound::Excluded(v.clone())
+                            } else {
+                                Bound::Included(v.clone())
+                            };
                         }
                     }
                 }
+                _ => {}
             }
         }
-
-        let mut best = None;
-        walk(self, indexed, &mut best);
-        best
+        let mut lo = Bound::Unbounded;
+        let mut hi = Bound::Unbounded;
+        walk(self, column, &mut lo, &mut hi);
+        (lo, hi)
     }
 
     /// The columns an index could serve for this predicate: every column
@@ -284,6 +365,60 @@ impl Predicate {
             Predicate::Or(l, r) => Ok(l.eval(schema, row)? || r.eval(schema, row)?),
             Predicate::Not(p) => Ok(!p.eval(schema, row)?),
         }
+    }
+}
+
+/// Flip a comparison so `literal ⋈ col` reads as `col ⋈' literal`.
+fn flip(op: Cmp) -> Cmp {
+    match op {
+        Cmp::Lt => Cmp::Gt,
+        Cmp::Le => Cmp::Ge,
+        Cmp::Gt => Cmp::Lt,
+        Cmp::Ge => Cmp::Le,
+        other => other,
+    }
+}
+
+/// The index probe one conjunction leaf implies, if any: `col ⋈ literal`
+/// (either operand order) on an indexed column.
+fn leaf_probe(p: &Predicate, indexed: &[&str]) -> Option<crate::index::IndexProbe> {
+    use crate::index::IndexProbe;
+    use std::ops::Bound;
+
+    let Predicate::Compare(op, l, r) = p else {
+        return None;
+    };
+    let (op, col, v) = match (l, r) {
+        (Operand::Col(c), Operand::Const(v)) => (*op, c, v),
+        (Operand::Const(v), Operand::Col(c)) => (flip(*op), c, v),
+        _ => return None,
+    };
+    if !indexed.contains(&col.as_str()) {
+        return None;
+    }
+    match op {
+        Cmp::Eq => Some(IndexProbe::eq(col, v.clone())),
+        Cmp::Lt => Some(IndexProbe::range(
+            col,
+            Bound::Unbounded,
+            Bound::Excluded(v.clone()),
+        )),
+        Cmp::Le => Some(IndexProbe::range(
+            col,
+            Bound::Unbounded,
+            Bound::Included(v.clone()),
+        )),
+        Cmp::Gt => Some(IndexProbe::range(
+            col,
+            Bound::Excluded(v.clone()),
+            Bound::Unbounded,
+        )),
+        Cmp::Ge => Some(IndexProbe::range(
+            col,
+            Bound::Included(v.clone()),
+            Bound::Unbounded,
+        )),
+        Cmp::Ne => None,
     }
 }
 
@@ -364,6 +499,84 @@ mod tests {
         let s = schema();
         let p = Predicate::eq(Operand::col("nope"), Operand::val(1));
         assert!(matches!(p.validate(&s), Err(StoreError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn value_bounds_tighten_over_the_conjunction() {
+        use std::ops::Bound;
+        let p = Predicate::ge(Operand::col("id"), Operand::val(10))
+            .and(Predicate::lt(Operand::col("id"), Operand::val(20)))
+            .and(Predicate::gt(Operand::val(12), Operand::col("id"))); // flipped: id < 12
+        let (lo, hi) = p.value_bounds("id");
+        assert_eq!(lo, Bound::Included(Value::Int(10)));
+        assert_eq!(hi, Bound::Excluded(Value::Int(12)));
+
+        // Equality pins both sides; other columns contribute nothing.
+        let (lo, hi) = Predicate::eq(Operand::col("id"), Operand::val(7)).value_bounds("id");
+        assert_eq!(lo, Bound::Included(Value::Int(7)));
+        assert_eq!(hi, Bound::Included(Value::Int(7)));
+        let (lo, hi) = Predicate::eq(Operand::col("name"), Operand::val("x")).value_bounds("id");
+        assert_eq!((lo, hi), (Bound::Unbounded, Bound::Unbounded));
+
+        // Or / Not sub-trees are conservative: no bound is implied.
+        let p = Predicate::ge(Operand::col("id"), Operand::val(10))
+            .or(Predicate::lt(Operand::col("id"), Operand::val(0)));
+        assert_eq!(p.value_bounds("id"), (Bound::Unbounded, Bound::Unbounded));
+
+        // An exclusive bound at the same value is tighter than inclusive.
+        let p = Predicate::ge(Operand::col("id"), Operand::val(10))
+            .and(Predicate::gt(Operand::col("id"), Operand::val(10)));
+        assert_eq!(p.value_bounds("id").0, Bound::Excluded(Value::Int(10)));
+    }
+
+    #[test]
+    fn cost_based_probe_beats_structural_preference_on_skew() {
+        use crate::row;
+        use crate::schema::Schema;
+        use crate::table::Table;
+        use crate::value::ValueType;
+
+        // 200 rows: `flag` has 2 distinct values (skewed), `score` is
+        // unique. The predicate implies an equality probe on flag (100
+        // rows) and a tight range probe on score (5 rows).
+        let schema = Schema::build(
+            &[
+                ("id", ValueType::Int),
+                ("flag", ValueType::Int),
+                ("score", ValueType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        let mut t = Table::from_rows(
+            schema,
+            (0..200i64).map(|i| row![i, i % 2, i]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        t.create_index("flag").unwrap();
+        t.create_index("score").unwrap();
+
+        let pred = Predicate::eq(Operand::col("flag"), Operand::val(1))
+            .and(Predicate::ge(Operand::col("score"), Operand::val(195)));
+
+        // Structural preference picks the equality probe…
+        let structural = pred.index_probe(&["flag", "score"]).unwrap();
+        assert_eq!(structural.column, "flag");
+        assert!(structural.is_eq());
+
+        // …the cost-based planner picks the far more selective range.
+        let flag_idx = t.index("flag").unwrap().clone();
+        let score_idx = t.index("score").unwrap().clone();
+        assert_eq!(flag_idx.distinct_values(), 2);
+        assert_eq!(flag_idx.entry_count(), 200);
+        let costed = pred.index_probe_with(&[flag_idx, score_idx]).unwrap();
+        assert_eq!(costed.column, "score");
+        assert!(!costed.is_eq());
+
+        // Either way the select answer is identical.
+        let plain = Table::from_rows(t.schema().clone(), t.rows().cloned()).unwrap();
+        assert_eq!(t.select(&pred).unwrap(), plain.select(&pred).unwrap());
+        assert_eq!(t.select(&pred).unwrap().len(), 3); // 195, 197, 199
     }
 
     #[test]

@@ -272,13 +272,16 @@ impl Table {
     ///
     /// When the predicate constrains an indexed column (see
     /// [`Table::create_index`]), candidates come from an index seek rather
-    /// than a full scan; the complete predicate is still evaluated on each
-    /// candidate, so the result is identical either way.
+    /// than a full scan; with several candidate probes the planner picks
+    /// the one estimating the fewest rows
+    /// ([`Predicate::index_probe_with`]), so a tight range on a
+    /// high-cardinality column beats an equality probe on a skewed one.
+    /// The complete predicate is still evaluated on each candidate, so the
+    /// result is identical either way.
     pub fn select(&self, pred: &Predicate) -> Result<Table, StoreError> {
         pred.validate(&self.schema)?;
         let mut out = Table::new(self.schema.clone());
-        let indexed = self.indexed_columns();
-        if let Some(probe) = pred.index_probe(&indexed) {
+        if let Some(probe) = pred.index_probe_with(&self.indexes) {
             let idx = self
                 .index(&probe.column)
                 .expect("probe only names indexed columns");
