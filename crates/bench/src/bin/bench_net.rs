@@ -1,0 +1,204 @@
+//! Network front-end perf trajectory: view-read and commit (optimistic
+//! view edit) throughput, in-process vs loopback socket, at 1 / 16 /
+//! 256 concurrent clients. Emits `BENCH_net.json`.
+//!
+//! What multiplexing buys: a single socket client is latency-bound —
+//! every operation pays a full request/response round trip before the
+//! next can start. With many connections, the server's readiness loop
+//! overlaps those round trips and its worker pool executes requests in
+//! parallel against the engine's striped pipelines, so aggregate
+//! throughput climbs well past the one-client line. The acceptance
+//! gate asserts 16 socket clients deliver ≥ 1.2x the read throughput
+//! of one socket client (they overlap RTTs even on a small machine);
+//! the 256-client line records how far the loop scales.
+//!
+//! Usage: `cargo run --release -p esm-bench --bin bench_net [dir]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use esm_bench::results::BenchResults;
+use esm_engine::{ArcEngine, Engine, EngineServer};
+use esm_net::{NetServer, NetServerConfig, RemoteEngine};
+use esm_relational::ViewDef;
+use esm_store::{row, Database, Operand, Predicate, Row, Schema, Table, ValueType};
+
+/// Distinct views so readers do not serialize on one window mutex.
+const VIEWS: i64 = 8;
+const GATE_MIN_SCALING: f64 = 1.2;
+
+fn seed_db() -> Database {
+    let schema = Schema::build(
+        &[
+            ("id", ValueType::Int),
+            ("band", ValueType::Int),
+            ("val", ValueType::Int),
+        ],
+        &["id"],
+    )
+    .expect("valid schema");
+    let rows: Vec<Row> = (0..VIEWS * 32).map(|i| row![i, i % VIEWS, i * 3]).collect();
+    let mut db = Database::new();
+    db.create_table("kv", Table::from_rows(schema, rows).expect("valid rows"))
+        .expect("fresh");
+    db
+}
+
+fn engine_with_views() -> ArcEngine {
+    let engine = EngineServer::new(seed_db());
+    for b in 0..VIEWS {
+        engine
+            .define_view(
+                format!("w{b}"),
+                "kv",
+                &ViewDef::base().select(Predicate::eq(Operand::col("band"), Operand::val(b))),
+            )
+            .expect("view compiles");
+    }
+    engine.as_engine()
+}
+
+/// Run `clients` worker threads, each holding its own engine handle
+/// (an in-process clone or its own socket connection), and return
+/// aggregate ops/second.
+fn run_clients(
+    handles: Vec<ArcEngine>,
+    ops_per_client: usize,
+    op: impl Fn(&dyn Engine, usize, usize) + Sync,
+) -> f64 {
+    let op = &op;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (client, handle) in handles.iter().enumerate() {
+            scope.spawn(move || {
+                for i in 0..ops_per_client {
+                    op(&**handle, client, i);
+                }
+            });
+        }
+    });
+    let total = handles.len() * ops_per_client;
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+fn read_op(engine: &dyn Engine, client: usize, _i: usize) {
+    let view = format!("w{}", client as i64 % VIEWS);
+    let t = engine.read_view(&view).expect("readable");
+    assert!(!t.is_empty());
+}
+
+fn edit_op(engine: &dyn Engine, client: usize, i: usize) {
+    let band = client as i64 % VIEWS;
+    let id = 1_000_000 + (client * 10_000 + i) as i64;
+    engine
+        .edit_view_optimistic(&format!("w{band}"), 4096, &move |v: &mut Table| {
+            v.upsert(row![id, band, 1])?;
+            Ok(())
+        })
+        .expect("edit commits");
+}
+
+fn inproc_handles(engine: &ArcEngine, n: usize) -> Vec<ArcEngine> {
+    (0..n).map(|_| engine.as_engine()).collect()
+}
+
+fn socket_handles(addr: std::net::SocketAddr, n: usize) -> Vec<ArcEngine> {
+    (0..n)
+        .map(|_| Arc::new(RemoteEngine::connect(addr).expect("loopback connect")) as ArcEngine)
+        .collect()
+}
+
+fn record(results: &mut BenchResults, id: String, ops_per_s: f64, note: String) {
+    println!("  {note}");
+    results.record(id, 1e9 / ops_per_s.max(1e-9), note);
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let mut results = BenchResults::new();
+
+    // One shared in-process engine and one server fronting an identical
+    // engine, so the two transports measure the same workload.
+    let inproc = engine_with_views();
+    let served = engine_with_views();
+    let server =
+        NetServer::bind(served, "127.0.0.1:0", NetServerConfig::default()).expect("loopback bind");
+    let addr = server.local_addr();
+
+    let mut socket_reads: Vec<(usize, f64)> = Vec::new();
+    println!("view-read throughput (ops/s):");
+    for &clients in &[1usize, 16, 256] {
+        let ops = (4096 / clients).max(16);
+        let in_ops = run_clients(inproc_handles(&inproc, clients), ops, read_op);
+        record(
+            &mut results,
+            format!("net/read/in_process/{clients}"),
+            in_ops,
+            format!("in-process read x{clients}: {in_ops:.0} ops/s"),
+        );
+        let so_ops = run_clients(socket_handles(addr, clients), ops, read_op);
+        record(
+            &mut results,
+            format!("net/read/socket/{clients}"),
+            so_ops,
+            format!("loopback-socket read x{clients}: {so_ops:.0} ops/s"),
+        );
+        socket_reads.push((clients, so_ops));
+    }
+
+    println!("commit (optimistic view edit) throughput (ops/s):");
+    for &clients in &[1usize, 16, 256] {
+        let ops = (1024 / clients).max(4);
+        let in_ops = run_clients(inproc_handles(&inproc, clients), ops, edit_op);
+        record(
+            &mut results,
+            format!("net/commit/in_process/{clients}"),
+            in_ops,
+            format!("in-process commit x{clients}: {in_ops:.0} ops/s"),
+        );
+        let so_ops = run_clients(socket_handles(addr, clients), ops, edit_op);
+        record(
+            &mut results,
+            format!("net/commit/socket/{clients}"),
+            so_ops,
+            format!("loopback-socket commit x{clients}: {so_ops:.0} ops/s"),
+        );
+    }
+
+    let stats = server.stats();
+    println!(
+        "server lifetime: {} connections, {} requests",
+        stats.accepted, stats.requests
+    );
+    server.shutdown();
+
+    // The gate: multiplexed socket clients must beat one socket client
+    // on aggregate read throughput (RTT overlap is the whole point of
+    // the non-blocking front end).
+    let one = socket_reads
+        .iter()
+        .find(|(c, _)| *c == 1)
+        .expect("measured")
+        .1;
+    let sixteen = socket_reads
+        .iter()
+        .find(|(c, _)| *c == 16)
+        .expect("measured")
+        .1;
+    let scaling = sixteen / one;
+    results.record(
+        "net/read/socket/scaling_16_over_1",
+        scaling * 1000.0,
+        format!("16-client / 1-client socket read throughput = {scaling:.2}x (gate >= {GATE_MIN_SCALING}x)"),
+    );
+    println!("16-client / 1-client socket read scaling: {scaling:.2}x");
+    assert!(
+        scaling >= GATE_MIN_SCALING,
+        "multiplexing gate failed: 16 clients delivered only {scaling:.2}x one client's read throughput (need >= {GATE_MIN_SCALING}x)"
+    );
+
+    let path = results
+        .write_json(dir, "net")
+        .expect("write BENCH_net.json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,371 @@
+//! [`Engine`]: the one public surface every engine implementation
+//! serves.
+//!
+//! The paper's entangled state monads are *client handles* onto shared
+//! hidden state; nothing about the handle says where that state lives.
+//! This module makes the engine side of that contract a trait: an
+//! [`Engine`] owns base tables and named bidirectional views, commits
+//! transactions with first-committer-wins, and answers reads from
+//! maintained materialized windows. Three implementations share it:
+//!
+//! * [`crate::EngineServer`] — one lock-striped in-process engine;
+//! * [`crate::shard::ShardedEngineServer`] — key-range shards with
+//!   cross-shard two-phase commit;
+//! * `RemoteEngine` (the `esm-net` crate) — the same surface spoken
+//!   over a length-prefixed socket protocol, so an
+//!   [`crate::EntangledView`] is **host-location-oblivious**: the same
+//!   client code (and the same conformance suite, see
+//!   [`crate::testkit`]) runs in-process and across a wire.
+//!
+//! The trait is object safe: clients hold `Arc<dyn Engine>` and never
+//! know which implementation answers. Closure-taking methods accept
+//! `&dyn Fn` for that reason; the concrete engines also keep their
+//! generic inherent methods, which these trait methods forward to.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use esm_relational::ViewDef;
+use esm_store::{Database, Delta, Table};
+
+use crate::error::EngineError;
+use crate::metrics::MetricsSnapshot;
+use crate::view::EntangledView;
+
+/// A shared, dynamically dispatched engine handle — what an
+/// [`EntangledView`] and a [`crate::Session`] hold.
+pub type ArcEngine = Arc<dyn Engine>;
+
+/// What a committed transaction did: its position in the engine-wide
+/// serialization order, the shards it touched, and the per-table deltas.
+#[derive(Debug, Clone)]
+pub struct CommitReceipt {
+    /// Commit stamp: taken while every participant lock was held, so
+    /// sorting receipts by stamp is a valid serialization order of the
+    /// workload (the model-based suite re-executes it single-threaded).
+    /// On an unsharded engine this is the WAL sequence number of the
+    /// transaction's terminator record.
+    pub stamp: u64,
+    /// Topology indexes of the shards the transaction wrote (empty on an
+    /// unsharded engine).
+    pub shards: Vec<usize>,
+    /// The committed per-table deltas (merged across shards).
+    pub deltas: BTreeMap<String, Delta>,
+    /// The global transaction id, for cross-shard commits.
+    pub gtx: Option<String>,
+}
+
+/// Validate and apply one table's client-computed delta in place: every
+/// row must fit the schema's arity (wire-decoded deltas arrive
+/// unvalidated), every deleted row must still be present exactly as the
+/// client saw it (its pre-image), and every inserted key must be free
+/// once the pre-images are gone. [`Delta::between`] renders a
+/// modification as delete(old) + insert(new), so this is
+/// first-committer-wins at row granularity against the client's
+/// snapshot.
+pub fn apply_table_delta_checked(
+    table: &mut Table,
+    name: &str,
+    delta: &Delta,
+) -> Result<(), EngineError> {
+    let arity = table.schema().columns().len();
+    for row in delta.deleted.iter().chain(delta.inserted.iter()) {
+        if row.len() != arity {
+            return Err(EngineError::Store(esm_store::StoreError::Arity {
+                expected: arity,
+                got: row.len(),
+            }));
+        }
+    }
+    for row in &delta.deleted {
+        let key = table.key_of(row);
+        if table.get_by_key(&key) != Some(row) {
+            return Err(EngineError::Conflict {
+                table: name.to_string(),
+                detail: format!("pre-image of key {key:?} changed since the client's snapshot"),
+            });
+        }
+    }
+    for row in &delta.deleted {
+        let key = table.key_of(row);
+        table.delete_by_key(&key);
+    }
+    for row in &delta.inserted {
+        let key = table.key_of(row);
+        if table.get_by_key(&key).is_some() {
+            return Err(EngineError::Conflict {
+                table: name.to_string(),
+                detail: format!("key {key:?} was created concurrently"),
+            });
+        }
+        table.upsert(row.clone())?;
+    }
+    Ok(())
+}
+
+/// [`apply_table_delta_checked`] over a whole database — the body the
+/// default [`Engine::commit_checked`] runs inside `transact`.
+pub fn apply_deltas_checked(
+    db: &mut Database,
+    deltas: &[(String, Delta)],
+) -> Result<(), EngineError> {
+    for (name, delta) in deltas {
+        apply_table_delta_checked(db.table_mut(name)?, name, delta)?;
+    }
+    Ok(())
+}
+
+/// A concurrent, transactional, bidirectional database engine.
+///
+/// One trait, three hosts (in-process, sharded, remote): every method a
+/// client needs to run the paper's entangled sessions against shared
+/// state lives here, and nothing engine-shape-specific does. Sharded
+/// topology control (`split_shard`, `merge_shards`), durability tuning
+/// and recovery stay inherent methods of the concrete types — they are
+/// operator surface, not client surface.
+pub trait Engine: Send + Sync + std::fmt::Debug {
+    /// This engine as a shared dynamic handle. Implementations are cheap
+    /// clone-able facades, so this is one `Arc::new(self.clone())`.
+    fn as_engine(&self) -> ArcEngine;
+
+    /// Registered table names, sorted.
+    fn table_names(&self) -> Vec<String>;
+
+    /// A snapshot of one base table.
+    fn table(&self, name: &str) -> Result<Table, EngineError>;
+
+    /// A snapshot of the whole database (consistency per implementation:
+    /// the sharded engine holds all shard read locks together; the
+    /// unsharded engine is atomic per stripe).
+    fn snapshot(&self) -> Database;
+
+    /// Compile and register a named entangled view over `table`,
+    /// returning a client handle. The view is validated against the
+    /// current table state, select-constrained columns get secondary
+    /// indexes, and the window is materialized for delta maintenance.
+    fn define_view(
+        &self,
+        name: &str,
+        table: &str,
+        def: &ViewDef,
+    ) -> Result<EntangledView, EngineError>;
+
+    /// A client handle onto an already-registered view.
+    fn view(&self, name: &str) -> Result<EntangledView, EngineError>;
+
+    /// Registered view names, sorted.
+    fn view_names(&self) -> Vec<String>;
+
+    /// Read a view against the current base state, served from its
+    /// maintained materialized window — O(changes since the last read).
+    fn read_view(&self, name: &str) -> Result<Table, EngineError>;
+
+    /// Write an edited view back (lens `put`, replaces the whole visible
+    /// window; last-writer-wins between racing putters). Returns the
+    /// base-table delta the write committed.
+    fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError>;
+
+    /// Transactionally edit a view: read, apply `edit`, write back,
+    /// revalidating first-committer-wins, retrying up to `attempts`
+    /// times. Returns the committed base-table delta.
+    fn edit_view_optimistic(
+        &self,
+        name: &str,
+        attempts: u32,
+        edit: &dyn Fn(&mut Table) -> Result<(), EngineError>,
+    ) -> Result<Delta, EngineError>;
+
+    /// Run `body` in a snapshot transaction over the whole database,
+    /// retrying first-committer-wins conflicts up to `max_attempts`
+    /// times. Multi-table writes commit atomically (chained WAL records
+    /// in-process; two-phase commit across shards).
+    fn transact(
+        &self,
+        max_attempts: u32,
+        body: &dyn Fn(&mut Database) -> Result<(), EngineError>,
+    ) -> Result<CommitReceipt, EngineError>;
+
+    /// Commit client-computed per-table deltas in one atomic
+    /// transaction, validating each row against its pre-image
+    /// ([`apply_table_delta_checked`]) — the wire protocol's commit
+    /// primitive, where the client's snapshot cannot travel back with
+    /// the request. The default runs one `transact` attempt (a conflict
+    /// means the client must re-snapshot, so server-side retries are
+    /// useless); implementations may override with a delta-direct path
+    /// that avoids whole-database snapshots.
+    fn commit_checked(&self, deltas: &[(String, Delta)]) -> Result<CommitReceipt, EngineError> {
+        self.transact(1, &|db: &mut Database| apply_deltas_checked(db, deltas))
+    }
+
+    /// Current engine counters.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Write a durable checkpoint covering every committed record and
+    /// compact fully-covered segments. Returns the lowest covered
+    /// sequence number across the engine's logs, or `None` for
+    /// in-memory engines.
+    fn checkpoint(&self) -> Result<Option<u64>, EngineError>;
+
+    /// Force-fsync any group-commit batch the durable log is holding.
+    /// No-op for in-memory engines.
+    fn sync_wal(&self) -> Result<(), EngineError>;
+}
+
+impl Engine for crate::EngineServer {
+    fn as_engine(&self) -> ArcEngine {
+        Arc::new(self.clone())
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        crate::EngineServer::table_names(self)
+    }
+
+    fn table(&self, name: &str) -> Result<Table, EngineError> {
+        crate::EngineServer::table(self, name)
+    }
+
+    fn snapshot(&self) -> Database {
+        crate::EngineServer::snapshot(self)
+    }
+
+    fn define_view(
+        &self,
+        name: &str,
+        table: &str,
+        def: &ViewDef,
+    ) -> Result<EntangledView, EngineError> {
+        crate::EngineServer::define_view(self, name, table, def)
+    }
+
+    fn view(&self, name: &str) -> Result<EntangledView, EngineError> {
+        crate::EngineServer::view(self, name)
+    }
+
+    fn view_names(&self) -> Vec<String> {
+        crate::EngineServer::view_names(self)
+    }
+
+    fn read_view(&self, name: &str) -> Result<Table, EngineError> {
+        crate::EngineServer::read_view(self, name)
+    }
+
+    fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
+        crate::EngineServer::write_view(self, name, view)
+    }
+
+    fn edit_view_optimistic(
+        &self,
+        name: &str,
+        attempts: u32,
+        edit: &dyn Fn(&mut Table) -> Result<(), EngineError>,
+    ) -> Result<Delta, EngineError> {
+        crate::EngineServer::edit_view_optimistic(self, name, attempts, edit)
+    }
+
+    fn transact(
+        &self,
+        max_attempts: u32,
+        body: &dyn Fn(&mut Database) -> Result<(), EngineError>,
+    ) -> Result<CommitReceipt, EngineError> {
+        crate::EngineServer::transact(self, max_attempts, body)
+    }
+
+    fn commit_checked(&self, deltas: &[(String, Delta)]) -> Result<CommitReceipt, EngineError> {
+        crate::EngineServer::commit_deltas_checked(self, deltas)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        crate::EngineServer::metrics(self)
+    }
+
+    fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
+        crate::EngineServer::checkpoint(self)
+    }
+
+    fn sync_wal(&self) -> Result<(), EngineError> {
+        crate::EngineServer::sync_wal(self)
+    }
+}
+
+impl Engine for crate::shard::ShardedEngineServer {
+    fn as_engine(&self) -> ArcEngine {
+        Arc::new(self.clone())
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        crate::shard::ShardedEngineServer::table_names(self)
+    }
+
+    fn table(&self, name: &str) -> Result<Table, EngineError> {
+        crate::shard::ShardedEngineServer::table(self, name)
+    }
+
+    fn snapshot(&self) -> Database {
+        crate::shard::ShardedEngineServer::snapshot(self)
+    }
+
+    fn define_view(
+        &self,
+        name: &str,
+        table: &str,
+        def: &ViewDef,
+    ) -> Result<EntangledView, EngineError> {
+        crate::shard::ShardedEngineServer::define_view(self, name, table, def)
+    }
+
+    fn view(&self, name: &str) -> Result<EntangledView, EngineError> {
+        crate::shard::ShardedEngineServer::view(self, name)
+    }
+
+    fn view_names(&self) -> Vec<String> {
+        crate::shard::ShardedEngineServer::view_names(self)
+    }
+
+    fn read_view(&self, name: &str) -> Result<Table, EngineError> {
+        crate::shard::ShardedEngineServer::read_view(self, name)
+    }
+
+    fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
+        crate::shard::ShardedEngineServer::write_view(self, name, view)
+    }
+
+    fn edit_view_optimistic(
+        &self,
+        name: &str,
+        attempts: u32,
+        edit: &dyn Fn(&mut Table) -> Result<(), EngineError>,
+    ) -> Result<Delta, EngineError> {
+        crate::shard::ShardedEngineServer::edit_view_optimistic(self, name, attempts, edit)
+    }
+
+    fn transact(
+        &self,
+        max_attempts: u32,
+        body: &dyn Fn(&mut Database) -> Result<(), EngineError>,
+    ) -> Result<CommitReceipt, EngineError> {
+        crate::shard::ShardedEngineServer::transact(self, max_attempts, body)
+    }
+
+    fn commit_checked(&self, deltas: &[(String, Delta)]) -> Result<CommitReceipt, EngineError> {
+        // Declare the touched keys so only their shards are snapshotted
+        // and locked (the single-shard fast path end to end for most
+        // remote commits); validation still runs row-for-row against
+        // the pre-images inside the engine's own transaction.
+        crate::shard::ShardedEngineServer::commit_deltas_checked(self, deltas)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        crate::shard::ShardedEngineServer::metrics(self)
+    }
+
+    fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
+        // The trait reports one covering floor: the lowest covered seq
+        // across the per-shard logs (each shard checkpoints its own).
+        Ok(crate::shard::ShardedEngineServer::checkpoint(self)?
+            .and_then(|seqs| seqs.into_iter().min()))
+    }
+
+    fn sync_wal(&self) -> Result<(), EngineError> {
+        crate::shard::ShardedEngineServer::sync_wal(self)
+    }
+}

@@ -12,27 +12,48 @@
 //!
 //! ## Architecture
 //!
+//! Clients never see an engine *shape* — they see the [`Engine`] trait.
+//! Handles ([`EntangledView`]) and per-client state ([`Session`]) are
+//! written against `dyn Engine`, so the same client code (and the same
+//! conformance suite, [`testkit`]) runs against the lock-striped
+//! in-process engine, the key-range-sharded engine, and — via the
+//! `esm-net` crate's `RemoteEngine`/`NetServer` pair — an engine on the
+//! far side of a socket:
+//!
 //! ```text
-//!   clients (threads)            engine                        esm-store
-//!  ┌───────────────┐   ┌──────────────────────────┐   ┌─────────────────────┐
-//!  │ EntangledView ├──▶│ EngineServer             │   │ Table (+ indexes,   │
-//!  │  .get()/.put()│   │  ├ Stripes<Table>  ──────┼──▶│   key-range slices) │
-//!  │  .edit(f)     │   │  ├ views: DeltaLens +    │   │ Delta (ordered merge│
-//!  └───────┬───────┘   │  │  materialized window  │   │  diffs, compose,    │
-//!          │           │  ├ Wal (committed ops)   │   │  in-place apply)    │
-//!          │           │  │   └ DurableWal ───────┼─┐ │ Database            │
-//!  ┌───────┴───────┐   │  ├ Metrics               │ │ └─────────────────────┘
-//!  │ TxStore/Tx    ├──▶│  └ first-committer-wins  │ │ ┌─────────────────────┐
-//!  │ begin/commit  │   │    via Delta key overlap │ └▶│ wal-*.seg segments  │
-//!  └───────┬───────┘   └──────────────────────────┘   │  (CRC32 frames)     │
-//!          │           ┌──────────────────────────┐   │ checkpoint-*.ckpt   │
-//!          └──────────▶│ ShardedEngineServer      │   └─────────────────────┘
-//!                      │  ├ ShardRouter (k-ranges)│   ┌─────────────────────┐
-//!                      │  ├ Shard ×N: db+wal each ┼──▶│ base-dir/           │
-//!                      │  ├ ShardCoordinator (2PC)│   │   topology.esm      │
-//!                      │  └ rebalance: split/merge│   │   shard-<id>/…      │
-//!                      └──────────────────────────┘   └─────────────────────┘
+//!   client state                 the one trait            implementations
+//!  ┌────────────────┐    ┌───────────────────────┐   ┌──────────────────────────┐
+//!  │ Session        │    │ Engine                │   │ EngineServer             │
+//!  │  ├ view handles├───▶│  transact             │◀──┤  ├ Stripes<Table>        │
+//!  │  ├ retry policy│    │  define_view / view   │   │  ├ views: DeltaLens +    │
+//!  │  └ commit stamp│    │  read_view            │   │  │   materialized window │
+//!  ├────────────────┤    │  write_view           │   │  ├ Wal ── DurableWal ──▶ │ wal-*.seg
+//!  │ EntangledView  ├───▶│  edit_view_optimistic │   │  └ FCW via key overlap   │ checkpoint-*.ckpt
+//!  │  .get/.put     │    │  metrics / checkpoint │   ├──────────────────────────┤
+//!  │  .edit(f)      │    │  snapshot / sync_wal  │   │ ShardedEngineServer      │
+//!  └────────────────┘    └───────────┬───────────┘   │  ├ ShardRouter (ranges)  │
+//!                                    │               │  ├ Shard ×N: db+wal each │──▶ shard-<id>/
+//!        the same handles, over ─────┘               │  ├ ShardCoordinator (2PC)│    topology.esm
+//!        a wire (esm-net):                           │  └ rebalance split/merge │
+//!  ┌────────────────┐  frames   ┌────────────────┐   ├──────────────────────────┤
+//!  │ RemoteEngine   ├─[len|crc|─▶ NetServer      │   │ RemoteEngine (esm-net)   │
+//!  │ impl Engine    │  payload] │  poller+workers├──▶│  CAS edits, pre-image-   │
+//!  └────────────────┘◀──────────┤  Session/conn  │   │  validated transactions  │
+//!                               └────────────────┘   └──────────────────────────┘
 //! ```
+//!
+//! ### The [`Engine`] trait and [`Session`]s
+//!
+//! [`Engine`] is object safe (`Arc<dyn Engine>` is the working
+//! currency): view handles hold one, a [`Session`] adds per-client
+//! state on top — cached view registrations, the client's last commit
+//! stamp, and its optimistic retry policy — and the network server
+//! creates one `Session` per accepted connection, so "per-client"
+//! means the same thing in-process and on a socket.
+//! [`Engine::transact`] commits multi-table snapshot transactions
+//! atomically on every implementation: chained WAL record groups on the
+//! unsharded engine, per-key routing with two-phase commit across
+//! shards, and client-driven pre-image validation over the wire.
 //!
 //! ### Sharding ([`shard`])
 //!
@@ -138,6 +159,16 @@
 //! suites assert. Sequence numbers must strictly increase; duplicates
 //! are rejected with the typed [`EngineError::DuplicateSeq`] instead of
 //! being silently re-applied.
+//!
+//! The in-memory log is **bounded**: once every materialized view's
+//! window cursor (and the durable checkpoint, when one exists) has
+//! passed a prefix, [`EngineServer::truncate_wal`] (and the sharded
+//! `truncate_wals`, both run by maintenance) folds that prefix into the
+//! replay baseline and drops it — always cutting at a settled
+//! transaction boundary ([`Wal::settled_prefix_end`]), never through a
+//! chain or an unresolved 2PC prepare. First-committer-wins validation
+//! is truncation-aware: a snapshot older than the log's start
+//! conservatively conflicts and retries against fresh state.
 //!
 //! ### Durability ([`durable`], [`segment`], [`checkpoint`])
 //!
@@ -251,12 +282,15 @@
 
 pub mod checkpoint;
 pub mod durable;
+pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod segment;
 pub mod server;
+pub mod session;
 pub mod shard;
 pub mod stripe;
+pub mod testkit;
 pub mod tx;
 pub mod view;
 pub mod wal;
@@ -266,15 +300,17 @@ pub use durable::{
     plan_recovery, resolve_transactions, scan_segments, Durability, DurabilityConfig, DurableWal,
     RecoveryReport, ResolvedLog, ScannedSegment,
 };
+pub use engine::{
+    apply_deltas_checked, apply_table_delta_checked, ArcEngine, CommitReceipt, Engine,
+};
 pub use error::EngineError;
 pub use metrics::{Metrics, MetricsSnapshot, ShardStats, ViewStats, WalStats};
 pub use segment::{
     crc32, decode_segment_prefix, encode_framed, SegmentFile, SegmentPrefix, SegmentWriter, SimFile,
 };
 pub use server::{EngineServer, DEFAULT_OPTIMISTIC_ATTEMPTS};
-pub use shard::{
-    CommitReceipt, FailPoint, Shard, ShardRecoveryReport, ShardRouter, ShardedEngineServer,
-};
+pub use session::{RetryPolicy, Session};
+pub use shard::{FailPoint, Shard, ShardRecoveryReport, ShardRouter, ShardedEngineServer};
 pub use stripe::Stripes;
 pub use tx::{delta_keys, deltas_conflict, Tx, TxStore};
 pub use view::EntangledView;

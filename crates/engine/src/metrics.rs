@@ -14,6 +14,8 @@ pub struct Metrics {
     deltas_applied: AtomicU64,
     rebuilds: AtomicU64,
     shards_pruned: AtomicU64,
+    wal_truncations: AtomicU64,
+    wal_records_truncated: AtomicU64,
 }
 
 /// Counters kept by the materialized-view maintenance machinery. In
@@ -101,6 +103,11 @@ pub struct MetricsSnapshot {
     pub view_reads: u64,
     /// Rows inserted or deleted by committed deltas.
     pub rows_written: u64,
+    /// In-memory WAL truncations performed (prefixes dropped below the
+    /// view cursors and folded into the replay baseline).
+    pub wal_truncations: u64,
+    /// WAL records dropped by those truncations.
+    pub wal_records_truncated: u64,
     /// Durable-WAL counters (all zero for in-memory engines).
     pub wal: WalStats,
     /// Sharding counters (all zero for unsharded engines).
@@ -143,6 +150,12 @@ impl Metrics {
         self.shards_pruned.fetch_add(shards, Ordering::Relaxed);
     }
 
+    pub(crate) fn wal_truncated(&self, records: u64) {
+        self.wal_truncations.fetch_add(1, Ordering::Relaxed);
+        self.wal_records_truncated
+            .fetch_add(records, Ordering::Relaxed);
+    }
+
     /// Copy the current counter values. Durable-WAL stats live with the
     /// [`crate::DurableWal`] (single-writer under the WAL lock); callers
     /// that own one merge them in with [`MetricsSnapshot::with_wal`].
@@ -153,6 +166,8 @@ impl Metrics {
             retries: self.retries.load(Ordering::Relaxed),
             view_reads: self.view_reads.load(Ordering::Relaxed),
             rows_written: self.rows_written.load(Ordering::Relaxed),
+            wal_truncations: self.wal_truncations.load(Ordering::Relaxed),
+            wal_records_truncated: self.wal_records_truncated.load(Ordering::Relaxed),
             wal: WalStats::default(),
             shard: ShardStats::default(),
             view: ViewStats {

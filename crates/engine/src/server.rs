@@ -43,6 +43,7 @@ use crate::durable::{
     checkpoint_off_lock, Durability, DurabilityConfig, DurableWal, MaintenanceThread,
     RecoveryReport,
 };
+use crate::engine::CommitReceipt;
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::stripe::Stripes;
@@ -94,13 +95,51 @@ impl WalState {
             .expect("fresh seq under the WAL lock continues the log");
         Ok(seq)
     }
+
+    /// Write-ahead append of one multi-table transaction as a chained
+    /// record group (`k - 1` chained records + one terminator), the
+    /// all-or-nothing durability unit recovery applies atomically.
+    /// Returns the terminator's sequence number — the transaction's
+    /// commit stamp.
+    fn append_group(&mut self, deltas: &[(String, Delta)]) -> Result<u64, EngineError> {
+        let first_seq = self.mem.next_seq();
+        let records: Vec<WalRecord> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, (table, delta))| {
+                let seq = first_seq + i as u64;
+                if i + 1 < deltas.len() {
+                    WalRecord::chained(seq, table.clone(), delta.clone())
+                } else {
+                    WalRecord::delta(seq, table.clone(), delta.clone())
+                }
+            })
+            .collect();
+        if let Some(durable) = self.durable.as_mut() {
+            for rec in &records {
+                durable.append(rec)?;
+            }
+        }
+        for rec in records {
+            self.mem
+                .push(rec)
+                .expect("fresh seqs under the WAL lock continue the log");
+        }
+        Ok(self.mem.last_seq())
+    }
 }
 
 struct Inner {
     tables: Stripes<Table>,
     views: RwLock<BTreeMap<String, ViewReg>>,
     wal: Arc<Mutex<WalState>>,
-    baseline: Database,
+    /// The state the in-memory WAL replays over. Starts as the
+    /// construction (or recovery) database and advances when
+    /// [`EngineServer::truncate_wal`] folds a dropped WAL prefix into
+    /// it — the replay law `baseline + wal == live` holds at every
+    /// truncation point. Lock order: baseline before the WAL mutex,
+    /// never after.
+    baseline: Mutex<Database>,
     metrics: Metrics,
     /// Background checkpoint/compaction loop; stops when the last engine
     /// handle drops. `None` for in-memory engines and when disabled.
@@ -240,7 +279,7 @@ impl EngineServer {
                 tables,
                 views: RwLock::new(BTreeMap::new()),
                 wal,
-                baseline: db,
+                baseline: Mutex::new(db),
                 metrics: Metrics::default(),
                 _maintenance: maintenance,
             }),
@@ -289,9 +328,15 @@ impl EngineServer {
         db
     }
 
-    /// The database the engine started from — the WAL's replay baseline.
+    /// The database the in-memory WAL replays over: the construction (or
+    /// recovery) state, advanced past every truncated WAL prefix by
+    /// [`EngineServer::truncate_wal`].
     pub fn baseline(&self) -> Database {
-        self.inner.baseline.clone()
+        self.inner
+            .baseline
+            .lock()
+            .expect("baseline lock poisoned")
+            .clone()
     }
 
     /// A snapshot of the in-memory write-ahead log (for a recovered
@@ -320,14 +365,17 @@ impl EngineServer {
         }
     }
 
-    /// Run one maintenance pass now — exactly what the background thread
-    /// does each tick (checkpoint + compact iff the configured interval
-    /// of records accumulated; the checkpoint file write happens outside
-    /// the WAL lock). Deterministic tests and embedders that disable the
-    /// thread drive this directly. Returns the covered seq when a
-    /// checkpoint was written.
+    /// Run one maintenance pass now — what the background thread does
+    /// each tick (checkpoint + compact iff the configured interval of
+    /// records accumulated; the checkpoint file write happens outside
+    /// the WAL lock), plus an in-memory WAL truncation below the view
+    /// cursors ([`EngineServer::truncate_wal`]). Deterministic tests and
+    /// embedders that disable the thread drive this directly. Returns
+    /// the covered seq when a checkpoint was written.
     pub fn run_maintenance(&self) -> Result<Option<u64>, EngineError> {
-        maintenance_pass(&self.inner.wal)
+        let covered = maintenance_pass(&self.inner.wal)?;
+        self.truncate_wal()?;
+        Ok(covered)
     }
 
     /// The durable WAL directory, when this engine persists.
@@ -340,9 +388,15 @@ impl EngineServer {
 
     /// Rebuild the committed state from the baseline plus the WAL — the
     /// recovery path. At quiescence this equals [`EngineServer::snapshot`]
-    /// (asserted by the integration suite).
+    /// (asserted by the integration suite). The baseline lock is held
+    /// while the WAL is cloned so a concurrent truncation can never slip
+    /// between the two reads.
     pub fn recovered_database(&self) -> Result<Database, EngineError> {
-        self.wal().replay(&self.inner.baseline)
+        let baseline = self.inner.baseline.lock().expect("baseline lock poisoned");
+        let wal = self.wal();
+        let base = baseline.clone();
+        drop(baseline);
+        wal.replay(&base)
     }
 
     /// Current engine counters (durable-WAL stats included when this
@@ -433,7 +487,7 @@ impl EngineServer {
         if !views.contains_key(name) {
             return Err(EngineError::NoSuchView(name.to_string()));
         }
-        Ok(EntangledView::new(self.clone(), name.to_string()))
+        Ok(EntangledView::attach(Arc::new(self.clone()), name))
     }
 
     /// Registered view names, sorted.
@@ -478,12 +532,24 @@ impl EngineServer {
             // paths append plain records, but the format allows more).
             // Commits append under stripe → WAL, so everything at or
             // below `last_seq` for our table is already in the log.
-            let (pending, last_seq) = {
+            let drained = {
                 let wal = self.lock_wal();
-                let pending =
-                    committed_table_deltas(&reg.table, wal.mem.records_after(mat.applied_seq))
-                        .map(|deltas| deltas.into_iter().cloned().collect::<Vec<Delta>>());
-                (pending, wal.mem.last_seq())
+                if mat.applied_seq < wal.mem.start_seq() {
+                    // A truncation outran this window (it materialized
+                    // while the truncation's floor scan ran): the records
+                    // it needs are gone, so rebuild from the live base
+                    // instead of silently serving a stale window.
+                    None
+                } else {
+                    let pending =
+                        committed_table_deltas(&reg.table, wal.mem.records_after(mat.applied_seq))
+                            .map(|deltas| deltas.into_iter().cloned().collect::<Vec<Delta>>());
+                    Some((pending, wal.mem.last_seq()))
+                }
+            };
+            let Some((pending, last_seq)) = drained else {
+                self.rebuild_window(reg, &mut mat)?;
+                return Ok(mat.window.clone());
             };
             let Some(pending) = pending else {
                 // Unsettled trailing transaction: serve the last settled
@@ -617,14 +683,19 @@ impl EngineServer {
                 .get_mut(&table_name)
                 .ok_or_else(|| EngineError::NoSuchTable(table_name.clone()))?;
             let mut wal = self.lock_wal();
-            let conflicted = wal.mem.records_after(snap_seq).iter().any(|rec| {
-                rec.delta_op().is_some_and(|(rec_table, rec_delta)| {
-                    rec_table == table_name
-                        && delta_keys(&base, rec_delta)
-                            .iter()
-                            .any(|k| our_keys.contains(k))
-                })
-            });
+            // A truncation may have dropped records we would need to
+            // scan; a snapshot older than the log's start conservatively
+            // conflicts (the retry re-snapshots past the truncation
+            // point, so progress is never lost).
+            let conflicted = snap_seq < wal.mem.start_seq()
+                || wal.mem.records_after(snap_seq).iter().any(|rec| {
+                    rec.delta_op().is_some_and(|(rec_table, rec_delta)| {
+                        rec_table == table_name
+                            && delta_keys(&base, rec_delta)
+                                .iter()
+                                .any(|k| our_keys.contains(k))
+                    })
+                });
             if conflicted {
                 drop(wal);
                 drop(shard);
@@ -646,6 +717,288 @@ impl EngineServer {
             view: name.to_string(),
             attempts,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions.
+    // ------------------------------------------------------------------
+
+    /// A consistent whole-database snapshot plus the WAL position it
+    /// reflects: every stripe read lock is held together while both are
+    /// taken, so no committed write can land between any two tables or
+    /// between the tables and the sequence number.
+    fn snapshot_with_seq(&self) -> (Database, u64) {
+        let guards = self.inner.tables.read_all();
+        let mut db = Database::new();
+        for guard in &guards {
+            for (name, table) in guard.iter() {
+                db.replace_table(name.clone(), table.clone());
+            }
+        }
+        let seq = self.lock_wal().mem.last_seq();
+        (db, seq)
+    }
+
+    /// Run `body` in a snapshot transaction over the whole database,
+    /// retrying first-committer-wins conflicts up to `max_attempts`
+    /// times — the unsharded counterpart of
+    /// [`crate::shard::ShardedEngineServer::transact`].
+    ///
+    /// The snapshot is taken under all stripe read locks at once; the
+    /// commit validates key overlap against every WAL record since the
+    /// snapshot and publishes atomically under the affected stripes'
+    /// write locks (taken in index order — the same discipline
+    /// concurrent transactions follow, so multi-stripe commits never
+    /// deadlock). A transaction that changed several tables appends one
+    /// *chained* WAL record group, the all-or-nothing durability unit.
+    /// Tables `body` creates in its working copy are ignored: the
+    /// engine's table set is fixed at construction.
+    pub fn transact(
+        &self,
+        max_attempts: u32,
+        body: impl Fn(&mut Database) -> Result<(), EngineError>,
+    ) -> Result<CommitReceipt, EngineError> {
+        let mut attempt = 0;
+        loop {
+            let (snapshot, snap_seq) = self.snapshot_with_seq();
+            let mut working = snapshot.clone();
+            body(&mut working)?;
+            let mut deltas = BTreeMap::new();
+            for name in snapshot.table_names() {
+                let delta = Delta::between(snapshot.table(name)?, working.table(name)?)?;
+                if !delta.is_empty() {
+                    deltas.insert(name.to_string(), delta);
+                }
+            }
+            match self.commit_tx_deltas(&snapshot, snap_seq, &deltas) {
+                Ok(stamp) => {
+                    return Ok(CommitReceipt {
+                        stamp,
+                        shards: Vec::new(),
+                        deltas,
+                        gtx: None,
+                    })
+                }
+                Err(EngineError::Conflict { .. }) if attempt + 1 < max_attempts.max(1) => {
+                    attempt += 1;
+                    self.inner.metrics.retry();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Validate and publish one transaction's per-table deltas: write
+    /// locks on every affected stripe (index order), first-committer-
+    /// wins against the WAL records since `snap_seq`, one chained WAL
+    /// group, then install. Returns the commit stamp (the terminator
+    /// record's sequence number).
+    fn commit_tx_deltas(
+        &self,
+        snapshot: &Database,
+        snap_seq: u64,
+        deltas: &BTreeMap<String, Delta>,
+    ) -> Result<u64, EngineError> {
+        if deltas.is_empty() {
+            return Ok(self.lock_wal().mem.last_seq());
+        }
+        let mut stripes: Vec<usize> = deltas
+            .keys()
+            .map(|t| self.inner.tables.stripe_of(t))
+            .collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let mut guards = self.inner.tables.write_indices(&stripes);
+        let mut wal = self.lock_wal();
+
+        // FCW: a snapshot older than the log start (a truncation landed
+        // since) conservatively conflicts; otherwise scan for key
+        // overlap per table.
+        if snap_seq < wal.mem.start_seq() {
+            self.inner.metrics.conflict();
+            return Err(EngineError::Conflict {
+                table: deltas.keys().next().expect("non-empty").clone(),
+                detail: format!(
+                    "snapshot at seq {snap_seq} predates the truncated log start {}",
+                    wal.mem.start_seq()
+                ),
+            });
+        }
+        for (name, delta) in deltas {
+            let base = snapshot.table(name)?;
+            let our_keys = delta_keys(base, delta);
+            for rec in wal.mem.records_after(snap_seq) {
+                let Some((rec_table, rec_delta)) = rec.delta_op() else {
+                    continue;
+                };
+                if rec_table == name
+                    && delta_keys(base, rec_delta)
+                        .iter()
+                        .any(|k| our_keys.contains(k))
+                {
+                    self.inner.metrics.conflict();
+                    return Err(EngineError::Conflict {
+                        table: name.clone(),
+                        detail: format!(
+                            "snapshot at seq {snap_seq} overlaps commit seq {}",
+                            rec.seq
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rebase onto the live tables (disjoint concurrent commits are
+        // already in them); an apply error aborts before anything is
+        // logged or installed.
+        let mut staged: Vec<(usize, String, Table)> = Vec::with_capacity(deltas.len());
+        for (name, delta) in deltas {
+            let stripe = self.inner.tables.stripe_of(name);
+            let slot = stripes
+                .binary_search(&stripe)
+                .expect("stripe was collected");
+            let current = guards[slot]
+                .1
+                .get(name)
+                .ok_or_else(|| EngineError::NoSuchTable(name.clone()))?;
+            staged.push((slot, name.clone(), delta.apply(current)?));
+        }
+        // Durable-first: a failed segment write publishes nothing.
+        let group: Vec<(String, Delta)> =
+            deltas.iter().map(|(t, d)| (t.clone(), d.clone())).collect();
+        let stamp = wal.append_group(&group)?;
+        for (slot, name, next) in staged {
+            guards[slot].1.insert(name, next);
+        }
+        drop(wal);
+        drop(guards);
+        let rows: u64 = deltas.values().map(|d| d.len() as u64).sum();
+        self.inner.metrics.commit(rows);
+        Ok(stamp)
+    }
+
+    /// Delta-direct checked commit — the engine side of the wire
+    /// protocol's `commit` request, O(delta) instead of O(database):
+    /// no whole-database snapshot, no re-diff. Pre-image validation
+    /// against the *live* tables under the affected stripes' write
+    /// locks is the first-committer-wins check (a mismatch means some
+    /// commit landed since the client's snapshot), then the deltas
+    /// append as one chained WAL group and install atomically.
+    pub fn commit_deltas_checked(
+        &self,
+        deltas: &[(String, Delta)],
+    ) -> Result<CommitReceipt, EngineError> {
+        let nonempty: Vec<&(String, Delta)> =
+            deltas.iter().filter(|(_, d)| !d.is_empty()).collect();
+        if nonempty.is_empty() {
+            return Ok(CommitReceipt {
+                stamp: self.lock_wal().mem.last_seq(),
+                shards: Vec::new(),
+                deltas: BTreeMap::new(),
+                gtx: None,
+            });
+        }
+        let mut stripes: Vec<usize> = nonempty
+            .iter()
+            .map(|(t, _)| self.inner.tables.stripe_of(t))
+            .collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let mut guards = self.inner.tables.write_indices(&stripes);
+
+        // Validate and stage per table (duplicate table entries apply
+        // in request order onto the same staged copy).
+        let mut staged: BTreeMap<String, (usize, Table)> = BTreeMap::new();
+        for (name, delta) in &nonempty {
+            if !staged.contains_key(name) {
+                let stripe = self.inner.tables.stripe_of(name);
+                let slot = stripes
+                    .binary_search(&stripe)
+                    .expect("stripe was collected");
+                let current = guards[slot]
+                    .1
+                    .get(name)
+                    .ok_or_else(|| EngineError::NoSuchTable(name.clone()))?
+                    .clone();
+                staged.insert(name.clone(), (slot, current));
+            }
+            let (_, table) = staged.get_mut(name).expect("staged above");
+            crate::engine::apply_table_delta_checked(table, name, delta)?;
+        }
+
+        // Durable-first: a failed segment write publishes nothing.
+        let mut wal = self.lock_wal();
+        let group: Vec<(String, Delta)> = nonempty
+            .iter()
+            .map(|(t, d)| (t.clone(), d.clone()))
+            .collect();
+        let stamp = wal.append_group(&group)?;
+        for (name, (slot, next)) in staged {
+            guards[slot].1.insert(name, next);
+        }
+        drop(wal);
+        drop(guards);
+        let rows: u64 = nonempty.iter().map(|(_, d)| d.len() as u64).sum();
+        self.inner.metrics.commit(rows);
+        let mut delta_map: BTreeMap<String, Delta> = BTreeMap::new();
+        for (name, delta) in &nonempty {
+            let entry = delta_map.entry(name.clone()).or_insert_with(Delta::empty);
+            entry.inserted.extend(delta.inserted.iter().cloned());
+            entry.deleted.extend(delta.deleted.iter().cloned());
+        }
+        Ok(CommitReceipt {
+            stamp,
+            shards: Vec::new(),
+            deltas: delta_map,
+            gtx: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // WAL truncation.
+    // ------------------------------------------------------------------
+
+    /// Drop the WAL prefix every consumer is past: records at or below
+    /// the oldest view-window cursor **and** the durable checkpoint (for
+    /// durable engines), cut back to a settled transaction boundary, are
+    /// folded into the replay baseline and removed from the in-memory
+    /// log — bounding its growth without breaking the replay law or any
+    /// window drain. Returns how many records were dropped.
+    ///
+    /// First-committer-wins validation of in-flight optimistic edits is
+    /// truncation-aware: a snapshot older than the new log start
+    /// conflicts conservatively and retries against fresh state.
+    pub fn truncate_wal(&self) -> Result<u64, EngineError> {
+        // The floor: the oldest WAL position any materialized window
+        // still needs to drain from. Cursors only advance, so reading
+        // them before taking the WAL lock is conservative; views
+        // registered concurrently materialize at the live position,
+        // which is at or past any cut chosen here.
+        let mut floor = u64::MAX;
+        {
+            let views = self.inner.views.read().expect("views lock poisoned");
+            for reg in views.values() {
+                let mat = reg.mat.lock().expect("view window lock poisoned");
+                floor = floor.min(mat.applied_seq);
+            }
+        }
+        let mut baseline = self.inner.baseline.lock().expect("baseline lock poisoned");
+        let mut wal = self.lock_wal();
+        if let Some(d) = wal.durable.as_ref() {
+            floor = floor.min(d.checkpoint_seq());
+        }
+        let floor = floor.min(wal.mem.last_seq());
+        let cut = wal.mem.settled_prefix_end(floor);
+        if cut <= wal.mem.start_seq() {
+            return Ok(0);
+        }
+        let dropped = wal.mem.truncate_through(cut)?;
+        let count = dropped.len() as u64;
+        *baseline = Wal::from_records(dropped).replay(&baseline)?;
+        drop(wal);
+        drop(baseline);
+        self.inner.metrics.wal_truncated(count);
+        Ok(count)
     }
 
     fn lock_wal(&self) -> std::sync::MutexGuard<'_, WalState> {

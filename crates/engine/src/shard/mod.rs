@@ -90,21 +90,7 @@ pub(crate) struct Topology {
     pub epoch: u64,
 }
 
-/// What a transaction commit did: its position in the engine-wide
-/// serialization order, the shards it touched, and the per-table deltas.
-#[derive(Debug, Clone)]
-pub struct CommitReceipt {
-    /// Commit stamp: taken while every participant lock was held, so
-    /// sorting receipts by stamp is a valid serialization order of the
-    /// workload (the model-based suite re-executes it single-threaded).
-    pub stamp: u64,
-    /// Topology indexes of the shards the transaction wrote.
-    pub shards: Vec<usize>,
-    /// The committed per-table deltas (merged across shards).
-    pub deltas: BTreeMap<String, Delta>,
-    /// The global transaction id, for cross-shard commits.
-    pub gtx: Option<String>,
-}
+pub use crate::engine::CommitReceipt;
 
 /// What a sharded recovery found and did.
 #[derive(Debug, Clone, Default)]
@@ -691,14 +677,62 @@ impl ShardedEngineServer {
 
     /// Run one maintenance pass over every shard — what the background
     /// thread does each tick (checkpoint iff due and safe, file writes
-    /// outside the shard locks). Deterministic tests and embedders that
-    /// disable the thread drive this directly.
+    /// outside the shard locks), plus an in-memory WAL truncation below
+    /// the view-window cursors ([`ShardedEngineServer::truncate_wals`]).
+    /// Deterministic tests and embedders that disable the thread drive
+    /// this directly.
     pub fn run_maintenance(&self) -> Result<(), EngineError> {
         let shards = self.topology().shards.clone();
         for index in 0..shards.len() {
             checkpoint_shard(&shards, index, false)?;
         }
+        self.truncate_wals()?;
         Ok(())
+    }
+
+    /// Drop every shard's in-memory WAL prefix that no consumer needs
+    /// any more: records at or below every materialized view window's
+    /// cursor for that shard (and the shard's durable checkpoint), cut
+    /// back to a settled transaction boundary, are folded into the
+    /// shard's replay baseline and removed — bounding in-memory log
+    /// growth under view maintenance. Views without a current-epoch
+    /// materialization impose no floor (their next read rebuilds from
+    /// the live shard piece, not from the log), and a view's windows
+    /// only constrain the shards inside its pruned run — out-of-run
+    /// shards are invisible to it by construction. Returns the total
+    /// records dropped across shards.
+    pub fn truncate_wals(&self) -> Result<u64, EngineError> {
+        // Hold the topology read lock across the whole pass so the
+        // run-to-shard alignment the floors are computed under cannot
+        // shift (rebalances queue behind it, like any transaction).
+        let topo = self.topology();
+        let mut floors: Vec<u64> = vec![u64::MAX; topo.shards.len()];
+        {
+            let views = self.inner.views.read().expect("views lock poisoned");
+            for reg in views.values() {
+                let mat_slot = reg.mat.lock().expect("view windows lock poisoned");
+                let Some(mat) = mat_slot.as_ref() else {
+                    continue;
+                };
+                if mat.epoch != topo.epoch {
+                    continue; // stale: the next read rebuilds, needs no log
+                }
+                let run = self.view_shard_run(&topo, reg);
+                for (window, &shard_index) in mat.windows.iter().zip(run.iter()) {
+                    floors[shard_index] = floors[shard_index].min(window.applied_seq);
+                }
+            }
+        }
+        let mut dropped = 0;
+        for (shard, floor) in topo.shards.iter().zip(floors) {
+            let mut state = shard.write();
+            let floor = floor.min(state.wal.last_seq());
+            dropped += state.truncate_wal(floor)?;
+        }
+        if dropped > 0 {
+            self.inner.metrics.wal_truncated(dropped);
+        }
+        Ok(dropped)
     }
 
     pub(crate) fn topology(&self) -> std::sync::RwLockReadGuard<'_, Topology> {
@@ -747,6 +781,46 @@ impl ShardedEngineServer {
         body: impl Fn(&mut Database) -> Result<(), EngineError>,
     ) -> Result<CommitReceipt, EngineError> {
         self.run_transact(Some(keys), max_attempts, failpoint, body)
+    }
+
+    /// Checked delta commit pruned to the touched shards: derive the
+    /// key set from the delta rows, snapshot and lock only the shards
+    /// those keys route to, and validate each row against its
+    /// pre-image ([`crate::engine::apply_table_delta_checked`]) inside
+    /// one transaction attempt — the sharded engine side of the wire
+    /// protocol's `commit` request. A single-shard delta takes the
+    /// single-shard fast path end to end.
+    pub fn commit_deltas_checked(
+        &self,
+        deltas: &[(String, Delta)],
+    ) -> Result<CommitReceipt, EngineError> {
+        let mut keys: Vec<Row> = Vec::new();
+        {
+            let topo = self.topology();
+            let Some(first) = topo.shards.first() else {
+                return Err(EngineError::ShardTopology("no shards".into()));
+            };
+            let state = first.read();
+            for (name, delta) in deltas {
+                // Every shard holds every table's schema; key extraction
+                // needs only that. Reject wrong-arity rows here, before
+                // key projection can panic on them.
+                let table = state.db.table(name)?;
+                let arity = table.schema().columns().len();
+                for row in delta.inserted.iter().chain(delta.deleted.iter()) {
+                    if row.len() != arity {
+                        return Err(EngineError::Store(esm_store::StoreError::Arity {
+                            expected: arity,
+                            got: row.len(),
+                        }));
+                    }
+                    keys.push(table.key_of(row));
+                }
+            }
+        }
+        self.transact_keys(&keys, 1, |db| {
+            crate::engine::apply_deltas_checked(db, deltas)
+        })
     }
 
     fn run_transact(
@@ -1021,7 +1095,7 @@ impl ShardedEngineServer {
         if !views.contains_key(name) {
             return Err(EngineError::NoSuchView(name.to_string()));
         }
-        Ok(EntangledView::new_sharded(self.clone(), name.to_string()))
+        Ok(EntangledView::attach(Arc::new(self.clone()), name))
     }
 
     /// Registered view names, sorted.
@@ -1153,6 +1227,16 @@ impl ShardedEngineServer {
         window: &mut Window,
         shard: &shard::ShardState,
     ) -> Result<bool, EngineError> {
+        if window.applied_seq < shard.wal.start_seq() {
+            // A truncation outran this window (it materialized while the
+            // truncation's floor scan ran): the records it needs are
+            // gone, so rebuild from the live shard piece instead of
+            // silently serving a stale window.
+            window.table = reg.lens.get(shard.db.table(&reg.table)?);
+            window.applied_seq = shard.wal.last_seq();
+            self.inner.metrics.view_rebuild();
+            return Ok(false);
+        }
         let records = shard.wal.records_after(window.applied_seq);
         if records.is_empty() {
             return Ok(true);
@@ -1671,8 +1755,9 @@ mod tests {
         window.delete_by_key(&row![39]);
         let delta = rich.put(window).unwrap();
         assert_eq!(delta.deleted, vec![row![39, "o39", 888]]);
-        assert!(rich.server().is_none());
-        assert!(rich.sharded_server().is_some());
+        // The host is reachable uniformly through the Engine trait.
+        assert_eq!(rich.engine().table_names(), vec!["accounts"]);
+        assert!(rich.engine().metrics().shard.cross_shard_commits >= 1);
         assert_eq!(engine.recovered_database().unwrap(), engine.snapshot());
         // Select-view registration auto-indexed each shard's piece.
         let topo = engine.topology();

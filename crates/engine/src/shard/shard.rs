@@ -53,6 +53,12 @@ impl ShardState {
         snap_seq: u64,
         our_keys: &BTreeMap<String, BTreeSet<Row>>,
     ) -> Result<Option<(String, u64)>, EngineError> {
+        // A WAL truncation may have dropped records committed after an
+        // old snapshot; conservatively conflict so the caller retries
+        // against fresh state instead of validating against a hole.
+        if snap_seq < self.wal.start_seq() {
+            return Ok(Some((String::new(), self.wal.start_seq())));
+        }
         for rec in self.wal.records_after(snap_seq) {
             let Some((rec_table, rec_delta)) = rec.delta_op() else {
                 continue;
@@ -157,6 +163,27 @@ impl ShardState {
             Some(d) => d.sync(),
             None => Ok(()),
         }
+    }
+
+    /// Drop this shard's in-memory WAL prefix at or below `floor`
+    /// (additionally capped by the durable checkpoint, so recovery
+    /// never depends on records only the dropped prefix held), cut back
+    /// to a settled transaction boundary, folding the dropped records
+    /// into the replay baseline. Returns how many records were dropped.
+    pub fn truncate_wal(&mut self, floor: u64) -> Result<u64, EngineError> {
+        let mut floor = floor;
+        if let Some(d) = self.durable.as_ref() {
+            floor = floor.min(d.checkpoint_seq());
+        }
+        let floor = floor.min(self.wal.last_seq());
+        let cut = self.wal.settled_prefix_end(floor);
+        if cut <= self.wal.start_seq() {
+            return Ok(0);
+        }
+        let dropped = self.wal.truncate_through(cut)?;
+        let count = dropped.len() as u64;
+        self.baseline = Wal::from_records(dropped).replay(&self.baseline)?;
+        Ok(count)
     }
 }
 

@@ -60,6 +60,32 @@ impl<T> Stripes<T> {
             .expect("stripe lock poisoned")
     }
 
+    /// Read-lock **every** stripe at once, in index order, and return
+    /// the guards. While the guards live, no writer can land anywhere,
+    /// so the caller sees a cross-stripe-consistent state — the
+    /// whole-database snapshot a multi-table transaction starts from.
+    pub fn read_all(&self) -> Vec<RwLockReadGuard<'_, BTreeMap<String, T>>> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("stripe lock poisoned"))
+            .collect()
+    }
+
+    /// Write-lock the stripes at `indices`, which must be sorted and
+    /// deduplicated (the index-order discipline that keeps concurrent
+    /// multi-stripe lockers deadlock-free). Returns `(index, guard)`
+    /// pairs in the same order.
+    pub fn write_indices(
+        &self,
+        indices: &[usize],
+    ) -> Vec<(usize, RwLockWriteGuard<'_, BTreeMap<String, T>>)> {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        indices
+            .iter()
+            .map(|&i| (i, self.shards[i].write().expect("stripe lock poisoned")))
+            .collect()
+    }
+
     /// Visit every entry across all stripes, in stripe-then-name order,
     /// locking one stripe at a time.
     pub fn for_each(&self, mut f: impl FnMut(&String, &T)) {

@@ -1,0 +1,356 @@
+//! The engine conformance suite: one body of checks, any [`Engine`].
+//!
+//! Everything here is written against `&dyn Engine` — no downcasts, no
+//! host-shape branches — so the *same code path* exercises the
+//! unsharded [`crate::EngineServer`], the sharded
+//! [`crate::shard::ShardedEngineServer`], and (from the `esm-net`
+//! crate's tests) a `RemoteEngine` talking to either of them over a
+//! real socket. A handle that behaves differently under any of these
+//! checks is not an [`Engine`].
+//!
+//! The central law is the **incremental/recompute equivalence** from
+//! the materialized-view work: after any sequence of committed
+//! transactions, `read_view` (served from maintained windows, possibly
+//! across shards, possibly across a wire) must equal a fresh lens `get`
+//! over the live base table. The concurrency check races optimistic
+//! editors and compares the final state against a single-threaded
+//! oracle re-executing the successful logical operations.
+
+use esm_relational::ViewDef;
+use esm_store::{row, Database, Operand, Predicate, Row, Schema, Table, Value, ValueType};
+
+use crate::engine::{ArcEngine, Engine};
+
+/// Key-space size of the scripted workload.
+pub const KEYS: i64 = 80;
+/// Distinct group values of the scripted workload.
+pub const GROUPS: i64 = 5;
+
+/// The seed database every conformance run starts from: one table `t`
+/// of `(id, grp, val)` rows on the even ids below [`KEYS`].
+pub fn seed_db() -> Database {
+    let schema = Schema::build(
+        &[
+            ("id", ValueType::Int),
+            ("grp", ValueType::Str),
+            ("val", ValueType::Int),
+        ],
+        &["id"],
+    )
+    .expect("valid schema");
+    let rows: Vec<Row> = (0..KEYS / 2)
+        .map(|i| {
+            let id = i * 2;
+            row![id, format!("g{}", id % GROUPS), id * 3]
+        })
+        .collect();
+    let mut db = Database::new();
+    db.create_table("t", Table::from_rows(schema, rows).expect("valid rows"))
+        .expect("fresh");
+    db
+}
+
+/// Every stage family over the seed table, including key-bounded
+/// selects (pruned on a sharded host) and multi-stage pipelines.
+pub fn view_defs() -> Vec<(&'static str, ViewDef)> {
+    vec![
+        ("all", ViewDef::base()),
+        (
+            "low",
+            ViewDef::base().select(Predicate::lt(Operand::col("id"), Operand::val(30))),
+        ),
+        (
+            "grp1",
+            ViewDef::base().select(Predicate::eq(Operand::col("grp"), Operand::val("g1"))),
+        ),
+        (
+            "teams",
+            ViewDef::base()
+                .project(&["id", "grp"], &[("val", Value::Int(0))])
+                .rename(&[("grp", "team")]),
+        ),
+        (
+            "band",
+            ViewDef::base()
+                .select(Predicate::ge(Operand::col("id"), Operand::val(20)))
+                .select(Predicate::lt(Operand::col("id"), Operand::val(60)))
+                .project(&["id", "val"], &[("grp", Value::str("gx"))]),
+        ),
+    ]
+}
+
+/// One scripted operation, decoded from an integer triple so any
+/// property-testing harness needs only range + tuple strategies.
+#[derive(Debug, Clone, Copy)]
+pub enum Op {
+    /// Upsert one row.
+    Upsert {
+        /// Row id (keyed).
+        id: i64,
+        /// Group index (rendered `g<n>`).
+        grp: i64,
+        /// Value column.
+        val: i64,
+    },
+    /// Delete one row by key.
+    Delete {
+        /// Row id.
+        id: i64,
+    },
+    /// Write two far-apart keys in one transaction (cross-shard on a
+    /// sharded host: exercises 2PC chains in the window drains).
+    Transfer {
+        /// First id.
+        a: i64,
+        /// Second id (half the key space away).
+        b: i64,
+    },
+}
+
+/// Decode one integer triple into an [`Op`].
+pub fn decode_op(kind: u8, a: i64, b: i64) -> Op {
+    let id = a.rem_euclid(KEYS);
+    match kind {
+        0..=4 => Op::Upsert {
+            id,
+            grp: b.rem_euclid(GROUPS),
+            val: b,
+        },
+        5..=7 => Op::Delete { id },
+        _ => Op::Transfer {
+            a: id,
+            b: (id + KEYS / 2).rem_euclid(KEYS),
+        },
+    }
+}
+
+/// Apply one scripted op through the trait's `transact`.
+pub fn apply_op(engine: &dyn Engine, op: Op) {
+    match op {
+        Op::Upsert { id, grp, val } => {
+            engine
+                .transact(4, &move |db: &mut Database| {
+                    db.table_mut("t")?
+                        .upsert(row![id, format!("g{grp}"), val])?;
+                    Ok(())
+                })
+                .expect("scripted upsert commits");
+        }
+        Op::Delete { id } => {
+            engine
+                .transact(4, &move |db: &mut Database| {
+                    db.table_mut("t")?.delete_by_key(&row![id]);
+                    Ok(())
+                })
+                .expect("scripted delete commits");
+        }
+        Op::Transfer { a, b } => {
+            engine
+                .transact(4, &move |db: &mut Database| {
+                    let t = db.table_mut("t")?;
+                    t.upsert(row![a, "g0", -1])?;
+                    t.upsert(row![b, "g1", 1])?;
+                    Ok(())
+                })
+                .expect("scripted transfer commits");
+        }
+    }
+}
+
+/// The law's right-hand side: a fresh compile + whole-base lens `get`.
+pub fn recompute(def: &ViewDef, base: &Table) -> Table {
+    def.compile(base).expect("recompiles").get(base)
+}
+
+/// The incremental/recompute equivalence law, host-obliviously: define
+/// every view shape, drive the scripted ops through `transact`, and
+/// after each op compare every `read_view` against a fresh
+/// recomputation over the live base. Finishes with a steady-state
+/// phase: under no writes, repeated reads trigger no rebuilds and apply
+/// no deltas (read through the same engine's metrics, so it holds over
+/// a wire too). The engine must be freshly seeded with [`seed_db`] and
+/// otherwise idle.
+///
+/// Panics with a descriptive message on the first violation (property
+/// harnesses report panics as counterexamples).
+pub fn check_view_maintenance(engine: &dyn Engine, ops: &[(u8, i64, i64)]) {
+    let defs = view_defs();
+    for (name, def) in &defs {
+        engine.define_view(name, "t", def).expect("view compiles");
+    }
+    // Warm-up read: the unsharded engine materializes at registration,
+    // the sharded one lazily on first read — after one read of each
+    // view, every host's windows exist and the rebuild counter is at
+    // its registration plateau.
+    for (name, _) in &defs {
+        engine.read_view(name).expect("view readable");
+    }
+    let registration_rebuilds = engine.metrics().view.rebuilds;
+
+    for &(kind, a, b) in ops {
+        apply_op(engine, decode_op(kind, a, b));
+        let base = engine.table("t").expect("base table exists");
+        for (name, def) in &defs {
+            let read = engine.read_view(name).expect("view readable");
+            let fresh = recompute(def, &base);
+            assert_eq!(
+                read,
+                fresh,
+                "view {name} diverged from recomputation after {:?}",
+                decode_op(kind, a, b)
+            );
+        }
+    }
+
+    // Steady state: no topology changes happened, so maintenance never
+    // re-ran a whole-base lens get after registration…
+    assert_eq!(
+        engine.metrics().view.rebuilds,
+        registration_rebuilds,
+        "steady-state reads must not rebuild"
+    );
+    // …and quiescent re-reads apply nothing.
+    let before = engine.metrics().view.deltas_applied;
+    for (name, _) in &defs {
+        engine.read_view(name).expect("view readable");
+    }
+    assert_eq!(
+        engine.metrics().view.deltas_applied,
+        before,
+        "quiescent re-reads must drain nothing"
+    );
+}
+
+/// Race `clients.len()` concurrent optimistic editors — one thread per
+/// handle, so over a wire each handle is its own connection — against a
+/// single-threaded oracle.
+///
+/// Every client repeatedly increments a shared counter row and upserts
+/// a private row through `edit_view_optimistic` on the `all` view
+/// (which [`check_concurrent_edits`] defines). The logical operations
+/// commute, so the oracle is exact: the counter must equal the number
+/// of successful increments across all clients, and every private row
+/// must be present — any lost update, torn write or double-apply shows
+/// up as a mismatch. Returns the total number of successful edits.
+pub fn check_concurrent_edits(clients: Vec<ArcEngine>, edits_per_client: usize) -> u64 {
+    let n = clients.len();
+    assert!(n > 0, "need at least one client");
+    clients[0]
+        .define_view("all", "t", &ViewDef::base())
+        .expect("view compiles");
+    // The counter row lives at an id outside the scripted key space.
+    clients[0]
+        .transact(4, &|db: &mut Database| {
+            db.table_mut("t")?.upsert(row![COUNTER_ID, "ctr", 0])?;
+            Ok(())
+        })
+        .expect("counter seeds");
+
+    let successes: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter()
+            .enumerate()
+            .map(|(client, engine)| {
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    for i in 0..edits_per_client {
+                        let private_id = PRIVATE_BASE + (client * edits_per_client + i) as i64;
+                        // The attempt budget covers the worst case: every
+                        // other client's commit can fail one CAS/validation
+                        // round, so total-commits + 1 attempts always
+                        // suffice; 4096 dominates every suite size used.
+                        let result =
+                            engine.edit_view_optimistic("all", 4096, &move |v: &mut Table| {
+                                let current = v
+                                    .get_by_key(&row![COUNTER_ID])
+                                    .map(|r| match &r[2] {
+                                        Value::Int(n) => *n,
+                                        _ => 0,
+                                    })
+                                    .unwrap_or(0);
+                                v.upsert(row![COUNTER_ID, "ctr", current + 1])?;
+                                v.upsert(row![private_id, "mine", client as i64])?;
+                                Ok(())
+                            });
+                        if result.is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
+
+    let total: u64 = successes.iter().sum();
+    // The oracle: increments commute, so the serial re-execution of the
+    // successful ops lands the counter exactly at `total`.
+    let final_table = clients[0].table("t").expect("base table exists");
+    let counter = final_table
+        .get_by_key(&row![COUNTER_ID])
+        .map(|r| match &r[2] {
+            Value::Int(n) => *n,
+            _ => -1,
+        })
+        .expect("counter row survives");
+    assert_eq!(
+        counter as u64, total,
+        "lost or double-applied counter increments: {counter} != {total} successful edits"
+    );
+    for (client, &ok) in successes.iter().enumerate() {
+        assert_eq!(
+            ok as usize, edits_per_client,
+            "client {client} exhausted retries"
+        );
+    }
+    // Every private row from every successful edit is present.
+    for client in 0..n {
+        for i in 0..edits_per_client {
+            let private_id = PRIVATE_BASE + (client * edits_per_client + i) as i64;
+            assert!(
+                final_table.get_by_key(&row![private_id]).is_some(),
+                "client {client}'s private row {private_id} was lost"
+            );
+        }
+    }
+    // And the view read agrees with the base (the entanglement law).
+    let read = clients[0].read_view("all").expect("view readable");
+    assert_eq!(read, final_table, "view window diverged from the base");
+    total
+}
+
+const COUNTER_ID: i64 = 1_000_000;
+const PRIVATE_BASE: i64 = 2_000_000;
+
+/// A quick smoke pass over the whole trait surface — used by example
+/// code and the remote suite to prove a connection end to end.
+pub fn check_surface_smoke(engine: &dyn Engine) {
+    assert_eq!(engine.table_names(), vec!["t"]);
+    let view = engine
+        .define_view(
+            "smoke",
+            "t",
+            &ViewDef::base().select(Predicate::lt(Operand::col("id"), Operand::val(10))),
+        )
+        .expect("view compiles");
+    assert_eq!(engine.view_names(), vec!["smoke"]);
+    let before = view.get().expect("readable").len();
+    let delta = view
+        .edit(|v| Ok(v.upsert(row![5, "g0", 55]).map(|_| ())?))
+        .expect("edit commits");
+    assert_eq!(delta.inserted, vec![row![5, "g0", 55]]);
+    assert_eq!(view.get().expect("readable").len(), before + 1);
+    let receipt = engine
+        .transact(4, &|db: &mut Database| {
+            db.table_mut("t")?.upsert(row![7, "g2", 77])?;
+            Ok(())
+        })
+        .expect("transaction commits");
+    assert!(receipt.stamp > 0);
+    assert!(engine.metrics().commits >= 2);
+    engine.sync_wal().expect("sync is infallible in memory");
+}

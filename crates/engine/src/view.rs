@@ -7,49 +7,39 @@
 //! table — each one's writes show up in every other's reads, because the
 //! state is entangled, not copied.
 //!
-//! A view handle is **routing-oblivious**: it may front a single
-//! [`EngineServer`] or a [`ShardedEngineServer`] whose base table is
-//! partitioned over many shards — the client API is identical, and
-//! cross-shard writes coordinate transparently (two-phase commit inside
-//! the engine).
+//! A view handle is **host-location-oblivious**: it fronts any
+//! [`Engine`] — a single [`crate::EngineServer`], a
+//! [`crate::shard::ShardedEngineServer`] whose base table is partitioned
+//! over many shards, or a `RemoteEngine` speaking the wire protocol from
+//! another process. The client API is identical everywhere; routing,
+//! two-phase commit and network framing all stay under the trait.
+
+use std::sync::Arc;
 
 use esm_lens::{DeltaLens, DeltaOutcome};
 use esm_store::{Delta, Table};
 
+use crate::engine::{ArcEngine, Engine};
 use crate::error::EngineError;
-use crate::server::{EngineServer, DEFAULT_OPTIMISTIC_ATTEMPTS};
-use crate::shard::ShardedEngineServer;
-
-/// The engine a view handle routes to.
-#[derive(Clone, Debug)]
-enum ViewHost {
-    /// A single (possibly striped, possibly durable) engine.
-    Engine(EngineServer),
-    /// A key-range-sharded engine; writes route per key, cross-shard
-    /// writes run two-phase commit.
-    Sharded(ShardedEngineServer),
-}
+use crate::server::DEFAULT_OPTIMISTIC_ATTEMPTS;
 
 /// A client handle onto one named view of an engine. Cheap to clone and
 /// [`Send`], so each worker thread can own one.
 #[derive(Clone, Debug)]
 pub struct EntangledView {
-    host: ViewHost,
+    host: ArcEngine,
     name: String,
 }
 
 impl EntangledView {
-    pub(crate) fn new(server: EngineServer, name: String) -> EntangledView {
+    /// Attach a handle to the view named `name` on `host`. Engines hand
+    /// these out from `define_view` / `view` (which validate the name);
+    /// attaching to an unregistered name is allowed but every operation
+    /// will answer [`EngineError::NoSuchView`].
+    pub fn attach(host: ArcEngine, name: impl Into<String>) -> EntangledView {
         EntangledView {
-            host: ViewHost::Engine(server),
-            name,
-        }
-    }
-
-    pub(crate) fn new_sharded(server: ShardedEngineServer, name: String) -> EntangledView {
-        EntangledView {
-            host: ViewHost::Sharded(server),
-            name,
+            host,
+            name: name.into(),
         }
     }
 
@@ -58,23 +48,16 @@ impl EntangledView {
         &self.name
     }
 
-    /// The unsharded engine this view belongs to (`None` when the view
-    /// fronts a [`ShardedEngineServer`] — see
-    /// [`EntangledView::sharded_server`]).
-    pub fn server(&self) -> Option<&EngineServer> {
-        match &self.host {
-            ViewHost::Engine(e) => Some(e),
-            ViewHost::Sharded(_) => None,
-        }
+    /// The engine hosting this view — uniform across unsharded, sharded
+    /// and remote hosts (downcast-free: everything a client needs is on
+    /// the [`Engine`] trait).
+    pub fn engine(&self) -> &dyn Engine {
+        &*self.host
     }
 
-    /// The sharded engine this view belongs to (`None` when the view
-    /// fronts a plain [`EngineServer`]).
-    pub fn sharded_server(&self) -> Option<&ShardedEngineServer> {
-        match &self.host {
-            ViewHost::Engine(_) => None,
-            ViewHost::Sharded(s) => Some(s),
-        }
+    /// A shared handle to the hosting engine.
+    pub fn engine_arc(&self) -> ArcEngine {
+        Arc::clone(&self.host)
     }
 
     /// Read the view against the current base state.
@@ -84,10 +67,7 @@ impl EntangledView {
     /// under key bounds on a sharded engine), equal to a fresh lens
     /// `get` but O(changes) instead of O(base).
     pub fn get(&self) -> Result<Table, EngineError> {
-        match &self.host {
-            ViewHost::Engine(e) => e.read_view(&self.name),
-            ViewHost::Sharded(s) => s.read_view(&self.name),
-        }
+        self.host.read_view(&self.name)
     }
 
     /// Write an edited view back (lens `put`, pessimistic path); returns
@@ -97,10 +77,7 @@ impl EntangledView {
     /// between racing putters); prefer [`EntangledView::edit`] for
     /// read-modify-write edits that must not lose concurrent updates.
     pub fn put(&self, view: Table) -> Result<Delta, EngineError> {
-        match &self.host {
-            ViewHost::Engine(e) => e.write_view(&self.name, view),
-            ViewHost::Sharded(s) => s.write_view(&self.name, view),
-        }
+        self.host.write_view(&self.name, view)
     }
 
     /// Transactionally edit the view (optimistic path with retries):
@@ -109,14 +86,17 @@ impl EntangledView {
         &self,
         edit: impl Fn(&mut Table) -> Result<(), EngineError>,
     ) -> Result<Delta, EngineError> {
-        match &self.host {
-            ViewHost::Engine(e) => {
-                e.edit_view_optimistic(&self.name, DEFAULT_OPTIMISTIC_ATTEMPTS, edit)
-            }
-            ViewHost::Sharded(s) => {
-                s.edit_view_optimistic(&self.name, DEFAULT_OPTIMISTIC_ATTEMPTS, edit)
-            }
-        }
+        self.edit_with_attempts(DEFAULT_OPTIMISTIC_ATTEMPTS, edit)
+    }
+
+    /// [`EntangledView::edit`] with an explicit retry budget (what a
+    /// [`crate::Session`]'s retry policy drives).
+    pub fn edit_with_attempts(
+        &self,
+        attempts: u32,
+        edit: impl Fn(&mut Table) -> Result<(), EngineError>,
+    ) -> Result<Delta, EngineError> {
+        self.host.edit_view_optimistic(&self.name, attempts, &edit)
     }
 }
 
@@ -151,6 +131,7 @@ pub(crate) fn drain_into_window<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::EngineServer;
     use esm_relational::ViewDef;
     use esm_store::{row, Database, Operand, Predicate, Schema, Table, ValueType};
 
@@ -202,7 +183,21 @@ mod tests {
         v.delete_by_key(&row![2]);
         let delta = all.put(v).unwrap();
         assert_eq!(delta.deleted, vec![row![2, "b", 20]]);
-        assert_eq!(all.server().unwrap().wal().len(), 1);
-        assert!(all.sharded_server().is_none());
+        assert_eq!(e.wal().len(), 1);
+        // The host is reachable uniformly through the trait, whatever
+        // kind of engine it is.
+        assert_eq!(all.engine().table_names(), vec!["t"]);
+        assert_eq!(all.engine().metrics().commits, 1);
+    }
+
+    #[test]
+    fn attached_handles_to_unknown_views_error_per_call() {
+        let e = engine();
+        let ghost = EntangledView::attach(e.as_engine(), "ghost");
+        assert!(matches!(ghost.get(), Err(EngineError::NoSuchView(_))));
+        assert!(matches!(
+            ghost.edit(|_| Ok(())),
+            Err(EngineError::NoSuchView(_))
+        ));
     }
 }

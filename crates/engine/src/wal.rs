@@ -342,6 +342,71 @@ impl Wal {
         self.records.is_empty()
     }
 
+    /// The largest sequence number `<= upto` that lies on a **settled
+    /// transaction boundary**: every chained record at or below it has
+    /// its terminator at or below it, and every `!prepare` at or below
+    /// it has its `!resolve` at or below it. Records up to that point
+    /// can be dropped from the log (after folding them into the replay
+    /// baseline) without ever splitting a transaction or discarding the
+    /// only evidence of a 2PC outcome. Returns [`Wal::start_seq`] when
+    /// nothing at all is settled within `upto`.
+    pub fn settled_prefix_end(&self, upto: u64) -> u64 {
+        let mut boundary = self.start;
+        let mut open_chain = 0usize;
+        let mut open_prepares = 0usize;
+        let mut prepared: BTreeMap<&str, ()> = BTreeMap::new();
+        for rec in &self.records {
+            if rec.seq > upto {
+                break;
+            }
+            match &rec.op {
+                WalOp::Delta { chained, .. } => {
+                    open_chain += 1;
+                    if !chained {
+                        open_chain = 0;
+                    }
+                }
+                WalOp::Prepare { gtx, .. } => {
+                    open_chain = 0;
+                    if prepared.insert(gtx, ()).is_none() {
+                        open_prepares += 1;
+                    }
+                }
+                WalOp::Resolve { gtx, .. } => {
+                    if prepared.remove(gtx.as_str()).is_some() {
+                        open_prepares -= 1;
+                    }
+                }
+            }
+            if open_chain == 0 && open_prepares == 0 {
+                boundary = rec.seq;
+            }
+        }
+        boundary
+    }
+
+    /// Drop (and return) every record with `seq <= through`, advancing
+    /// the log's start offset to `through`. The caller owns folding the
+    /// returned prefix into whatever baseline it replays from —
+    /// truncation alone would silently break the replay law. `through`
+    /// must lie on a settled transaction boundary (see
+    /// [`Wal::settled_prefix_end`]); a cut through an open chain or an
+    /// unresolved prepare is refused as corruption.
+    pub fn truncate_through(&mut self, through: u64) -> Result<Vec<WalRecord>, EngineError> {
+        if through <= self.start {
+            return Ok(Vec::new());
+        }
+        if self.settled_prefix_end(through) != through {
+            return Err(EngineError::WalCorrupt(format!(
+                "cannot truncate through seq {through}: it splits an unsettled transaction"
+            )));
+        }
+        let cut = self.records.partition_point(|r| r.seq <= through);
+        let dropped: Vec<WalRecord> = self.records.drain(..cut).collect();
+        self.start = through;
+        Ok(dropped)
+    }
+
     /// Apply every record, in order, to `baseline` and return the
     /// resulting database. `baseline` must contain every table the log
     /// references (with the schemas the engine started from), and must

@@ -4,105 +4,23 @@
 //! last read, shard-pruned under key bounds); the law says that after
 //! *any* sequence of commits, shard splits and merges, that window
 //! equals a fresh lens `get` over the assembled base — the two read
-//! paths may never be observably different. The proptests drive random
-//! op sequences against both the unsharded and the sharded engine,
-//! compare every registered view against recomputation after every op,
-//! and finish with a steady-state phase asserting that repeated reads
-//! under no writes apply no deltas and trigger no rebuilds.
+//! paths may never be observably different.
+//!
+//! The law body lives in [`esm_engine::testkit`] and is written against
+//! `&dyn Engine`, so **one code path** checks every implementation: the
+//! proptests here drive it against [`EngineServer`] and
+//! [`ShardedEngineServer`]; the `esm-net` crate's suite drives the very
+//! same function against a `RemoteEngine` over a loopback socket. A
+//! sharded-only proptest keeps the topology churn (splits/merges are
+//! operator surface, not `Engine` surface).
 
 use proptest::prelude::*;
 
-use esm_engine::{EngineServer, ShardRouter, ShardedEngineServer};
-use esm_relational::ViewDef;
-use esm_store::{row, Database, Operand, Predicate, Row, Schema, Table, Value, ValueType};
-
-const KEYS: i64 = 80;
-const GROUPS: i64 = 5;
-
-fn seed_db() -> Database {
-    let schema = Schema::build(
-        &[
-            ("id", ValueType::Int),
-            ("grp", ValueType::Str),
-            ("val", ValueType::Int),
-        ],
-        &["id"],
-    )
-    .expect("valid schema");
-    let rows: Vec<Row> = (0..KEYS / 2)
-        .map(|i| {
-            let id = i * 2;
-            row![id, format!("g{}", id % GROUPS), id * 3]
-        })
-        .collect();
-    let mut db = Database::new();
-    db.create_table("t", Table::from_rows(schema, rows).expect("valid rows"))
-        .expect("fresh");
-    db
-}
-
-/// Every stage family, including key-bounded selects (pruned on the
-/// sharded engine) and multi-stage pipelines.
-fn view_defs() -> Vec<(&'static str, ViewDef)> {
-    vec![
-        ("all", ViewDef::base()),
-        (
-            "low",
-            ViewDef::base().select(Predicate::lt(Operand::col("id"), Operand::val(30))),
-        ),
-        (
-            "grp1",
-            ViewDef::base().select(Predicate::eq(Operand::col("grp"), Operand::val("g1"))),
-        ),
-        (
-            "teams",
-            ViewDef::base()
-                .project(&["id", "grp"], &[("val", Value::Int(0))])
-                .rename(&[("grp", "team")]),
-        ),
-        (
-            "band",
-            ViewDef::base()
-                .select(Predicate::ge(Operand::col("id"), Operand::val(20)))
-                .select(Predicate::lt(Operand::col("id"), Operand::val(60)))
-                .project(&["id", "val"], &[("grp", Value::str("gx"))]),
-        ),
-    ]
-}
-
-/// The law's right-hand side: a fresh compile + whole-base lens `get`.
-fn recompute(def: &ViewDef, base: &Table) -> Table {
-    def.compile(base).expect("recompiles").get(base)
-}
-
-/// One scripted operation, decoded from an integer triple so the
-/// vendored proptest needs only range + tuple strategies.
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    Upsert { id: i64, grp: i64, val: i64 },
-    Delete { id: i64 },
-    Transfer { a: i64, b: i64 },
-    Split { at: i64 },
-    Merge { left: i64 },
-}
-
-fn decode(kind: u8, a: i64, b: i64) -> Op {
-    let id = a.rem_euclid(KEYS);
-    match kind {
-        0..=4 => Op::Upsert {
-            id,
-            grp: b.rem_euclid(GROUPS),
-            val: b,
-        },
-        5 | 6 => Op::Delete { id },
-        7 => Op::Transfer {
-            a: id,
-            b: (id + KEYS / 2).rem_euclid(KEYS),
-        },
-        8 => Op::Split { at: id },
-        _ => Op::Merge { left: a },
-    }
-}
+use esm_engine::testkit::{
+    self, check_view_maintenance, decode_op, recompute, seed_db, view_defs, Op, KEYS,
+};
+use esm_engine::{Engine, EngineServer, ShardRouter, ShardedEngineServer};
+use esm_store::row;
 
 fn arb_ops() -> impl Strategy<Value = Vec<(u8, i64, i64)>> {
     proptest::collection::vec((0u8..10, 0i64..10_000, 0i64..10_000), 1..30)
@@ -112,57 +30,28 @@ proptest! {
     #[test]
     fn unsharded_views_equal_fresh_recompute(ops in arb_ops()) {
         let engine = EngineServer::new(seed_db());
-        let defs = view_defs();
-        for (name, def) in &defs {
-            engine.define_view(*name, "t", def).expect("compiles");
-        }
-        let registration_rebuilds = engine.metrics().view.rebuilds;
-
-        for &(kind, a, b) in &ops {
-            match decode(kind, a, b) {
-                Op::Upsert { id, grp, val } => {
-                    engine
-                        .edit_view_optimistic("all", 4, move |v| {
-                            v.upsert(row![id, format!("g{grp}"), val])?;
-                            Ok(())
-                        })
-                        .expect("commits");
-                }
-                // The unsharded engine has no topology ops; everything
-                // else degrades to a delete.
-                Op::Delete { id } | Op::Transfer { a: id, .. } | Op::Split { at: id }
-                | Op::Merge { left: id } => {
-                    engine
-                        .edit_view_optimistic("all", 4, move |v| {
-                            v.delete_by_key(&row![id.rem_euclid(KEYS)]);
-                            Ok(())
-                        })
-                        .expect("commits");
-                }
-            }
-            let base = engine.table("t").expect("exists");
-            for (name, def) in &defs {
-                prop_assert_eq!(
-                    engine.read_view(name).expect("readable"),
-                    recompute(def, &base),
-                    "view {} diverged from recomputation", name
-                );
-            }
-        }
-
-        // Steady state: with no splits possible, maintenance never once
-        // re-ran a whole-base lens get after registration…
-        prop_assert_eq!(engine.metrics().view.rebuilds, registration_rebuilds);
-        // …and quiescent re-reads apply nothing.
-        let before = engine.metrics().view.deltas_applied;
-        for (name, _) in &defs {
-            engine.read_view(name).expect("readable");
-        }
-        prop_assert_eq!(engine.metrics().view.deltas_applied, before);
+        check_view_maintenance(&engine, &ops);
     }
 
     #[test]
     fn sharded_views_equal_fresh_recompute(ops in arb_ops()) {
+        let engine = ShardedEngineServer::with_router(
+            seed_db(),
+            ShardRouter::uniform_int(4, 0, KEYS).expect("router"),
+        )
+        .expect("sharded engine");
+        check_view_maintenance(&engine, &ops);
+        // The key-bounded views pruned shards along the way (the seed
+        // router has 4 shards and `low` touches at most two).
+        prop_assert!(Engine::metrics(&engine).view.shards_pruned > 0);
+    }
+
+    /// Topology churn stays a sharded-only concern: interleave the
+    /// scripted ops with online splits and merges and re-check the law
+    /// after every step (epoch bumps invalidate windows; reads must
+    /// rebuild correctly).
+    #[test]
+    fn sharded_views_survive_splits_and_merges(ops in arb_ops()) {
         let engine = ShardedEngineServer::with_router(
             seed_db(),
             ShardRouter::uniform_int(4, 0, KEYS).expect("router"),
@@ -173,72 +62,102 @@ proptest! {
             engine.define_view(*name, "t", def).expect("compiles");
         }
 
-        for &(kind, a, b) in &ops {
-            match decode(kind, a, b) {
-                Op::Upsert { id, grp, val } => {
-                    engine
-                        .transact_keys(&[row![id]], 4, move |db| {
-                            db.table_mut("t")?.upsert(row![id, format!("g{grp}"), val])?;
-                            Ok(())
-                        })
-                        .expect("commits");
-                }
-                Op::Delete { id } => {
-                    engine
-                        .transact_keys(&[row![id]], 4, move |db| {
-                            db.table_mut("t")?.delete_by_key(&row![id]);
-                            Ok(())
-                        })
-                        .expect("commits");
-                }
-                Op::Transfer { a, b } => {
-                    // Touches two shards: exercises 2PC chains in the
-                    // per-shard drain.
-                    engine
-                        .transact_keys(&[row![a], row![b]], 4, move |db| {
-                            let t = db.table_mut("t")?;
-                            t.upsert(row![a, "g0", -1])?;
-                            t.upsert(row![b, "g1", 1])?;
-                            Ok(())
-                        })
-                        .expect("commits");
-                }
-                Op::Split { at } => {
+        for (i, &(kind, a, b)) in ops.iter().enumerate() {
+            match kind {
+                8 => {
                     // Splitting at an existing boundary is a scripted
                     // no-op, not a failure.
-                    let _ = engine.split_shard(row![at]);
+                    let _ = engine.split_shard(row![a.rem_euclid(KEYS)]);
                 }
-                Op::Merge { left } => {
+                9 => {
                     if engine.shard_count() > 1 {
-                        let left = (left.unsigned_abs() as usize) % (engine.shard_count() - 1);
+                        let left =
+                            (a.unsigned_abs() as usize) % (engine.shard_count() - 1);
                         engine.merge_shards(left).expect("adjacent shards merge");
                     }
                 }
+                _ => testkit::apply_op(&engine, decode_op(kind % 8, a, b)),
             }
             let snap = engine.snapshot();
             let base = snap.table("t").expect("exists");
             for (name, def) in &defs {
                 prop_assert_eq!(
-                    engine.read_view(name).expect("readable"),
+                    Engine::read_view(&engine, name).expect("readable"),
                     recompute(def, base),
-                    "view {} diverged from recomputation", name
+                    "view {} diverged from recomputation at op {}", name, i
                 );
             }
         }
 
         // Steady state: the topology is now stable, so repeated reads
         // rebuild nothing and apply nothing.
-        let before = engine.metrics().view;
+        let before = Engine::metrics(&engine).view;
         for _ in 0..3 {
             for (name, _) in &defs {
-                engine.read_view(name).expect("readable");
+                Engine::read_view(&engine, name).expect("readable");
             }
         }
-        let after = engine.metrics().view;
+        let after = Engine::metrics(&engine).view;
         prop_assert_eq!(after.rebuilds, before.rebuilds);
         prop_assert_eq!(after.deltas_applied, before.deltas_applied);
-        // The key-bounded views pruned shards along the way (the seed
-        // router has 4 shards and `low` touches at most two).
-        prop_assert!(after.shards_pruned > 0);
+    }
+
+    /// The conformance suite also runs through `dyn Engine` handles —
+    /// the exact shape the network server holds.
+    #[test]
+    fn dyn_engine_handles_satisfy_the_law(ops in arb_ops()) {
+        let concrete = EngineServer::new(seed_db());
+        let dynamic: esm_engine::ArcEngine = concrete.as_engine();
+        check_view_maintenance(&*dynamic, &ops);
+    }
+}
+
+/// Scripted (non-proptest) run so a plain `cargo test` exercises every
+/// op shape deterministically on both hosts.
+#[test]
+fn scripted_ops_cover_all_shapes() {
+    let script: Vec<(u8, i64, i64)> = (0..40u8)
+        .map(|i| (i % 10, i as i64 * 7, i as i64 * 13))
+        .collect();
+    let unsharded = EngineServer::new(seed_db());
+    check_view_maintenance(&unsharded, &script);
+    let sharded = ShardedEngineServer::with_router(
+        seed_db(),
+        ShardRouter::uniform_int(4, 0, KEYS).expect("router"),
+    )
+    .expect("sharded engine");
+    check_view_maintenance(&sharded, &script);
+}
+
+/// The trait-level concurrency oracle on both in-process hosts: racing
+/// optimistic editors over clones of one engine must lose no update.
+#[test]
+fn concurrent_editors_match_the_oracle_in_process() {
+    for sharded in [false, true] {
+        let engine: esm_engine::ArcEngine = if sharded {
+            ShardedEngineServer::with_router(
+                seed_db(),
+                ShardRouter::uniform_int(4, 0, KEYS).expect("router"),
+            )
+            .expect("sharded engine")
+            .as_engine()
+        } else {
+            EngineServer::new(seed_db()).as_engine()
+        };
+        let clients: Vec<esm_engine::ArcEngine> = (0..8).map(|_| engine.as_engine()).collect();
+        let total = testkit::check_concurrent_edits(clients, 12);
+        assert_eq!(total, 8 * 12);
+    }
+}
+
+/// Decoded ops stay within the documented families.
+#[test]
+fn op_decoding_is_total() {
+    for kind in 0..=255u8 {
+        match decode_op(kind, 123, 456) {
+            Op::Upsert { id, .. } | Op::Delete { id } | Op::Transfer { a: id, .. } => {
+                assert!((0..KEYS).contains(&id));
+            }
+        }
     }
 }

@@ -1,0 +1,283 @@
+//! [`RemoteEngine`]: the [`Engine`] trait spoken over a socket.
+//!
+//! One `RemoteEngine` is one connection (clones share it; open several
+//! for parallelism — the server multiplexes them all onto one engine).
+//! Because it implements [`Engine`], an [`esm_engine::EntangledView`]
+//! or [`esm_engine::Session`] over a `RemoteEngine` is indistinguishable
+//! from one over an in-process engine — the same conformance suite
+//! ([`esm_engine::testkit`]) runs against both, across a real wire.
+//!
+//! ## Closures do not serialize — equalities do
+//!
+//! Two trait methods take closures; both are driven from the client:
+//!
+//! * [`Engine::edit_view_optimistic`] becomes a read/edit/compare-and-
+//!   swap loop: read the view, run the edit locally, then ask the
+//!   server to install the edited window *iff* the view still equals
+//!   the one the edit was computed against. A CAS failure is a
+//!   first-committer-wins conflict; the client retries with a fresh
+//!   read, up to the caller's attempt budget — optimistic concurrency
+//!   with the validation done where the authoritative state lives.
+//! * [`Engine::transact`] becomes snapshot/execute/commit-deltas: the
+//!   body runs against a wired-over snapshot, and the resulting
+//!   [`Delta`]s (whose `deleted` rows are pre-images, exactly what
+//!   `Delta::between` emits) are validated row-for-row server-side
+//!   inside the host engine's own atomic `transact`.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+
+use esm_engine::{ArcEngine, CommitReceipt, Engine, EngineError, EntangledView, MetricsSnapshot};
+use esm_relational::ViewDef;
+use esm_store::{Database, Delta, Table};
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Request, Response};
+
+/// A client-side engine handle speaking the wire protocol over one
+/// TCP connection. Requests on one handle serialize; clone cheaply to
+/// share, or connect again for concurrency.
+///
+/// The fallible [`Engine`] methods surface transport failures as
+/// [`EngineError::Io`]. The trait's *infallible* methods
+/// (`snapshot`, `metrics`, `table_names`, `view_names`) have no error
+/// channel, so a dead connection **panics** there rather than
+/// fabricating an empty answer — making those methods fallible on the
+/// trait is a noted follow-on.
+#[derive(Clone)]
+pub struct RemoteEngine {
+    wire: Arc<Mutex<TcpStream>>,
+    peer: SocketAddr,
+}
+
+impl std::fmt::Debug for RemoteEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RemoteEngine {{ peer: {} }}", self.peer)
+    }
+}
+
+impl RemoteEngine {
+    /// Connect to a [`crate::NetServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<RemoteEngine> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        Ok(RemoteEngine {
+            wire: Arc::new(Mutex::new(stream)),
+            peer,
+        })
+    }
+
+    /// The server address this handle speaks to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Round-trip a liveness probe.
+    pub fn ping(&self) -> Result<(), EngineError> {
+        match self.request(&Request::Ping)? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn request(&self, req: &Request) -> Result<Response, EngineError> {
+        let mut stream = self
+            .wire
+            .lock()
+            .map_err(|_| EngineError::Io("remote connection poisoned".into()))?;
+        write_frame(&mut *stream, &req.encode())?;
+        let payload = read_frame(&mut *stream)?;
+        drop(stream);
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Like [`RemoteEngine::request`] but lifts a structured server
+    /// error into `Err`.
+    fn call(&self, req: &Request) -> Result<Response, EngineError> {
+        match self.request(req)? {
+            Response::Err(e) => Err(e),
+            ok => Ok(ok),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> EngineError {
+    EngineError::Io(format!("unexpected response shape: {resp:?}"))
+}
+
+impl Engine for RemoteEngine {
+    fn as_engine(&self) -> ArcEngine {
+        Arc::new(self.clone())
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        // The trait signature is infallible; a transport failure here
+        // must not masquerade as "an engine with no tables".
+        match self.call(&Request::TableNames) {
+            Ok(Response::Names(names)) => names,
+            Ok(other) => panic!("table_names over the wire: {:?}", unexpected(other)),
+            Err(e) => panic!("table_names over the wire: {e}"),
+        }
+    }
+
+    fn table(&self, name: &str) -> Result<Table, EngineError> {
+        match self.call(&Request::Table(name.to_string()))? {
+            Response::Table(t) => Ok(t),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn snapshot(&self) -> Database {
+        match self.call(&Request::Snapshot) {
+            Ok(Response::Database(db)) => db,
+            Ok(other) => panic!("snapshot over the wire: {:?}", unexpected(other)),
+            Err(e) => panic!("snapshot over the wire: {e}"),
+        }
+    }
+
+    fn define_view(
+        &self,
+        name: &str,
+        table: &str,
+        def: &ViewDef,
+    ) -> Result<EntangledView, EngineError> {
+        match self.call(&Request::DefineView {
+            name: name.to_string(),
+            table: table.to_string(),
+            def: def.clone(),
+        })? {
+            Response::Unit => Ok(EntangledView::attach(self.as_engine(), name)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn view(&self, name: &str) -> Result<EntangledView, EngineError> {
+        match self.call(&Request::OpenView(name.to_string()))? {
+            Response::Unit => Ok(EntangledView::attach(self.as_engine(), name)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn view_names(&self) -> Vec<String> {
+        match self.call(&Request::ViewNames) {
+            Ok(Response::Names(names)) => names,
+            Ok(other) => panic!("view_names over the wire: {:?}", unexpected(other)),
+            Err(e) => panic!("view_names over the wire: {e}"),
+        }
+    }
+
+    fn read_view(&self, name: &str) -> Result<Table, EngineError> {
+        match self.call(&Request::ReadView(name.to_string()))? {
+            Response::Table(t) => Ok(t),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
+        match self.call(&Request::WriteView {
+            name: name.to_string(),
+            view,
+        })? {
+            Response::Delta(d) => Ok(d),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn edit_view_optimistic(
+        &self,
+        name: &str,
+        attempts: u32,
+        edit: &dyn Fn(&mut Table) -> Result<(), EngineError>,
+    ) -> Result<Delta, EngineError> {
+        for _ in 0..attempts.max(1) {
+            let expect = self.read_view(name)?;
+            let mut edited = expect.clone();
+            edit(&mut edited)?;
+            if edited == expect {
+                return Ok(Delta::empty());
+            }
+            match self.call(&Request::EditViewCas {
+                name: name.to_string(),
+                expect,
+                edited,
+            }) {
+                Ok(Response::Delta(d)) => return Ok(d),
+                Ok(other) => return Err(unexpected(other)),
+                // A CAS miss surfaces as a conflict (or as the server's
+                // single attempt reporting exhaustion): retry with a
+                // fresh read.
+                Err(EngineError::Conflict { .. }) | Err(EngineError::RetriesExhausted { .. }) => {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(EngineError::RetriesExhausted {
+            view: name.to_string(),
+            attempts,
+        })
+    }
+
+    fn transact(
+        &self,
+        max_attempts: u32,
+        body: &dyn Fn(&mut Database) -> Result<(), EngineError>,
+    ) -> Result<CommitReceipt, EngineError> {
+        for _ in 0..max_attempts.max(1) {
+            let snapshot = match self.call(&Request::Snapshot)? {
+                Response::Database(db) => db,
+                other => return Err(unexpected(other)),
+            };
+            let mut working = snapshot.clone();
+            body(&mut working)?;
+            let mut deltas: Vec<(String, Delta)> = Vec::new();
+            for name in snapshot.table_names() {
+                let delta = Delta::between(snapshot.table(name)?, working.table(name)?)?;
+                if !delta.is_empty() {
+                    deltas.push((name.to_string(), delta));
+                }
+            }
+            let delta_map = deltas.iter().cloned().collect();
+            match self.call(&Request::Commit { deltas }) {
+                Ok(Response::Receipt { stamp, shards, gtx }) => {
+                    return Ok(CommitReceipt {
+                        stamp,
+                        shards,
+                        deltas: delta_map,
+                        gtx,
+                    })
+                }
+                Ok(other) => return Err(unexpected(other)),
+                Err(EngineError::Conflict { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(EngineError::Conflict {
+            table: String::new(),
+            detail: format!("remote transaction still conflicted after {max_attempts} attempts"),
+        })
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        match self.call(&Request::Metrics) {
+            Ok(Response::Metrics(m)) => m,
+            Ok(other) => panic!("metrics over the wire: {:?}", unexpected(other)),
+            Err(e) => panic!("metrics over the wire: {e}"),
+        }
+    }
+
+    fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Seq(seq) => Ok(seq),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn sync_wal(&self) -> Result<(), EngineError> {
+        match self.call(&Request::SyncWal)? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # `esm-net` — entangled views over a wire.
+//!
+//! The paper's entangled state monads are client handles onto shared
+//! hidden state; this crate puts a socket between the handle and the
+//! state. One [`NetServer`] fronts any [`esm_engine::Engine`] (a
+//! lock-striped [`esm_engine::EngineServer`] or a key-range-sharded
+//! [`esm_engine::ShardedEngineServer`]) and multiplexes many client
+//! connections onto it; [`RemoteEngine`] implements the same `Engine`
+//! trait on the client side, so an [`esm_engine::EntangledView`] is
+//! **host-location-oblivious** — the code (and the conformance suite)
+//! that runs in-process runs unchanged across the wire.
+//!
+//! ```text
+//!  client process                      server process
+//! ┌────────────────────┐   frames    ┌─────────────────────────────┐
+//! │ EntangledView      │  [len|crc|  │ NetServer                   │
+//! │   └ RemoteEngine ──┼──payload]──▶│  ├ poller (non-blocking     │
+//! │ Session            │◀────────────┼──┤   readiness loop)        │
+//! └────────────────────┘             │  ├ worker pool ── Session   │
+//!        × thousands                 │  │   per connection         │
+//!                                    │  └ Arc<dyn Engine>          │
+//!                                    │     ├ EngineServer          │
+//!                                    │     └ ShardedEngineServer   │
+//!                                    └─────────────────────────────┘
+//! ```
+//!
+//! * [`frame`] — length-prefixed, CRC32-checked frames; torn prefixes
+//!   wait, bit rot refuses (the WAL segments' discipline, on a socket).
+//! * [`proto`] — line-oriented request/response text for the full
+//!   `Engine` surface, reusing [`esm_store::codec`]'s escaping; view
+//!   definitions and predicates serialize structurally.
+//! * [`server`] — the thread-pooled non-blocking front end; one
+//!   [`esm_engine::Session`] per connection.
+//! * [`client`] — [`RemoteEngine`]; client-driven optimistic loops
+//!   (compare-and-swap edits, pre-image-validated transactions)
+//!   replace the closures that cannot cross the wire.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::RemoteEngine;
+pub use frame::{decode_frame, encode_frame, FrameError, MAX_FRAME_BYTES};
+pub use proto::{Request, Response, WireError};
+pub use server::{NetServer, NetServerConfig, NetStats};

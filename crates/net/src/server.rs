@@ -1,0 +1,403 @@
+//! [`NetServer`]: a non-blocking, thread-pooled socket front end.
+//!
+//! One poller thread owns every connection in non-blocking mode and
+//! runs a readiness loop — accept, read, frame, dispatch, flush — so
+//! thousands of idle connections cost no threads (the std-only
+//! equivalent of a hand-rolled epoll loop, consistent with the offline
+//! no-new-runtime-dependency policy). Complete request frames are
+//! handed to a small worker pool that executes them against the shared
+//! [`Engine`] through each connection's own [`Session`] (per-client
+//! view registrations, commit stamps, retry policy) — this is the
+//! multiplexing: N connections, K worker threads, one engine, with the
+//! engine's stripe/shard pipelines providing the real commit
+//! parallelism underneath.
+//!
+//! Per-connection ordering is preserved: a connection has at most one
+//! request in flight in the pool; further pipelined frames queue on the
+//! poller until the previous response is written. Responses travel
+//! back through a per-connection output buffer the poller flushes
+//! opportunistically.
+//!
+//! Connection hygiene follows the WAL's torn-vs-rot discipline
+//! ([`crate::frame`]): a half-received frame waits for more bytes; a
+//! corrupt frame (CRC mismatch, absurd length) drops the connection.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use esm_engine::{ArcEngine, Session};
+
+use crate::frame::{decode_frame, encode_frame};
+use crate::proto::{handle, Request, Response, WireError};
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Worker threads executing requests (the poller is extra).
+    pub workers: usize,
+    /// Poller sleep when a pass finds nothing to do.
+    pub idle_sleep: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> NetServerConfig {
+        NetServerConfig {
+            workers: 8,
+            idle_sleep: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Counters the server keeps about itself (the engine keeps its own).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections dropped (EOF, I/O error, or protocol corruption).
+    pub dropped: u64,
+    /// Request frames executed.
+    pub requests: u64,
+}
+
+#[derive(Debug, Default)]
+struct NetCounters {
+    accepted: AtomicU64,
+    dropped: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// State a worker needs to answer one connection's requests.
+struct ConnShared {
+    session: Session,
+    outbuf: Mutex<Vec<u8>>,
+}
+
+struct Job {
+    /// Unique connection id (never reused, so a completion for a dead
+    /// connection can never un-busy a later one).
+    token: u64,
+    shared: Arc<ConnShared>,
+    payload: Vec<u8>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    inbuf: Vec<u8>,
+    pending: VecDeque<Vec<u8>>,
+    busy: bool,
+}
+
+/// A running network front end. Dropping it shuts the server down and
+/// joins every thread.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serve `engine` until shutdown.
+    pub fn bind(
+        engine: ArcEngine,
+        addr: impl ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        NetServer::serve(engine, TcpListener::bind(addr)?, config)
+    }
+
+    /// Serve `engine` on an already-bound listener.
+    pub fn serve(
+        engine: ArcEngine,
+        listener: TcpListener,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+
+        let (jobs_tx, jobs_rx) = channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let (done_tx, done_rx) = channel::<u64>();
+
+        let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+        for _ in 0..config.workers.max(1) {
+            let jobs_rx = Arc::clone(&jobs_rx);
+            let done_tx = done_tx.clone();
+            let counters = Arc::clone(&counters);
+            threads.push(std::thread::spawn(move || {
+                worker_loop(&jobs_rx, &done_tx, &counters);
+            }));
+        }
+        drop(done_tx);
+
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            threads.push(std::thread::spawn(move || {
+                poller_loop(
+                    engine, listener, config, &shutdown, &counters, jobs_tx, done_rx,
+                );
+            }));
+        }
+
+        Ok(NetServer {
+            addr,
+            shutdown,
+            counters,
+            threads,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Lifetime connection/request counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, drop every connection, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetServer {{ addr: {} }}", self.addr)
+    }
+}
+
+fn worker_loop(jobs: &Mutex<Receiver<Job>>, done: &Sender<u64>, counters: &NetCounters) {
+    loop {
+        // Take the receiver lock only to fetch the next job, never
+        // while executing one.
+        let job = match jobs.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        // Panic containment: a request that panics its handler must
+        // cost an error response, not this worker thread (a dead worker
+        // shrinks the pool and wedges the connection whose completion
+        // token it never sent).
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match Request::decode(&job.payload) {
+                Ok(req) => handle(&job.shared.session, req),
+                Err(WireError(msg)) => {
+                    Response::Err(esm_engine::EngineError::Io(format!("bad request: {msg}")))
+                }
+            }
+        }))
+        .unwrap_or_else(|_| {
+            Response::Err(esm_engine::EngineError::Io(
+                "internal error while handling the request".into(),
+            ))
+        });
+        let framed = encode_frame(&response.encode());
+        if let Ok(mut out) = job.shared.outbuf.lock() {
+            out.extend_from_slice(&framed);
+        }
+        // The poller flushes and re-arms the connection; if it is gone,
+        // so is the connection.
+        let _ = done.send(job.token);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn poller_loop(
+    engine: ArcEngine,
+    listener: TcpListener,
+    config: NetServerConfig,
+    shutdown: &AtomicBool,
+    counters: &NetCounters,
+    jobs: Sender<Job>,
+    done: Receiver<u64>,
+) {
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut next_token: u64 = 0;
+    let mut read_chunk = [0u8; 16 * 1024];
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut active = false;
+
+        // Accept.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    active = true;
+                    let conn = Conn {
+                        stream,
+                        shared: Arc::new(ConnShared {
+                            session: Session::new(engine.as_engine()),
+                            outbuf: Mutex::new(Vec::new()),
+                        }),
+                        inbuf: Vec::new(),
+                        pending: VecDeque::new(),
+                        busy: false,
+                    };
+                    conns.insert(next_token, conn);
+                    next_token += 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Completions: connections whose in-flight request finished.
+        loop {
+            match done.try_recv() {
+                Ok(token) => {
+                    active = true;
+                    if let Some(conn) = conns.get_mut(&token) {
+                        conn.busy = false;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+
+        // Read, frame, dispatch, flush — per connection.
+        let tokens: Vec<u64> = conns.keys().copied().collect();
+        for token in tokens {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let mut drop_conn = false;
+
+            // Drain readable bytes.
+            loop {
+                match conn.stream.read(&mut read_chunk) {
+                    Ok(0) => {
+                        drop_conn = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        active = true;
+                        conn.inbuf.extend_from_slice(&read_chunk[..n]);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        drop_conn = true;
+                        break;
+                    }
+                }
+            }
+
+            // Extract complete frames (torn prefixes wait; corruption
+            // drops the connection).
+            if !drop_conn {
+                loop {
+                    match decode_frame(&conn.inbuf) {
+                        Ok(Some((payload, consumed))) => {
+                            conn.inbuf.drain(..consumed);
+                            conn.pending.push_back(payload);
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            drop_conn = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Dispatch at most one in-flight request per connection so
+            // responses keep request order.
+            if !drop_conn && !conn.busy {
+                if let Some(payload) = conn.pending.pop_front() {
+                    conn.busy = true;
+                    active = true;
+                    if jobs
+                        .send(Job {
+                            token,
+                            shared: Arc::clone(&conn.shared),
+                            payload,
+                        })
+                        .is_err()
+                    {
+                        drop_conn = true;
+                    }
+                }
+            }
+
+            // Flush buffered response bytes.
+            if !drop_conn {
+                if let Ok(mut out) = conn.shared.outbuf.lock() {
+                    while !out.is_empty() {
+                        match conn.stream.write(&out) {
+                            Ok(0) => {
+                                drop_conn = true;
+                                break;
+                            }
+                            Ok(n) => {
+                                active = true;
+                                out.drain(..n);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                drop_conn = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            if drop_conn {
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+                conns.remove(&token);
+            }
+        }
+
+        if !active {
+            // With a request in flight its completion is imminent —
+            // yield and re-poll so the response is not taxed a sleep
+            // period; sleep only when every connection is quiet.
+            if conns.values().any(|c| c.busy) {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(config.idle_sleep);
+            }
+        }
+    }
+    // Shutdown: dropping `jobs` ends the workers once the queue drains;
+    // dropping the connections closes every socket.
+}

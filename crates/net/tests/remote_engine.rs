@@ -1,0 +1,328 @@
+//! The acceptance gate for the network front end: the *same*
+//! engine-polymorphic conformance suite that runs against the
+//! in-process engines ([`esm_engine::testkit`], driven by
+//! `crates/engine/tests/view_maintenance.rs`) runs here, unmodified,
+//! against a [`RemoteEngine`] speaking to a [`NetServer`] over a real
+//! loopback socket — fronting both an unsharded and a sharded host —
+//! plus a 64-connection concurrency run racing optimistic editors
+//! against a single-threaded oracle.
+
+use esm_engine::testkit::{self, check_view_maintenance, seed_db, KEYS};
+use esm_engine::{
+    ArcEngine, Engine, EngineError, EngineServer, Session, ShardRouter, ShardedEngineServer,
+};
+use esm_net::{NetServer, NetServerConfig, RemoteEngine};
+use esm_relational::ViewDef;
+use esm_store::{row, Operand, Predicate, Schema, Table, ValueType};
+
+fn serve(engine: ArcEngine) -> (NetServer, std::net::SocketAddr) {
+    let server =
+        NetServer::bind(engine, "127.0.0.1:0", NetServerConfig::default()).expect("loopback bind");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn connect(addr: std::net::SocketAddr) -> RemoteEngine {
+    RemoteEngine::connect(addr).expect("loopback connect")
+}
+
+/// A deterministic script covering every op family (upserts, deletes,
+/// cross-key transfers) — the same shape the in-process proptests draw
+/// randomly.
+fn script() -> Vec<(u8, i64, i64)> {
+    (0..30u8)
+        .map(|i| (i % 10, i as i64 * 7, i as i64 * 13))
+        .collect()
+}
+
+#[test]
+fn remote_engine_satisfies_the_view_maintenance_law_unsharded() {
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+    let remote = connect(addr);
+    // The exact same suite body the in-process engines run.
+    check_view_maintenance(&remote, &script());
+    assert!(server.stats().requests > 0);
+    server.shutdown();
+}
+
+#[test]
+fn remote_engine_satisfies_the_view_maintenance_law_sharded() {
+    let host = ShardedEngineServer::with_router(
+        seed_db(),
+        ShardRouter::uniform_int(4, 0, KEYS).expect("router"),
+    )
+    .expect("sharded engine");
+    let (server, addr) = serve(host.as_engine());
+    let remote = connect(addr);
+    check_view_maintenance(&remote, &script());
+    // The wire client's reads were served by shard-pruned windows and
+    // its transfers committed through cross-shard 2PC.
+    let m = remote.metrics();
+    assert!(m.shard.cross_shard_commits > 0, "transfers ran 2PC");
+    assert!(m.view.shards_pruned > 0, "key-bounded views pruned shards");
+    server.shutdown();
+}
+
+#[test]
+fn sixty_four_connections_race_the_oracle_on_one_engine() {
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+    // 64 independent client connections, multiplexed by the server onto
+    // one engine; each runs concurrent optimistic edits. The oracle
+    // (single-threaded re-execution of the successful commuting ops)
+    // must match exactly — no lost updates across the wire.
+    let clients: Vec<ArcEngine> = (0..64).map(|_| connect(addr).as_engine()).collect();
+    let total = testkit::check_concurrent_edits(clients, 4);
+    assert_eq!(total, 64 * 4);
+    let stats = server.stats();
+    assert!(
+        stats.accepted >= 64,
+        "{} connections accepted",
+        stats.accepted
+    );
+    server.shutdown();
+}
+
+#[test]
+fn sixty_four_connections_race_the_oracle_on_a_sharded_engine() {
+    let host = ShardedEngineServer::with_router(
+        seed_db(),
+        ShardRouter::uniform_int(4, 0, KEYS).expect("router"),
+    )
+    .expect("sharded engine");
+    let (server, addr) = serve(host.as_engine());
+    let clients: Vec<ArcEngine> = (0..64).map(|_| connect(addr).as_engine()).collect();
+    let total = testkit::check_concurrent_edits(clients, 3);
+    assert_eq!(total, 64 * 3);
+    server.shutdown();
+}
+
+#[test]
+fn the_full_surface_works_end_to_end() {
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+    let remote = connect(addr);
+    remote.ping().unwrap();
+    testkit::check_surface_smoke(&remote);
+    // checkpoint on an in-memory engine answers None over the wire.
+    assert_eq!(remote.checkpoint().unwrap(), None);
+    server.shutdown();
+}
+
+#[test]
+fn sessions_and_views_are_host_location_oblivious() {
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+
+    // A Session over a RemoteEngine — the same client code that runs
+    // in-process.
+    let session = Session::new(connect(addr).as_engine());
+    let view = session
+        .define_view(
+            "low",
+            "t",
+            &ViewDef::base().select(Predicate::lt(Operand::col("id"), Operand::val(10))),
+        )
+        .unwrap();
+    assert_eq!(view.name(), "low");
+    let delta = session
+        .edit("low", |v| Ok(v.upsert(row![3, "g1", 33]).map(|_| ())?))
+        .unwrap();
+    assert_eq!(delta.inserted, vec![row![3, "g1", 33]]);
+    let receipt = session
+        .transact(|db| {
+            db.table_mut("t")?.upsert(row![5, "g0", 55])?;
+            Ok(())
+        })
+        .unwrap();
+    assert!(receipt.stamp > 0);
+    assert_eq!(session.last_stamp(), receipt.stamp);
+
+    // A second connection observes the entangled state.
+    let other = connect(addr);
+    let low = other.view("low").unwrap();
+    let window = low.get().unwrap();
+    assert!(window.contains(&row![3, "g1", 33]));
+    assert!(window.contains(&row![5, "g0", 55]));
+    // And the view handle exposes its (remote) host uniformly.
+    assert_eq!(low.engine().table_names(), vec!["t"]);
+    server.shutdown();
+}
+
+#[test]
+fn structured_errors_cross_the_wire() {
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+    let remote = connect(addr);
+
+    assert!(matches!(
+        remote.read_view("ghost"),
+        Err(EngineError::NoSuchView(name)) if name == "ghost"
+    ));
+    assert!(matches!(
+        remote.table("ghost"),
+        Err(EngineError::NoSuchTable(name)) if name == "ghost"
+    ));
+    remote.define_view("v", "t", &ViewDef::base()).unwrap();
+    assert!(matches!(
+        remote.define_view("v", "t", &ViewDef::base()),
+        Err(EngineError::ViewExists(_))
+    ));
+    // An ill-fitting view write surfaces a store-side rejection without
+    // wedging the server.
+    let bad = Table::from_rows(
+        Schema::build(&[("id", ValueType::Int)], &["id"]).unwrap(),
+        vec![row![1]],
+    )
+    .unwrap();
+    assert!(matches!(
+        remote.write_view("v", bad),
+        Err(EngineError::Store(_))
+    ));
+    assert_eq!(remote.read_view("v").unwrap().len(), 40);
+    server.shutdown();
+}
+
+#[test]
+fn a_dropped_connection_does_not_disturb_the_others() {
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+    let keeper = connect(addr);
+    keeper.define_view("all", "t", &ViewDef::base()).unwrap();
+    {
+        let doomed = connect(addr);
+        doomed.ping().unwrap();
+        // Dropped here: the server reaps it on its next pass.
+    }
+    let delta = keeper
+        .edit_view_optimistic("all", 8, &|v: &mut Table| {
+            v.upsert(row![77, "g0", 7])?;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(delta.inserted.len(), 1);
+    assert!(keeper
+        .read_view("all")
+        .unwrap()
+        .contains(&row![77, "g0", 7]));
+    server.shutdown();
+}
+
+#[test]
+fn remote_transactions_validate_against_pre_images() {
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+    let a = connect(addr);
+    let b = connect(addr);
+
+    // Client A and client B both read, then both try to bump the same
+    // row; the retry loop makes both land, and the final value reflects
+    // both increments (no lost update through the delta/pre-image path).
+    let bump = |remote: &RemoteEngine| {
+        remote
+            .transact(16, &|db: &mut esm_store::Database| {
+                let t = db.table_mut("t")?;
+                let current = t
+                    .get_by_key(&row![0])
+                    .and_then(|r| match &r[2] {
+                        esm_store::Value::Int(n) => Some(*n),
+                        _ => None,
+                    })
+                    .unwrap_or(0);
+                t.upsert(row![0, "g0", current + 1])?;
+                Ok(())
+            })
+            .unwrap()
+    };
+    let r1 = bump(&a);
+    let r2 = bump(&b);
+    assert!(r2.stamp > r1.stamp, "stamps order the commits");
+    let base = a.table("t").unwrap();
+    assert_eq!(base.get_by_key(&row![0]), Some(&row![0, "g0", 2]));
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    use esm_net::{decode_frame, encode_frame, Request, Response};
+    use std::io::{Read, Write};
+
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    // Fire several requests without waiting for any response — they
+    // must come back in request order on this connection.
+    let reqs = [
+        Request::Ping,
+        Request::TableNames,
+        Request::ViewNames,
+        Request::Ping,
+    ];
+    let mut bytes = Vec::new();
+    for req in &reqs {
+        bytes.extend_from_slice(&encode_frame(&req.encode()));
+    }
+    stream.write_all(&bytes).unwrap();
+
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut got = Vec::new();
+    while got.len() < reqs.len() {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server closed early");
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some((payload, consumed)) = decode_frame(&buf).unwrap() {
+            buf.drain(..consumed);
+            got.push(Response::decode(&payload).unwrap());
+        }
+    }
+    assert!(matches!(got[0], Response::Unit));
+    assert!(matches!(&got[1], Response::Names(names) if names == &vec!["t".to_string()]));
+    assert!(matches!(&got[2], Response::Names(names) if names.is_empty()));
+    assert!(matches!(got[3], Response::Unit));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_commit_rows_error_without_killing_the_server() {
+    use esm_net::{Request, Response};
+    use esm_store::Delta;
+
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+    let remote = connect(addr);
+
+    // A delta whose rows are shorter than the schema (and one with the
+    // wrong key type): decode succeeds — validation must reject them
+    // with a structured error, not panic a worker thread.
+    let short = Request::Commit {
+        deltas: vec![(
+            "t".into(),
+            Delta {
+                inserted: vec![vec![]],
+                deleted: vec![row![1]],
+            },
+        )],
+    };
+    let ghost_table = Request::Commit {
+        deltas: vec![(
+            "nope".into(),
+            Delta {
+                inserted: vec![row![1, "g0", 1]],
+                deleted: vec![],
+            },
+        )],
+    };
+    for req in [short, ghost_table] {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        esm_net::frame::write_frame(&mut stream, &req.encode()).unwrap();
+        let payload = esm_net::frame::read_frame(&mut stream).unwrap();
+        assert!(
+            matches!(Response::decode(&payload).unwrap(), Response::Err(_)),
+            "malformed commit must answer a structured error"
+        );
+    }
+
+    // The server (and its worker pool) is still fully alive.
+    remote.ping().unwrap();
+    let receipt = remote
+        .transact(4, &|db: &mut esm_store::Database| {
+            db.table_mut("t")?.upsert(row![70, "g0", 7])?;
+            Ok(())
+        })
+        .unwrap();
+    assert!(receipt.stamp > 0);
+    server.shutdown();
+}

@@ -17,7 +17,7 @@ use crate::rename::rename_lens;
 use crate::select::select_lens;
 
 /// A bidirectional view definition over a single base table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ViewDef {
     /// The base table itself.
     Base,

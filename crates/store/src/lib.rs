@@ -40,7 +40,7 @@ pub use database::Database;
 pub use delta::Delta;
 pub use error::StoreError;
 pub use index::{ColumnIndex, IndexProbe};
-pub use predicate::{Operand, Predicate};
+pub use predicate::{Cmp, Operand, Predicate};
 pub use query::Query;
 pub use row::Row;
 pub use schema::{Column, Schema};

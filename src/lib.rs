@@ -28,7 +28,14 @@
 //! - [`engine`] — the concurrent, transactional bidirectional database
 //!   engine: snapshot-isolated transactions with first-committer-wins, a
 //!   write-ahead log with replay/recovery, and a lock-striped server where
-//!   many clients hold entangled views over shared base tables.
+//!   many clients hold entangled views over shared base tables — all
+//!   behind one [`engine::Engine`] trait with per-client
+//!   [`engine::Session`]s.
+//! - [`net`] — the network front end: a CRC-framed wire protocol for the
+//!   whole `Engine` surface, a thread-pooled non-blocking socket server
+//!   multiplexing many clients onto one engine, and a
+//!   [`net::RemoteEngine`] client so entangled views work across
+//!   processes unchanged.
 //! - [`modelsync`] — a model-driven-engineering substrate: class models ↔
 //!   relational schemas as a symmetric lens with complement.
 //! - [`lawcheck`] — executable law checking for every law in the paper.
@@ -87,6 +94,7 @@ pub use esm_lawcheck as lawcheck;
 pub use esm_lens as lens;
 pub use esm_modelsync as modelsync;
 pub use esm_monad as monad;
+pub use esm_net as net;
 pub use esm_relational as relational;
 pub use esm_store as store;
 pub use esm_symmetric as symmetric;
