@@ -20,6 +20,7 @@ use std::time::Instant;
 use esm_bench::results::BenchResults;
 use esm_engine::{ArcEngine, Engine, EngineServer};
 use esm_net::{NetServer, NetServerConfig, RemoteEngine};
+use esm_obs::{Histogram, HistogramSnapshot};
 use esm_relational::ViewDef;
 use esm_store::{row, Database, Operand, Predicate, Row, Schema, Table, ValueType};
 
@@ -60,25 +61,34 @@ fn engine_with_views() -> ArcEngine {
 
 /// Run `clients` worker threads, each holding its own engine handle
 /// (an in-process clone or its own socket connection), and return
-/// aggregate ops/second.
+/// aggregate ops/second plus the per-op latency distribution (every
+/// thread records into one lock-free histogram).
 fn run_clients(
     handles: Vec<ArcEngine>,
     ops_per_client: usize,
     op: impl Fn(&dyn Engine, usize, usize) + Sync,
-) -> f64 {
+) -> (f64, HistogramSnapshot) {
     let op = &op;
+    let latencies = Histogram::new();
+    let latencies_ref = &latencies;
     let start = Instant::now();
     std::thread::scope(|scope| {
         for (client, handle) in handles.iter().enumerate() {
             scope.spawn(move || {
                 for i in 0..ops_per_client {
+                    let op_start = Instant::now();
                     op(&**handle, client, i);
+                    latencies_ref
+                        .record(u64::try_from(op_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 }
             });
         }
     });
     let total = handles.len() * ops_per_client;
-    total as f64 / start.elapsed().as_secs_f64()
+    (
+        total as f64 / start.elapsed().as_secs_f64(),
+        latencies.snapshot(),
+    )
 }
 
 fn read_op(engine: &dyn Engine, client: usize, _i: usize) {
@@ -108,9 +118,21 @@ fn socket_handles(addr: std::net::SocketAddr, n: usize) -> Vec<ArcEngine> {
         .collect()
 }
 
-fn record(results: &mut BenchResults, id: String, ops_per_s: f64, note: String) {
+fn record(
+    results: &mut BenchResults,
+    id: String,
+    ops_per_s: f64,
+    latencies: &HistogramSnapshot,
+    note: String,
+) {
+    let note = format!(
+        "{note}, p50 {} p95 {} p99 {}",
+        latencies.p50(),
+        latencies.p95(),
+        latencies.p99()
+    );
     println!("  {note}");
-    results.record(id, 1e9 / ops_per_s.max(1e-9), note);
+    results.record_tailed(id, 1e9 / ops_per_s.max(1e-9), latencies, note);
 }
 
 fn main() {
@@ -129,18 +151,20 @@ fn main() {
     println!("view-read throughput (ops/s):");
     for &clients in &[1usize, 16, 256] {
         let ops = (4096 / clients).max(16);
-        let in_ops = run_clients(inproc_handles(&inproc, clients), ops, read_op);
+        let (in_ops, in_lat) = run_clients(inproc_handles(&inproc, clients), ops, read_op);
         record(
             &mut results,
             format!("net/read/in_process/{clients}"),
             in_ops,
+            &in_lat,
             format!("in-process read x{clients}: {in_ops:.0} ops/s"),
         );
-        let so_ops = run_clients(socket_handles(addr, clients), ops, read_op);
+        let (so_ops, so_lat) = run_clients(socket_handles(addr, clients), ops, read_op);
         record(
             &mut results,
             format!("net/read/socket/{clients}"),
             so_ops,
+            &so_lat,
             format!("loopback-socket read x{clients}: {so_ops:.0} ops/s"),
         );
         socket_reads.push((clients, so_ops));
@@ -149,18 +173,20 @@ fn main() {
     println!("commit (optimistic view edit) throughput (ops/s):");
     for &clients in &[1usize, 16, 256] {
         let ops = (1024 / clients).max(4);
-        let in_ops = run_clients(inproc_handles(&inproc, clients), ops, edit_op);
+        let (in_ops, in_lat) = run_clients(inproc_handles(&inproc, clients), ops, edit_op);
         record(
             &mut results,
             format!("net/commit/in_process/{clients}"),
             in_ops,
+            &in_lat,
             format!("in-process commit x{clients}: {in_ops:.0} ops/s"),
         );
-        let so_ops = run_clients(socket_handles(addr, clients), ops, edit_op);
+        let (so_ops, so_lat) = run_clients(socket_handles(addr, clients), ops, edit_op);
         record(
             &mut results,
             format!("net/commit/socket/{clients}"),
             so_ops,
+            &so_lat,
             format!("loopback-socket commit x{clients}: {so_ops:.0} ops/s"),
         );
     }

@@ -18,6 +18,7 @@ use std::time::Instant;
 use esm_bench::fmt_ns;
 use esm_bench::results::BenchResults;
 use esm_engine::{EngineServer, ShardRouter, ShardedEngineServer};
+use esm_obs::{Histogram, HistogramSnapshot};
 use esm_relational::ViewDef;
 use esm_store::{row, Database, Operand, Predicate, Row, Schema, Table, Value, ValueType};
 
@@ -61,7 +62,8 @@ fn median(mut samples: Vec<f64>) -> f64 {
 /// true` reads through the maintained window (`view.get()`),
 /// `materialized = false` re-runs the compiled lens over a fresh base
 /// snapshot — the deleted read path, measured as the baseline.
-fn unsharded_read_ns(rows: i64, materialized: bool) -> f64 {
+fn unsharded_read_ns(rows: i64, materialized: bool) -> (f64, HistogramSnapshot) {
+    let per_read = Histogram::new();
     let samples: Vec<f64> = (0..REPS)
         .map(|rep| {
             let engine = EngineServer::new(seed_db(rows));
@@ -86,7 +88,9 @@ fn unsharded_read_ns(rows: i64, materialized: bool) -> f64 {
                 } else {
                     lens.get(&engine.table("kv").expect("exists"))
                 };
-                total += start.elapsed().as_nanos();
+                let elapsed = start.elapsed().as_nanos();
+                per_read.record(u64::try_from(elapsed).unwrap_or(u64::MAX));
+                total += elapsed;
                 assert!(
                     window.len() >= rows as usize / 100,
                     "window stayed populated"
@@ -95,14 +99,15 @@ fn unsharded_read_ns(rows: i64, materialized: bool) -> f64 {
             total as f64 / READS as f64
         })
         .collect();
-    median(samples)
+    (median(samples), per_read.snapshot())
 }
 
 /// Median ns per read of a key-bounded view on a 4-shard engine:
 /// `pruned = true` is the live path (one shard's maintained window),
 /// `pruned = false` re-runs the lens over a whole-database assembly —
 /// exactly what `read_view` used to do per read.
-fn sharded_read_ns(rows: i64, pruned: bool) -> f64 {
+fn sharded_read_ns(rows: i64, pruned: bool) -> (f64, HistogramSnapshot) {
+    let per_read = Histogram::new();
     let quarter = rows / 4;
     let samples: Vec<f64> = (0..REPS)
         .map(|rep| {
@@ -134,13 +139,15 @@ fn sharded_read_ns(rows: i64, pruned: bool) -> f64 {
                     let snap = engine.snapshot();
                     lens.get(snap.table("kv").expect("exists"))
                 };
-                total += start.elapsed().as_nanos();
+                let elapsed = start.elapsed().as_nanos();
+                per_read.record(u64::try_from(elapsed).unwrap_or(u64::MAX));
+                total += elapsed;
                 assert_eq!(window.len(), quarter as usize);
             }
             total as f64 / READS as f64
         })
         .collect();
-    median(samples)
+    (median(samples), per_read.snapshot())
 }
 
 fn main() {
@@ -149,41 +156,49 @@ fn main() {
     let mut gate_speedup = 0.0;
 
     for rows in [10_000i64, 100_000] {
-        let incremental = unsharded_read_ns(rows, true);
-        let full = unsharded_read_ns(rows, false);
+        let (incremental, inc_hist) = unsharded_read_ns(rows, true);
+        let (full, full_hist) = unsharded_read_ns(rows, false);
         let speedup = full / incremental;
         if rows == GATE_ROWS {
             gate_speedup = speedup;
         }
-        for (label, ns) in [("incremental", incremental), ("full_rerun", full)] {
-            results.record(
+        for (label, ns, hist) in [
+            ("incremental", incremental, &inc_hist),
+            ("full_rerun", full, &full_hist),
+        ] {
+            results.record_tailed(
                 format!("view/read/{label}/{rows}"),
                 ns,
+                hist,
                 format!("{READS} commit+read cycles, ~1% window, {rows} rows"),
             );
         }
         println!(
-            "unsharded {rows:>6} rows: incremental {}/read vs full re-run {}/read ({speedup:.1}x)",
+            "unsharded {rows:>6} rows: incremental {}/read (p99 {}) vs full re-run {}/read ({speedup:.1}x)",
             fmt_ns(incremental),
+            fmt_ns(inc_hist.p99() as f64),
             fmt_ns(full)
         );
     }
 
-    let pruned = sharded_read_ns(GATE_ROWS, true);
-    let assembled = sharded_read_ns(GATE_ROWS, false);
-    results.record(
+    let (pruned, pruned_hist) = sharded_read_ns(GATE_ROWS, true);
+    let (assembled, assembled_hist) = sharded_read_ns(GATE_ROWS, false);
+    results.record_tailed(
         format!("view/shard_read/pruned/{GATE_ROWS}"),
         pruned,
+        &pruned_hist,
         "key-bounded view, 4 shards, 1 consulted".to_string(),
     );
-    results.record(
+    results.record_tailed(
         format!("view/shard_read/whole_assembly/{GATE_ROWS}"),
         assembled,
+        &assembled_hist,
         "same view via whole-database assembly + lens get".to_string(),
     );
     println!(
-        "sharded  {GATE_ROWS:>6} rows: pruned {}/read vs whole-assembly {}/read ({:.1}x)",
+        "sharded  {GATE_ROWS:>6} rows: pruned {}/read (p99 {}) vs whole-assembly {}/read ({:.1}x)",
         fmt_ns(pruned),
+        fmt_ns(pruned_hist.p99() as f64),
         fmt_ns(assembled),
         assembled / pruned
     );

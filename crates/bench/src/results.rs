@@ -5,11 +5,16 @@
 //! shape — the quick `bench_json` binary through this module, the
 //! criterion targets through the vendored shim's own emitter (which
 //! mirrors this schema) — so successive PRs can diff machine-readable
-//! perf artifacts with one tool instead of eyeballing logs. The JSON is
-//! hand-rolled: the offline build has no serde.
+//! perf artifacts with one tool instead of eyeballing logs. Entries
+//! recorded through a latency histogram additionally carry `p95_ns` /
+//! `p99_ns` tail fields (a median alone hides exactly the collapse the
+//! 256-client lines exist to watch). The JSON is hand-rolled: the
+//! offline build has no serde.
 
 use std::io::Write as _;
 use std::path::PathBuf;
+
+use esm_obs::HistogramSnapshot;
 
 /// One named measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +23,10 @@ pub struct BenchEntry {
     pub id: String,
     /// Median wall-clock nanoseconds per operation.
     pub median_ns: f64,
+    /// 95th-percentile nanoseconds, when per-op samples were collected.
+    pub p95_ns: Option<f64>,
+    /// 99th-percentile nanoseconds, when per-op samples were collected.
+    pub p99_ns: Option<f64>,
     /// Free-form context (input size, thread count, ...).
     pub note: String,
 }
@@ -34,11 +43,39 @@ impl BenchResults {
         BenchResults::default()
     }
 
-    /// Record one measurement.
+    /// Record one measurement (median only — no tail data).
     pub fn record(&mut self, id: impl Into<String>, median_ns: f64, note: impl Into<String>) {
         self.entries.push(BenchEntry {
             id: id.into(),
             median_ns,
+            p95_ns: None,
+            p99_ns: None,
+            note: note.into(),
+        });
+    }
+
+    /// Record one measurement whose per-op latencies went through a
+    /// histogram: `median_ns` as given (the bench's own oracle), tails
+    /// from the histogram. An empty histogram degrades to [`record`].
+    pub fn record_tailed(
+        &mut self,
+        id: impl Into<String>,
+        median_ns: f64,
+        latencies: &HistogramSnapshot,
+        note: impl Into<String>,
+    ) {
+        let tail = |q: f64| {
+            if latencies.is_empty() {
+                None
+            } else {
+                Some(latencies.quantile(q) as f64)
+            }
+        };
+        self.entries.push(BenchEntry {
+            id: id.into(),
+            median_ns,
+            p95_ns: tail(0.95),
+            p99_ns: tail(0.99),
             note: note.into(),
         });
     }
@@ -54,8 +91,15 @@ impl BenchResults {
             .entries
             .iter()
             .map(|e| {
+                let mut tails = String::new();
+                if let Some(p95) = e.p95_ns {
+                    tails.push_str(&format!(", \"p95_ns\": {p95:.1}"));
+                }
+                if let Some(p99) = e.p99_ns {
+                    tails.push_str(&format!(", \"p99_ns\": {p99:.1}"));
+                }
                 format!(
-                    "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"note\": \"{}\"}}",
+                    "  {{\"id\": \"{}\", \"median_ns\": {:.1}{tails}, \"note\": \"{}\"}}",
                     escape(&e.id),
                     e.median_ns,
                     escape(&e.note)
@@ -97,7 +141,28 @@ mod tests {
         assert!(json.contains("\"median_ns\": 12.2"));
         assert!(json.contains("quo\\\"te"));
         assert!(json.contains("back\\\\slash"));
+        assert!(!json.contains("p95_ns"), "no tails unless recorded");
         assert_eq!(r.entries().len(), 2);
+    }
+
+    #[test]
+    fn tailed_entries_carry_percentiles() {
+        let hist = esm_obs::Histogram::new();
+        for v in 1..=100u64 {
+            hist.record(v * 1000);
+        }
+        let mut r = BenchResults::new();
+        r.record_tailed("tailed", 50_000.0, &hist.snapshot(), "100 samples");
+        r.record_tailed("empty", 1.0, &esm_obs::Histogram::new().snapshot(), "");
+        let json = r.to_json();
+        assert!(json.contains("\"p95_ns\""));
+        assert!(json.contains("\"p99_ns\""));
+        let e = &r.entries()[0];
+        // Histogram quantiles are upper bounds within 25%.
+        let p95 = e.p95_ns.unwrap();
+        assert!((95_000.0..=119_000.0).contains(&p95), "p95 = {p95}");
+        assert!(e.p99_ns.unwrap() >= p95);
+        assert_eq!(r.entries()[1].p95_ns, None);
     }
 
     #[test]

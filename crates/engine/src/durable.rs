@@ -371,6 +371,9 @@ pub struct DurableWal {
     stats: WalStats,
     /// Set on the first write-path failure; all further writes refuse.
     poisoned: Option<String>,
+    /// Phase-latency registry handed to every segment writer this log
+    /// opens (appends → `CommitWalAppend`, syncs → `CommitFsync`).
+    telemetry: Option<Arc<esm_obs::Telemetry>>,
 }
 
 impl DurableWal {
@@ -415,6 +418,7 @@ impl DurableWal {
             checkpoint_seq: 0,
             stats,
             poisoned: None,
+            telemetry: None,
         })
     }
 
@@ -514,6 +518,7 @@ impl DurableWal {
                 checkpoint_seq: ckpt.seq,
                 stats: WalStats::default(),
                 poisoned: None,
+                telemetry: None,
             },
             db,
             report,
@@ -634,8 +639,16 @@ impl DurableWal {
     fn rotate_inner(&mut self) -> Result<(), EngineError> {
         self.sync_inner()?;
         self.writer = open_segment(&self.config.dir, self.last_seq + 1)?;
+        self.writer.set_telemetry(self.telemetry.clone());
         self.stats.rotations += 1;
         Ok(())
+    }
+
+    /// Attach a phase-latency registry: segment appends and fsyncs start
+    /// recording into it. Survives segment rotation.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<esm_obs::Telemetry>>) {
+        self.writer.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Would [`DurableWal::maybe_checkpoint`] write a checkpoint right

@@ -200,6 +200,12 @@ pub trait Engine: Send + Sync + std::fmt::Debug {
     /// Current engine counters.
     fn metrics(&self) -> MetricsSnapshot;
 
+    /// A point-in-time copy of the engine's phase-latency histograms
+    /// and slow-op ring ([`esm_obs::TelemetrySnapshot`]). In-process
+    /// engines snapshot their live registry; the remote engine fetches
+    /// the server's snapshot over the wire (`STATS`).
+    fn telemetry(&self) -> esm_obs::TelemetrySnapshot;
+
     /// Write a durable checkpoint covering every committed record and
     /// compact fully-covered segments. Returns the lowest covered
     /// sequence number across the engine's logs, or `None` for
@@ -276,6 +282,10 @@ impl Engine for crate::EngineServer {
 
     fn metrics(&self) -> MetricsSnapshot {
         crate::EngineServer::metrics(self)
+    }
+
+    fn telemetry(&self) -> esm_obs::TelemetrySnapshot {
+        crate::EngineServer::telemetry(self)
     }
 
     fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
@@ -356,6 +366,10 @@ impl Engine for crate::shard::ShardedEngineServer {
 
     fn metrics(&self) -> MetricsSnapshot {
         crate::shard::ShardedEngineServer::metrics(self)
+    }
+
+    fn telemetry(&self) -> esm_obs::TelemetrySnapshot {
+        crate::shard::ShardedEngineServer::telemetry(self)
     }
 
     fn checkpoint(&self) -> Result<Option<u64>, EngineError> {

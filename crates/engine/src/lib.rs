@@ -229,6 +229,27 @@
 //! paper's replayed-state ≡ live-state equivalence, checked exhaustively
 //! under crashes.
 //!
+//! ### Observability ([`esm_obs`])
+//!
+//! Every engine owns an [`esm_obs::Telemetry`] registry — one lock-free
+//! log-bucketed histogram per instrumented phase — threaded through the
+//! hot paths in three layers: **recorders** ([`esm_obs::Span`] /
+//! [`esm_obs::Timer`]) time the phase at the call site (commit snapshot
+//! acquire, FCW validate, WAL append, fsync, stripe-lock hold, the 2PC
+//! prepare/resolve/fsync trio, view drain/fold/rebuild) and cost one
+//! relaxed atomic add each; the **registry** aggregates them and keeps a
+//! bounded **slow-op ring** (operations crossing
+//! [`esm_obs::Telemetry::set_slow_threshold_ns`], captured with their
+//! per-phase breakdown, oldest evicted first — reads are non-draining,
+//! so the wire surface is idempotent); **exposition** is
+//! [`Engine::telemetry`] returning a mergeable
+//! [`esm_obs::TelemetrySnapshot`], renderable as Prometheus-style text
+//! ([`esm_obs::render_prometheus`]) and fetchable over the wire via the
+//! esm-net `STATS` verb. The WAL append and fsync phases are recorded
+//! inside [`segment::SegmentWriter`] — the one place the two costs are
+//! separable — so a slow disk is distinguishable from a fat record, and
+//! from lock contention, by histogram alone.
+//!
 //! ### Index maintenance
 //!
 //! Base tables carry secondary B-tree indexes
@@ -304,6 +325,10 @@ pub use engine::{
     apply_deltas_checked, apply_table_delta_checked, ArcEngine, CommitReceipt, Engine,
 };
 pub use error::EngineError;
+pub use esm_obs::{
+    render_prometheus, Histogram, HistogramSnapshot, Phase, SlowOp, Span, Telemetry,
+    TelemetrySnapshot, Timer,
+};
 pub use metrics::{Metrics, MetricsSnapshot, ShardStats, ViewStats, WalStats};
 pub use segment::{
     crc32, decode_segment_prefix, encode_framed, SegmentFile, SegmentPrefix, SegmentWriter, SimFile,

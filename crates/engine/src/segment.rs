@@ -46,6 +46,7 @@ use std::io::Write;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use esm_obs::{Phase, Span, Telemetry};
 use esm_store::Delta;
 
 use crate::error::EngineError;
@@ -161,6 +162,9 @@ pub struct SimDisk {
     /// When set, the next sync persists only this many of the buffered
     /// bytes, then fails — a torn write.
     pub tear_next_sync_at: Option<usize>,
+    /// When set, every sync stalls this long before persisting — a slow
+    /// disk, for telemetry tests that need fsync time to dominate.
+    pub sync_delay: Option<std::time::Duration>,
 }
 
 impl SimDisk {
@@ -207,6 +211,9 @@ impl SegmentFile for SimFile {
 
     fn sync(&mut self) -> Result<(), EngineError> {
         let mut disk = self.disk.lock().expect("sim disk lock");
+        if let Some(delay) = disk.sync_delay {
+            std::thread::sleep(delay);
+        }
         if let Some(keep) = disk.tear_next_sync_at.take() {
             let keep = keep.min(disk.buffered.len());
             let torn: Vec<u8> = disk.buffered.drain(..keep).collect();
@@ -223,13 +230,18 @@ impl SegmentFile for SimFile {
 
 /// An appender onto one segment: frames records with their CRC, counts
 /// bytes and unsynced records. Group-commit policy (when to sync) lives
-/// with the caller, [`crate::DurableWal`].
+/// with the caller, [`crate::DurableWal`]. With a telemetry handle
+/// attached, appends time into [`Phase::CommitWalAppend`] and issued
+/// syncs into [`Phase::CommitFsync`] — this is the one place the two
+/// costs are cleanly separable, which is what lets the histograms tell
+/// a slow disk apart from a fat record.
 #[derive(Debug)]
 pub struct SegmentWriter<F: SegmentFile> {
     file: F,
     first_seq: u64,
     bytes: u64,
     pending: usize,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl<F: SegmentFile> SegmentWriter<F> {
@@ -240,17 +252,28 @@ impl<F: SegmentFile> SegmentWriter<F> {
             first_seq,
             bytes: 0,
             pending: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry registry: appends and syncs start recording
+    /// their latency.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.telemetry = telemetry;
     }
 
     /// Append one framed record (buffered until the next
     /// [`SegmentWriter::sync`]). Returns the appended size in bytes,
     /// frame included.
     pub fn append(&mut self, record: &WalRecord) -> Result<u64, EngineError> {
+        let span = Span::start();
         let framed = encode_framed(record);
         self.file.append(framed.as_bytes())?;
         self.bytes += framed.len() as u64;
         self.pending += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.record(Phase::CommitWalAppend, span.elapsed_ns());
+        }
         Ok(framed.len() as u64)
     }
 
@@ -260,7 +283,11 @@ impl<F: SegmentFile> SegmentWriter<F> {
         if self.pending == 0 {
             return Ok(false);
         }
+        let span = Span::start();
         self.file.sync()?;
+        if let Some(tel) = &self.telemetry {
+            tel.record(Phase::CommitFsync, span.elapsed_ns());
+        }
         self.pending = 0;
         Ok(true)
     }

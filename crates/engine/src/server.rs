@@ -36,6 +36,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};
 
 use esm_lens::DeltaLens;
+use esm_obs::{Phase, Span, Telemetry, TelemetrySnapshot};
 use esm_relational::ViewDef;
 use esm_store::{Database, Delta, Table};
 
@@ -141,6 +142,9 @@ struct Inner {
     /// never after.
     baseline: Mutex<Database>,
     metrics: Metrics,
+    /// Phase-latency histograms + slow-op ring. The durable WAL's
+    /// segment writer shares this handle (appends/fsyncs record here).
+    telemetry: Arc<Telemetry>,
     /// Background checkpoint/compaction loop; stops when the last engine
     /// handle drops. `None` for in-memory engines and when disabled.
     _maintenance: Option<MaintenanceThread>,
@@ -259,6 +263,11 @@ impl EngineServer {
             let table = db.table(name).expect("name came from the database").clone();
             tables.write(name).insert(name.to_string(), table);
         }
+        let telemetry = Arc::new(Telemetry::new());
+        let durable = durable.map(|mut d| {
+            d.set_telemetry(Some(Arc::clone(&telemetry)));
+            d
+        });
         let wal = Arc::new(Mutex::new(WalState { mem: wal, durable }));
         let maintenance = cfg.and_then(|cfg| {
             if cfg.checkpoint_every == 0 || cfg.maintenance_interval_ms == 0 {
@@ -281,6 +290,7 @@ impl EngineServer {
                 wal,
                 baseline: Mutex::new(db),
                 metrics: Metrics::default(),
+                telemetry,
                 _maintenance: maintenance,
             }),
         }
@@ -409,6 +419,19 @@ impl EngineServer {
         }
     }
 
+    /// The live phase-latency registry (shared with the durable WAL's
+    /// segment writer). Exposed so embedders can tune the slow-op
+    /// threshold; take [`EngineServer::telemetry`] for a snapshot.
+    pub fn telemetry_registry(&self) -> &Arc<Telemetry> {
+        &self.inner.telemetry
+    }
+
+    /// A point-in-time copy of the phase-latency histograms and the
+    /// slow-op ring.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.inner.telemetry.snapshot()
+    }
+
     // ------------------------------------------------------------------
     // Views.
     // ------------------------------------------------------------------
@@ -524,7 +547,9 @@ impl EngineServer {
     /// [`crate::metrics::ViewStats::rebuilds`].
     pub fn read_view(&self, name: &str) -> Result<Table, EngineError> {
         self.inner.metrics.view_read();
-        self.with_view(name, |reg| {
+        let total = Span::start();
+        let tel = &self.inner.telemetry;
+        let result = self.with_view(name, |reg| {
             let mut mat = reg.mat.lock().expect("view window lock poisoned");
             // Drain the committed records past the window's position,
             // honouring the WAL's transaction structure (chains and 2PC
@@ -532,6 +557,7 @@ impl EngineServer {
             // paths append plain records, but the format allows more).
             // Commits append under stripe → WAL, so everything at or
             // below `last_seq` for our table is already in the log.
+            let drain_span = Span::start();
             let drained = {
                 let wal = self.lock_wal();
                 if mat.applied_seq < wal.mem.start_seq() {
@@ -547,6 +573,7 @@ impl EngineServer {
                     Some((pending, wal.mem.last_seq()))
                 }
             };
+            tel.record(Phase::ViewDrain, drain_span.elapsed_ns());
             let Some((pending, last_seq)) = drained else {
                 self.rebuild_window(reg, &mut mat)?;
                 return Ok(mat.window.clone());
@@ -558,7 +585,10 @@ impl EngineServer {
             };
             // `deltas_applied` counts only changes that actually survive
             // into the window (a rebuild discards the whole run).
-            match crate::view::drain_into_window(&reg.lens, &pending, &mut mat.window) {
+            let fold_span = Span::start();
+            let folded = crate::view::drain_into_window(&reg.lens, &pending, &mut mat.window);
+            tel.record(Phase::ViewDeltaFold, fold_span.elapsed_ns());
+            match folded {
                 Some(drained) => {
                     self.inner.metrics.view_deltas(drained);
                     mat.applied_seq = last_seq;
@@ -567,7 +597,9 @@ impl EngineServer {
                 None => self.rebuild_window(reg, &mut mat)?,
             }
             Ok(mat.window.clone())
-        })
+        });
+        tel.record_slow(format!("read_view:{name}"), total.elapsed_ns(), &[]);
+        result
     }
 
     /// The escape hatch: re-run the lens `get` against the live base
@@ -575,6 +607,7 @@ impl EngineServer {
     /// while the stripe read lock is held, so it covers exactly the
     /// records already applied to the base.
     fn rebuild_window(&self, reg: &ViewReg, mat: &mut Materialized) -> Result<(), EngineError> {
+        let _rebuild = self.inner.telemetry.timer(Phase::ViewRebuild);
         let shard = self.inner.tables.read(&reg.table);
         let base = shard
             .get(&reg.table)
@@ -599,6 +632,7 @@ impl EngineServer {
     pub fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
         self.with_view(name, |reg| {
             let mut shard = self.inner.tables.write(&reg.table);
+            let _lock_hold = self.inner.telemetry.timer(Phase::CommitLockHold);
             let base = shard
                 .get_mut(&reg.table)
                 .ok_or_else(|| EngineError::NoSuchTable(reg.table.clone()))?;
@@ -658,6 +692,7 @@ impl EngineServer {
             // Snapshot seq *before* the base table: a commit landing in
             // between makes us re-check records already reflected in our
             // base — a spurious retry at worst, never a lost update.
+            let snap_span = Span::start();
             let snap_seq = self.lock_wal().mem.last_seq();
             let (table_name, base, lens) = self.with_view(name, |reg| {
                 let shard = self.inner.tables.read(&reg.table);
@@ -666,6 +701,9 @@ impl EngineServer {
                     .ok_or_else(|| EngineError::NoSuchTable(reg.table.clone()))?;
                 Ok((reg.table.clone(), base.clone(), reg.lens.clone()))
             })?;
+            self.inner
+                .telemetry
+                .record(Phase::CommitSnapshot, snap_span.elapsed_ns());
 
             let mut view = lens.get(&base);
             edit(&mut view)?;
@@ -679,6 +717,7 @@ impl EngineServer {
 
             // Validate + publish under the stripe write lock.
             let mut shard = self.inner.tables.write(&table_name);
+            let _lock_hold = self.inner.telemetry.timer(Phase::CommitLockHold);
             let current = shard
                 .get_mut(&table_name)
                 .ok_or_else(|| EngineError::NoSuchTable(table_name.clone()))?;
@@ -687,15 +726,17 @@ impl EngineServer {
             // scan; a snapshot older than the log's start conservatively
             // conflicts (the retry re-snapshots past the truncation
             // point, so progress is never lost).
-            let conflicted = snap_seq < wal.mem.start_seq()
-                || wal.mem.records_after(snap_seq).iter().any(|rec| {
-                    rec.delta_op().is_some_and(|(rec_table, rec_delta)| {
-                        rec_table == table_name
-                            && delta_keys(&base, rec_delta)
-                                .iter()
-                                .any(|k| our_keys.contains(k))
+            let conflicted = self.inner.telemetry.time(Phase::CommitValidate, || {
+                snap_seq < wal.mem.start_seq()
+                    || wal.mem.records_after(snap_seq).iter().any(|rec| {
+                        rec.delta_op().is_some_and(|(rec_table, rec_delta)| {
+                            rec_table == table_name
+                                && delta_keys(&base, rec_delta)
+                                    .iter()
+                                    .any(|k| our_keys.contains(k))
+                        })
                     })
-                });
+            });
             if conflicted {
                 drop(wal);
                 drop(shard);
@@ -728,6 +769,7 @@ impl EngineServer {
     /// taken, so no committed write can land between any two tables or
     /// between the tables and the sequence number.
     fn snapshot_with_seq(&self) -> (Database, u64) {
+        let _snapshot = self.inner.telemetry.timer(Phase::CommitSnapshot);
         let guards = self.inner.tables.read_all();
         let mut db = Database::new();
         for guard in &guards {
@@ -809,12 +851,17 @@ impl EngineServer {
         stripes.sort_unstable();
         stripes.dedup();
         let mut guards = self.inner.tables.write_indices(&stripes);
+        let lock_span = Span::start();
         let mut wal = self.lock_wal();
 
         // FCW: a snapshot older than the log start (a truncation landed
         // since) conservatively conflicts; otherwise scan for key
         // overlap per table.
+        let validate_span = Span::start();
         if snap_seq < wal.mem.start_seq() {
+            self.inner
+                .telemetry
+                .record(Phase::CommitValidate, validate_span.elapsed_ns());
             self.inner.metrics.conflict();
             return Err(EngineError::Conflict {
                 table: deltas.keys().next().expect("non-empty").clone(),
@@ -836,6 +883,9 @@ impl EngineServer {
                         .iter()
                         .any(|k| our_keys.contains(k))
                 {
+                    self.inner
+                        .telemetry
+                        .record(Phase::CommitValidate, validate_span.elapsed_ns());
                     self.inner.metrics.conflict();
                     return Err(EngineError::Conflict {
                         table: name.clone(),
@@ -847,6 +897,10 @@ impl EngineServer {
                 }
             }
         }
+        let validate_ns = validate_span.elapsed_ns();
+        self.inner
+            .telemetry
+            .record(Phase::CommitValidate, validate_ns);
 
         // Rebase onto the live tables (disjoint concurrent commits are
         // already in them); an apply error aborts before anything is
@@ -871,7 +925,17 @@ impl EngineServer {
             guards[slot].1.insert(name, next);
         }
         drop(wal);
+        let lock_ns = lock_span.elapsed_ns();
         drop(guards);
+        self.inner.telemetry.record(Phase::CommitLockHold, lock_ns);
+        self.inner.telemetry.record_slow(
+            "transact",
+            lock_ns,
+            &[
+                (Phase::CommitValidate, validate_ns),
+                (Phase::CommitLockHold, lock_ns),
+            ],
+        );
         let rows: u64 = deltas.values().map(|d| d.len() as u64).sum();
         self.inner.metrics.commit(rows);
         Ok(stamp)
@@ -905,9 +969,11 @@ impl EngineServer {
         stripes.sort_unstable();
         stripes.dedup();
         let mut guards = self.inner.tables.write_indices(&stripes);
+        let lock_span = Span::start();
 
         // Validate and stage per table (duplicate table entries apply
         // in request order onto the same staged copy).
+        let validate_span = Span::start();
         let mut staged: BTreeMap<String, (usize, Table)> = BTreeMap::new();
         for (name, delta) in &nonempty {
             if !staged.contains_key(name) {
@@ -925,6 +991,9 @@ impl EngineServer {
             let (_, table) = staged.get_mut(name).expect("staged above");
             crate::engine::apply_table_delta_checked(table, name, delta)?;
         }
+        self.inner
+            .telemetry
+            .record(Phase::CommitValidate, validate_span.elapsed_ns());
 
         // Durable-first: a failed segment write publishes nothing.
         let mut wal = self.lock_wal();
@@ -937,7 +1006,9 @@ impl EngineServer {
             guards[slot].1.insert(name, next);
         }
         drop(wal);
+        let lock_ns = lock_span.elapsed_ns();
         drop(guards);
+        self.inner.telemetry.record(Phase::CommitLockHold, lock_ns);
         let rows: u64 = nonempty.iter().map(|(_, d)| d.len() as u64).sum();
         self.inner.metrics.commit(rows);
         let mut delta_map: BTreeMap<String, Delta> = BTreeMap::new();

@@ -37,6 +37,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use esm_obs::{Phase, Span, Telemetry};
 use esm_store::Delta;
 
 use crate::error::EngineError;
@@ -97,10 +98,16 @@ impl ShardCoordinator {
     /// `stamp` is called once, while every participant lock is held,
     /// with no conflicts remaining — its return value is the commit's
     /// position in the engine-wide serialization order.
+    ///
+    /// With `telemetry`, each participant's prepare append, resolve
+    /// append and both fsyncs time into the `Twopc*` phases — one
+    /// sample per participant per phase, so the histograms expose the
+    /// per-shard cost, not just the transaction total.
     pub(crate) fn commit_cross<R>(
         &self,
         participants: &[Participant<'_>],
         failpoint: FailPoint,
+        telemetry: Option<&Telemetry>,
         stamp: impl FnOnce() -> R,
     ) -> Result<(String, R), EngineError> {
         debug_assert!(
@@ -132,9 +139,21 @@ impl ShardCoordinator {
         // best-effort abort the shards already prepared (a poisoned
         // shard refuses and recovery will presume abort for it anyway).
         for (i, (p, guard)) in participants.iter().zip(guards.iter_mut()).enumerate() {
-            let prepared = guard
-                .append_group(&p.deltas, GroupEnd::Prepare(gtx.clone()))
-                .and_then(|_| guard.sync());
+            let prepared = {
+                let prep_span = Span::start();
+                let appended = guard.append_group(&p.deltas, GroupEnd::Prepare(gtx.clone()));
+                if let Some(tel) = telemetry {
+                    tel.record(Phase::TwopcPrepare, prep_span.elapsed_ns());
+                }
+                appended.and_then(|_| {
+                    let sync_span = Span::start();
+                    let synced = guard.sync();
+                    if let Some(tel) = telemetry {
+                        tel.record(Phase::TwopcParticipantFsync, sync_span.elapsed_ns());
+                    }
+                    synced
+                })
+            };
             if let Err(e) = prepared {
                 for (p_done, guard_done) in participants.iter().zip(guards.iter_mut()).take(i) {
                     let _ = guard_done.resolve(&gtx, false, &p_done.deltas);
@@ -167,8 +186,16 @@ impl ShardCoordinator {
                     "failpoint: coordinator crashed after {i} resolutions of {gtx}"
                 )));
             }
+            let resolve_span = Span::start();
             guard.resolve(&gtx, true, &p.deltas)?;
+            if let Some(tel) = telemetry {
+                tel.record(Phase::TwopcResolve, resolve_span.elapsed_ns());
+            }
+            let sync_span = Span::start();
             guard.sync()?;
+            if let Some(tel) = telemetry {
+                tel.record(Phase::TwopcParticipantFsync, sync_span.elapsed_ns());
+            }
         }
         Ok((gtx, receipt))
     }
@@ -217,6 +244,7 @@ mod tests {
             .commit_cross(
                 &[participant(0, &a, 10), participant(1, &b, 1010)],
                 FailPoint::None,
+                None,
                 || 42u64,
             )
             .unwrap();
@@ -245,7 +273,12 @@ mod tests {
                 .unwrap();
         }
         let err = coord
-            .commit_cross(&[stale_a, participant(1, &b, 1010)], FailPoint::None, || ())
+            .commit_cross(
+                &[stale_a, participant(1, &b, 1010)],
+                FailPoint::None,
+                None,
+                || (),
+            )
             .unwrap_err();
         assert!(matches!(err, EngineError::Conflict { .. }));
         assert!(b.read().wal.is_empty(), "the clean shard saw no writes");
@@ -260,6 +293,7 @@ mod tests {
             .commit_cross(
                 &[participant(0, &a, 10), participant(1, &b, 1010)],
                 FailPoint::AfterPrepare,
+                None,
                 || (),
             )
             .unwrap_err();
@@ -275,7 +309,7 @@ mod tests {
         let coord = ShardCoordinator::starting_after(41);
         let a = Shard::new_in_memory(0, piece(0));
         let (gtx, _) = coord
-            .commit_cross(&[participant(0, &a, 10)], FailPoint::None, || ())
+            .commit_cross(&[participant(0, &a, 10)], FailPoint::None, None, || ())
             .unwrap();
         assert_eq!(gtx, "g42");
     }

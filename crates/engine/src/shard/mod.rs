@@ -60,6 +60,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use esm_lens::DeltaLens;
+use esm_obs::{Phase, Span, Telemetry, TelemetrySnapshot};
 use esm_relational::ViewDef;
 use esm_store::{Database, Delta, Row, Schema, Table, Value};
 
@@ -155,6 +156,10 @@ pub(crate) struct ShardedInner {
     /// in-memory engines. Shard `id` logs into `dir/shard-<id>`.
     pub(crate) durable_base: Option<DurabilityConfig>,
     pub(crate) next_shard_id: AtomicU64,
+    /// Phase-latency histograms + slow-op ring, shared with every
+    /// shard's durable WAL (and handed to shards created later by the
+    /// rebalancer).
+    pub(crate) telemetry: Arc<Telemetry>,
     _maintenance: Option<MaintenanceThread>,
 }
 
@@ -517,6 +522,12 @@ impl ShardedEngineServer {
         shard_metrics: ShardMetrics,
         next_shard_id: u64,
     ) -> ShardedEngineServer {
+        let telemetry = Arc::new(Telemetry::new());
+        for shard in &shards {
+            if let Some(d) = shard.write().durable.as_mut() {
+                d.set_telemetry(Some(Arc::clone(&telemetry)));
+            }
+        }
         let topology = Arc::new(RwLock::new(Topology {
             router,
             shards,
@@ -550,6 +561,7 @@ impl ShardedEngineServer {
                 shard_metrics,
                 durable_base,
                 next_shard_id: AtomicU64::new(next_shard_id),
+                telemetry,
                 _maintenance: maintenance,
             }),
         }
@@ -647,6 +659,20 @@ impl ShardedEngineServer {
             .snapshot()
             .with_wal(wal)
             .with_shard(self.inner.shard_metrics.snapshot())
+    }
+
+    /// The live phase-latency registry (shared with every shard's
+    /// durable WAL). Exposed so embedders can tune the slow-op
+    /// threshold; take [`ShardedEngineServer::telemetry`] for a
+    /// snapshot.
+    pub fn telemetry_registry(&self) -> &Arc<Telemetry> {
+        &self.inner.telemetry
+    }
+
+    /// A point-in-time copy of the phase-latency histograms and the
+    /// slow-op ring.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.inner.telemetry.snapshot()
     }
 
     /// Force-fsync every shard's group-commit batch. No-op in memory.
@@ -875,6 +901,7 @@ impl ShardedEngineServer {
                 return Err(EngineError::ShardTopology(format!("no shard {i}")));
             }
         }
+        let _snapshot = self.inner.telemetry.timer(Phase::CommitSnapshot);
         let guards: Vec<_> = indexes.iter().map(|&i| topo.shards[i].read()).collect();
         let snap_seqs = indexes
             .iter()
@@ -948,9 +975,16 @@ impl ShardedEngineServer {
                 tables.iter().map(|(t, d)| (t.clone(), d.clone())).collect();
             let keys = keys_of(snapshot, &shard_deltas)?;
             let shard = &topo.shards[index];
+            let tel = &self.inner.telemetry;
             let mut guard = shard.write();
-            if let Some((table, seq)) = guard.fcw_conflict(snap_seqs[&index], &keys)? {
+            let lock_span = Span::start();
+            let validate_span = Span::start();
+            let conflict = guard.fcw_conflict(snap_seqs[&index], &keys)?;
+            let validate_ns = validate_span.elapsed_ns();
+            tel.record(Phase::CommitValidate, validate_ns);
+            if let Some((table, seq)) = conflict {
                 drop(guard);
+                tel.record(Phase::CommitLockHold, lock_span.elapsed_ns());
                 self.inner.metrics.conflict();
                 return Err(EngineError::Conflict {
                     table,
@@ -963,6 +997,16 @@ impl ShardedEngineServer {
             guard.append_group(&shard_deltas, GroupEnd::Commit)?;
             let stamp = self.inner.stamp.fetch_add(1, Ordering::SeqCst);
             drop(guard);
+            let lock_ns = lock_span.elapsed_ns();
+            tel.record(Phase::CommitLockHold, lock_ns);
+            tel.record_slow(
+                "commit:single-shard",
+                lock_ns,
+                &[
+                    (Phase::CommitValidate, validate_ns),
+                    (Phase::CommitLockHold, lock_ns),
+                ],
+            );
             self.inner.metrics.commit(rows);
             self.inner.shard_metrics.single_shard_commit();
             return Ok(CommitReceipt {
@@ -988,12 +1032,18 @@ impl ShardedEngineServer {
             });
         }
         let n = participants.len() as u64;
-        let result = self
-            .inner
-            .coordinator
-            .commit_cross(&participants, failpoint, || {
-                self.inner.stamp.fetch_add(1, Ordering::SeqCst)
-            });
+        let twopc_span = Span::start();
+        let result = self.inner.coordinator.commit_cross(
+            &participants,
+            failpoint,
+            Some(&self.inner.telemetry),
+            || self.inner.stamp.fetch_add(1, Ordering::SeqCst),
+        );
+        self.inner.telemetry.record_slow(
+            "commit:cross-shard",
+            twopc_span.elapsed_ns(),
+            &[(Phase::CommitLockHold, twopc_span.elapsed_ns())],
+        );
         match result {
             Ok((gtx, stamp)) => {
                 self.inner.metrics.commit(rows);
@@ -1168,6 +1218,7 @@ impl ShardedEngineServer {
             };
             if stale {
                 // (Re)build every window from the live shard pieces.
+                let _rebuild = self.inner.telemetry.timer(Phase::ViewRebuild);
                 let mut windows = Vec::with_capacity(guards.len());
                 for guard in &guards {
                     windows.push(Window {
@@ -1227,30 +1278,36 @@ impl ShardedEngineServer {
         window: &mut Window,
         shard: &shard::ShardState,
     ) -> Result<bool, EngineError> {
+        let tel = &self.inner.telemetry;
         if window.applied_seq < shard.wal.start_seq() {
             // A truncation outran this window (it materialized while the
             // truncation's floor scan ran): the records it needs are
             // gone, so rebuild from the live shard piece instead of
             // silently serving a stale window.
+            let _rebuild = tel.timer(Phase::ViewRebuild);
             window.table = reg.lens.get(shard.db.table(&reg.table)?);
             window.applied_seq = shard.wal.last_seq();
             self.inner.metrics.view_rebuild();
             return Ok(false);
         }
+        let drain_span = Span::start();
         let records = shard.wal.records_after(window.applied_seq);
         if records.is_empty() {
+            tel.record(Phase::ViewDrain, drain_span.elapsed_ns());
             return Ok(true);
         }
-        let Some(deltas) = committed_table_deltas(&reg.table, records) else {
+        let deltas = committed_table_deltas(&reg.table, records);
+        tel.record(Phase::ViewDrain, drain_span.elapsed_ns());
+        let Some(deltas) = deltas else {
             return Ok(true); // unsettled tail: serve the last settled state
         };
         // `deltas_applied` counts only changes that actually survive
         // into the window (a rebuild discards the whole run).
-        let clean = match crate::view::drain_into_window(
-            &reg.lens,
-            deltas.iter().copied(),
-            &mut window.table,
-        ) {
+        let fold_span = Span::start();
+        let folded =
+            crate::view::drain_into_window(&reg.lens, deltas.iter().copied(), &mut window.table);
+        tel.record(Phase::ViewDeltaFold, fold_span.elapsed_ns());
+        let clean = match folded {
             Some(drained) => {
                 self.inner.metrics.view_deltas(drained);
                 true
@@ -1259,6 +1316,7 @@ impl ShardedEngineServer {
                 // Escape hatch: re-run the lens get on this shard's
                 // live piece (consistent with the WAL position under
                 // the held read lock).
+                let _rebuild = tel.timer(Phase::ViewRebuild);
                 window.table = reg.lens.get(shard.db.table(&reg.table)?);
                 self.inner.metrics.view_rebuild();
                 false

@@ -86,6 +86,9 @@ impl ShardedEngineServer {
             Some(base) => Shard::create_durable(new_id, moved_piece, shard_config(base, new_id))?,
             None => Shard::new_in_memory(new_id, moved_piece),
         };
+        if let Some(d) = new_shard.write().durable.as_mut() {
+            d.set_telemetry(Some(std::sync::Arc::clone(&self.inner.telemetry)));
+        }
 
         // … ② the topology names it as the owner of [at, hi) …
         let mut router = topo.router.clone();

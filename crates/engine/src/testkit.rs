@@ -351,6 +351,23 @@ pub fn check_surface_smoke(engine: &dyn Engine) {
         })
         .expect("transaction commits");
     assert!(receipt.stamp > 0);
-    assert!(engine.metrics().commits >= 2);
+    let metrics = engine.metrics();
+    assert!(metrics.commits >= 2);
+    // The sub-structs must be merged in, not defaulted: every commit
+    // above wrote rows, and a durable host must surface its WAL appends
+    // (a host that forgets `with_wal`/`with_shard` reports zeros here).
+    assert!(metrics.rows_written >= 2, "rows_written lost in merge");
     engine.sync_wal().expect("sync is infallible in memory");
+    if metrics.wal.syncs > 0 || metrics.wal.bytes_written > 0 {
+        assert!(metrics.wal.appends >= 2, "durable host dropped wal stats");
+    }
+    // Telemetry reaches every implementor: the commits above must have
+    // timed their stripe-lock hold (in-memory and durable, local and
+    // remote alike), and the snapshot carries a live capture policy.
+    let tel = engine.telemetry();
+    assert!(
+        tel.count(esm_obs::Phase::CommitLockHold) >= 1,
+        "commit lock-hold phase never recorded"
+    );
+    assert!(tel.slow_threshold_ns > 0, "slow-op capture disabled");
 }

@@ -267,6 +267,17 @@ impl Engine for RemoteEngine {
         }
     }
 
+    fn telemetry(&self) -> esm_obs::TelemetrySnapshot {
+        // The server folds its own net-layer phases (frame decode,
+        // queue wait, handler, response write) into the engine's
+        // snapshot before it crosses the wire.
+        match self.call(&Request::Stats) {
+            Ok(Response::Stats(t)) => t,
+            Ok(other) => panic!("telemetry over the wire: {:?}", unexpected(other)),
+            Err(e) => panic!("telemetry over the wire: {e}"),
+        }
+    }
+
     fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
         match self.call(&Request::Checkpoint)? {
             Response::Seq(seq) => Ok(seq),

@@ -14,7 +14,7 @@
 //! ```text
 //! request  := op-line [body]
 //! op-line  := ping | table_names | snapshot | view_names | metrics
-//!           | checkpoint | sync_wal
+//!           | stats | checkpoint | sync_wal
 //!           | table TAB name | open_view TAB name | read_view TAB name
 //!           | define_view TAB name TAB table NL viewdef
 //!           | write_view TAB name NL table-doc
@@ -23,6 +23,7 @@
 //! response := ok | names TAB ... | seq (none|n) | err TAB error
 //!           | table NL table-doc | db NL db-doc | delta NL delta-doc
 //!           | receipt ... | metrics NL metrics-doc
+//!           | stats NL telemetry-doc
 //! ```
 //!
 //! Table documents are self-delimiting (`@rows n` announces the row
@@ -32,6 +33,7 @@
 //! no recursion and no parenthesis escaping.
 
 use esm_engine::{EngineError, MetricsSnapshot, ShardStats, ViewStats, WalStats};
+use esm_obs::{HistogramSnapshot, Phase, SlowOp, TelemetrySnapshot};
 use esm_relational::ViewDef;
 use esm_store::codec::{decode_cell, decode_row, encode_cell, encode_row, escape, unescape};
 use esm_store::{
@@ -123,6 +125,10 @@ pub enum Request {
     },
     /// `Engine::metrics`.
     Metrics,
+    /// `Engine::telemetry` — the phase-latency histograms and slow-op
+    /// log. On the wire the server's net-layer phases ride along merged
+    /// into the engine's snapshot.
+    Stats,
     /// `Engine::checkpoint`.
     Checkpoint,
     /// `Engine::sync_wal`.
@@ -153,6 +159,8 @@ pub enum Response {
     },
     /// Engine counters.
     Metrics(MetricsSnapshot),
+    /// Phase-latency telemetry (histograms + slow-op log).
+    Stats(TelemetrySnapshot),
     /// A checkpoint floor (`None` for in-memory engines).
     Seq(Option<u64>),
     /// A structured engine error.
@@ -677,6 +685,129 @@ fn decode_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
 }
 
 // ---------------------------------------------------------------------
+// Telemetry.
+// ---------------------------------------------------------------------
+
+/// Render a telemetry snapshot as a self-delimiting document: an
+/// `@telemetry` header announcing the phase and slow-op counts, one
+/// `phase` line per populated histogram (sparse `idx:count` bin pairs),
+/// one `slow` line per slow-op record. Bit-exact round trip: the sparse
+/// bins, max, sum and per-phase slow-op breakdowns all survive.
+pub fn encode_telemetry(out: &mut String, t: &TelemetrySnapshot) {
+    out.push_str(&format!(
+        "@telemetry\t{}\t{}\t{}\n",
+        t.slow_threshold_ns,
+        t.phases.len(),
+        t.slow_ops.len()
+    ));
+    for (phase, h) in &t.phases {
+        out.push_str(&format!(
+            "phase\t{}\t{}\t{}\t{}\t{}",
+            phase.name(),
+            h.count,
+            h.sum,
+            h.max,
+            h.bins.len()
+        ));
+        for (idx, n) in &h.bins {
+            out.push_str(&format!("\t{idx}:{n}"));
+        }
+        out.push('\n');
+    }
+    for slow in &t.slow_ops {
+        out.push_str(&format!(
+            "slow\t{}\t{}\t{}",
+            escape(&slow.op),
+            slow.total_ns,
+            slow.phases.len()
+        ));
+        for (phase, ns) in &slow.phases {
+            out.push_str(&format!("\t{}:{ns}", phase.name()));
+        }
+        out.push('\n');
+    }
+}
+
+fn decode_phase_name(s: &str) -> Result<Phase, WireError> {
+    Phase::from_name(s).ok_or_else(|| err(format!("unknown phase `{s}`")))
+}
+
+fn decode_telemetry(r: &mut Reader<'_>) -> Result<TelemetrySnapshot, WireError> {
+    let head = fields(r.keyword("@telemetry")?)
+        .into_iter()
+        .map(|f| f.parse::<u64>().map_err(|_| err("bad @telemetry header")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let [slow_threshold_ns, n_phases, n_slow] = head.as_slice() else {
+        return Err(err("bad @telemetry header"));
+    };
+    let mut phases = Vec::with_capacity(*n_phases as usize);
+    for _ in 0..*n_phases {
+        let parts = fields(r.keyword("phase")?);
+        let [name, count, sum, max, n_bins, bin_parts @ ..] = parts.as_slice() else {
+            return Err(err("bad phase line"));
+        };
+        let phase = decode_phase_name(name)?;
+        let n_bins: usize = n_bins.parse().map_err(|_| err("bad bin count"))?;
+        if bin_parts.len() != n_bins {
+            return Err(err(format!(
+                "phase `{name}` announced {n_bins} bins, carried {}",
+                bin_parts.len()
+            )));
+        }
+        let mut bins = Vec::with_capacity(n_bins);
+        for pair in bin_parts {
+            let (idx, n) = pair
+                .split_once(':')
+                .ok_or_else(|| err(format!("bad bin pair `{pair}`")))?;
+            bins.push((
+                idx.parse().map_err(|_| err("bad bin index"))?,
+                n.parse().map_err(|_| err("bad bin count"))?,
+            ));
+        }
+        phases.push((
+            phase,
+            HistogramSnapshot {
+                count: count.parse().map_err(|_| err("bad phase count"))?,
+                sum: sum.parse().map_err(|_| err("bad phase sum"))?,
+                max: max.parse().map_err(|_| err("bad phase max"))?,
+                bins,
+            },
+        ));
+    }
+    let mut slow_ops = Vec::with_capacity(*n_slow as usize);
+    for _ in 0..*n_slow {
+        let parts = fields(r.keyword("slow")?);
+        let [op, total_ns, n, phase_parts @ ..] = parts.as_slice() else {
+            return Err(err("bad slow line"));
+        };
+        let n: usize = n.parse().map_err(|_| err("bad slow phase count"))?;
+        if phase_parts.len() != n {
+            return Err(err("slow line phase count mismatch"));
+        }
+        let mut slow_phases = Vec::with_capacity(n);
+        for pair in phase_parts {
+            let (name, ns) = pair
+                .rsplit_once(':')
+                .ok_or_else(|| err(format!("bad slow phase pair `{pair}`")))?;
+            slow_phases.push((
+                decode_phase_name(name)?,
+                ns.parse().map_err(|_| err("bad slow phase ns"))?,
+            ));
+        }
+        slow_ops.push(SlowOp {
+            op: unescape(op)?,
+            total_ns: total_ns.parse().map_err(|_| err("bad slow total"))?,
+            phases: slow_phases,
+        });
+    }
+    Ok(TelemetrySnapshot {
+        phases,
+        slow_threshold_ns: *slow_threshold_ns,
+        slow_ops,
+    })
+}
+
+// ---------------------------------------------------------------------
 // Errors.
 // ---------------------------------------------------------------------
 
@@ -796,6 +927,7 @@ impl Request {
                 }
             }
             Request::Metrics => out.push_str("metrics\n"),
+            Request::Stats => out.push_str("stats\n"),
             Request::Checkpoint => out.push_str("checkpoint\n"),
             Request::SyncWal => out.push_str("sync_wal\n"),
         }
@@ -863,6 +995,7 @@ impl Request {
                 Request::Commit { deltas }
             }
             "metrics" => Request::Metrics,
+            "stats" => Request::Stats,
             "checkpoint" => Request::Checkpoint,
             "sync_wal" => Request::SyncWal,
             _ => return Err(err(format!("unknown request op `{op}`"))),
@@ -918,6 +1051,10 @@ impl Response {
                 out.push_str("metrics\n");
                 encode_metrics(&mut out, m);
             }
+            Response::Stats(t) => {
+                out.push_str("stats\n");
+                encode_telemetry(&mut out, t);
+            }
             Response::Seq(seq) => match seq {
                 Some(n) => out.push_str(&format!("seq\t{n}\n")),
                 None => out.push_str("seq\tnone\n"),
@@ -964,6 +1101,7 @@ impl Response {
                 return Ok(Response::Receipt { stamp, shards, gtx });
             }
             "metrics" => Response::Metrics(decode_metrics(&mut r)?),
+            "stats" => Response::Stats(decode_telemetry(&mut r)?),
             "seq" => Response::Seq(match rest {
                 "none" => None,
                 n => Some(n.parse().map_err(|_| err("bad seq"))?),
@@ -1034,6 +1172,7 @@ pub fn handle(session: &esm_engine::Session, req: Request) -> Response {
                 }
             }
             Request::Metrics => Response::Metrics(engine.metrics()),
+            Request::Stats => Response::Stats(engine.telemetry()),
             Request::Checkpoint => Response::Seq(engine.checkpoint()?),
             Request::SyncWal => {
                 engine.sync_wal()?;
@@ -1053,6 +1192,21 @@ mod tests {
         let schema =
             Schema::build(&[("id", ValueType::Int), ("name", ValueType::Str)], &["id"]).unwrap();
         Table::from_rows(schema, vec![row![1, "a\tb"], row![2, "nl\nhere"]]).unwrap()
+    }
+
+    fn telemetry() -> TelemetrySnapshot {
+        let tel = esm_obs::Telemetry::new();
+        for v in [3, 90, 4000, 4096, u64::MAX] {
+            tel.record(Phase::CommitFsync, v);
+            tel.record(Phase::NetHandler, v / 3);
+        }
+        tel.record_slow(
+            "commit:we\tird\nop".to_string(),
+            77_000_000,
+            &[(Phase::CommitFsync, 70_000_000), (Phase::CommitLockHold, 5)],
+        );
+        tel.record_slow("plain".to_string(), 12_345_678, &[]);
+        tel.snapshot()
     }
 
     #[test]
@@ -1098,6 +1252,7 @@ mod tests {
                 )],
             },
             Request::Metrics,
+            Request::Stats,
             Request::Checkpoint,
             Request::SyncWal,
         ];
@@ -1149,6 +1304,12 @@ mod tests {
                 gtx: None,
             },
             Response::Metrics(metrics),
+            Response::Stats(telemetry()),
+            Response::Stats(TelemetrySnapshot {
+                phases: vec![],
+                slow_threshold_ns: 1,
+                slow_ops: vec![],
+            }),
             Response::Seq(Some(12)),
             Response::Seq(None),
             Response::Err(EngineError::Conflict {
@@ -1188,7 +1349,15 @@ mod tests {
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} must not decode");
         }
-        for bad in [&b""[..], b"wat", b"receipt\tx", b"err\tmystery"] {
+        for bad in [
+            &b""[..],
+            b"wat",
+            b"receipt\tx",
+            b"err\tmystery",
+            b"stats\n@telemetry\t1\t1\t0\nphase\tnot_a_phase\t1\t1\t1\t0",
+            b"stats\n@telemetry\t1\t1\t0\nphase\tcommit_fsync\t1\t1\t1\t2\t0:1",
+            b"stats\n@telemetry\t1\t0\t1\nslow\top\tNaN\t0",
+        ] {
             assert!(Response::decode(bad).is_err(), "{bad:?} must not decode");
         }
         assert!(decode_predicate("and").is_err());

@@ -29,9 +29,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use esm_engine::{ArcEngine, Session};
+use esm_obs::{Phase, Span, Telemetry, TelemetrySnapshot};
 
 use crate::frame::{decode_frame, encode_frame};
 use crate::proto::{handle, Request, Response, WireError};
@@ -63,6 +64,10 @@ pub struct NetStats {
     pub dropped: u64,
     /// Request frames executed.
     pub requests: u64,
+    /// Bytes read off client sockets.
+    pub bytes_read: u64,
+    /// Bytes written back to client sockets.
+    pub bytes_written: u64,
 }
 
 #[derive(Debug, Default)]
@@ -70,6 +75,8 @@ struct NetCounters {
     accepted: AtomicU64,
     dropped: AtomicU64,
     requests: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
 }
 
 /// State a worker needs to answer one connection's requests.
@@ -84,6 +91,8 @@ struct Job {
     token: u64,
     shared: Arc<ConnShared>,
     payload: Vec<u8>,
+    /// When the poller handed the frame to the pool (queue-wait clock).
+    enqueued: Instant,
 }
 
 struct Conn {
@@ -100,6 +109,7 @@ pub struct NetServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     counters: Arc<NetCounters>,
+    telemetry: Arc<Telemetry>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -124,6 +134,7 @@ impl NetServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(NetCounters::default());
+        let telemetry = Arc::new(Telemetry::new());
 
         let (jobs_tx, jobs_rx) = channel::<Job>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
@@ -134,8 +145,9 @@ impl NetServer {
             let jobs_rx = Arc::clone(&jobs_rx);
             let done_tx = done_tx.clone();
             let counters = Arc::clone(&counters);
+            let telemetry = Arc::clone(&telemetry);
             threads.push(std::thread::spawn(move || {
-                worker_loop(&jobs_rx, &done_tx, &counters);
+                worker_loop(&jobs_rx, &done_tx, &counters, &telemetry);
             }));
         }
         drop(done_tx);
@@ -143,9 +155,10 @@ impl NetServer {
         {
             let shutdown = Arc::clone(&shutdown);
             let counters = Arc::clone(&counters);
+            let telemetry = Arc::clone(&telemetry);
             threads.push(std::thread::spawn(move || {
                 poller_loop(
-                    engine, listener, config, &shutdown, &counters, jobs_tx, done_rx,
+                    engine, listener, config, &shutdown, &counters, &telemetry, jobs_tx, done_rx,
                 );
             }));
         }
@@ -154,6 +167,7 @@ impl NetServer {
             addr,
             shutdown,
             counters,
+            telemetry,
             threads,
         })
     }
@@ -169,7 +183,17 @@ impl NetServer {
             accepted: self.counters.accepted.load(Ordering::Relaxed),
             dropped: self.counters.dropped.load(Ordering::Relaxed),
             requests: self.counters.requests.load(Ordering::Relaxed),
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
         }
+    }
+
+    /// The server's own phase-latency snapshot: frame decode, queue
+    /// wait, handler execution, response write. Engine phases live on
+    /// the engine's [`esm_engine::Engine::telemetry`]; the `STATS` verb
+    /// returns both, merged.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// Stop accepting, drop every connection, and join all threads.
@@ -197,7 +221,12 @@ impl std::fmt::Debug for NetServer {
     }
 }
 
-fn worker_loop(jobs: &Mutex<Receiver<Job>>, done: &Sender<u64>, counters: &NetCounters) {
+fn worker_loop(
+    jobs: &Mutex<Receiver<Job>>,
+    done: &Sender<u64>,
+    counters: &NetCounters,
+    telemetry: &Telemetry,
+) {
     loop {
         // Take the receiver lock only to fetch the next job, never
         // while executing one.
@@ -207,11 +236,16 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, done: &Sender<u64>, counters: &NetCo
         };
         let Ok(job) = job else { return };
         counters.requests.fetch_add(1, Ordering::Relaxed);
+        telemetry.record(
+            Phase::NetQueueWait,
+            u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         // Panic containment: a request that panics its handler must
         // cost an error response, not this worker thread (a dead worker
         // shrinks the pool and wedges the connection whose completion
         // token it never sent).
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let handler_span = Span::start();
+        let mut response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match Request::decode(&job.payload) {
                 Ok(req) => handle(&job.shared.session, req),
                 Err(WireError(msg)) => {
@@ -224,10 +258,20 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, done: &Sender<u64>, counters: &NetCo
                 "internal error while handling the request".into(),
             ))
         });
+        telemetry.record(Phase::NetHandler, handler_span.elapsed_ns());
+        // A STATS response carries the engine's phases; fold in the
+        // server's own net-layer phases (disjoint sets — the engine
+        // never records `net_*`, the server never records engine
+        // phases — so the merge changes no engine histogram).
+        if let Response::Stats(snap) = &mut response {
+            snap.merge(&telemetry.snapshot());
+        }
+        let write_span = Span::start();
         let framed = encode_frame(&response.encode());
         if let Ok(mut out) = job.shared.outbuf.lock() {
             out.extend_from_slice(&framed);
         }
+        telemetry.record(Phase::NetResponseWrite, write_span.elapsed_ns());
         // The poller flushes and re-arms the connection; if it is gone,
         // so is the connection.
         let _ = done.send(job.token);
@@ -241,6 +285,7 @@ fn poller_loop(
     config: NetServerConfig,
     shutdown: &AtomicBool,
     counters: &NetCounters,
+    telemetry: &Telemetry,
     jobs: Sender<Job>,
     done: Receiver<u64>,
 ) {
@@ -309,6 +354,7 @@ fn poller_loop(
                     }
                     Ok(n) => {
                         active = true;
+                        counters.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
                         conn.inbuf.extend_from_slice(&read_chunk[..n]);
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -324,8 +370,10 @@ fn poller_loop(
             // drops the connection).
             if !drop_conn {
                 loop {
+                    let decode_span = Span::start();
                     match decode_frame(&conn.inbuf) {
                         Ok(Some((payload, consumed))) => {
+                            telemetry.record(Phase::NetFrameDecode, decode_span.elapsed_ns());
                             conn.inbuf.drain(..consumed);
                             conn.pending.push_back(payload);
                         }
@@ -349,6 +397,7 @@ fn poller_loop(
                             token,
                             shared: Arc::clone(&conn.shared),
                             payload,
+                            enqueued: Instant::now(),
                         })
                         .is_err()
                     {
@@ -368,6 +417,9 @@ fn poller_loop(
                             }
                             Ok(n) => {
                                 active = true;
+                                counters
+                                    .bytes_written
+                                    .fetch_add(n as u64, Ordering::Relaxed);
                                 out.drain(..n);
                             }
                             Err(e) if e.kind() == ErrorKind::WouldBlock => break,

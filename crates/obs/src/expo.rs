@@ -1,0 +1,100 @@
+//! Prometheus-style text exposition for [`TelemetrySnapshot`]s.
+//!
+//! The renderer emits the classic `# TYPE` / `# HELP` framed families:
+//! one `histogram` family per populated [`Phase`] (cumulative `_bucket`
+//! lines with `le` labels from the log-bucket upper bounds, plus
+//! `_sum`/`_count`), gauge-style quantile convenience lines, and the
+//! slow-op log as comments at the tail (Prometheus has no string
+//! sample type; scrapers that want slow ops use the structured
+//! snapshot instead).
+
+use crate::histogram::bucket_bounds;
+use crate::telemetry::TelemetrySnapshot;
+
+/// Render a snapshot as Prometheus-style exposition text under the
+/// metric prefix `prefix` (e.g. `esm`).
+pub fn render_prometheus(prefix: &str, snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for (phase, hist) in &snap.phases {
+        let family = format!("{prefix}_{}_ns", phase.name());
+        out.push_str(&format!(
+            "# HELP {family} latency of the {} phase in nanoseconds\n",
+            phase.name()
+        ));
+        out.push_str(&format!("# TYPE {family} histogram\n"));
+        let mut cumulative = 0u64;
+        for &(i, n) in &hist.bins {
+            cumulative += n;
+            let (_, hi) = bucket_bounds(i as usize);
+            out.push_str(&format!("{family}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{family}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
+        out.push_str(&format!("{family}_sum {}\n", hist.sum));
+        out.push_str(&format!("{family}_count {}\n", hist.count));
+        for (q, v) in [
+            ("0.5", hist.p50()),
+            ("0.95", hist.p95()),
+            ("0.99", hist.p99()),
+        ] {
+            out.push_str(&format!("{family}_quantile{{q=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{family}_max {}\n", hist.max));
+    }
+    out.push_str(&format!(
+        "# slow ops (threshold {} ns, {} captured)\n",
+        snap.slow_threshold_ns,
+        snap.slow_ops.len()
+    ));
+    for op in &snap.slow_ops {
+        let breakdown: Vec<String> = op
+            .phases
+            .iter()
+            .map(|(p, ns)| format!("{}={ns}", p.name()))
+            .collect();
+        out.push_str(&format!(
+            "# slow: {} total={}ns {}\n",
+            op.op,
+            op.total_ns,
+            breakdown.join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{Phase, Telemetry};
+
+    #[test]
+    fn exposition_has_families_buckets_and_slow_ops() {
+        let tel = Telemetry::new();
+        tel.record(Phase::CommitFsync, 100);
+        tel.record(Phase::CommitFsync, 200_000);
+        tel.set_slow_threshold_ns(1);
+        tel.record_slow("transact", 250_000, &[(Phase::CommitFsync, 200_000)]);
+        let text = render_prometheus("esm", &tel.snapshot());
+        assert!(text.contains("# TYPE esm_commit_fsync_ns histogram"));
+        assert!(text.contains("esm_commit_fsync_ns_count 2"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        assert!(text.contains("esm_commit_fsync_ns_quantile{q=\"0.99\"}"));
+        assert!(text.contains("# slow: transact total=250000ns commit_fsync=200000"));
+        // Cumulative bucket counts never regress.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf"))
+        {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last);
+            last = n;
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_only_the_slow_header() {
+        let text = render_prometheus("esm", &Telemetry::new().snapshot());
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("# slow ops"));
+    }
+}

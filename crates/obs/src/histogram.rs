@@ -1,0 +1,295 @@
+//! [`Histogram`]: a lock-free log-bucketed latency histogram.
+//!
+//! ## Bucket geometry and the error bound
+//!
+//! Values are nanoseconds (`u64`). Buckets are **log-linear**: each
+//! power-of-two octave `[2^e, 2^(e+1))` is cut into [`SUB_BUCKETS`]
+//! equal sub-buckets, and values below [`SUB_BUCKETS`] get one exact
+//! bucket each. A bucket starting at `lo ≥ 2^e` is `2^(e-2)` wide, and
+//! `2^(e-2) ≤ lo/4`, so **any value reported from its bucket's bounds
+//! is within 25% relative error** — and values `0..4` are exact. That
+//! bound is what [`HistogramSnapshot::quantile`] inherits: it returns
+//! the upper bound of the bucket holding the rank-th sample (capped at
+//! the observed max), so for a true quantile value `v` the estimate
+//! `q` satisfies `v ≤ q ≤ v + v/4`. The property suite asserts exactly
+//! this law against a sorted-oracle quantile.
+//!
+//! ## Concurrency
+//!
+//! Bins are relaxed [`AtomicU64`]s: recorders never lock, never wait,
+//! and never tear — concurrent recording totals equal the sequential
+//! oracle (also proptested). Snapshots are taken bin by bin and are
+//! therefore not a single atomic cut across bins, which is fine for
+//! monotone counters: a snapshot is some interleaving of concurrent
+//! records, never an invented one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket bits per octave: 2 bits → 4 sub-buckets → ≤25% relative
+/// error per bucket.
+pub const SUB_BITS: u32 = 2;
+/// Sub-buckets per power-of-two octave (`1 << SUB_BITS`).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bins: one exact bin per value below [`SUB_BUCKETS`], then
+/// [`SUB_BUCKETS`] bins per octave for exponents `SUB_BITS..=63`.
+pub const NUM_BINS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// The bin index a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+    let sub = ((v >> (e - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+    SUB_BUCKETS + (e - SUB_BITS) as usize * SUB_BUCKETS + sub
+}
+
+/// The inclusive `[lo, hi]` value range of bin `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64);
+    }
+    let rel = index - SUB_BUCKETS;
+    let e = SUB_BITS + (rel / SUB_BUCKETS) as u32;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    let width = 1u64 << (e - SUB_BITS);
+    let lo = (1u64 << e) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, byte counts, …). Recording is wait-free: one relaxed
+/// `fetch_add` per counter. See the module docs for the bucket
+/// geometry and the ≤25% quantile error bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bins: [AtomicU64; NUM_BINS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            bins: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.bins[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A mergeable point-in-time copy (sparse: only populated bins).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut bins = Vec::new();
+        for (i, bin) in self.bins.iter().enumerate() {
+            let n = bin.load(Ordering::Relaxed);
+            if n > 0 {
+                bins.push((i as u32, n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            bins,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: mergeable (bin-wise
+/// addition — associative and commutative), wire-serializable, and the
+/// carrier of the quantile estimators.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping, like any u64 counter).
+    pub sum: u64,
+    /// Largest sample observed.
+    pub max: u64,
+    /// Populated bins only, sorted by bin index: `(index, count)`.
+    pub bins: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// No samples?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Fold `other` into `self` bin-wise. Addition per bin, so merging
+    /// is associative and commutative (proptested) — per-thread or
+    /// per-process histograms aggregate without coordination.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        let mut merged = std::collections::BTreeMap::new();
+        for &(i, n) in self.bins.iter().chain(other.bins.iter()) {
+            *merged.entry(i).or_insert(0u64) += n;
+        }
+        self.bins = merged.into_iter().collect();
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`: the upper bound of the
+    /// bucket holding the `ceil(q·count)`-th smallest sample, capped at
+    /// the observed max. For the true rank-th sample `v` the estimate
+    /// `e` satisfies `v ≤ e ≤ v + v/4` (exact below
+    /// [`SUB_BUCKETS`]) — the bucket-geometry error bound. Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.bins {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i as usize);
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS as u64 {
+            let i = bucket_index(v);
+            assert_eq!(bucket_bounds(i), (v, v));
+        }
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        for v in [
+            0,
+            1,
+            3,
+            4,
+            5,
+            7,
+            8,
+            100,
+            1_000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+            // The error bound: bucket width ≤ lo/4 for lo ≥ 4.
+            if lo >= SUB_BUCKETS as u64 {
+                assert!(hi - lo <= lo / 4, "bucket too wide at {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone_and_in_range() {
+        let mut last = 0;
+        let mut v = 0u64;
+        loop {
+            let i = bucket_index(v);
+            assert!(i < NUM_BINS, "index {i} out of range at {v}");
+            assert!(i >= last, "index regressed at {v}");
+            last = i;
+            if v > u64::MAX / 2 {
+                break;
+            }
+            v = v * 2 + 1;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BINS - 1);
+    }
+
+    #[test]
+    fn quantiles_respect_the_error_bound() {
+        let h = Histogram::new();
+        let mut samples: Vec<u64> = (0..1000).map(|i| i * 37 + 5).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let truth = samples[rank - 1];
+            let est = snap.quantile(q);
+            assert!(est >= truth, "q={q}: {est} < true {truth}");
+            assert!(est <= truth + truth / 4, "q={q}: {est} > 1.25 × {truth}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [0u64, 1, 7, 90, 1_000_000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 7, 500, 90] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn empty_snapshot_is_calm() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # esm-obs — zero-dependency observability primitives
+//!
+//! The telemetry layer the engines thread through their hot paths,
+//! with nothing below it but `std`:
+//!
+//! * [`Histogram`] — a lock-free log-bucketed latency histogram
+//!   (relaxed atomic bins, wait-free recording) whose
+//!   [`HistogramSnapshot`]s merge associatively and estimate
+//!   p50/p95/p99/max within a proven ≤25% relative error bound.
+//! * [`Telemetry`] — a registry of one histogram per [`Phase`] (the
+//!   closed set of instrumented commit/2PC/view/net stages) plus a
+//!   bounded slow-op ring with per-phase breakdowns.
+//! * [`Timer`]/[`Span`] — the recorder API: RAII scope timing or an
+//!   explicit stopwatch feeding slow-op breakdowns.
+//! * [`render_prometheus`] — text exposition of a
+//!   [`TelemetrySnapshot`] for scrapers and humans.
+//!
+//! The layering is recorder → registry → exposition: call sites hold
+//! an `Arc<Telemetry>` and record nanoseconds; readers take
+//! [`TelemetrySnapshot`]s (cheap, non-draining, mergeable) and render
+//! or ship them — the esm-net `STATS` verb serializes exactly this
+//! type over the wire.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expo;
+mod histogram;
+mod telemetry;
+
+pub use expo::render_prometheus;
+pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BINS};
+pub use telemetry::{
+    Phase, SlowOp, Span, Telemetry, TelemetrySnapshot, Timer, DEFAULT_SLOW_THRESHOLD_NS,
+    SLOW_OP_CAPACITY,
+};

@@ -1,0 +1,455 @@
+//! [`Telemetry`]: the per-engine phase-latency registry.
+//!
+//! One `Telemetry` owns a [`Histogram`] per [`Phase`] — the fixed set
+//! of hot-path stages the engines and the network front end time — and
+//! a bounded **slow-op ring**: operations whose total latency crossed a
+//! configurable threshold, recorded with their per-phase breakdown so a
+//! tail-latency spike names the phase that caused it. Recording is a
+//! relaxed atomic add ([`Histogram::record`]); only slow-op capture
+//! takes a (rare) lock.
+//!
+//! The recorder API is two shapes:
+//!
+//! * [`Telemetry::timer`] — an RAII guard recording its elapsed time
+//!   into one phase on drop (early-exit friendly);
+//! * [`Span`] — a bare stopwatch for call sites that want the elapsed
+//!   nanoseconds for themselves (to feed a slow-op breakdown) and then
+//!   record explicitly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// One instrumented hot-path stage. The set is closed on purpose: a
+/// fixed enum indexes a fixed histogram array (no hashing, no locking
+/// on the record path) and gives the wire codec a strict name set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Commit: acquiring the snapshot (stripe/shard read locks + clone).
+    CommitSnapshot,
+    /// Commit: the first-committer-wins WAL overlap scan.
+    CommitValidate,
+    /// Commit: one framed record append into the durable segment
+    /// (buffered write, fsync excluded).
+    CommitWalAppend,
+    /// Commit: the fsync making appended records durable.
+    CommitFsync,
+    /// Commit: stripe/shard write-lock hold time (validate through
+    /// install).
+    CommitLockHold,
+    /// 2PC: one participant's prepare append.
+    TwopcPrepare,
+    /// 2PC: one participant's resolve append + apply.
+    TwopcResolve,
+    /// 2PC: one participant's fsync (both phases).
+    TwopcParticipantFsync,
+    /// View maintenance: collecting the committed deltas since the
+    /// window cursor.
+    ViewDrain,
+    /// View maintenance: propagating and folding drained deltas into
+    /// the window.
+    ViewDeltaFold,
+    /// View maintenance: a whole-base lens `get` (first read, topology
+    /// change, or escape hatch).
+    ViewRebuild,
+    /// Net: decoding one CRC frame out of a connection's input buffer.
+    NetFrameDecode,
+    /// Net: a complete request frame waiting for a pool worker.
+    NetQueueWait,
+    /// Net: executing the request against the engine.
+    NetHandler,
+    /// Net: writing buffered response bytes back to the socket.
+    NetResponseWrite,
+}
+
+impl Phase {
+    /// Every phase, in declaration (and wire) order.
+    pub const ALL: [Phase; 15] = [
+        Phase::CommitSnapshot,
+        Phase::CommitValidate,
+        Phase::CommitWalAppend,
+        Phase::CommitFsync,
+        Phase::CommitLockHold,
+        Phase::TwopcPrepare,
+        Phase::TwopcResolve,
+        Phase::TwopcParticipantFsync,
+        Phase::ViewDrain,
+        Phase::ViewDeltaFold,
+        Phase::ViewRebuild,
+        Phase::NetFrameDecode,
+        Phase::NetQueueWait,
+        Phase::NetHandler,
+        Phase::NetResponseWrite,
+    ];
+
+    /// The phase's stable wire/exposition name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::CommitSnapshot => "commit_snapshot_acquire",
+            Phase::CommitValidate => "commit_fcw_validate",
+            Phase::CommitWalAppend => "commit_wal_append",
+            Phase::CommitFsync => "commit_fsync",
+            Phase::CommitLockHold => "commit_lock_hold",
+            Phase::TwopcPrepare => "twopc_prepare",
+            Phase::TwopcResolve => "twopc_resolve",
+            Phase::TwopcParticipantFsync => "twopc_participant_fsync",
+            Phase::ViewDrain => "view_drain",
+            Phase::ViewDeltaFold => "view_delta_fold",
+            Phase::ViewRebuild => "view_rebuild",
+            Phase::NetFrameDecode => "net_frame_decode",
+            Phase::NetQueueWait => "net_queue_wait",
+            Phase::NetHandler => "net_handler_execute",
+            Phase::NetResponseWrite => "net_response_write",
+        }
+    }
+
+    /// Parse a wire name back to its phase.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    fn index(self) -> usize {
+        Phase::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("every phase is in ALL")
+    }
+
+    /// Is this a phase the network front end records (as opposed to an
+    /// engine-side commit/2PC/view phase)?
+    pub fn is_net(self) -> bool {
+        matches!(
+            self,
+            Phase::NetFrameDecode
+                | Phase::NetQueueWait
+                | Phase::NetHandler
+                | Phase::NetResponseWrite
+        )
+    }
+}
+
+/// Default slow-op threshold: 10ms.
+pub const DEFAULT_SLOW_THRESHOLD_NS: u64 = 10_000_000;
+/// Slow-op ring capacity.
+pub const SLOW_OP_CAPACITY: usize = 64;
+
+/// One operation that crossed the slow threshold, with its locally
+/// measured phase breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowOp {
+    /// What ran (e.g. `transact`, `read_view:hot`, `net:commit`).
+    pub op: String,
+    /// Total wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Per-phase nanoseconds the op measured about itself (phases it
+    /// did not touch are absent; the phases need not sum to the total).
+    pub phases: Vec<(Phase, u64)>,
+}
+
+/// The phase-latency registry an engine (or network server) owns: one
+/// lock-free [`Histogram`] per [`Phase`] plus the bounded slow-op ring.
+/// Share it as an `Arc`; recording never blocks.
+#[derive(Debug)]
+pub struct Telemetry {
+    phases: [Histogram; Phase::ALL.len()],
+    slow_threshold_ns: AtomicU64,
+    slow: Mutex<VecDeque<SlowOp>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry {
+            phases: std::array::from_fn(|_| Histogram::new()),
+            slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
+            slow: Mutex::new(VecDeque::with_capacity(SLOW_OP_CAPACITY)),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A fresh registry with the default slow threshold.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// The histogram behind one phase.
+    pub fn phase(&self, phase: Phase) -> &Histogram {
+        &self.phases[phase.index()]
+    }
+
+    /// Record one sample (nanoseconds) into a phase.
+    pub fn record(&self, phase: Phase, ns: u64) {
+        self.phase(phase).record(ns);
+    }
+
+    /// An RAII timer recording its elapsed time into `phase` on drop.
+    pub fn timer(&self, phase: Phase) -> Timer<'_> {
+        Timer {
+            telemetry: self,
+            phase,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Time `f`, record its duration into `phase`, return its result.
+    pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let span = Span::start();
+        let out = f();
+        self.record(phase, span.elapsed_ns());
+        out
+    }
+
+    /// The current slow-op threshold in nanoseconds.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Set the slow-op threshold (nanoseconds). Ops at or above it are
+    /// captured in the ring; `u64::MAX` disables capture.
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Offer one finished operation to the slow-op ring: recorded iff
+    /// `total_ns` reaches the threshold. The ring is bounded at
+    /// [`SLOW_OP_CAPACITY`] — the oldest entry falls off.
+    pub fn record_slow(&self, op: impl Into<String>, total_ns: u64, phases: &[(Phase, u64)]) {
+        if total_ns < self.slow_threshold_ns() {
+            return;
+        }
+        let Ok(mut ring) = self.slow.lock() else {
+            return;
+        };
+        if ring.len() == SLOW_OP_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(SlowOp {
+            op: op.into(),
+            total_ns,
+            phases: phases.to_vec(),
+        });
+    }
+
+    /// A copy of the slow-op ring, oldest first (non-draining — reads
+    /// are idempotent, which the wire surface relies on).
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        self.slow
+            .lock()
+            .map(|ring| ring.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drain the slow-op ring, returning everything captured so far.
+    pub fn drain_slow_ops(&self) -> Vec<SlowOp> {
+        self.slow
+            .lock()
+            .map(|mut ring| ring.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// A point-in-time copy of everything: per-phase histogram
+    /// snapshots (populated phases only, in [`Phase::ALL`] order), the
+    /// slow threshold, and the slow-op ring.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut phases = Vec::new();
+        for p in Phase::ALL {
+            let snap = self.phase(p).snapshot();
+            if !snap.is_empty() {
+                phases.push((p, snap));
+            }
+        }
+        TelemetrySnapshot {
+            phases,
+            slow_threshold_ns: self.slow_threshold_ns(),
+            slow_ops: self.slow_ops(),
+        }
+    }
+}
+
+/// Everything a [`Telemetry`] knows, frozen: what `Engine::telemetry()`
+/// returns and what the `STATS` wire verb ships. Mergeable like the
+/// histograms it carries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Populated phases only, in [`Phase::ALL`] order.
+    pub phases: Vec<(Phase, HistogramSnapshot)>,
+    /// The slow-op threshold at snapshot time (nanoseconds).
+    pub slow_threshold_ns: u64,
+    /// The slow-op ring at snapshot time, oldest first.
+    pub slow_ops: Vec<SlowOp>,
+}
+
+impl TelemetrySnapshot {
+    /// The snapshot of one phase, if it recorded anything.
+    pub fn phase(&self, phase: Phase) -> Option<&HistogramSnapshot> {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, h)| h)
+    }
+
+    /// Samples recorded into `phase` (0 when absent).
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.phase(phase).map_or(0, |h| h.count)
+    }
+
+    /// Fold `other` into `self`: histograms merge bin-wise, slow-op
+    /// lists concatenate, the larger threshold wins (a merged view
+    /// should not claim a stricter capture policy than either source
+    /// enforced).
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (p, theirs) in &other.phases {
+            match self.phases.iter_mut().find(|(q, _)| q == p) {
+                Some((_, ours)) => ours.merge(theirs),
+                None => self.phases.push((*p, theirs.clone())),
+            }
+        }
+        self.phases.sort_by_key(|(p, _)| p.index());
+        self.slow_threshold_ns = self.slow_threshold_ns.max(other.slow_threshold_ns);
+        self.slow_ops.extend(other.slow_ops.iter().cloned());
+    }
+}
+
+/// An RAII phase timer: records elapsed nanoseconds on drop. Obtain
+/// via [`Telemetry::timer`].
+#[derive(Debug)]
+pub struct Timer<'a> {
+    telemetry: &'a Telemetry,
+    phase: Phase,
+    start: Instant,
+    armed: bool,
+}
+
+impl Timer<'_> {
+    /// Record now and return the elapsed nanoseconds (instead of
+    /// recording at scope end).
+    pub fn stop(mut self) -> u64 {
+        let ns = elapsed_ns(self.start);
+        self.telemetry.record(self.phase, ns);
+        self.armed = false;
+        ns
+    }
+
+    /// Forget the measurement (nothing is recorded).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.telemetry.record(self.phase, elapsed_ns(self.start));
+        }
+    }
+}
+
+/// A bare stopwatch for call sites that need the elapsed nanoseconds
+/// themselves (slow-op breakdowns) and record explicitly.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    start: Instant,
+}
+
+impl Span {
+    /// Start the stopwatch.
+    pub fn start() -> Span {
+        Span {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`Span::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        elapsed_ns(self.start)
+    }
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("nope"), None);
+    }
+
+    #[test]
+    fn timer_and_span_record_into_the_right_phase() {
+        let tel = Telemetry::new();
+        {
+            let _t = tel.timer(Phase::CommitFsync);
+        }
+        let span = Span::start();
+        tel.record(Phase::CommitWalAppend, span.elapsed_ns());
+        tel.time(Phase::CommitWalAppend, || ());
+        let snap = tel.snapshot();
+        assert_eq!(snap.count(Phase::CommitFsync), 1);
+        assert_eq!(snap.count(Phase::CommitWalAppend), 2);
+        assert_eq!(snap.count(Phase::CommitLockHold), 0);
+    }
+
+    #[test]
+    fn timer_stop_and_cancel() {
+        let tel = Telemetry::new();
+        let ns = tel.timer(Phase::NetHandler).stop();
+        tel.timer(Phase::NetHandler).cancel();
+        assert_eq!(tel.snapshot().count(Phase::NetHandler), 1);
+        assert!(ns < 1_000_000_000, "a stop() measurement is sane");
+    }
+
+    #[test]
+    fn slow_ops_respect_threshold_and_capacity() {
+        let tel = Telemetry::new();
+        tel.set_slow_threshold_ns(1_000);
+        tel.record_slow("fast", 999, &[]);
+        assert!(tel.slow_ops().is_empty());
+        for i in 0..(SLOW_OP_CAPACITY + 5) {
+            tel.record_slow(
+                format!("slow{i}"),
+                1_000 + i as u64,
+                &[(Phase::CommitFsync, 900)],
+            );
+        }
+        let ops = tel.slow_ops();
+        assert_eq!(ops.len(), SLOW_OP_CAPACITY);
+        assert_eq!(ops[0].op, "slow5", "the oldest entries fell off");
+        // Reads are idempotent; drain empties.
+        assert_eq!(tel.slow_ops().len(), SLOW_OP_CAPACITY);
+        assert_eq!(tel.drain_slow_ops().len(), SLOW_OP_CAPACITY);
+        assert!(tel.slow_ops().is_empty());
+    }
+
+    #[test]
+    fn snapshots_merge_phasewise() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.record(Phase::CommitFsync, 10);
+        b.record(Phase::CommitFsync, 20);
+        b.record(Phase::ViewDrain, 5);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(Phase::CommitFsync), 2);
+        assert_eq!(merged.count(Phase::ViewDrain), 1);
+        // Phase order stays canonical after the merge.
+        let idxs: Vec<usize> = merged
+            .phases
+            .iter()
+            .map(|(p, _)| Phase::ALL.iter().position(|q| q == p).unwrap())
+            .collect();
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        assert_eq!(idxs, sorted);
+    }
+}

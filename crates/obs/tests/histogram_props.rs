@@ -1,0 +1,92 @@
+//! Property tests for the histogram laws the rest of the stack leans
+//! on: merge associativity, the quantile error bound against a sorted
+//! oracle, and concurrent-recorder totals equalling a sequential
+//! oracle.
+
+use esm_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+
+        // And both equal recording everything into one histogram.
+        let mut all: Vec<u64> = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(left, snapshot_of(&all));
+    }
+
+    #[test]
+    fn quantile_stays_within_the_bucket_error_bound(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..200),
+        qs in proptest::collection::vec(0u64..=1000, 1..6),
+    ) {
+        let snap = snapshot_of(&samples);
+        let mut samples = samples;
+        samples.sort_unstable();
+        for q in qs.into_iter().map(|milli| milli as f64 / 1000.0) {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let truth = samples[rank - 1];
+            let est = snap.quantile(q);
+            prop_assert!(est >= truth, "q={}: estimate {} below true {}", q, est, truth);
+            prop_assert!(
+                est <= truth + truth / 4,
+                "q={}: estimate {} beyond 1.25 × {}",
+                q, est, truth
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_equals_the_sequential_oracle(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000_000, 0..50),
+            1..8,
+        ),
+    ) {
+        let shared = Histogram::new();
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            for chunk in &chunks {
+                scope.spawn(move || {
+                    for &v in chunk {
+                        shared.record(v);
+                    }
+                });
+            }
+        });
+        let all: Vec<u64> = chunks.iter().flatten().copied().collect();
+        prop_assert_eq!(shared.snapshot(), snapshot_of(&all));
+    }
+}

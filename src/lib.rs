@@ -95,6 +95,7 @@ pub use esm_lens as lens;
 pub use esm_modelsync as modelsync;
 pub use esm_monad as monad;
 pub use esm_net as net;
+pub use esm_obs as obs;
 pub use esm_relational as relational;
 pub use esm_store as store;
 pub use esm_symmetric as symmetric;
