@@ -556,6 +556,21 @@ impl DurableWal {
     /// here — the maintenance thread calls
     /// [`DurableWal::maybe_checkpoint`] off the commit path.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), EngineError> {
+        self.append_impl(record, false)
+    }
+
+    /// [`DurableWal::append`] minus the inline group-commit fsync: the
+    /// record is written to the segment but the sync is the caller's
+    /// responsibility — either an explicit [`DurableWal::sync`] (the 2PC
+    /// coordinator, which must sync at protocol-defined points) or a
+    /// [`GroupCommit`] wait, where one leader syncs for every concurrent
+    /// committer. Rotation still syncs first, so deferral never reorders
+    /// bytes across segment files.
+    pub fn append_deferred(&mut self, record: &WalRecord) -> Result<(), EngineError> {
+        self.append_impl(record, true)
+    }
+
+    fn append_impl(&mut self, record: &WalRecord, defer_sync: bool) -> Result<(), EngineError> {
         self.guard()?;
         if record.seq <= self.last_seq {
             return Err(EngineError::DuplicateSeq {
@@ -570,11 +585,11 @@ impl DurableWal {
                 record.seq
             )));
         }
-        let appended = self.append_inner(record);
+        let appended = self.append_inner(record, defer_sync);
         self.poisoning(appended)
     }
 
-    fn append_inner(&mut self, record: &WalRecord) -> Result<(), EngineError> {
+    fn append_inner(&mut self, record: &WalRecord, defer_sync: bool) -> Result<(), EngineError> {
         let bytes = self.writer.append(record)?;
         self.stats.appends += 1;
         self.stats.bytes_written += bytes;
@@ -612,7 +627,7 @@ impl DurableWal {
                 }
             }
         }
-        if self.writer.pending() >= self.config.group_commit {
+        if !defer_sync && self.writer.pending() >= self.config.group_commit {
             self.sync_inner()?;
         }
         if self.writer.bytes() >= self.config.segment_bytes {
@@ -825,6 +840,114 @@ impl DurableWal {
     /// Durability counters (appends, syncs, rotations, checkpoints, …).
     pub fn stats(&self) -> WalStats {
         self.stats
+    }
+}
+
+/// Cross-session group commit: one leader fsyncs for every concurrent
+/// committer.
+///
+/// The protocol, from a committer's point of view:
+///
+/// 1. Append your record(s) with [`DurableWal::append_deferred`] and
+///    publish your in-memory state, all under the engine's usual locks;
+///    capture your commit seq.
+/// 2. Drop those locks and call [`GroupCommit::wait_durable`] with the
+///    seq and a sync closure.
+/// 3. If the batch is already durable past your seq (a leader synced
+///    while you were between steps), return immediately. If no leader is
+///    running, *become* the leader: run the sync closure — it re-takes
+///    the WAL lock, notes the log's `last_seq` (which includes every
+///    concurrent committer's append so far), fsyncs once, and returns
+///    that seq — then publish it and wake every parked waiter. Otherwise
+///    park on the condvar until the leader's broadcast.
+///
+/// The effect: N sessions committing concurrently pay ~1 fsync, because
+/// whoever leads carries everyone who appended before the sync was
+/// issued; durability is never weakened — no committer returns before
+/// its own seq is on disk.
+///
+/// A failed leader sync poisons the group (and, via the closure, the
+/// log itself — fail-stop): every parked and future waiter gets the
+/// error instead of a false durability claim.
+#[derive(Debug)]
+pub(crate) struct GroupCommit {
+    state: Mutex<GcState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct GcState {
+    /// Every seq at or below this is fsynced.
+    durable_seq: u64,
+    /// A leader is currently running the sync closure.
+    leader: bool,
+    /// Set when a leader's sync failed; all waits refuse from then on.
+    poisoned: Option<String>,
+}
+
+impl GroupCommit {
+    /// A group-commit gate over a log whose durable horizon is
+    /// currently `durable_seq`.
+    pub(crate) fn new(durable_seq: u64) -> GroupCommit {
+        GroupCommit {
+            state: Mutex::new(GcState {
+                durable_seq,
+                leader: false,
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until `seq` is durable (see the type docs for the
+    /// protocol). `sync` must fsync the log and return the seq the sync
+    /// covered; it is invoked without the group lock held, so it may
+    /// (must) take the WAL lock itself.
+    pub(crate) fn wait_durable(
+        &self,
+        seq: u64,
+        sync: impl FnOnce() -> Result<u64, EngineError>,
+    ) -> Result<(), EngineError> {
+        let mut sync = Some(sync);
+        let mut st = self.state.lock().expect("group commit lock");
+        loop {
+            if let Some(cause) = &st.poisoned {
+                return Err(EngineError::Io(format!(
+                    "group commit poisoned by an earlier sync failure ({cause}); \
+                     restart and recover the directory"
+                )));
+            }
+            if st.durable_seq >= seq {
+                return Ok(());
+            }
+            match (st.leader, sync.take()) {
+                (false, Some(sync)) => {
+                    st.leader = true;
+                    drop(st);
+                    let result = sync();
+                    st = self.state.lock().expect("group commit lock");
+                    st.leader = false;
+                    match result {
+                        Ok(through) => st.durable_seq = st.durable_seq.max(through),
+                        Err(e) => {
+                            st.poisoned = Some(e.to_string());
+                            self.cv.notify_all();
+                            return Err(e);
+                        }
+                    }
+                    self.cv.notify_all();
+                    // Loop: our own sync ran after our append, so
+                    // durable_seq now covers seq.
+                }
+                (leading, taken) => {
+                    // Either a leader is running (park until its
+                    // broadcast) or we already led and are re-checking.
+                    sync = taken;
+                    debug_assert!(leading || sync.is_none());
+                    st = self.cv.wait(st).expect("group commit lock");
+                }
+            }
+        }
     }
 }
 

@@ -129,7 +129,11 @@ pub trait Engine: Send + Sync + std::fmt::Debug {
     fn as_engine(&self) -> ArcEngine;
 
     /// Registered table names, sorted.
-    fn table_names(&self) -> Vec<String>;
+    ///
+    /// Fallible (like every getter below): in-process engines always
+    /// succeed, but the remote engine surfaces transport failures as
+    /// [`EngineError`] instead of panicking inside the client.
+    fn table_names(&self) -> Result<Vec<String>, EngineError>;
 
     /// A snapshot of one base table.
     fn table(&self, name: &str) -> Result<Table, EngineError>;
@@ -137,7 +141,7 @@ pub trait Engine: Send + Sync + std::fmt::Debug {
     /// A snapshot of the whole database (consistency per implementation:
     /// the sharded engine holds all shard read locks together; the
     /// unsharded engine is atomic per stripe).
-    fn snapshot(&self) -> Database;
+    fn snapshot(&self) -> Result<Database, EngineError>;
 
     /// Compile and register a named entangled view over `table`,
     /// returning a client handle. The view is validated against the
@@ -154,7 +158,7 @@ pub trait Engine: Send + Sync + std::fmt::Debug {
     fn view(&self, name: &str) -> Result<EntangledView, EngineError>;
 
     /// Registered view names, sorted.
-    fn view_names(&self) -> Vec<String>;
+    fn view_names(&self) -> Result<Vec<String>, EngineError>;
 
     /// Read a view against the current base state, served from its
     /// maintained materialized window — O(changes since the last read).
@@ -198,13 +202,13 @@ pub trait Engine: Send + Sync + std::fmt::Debug {
     }
 
     /// Current engine counters.
-    fn metrics(&self) -> MetricsSnapshot;
+    fn metrics(&self) -> Result<MetricsSnapshot, EngineError>;
 
     /// A point-in-time copy of the engine's phase-latency histograms
     /// and slow-op ring ([`esm_obs::TelemetrySnapshot`]). In-process
     /// engines snapshot their live registry; the remote engine fetches
     /// the server's snapshot over the wire (`STATS`).
-    fn telemetry(&self) -> esm_obs::TelemetrySnapshot;
+    fn telemetry(&self) -> Result<esm_obs::TelemetrySnapshot, EngineError>;
 
     /// Write a durable checkpoint covering every committed record and
     /// compact fully-covered segments. Returns the lowest covered
@@ -222,16 +226,16 @@ impl Engine for crate::EngineServer {
         Arc::new(self.clone())
     }
 
-    fn table_names(&self) -> Vec<String> {
-        crate::EngineServer::table_names(self)
+    fn table_names(&self) -> Result<Vec<String>, EngineError> {
+        Ok(crate::EngineServer::table_names(self))
     }
 
     fn table(&self, name: &str) -> Result<Table, EngineError> {
         crate::EngineServer::table(self, name)
     }
 
-    fn snapshot(&self) -> Database {
-        crate::EngineServer::snapshot(self)
+    fn snapshot(&self) -> Result<Database, EngineError> {
+        Ok(crate::EngineServer::snapshot(self))
     }
 
     fn define_view(
@@ -247,8 +251,8 @@ impl Engine for crate::EngineServer {
         crate::EngineServer::view(self, name)
     }
 
-    fn view_names(&self) -> Vec<String> {
-        crate::EngineServer::view_names(self)
+    fn view_names(&self) -> Result<Vec<String>, EngineError> {
+        Ok(crate::EngineServer::view_names(self))
     }
 
     fn read_view(&self, name: &str) -> Result<Table, EngineError> {
@@ -280,12 +284,12 @@ impl Engine for crate::EngineServer {
         crate::EngineServer::commit_deltas_checked(self, deltas)
     }
 
-    fn metrics(&self) -> MetricsSnapshot {
-        crate::EngineServer::metrics(self)
+    fn metrics(&self) -> Result<MetricsSnapshot, EngineError> {
+        Ok(crate::EngineServer::metrics(self))
     }
 
-    fn telemetry(&self) -> esm_obs::TelemetrySnapshot {
-        crate::EngineServer::telemetry(self)
+    fn telemetry(&self) -> Result<esm_obs::TelemetrySnapshot, EngineError> {
+        Ok(crate::EngineServer::telemetry(self))
     }
 
     fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
@@ -302,16 +306,16 @@ impl Engine for crate::shard::ShardedEngineServer {
         Arc::new(self.clone())
     }
 
-    fn table_names(&self) -> Vec<String> {
-        crate::shard::ShardedEngineServer::table_names(self)
+    fn table_names(&self) -> Result<Vec<String>, EngineError> {
+        Ok(crate::shard::ShardedEngineServer::table_names(self))
     }
 
     fn table(&self, name: &str) -> Result<Table, EngineError> {
         crate::shard::ShardedEngineServer::table(self, name)
     }
 
-    fn snapshot(&self) -> Database {
-        crate::shard::ShardedEngineServer::snapshot(self)
+    fn snapshot(&self) -> Result<Database, EngineError> {
+        Ok(crate::shard::ShardedEngineServer::snapshot(self))
     }
 
     fn define_view(
@@ -327,8 +331,8 @@ impl Engine for crate::shard::ShardedEngineServer {
         crate::shard::ShardedEngineServer::view(self, name)
     }
 
-    fn view_names(&self) -> Vec<String> {
-        crate::shard::ShardedEngineServer::view_names(self)
+    fn view_names(&self) -> Result<Vec<String>, EngineError> {
+        Ok(crate::shard::ShardedEngineServer::view_names(self))
     }
 
     fn read_view(&self, name: &str) -> Result<Table, EngineError> {
@@ -364,12 +368,12 @@ impl Engine for crate::shard::ShardedEngineServer {
         crate::shard::ShardedEngineServer::commit_deltas_checked(self, deltas)
     }
 
-    fn metrics(&self) -> MetricsSnapshot {
-        crate::shard::ShardedEngineServer::metrics(self)
+    fn metrics(&self) -> Result<MetricsSnapshot, EngineError> {
+        Ok(crate::shard::ShardedEngineServer::metrics(self))
     }
 
-    fn telemetry(&self) -> esm_obs::TelemetrySnapshot {
-        crate::shard::ShardedEngineServer::telemetry(self)
+    fn telemetry(&self) -> Result<esm_obs::TelemetrySnapshot, EngineError> {
+        Ok(crate::shard::ShardedEngineServer::telemetry(self))
     }
 
     fn checkpoint(&self) -> Result<Option<u64>, EngineError> {

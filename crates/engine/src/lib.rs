@@ -186,18 +186,24 @@
 //! ```
 //!
 //! **Segments** (`wal-<first seq, zero-padded>.seg`) hold consecutive
-//! records in the WAL text format:
+//! records, each wrapped in a self-describing frame. New segments are
+//! written in the binary framing; the text framing (any pre-binary
+//! segment) decodes forever, and the dispatch is per *frame* — the two
+//! may interleave inside one file:
 //!
 //! ```text
-//! #<seq> <table> +<inserted> -<deleted>
-//! + <cell>\t<cell>...        (inserted rows)
-//! - <cell>\t<cell>...        (deleted rows)
+//! binary frame: [0xB5][payload len: u32 LE][crc32(payload): u32 LE][payload]
+//!               payload = tag byte, seq u64 LE, then length-prefixed
+//!               fields and rows in the esm-store binary row codec
+//! text frame:   =<payload bytes> <crc32 hex>\n<record>   (legacy)
 //! ```
 //!
-//! The active segment rotates to a fresh file past
-//! [`DurabilityConfig::segment_bytes`], so compaction can drop whole
-//! files. **Checkpoints** (`checkpoint-<seq>.ckpt`) wrap a serialized
-//! database snapshot ([`esm_store::snapshot`]) in a `!checkpoint
+//! `0xB5` is a UTF-8 continuation byte, so no text frame (they start
+//! with `=`) can be mistaken for a binary one. The active segment
+//! rotates to a fresh file past [`DurabilityConfig::segment_bytes`], so
+//! compaction can drop whole files. **Checkpoints**
+//! (`checkpoint-<seq>.ckpt`) wrap a serialized database snapshot
+//! ([`esm_store::snapshot`]) in a `!checkpoint
 //! seq=<n>` header and `!end` trailer, written atomically (temp file →
 //! fsync → rename → directory fsync); the durable WAL maintains a shadow
 //! database incrementally, so a checkpoint never replays anything.
@@ -210,10 +216,30 @@
 //! every acknowledged commit is durable before the call returns; with
 //! `n > 1`, a crash may drop up to `n - 1` acknowledged records — but
 //! always to a clean *transaction* boundary, never a torn state or a
-//! prefix of a multi-record chain. Segment files wrap every record in a
-//! CRC32 frame, so mid-stream bit rot is detected (and refused) rather
-//! than mistaken for a torn tail. Checkpoints and compaction run on a
-//! background maintenance thread, never on a committing thread.
+//! prefix of a multi-record chain. Frames carry a CRC32, so mid-stream
+//! bit rot is detected (and refused) rather than mistaken for a torn
+//! tail. Checkpoints and compaction run on a background maintenance
+//! thread, never on a committing thread.
+//!
+//! **Cross-session group commit** (`durable::GroupCommit`): under
+//! `group_commit = 1`, concurrent committers share fsyncs instead of
+//! queueing one behind another's. A commit appends its record under
+//! the WAL write lock, *releases the lock*, then parks on the gate's
+//! condvar with its record's seq:
+//!
+//! 1. If the gate already shows `durable_seq >= seq`, return — some
+//!    leader's fsync covered this record.
+//! 2. If another leader's fsync is in flight, wait on the condvar:
+//!    that fsync began *after* this record was appended, so its
+//!    completion covers it.
+//! 3. Otherwise become the leader: re-take the engine lock, read the
+//!    WAL's `last_seq` (the batch accumulated while waiting — every
+//!    session that appended before this instant rides along), fsync
+//!    once, publish the new `durable_seq`, and wake all waiters.
+//!
+//! N sessions committing concurrently cost ~1 fsync instead of N; a
+//! failed leader fsync poisons the gate (fail-stop — the log's tail is
+//! unknowable), and every current and future waiter gets the error.
 //!
 //! **Recovery** ([`EngineServer::recover`]) is a four-step state
 //! machine — *checkpoint scan* (newest valid checkpoint; torn ones are
@@ -331,7 +357,8 @@ pub use esm_obs::{
 };
 pub use metrics::{Metrics, MetricsSnapshot, ShardStats, ViewStats, WalStats};
 pub use segment::{
-    crc32, decode_segment_prefix, encode_framed, SegmentFile, SegmentPrefix, SegmentWriter, SimFile,
+    crc32, decode_segment_prefix, encode_framed, encode_framed_binary, SegmentFile, SegmentPrefix,
+    SegmentWriter, SimFile, BINARY_FRAME_MAGIC,
 };
 pub use server::{EngineServer, DEFAULT_OPTIMISTIC_ATTEMPTS};
 pub use session::{RetryPolicy, Session};

@@ -1,12 +1,28 @@
 //! WAL segment files: append-only chunks of the durable log.
 //!
 //! A segment is a file named `wal-<first_seq, zero-padded>.seg` holding
-//! consecutive [`WalRecord`]s, each wrapped in a CRC frame:
+//! consecutive [`WalRecord`]s, each wrapped in a CRC frame. Two frame
+//! formats coexist, dispatched per frame on the first byte:
 //!
-//! ```text
-//! =<payload bytes> <crc32 of payload, 8 hex digits>\n
-//! <record in the WAL text format (see crate::wal)>
-//! ```
+//! * **Binary** (what new segments are written in) — first byte is the
+//!   magic `0xB5`, which no text frame can start with:
+//!
+//!   ```text
+//!   [0xB5][payload len: u32 LE][crc32 of payload: u32 LE][payload]
+//!   ```
+//!
+//!   The payload is one record in the binary WAL codec: a tag byte
+//!   (`0` delta, `1` chained delta, `2` prepare, `3` resolve), the
+//!   `seq` as a `u64` LE, then the variant's fields (strings length-
+//!   prefixed, rows in the `esm-store` binary row codec).
+//!
+//! * **Text** (legacy, still fully decodable for recovery of segments
+//!   written before the binary codec) — first byte is `=`:
+//!
+//!   ```text
+//!   =<payload bytes> <crc32 of payload, 8 hex digits>\n
+//!   <record in the WAL text format (see crate::wal)>
+//!   ```
 //!
 //! The durable log is the concatenation of all segments in name order;
 //! rotation starts a fresh file once the current one passes the size
@@ -47,10 +63,10 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use esm_obs::{Phase, Span, Telemetry};
-use esm_store::Delta;
+use esm_store::{codec, Delta};
 
 use crate::error::EngineError;
-use crate::wal::{decode_header, decode_row_line, HeaderLine, WalRecord};
+use crate::wal::{decode_header, decode_row_line, HeaderLine, WalOp, WalRecord};
 
 /// Filename extension of WAL segment files.
 pub const SEGMENT_SUFFIX: &str = ".seg";
@@ -104,12 +120,129 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Encode one record with its segment frame (`=<len> <crc>\n` + record
-/// text) — exactly the bytes [`SegmentWriter::append`] writes, exposed so
-/// tests and tools can hand-build segment files.
+/// Encode one record with its *text* segment frame (`=<len> <crc>\n` +
+/// record text) — the legacy format, exposed so tests and tools can
+/// hand-build old-style segment files and prove recovery still reads
+/// them. New segments are written with [`encode_framed_binary`].
 pub fn encode_framed(record: &WalRecord) -> String {
     let text = record.encode();
     format!("={} {:08x}\n{}", text.len(), crc32(text.as_bytes()), text)
+}
+
+/// First byte of a binary segment frame. Text frames start with `=`
+/// (0x3D) and every text payload is ASCII, so the magic unambiguously
+/// selects the decoder per frame — segments may mix formats freely.
+pub const BINARY_FRAME_MAGIC: u8 = 0xB5;
+
+/// Bytes in a binary frame header: magic, payload len (u32 LE), crc32
+/// (u32 LE).
+const BINARY_HEADER_BYTES: usize = 9;
+
+const REC_DELTA: u8 = 0;
+const REC_CHAINED: u8 = 1;
+const REC_PREPARE: u8 = 2;
+const REC_RESOLVE: u8 = 3;
+
+/// Encode one record's binary payload (tag, seq, fields) — the bytes a
+/// binary frame's CRC covers.
+pub fn encode_record_binary(record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match &record.op {
+        WalOp::Delta {
+            table,
+            delta,
+            chained,
+        } => {
+            out.push(if *chained { REC_CHAINED } else { REC_DELTA });
+            codec::put_u64(&mut out, record.seq);
+            codec::put_str(&mut out, table);
+            codec::put_u32(&mut out, delta.inserted.len() as u32);
+            codec::put_u32(&mut out, delta.deleted.len() as u32);
+            for row in &delta.inserted {
+                codec::put_row(&mut out, row);
+            }
+            for row in &delta.deleted {
+                codec::put_row(&mut out, row);
+            }
+        }
+        WalOp::Prepare { gtx, records } => {
+            out.push(REC_PREPARE);
+            codec::put_u64(&mut out, record.seq);
+            codec::put_str(&mut out, gtx);
+            codec::put_u64(&mut out, *records);
+        }
+        WalOp::Resolve { gtx, committed } => {
+            out.push(REC_RESOLVE);
+            codec::put_u64(&mut out, record.seq);
+            codec::put_str(&mut out, gtx);
+            out.push(u8::from(*committed));
+        }
+    }
+    out
+}
+
+/// Decode one binary record payload produced by [`encode_record_binary`].
+pub fn decode_record_binary(payload: &[u8]) -> Result<WalRecord, EngineError> {
+    let mut r = codec::BinReader::new(payload);
+    let rot = |e: esm_store::StoreError| EngineError::WalCorrupt(e.to_string());
+    let tag = r.u8().map_err(rot)?;
+    let seq = r.u64().map_err(rot)?;
+    let record = match tag {
+        REC_DELTA | REC_CHAINED => {
+            let table = r.str().map_err(rot)?;
+            let ins = r.u32().map_err(rot)? as usize;
+            let del = r.u32().map_err(rot)? as usize;
+            let mut delta = Delta::empty();
+            for _ in 0..ins {
+                delta.inserted.push(r.row().map_err(rot)?);
+            }
+            for _ in 0..del {
+                delta.deleted.push(r.row().map_err(rot)?);
+            }
+            if tag == REC_CHAINED {
+                WalRecord::chained(seq, table, delta)
+            } else {
+                WalRecord::delta(seq, table, delta)
+            }
+        }
+        REC_PREPARE => {
+            let gtx = r.str().map_err(rot)?;
+            let records = r.u64().map_err(rot)?;
+            WalRecord::prepare(seq, gtx, records)
+        }
+        REC_RESOLVE => {
+            let gtx = r.str().map_err(rot)?;
+            let committed = match r.u8().map_err(rot)? {
+                0 => false,
+                1 => true,
+                b => {
+                    return Err(EngineError::WalCorrupt(format!(
+                        "bad resolve verdict byte {b}"
+                    )))
+                }
+            };
+            WalRecord::resolve(seq, gtx, committed)
+        }
+        tag => {
+            return Err(EngineError::WalCorrupt(format!(
+                "unknown binary record tag {tag}"
+            )))
+        }
+    };
+    r.end().map_err(rot)?;
+    Ok(record)
+}
+
+/// Encode one record with its binary segment frame — exactly the bytes
+/// [`SegmentWriter::append`] writes.
+pub fn encode_framed_binary(record: &WalRecord) -> Vec<u8> {
+    let payload = encode_record_binary(record);
+    let mut out = Vec::with_capacity(BINARY_HEADER_BYTES + payload.len());
+    out.push(BINARY_FRAME_MAGIC);
+    codec::put_u32(&mut out, payload.len() as u32);
+    codec::put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    out
 }
 
 /// An append-only byte sink with explicit durability points.
@@ -267,8 +400,8 @@ impl<F: SegmentFile> SegmentWriter<F> {
     /// frame included.
     pub fn append(&mut self, record: &WalRecord) -> Result<u64, EngineError> {
         let span = Span::start();
-        let framed = encode_framed(record);
-        self.file.append(framed.as_bytes())?;
+        let framed = encode_framed_binary(record);
+        self.file.append(&framed)?;
         self.bytes += framed.len() as u64;
         self.pending += 1;
         if let Some(tel) = &self.telemetry {
@@ -330,9 +463,11 @@ pub struct SegmentPrefix {
 }
 
 /// Decode the longest prefix of complete, CRC-valid records from raw
-/// segment bytes.
+/// segment bytes. Each frame is dispatched on its first byte —
+/// [`BINARY_FRAME_MAGIC`] selects the binary decoder, `=` the legacy
+/// text decoder — so text and binary frames coexist in one segment.
 ///
-/// A record counts only when its frame header is `\n`-terminated, all its
+/// A record counts only when its frame header is complete, all its
 /// promised payload bytes are present, the payload matches its CRC32 and
 /// parses as exactly one record. An *incomplete* trailing frame is
 /// reported as `torn` (what a crash leaves behind); a *complete but
@@ -343,25 +478,36 @@ pub fn decode_segment_prefix(bytes: &[u8]) -> SegmentPrefix {
     let mut consumed = 0usize;
     let mut corrupt = None;
     while consumed < bytes.len() {
-        // Frame header: `=<len> <crc>\n`, pure ASCII.
         let rest = &bytes[consumed..];
-        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
-            break; // incomplete frame header: torn
+        // Binary frame: magic, u32 len, u32 crc, payload.
+        let (payload_start, len, crc) = if rest[0] == BINARY_FRAME_MAGIC {
+            if rest.len() < BINARY_HEADER_BYTES {
+                break; // incomplete frame header: torn
+            }
+            let len = u32::from_le_bytes(rest[1..5].try_into().expect("4")) as usize;
+            let crc = u32::from_le_bytes(rest[5..9].try_into().expect("4"));
+            (consumed + BINARY_HEADER_BYTES, len, crc)
+        } else {
+            // Text frame header: `=<len> <crc>\n`, pure ASCII.
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                break; // incomplete frame header: torn
+            };
+            let header = &rest[..nl];
+            let Some((len, crc)) = parse_frame_header(header) else {
+                // A complete-but-garbled frame header cannot come from a
+                // crash (truncation only shortens); it is rot.
+                corrupt = Some(format!(
+                    "garbled frame header at byte {consumed}: {:?}",
+                    String::from_utf8_lossy(header)
+                ));
+                break;
+            };
+            (consumed + nl + 1, len, crc)
         };
-        let header = &rest[..nl];
-        let Some((len, crc)) = parse_frame_header(header) else {
-            // A complete-but-garbled frame header cannot come from a
-            // crash (truncation only shortens); it is rot.
-            corrupt = Some(format!(
-                "garbled frame header at byte {consumed}: {:?}",
-                String::from_utf8_lossy(header)
-            ));
-            break;
-        };
-        let payload_start = consumed + nl + 1;
         if bytes.len() - payload_start < len {
             break; // incomplete payload: torn
         }
+        let binary = bytes[consumed] == BINARY_FRAME_MAGIC;
         let payload = &bytes[payload_start..payload_start + len];
         let actual = crc32(payload);
         if actual != crc {
@@ -370,7 +516,12 @@ pub fn decode_segment_prefix(bytes: &[u8]) -> SegmentPrefix {
             ));
             break;
         }
-        match parse_record_payload(payload) {
+        let parsed = if binary {
+            decode_record_binary(payload)
+        } else {
+            parse_record_payload(payload)
+        };
+        match parsed {
             Ok(record) => {
                 records.push(record);
                 consumed = payload_start + len;
@@ -543,6 +694,85 @@ mod tests {
     }
 
     #[test]
+    fn binary_frames_round_trip_all_record_kinds() {
+        let records = vec![
+            rec(1, 1),
+            rec(2, 2),
+            WalRecord::chained(3, "tab\tle", rec(1, 1).delta_op().unwrap().1.clone()),
+            WalRecord::delta(4, "t", Delta::empty()),
+            WalRecord::prepare(5, "g1", 2),
+            WalRecord::resolve(6, "g1", true),
+            WalRecord::resolve(7, "g2", false),
+        ];
+        let full: Vec<u8> = records.iter().flat_map(encode_framed_binary).collect();
+        let p = decode_segment_prefix(&full);
+        assert_eq!(p.records, records);
+        assert!(!p.torn && p.corrupt.is_none());
+    }
+
+    #[test]
+    fn binary_prefix_decode_at_every_byte_is_a_clean_record_prefix() {
+        let records: Vec<WalRecord> = (1..=5).map(|i| rec(i, i as i64)).collect();
+        let bytes: Vec<u8> = records.iter().flat_map(encode_framed_binary).collect();
+        for cut in 0..=bytes.len() {
+            let prefix = decode_segment_prefix(&bytes[..cut]);
+            assert_eq!(prefix.corrupt, None, "cut at {cut}");
+            assert_eq!(
+                prefix.records,
+                records[..prefix.records.len()],
+                "cut at {cut}"
+            );
+            assert!(prefix.consumed <= cut);
+            assert_eq!(prefix.torn, prefix.consumed < cut);
+            let reencoded: Vec<u8> = prefix
+                .records
+                .iter()
+                .flat_map(encode_framed_binary)
+                .collect();
+            assert_eq!(reencoded.len(), prefix.consumed);
+        }
+    }
+
+    #[test]
+    fn mixed_text_and_binary_frames_decode_in_one_stream() {
+        let records: Vec<WalRecord> = (1..=6).map(|i| rec(i, i as i64)).collect();
+        let mut bytes = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            if i % 2 == 0 {
+                bytes.extend_from_slice(encode_framed(r).as_bytes());
+            } else {
+                bytes.extend_from_slice(&encode_framed_binary(r));
+            }
+        }
+        let p = decode_segment_prefix(&bytes);
+        assert_eq!(p.records, records);
+        assert!(!p.torn && p.corrupt.is_none());
+    }
+
+    #[test]
+    fn binary_bit_rot_is_corruption_not_a_torn_tail() {
+        let clean: Vec<u8> = (1..=3)
+            .flat_map(|i| encode_framed_binary(&rec(i, i as i64)))
+            .collect();
+        // Flip a byte inside the first record's payload.
+        let mut rotten = clean.clone();
+        rotten[BINARY_HEADER_BYTES + 3] ^= 0x40;
+        let p = decode_segment_prefix(&rotten);
+        assert!(p.corrupt.is_some(), "flipped payload byte: {p:?}");
+        assert!(!p.torn);
+        assert!(p.records.is_empty());
+        // A CRC-valid payload with an unknown tag is corruption too.
+        let mut payload = encode_record_binary(&rec(1, 1));
+        payload[0] = 99;
+        let mut framed = vec![BINARY_FRAME_MAGIC];
+        codec::put_u32(&mut framed, payload.len() as u32);
+        codec::put_u32(&mut framed, crc32(&payload));
+        framed.extend_from_slice(&payload);
+        let p = decode_segment_prefix(&framed);
+        assert!(p.corrupt.is_some());
+    }
+
+    #[test]
     fn bit_rot_is_corruption_not_a_torn_tail() {
         let full: String = (1..=3).map(|i| encode_framed(&rec(i, i as i64))).collect();
         let clean = full.as_bytes().to_vec();
@@ -590,7 +820,7 @@ mod tests {
         let mut w = SegmentWriter::new(SimFile::new(), 1);
         let r = rec(1, 1);
         let n = w.append(&r).unwrap();
-        assert_eq!(n, encode_framed(&r).len() as u64);
+        assert_eq!(n, encode_framed_binary(&r).len() as u64);
         assert_eq!(w.bytes(), n);
         assert_eq!(w.pending(), 1);
         assert!(w.sync().unwrap());
@@ -625,7 +855,7 @@ mod tests {
         let mut w = SegmentWriter::new(file, 1);
         w.append(&rec(1, 1)).unwrap();
         w.append(&rec(2, 2)).unwrap();
-        let first_len = encode_framed(&rec(1, 1)).len();
+        let first_len = encode_framed_binary(&rec(1, 1)).len();
         disk.lock().unwrap().tear_next_sync_at = Some(first_len + 7);
         assert!(matches!(w.sync(), Err(EngineError::Io(_))));
         let durable = disk.lock().unwrap().durable_bytes();

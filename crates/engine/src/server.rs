@@ -41,7 +41,7 @@ use esm_relational::ViewDef;
 use esm_store::{Database, Delta, Table};
 
 use crate::durable::{
-    checkpoint_off_lock, Durability, DurabilityConfig, DurableWal, MaintenanceThread,
+    checkpoint_off_lock, Durability, DurabilityConfig, DurableWal, GroupCommit, MaintenanceThread,
     RecoveryReport,
 };
 use crate::engine::CommitReceipt;
@@ -85,11 +85,19 @@ impl WalState {
     /// in-memory log and the caller's table stay untouched and the
     /// durable log poisons itself (its bytes may have partially landed;
     /// every later durable write refuses until restart + recovery).
-    fn append(&mut self, table: &str, delta: &Delta) -> Result<u64, EngineError> {
+    ///
+    /// With `defer_sync`, the durable append skips its inline fsync —
+    /// the caller then parks on the engine's [`GroupCommit`] gate, where
+    /// one leader syncs for every concurrent committer.
+    fn append(&mut self, table: &str, delta: &Delta, defer_sync: bool) -> Result<u64, EngineError> {
         let seq = self.mem.next_seq();
         let rec = WalRecord::delta(seq, table, delta.clone());
         if let Some(durable) = self.durable.as_mut() {
-            durable.append(&rec)?;
+            if defer_sync {
+                durable.append_deferred(&rec)?;
+            } else {
+                durable.append(&rec)?;
+            }
         }
         self.mem
             .push(rec)
@@ -102,7 +110,11 @@ impl WalState {
     /// all-or-nothing durability unit recovery applies atomically.
     /// Returns the terminator's sequence number — the transaction's
     /// commit stamp.
-    fn append_group(&mut self, deltas: &[(String, Delta)]) -> Result<u64, EngineError> {
+    fn append_group(
+        &mut self,
+        deltas: &[(String, Delta)],
+        defer_sync: bool,
+    ) -> Result<u64, EngineError> {
         let first_seq = self.mem.next_seq();
         let records: Vec<WalRecord> = deltas
             .iter()
@@ -118,7 +130,11 @@ impl WalState {
             .collect();
         if let Some(durable) = self.durable.as_mut() {
             for rec in &records {
-                durable.append(rec)?;
+                if defer_sync {
+                    durable.append_deferred(rec)?;
+                } else {
+                    durable.append(rec)?;
+                }
             }
         }
         for rec in records {
@@ -145,6 +161,13 @@ struct Inner {
     /// Phase-latency histograms + slow-op ring. The durable WAL's
     /// segment writer shares this handle (appends/fsyncs record here).
     telemetry: Arc<Telemetry>,
+    /// Cross-session group commit: present iff this engine is durable
+    /// with `group_commit == 1`. Commit paths append with the fsync
+    /// deferred, drop their locks, then park here — one leader syncs
+    /// the accumulated batch for every concurrent committer. (With
+    /// `group_commit > 1` the durable log already batches lazily and
+    /// acknowledges before syncing, so there is nothing to wait for.)
+    group: Option<Arc<GroupCommit>>,
     /// Background checkpoint/compaction loop; stops when the last engine
     /// handle drops. `None` for in-memory engines and when disabled.
     _maintenance: Option<MaintenanceThread>,
@@ -268,6 +291,12 @@ impl EngineServer {
             d.set_telemetry(Some(Arc::clone(&telemetry)));
             d
         });
+        let group = match (&durable, &cfg) {
+            (Some(d), Some(c)) if c.group_commit == 1 => {
+                Some(Arc::new(GroupCommit::new(d.last_seq())))
+            }
+            _ => None,
+        };
         let wal = Arc::new(Mutex::new(WalState { mem: wal, durable }));
         let maintenance = cfg.and_then(|cfg| {
             if cfg.checkpoint_every == 0 || cfg.maintenance_interval_ms == 0 {
@@ -291,6 +320,7 @@ impl EngineServer {
                 baseline: Mutex::new(db),
                 metrics: Metrics::default(),
                 telemetry,
+                group,
                 _maintenance: maintenance,
             }),
         }
@@ -630,7 +660,7 @@ impl EngineServer {
     /// (or [`crate::EntangledView::edit`]), which revalidates
     /// first-committer-wins against the WAL. Returns the base-table delta.
     pub fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
-        self.with_view(name, |reg| {
+        let (delta, seq) = self.with_view(name, |reg| {
             let mut shard = self.inner.tables.write(&reg.table);
             let _lock_hold = self.inner.telemetry.timer(Phase::CommitLockHold);
             let base = shard
@@ -653,7 +683,7 @@ impl EngineServer {
             };
             let delta = Delta::between(base, &new_base)?;
             if delta.is_empty() {
-                return Ok(delta);
+                return Ok((delta, None));
             }
             // Publish by applying the delta to the live table rather than
             // swapping in the lens output: apply clones the current table
@@ -664,12 +694,18 @@ impl EngineServer {
             // Lock order is always stripe → WAL (see edit_view_optimistic).
             // Durable-first: if the segment write fails, the base table is
             // untouched and the error surfaces to this client only.
-            self.lock_wal().append(&reg.table, &delta)?;
+            let seq = self
+                .lock_wal()
+                .append(&reg.table, &delta, self.defer_sync())?;
             *base = next;
             drop(shard);
             self.inner.metrics.commit(delta.len() as u64);
-            Ok(delta)
-        })
+            Ok((delta, Some(seq)))
+        })?;
+        if let Some(seq) = seq {
+            self.wait_group(seq)?;
+        }
+        Ok(delta)
     }
 
     /// Transactionally edit a view — optimistic path.
@@ -747,11 +783,12 @@ impl EngineServer {
             // `current`; applying our delta on top is the serial outcome.
             // Durable-first: a failed segment write publishes nothing.
             let next = delta.apply(current)?;
-            wal.append(&table_name, &delta)?;
+            let seq = wal.append(&table_name, &delta, self.defer_sync())?;
             *current = next;
             drop(wal);
             drop(shard);
             self.inner.metrics.commit(delta.len() as u64);
+            self.wait_group(seq)?;
             return Ok(delta);
         }
         Err(EngineError::RetriesExhausted {
@@ -920,7 +957,7 @@ impl EngineServer {
         // Durable-first: a failed segment write publishes nothing.
         let group: Vec<(String, Delta)> =
             deltas.iter().map(|(t, d)| (t.clone(), d.clone())).collect();
-        let stamp = wal.append_group(&group)?;
+        let stamp = wal.append_group(&group, self.defer_sync())?;
         for (slot, name, next) in staged {
             guards[slot].1.insert(name, next);
         }
@@ -938,6 +975,7 @@ impl EngineServer {
         );
         let rows: u64 = deltas.values().map(|d| d.len() as u64).sum();
         self.inner.metrics.commit(rows);
+        self.wait_group(stamp)?;
         Ok(stamp)
     }
 
@@ -1001,7 +1039,7 @@ impl EngineServer {
             .iter()
             .map(|(t, d)| (t.clone(), d.clone()))
             .collect();
-        let stamp = wal.append_group(&group)?;
+        let stamp = wal.append_group(&group, self.defer_sync())?;
         for (name, (slot, next)) in staged {
             guards[slot].1.insert(name, next);
         }
@@ -1011,6 +1049,7 @@ impl EngineServer {
         self.inner.telemetry.record(Phase::CommitLockHold, lock_ns);
         let rows: u64 = nonempty.iter().map(|(_, d)| d.len() as u64).sum();
         self.inner.metrics.commit(rows);
+        self.wait_group(stamp)?;
         let mut delta_map: BTreeMap<String, Delta> = BTreeMap::new();
         for (name, delta) in &nonempty {
             let entry = delta_map.entry(name.clone()).or_insert_with(Delta::empty);
@@ -1074,6 +1113,34 @@ impl EngineServer {
 
     fn lock_wal(&self) -> std::sync::MutexGuard<'_, WalState> {
         self.inner.wal.lock().expect("wal lock poisoned")
+    }
+
+    /// Whether commit paths defer their durable fsync to the
+    /// [`GroupCommit`] gate.
+    fn defer_sync(&self) -> bool {
+        self.inner.group.is_some()
+    }
+
+    /// Block until `seq` is durable. Called *after* the commit path has
+    /// dropped its stripe and WAL locks: the only lock held while parked
+    /// is the group gate's own, and the elected leader re-takes the WAL
+    /// lock inside the sync closure — so whoever leads carries every
+    /// committer that appended before the fsync was issued. No-op for
+    /// engines without the gate (in-memory, or lazy `group_commit > 1`).
+    fn wait_group(&self, seq: u64) -> Result<(), EngineError> {
+        let Some(group) = &self.inner.group else {
+            return Ok(());
+        };
+        group.wait_durable(seq, || {
+            let mut wal = self.lock_wal();
+            let durable = wal
+                .durable
+                .as_mut()
+                .expect("the group-commit gate exists only on durable engines");
+            let through = durable.last_seq();
+            durable.sync()?;
+            Ok(through)
+        })
     }
 }
 

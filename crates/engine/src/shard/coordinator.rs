@@ -10,10 +10,13 @@
 //!
 //! 1. **Prepare** — each participant validates first-committer-wins
 //!    against its own WAL, then appends its chain of delta records
-//!    terminated by a `!prepare <gtx>` marker, and **fsyncs**. The sync
-//!    is load-bearing: once any shard's commit resolution reaches disk,
-//!    every participant's prepared chain must already be there, or a
-//!    crash could surface a partial transaction.
+//!    terminated by a `!prepare <gtx>` marker (buffered, no inline
+//!    sync); the participants' WALs are then **fsynced in parallel**,
+//!    one scoped thread per shard, so the phase costs the slowest
+//!    fsync rather than their sum. The syncs are load-bearing: once
+//!    any shard's commit resolution reaches disk, every participant's
+//!    prepared chain must already be there, or a crash could surface a
+//!    partial transaction.
 //! 2. **Resolve** — each participant appends `!resolve commit <gtx>`
 //!    and applies its chain.
 //!
@@ -135,31 +138,59 @@ impl ShardCoordinator {
             }
         }
 
-        // Phase 1: prepare + fsync everywhere. On an I/O failure,
+        // Phase 1: prepare everywhere (appends deferred — no inline
+        // fsync), then fsync all participants in parallel. The appends
+        // are cheap buffered writes; the fsyncs dominate and are
+        // independent per shard (each its own WAL directory), so running
+        // them on scoped threads turns the prepare latency from
+        // sum-of-fsyncs into max-of-fsyncs. On an append failure,
         // best-effort abort the shards already prepared (a poisoned
         // shard refuses and recovery will presume abort for it anyway).
-        for (i, (p, guard)) in participants.iter().zip(guards.iter_mut()).enumerate() {
-            let prepared = {
-                let prep_span = Span::start();
-                let appended = guard.append_group(&p.deltas, GroupEnd::Prepare(gtx.clone()));
-                if let Some(tel) = telemetry {
-                    tel.record(Phase::TwopcPrepare, prep_span.elapsed_ns());
-                }
-                appended.and_then(|_| {
-                    let sync_span = Span::start();
-                    let synced = guard.sync();
-                    if let Some(tel) = telemetry {
-                        tel.record(Phase::TwopcParticipantFsync, sync_span.elapsed_ns());
-                    }
-                    synced
-                })
-            };
-            if let Err(e) = prepared {
-                for (p_done, guard_done) in participants.iter().zip(guards.iter_mut()).take(i) {
-                    let _ = guard_done.resolve(&gtx, false, &p_done.deltas);
+        for i in 0..participants.len() {
+            let prep_span = Span::start();
+            let appended = guards[i].append_group(
+                &participants[i].deltas,
+                GroupEnd::Prepare(gtx.clone()),
+                true,
+            );
+            if let Some(tel) = telemetry {
+                tel.record(Phase::TwopcPrepare, prep_span.elapsed_ns());
+            }
+            if let Err(e) = appended {
+                for j in 0..i {
+                    let _ = guards[j].resolve(&gtx, false, &participants[j].deltas, false);
                 }
                 return Err(e);
             }
+        }
+        let sync_results: Vec<Result<(), EngineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = guards
+                .iter_mut()
+                .map(|guard| {
+                    let state: &mut ShardState = guard;
+                    scope.spawn(move || {
+                        let sync_span = Span::start();
+                        let synced = state.sync();
+                        if let Some(tel) = telemetry {
+                            tel.record(Phase::TwopcParticipantFsync, sync_span.elapsed_ns());
+                        }
+                        synced
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("2pc prepare fsync thread panicked"))
+                .collect()
+        });
+        if let Some(first_err) = sync_results.into_iter().find_map(Result::err) {
+            // Some prepares may be durable, but no resolution is: write
+            // a best-effort abort everywhere so live readers never see
+            // the chain; recovery presumes abort for whatever sticks.
+            for j in 0..participants.len() {
+                let _ = guards[j].resolve(&gtx, false, &participants[j].deltas, false);
+            }
+            return Err(first_err);
         }
         if failpoint == FailPoint::AfterPrepare {
             return Err(EngineError::Io(format!(
@@ -187,7 +218,7 @@ impl ShardCoordinator {
                 )));
             }
             let resolve_span = Span::start();
-            guard.resolve(&gtx, true, &p.deltas)?;
+            guard.resolve(&gtx, true, &p.deltas, true)?;
             if let Some(tel) = telemetry {
                 tel.record(Phase::TwopcResolve, resolve_span.elapsed_ns());
             }
@@ -269,7 +300,7 @@ mod tests {
         {
             let mut state = a.write();
             state
-                .append_group(&stale_a.deltas.clone(), GroupEnd::Commit)
+                .append_group(&stale_a.deltas.clone(), GroupEnd::Commit, false)
                 .unwrap();
         }
         let err = coord

@@ -438,7 +438,7 @@ impl ShardedEngineServer {
             for (gtx, group) in doubts {
                 let committed = verdicts.get(&gtx).copied().unwrap_or(false);
                 let mut state = shard.write();
-                state.resolve(&gtx, committed, &group)?;
+                state.resolve(&gtx, committed, &group, true)?;
                 // The settled state is the shard's post-recovery
                 // baseline: its in-memory WAL starts *after* the
                 // resolution we just appended.
@@ -480,8 +480,9 @@ impl ShardedEngineServer {
                 }
             }
             if !repairs.is_empty() {
-                state.append_group(&repairs, GroupEnd::Commit)?;
+                state.append_group(&repairs, GroupEnd::Commit, true)?;
             }
+            // Covers the deferred settle resolutions and repairs above.
             state.sync()?;
         }
         metrics.migrated(report.repaired_rows);
@@ -994,9 +995,14 @@ impl ShardedEngineServer {
                     ),
                 });
             }
-            guard.append_group(&shard_deltas, GroupEnd::Commit)?;
+            // Defer the fsync when the shard has a group-commit gate:
+            // after the lock drops, this session parks on the gate and
+            // one leader fsyncs the whole cross-session batch.
+            let appended =
+                guard.append_group(&shard_deltas, GroupEnd::Commit, shard.has_group_commit())?;
             let stamp = self.inner.stamp.fetch_add(1, Ordering::SeqCst);
             drop(guard);
+            shard.wait_group(appended.end.saturating_sub(1))?;
             let lock_ns = lock_span.elapsed_ns();
             tel.record(Phase::CommitLockHold, lock_ns);
             tel.record_slow(
@@ -1814,8 +1820,8 @@ mod tests {
         let delta = rich.put(window).unwrap();
         assert_eq!(delta.deleted, vec![row![39, "o39", 888]]);
         // The host is reachable uniformly through the Engine trait.
-        assert_eq!(rich.engine().table_names(), vec!["accounts"]);
-        assert!(rich.engine().metrics().shard.cross_shard_commits >= 1);
+        assert_eq!(rich.engine().table_names().unwrap(), vec!["accounts"]);
+        assert!(rich.engine().metrics().unwrap().shard.cross_shard_commits >= 1);
         assert_eq!(engine.recovered_database().unwrap(), engine.snapshot());
         // Select-view registration auto-indexed each shard's piece.
         let topo = engine.topology();

@@ -107,7 +107,7 @@ impl ShardedEngineServer {
 
         // … ③ and the donor logs the rows out of its range.
         if !deletions.is_empty() {
-            state.append_group(&deletions, GroupEnd::Commit)?;
+            state.append_group(&deletions, GroupEnd::Commit, true)?;
         }
         state.sync()?;
         drop(state);
@@ -156,7 +156,7 @@ impl ShardedEngineServer {
             }
         }
         if !insertions.is_empty() {
-            survivor_state.append_group(&insertions, GroupEnd::Commit)?;
+            survivor_state.append_group(&insertions, GroupEnd::Commit, true)?;
         }
         survivor_state.sync()?;
 

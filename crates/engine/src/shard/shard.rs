@@ -14,7 +14,7 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use esm_store::{Database, Delta, Row};
 
-use crate::durable::{DurabilityConfig, DurableWal, RecoveryReport};
+use crate::durable::{DurabilityConfig, DurableWal, GroupCommit, RecoveryReport};
 use crate::error::EngineError;
 use crate::tx::delta_keys;
 use crate::wal::{Wal, WalRecord};
@@ -81,11 +81,17 @@ impl ShardState {
     /// state; with [`GroupEnd::Prepare`] it stays pending (the durable
     /// log holds it in doubt) until [`ShardState::resolve`].
     ///
+    /// With `defer_sync` the durable appends skip their inline fsync:
+    /// the caller either syncs explicitly afterwards (the 2PC
+    /// coordinator, the rebalancer) or parks on the shard's
+    /// [`GroupCommit`] gate (the single-shard commit path).
+    ///
     /// Returns the sequence numbers consumed.
     pub fn append_group(
         &mut self,
         deltas: &[(String, Delta)],
         end: GroupEnd,
+        defer_sync: bool,
     ) -> Result<std::ops::Range<u64>, EngineError> {
         let first_seq = self.wal.next_seq();
         let mut records: Vec<WalRecord> = Vec::with_capacity(deltas.len() + 1);
@@ -110,7 +116,11 @@ impl ShardState {
         // the durable log (fail-stop, like the unsharded paths).
         if let Some(durable) = self.durable.as_mut() {
             for rec in &records {
-                durable.append(rec)?;
+                if defer_sync {
+                    durable.append_deferred(rec)?;
+                } else {
+                    durable.append(rec)?;
+                }
             }
         }
         let end_seq = first_seq + records.len() as u64;
@@ -138,11 +148,16 @@ impl ShardState {
         gtx: &str,
         committed: bool,
         deltas: &[(String, Delta)],
+        defer_sync: bool,
     ) -> Result<(), EngineError> {
         let seq = self.wal.next_seq();
         let rec = WalRecord::resolve(seq, gtx, committed);
         if let Some(durable) = self.durable.as_mut() {
-            durable.append(&rec)?;
+            if defer_sync {
+                durable.append_deferred(&rec)?;
+            } else {
+                durable.append(&rec)?;
+            }
         }
         self.wal
             .push(rec)
@@ -198,6 +213,11 @@ pub struct Shard {
 struct ShardInner {
     id: u64,
     state: RwLock<ShardState>,
+    /// Cross-session group-commit gate, present iff the shard is durable
+    /// with `group_commit == 1` (the strict per-commit-fsync setting,
+    /// where batching across sessions is the only way to share fsyncs;
+    /// with `group_commit > 1` the log already batches lazily).
+    group: Option<Arc<GroupCommit>>,
 }
 
 impl Shard {
@@ -212,6 +232,7 @@ impl Shard {
                     wal: Wal::new(),
                     durable: None,
                 }),
+                group: None,
             }),
         }
     }
@@ -223,6 +244,7 @@ impl Shard {
         db: Database,
         cfg: DurabilityConfig,
     ) -> Result<Shard, EngineError> {
+        let group = (cfg.group_commit == 1).then(|| Arc::new(GroupCommit::new(0)));
         let durable = DurableWal::create(cfg, &db)?;
         Ok(Shard {
             inner: Arc::new(ShardInner {
@@ -233,6 +255,7 @@ impl Shard {
                     wal: Wal::new(),
                     durable: Some(durable),
                 }),
+                group,
             }),
         })
     }
@@ -244,6 +267,7 @@ impl Shard {
         id: u64,
         cfg: DurabilityConfig,
     ) -> Result<(Shard, RecoveryReport), EngineError> {
+        let group = (cfg.group_commit == 1).then_some(());
         let (durable, db, report) = DurableWal::open(cfg)?;
         Ok((
             Shard {
@@ -255,6 +279,7 @@ impl Shard {
                         wal: Wal::starting_at(report.last_seq),
                         durable: Some(durable),
                     }),
+                    group: group.map(|()| Arc::new(GroupCommit::new(report.last_seq))),
                 }),
             },
             report,
@@ -283,6 +308,33 @@ impl Shard {
     /// the next maintenance tick.
     pub(crate) fn try_read(&self) -> Option<RwLockReadGuard<'_, ShardState>> {
         self.inner.state.try_read().ok()
+    }
+
+    /// Whether this shard batches commits through a cross-session
+    /// group-commit gate (durable, `group_commit == 1`).
+    pub(crate) fn has_group_commit(&self) -> bool {
+        self.inner.group.is_some()
+    }
+
+    /// Park until every record up to `seq` is fsynced, electing one
+    /// waiter as the leader that fsyncs the whole batch (see
+    /// [`GroupCommit::wait_durable`]). A no-op when the shard has no
+    /// gate. Call *without* holding the shard lock: the leader re-takes
+    /// the write lock to sync.
+    pub(crate) fn wait_group(&self, seq: u64) -> Result<(), EngineError> {
+        let Some(group) = &self.inner.group else {
+            return Ok(());
+        };
+        group.wait_durable(seq, || {
+            let mut state = self.write();
+            let durable = state
+                .durable
+                .as_mut()
+                .expect("the group-commit gate exists only on durable shards");
+            let through = durable.last_seq();
+            durable.sync()?;
+            Ok(through)
+        })
     }
 
     /// This shard's recovery law: its in-memory WAL replayed over its
@@ -323,7 +375,7 @@ mod tests {
         {
             let mut state = shard.write();
             state
-                .append_group(&[ins(2), ins(3)], GroupEnd::Commit)
+                .append_group(&[ins(2), ins(3)], GroupEnd::Commit, false)
                 .unwrap();
         }
         let state = shard.read();
@@ -344,10 +396,10 @@ mod tests {
         {
             let mut state = shard.write();
             state
-                .append_group(&deltas, GroupEnd::Prepare("g1".into()))
+                .append_group(&deltas, GroupEnd::Prepare("g1".into()), false)
                 .unwrap();
             assert_eq!(state.db.table("t").unwrap().len(), 1, "held in doubt");
-            state.resolve("g1", true, &deltas).unwrap();
+            state.resolve("g1", true, &deltas, false).unwrap();
             assert_eq!(state.db.table("t").unwrap().len(), 2);
         }
         assert_eq!(shard.recovered_database().unwrap(), shard.read().db);
@@ -356,9 +408,9 @@ mod tests {
         {
             let mut state = shard.write();
             state
-                .append_group(&[ins(9)], GroupEnd::Prepare("g2".into()))
+                .append_group(&[ins(9)], GroupEnd::Prepare("g2".into()), false)
                 .unwrap();
-            state.resolve("g2", false, &[ins(9)]).unwrap();
+            state.resolve("g2", false, &[ins(9)], false).unwrap();
             assert_eq!(state.db.table("t").unwrap().len(), 2);
         }
         assert_eq!(shard.recovered_database().unwrap(), shard.read().db);
@@ -370,9 +422,9 @@ mod tests {
         let mut state = shard.write();
         let snap = state.wal.last_seq();
         state
-            .append_group(&[ins(2)], GroupEnd::Prepare("g".into()))
+            .append_group(&[ins(2)], GroupEnd::Prepare("g".into()), false)
             .unwrap();
-        state.resolve("g", true, &[ins(2)]).unwrap();
+        state.resolve("g", true, &[ins(2)], false).unwrap();
         let overlapping: BTreeMap<String, BTreeSet<Row>> =
             BTreeMap::from([("t".to_string(), BTreeSet::from([row![2]]))]);
         let disjoint: BTreeMap<String, BTreeSet<Row>> =

@@ -185,7 +185,7 @@ pub fn check_view_maintenance(engine: &dyn Engine, ops: &[(u8, i64, i64)]) {
     for (name, _) in &defs {
         engine.read_view(name).expect("view readable");
     }
-    let registration_rebuilds = engine.metrics().view.rebuilds;
+    let registration_rebuilds = engine.metrics().expect("metrics readable").view.rebuilds;
 
     for &(kind, a, b) in ops {
         apply_op(engine, decode_op(kind, a, b));
@@ -205,17 +205,25 @@ pub fn check_view_maintenance(engine: &dyn Engine, ops: &[(u8, i64, i64)]) {
     // Steady state: no topology changes happened, so maintenance never
     // re-ran a whole-base lens get after registration…
     assert_eq!(
-        engine.metrics().view.rebuilds,
+        engine.metrics().expect("metrics readable").view.rebuilds,
         registration_rebuilds,
         "steady-state reads must not rebuild"
     );
     // …and quiescent re-reads apply nothing.
-    let before = engine.metrics().view.deltas_applied;
+    let before = engine
+        .metrics()
+        .expect("metrics readable")
+        .view
+        .deltas_applied;
     for (name, _) in &defs {
         engine.read_view(name).expect("view readable");
     }
     assert_eq!(
-        engine.metrics().view.deltas_applied,
+        engine
+            .metrics()
+            .expect("metrics readable")
+            .view
+            .deltas_applied,
         before,
         "quiescent re-reads must drain nothing"
     );
@@ -329,7 +337,7 @@ const PRIVATE_BASE: i64 = 2_000_000;
 /// A quick smoke pass over the whole trait surface — used by example
 /// code and the remote suite to prove a connection end to end.
 pub fn check_surface_smoke(engine: &dyn Engine) {
-    assert_eq!(engine.table_names(), vec!["t"]);
+    assert_eq!(engine.table_names().expect("table names"), vec!["t"]);
     let view = engine
         .define_view(
             "smoke",
@@ -337,7 +345,7 @@ pub fn check_surface_smoke(engine: &dyn Engine) {
             &ViewDef::base().select(Predicate::lt(Operand::col("id"), Operand::val(10))),
         )
         .expect("view compiles");
-    assert_eq!(engine.view_names(), vec!["smoke"]);
+    assert_eq!(engine.view_names().expect("view names"), vec!["smoke"]);
     let before = view.get().expect("readable").len();
     let delta = view
         .edit(|v| Ok(v.upsert(row![5, "g0", 55]).map(|_| ())?))
@@ -351,7 +359,7 @@ pub fn check_surface_smoke(engine: &dyn Engine) {
         })
         .expect("transaction commits");
     assert!(receipt.stamp > 0);
-    let metrics = engine.metrics();
+    let metrics = engine.metrics().expect("metrics readable");
     assert!(metrics.commits >= 2);
     // The sub-structs must be merged in, not defaulted: every commit
     // above wrote rows, and a durable host must surface its WAL appends
@@ -364,7 +372,7 @@ pub fn check_surface_smoke(engine: &dyn Engine) {
     // Telemetry reaches every implementor: the commits above must have
     // timed their stripe-lock hold (in-memory and durable, local and
     // remote alike), and the snapshot carries a live capture policy.
-    let tel = engine.telemetry();
+    let tel = engine.telemetry().expect("telemetry readable");
     assert!(
         tel.count(esm_obs::Phase::CommitLockHold) >= 1,
         "commit lock-hold phase never recorded"

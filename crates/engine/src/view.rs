@@ -186,8 +186,8 @@ mod tests {
         assert_eq!(e.wal().len(), 1);
         // The host is reachable uniformly through the trait, whatever
         // kind of engine it is.
-        assert_eq!(all.engine().table_names(), vec!["t"]);
-        assert_eq!(all.engine().metrics().commits, 1);
+        assert_eq!(all.engine().table_names().unwrap(), vec!["t"]);
+        assert_eq!(all.engine().metrics().unwrap().commits, 1);
     }
 
     #[test]

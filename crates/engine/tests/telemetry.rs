@@ -203,7 +203,7 @@ fn dyn_engine_metrics_merge_wal_stats_on_durable_hosts() {
                 Ok(())
             })
             .unwrap();
-        let m = engine.metrics();
+        let m = engine.metrics().expect("metrics through dyn Engine");
         assert!(m.commits >= 1);
         assert!(
             m.wal.appends >= 1,
@@ -211,7 +211,13 @@ fn dyn_engine_metrics_merge_wal_stats_on_durable_hosts() {
         );
         assert!(m.wal.syncs >= 1);
         // The trait surface also exposes telemetry for every host.
-        assert!(engine.telemetry().count(Phase::CommitLockHold) >= 1);
+        assert!(
+            engine
+                .telemetry()
+                .expect("telemetry through dyn Engine")
+                .count(Phase::CommitLockHold)
+                >= 1
+        );
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -43,7 +43,7 @@ proptest! {
         check_view_maintenance(&engine, &ops);
         // The key-bounded views pruned shards along the way (the seed
         // router has 4 shards and `low` touches at most two).
-        prop_assert!(Engine::metrics(&engine).view.shards_pruned > 0);
+        prop_assert!(Engine::metrics(&engine).expect("metrics").view.shards_pruned > 0);
     }
 
     /// Topology churn stays a sharded-only concern: interleave the
@@ -91,13 +91,13 @@ proptest! {
 
         // Steady state: the topology is now stable, so repeated reads
         // rebuild nothing and apply nothing.
-        let before = Engine::metrics(&engine).view;
+        let before = Engine::metrics(&engine).expect("metrics").view;
         for _ in 0..3 {
             for (name, _) in &defs {
                 Engine::read_view(&engine, name).expect("readable");
             }
         }
-        let after = Engine::metrics(&engine).view;
+        let after = Engine::metrics(&engine).expect("metrics").view;
         prop_assert_eq!(after.rebuilds, before.rebuilds);
         prop_assert_eq!(after.deltas_applied, before.deltas_applied);
     }

@@ -38,12 +38,9 @@ use crate::proto::{Request, Response};
 /// TCP connection. Requests on one handle serialize; clone cheaply to
 /// share, or connect again for concurrency.
 ///
-/// The fallible [`Engine`] methods surface transport failures as
-/// [`EngineError::Io`]. The trait's *infallible* methods
-/// (`snapshot`, `metrics`, `table_names`, `view_names`) have no error
-/// channel, so a dead connection **panics** there rather than
-/// fabricating an empty answer — making those methods fallible on the
-/// trait is a noted follow-on.
+/// Every [`Engine`] method — getters included — surfaces transport
+/// failures as [`EngineError::Io`]; a dead connection never panics and
+/// never fabricates an empty answer.
 #[derive(Clone)]
 pub struct RemoteEngine {
     wire: Arc<Mutex<TcpStream>>,
@@ -111,13 +108,12 @@ impl Engine for RemoteEngine {
         Arc::new(self.clone())
     }
 
-    fn table_names(&self) -> Vec<String> {
-        // The trait signature is infallible; a transport failure here
-        // must not masquerade as "an engine with no tables".
-        match self.call(&Request::TableNames) {
-            Ok(Response::Names(names)) => names,
-            Ok(other) => panic!("table_names over the wire: {:?}", unexpected(other)),
-            Err(e) => panic!("table_names over the wire: {e}"),
+    fn table_names(&self) -> Result<Vec<String>, EngineError> {
+        // A transport failure must not masquerade as "an engine with no
+        // tables"; it surfaces as the error it is.
+        match self.call(&Request::TableNames)? {
+            Response::Names(names) => Ok(names),
+            other => Err(unexpected(other)),
         }
     }
 
@@ -128,11 +124,10 @@ impl Engine for RemoteEngine {
         }
     }
 
-    fn snapshot(&self) -> Database {
-        match self.call(&Request::Snapshot) {
-            Ok(Response::Database(db)) => db,
-            Ok(other) => panic!("snapshot over the wire: {:?}", unexpected(other)),
-            Err(e) => panic!("snapshot over the wire: {e}"),
+    fn snapshot(&self) -> Result<Database, EngineError> {
+        match self.call(&Request::Snapshot)? {
+            Response::Database(db) => Ok(db),
+            other => Err(unexpected(other)),
         }
     }
 
@@ -159,11 +154,10 @@ impl Engine for RemoteEngine {
         }
     }
 
-    fn view_names(&self) -> Vec<String> {
-        match self.call(&Request::ViewNames) {
-            Ok(Response::Names(names)) => names,
-            Ok(other) => panic!("view_names over the wire: {:?}", unexpected(other)),
-            Err(e) => panic!("view_names over the wire: {e}"),
+    fn view_names(&self) -> Result<Vec<String>, EngineError> {
+        match self.call(&Request::ViewNames)? {
+            Response::Names(names) => Ok(names),
+            other => Err(unexpected(other)),
         }
     }
 
@@ -259,22 +253,20 @@ impl Engine for RemoteEngine {
         })
     }
 
-    fn metrics(&self) -> MetricsSnapshot {
-        match self.call(&Request::Metrics) {
-            Ok(Response::Metrics(m)) => m,
-            Ok(other) => panic!("metrics over the wire: {:?}", unexpected(other)),
-            Err(e) => panic!("metrics over the wire: {e}"),
+    fn metrics(&self) -> Result<MetricsSnapshot, EngineError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(unexpected(other)),
         }
     }
 
-    fn telemetry(&self) -> esm_obs::TelemetrySnapshot {
+    fn telemetry(&self) -> Result<esm_obs::TelemetrySnapshot, EngineError> {
         // The server folds its own net-layer phases (frame decode,
         // queue wait, handler, response write) into the engine's
         // snapshot before it crosses the wire.
-        match self.call(&Request::Stats) {
-            Ok(Response::Stats(t)) => t,
-            Ok(other) => panic!("telemetry over the wire: {:?}", unexpected(other)),
-            Err(e) => panic!("telemetry over the wire: {e}"),
+        match self.call(&Request::Stats)? {
+            Response::Stats(t) => Ok(t),
+            other => Err(unexpected(other)),
         }
     }
 

@@ -1,13 +1,24 @@
 //! The wire protocol: requests and responses for the full
-//! [`esm_engine::Engine`] surface, as line-oriented text payloads.
+//! [`esm_engine::Engine`] surface.
 //!
 //! Every payload rides inside one CRC-checked frame
-//! ([`crate::frame`]). The text reuses the store's shared codec
-//! ([`esm_store::codec`]): cells are type-tagged, strings escape
-//! backslash/tab/newline/carriage-return, so **tab** is a safe field
-//! separator on every line and any row fits on one line — the same
-//! escaping discipline as the WAL segments and checkpoint snapshots,
-//! shared edge cases and all.
+//! ([`crate::frame`]). Two codecs share the wire, dispatched on the
+//! payload's first byte:
+//!
+//! * **Binary** (the default emitted by [`Request::encode`] and
+//!   [`Response::encode`]): the payload starts with
+//!   [`BINARY_WIRE_MAGIC`] (`0xB7`, a UTF-8 continuation byte no text
+//!   payload can begin with), then a one-byte message tag, then
+//!   little-endian length-prefixed fields built from the store's
+//!   binary primitives ([`esm_store::codec`]). Hot row data — tables,
+//!   databases, deltas, commits — never round-trips through text.
+//! * **Text** (the legacy form, kept by [`Request::encode_text`] /
+//!   [`Response::encode_text`] and decoded forever): line-oriented,
+//!   tab-separated, with the escaping discipline shared with the WAL
+//!   segments and checkpoint snapshots. Rare structured payloads
+//!   (view definitions, metrics, telemetry, errors) ride inside the
+//!   binary codec as one length-prefixed text blob each, reusing the
+//!   text grammar below instead of duplicating it.
 //!
 //! ## Grammar sketch
 //!
@@ -35,7 +46,9 @@
 use esm_engine::{EngineError, MetricsSnapshot, ShardStats, ViewStats, WalStats};
 use esm_obs::{HistogramSnapshot, Phase, SlowOp, TelemetrySnapshot};
 use esm_relational::ViewDef;
-use esm_store::codec::{decode_cell, decode_row, encode_cell, encode_row, escape, unescape};
+use esm_store::codec::{
+    self, decode_cell, decode_row, encode_cell, encode_row, escape, unescape, BinReader,
+};
 use esm_store::{
     Cmp, Column, Database, Delta, Operand, Predicate, Schema, StoreError, Table, ValueType,
 };
@@ -883,12 +896,229 @@ pub fn decode_error(line: &str) -> Result<EngineError, WireError> {
 }
 
 // ---------------------------------------------------------------------
+// Binary wire codec.
+// ---------------------------------------------------------------------
+//
+// The hot row-bearing payloads (tables, databases, deltas, commits)
+// encode as length-prefixed little-endian binary via the store's
+// shared primitives ([`esm_store::codec`]) — no escaping, no float
+// formatting, no per-cell parsing on decode. Rarely-crossing
+// structures (view definitions, metrics, telemetry, errors) ride as
+// one length-prefixed *text blob* reusing the document encoders above:
+// their cost is negligible and the text form keeps one source of
+// truth. `Request::decode`/`Response::decode` dispatch on the first
+// payload byte, so binary speakers and legacy text speakers share a
+// server.
+
+/// First byte of every binary wire payload. `0xB7` is a UTF-8
+/// continuation byte, so no text payload can start with it and the
+/// decoder can dispatch per payload.
+pub const BINARY_WIRE_MAGIC: u8 = 0xB7;
+
+const REQ_PING: u8 = 0;
+const REQ_TABLE_NAMES: u8 = 1;
+const REQ_TABLE: u8 = 2;
+const REQ_SNAPSHOT: u8 = 3;
+const REQ_DEFINE_VIEW: u8 = 4;
+const REQ_OPEN_VIEW: u8 = 5;
+const REQ_VIEW_NAMES: u8 = 6;
+const REQ_READ_VIEW: u8 = 7;
+const REQ_WRITE_VIEW: u8 = 8;
+const REQ_EDIT_CAS: u8 = 9;
+const REQ_COMMIT: u8 = 10;
+const REQ_METRICS: u8 = 11;
+const REQ_STATS: u8 = 12;
+const REQ_CHECKPOINT: u8 = 13;
+const REQ_SYNC_WAL: u8 = 14;
+
+const RESP_UNIT: u8 = 0;
+const RESP_NAMES: u8 = 1;
+const RESP_TABLE: u8 = 2;
+const RESP_DATABASE: u8 = 3;
+const RESP_DELTA: u8 = 4;
+const RESP_RECEIPT: u8 = 5;
+const RESP_METRICS: u8 = 6;
+const RESP_STATS: u8 = 7;
+const RESP_SEQ: u8 = 8;
+const RESP_ERR: u8 = 9;
+
+fn put_value_type(out: &mut Vec<u8>, ty: ValueType) {
+    out.push(match ty {
+        ValueType::Bool => 0,
+        ValueType::Int => 1,
+        ValueType::Str => 2,
+    });
+}
+
+fn bin_value_type(r: &mut BinReader<'_>) -> Result<ValueType, WireError> {
+    Ok(match r.u8()? {
+        0 => ValueType::Bool,
+        1 => ValueType::Int,
+        2 => ValueType::Str,
+        t => return Err(err(format!("unknown value-type tag {t}"))),
+    })
+}
+
+fn put_table(out: &mut Vec<u8>, table: &Table) {
+    let cols = table.schema().columns();
+    codec::put_u32(out, cols.len() as u32);
+    for c in cols {
+        codec::put_str(out, &c.name);
+        put_value_type(out, c.ty);
+    }
+    let key = table.schema().key();
+    codec::put_u32(out, key.len() as u32);
+    for k in key {
+        codec::put_str(out, k);
+    }
+    codec::put_u32(out, table.len() as u32);
+    for row in table.rows() {
+        codec::put_row(out, row);
+    }
+}
+
+fn bin_table(r: &mut BinReader<'_>) -> Result<Table, WireError> {
+    let ncols = r.u32()? as usize;
+    let mut columns = Vec::new();
+    for _ in 0..ncols {
+        let name = r.str()?;
+        columns.push(Column::new(name, bin_value_type(r)?));
+    }
+    let nkey = r.u32()? as usize;
+    let mut key = Vec::new();
+    for _ in 0..nkey {
+        key.push(r.str()?);
+    }
+    let schema = Schema::new(columns, key)?;
+    let nrows = r.u32()? as usize;
+    let mut table = Table::new(schema);
+    for _ in 0..nrows {
+        table.insert(r.row()?)?;
+    }
+    Ok(table)
+}
+
+fn put_database(out: &mut Vec<u8>, db: &Database) {
+    let names = db.table_names();
+    codec::put_u32(out, names.len() as u32);
+    for name in names {
+        codec::put_str(out, name);
+        put_table(out, db.table(name).expect("name came from the database"));
+    }
+}
+
+fn bin_database(r: &mut BinReader<'_>) -> Result<Database, WireError> {
+    let n = r.u32()? as usize;
+    let mut db = Database::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        db.replace_table(name, bin_table(r)?);
+    }
+    Ok(db)
+}
+
+fn put_delta(out: &mut Vec<u8>, delta: &Delta) {
+    codec::put_u32(out, delta.inserted.len() as u32);
+    codec::put_u32(out, delta.deleted.len() as u32);
+    for row in delta.inserted.iter().chain(delta.deleted.iter()) {
+        codec::put_row(out, row);
+    }
+}
+
+fn bin_delta(r: &mut BinReader<'_>) -> Result<Delta, WireError> {
+    let ins = r.u32()? as usize;
+    let del = r.u32()? as usize;
+    let mut delta = Delta::empty();
+    for _ in 0..ins {
+        delta.inserted.push(r.row()?);
+    }
+    for _ in 0..del {
+        delta.deleted.push(r.row()?);
+    }
+    Ok(delta)
+}
+
+/// Decode a length-prefixed text blob with `decode`, insisting the
+/// blob is fully consumed.
+fn bin_text_blob<T>(
+    r: &mut BinReader<'_>,
+    decode: impl FnOnce(&mut Reader<'_>) -> Result<T, WireError>,
+) -> Result<T, WireError> {
+    let text = r.str()?;
+    let mut tr = Reader::new(&text);
+    let value = decode(&mut tr)?;
+    tr.end()?;
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------
 // Request codec.
 // ---------------------------------------------------------------------
 
 impl Request {
-    /// Render this request as a frame payload.
+    /// Render this request as a binary frame payload (the wire default;
+    /// [`Request::encode_text`] keeps the legacy text form).
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![BINARY_WIRE_MAGIC];
+        match self {
+            Request::Ping => out.push(REQ_PING),
+            Request::TableNames => out.push(REQ_TABLE_NAMES),
+            Request::Table(name) => {
+                out.push(REQ_TABLE);
+                codec::put_str(&mut out, name);
+            }
+            Request::Snapshot => out.push(REQ_SNAPSHOT),
+            Request::DefineView { name, table, def } => {
+                out.push(REQ_DEFINE_VIEW);
+                codec::put_str(&mut out, name);
+                codec::put_str(&mut out, table);
+                let mut text = String::new();
+                encode_viewdef(&mut text, def);
+                codec::put_str(&mut out, &text);
+            }
+            Request::OpenView(name) => {
+                out.push(REQ_OPEN_VIEW);
+                codec::put_str(&mut out, name);
+            }
+            Request::ViewNames => out.push(REQ_VIEW_NAMES),
+            Request::ReadView(name) => {
+                out.push(REQ_READ_VIEW);
+                codec::put_str(&mut out, name);
+            }
+            Request::WriteView { name, view } => {
+                out.push(REQ_WRITE_VIEW);
+                codec::put_str(&mut out, name);
+                put_table(&mut out, view);
+            }
+            Request::EditViewCas {
+                name,
+                expect,
+                edited,
+            } => {
+                out.push(REQ_EDIT_CAS);
+                codec::put_str(&mut out, name);
+                put_table(&mut out, expect);
+                put_table(&mut out, edited);
+            }
+            Request::Commit { deltas } => {
+                out.push(REQ_COMMIT);
+                codec::put_u32(&mut out, deltas.len() as u32);
+                for (name, delta) in deltas {
+                    codec::put_str(&mut out, name);
+                    put_delta(&mut out, delta);
+                }
+            }
+            Request::Metrics => out.push(REQ_METRICS),
+            Request::Stats => out.push(REQ_STATS),
+            Request::Checkpoint => out.push(REQ_CHECKPOINT),
+            Request::SyncWal => out.push(REQ_SYNC_WAL),
+        }
+        out
+    }
+
+    /// Render this request as the legacy line-oriented text payload
+    /// (still decoded by every server; binary is just faster).
+    pub fn encode_text(&self) -> Vec<u8> {
         let mut out = String::new();
         match self {
             Request::Ping => out.push_str("ping\n"),
@@ -934,8 +1164,14 @@ impl Request {
         out.into_bytes()
     }
 
-    /// Parse a frame payload as a request.
+    /// Parse a frame payload as a request. Dispatches on the leading
+    /// byte: [`BINARY_WIRE_MAGIC`] (a UTF-8 continuation byte no text
+    /// payload can start with) selects the binary codec; anything else
+    /// takes the legacy text path, so old clients keep working.
     pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        if payload.first() == Some(&BINARY_WIRE_MAGIC) {
+            return Request::decode_binary(&payload[1..]);
+        }
         let text = std::str::from_utf8(payload).map_err(|e| err(format!("not UTF-8: {e}")))?;
         let mut r = Reader::new(text);
         let line = r.next()?;
@@ -1003,6 +1239,51 @@ impl Request {
         r.end()?;
         Ok(req)
     }
+
+    /// Parse the binary body (everything after the magic byte).
+    fn decode_binary(bytes: &[u8]) -> Result<Request, WireError> {
+        let mut r = BinReader::new(bytes);
+        let tag = r.u8()?;
+        let req = match tag {
+            REQ_PING => Request::Ping,
+            REQ_TABLE_NAMES => Request::TableNames,
+            REQ_TABLE => Request::Table(r.str()?),
+            REQ_SNAPSHOT => Request::Snapshot,
+            REQ_DEFINE_VIEW => Request::DefineView {
+                name: r.str()?,
+                table: r.str()?,
+                def: bin_text_blob(&mut r, decode_viewdef)?,
+            },
+            REQ_OPEN_VIEW => Request::OpenView(r.str()?),
+            REQ_VIEW_NAMES => Request::ViewNames,
+            REQ_READ_VIEW => Request::ReadView(r.str()?),
+            REQ_WRITE_VIEW => Request::WriteView {
+                name: r.str()?,
+                view: bin_table(&mut r)?,
+            },
+            REQ_EDIT_CAS => Request::EditViewCas {
+                name: r.str()?,
+                expect: bin_table(&mut r)?,
+                edited: bin_table(&mut r)?,
+            },
+            REQ_COMMIT => {
+                let n = r.u32()? as usize;
+                let mut deltas = Vec::new();
+                for _ in 0..n {
+                    let name = r.str()?;
+                    deltas.push((name, bin_delta(&mut r)?));
+                }
+                Request::Commit { deltas }
+            }
+            REQ_METRICS => Request::Metrics,
+            REQ_STATS => Request::Stats,
+            REQ_CHECKPOINT => Request::Checkpoint,
+            REQ_SYNC_WAL => Request::SyncWal,
+            other => return Err(err(format!("unknown binary request tag {other}"))),
+        };
+        r.end()?;
+        Ok(req)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1010,8 +1291,78 @@ impl Request {
 // ---------------------------------------------------------------------
 
 impl Response {
-    /// Render this response as a frame payload.
+    /// Render this response as a binary frame payload (the wire
+    /// default; [`Response::encode_text`] keeps the legacy text form).
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![BINARY_WIRE_MAGIC];
+        match self {
+            Response::Unit => out.push(RESP_UNIT),
+            Response::Names(names) => {
+                out.push(RESP_NAMES);
+                codec::put_u32(&mut out, names.len() as u32);
+                for name in names {
+                    codec::put_str(&mut out, name);
+                }
+            }
+            Response::Table(t) => {
+                out.push(RESP_TABLE);
+                put_table(&mut out, t);
+            }
+            Response::Database(db) => {
+                out.push(RESP_DATABASE);
+                put_database(&mut out, db);
+            }
+            Response::Delta(d) => {
+                out.push(RESP_DELTA);
+                put_delta(&mut out, d);
+            }
+            Response::Receipt { stamp, shards, gtx } => {
+                out.push(RESP_RECEIPT);
+                codec::put_u64(&mut out, *stamp);
+                codec::put_u32(&mut out, shards.len() as u32);
+                for shard in shards {
+                    codec::put_u64(&mut out, *shard as u64);
+                }
+                match gtx {
+                    Some(gtx) => {
+                        out.push(1);
+                        codec::put_str(&mut out, gtx);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Response::Metrics(m) => {
+                out.push(RESP_METRICS);
+                let mut text = String::new();
+                encode_metrics(&mut text, m);
+                codec::put_str(&mut out, &text);
+            }
+            Response::Stats(t) => {
+                out.push(RESP_STATS);
+                let mut text = String::new();
+                encode_telemetry(&mut text, t);
+                codec::put_str(&mut out, &text);
+            }
+            Response::Seq(seq) => {
+                out.push(RESP_SEQ);
+                match seq {
+                    Some(n) => {
+                        out.push(1);
+                        codec::put_u64(&mut out, *n);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Response::Err(e) => {
+                out.push(RESP_ERR);
+                codec::put_str(&mut out, &encode_error(e));
+            }
+        }
+        out
+    }
+
+    /// Render this response as the legacy line-oriented text payload.
+    pub fn encode_text(&self) -> Vec<u8> {
         let mut out = String::new();
         match self {
             Response::Unit => out.push_str("ok\n"),
@@ -1064,8 +1415,13 @@ impl Response {
         out.into_bytes()
     }
 
-    /// Parse a frame payload as a response.
+    /// Parse a frame payload as a response. Dispatches on the leading
+    /// byte exactly like [`Request::decode`]: binary when it is
+    /// [`BINARY_WIRE_MAGIC`], the legacy text codec otherwise.
     pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        if payload.first() == Some(&BINARY_WIRE_MAGIC) {
+            return Response::decode_binary(&payload[1..]);
+        }
         let text = std::str::from_utf8(payload).map_err(|e| err(format!("not UTF-8: {e}")))?;
         let mut r = Reader::new(text);
         let line = r.next()?;
@@ -1112,6 +1468,54 @@ impl Response {
         r.end()?;
         Ok(resp)
     }
+
+    /// Parse the binary body (everything after the magic byte).
+    fn decode_binary(bytes: &[u8]) -> Result<Response, WireError> {
+        let mut r = BinReader::new(bytes);
+        let tag = r.u8()?;
+        let resp = match tag {
+            RESP_UNIT => Response::Unit,
+            RESP_NAMES => {
+                let n = r.u32()? as usize;
+                let mut names = Vec::new();
+                for _ in 0..n {
+                    names.push(r.str()?);
+                }
+                Response::Names(names)
+            }
+            RESP_TABLE => Response::Table(bin_table(&mut r)?),
+            RESP_DATABASE => Response::Database(bin_database(&mut r)?),
+            RESP_DELTA => Response::Delta(bin_delta(&mut r)?),
+            RESP_RECEIPT => {
+                let stamp = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut shards = Vec::new();
+                for _ in 0..n {
+                    shards.push(r.u64()? as usize);
+                }
+                let gtx = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.str()?),
+                    other => return Err(err(format!("bad gtx flag {other}"))),
+                };
+                Response::Receipt { stamp, shards, gtx }
+            }
+            RESP_METRICS => Response::Metrics(bin_text_blob(&mut r, decode_metrics)?),
+            RESP_STATS => Response::Stats(bin_text_blob(&mut r, decode_telemetry)?),
+            RESP_SEQ => Response::Seq(match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                other => return Err(err(format!("bad seq flag {other}"))),
+            }),
+            RESP_ERR => {
+                let line = r.str()?;
+                Response::Err(decode_error(&line)?)
+            }
+            other => return Err(err(format!("unknown binary response tag {other}"))),
+        };
+        r.end()?;
+        Ok(resp)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1126,9 +1530,9 @@ pub fn handle(session: &esm_engine::Session, req: Request) -> Response {
     let result: Result<Response, EngineError> = (|| {
         Ok(match req {
             Request::Ping => Response::Unit,
-            Request::TableNames => Response::Names(engine.table_names()),
+            Request::TableNames => Response::Names(engine.table_names()?),
             Request::Table(name) => Response::Table(engine.table(&name)?),
-            Request::Snapshot => Response::Database(engine.snapshot()),
+            Request::Snapshot => Response::Database(engine.snapshot()?),
             Request::DefineView { name, table, def } => {
                 session.define_view(&name, &table, &def)?;
                 Response::Unit
@@ -1137,7 +1541,7 @@ pub fn handle(session: &esm_engine::Session, req: Request) -> Response {
                 session.view(&name)?;
                 Response::Unit
             }
-            Request::ViewNames => Response::Names(engine.view_names()),
+            Request::ViewNames => Response::Names(engine.view_names()?),
             Request::ReadView(name) => Response::Table(engine.read_view(&name)?),
             Request::WriteView { name, view } => Response::Delta(engine.write_view(&name, view)?),
             Request::EditViewCas {
@@ -1171,8 +1575,8 @@ pub fn handle(session: &esm_engine::Session, req: Request) -> Response {
                     gtx: receipt.gtx,
                 }
             }
-            Request::Metrics => Response::Metrics(engine.metrics()),
-            Request::Stats => Response::Stats(engine.telemetry()),
+            Request::Metrics => Response::Metrics(engine.metrics()?),
+            Request::Stats => Response::Stats(engine.telemetry()?),
             Request::Checkpoint => Response::Seq(engine.checkpoint()?),
             Request::SyncWal => {
                 engine.sync_wal()?;
@@ -1324,6 +1728,95 @@ mod tests {
         for resp in resps {
             let back = Response::decode(&resp.encode()).unwrap();
             assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn legacy_text_payloads_still_decode() {
+        // An old text-speaking client must keep working against a
+        // binary-era server: encode_text → decode must round-trip.
+        let reqs = vec![
+            Request::Ping,
+            Request::Table("ta ble".into()),
+            Request::WriteView {
+                name: "v".into(),
+                view: table(),
+            },
+            Request::Commit {
+                deltas: vec![(
+                    "t".into(),
+                    Delta {
+                        inserted: vec![row![3, "c"]],
+                        deleted: vec![row![1, "a\tb"]],
+                    },
+                )],
+            },
+        ];
+        for req in reqs {
+            let back = Request::decode(&req.encode_text()).unwrap();
+            assert_eq!(back.encode(), req.encode(), "{req:?}");
+        }
+        let resps = vec![
+            Response::Unit,
+            Response::Names(vec!["a".into(), "with\ttab".into()]),
+            Response::Table(table()),
+            Response::Receipt {
+                stamp: 42,
+                shards: vec![0, 3],
+                gtx: Some("g17".into()),
+            },
+            Response::Stats(telemetry()),
+            Response::Err(EngineError::Conflict {
+                table: "t".into(),
+                detail: "de\ttail".into(),
+            }),
+        ];
+        for resp in resps {
+            let back = Response::decode(&resp.encode_text()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn binary_garbage_is_rejected_not_panicked() {
+        let truncated_commit = {
+            // A commit header promising a delta that never arrives.
+            let mut b = vec![BINARY_WIRE_MAGIC, REQ_COMMIT];
+            codec::put_u32(&mut b, 3);
+            b
+        };
+        let trailing = {
+            let mut b = Request::Ping.encode();
+            b.push(0);
+            b
+        };
+        for bad in [
+            vec![BINARY_WIRE_MAGIC],
+            vec![BINARY_WIRE_MAGIC, 0xEE],
+            vec![BINARY_WIRE_MAGIC, REQ_TABLE],
+            vec![BINARY_WIRE_MAGIC, REQ_TABLE, 0xFF, 0xFF, 0xFF, 0xFF],
+            truncated_commit,
+            trailing,
+        ] {
+            assert!(Request::decode(&bad).is_err(), "{bad:?} must not decode");
+        }
+        for bad in [
+            vec![BINARY_WIRE_MAGIC],
+            vec![BINARY_WIRE_MAGIC, 0xEE],
+            vec![BINARY_WIRE_MAGIC, RESP_RECEIPT, 1],
+            vec![BINARY_WIRE_MAGIC, RESP_SEQ, 7],
+            vec![BINARY_WIRE_MAGIC, RESP_ERR, 0, 0, 0, 0],
+        ] {
+            assert!(Response::decode(&bad).is_err(), "{bad:?} must not decode");
+        }
+        // Every truncation of a real binary payload must error cleanly:
+        // all lengths are prefixed, so a missing tail is always caught.
+        let full = Response::Table(table()).encode();
+        for cut in 0..full.len() {
+            assert!(
+                Response::decode(&full[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
         }
     }
 

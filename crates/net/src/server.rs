@@ -27,7 +27,7 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,18 +40,75 @@ use crate::proto::{handle, Request, Response, WireError};
 /// Tuning knobs for a [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct NetServerConfig {
-    /// Worker threads executing requests (the poller is extra).
+    /// Worker threads executing requests (the poller is extra). Defaults
+    /// to the machine's available parallelism, floored at 8 so small
+    /// containers still overlap enough requests to batch group commits.
     pub workers: usize,
-    /// Poller sleep when a pass finds nothing to do.
+    /// Upper bound on the poller's idle sleep. The poller normally
+    /// wakes on a worker-completion signal; this cap only decides how
+    /// stale a *new connection or request* can go unnoticed while every
+    /// existing connection is quiet, and how long the idle backoff
+    /// (which starts at 2µs and doubles) is allowed to grow.
     pub idle_sleep: Duration,
 }
 
 impl Default for NetServerConfig {
     fn default() -> NetServerConfig {
         NetServerConfig {
-            workers: 8,
+            workers: std::thread::available_parallelism().map_or(8, |n| n.get().max(8)),
             idle_sleep: Duration::from_micros(200),
         }
+    }
+}
+
+impl NetServerConfig {
+    /// Override the worker pool size (floored at 1).
+    pub fn workers(mut self, workers: usize) -> NetServerConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the poller's idle-sleep cap.
+    pub fn idle_sleep(mut self, idle_sleep: Duration) -> NetServerConfig {
+        self.idle_sleep = idle_sleep;
+        self
+    }
+}
+
+/// Wakes the poller the moment a worker finishes a request, so a ready
+/// response is flushed immediately instead of waiting out the poller's
+/// idle sleep (at 256 clients those lost sleeps were the collapse: the
+/// poller was asleep while every worker had a response buffered).
+#[derive(Debug, Default)]
+struct PollerWake {
+    /// Bumped on every notification; the poller skips the wait entirely
+    /// when the generation moved while it was scanning connections.
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl PollerWake {
+    fn notify(&self) {
+        let mut generation = self.generation.lock().expect("poller wake lock");
+        *generation = generation.wrapping_add(1);
+        self.cv.notify_one();
+    }
+
+    /// Sleep until the generation moves past `seen` or `timeout`
+    /// elapses; returns the generation observed on wake-up.
+    fn wait(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut generation = self.generation.lock().expect("poller wake lock");
+        while *generation == seen {
+            let (guard, result) = self
+                .cv
+                .wait_timeout(generation, timeout)
+                .expect("poller wake lock");
+            generation = guard;
+            if result.timed_out() {
+                break;
+            }
+        }
+        *generation
     }
 }
 
@@ -139,6 +196,7 @@ impl NetServer {
         let (jobs_tx, jobs_rx) = channel::<Job>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
         let (done_tx, done_rx) = channel::<u64>();
+        let wake = Arc::new(PollerWake::default());
 
         let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
         for _ in 0..config.workers.max(1) {
@@ -146,8 +204,9 @@ impl NetServer {
             let done_tx = done_tx.clone();
             let counters = Arc::clone(&counters);
             let telemetry = Arc::clone(&telemetry);
+            let wake = Arc::clone(&wake);
             threads.push(std::thread::spawn(move || {
-                worker_loop(&jobs_rx, &done_tx, &counters, &telemetry);
+                worker_loop(&jobs_rx, &done_tx, &counters, &telemetry, &wake);
             }));
         }
         drop(done_tx);
@@ -159,6 +218,7 @@ impl NetServer {
             threads.push(std::thread::spawn(move || {
                 poller_loop(
                     engine, listener, config, &shutdown, &counters, &telemetry, jobs_tx, done_rx,
+                    &wake,
                 );
             }));
         }
@@ -226,6 +286,7 @@ fn worker_loop(
     done: &Sender<u64>,
     counters: &NetCounters,
     telemetry: &Telemetry,
+    wake: &PollerWake,
 ) {
     loop {
         // Take the receiver lock only to fetch the next job, never
@@ -273,8 +334,10 @@ fn worker_loop(
         }
         telemetry.record(Phase::NetResponseWrite, write_span.elapsed_ns());
         // The poller flushes and re-arms the connection; if it is gone,
-        // so is the connection.
+        // so is the connection. The wake-up makes the flush immediate
+        // instead of waiting out the poller's idle sleep.
         let _ = done.send(job.token);
+        wake.notify();
     }
 }
 
@@ -288,10 +351,17 @@ fn poller_loop(
     telemetry: &Telemetry,
     jobs: Sender<Job>,
     done: Receiver<u64>,
+    wake: &PollerWake,
 ) {
     let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
     let mut next_token: u64 = 0;
     let mut read_chunk = [0u8; 16 * 1024];
+    // Adaptive idle backoff: start near-spinning when activity just
+    // stopped (a client is mid-burst and the next request is µs away),
+    // double toward the configured cap as the lull stretches.
+    let min_sleep = Duration::from_micros(2);
+    let mut backoff = min_sleep;
+    let mut seen_wake: u64 = 0;
     while !shutdown.load(Ordering::SeqCst) {
         let mut active = false;
 
@@ -439,15 +509,18 @@ fn poller_loop(
             }
         }
 
-        if !active {
-            // With a request in flight its completion is imminent —
-            // yield and re-poll so the response is not taxed a sleep
-            // period; sleep only when every connection is quiet.
-            if conns.values().any(|c| c.busy) {
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(config.idle_sleep);
-            }
+        if active {
+            backoff = min_sleep;
+        } else {
+            // Park until a worker finishes (the condvar fires the
+            // instant a response is buffered) or the backoff elapses —
+            // the timeout exists for events no worker signals: a new
+            // connection, or request bytes on an idle socket. A
+            // notification that arrived while this pass was scanning
+            // moves the generation past `seen_wake`, and the wait
+            // returns immediately instead of sleeping on a stale count.
+            seen_wake = wake.wait(seen_wake, backoff);
+            backoff = (backoff * 2).min(config.idle_sleep.max(min_sleep));
         }
     }
     // Shutdown: dropping `jobs` ends the workers once the queue drains;

@@ -57,7 +57,7 @@ fn remote_engine_satisfies_the_view_maintenance_law_sharded() {
     check_view_maintenance(&remote, &script());
     // The wire client's reads were served by shard-pruned windows and
     // its transfers committed through cross-shard 2PC.
-    let m = remote.metrics();
+    let m = remote.metrics().expect("metrics over the wire");
     assert!(m.shard.cross_shard_commits > 0, "transfers ran 2PC");
     assert!(m.view.shards_pruned > 0, "key-bounded views pruned shards");
     server.shutdown();
@@ -142,7 +142,7 @@ fn sessions_and_views_are_host_location_oblivious() {
     assert!(window.contains(&row![3, "g1", 33]));
     assert!(window.contains(&row![5, "g0", 55]));
     // And the view handle exposes its (remote) host uniformly.
-    assert_eq!(low.engine().table_names(), vec!["t"]);
+    assert_eq!(low.engine().table_names().expect("table names"), vec!["t"]);
     server.shutdown();
 }
 
@@ -325,4 +325,28 @@ fn malformed_commit_rows_error_without_killing_the_server() {
         .unwrap();
     assert!(receipt.stamp > 0);
     server.shutdown();
+}
+
+#[test]
+fn getters_surface_transport_failure_as_errors_not_panics() {
+    let (server, addr) = serve(EngineServer::new(seed_db()).as_engine());
+    let remote = connect(addr);
+    remote.ping().expect("server alive before shutdown");
+
+    // Kill the server out from under the connected client. Every
+    // Engine getter must now return Err — never panic, and never
+    // fabricate an empty answer that reads as "an engine with no
+    // tables/views".
+    server.shutdown();
+
+    assert!(remote.table_names().is_err(), "table_names must error");
+    assert!(remote.view_names().is_err(), "view_names must error");
+    assert!(remote.snapshot().is_err(), "snapshot must error");
+    assert!(remote.metrics().is_err(), "metrics must error");
+    assert!(remote.telemetry().is_err(), "telemetry must error");
+
+    // And through the trait object, exactly as callers hold it.
+    let dyn_engine: ArcEngine = remote.as_engine();
+    assert!(dyn_engine.table_names().is_err());
+    assert!(dyn_engine.metrics().is_err());
 }

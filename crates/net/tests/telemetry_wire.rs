@@ -86,8 +86,8 @@ fn check_loopback_stats(host: ArcEngine) {
     // Fetch over the wire FIRST: the STATS handler only reads the
     // engine's atomics, so the later direct snapshot sees identical
     // engine-phase state (nothing commits in between).
-    let wire = remote.telemetry();
-    let direct = direct_host.telemetry();
+    let wire = remote.telemetry().expect("stats over the wire");
+    let direct = direct_host.telemetry().expect("direct telemetry");
 
     // Engine-side phases: bit-identical between the two views.
     for (phase, hist) in &direct.phases {

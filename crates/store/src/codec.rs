@@ -1,18 +1,181 @@
-//! A line-oriented, schema-free text codec for cells and rows.
+//! A line-oriented, schema-free text codec for cells and rows, plus the
+//! length-prefixed binary twin the hot paths use.
 //!
-//! One cell renders as `<tag>:<payload>` with tags `b`/`i`/`s`; cells of
-//! a row are tab-separated. Strings escape backslash, tab, newline and
-//! carriage return, so any row fits on one `\n`-terminated line and any
-//! line-based reader (the WAL segments, database snapshots) can split
-//! records without knowing the schema.
+//! **Text**: one cell renders as `<tag>:<payload>` with tags `b`/`i`/`s`;
+//! cells of a row are tab-separated. Strings escape backslash, tab,
+//! newline and carriage return, so any row fits on one `\n`-terminated
+//! line and any line-based reader (the WAL segments, database snapshots)
+//! can split records without knowing the schema.
 //!
-//! The same codec backs the engine's write-ahead-log segments and the
-//! checkpoint snapshots in [`crate::snapshot`]: one escaping discipline,
-//! one decoder, shared edge cases.
+//! **Binary**: a cell is one tag byte (`0` bool, `1` int, `2` string)
+//! followed by its payload — bools as one byte, ints as 8 little-endian
+//! bytes, strings as a `u32` length prefix plus raw UTF-8 (no escaping:
+//! the length delimits). A row is a `u32` cell count followed by its
+//! cells. Decoding is cursor-based ([`BinReader`]) and rejects malformed
+//! input with [`StoreError::Codec`] rather than panicking, exactly like
+//! the text decoders.
+//!
+//! The same codecs back the engine's write-ahead-log segments, the
+//! checkpoint snapshots in [`crate::snapshot`], and the wire protocol:
+//! one discipline, shared edge cases. The binary form is what new WAL
+//! segments and wire frames carry; the text form remains decodable for
+//! recovery of segments written before the binary codec existed.
 
 use crate::error::StoreError;
 use crate::row::Row;
 use crate::value::Value;
+
+// ---------------------------------------------------------------------
+// Binary primitives.
+// ---------------------------------------------------------------------
+
+const CELL_BOOL: u8 = 0;
+const CELL_INT: u8 = 1;
+const CELL_STR: u8 = 2;
+
+/// Append a `u32` in little-endian.
+pub fn put_u32(out: &mut Vec<u8>, n: u32) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian.
+pub fn put_u64(out: &mut Vec<u8>, n: u64) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+/// Append a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append one binary cell: tag byte, then payload.
+pub fn put_cell(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            out.push(CELL_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(CELL_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(CELL_STR);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Append one binary row: `u32` cell count, then the cells.
+pub fn put_row(out: &mut Vec<u8>, row: &Row) {
+    put_u32(out, row.len() as u32);
+    for v in row {
+        put_cell(out, v);
+    }
+}
+
+/// A bounds-checked cursor over a binary payload. Every read advances
+/// the cursor; running past the end is a [`StoreError::Codec`], never a
+/// panic — a torn or corrupt payload must decode to an error.
+#[derive(Debug)]
+pub struct BinReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> BinReader<'a> {
+        BinReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Error unless the whole payload was consumed.
+    pub fn end(&self) -> Result<(), StoreError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::Codec(format!(
+                "{} trailing bytes after binary payload",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Codec(format!(
+                "binary payload truncated: needed {n} bytes, had {}",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StoreError::Codec(format!("binary string not UTF-8: {e}")))
+    }
+
+    /// Read one binary cell.
+    pub fn cell(&mut self) -> Result<Value, StoreError> {
+        match self.u8()? {
+            CELL_BOOL => match self.u8()? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                b => Err(StoreError::Codec(format!("bad binary bool byte {b}"))),
+            },
+            CELL_INT => Ok(Value::Int(i64::from_le_bytes(
+                self.take(8)?.try_into().expect("8"),
+            ))),
+            CELL_STR => Ok(Value::Str(self.str()?)),
+            tag => Err(StoreError::Codec(format!("unknown binary cell tag {tag}"))),
+        }
+    }
+
+    /// Read one binary row.
+    pub fn row(&mut self) -> Result<Row, StoreError> {
+        let n = self.u32()? as usize;
+        // Each cell costs at least 2 bytes; an absurd count is corruption,
+        // not a reason to OOM on `with_capacity`.
+        if n > self.remaining() {
+            return Err(StoreError::Codec(format!(
+                "binary row announces {n} cells, only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(self.cell()?);
+        }
+        Ok(row)
+    }
+}
 
 /// Escape a string so it fits inside one tab-separated, line-terminated
 /// field. `\r` must be escaped too: decoders split on [`str::lines`],
@@ -137,5 +300,73 @@ mod tests {
             );
         }
         assert!(unescape("dangling\\").is_err());
+    }
+
+    #[test]
+    fn binary_cells_and_rows_round_trip() {
+        for v in [
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::str(""),
+            Value::str("plain"),
+            Value::str("tab\t nl\n cr\r bs\\ nul\0 done"),
+        ] {
+            let mut buf = Vec::new();
+            put_cell(&mut buf, &v);
+            let mut r = BinReader::new(&buf);
+            assert_eq!(r.cell().unwrap(), v);
+            r.end().unwrap();
+        }
+        for row in [row![], row![1, "a\tb", true, ""]] {
+            let mut buf = Vec::new();
+            put_row(&mut buf, &row);
+            let mut r = BinReader::new(&buf);
+            assert_eq!(r.row().unwrap(), row);
+            r.end().unwrap();
+        }
+    }
+
+    #[test]
+    fn binary_primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        put_u64(&mut buf, 0x0123_4567_89ab_cdef);
+        put_str(&mut buf, "héllo");
+        let mut r = BinReader::new(&buf);
+        assert_eq!(r.u32().unwrap(), u32::MAX);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.end().unwrap();
+    }
+
+    #[test]
+    fn malformed_binary_is_rejected_not_panicked() {
+        // Truncations of a valid row at every byte boundary.
+        let mut buf = Vec::new();
+        put_row(&mut buf, &row![7, "seven", false]);
+        for cut in 0..buf.len() {
+            let mut r = BinReader::new(&buf[..cut]);
+            let decoded = r.row().and_then(|row| r.end().map(|()| row));
+            assert!(decoded.is_err(), "truncation at {cut} should not decode");
+        }
+        // Bad tags and bad payloads.
+        for bad in [
+            vec![1, 0, 0, 0, 99],                  // unknown cell tag
+            vec![1, 0, 0, 0, 0, 2],                // bool byte out of range
+            vec![1, 0, 0, 0, 2, 1, 0, 0, 0, 0xff], // non-UTF-8 string
+            vec![0xff, 0xff, 0xff, 0xff],          // absurd cell count
+        ] {
+            let mut r = BinReader::new(&bad);
+            assert!(r.row().is_err(), "{bad:?} should not decode");
+        }
+        // Trailing garbage is an error too.
+        let mut buf = Vec::new();
+        put_row(&mut buf, &row![1]);
+        buf.push(0);
+        let mut r = BinReader::new(&buf);
+        assert!(r.row().and_then(|row| r.end().map(|()| row)).is_err());
     }
 }

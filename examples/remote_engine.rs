@@ -113,7 +113,7 @@ fn main() {
 
     let remote = RemoteEngine::connect(addr).expect("connect");
     let window = remote.read_view("big").expect("read");
-    let m = remote.metrics();
+    let m = remote.metrics().expect("metrics over the wire");
     println!(
         "final big-order window: {} rows; engine commits={} cross_shard={} pruned={}",
         window.len(),

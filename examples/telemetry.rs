@@ -90,7 +90,7 @@ fn main() {
     // Engine phases come from the engine's registry; the server folds
     // its own net-layer phases in before the snapshot crosses the
     // socket.
-    let snapshot = admin.telemetry();
+    let snapshot = admin.telemetry().expect("stats over the wire");
     println!("{}", render_prometheus("esm", &snapshot));
 
     if snapshot.slow_ops.is_empty() {
