@@ -127,6 +127,15 @@ pub struct DurabilityConfig {
     /// thread (embedders then drive `run_maintenance` themselves — the
     /// deterministic choice for tests).
     pub maintenance_interval_ms: u64,
+    /// Telemetry tuning for the engine this config builds: slow-op
+    /// threshold, ring and trace-buffer capacities, trace sampling
+    /// rate. Defaults preserve the zero-config behavior.
+    pub telemetry: esm_obs::TelemetryConfig,
+    /// Chaos knob: extra nanoseconds every disk fsync sleeps before
+    /// issuing, read live from the shared atomic. The load/chaos
+    /// harness holds a clone and raises it mid-run to inject a
+    /// sync-stall fault window; `None` (the default) costs nothing.
+    pub sync_delay: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl DurabilityConfig {
@@ -139,6 +148,8 @@ impl DurabilityConfig {
             group_commit: 1,
             checkpoint_every: 256,
             maintenance_interval_ms: 20,
+            telemetry: esm_obs::TelemetryConfig::default(),
+            sync_delay: None,
         }
     }
 
@@ -164,6 +175,23 @@ impl DurabilityConfig {
     /// thread; checkpoints then happen only via explicit calls).
     pub fn maintenance_interval_ms(mut self, ms: u64) -> DurabilityConfig {
         self.maintenance_interval_ms = ms;
+        self
+    }
+
+    /// Set the engine's telemetry tuning (slow threshold, ring and
+    /// trace capacities, trace sampling rate).
+    pub fn telemetry_config(mut self, telemetry: esm_obs::TelemetryConfig) -> DurabilityConfig {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Install a live fsync-delay handle (nanoseconds; the chaos
+    /// harness raises it mid-run to inject sync stalls).
+    pub fn sync_delay_handle(
+        mut self,
+        delay: Arc<std::sync::atomic::AtomicU64>,
+    ) -> DurabilityConfig {
+        self.sync_delay = Some(delay);
         self
     }
 }
@@ -406,7 +434,7 @@ impl DurableWal {
         }
         .write_atomic(&config.dir)?;
         stats.checkpoints += 1;
-        let writer = open_segment(&config.dir, 1)?;
+        let writer = open_segment(&config.dir, 1, config.sync_delay.clone())?;
         Ok(DurableWal {
             config,
             writer,
@@ -505,7 +533,7 @@ impl DurableWal {
             in_doubt_transactions: resolved.in_doubt.len() as u64,
             tail_records_discarded: records.len() as u64 - (keep_last_seq - ckpt.seq),
         };
-        let writer = open_segment(&config.dir, keep_last_seq + 1)?;
+        let writer = open_segment(&config.dir, keep_last_seq + 1, config.sync_delay.clone())?;
         Ok((
             DurableWal {
                 config,
@@ -653,7 +681,11 @@ impl DurableWal {
     /// Sync the active segment and open a fresh one at `last_seq + 1`.
     fn rotate_inner(&mut self) -> Result<(), EngineError> {
         self.sync_inner()?;
-        self.writer = open_segment(&self.config.dir, self.last_seq + 1)?;
+        self.writer = open_segment(
+            &self.config.dir,
+            self.last_seq + 1,
+            self.config.sync_delay.clone(),
+        )?;
         self.writer.set_telemetry(self.telemetry.clone());
         self.stats.rotations += 1;
         Ok(())
@@ -902,13 +934,17 @@ impl GroupCommit {
     /// Block until `seq` is durable (see the type docs for the
     /// protocol). `sync` must fsync the log and return the seq the sync
     /// covered; it is invoked without the group lock held, so it may
-    /// (must) take the WAL lock itself.
+    /// (must) take the WAL lock itself. Returns whether this committer
+    /// **led** (ran the sync closure itself) or rode a leader's batch —
+    /// the distinction the trace layer tags `group_commit_wait` spans
+    /// with.
     pub(crate) fn wait_durable(
         &self,
         seq: u64,
         sync: impl FnOnce() -> Result<u64, EngineError>,
-    ) -> Result<(), EngineError> {
+    ) -> Result<bool, EngineError> {
         let mut sync = Some(sync);
+        let mut led = false;
         let mut st = self.state.lock().expect("group commit lock");
         loop {
             if let Some(cause) = &st.poisoned {
@@ -918,11 +954,12 @@ impl GroupCommit {
                 )));
             }
             if st.durable_seq >= seq {
-                return Ok(());
+                return Ok(led);
             }
             match (st.leader, sync.take()) {
                 (false, Some(sync)) => {
                     st.leader = true;
+                    led = true;
                     drop(st);
                     let result = sync();
                     st = self.state.lock().expect("group commit lock");
@@ -1028,8 +1065,13 @@ impl Drop for MaintenanceThread {
     }
 }
 
-fn open_segment(dir: &Path, first_seq: u64) -> Result<SegmentWriter<DiskFile>, EngineError> {
-    let file = DiskFile::create(&dir.join(segment_file_name(first_seq)))?;
+fn open_segment(
+    dir: &Path,
+    first_seq: u64,
+    sync_delay: Option<Arc<std::sync::atomic::AtomicU64>>,
+) -> Result<SegmentWriter<DiskFile>, EngineError> {
+    let mut file = DiskFile::create(&dir.join(segment_file_name(first_seq)))?;
+    file.set_sync_delay(sync_delay);
     sync_dir(dir)?;
     Ok(SegmentWriter::new(file, first_seq))
 }

@@ -210,6 +210,22 @@ pub trait Engine: Send + Sync + std::fmt::Debug {
     /// the server's snapshot over the wire (`STATS`).
     fn telemetry(&self) -> Result<esm_obs::TelemetrySnapshot, EngineError>;
 
+    /// A copy of the engine's trace rings ([`esm_obs::TraceReport`]):
+    /// the causal span trees head-sampled or tail-captured by the
+    /// registry. In-process engines report their live registry; the
+    /// remote engine fetches the server's report over the wire
+    /// (`TRACE`).
+    fn traces(&self) -> Result<esm_obs::TraceReport, EngineError>;
+
+    /// The live telemetry registry locally backing this engine, when
+    /// one exists — what a [`crate::Session`] mints trace roots from
+    /// (head sampling). The remote engine returns its own client-local
+    /// registry: client-side spans and the sampling decision live
+    /// there, and the wire carries the context to the server.
+    fn telemetry_handle(&self) -> Option<Arc<esm_obs::Telemetry>> {
+        None
+    }
+
     /// Write a durable checkpoint covering every committed record and
     /// compact fully-covered segments. Returns the lowest covered
     /// sequence number across the engine's logs, or `None` for
@@ -290,6 +306,14 @@ impl Engine for crate::EngineServer {
 
     fn telemetry(&self) -> Result<esm_obs::TelemetrySnapshot, EngineError> {
         Ok(crate::EngineServer::telemetry(self))
+    }
+
+    fn traces(&self) -> Result<esm_obs::TraceReport, EngineError> {
+        Ok(crate::EngineServer::telemetry_registry(self).traces_report())
+    }
+
+    fn telemetry_handle(&self) -> Option<Arc<esm_obs::Telemetry>> {
+        Some(Arc::clone(crate::EngineServer::telemetry_registry(self)))
     }
 
     fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
@@ -374,6 +398,16 @@ impl Engine for crate::shard::ShardedEngineServer {
 
     fn telemetry(&self) -> Result<esm_obs::TelemetrySnapshot, EngineError> {
         Ok(crate::shard::ShardedEngineServer::telemetry(self))
+    }
+
+    fn traces(&self) -> Result<esm_obs::TraceReport, EngineError> {
+        Ok(crate::shard::ShardedEngineServer::telemetry_registry(self).traces_report())
+    }
+
+    fn telemetry_handle(&self) -> Option<Arc<esm_obs::Telemetry>> {
+        Some(Arc::clone(
+            crate::shard::ShardedEngineServer::telemetry_registry(self),
+        ))
     }
 
     fn checkpoint(&self) -> Result<Option<u64>, EngineError> {

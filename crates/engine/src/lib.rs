@@ -276,6 +276,23 @@
 //! separable — so a slow disk is distinguishable from a fat record, and
 //! from lock contention, by histogram alone.
 //!
+//! Histograms aggregate; **causal traces** explain. [`Session`] offers
+//! every operation to the engine's registry for head sampling
+//! (1-in-N, [`esm_obs::Telemetry::set_trace_sample_every`]); an elected
+//! request mints an [`esm_obs::TraceId`] and every instrumented layer
+//! below attaches [`esm_obs::SpanRecord`]s to it via a thread-local
+//! context — commit snapshot/validate, WAL append (with frame bytes),
+//! group-commit wait (tagged `leader`/`follower`), fsync, per-shard 2PC
+//! umbrellas with prepare/fsync/resolve children, view
+//! drain/fold/rebuild. Finished traces land in bounded rings (all
+//! recent, plus a tail-capture ring for traces crossing the slow-op
+//! threshold) read via [`Engine::traces`] and rendered as a causally
+//! indented tree ([`esm_obs::render_trace`]). Untraced operations pay
+//! one thread-local read and allocate nothing. Over the wire, the
+//! trace context rides binary request frames, so one `TraceId` spans
+//! client, server and fsync (the esm-net `TRACE` verb fetches the
+//! server's rings).
+//!
 //! ### Index maintenance
 //!
 //! Base tables carry secondary B-tree indexes

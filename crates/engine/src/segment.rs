@@ -261,6 +261,11 @@ pub trait SegmentFile: Send {
 #[derive(Debug)]
 pub struct DiskFile {
     file: std::fs::File,
+    /// Live fault-injection knob: extra nanoseconds slept before every
+    /// fsync. Shared with whoever configured it
+    /// ([`crate::DurabilityConfig::sync_delay_handle`]) so a chaos
+    /// harness can raise and drop the delay mid-run.
+    sync_delay: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl DiskFile {
@@ -268,7 +273,13 @@ impl DiskFile {
     pub fn create(path: &Path) -> Result<DiskFile, EngineError> {
         Ok(DiskFile {
             file: std::fs::File::create(path)?,
+            sync_delay: None,
         })
+    }
+
+    /// Attach a live sync-delay knob (nanos slept before each fsync).
+    pub fn set_sync_delay(&mut self, delay: Option<Arc<std::sync::atomic::AtomicU64>>) {
+        self.sync_delay = delay;
     }
 }
 
@@ -279,6 +290,12 @@ impl SegmentFile for DiskFile {
     }
 
     fn sync(&mut self) -> Result<(), EngineError> {
+        if let Some(delay) = &self.sync_delay {
+            let ns = delay.load(std::sync::atomic::Ordering::Relaxed);
+            if ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(ns));
+            }
+        }
         self.file.sync_data()?;
         Ok(())
     }
@@ -400,10 +417,14 @@ impl<F: SegmentFile> SegmentWriter<F> {
     /// frame included.
     pub fn append(&mut self, record: &WalRecord) -> Result<u64, EngineError> {
         let span = Span::start();
+        let mut tspan = esm_obs::trace::span("commit_wal_append");
         let framed = encode_framed_binary(record);
         self.file.append(&framed)?;
         self.bytes += framed.len() as u64;
         self.pending += 1;
+        if let Some(t) = tspan.as_mut() {
+            t.set_bytes(framed.len() as u64);
+        }
         if let Some(tel) = &self.telemetry {
             tel.record(Phase::CommitWalAppend, span.elapsed_ns());
         }
@@ -417,6 +438,7 @@ impl<F: SegmentFile> SegmentWriter<F> {
             return Ok(false);
         }
         let span = Span::start();
+        let _tspan = esm_obs::trace::span("commit_fsync");
         self.file.sync()?;
         if let Some(tel) = &self.telemetry {
             tel.record(Phase::CommitFsync, span.elapsed_ns());

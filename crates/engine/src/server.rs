@@ -286,7 +286,10 @@ impl EngineServer {
             let table = db.table(name).expect("name came from the database").clone();
             tables.write(name).insert(name.to_string(), table);
         }
-        let telemetry = Arc::new(Telemetry::new());
+        let telemetry = Arc::new(match &cfg {
+            Some(c) => Telemetry::with_config(c.telemetry.clone()),
+            None => Telemetry::new(),
+        });
         let durable = durable.map(|mut d| {
             d.set_telemetry(Some(Arc::clone(&telemetry)));
             d
@@ -588,6 +591,7 @@ impl EngineServer {
             // Commits append under stripe → WAL, so everything at or
             // below `last_seq` for our table is already in the log.
             let drain_span = Span::start();
+            let drain_tspan = esm_obs::trace::span_tagged("view_drain", name);
             let drained = {
                 let wal = self.lock_wal();
                 if mat.applied_seq < wal.mem.start_seq() {
@@ -604,6 +608,7 @@ impl EngineServer {
                 }
             };
             tel.record(Phase::ViewDrain, drain_span.elapsed_ns());
+            drop(drain_tspan);
             let Some((pending, last_seq)) = drained else {
                 self.rebuild_window(reg, &mut mat)?;
                 return Ok(mat.window.clone());
@@ -616,8 +621,10 @@ impl EngineServer {
             // `deltas_applied` counts only changes that actually survive
             // into the window (a rebuild discards the whole run).
             let fold_span = Span::start();
+            let fold_tspan = esm_obs::trace::span_tagged("view_delta_fold", name);
             let folded = crate::view::drain_into_window(&reg.lens, &pending, &mut mat.window);
             tel.record(Phase::ViewDeltaFold, fold_span.elapsed_ns());
+            drop(fold_tspan);
             match folded {
                 Some(drained) => {
                     self.inner.metrics.view_deltas(drained);
@@ -638,6 +645,7 @@ impl EngineServer {
     /// records already applied to the base.
     fn rebuild_window(&self, reg: &ViewReg, mat: &mut Materialized) -> Result<(), EngineError> {
         let _rebuild = self.inner.telemetry.timer(Phase::ViewRebuild);
+        let _tspan = esm_obs::trace::span_tagged("view_rebuild", reg.table.as_str());
         let shard = self.inner.tables.read(&reg.table);
         let base = shard
             .get(&reg.table)
@@ -729,6 +737,7 @@ impl EngineServer {
             // between makes us re-check records already reflected in our
             // base — a spurious retry at worst, never a lost update.
             let snap_span = Span::start();
+            let snap_tspan = esm_obs::trace::span("commit_snapshot");
             let snap_seq = self.lock_wal().mem.last_seq();
             let (table_name, base, lens) = self.with_view(name, |reg| {
                 let shard = self.inner.tables.read(&reg.table);
@@ -740,6 +749,7 @@ impl EngineServer {
             self.inner
                 .telemetry
                 .record(Phase::CommitSnapshot, snap_span.elapsed_ns());
+            drop(snap_tspan);
 
             let mut view = lens.get(&base);
             edit(&mut view)?;
@@ -762,6 +772,7 @@ impl EngineServer {
             // scan; a snapshot older than the log's start conservatively
             // conflicts (the retry re-snapshots past the truncation
             // point, so progress is never lost).
+            let validate_tspan = esm_obs::trace::span("commit_validate");
             let conflicted = self.inner.telemetry.time(Phase::CommitValidate, || {
                 snap_seq < wal.mem.start_seq()
                     || wal.mem.records_after(snap_seq).iter().any(|rec| {
@@ -773,6 +784,7 @@ impl EngineServer {
                         })
                     })
             });
+            drop(validate_tspan);
             if conflicted {
                 drop(wal);
                 drop(shard);
@@ -807,6 +819,7 @@ impl EngineServer {
     /// between the tables and the sequence number.
     fn snapshot_with_seq(&self) -> (Database, u64) {
         let _snapshot = self.inner.telemetry.timer(Phase::CommitSnapshot);
+        let _tspan = esm_obs::trace::span("commit_snapshot");
         let guards = self.inner.tables.read_all();
         let mut db = Database::new();
         for guard in &guards {
@@ -895,6 +908,7 @@ impl EngineServer {
         // since) conservatively conflicts; otherwise scan for key
         // overlap per table.
         let validate_span = Span::start();
+        let validate_tspan = esm_obs::trace::span("commit_validate");
         if snap_seq < wal.mem.start_seq() {
             self.inner
                 .telemetry
@@ -935,6 +949,7 @@ impl EngineServer {
             }
         }
         let validate_ns = validate_span.elapsed_ns();
+        drop(validate_tspan);
         self.inner
             .telemetry
             .record(Phase::CommitValidate, validate_ns);
@@ -1012,6 +1027,7 @@ impl EngineServer {
         // Validate and stage per table (duplicate table entries apply
         // in request order onto the same staged copy).
         let validate_span = Span::start();
+        let validate_tspan = esm_obs::trace::span("commit_validate");
         let mut staged: BTreeMap<String, (usize, Table)> = BTreeMap::new();
         for (name, delta) in &nonempty {
             if !staged.contains_key(name) {
@@ -1032,6 +1048,7 @@ impl EngineServer {
         self.inner
             .telemetry
             .record(Phase::CommitValidate, validate_span.elapsed_ns());
+        drop(validate_tspan);
 
         // Durable-first: a failed segment write publishes nothing.
         let mut wal = self.lock_wal();
@@ -1131,7 +1148,8 @@ impl EngineServer {
         let Some(group) = &self.inner.group else {
             return Ok(());
         };
-        group.wait_durable(seq, || {
+        let tspan = esm_obs::trace::span("group_commit_wait");
+        let led = group.wait_durable(seq, || {
             let mut wal = self.lock_wal();
             let durable = wal
                 .durable
@@ -1140,7 +1158,11 @@ impl EngineServer {
             let through = durable.last_seq();
             durable.sync()?;
             Ok(through)
-        })
+        })?;
+        if let Some(mut t) = tspan {
+            t.set_tag(if led { "leader" } else { "follower" });
+        }
+        Ok(())
     }
 }
 

@@ -51,12 +51,23 @@ impl Default for RetryPolicy {
 
 /// A client session over one engine: cached view handles, the last
 /// observed commit stamp, and the session's retry policy.
+///
+/// The session is also where **causal traces are born**: every
+/// operation offers itself to the engine's telemetry registry for head
+/// sampling, and an elected request carries a fresh
+/// [`esm_obs::TraceId`] through every instrumented layer below it —
+/// down the wire for a remote engine, down to the fsync for a local
+/// one.
 #[derive(Debug)]
 pub struct Session {
     engine: ArcEngine,
     retry: RetryPolicy,
     views: Mutex<BTreeMap<String, EntangledView>>,
     last_stamp: AtomicU64,
+    /// The registry trace roots are minted from (the engine's own for
+    /// in-process hosts, the client-local one for a remote engine).
+    /// `None` when the engine exposes no registry: tracing is off.
+    tracer: Option<std::sync::Arc<esm_obs::Telemetry>>,
 }
 
 impl Session {
@@ -67,6 +78,7 @@ impl Session {
 
     /// A session with an explicit retry policy.
     pub fn with_retry(engine: ArcEngine, retry: RetryPolicy) -> Session {
+        let tracer = engine.telemetry_handle();
         Session {
             engine,
             retry: RetryPolicy {
@@ -74,7 +86,14 @@ impl Session {
             },
             views: Mutex::new(BTreeMap::new()),
             last_stamp: AtomicU64::new(0),
+            tracer,
         }
+    }
+
+    /// Offer this operation for head sampling; the returned guard (if
+    /// elected) roots a trace every layer below will attach spans to.
+    fn trace_root(&self, name: &str) -> Option<esm_obs::TraceRoot> {
+        self.tracer.as_ref().and_then(|t| t.start_trace(name))
     }
 
     /// The engine this session speaks to.
@@ -140,12 +159,14 @@ impl Session {
 
     /// Read a view (opens and caches the handle as needed).
     pub fn read(&self, name: &str) -> Result<Table, EngineError> {
+        let _trace = self.trace_root("session:read");
         self.view(name)?.get()
     }
 
     /// Write an edited view back (lens `put` semantics: replaces the
     /// whole visible window).
     pub fn put(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
+        let _trace = self.trace_root("session:put");
         self.view(name)?.put(view)
     }
 
@@ -155,6 +176,7 @@ impl Session {
         name: &str,
         edit: impl Fn(&mut Table) -> Result<(), EngineError>,
     ) -> Result<Delta, EngineError> {
+        let _trace = self.trace_root("session:edit");
         self.view(name)?
             .edit_with_attempts(self.retry.attempts, edit)
     }
@@ -165,6 +187,7 @@ impl Session {
         &self,
         body: impl Fn(&mut Database) -> Result<(), EngineError>,
     ) -> Result<CommitReceipt, EngineError> {
+        let _trace = self.trace_root("session:transact");
         let receipt = self.engine.transact(self.retry.attempts, &body)?;
         self.last_stamp.fetch_max(receipt.stamp, Ordering::AcqRel);
         Ok(receipt)

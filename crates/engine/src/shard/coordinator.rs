@@ -124,6 +124,27 @@ impl ShardCoordinator {
         let mut guards: Vec<std::sync::RwLockWriteGuard<'_, ShardState>> =
             participants.iter().map(|p| p.shard.write()).collect();
 
+        // With an active trace, each participant gets an *umbrella* span
+        // covering its whole share of the protocol; the prepare, fsync
+        // and resolve children below parent under it, so the rendered
+        // tree groups per shard even though the phases interleave across
+        // participants. Within one participant the children are
+        // time-disjoint; across participants the umbrellas overlap (the
+        // prepare fsyncs run in parallel).
+        let trace = esm_obs::trace::current();
+        let umbrellas: Option<Vec<esm_obs::SpanGuard>> = trace.as_ref().map(|t| {
+            participants
+                .iter()
+                .map(|p| t.child("twopc_participant", format!("shard:{}", p.index)))
+                .collect()
+        });
+        let under = |i: usize| -> Option<esm_obs::ActiveTrace> {
+            match (&trace, &umbrellas) {
+                (Some(t), Some(us)) => Some(t.under(us[i].id())),
+                _ => None,
+            }
+        };
+
         // Validate first-committer-wins on every participant before
         // writing anything anywhere.
         for (p, guard) in participants.iter().zip(guards.iter()) {
@@ -148,11 +169,13 @@ impl ShardCoordinator {
         // shard refuses and recovery will presume abort for it anyway).
         for i in 0..participants.len() {
             let prep_span = Span::start();
+            let prep_tspan = under(i).map(|ctx| ctx.child("twopc_prepare", ""));
             let appended = guards[i].append_group(
                 &participants[i].deltas,
                 GroupEnd::Prepare(gtx.clone()),
                 true,
             );
+            drop(prep_tspan);
             if let Some(tel) = telemetry {
                 tel.record(Phase::TwopcPrepare, prep_span.elapsed_ns());
             }
@@ -166,11 +189,18 @@ impl ShardCoordinator {
         let sync_results: Vec<Result<(), EngineError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = guards
                 .iter_mut()
-                .map(|guard| {
+                .enumerate()
+                .map(|(i, guard)| {
                     let state: &mut ShardState = guard;
+                    // The scoped thread has no thread-local trace;
+                    // parent its fsync span explicitly under the
+                    // participant's umbrella.
+                    let ctx = under(i);
                     scope.spawn(move || {
                         let sync_span = Span::start();
+                        let sync_tspan = ctx.map(|c| c.child("twopc_fsync", "prepare"));
                         let synced = state.sync();
+                        drop(sync_tspan);
                         if let Some(tel) = telemetry {
                             tel.record(Phase::TwopcParticipantFsync, sync_span.elapsed_ns());
                         }
@@ -218,12 +248,16 @@ impl ShardCoordinator {
                 )));
             }
             let resolve_span = Span::start();
+            let resolve_tspan = under(i).map(|ctx| ctx.child("twopc_resolve", ""));
             guard.resolve(&gtx, true, &p.deltas, true)?;
+            drop(resolve_tspan);
             if let Some(tel) = telemetry {
                 tel.record(Phase::TwopcResolve, resolve_span.elapsed_ns());
             }
             let sync_span = Span::start();
+            let sync_tspan = under(i).map(|ctx| ctx.child("twopc_fsync", "resolve"));
             guard.sync()?;
+            drop(sync_tspan);
             if let Some(tel) = telemetry {
                 tel.record(Phase::TwopcParticipantFsync, sync_span.elapsed_ns());
             }

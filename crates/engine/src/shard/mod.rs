@@ -523,7 +523,10 @@ impl ShardedEngineServer {
         shard_metrics: ShardMetrics,
         next_shard_id: u64,
     ) -> ShardedEngineServer {
-        let telemetry = Arc::new(Telemetry::new());
+        let telemetry = Arc::new(match &durable_base {
+            Some(c) => Telemetry::with_config(c.telemetry.clone()),
+            None => Telemetry::new(),
+        });
         for shard in &shards {
             if let Some(d) = shard.write().durable.as_mut() {
                 d.set_telemetry(Some(Arc::clone(&telemetry)));
@@ -903,6 +906,7 @@ impl ShardedEngineServer {
             }
         }
         let _snapshot = self.inner.telemetry.timer(Phase::CommitSnapshot);
+        let _tspan = esm_obs::trace::span("commit_snapshot");
         let guards: Vec<_> = indexes.iter().map(|&i| topo.shards[i].read()).collect();
         let snap_seqs = indexes
             .iter()
@@ -980,8 +984,11 @@ impl ShardedEngineServer {
             let mut guard = shard.write();
             let lock_span = Span::start();
             let validate_span = Span::start();
+            let validate_tspan =
+                esm_obs::trace::span_tagged("commit_validate", format!("shard:{index}"));
             let conflict = guard.fcw_conflict(snap_seqs[&index], &keys)?;
             let validate_ns = validate_span.elapsed_ns();
+            drop(validate_tspan);
             tel.record(Phase::CommitValidate, validate_ns);
             if let Some((table, seq)) = conflict {
                 drop(guard);
@@ -1039,12 +1046,14 @@ impl ShardedEngineServer {
         }
         let n = participants.len() as u64;
         let twopc_span = Span::start();
+        let twopc_tspan = esm_obs::trace::span_tagged("twopc", format!("participants:{n}"));
         let result = self.inner.coordinator.commit_cross(
             &participants,
             failpoint,
             Some(&self.inner.telemetry),
             || self.inner.stamp.fetch_add(1, Ordering::SeqCst),
         );
+        drop(twopc_tspan);
         self.inner.telemetry.record_slow(
             "commit:cross-shard",
             twopc_span.elapsed_ns(),

@@ -325,7 +325,8 @@ impl Shard {
         let Some(group) = &self.inner.group else {
             return Ok(());
         };
-        group.wait_durable(seq, || {
+        let tspan = esm_obs::trace::span("group_commit_wait");
+        let led = group.wait_durable(seq, || {
             let mut state = self.write();
             let durable = state
                 .durable
@@ -334,7 +335,11 @@ impl Shard {
             let through = durable.last_seq();
             durable.sync()?;
             Ok(through)
-        })
+        })?;
+        if let Some(mut t) = tspan {
+            t.set_tag(if led { "leader" } else { "follower" });
+        }
+        Ok(())
     }
 
     /// This shard's recovery law: its in-memory WAL replayed over its

@@ -45,6 +45,10 @@ use crate::proto::{Request, Response};
 pub struct RemoteEngine {
     wire: Arc<Mutex<TcpStream>>,
     peer: SocketAddr,
+    /// Client-local telemetry registry: a `Session` over this engine
+    /// mints its trace roots here (head sampling is client-side), and
+    /// the round-trip spans land here. Shared across clones.
+    telemetry: Arc<esm_obs::Telemetry>,
 }
 
 impl std::fmt::Debug for RemoteEngine {
@@ -62,7 +66,15 @@ impl RemoteEngine {
         Ok(RemoteEngine {
             wire: Arc::new(Mutex::new(stream)),
             peer,
+            telemetry: Arc::new(esm_obs::Telemetry::new()),
         })
+    }
+
+    /// The client-local telemetry registry (trace roots, round-trip
+    /// spans). Tune its sampling with
+    /// [`esm_obs::Telemetry::set_trace_sample_every`].
+    pub fn telemetry_registry(&self) -> &Arc<esm_obs::Telemetry> {
+        &self.telemetry
     }
 
     /// The server address this handle speaks to.
@@ -78,14 +90,38 @@ impl RemoteEngine {
         }
     }
 
+    /// Probe the server's network layer without touching any engine
+    /// lock: `(uptime_ms, protocol_rev, workers)`.
+    pub fn server_ping(&self) -> Result<(u64, u32, u32), EngineError> {
+        match self.request(&Request::ServerPing)? {
+            Response::ServerInfo {
+                uptime_ms,
+                protocol_rev,
+                workers,
+            } => Ok((uptime_ms, protocol_rev, workers)),
+            other => Err(unexpected(other)),
+        }
+    }
+
     fn request(&self, req: &Request) -> Result<Response, EngineError> {
+        // With a trace active on this thread, the round trip becomes a
+        // span and the request carries the trace id (parented under
+        // that span) so the server roots its own tree under the same
+        // id. Untraced requests encode byte-identically to revision 1.
+        let mut rt_span = esm_obs::trace::span("net_round_trip");
+        let ctx = esm_obs::trace::current().map(|t| (t.id().0, t.parent_span()));
+        let encoded = req.encode_with_trace(ctx);
         let mut stream = self
             .wire
             .lock()
             .map_err(|_| EngineError::Io("remote connection poisoned".into()))?;
-        write_frame(&mut *stream, &req.encode())?;
+        write_frame(&mut *stream, &encoded)?;
         let payload = read_frame(&mut *stream)?;
         drop(stream);
+        if let Some(s) = rt_span.as_mut() {
+            s.set_bytes((encoded.len() + payload.len()) as u64);
+        }
+        drop(rt_span);
         Ok(Response::decode(&payload)?)
     }
 
@@ -268,6 +304,23 @@ impl Engine for RemoteEngine {
             Response::Stats(t) => Ok(t),
             other => Err(unexpected(other)),
         }
+    }
+
+    fn traces(&self) -> Result<esm_obs::TraceReport, EngineError> {
+        // Server-side trees first (rooted at frame decode, fsync spans
+        // inside), then the client-local trees that carry the matching
+        // round-trip spans — correlated by shared trace id.
+        match self.call(&Request::Traces)? {
+            Response::Traces(mut server) => {
+                server.merge(&self.telemetry.traces_report());
+                Ok(server)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn telemetry_handle(&self) -> Option<Arc<esm_obs::Telemetry>> {
+        Some(Arc::clone(&self.telemetry))
     }
 
     fn checkpoint(&self) -> Result<Option<u64>, EngineError> {

@@ -45,5 +45,5 @@ pub mod server;
 
 pub use client::RemoteEngine;
 pub use frame::{decode_frame, encode_frame, FrameError, MAX_FRAME_BYTES};
-pub use proto::{Request, Response, WireError};
+pub use proto::{Request, Response, WireError, PROTOCOL_REV};
 pub use server::{NetServer, NetServerConfig, NetStats};

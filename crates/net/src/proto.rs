@@ -44,7 +44,10 @@
 //! no recursion and no parenthesis escaping.
 
 use esm_engine::{EngineError, MetricsSnapshot, ShardStats, ViewStats, WalStats};
-use esm_obs::{HistogramSnapshot, Phase, SlowOp, TelemetrySnapshot};
+use esm_obs::{
+    HistogramSnapshot, Phase, SlowOp, SpanRecord, TelemetrySnapshot, TraceId, TraceRecord,
+    TraceReport,
+};
 use esm_relational::ViewDef;
 use esm_store::codec::{
     self, decode_cell, decode_row, encode_cell, encode_row, escape, unescape, BinReader,
@@ -146,6 +149,14 @@ pub enum Request {
     Checkpoint,
     /// `Engine::sync_wal`.
     SyncWal,
+    /// Server identity and liveness: answered by the network layer
+    /// itself ([`Response::ServerInfo`]) without touching any engine
+    /// lock — safe to poll while the engine is wedged.
+    ServerPing,
+    /// `Engine::traces` — the recent and slow trace rings. On the wire
+    /// the server merges its net-layer traces in, the way `Stats`
+    /// merges telemetry.
+    Traces,
 }
 
 /// One server response.
@@ -178,7 +189,25 @@ pub enum Response {
     Seq(Option<u64>),
     /// A structured engine error.
     Err(EngineError),
+    /// The network server's identity ([`Request::ServerPing`]).
+    ServerInfo {
+        /// Milliseconds since the server started accepting.
+        uptime_ms: u64,
+        /// The protocol revision the server speaks ([`PROTOCOL_REV`]).
+        protocol_rev: u32,
+        /// Size of the server's worker pool.
+        workers: u32,
+    },
+    /// Recent and slow causal traces ([`Request::Traces`]).
+    Traces(TraceReport),
 }
+
+/// The wire protocol revision this build speaks. Revision 2 added the
+/// optional trace-context suffix on binary requests, `server_ping` and
+/// `traces`. Servers keep decoding every earlier form, so the revision
+/// is informational (surfaced by [`Response::ServerInfo`]), not a
+/// handshake.
+pub const PROTOCOL_REV: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Line reader.
@@ -821,6 +850,94 @@ fn decode_telemetry(r: &mut Reader<'_>) -> Result<TelemetrySnapshot, WireError> 
 }
 
 // ---------------------------------------------------------------------
+// Traces.
+// ---------------------------------------------------------------------
+
+/// Render a trace report as a self-delimiting document, the sparse
+/// discipline of [`encode_telemetry`]: an `@traces` header announcing
+/// the recent and slow counts, then per trace one `trace` line (id as
+/// 16 hex digits, escaped root name, total, span count) followed by
+/// exactly that many `span` lines. Bit-exact round trip.
+pub fn encode_traces(out: &mut String, report: &TraceReport) {
+    out.push_str(&format!(
+        "@traces\t{}\t{}\n",
+        report.recent.len(),
+        report.slow.len()
+    ));
+    for trace in report.recent.iter().chain(report.slow.iter()) {
+        out.push_str(&format!(
+            "trace\t{}\t{}\t{}\t{}\n",
+            trace.id,
+            escape(&trace.root),
+            trace.duration_ns,
+            trace.spans.len()
+        ));
+        for s in &trace.spans {
+            out.push_str(&format!(
+                "span\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                s.id,
+                s.parent,
+                escape(&s.name),
+                escape(&s.tag),
+                s.start_ns,
+                s.duration_ns,
+                s.bytes
+            ));
+        }
+    }
+}
+
+fn decode_trace_record(r: &mut Reader<'_>) -> Result<TraceRecord, WireError> {
+    let parts = fields(r.keyword("trace")?);
+    let [id, root, duration_ns, n_spans] = parts.as_slice() else {
+        return Err(err("bad trace line"));
+    };
+    let id = u64::from_str_radix(id, 16).map_err(|_| err("bad trace id"))?;
+    let n_spans: usize = n_spans.parse().map_err(|_| err("bad span count"))?;
+    let mut spans = Vec::with_capacity(n_spans);
+    for _ in 0..n_spans {
+        let parts = fields(r.keyword("span")?);
+        let [sid, parent, name, tag, start_ns, dur_ns, bytes] = parts.as_slice() else {
+            return Err(err("bad span line"));
+        };
+        spans.push(SpanRecord {
+            id: sid.parse().map_err(|_| err("bad span id"))?,
+            parent: parent.parse().map_err(|_| err("bad span parent"))?,
+            name: unescape(name)?,
+            tag: unescape(tag)?,
+            start_ns: start_ns.parse().map_err(|_| err("bad span start"))?,
+            duration_ns: dur_ns.parse().map_err(|_| err("bad span duration"))?,
+            bytes: bytes.parse().map_err(|_| err("bad span bytes"))?,
+        });
+    }
+    Ok(TraceRecord {
+        id: TraceId(id),
+        root: unescape(root)?,
+        duration_ns: duration_ns.parse().map_err(|_| err("bad trace duration"))?,
+        spans,
+    })
+}
+
+fn decode_traces(r: &mut Reader<'_>) -> Result<TraceReport, WireError> {
+    let head = fields(r.keyword("@traces")?)
+        .into_iter()
+        .map(|f| f.parse::<usize>().map_err(|_| err("bad @traces header")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let [n_recent, n_slow] = head.as_slice() else {
+        return Err(err("bad @traces header"));
+    };
+    let mut recent = Vec::with_capacity(*n_recent);
+    for _ in 0..*n_recent {
+        recent.push(decode_trace_record(r)?);
+    }
+    let mut slow = Vec::with_capacity(*n_slow);
+    for _ in 0..*n_slow {
+        slow.push(decode_trace_record(r)?);
+    }
+    Ok(TraceReport { recent, slow })
+}
+
+// ---------------------------------------------------------------------
 // Errors.
 // ---------------------------------------------------------------------
 
@@ -930,6 +1047,14 @@ const REQ_METRICS: u8 = 11;
 const REQ_STATS: u8 = 12;
 const REQ_CHECKPOINT: u8 = 13;
 const REQ_SYNC_WAL: u8 = 14;
+const REQ_SERVER_PING: u8 = 15;
+const REQ_TRACES: u8 = 16;
+
+/// Byte length of the optional trace-context suffix on binary
+/// requests: a u64 trace id plus a u32 parent span id. Pre-revision-2
+/// requests end right after their body; a decoder that finds exactly
+/// this many bytes left reads them as the context.
+const TRACE_CTX_BYTES: usize = 12;
 
 const RESP_UNIT: u8 = 0;
 const RESP_NAMES: u8 = 1;
@@ -941,6 +1066,8 @@ const RESP_METRICS: u8 = 6;
 const RESP_STATS: u8 = 7;
 const RESP_SEQ: u8 = 8;
 const RESP_ERR: u8 = 9;
+const RESP_SERVER_INFO: u8 = 10;
+const RESP_TRACES: u8 = 11;
 
 fn put_value_type(out: &mut Vec<u8>, ty: ValueType) {
     out.push(match ty {
@@ -1112,6 +1239,22 @@ impl Request {
             Request::Stats => out.push(REQ_STATS),
             Request::Checkpoint => out.push(REQ_CHECKPOINT),
             Request::SyncWal => out.push(REQ_SYNC_WAL),
+            Request::ServerPing => out.push(REQ_SERVER_PING),
+            Request::Traces => out.push(REQ_TRACES),
+        }
+        out
+    }
+
+    /// [`Request::encode`] with a trace context — the trace id and the
+    /// client-side parent span — appended as a fixed-width suffix. Old
+    /// servers reject the extra bytes; new servers root a server-side
+    /// trace under the same id. `None` encodes identically to
+    /// [`Request::encode`].
+    pub fn encode_with_trace(&self, ctx: Option<(u64, u32)>) -> Vec<u8> {
+        let mut out = self.encode();
+        if let Some((trace_id, parent)) = ctx {
+            codec::put_u64(&mut out, trace_id);
+            codec::put_u32(&mut out, parent);
         }
         out
     }
@@ -1160,6 +1303,8 @@ impl Request {
             Request::Stats => out.push_str("stats\n"),
             Request::Checkpoint => out.push_str("checkpoint\n"),
             Request::SyncWal => out.push_str("sync_wal\n"),
+            Request::ServerPing => out.push_str("server_ping\n"),
+            Request::Traces => out.push_str("traces\n"),
         }
         out.into_bytes()
     }
@@ -1169,6 +1314,14 @@ impl Request {
     /// payload can start with) selects the binary codec; anything else
     /// takes the legacy text path, so old clients keep working.
     pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        Request::decode_with_trace(payload).map(|(req, _)| req)
+    }
+
+    /// [`Request::decode`], also surfacing the trace context when the
+    /// payload is binary and carries the revision-2 suffix (the trace
+    /// id and the sender's parent span id). Text payloads and suffixless
+    /// binary payloads decode with `None` — legacy clients never trace.
+    pub fn decode_with_trace(payload: &[u8]) -> Result<(Request, Option<(u64, u32)>), WireError> {
         if payload.first() == Some(&BINARY_WIRE_MAGIC) {
             return Request::decode_binary(&payload[1..]);
         }
@@ -1234,14 +1387,17 @@ impl Request {
             "stats" => Request::Stats,
             "checkpoint" => Request::Checkpoint,
             "sync_wal" => Request::SyncWal,
+            "server_ping" => Request::ServerPing,
+            "traces" => Request::Traces,
             _ => return Err(err(format!("unknown request op `{op}`"))),
         };
         r.end()?;
-        Ok(req)
+        Ok((req, None))
     }
 
-    /// Parse the binary body (everything after the magic byte).
-    fn decode_binary(bytes: &[u8]) -> Result<Request, WireError> {
+    /// Parse the binary body (everything after the magic byte),
+    /// surfacing the optional trace-context suffix.
+    fn decode_binary(bytes: &[u8]) -> Result<(Request, Option<(u64, u32)>), WireError> {
         let mut r = BinReader::new(bytes);
         let tag = r.u8()?;
         let req = match tag {
@@ -1279,10 +1435,20 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_CHECKPOINT => Request::Checkpoint,
             REQ_SYNC_WAL => Request::SyncWal,
+            REQ_SERVER_PING => Request::ServerPing,
+            REQ_TRACES => Request::Traces,
             other => return Err(err(format!("unknown binary request tag {other}"))),
         };
+        // Revision 2: exactly TRACE_CTX_BYTES past the body is the
+        // trace context; zero is a pre-revision request; anything else
+        // is garbage.
+        let ctx = if r.remaining() == TRACE_CTX_BYTES {
+            Some((r.u64()?, r.u32()?))
+        } else {
+            None
+        };
         r.end()?;
-        Ok(req)
+        Ok((req, ctx))
     }
 }
 
@@ -1357,6 +1523,22 @@ impl Response {
                 out.push(RESP_ERR);
                 codec::put_str(&mut out, &encode_error(e));
             }
+            Response::ServerInfo {
+                uptime_ms,
+                protocol_rev,
+                workers,
+            } => {
+                out.push(RESP_SERVER_INFO);
+                codec::put_u64(&mut out, *uptime_ms);
+                codec::put_u32(&mut out, *protocol_rev);
+                codec::put_u32(&mut out, *workers);
+            }
+            Response::Traces(report) => {
+                out.push(RESP_TRACES);
+                let mut text = String::new();
+                encode_traces(&mut text, report);
+                codec::put_str(&mut out, &text);
+            }
         }
         out
     }
@@ -1411,6 +1593,17 @@ impl Response {
                 None => out.push_str("seq\tnone\n"),
             },
             Response::Err(e) => out.push_str(&format!("err\t{}\n", encode_error(e))),
+            Response::ServerInfo {
+                uptime_ms,
+                protocol_rev,
+                workers,
+            } => out.push_str(&format!(
+                "server_info\t{uptime_ms}\t{protocol_rev}\t{workers}\n"
+            )),
+            Response::Traces(report) => {
+                out.push_str("traces\n");
+                encode_traces(&mut out, report);
+            }
         }
         out.into_bytes()
     }
@@ -1463,6 +1656,18 @@ impl Response {
                 n => Some(n.parse().map_err(|_| err("bad seq"))?),
             }),
             "err" => Response::Err(decode_error(rest)?),
+            "server_info" => {
+                let parts = fields(rest);
+                let [uptime_ms, protocol_rev, workers] = parts.as_slice() else {
+                    return Err(err("bad server_info line"));
+                };
+                Response::ServerInfo {
+                    uptime_ms: uptime_ms.parse().map_err(|_| err("bad uptime"))?,
+                    protocol_rev: protocol_rev.parse().map_err(|_| err("bad protocol rev"))?,
+                    workers: workers.parse().map_err(|_| err("bad worker count"))?,
+                }
+            }
+            "traces" => Response::Traces(decode_traces(&mut r)?),
             _ => return Err(err(format!("unknown response op `{op}`"))),
         };
         r.end()?;
@@ -1511,6 +1716,12 @@ impl Response {
                 let line = r.str()?;
                 Response::Err(decode_error(&line)?)
             }
+            RESP_SERVER_INFO => Response::ServerInfo {
+                uptime_ms: r.u64()?,
+                protocol_rev: r.u32()?,
+                workers: r.u32()?,
+            },
+            RESP_TRACES => Response::Traces(bin_text_blob(&mut r, decode_traces)?),
             other => return Err(err(format!("unknown binary response tag {other}"))),
         };
         r.end()?;
@@ -1582,6 +1793,15 @@ pub fn handle(session: &esm_engine::Session, req: Request) -> Response {
                 engine.sync_wal()?;
                 Response::Unit
             }
+            // The network layer intercepts ServerPing before handle()
+            // and answers with its real identity; this arm covers
+            // direct (serverless) use of the handler.
+            Request::ServerPing => Response::ServerInfo {
+                uptime_ms: 0,
+                protocol_rev: PROTOCOL_REV,
+                workers: 0,
+            },
+            Request::Traces => Response::Traces(engine.traces()?),
         })
     })();
     result.unwrap_or_else(Response::Err)
@@ -1611,6 +1831,68 @@ mod tests {
         );
         tel.record_slow("plain".to_string(), 12_345_678, &[]);
         tel.snapshot()
+    }
+
+    fn traces() -> TraceReport {
+        let spans = vec![
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                name: "net:commit".into(),
+                tag: String::new(),
+                start_ns: 0,
+                duration_ns: 5_000,
+                bytes: 0,
+            },
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                name: "we\tird\nname".into(),
+                tag: "shard:0\tλ".into(),
+                start_ns: 10,
+                duration_ns: 4_000,
+                bytes: 512,
+            },
+            SpanRecord {
+                id: 3,
+                parent: 2,
+                name: "commit_fsync".into(),
+                tag: String::new(),
+                start_ns: 100,
+                duration_ns: 3_000,
+                bytes: u64::MAX,
+            },
+        ];
+        TraceReport {
+            recent: vec![
+                TraceRecord {
+                    id: TraceId(0xfeed_face_0000_0001),
+                    root: "net:commit".into(),
+                    duration_ns: 5_000,
+                    spans,
+                },
+                TraceRecord {
+                    id: TraceId(0),
+                    root: "empty".into(),
+                    duration_ns: 0,
+                    spans: vec![],
+                },
+            ],
+            slow: vec![TraceRecord {
+                id: TraceId(u64::MAX),
+                root: "slo\tw".into(),
+                duration_ns: u64::MAX,
+                spans: vec![SpanRecord {
+                    id: 1,
+                    parent: 0,
+                    name: "session:transact".into(),
+                    tag: String::new(),
+                    start_ns: 0,
+                    duration_ns: u64::MAX,
+                    bytes: 7,
+                }],
+            }],
+        }
     }
 
     #[test]
@@ -1659,11 +1941,45 @@ mod tests {
             Request::Stats,
             Request::Checkpoint,
             Request::SyncWal,
+            Request::ServerPing,
+            Request::Traces,
         ];
         for req in reqs {
             let back = Request::decode(&req.encode()).unwrap();
             // ViewDef has no PartialEq; compare through re-encoding.
             assert_eq!(back.encode(), req.encode(), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn trace_context_round_trips() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Commit {
+                deltas: vec![(
+                    "t".into(),
+                    Delta {
+                        inserted: vec![row![3, "c"]],
+                        deleted: vec![],
+                    },
+                )],
+            },
+            Request::Traces,
+        ];
+        for req in reqs {
+            // With a context: it survives and the request is unchanged.
+            let ctx = Some((0xdead_beef_cafe_f00d_u64, 17_u32));
+            let (back, got) = Request::decode_with_trace(&req.encode_with_trace(ctx)).unwrap();
+            assert_eq!(got, ctx, "{req:?}");
+            assert_eq!(back.encode(), req.encode(), "{req:?}");
+            // Without one: encode_with_trace(None) is byte-identical to
+            // the plain encoding, and decodes with no context.
+            assert_eq!(req.encode_with_trace(None), req.encode(), "{req:?}");
+            let (_, got) = Request::decode_with_trace(&req.encode()).unwrap();
+            assert_eq!(got, None, "{req:?}");
+            // Text framing never carries a context.
+            let (_, got) = Request::decode_with_trace(&req.encode_text()).unwrap();
+            assert_eq!(got, None, "{req:?}");
         }
     }
 
@@ -1716,6 +2032,13 @@ mod tests {
             }),
             Response::Seq(Some(12)),
             Response::Seq(None),
+            Response::ServerInfo {
+                uptime_ms: 123_456,
+                protocol_rev: PROTOCOL_REV,
+                workers: 8,
+            },
+            Response::Traces(traces()),
+            Response::Traces(TraceReport::default()),
             Response::Err(EngineError::Conflict {
                 table: "t".into(),
                 detail: "de\ttail".into(),
@@ -1751,6 +2074,8 @@ mod tests {
                     },
                 )],
             },
+            Request::ServerPing,
+            Request::Traces,
         ];
         for req in reqs {
             let back = Request::decode(&req.encode_text()).unwrap();
@@ -1766,6 +2091,12 @@ mod tests {
                 gtx: Some("g17".into()),
             },
             Response::Stats(telemetry()),
+            Response::ServerInfo {
+                uptime_ms: 9,
+                protocol_rev: PROTOCOL_REV,
+                workers: 1,
+            },
+            Response::Traces(traces()),
             Response::Err(EngineError::Conflict {
                 table: "t".into(),
                 detail: "de\ttail".into(),

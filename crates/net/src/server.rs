@@ -32,10 +32,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use esm_engine::{ArcEngine, Session};
-use esm_obs::{Phase, Span, Telemetry, TelemetrySnapshot};
+use esm_obs::{Phase, Span, Telemetry, TelemetryConfig, TelemetrySnapshot, TraceId};
 
 use crate::frame::{decode_frame, encode_frame};
-use crate::proto::{handle, Request, Response, WireError};
+use crate::proto::{handle, Request, Response, WireError, PROTOCOL_REV};
 
 /// Tuning knobs for a [`NetServer`].
 #[derive(Debug, Clone)]
@@ -50,6 +50,10 @@ pub struct NetServerConfig {
     /// existing connection is quiet, and how long the idle backoff
     /// (which starts at 2µs and doubles) is allowed to grow.
     pub idle_sleep: Duration,
+    /// Knobs for the server's own telemetry registry: slow-op
+    /// threshold, ring capacities, trace sampling. The default keeps
+    /// zero-config behavior identical to before the knob existed.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for NetServerConfig {
@@ -57,6 +61,7 @@ impl Default for NetServerConfig {
         NetServerConfig {
             workers: std::thread::available_parallelism().map_or(8, |n| n.get().max(8)),
             idle_sleep: Duration::from_micros(200),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -73,6 +78,21 @@ impl NetServerConfig {
         self.idle_sleep = idle_sleep;
         self
     }
+
+    /// Override the net-layer telemetry knobs (slow threshold, ring
+    /// capacities, trace sampling).
+    pub fn telemetry_config(mut self, telemetry: TelemetryConfig) -> NetServerConfig {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+/// What `SERVER_PING` answers with: facts the network layer knows
+/// about itself without consulting the engine.
+#[derive(Debug)]
+struct ServerIdentity {
+    started: Instant,
+    workers: u32,
 }
 
 /// Wakes the poller the moment a worker finishes a request, so a ready
@@ -150,13 +170,18 @@ struct Job {
     payload: Vec<u8>,
     /// When the poller handed the frame to the pool (queue-wait clock).
     enqueued: Instant,
+    /// How long the poller spent extracting this frame — a traced
+    /// request backdates its server-side root by this much so the
+    /// trace's origin sits where the bytes became a frame.
+    decode_ns: u64,
 }
 
 struct Conn {
     stream: TcpStream,
     shared: Arc<ConnShared>,
     inbuf: Vec<u8>,
-    pending: VecDeque<Vec<u8>>,
+    /// Complete frames waiting their turn, each with its decode time.
+    pending: VecDeque<(Vec<u8>, u64)>,
     busy: bool,
 }
 
@@ -191,7 +216,11 @@ impl NetServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(NetCounters::default());
-        let telemetry = Arc::new(Telemetry::new());
+        let telemetry = Arc::new(Telemetry::with_config(config.telemetry.clone()));
+        let identity = Arc::new(ServerIdentity {
+            started: Instant::now(),
+            workers: u32::try_from(config.workers.max(1)).unwrap_or(u32::MAX),
+        });
 
         let (jobs_tx, jobs_rx) = channel::<Job>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
@@ -204,9 +233,10 @@ impl NetServer {
             let done_tx = done_tx.clone();
             let counters = Arc::clone(&counters);
             let telemetry = Arc::clone(&telemetry);
+            let identity = Arc::clone(&identity);
             let wake = Arc::clone(&wake);
             threads.push(std::thread::spawn(move || {
-                worker_loop(&jobs_rx, &done_tx, &counters, &telemetry, &wake);
+                worker_loop(&jobs_rx, &done_tx, &counters, &telemetry, &identity, &wake);
             }));
         }
         drop(done_tx);
@@ -281,11 +311,35 @@ impl std::fmt::Debug for NetServer {
     }
 }
 
+/// A short stable name for the server-side trace root of one request.
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "net:ping",
+        Request::TableNames => "net:table_names",
+        Request::Table(_) => "net:table",
+        Request::Snapshot => "net:snapshot",
+        Request::DefineView { .. } => "net:define_view",
+        Request::OpenView(_) => "net:open_view",
+        Request::ViewNames => "net:view_names",
+        Request::ReadView(_) => "net:read_view",
+        Request::WriteView { .. } => "net:write_view",
+        Request::EditViewCas { .. } => "net:edit_view_cas",
+        Request::Commit { .. } => "net:commit",
+        Request::Metrics => "net:metrics",
+        Request::Stats => "net:stats",
+        Request::Checkpoint => "net:checkpoint",
+        Request::SyncWal => "net:sync_wal",
+        Request::ServerPing => "net:server_ping",
+        Request::Traces => "net:traces",
+    }
+}
+
 fn worker_loop(
     jobs: &Mutex<Receiver<Job>>,
     done: &Sender<u64>,
     counters: &NetCounters,
     telemetry: &Telemetry,
+    identity: &ServerIdentity,
     wake: &PollerWake,
 ) {
     loop {
@@ -297,38 +351,97 @@ fn worker_loop(
         };
         let Ok(job) = job else { return };
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        telemetry.record(
-            Phase::NetQueueWait,
-            u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
-        );
+        let queue_ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry.record(Phase::NetQueueWait, queue_ns);
         // Panic containment: a request that panics its handler must
         // cost an error response, not this worker thread (a dead worker
         // shrinks the pool and wedges the connection whose completion
         // token it never sent).
         let handler_span = Span::start();
-        let mut response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            match Request::decode(&job.payload) {
-                Ok(req) => handle(&job.shared.session, req),
-                Err(WireError(msg)) => {
-                    Response::Err(esm_engine::EngineError::Io(format!("bad request: {msg}")))
+        let (mut response, trace_root) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match Request::decode_with_trace(&job.payload) {
+                    Ok((req, ctx)) => {
+                        // A wire trace context roots a server-side tree
+                        // under the client's trace id, unconditionally
+                        // (the client already made the sampling call).
+                        // Its origin is backdated to when the poller
+                        // started extracting the frame, so the already-
+                        // measured decode and queue-wait phases file as
+                        // proper spans instead of vanishing into the
+                        // root's leading edge.
+                        let root = ctx.map(|(id, _parent)| {
+                            let origin = job
+                                .enqueued
+                                .checked_sub(Duration::from_nanos(job.decode_ns))
+                                .unwrap_or(job.enqueued);
+                            let root =
+                                telemetry.start_trace_with_id(TraceId(id), op_name(&req), origin);
+                            root.record_span(
+                                "net_frame_decode",
+                                "",
+                                0,
+                                job.decode_ns,
+                                job.payload.len() as u64,
+                            );
+                            root.record_span("net_queue_wait", "", job.decode_ns, queue_ns, 0);
+                            root
+                        });
+                        // SERVER_PING is answered right here: no engine
+                        // call, no engine lock — it stays honest even
+                        // while the engine is wedged.
+                        let resp = if matches!(req, Request::ServerPing) {
+                            Response::ServerInfo {
+                                uptime_ms: u64::try_from(identity.started.elapsed().as_millis())
+                                    .unwrap_or(u64::MAX),
+                                protocol_rev: PROTOCOL_REV,
+                                workers: identity.workers,
+                            }
+                        } else {
+                            let hspan = esm_obs::trace::span("net_handler");
+                            let resp = handle(&job.shared.session, req);
+                            drop(hspan);
+                            resp
+                        };
+                        (resp, root)
+                    }
+                    Err(WireError(msg)) => (
+                        Response::Err(esm_engine::EngineError::Io(format!("bad request: {msg}"))),
+                        None,
+                    ),
                 }
-            }
-        }))
-        .unwrap_or_else(|_| {
-            Response::Err(esm_engine::EngineError::Io(
-                "internal error while handling the request".into(),
-            ))
-        });
+            }))
+            .unwrap_or_else(|_| {
+                (
+                    Response::Err(esm_engine::EngineError::Io(
+                        "internal error while handling the request".into(),
+                    )),
+                    None,
+                )
+            });
         telemetry.record(Phase::NetHandler, handler_span.elapsed_ns());
         // A STATS response carries the engine's phases; fold in the
         // server's own net-layer phases (disjoint sets — the engine
         // never records `net_*`, the server never records engine
-        // phases — so the merge changes no engine histogram).
+        // phases — so the merge changes no engine histogram). TRACE
+        // gets the same treatment: the net layer's wire-rooted trees
+        // ride along with the engine's session-rooted ones.
         if let Response::Stats(snap) = &mut response {
             snap.merge(&telemetry.snapshot());
         }
+        if let Response::Traces(report) = &mut response {
+            report.merge(&telemetry.traces_report());
+        }
         let write_span = Span::start();
+        let mut wspan = esm_obs::trace::span("net_response_write");
         let framed = encode_frame(&response.encode());
+        if let Some(s) = wspan.as_mut() {
+            s.set_bytes(framed.len() as u64);
+        }
+        drop(wspan);
+        // Files the trace (the root drop snapshots every span recorded
+        // under it, response encode included).
+        drop(trace_root);
         if let Ok(mut out) = job.shared.outbuf.lock() {
             out.extend_from_slice(&framed);
         }
@@ -443,9 +556,10 @@ fn poller_loop(
                     let decode_span = Span::start();
                     match decode_frame(&conn.inbuf) {
                         Ok(Some((payload, consumed))) => {
-                            telemetry.record(Phase::NetFrameDecode, decode_span.elapsed_ns());
+                            let decode_ns = decode_span.elapsed_ns();
+                            telemetry.record(Phase::NetFrameDecode, decode_ns);
                             conn.inbuf.drain(..consumed);
-                            conn.pending.push_back(payload);
+                            conn.pending.push_back((payload, decode_ns));
                         }
                         Ok(None) => break,
                         Err(_) => {
@@ -459,7 +573,7 @@ fn poller_loop(
             // Dispatch at most one in-flight request per connection so
             // responses keep request order.
             if !drop_conn && !conn.busy {
-                if let Some(payload) = conn.pending.pop_front() {
+                if let Some((payload, decode_ns)) = conn.pending.pop_front() {
                     conn.busy = true;
                     active = true;
                     if jobs
@@ -468,6 +582,7 @@ fn poller_loop(
                             shared: Arc::clone(&conn.shared),
                             payload,
                             enqueued: Instant::now(),
+                            decode_ns,
                         })
                         .is_err()
                     {

@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use esm_net::frame::{decode_frame, encode_frame};
 use esm_net::proto::{decode_predicate, encode_predicate};
 use esm_net::{Request, Response};
+use esm_obs::{SpanRecord, TraceId, TraceRecord, TraceReport};
 use esm_relational::ViewDef;
 use esm_store::{row, Delta, Operand, Predicate, Row, Schema, Table, Value, ValueType};
 
@@ -89,6 +90,46 @@ fn arb_viewdef() -> impl Strategy<Value = ViewDef> {
             .project(&["id", "s"], &[(b.as_str(), Value::str(a.as_str()))])
             .rename(&[("s", "renamed")])
     })
+}
+
+/// Full-range u64s (the vendored proptest only derives signed ints).
+fn arb_u64() -> impl Strategy<Value = u64> {
+    any::<i64>().prop_map(|n| n as u64)
+}
+
+/// Spans with codec-hostile names/tags and full-range numerics.
+fn arb_span() -> impl Strategy<Value = SpanRecord> {
+    (
+        (1u32..64, 0u32..64),
+        (nasty_string(), nasty_string()),
+        (arb_u64(), arb_u64(), arb_u64()),
+    )
+        .prop_map(
+            |((id, parent), (name, tag), (start_ns, duration_ns, bytes))| SpanRecord {
+                id,
+                parent,
+                name,
+                tag,
+                start_ns,
+                duration_ns,
+                bytes,
+            },
+        )
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceRecord> {
+    (
+        arb_u64(),
+        nasty_string(),
+        arb_u64(),
+        proptest::collection::vec(arb_span(), 0..6),
+    )
+        .prop_map(|(id, root, duration_ns, spans)| TraceRecord {
+            id: TraceId(id),
+            root,
+            duration_ns,
+            spans,
+        })
 }
 
 proptest! {
@@ -195,6 +236,37 @@ proptest! {
             Ok(None) => {} // a flip in the length prefix can make it "incomplete"
             Ok(Some(_)) => prop_assert!(false, "corrupt frame decoded"),
         }
+    }
+
+    #[test]
+    fn trace_contexts_round_trip_and_never_corrupt_the_body(
+        name in nasty_string(),
+        table in arb_table(),
+        trace_id in arb_u64(),
+        parent in any::<i64>().prop_map(|n| n as u32),
+        carry in any::<bool>(),
+    ) {
+        // The context is a pure suffix: carrying one never changes how
+        // the request body decodes, and omitting it is byte-identical
+        // to the pre-context encoding.
+        let req = Request::WriteView { name, view: table };
+        let ctx = carry.then_some((trace_id, parent));
+        let (back, got) = Request::decode_with_trace(&req.encode_with_trace(ctx))
+            .expect("round-trips");
+        prop_assert_eq!(got, ctx);
+        prop_assert_eq!(back, req.clone());
+        prop_assert_eq!(req.encode_with_trace(None), req.encode());
+    }
+
+    #[test]
+    fn trace_reports_round_trip_through_frames(
+        recent in proptest::collection::vec(arb_trace(), 0..4),
+        slow in proptest::collection::vec(arb_trace(), 0..3),
+    ) {
+        let resp = Response::Traces(TraceReport { recent, slow });
+        let framed = encode_frame(&resp.encode());
+        let (payload, _) = decode_frame(&framed).unwrap().expect("complete");
+        prop_assert_eq!(Response::decode(&payload).expect("round-trips"), resp);
     }
 
     #[test]

@@ -12,14 +12,22 @@
 //!   bounded slow-op ring with per-phase breakdowns.
 //! * [`Timer`]/[`Span`] — the recorder API: RAII scope timing or an
 //!   explicit stopwatch feeding slow-op breakdowns.
+//! * [`trace`] — **causal commit tracing**: per-request span trees
+//!   ([`TraceId`] → [`SpanRecord`]s in a [`TraceSink`], carried by a
+//!   thread-local context, filed into bounded [`TraceBuffer`] rings).
+//!   Head sampling at a configurable 1-in-N rate plus tail capture of
+//!   any trace crossing the slow-op threshold — so a slow-op entry's
+//!   flat phase breakdown gains a full causally indented tree
+//!   ([`render_trace`]). Untraced requests pay one thread-local read.
 //! * [`render_prometheus`] — text exposition of a
 //!   [`TelemetrySnapshot`] for scrapers and humans.
 //!
 //! The layering is recorder → registry → exposition: call sites hold
-//! an `Arc<Telemetry>` and record nanoseconds; readers take
-//! [`TelemetrySnapshot`]s (cheap, non-draining, mergeable) and render
-//! or ship them — the esm-net `STATS` verb serializes exactly this
-//! type over the wire.
+//! an `Arc<Telemetry>` and record nanoseconds (histograms) or open
+//! [`trace::span`]s (traces); readers take [`TelemetrySnapshot`]s and
+//! [`TraceReport`]s (cheap, non-draining, mergeable) and render or
+//! ship them — the esm-net `STATS` and `TRACE` verbs serialize exactly
+//! these types over the wire.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +35,16 @@
 mod expo;
 mod histogram;
 mod telemetry;
+pub mod trace;
 
 pub use expo::render_prometheus;
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BINS};
 pub use telemetry::{
-    Phase, SlowOp, Span, Telemetry, TelemetrySnapshot, Timer, DEFAULT_SLOW_THRESHOLD_NS,
-    SLOW_OP_CAPACITY,
+    Phase, SlowOp, Span, Telemetry, TelemetryConfig, TelemetrySnapshot, Timer,
+    DEFAULT_SLOW_THRESHOLD_NS, SLOW_OP_CAPACITY,
+};
+pub use trace::{
+    render_trace, ActiveTrace, SpanGuard, SpanRecord, TraceBuffer, TraceId, TraceRecord,
+    TraceReport, TraceRoot, TraceSink, TraceStore, DEFAULT_TRACE_SAMPLE_EVERY,
+    TRACE_BUFFER_CAPACITY,
 };

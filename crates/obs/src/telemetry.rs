@@ -18,10 +18,12 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::trace::{TraceId, TraceReport, TraceRoot, TraceStore};
+use crate::{DEFAULT_TRACE_SAMPLE_EVERY, TRACE_BUFFER_CAPACITY};
 
 /// One instrumented hot-path stage. The set is closed on purpose: a
 /// fixed enum indexes a fixed histogram array (no hashing, no locking
@@ -133,8 +135,63 @@ impl Phase {
 
 /// Default slow-op threshold: 10ms.
 pub const DEFAULT_SLOW_THRESHOLD_NS: u64 = 10_000_000;
-/// Slow-op ring capacity.
+/// Default slow-op ring capacity.
 pub const SLOW_OP_CAPACITY: usize = 64;
+
+/// Runtime tuning for a [`Telemetry`] registry. The defaults reproduce
+/// the historical zero-config behavior exactly; embedders (and the
+/// engine/net config knobs that carry this struct) override per
+/// deployment instead of recompiling constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Ops at or above this total latency enter the slow-op ring and
+    /// the slow-trace ring (`u64::MAX` disables capture).
+    pub slow_threshold_ns: u64,
+    /// Slow-op ring capacity (oldest entries fall off).
+    pub slow_capacity: usize,
+    /// Capacity of each trace ring (recent and slow).
+    pub trace_capacity: usize,
+    /// Head-sampling rate for traces: 1-in-N rooted requests trace
+    /// (1 = every request, 0 = tracing off).
+    pub trace_sample_every: u32,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            slow_threshold_ns: DEFAULT_SLOW_THRESHOLD_NS,
+            slow_capacity: SLOW_OP_CAPACITY,
+            trace_capacity: TRACE_BUFFER_CAPACITY,
+            trace_sample_every: DEFAULT_TRACE_SAMPLE_EVERY,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Set the slow-op (and slow-trace) threshold in nanoseconds.
+    pub fn slow_threshold_ns(mut self, ns: u64) -> TelemetryConfig {
+        self.slow_threshold_ns = ns;
+        self
+    }
+
+    /// Set the slow-op ring capacity.
+    pub fn slow_capacity(mut self, cap: usize) -> TelemetryConfig {
+        self.slow_capacity = cap.max(1);
+        self
+    }
+
+    /// Set the trace ring capacity.
+    pub fn trace_capacity(mut self, cap: usize) -> TelemetryConfig {
+        self.trace_capacity = cap.max(1);
+        self
+    }
+
+    /// Set the trace head-sampling rate (1 = all, 0 = off).
+    pub fn trace_sample_every(mut self, every: u32) -> TelemetryConfig {
+        self.trace_sample_every = every;
+        self
+    }
+}
 
 /// One operation that crossed the slow threshold, with its locally
 /// measured phase breakdown.
@@ -156,23 +213,46 @@ pub struct SlowOp {
 pub struct Telemetry {
     phases: [Histogram; Phase::ALL.len()],
     slow_threshold_ns: AtomicU64,
+    slow_capacity: usize,
     slow: Mutex<VecDeque<SlowOp>>,
+    traces: Arc<TraceStore>,
 }
 
 impl Default for Telemetry {
     fn default() -> Telemetry {
-        Telemetry {
-            phases: std::array::from_fn(|_| Histogram::new()),
-            slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
-            slow: Mutex::new(VecDeque::with_capacity(SLOW_OP_CAPACITY)),
-        }
+        Telemetry::with_config(TelemetryConfig::default())
     }
 }
 
 impl Telemetry {
-    /// A fresh registry with the default slow threshold.
+    /// A fresh registry with the default [`TelemetryConfig`].
     pub fn new() -> Telemetry {
         Telemetry::default()
+    }
+
+    /// A registry with explicit tuning (thresholds and ring/trace
+    /// capacities; see [`TelemetryConfig`]). The `ESM_TRACE_SAMPLE_EVERY`
+    /// environment variable, when set to an integer, overrides the
+    /// configured head-sampling rate at construction (`1` = trace every
+    /// request, `0` = off) — how CI runs the bench gates fully traced
+    /// without a code change. Registries constructed before the
+    /// variable changes are unaffected (it is read once, here).
+    pub fn with_config(config: TelemetryConfig) -> Telemetry {
+        let sample_every = std::env::var("ESM_TRACE_SAMPLE_EVERY")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(config.trace_sample_every);
+        Telemetry {
+            phases: std::array::from_fn(|_| Histogram::new()),
+            slow_threshold_ns: AtomicU64::new(config.slow_threshold_ns),
+            slow_capacity: config.slow_capacity.max(1),
+            slow: Mutex::new(VecDeque::with_capacity(config.slow_capacity.max(1))),
+            traces: Arc::new(TraceStore::new(
+                config.trace_capacity,
+                sample_every,
+                config.slow_threshold_ns,
+            )),
+        }
     }
 
     /// The histogram behind one phase.
@@ -209,14 +289,16 @@ impl Telemetry {
     }
 
     /// Set the slow-op threshold (nanoseconds). Ops at or above it are
-    /// captured in the ring; `u64::MAX` disables capture.
+    /// captured in the ring (and finished traces tail-captured);
+    /// `u64::MAX` disables capture.
     pub fn set_slow_threshold_ns(&self, ns: u64) {
         self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+        self.traces.set_slow_ns(ns);
     }
 
     /// Offer one finished operation to the slow-op ring: recorded iff
-    /// `total_ns` reaches the threshold. The ring is bounded at
-    /// [`SLOW_OP_CAPACITY`] — the oldest entry falls off.
+    /// `total_ns` reaches the threshold. The ring is bounded (see
+    /// [`TelemetryConfig::slow_capacity`]) — the oldest entry falls off.
     pub fn record_slow(&self, op: impl Into<String>, total_ns: u64, phases: &[(Phase, u64)]) {
         if total_ns < self.slow_threshold_ns() {
             return;
@@ -224,7 +306,7 @@ impl Telemetry {
         let Ok(mut ring) = self.slow.lock() else {
             return;
         };
-        if ring.len() == SLOW_OP_CAPACITY {
+        if ring.len() == self.slow_capacity {
             ring.pop_front();
         }
         ring.push_back(SlowOp {
@@ -232,6 +314,57 @@ impl Telemetry {
             total_ns,
             phases: phases.to_vec(),
         });
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing.
+    // ------------------------------------------------------------------
+
+    /// The trace store (sampling state + rings) behind this registry.
+    pub fn trace_store(&self) -> &Arc<TraceStore> {
+        &self.traces
+    }
+
+    /// Set the trace head-sampling rate (1 = every rooted request,
+    /// 0 = tracing off).
+    pub fn set_trace_sample_every(&self, every: u32) {
+        self.traces.set_sample_every(every);
+    }
+
+    /// Head-sample a new trace root named `name`: `Some` when the
+    /// sampling counter elects this request **and** no trace is already
+    /// active on the current thread (nested session ops join the outer
+    /// trace instead of rooting their own). Mints a fresh [`TraceId`].
+    pub fn start_trace(&self, name: &str) -> Option<TraceRoot> {
+        if crate::trace::current().is_some() || !self.traces.should_sample() {
+            return None;
+        }
+        Some(TraceRoot::open(
+            Arc::clone(&self.traces),
+            TraceId::mint(),
+            name,
+            Instant::now(),
+            true,
+        ))
+    }
+
+    /// Root a trace unconditionally under a caller-provided id — the
+    /// server side of a wire-propagated context (the client already made
+    /// the sampling decision by attaching one). `origin` may be in the
+    /// past so spans measured before the root existed fit inside it.
+    pub fn start_trace_with_id(
+        &self,
+        id: TraceId,
+        name: impl Into<String>,
+        origin: Instant,
+    ) -> TraceRoot {
+        TraceRoot::open(Arc::clone(&self.traces), id, name, origin, true)
+    }
+
+    /// A copy of both trace rings (recent head-sampled + slow
+    /// tail-captured), oldest first.
+    pub fn traces_report(&self) -> TraceReport {
+        self.traces.report()
     }
 
     /// A copy of the slow-op ring, oldest first (non-draining — reads
