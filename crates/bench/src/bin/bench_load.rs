@@ -25,7 +25,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use esm_bench::results::BenchResults;
-use esm_engine::{Durability, DurabilityConfig, Engine, EngineServer, Session};
+use esm_engine::{
+    Durability, DurabilityConfig, Engine, EngineServer, FailPoint, Session, ShardRouter,
+    ShardedEngineServer,
+};
 use esm_net::{NetServer, NetServerConfig, RemoteEngine};
 use esm_obs::{Histogram, TelemetryConfig, TraceRecord};
 use esm_relational::ViewDef;
@@ -295,8 +298,141 @@ fn main() {
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&wal_dir);
+
+    crash_under_load(&mut results, clients);
+
     let path = results
         .write_json(dir, "load")
         .expect("write BENCH_load.json");
     println!("wrote {}", path.display());
+}
+
+/// Act four: a coordinator crash in the middle of a full-stack commit
+/// workload. Socket clients hammer a durable sharded engine; mid-run a
+/// [`FailPoint::AfterPrepare`] wedges a cross-shard transaction between
+/// its prepare and resolution fsyncs, and the whole process-side engine
+/// is then abandoned without any orderly shutdown (`mem::forget`, so no
+/// destructor gets to tidy the WAL). Recovery from the directory must
+/// produce every commit a client saw acknowledged — settled means
+/// settled — and must presume-abort the wedged in-doubt transaction.
+fn crash_under_load(results: &mut BenchResults, clients: usize) {
+    let crash_dir =
+        std::env::temp_dir().join(format!("esm-bench-load-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&crash_dir);
+    const KEY_RANGE: i64 = 1_000_000;
+    let engine = ShardedEngineServer::with_durability(
+        seed_db(),
+        ShardRouter::uniform_int(4, 0, KEY_RANGE).expect("router"),
+        // Durable-before-ack: a client that saw its commit return is
+        // entitled to find it after the crash.
+        DurabilityConfig::new(&crash_dir)
+            .group_commit(1)
+            .checkpoint_every(0)
+            .maintenance_interval_ms(0),
+    )
+    .expect("durable sharded engine");
+    let server = NetServer::bind(
+        engine.as_engine(),
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+    )
+    .expect("loopback bind");
+    let addr = server.local_addr();
+
+    println!(
+        "crash-under-load: {clients} clients committing, coordinator crash mid-run \
+         (FailPoint::AfterPrepare, then abandon without shutdown)"
+    );
+    let acked: std::sync::Mutex<Vec<i64>> = std::sync::Mutex::new(Vec::new());
+    let crashed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let acked = &acked;
+        let crashed = &crashed;
+        for client in 0..clients {
+            scope.spawn(move || {
+                let remote = RemoteEngine::connect(addr).expect("loopback connect");
+                let mut i = 0i64;
+                while crashed.load(Ordering::SeqCst) == 0 {
+                    let id = 1_000 + (client as i64) * 10_000 + i;
+                    let committed = remote.transact(4, &move |db: &mut Database| {
+                        db.table_mut("kv")?.upsert(row![id, id % VIEWS, 1])?;
+                        Ok(())
+                    });
+                    match committed {
+                        Ok(_) => acked.lock().expect("acked list").push(id),
+                        // The crash severed the connection mid-request;
+                        // that commit was never acknowledged.
+                        Err(_) => break,
+                    }
+                    i += 1;
+                }
+            });
+        }
+        // Let the workload settle in, then crash the coordinator.
+        std::thread::sleep(Duration::from_millis(300));
+        let wedged = engine.transact_keys_failpoint(
+            &[row![0i64], row![KEY_RANGE - 1]],
+            1,
+            FailPoint::AfterPrepare,
+            |db| {
+                let t = db.table_mut("kv")?;
+                t.upsert(row![0i64, 0i64, -777i64])?;
+                t.upsert(row![KEY_RANGE - 1, 0i64, -777i64])?;
+                Ok(())
+            },
+        );
+        assert!(wedged.is_err(), "the failpoint must wedge the transaction");
+        crashed.store(1, Ordering::SeqCst);
+    });
+    // Kill the front end (clients are already stopping) and abandon the
+    // engine with prejudice: no Drop, no final sync, exactly what a
+    // crashed process leaves behind.
+    server.shutdown();
+    std::mem::forget(engine);
+
+    let acked = acked.into_inner().expect("acked list");
+    let (recovered, report) = ShardedEngineServer::recover(&crash_dir).expect("recovers");
+    let table = recovered.table("kv").expect("table recovered");
+    let missing: Vec<i64> = acked
+        .iter()
+        .copied()
+        .filter(|id| table.get_by_key(&row![*id]).is_none())
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "recovery lost {} of {} acknowledged commits (first missing id: {:?})",
+        missing.len(),
+        acked.len(),
+        missing.first()
+    );
+    // The wedged transaction died between prepare and resolution:
+    // presumed abort, on every shard.
+    for key in [0i64, KEY_RANGE - 1] {
+        if let Some(r) = table.get_by_key(&row![key]) {
+            assert_ne!(
+                r[2].as_int(),
+                Some(-777),
+                "the in-doubt transaction leaked a write through recovery"
+            );
+        }
+    }
+    assert!(
+        report.aborted_in_doubt > 0,
+        "recovery should have found (and aborted) the wedged in-doubt transaction"
+    );
+    println!(
+        "  {} acked commits, all recovered; {} in-doubt aborted, {} finished",
+        acked.len(),
+        report.aborted_in_doubt,
+        report.committed_in_doubt
+    );
+    results.record(
+        "load/crash_acked_commits_recovered",
+        acked.len() as f64,
+        format!(
+            "{} acknowledged commits all present after coordinator crash + recovery",
+            acked.len()
+        ),
+    );
+    let _ = std::fs::remove_dir_all(&crash_dir);
 }

@@ -30,6 +30,7 @@ use esm_store::{Database, Delta, Table};
 
 use crate::error::EngineError;
 use crate::metrics::MetricsSnapshot;
+use crate::sub::{CommitNotifier, ViewDeltas};
 use crate::view::EntangledView;
 
 /// A shared, dynamically dispatched engine handle — what an
@@ -235,6 +236,41 @@ pub trait Engine: Send + Sync + std::fmt::Debug {
     /// Force-fsync any group-commit batch the durable log is holding.
     /// No-op for in-memory engines.
     fn sync_wal(&self) -> Result<(), EngineError>;
+
+    // ------------------------------------------------------------------
+    // Subscriptions (see [`crate::sub`]).
+    // ------------------------------------------------------------------
+
+    /// The commit signal a push pump parks on, when this engine can
+    /// provide one. `None` (the default) means commits cannot be waited
+    /// on — a server can still fan out after requests it handled itself.
+    fn commit_notifier(&self) -> Option<Arc<CommitNotifier>> {
+        None
+    }
+
+    /// A fresh subscription cursor for view `name`: drains from here
+    /// miss nothing committed after this call. The default — for
+    /// engines without incremental drain support — validates the view
+    /// and pins the cursor at 0, which makes every later drain a
+    /// full-window resync.
+    fn view_cursor(&self, name: &str) -> Result<u64, EngineError> {
+        self.read_view(name).map(|_| 0)
+    }
+
+    /// Everything settled past `cursor` for view `name`, as one
+    /// coalesced [`ViewDeltas`] batch — the subscription fan-out
+    /// primitive. Engines with a WAL drain this O(delta); the default
+    /// conservatively re-serves the whole window as a resync batch
+    /// (correct for any engine, never incremental).
+    fn view_deltas_since(&self, name: &str, cursor: u64) -> Result<ViewDeltas, EngineError> {
+        let window = self.read_view(name)?;
+        Ok(ViewDeltas {
+            from_seq: cursor,
+            to_seq: cursor,
+            delta: Delta::empty(),
+            resync: Some(window),
+        })
+    }
 }
 
 impl Engine for crate::EngineServer {
@@ -322,6 +358,18 @@ impl Engine for crate::EngineServer {
 
     fn sync_wal(&self) -> Result<(), EngineError> {
         crate::EngineServer::sync_wal(self)
+    }
+
+    fn commit_notifier(&self) -> Option<Arc<CommitNotifier>> {
+        Some(crate::EngineServer::commit_notifier(self))
+    }
+
+    fn view_cursor(&self, name: &str) -> Result<u64, EngineError> {
+        crate::EngineServer::view_cursor(self, name)
+    }
+
+    fn view_deltas_since(&self, name: &str, cursor: u64) -> Result<ViewDeltas, EngineError> {
+        crate::EngineServer::view_deltas_since(self, name, cursor)
     }
 }
 
@@ -419,5 +467,17 @@ impl Engine for crate::shard::ShardedEngineServer {
 
     fn sync_wal(&self) -> Result<(), EngineError> {
         crate::shard::ShardedEngineServer::sync_wal(self)
+    }
+
+    fn commit_notifier(&self) -> Option<Arc<CommitNotifier>> {
+        Some(crate::shard::ShardedEngineServer::commit_notifier(self))
+    }
+
+    fn view_cursor(&self, name: &str) -> Result<u64, EngineError> {
+        crate::shard::ShardedEngineServer::view_cursor(self, name)
+    }
+
+    fn view_deltas_since(&self, name: &str, cursor: u64) -> Result<ViewDeltas, EngineError> {
+        crate::shard::ShardedEngineServer::view_deltas_since(self, name, cursor)
     }
 }

@@ -128,6 +128,44 @@
 //!    (asserted by the suites, and by the incremental/recompute
 //!    equivalence proptest in `tests/view_maintenance.rs`).
 //!
+//! ### Subscriptions ([`sub`]): subscribe → commit → drain → push
+//!
+//! Materialized views also serve *push* consumers. The engine side of
+//! the story is two primitives, both O(changes) like `read_view`:
+//!
+//! * **Commit notification** ([`Engine::commit_notifier`] →
+//!   [`CommitNotifier`]): every committed transaction publishes its
+//!   final WAL sequence number on a shared condvar. A push loop parks
+//!   in `CommitNotifier::wait_past(seen, timeout)` and wakes exactly
+//!   when there is something it has not yet fanned out — no polling of
+//!   table contents, no wakeups on idle databases. Engines without a
+//!   notifier (the trait default returns `None`) still work; callers
+//!   fall back to a coarse tick.
+//! * **Cursor drains** ([`Engine::view_deltas_since`] →
+//!   [`ViewDeltas`]): given a view name and the WAL stamp the consumer
+//!   last saw, return the settled base-table deltas past that stamp
+//!   translated through the view's lens — the same `get_delta`
+//!   machinery `read_view` uses, so a drain costs O(deltas in the gap),
+//!   not O(window). Three answers are possible: a **delta batch**
+//!   (`resync: None`, apply in order), an **empty batch** (cursor is
+//!   current), or a **resync** (`resync: Some(window)`) when the cursor
+//!   predates the truncated WAL prefix, falls outside the live window,
+//!   or is the explicit `u64::MAX` force-resync sentinel — the consumer
+//!   replaces its replica wholesale and resumes from `to_seq`.
+//!   Unsettled trailing transactions (an open chain, an unresolved 2PC
+//!   prepare) are never handed out; the cursor simply does not advance
+//!   past them.
+//!
+//! The esm-net crate composes these into the wire protocol's
+//! SUBSCRIBE/PUSH verbs: its push pump waits on the notifier, drains
+//! each subscribed view once per commit burst (one drain shared by
+//! every subscriber at the same cursor), and writes PUSH frames with
+//! per-connection backpressure. The lifecycle rustdoc on `esm-net`
+//! covers the socket half; the invariant the engine half guarantees is
+//! that a consumer applying every delta batch in `from_seq` order —
+//! resyncing when told to — holds a replica identical to
+//! `read_view` at the same stamp.
+//!
 //! ### Transaction atomicity in the WAL
 //!
 //! The WAL is an op log ([`wal::WalOp`]): delta records carry a *chain*
@@ -354,6 +392,7 @@ pub mod server;
 pub mod session;
 pub mod shard;
 pub mod stripe;
+pub mod sub;
 pub mod testkit;
 pub mod tx;
 pub mod view;
@@ -381,6 +420,7 @@ pub use server::{EngineServer, DEFAULT_OPTIMISTIC_ATTEMPTS};
 pub use session::{RetryPolicy, Session};
 pub use shard::{FailPoint, Shard, ShardRecoveryReport, ShardRouter, ShardedEngineServer};
 pub use stripe::Stripes;
+pub use sub::{CommitNotifier, ViewDeltas};
 pub use tx::{delta_keys, deltas_conflict, Tx, TxStore};
 pub use view::EntangledView;
 pub use wal::{reserved_table_name, Wal, WalOp, WalRecord};

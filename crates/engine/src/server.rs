@@ -35,7 +35,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};
 
-use esm_lens::DeltaLens;
+use esm_lens::{DeltaLens, DeltaOutcome};
 use esm_obs::{Phase, Span, Telemetry, TelemetrySnapshot};
 use esm_relational::ViewDef;
 use esm_store::{Database, Delta, Table};
@@ -48,6 +48,7 @@ use crate::engine::CommitReceipt;
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::stripe::Stripes;
+use crate::sub::{CommitNotifier, ViewDeltas};
 use crate::tx::delta_keys;
 use crate::view::EntangledView;
 use crate::wal::{check_table_names, committed_table_deltas, Wal, WalRecord};
@@ -58,6 +59,17 @@ pub const DEFAULT_OPTIMISTIC_ATTEMPTS: u32 = 16;
 struct ViewReg {
     table: String,
     lens: DeltaLens<Table, Table, Delta>,
+    /// Maintain this window *inside* the committing transaction's
+    /// critical section ([`esm_relational::ViewDef::is_eager`]): commit
+    /// paths lock eager windows **before** their stripe locks (in view
+    /// name order) and fold the just-appended records in before
+    /// releasing the WAL — so a push pump that drains right after the
+    /// commit signal always sees a fresh window.
+    eager: bool,
+    /// The window schema's key column indices, frozen at registration —
+    /// lets a subscriber drain coalesce view deltas without taking the
+    /// window mutex.
+    view_keys: Vec<usize>,
     /// The maintained materialized window. Guarded by its own mutex so
     /// concurrent readers of *different* views never serialize; lock
     /// order is always view window → stripe → WAL.
@@ -70,6 +82,14 @@ struct ViewReg {
 struct Materialized {
     window: Table,
     applied_seq: u64,
+}
+
+/// One eager view window, locked for the duration of a commit's
+/// critical section (window before stripe — see
+/// [`EngineServer::lock_eager_views`]).
+struct EagerSlot<'a> {
+    reg: &'a ViewReg,
+    mat: std::sync::MutexGuard<'a, Materialized>,
 }
 
 /// The in-memory log and (optionally) its durable backend, guarded by
@@ -168,6 +188,10 @@ struct Inner {
     /// `group_commit > 1` the durable log already batches lazily and
     /// acknowledges before syncing, so there is nothing to wait for.)
     group: Option<Arc<GroupCommit>>,
+    /// The commit signal push pumps park on: every commit path publishes
+    /// its stamp here after dropping all locks. Publishing never waits
+    /// on subscribers.
+    notifier: Arc<CommitNotifier>,
     /// Background checkpoint/compaction loop; stops when the last engine
     /// handle drops. `None` for in-memory engines and when disabled.
     _maintenance: Option<MaintenanceThread>,
@@ -324,6 +348,7 @@ impl EngineServer {
                 metrics: Metrics::default(),
                 telemetry,
                 group,
+                notifier: Arc::new(CommitNotifier::new()),
                 _maintenance: maintenance,
             }),
         }
@@ -521,6 +546,7 @@ impl EngineServer {
             }
         };
         self.inner.metrics.view_rebuild();
+        let view_keys = mat.window.schema().key_indices();
         let mut views = self.inner.views.write().expect("views lock poisoned");
         if views.contains_key(&name) {
             return Err(EngineError::ViewExists(name));
@@ -530,6 +556,8 @@ impl EngineServer {
             ViewReg {
                 table,
                 lens,
+                eager: def.is_eager(),
+                view_keys,
                 mat: Mutex::new(mat),
             },
         );
@@ -579,6 +607,13 @@ impl EngineServer {
     /// a full rebuild, counted in
     /// [`crate::metrics::ViewStats::rebuilds`].
     pub fn read_view(&self, name: &str) -> Result<Table, EngineError> {
+        self.read_view_at(name).map(|(window, _)| window)
+    }
+
+    /// [`EngineServer::read_view`] plus the WAL position the returned
+    /// window reflects — the cursor a subscriber that adopts this window
+    /// should resume draining from.
+    pub(crate) fn read_view_at(&self, name: &str) -> Result<(Table, u64), EngineError> {
         self.inner.metrics.view_read();
         let total = Span::start();
         let tel = &self.inner.telemetry;
@@ -611,12 +646,12 @@ impl EngineServer {
             drop(drain_tspan);
             let Some((pending, last_seq)) = drained else {
                 self.rebuild_window(reg, &mut mat)?;
-                return Ok(mat.window.clone());
+                return Ok((mat.window.clone(), mat.applied_seq));
             };
             let Some(pending) = pending else {
                 // Unsettled trailing transaction: serve the last settled
                 // state without advancing the cursor.
-                return Ok(mat.window.clone());
+                return Ok((mat.window.clone(), mat.applied_seq));
             };
             // `deltas_applied` counts only changes that actually survive
             // into the window (a rebuild discards the whole run).
@@ -633,7 +668,7 @@ impl EngineServer {
                 }
                 None => self.rebuild_window(reg, &mut mat)?,
             }
-            Ok(mat.window.clone())
+            Ok((mat.window.clone(), mat.applied_seq))
         });
         tel.record_slow(format!("read_view:{name}"), total.elapsed_ns(), &[]);
         result
@@ -656,6 +691,145 @@ impl EngineServer {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // Subscriptions.
+    // ------------------------------------------------------------------
+
+    /// The commit signal: every commit path publishes its stamp here
+    /// after dropping all locks. A push pump parks on it instead of
+    /// polling.
+    pub fn commit_notifier(&self) -> Arc<CommitNotifier> {
+        Arc::clone(&self.inner.notifier)
+    }
+
+    /// A fresh subscription cursor for `name`: the current WAL position.
+    /// A subscriber that adopts a window from [`EngineServer::read_view`]
+    /// taken *after* this call misses nothing by draining from here.
+    pub fn view_cursor(&self, name: &str) -> Result<u64, EngineError> {
+        self.with_view(name, |_| Ok(self.lock_wal().mem.last_seq()))
+    }
+
+    /// Everything settled past `cursor` for view `name`, coalesced into
+    /// one view-level delta — the subscription fan-out primitive.
+    ///
+    /// O(delta): the committed records past the cursor are translated
+    /// through the lens's propagator and coalesced **without touching
+    /// the view's window mutex**, so any number of subscriber drains
+    /// contend only on the WAL lock (briefly) and never serialize
+    /// against readers or each other. Falls back to a full-window
+    /// *resync* batch when the incremental path is unavailable: the
+    /// cursor was truncated out of the WAL, lies outside the log, or a
+    /// record hit the propagation escape hatch.
+    pub fn view_deltas_since(&self, name: &str, cursor: u64) -> Result<ViewDeltas, EngineError> {
+        let tel = &self.inner.telemetry;
+        let drain_span = Span::start();
+        let tspan = esm_obs::trace::span_tagged("sub_drain", name);
+        let drained = self.with_view(name, |reg| {
+            let wal = self.lock_wal();
+            if cursor < wal.mem.start_seq() || cursor > wal.mem.last_seq() {
+                return Ok(None);
+            }
+            let Some(pending) = committed_table_deltas(&reg.table, wal.mem.records_after(cursor))
+            else {
+                // Unsettled trailing transaction: push once it settles.
+                return Ok(Some(ViewDeltas::empty(cursor)));
+            };
+            let last = wal.mem.last_seq();
+            let mut view_deltas = Vec::with_capacity(pending.len());
+            for delta in pending {
+                match reg.lens.get_delta(delta) {
+                    DeltaOutcome::View(vd) => view_deltas.push(vd),
+                    DeltaOutcome::Rebuild => return Ok(None),
+                }
+            }
+            Ok(Some(ViewDeltas {
+                from_seq: cursor,
+                to_seq: last,
+                delta: Delta::coalesce(view_deltas, &reg.view_keys),
+                resync: None,
+            }))
+        });
+        tel.record(Phase::SubDrain, drain_span.elapsed_ns());
+        drop(tspan);
+        match drained? {
+            Some(batch) => Ok(batch),
+            None => {
+                let (window, seq) = self.read_view_at(name)?;
+                Ok(ViewDeltas {
+                    from_seq: cursor,
+                    to_seq: seq,
+                    delta: Delta::empty(),
+                    resync: Some(window),
+                })
+            }
+        }
+    }
+
+    /// Lock every eager view window over a table `touches` selects, in
+    /// view-name order — called **before** the commit path takes its
+    /// stripe locks, honouring the window → stripe → WAL lock order
+    /// (the same order [`EngineServer::read_view`] follows), so eager
+    /// maintenance can never deadlock against readers.
+    fn lock_eager_views<'a>(
+        &self,
+        views: &'a BTreeMap<String, ViewReg>,
+        touches: impl Fn(&str) -> bool,
+    ) -> Vec<EagerSlot<'a>> {
+        views
+            .values()
+            .filter(|reg| reg.eager && touches(&reg.table))
+            .map(|reg| EagerSlot {
+                reg,
+                mat: reg.mat.lock().expect("view window lock poisoned"),
+            })
+            .collect()
+    }
+
+    /// Fold the records just appended (and anything else still pending)
+    /// into the locked eager windows. Called with the WAL lock still
+    /// held, right after install — the windows are fresh before the
+    /// commit's locks release. `fresh` maps each committed table to its
+    /// just-installed state, the rebuild source when a lens hits the
+    /// propagation escape hatch.
+    fn fold_eager_views(&self, slots: &mut [EagerSlot<'_>], wal: &Wal, fresh: &[(&str, &Table)]) {
+        if slots.is_empty() {
+            return;
+        }
+        let fold_span = Span::start();
+        for slot in slots.iter_mut() {
+            let reg = slot.reg;
+            let mat = &mut *slot.mat;
+            if mat.applied_seq >= wal.start_seq() {
+                match committed_table_deltas(&reg.table, wal.records_after(mat.applied_seq)) {
+                    Some(pending) => {
+                        if let Some(drained) =
+                            crate::view::drain_into_window(&reg.lens, pending, &mut mat.window)
+                        {
+                            self.inner.metrics.view_deltas(drained);
+                            self.inner.metrics.view_materialized();
+                            mat.applied_seq = wal.last_seq();
+                            continue;
+                        }
+                        // Escape hatch: rebuild below.
+                    }
+                    // An unsettled trailing transaction (not ours — our
+                    // groups append whole under this lock): leave the
+                    // window for the next lazy read.
+                    None => continue,
+                }
+            }
+            let Some((_, base)) = fresh.iter().find(|(t, _)| *t == reg.table) else {
+                continue;
+            };
+            mat.window = reg.lens.get(base);
+            mat.applied_seq = wal.last_seq();
+            self.inner.metrics.view_rebuild();
+        }
+        self.inner
+            .telemetry
+            .record(Phase::ViewDeltaFold, fold_span.elapsed_ns());
+    }
+
     /// Write an edited view back (the lens `put`) — pessimistic path.
     ///
     /// The base table's stripe stays write-locked across put/diff/publish,
@@ -668,7 +842,13 @@ impl EngineServer {
     /// (or [`crate::EntangledView::edit`]), which revalidates
     /// first-committer-wins against the WAL. Returns the base-table delta.
     pub fn write_view(&self, name: &str, view: Table) -> Result<Delta, EngineError> {
-        let (delta, seq) = self.with_view(name, |reg| {
+        let (delta, seq) = {
+            let views = self.inner.views.read().expect("views lock poisoned");
+            let reg = views
+                .get(name)
+                .ok_or_else(|| EngineError::NoSuchView(name.to_string()))?;
+            // Eager windows lock before the stripe (window → stripe → WAL).
+            let mut eager = self.lock_eager_views(&views, |t| t == reg.table);
             let mut shard = self.inner.tables.write(&reg.table);
             let _lock_hold = self.inner.telemetry.timer(Phase::CommitLockHold);
             let base = shard
@@ -691,27 +871,32 @@ impl EngineServer {
             };
             let delta = Delta::between(base, &new_base)?;
             if delta.is_empty() {
-                return Ok((delta, None));
+                (delta, None)
+            } else {
+                // Publish by applying the delta to the live table rather
+                // than swapping in the lens output: apply clones the
+                // current table (secondary indexes included) and
+                // maintains them incrementally, instead of rebuilding
+                // every index from scratch under the stripe write lock.
+                let next = delta.apply(base)?;
+                // Lock order is always stripe → WAL (see
+                // edit_view_optimistic). Durable-first: if the segment
+                // write fails, the base table is untouched and the error
+                // surfaces to this client only.
+                let mut wal = self.lock_wal();
+                let seq = wal.append(&reg.table, &delta, self.defer_sync())?;
+                *base = next;
+                let table_name = reg.table.clone();
+                self.fold_eager_views(&mut eager, &wal.mem, &[(table_name.as_str(), &*base)]);
+                drop(wal);
+                drop(shard);
+                self.inner.metrics.commit(delta.len() as u64);
+                (delta, Some(seq))
             }
-            // Publish by applying the delta to the live table rather than
-            // swapping in the lens output: apply clones the current table
-            // (secondary indexes included) and maintains them
-            // incrementally, instead of rebuilding every index from
-            // scratch under the stripe write lock.
-            let next = delta.apply(base)?;
-            // Lock order is always stripe → WAL (see edit_view_optimistic).
-            // Durable-first: if the segment write fails, the base table is
-            // untouched and the error surfaces to this client only.
-            let seq = self
-                .lock_wal()
-                .append(&reg.table, &delta, self.defer_sync())?;
-            *base = next;
-            drop(shard);
-            self.inner.metrics.commit(delta.len() as u64);
-            Ok((delta, Some(seq)))
-        })?;
+        };
         if let Some(seq) = seq {
             self.wait_group(seq)?;
+            self.inner.notifier.publish(seq);
         }
         Ok(delta)
     }
@@ -761,7 +946,10 @@ impl EngineServer {
             // Our own key set, once — not once per WAL record scanned.
             let our_keys = delta_keys(&base, &delta);
 
-            // Validate + publish under the stripe write lock.
+            // Validate + publish under the stripe write lock; eager
+            // windows lock first (window → stripe → WAL).
+            let views = self.inner.views.read().expect("views lock poisoned");
+            let mut eager = self.lock_eager_views(&views, |t| t == table_name);
             let mut shard = self.inner.tables.write(&table_name);
             let _lock_hold = self.inner.telemetry.timer(Phase::CommitLockHold);
             let current = shard
@@ -788,6 +976,8 @@ impl EngineServer {
             if conflicted {
                 drop(wal);
                 drop(shard);
+                drop(eager);
+                drop(views);
                 self.inner.metrics.conflict();
                 continue;
             }
@@ -797,10 +987,14 @@ impl EngineServer {
             let next = delta.apply(current)?;
             let seq = wal.append(&table_name, &delta, self.defer_sync())?;
             *current = next;
+            self.fold_eager_views(&mut eager, &wal.mem, &[(table_name.as_str(), &*current)]);
             drop(wal);
             drop(shard);
+            drop(eager);
+            drop(views);
             self.inner.metrics.commit(delta.len() as u64);
             self.wait_group(seq)?;
+            self.inner.notifier.publish(seq);
             return Ok(delta);
         }
         Err(EngineError::RetriesExhausted {
@@ -900,6 +1094,9 @@ impl EngineServer {
             .collect();
         stripes.sort_unstable();
         stripes.dedup();
+        // Eager windows lock before the stripes (window → stripe → WAL).
+        let views = self.inner.views.read().expect("views lock poisoned");
+        let mut eager = self.lock_eager_views(&views, |t| deltas.contains_key(t));
         let mut guards = self.inner.tables.write_indices(&stripes);
         let lock_span = Span::start();
         let mut wal = self.lock_wal();
@@ -976,9 +1173,20 @@ impl EngineServer {
         for (slot, name, next) in staged {
             guards[slot].1.insert(name, next);
         }
+        let fresh: Vec<(&str, &Table)> = deltas
+            .keys()
+            .filter_map(|name| {
+                let stripe = self.inner.tables.stripe_of(name);
+                let slot = stripes.binary_search(&stripe).expect("stripe collected");
+                guards[slot].1.get(name).map(|t| (name.as_str(), t))
+            })
+            .collect();
+        self.fold_eager_views(&mut eager, &wal.mem, &fresh);
         drop(wal);
         let lock_ns = lock_span.elapsed_ns();
         drop(guards);
+        drop(eager);
+        drop(views);
         self.inner.telemetry.record(Phase::CommitLockHold, lock_ns);
         self.inner.telemetry.record_slow(
             "transact",
@@ -991,6 +1199,7 @@ impl EngineServer {
         let rows: u64 = deltas.values().map(|d| d.len() as u64).sum();
         self.inner.metrics.commit(rows);
         self.wait_group(stamp)?;
+        self.inner.notifier.publish(stamp);
         Ok(stamp)
     }
 
@@ -1021,6 +1230,10 @@ impl EngineServer {
             .collect();
         stripes.sort_unstable();
         stripes.dedup();
+        // Eager windows lock before the stripes (window → stripe → WAL).
+        let views = self.inner.views.read().expect("views lock poisoned");
+        let mut eager =
+            self.lock_eager_views(&views, |t| nonempty.iter().any(|(name, _)| name == t));
         let mut guards = self.inner.tables.write_indices(&stripes);
         let lock_span = Span::start();
 
@@ -1057,16 +1270,29 @@ impl EngineServer {
             .map(|(t, d)| (t.clone(), d.clone()))
             .collect();
         let stamp = wal.append_group(&group, self.defer_sync())?;
+        let touched: Vec<String> = staged.keys().cloned().collect();
         for (name, (slot, next)) in staged {
             guards[slot].1.insert(name, next);
         }
+        let fresh: Vec<(&str, &Table)> = touched
+            .iter()
+            .filter_map(|name| {
+                let stripe = self.inner.tables.stripe_of(name);
+                let slot = stripes.binary_search(&stripe).expect("stripe collected");
+                guards[slot].1.get(name).map(|t| (name.as_str(), t))
+            })
+            .collect();
+        self.fold_eager_views(&mut eager, &wal.mem, &fresh);
         drop(wal);
         let lock_ns = lock_span.elapsed_ns();
         drop(guards);
+        drop(eager);
+        drop(views);
         self.inner.telemetry.record(Phase::CommitLockHold, lock_ns);
         let rows: u64 = nonempty.iter().map(|(_, d)| d.len() as u64).sum();
         self.inner.metrics.commit(rows);
         self.wait_group(stamp)?;
+        self.inner.notifier.publish(stamp);
         let mut delta_map: BTreeMap<String, Delta> = BTreeMap::new();
         for (name, delta) in &nonempty {
             let entry = delta_map.entry(name.clone()).or_insert_with(Delta::empty);

@@ -68,6 +68,7 @@ use crate::checkpoint::write_atomic_text;
 use crate::durable::{checkpoint_off_lock, DurabilityConfig, MaintenanceThread, RecoveryReport};
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot, ShardMetrics, WalStats};
+use crate::sub::{CommitNotifier, ViewDeltas};
 use crate::view::EntangledView;
 use crate::wal::{check_table_names, committed_table_deltas, Wal};
 
@@ -150,6 +151,9 @@ pub(crate) struct ShardedInner {
     views: RwLock<BTreeMap<String, ViewReg>>,
     pub(crate) coordinator: ShardCoordinator,
     stamp: AtomicU64,
+    /// Commit signal for push pumps: every settled commit publishes its
+    /// global stamp here (see [`crate::sub::CommitNotifier`]).
+    notifier: Arc<CommitNotifier>,
     pub(crate) metrics: Metrics,
     pub(crate) shard_metrics: ShardMetrics,
     /// Base durability config (dir = the base directory); `None` for
@@ -561,6 +565,7 @@ impl ShardedEngineServer {
                 views: RwLock::new(BTreeMap::new()),
                 coordinator,
                 stamp: AtomicU64::new(1),
+                notifier: Arc::new(CommitNotifier::new()),
                 metrics: Metrics::default(),
                 shard_metrics,
                 durable_base,
@@ -1022,6 +1027,7 @@ impl ShardedEngineServer {
             );
             self.inner.metrics.commit(rows);
             self.inner.shard_metrics.single_shard_commit();
+            self.inner.notifier.publish(stamp);
             return Ok(CommitReceipt {
                 stamp,
                 shards: vec![index],
@@ -1063,6 +1069,7 @@ impl ShardedEngineServer {
             Ok((gtx, stamp)) => {
                 self.inner.metrics.commit(rows);
                 self.inner.shard_metrics.cross_shard_commit(n);
+                self.inner.notifier.publish(stamp);
                 Ok(CommitReceipt {
                     stamp,
                     shards: per_shard.keys().copied().collect(),
@@ -1161,6 +1168,55 @@ impl ShardedEngineServer {
             return Err(EngineError::NoSuchView(name.to_string()));
         }
         Ok(EntangledView::attach(Arc::new(self.clone()), name))
+    }
+
+    /// The commit signal shared by every shard: each settled commit
+    /// publishes its global stamp here. Push pumps park on it instead of
+    /// polling [`Self::stats`].
+    pub fn commit_notifier(&self) -> Arc<CommitNotifier> {
+        Arc::clone(&self.inner.notifier)
+    }
+
+    /// The last *issued* global commit stamp (the stamp counter starts
+    /// at 1, so an untouched engine reports 0).
+    fn last_stamp(&self) -> u64 {
+        self.inner.stamp.load(Ordering::SeqCst).saturating_sub(1)
+    }
+
+    /// The subscription cursor a fresh subscriber of `name` should start
+    /// from: the current global commit stamp. Anything committed after
+    /// this call surfaces through [`Self::view_deltas_since`].
+    pub fn view_cursor(&self, name: &str) -> Result<u64, EngineError> {
+        self.with_view(name, |_| Ok(self.last_stamp()))
+    }
+
+    /// Everything settled past `cursor` for view `name`.
+    ///
+    /// The sharded engine's cursor is the global commit *stamp*, which
+    /// is coarser than a per-shard WAL sequence: when anything has
+    /// committed past the cursor the whole current window is returned as
+    /// a resync (reflecting at least the stamp read before the window).
+    /// Subscribers stay correct — they just pay resync granularity
+    /// rather than O(delta) — and an idle view still short-circuits to
+    /// an empty batch.
+    pub fn view_deltas_since(&self, name: &str, cursor: u64) -> Result<ViewDeltas, EngineError> {
+        // Read the stamp *before* the window so the window reflects at
+        // least `cur` and advancing the subscriber to it loses nothing.
+        let cur = self.last_stamp();
+        if cursor == cur {
+            // Nothing stamped past the cursor; still validate the name.
+            return self.with_view(name, |_| Ok(ViewDeltas::empty(cursor)));
+        }
+        // A cursor that isn't exactly the current stamp — behind it,
+        // ahead of it (a stale or corrupt resume), or the explicit
+        // u64::MAX force-resync sentinel — gets the full window.
+        let window = self.read_view(name)?;
+        Ok(ViewDeltas {
+            from_seq: cursor,
+            to_seq: cur,
+            delta: Delta::empty(),
+            resync: Some(window),
+        })
     }
 
     /// Registered view names, sorted.

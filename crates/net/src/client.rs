@@ -24,14 +24,17 @@
 //!   `Delta::between` emits) are validated row-for-row server-side
 //!   inside the host engine's own atomic `transact`.
 
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use esm_engine::{ArcEngine, CommitReceipt, Engine, EngineError, EntangledView, MetricsSnapshot};
 use esm_relational::ViewDef;
 use esm_store::{Database, Delta, Table};
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{decode_frame, read_frame, write_frame};
 use crate::proto::{Request, Response};
 
 /// A client-side engine handle speaking the wire protocol over one
@@ -336,4 +339,208 @@ impl Engine for RemoteEngine {
             other => Err(unexpected(other)),
         }
     }
+}
+
+/// One `PUSH` frame received on a subscription: either the coalesced
+/// deltas spanning `(from_seq, to_seq]`, or a full-window `resync`
+/// (stall recovery, WAL-window miss, lens rebuild, sharded stamp
+/// granularity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushEvent {
+    /// The subscribed view this push belongs to.
+    pub view: String,
+    /// The cursor this push continues from.
+    pub from_seq: u64,
+    /// The cursor a subscriber is at after applying this push.
+    pub to_seq: u64,
+    /// Coalesced view deltas (empty when `resync` is present).
+    pub delta: Delta,
+    /// When present: adopt this full window and discard local state.
+    pub resync: Option<Table>,
+}
+
+impl PushEvent {
+    /// Fold this push into a local replica of the view. Applying
+    /// pushes in arrival order reproduces the server-side view;
+    /// re-delivered deltas apply idempotently (inserts upsert, deletes
+    /// tolerate missing rows).
+    pub fn apply(&self, table: &mut Table) -> Result<(), esm_store::StoreError> {
+        match &self.resync {
+            Some(window) => {
+                *table = window.clone();
+                Ok(())
+            }
+            None => self.delta.apply_in_place(table),
+        }
+    }
+}
+
+/// A dedicated subscription connection: subscribe to views, then
+/// receive [`PushEvent`]s as commits settle server-side.
+///
+/// Unlike [`RemoteEngine`] (strict request/response), this handle
+/// expects unsolicited `PUSH` frames at any time, so it owns its
+/// connection exclusively and buffers pushes that race with an
+/// in-flight request. It is deliberately not `Clone`: one subscriber,
+/// one socket, one cursor stream.
+pub struct SubscriptionClient {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    pending: VecDeque<PushEvent>,
+}
+
+impl std::fmt::Debug for SubscriptionClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubscriptionClient {{ queued: {} }}", self.pending.len())
+    }
+}
+
+impl SubscriptionClient {
+    /// Connect to a [`crate::NetServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<SubscriptionClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(SubscriptionClient {
+            stream,
+            inbuf: Vec::new(),
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Subscribe to `view`. `cursor: None` starts "from now": the ack
+    /// is followed by an initial resync push carrying the view's full
+    /// current window (delivered via [`SubscriptionClient::next_push`]).
+    /// `Some(cursor)` resumes a previous position; everything settled
+    /// past it arrives as the first push. Returns the acked cursor.
+    pub fn subscribe(&mut self, view: &str, cursor: Option<u64>) -> Result<u64, EngineError> {
+        match self.call(&Request::Subscribe {
+            view: view.to_string(),
+            cursor,
+        })? {
+            Response::SubAck { cursor } => Ok(cursor),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Stop receiving pushes for `view`. Pushes the server buffered
+    /// before processing the unsubscribe may still be delivered (they
+    /// are queued locally and surface through
+    /// [`SubscriptionClient::next_push`]).
+    pub fn unsubscribe(&mut self, view: &str) -> Result<(), EngineError> {
+        match self.call(&Request::Unsubscribe(view.to_string()))? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The next push, waiting up to `timeout`. `Ok(None)` means the
+    /// timeout passed quietly; an error means the connection is gone.
+    pub fn next_push(&mut self, timeout: Duration) -> Result<Option<PushEvent>, EngineError> {
+        // Frames already buffered (e.g. read in the same chunk as a
+        // request's response) surface before touching the socket.
+        self.drain_frames()?;
+        if let Some(ev) = self.pending.pop_front() {
+            return Ok(Some(ev));
+        }
+        let deadline = Instant::now() + timeout;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .map_err(io_err)?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(EngineError::Io("subscription connection closed".into())),
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    self.drain_frames()?;
+                    if let Some(ev) = self.pending.pop_front() {
+                        return Ok(Some(ev));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+
+    /// Round-trip a request, queueing any pushes that arrive before
+    /// the response.
+    fn call(&mut self, req: &Request) -> Result<Response, EngineError> {
+        self.stream.set_read_timeout(None).map_err(io_err)?;
+        write_frame(&mut self.stream, &req.encode()).map_err(io_err)?;
+        loop {
+            // Complete buffered frames first, then block for more.
+            while let Some((payload, consumed)) = decode_frame(&self.inbuf)
+                .map_err(|e| EngineError::Io(format!("bad frame on subscription: {e}")))?
+            {
+                self.inbuf.drain(..consumed);
+                match Response::decode(&payload)? {
+                    Response::Push {
+                        view,
+                        from_seq,
+                        to_seq,
+                        delta,
+                        resync,
+                    } => self.pending.push_back(PushEvent {
+                        view,
+                        from_seq,
+                        to_seq,
+                        delta,
+                        resync,
+                    }),
+                    resp => {
+                        return match resp {
+                            Response::Err(e) => Err(e),
+                            ok => Ok(ok),
+                        }
+                    }
+                }
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(EngineError::Io("subscription connection closed".into())),
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+
+    /// Decode every complete frame in the input buffer into the push
+    /// queue. Non-push frames here mean a desynchronized protocol.
+    fn drain_frames(&mut self) -> Result<(), EngineError> {
+        while let Some((payload, consumed)) = decode_frame(&self.inbuf)
+            .map_err(|e| EngineError::Io(format!("bad frame on subscription: {e}")))?
+        {
+            self.inbuf.drain(..consumed);
+            match Response::decode(&payload)? {
+                Response::Push {
+                    view,
+                    from_seq,
+                    to_seq,
+                    delta,
+                    resync,
+                } => self.pending.push_back(PushEvent {
+                    view,
+                    from_seq,
+                    to_seq,
+                    delta,
+                    resync,
+                }),
+                other => return Err(unexpected(other)),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn io_err(e: std::io::Error) -> EngineError {
+    EngineError::Io(e.to_string())
 }

@@ -29,21 +29,51 @@
 //! * [`proto`] — line-oriented request/response text for the full
 //!   `Engine` surface, reusing [`esm_store::codec`]'s escaping; view
 //!   definitions and predicates serialize structurally.
-//! * [`server`] — the thread-pooled non-blocking front end; one
+//! * [`poll`] — the readiness source: raw `epoll` on Linux (the server
+//!   parks in the kernel and touches only ready connections), an
+//!   interruptible-sleep full-sweep fallback elsewhere, one API.
+//! * [`server`] — the readiness-driven, thread-pooled front end; one
 //!   [`esm_engine::Session`] per connection.
 //! * [`client`] — [`RemoteEngine`]; client-driven optimistic loops
 //!   (compare-and-swap edits, pre-image-validated transactions)
-//!   replace the closures that cannot cross the wire.
+//!   replace the closures that cannot cross the wire. Plus
+//!   [`SubscriptionClient`] for the push side of the protocol.
+//!
+//! ## Real-time subscriptions: subscribe → commit → drain → push
+//!
+//! Protocol rev 3 adds a push channel on the same socket. A client
+//! sends `SUBSCRIBE view [cursor]` and gets back `SUBACK cursor` — the
+//! engine commit position the subscription starts from — followed (for
+//! a from-now subscription) by an initial `PUSH` carrying the view's
+//! full current window. From then on, whenever a commit settles, the
+//! server drains the view's committed deltas past the subscriber's
+//! cursor ([`esm_engine::Engine::view_deltas_since`], O(changes) in the
+//! commit, not O(view)) and pushes one coalesced `PUSH` frame:
+//! `(from_seq, to_seq, delta)` or, when the engine cannot reconstruct
+//! the gap (cursor fell out of the WAL window, lens rebuild, sharded
+//! stamp granularity), a full-window `resync`. Applying frames in
+//! arrival order — [`client::PushEvent::apply`] — reproduces the
+//! server-side view; re-delivered deltas apply idempotently.
+//!
+//! Slow subscribers get backpressure, not queues: a connection whose
+//! buffered output crosses its high-water mark has its cursor frozen
+//! (nothing accumulates on its behalf), and on resume its subscription
+//! resyncs. A stalled subscriber never delays a commit or another
+//! subscriber's push. Rev-2 clients interoperate unchanged — the new
+//! verbs are additive, in both the binary and legacy text codecs.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is confined to the raw epoll FFI in `poll` (no libc crate);
+// everything else remains forbidden in practice via this deny.
+#![deny(unsafe_code)]
 
 pub mod client;
 pub mod frame;
+pub mod poll;
 pub mod proto;
 pub mod server;
 
-pub use client::RemoteEngine;
+pub use client::{PushEvent, RemoteEngine, SubscriptionClient};
 pub use frame::{decode_frame, encode_frame, FrameError, MAX_FRAME_BYTES};
 pub use proto::{Request, Response, WireError, PROTOCOL_REV};
 pub use server::{NetServer, NetServerConfig, NetStats};

@@ -31,10 +31,12 @@
 //!           | write_view TAB name NL table-doc
 //!           | edit_cas TAB name NL table-doc table-doc
 //!           | commit TAB n NL (name-line delta-doc)*n
+//!           | subscribe TAB name TAB (none|cursor) | unsubscribe TAB name
 //! response := ok | names TAB ... | seq (none|n) | err TAB error
 //!           | table NL table-doc | db NL db-doc | delta NL delta-doc
 //!           | receipt ... | metrics NL metrics-doc
-//!           | stats NL telemetry-doc
+//!           | stats NL telemetry-doc | suback TAB cursor
+//!           | push TAB name TAB from TAB to TAB resync? NL delta-doc [table-doc]
 //! ```
 //!
 //! Table documents are self-delimiting (`@rows n` announces the row
@@ -157,6 +159,22 @@ pub enum Request {
     /// the server merges its net-layer traces in, the way `Stats`
     /// merges telemetry.
     Traces,
+    /// Register this connection as a subscriber of a named view
+    /// (revision 3). Answered by the network layer with
+    /// [`Response::SubAck`]; from then on the server pushes
+    /// [`Response::Push`] frames as commits settle past the
+    /// subscriber's cursor. `cursor: None` means "from now": the server
+    /// acks the current cursor and sends one initial resync push.
+    Subscribe {
+        /// View name.
+        view: String,
+        /// Resume cursor from a previous session, or `None` for "now".
+        cursor: Option<u64>,
+    },
+    /// Drop this connection's subscription on a named view (revision
+    /// 3). Acknowledged with [`Response::Unit`]; already-buffered
+    /// pushes may still arrive before the ack.
+    Unsubscribe(String),
 }
 
 /// One server response.
@@ -200,14 +218,42 @@ pub enum Response {
     },
     /// Recent and slow causal traces ([`Request::Traces`]).
     Traces(TraceReport),
+    /// Subscription accepted (revision 3): the cursor pushes will
+    /// advance from. Echoes the requested cursor, or the current one
+    /// when the client subscribed "from now".
+    SubAck {
+        /// The subscriber's starting cursor.
+        cursor: u64,
+    },
+    /// A server-initiated delta push (revision 3): everything settled
+    /// on `view` in `(from_seq, to_seq]`, coalesced. When the
+    /// incremental path was unavailable — cursor truncated out of the
+    /// log, a propagation escape hatch, or a drop-for-backpressure
+    /// resync — `resync` carries the full window (reflecting `to_seq`)
+    /// and `delta` is empty: adopt it and discard local state.
+    Push {
+        /// The subscribed view this batch belongs to.
+        view: String,
+        /// The cursor this batch starts after.
+        from_seq: u64,
+        /// The subscriber's next cursor.
+        to_seq: u64,
+        /// Coalesced view-level delta covering `(from_seq, to_seq]`.
+        delta: Delta,
+        /// Full-window resync, when incremental delivery was impossible.
+        resync: Option<Table>,
+    },
 }
 
 /// The wire protocol revision this build speaks. Revision 2 added the
 /// optional trace-context suffix on binary requests, `server_ping` and
-/// `traces`. Servers keep decoding every earlier form, so the revision
-/// is informational (surfaced by [`Response::ServerInfo`]), not a
+/// `traces`. Revision 3 added cursor subscriptions: `subscribe` /
+/// `unsubscribe` requests and the server-initiated `suback` / `push`
+/// responses. Servers keep decoding every earlier form and revision-2
+/// clients that never subscribe see no new frames, so the revision is
+/// informational (surfaced by [`Response::ServerInfo`]), not a
 /// handshake.
-pub const PROTOCOL_REV: u32 = 2;
+pub const PROTOCOL_REV: u32 = 3;
 
 // ---------------------------------------------------------------------
 // Line reader.
@@ -524,7 +570,8 @@ fn stages(def: &ViewDef) -> Vec<&ViewDef> {
             ViewDef::Base => break,
             ViewDef::Select(inner, _)
             | ViewDef::Project(inner, _, _)
-            | ViewDef::Rename(inner, _) => cur = inner,
+            | ViewDef::Rename(inner, _)
+            | ViewDef::Eager(inner) => cur = inner,
         }
     }
     chain.reverse();
@@ -571,6 +618,7 @@ pub fn encode_viewdef(out: &mut String, def: &ViewDef) {
                     out.push_str(&format!("rename\t{}\n", pairs.join("\t")));
                 }
             }
+            ViewDef::Eager(_) => out.push_str("eager\n"),
         }
     }
 }
@@ -621,6 +669,7 @@ fn decode_viewdef(r: &mut Reader<'_>) -> Result<ViewDef, WireError> {
                 }
                 def = Some(ViewDef::Rename(Box::new(inner), renames));
             }
+            ("eager", _, Some(inner)) => def = Some(ViewDef::Eager(Box::new(inner))),
             _ => return Err(err(format!("bad view stage `{line}` at position {i}"))),
         }
     }
@@ -1049,6 +1098,8 @@ const REQ_CHECKPOINT: u8 = 13;
 const REQ_SYNC_WAL: u8 = 14;
 const REQ_SERVER_PING: u8 = 15;
 const REQ_TRACES: u8 = 16;
+const REQ_SUBSCRIBE: u8 = 17;
+const REQ_UNSUBSCRIBE: u8 = 18;
 
 /// Byte length of the optional trace-context suffix on binary
 /// requests: a u64 trace id plus a u32 parent span id. Pre-revision-2
@@ -1068,6 +1119,8 @@ const RESP_SEQ: u8 = 8;
 const RESP_ERR: u8 = 9;
 const RESP_SERVER_INFO: u8 = 10;
 const RESP_TRACES: u8 = 11;
+const RESP_SUBACK: u8 = 12;
+const RESP_PUSH: u8 = 13;
 
 fn put_value_type(out: &mut Vec<u8>, ty: ValueType) {
     out.push(match ty {
@@ -1241,6 +1294,21 @@ impl Request {
             Request::SyncWal => out.push(REQ_SYNC_WAL),
             Request::ServerPing => out.push(REQ_SERVER_PING),
             Request::Traces => out.push(REQ_TRACES),
+            Request::Subscribe { view, cursor } => {
+                out.push(REQ_SUBSCRIBE);
+                codec::put_str(&mut out, view);
+                match cursor {
+                    Some(c) => {
+                        out.push(1);
+                        codec::put_u64(&mut out, *c);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Request::Unsubscribe(view) => {
+                out.push(REQ_UNSUBSCRIBE);
+                codec::put_str(&mut out, view);
+            }
         }
         out
     }
@@ -1305,6 +1373,16 @@ impl Request {
             Request::SyncWal => out.push_str("sync_wal\n"),
             Request::ServerPing => out.push_str("server_ping\n"),
             Request::Traces => out.push_str("traces\n"),
+            Request::Subscribe { view, cursor } => {
+                let cursor = match cursor {
+                    Some(c) => c.to_string(),
+                    None => "none".into(),
+                };
+                out.push_str(&format!("subscribe\t{}\t{cursor}\n", escape(view)));
+            }
+            Request::Unsubscribe(view) => {
+                out.push_str(&format!("unsubscribe\t{}\n", escape(view)));
+            }
         }
         out.into_bytes()
     }
@@ -1342,6 +1420,8 @@ impl Request {
                 | "write_view"
                 | "edit_cas"
                 | "commit"
+                | "subscribe"
+                | "unsubscribe"
         ) && arg.is_none()
         {
             return Err(err(format!("op `{op}` needs an argument")));
@@ -1389,6 +1469,20 @@ impl Request {
             "sync_wal" => Request::SyncWal,
             "server_ping" => Request::ServerPing,
             "traces" => Request::Traces,
+            "subscribe" => {
+                let parts = fields(rest);
+                let [view, cursor] = parts.as_slice() else {
+                    return Err(err("bad subscribe line"));
+                };
+                Request::Subscribe {
+                    view: unescape(view)?,
+                    cursor: match *cursor {
+                        "none" => None,
+                        c => Some(c.parse().map_err(|_| err("bad subscribe cursor"))?),
+                    },
+                }
+            }
+            "unsubscribe" => Request::Unsubscribe(unescape(rest)?),
             _ => return Err(err(format!("unknown request op `{op}`"))),
         };
         r.end()?;
@@ -1437,6 +1531,15 @@ impl Request {
             REQ_SYNC_WAL => Request::SyncWal,
             REQ_SERVER_PING => Request::ServerPing,
             REQ_TRACES => Request::Traces,
+            REQ_SUBSCRIBE => Request::Subscribe {
+                view: r.str()?,
+                cursor: match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    other => return Err(err(format!("bad cursor flag {other}"))),
+                },
+            },
+            REQ_UNSUBSCRIBE => Request::Unsubscribe(r.str()?),
             other => return Err(err(format!("unknown binary request tag {other}"))),
         };
         // Revision 2: exactly TRACE_CTX_BYTES past the body is the
@@ -1539,6 +1642,30 @@ impl Response {
                 encode_traces(&mut text, report);
                 codec::put_str(&mut out, &text);
             }
+            Response::SubAck { cursor } => {
+                out.push(RESP_SUBACK);
+                codec::put_u64(&mut out, *cursor);
+            }
+            Response::Push {
+                view,
+                from_seq,
+                to_seq,
+                delta,
+                resync,
+            } => {
+                out.push(RESP_PUSH);
+                codec::put_str(&mut out, view);
+                codec::put_u64(&mut out, *from_seq);
+                codec::put_u64(&mut out, *to_seq);
+                put_delta(&mut out, delta);
+                match resync {
+                    Some(window) => {
+                        out.push(1);
+                        put_table(&mut out, window);
+                    }
+                    None => out.push(0),
+                }
+            }
         }
         out
     }
@@ -1604,6 +1731,26 @@ impl Response {
                 out.push_str("traces\n");
                 encode_traces(&mut out, report);
             }
+            Response::SubAck { cursor } => out.push_str(&format!("suback\t{cursor}\n")),
+            Response::Push {
+                view,
+                from_seq,
+                to_seq,
+                delta,
+                resync,
+            } => {
+                // The header carries a resync flag so the body stays a
+                // fixed sequence of self-delimiting documents.
+                out.push_str(&format!(
+                    "push\t{}\t{from_seq}\t{to_seq}\t{}\n",
+                    escape(view),
+                    u8::from(resync.is_some())
+                ));
+                encode_delta(&mut out, delta);
+                if let Some(window) = resync {
+                    encode_table(&mut out, window);
+                }
+            }
         }
         out.into_bytes()
     }
@@ -1668,6 +1815,31 @@ impl Response {
                 }
             }
             "traces" => Response::Traces(decode_traces(&mut r)?),
+            "suback" => Response::SubAck {
+                cursor: rest.parse().map_err(|_| err("bad suback cursor"))?,
+            },
+            "push" => {
+                let parts = fields(rest);
+                let [view, from_seq, to_seq, has_resync] = parts.as_slice() else {
+                    return Err(err("bad push header"));
+                };
+                let view = unescape(view)?;
+                let from_seq = from_seq.parse().map_err(|_| err("bad push from_seq"))?;
+                let to_seq = to_seq.parse().map_err(|_| err("bad push to_seq"))?;
+                let delta = decode_delta(&mut r)?;
+                let resync = match *has_resync {
+                    "0" => None,
+                    "1" => Some(decode_table(&mut r)?),
+                    f => return Err(err(format!("bad push resync flag `{f}`"))),
+                };
+                Response::Push {
+                    view,
+                    from_seq,
+                    to_seq,
+                    delta,
+                    resync,
+                }
+            }
             _ => return Err(err(format!("unknown response op `{op}`"))),
         };
         r.end()?;
@@ -1722,6 +1894,25 @@ impl Response {
                 workers: r.u32()?,
             },
             RESP_TRACES => Response::Traces(bin_text_blob(&mut r, decode_traces)?),
+            RESP_SUBACK => Response::SubAck { cursor: r.u64()? },
+            RESP_PUSH => {
+                let view = r.str()?;
+                let from_seq = r.u64()?;
+                let to_seq = r.u64()?;
+                let delta = bin_delta(&mut r)?;
+                let resync = match r.u8()? {
+                    0 => None,
+                    1 => Some(bin_table(&mut r)?),
+                    other => return Err(err(format!("bad resync flag {other}"))),
+                };
+                Response::Push {
+                    view,
+                    from_seq,
+                    to_seq,
+                    delta,
+                    resync,
+                }
+            }
             other => return Err(err(format!("unknown binary response tag {other}"))),
         };
         r.end()?;
@@ -1802,6 +1993,17 @@ pub fn handle(session: &esm_engine::Session, req: Request) -> Response {
                 workers: 0,
             },
             Request::Traces => Response::Traces(engine.traces()?),
+            // The network layer intercepts Subscribe/Unsubscribe before
+            // handle() — the subscription registry is connection-scoped.
+            // These arms cover direct (serverless) use: ack with the
+            // engine's cursor; nothing will push without a server.
+            Request::Subscribe { view, cursor } => Response::SubAck {
+                cursor: match cursor {
+                    Some(c) => c,
+                    None => engine.view_cursor(&view)?,
+                },
+            },
+            Request::Unsubscribe(_) => Response::Unit,
         })
     })();
     result.unwrap_or_else(Response::Err)
@@ -1943,6 +2145,19 @@ mod tests {
             Request::SyncWal,
             Request::ServerPing,
             Request::Traces,
+            Request::Subscribe {
+                view: "v\tiew".into(),
+                cursor: Some(u64::MAX),
+            },
+            Request::Subscribe {
+                view: "v".into(),
+                cursor: None,
+            },
+            Request::Subscribe {
+                view: String::new(),
+                cursor: Some(0),
+            },
+            Request::Unsubscribe("v\niew".into()),
         ];
         for req in reqs {
             let back = Request::decode(&req.encode()).unwrap();
@@ -2047,6 +2262,25 @@ mod tests {
                 view: "v".into(),
                 attempts: 4,
             }),
+            Response::SubAck { cursor: u64::MAX },
+            Response::SubAck { cursor: 0 },
+            Response::Push {
+                view: "v\tiew".into(),
+                from_seq: 3,
+                to_seq: u64::MAX,
+                delta: Delta {
+                    inserted: vec![row![9, "i"]],
+                    deleted: vec![row![1, "a\tb"]],
+                },
+                resync: None,
+            },
+            Response::Push {
+                view: "v".into(),
+                from_seq: 0,
+                to_seq: 7,
+                delta: Delta::empty(),
+                resync: Some(table()),
+            },
         ];
         for resp in resps {
             let back = Response::decode(&resp.encode()).unwrap();
@@ -2076,6 +2310,15 @@ mod tests {
             },
             Request::ServerPing,
             Request::Traces,
+            Request::Subscribe {
+                view: "v\tiew".into(),
+                cursor: Some(42),
+            },
+            Request::Subscribe {
+                view: "v".into(),
+                cursor: None,
+            },
+            Request::Unsubscribe("v".into()),
         ];
         for req in reqs {
             let back = Request::decode(&req.encode_text()).unwrap();
@@ -2101,6 +2344,17 @@ mod tests {
                 table: "t".into(),
                 detail: "de\ttail".into(),
             }),
+            Response::SubAck { cursor: 7 },
+            Response::Push {
+                view: "v\tiew".into(),
+                from_seq: 1,
+                to_seq: 9,
+                delta: Delta {
+                    inserted: vec![row![9, "i"]],
+                    deleted: vec![],
+                },
+                resync: Some(table()),
+            },
         ];
         for resp in resps {
             let back = Response::decode(&resp.encode_text()).unwrap();
@@ -2131,12 +2385,30 @@ mod tests {
         ] {
             assert!(Request::decode(&bad).is_err(), "{bad:?} must not decode");
         }
+        let bad_cursor_flag = {
+            let mut b = vec![BINARY_WIRE_MAGIC, REQ_SUBSCRIBE];
+            codec::put_str(&mut b, "v");
+            b.push(7); // neither 0 nor 1
+            b
+        };
+        assert!(Request::decode(&bad_cursor_flag).is_err());
+        let bad_resync_flag = {
+            let mut b = vec![BINARY_WIRE_MAGIC, RESP_PUSH];
+            codec::put_str(&mut b, "v");
+            codec::put_u64(&mut b, 1);
+            codec::put_u64(&mut b, 2);
+            put_delta(&mut b, &Delta::empty());
+            b.push(9); // neither 0 nor 1
+            b
+        };
+        assert!(Response::decode(&bad_resync_flag).is_err());
         for bad in [
             vec![BINARY_WIRE_MAGIC],
             vec![BINARY_WIRE_MAGIC, 0xEE],
             vec![BINARY_WIRE_MAGIC, RESP_RECEIPT, 1],
             vec![BINARY_WIRE_MAGIC, RESP_SEQ, 7],
             vec![BINARY_WIRE_MAGIC, RESP_ERR, 0, 0, 0, 0],
+            vec![BINARY_WIRE_MAGIC, RESP_SUBACK, 1, 2],
         ] {
             assert!(Response::decode(&bad).is_err(), "{bad:?} must not decode");
         }
@@ -2169,6 +2441,10 @@ mod tests {
             b"commit\tNaN",
             b"define_view\tonlyname",
             b"edit_cas\tv\n@schema\tbroken",
+            b"subscribe",
+            b"subscribe\tv",
+            b"subscribe\tv\tNaN",
+            b"unsubscribe",
             b"\xff\xfe",
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} must not decode");
@@ -2181,6 +2457,9 @@ mod tests {
             b"stats\n@telemetry\t1\t1\t0\nphase\tnot_a_phase\t1\t1\t1\t0",
             b"stats\n@telemetry\t1\t1\t0\nphase\tcommit_fsync\t1\t1\t1\t2\t0:1",
             b"stats\n@telemetry\t1\t0\t1\nslow\top\tNaN\t0",
+            b"suback\tNaN",
+            b"push\tv\t1\t2",
+            b"push\tv\t1\t2\t5\n@delta\t0\t0",
         ] {
             assert!(Response::decode(bad).is_err(), "{bad:?} must not decode");
         }

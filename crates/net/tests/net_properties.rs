@@ -270,6 +270,56 @@ proptest! {
     }
 
     #[test]
+    fn subscribe_requests_round_trip_both_codecs(
+        view in nasty_string(),
+        cursor_val in arb_u64(),
+        cursor_some in any::<bool>(),
+        unsub in any::<bool>(),
+    ) {
+        // Revision-3 verbs with codec-hostile view names and full-range
+        // cursors, through both the binary and the legacy text codec.
+        let cursor = cursor_some.then_some(cursor_val);
+        let req = if unsub {
+            Request::Unsubscribe(view)
+        } else {
+            Request::Subscribe { view, cursor }
+        };
+        let framed = encode_frame(&req.encode());
+        let (payload, _) = decode_frame(&framed).unwrap().expect("complete");
+        prop_assert_eq!(Request::decode(&payload).expect("binary round-trips"), req.clone());
+        prop_assert_eq!(Request::decode(&req.encode_text()).expect("text round-trips"), req);
+    }
+
+    #[test]
+    fn push_responses_round_trip_both_codecs(
+        view in nasty_string(),
+        from_seq in arb_u64(),
+        to_seq in arb_u64(),
+        inserted in arb_rows(),
+        deleted in arb_rows(),
+        window_val in arb_table(),
+        window_some in any::<bool>(),
+        ack in any::<bool>(),
+    ) {
+        let window = window_some.then_some(window_val);
+        let resp = if ack {
+            Response::SubAck { cursor: from_seq }
+        } else {
+            Response::Push {
+                view,
+                from_seq,
+                to_seq,
+                delta: Delta { inserted, deleted },
+                resync: window,
+            }
+        };
+        let framed = encode_frame(&resp.encode());
+        let (payload, _) = decode_frame(&framed).unwrap().expect("complete");
+        prop_assert_eq!(Response::decode(&payload).expect("binary round-trips"), resp.clone());
+        prop_assert_eq!(Response::decode(&resp.encode_text()).expect("text round-trips"), resp);
+    }
+
+    #[test]
     fn pipelined_frames_split_exactly(
         names in proptest::collection::vec(nasty_string(), 1..6),
     ) {

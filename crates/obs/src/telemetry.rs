@@ -65,11 +65,17 @@ pub enum Phase {
     NetHandler,
     /// Net: writing buffered response bytes back to the socket.
     NetResponseWrite,
+    /// Subscriptions: draining a view's committed deltas past one
+    /// subscriber cursor (the O(delta) fan-out collect).
+    SubDrain,
+    /// Subscriptions: encoding + writing one `PUSH` frame into a
+    /// subscriber connection's bounded output buffer.
+    NetPushWrite,
 }
 
 impl Phase {
     /// Every phase, in declaration (and wire) order.
-    pub const ALL: [Phase; 15] = [
+    pub const ALL: [Phase; 17] = [
         Phase::CommitSnapshot,
         Phase::CommitValidate,
         Phase::CommitWalAppend,
@@ -85,6 +91,8 @@ impl Phase {
         Phase::NetQueueWait,
         Phase::NetHandler,
         Phase::NetResponseWrite,
+        Phase::SubDrain,
+        Phase::NetPushWrite,
     ];
 
     /// The phase's stable wire/exposition name.
@@ -105,6 +113,8 @@ impl Phase {
             Phase::NetQueueWait => "net_queue_wait",
             Phase::NetHandler => "net_handler_execute",
             Phase::NetResponseWrite => "net_response_write",
+            Phase::SubDrain => "sub_drain",
+            Phase::NetPushWrite => "net_push_write",
         }
     }
 
@@ -129,6 +139,8 @@ impl Phase {
                 | Phase::NetQueueWait
                 | Phase::NetHandler
                 | Phase::NetResponseWrite
+                | Phase::SubDrain
+                | Phase::NetPushWrite
         )
     }
 }
