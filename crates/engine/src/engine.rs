@@ -271,6 +271,19 @@ pub trait Engine: Send + Sync + std::fmt::Debug {
             resync: Some(window),
         })
     }
+
+    // ------------------------------------------------------------------
+    // Replication (see [`crate::repl`]).
+    // ------------------------------------------------------------------
+
+    /// A WAL-shipping source over this engine's durable log, when it can
+    /// act as a replication primary. `None` (the default) means this
+    /// engine cannot be replicated from — in-memory engines, replicas,
+    /// and the unsharded server. The net layer routes the `REPL_*` verbs
+    /// through this.
+    fn repl_source(&self) -> Option<Arc<dyn crate::repl::WalSource>> {
+        None
+    }
 }
 
 impl Engine for crate::EngineServer {
@@ -479,5 +492,10 @@ impl Engine for crate::shard::ShardedEngineServer {
 
     fn view_deltas_since(&self, name: &str, cursor: u64) -> Result<ViewDeltas, EngineError> {
         crate::shard::ShardedEngineServer::view_deltas_since(self, name, cursor)
+    }
+
+    fn repl_source(&self) -> Option<Arc<dyn crate::repl::WalSource>> {
+        crate::repl::PrimaryWalSource::over(self)
+            .map(|s| Arc::new(s) as Arc<dyn crate::repl::WalSource>)
     }
 }

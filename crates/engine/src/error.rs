@@ -53,6 +53,15 @@ pub enum EngineError {
     /// key outside its shard's range, an undeclared key touched by a
     /// keyed transaction, or an unmergeable shard pair.
     ShardTopology(String),
+    /// A write reached a read replica. Replicas serve every read path of
+    /// the [`crate::Engine`] trait but never take writes; the error
+    /// carries the current primary's advertised address (empty when the
+    /// replica has not learned one yet) so clients can reconnect and
+    /// retry — the failover redirect.
+    NotPrimary {
+        /// The advertised address of the engine currently taking writes.
+        primary: String,
+    },
 }
 
 impl From<StoreError> for EngineError {
@@ -97,6 +106,13 @@ impl std::fmt::Display for EngineError {
                 )
             }
             EngineError::ShardTopology(msg) => write!(f, "shard topology error: {msg}"),
+            EngineError::NotPrimary { primary } => {
+                if primary.is_empty() {
+                    write!(f, "not the primary: this replica takes no writes")
+                } else {
+                    write!(f, "not the primary: retry against {primary}")
+                }
+            }
         }
     }
 }

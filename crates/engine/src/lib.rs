@@ -293,6 +293,49 @@
 //! paper's replayed-state ≡ live-state equivalence, checked exhaustively
 //! under crashes.
 //!
+//! ### Replication and the shard fleet ([`repl`])
+//!
+//! A durable sharded primary already writes everything a replica needs:
+//! self-delimiting WAL segments and atomically-renamed checkpoints, per
+//! shard. Replication *ships those files* rather than inventing a
+//! second log. The lifecycle:
+//!
+//! ```text
+//! primary ──ship──▶ mirror dir ──recover/replay──▶ replica ──promote──▶ primary
+//! ```
+//!
+//! 1. **Ship** ([`repl::shipper`]): a [`WalSource`] exposes the
+//!    primary's log as a manifest of `(path, len)` plus ranged reads —
+//!    [`DirWalSource`] reads the directory locally,
+//!    [`ShardedEngineServer::repl_source`] serves a live engine, and
+//!    esm-net's `RemoteWalSource` carries the same two calls over the
+//!    wire (`repl_manifest` / `repl_fetch`), so a replica never needs
+//!    shared disk. Within one manifest snapshot only the *last* segment
+//!    per shard can be torn, which is exactly the tail tolerance
+//!    recovery already has.
+//! 2. **Apply** ([`repl::replica`]): [`ReplicaEngine`] appends shipped
+//!    bytes to a local mirror (fsynced only when bytes arrived) and
+//!    re-runs recovery over it — replay *is* the apply path, so a
+//!    replica can crash anywhere and come back consistent. It serves
+//!    the full [`Engine`] read surface behind [`ReplicaEngine::serving`];
+//!    writes return [`EngineError::NotPrimary`] carrying the primary's
+//!    advertised address for client redirect. Lag is observable per
+//!    shard ([`ReplStats::lag`](crate::metrics::ReplStats), the
+//!    `repl_lag_records` gauge, and the Prometheus rendering).
+//! 3. **Promote** ([`repl::promote`]): when the primary dies,
+//!    [`repl::most_caught_up`] elects the replica with the highest
+//!    applied seq, and [`ReplicaEngine::promote`] replays its final
+//!    tail and settles in-doubt 2PC marks all-or-nothing (presume abort
+//!    before the commit point, finish after) — the same state machine
+//!    as crash recovery, because promotion *is* recovery on another
+//!    machine. Every commit acked under `group_commit = 1` survives.
+//! 4. **Rebalance** ([`repl::policy`]): [`RebalancePolicy`] folds
+//!    per-shard commit-rate EWMAs ([`ShardStats`]) each tick and
+//!    splits a shard whose rate exceeds the coldest by a configured
+//!    skew (at its median key, [`ShardedEngineServer::median_split_key`]),
+//!    or merges adjacent cold shards — `tests/replication.rs` drives a
+//!    skewed stream until per-shard commit rates level within 2x.
+//!
 //! ### Observability ([`esm_obs`])
 //!
 //! Every engine owns an [`esm_obs::Telemetry`] registry — one lock-free
@@ -387,6 +430,7 @@ pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod metrics;
+pub mod repl;
 pub mod segment;
 pub mod server;
 pub mod session;
@@ -411,7 +455,13 @@ pub use esm_obs::{
     render_prometheus, Histogram, HistogramSnapshot, Phase, SlowOp, Span, Telemetry,
     TelemetrySnapshot, Timer,
 };
-pub use metrics::{Metrics, MetricsSnapshot, ShardStats, ViewStats, WalStats};
+pub use metrics::{
+    Metrics, MetricsSnapshot, ReplStats, ReplicaLag, ShardLoad, ShardStats, ViewStats, WalStats,
+};
+pub use repl::{
+    DirWalSource, FileEntry, PolicyConfig, PolicyHandle, PrimaryWalSource, RebalancePolicy,
+    ReplManifest, ReplicaConfig, ReplicaEngine, ShardManifest, WalSource,
+};
 pub use segment::{
     crc32, decode_segment_prefix, encode_framed, encode_framed_binary, SegmentFile, SegmentPrefix,
     SegmentWriter, SimFile, BINARY_FRAME_MAGIC,

@@ -88,10 +88,88 @@ pub struct ShardStats {
     pub merges: u64,
     /// Rows moved between shards by splits, merges and recovery repair.
     pub rows_migrated: u64,
+    /// Splits initiated by the auto-rebalancing policy (a subset of
+    /// `splits`).
+    pub auto_splits: u64,
+    /// Merges initiated by the auto-rebalancing policy (a subset of
+    /// `merges`).
+    pub auto_merges: u64,
+    /// The hottest shard's commit-rate EWMA, in millicommits/second
+    /// (×1000; zero until the policy thread has sampled). The policy's
+    /// split trigger reads this.
+    pub commit_rate_ewma_milli: u64,
+    /// Fleet commit-rate skew: hottest EWMA over coldest EWMA, ×1000
+    /// (so 2000 = the hottest shard commits twice as fast as the
+    /// coldest). 1000 when perfectly even; zero until sampled.
+    pub commit_rate_skew_milli: u64,
+}
+
+/// One shard's load sample: the inputs the auto-rebalancing policy
+/// decides from, exported so operators can see what the policy sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardLoad {
+    /// The shard's stable id (the `shard-<id>` directory).
+    pub shard: u64,
+    /// Rows currently resident on the shard (summed over tables).
+    pub rows: u64,
+    /// Commits this shard has participated in since construction.
+    pub commits: u64,
+    /// The policy thread's commit-rate EWMA for this shard, in
+    /// millicommits/second (zero until sampled).
+    pub rate_ewma_milli: u64,
+}
+
+/// One replica's per-shard replication lag: how far its applied WAL
+/// position trails the primary's durable tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaLag {
+    /// The shard's stable id.
+    pub shard: u64,
+    /// The primary's durable last sequence number for this shard at the
+    /// last manifest fetch (zero when the source does not know it).
+    pub primary_seq: u64,
+    /// The last WAL record this replica has consumed for this shard.
+    pub applied_seq: u64,
+}
+
+impl ReplicaLag {
+    /// Records the replica still trails by (saturating: a replica that
+    /// mirrored unsynced bytes can briefly run ahead of the reported
+    /// durable tail).
+    pub fn records_behind(&self) -> u64 {
+        self.primary_seq.saturating_sub(self.applied_seq)
+    }
+}
+
+/// Replication counters kept by a [`crate::repl::ReplicaEngine`] (empty
+/// everywhere else).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplStats {
+    /// Per-shard lag, in topology order, from the replica's most recent
+    /// shipping pass.
+    pub lag: Vec<ReplicaLag>,
+    /// Shipping passes completed (manifest fetch + mirror + apply).
+    pub ship_passes: u64,
+    /// WAL records applied to the replica's serving engine.
+    pub records_applied: u64,
+    /// Settled transactions applied (chains count once).
+    pub transactions_applied: u64,
+}
+
+impl ReplStats {
+    /// The worst per-shard lag in records (zero when fully caught up or
+    /// when no lag has been sampled).
+    pub fn max_records_behind(&self) -> u64 {
+        self.lag
+            .iter()
+            .map(ReplicaLag::records_behind)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// A point-in-time copy of the counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
     /// Transactions committed.
     pub commits: u64,
@@ -114,6 +192,11 @@ pub struct MetricsSnapshot {
     pub shard: ShardStats,
     /// Materialized-view maintenance counters.
     pub view: ViewStats,
+    /// Per-shard load samples, in topology order (empty for unsharded
+    /// engines).
+    pub shard_load: Vec<ShardLoad>,
+    /// Replication counters (empty except on replica engines).
+    pub repl: ReplStats,
 }
 
 impl Metrics {
@@ -176,6 +259,8 @@ impl Metrics {
                 rebuilds: self.rebuilds.load(Ordering::Relaxed),
                 shards_pruned: self.shards_pruned.load(Ordering::Relaxed),
             },
+            shard_load: Vec::new(),
+            repl: ReplStats::default(),
         }
     }
 }
@@ -192,6 +277,18 @@ impl MetricsSnapshot {
         self.shard = shard;
         self
     }
+
+    /// This snapshot with per-shard load samples filled in.
+    pub fn with_shard_load(mut self, load: Vec<ShardLoad>) -> MetricsSnapshot {
+        self.shard_load = load;
+        self
+    }
+
+    /// This snapshot with replication counters filled in.
+    pub fn with_repl(mut self, repl: ReplStats) -> MetricsSnapshot {
+        self.repl = repl;
+        self
+    }
 }
 
 /// Atomic counters behind [`ShardStats`], owned by the sharded facade.
@@ -205,6 +302,8 @@ pub struct ShardMetrics {
     splits: AtomicU64,
     merges: AtomicU64,
     rows_migrated: AtomicU64,
+    auto_splits: AtomicU64,
+    auto_merges: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -239,6 +338,14 @@ impl ShardMetrics {
         self.rows_migrated.fetch_add(rows, Ordering::Relaxed);
     }
 
+    pub(crate) fn auto_split(&self) {
+        self.auto_splits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn auto_merge(&self) {
+        self.auto_merges.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the current counter values.
     pub fn snapshot(&self) -> ShardStats {
         ShardStats {
@@ -250,6 +357,13 @@ impl ShardMetrics {
             splits: self.splits.load(Ordering::Relaxed),
             merges: self.merges.load(Ordering::Relaxed),
             rows_migrated: self.rows_migrated.load(Ordering::Relaxed),
+            auto_splits: self.auto_splits.load(Ordering::Relaxed),
+            auto_merges: self.auto_merges.load(Ordering::Relaxed),
+            // The EWMA aggregates are not atomics here: the sharded
+            // engine folds them in from the policy thread's load map
+            // (see `ShardedEngineServer::metrics`).
+            commit_rate_ewma_milli: 0,
+            commit_rate_skew_milli: 0,
         }
     }
 }

@@ -1,0 +1,228 @@
+//! Stats-driven auto-rebalancing: watch per-shard commit-rate EWMAs
+//! and row counts, split the hottest shard at its median key when load
+//! skews, merge adjacent cold shards when it collapses.
+//!
+//! The policy reads load lock-free (per-shard commit counters are
+//! relaxed atomics, row counts take brief shard read locks) and acts
+//! through the existing online rebalance operations
+//! ([`ShardedEngineServer::split_shard`] /
+//! [`ShardedEngineServer::merge_shards`][msh]), so a policy action is
+//! exactly as crash-safe as a manual one.
+//!
+//! [msh]: crate::shard::ShardedEngineServer
+//!
+//! Deterministic core, threaded shell: [`RebalancePolicy::tick`] holds
+//! all the logic (tests drive it directly); `start_policy` wraps it in
+//! a maintenance thread. The handle owns the thread — hold it for as
+//! long as the fleet should self-manage, drop it to stop. The engine
+//! never owns the policy, so there is no reference cycle.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::error::EngineError;
+use crate::shard::ShardedEngineServer;
+
+/// Tuning for the auto-rebalance policy.
+#[derive(Debug, Clone)]
+pub struct PolicyConfig {
+    /// How often the policy thread wakes, in milliseconds.
+    pub interval_ms: u64,
+    /// EWMA smoothing weight for the newest rate sample, in
+    /// thousandths (300 = 0.3 — a few ticks of memory).
+    pub alpha_milli: u64,
+    /// Split when the hottest shard's EWMA exceeds the coldest's by
+    /// this ratio, in thousandths (2000 = 2x).
+    pub split_skew_milli: u64,
+    /// Never split a shard holding fewer rows than this (splitting a
+    /// sliver moves nothing).
+    pub min_rows_split: u64,
+    /// Hard ceiling on shard count.
+    pub max_shards: usize,
+    /// Merge the coldest adjacent pair when its *combined* EWMA times
+    /// this ratio (thousandths) is still below the hottest shard's.
+    pub merge_skew_milli: u64,
+    /// Hard floor on shard count.
+    pub min_shards: usize,
+    /// Ticks to sit out after any split/merge, letting EWMAs re-settle
+    /// before judging the new layout.
+    pub cooldown_ticks: u32,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> PolicyConfig {
+        PolicyConfig {
+            interval_ms: 100,
+            alpha_milli: 300,
+            split_skew_milli: 2000,
+            min_rows_split: 64,
+            max_shards: 16,
+            merge_skew_milli: 4000,
+            min_shards: 1,
+            cooldown_ticks: 3,
+        }
+    }
+}
+
+/// What one policy tick decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Load is balanced (or the policy is cooling down / starved of
+    /// samples); nothing changed.
+    None,
+    /// Split the shard at topology index `.0` at key-median; the new
+    /// shard landed at index `.1`.
+    Split(usize, usize),
+    /// Merged topology index `.0 + 1` into `.0`.
+    Merge(usize),
+}
+
+/// The deterministic policy core: EWMA state plus the decision rule.
+#[derive(Debug)]
+pub struct RebalancePolicy {
+    cfg: PolicyConfig,
+    /// Per shard id: commit count at the last tick, and the rate EWMA
+    /// (commits/second, in thousandths).
+    ewma: BTreeMap<u64, (u64, u64)>,
+    last_tick: Option<Instant>,
+    cooldown: u32,
+}
+
+impl RebalancePolicy {
+    /// A fresh policy with `cfg`.
+    pub fn new(cfg: PolicyConfig) -> RebalancePolicy {
+        RebalancePolicy {
+            cfg,
+            ewma: BTreeMap::new(),
+            last_tick: None,
+            cooldown: 0,
+        }
+    }
+
+    /// One observation + decision pass over `engine`. Always refreshes
+    /// the published load view; acts only when skew thresholds are
+    /// crossed and no cooldown is pending.
+    pub fn tick(&mut self, engine: &ShardedEngineServer) -> Result<PolicyAction, EngineError> {
+        let now = Instant::now();
+        let dt_ms = match self.last_tick.replace(now) {
+            Some(prev) => now.duration_since(prev).as_millis().max(1) as u64,
+            None => 0,
+        };
+        let mut loads = engine.shard_load();
+
+        // Fold new rate samples into the EWMAs (first tick only seeds
+        // the commit baselines — a rate needs an interval).
+        let mut next: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for load in &mut loads {
+            let (prev_commits, prev_ewma) = self.ewma.get(&load.shard).copied().unwrap_or((0, 0));
+            let delta = load.commits.saturating_sub(prev_commits);
+            // commits/sec in thousandths: delta * 1000 (milli) *
+            // 1000 (ms→s) / dt_ms.
+            let ewma = match delta.saturating_mul(1_000_000).checked_div(dt_ms) {
+                None => prev_ewma,
+                Some(rate) => {
+                    (self.cfg.alpha_milli * rate + (1000 - self.cfg.alpha_milli) * prev_ewma) / 1000
+                }
+            };
+            load.rate_ewma_milli = ewma;
+            next.insert(load.shard, (load.commits, ewma));
+        }
+        self.ewma = next;
+        engine.set_shard_load(loads.clone());
+
+        if dt_ms == 0 || loads.is_empty() {
+            return Ok(PolicyAction::None);
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return Ok(PolicyAction::None);
+        }
+
+        let (hot_index, hot) = loads
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, l)| l.rate_ewma_milli)
+            .expect("non-empty");
+        let cold_rate = loads
+            .iter()
+            .map(|l| l.rate_ewma_milli)
+            .min()
+            .expect("non-empty");
+
+        // Split: the hottest shard dominates and has rows to give.
+        let skewed = hot.rate_ewma_milli.saturating_mul(1000)
+            > cold_rate.max(1).saturating_mul(self.cfg.split_skew_milli);
+        if skewed && loads.len() < self.cfg.max_shards && hot.rows >= self.cfg.min_rows_split {
+            if let Some(at) = engine.median_split_key(hot_index) {
+                let hot_id = hot.shard;
+                let new_index = engine.split_shard(at)?;
+                engine.note_auto_split();
+                // Seed both halves at half the donor's EWMA so the next
+                // tick judges the new layout, not a stale spike.
+                if let Some(entry) = self.ewma.get_mut(&hot_id) {
+                    entry.1 /= 2;
+                }
+                self.cooldown = self.cfg.cooldown_ticks;
+                return Ok(PolicyAction::Split(hot_index, new_index));
+            }
+        }
+
+        // Merge: the coldest adjacent pair is noise next to the hottest
+        // shard.
+        if loads.len() > self.cfg.min_shards.max(1) {
+            let pair = (0..loads.len() - 1)
+                .map(|i| (i, loads[i].rate_ewma_milli + loads[i + 1].rate_ewma_milli))
+                .min_by_key(|&(_, combined)| combined);
+            if let Some((left, combined)) = pair {
+                let cold_enough = combined.saturating_mul(self.cfg.merge_skew_milli)
+                    < hot.rate_ewma_milli.saturating_mul(1000);
+                if cold_enough
+                    && hot.rate_ewma_milli > 0
+                    && left != hot_index
+                    && left + 1 != hot_index
+                {
+                    engine.merge_shards(left)?;
+                    engine.note_auto_merge();
+                    self.cooldown = self.cfg.cooldown_ticks;
+                    return Ok(PolicyAction::Merge(left));
+                }
+            }
+        }
+        Ok(PolicyAction::None)
+    }
+}
+
+/// Owns the policy thread; drop to stop it. Never stored inside the
+/// engine (that would cycle the `Arc`).
+#[derive(Debug)]
+pub struct PolicyHandle {
+    _thread: crate::durable::MaintenanceThread,
+}
+
+impl ShardedEngineServer {
+    /// Start the auto-rebalance policy thread over this engine. The
+    /// returned handle owns the thread — keep it alive for as long as
+    /// the fleet should self-manage. Policy errors (a racing manual
+    /// rebalance, a poisoned shard) skip the tick; the next one
+    /// re-observes.
+    pub fn start_policy(&self, cfg: PolicyConfig) -> PolicyHandle {
+        let engine = self.clone();
+        let interval = std::time::Duration::from_millis(cfg.interval_ms.max(1));
+        let mut policy = RebalancePolicy::new(cfg);
+        PolicyHandle {
+            _thread: crate::durable::MaintenanceThread::spawn(interval, move || {
+                let _ = policy.tick(&engine);
+            }),
+        }
+    }
+
+    /// Count one policy-initiated split in [`crate::ShardStats`].
+    pub(crate) fn note_auto_split(&self) {
+        self.inner.shard_metrics.auto_split();
+    }
+
+    /// Count one policy-initiated merge in [`crate::ShardStats`].
+    pub(crate) fn note_auto_merge(&self) {
+        self.inner.shard_metrics.auto_merge();
+    }
+}

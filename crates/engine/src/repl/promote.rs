@@ -1,0 +1,67 @@
+//! Failover promotion: turn a replica's mirror into a primary.
+//!
+//! Promotion is recovery — deliberately. The mirror is byte-for-byte
+//! the primary's base directory, so
+//! [`ShardedEngineServer::recover_with`] over it does exactly what a
+//! primary restart would do: replay every shard's tail, settle in-doubt
+//! 2PC transactions all-or-nothing (a commit resolution on *any* shard
+//! wins; none means presumed abort), prune rebalance debris. Every
+//! commit the dead primary acknowledged under `group_commit = 1` was
+//! fsynced into segment bytes before the ack, so once those bytes are
+//! mirrored, promotion cannot lose it.
+
+use crate::durable::DurabilityConfig;
+use crate::error::EngineError;
+use crate::shard::{ShardRecoveryReport, ShardedEngineServer};
+
+use super::replica::ReplicaEngine;
+
+/// What a promotion produced.
+#[derive(Debug)]
+pub struct Promotion {
+    /// The new primary, recovered over the mirror and taking writes.
+    pub engine: ShardedEngineServer,
+    /// What the settling recovery found (in-doubt verdicts, repairs).
+    pub report: ShardRecoveryReport,
+}
+
+impl ReplicaEngine {
+    /// Promote this replica: stop the apply thread, drain whatever the
+    /// source still serves (best effort — the primary process is
+    /// usually dead, but its disk may still be reachable through a
+    /// [`super::DirWalSource`]), then run the proven sharded recovery
+    /// over the mirror. The returned engine takes writes; this replica
+    /// handle keeps serving its last-applied state and keeps returning
+    /// [`EngineError::NotPrimary`] on writes — retire it once clients
+    /// have re-resolved.
+    ///
+    /// `advertise` is the new primary's address for future redirects
+    /// (pass `""` if not serving remotely).
+    pub fn promote(&self, advertise: &str) -> Result<Promotion, EngineError> {
+        self.stop();
+        // Final drain: every byte the dead primary fsynced that we can
+        // still reach must make it into the mirror before recovery
+        // draws the durability line.
+        let _ = self.sync_once();
+        let config = DurabilityConfig::new(self.mirror_dir());
+        let (engine, report) = ShardedEngineServer::recover_with(config)?;
+        if !advertise.is_empty() {
+            engine.advertise(advertise);
+        }
+        Ok(Promotion { engine, report })
+    }
+}
+
+/// Pick the most-caught-up replica: the one with the highest total
+/// applied sequence across shards (ties break to the earliest). Returns
+/// `None` for an empty slice.
+pub fn most_caught_up(replicas: &[ReplicaEngine]) -> Option<usize> {
+    replicas
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, r)| {
+            let total: u64 = r.applied_seqs().values().sum();
+            (total, std::cmp::Reverse(*i))
+        })
+        .map(|(i, _)| i)
+}

@@ -1,0 +1,171 @@
+//! [`WalSource`] implementations on the primary side: serve manifest +
+//! ranged file reads from a live sharded engine or a bare directory.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use super::{check_file_name, FileEntry, ReplManifest, ShardManifest, WalSource};
+use crate::checkpoint::parse_checkpoint_name;
+use crate::error::EngineError;
+use crate::segment::parse_segment_name;
+use crate::shard::{ShardedEngineServer, TOPOLOGY_FILE};
+
+/// List a shard directory's shippable files (segments + checkpoints;
+/// temp files and anything unrecognized stay home), sorted by name.
+fn list_shard_files(dir: &Path) -> Result<Vec<FileEntry>, EngineError> {
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if parse_segment_name(name).is_none() && parse_checkpoint_name(name).is_none() {
+            continue;
+        }
+        files.push(FileEntry {
+            name: name.to_string(),
+            len: entry.metadata()?.len(),
+        });
+    }
+    files.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(files)
+}
+
+fn read_range(path: &Path, offset: u64, len: u64) -> Result<Vec<u8>, EngineError> {
+    let mut f = std::fs::File::open(path)
+        .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))?;
+    f.seek(SeekFrom::Start(offset))?;
+    // Cap the per-call read so one fetch can't balloon a wire frame.
+    let mut buf = vec![0u8; len.min(4 * 1024 * 1024) as usize];
+    let mut filled = 0;
+    while filled < buf.len() {
+        match f.read(&mut buf[filled..])? {
+            0 => break,
+            n => filled += n,
+        }
+    }
+    buf.truncate(filled);
+    Ok(buf)
+}
+
+/// The directory names and ids of every `shard-<id>` under `base`.
+fn list_shard_dirs(base: &Path) -> Result<Vec<u64>, EngineError> {
+    let mut ids = Vec::new();
+    for entry in std::fs::read_dir(base)? {
+        let entry = entry?;
+        if let Some(id) = entry
+            .file_name()
+            .to_str()
+            .and_then(|n| n.strip_prefix("shard-"))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            if entry.path().is_dir() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// A [`WalSource`] over a bare sharded base directory — no live engine
+/// required. This is how a replica keeps draining a *dead* primary's
+/// tail during failover: the process is gone but its fsynced bytes are
+/// not. `last_seq` is reported as 0 (unknown) since nothing live can be
+/// asked.
+#[derive(Debug, Clone)]
+pub struct DirWalSource {
+    base: PathBuf,
+    primary_addr: String,
+}
+
+impl DirWalSource {
+    /// A source over `base` (must hold a `topology.esm`). `primary_addr`
+    /// is what replicas hand to redirected writers; pass `""` when there
+    /// is nowhere to redirect to.
+    pub fn new(base: impl Into<PathBuf>, primary_addr: impl Into<String>) -> DirWalSource {
+        DirWalSource {
+            base: base.into(),
+            primary_addr: primary_addr.into(),
+        }
+    }
+}
+
+impl WalSource for DirWalSource {
+    fn manifest(&self) -> Result<ReplManifest, EngineError> {
+        let topology = std::fs::read(self.base.join(TOPOLOGY_FILE))
+            .map_err(|e| EngineError::Io(format!("replication manifest: {e}")))?;
+        let mut shards = Vec::new();
+        for id in list_shard_dirs(&self.base)? {
+            shards.push(ShardManifest {
+                id,
+                last_seq: 0,
+                files: list_shard_files(&self.base.join(format!("shard-{id}")))?,
+            });
+        }
+        Ok(ReplManifest {
+            topology,
+            primary_addr: self.primary_addr.clone(),
+            shards,
+        })
+    }
+
+    fn fetch(&self, shard: u64, file: &str, offset: u64, len: u64) -> Result<Vec<u8>, EngineError> {
+        check_file_name(file)?;
+        read_range(
+            &self.base.join(format!("shard-{shard}")).join(file),
+            offset,
+            len,
+        )
+    }
+}
+
+/// A [`WalSource`] over a live durable [`ShardedEngineServer`]: file
+/// listings come from its base directory, per-shard `last_seq` from the
+/// live durable logs (real lag reference), and `primary_addr` from
+/// [`ShardedEngineServer::advertise`].
+#[derive(Debug, Clone)]
+pub struct PrimaryWalSource {
+    engine: ShardedEngineServer,
+    base: PathBuf,
+}
+
+impl PrimaryWalSource {
+    /// Wrap `engine`, or `None` when it is in-memory (nothing to ship).
+    pub fn over(engine: &ShardedEngineServer) -> Option<PrimaryWalSource> {
+        let base = engine.durable_base_dir()?;
+        Some(PrimaryWalSource {
+            engine: engine.clone(),
+            base,
+        })
+    }
+}
+
+impl WalSource for PrimaryWalSource {
+    fn manifest(&self) -> Result<ReplManifest, EngineError> {
+        let topology = std::fs::read(self.base.join(TOPOLOGY_FILE))
+            .map_err(|e| EngineError::Io(format!("replication manifest: {e}")))?;
+        let last_seqs = self.engine.shard_last_seqs();
+        let mut shards = Vec::new();
+        for id in list_shard_dirs(&self.base)? {
+            shards.push(ShardManifest {
+                id,
+                last_seq: last_seqs.get(&id).copied().unwrap_or(0),
+                files: list_shard_files(&self.base.join(format!("shard-{id}")))?,
+            });
+        }
+        Ok(ReplManifest {
+            topology,
+            primary_addr: self.engine.advertised_addr().unwrap_or_default(),
+            shards,
+        })
+    }
+
+    fn fetch(&self, shard: u64, file: &str, offset: u64, len: u64) -> Result<Vec<u8>, EngineError> {
+        check_file_name(file)?;
+        read_range(
+            &self.base.join(format!("shard-{shard}")).join(file),
+            offset,
+            len,
+        )
+    }
+}

@@ -67,7 +67,7 @@ use esm_store::{Database, Delta, Row, Schema, Table, Value};
 use crate::checkpoint::write_atomic_text;
 use crate::durable::{checkpoint_off_lock, DurabilityConfig, MaintenanceThread, RecoveryReport};
 use crate::error::EngineError;
-use crate::metrics::{Metrics, MetricsSnapshot, ShardMetrics, WalStats};
+use crate::metrics::{Metrics, MetricsSnapshot, ShardLoad, ShardMetrics, WalStats};
 use crate::sub::{CommitNotifier, ViewDeltas};
 use crate::view::EntangledView;
 use crate::wal::{check_table_names, committed_table_deltas, Wal};
@@ -164,6 +164,15 @@ pub(crate) struct ShardedInner {
     /// shard's durable WAL (and handed to shards created later by the
     /// rebalancer).
     pub(crate) telemetry: Arc<Telemetry>,
+    /// The address this engine tells redirected writers to retry
+    /// against (set by the serving layer after bind; shipped to
+    /// replicas in the manifest so their `NotPrimary` errors carry it).
+    pub(crate) advertised: Mutex<Option<String>>,
+    /// The rebalance policy thread's latest per-shard load view
+    /// (rows, cumulative commits, commit-rate EWMA). Folded into
+    /// [`ShardedEngineServer::metrics`] so `STATS` exports it without
+    /// new locks on the commit path.
+    pub(crate) shard_load: Mutex<Vec<ShardLoad>>,
     _maintenance: Option<MaintenanceThread>,
 }
 
@@ -195,7 +204,7 @@ fn partition(db: &Database, router: &ShardRouter) -> Result<Vec<Database>, Engin
 
 /// Merge shard pieces into one database (shards hold disjoint keys, so
 /// upserts never collide).
-fn assemble(pieces: impl Iterator<Item = Database>) -> Result<Database, EngineError> {
+pub(crate) fn assemble(pieces: impl Iterator<Item = Database>) -> Result<Database, EngineError> {
     let mut out = Database::new();
     for piece in pieces {
         for name in piece.table_names() {
@@ -571,6 +580,8 @@ impl ShardedEngineServer {
                 durable_base,
                 next_shard_id: AtomicU64::new(next_shard_id),
                 telemetry,
+                advertised: Mutex::new(None),
+                shard_load: Mutex::new(Vec::new()),
                 _maintenance: maintenance,
             }),
         }
@@ -663,11 +674,133 @@ impl ShardedEngineServer {
                 }
             }
         }
+        let load: Vec<ShardLoad> = self
+            .inner
+            .shard_load
+            .lock()
+            .map(|l| l.clone())
+            .unwrap_or_default();
+        let mut shard_stats = self.inner.shard_metrics.snapshot();
+        let rates: Vec<u64> = load.iter().map(|l| l.rate_ewma_milli).collect();
+        if let Some(&max) = rates.iter().max() {
+            shard_stats.commit_rate_ewma_milli = max;
+            let min = *rates.iter().min().expect("non-empty");
+            shard_stats.commit_rate_skew_milli = match max.saturating_mul(1000).checked_div(min) {
+                Some(skew) => skew,
+                // An idle fleet is perfectly level; any load over a
+                // zero-rate shard is infinitely skewed.
+                None if max == 0 => 1000,
+                None => u64::MAX,
+            };
+        }
         self.inner
             .metrics
             .snapshot()
             .with_wal(wal)
-            .with_shard(self.inner.shard_metrics.snapshot())
+            .with_shard(shard_stats)
+            .with_shard_load(load)
+    }
+
+    /// Record the address writers should be redirected to (typically the
+    /// net layer's bound address). Ships to replicas in the replication
+    /// manifest; their `NotPrimary` errors carry it.
+    pub fn advertise(&self, addr: impl Into<String>) {
+        if let Ok(mut a) = self.inner.advertised.lock() {
+            *a = Some(addr.into());
+        }
+    }
+
+    /// The advertised primary address, if one was set.
+    pub fn advertised_addr(&self) -> Option<String> {
+        self.inner.advertised.lock().ok().and_then(|a| a.clone())
+    }
+
+    /// The median primary key of shard `index`'s largest table — the
+    /// split point the auto-rebalance policy feeds to
+    /// [`ShardedEngineServer::split_shard`] so each half keeps about half
+    /// the rows. `None` when the shard has fewer than two rows in every
+    /// table (nothing to split).
+    pub fn median_split_key(&self, index: usize) -> Option<Row> {
+        let topo = self.topology();
+        let shard = topo.shards.get(index)?;
+        let state = shard.read();
+        let largest = state
+            .db
+            .table_names()
+            .into_iter()
+            .filter_map(|n| state.db.table(n).ok())
+            .max_by_key(|t| t.len())?;
+        if largest.len() < 2 {
+            return None;
+        }
+        let mid = largest.key_at(largest.len() / 2)?;
+        // A split at the very first key moves everything and leaves an
+        // empty lower shard; step forward instead.
+        if Some(&mid) == largest.key_at(0).as_ref() {
+            largest.key_at(largest.len() / 2 + 1)
+        } else {
+            Some(mid)
+        }
+    }
+
+    /// Per-shard load right now: rows (largest table), cumulative
+    /// commits, and the policy thread's EWMA (zero until a policy runs).
+    /// Topology order; the `shard` field carries stable shard ids.
+    pub fn shard_load(&self) -> Vec<ShardLoad> {
+        let ewmas: BTreeMap<u64, u64> = self
+            .inner
+            .shard_load
+            .lock()
+            .map(|l| l.iter().map(|s| (s.shard, s.rate_ewma_milli)).collect())
+            .unwrap_or_default();
+        let topo = self.topology();
+        topo.shards
+            .iter()
+            .map(|shard| {
+                let state = shard.read();
+                let rows = state
+                    .db
+                    .table_names()
+                    .into_iter()
+                    .filter_map(|n| state.db.table(n).ok().map(Table::len))
+                    .max()
+                    .unwrap_or(0) as u64;
+                ShardLoad {
+                    shard: shard.id(),
+                    rows,
+                    commits: shard.commit_count(),
+                    rate_ewma_milli: ewmas.get(&shard.id()).copied().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
+    /// Publish the policy thread's freshly computed load view (see
+    /// [`crate::repl::PolicyConfig`]).
+    pub(crate) fn set_shard_load(&self, load: Vec<ShardLoad>) {
+        if let Ok(mut l) = self.inner.shard_load.lock() {
+            *l = load;
+        }
+    }
+
+    /// The base directory of a durable sharded engine (`None` when in
+    /// memory) — where the topology manifest and `shard-<id>/` WAL
+    /// directories live, and what [`crate::repl`] ships from.
+    pub fn durable_base_dir(&self) -> Option<std::path::PathBuf> {
+        self.inner.durable_base.as_ref().map(|c| c.dir.clone())
+    }
+
+    /// Per-shard last durable sequence numbers, keyed by stable shard
+    /// id — the replication manifest's lag reference.
+    pub(crate) fn shard_last_seqs(&self) -> BTreeMap<u64, u64> {
+        let topo = self.topology();
+        topo.shards
+            .iter()
+            .map(|s| {
+                let last = s.read().durable.as_ref().map_or(0, |d| d.last_seq());
+                (s.id(), last)
+            })
+            .collect()
     }
 
     /// The live phase-latency registry (shared with every shard's
@@ -1027,6 +1160,7 @@ impl ShardedEngineServer {
             );
             self.inner.metrics.commit(rows);
             self.inner.shard_metrics.single_shard_commit();
+            shard.note_commit();
             self.inner.notifier.publish(stamp);
             return Ok(CommitReceipt {
                 stamp,
@@ -1069,6 +1203,9 @@ impl ShardedEngineServer {
             Ok((gtx, stamp)) => {
                 self.inner.metrics.commit(rows);
                 self.inner.shard_metrics.cross_shard_commit(n);
+                for p in &participants {
+                    p.shard.note_commit();
+                }
                 self.inner.notifier.publish(stamp);
                 Ok(CommitReceipt {
                     stamp,
@@ -1172,7 +1309,7 @@ impl ShardedEngineServer {
 
     /// The commit signal shared by every shard: each settled commit
     /// publishes its global stamp here. Push pumps park on it instead of
-    /// polling [`Self::stats`].
+    /// polling [`Self::metrics`].
     pub fn commit_notifier(&self) -> Arc<CommitNotifier> {
         Arc::clone(&self.inner.notifier)
     }

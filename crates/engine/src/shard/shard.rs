@@ -10,6 +10,7 @@
 //! [`crate::shard::coordinator`]).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use esm_store::{Database, Delta, Row};
@@ -218,6 +219,10 @@ struct ShardInner {
     /// where batching across sessions is the only way to share fsyncs;
     /// with `group_commit > 1` the log already batches lazily).
     group: Option<Arc<GroupCommit>>,
+    /// Transactions committed through this shard (single-shard commits
+    /// plus 2PC participations), read lock-free by the rebalance policy
+    /// to compute per-shard commit-rate EWMAs.
+    commits: AtomicU64,
 }
 
 impl Shard {
@@ -233,6 +238,7 @@ impl Shard {
                     durable: None,
                 }),
                 group: None,
+                commits: AtomicU64::new(0),
             }),
         }
     }
@@ -256,6 +262,7 @@ impl Shard {
                     durable: Some(durable),
                 }),
                 group,
+                commits: AtomicU64::new(0),
             }),
         })
     }
@@ -280,6 +287,7 @@ impl Shard {
                         durable: Some(durable),
                     }),
                     group: group.map(|()| Arc::new(GroupCommit::new(report.last_seq))),
+                    commits: AtomicU64::new(0),
                 }),
             },
             report,
@@ -340,6 +348,17 @@ impl Shard {
             t.set_tag(if led { "leader" } else { "follower" });
         }
         Ok(())
+    }
+
+    /// Count one committed transaction against this shard (single-shard
+    /// commit or 2PC participation). Lock-free.
+    pub(crate) fn note_commit(&self) {
+        self.inner.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transactions committed through this shard since construction.
+    pub(crate) fn commit_count(&self) -> u64 {
+        self.inner.commits.load(Ordering::Relaxed)
     }
 
     /// This shard's recovery law: its in-memory WAL replayed over its

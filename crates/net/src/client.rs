@@ -30,7 +30,10 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use esm_engine::{ArcEngine, CommitReceipt, Engine, EngineError, EntangledView, MetricsSnapshot};
+use esm_engine::{
+    ArcEngine, CommitReceipt, Engine, EngineError, EntangledView, MetricsSnapshot, ReplManifest,
+    WalSource,
+};
 use esm_relational::ViewDef;
 use esm_store::{Database, Delta, Table};
 
@@ -106,6 +109,54 @@ impl RemoteEngine {
         }
     }
 
+    /// Fetch the server's WAL-shipping manifest (revision 4). Errors
+    /// with [`EngineError::Io`] against in-memory engines, which have
+    /// no shippable log.
+    pub fn repl_manifest(&self) -> Result<ReplManifest, EngineError> {
+        match self.call(&Request::ReplManifest)? {
+            Response::ReplManifest(m) => Ok(m),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch up to `len` bytes of `shard-<shard>/<file>` from `offset`
+    /// (revision 4). A short or empty chunk means EOF at manifest time.
+    pub fn repl_fetch(
+        &self,
+        shard: u64,
+        file: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, EngineError> {
+        match self.call(&Request::ReplFetch {
+            shard,
+            file: file.to_string(),
+            offset,
+            len,
+        })? {
+            Response::ReplChunk(bytes) => Ok(bytes),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// This connection as a [`WalSource`]: feed it to
+    /// [`esm_engine::ReplicaEngine::bootstrap`] and the replica ships
+    /// the primary's WAL over this wire. Clones the handle — shipping
+    /// shares the connection with any other use.
+    pub fn wal_source(&self) -> RemoteWalSource {
+        RemoteWalSource {
+            engine: self.clone(),
+        }
+    }
+
+    /// Follow a replica's write rejection: when `e` is
+    /// [`EngineError::NotPrimary`] carrying an advertised address,
+    /// connect there. `None` when the error is anything else or the
+    /// replica knows no primary (promotion in progress — retry later).
+    pub fn follow_redirect(e: &EngineError) -> Option<std::io::Result<RemoteEngine>> {
+        redirect_addr(e).map(RemoteEngine::connect)
+    }
+
     fn request(&self, req: &Request) -> Result<Response, EngineError> {
         // With a trace active on this thread, the round trip becomes a
         // span and the request carries the trace id (parented under
@@ -140,6 +191,34 @@ impl RemoteEngine {
 
 fn unexpected(resp: Response) -> EngineError {
     EngineError::Io(format!("unexpected response shape: {resp:?}"))
+}
+
+/// The primary address inside a [`EngineError::NotPrimary`] rejection,
+/// when the replica had one to advertise.
+pub fn redirect_addr(e: &EngineError) -> Option<&str> {
+    match e {
+        EngineError::NotPrimary { primary } if !primary.is_empty() => Some(primary),
+        _ => None,
+    }
+}
+
+/// A [`WalSource`] that ships a primary's WAL over the wire protocol:
+/// the replication analogue of [`RemoteEngine`]. A replica bootstrapped
+/// over one of these is a warm standby for a primary it has never
+/// shared a disk with.
+#[derive(Debug, Clone)]
+pub struct RemoteWalSource {
+    engine: RemoteEngine,
+}
+
+impl WalSource for RemoteWalSource {
+    fn manifest(&self) -> Result<ReplManifest, EngineError> {
+        self.engine.repl_manifest()
+    }
+
+    fn fetch(&self, shard: u64, file: &str, offset: u64, len: u64) -> Result<Vec<u8>, EngineError> {
+        self.engine.repl_fetch(shard, file, offset, len)
+    }
 }
 
 impl Engine for RemoteEngine {

@@ -61,6 +61,15 @@
 //! resyncs. A stalled subscriber never delays a commit or another
 //! subscriber's push. Rev-2 clients interoperate unchanged — the new
 //! verbs are additive, in both the binary and legacy text codecs.
+//!
+//! Protocol rev 4 adds WAL-shipping replication on the same socket:
+//! `repl_manifest` / `repl_fetch` expose a durable engine's segment
+//! and checkpoint files (its [`esm_engine::WalSource`]), so a
+//! [`RemoteWalSource`] can feed an [`esm_engine::ReplicaEngine`] that
+//! has never shared a disk with its primary. Replicas reject writes
+//! with a `not_primary` error carrying the primary's advertised
+//! address; [`RemoteEngine::follow_redirect`] turns that into a
+//! reconnect. Again additive: older peers never see the new frames.
 
 #![warn(missing_docs)]
 // Unsafe is confined to the raw epoll FFI in `poll` (no libc crate);
@@ -73,7 +82,7 @@ pub mod poll;
 pub mod proto;
 pub mod server;
 
-pub use client::{PushEvent, RemoteEngine, SubscriptionClient};
+pub use client::{redirect_addr, PushEvent, RemoteEngine, RemoteWalSource, SubscriptionClient};
 pub use frame::{decode_frame, encode_frame, FrameError, MAX_FRAME_BYTES};
 pub use proto::{Request, Response, WireError, PROTOCOL_REV};
 pub use server::{NetServer, NetServerConfig, NetStats};

@@ -32,11 +32,13 @@
 //!           | edit_cas TAB name NL table-doc table-doc
 //!           | commit TAB n NL (name-line delta-doc)*n
 //!           | subscribe TAB name TAB (none|cursor) | unsubscribe TAB name
+//!           | repl_manifest | repl_fetch TAB shard TAB file TAB off TAB len
 //! response := ok | names TAB ... | seq (none|n) | err TAB error
 //!           | table NL table-doc | db NL db-doc | delta NL delta-doc
 //!           | receipt ... | metrics NL metrics-doc
 //!           | stats NL telemetry-doc | suback TAB cursor
 //!           | push TAB name TAB from TAB to TAB resync? NL delta-doc [table-doc]
+//!           | repl_manifest NL manifest-doc | repl_chunk TAB hex
 //! ```
 //!
 //! Table documents are self-delimiting (`@rows n` announces the row
@@ -45,7 +47,10 @@
 //! `val:i:3`, `cmp:lt`, `and`, …) — a stack machine decodes them with
 //! no recursion and no parenthesis escaping.
 
-use esm_engine::{EngineError, MetricsSnapshot, ShardStats, ViewStats, WalStats};
+use esm_engine::{
+    EngineError, FileEntry, MetricsSnapshot, ReplManifest, ReplStats, ReplicaLag, ShardLoad,
+    ShardManifest, ShardStats, ViewStats, WalStats,
+};
 use esm_obs::{
     HistogramSnapshot, Phase, SlowOp, SpanRecord, TelemetrySnapshot, TraceId, TraceRecord,
     TraceReport,
@@ -175,6 +180,27 @@ pub enum Request {
     /// 3). Acknowledged with [`Response::Unit`]; already-buffered
     /// pushes may still arrive before the ack.
     Unsubscribe(String),
+    /// The primary's shippable WAL surface (revision 4): topology
+    /// bytes, advertised address and per-shard file listings
+    /// ([`Engine::repl_source`][rs]). Answered with
+    /// [`Response::ReplManifest`].
+    ///
+    /// [rs]: esm_engine::Engine::repl_source
+    ReplManifest,
+    /// Up to `len` bytes of one shard's WAL file starting at `offset`
+    /// (revision 4). Answered with [`Response::ReplChunk`]; a short
+    /// chunk means EOF, an empty one means nothing new yet.
+    ReplFetch {
+        /// Shard id (its directory is `shard-<id>`).
+        shard: u64,
+        /// File name within the shard directory, as the manifest
+        /// listed it.
+        file: String,
+        /// Byte offset to start from.
+        offset: u64,
+        /// Maximum bytes to return.
+        len: u64,
+    },
 }
 
 /// One server response.
@@ -243,17 +269,25 @@ pub enum Response {
         /// Full-window resync, when incremental delivery was impossible.
         resync: Option<Table>,
     },
+    /// The primary's WAL-shipping manifest (revision 4,
+    /// [`Request::ReplManifest`]).
+    ReplManifest(ReplManifest),
+    /// One ranged WAL read (revision 4, [`Request::ReplFetch`]).
+    ReplChunk(Vec<u8>),
 }
 
 /// The wire protocol revision this build speaks. Revision 2 added the
 /// optional trace-context suffix on binary requests, `server_ping` and
 /// `traces`. Revision 3 added cursor subscriptions: `subscribe` /
 /// `unsubscribe` requests and the server-initiated `suback` / `push`
-/// responses. Servers keep decoding every earlier form and revision-2
-/// clients that never subscribe see no new frames, so the revision is
-/// informational (surfaced by [`Response::ServerInfo`]), not a
-/// handshake.
-pub const PROTOCOL_REV: u32 = 3;
+/// responses. Revision 4 added WAL-shipping replication
+/// (`repl_manifest` / `repl_fetch`), the `not_primary` redirect error,
+/// and optional load/lag/gauge extensions to the metrics and telemetry
+/// documents (absent fields encode exactly as revision 3 did). Servers
+/// keep decoding every earlier form and older clients see no new
+/// frames, so the revision is informational (surfaced by
+/// [`Response::ServerInfo`]), not a handshake.
+pub const PROTOCOL_REV: u32 = 4;
 
 // ---------------------------------------------------------------------
 // Line reader.
@@ -681,7 +715,19 @@ fn decode_viewdef(r: &mut Reader<'_>) -> Result<ViewDef, WireError> {
 // ---------------------------------------------------------------------
 
 fn encode_metrics(out: &mut String, m: &MetricsSnapshot) {
-    out.push_str("@metrics\n");
+    // Revision 4 extensions (per-shard load, replication lag) ride
+    // behind counts on the header line; when absent the header stays
+    // bare and the document is bit-identical to the revision-3 form.
+    let extended = !m.shard_load.is_empty() || m.repl != ReplStats::default();
+    if extended {
+        out.push_str(&format!(
+            "@metrics\t{}\t{}\n",
+            m.shard_load.len(),
+            m.repl.lag.len()
+        ));
+    } else {
+        out.push_str("@metrics\n");
+    }
     out.push_str(&format!(
         "core\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
         m.commits,
@@ -702,7 +748,7 @@ fn encode_metrics(out: &mut String, m: &MetricsSnapshot) {
         m.wal.segments_compacted
     ));
     out.push_str(&format!(
-        "shard\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        "shard\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         m.shard.single_shard_commits,
         m.shard.cross_shard_commits,
         m.shard.prepares,
@@ -712,10 +758,44 @@ fn encode_metrics(out: &mut String, m: &MetricsSnapshot) {
         m.shard.merges,
         m.shard.rows_migrated
     ));
+    // The four revision-4 shard counters append only when non-zero, so
+    // a pre-replication snapshot keeps its revision-3 byte form.
+    if m.shard.auto_splits != 0
+        || m.shard.auto_merges != 0
+        || m.shard.commit_rate_ewma_milli != 0
+        || m.shard.commit_rate_skew_milli != 0
+    {
+        out.push_str(&format!(
+            "\t{}\t{}\t{}\t{}",
+            m.shard.auto_splits,
+            m.shard.auto_merges,
+            m.shard.commit_rate_ewma_milli,
+            m.shard.commit_rate_skew_milli
+        ));
+    }
+    out.push('\n');
     out.push_str(&format!(
         "view\t{}\t{}\t{}\t{}\n",
         m.view.materialized_reads, m.view.deltas_applied, m.view.rebuilds, m.view.shards_pruned
     ));
+    if extended {
+        for l in &m.shard_load {
+            out.push_str(&format!(
+                "load\t{}\t{}\t{}\t{}\n",
+                l.shard, l.rows, l.commits, l.rate_ewma_milli
+            ));
+        }
+        for l in &m.repl.lag {
+            out.push_str(&format!(
+                "lag\t{}\t{}\t{}\n",
+                l.shard, l.primary_seq, l.applied_seq
+            ));
+        }
+        out.push_str(&format!(
+            "repl\t{}\t{}\t{}\n",
+            m.repl.ship_passes, m.repl.records_applied, m.repl.transactions_applied
+        ));
+    }
 }
 
 fn nums<const N: usize>(rest: &str) -> Result<[u64; N], WireError> {
@@ -731,15 +811,60 @@ fn nums<const N: usize>(rest: &str) -> Result<[u64; N], WireError> {
 }
 
 fn decode_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
-    r.keyword("@metrics")?;
+    let head = fields(r.keyword("@metrics")?);
+    let (n_load, n_lag, extended) = match head.as_slice() {
+        [] => (0usize, 0usize, false),
+        [nl, ng] => (
+            nl.parse().map_err(|_| err("bad @metrics load count"))?,
+            ng.parse().map_err(|_| err("bad @metrics lag count"))?,
+            true,
+        ),
+        _ => return Err(err("bad @metrics header")),
+    };
     let [commits, conflicts, retries, view_reads, rows_written, wal_truncations, wal_records_truncated] =
         nums::<7>(r.keyword("core")?)?;
     let [appends, syncs, bytes_written, rotations, checkpoints, segments_compacted] =
         nums::<6>(r.keyword("wal")?)?;
-    let [single_shard_commits, cross_shard_commits, prepares, recovery_commits, recovery_aborts, splits, merges, rows_migrated] =
-        nums::<8>(r.keyword("shard")?)?;
+    // The shard line carries 8 revision-3 counters, optionally followed
+    // by the 4 revision-4 ones.
+    let shard_line = r.keyword("shard")?;
+    let (
+        [single_shard_commits, cross_shard_commits, prepares, recovery_commits, recovery_aborts, splits, merges, rows_migrated],
+        [auto_splits, auto_merges, commit_rate_ewma_milli, commit_rate_skew_milli],
+    ) = match nums::<12>(shard_line) {
+        Ok(all) => {
+            let (old, new) = all.split_at(8);
+            (old.try_into().expect("8"), new.try_into().expect("4"))
+        }
+        Err(_) => (nums::<8>(shard_line)?, [0u64; 4]),
+    };
     let [materialized_reads, deltas_applied, rebuilds, shards_pruned] =
         nums::<4>(r.keyword("view")?)?;
+    let mut shard_load = Vec::with_capacity(n_load);
+    let mut repl = ReplStats::default();
+    if extended {
+        for _ in 0..n_load {
+            let [shard, rows, commits, rate_ewma_milli] = nums::<4>(r.keyword("load")?)?;
+            shard_load.push(ShardLoad {
+                shard,
+                rows,
+                commits,
+                rate_ewma_milli,
+            });
+        }
+        for _ in 0..n_lag {
+            let [shard, primary_seq, applied_seq] = nums::<3>(r.keyword("lag")?)?;
+            repl.lag.push(ReplicaLag {
+                shard,
+                primary_seq,
+                applied_seq,
+            });
+        }
+        let [ship_passes, records_applied, transactions_applied] = nums::<3>(r.keyword("repl")?)?;
+        repl.ship_passes = ship_passes;
+        repl.records_applied = records_applied;
+        repl.transactions_applied = transactions_applied;
+    }
     Ok(MetricsSnapshot {
         commits,
         conflicts,
@@ -765,6 +890,10 @@ fn decode_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
             splits,
             merges,
             rows_migrated,
+            auto_splits,
+            auto_merges,
+            commit_rate_ewma_milli,
+            commit_rate_skew_milli,
         },
         view: ViewStats {
             materialized_reads,
@@ -772,6 +901,8 @@ fn decode_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
             rebuilds,
             shards_pruned,
         },
+        shard_load,
+        repl,
     })
 }
 
@@ -785,12 +916,24 @@ fn decode_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
 /// one `slow` line per slow-op record. Bit-exact round trip: the sparse
 /// bins, max, sum and per-phase slow-op breakdowns all survive.
 pub fn encode_telemetry(out: &mut String, t: &TelemetrySnapshot) {
-    out.push_str(&format!(
-        "@telemetry\t{}\t{}\t{}\n",
-        t.slow_threshold_ns,
-        t.phases.len(),
-        t.slow_ops.len()
-    ));
+    // Revision 4: a fourth header count announces `gauge` lines; when
+    // there are none the header keeps its three-field revision-3 form.
+    if t.gauges.is_empty() {
+        out.push_str(&format!(
+            "@telemetry\t{}\t{}\t{}\n",
+            t.slow_threshold_ns,
+            t.phases.len(),
+            t.slow_ops.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "@telemetry\t{}\t{}\t{}\t{}\n",
+            t.slow_threshold_ns,
+            t.phases.len(),
+            t.slow_ops.len(),
+            t.gauges.len()
+        ));
+    }
     for (phase, h) in &t.phases {
         out.push_str(&format!(
             "phase\t{}\t{}\t{}\t{}\t{}",
@@ -817,6 +960,9 @@ pub fn encode_telemetry(out: &mut String, t: &TelemetrySnapshot) {
         }
         out.push('\n');
     }
+    for (name, value) in &t.gauges {
+        out.push_str(&format!("gauge\t{}\t{value}\n", escape(name)));
+    }
 }
 
 fn decode_phase_name(s: &str) -> Result<Phase, WireError> {
@@ -828,8 +974,10 @@ fn decode_telemetry(r: &mut Reader<'_>) -> Result<TelemetrySnapshot, WireError> 
         .into_iter()
         .map(|f| f.parse::<u64>().map_err(|_| err("bad @telemetry header")))
         .collect::<Result<Vec<_>, _>>()?;
-    let [slow_threshold_ns, n_phases, n_slow] = head.as_slice() else {
-        return Err(err("bad @telemetry header"));
+    let (slow_threshold_ns, n_phases, n_slow, n_gauges) = match head.as_slice() {
+        [t, p, s] => (t, p, s, &0u64),
+        [t, p, s, g] => (t, p, s, g),
+        _ => return Err(err("bad @telemetry header")),
     };
     let mut phases = Vec::with_capacity(*n_phases as usize);
     for _ in 0..*n_phases {
@@ -891,10 +1039,104 @@ fn decode_telemetry(r: &mut Reader<'_>) -> Result<TelemetrySnapshot, WireError> 
             phases: slow_phases,
         });
     }
+    let mut gauges = Vec::with_capacity(*n_gauges as usize);
+    for _ in 0..*n_gauges {
+        let parts = fields(r.keyword("gauge")?);
+        let [name, value] = parts.as_slice() else {
+            return Err(err("bad gauge line"));
+        };
+        gauges.push((
+            unescape(name)?,
+            value.parse().map_err(|_| err("bad gauge value"))?,
+        ));
+    }
     Ok(TelemetrySnapshot {
         phases,
         slow_threshold_ns: *slow_threshold_ns,
         slow_ops,
+        gauges,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Replication manifests.
+// ---------------------------------------------------------------------
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, WireError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(err("odd hex blob"));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(s.get(i..i + 2).ok_or_else(|| err("bad hex blob"))?, 16)
+                .map_err(|_| err("bad hex blob"))
+        })
+        .collect()
+}
+
+/// Render a replication manifest as a self-delimiting document: an
+/// `@manifest` header carrying the primary address, the topology bytes
+/// (hex — the file is tiny) and the shard count, then per shard one
+/// `mshard` line announcing its `file` lines.
+fn encode_manifest(out: &mut String, m: &ReplManifest) {
+    out.push_str(&format!(
+        "@manifest\t{}\t{}\t{}\n",
+        escape(&m.primary_addr),
+        hex_encode(&m.topology),
+        m.shards.len()
+    ));
+    for shard in &m.shards {
+        out.push_str(&format!(
+            "mshard\t{}\t{}\t{}\n",
+            shard.id,
+            shard.last_seq,
+            shard.files.len()
+        ));
+        for f in &shard.files {
+            out.push_str(&format!("file\t{}\t{}\n", escape(&f.name), f.len));
+        }
+    }
+}
+
+fn decode_manifest(r: &mut Reader<'_>) -> Result<ReplManifest, WireError> {
+    let head = fields(r.keyword("@manifest")?);
+    let [primary_addr, topology, n_shards] = head.as_slice() else {
+        return Err(err("bad @manifest header"));
+    };
+    let n_shards: usize = n_shards.parse().map_err(|_| err("bad shard count"))?;
+    let mut shards = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let [id, last_seq, n_files] = nums::<3>(r.keyword("mshard")?)?;
+        let mut files = Vec::with_capacity(n_files as usize);
+        for _ in 0..n_files {
+            let parts = fields(r.keyword("file")?);
+            let [name, len] = parts.as_slice() else {
+                return Err(err("bad file line"));
+            };
+            files.push(FileEntry {
+                name: unescape(name)?,
+                len: len.parse().map_err(|_| err("bad file length"))?,
+            });
+        }
+        shards.push(ShardManifest {
+            id,
+            last_seq,
+            files,
+        });
+    }
+    Ok(ReplManifest {
+        topology: hex_decode(topology)?,
+        primary_addr: unescape(primary_addr)?,
+        shards,
     })
 }
 
@@ -1010,6 +1252,7 @@ pub fn encode_error(e: &EngineError) -> String {
         }
         EngineError::ReservedTableName(t) => format!("reserved_table\t{}", escape(t)),
         EngineError::ShardTopology(msg) => format!("shard_topology\t{}", escape(msg)),
+        EngineError::NotPrimary { primary } => format!("not_primary\t{}", escape(primary)),
         EngineError::Store(e) => format!("store\t{}", escape(&e.to_string())),
     }
 }
@@ -1056,6 +1299,15 @@ pub fn decode_error(line: &str) -> Result<EngineError, WireError> {
         },
         "reserved_table" => EngineError::ReservedTableName(one()?),
         "shard_topology" => EngineError::ShardTopology(one()?),
+        // The redirect address may be empty (an unadvertised primary):
+        // `not_primary\t` parses as zero fields.
+        "not_primary" => EngineError::NotPrimary {
+            primary: match parts.as_slice() {
+                [] => String::new(),
+                [a] => unescape(a)?,
+                _ => return Err(err("bad not_primary body")),
+            },
+        },
         "store" => EngineError::Store(StoreError::BadQuery(one()?)),
         _ => return Err(err(format!("unknown error tag `{tag}`"))),
     })
@@ -1100,6 +1352,8 @@ const REQ_SERVER_PING: u8 = 15;
 const REQ_TRACES: u8 = 16;
 const REQ_SUBSCRIBE: u8 = 17;
 const REQ_UNSUBSCRIBE: u8 = 18;
+const REQ_REPL_MANIFEST: u8 = 19;
+const REQ_REPL_FETCH: u8 = 20;
 
 /// Byte length of the optional trace-context suffix on binary
 /// requests: a u64 trace id plus a u32 parent span id. Pre-revision-2
@@ -1121,6 +1375,8 @@ const RESP_SERVER_INFO: u8 = 10;
 const RESP_TRACES: u8 = 11;
 const RESP_SUBACK: u8 = 12;
 const RESP_PUSH: u8 = 13;
+const RESP_REPL_MANIFEST: u8 = 14;
+const RESP_REPL_CHUNK: u8 = 15;
 
 fn put_value_type(out: &mut Vec<u8>, ty: ValueType) {
     out.push(match ty {
@@ -1309,6 +1565,19 @@ impl Request {
                 out.push(REQ_UNSUBSCRIBE);
                 codec::put_str(&mut out, view);
             }
+            Request::ReplManifest => out.push(REQ_REPL_MANIFEST),
+            Request::ReplFetch {
+                shard,
+                file,
+                offset,
+                len,
+            } => {
+                out.push(REQ_REPL_FETCH);
+                codec::put_u64(&mut out, *shard);
+                codec::put_str(&mut out, file);
+                codec::put_u64(&mut out, *offset);
+                codec::put_u64(&mut out, *len);
+            }
         }
         out
     }
@@ -1383,6 +1652,18 @@ impl Request {
             Request::Unsubscribe(view) => {
                 out.push_str(&format!("unsubscribe\t{}\n", escape(view)));
             }
+            Request::ReplManifest => out.push_str("repl_manifest\n"),
+            Request::ReplFetch {
+                shard,
+                file,
+                offset,
+                len,
+            } => {
+                out.push_str(&format!(
+                    "repl_fetch\t{shard}\t{}\t{offset}\t{len}\n",
+                    escape(file)
+                ));
+            }
         }
         out.into_bytes()
     }
@@ -1422,6 +1703,7 @@ impl Request {
                 | "commit"
                 | "subscribe"
                 | "unsubscribe"
+                | "repl_fetch"
         ) && arg.is_none()
         {
             return Err(err(format!("op `{op}` needs an argument")));
@@ -1483,6 +1765,19 @@ impl Request {
                 }
             }
             "unsubscribe" => Request::Unsubscribe(unescape(rest)?),
+            "repl_manifest" => Request::ReplManifest,
+            "repl_fetch" => {
+                let parts = fields(rest);
+                let [shard, file, offset, len] = parts.as_slice() else {
+                    return Err(err("bad repl_fetch line"));
+                };
+                Request::ReplFetch {
+                    shard: shard.parse().map_err(|_| err("bad repl_fetch shard"))?,
+                    file: unescape(file)?,
+                    offset: offset.parse().map_err(|_| err("bad repl_fetch offset"))?,
+                    len: len.parse().map_err(|_| err("bad repl_fetch len"))?,
+                }
+            }
             _ => return Err(err(format!("unknown request op `{op}`"))),
         };
         r.end()?;
@@ -1540,6 +1835,13 @@ impl Request {
                 },
             },
             REQ_UNSUBSCRIBE => Request::Unsubscribe(r.str()?),
+            REQ_REPL_MANIFEST => Request::ReplManifest,
+            REQ_REPL_FETCH => Request::ReplFetch {
+                shard: r.u64()?,
+                file: r.str()?,
+                offset: r.u64()?,
+                len: r.u64()?,
+            },
             other => return Err(err(format!("unknown binary request tag {other}"))),
         };
         // Revision 2: exactly TRACE_CTX_BYTES past the body is the
@@ -1666,6 +1968,16 @@ impl Response {
                     None => out.push(0),
                 }
             }
+            Response::ReplManifest(m) => {
+                out.push(RESP_REPL_MANIFEST);
+                let mut text = String::new();
+                encode_manifest(&mut text, m);
+                codec::put_str(&mut out, &text);
+            }
+            Response::ReplChunk(bytes) => {
+                out.push(RESP_REPL_CHUNK);
+                codec::put_bytes(&mut out, bytes);
+            }
         }
         out
     }
@@ -1750,6 +2062,15 @@ impl Response {
                 if let Some(window) = resync {
                     encode_table(&mut out, window);
                 }
+            }
+            Response::ReplManifest(m) => {
+                out.push_str("repl_manifest\n");
+                encode_manifest(&mut out, m);
+            }
+            // Chunks are raw log bytes; the text form carries them as
+            // hex (the binary codec is the fast path).
+            Response::ReplChunk(bytes) => {
+                out.push_str(&format!("repl_chunk\t{}\n", hex_encode(bytes)));
             }
         }
         out.into_bytes()
@@ -1840,6 +2161,8 @@ impl Response {
                     resync,
                 }
             }
+            "repl_manifest" => Response::ReplManifest(decode_manifest(&mut r)?),
+            "repl_chunk" => Response::ReplChunk(hex_decode(rest)?),
             _ => return Err(err(format!("unknown response op `{op}`"))),
         };
         r.end()?;
@@ -1913,6 +2236,8 @@ impl Response {
                     resync,
                 }
             }
+            RESP_REPL_MANIFEST => Response::ReplManifest(bin_text_blob(&mut r, decode_manifest)?),
+            RESP_REPL_CHUNK => Response::ReplChunk(r.bytes()?),
             other => return Err(err(format!("unknown binary response tag {other}"))),
         };
         r.end()?;
@@ -2004,6 +2329,29 @@ pub fn handle(session: &esm_engine::Session, req: Request) -> Response {
                 },
             },
             Request::Unsubscribe(_) => Response::Unit,
+            // Replication verbs route through the engine's shippable
+            // WAL surface; in-memory engines have none.
+            Request::ReplManifest => match engine.repl_source() {
+                Some(source) => Response::ReplManifest(source.manifest()?),
+                None => {
+                    return Err(EngineError::Io(
+                        "replication source unavailable: engine is not durable".into(),
+                    ))
+                }
+            },
+            Request::ReplFetch {
+                shard,
+                file,
+                offset,
+                len,
+            } => match engine.repl_source() {
+                Some(source) => Response::ReplChunk(source.fetch(shard, &file, offset, len)?),
+                None => {
+                    return Err(EngineError::Io(
+                        "replication source unavailable: engine is not durable".into(),
+                    ))
+                }
+            },
         })
     })();
     result.unwrap_or_else(Response::Err)
@@ -2158,6 +2506,13 @@ mod tests {
                 cursor: Some(0),
             },
             Request::Unsubscribe("v\niew".into()),
+            Request::ReplManifest,
+            Request::ReplFetch {
+                shard: 3,
+                file: "wal-00000000000000000001.seg".into(),
+                offset: 4096,
+                len: u64::MAX,
+            },
         ];
         for req in reqs {
             let back = Request::decode(&req.encode()).unwrap();
@@ -2244,6 +2599,13 @@ mod tests {
                 phases: vec![],
                 slow_threshold_ns: 1,
                 slow_ops: vec![],
+                gauges: vec![],
+            }),
+            Response::Stats({
+                let mut t = telemetry();
+                t.set_gauge("repl_lag_records", u64::MAX);
+                t.set_gauge("we\tird gauge", 0);
+                t
             }),
             Response::Seq(Some(12)),
             Response::Seq(None),
@@ -2281,11 +2643,105 @@ mod tests {
                 delta: Delta::empty(),
                 resync: Some(table()),
             },
+            Response::Metrics(MetricsSnapshot {
+                shard: ShardStats {
+                    auto_splits: 2,
+                    auto_merges: 1,
+                    commit_rate_ewma_milli: 123_456,
+                    commit_rate_skew_milli: 1_900,
+                    ..Default::default()
+                },
+                shard_load: vec![
+                    ShardLoad {
+                        shard: 0,
+                        rows: 10,
+                        commits: 100,
+                        rate_ewma_milli: 5_000,
+                    },
+                    ShardLoad {
+                        shard: 7,
+                        rows: 0,
+                        commits: 0,
+                        rate_ewma_milli: 0,
+                    },
+                ],
+                repl: ReplStats {
+                    lag: vec![ReplicaLag {
+                        shard: 0,
+                        primary_seq: 42,
+                        applied_seq: 40,
+                    }],
+                    ship_passes: 9,
+                    records_applied: 80,
+                    transactions_applied: 33,
+                },
+                ..Default::default()
+            }),
+            Response::ReplManifest(ReplManifest {
+                topology: vec![0x00, 0xFF, 0x7B, b'\n', b'\t'],
+                primary_addr: "127.0.0.1:4400".into(),
+                shards: vec![
+                    ShardManifest {
+                        id: 0,
+                        last_seq: 17,
+                        files: vec![
+                            FileEntry {
+                                name: "checkpoint-00000000000000000004.ckpt".into(),
+                                len: 321,
+                            },
+                            FileEntry {
+                                name: "wal-00000000000000000005.seg".into(),
+                                len: 4096,
+                            },
+                        ],
+                    },
+                    ShardManifest {
+                        id: 3,
+                        last_seq: 0,
+                        files: vec![],
+                    },
+                ],
+            }),
+            Response::ReplManifest(ReplManifest::default()),
+            Response::ReplChunk(vec![0xB7, 0x00, 0xFF, 1, 2, 3]),
+            Response::ReplChunk(vec![]),
+            Response::Err(EngineError::NotPrimary {
+                primary: "10.0.0.2:4400".into(),
+            }),
+            Response::Err(EngineError::NotPrimary {
+                primary: String::new(),
+            }),
         ];
         for resp in resps {
             let back = Response::decode(&resp.encode()).unwrap();
             assert_eq!(back, resp);
+            // The legacy text form must carry the same payloads.
+            let back = Response::decode(&resp.encode_text()).unwrap();
+            assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn legacy_metrics_and_telemetry_forms_still_decode() {
+        // A revision-3 peer sends the bare header and the 8-counter
+        // shard line; the new fields must default, not error. And a
+        // snapshot without replication state must encode bit-identically
+        // to the revision-3 form.
+        let legacy = b"metrics\n@metrics\ncore\t1\t2\t3\t4\t5\t6\t7\nwal\t1\t2\t3\t4\t5\t6\nshard\t1\t2\t3\t4\t5\t6\t7\t8\nview\t1\t2\t3\t4\n";
+        let Response::Metrics(m) = Response::decode(legacy).unwrap() else {
+            panic!("expected metrics");
+        };
+        assert_eq!(m.shard.auto_splits, 0);
+        assert!(m.shard_load.is_empty());
+        assert_eq!(m.repl, ReplStats::default());
+        assert_eq!(Response::Metrics(m).encode_text(), legacy);
+
+        let legacy = b"stats\n@telemetry\t42\t0\t0\n";
+        let Response::Stats(t) = Response::decode(legacy).unwrap() else {
+            panic!("expected stats");
+        };
+        assert!(t.gauges.is_empty());
+        assert_eq!(Response::Stats(t).encode_text(), legacy);
     }
 
     #[test]
@@ -2445,6 +2901,9 @@ mod tests {
             b"subscribe\tv",
             b"subscribe\tv\tNaN",
             b"unsubscribe",
+            b"repl_fetch",
+            b"repl_fetch\t0\tf",
+            b"repl_fetch\tNaN\tf\t0\t0",
             b"\xff\xfe",
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} must not decode");
@@ -2460,6 +2919,11 @@ mod tests {
             b"suback\tNaN",
             b"push\tv\t1\t2",
             b"push\tv\t1\t2\t5\n@delta\t0\t0",
+            b"repl_chunk\tzz",
+            b"repl_chunk\tabc",
+            b"repl_manifest\n@manifest\tx",
+            b"repl_manifest\n@manifest\t\t\t1\nmshard\t0\t0\t1",
+            b"metrics\n@metrics\tNaN\t0\ncore\t1\t2\t3\t4\t5\t6\t7",
         ] {
             assert!(Response::decode(bad).is_err(), "{bad:?} must not decode");
         }

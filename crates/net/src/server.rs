@@ -673,6 +673,8 @@ fn op_name(req: &Request) -> &'static str {
         Request::Traces => "net:traces",
         Request::Subscribe { .. } => "net:subscribe",
         Request::Unsubscribe(_) => "net:unsubscribe",
+        Request::ReplManifest => "net:repl_manifest",
+        Request::ReplFetch { .. } => "net:repl_fetch",
     }
 }
 

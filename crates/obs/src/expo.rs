@@ -40,6 +40,11 @@ pub fn render_prometheus(prefix: &str, snap: &TelemetrySnapshot) -> String {
         }
         out.push_str(&format!("{family}_max {}\n", hist.max));
     }
+    for (name, value) in &snap.gauges {
+        let family = format!("{prefix}_{name}");
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        out.push_str(&format!("{family} {value}\n"));
+    }
     out.push_str(&format!(
         "# slow ops (threshold {} ns, {} captured)\n",
         snap.slow_threshold_ns,
@@ -89,6 +94,15 @@ mod tests {
             assert!(n >= last);
             last = n;
         }
+    }
+
+    #[test]
+    fn gauges_render_as_gauge_families() {
+        let mut snap = Telemetry::new().snapshot();
+        snap.set_gauge("repl_lag_records", 7);
+        let text = render_prometheus("esm", &snap);
+        assert!(text.contains("# TYPE esm_repl_lag_records gauge"));
+        assert!(text.contains("esm_repl_lag_records 7"));
     }
 
     #[test]

@@ -71,11 +71,18 @@ pub enum Phase {
     /// Subscriptions: encoding + writing one `PUSH` frame into a
     /// subscriber connection's bounded output buffer.
     NetPushWrite,
+    /// Replication: one shipping pass's fetch side — manifest +
+    /// mirroring newly appended segment/checkpoint bytes from the
+    /// primary's WAL source.
+    ReplShip,
+    /// Replication: decoding newly complete records and applying their
+    /// settled transactions to the replica's serving engine.
+    ReplApply,
 }
 
 impl Phase {
     /// Every phase, in declaration (and wire) order.
-    pub const ALL: [Phase; 17] = [
+    pub const ALL: [Phase; 19] = [
         Phase::CommitSnapshot,
         Phase::CommitValidate,
         Phase::CommitWalAppend,
@@ -93,6 +100,8 @@ impl Phase {
         Phase::NetResponseWrite,
         Phase::SubDrain,
         Phase::NetPushWrite,
+        Phase::ReplShip,
+        Phase::ReplApply,
     ];
 
     /// The phase's stable wire/exposition name.
@@ -115,6 +124,8 @@ impl Phase {
             Phase::NetResponseWrite => "net_response_write",
             Phase::SubDrain => "sub_drain",
             Phase::NetPushWrite => "net_push_write",
+            Phase::ReplShip => "repl_ship",
+            Phase::ReplApply => "repl_apply",
         }
     }
 
@@ -411,6 +422,7 @@ impl Telemetry {
             phases,
             slow_threshold_ns: self.slow_threshold_ns(),
             slow_ops: self.slow_ops(),
+            gauges: Vec::new(),
         }
     }
 }
@@ -426,6 +438,11 @@ pub struct TelemetrySnapshot {
     pub slow_threshold_ns: u64,
     /// The slow-op ring at snapshot time, oldest first.
     pub slow_ops: Vec<SlowOp>,
+    /// Named point-in-time values (replication lag, queue depths, …)
+    /// that are levels rather than durations, so they don't fit the
+    /// phase histograms. Empty for plain engines; replicas and fleet
+    /// components inject theirs before exporting. Kept sorted by name.
+    pub gauges: Vec<(String, u64)>,
 }
 
 impl TelemetrySnapshot {
@@ -456,6 +473,24 @@ impl TelemetrySnapshot {
         self.phases.sort_by_key(|(p, _)| p.index());
         self.slow_threshold_ns = self.slow_threshold_ns.max(other.slow_threshold_ns);
         self.slow_ops.extend(other.slow_ops.iter().cloned());
+        for (name, value) in &other.gauges {
+            self.set_gauge(name, *value);
+        }
+    }
+
+    /// Insert or replace the gauge called `name`, keeping the list
+    /// sorted. Last write wins: a merged view reports the most recently
+    /// folded-in level, not a sum of levels.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        match self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.gauges[i].1 = value,
+            Err(i) => self.gauges.insert(i, (name.to_string(), value)),
+        }
+    }
+
+    /// The value of the gauge called `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 }
 

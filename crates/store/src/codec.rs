@@ -43,6 +43,12 @@ pub fn put_u64(out: &mut Vec<u8>, n: u64) {
     out.extend_from_slice(&n.to_le_bytes());
 }
 
+/// Append a `u32`-length-prefixed byte blob.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
 /// Append a `u32`-length-prefixed UTF-8 string.
 pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
@@ -132,6 +138,12 @@ impl<'a> BinReader<'a> {
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, StoreError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read a `u32`-length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, StoreError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Read a `u32`-length-prefixed UTF-8 string.
